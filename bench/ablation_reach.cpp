@@ -1,0 +1,88 @@
+// Ablation A7 — reachability certificate vs SMT certificate (extension).
+//
+// Two ways to prove "no stealthy attack defeats pfc under thresholds Th":
+//   * Algorithm 1 with Z3 (exact, complete — the paper's route), and
+//   * the zonotope envelope of src/reach (sound, over-approximate,
+//     microseconds).
+// This bench sweeps static threshold levels on the trajectory system and
+// reports both verdicts and times.  Shape: the two verdicts agree except in
+// a conservatism window where the envelope says "unknown" but Z3 proves
+// safety; the reach check is orders of magnitude faster, which is what
+// makes it useful as a pre-filter inside synthesis loops.
+#include <chrono>
+
+#include "bench_common.hpp"
+
+#include "reach/stealthy.hpp"
+
+using namespace cpsguard;
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::kWarn);
+  util::ensure_directory(bench::out_dir());
+  bench::banner("A7", "sound reach certificate vs exact SMT certificate");
+
+  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const synth::ReachCriterion pfc(0, 0.0, 0.05);
+  const std::size_t T = cs.horizon;
+
+  bench::Solvers solvers;
+  auto avs = bench::make_synth(cs, solvers);
+
+  std::printf("%-10s %-22s %-22s %-8s\n", "level", "reach verdict (time)",
+              "Z3 verdict (time)", "agree?");
+  std::printf("%-10s %-22s %-22s %-8s\n", "-----", "-------------------",
+              "-----------------", "------");
+
+  std::vector<double> levels{0.001, 0.002, 0.004, 0.006, 0.008, 0.012, 0.02,
+                             0.04, 0.08};
+  std::vector<double> col_reach, col_reach_t, col_z3, col_z3_t;
+  double reach_frontier = 0.0, z3_frontier = 0.0;
+  for (double level : levels) {
+    const detect::ThresholdVector th = detect::ThresholdVector::constant(T, level);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool reach_safe = reach::certify_no_stealthy_violation(cs.loop, pfc, th, T);
+    const double reach_seconds = seconds_since(t0);
+    if (reach_safe) reach_frontier = level;
+
+    const synth::AttackResult smt = avs.synthesize(th);
+    const bool z3_safe = !smt.found() && smt.certified;
+    if (z3_safe) z3_frontier = level;
+
+    const bool agree = !reach_safe || z3_safe;  // reach SAFE must imply Z3 safe
+    std::printf("%-10.3f %-22s %-22s %-8s\n", level,
+                (std::string(reach_safe ? "SAFE" : "unknown") + " (" +
+                 std::to_string(reach_seconds * 1e6).substr(0, 6) + " us)")
+                    .c_str(),
+                (std::string(z3_safe ? "SAFE" : "attack") + " (" +
+                 std::to_string(smt.solve_seconds).substr(0, 6) + " s)")
+                    .c_str(),
+                agree ? "yes" : "SOUNDNESS BUG");
+    col_reach.push_back(reach_safe ? 1.0 : 0.0);
+    col_reach_t.push_back(reach_seconds);
+    col_z3.push_back(z3_safe ? 1.0 : 0.0);
+    col_z3_t.push_back(smt.solve_seconds);
+    if (!agree) return 1;
+  }
+
+  std::printf("\nsafety frontier: reach certifies up to %.3f, Z3 up to %.3f "
+              "(conservatism ratio %.2fx)\n",
+              reach_frontier, z3_frontier,
+              reach_frontier > 0.0 ? z3_frontier / reach_frontier : 0.0);
+  bench::dump_csv("ablation_reach.csv", {{"level", levels},
+                                         {"reach_safe", col_reach},
+                                         {"reach_seconds", col_reach_t},
+                                         {"z3_safe", col_z3},
+                                         {"z3_seconds", col_z3_t}});
+  return 0;
+}

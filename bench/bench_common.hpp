@@ -1,0 +1,55 @@
+// bench_common.hpp — shared glue for the experiment harnesses.
+//
+// Every fig*/table*/ablation* binary reproduces one artifact of the paper's
+// evaluation: it prints the series/rows as text (ASCII plots + aligned
+// tables) and mirrors them into CSV files under bench_out/.
+#pragma once
+
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "cpsguard.hpp"
+
+namespace cpsguard::bench {
+
+inline std::string out_dir() { return "bench_out"; }
+
+inline void banner(const std::string& id, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Standard solver pair: Z3 certifier + simplex fast finder.
+struct Solvers {
+  std::shared_ptr<solver::Z3Backend> z3 = std::make_shared<solver::Z3Backend>();
+  std::shared_ptr<solver::LpBackend> lp = std::make_shared<solver::LpBackend>();
+};
+
+inline synth::AttackVectorSynthesizer make_synth(const models::CaseStudy& cs,
+                                                 const Solvers& solvers) {
+  return synth::AttackVectorSynthesizer(cs.attack_problem(), solvers.z3, solvers.lp);
+}
+
+/// Writes a set of equally-long series to CSV (column 0 = sample index).
+inline void dump_csv(const std::string& file, const std::vector<util::Series>& series) {
+  std::vector<std::string> cols{"k"};
+  std::size_t len = 0;
+  for (const auto& s : series) {
+    cols.push_back(s.name);
+    len = std::max(len, s.values.size());
+  }
+  util::CsvWriter csv(out_dir() + "/" + file, cols);
+  for (std::size_t k = 0; k < len; ++k) {
+    std::vector<double> row{static_cast<double>(k)};
+    for (const auto& s : series)
+      row.push_back(k < s.values.size() ? s.values[k]
+                                        : std::numeric_limits<double>::quiet_NaN());
+    csv.row(row);
+  }
+  std::printf("  [csv] %s/%s (%zu rows)\n", out_dir().c_str(), file.c_str(), len);
+}
+
+}  // namespace cpsguard::bench

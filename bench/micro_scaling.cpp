@@ -1,0 +1,128 @@
+// Ablations A4/A5 — google-benchmark microbenchmarks: closed-loop
+// simulation throughput, symbolic unrolling, constraint encoding size/time,
+// simplex solves and end-to-end attack synthesis vs horizon.
+#include <benchmark/benchmark.h>
+
+#include "cpsguard.hpp"
+
+namespace {
+
+using namespace cpsguard;
+
+const models::CaseStudy& vsc() {
+  static const models::CaseStudy cs = models::make_vsc_case_study();
+  return cs;
+}
+
+const models::CaseStudy& trajectory() {
+  static const models::CaseStudy cs = models::make_trajectory_case_study();
+  return cs;
+}
+
+void BM_ClosedLoopSimulate(benchmark::State& state) {
+  const auto& cs = vsc();
+  const control::ClosedLoop loop(cs.loop);
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loop.simulate(steps));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_ClosedLoopSimulate)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_SymbolicUnroll(benchmark::State& state) {
+  const auto& cs = vsc();
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sym::unroll(cs.loop, steps));
+  }
+}
+BENCHMARK(BM_SymbolicUnroll)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_EncodeAttackProblem(benchmark::State& state) {
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  models::VscParams p;
+  p.horizon = steps;
+  const models::CaseStudy cs = models::make_vsc_case_study(p);
+  auto z3 = std::make_shared<solver::Z3Backend>();
+  synth::AttackVectorSynthesizer avs(cs.attack_problem(), z3);
+  const detect::ThresholdVector th = detect::ThresholdVector::constant(steps, 0.1);
+  for (auto _ : state) {
+    const solver::Problem prob = avs.build_problem(th);
+    benchmark::DoNotOptimize(prob.constraint.literal_count());
+  }
+}
+BENCHMARK(BM_EncodeAttackProblem)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_SimplexLp(benchmark::State& state) {
+  // Random dense feasibility LP of the size the attack problems produce.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  solver::LpProblem lp;
+  lp.num_vars = n;
+  for (std::size_t r = 0; r < 2 * n; ++r) {
+    std::vector<double> row(n);
+    for (auto& v : row) v = rng.uniform(-1.0, 1.0);
+    lp.add_row(std::move(row), solver::LpRel::kLe, rng.uniform(0.5, 2.0));
+  }
+  lp.objective.assign(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::solve_lp(lp));
+  }
+}
+BENCHMARK(BM_SimplexLp)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_AttackSynthesisLpPath(benchmark::State& state) {
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  models::TrajectoryParams p;
+  p.horizon = steps;
+  const models::CaseStudy cs = models::make_trajectory_case_study(p);
+  auto z3 = std::make_shared<solver::Z3Backend>();
+  auto lp = std::make_shared<solver::LpBackend>();
+  synth::AttackVectorSynthesizer avs(cs.attack_problem(), z3, lp);
+  const detect::ThresholdVector none(steps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avs.synthesize(none));
+  }
+}
+BENCHMARK(BM_AttackSynthesisLpPath)->Arg(10)->Arg(20);
+
+void BM_MonitorStealthyEval(benchmark::State& state) {
+  const auto& cs = vsc();
+  const control::Trace tr = control::ClosedLoop(cs.loop).simulate(cs.horizon);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs.mdc.stealthy(tr));
+  }
+}
+BENCHMARK(BM_MonitorStealthyEval);
+
+void BM_FarEvaluation(benchmark::State& state) {
+  const auto& cs = trajectory();
+  const control::ClosedLoop loop(cs.loop);
+  const std::vector<detect::FarCandidate> candidates{
+      {"c", detect::ResidueDetector(
+                detect::ThresholdVector::constant(cs.horizon, 0.05), cs.norm)}};
+  detect::FarSetup setup;
+  setup.num_runs = static_cast<std::size_t>(state.range(0));
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detect::evaluate_far(loop, cs.mdc, candidates, setup));
+  }
+}
+BENCHMARK(BM_FarEvaluation)->Arg(100)->Arg(1000);
+
+void BM_CodegenEmit(benchmark::State& state) {
+  const auto& cs = vsc();
+  detect::ThresholdVector th(cs.horizon);
+  for (std::size_t k = 0; k < cs.horizon; ++k) th.set(k, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codegen::emit_detector_c(cs.loop, th, cs.mdc));
+  }
+}
+BENCHMARK(BM_CodegenEmit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// attacker_capability.cpp — how much damage can a stealthy attacker do?
+//
+// Reachability view of threshold design: reparametrizing a stealthy attack
+// as a threshold-bounded disturbance (see src/reach/stealthy.hpp) turns
+// "worst stealthy deviation" into a zonotope propagation that answers in
+// microseconds.  This example
+//   1. sweeps a static threshold level and plots the attacker's deviation
+//      envelope against the pfc band — the crossover is the largest
+//      provably safe static threshold (up to over-approximation),
+//   2. compares the envelope of a synthesized decreasing vector with the
+//      static one of equal FAR-relevant late-phase level,
+//   3. cross-checks the certificate against template attacks.
+//
+//   ./examples/attacker_capability
+#include <cstdio>
+
+#include "cpsguard.hpp"
+
+using namespace cpsguard;
+
+int main() {
+  util::set_log_level(util::LogLevel::kWarn);
+
+  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const synth::ReachCriterion pfc(0, 0.0, 0.05);
+  const std::size_t T = cs.horizon;
+
+  // --- 1. capability sweep over static threshold levels ----------------------
+  std::printf("%-12s %-18s %-10s\n", "threshold", "max |deviation|", "certified");
+  std::printf("%-12s %-18s %-10s\n", "---------", "---------------", "---------");
+  double largest_safe = 0.0;
+  for (double th : {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}) {
+    const detect::ThresholdVector vec = detect::ThresholdVector::constant(T, th);
+    const double dev = reach::max_stealthy_deviation(cs.loop, 0, 0.0, vec, T);
+    const bool safe = reach::certify_no_stealthy_violation(cs.loop, pfc, vec, T);
+    if (safe) largest_safe = th;
+    std::printf("%-12.3f %-18.4f %-10s\n", th, dev, safe ? "SAFE" : "unknown");
+  }
+  std::printf("\nlargest certified-safe static level in the sweep: %.3f\n\n",
+              largest_safe);
+
+  // --- 2. decreasing vector vs static at the same late level ------------------
+  detect::ThresholdVector decreasing(T);
+  for (std::size_t k = 0; k < T; ++k) {
+    const double frac = static_cast<double>(k) / static_cast<double>(T - 1);
+    decreasing.set(k, 4.0 * largest_safe * (1.0 - frac) + largest_safe * frac);
+  }
+  const bool dec_safe =
+      reach::certify_no_stealthy_violation(cs.loop, pfc, decreasing, T);
+  std::printf("decreasing vector (4x early, 1x late): %s\n",
+              dec_safe ? "certified safe — looser early thresholds cost no "
+                         "safety (the estimator transient dominates early "
+                         "residues anyway)"
+                       : "not certifiable by the envelope (needs Algorithm 1)");
+
+  // --- 3. cross-check with template attacks ----------------------------------
+  const control::ClosedLoop loop(cs.loop);
+  const detect::ResidueDetector detector(
+      detect::ThresholdVector::constant(T, largest_safe), cs.norm);
+  const auto results = attacks::search_templates(
+      loop, synth::Criterion(pfc), cs.mdc, &detector, T,
+      attacks::standard_library(1, T));
+  std::printf("\ntemplate attacks against the certified static level:\n");
+  for (const auto& r : results) {
+    if (!r.min_violating_magnitude) {
+      std::printf("  %-10s cannot violate pfc at any magnitude tried\n",
+                  r.name.c_str());
+      continue;
+    }
+    std::printf("  %-10s needs magnitude %.3f to break pfc -> detector %s\n",
+                r.name.c_str(), *r.min_violating_magnitude,
+                r.caught_by_detector ? "ALARMS (as certified)" : "silent (BUG)");
+    if (!r.caught_by_detector) return 1;  // would contradict the certificate
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// embedded_deployment.cpp — from synthesis result to ECU-ready C code.
+//
+// Demonstrates the code generator: synthesize a threshold for the
+// suspension case study, emit the C99 detector module, compile it with the
+// system C compiler, and replay a noisy trace through BOTH the C++ runtime
+// and the compiled C module to show they agree sample-by-sample.
+//
+//   ./examples/embedded_deployment
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "cpsguard.hpp"
+
+using namespace cpsguard;
+
+int main() {
+  const models::CaseStudy cs = models::make_suspension_case_study();
+
+  auto z3 = std::make_shared<solver::Z3Backend>();
+  auto lp = std::make_shared<solver::LpBackend>();
+  synth::AttackVectorSynthesizer attvecsyn(cs.attack_problem(), z3, lp);
+
+  const synth::SynthesisResult res = synth::relaxation_threshold_synthesis(attvecsyn);
+  std::printf("synthesis: %zu rounds, converged=%s\n", res.rounds,
+              res.converged ? "yes" : "no");
+
+  detect::ThresholdVector thresholds = res.thresholds;
+  if (thresholds.num_set() == 0) {
+    // No attack existed; deploy a noise-calibrated constant instead.
+    thresholds = detect::ThresholdVector::constant(cs.horizon, 0.01);
+    std::printf("no threshold needed for safety; deploying noise-calibrated 0.01\n");
+  }
+
+  // Emit the C module.
+  codegen::CodegenOptions copts;
+  copts.symbol_prefix = "susp";
+  copts.norm = cs.norm;
+  codegen::write_detector_c("susp_detector.c", cs.loop, thresholds, cs.mdc, copts);
+  std::printf("wrote susp_detector.c\n");
+
+  // Compile it together with a tiny driver.
+  std::ofstream driver("susp_driver.c");
+  driver << "#include \"susp_detector.c\"\n#include <stdio.h>\n"
+         << "int main(void){susp_state_t s;susp_init(&s);double y[susp_M],zn;\n"
+         << " while(scanf(\"%lf %lf\",&y[0],&y[1])==2){\n"
+         << "  int m=susp_step(&s,y,&zn);printf(\"%d %.12g\\n\",m,zn);}return 0;}\n";
+  driver.close();
+  if (std::system("cc -std=c99 -O2 -o susp_driver susp_driver.c -lm") != 0) {
+    std::printf("no C compiler available; stopping after emission\n");
+    return 0;
+  }
+
+  // Replay a noisy trace through both implementations.
+  util::Rng rng(42);
+  const auto noise = control::bounded_uniform_signal(rng, cs.horizon, cs.noise_bounds);
+  const auto tr = control::ClosedLoop(cs.loop).simulate(cs.horizon, nullptr, nullptr,
+                                                        &noise);
+  {
+    std::ofstream in("susp_input.txt");
+    in.precision(17);
+    for (const auto& y : tr.y) in << y[0] << ' ' << y[1] << '\n';
+  }
+  if (std::system("./susp_driver < susp_input.txt > susp_output.txt") != 0) return 1;
+
+  std::ifstream out("susp_output.txt");
+  const detect::ResidueDetector cpp_det(thresholds, cs.norm);
+  int mask = 0;
+  double zn = 0.0;
+  std::size_t k = 0, mismatches = 0;
+  while (out >> mask >> zn && k < tr.steps()) {
+    const double ref = control::vector_norm(tr.z[k], cs.norm);
+    if (std::abs(zn - ref) > 1e-9) ++mismatches;
+    ++k;
+  }
+  std::printf("replayed %zu samples through the compiled C detector: %zu residue "
+              "mismatches\n",
+              k, mismatches);
+  std::printf("C module final alarm mask: %d; C++ runtime alarms: residue=%s "
+              "monitors=%s\n",
+              mask, cpp_det.triggered(tr) ? "yes" : "no",
+              cs.mdc.stealthy(tr) ? "no" : "yes");
+  return mismatches == 0 ? 0 : 1;
+}

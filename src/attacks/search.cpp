@@ -1,0 +1,99 @@
+#include "attacks/search.hpp"
+
+#include <cmath>
+
+#include "control/norm.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::attacks {
+
+using control::Signal;
+using control::Trace;
+
+namespace {
+
+struct Probe {
+  bool violates = false;
+  Trace trace;
+};
+
+Probe probe(const control::ClosedLoop& loop, const synth::Criterion& pfc,
+            std::size_t horizon, const AttackTemplate& tmpl, double magnitude) {
+  const std::size_t dim = loop.config().plant.num_outputs();
+  const Signal attack = tmpl.build(magnitude, horizon, dim);
+  Probe out;
+  out.trace = loop.simulate(horizon, &attack);
+  out.violates = !pfc.satisfied(out.trace);
+  return out;
+}
+
+}  // namespace
+
+std::vector<TemplateResult> search_templates(
+    const control::ClosedLoop& loop, const synth::Criterion& pfc,
+    const monitor::MonitorSet& monitors, const detect::ResidueDetector* detector,
+    std::size_t horizon, const std::vector<AttackTemplate>& templates,
+    const SearchOptions& options) {
+  util::require(options.initial_magnitude > 0.0 &&
+                    options.max_magnitude > options.initial_magnitude,
+                "search_templates: bad magnitude bracket");
+
+  std::vector<TemplateResult> results;
+  results.reserve(templates.size());
+  for (const AttackTemplate& tmpl : templates) {
+    TemplateResult r;
+    r.name = tmpl.name;
+
+    // Exponential growth to find a violating magnitude.
+    double hi = options.initial_magnitude;
+    Probe hit;
+    bool found = false;
+    while (hi <= options.max_magnitude) {
+      hit = probe(loop, pfc, horizon, tmpl, hi);
+      if (hit.violates) {
+        found = true;
+        break;
+      }
+      hi *= 2.0;
+    }
+    if (!found) {
+      results.push_back(std::move(r));
+      continue;
+    }
+
+    // Bisection down to the smallest violating magnitude.  Template
+    // families need not be perfectly monotone (feedback can fold the
+    // deviation back into the band), so keep the smallest *observed*
+    // violator rather than trusting the midpoint predicate globally.
+    double lo = hi / 2.0;
+    double best = hi;
+    Probe best_probe = hit;
+    for (std::size_t i = 0; i < options.bisection_steps; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      const Probe p = probe(loop, pfc, horizon, tmpl, mid);
+      if (p.violates) {
+        hi = mid;
+        if (mid < best) {
+          best = mid;
+          best_probe = p;
+        }
+      } else {
+        lo = mid;
+      }
+      if (hi - lo <= 1e-6 * hi) break;
+    }
+
+    r.min_violating_magnitude = best;
+    r.caught_by_monitors = !monitors.stealthy(best_probe.trace);
+    r.caught_by_detector = detector != nullptr && detector->triggered(best_probe.trace);
+    const std::vector<double> norms =
+        best_probe.trace.residue_norms(detector ? detector->norm()
+                                                : control::Norm::kInf);
+    for (double v : norms) r.residue_peak = std::max(r.residue_peak, v);
+    r.deviation = std::abs(pfc.deviation(best_probe.trace));
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace cpsguard::attacks

@@ -1,0 +1,59 @@
+// search.hpp — smallest-successful-magnitude search over attack templates.
+//
+// For each template, find (by exponential bracketing + bisection) the
+// smallest magnitude that violates pfc, and report whether that attack is
+// caught by the monitoring system and/or a residue detector.  This is the
+// baseline adversary formal synthesis is compared against: a template that
+// needs detection-triggering amplitudes to succeed is harmless against the
+// synthesized thresholds, while Algorithm 1 finds the stealthy shapes
+// templates miss.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attacks/templates.hpp"
+#include "control/closed_loop.hpp"
+#include "detect/detector.hpp"
+#include "monitor/monitor.hpp"
+#include "synth/spec.hpp"
+
+namespace cpsguard::attacks {
+
+struct SearchOptions {
+  double initial_magnitude = 1e-3;
+  double max_magnitude = 1e6;
+  std::size_t bisection_steps = 40;
+};
+
+/// Outcome for one template.
+struct TemplateResult {
+  std::string name;
+  /// Smallest magnitude that violates pfc (nullopt: even max_magnitude
+  /// fails to break the loop).
+  std::optional<double> min_violating_magnitude;
+  /// At that magnitude: does mdc raise an alarm?
+  bool caught_by_monitors = false;
+  /// At that magnitude: does the residue detector raise an alarm?
+  bool caught_by_detector = false;
+  /// Residue peak of the minimal violating run.
+  double residue_peak = 0.0;
+  /// |deviation| achieved by the minimal violating run.
+  double deviation = 0.0;
+
+  /// A template "wins" when it violates pfc with nobody noticing.
+  bool stealthy_success() const {
+    return min_violating_magnitude && !caught_by_monitors && !caught_by_detector;
+  }
+};
+
+/// Runs the search for every template.  `detector` may be null (no residue
+/// detector deployed, the paper's starting point).
+std::vector<TemplateResult> search_templates(
+    const control::ClosedLoop& loop, const synth::Criterion& pfc,
+    const monitor::MonitorSet& monitors, const detect::ResidueDetector* detector,
+    std::size_t horizon, const std::vector<AttackTemplate>& templates,
+    const SearchOptions& options = {});
+
+}  // namespace cpsguard::attacks

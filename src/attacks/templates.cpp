@@ -1,0 +1,110 @@
+#include "attacks/templates.hpp"
+
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace cpsguard::attacks {
+
+using control::Signal;
+using linalg::Vector;
+using util::require;
+
+namespace {
+
+Signal masked_signal(std::size_t steps, const Vector& mask,
+                     const std::function<double(std::size_t)>& profile) {
+  Signal out;
+  out.reserve(steps);
+  for (std::size_t k = 0; k < steps; ++k) {
+    Vector a(mask.size());
+    const double v = profile(k);
+    for (std::size_t i = 0; i < mask.size(); ++i) a[i] = v * mask[i];
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+void check_dim(const Vector& mask, std::size_t dim, const std::string& name) {
+  require(mask.size() == dim,
+          name + ": channel mask dimension mismatch (expected " +
+              std::to_string(dim) + ")");
+}
+
+}  // namespace
+
+AttackTemplate bias_attack(const Vector& channel_mask) {
+  return AttackTemplate{
+      "bias", [channel_mask](double magnitude, std::size_t steps, std::size_t dim) {
+        check_dim(channel_mask, dim, "bias_attack");
+        return masked_signal(steps, channel_mask,
+                             [&](std::size_t) { return magnitude; });
+      }};
+}
+
+AttackTemplate ramp_attack(const Vector& channel_mask) {
+  return AttackTemplate{
+      "ramp", [channel_mask](double magnitude, std::size_t steps, std::size_t dim) {
+        check_dim(channel_mask, dim, "ramp_attack");
+        return masked_signal(steps, channel_mask, [&](std::size_t k) {
+          return magnitude * static_cast<double>(k + 1) /
+                 static_cast<double>(steps);
+        });
+      }};
+}
+
+AttackTemplate surge_attack(const Vector& channel_mask, double start_fraction) {
+  require(start_fraction >= 0.0 && start_fraction <= 1.0,
+          "surge_attack: start_fraction must be in [0, 1]");
+  return AttackTemplate{
+      "surge",
+      [channel_mask, start_fraction](double magnitude, std::size_t steps,
+                                     std::size_t dim) {
+        check_dim(channel_mask, dim, "surge_attack");
+        const auto start = static_cast<std::size_t>(
+            start_fraction * static_cast<double>(steps));
+        return masked_signal(steps, channel_mask, [&](std::size_t k) {
+          return k >= start ? magnitude : 0.0;
+        });
+      }};
+}
+
+AttackTemplate geometric_attack(const Vector& channel_mask, double growth) {
+  require(growth > 1.0, "geometric_attack: growth must exceed 1");
+  return AttackTemplate{
+      "geometric",
+      [channel_mask, growth](double magnitude, std::size_t steps, std::size_t dim) {
+        check_dim(channel_mask, dim, "geometric_attack");
+        return masked_signal(steps, channel_mask, [&](std::size_t k) {
+          // Peaks at `magnitude` on the final instant.
+          const double exponent =
+              static_cast<double>(k) - static_cast<double>(steps - 1);
+          return magnitude * std::pow(growth, exponent);
+        });
+      }};
+}
+
+AttackTemplate burst_attack(const Vector& channel_mask, std::size_t on,
+                            std::size_t off) {
+  require(on > 0, "burst_attack: on length must be positive");
+  return AttackTemplate{
+      "burst",
+      [channel_mask, on, off](double magnitude, std::size_t steps, std::size_t dim) {
+        check_dim(channel_mask, dim, "burst_attack");
+        const std::size_t period = on + off;
+        return masked_signal(steps, channel_mask, [&](std::size_t k) {
+          return (k % period) < on ? magnitude : 0.0;
+        });
+      }};
+}
+
+std::vector<AttackTemplate> standard_library(std::size_t dim, std::size_t horizon) {
+  Vector ones(dim);
+  for (std::size_t i = 0; i < dim; ++i) ones[i] = 1.0;
+  return {bias_attack(ones), ramp_attack(ones), surge_attack(ones, 0.6),
+          geometric_attack(ones, 1.2),
+          burst_attack(ones, std::max<std::size_t>(1, horizon / 10),
+                       std::max<std::size_t>(1, horizon / 10))};
+}
+
+}  // namespace cpsguard::attacks

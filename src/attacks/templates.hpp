@@ -1,0 +1,59 @@
+// templates.hpp — the attack shapes of the FDI literature, as baselines.
+//
+// The paper's Algorithm 1 synthesizes attacks with an SMT solver.  The
+// obvious cheaper alternative — and the de-facto evaluation standard of
+// the residue-detector literature (Mo & Sinopoli; Liu et al.) — is a small
+// library of parametric attack shapes scaled until they succeed.  This
+// module provides those shapes plus a magnitude search, so benches can
+// quantify what formal synthesis buys over template attacks (template
+// attacks need much larger amplitudes to defeat pfc, and usually trip the
+// detector first).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "control/trace.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cpsguard::attacks {
+
+/// A parametric attack family: magnitude -> concrete attack signal.
+/// Implementations must be monotone in spirit (larger magnitude, larger
+/// injected values) for the magnitude search to be meaningful.
+struct AttackTemplate {
+  std::string name;
+  /// Builds the attack for `steps` instants on `dim` sensor channels.
+  std::function<control::Signal(double magnitude, std::size_t steps, std::size_t dim)>
+      build;
+};
+
+/// Constant bias on the selected channels: a_k[i] = magnitude * mask[i].
+/// The classic sensor-offset FDI.
+AttackTemplate bias_attack(const linalg::Vector& channel_mask);
+
+/// Linear ramp: a_k[i] = magnitude * mask[i] * (k+1)/T.  Slow drift shaped
+/// to respect gradient monitors.
+AttackTemplate ramp_attack(const linalg::Vector& channel_mask);
+
+/// Late surge: zero until `start_fraction` of the horizon, then constant
+/// magnitude — the paper's "smaller fault injection at the later stage"
+/// scenario.
+AttackTemplate surge_attack(const linalg::Vector& channel_mask, double start_fraction);
+
+/// Geometric attack: a_k[i] = magnitude * mask[i] * growth^(k - T + 1),
+/// i.e. exponentially growing toward the end of the horizon (Mo &
+/// Sinopoli's stealthy strategy shape).  growth > 1.
+AttackTemplate geometric_attack(const linalg::Vector& channel_mask, double growth);
+
+/// Intermittent bursts: `on` instants at magnitude, `off` instants of
+/// silence, repeating — probes dead-zone monitoring.
+AttackTemplate burst_attack(const linalg::Vector& channel_mask, std::size_t on,
+                            std::size_t off);
+
+/// All templates above with a default parametrization on `dim` channels
+/// (mask = all ones).
+std::vector<AttackTemplate> standard_library(std::size_t dim, std::size_t horizon);
+
+}  // namespace cpsguard::attacks

@@ -1,0 +1,76 @@
+#include "can/bus.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/status.hpp"
+
+namespace cpsguard::can {
+
+Bus::Bus(double bitrate_bps) : bitrate_(bitrate_bps) {
+  util::require(bitrate_bps > 0.0, "Bus: bitrate must be positive");
+}
+
+double Bus::frame_seconds(const CanFrame& frame) const {
+  return static_cast<double>(frame.wire_bits()) / bitrate_;
+}
+
+BusReport Bus::transmit(std::vector<FrameRequest> requests) const {
+  for (const FrameRequest& r : requests) r.frame.validate();
+
+  // Stable order: release time, then submission order (std::stable_sort).
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const FrameRequest& a, const FrameRequest& b) {
+                     return a.release_time < b.release_time;
+                   });
+
+  BusReport report;
+  std::vector<bool> sent(requests.size(), false);
+  std::size_t remaining = requests.size();
+  double now = requests.empty() ? 0.0 : requests.front().release_time;
+
+  while (remaining > 0) {
+    // Pending = released and unsent.  If none, jump to the next release.
+    std::size_t winner = requests.size();
+    double next_release = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (sent[i]) continue;
+      if (requests[i].release_time > now) {
+        next_release = std::min(next_release, requests[i].release_time);
+        continue;
+      }
+      if (winner == requests.size() ||
+          arbitrates_before(requests[i].frame, requests[winner].frame)) {
+        winner = i;
+      }
+    }
+    if (winner == requests.size()) {
+      now = next_release;
+      continue;
+    }
+
+    TransmittedFrame tx;
+    tx.frame = requests[winner].frame;
+    tx.release_time = requests[winner].release_time;
+    tx.start_time = now;
+    tx.end_time = now + frame_seconds(tx.frame);
+    report.busy_seconds += tx.end_time - tx.start_time;
+    report.worst_latency = std::max(report.worst_latency, tx.latency());
+    now = tx.end_time;
+    report.frames.push_back(tx);
+    sent[winner] = true;
+    --remaining;
+  }
+
+  if (!report.frames.empty()) {
+    const double first = std::min_element(report.frames.begin(), report.frames.end(),
+                                          [](const auto& a, const auto& b) {
+                                            return a.release_time < b.release_time;
+                                          })
+                             ->release_time;
+    report.makespan_seconds = now - first;
+  }
+  return report;
+}
+
+}  // namespace cpsguard::can

@@ -1,0 +1,67 @@
+// bus.hpp — non-preemptive priority-arbitrated CAN bus simulator.
+//
+// Classic CAN arbitration: whenever the bus goes idle, the pending frame
+// with the dominant (lowest) identifier transmits next; a frame in flight
+// is never preempted.  The simulator takes release times, replays the
+// arbitration, and reports per-frame latencies and total bus load — the
+// numbers that justify the paper's premise that heavyweight cryptography
+// does not fit the medium (§I: "limited communication bandwidth as well as
+// lightweight nature of computing nodes").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "can/frame.hpp"
+
+namespace cpsguard::can {
+
+/// Transmission request: `frame` becomes ready at `release_time` seconds.
+struct FrameRequest {
+  double release_time = 0.0;
+  CanFrame frame;
+};
+
+/// Arbitration outcome for one request.
+struct TransmittedFrame {
+  CanFrame frame;
+  double release_time = 0.0;
+  double start_time = 0.0;  ///< when the frame won arbitration
+  double end_time = 0.0;    ///< start + wire time
+
+  double latency() const { return end_time - release_time; }
+};
+
+/// Aggregate bus statistics over one simulation.
+struct BusReport {
+  std::vector<TransmittedFrame> frames;  ///< in transmission order
+  double busy_seconds = 0.0;
+  double makespan_seconds = 0.0;
+  double worst_latency = 0.0;
+
+  double utilization() const {
+    return makespan_seconds > 0.0 ? busy_seconds / makespan_seconds : 0.0;
+  }
+};
+
+class Bus {
+ public:
+  /// `bitrate_bps`: classic CAN rates are 125k/250k/500k/1M bit/s.
+  explicit Bus(double bitrate_bps = 500000.0);
+
+  /// Wire time of one frame at the configured bitrate.
+  double frame_seconds(const CanFrame& frame) const;
+
+  /// Replays arbitration over the requests (any order) and returns the
+  /// transmission schedule.  Ties on identifier are broken by release time
+  /// then submission order, mirroring a node's internal FIFO.
+  BusReport transmit(std::vector<FrameRequest> requests) const;
+
+  double bitrate_bps() const { return bitrate_; }
+
+ private:
+  double bitrate_;
+};
+
+}  // namespace cpsguard::can

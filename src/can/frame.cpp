@@ -1,0 +1,44 @@
+#include "can/frame.hpp"
+
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace cpsguard::can {
+
+void CanFrame::validate() const {
+  util::require(dlc <= 8, "CanFrame: dlc must be 0..8");
+  util::require(id <= (extended ? kMaxExtendedId : kMaxBaseId),
+                "CanFrame: identifier out of range for format");
+  for (std::size_t i = dlc; i < data.size(); ++i)
+    util::require(data[i] == 0, "CanFrame: payload bytes past dlc must be zero");
+}
+
+std::size_t CanFrame::wire_bits() const {
+  // Classic CAN: SOF(1) + id(11/29 + control overhead) + RTR/IDE/r bits +
+  // DLC(4) + data + CRC(15) + CRC delim + ACK(2) + EOF(7) + IFS(3).
+  const std::size_t header = extended ? 1 + 29 + 3 + 4 + 3 : 1 + 11 + 2 + 4 + 1;
+  const std::size_t body = static_cast<std::size_t>(dlc) * 8;
+  const std::size_t trailer = 15 + 1 + 2 + 7 + 3;
+  const std::size_t stuffable = header + body + 15;  // stuffing covers up to CRC
+  return header + body + trailer + stuffable / 4;    // worst-case stuff bits
+}
+
+std::string CanFrame::str() const {
+  std::ostringstream out;
+  out << (extended ? "x" : "") << std::hex << id << std::dec << " [" << int(dlc)
+      << "]";
+  for (std::size_t i = 0; i < dlc; ++i) {
+    out << (i ? " " : " ");
+    static const char* digits = "0123456789ABCDEF";
+    out << digits[data[i] >> 4] << digits[data[i] & 0xF];
+  }
+  return out.str();
+}
+
+bool arbitrates_before(const CanFrame& lhs, const CanFrame& rhs) {
+  if (lhs.id != rhs.id) return lhs.id < rhs.id;
+  return !lhs.extended && rhs.extended;
+}
+
+}  // namespace cpsguard::can

@@ -1,0 +1,45 @@
+// frame.hpp — CAN 2.0 data frames.
+//
+// The paper's attack surface is the in-vehicle CAN bus: yaw rate, lateral
+// acceleration and steering angle reach the VSC through CAN messages a
+// man-in-the-middle can rewrite.  This module models the bus at the frame
+// level so experiments exercise the *real* pipeline — physical value →
+// DBC-style signal encoding → 8-byte payload → arbitration → decode — with
+// its quantization and timing effects, instead of handing the controller
+// ideal doubles.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace cpsguard::can {
+
+/// Largest 11-bit (base) and 29-bit (extended) identifiers.
+inline constexpr std::uint32_t kMaxBaseId = 0x7FF;
+inline constexpr std::uint32_t kMaxExtendedId = 0x1FFFFFFF;
+
+/// One CAN 2.0 data frame (classic CAN, up to 8 payload bytes).
+struct CanFrame {
+  std::uint32_t id = 0;          ///< arbitration identifier
+  bool extended = false;         ///< 29-bit identifier flag
+  std::uint8_t dlc = 8;          ///< payload length 0..8
+  std::array<std::uint8_t, 8> data{};  ///< payload, data[dlc..] must be 0
+
+  /// Throws InvalidArgument on out-of-range id / dlc.
+  void validate() const;
+
+  /// Worst-case wire length in bits including stuffing (classic CAN frame
+  /// layout; stuffing estimated at the standard worst case of one stuff bit
+  /// per 4 payload/header bits).
+  std::size_t wire_bits() const;
+
+  std::string str() const;
+};
+
+/// True when `lhs` wins arbitration against `rhs` (lower identifier wins;
+/// base format beats extended at equal leading bits — we use the common
+/// simplification of comparing the numeric id, base before extended on tie).
+bool arbitrates_before(const CanFrame& lhs, const CanFrame& rhs);
+
+}  // namespace cpsguard::can

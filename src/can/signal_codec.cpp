@@ -1,0 +1,181 @@
+#include "can/signal_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/status.hpp"
+
+namespace cpsguard::can {
+
+using util::require;
+
+namespace {
+
+/// Low-`length` mask without the UB of a 64-bit shift.
+std::uint64_t low_mask(std::size_t length) {
+  return length >= 64 ? ~0ULL : (1ULL << length) - 1ULL;
+}
+
+/// Raw range of the spec as signed extremes.
+void raw_range(const SignalSpec& spec, std::int64_t& lo, std::int64_t& hi) {
+  if (spec.is_signed) {
+    lo = spec.length >= 64 ? std::numeric_limits<std::int64_t>::min()
+                           : -(static_cast<std::int64_t>(1) << (spec.length - 1));
+    hi = spec.length >= 64
+             ? std::numeric_limits<std::int64_t>::max()
+             : (static_cast<std::int64_t>(1) << (spec.length - 1)) - 1;
+  } else {
+    lo = 0;
+    // Clamp 64-bit unsigned to int64 max: encode() works in signed space
+    // because physical values are doubles anyway.
+    hi = spec.length >= 63 ? std::numeric_limits<std::int64_t>::max()
+                           : static_cast<std::int64_t>(low_mask(spec.length));
+  }
+}
+
+/// Absolute payload bit positions (byte*8 + bit, bit 0 = LSB) of the
+/// signal's bits from raw LSB to raw MSB.
+std::vector<std::size_t> bit_positions(const SignalSpec& spec) {
+  std::vector<std::size_t> positions(spec.length);
+  if (spec.byte_order == ByteOrder::kLittleEndian) {
+    for (std::size_t i = 0; i < spec.length; ++i)
+      positions[i] = spec.start_bit + i;
+  } else {
+    // Motorola: start_bit is the MSB; walk down within the byte, then to
+    // bit 7 of the next byte.  Collect MSB-first, then reverse.
+    std::size_t pos = spec.start_bit;
+    for (std::size_t i = 0; i < spec.length; ++i) {
+      positions[spec.length - 1 - i] = pos;
+      if (i + 1 == spec.length) break;
+      if (pos % 8 == 0) {
+        pos += 15;  // LSB of this byte -> MSB of the next
+      } else {
+        --pos;
+      }
+    }
+  }
+  return positions;
+}
+
+}  // namespace
+
+void SignalSpec::validate() const {
+  require(length >= 1 && length <= 64, "SignalSpec " + name + ": length must be 1..64");
+  require(scale != 0.0, "SignalSpec " + name + ": scale must be nonzero");
+  require(std::isfinite(scale) && std::isfinite(offset),
+          "SignalSpec " + name + ": scale/offset must be finite");
+  require(min_phys <= max_phys,
+          "SignalSpec " + name + ": min_phys must not exceed max_phys");
+  for (std::size_t pos : bit_positions(*this))
+    require(pos < 64, "SignalSpec " + name + ": bit window leaves the 8-byte payload");
+}
+
+double SignalSpec::effective_min() const {
+  if (min_phys != 0.0 || max_phys != 0.0) return min_phys;
+  std::int64_t lo, hi;
+  raw_range(*this, lo, hi);
+  return std::min(decode(static_cast<std::uint64_t>(lo) & low_mask(length)),
+                  decode(static_cast<std::uint64_t>(hi) & low_mask(length)));
+}
+
+double SignalSpec::effective_max() const {
+  if (min_phys != 0.0 || max_phys != 0.0) return max_phys;
+  std::int64_t lo, hi;
+  raw_range(*this, lo, hi);
+  return std::max(decode(static_cast<std::uint64_t>(lo) & low_mask(length)),
+                  decode(static_cast<std::uint64_t>(hi) & low_mask(length)));
+}
+
+std::uint64_t SignalSpec::encode(double physical) const {
+  const double clamped = std::clamp(physical, effective_min(), effective_max());
+  const double raw_real = (clamped - offset) / scale;
+  std::int64_t raw = static_cast<std::int64_t>(std::llround(raw_real));
+  std::int64_t lo, hi;
+  raw_range(*this, lo, hi);
+  raw = std::clamp(raw, lo, hi);
+  return static_cast<std::uint64_t>(raw) & low_mask(length);
+}
+
+double SignalSpec::decode(std::uint64_t raw) const {
+  raw &= low_mask(length);
+  double value;
+  if (is_signed && length < 64 && (raw >> (length - 1)) != 0) {
+    // Sign-extend.
+    const std::int64_t extended =
+        static_cast<std::int64_t>(raw | ~low_mask(length));
+    value = static_cast<double>(extended);
+  } else {
+    value = static_cast<double>(raw);
+  }
+  return value * scale + offset;
+}
+
+void insert_raw(std::array<std::uint8_t, 8>& data, const SignalSpec& spec,
+                std::uint64_t raw) {
+  raw &= low_mask(spec.length);
+  const std::vector<std::size_t> positions = bit_positions(spec);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const std::size_t byte = positions[i] / 8;
+    const std::size_t bit = positions[i] % 8;
+    if ((raw >> i) & 1ULL) {
+      data[byte] = static_cast<std::uint8_t>(data[byte] | (1U << bit));
+    } else {
+      data[byte] = static_cast<std::uint8_t>(data[byte] & ~(1U << bit));
+    }
+  }
+}
+
+std::uint64_t extract_raw(const std::array<std::uint8_t, 8>& data,
+                          const SignalSpec& spec) {
+  const std::vector<std::size_t> positions = bit_positions(spec);
+  std::uint64_t raw = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const std::size_t byte = positions[i] / 8;
+    const std::size_t bit = positions[i] % 8;
+    if ((data[byte] >> bit) & 1U) raw |= 1ULL << i;
+  }
+  return raw;
+}
+
+void MessageSpec::validate() const {
+  require(dlc <= 8, "MessageSpec " + name + ": dlc must be 0..8");
+  require(id <= (extended ? kMaxExtendedId : kMaxBaseId),
+          "MessageSpec " + name + ": identifier out of range");
+  std::set<std::size_t> used;
+  for (const SignalSpec& s : signals) {
+    s.validate();
+    for (std::size_t pos : bit_positions(s)) {
+      require(pos < static_cast<std::size_t>(dlc) * 8,
+              "MessageSpec " + name + ": signal " + s.name + " exceeds dlc");
+      require(used.insert(pos).second,
+              "MessageSpec " + name + ": signal " + s.name + " overlaps another");
+    }
+  }
+}
+
+CanFrame MessageSpec::pack(const std::vector<double>& physical) const {
+  require(physical.size() == signals.size(),
+          "MessageSpec " + name + ": value count mismatch");
+  CanFrame frame;
+  frame.id = id;
+  frame.extended = extended;
+  frame.dlc = dlc;
+  for (std::size_t i = 0; i < signals.size(); ++i)
+    insert_raw(frame.data, signals[i], signals[i].encode(physical[i]));
+  return frame;
+}
+
+std::vector<double> MessageSpec::unpack(const CanFrame& frame) const {
+  require(frame.id == id && frame.extended == extended,
+          "MessageSpec " + name + ": frame identifier mismatch");
+  require(frame.dlc == dlc, "MessageSpec " + name + ": frame dlc mismatch");
+  std::vector<double> values;
+  values.reserve(signals.size());
+  for (const SignalSpec& s : signals)
+    values.push_back(s.decode(extract_raw(frame.data, s)));
+  return values;
+}
+
+}  // namespace cpsguard::can

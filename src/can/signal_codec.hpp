@@ -1,0 +1,85 @@
+// signal_codec.hpp — DBC-style physical-signal packing into CAN payloads.
+//
+// Real CAN traffic carries fixed-point signals: a physical value v maps to
+// the raw integer round((v - offset) / scale), bit-packed little- (Intel)
+// or big-endian (Motorola) at an arbitrary start bit.  The codec is exact
+// in both directions up to the quantization step, saturates at the
+// min/max of the spec (this is why the "dead zone + unbounded attacker"
+// pathology of DESIGN.md §6 does not occur on a real bus), and its
+// round-trip error — the quantization noise the residue detector must
+// tolerate — is computable per signal (quantization_step()/2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "can/frame.hpp"
+
+namespace cpsguard::can {
+
+/// Bit packing order within the payload.
+enum class ByteOrder {
+  kLittleEndian,  ///< Intel: start bit is the LSB, bits grow upward
+  kBigEndian,     ///< Motorola: start bit is the MSB (DBC numbering)
+};
+
+/// One signal within a CAN message (a DBC `SG_` line).
+struct SignalSpec {
+  std::string name;
+  std::size_t start_bit = 0;  ///< DBC numbering (bit 7 is MSB of byte 0)
+  std::size_t length = 16;    ///< 1..64 bits
+  ByteOrder byte_order = ByteOrder::kLittleEndian;
+  bool is_signed = false;
+  double scale = 1.0;   ///< physical = raw * scale + offset
+  double offset = 0.0;
+  double min_phys = 0.0;  ///< saturation bounds (min == max == 0: derive from raw range)
+  double max_phys = 0.0;
+
+  /// Throws InvalidArgument when the spec is malformed (zero scale, length
+  /// out of range, window not inside 64 bits...).
+  void validate() const;
+
+  /// Effective saturation bounds: the spec's when set, otherwise the
+  /// representable raw range mapped to physical units.
+  double effective_min() const;
+  double effective_max() const;
+
+  /// Physical size of one raw step = |scale|.
+  double quantization_step() const { return scale < 0 ? -scale : scale; }
+
+  /// Largest |decode(encode(v)) - v| over the representable range.
+  double max_roundtrip_error() const { return quantization_step() / 2.0; }
+
+  /// Physical → raw with rounding and saturation.
+  std::uint64_t encode(double physical) const;
+  /// Raw → physical.
+  double decode(std::uint64_t raw) const;
+};
+
+/// Writes `raw`'s low `spec.length` bits into the payload per the spec.
+void insert_raw(std::array<std::uint8_t, 8>& data, const SignalSpec& spec,
+                std::uint64_t raw);
+/// Reads the raw integer back.
+std::uint64_t extract_raw(const std::array<std::uint8_t, 8>& data,
+                          const SignalSpec& spec);
+
+/// A CAN message: identifier plus the signals packed into its payload.
+struct MessageSpec {
+  std::string name;
+  std::uint32_t id = 0;
+  bool extended = false;
+  std::uint8_t dlc = 8;
+  std::vector<SignalSpec> signals;
+
+  /// Validates every signal and rejects overlapping bit windows.
+  void validate() const;
+
+  /// Packs physical values (one per signal, in order) into a frame.
+  CanFrame pack(const std::vector<double>& physical) const;
+
+  /// Unpacks all signals from a frame (validates id/dlc match).
+  std::vector<double> unpack(const CanFrame& frame) const;
+};
+
+}  // namespace cpsguard::can

@@ -1,0 +1,160 @@
+#include "can/transport.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace cpsguard::can {
+
+using linalg::Vector;
+using util::require;
+
+void SensorMessageBinding::validate(std::size_t output_dim) const {
+  message.validate();
+  require(output_indices.size() == message.signals.size(),
+          "SensorMessageBinding " + message.name +
+              ": one output index per signal required");
+  for (std::size_t idx : output_indices)
+    require(idx < output_dim, "SensorMessageBinding " + message.name +
+                                  ": output index out of range");
+}
+
+Mitm additive_mitm(const SensorMessageBinding& binding,
+                   const std::vector<double>& bias) {
+  require(bias.size() == binding.message.signals.size(),
+          "additive_mitm: one bias per signal required");
+  const MessageSpec spec = binding.message;
+  return [spec, bias](const CanFrame& frame, std::size_t) {
+    if (frame.id != spec.id || frame.extended != spec.extended) return frame;
+    std::vector<double> values = spec.unpack(frame);
+    for (std::size_t i = 0; i < values.size(); ++i) values[i] += bias[i];
+    return spec.pack(values);
+  };
+}
+
+Mitm replay_mitm(std::size_t delay) {
+  require(delay > 0, "replay_mitm: delay must be positive");
+  // One history queue per identifier; shared state lives in the closure.
+  auto history = std::make_shared<std::map<std::uint32_t, std::deque<CanFrame>>>();
+  return [history, delay](const CanFrame& frame, std::size_t) {
+    std::deque<CanFrame>& q = (*history)[frame.id];
+    q.push_back(frame);
+    if (q.size() <= delay) return frame;  // not enough history yet
+    CanFrame old = q.front();
+    q.pop_front();
+    return old;
+  };
+}
+
+CanLoopTransport::CanLoopTransport(control::LoopConfig config,
+                                   std::vector<SensorMessageBinding> bindings,
+                                   Bus bus)
+    : config_(std::move(config)), bindings_(std::move(bindings)), bus_(bus) {
+  config_.validate();
+  const std::size_t m = config_.plant.num_outputs();
+  std::vector<bool> covered(m, false);
+  for (const SensorMessageBinding& b : bindings_) {
+    b.validate(m);
+    for (std::size_t idx : b.output_indices) {
+      require(!covered[idx], "CanLoopTransport: output " + std::to_string(idx) +
+                                 " bound to two messages");
+      covered[idx] = true;
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i)
+    require(covered[i],
+            "CanLoopTransport: output " + std::to_string(i) + " not bound");
+}
+
+control::Trace CanLoopTransport::simulate(std::size_t steps, const Mitm* attacker,
+                                          const control::Signal* noise) const {
+  const auto& sys = config_.plant;
+  const std::size_t m = sys.num_outputs();
+  if (noise) {
+    require(noise->size() >= steps, "CanLoopTransport: too few noise entries");
+    for (const auto& v : *noise)
+      require(v.size() == m, "CanLoopTransport: noise dimension mismatch");
+  }
+
+  control::Trace tr;
+  tr.ts = sys.ts;
+  tr.x.reserve(steps + 1);
+  tr.xhat.reserve(steps + 1);
+  tr.u.reserve(steps);
+  tr.y.reserve(steps);
+  tr.z.reserve(steps);
+
+  Vector x = config_.x1;
+  Vector xhat = config_.xhat1;
+  Vector u = config_.u1;
+  const auto& op = config_.operating_point;
+  for (std::size_t k = 0; k < steps; ++k) {
+    // True sensor reading at the transducer.
+    Vector y_true = sys.c * x + sys.d * u;
+    if (noise) y_true += (*noise)[k];
+
+    // Sensor nodes pack, the (optional) MITM rewrites, the controller
+    // unpacks.  The controller-visible measurement is quantized even when
+    // nobody attacks.
+    Vector y(m);
+    for (const SensorMessageBinding& b : bindings_) {
+      std::vector<double> phys(b.message.signals.size());
+      for (std::size_t i = 0; i < phys.size(); ++i)
+        phys[i] = y_true[b.output_indices[i]];
+      CanFrame frame = b.message.pack(phys);
+      if (attacker && *attacker) frame = (*attacker)(frame, k);
+      frame.validate();
+      const std::vector<double> received = b.message.unpack(frame);
+      for (std::size_t i = 0; i < received.size(); ++i)
+        y[b.output_indices[i]] = received[i];
+    }
+
+    const Vector yhat = sys.c * xhat + sys.d * u;
+    const Vector z = y - yhat;
+
+    tr.x.push_back(x);
+    tr.xhat.push_back(xhat);
+    tr.u.push_back(u);
+    tr.y.push_back(y);
+    tr.z.push_back(z);
+
+    x = sys.a * x + sys.b * u;
+    xhat = sys.a * xhat + sys.b * u + config_.kalman_gain * z;
+    u = op.u_ss - config_.feedback_gain * (xhat - op.x_ss);
+  }
+  tr.x.push_back(x);
+  tr.xhat.push_back(xhat);
+  return tr;
+}
+
+Vector CanLoopTransport::quantization_floor() const {
+  Vector floor(config_.plant.num_outputs());
+  for (const SensorMessageBinding& b : bindings_) {
+    for (std::size_t i = 0; i < b.output_indices.size(); ++i)
+      floor[b.output_indices[i]] = b.message.signals[i].max_roundtrip_error();
+  }
+  return floor;
+}
+
+BusReport CanLoopTransport::bus_report(std::size_t steps) const {
+  std::vector<FrameRequest> requests;
+  requests.reserve(steps * bindings_.size());
+  const double ts = config_.plant.ts;
+  for (std::size_t k = 0; k < steps; ++k) {
+    for (const SensorMessageBinding& b : bindings_) {
+      FrameRequest req;
+      req.release_time = static_cast<double>(k) * ts;
+      req.frame.id = b.message.id;
+      req.frame.extended = b.message.extended;
+      req.frame.dlc = b.message.dlc;
+      requests.push_back(req);
+    }
+  }
+  return bus_.transmit(std::move(requests));
+}
+
+}  // namespace cpsguard::can

@@ -1,0 +1,82 @@
+// transport.hpp — the closed loop with its sensor path routed over CAN.
+//
+// control::ClosedLoop hands the estimator ideal doubles; this transport
+// model inserts the real pipeline the paper's attack traverses:
+//
+//   plant output y_k --pack--> CAN frames --[MITM may rewrite]--> unpack
+//       --> controller sees quantized (and possibly spoofed) measurements.
+//
+// Consequences exercised by tests and benches:
+//  * even benign runs carry quantization noise, so thresholds below the
+//    codec's round-trip error are guaranteed false-alarm sources
+//    (quantization_floor());
+//  * the attacker is physically constrained to representable values —
+//    saturation bounds replace the synthetic attack_bounds of the SMT
+//    model, and spoofed values are quantized exactly like honest ones.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "can/signal_codec.hpp"
+#include "control/closed_loop.hpp"
+
+namespace cpsguard::can {
+
+/// Maps plant output components onto the signals of one CAN message.
+/// message.signals[i] carries plant output component output_indices[i].
+struct SensorMessageBinding {
+  MessageSpec message;
+  std::vector<std::size_t> output_indices;
+
+  void validate(std::size_t output_dim) const;
+};
+
+/// A man-in-the-middle: sees each sensor frame (and the instant index) and
+/// returns the frame to deliver.  Returning the input unchanged models a
+/// passive tap; nullptr disables the attacker entirely.
+using Mitm = std::function<CanFrame(const CanFrame& frame, std::size_t k)>;
+
+/// Builds a MITM that adds `bias[i]` to message-signal i of the bound
+/// message before re-encoding (the classic additive false-data injection of
+/// the paper, but constrained to codec-representable values).
+Mitm additive_mitm(const SensorMessageBinding& binding,
+                   const std::vector<double>& bias);
+
+/// Builds a MITM that replays the frame observed `delay` instants earlier
+/// (frames before that pass through unmodified).
+Mitm replay_mitm(std::size_t delay);
+
+/// Closed-loop simulator whose measurement path crosses the CAN bus.
+class CanLoopTransport {
+ public:
+  /// `bindings` must cover every plant output exactly once.
+  CanLoopTransport(control::LoopConfig config, std::vector<SensorMessageBinding> bindings,
+                   Bus bus = Bus());
+
+  /// Runs `steps` instants.  The attacker (optional) rewrites sensor frames
+  /// in flight; measurement noise (optional, dimension m per step) adds to
+  /// the true outputs before encoding.
+  control::Trace simulate(std::size_t steps, const Mitm* attacker = nullptr,
+                          const control::Signal* measurement_noise = nullptr) const;
+
+  /// Per-output worst-case |decode(encode(v)) - v| — the quantization noise
+  /// floor any sane residue threshold must clear.
+  linalg::Vector quantization_floor() const;
+
+  /// Arbitration report for `steps` sampling instants of sensor traffic
+  /// (all bound messages released at each sampling instant).
+  BusReport bus_report(std::size_t steps) const;
+
+  const control::LoopConfig& config() const { return config_; }
+  const std::vector<SensorMessageBinding>& bindings() const { return bindings_; }
+
+ private:
+  control::LoopConfig config_;
+  std::vector<SensorMessageBinding> bindings_;
+  Bus bus_;
+};
+
+}  // namespace cpsguard::can

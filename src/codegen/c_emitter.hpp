@@ -1,0 +1,49 @@
+// c_emitter.hpp — C99 code generation for synthesized detectors.
+//
+// The paper's title promises *implementations*: this module turns a
+// synthesis result (loop design + threshold vector + monitoring system)
+// into a single self-contained C99 translation unit suitable for an ECU
+// build: estimator step, residue computation, threshold table lookup,
+// range/gradient/relation monitors and the dead-zone counter.  The emitted
+// semantics mirror control::KalmanFilter + detect::ResidueDetector +
+// monitor::MonitorSet exactly; an integration test compiles the output with
+// the system C compiler and cross-checks alarm decisions sample-by-sample
+// against the C++ implementation.
+//
+// Code generation understands the three monitor types shipped with the
+// library (range / gradient / relation).  Custom SensorMonitor subclasses
+// are rejected with util::InvalidArgument.
+#pragma once
+
+#include <string>
+
+#include "control/closed_loop.hpp"
+#include "detect/threshold.hpp"
+#include "monitor/monitor.hpp"
+
+namespace cpsguard::codegen {
+
+struct CodegenOptions {
+  /// Prefix for all emitted identifiers (a valid C identifier).
+  std::string symbol_prefix = "cpsguard";
+  /// Residue norm compiled into the detector.
+  control::Norm norm = control::Norm::kInf;
+  /// Emit a small self-test main() guarded by -DCPSGUARD_SELFTEST.
+  bool emit_selftest = true;
+};
+
+/// Renders the detector module.  The returned string is the full contents
+/// of one .c file (with an embedded header section between
+/// "/* --- header --- */" markers for projects that want to split it).
+std::string emit_detector_c(const control::LoopConfig& loop,
+                            const detect::ThresholdVector& thresholds,
+                            const monitor::MonitorSet& monitors,
+                            const CodegenOptions& options = {});
+
+/// Convenience: writes emit_detector_c() to `path`.
+void write_detector_c(const std::string& path, const control::LoopConfig& loop,
+                      const detect::ThresholdVector& thresholds,
+                      const monitor::MonitorSet& monitors,
+                      const CodegenOptions& options = {});
+
+}  // namespace cpsguard::codegen

@@ -1,0 +1,118 @@
+#include "control/closed_loop.hpp"
+
+#include "util/status.hpp"
+
+namespace cpsguard::control {
+
+using linalg::Matrix;
+using linalg::Vector;
+using util::require;
+
+void LoopConfig::validate() const {
+  plant.validate();
+  const std::size_t n = plant.num_states();
+  const std::size_t m = plant.num_outputs();
+  const std::size_t p = plant.num_inputs();
+  require(kalman_gain.rows() == n && kalman_gain.cols() == m, "LoopConfig: L must be n x m");
+  require(feedback_gain.rows() == p && feedback_gain.cols() == n,
+          "LoopConfig: K must be p x n");
+  require(operating_point.x_ss.size() == n && operating_point.u_ss.size() == p,
+          "LoopConfig: operating point dimension mismatch");
+  require(x1.size() == n, "LoopConfig: x1 must have n entries");
+  require(xhat1.size() == n, "LoopConfig: xhat1 must have n entries");
+  require(u1.size() == p, "LoopConfig: u1 must have p entries");
+}
+
+LoopConfig LoopConfig::design(const DiscreteLti& plant, const Matrix& state_cost,
+                              const Matrix& input_cost, const Vector& reference,
+                              const std::vector<std::size_t>& tracked_outputs) {
+  LoopConfig cfg;
+  cfg.plant = plant;
+  cfg.kalman_gain = design_kalman(plant).gain;
+  cfg.feedback_gain = design_lqr(plant, state_cost, input_cost).gain;
+  cfg.operating_point = steady_state_for_reference(plant, reference, tracked_outputs);
+  cfg.x1 = Vector(plant.num_states());
+  cfg.xhat1 = Vector(plant.num_states());
+  cfg.u1 = Vector(plant.num_inputs());
+  cfg.validate();
+  return cfg;
+}
+
+ClosedLoop::ClosedLoop(LoopConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+Trace ClosedLoop::simulate(std::size_t steps, const Signal* attack,
+                           const Signal* process_noise,
+                           const Signal* measurement_noise) const {
+  const auto& sys = config_.plant;
+  const std::size_t n = sys.num_states();
+  const std::size_t m = sys.num_outputs();
+  auto check_signal = [&](const Signal* s, std::size_t dim, const char* what) {
+    if (!s) return;
+    require(s->size() >= steps, std::string(what) + ": too few entries");
+    for (const auto& v : *s)
+      require(v.size() == dim, std::string(what) + ": wrong vector dimension");
+  };
+  check_signal(attack, m, "ClosedLoop: attack signal");
+  check_signal(process_noise, n, "ClosedLoop: process noise");
+  check_signal(measurement_noise, m, "ClosedLoop: measurement noise");
+
+  Trace tr;
+  tr.ts = sys.ts;
+  tr.x.reserve(steps + 1);
+  tr.xhat.reserve(steps + 1);
+  tr.u.reserve(steps);
+  tr.y.reserve(steps);
+  tr.z.reserve(steps);
+
+  Vector x = config_.x1;
+  Vector xhat = config_.xhat1;
+  Vector u = config_.u1;
+  const auto& op = config_.operating_point;
+  for (std::size_t k = 0; k < steps; ++k) {
+    Vector y = sys.c * x + sys.d * u;
+    if (attack) y += (*attack)[k];
+    if (measurement_noise) y += (*measurement_noise)[k];
+    const Vector yhat = sys.c * xhat + sys.d * u;
+    const Vector z = y - yhat;
+
+    tr.x.push_back(x);
+    tr.xhat.push_back(xhat);
+    tr.u.push_back(u);
+    tr.y.push_back(y);
+    tr.z.push_back(z);
+
+    Vector xn = sys.a * x + sys.b * u;
+    if (process_noise) xn += (*process_noise)[k];
+    x = std::move(xn);
+    xhat = sys.a * xhat + sys.b * u + config_.kalman_gain * z;
+    u = op.u_ss - config_.feedback_gain * (xhat - op.x_ss);
+  }
+  tr.x.push_back(x);
+  tr.xhat.push_back(xhat);
+  return tr;
+}
+
+Matrix ClosedLoop::stacked_closed_loop_matrix() const {
+  // Stacked dynamics of [x; x̂] in deviation coordinates with
+  // u = -K x̂, y = C x (noise/attack-free):
+  //   x+  = A x - B K x̂
+  //   x̂+  = L C x + (A - B K - L C) x̂
+  const auto& sys = config_.plant;
+  const Matrix bk = sys.b * config_.feedback_gain;
+  const Matrix lc = config_.kalman_gain * sys.c;
+  const std::size_t n = sys.num_states();
+  Matrix out(2 * n, 2 * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      out(r, c) = sys.a(r, c);
+      out(r, n + c) = -bk(r, c);
+      out(n + r, c) = lc(r, c);
+      out(n + r, n + c) = sys.a(r, c) - bk(r, c) - lc(r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace cpsguard::control

@@ -1,0 +1,70 @@
+// closed_loop.hpp — the controller implementation under analysis.
+//
+// This class IS the artifact the paper calls "the control software
+// implementation C": the symbolic unroller in src/sym consumes the same
+// configuration and reproduces these update equations exactly, so solver
+// verdicts apply to the code that actually runs.
+//
+// Update order per sampling instant k (paper Algorithm 1, lines 4-8):
+//   y_k       = C x_k + D u_k + a_k + v_k
+//   yhat_k    = C x̂_k + D u_k
+//   z_k       = y_k - yhat_k
+//   x_{k+1}   = A x_k + B u_k + w_k
+//   x̂_{k+1}   = A x̂_k + B u_k + L z_k
+//   u_{k+1}   = u_ss - K (x̂_{k+1} - x_ss)
+#pragma once
+
+#include <optional>
+
+#include "control/kalman.hpp"
+#include "control/lqr.hpp"
+#include "control/lti.hpp"
+#include "control/trace.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cpsguard::control {
+
+/// Full configuration of one closed loop: plant, observer gain, feedback
+/// gain, operating point and initial conditions.
+struct LoopConfig {
+  DiscreteLti plant;
+  linalg::Matrix kalman_gain;      ///< L (n x m)
+  linalg::Matrix feedback_gain;    ///< K (p x n)
+  OperatingPoint operating_point;  ///< (x_ss, u_ss); zero for regulation
+  linalg::Vector x1;               ///< initial plant state
+  linalg::Vector xhat1;            ///< initial estimate (paper: 0)
+  linalg::Vector u1;               ///< initial input (paper: 0)
+
+  void validate() const;
+
+  /// Convenience: builds a LoopConfig with LQR + Kalman designs, zero
+  /// initial conditions and operating point tracking `reference` on the
+  /// tracked output rows.
+  static LoopConfig design(const DiscreteLti& plant, const linalg::Matrix& state_cost,
+                           const linalg::Matrix& input_cost, const linalg::Vector& reference,
+                           const std::vector<std::size_t>& tracked_outputs = {});
+};
+
+/// Deterministic closed-loop simulator with attack and noise injection.
+class ClosedLoop {
+ public:
+  explicit ClosedLoop(LoopConfig config);
+
+  /// Runs `steps` sampling instants.  Any of the signals may be null
+  /// (treated as zero); non-null signals must have `steps` entries of the
+  /// right dimension (attack & measurement noise: m, process noise: n).
+  Trace simulate(std::size_t steps, const Signal* attack = nullptr,
+                 const Signal* process_noise = nullptr,
+                 const Signal* measurement_noise = nullptr) const;
+
+  const LoopConfig& config() const { return config_; }
+
+  /// Closed-loop state transition matrix of the stacked [x; x̂] system with
+  /// u eliminated; used for stability sanity checks in tests.
+  linalg::Matrix stacked_closed_loop_matrix() const;
+
+ private:
+  LoopConfig config_;
+};
+
+}  // namespace cpsguard::control

@@ -1,0 +1,48 @@
+#include "control/kalman.hpp"
+
+#include "linalg/decomp.hpp"
+#include "linalg/riccati.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::control {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+KalmanDesign design_kalman(const DiscreteLti& sys) {
+  sys.validate();
+  // Estimation DARE is the control DARE on the dual pair (A', C').
+  const Matrix p = linalg::solve_dare(sys.a.transpose(), sys.c.transpose(), sys.q, sys.r);
+  KalmanDesign out;
+  out.covariance = p;
+  out.innovation = sys.c * p * sys.c.transpose() + sys.r;
+  // L = A P C' (C P C' + R)^{-1}  (predict-form gain, matching x̂_{k+1} = Ax̂+Bu+Lz).
+  out.gain = linalg::solve(out.innovation.transpose(), (sys.a * p * sys.c.transpose()).transpose())
+                 .transpose();
+  return out;
+}
+
+KalmanFilter::KalmanFilter(const DiscreteLti& sys, Matrix gain, Vector initial_estimate)
+    : a_(sys.a), b_(sys.b), c_(sys.c), d_(sys.d), gain_(std::move(gain)),
+      xhat_(std::move(initial_estimate)) {
+  util::require(gain_.rows() == sys.num_states() && gain_.cols() == sys.num_outputs(),
+                "KalmanFilter: gain must be n x m");
+  util::require(xhat_.size() == sys.num_states(),
+                "KalmanFilter: initial estimate must have n entries");
+}
+
+Vector KalmanFilter::residue(const Vector& y, const Vector& u) const {
+  return y - c_ * xhat_ - d_ * u;
+}
+
+const Vector& KalmanFilter::update(const Vector& u, const Vector& z) {
+  xhat_ = a_ * xhat_ + b_ * u + gain_ * z;
+  return xhat_;
+}
+
+void KalmanFilter::reset(Vector initial_estimate) {
+  util::require(initial_estimate.size() == xhat_.size(), "KalmanFilter::reset: bad size");
+  xhat_ = std::move(initial_estimate);
+}
+
+}  // namespace cpsguard::control

@@ -1,0 +1,51 @@
+// kalman.hpp — steady-state Kalman filter design.
+//
+// The paper's observer (Section II):
+//   z_k       = y_k - C x_hat_k - D u_k          (residue)
+//   x_hat_{k+1} = A x_hat_k + B u_k + L z_k
+// with L the steady-state (predict-form) Kalman gain.
+#pragma once
+
+#include "control/lti.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cpsguard::control {
+
+/// Result of a steady-state Kalman design.
+struct KalmanDesign {
+  linalg::Matrix gain;        ///< L (n x m), as used in x̂_{k+1} = A x̂ + B u + L z
+  linalg::Matrix covariance;  ///< steady-state prediction error covariance P
+  linalg::Matrix innovation;  ///< innovation covariance  S = C P C' + R
+};
+
+/// Designs the steady-state Kalman gain for `sys` using its Q and R
+/// covariances.  Requires R to be positive definite.  Throws
+/// util::NumericalError if the filter DARE does not converge (system not
+/// detectable).
+KalmanDesign design_kalman(const DiscreteLti& sys);
+
+/// Runtime Kalman estimator implementing exactly the paper's update
+/// equations; used by the closed-loop simulator and the code generator.
+class KalmanFilter {
+ public:
+  KalmanFilter(const DiscreteLti& sys, linalg::Matrix gain, linalg::Vector initial_estimate);
+
+  /// Residue z = y - C x̂ - D u for the *current* estimate.
+  linalg::Vector residue(const linalg::Vector& y, const linalg::Vector& u) const;
+
+  /// Advances the estimate with the given input and residue:
+  /// x̂ <- A x̂ + B u + L z.  Returns the new estimate.
+  const linalg::Vector& update(const linalg::Vector& u, const linalg::Vector& z);
+
+  const linalg::Vector& estimate() const { return xhat_; }
+  const linalg::Matrix& gain() const { return gain_; }
+
+  /// Resets the estimate (e.g. between Monte-Carlo runs).
+  void reset(linalg::Vector initial_estimate);
+
+ private:
+  linalg::Matrix a_, b_, c_, d_, gain_;
+  linalg::Vector xhat_;
+};
+
+}  // namespace cpsguard::control

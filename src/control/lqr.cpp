@@ -1,0 +1,74 @@
+#include "control/lqr.hpp"
+
+#include "linalg/decomp.hpp"
+#include "linalg/riccati.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::control {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+LqrDesign design_lqr(const DiscreteLti& sys, const Matrix& state_cost,
+                     const Matrix& input_cost) {
+  util::require(state_cost.rows() == sys.num_states() && state_cost.square(),
+                "design_lqr: state cost must be n x n");
+  util::require(input_cost.rows() == sys.num_inputs() && input_cost.square(),
+                "design_lqr: input cost must be p x p");
+  LqrDesign out;
+  out.cost = linalg::solve_dare(sys.a, sys.b, state_cost, input_cost);
+  const Matrix btp = sys.b.transpose() * out.cost;
+  out.gain = linalg::solve(input_cost + btp * sys.b, btp * sys.a);
+  return out;
+}
+
+OperatingPoint steady_state_for_reference(const DiscreteLti& sys, const Vector& reference,
+                                          const std::vector<std::size_t>& tracked) {
+  const std::size_t n = sys.num_states();
+  const std::size_t p = sys.num_inputs();
+  std::vector<std::size_t> rows = tracked;
+  if (rows.empty())
+    for (std::size_t i = 0; i < sys.num_outputs(); ++i) rows.push_back(i);
+  util::require(reference.size() == rows.size(),
+                "steady_state_for_reference: reference size must match tracked rows");
+
+  // Build M [x; u] = rhs with M = [A - I, B; C_t, D_t].
+  Matrix m(n + rows.size(), n + p);
+  Vector rhs(n + rows.size());
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) m(r, c) = sys.a(r, c) - (r == c ? 1.0 : 0.0);
+    for (std::size_t c = 0; c < p; ++c) m(r, n + c) = sys.b(r, c);
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t c = 0; c < n; ++c) m(n + i, c) = sys.c(rows[i], c);
+    for (std::size_t c = 0; c < p; ++c) m(n + i, n + c) = sys.d(rows[i], c);
+    rhs[n + i] = reference[i];
+  }
+
+  Vector sol;
+  if (m.rows() == m.cols()) {
+    sol = linalg::solve(m, rhs);
+  } else {
+    // Least-squares / least-norm via normal equations (small systems only).
+    const Matrix mt = m.transpose();
+    sol = linalg::solve(mt * m + 1e-12 * Matrix::identity(n + p), mt * rhs);
+  }
+  OperatingPoint op;
+  op.x_ss = Vector(n);
+  op.u_ss = Vector(p);
+  for (std::size_t i = 0; i < n; ++i) op.x_ss[i] = sol[i];
+  for (std::size_t i = 0; i < p; ++i) op.u_ss[i] = sol[n + i];
+  return op;
+}
+
+TrackingController::TrackingController(Matrix gain, OperatingPoint op)
+    : gain_(std::move(gain)), op_(std::move(op)) {
+  util::require(gain_.cols() == op_.x_ss.size(), "TrackingController: K/x_ss mismatch");
+  util::require(gain_.rows() == op_.u_ss.size(), "TrackingController: K/u_ss mismatch");
+}
+
+Vector TrackingController::control(const Vector& state_estimate) const {
+  return op_.u_ss - gain_ * (state_estimate - op_.x_ss);
+}
+
+}  // namespace cpsguard::control

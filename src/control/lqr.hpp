@@ -1,0 +1,54 @@
+// lqr.hpp — infinite-horizon discrete LQR design and reference tracking.
+//
+// The paper's controller is u_k = -K x̂_k.  For nonzero set points the
+// standard offset form u_k = u_ss - K (x̂_k - x_ss) is used; in deviation
+// coordinates this is exactly the paper's law.
+#pragma once
+
+#include "control/lti.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cpsguard::control {
+
+/// Result of an LQR design.
+struct LqrDesign {
+  linalg::Matrix gain;  ///< K (p x n)
+  linalg::Matrix cost;  ///< Riccati solution P
+};
+
+/// Solves the infinite-horizon discrete LQR problem with weights
+/// (state_cost, input_cost).  Throws util::NumericalError when the DARE
+/// iteration does not converge.
+LqrDesign design_lqr(const DiscreteLti& sys, const linalg::Matrix& state_cost,
+                     const linalg::Matrix& input_cost);
+
+/// Steady-state operating point (x_ss, u_ss) driving the tracked outputs to
+/// `reference`: solves [A - I, B; C_t, D_t] [x; u] = [0; reference] in the
+/// least-norm sense via normal equations when the system is non-square.
+/// `tracked` selects which output rows form C_t/D_t (empty = all outputs).
+struct OperatingPoint {
+  linalg::Vector x_ss;
+  linalg::Vector u_ss;
+};
+
+OperatingPoint steady_state_for_reference(const DiscreteLti& sys,
+                                          const linalg::Vector& reference,
+                                          const std::vector<std::size_t>& tracked = {});
+
+/// Static full-(estimated-)state feedback with offset:
+///   u = u_ss - K (x̂ - x_ss).
+class TrackingController {
+ public:
+  TrackingController(linalg::Matrix gain, OperatingPoint op);
+
+  linalg::Vector control(const linalg::Vector& state_estimate) const;
+
+  const linalg::Matrix& gain() const { return gain_; }
+  const OperatingPoint& operating_point() const { return op_; }
+
+ private:
+  linalg::Matrix gain_;
+  OperatingPoint op_;
+};
+
+}  // namespace cpsguard::control

@@ -1,0 +1,63 @@
+#include "control/lti.hpp"
+
+#include "linalg/decomp.hpp"
+#include "linalg/expm.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::control {
+
+using util::require;
+
+void ContinuousLti::validate() const {
+  require(a.square(), "ContinuousLti: A must be square");
+  require(b.rows() == a.rows(), "ContinuousLti: B row count must match A");
+  require(c.cols() == a.rows(), "ContinuousLti: C column count must match A");
+  require(d.rows() == c.rows() && d.cols() == b.cols(),
+          "ContinuousLti: D must be outputs x inputs");
+}
+
+void DiscreteLti::validate() const {
+  require(a.square(), "DiscreteLti: A must be square");
+  require(b.rows() == a.rows(), "DiscreteLti: B row count must match A");
+  require(c.cols() == a.rows(), "DiscreteLti: C column count must match A");
+  require(d.rows() == c.rows() && d.cols() == b.cols(),
+          "DiscreteLti: D must be outputs x inputs");
+  require(ts > 0.0, "DiscreteLti: sampling period must be positive");
+  require(q.rows() == a.rows() && q.cols() == a.rows(),
+          "DiscreteLti: Q must be n x n");
+  require(r.rows() == c.rows() && r.cols() == c.rows(),
+          "DiscreteLti: R must be m x m");
+}
+
+bool DiscreteLti::stable() const { return linalg::spectral_radius(a) < 1.0; }
+
+DiscreteLti c2d(const ContinuousLti& sys, double ts) {
+  sys.validate();
+  require(ts > 0.0, "c2d: sampling period must be positive");
+  const std::size_t n = sys.num_states();
+  const std::size_t p = sys.num_inputs();
+
+  // Augmented exponential: expm([[A, B], [0, 0]] * ts) = [[Ad, Bd], [0, I]].
+  linalg::Matrix aug(n + p, n + p);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) aug(r, c) = sys.a(r, c) * ts;
+    for (std::size_t c = 0; c < p; ++c) aug(r, n + c) = sys.b(r, c) * ts;
+  }
+  const linalg::Matrix e = linalg::expm(aug);
+
+  DiscreteLti out;
+  out.a = linalg::Matrix(n, n);
+  out.b = linalg::Matrix(n, p);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) out.a(r, c) = e(r, c);
+    for (std::size_t c = 0; c < p; ++c) out.b(r, c) = e(r, n + c);
+  }
+  out.c = sys.c;
+  out.d = sys.d;
+  out.ts = ts;
+  out.q = linalg::Matrix(n, n);
+  out.r = linalg::Matrix(sys.num_outputs(), sys.num_outputs());
+  return out;
+}
+
+}  // namespace cpsguard::control

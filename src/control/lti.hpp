@@ -1,0 +1,53 @@
+// lti.hpp — linear time-invariant plant models.
+//
+// The paper's plant (Section II):
+//   x_{k+1} = A x_k + B u_k + w_k
+//   y_k     = C x_k + D u_k + v_k
+// with w ~ N(0, Q), v ~ N(0, R).  Continuous-time models are discretized by
+// zero-order hold before use.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace cpsguard::control {
+
+/// Continuous-time LTI model  dx/dt = A x + B u,  y = C x + D u.
+struct ContinuousLti {
+  linalg::Matrix a, b, c, d;
+
+  std::size_t num_states() const { return a.rows(); }
+  std::size_t num_inputs() const { return b.cols(); }
+  std::size_t num_outputs() const { return c.rows(); }
+
+  /// Validates shape consistency; throws util::InvalidArgument otherwise.
+  void validate() const;
+};
+
+/// Discrete-time LTI model with sampling period and noise covariances.
+struct DiscreteLti {
+  linalg::Matrix a, b, c, d;
+  double ts = 0.0;     ///< sampling period [s]
+  linalg::Matrix q;    ///< process noise covariance (n x n)
+  linalg::Matrix r;    ///< measurement noise covariance (m x m)
+
+  std::size_t num_states() const { return a.rows(); }
+  std::size_t num_inputs() const { return b.cols(); }
+  std::size_t num_outputs() const { return c.rows(); }
+
+  /// Validates shape consistency; throws util::InvalidArgument otherwise.
+  void validate() const;
+
+  /// True when rho(A) < 1 (open-loop stability).
+  bool stable() const;
+};
+
+/// Zero-order-hold discretization with sampling period `ts`:
+///   Ad = e^{A ts},  Bd = (integral_0^ts e^{A tau} dtau) B,
+/// computed in one matrix exponential of the augmented [[A, B], [0, 0]].
+/// Noise covariances default to zero and can be set afterwards.
+DiscreteLti c2d(const ContinuousLti& sys, double ts);
+
+}  // namespace cpsguard::control

@@ -1,0 +1,44 @@
+#include "control/noise.hpp"
+
+#include "linalg/decomp.hpp"
+
+namespace cpsguard::control {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Signal gaussian_signal(util::Rng& rng, std::size_t steps, const Vector& stddev) {
+  Signal out;
+  out.reserve(steps);
+  for (std::size_t k = 0; k < steps; ++k) {
+    Vector v(stddev.size());
+    for (std::size_t i = 0; i < stddev.size(); ++i) v[i] = rng.gaussian(0.0, stddev[i]);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Signal gaussian_signal_cov(util::Rng& rng, std::size_t steps, const Matrix& covariance) {
+  const Matrix l = linalg::cholesky(covariance);
+  Signal out;
+  out.reserve(steps);
+  for (std::size_t k = 0; k < steps; ++k) {
+    Vector g(covariance.rows());
+    for (std::size_t i = 0; i < g.size(); ++i) g[i] = rng.gaussian();
+    out.push_back(l * g);
+  }
+  return out;
+}
+
+Signal bounded_uniform_signal(util::Rng& rng, std::size_t steps, const Vector& bounds) {
+  Signal out;
+  out.reserve(steps);
+  for (std::size_t k = 0; k < steps; ++k) {
+    Vector v(bounds.size());
+    for (std::size_t i = 0; i < bounds.size(); ++i) v[i] = rng.uniform(-bounds[i], bounds[i]);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace cpsguard::control

@@ -1,0 +1,25 @@
+// noise.hpp — noise signal generators for simulation and the FAR protocol.
+#pragma once
+
+#include "control/trace.hpp"
+#include "linalg/matrix.hpp"
+#include "util/random.hpp"
+
+namespace cpsguard::control {
+
+/// Gaussian noise with per-component standard deviations.
+Signal gaussian_signal(util::Rng& rng, std::size_t steps,
+                       const linalg::Vector& stddev);
+
+/// Gaussian noise shaped by a covariance matrix (samples L*g with L the
+/// Cholesky factor of `covariance`).
+Signal gaussian_signal_cov(util::Rng& rng, std::size_t steps,
+                           const linalg::Matrix& covariance);
+
+/// Bounded uniform noise in [-bound_i, +bound_i] per component — the
+/// paper's FAR protocol draws "each value sampled from a suitably small
+/// range".
+Signal bounded_uniform_signal(util::Rng& rng, std::size_t steps,
+                              const linalg::Vector& bounds);
+
+}  // namespace cpsguard::control

@@ -1,0 +1,25 @@
+#include "control/norm.hpp"
+
+#include "util/status.hpp"
+
+namespace cpsguard::control {
+
+double vector_norm(const linalg::Vector& v, Norm norm) {
+  switch (norm) {
+    case Norm::kInf: return v.norm_inf();
+    case Norm::kOne: return v.norm1();
+    case Norm::kTwo: return v.norm2();
+  }
+  throw util::InvalidArgument("vector_norm: unknown norm");
+}
+
+std::string norm_name(Norm norm) {
+  switch (norm) {
+    case Norm::kInf: return "Linf";
+    case Norm::kOne: return "L1";
+    case Norm::kTwo: return "L2";
+  }
+  return "?";
+}
+
+}  // namespace cpsguard::control

@@ -1,0 +1,27 @@
+// norm.hpp — residue norm selection.
+//
+// The paper writes ||z_k|| without fixing a norm.  The library is
+// norm-parametric: L-infinity keeps the SMT encoding exactly linear (and is
+// the default for synthesis), while L2/L1 are available for runtime
+// detection and Monte-Carlo evaluation.
+#pragma once
+
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace cpsguard::control {
+
+enum class Norm {
+  kInf,  ///< max |z_i| — linear encoding, synthesis default
+  kOne,  ///< sum |z_i| — linear encoding
+  kTwo,  ///< Euclidean — runtime only (nonlinear in the SMT encoding)
+};
+
+/// Applies the selected norm to `v`.
+double vector_norm(const linalg::Vector& v, Norm norm);
+
+/// Human-readable norm name ("Linf", "L1", "L2").
+std::string norm_name(Norm norm);
+
+}  // namespace cpsguard::control

@@ -1,0 +1,53 @@
+#include "control/trace.hpp"
+
+#include "util/status.hpp"
+
+namespace cpsguard::control {
+
+Signal zero_signal(std::size_t steps, std::size_t dim) {
+  return Signal(steps, linalg::Vector(dim));
+}
+
+std::vector<double> Trace::residue_norms(Norm norm) const {
+  std::vector<double> out;
+  out.reserve(z.size());
+  for (const auto& zk : z) out.push_back(vector_norm(zk, norm));
+  return out;
+}
+
+std::size_t Trace::argmax_residue(Norm norm) const {
+  util::require(!z.empty(), "Trace::argmax_residue: empty trace");
+  std::size_t best = 0;
+  double best_v = -1.0;
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    const double v = vector_norm(z[k], norm);
+    if (v > best_v) {
+      best_v = v;
+      best = k;
+    }
+  }
+  return best;
+}
+
+std::vector<double> Trace::state_series(std::size_t state_index) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& xk : x) out.push_back(xk[state_index]);
+  return out;
+}
+
+std::vector<double> Trace::output_series(std::size_t output_index) const {
+  std::vector<double> out;
+  out.reserve(y.size());
+  for (const auto& yk : y) out.push_back(yk[output_index]);
+  return out;
+}
+
+std::vector<double> Trace::output_gradient_series(std::size_t output_index) const {
+  std::vector<double> out(y.size(), 0.0);
+  for (std::size_t k = 1; k < y.size(); ++k)
+    out[k] = (y[k][output_index] - y[k - 1][output_index]) / ts;
+  return out;
+}
+
+}  // namespace cpsguard::control

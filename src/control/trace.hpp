@@ -1,0 +1,51 @@
+// trace.hpp — closed-loop execution records.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "control/norm.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cpsguard::control {
+
+/// A time-indexed sequence of vectors (attack signals, noise signals...).
+using Signal = std::vector<linalg::Vector>;
+
+/// All-zero signal of `steps` entries of dimension `dim`.
+Signal zero_signal(std::size_t steps, std::size_t dim);
+
+/// Record of one closed-loop run over T sampling instants.
+///
+/// Indexing follows the paper's Algorithm 1: entries k = 0..T-1 correspond
+/// to sampling instants 1..T; `x` and `xhat` additionally carry the
+/// post-update values x_{T+1}, x̂_{T+1} at index T.
+struct Trace {
+  std::vector<linalg::Vector> x;     ///< plant states (length T+1)
+  std::vector<linalg::Vector> xhat;  ///< estimates (length T+1)
+  std::vector<linalg::Vector> u;     ///< control inputs applied at each instant (length T)
+  std::vector<linalg::Vector> y;     ///< (possibly attacked) measurements (length T)
+  std::vector<linalg::Vector> z;     ///< residues (length T)
+  double ts = 0.0;                   ///< sampling period [s]
+
+  /// Number of sampling instants T.
+  std::size_t steps() const { return z.size(); }
+
+  /// ||z_k|| for all k under the chosen norm (length T).
+  std::vector<double> residue_norms(Norm norm) const;
+
+  /// Index k (0-based) of the maximum residue norm.  Requires steps() > 0.
+  std::size_t argmax_residue(Norm norm) const;
+
+  /// One selected component of the plant state over time (length T+1).
+  std::vector<double> state_series(std::size_t state_index) const;
+
+  /// One selected component of the measurements over time (length T).
+  std::vector<double> output_series(std::size_t output_index) const;
+
+  /// Per-sample gradient (first difference / ts) of an output component;
+  /// entry k is (y_k - y_{k-1}) / ts with entry 0 = 0.
+  std::vector<double> output_gradient_series(std::size_t output_index) const;
+};
+
+}  // namespace cpsguard::control

@@ -1,0 +1,79 @@
+// cpsguard.hpp — umbrella header for the cpsguard library.
+//
+// cpsguard reproduces "Formal Synthesis of Monitoring and Detection Systems
+// for Secure CPS Implementations" (Koley et al., DATE 2020): residue-based
+// attack detectors with formally synthesized variable thresholds.
+//
+// Typical flow (see examples/quickstart.cpp):
+//   1. describe the plant (control::DiscreteLti) and design the loop
+//      (control::LoopConfig::design) — or use a models::CaseStudy;
+//   2. state the performance criterion (synth::ReachCriterion) and any
+//      existing monitors (monitor::MonitorSet);
+//   3. run synth::AttackVectorSynthesizer (Algorithm 1) to find stealthy
+//      attacks, and synth::pivot_threshold_synthesis /
+//      synth::stepwise_threshold_synthesis (Algorithms 2 & 3) to derive a
+//      provably safe variable threshold;
+//   4. evaluate false alarms with detect::evaluate_far and deploy via
+//      codegen::emit_detector_c.
+#pragma once
+
+#include "attacks/search.hpp"
+#include "attacks/templates.hpp"
+#include "can/bus.hpp"
+#include "can/frame.hpp"
+#include "can/signal_codec.hpp"
+#include "can/transport.hpp"
+#include "codegen/c_emitter.hpp"
+#include "control/closed_loop.hpp"
+#include "control/kalman.hpp"
+#include "control/lqr.hpp"
+#include "control/lti.hpp"
+#include "control/noise.hpp"
+#include "control/norm.hpp"
+#include "control/trace.hpp"
+#include "detect/detector.hpp"
+#include "detect/far.hpp"
+#include "detect/noise_floor.hpp"
+#include "detect/roc.hpp"
+#include "detect/threshold.hpp"
+#include "linalg/decomp.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/rational.hpp"
+#include "linalg/riccati.hpp"
+#include "models/aircraft.hpp"
+#include "models/case_study.hpp"
+#include "models/dcmotor.hpp"
+#include "models/lfc.hpp"
+#include "models/quadtank.hpp"
+#include "models/suspension.hpp"
+#include "models/trajectory.hpp"
+#include "models/vsc.hpp"
+#include "models/vsc_can.hpp"
+#include "monitor/monitor.hpp"
+#include "reach/interval.hpp"
+#include "reach/stealthy.hpp"
+#include "reach/zonotope.hpp"
+#include "solver/lp_backend.hpp"
+#include "solver/problem.hpp"
+#include "solver/simplex.hpp"
+#include "solver/z3_backend.hpp"
+#include "stl/criterion.hpp"
+#include "stl/encode.hpp"
+#include "stl/formula.hpp"
+#include "stl/monitor.hpp"
+#include "stl/parser.hpp"
+#include "stl/semantics.hpp"
+#include "stl/signal_expr.hpp"
+#include "sym/affine.hpp"
+#include "sym/constraint.hpp"
+#include "sym/unroller.hpp"
+#include "synth/attack_synth.hpp"
+#include "synth/spec.hpp"
+#include "synth/threshold_synth.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+#include "util/table.hpp"

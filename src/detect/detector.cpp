@@ -1,0 +1,97 @@
+#include "detect/detector.hpp"
+
+#include "linalg/decomp.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::detect {
+
+using control::Norm;
+using control::Trace;
+using control::vector_norm;
+using linalg::Matrix;
+using linalg::Vector;
+using util::require;
+
+ResidueDetector::ResidueDetector(ThresholdVector thresholds, Norm norm)
+    : thresholds_(thresholds.filled()), norm_(norm) {
+  require(!thresholds_.empty(), "ResidueDetector: empty threshold vector");
+}
+
+std::optional<std::size_t> ResidueDetector::first_alarm(const Trace& trace) const {
+  for (std::size_t k = 0; k < trace.steps(); ++k) {
+    const std::size_t idx = std::min(k, thresholds_.size() - 1);
+    const double th = thresholds_[idx];
+    if (th <= 0.0) continue;  // nothing set anywhere before the first entry
+    if (vector_norm(trace.z[k], norm_) >= th) return k;
+  }
+  return std::nullopt;
+}
+
+WindowedDetector::WindowedDetector(ThresholdVector thresholds, Norm norm,
+                                   std::size_t k, std::size_t m)
+    : thresholds_(thresholds.filled()), norm_(norm), k_(k), m_(m) {
+  require(!thresholds_.empty(), "WindowedDetector: empty threshold vector");
+  require(k >= 1 && k <= m, "WindowedDetector: need 1 <= k <= m");
+}
+
+std::optional<std::size_t> WindowedDetector::first_alarm(const Trace& trace) const {
+  // Ring buffer of the last m exceedance flags; count tracks its sum.
+  std::vector<bool> window(m_, false);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < trace.steps(); ++i) {
+    const std::size_t slot = i % m_;
+    if (window[slot]) --count;
+    const std::size_t idx = std::min(i, thresholds_.size() - 1);
+    const double th = thresholds_[idx];
+    const bool exceeded =
+        th > 0.0 && control::vector_norm(trace.z[i], norm_) >= th;
+    window[slot] = exceeded;
+    if (exceeded) ++count;
+    if (count >= k_) return i;
+  }
+  return std::nullopt;
+}
+
+Chi2Detector::Chi2Detector(const Matrix& innovation_covariance, double threshold)
+    : s_inv_(linalg::inverse(innovation_covariance)), threshold_(threshold) {
+  require(threshold > 0.0, "Chi2Detector: threshold must be positive");
+}
+
+double Chi2Detector::statistic(const Vector& z) const {
+  return z.dot(s_inv_ * z);
+}
+
+std::optional<std::size_t> Chi2Detector::first_alarm(const Trace& trace) const {
+  for (std::size_t k = 0; k < trace.steps(); ++k) {
+    if (statistic(trace.z[k]) > threshold_) return k;
+  }
+  return std::nullopt;
+}
+
+CusumDetector::CusumDetector(double drift, double threshold, Norm norm)
+    : drift_(drift), threshold_(threshold), norm_(norm) {
+  require(threshold > 0.0, "CusumDetector: threshold must be positive");
+  require(drift >= 0.0, "CusumDetector: drift must be non-negative");
+}
+
+std::optional<std::size_t> CusumDetector::first_alarm(const Trace& trace) const {
+  double g = 0.0;
+  for (std::size_t k = 0; k < trace.steps(); ++k) {
+    g = std::max(0.0, g + vector_norm(trace.z[k], norm_) - drift_);
+    if (g > threshold_) return k;
+  }
+  return std::nullopt;
+}
+
+std::vector<double> CusumDetector::statistic_series(const Trace& trace) const {
+  std::vector<double> out;
+  out.reserve(trace.steps());
+  double g = 0.0;
+  for (std::size_t k = 0; k < trace.steps(); ++k) {
+    g = std::max(0.0, g + vector_norm(trace.z[k], norm_) - drift_);
+    out.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace cpsguard::detect

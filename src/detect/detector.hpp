@@ -1,0 +1,104 @@
+// detector.hpp — runtime residue-based detectors.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "control/trace.hpp"
+#include "detect/threshold.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cpsguard::detect {
+
+/// Threshold detector of the paper: alarm at instant k when the residue
+/// norm reaches the (set) threshold, ||z_k|| >= Th[k].
+class ResidueDetector {
+ public:
+  ResidueDetector(ThresholdVector thresholds, control::Norm norm);
+
+  /// First alarming instant of a trace, if any.  Instants beyond the
+  /// threshold vector reuse its last entry via ThresholdVector::filled().
+  std::optional<std::size_t> first_alarm(const control::Trace& trace) const;
+
+  /// True when any instant alarms.
+  bool triggered(const control::Trace& trace) const {
+    return first_alarm(trace).has_value();
+  }
+
+  const ThresholdVector& thresholds() const { return thresholds_; }
+  control::Norm norm() const { return norm_; }
+
+ private:
+  ThresholdVector thresholds_;  // stored filled()
+  control::Norm norm_;
+};
+
+/// Chi-squared detector baseline: alarm when  z' S^{-1} z > threshold,
+/// with S the innovation covariance from the Kalman design.  Included as a
+/// standard comparison point from the residue-detector literature.
+class Chi2Detector {
+ public:
+  Chi2Detector(const linalg::Matrix& innovation_covariance, double threshold);
+
+  std::optional<std::size_t> first_alarm(const control::Trace& trace) const;
+  bool triggered(const control::Trace& trace) const {
+    return first_alarm(trace).has_value();
+  }
+
+  /// The statistic g_k for one residue.
+  double statistic(const linalg::Vector& z) const;
+
+ private:
+  linalg::Matrix s_inv_;
+  double threshold_;
+};
+
+/// "k-of-m" windowed policy around a threshold detector: an alarm fires at
+/// instant i when at least `k` of the last `m` samples (window [i-m+1, i])
+/// exceeded their thresholds.  The standard false-alarm-reduction wrapper
+/// in deployed intrusion detectors: isolated noise spikes are forgiven,
+/// persistent excursions are not.  k = m = 1 degenerates to the plain
+/// detector.
+class WindowedDetector {
+ public:
+  /// Requires 1 <= k <= m.
+  WindowedDetector(ThresholdVector thresholds, control::Norm norm, std::size_t k,
+                   std::size_t m);
+
+  std::optional<std::size_t> first_alarm(const control::Trace& trace) const;
+  bool triggered(const control::Trace& trace) const {
+    return first_alarm(trace).has_value();
+  }
+
+  const ThresholdVector& thresholds() const { return thresholds_; }
+  std::size_t k() const { return k_; }
+  std::size_t m() const { return m_; }
+
+ private:
+  ThresholdVector thresholds_;  // stored filled()
+  control::Norm norm_;
+  std::size_t k_;
+  std::size_t m_;
+};
+
+/// CUSUM detector baseline: g_k = max(0, g_{k-1} + ||z_k|| - drift); alarm
+/// when g_k > threshold.
+class CusumDetector {
+ public:
+  CusumDetector(double drift, double threshold, control::Norm norm);
+
+  std::optional<std::size_t> first_alarm(const control::Trace& trace) const;
+  bool triggered(const control::Trace& trace) const {
+    return first_alarm(trace).has_value();
+  }
+
+  /// Full statistic series for plots.
+  std::vector<double> statistic_series(const control::Trace& trace) const;
+
+ private:
+  double drift_;
+  double threshold_;
+  control::Norm norm_;
+};
+
+}  // namespace cpsguard::detect

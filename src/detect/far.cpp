@@ -1,0 +1,47 @@
+#include "detect/far.hpp"
+
+#include "util/logging.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::detect {
+
+using control::Signal;
+using control::Trace;
+
+FarReport evaluate_far(const control::ClosedLoop& loop, const monitor::MonitorSet& monitors,
+                       const std::vector<FarCandidate>& candidates, const FarSetup& setup) {
+  util::require(setup.num_runs > 0, "evaluate_far: num_runs must be positive");
+  util::require(setup.noise_bounds.size() == loop.config().plant.num_outputs(),
+                "evaluate_far: noise bound dimension must match outputs");
+
+  util::Rng rng(setup.seed);
+  FarReport report;
+  report.total_runs = setup.num_runs;
+  report.rows.reserve(candidates.size());
+  for (const auto& c : candidates) report.rows.push_back(FarRow{c.name, 0, 0});
+
+  for (std::size_t run = 0; run < setup.num_runs; ++run) {
+    const Signal noise =
+        control::bounded_uniform_signal(rng, setup.horizon, setup.noise_bounds);
+    const Trace trace = loop.simulate(setup.horizon, /*attack=*/nullptr,
+                                      /*process_noise=*/nullptr, &noise);
+    if (setup.pfc && !setup.pfc(trace)) {
+      ++report.discarded_by_pfc;
+      continue;
+    }
+    if (!monitors.stealthy(trace)) {
+      ++report.discarded_by_mdc;
+      continue;
+    }
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      ++report.rows[i].evaluated;
+      if (candidates[i].detector.triggered(trace)) ++report.rows[i].alarms;
+    }
+  }
+  CPSG_INFO("far") << "evaluated " << setup.num_runs << " runs, pfc-discard "
+                   << report.discarded_by_pfc << ", mdc-discard "
+                   << report.discarded_by_mdc;
+  return report;
+}
+
+}  // namespace cpsguard::detect

@@ -1,0 +1,57 @@
+// far.hpp — Monte-Carlo false-alarm-rate evaluation (paper Section IV).
+//
+// Protocol from the paper: generate N random bounded measurement-noise
+// vectors small enough that the performance criterion is maintained,
+// discard the ones the existing monitoring system (mdc) flags, then report
+// the fraction of the remaining benign runs each threshold detector alarms
+// on.  Everything is driven from one Rng seed for reproducibility.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "control/closed_loop.hpp"
+#include "control/noise.hpp"
+#include "detect/detector.hpp"
+#include "monitor/monitor.hpp"
+#include "util/random.hpp"
+
+namespace cpsguard::detect {
+
+/// One candidate detector entered into the comparison.
+struct FarCandidate {
+  std::string name;
+  ResidueDetector detector;
+};
+
+struct FarSetup {
+  std::size_t num_runs = 1000;         ///< N noise vectors
+  std::size_t horizon = 50;            ///< T samples per run
+  linalg::Vector noise_bounds;         ///< per-output bound of the uniform noise
+  std::uint64_t seed = 1;
+  /// Performance check: runs violating it are discarded (the paper draws
+  /// noise "such that pfc is maintained").  Null = keep everything.
+  std::function<bool(const control::Trace&)> pfc;
+};
+
+struct FarRow {
+  std::string name;
+  std::size_t alarms = 0;
+  std::size_t evaluated = 0;
+  double rate() const { return evaluated ? static_cast<double>(alarms) / static_cast<double>(evaluated) : 0.0; }
+};
+
+struct FarReport {
+  std::size_t total_runs = 0;
+  std::size_t discarded_by_pfc = 0;  ///< noise too large: pfc violated
+  std::size_t discarded_by_mdc = 0;  ///< flagged by the monitoring system
+  std::vector<FarRow> rows;          ///< one per candidate detector
+};
+
+/// Runs the protocol for `candidates` against the given closed loop and
+/// monitoring system.
+FarReport evaluate_far(const control::ClosedLoop& loop, const monitor::MonitorSet& monitors,
+                       const std::vector<FarCandidate>& candidates, const FarSetup& setup);
+
+}  // namespace cpsguard::detect

@@ -1,0 +1,58 @@
+#include "detect/noise_floor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace cpsguard::detect {
+
+std::size_t NoiseFloor::instants_below(const ThresholdVector& thresholds) const {
+  const ThresholdVector filled = thresholds.filled();
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < quantiles.size(); ++k) {
+    const std::size_t idx = std::min(k, filled.size() - 1);
+    if (filled.size() > 0 && filled[idx] > 0.0 && filled[idx] <= quantiles[k]) ++count;
+  }
+  return count;
+}
+
+NoiseFloor estimate_noise_floor(const control::ClosedLoop& loop,
+                                const NoiseFloorSetup& setup) {
+  util::require(setup.num_runs > 0, "estimate_noise_floor: num_runs must be positive");
+  util::require(setup.quantile > 0.0 && setup.quantile < 1.0,
+                "estimate_noise_floor: quantile must be in (0, 1)");
+  util::require(setup.noise_bounds.size() == loop.config().plant.num_outputs(),
+                "estimate_noise_floor: noise bound dimension mismatch");
+
+  util::Rng rng(setup.seed);
+  // samples[k][run] = ||z_k|| of that run.
+  std::vector<std::vector<double>> samples(setup.horizon);
+  for (auto& s : samples) s.reserve(setup.num_runs);
+
+  NoiseFloor out;
+  for (std::size_t run = 0; run < setup.num_runs; ++run) {
+    const control::Signal noise =
+        control::bounded_uniform_signal(rng, setup.horizon, setup.noise_bounds);
+    const control::Trace tr =
+        loop.simulate(setup.horizon, nullptr, nullptr, &noise);
+    const std::vector<double> norms = tr.residue_norms(setup.norm);
+    for (std::size_t k = 0; k < setup.horizon; ++k) {
+      samples[k].push_back(norms[k]);
+      out.peak = std::max(out.peak, norms[k]);
+    }
+  }
+
+  out.quantiles.resize(setup.horizon);
+  for (std::size_t k = 0; k < setup.horizon; ++k) {
+    auto& s = samples[k];
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(s.size() - 1),
+                         std::floor(setup.quantile * static_cast<double>(s.size()))));
+    std::nth_element(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(idx), s.end());
+    out.quantiles[k] = s[idx];
+  }
+  return out;
+}
+
+}  // namespace cpsguard::detect

@@ -1,0 +1,46 @@
+// noise_floor.hpp — empirical residue noise floor estimation.
+//
+// A synthesized threshold vector is only deployable if it clears the
+// residue levels that benign noise produces; otherwise the detector's FAR
+// explodes (which is exactly the trade-off the paper's Fig. 1 discusses).
+// This utility estimates per-instant residue-norm quantiles over seeded
+// Monte-Carlo noise runs, giving both a diagnostic ("how much of this
+// threshold vector sits below the noise floor?") and a principled lower
+// envelope for threshold post-processing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "control/closed_loop.hpp"
+#include "control/noise.hpp"
+#include "detect/threshold.hpp"
+#include "util/random.hpp"
+
+namespace cpsguard::detect {
+
+struct NoiseFloorSetup {
+  std::size_t num_runs = 200;
+  std::size_t horizon = 50;
+  linalg::Vector noise_bounds;  ///< per-output bound of the uniform noise
+  double quantile = 0.95;       ///< per-instant quantile of ||z_k||
+  control::Norm norm = control::Norm::kInf;
+  std::uint64_t seed = 7;
+};
+
+struct NoiseFloor {
+  /// Per-instant residue-norm quantile under benign noise (length horizon).
+  std::vector<double> quantiles;
+  /// Largest observed residue norm across all runs and instants.
+  double peak = 0.0;
+
+  /// Number of instants at which the given thresholds sit at or below the
+  /// floor (each such instant alarms on >= (1-quantile) of benign runs).
+  std::size_t instants_below(const ThresholdVector& thresholds) const;
+};
+
+/// Runs the Monte-Carlo estimate.
+NoiseFloor estimate_noise_floor(const control::ClosedLoop& loop,
+                                const NoiseFloorSetup& setup);
+
+}  // namespace cpsguard::detect

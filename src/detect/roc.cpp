@@ -1,0 +1,123 @@
+#include "detect/roc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "control/noise.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::detect {
+
+using control::Signal;
+using control::Trace;
+using util::require;
+
+double RocCurve::auc() const {
+  if (points.size() < 2) return 0.0;
+  std::vector<std::pair<double, double>> pts;  // (FAR, detection)
+  pts.reserve(points.size() + 2);
+  for (const RocPoint& p : points) pts.emplace_back(p.false_alarm_rate, p.detection_rate);
+  // Anchor the curve at (0, min detection) and (1, max detection) so the
+  // integral spans the whole FAR axis.
+  std::sort(pts.begin(), pts.end());
+  pts.insert(pts.begin(), {0.0, 0.0});
+  pts.emplace_back(1.0, 1.0);
+  double area = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double dx = pts[i].first - pts[i - 1].first;
+    area += dx * 0.5 * (pts[i].second + pts[i - 1].second);
+  }
+  return area;
+}
+
+std::vector<double> log_scales(double lo, double hi, std::size_t count) {
+  require(lo > 0.0 && hi > lo, "log_scales: need 0 < lo < hi");
+  require(count >= 2, "log_scales: need at least two points");
+  std::vector<double> scales;
+  scales.reserve(count);
+  const double step = std::log(hi / lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i)
+    scales.push_back(lo * std::exp(step * static_cast<double>(i)));
+  return scales;
+}
+
+RocCurve evaluate_roc(std::string name, const ThresholdVector& thresholds,
+                      const RocWorkload& workload, const RocOptions& options) {
+  require(!options.scales.empty(), "evaluate_roc: scale grid is empty");
+  require(!workload.benign.empty() && !workload.attacked.empty(),
+          "evaluate_roc: workload must contain both benign and attacked runs");
+
+  RocCurve curve;
+  curve.name = std::move(name);
+  curve.points.reserve(options.scales.size());
+  for (double s : options.scales) {
+    require(s > 0.0, "evaluate_roc: scales must be positive");
+    ThresholdVector scaled(thresholds.size());
+    for (std::size_t k = 0; k < thresholds.size(); ++k)
+      if (thresholds.is_set(k)) scaled.set(k, thresholds[k] * s);
+    const ResidueDetector detector(scaled, options.norm);
+
+    RocPoint point;
+    point.scale = s;
+    std::size_t false_alarms = 0;
+    for (const Trace& tr : workload.benign)
+      if (detector.triggered(tr)) ++false_alarms;
+    point.false_alarm_rate =
+        static_cast<double>(false_alarms) / static_cast<double>(workload.benign.size());
+
+    std::size_t detections = 0;
+    double delay_sum = 0.0;
+    for (const Trace& tr : workload.attacked) {
+      if (const auto alarm = detector.first_alarm(tr)) {
+        ++detections;
+        delay_sum += static_cast<double>(*alarm);
+      }
+    }
+    point.detection_rate = static_cast<double>(detections) /
+                           static_cast<double>(workload.attacked.size());
+    point.mean_detection_delay =
+        detections > 0 ? delay_sum / static_cast<double>(detections) : 0.0;
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+RocWorkload make_workload(const control::ClosedLoop& loop,
+                          const monitor::MonitorSet& monitors,
+                          std::size_t benign_runs, std::size_t horizon,
+                          const linalg::Vector& noise_bounds,
+                          const std::vector<Signal>& attacks, std::uint64_t seed,
+                          bool noisy_attacks) {
+  require(benign_runs > 0, "make_workload: need benign runs");
+  util::Rng rng(seed);
+  RocWorkload workload;
+  workload.benign.reserve(benign_runs);
+  std::size_t produced = 0;
+  // Cap the attempts so a monitor that rejects everything cannot loop
+  // forever; the paper's protocol likewise discards flagged runs.
+  const std::size_t max_attempts = benign_runs * 20;
+  for (std::size_t attempt = 0; attempt < max_attempts && produced < benign_runs;
+       ++attempt) {
+    const Signal noise = control::bounded_uniform_signal(rng, horizon, noise_bounds);
+    Trace tr = loop.simulate(horizon, nullptr, nullptr, &noise);
+    if (!monitors.stealthy(tr)) continue;
+    workload.benign.push_back(std::move(tr));
+    ++produced;
+  }
+  require(produced == benign_runs,
+          "make_workload: monitors rejected too many benign draws");
+
+  workload.attacked.reserve(attacks.size());
+  for (const Signal& attack : attacks) {
+    if (noisy_attacks) {
+      const Signal noise = control::bounded_uniform_signal(rng, horizon, noise_bounds);
+      workload.attacked.push_back(loop.simulate(horizon, &attack, nullptr, &noise));
+    } else {
+      workload.attacked.push_back(loop.simulate(horizon, &attack));
+    }
+  }
+  return workload;
+}
+
+}  // namespace cpsguard::detect

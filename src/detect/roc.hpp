@@ -1,0 +1,72 @@
+// roc.hpp — receiver-operating-characteristic sweeps for residue detectors.
+//
+// The paper reports a single FAR number per detector; an ROC curve is the
+// natural extension: scale a threshold vector by s and trace out (false
+// alarm rate on benign noise runs, detection rate on attacked runs) as s
+// sweeps.  Variable thresholds dominating the static baseline over the
+// whole sweep — not just at one operating point — is the strongest form of
+// the paper's comparison, which bench/roc_curves regenerates.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "control/closed_loop.hpp"
+#include "detect/detector.hpp"
+#include "detect/threshold.hpp"
+#include "monitor/monitor.hpp"
+
+namespace cpsguard::detect {
+
+/// One labelled workload for ROC evaluation.
+struct RocWorkload {
+  /// Benign traces (noise only, monitors silent) — false-alarm side.
+  std::vector<control::Trace> benign;
+  /// Attacked traces — detection side.
+  std::vector<control::Trace> attacked;
+};
+
+struct RocPoint {
+  double scale = 1.0;            ///< threshold multiplier
+  double false_alarm_rate = 0.0; ///< alarms / benign runs
+  double detection_rate = 0.0;   ///< alarms / attacked runs
+  /// Mean first-alarm instant over detected attacked runs (detection
+  /// latency); 0 when nothing was detected.
+  double mean_detection_delay = 0.0;
+};
+
+struct RocCurve {
+  std::string name;
+  std::vector<RocPoint> points;  ///< ordered by scale, descending FAR
+
+  /// Area under the curve via trapezoids on (FAR, detection) after sorting
+  /// by FAR; the standard scalar summary (1.0 = perfect detector).
+  double auc() const;
+};
+
+struct RocOptions {
+  /// Scales applied to the threshold vector (log-spaced by default helper).
+  std::vector<double> scales;
+  control::Norm norm = control::Norm::kInf;
+};
+
+/// Log-spaced scale grid from `lo` to `hi` (inclusive), `count` >= 2 points.
+std::vector<double> log_scales(double lo, double hi, std::size_t count);
+
+/// Evaluates the scaled-threshold detector family on the workload.
+RocCurve evaluate_roc(std::string name, const ThresholdVector& thresholds,
+                      const RocWorkload& workload, const RocOptions& options);
+
+/// Builds a benign/attacked workload from a closed loop: `benign_runs`
+/// noise-only runs that pass the monitors (others are discarded, mirroring
+/// the paper's FAR protocol) and the given attack signals replayed through
+/// the loop (optionally with the same noise model).
+RocWorkload make_workload(const control::ClosedLoop& loop,
+                          const monitor::MonitorSet& monitors,
+                          std::size_t benign_runs, std::size_t horizon,
+                          const linalg::Vector& noise_bounds,
+                          const std::vector<control::Signal>& attacks,
+                          std::uint64_t seed, bool noisy_attacks = true);
+
+}  // namespace cpsguard::detect

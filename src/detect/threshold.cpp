@@ -1,0 +1,89 @@
+#include "detect/threshold.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/status.hpp"
+#include "util/table.hpp"
+
+namespace cpsguard::detect {
+
+using util::require;
+
+ThresholdVector ThresholdVector::constant(std::size_t horizon, double value) {
+  require(value > 0.0, "ThresholdVector::constant: value must be positive");
+  return ThresholdVector(std::vector<double>(horizon, value));
+}
+
+double ThresholdVector::operator[](std::size_t k) const {
+  require(k < values_.size(), "ThresholdVector: index out of range");
+  return values_[k];
+}
+
+void ThresholdVector::set(std::size_t k, double value) {
+  require(k < values_.size(), "ThresholdVector::set: index out of range");
+  require(value >= 0.0, "ThresholdVector::set: value must be non-negative");
+  values_[k] = value;
+}
+
+std::size_t ThresholdVector::num_set() const {
+  return static_cast<std::size_t>(
+      std::count_if(values_.begin(), values_.end(), [](double v) { return v > 0.0; }));
+}
+
+bool ThresholdVector::monotone_decreasing() const {
+  double prev = 0.0;
+  bool seen = false;
+  for (double v : values_) {
+    if (v <= 0.0) continue;
+    if (seen && v > prev + 1e-12) return false;
+    prev = v;
+    seen = true;
+  }
+  return true;
+}
+
+double ThresholdVector::min_set() const {
+  double best = 0.0;
+  for (double v : values_)
+    if (v > 0.0 && (best == 0.0 || v < best)) best = v;
+  return best;
+}
+
+double ThresholdVector::max_set() const {
+  double best = 0.0;
+  for (double v : values_) best = std::max(best, v);
+  return best;
+}
+
+ThresholdVector ThresholdVector::filled() const {
+  ThresholdVector out(*this);
+  // Find the first set entry to seed the prefix.
+  double current = 0.0;
+  for (double v : values_)
+    if (v > 0.0) {
+      current = v;
+      break;
+    }
+  if (current == 0.0) return out;  // nothing set anywhere
+  for (auto& v : out.values_) {
+    if (v > 0.0)
+      current = v;
+    else
+      v = current;
+  }
+  return out;
+}
+
+std::string ThresholdVector::str() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i) out << ' ';
+    out << (values_[i] > 0.0 ? util::format_double(values_[i]) : std::string("-"));
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace cpsguard::detect

@@ -1,0 +1,61 @@
+// threshold.hpp — threshold specifications Th for residue detectors.
+//
+// Following the paper, a threshold specification is a length-T vector; the
+// detector alarms at instant k when ||z_k|| >= Th[k].  Entries equal to 0
+// mean "no check at this instant" (the synthesis algorithms grow the vector
+// threshold-by-threshold from the all-unset state).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cpsguard::detect {
+
+class ThresholdVector {
+ public:
+  ThresholdVector() = default;
+  /// All-unset specification of length `horizon`.
+  explicit ThresholdVector(std::size_t horizon) : values_(horizon, 0.0) {}
+  /// Adopts explicit values (0 = unset).
+  explicit ThresholdVector(std::vector<double> values) : values_(std::move(values)) {}
+
+  /// Constant (static) threshold at every instant.
+  static ThresholdVector constant(std::size_t horizon, double value);
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Threshold at instant k; 0 means unset.
+  double operator[](std::size_t k) const;
+  /// Sets the threshold at instant k.
+  void set(std::size_t k, double value);
+  /// True when instant k carries a check.
+  bool is_set(std::size_t k) const { return (*this)[k] > 0.0; }
+  /// Number of instants carrying a check.
+  std::size_t num_set() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+  /// True when the SET entries are non-increasing over time — the paper's
+  /// monotonically-decreasing-threshold hypothesis.
+  bool monotone_decreasing() const;
+
+  /// Smallest set threshold (0 when none set).
+  double min_set() const;
+  /// Largest set threshold (0 when none set).
+  double max_set() const;
+
+  /// Completed copy: unset entries take the value of the nearest EARLIER
+  /// set entry (or the first set entry for the prefix) — how a deployed
+  /// staircase detector fills the gaps.  Used for FAR evaluation and code
+  /// generation.
+  ThresholdVector filled() const;
+
+  std::string str() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace cpsguard::detect

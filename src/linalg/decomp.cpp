@@ -1,0 +1,125 @@
+#include "linalg/decomp.hpp"
+
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace cpsguard::linalg {
+
+using util::NumericalError;
+using util::require;
+
+Lu::Lu(const Matrix& a) : lu_(a), perm_(a.rows()) {
+  require(a.square(), "Lu: matrix must be square");
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest |entry| in column k to the pivot.
+    std::size_t piv = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < 1e-300) throw NumericalError("Lu: singular matrix");
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(piv, c));
+      std::swap(perm_[k], perm_[piv]);
+      sign_ = -sign_;
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      lu_(r, k) /= lu_(k, k);
+      const double f = lu_(r, k);
+      if (f == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= f * lu_(k, c);
+    }
+  }
+}
+
+Vector Lu::solve(const Vector& b) const {
+  const std::size_t n = dim();
+  require(b.size() == n, "Lu::solve: dimension mismatch");
+  Vector x(n);
+  // Forward substitution with permutation applied (L has unit diagonal).
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+    x[r] = acc;
+  }
+  // Back substitution through U.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+    x[ri] = acc / lu_(ri, ri);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  require(b.rows() == dim(), "Lu::solve: dimension mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const Vector xc = solve(b.col(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = xc[r];
+  }
+  return x;
+}
+
+double Lu::determinant() const {
+  double det = sign_;
+  for (std::size_t i = 0; i < dim(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve(const Matrix& a, const Vector& b) { return Lu(a).solve(b); }
+Matrix solve(const Matrix& a, const Matrix& b) { return Lu(a).solve(b); }
+Matrix inverse(const Matrix& a) { return Lu(a).solve(Matrix::identity(a.rows())); }
+double determinant(const Matrix& a) { return Lu(a).determinant(); }
+
+Matrix cholesky(const Matrix& a, double eps) {
+  require(a.square(), "cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (d < -eps) throw NumericalError("cholesky: matrix not positive definite");
+    l(j, j) = std::sqrt(std::max(d, 0.0));
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = l(j, j) > 0.0 ? acc / l(j, j) : 0.0;
+    }
+  }
+  return l;
+}
+
+double spectral_radius(const Matrix& a, int iters, double tol) {
+  require(a.square(), "spectral_radius: matrix must be square");
+  const std::size_t n = a.rows();
+  if (n == 0) return 0.0;
+  // Deterministic start vector with all directions populated.
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = 1.0 / static_cast<double>(i + 1);
+  double lambda = 0.0;
+  // Power iteration on A'A would give singular values; to estimate the
+  // spectral radius of a possibly non-symmetric A we track the growth rate
+  // ||A^k v|| between normalizations.  For the stability checks in this
+  // library (is rho(A) < 1?) this estimate is sufficient.
+  for (int it = 0; it < iters; ++it) {
+    Vector w = a * v;
+    const double nw = w.norm2();
+    if (nw < 1e-300) return 0.0;
+    w *= 1.0 / nw;
+    const double next = (a * w).norm2();
+    if (std::abs(next - lambda) < tol * std::max(1.0, next)) return next;
+    lambda = next;
+    v = w;
+  }
+  return lambda;
+}
+
+}  // namespace cpsguard::linalg

@@ -1,0 +1,50 @@
+// decomp.hpp — dense decompositions and linear solves.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace cpsguard::linalg {
+
+/// LU decomposition with partial pivoting: P*A = L*U.
+///
+/// Factorization happens at construction; throws util::NumericalError when
+/// the matrix is singular to working precision.
+class Lu {
+ public:
+  explicit Lu(const Matrix& a);
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+  /// Solves A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+  /// det(A), including pivot sign.
+  double determinant() const;
+
+  std::size_t dim() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;                 // packed L (unit diagonal) and U
+  std::vector<std::size_t> perm_;
+  int sign_ = 1;
+};
+
+/// Convenience: x = A^{-1} b.
+Vector solve(const Matrix& a, const Vector& b);
+/// Convenience: X = A^{-1} B.
+Matrix solve(const Matrix& a, const Matrix& b);
+/// Matrix inverse (use sparingly; solve() is preferred).
+Matrix inverse(const Matrix& a);
+/// Determinant via LU.
+double determinant(const Matrix& a);
+
+/// Cholesky factor L of a symmetric positive-definite matrix: A = L*L'.
+/// Throws util::NumericalError when A is not SPD (within `eps` tolerance on
+/// the diagonal).
+Matrix cholesky(const Matrix& a, double eps = 1e-12);
+
+/// Largest absolute eigenvalue (spectral radius) estimated by the power
+/// method with deterministic start; adequate for stability checks on the
+/// small closed-loop matrices used here.
+double spectral_radius(const Matrix& a, int iters = 2000, double tol = 1e-12);
+
+}  // namespace cpsguard::linalg

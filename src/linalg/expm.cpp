@@ -1,0 +1,47 @@
+#include "linalg/expm.hpp"
+
+#include <cmath>
+
+#include "linalg/decomp.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::linalg {
+
+Matrix expm(const Matrix& a) {
+  util::require(a.square(), "expm: matrix must be square");
+  const std::size_t n = a.rows();
+  if (n == 0) return a;
+
+  // Scale A down until ||A/2^s|| is small enough for the Padé-13 formula.
+  const double theta13 = 5.371920351148152;  // Higham's theta for degree 13
+  const double norm = a.norm_inf();
+  int s = 0;
+  if (norm > theta13) {
+    s = static_cast<int>(std::ceil(std::log2(norm / theta13)));
+  }
+  Matrix as = a * std::pow(2.0, -s);
+
+  // Degree-13 Padé coefficients.
+  static const double b[] = {64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+                             1187353796428800.0,  129060195264000.0,   10559470521600.0,
+                             670442572800.0,      33522128640.0,       1323241920.0,
+                             40840800.0,          960960.0,            16380.0,
+                             182.0,               1.0};
+
+  const Matrix i = Matrix::identity(n);
+  const Matrix a2 = as * as;
+  const Matrix a4 = a2 * a2;
+  const Matrix a6 = a4 * a2;
+
+  Matrix u = as * (a6 * (b[13] * a6 + b[11] * a4 + b[9] * a2) + b[7] * a6 + b[5] * a4 +
+                   b[3] * a2 + b[1] * i);
+  Matrix v = a6 * (b[12] * a6 + b[10] * a4 + b[8] * a2) + b[6] * a6 + b[4] * a4 + b[2] * a2 +
+             b[0] * i;
+
+  // r = (V - U)^{-1} (V + U)
+  Matrix r = solve(v - u, v + u);
+  for (int k = 0; k < s; ++k) r = r * r;
+  return r;
+}
+
+}  // namespace cpsguard::linalg

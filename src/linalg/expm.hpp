@@ -1,0 +1,13 @@
+// expm.hpp — matrix exponential, used by zero-order-hold discretization.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace cpsguard::linalg {
+
+/// Matrix exponential e^A via scaling-and-squaring with a degree-13 Padé
+/// approximant (Higham 2005).  Accurate to near machine precision for the
+/// modest-norm matrices arising from `A*Ts` in discretization.
+Matrix expm(const Matrix& a);
+
+}  // namespace cpsguard::linalg

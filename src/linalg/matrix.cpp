@@ -1,0 +1,259 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace cpsguard::linalg {
+
+using util::require;
+
+double& Vector::operator[](std::size_t i) {
+  require(i < data_.size(), "Vector: index out of range");
+  return data_[i];
+}
+
+double Vector::operator[](std::size_t i) const {
+  require(i < data_.size(), "Vector: index out of range");
+  return data_[i];
+}
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  require(size() == rhs.size(), "Vector+=: dimension mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  require(size() == rhs.size(), "Vector-=: dimension mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+double Vector::norm2() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Vector::norm_inf() const {
+  double acc = 0.0;
+  for (double v : data_) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+double Vector::norm1() const {
+  double acc = 0.0;
+  for (double v : data_) acc += std::abs(v);
+  return acc;
+}
+
+double Vector::dot(const Vector& rhs) const {
+  require(size() == rhs.size(), "Vector::dot: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) acc += data_[i] * rhs.data_[i];
+  return acc;
+}
+
+std::string Vector::str(int precision) const {
+  std::ostringstream out;
+  out << '[';
+  char buf[64];
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, data_[i]);
+    if (i) out << ", ";
+    out << buf;
+  }
+  out << ']';
+  return out.str();
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+Vector operator*(double s, Vector v) { return v *= s; }
+Vector operator*(Vector v, double s) { return v *= s; }
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    require(r.size() == cols_, "Matrix: ragged initializer");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) { return Matrix(rows, cols); }
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::column(const Vector& v) {
+  Matrix m(v.size(), 1);
+  for (std::size_t i = 0; i < v.size(); ++i) m(i, 0) = v[i];
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  require(r < rows_ && c < cols_, "Matrix: index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  require(r < rows_ && c < cols_, "Matrix: index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  require(rows_ == rhs.rows_ && cols_ == rhs.cols_, "Matrix+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  require(rows_ == rhs.rows_ && cols_ == rhs.cols_, "Matrix-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  require(cols_ == v.size(), "Matrix*Vector: dimension mismatch");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += data_[r * cols_ + c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Vector Matrix::row(std::size_t r) const {
+  require(r < rows_, "Matrix::row: index out of range");
+  Vector out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  require(c < cols_, "Matrix::col: index out of range");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+double Matrix::norm_fro() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs() const {
+  double acc = 0.0;
+  for (double v : data_) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+double Matrix::norm_inf() const {
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += std::abs((*this)(r, c));
+    best = std::max(best, acc);
+  }
+  return best;
+}
+
+bool Matrix::approx_equal(const Matrix& rhs, double tol) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    if (std::abs(data_[i] - rhs.data_[i]) > tol) return false;
+  return true;
+}
+
+std::string Matrix::str(int precision) const {
+  std::ostringstream out;
+  char buf[64];
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out << (r == 0 ? "[[" : " [");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "%.*g", precision, (*this)(r, c));
+      if (c) out << ", ";
+      out << buf;
+    }
+    out << (r + 1 == rows_ ? "]]" : "]\n");
+  }
+  return out.str();
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+
+Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
+  require(lhs.cols() == rhs.rows(), "Matrix*Matrix: dimension mismatch");
+  Matrix out(lhs.rows(), rhs.cols());
+  for (std::size_t r = 0; r < lhs.rows(); ++r) {
+    for (std::size_t k = 0; k < lhs.cols(); ++k) {
+      const double lv = lhs(r, k);
+      if (lv == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols(); ++c) out(r, c) += lv * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix operator*(double s, Matrix m) { return m *= s; }
+Matrix operator*(Matrix m, double s) { return m *= s; }
+
+Matrix hcat(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows(), "hcat: row mismatch");
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
+    for (std::size_t c = 0; c < b.cols(); ++c) out(r, a.cols() + c) = b(r, c);
+  }
+  return out;
+}
+
+Matrix vcat(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.cols(), "vcat: column mismatch");
+  Matrix out(a.rows() + b.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
+  for (std::size_t r = 0; r < b.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) out(a.rows() + r, c) = b(r, c);
+  return out;
+}
+
+}  // namespace cpsguard::linalg

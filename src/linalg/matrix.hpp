@@ -1,0 +1,134 @@
+// matrix.hpp — dense row-major matrices and vectors.
+//
+// cpsguard works with small control-engineering matrices (n, m <= ~20), so
+// the implementation favours clarity and checked access over blocking /
+// vectorization tricks.  All operations validate dimensions and throw
+// util::InvalidArgument on mismatch.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cpsguard::linalg {
+
+class Matrix;
+
+/// Dense real vector.
+class Vector {
+ public:
+  Vector() = default;
+  /// Zero vector of dimension `n`.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+  /// Vector with explicit entries.
+  Vector(std::initializer_list<double> values) : data_(values) {}
+  /// Adopts an existing buffer.
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Checked element access.
+  double& operator[](std::size_t i);
+  double operator[](std::size_t i) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  const std::vector<double>& raw() const { return data_; }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double s);
+
+  /// Euclidean norm.
+  double norm2() const;
+  /// Max-abs norm.
+  double norm_inf() const;
+  /// Sum of absolute values.
+  double norm1() const;
+  /// Dot product.
+  double dot(const Vector& rhs) const;
+
+  /// Appends `v` (used by trace assembly).
+  void push_back(double v) { data_.push_back(v); }
+
+  std::string str(int precision = 6) const;
+
+ private:
+  std::vector<double> data_;
+};
+
+Vector operator+(Vector lhs, const Vector& rhs);
+Vector operator-(Vector lhs, const Vector& rhs);
+Vector operator*(double s, Vector v);
+Vector operator*(Vector v, double s);
+
+/// Dense real matrix, row-major.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero matrix of shape rows x cols.
+  Matrix(std::size_t rows, std::size_t cols);
+  /// Matrix from nested initializer lists; all rows must agree in length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix zeros(std::size_t rows, std::size_t cols);
+  /// Diagonal matrix from the given entries.
+  static Matrix diagonal(const Vector& d);
+  /// Column vector view of `v` as an n x 1 matrix.
+  static Matrix column(const Vector& v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  bool square() const { return rows_ == cols_; }
+
+  /// Checked element access.
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  Matrix transpose() const;
+
+  /// Matrix-vector product.  Requires cols() == v.size().
+  Vector operator*(const Vector& v) const;
+
+  /// Extracts row `r` as a vector.
+  Vector row(std::size_t r) const;
+  /// Extracts column `c` as a vector.
+  Vector col(std::size_t c) const;
+
+  /// Frobenius norm.
+  double norm_fro() const;
+  /// Max absolute entry.
+  double max_abs() const;
+  /// Induced infinity norm (max row sum of abs).
+  double norm_inf() const;
+
+  /// True when the two matrices agree entrywise within `tol`.
+  bool approx_equal(const Matrix& rhs, double tol = 1e-9) const;
+
+  std::string str(int precision = 6) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(const Matrix& lhs, const Matrix& rhs);
+Matrix operator*(double s, Matrix m);
+Matrix operator*(Matrix m, double s);
+
+/// Horizontal concatenation [a | b].  Row counts must match.
+Matrix hcat(const Matrix& a, const Matrix& b);
+/// Vertical concatenation [a ; b].  Column counts must match.
+Matrix vcat(const Matrix& a, const Matrix& b);
+
+}  // namespace cpsguard::linalg

@@ -1,0 +1,74 @@
+#include "linalg/rational.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/status.hpp"
+
+namespace cpsguard::linalg {
+
+namespace bigint {
+
+std::string times_two(const std::string& digits) {
+  std::string out(digits.size() + 1, '0');
+  int carry = 0;
+  for (std::size_t i = digits.size(); i-- > 0;) {
+    const int d = (digits[i] - '0') * 2 + carry;
+    out[i + 1] = static_cast<char>('0' + d % 10);
+    carry = d / 10;
+  }
+  out[0] = static_cast<char>('0' + carry);
+  if (out[0] == '0') out.erase(out.begin());
+  return out;
+}
+
+std::string shift_left(const std::string& digits, int k) {
+  std::string out = digits;
+  for (int i = 0; i < k; ++i) out = times_two(out);
+  return out;
+}
+
+}  // namespace bigint
+
+std::string Rational::str() const {
+  if (numerator == "0") return "0";
+  std::string s = negative ? "-" : "";
+  s += numerator;
+  if (denominator != "1") s += "/" + denominator;
+  return s;
+}
+
+Rational to_rational(double v) {
+  util::require(std::isfinite(v), "to_rational: value must be finite");
+  Rational r;
+  if (v == 0.0) return r;
+  r.negative = std::signbit(v);
+  const double mag = std::abs(v);
+
+  int exp = 0;
+  const double frac = std::frexp(mag, &exp);  // mag = frac * 2^exp, frac in [0.5, 1)
+  // frac * 2^53 is an integer <= 2^53 for every finite double.
+  const auto mantissa = static_cast<std::uint64_t>(std::ldexp(frac, 53));
+  const int e2 = exp - 53;  // mag = mantissa * 2^e2
+
+  std::string m = std::to_string(mantissa);
+  if (e2 >= 0) {
+    r.numerator = bigint::shift_left(m, e2);
+    r.denominator = "1";
+  } else {
+    // Reduce the dyadic fraction: strip factors of two shared with mantissa.
+    std::uint64_t mm = mantissa;
+    int k = -e2;
+    while (k > 0 && (mm & 1ULL) == 0ULL) {
+      mm >>= 1;
+      --k;
+    }
+    r.numerator = std::to_string(mm);
+    r.denominator = bigint::shift_left("1", k);
+  }
+  return r;
+}
+
+std::string rational_string(double v) { return to_rational(v).str(); }
+
+}  // namespace cpsguard::linalg

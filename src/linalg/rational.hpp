@@ -1,0 +1,40 @@
+// rational.hpp — exact IEEE-754 double -> rational conversion.
+//
+// The SMT backends must see the *exact* constraint system the implementation
+// computes with, so every double coefficient is converted losslessly to a
+// numerator/denominator pair of decimal strings (every finite double is a
+// dyadic rational m * 2^e).  UNSAT results from Z3 are then proofs about the
+// exact constants, not a decimal approximation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cpsguard::linalg {
+
+/// Exact rational value of a finite double, as decimal strings.
+struct Rational {
+  bool negative = false;
+  std::string numerator = "0";    ///< non-negative decimal integer
+  std::string denominator = "1";  ///< positive decimal integer (a power of two)
+
+  /// "num/den" or "-num/den"; "0" when zero.
+  std::string str() const;
+};
+
+/// Converts a finite double exactly.  Throws util::InvalidArgument for
+/// NaN/inf inputs.
+Rational to_rational(double v);
+
+/// Shorthand for to_rational(v).str() — the format Z3's real parser accepts.
+std::string rational_string(double v);
+
+/// Decimal-string helpers (exposed for tests).
+namespace bigint {
+/// Doubles a non-negative decimal string: "12" -> "24".
+std::string times_two(const std::string& digits);
+/// Left-shifts a non-negative decimal string by `k` bits.
+std::string shift_left(const std::string& digits, int k);
+}  // namespace bigint
+
+}  // namespace cpsguard::linalg

@@ -1,0 +1,44 @@
+#include "linalg/riccati.hpp"
+
+#include "linalg/decomp.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::linalg {
+
+Matrix solve_dlyap(const Matrix& a, const Matrix& q, int max_iters, double tol) {
+  util::require(a.square() && q.square() && a.rows() == q.rows(),
+                "solve_dlyap: shape mismatch");
+  // Doubling iteration: after k steps P_k = sum_{i<2^k} A^i Q (A')^i.
+  Matrix ak = a;
+  Matrix p = q;
+  for (int it = 0; it < max_iters; ++it) {
+    const Matrix delta = ak * p * ak.transpose();
+    p += delta;
+    if (delta.max_abs() < tol * std::max(1.0, p.max_abs())) return p;
+    ak = ak * ak;
+  }
+  throw util::NumericalError("solve_dlyap: no convergence (is rho(A) < 1?)");
+}
+
+Matrix solve_dare(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& r,
+                  int max_iters, double tol) {
+  util::require(a.square(), "solve_dare: A must be square");
+  util::require(b.rows() == a.rows(), "solve_dare: B row mismatch");
+  util::require(q.square() && q.rows() == a.rows(), "solve_dare: Q shape mismatch");
+  util::require(r.square() && r.rows() == b.cols(), "solve_dare: R shape mismatch");
+
+  const Matrix at = a.transpose();
+  const Matrix bt = b.transpose();
+  Matrix p = q;
+  for (int it = 0; it < max_iters; ++it) {
+    const Matrix btp = bt * p;
+    const Matrix gain = solve(r + btp * b, btp * a);  // (R + B'PB)^{-1} B'PA
+    const Matrix next = at * p * a - at * p * b * gain + q;
+    const double diff = (next - p).max_abs();
+    p = next;
+    if (diff < tol * std::max(1.0, p.max_abs())) return p;
+  }
+  throw util::NumericalError("solve_dare: no convergence (stabilizability?)");
+}
+
+}  // namespace cpsguard::linalg

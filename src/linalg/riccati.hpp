@@ -1,0 +1,23 @@
+// riccati.hpp — discrete-time Lyapunov and Riccati equation solvers.
+//
+// These back the LQR and steady-state Kalman designs in src/control.  Both
+// solvers use fixed-point iteration, which converges for the stabilizable /
+// detectable systems this library targets; convergence failures throw.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace cpsguard::linalg {
+
+/// Solves the discrete Lyapunov equation  P = A P A' + Q.
+/// Converges when rho(A) < 1 (uses doubling: A <- A^2, Q <- Q + A Q A').
+Matrix solve_dlyap(const Matrix& a, const Matrix& q, int max_iters = 200,
+                   double tol = 1e-12);
+
+/// Solves the discrete algebraic Riccati equation
+///   P = A' P A - A' P B (R + B' P B)^{-1} B' P A + Q
+/// by fixed-point iteration from P = Q.
+Matrix solve_dare(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& r,
+                  int max_iters = 100000, double tol = 1e-12);
+
+}  // namespace cpsguard::linalg

@@ -1,0 +1,53 @@
+#include "models/aircraft.hpp"
+
+namespace cpsguard::models {
+
+using control::ContinuousLti;
+using control::DiscreteLti;
+using linalg::Matrix;
+using linalg::Vector;
+
+DiscreteLti aircraft_pitch_plant(const AircraftPitchParams& p) {
+  // Standard linearized longitudinal short-period + pitch-integration model
+  // (cruise trim; see e.g. the CTMS pitch-control example).
+  ContinuousLti ct;
+  ct.a = Matrix{{-0.313, 56.7, 0.0},
+                {-0.0139, -0.426, 0.0},
+                {0.0, 56.7, 0.0}};
+  ct.b = Matrix{{0.232}, {0.0203}, {0.0}};
+  ct.c = Matrix{{0.0, 0.0, 1.0}};  // pitch-angle (attitude) measurement
+  ct.d = Matrix{{0.0}};
+
+  DiscreteLti plant = control::c2d(ct, p.ts);
+  plant.q = 1e-7 * Matrix::identity(3);
+  plant.r = Matrix{{4e-6}};  // (2e-3)^2: attitude noise variance
+  return plant;
+}
+
+CaseStudy make_aircraft_pitch_case_study(const AircraftPitchParams& p) {
+  const DiscreteLti plant = aircraft_pitch_plant(p);
+
+  control::LoopConfig loop = control::LoopConfig::design(
+      plant,
+      /*state_cost=*/Matrix::diagonal(Vector{1.0, 1.0, 150.0}),
+      /*input_cost=*/Matrix{{1.0}},
+      /*reference=*/Vector{p.theta_ref});
+
+  monitor::MonitorSet mdc;
+  mdc.add(std::make_unique<monitor::RangeMonitor>(0, p.theta_range, "theta"));
+  mdc.add(std::make_unique<monitor::GradientMonitor>(0, p.theta_gradient, "theta"));
+  mdc.set_dead_zone(p.dead_zone);
+
+  CaseStudy cs{
+      "aircraft-pitch",
+      loop,
+      synth::ReachCriterion(/*state_index=*/2, /*target=*/p.theta_ref, p.tolerance),
+      std::move(mdc),
+      p.horizon,
+      control::Norm::kInf,
+      Vector{p.noise_bound},
+      p.attack_bound};
+  return cs;
+}
+
+}  // namespace cpsguard::models

@@ -1,0 +1,40 @@
+// aircraft.hpp — aircraft pitch-control benchmark.
+//
+// The paper's motivational attack (Kerns et al.) is GPS spoofing of a UAV;
+// this case study is the complementary avionics loop: the classic
+// linearized longitudinal pitch dynamics of a transport aircraft (the
+// standard Boeing 747-style numbers used in controls curricula), with the
+// pitch angle measured by a spoofable attitude source.  Three states, slow
+// dominant mode, and a pfc horizon much longer than the sampling period —
+// a different corner of the synthesis problem space than the VSC (fast,
+// two attacked outputs) or the LFC (stiff governor pole).
+//
+//   x = [alpha (angle of attack, rad), q (pitch rate, rad/s),
+//        theta (pitch angle, rad)],  u = elevator deflection [rad]
+#pragma once
+
+#include "models/case_study.hpp"
+
+namespace cpsguard::models {
+
+struct AircraftPitchParams {
+  double ts = 0.1;             ///< sampling period [s]
+  double theta_ref = 0.2;      ///< commanded pitch angle [rad]
+  double tolerance = 0.02;     ///< pfc band [rad]
+  std::size_t horizon = 60;    ///< T: 6 s to capture the commanded pitch
+  double noise_bound = 0.002;  ///< attitude-sensor noise bound [rad]
+  /// Monitoring constants (attitude plausibility relay).
+  double theta_range = 0.6;      ///< |theta| limit [rad]
+  double theta_gradient = 0.35;  ///< |dtheta/dt| limit [rad/s]
+  std::size_t dead_zone = 5;     ///< samples
+  /// Spoof amplitude limit per sample [rad].
+  double attack_bound = 0.15;
+};
+
+/// Discretized pitch dynamics; output y = theta.
+control::DiscreteLti aircraft_pitch_plant(const AircraftPitchParams& params = {});
+
+/// Fully designed case study (pitch-capture manoeuvre).
+CaseStudy make_aircraft_pitch_case_study(const AircraftPitchParams& params = {});
+
+}  // namespace cpsguard::models

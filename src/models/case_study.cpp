@@ -1,0 +1,16 @@
+#include "models/case_study.hpp"
+
+namespace cpsguard::models {
+
+synth::AttackProblem CaseStudy::attack_problem() const {
+  return synth::AttackProblem{.loop = loop,
+                              .pfc = pfc,
+                              .mdc = mdc,
+                              .horizon = horizon,
+                              .norm = norm,
+                              .init = {},
+                              .attack_bound = attack_bound,
+                              .attack_bounds = attack_bounds};
+}
+
+}  // namespace cpsguard::models

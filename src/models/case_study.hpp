@@ -1,0 +1,36 @@
+// case_study.hpp — bundled experiment setups.
+//
+// A CaseStudy carries everything the synthesis pipeline needs for one
+// plant: the designed closed loop, the performance criterion pfc, the
+// pre-existing monitoring system mdc, the analysis horizon and the noise
+// envelope used by the Monte-Carlo FAR protocol.
+#pragma once
+
+#include <string>
+
+#include "control/closed_loop.hpp"
+#include "monitor/monitor.hpp"
+#include "synth/attack_synth.hpp"
+#include "synth/spec.hpp"
+
+namespace cpsguard::models {
+
+struct CaseStudy {
+  std::string name;
+  control::LoopConfig loop;
+  synth::ReachCriterion pfc;
+  monitor::MonitorSet mdc;
+  std::size_t horizon = 0;
+  control::Norm norm = control::Norm::kInf;
+  /// Per-output bound of the benign measurement noise (FAR protocol).
+  linalg::Vector noise_bounds;
+  /// Optional attacker power bound fed to Algorithm 1.
+  std::optional<double> attack_bound;
+  /// Optional per-channel bounds (sensor full-scale ranges).
+  std::optional<linalg::Vector> attack_bounds;
+
+  /// Assembles the Algorithm-1 problem for this case study.
+  synth::AttackProblem attack_problem() const;
+};
+
+}  // namespace cpsguard::models

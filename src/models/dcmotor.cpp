@@ -1,0 +1,51 @@
+#include "models/dcmotor.hpp"
+
+namespace cpsguard::models {
+
+using control::ContinuousLti;
+using control::DiscreteLti;
+using linalg::Matrix;
+using linalg::Vector;
+
+DiscreteLti dcmotor_plant(const DcMotorParams& p) {
+  // x = [i (armature current), w (angular velocity)], u = voltage.
+  ContinuousLti ct;
+  ct.a = Matrix{{-p.resistance / p.inductance, -p.torque_const / p.inductance},
+                {p.torque_const / p.inertia, -p.friction / p.inertia}};
+  ct.b = Matrix{{1.0 / p.inductance}, {0.0}};
+  ct.c = Matrix{{0.0, 1.0}};  // speed sensor only
+  ct.d = Matrix{{0.0}};
+
+  DiscreteLti plant = control::c2d(ct, p.ts);
+  plant.q = Matrix{{1e-6, 0.0}, {0.0, 1e-6}};
+  plant.r = Matrix{{1e-4}};
+  return plant;
+}
+
+CaseStudy make_dcmotor_case_study(const DcMotorParams& p) {
+  const DiscreteLti plant = dcmotor_plant(p);
+
+  control::LoopConfig loop = control::LoopConfig::design(
+      plant,
+      /*state_cost=*/Matrix{{0.1, 0.0}, {0.0, 50.0}},
+      /*input_cost=*/Matrix{{0.5}},
+      /*reference=*/Vector{p.speed_ref});
+
+  monitor::MonitorSet mdc;
+  mdc.add(std::make_unique<monitor::RangeMonitor>(0, 2.0 * p.speed_ref, "speed"));
+  mdc.add(std::make_unique<monitor::GradientMonitor>(0, 4.0 * p.speed_ref, "speed"));
+  mdc.set_dead_zone(3);
+
+  CaseStudy cs{
+      "dc-motor",
+      loop,
+      synth::ReachCriterion(/*state_index=*/1, /*target=*/p.speed_ref, p.tolerance),
+      std::move(mdc),
+      p.horizon,
+      control::Norm::kInf,
+      Vector{p.noise_bound},
+      std::nullopt};
+  return cs;
+}
+
+}  // namespace cpsguard::models

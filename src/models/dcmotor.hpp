@@ -1,0 +1,32 @@
+// dcmotor.hpp — DC-motor speed-control benchmark.
+//
+// A classic two-state servo (armature current, angular velocity) used by
+// the test suite and ablation benches as a third, structurally different
+// plant: single input, single attacked measurement, fast electrical pole.
+#pragma once
+
+#include "models/case_study.hpp"
+
+namespace cpsguard::models {
+
+struct DcMotorParams {
+  double resistance = 1.0;     ///< armature resistance [Ohm]
+  double inductance = 0.5;     ///< armature inductance [H]
+  double torque_const = 0.01;  ///< torque/back-EMF constant [N m/A]
+  double inertia = 0.01;       ///< rotor inertia [kg m^2]
+  double friction = 0.1;       ///< viscous friction [N m s]
+  double ts = 0.05;            ///< sampling period [s]
+
+  double speed_ref = 1.0;      ///< desired angular velocity [rad/s]
+  double tolerance = 0.1;      ///< pfc band [rad/s]
+  std::size_t horizon = 40;
+  double noise_bound = 0.01;   ///< benign speed-sensor noise [rad/s]
+};
+
+control::DiscreteLti dcmotor_plant(const DcMotorParams& params = {});
+
+/// Case study with a light range+gradient monitoring system on the speed
+/// measurement (no relation monitor: single sensor).
+CaseStudy make_dcmotor_case_study(const DcMotorParams& params = {});
+
+}  // namespace cpsguard::models

@@ -1,0 +1,53 @@
+// lfc.hpp — single-area power-grid load-frequency control benchmark.
+//
+// The FDI-attack literature the paper builds on (Liu et al., Sandberg
+// et al., Mo & Sinopoli) is rooted in power grids: frequency and tie-line
+// measurements travel over SCADA links an attacker can falsify.  This case
+// study is the canonical single-area LFC loop — governor, turbine, and
+// rotor-inertia dynamics with a frequency-deviation measurement — so the
+// synthesis pipeline is exercised on the paper's second motivating domain
+// next to the automotive VSC.
+//
+//   x = [Δf (frequency deviation, Hz), P_m (mechanical power, pu),
+//        P_v (governor valve position, pu)]
+//   Δf' = (P_m - P_load - D·Δf) / (2H)
+//   P_m' = (P_v - P_m) / T_t
+//   P_v' = (u - P_v - Δf / R) / T_g
+//
+// The attacked measurement is Δf; pfc requires the frequency to recover
+// into a band around zero after a load step.  A range+gradient monitoring
+// system with a dead zone mirrors typical under/over-frequency relays.
+#pragma once
+
+#include "models/case_study.hpp"
+
+namespace cpsguard::models {
+
+struct LfcParams {
+  double inertia = 5.0;        ///< 2H [s·pu]: rotating inertia constant
+  double damping = 1.0;        ///< D [pu/Hz]: load frequency sensitivity
+  double turbine_tc = 0.5;     ///< T_t [s]
+  double governor_tc = 0.2;    ///< T_g [s]
+  double droop = 0.05;         ///< R [Hz/pu]: speed droop
+  double ts = 0.1;             ///< sampling period [s]
+
+  double load_step = 0.1;      ///< initial load disturbance [pu]
+  double tolerance = 0.02;     ///< pfc band on Δf [Hz]
+  std::size_t horizon = 40;    ///< T: 4 s to recover
+  double noise_bound = 0.004;  ///< benign Δf measurement noise [Hz]
+  /// Frequency-relay style monitoring constants.
+  double freq_range = 0.5;     ///< |Δf| limit [Hz]
+  double freq_gradient = 2.0;  ///< |dΔf/dt| limit [Hz/s]
+  std::size_t dead_zone = 4;   ///< samples
+  /// SCADA-side spoof amplitude limit per sample [Hz].
+  double attack_bound = 0.25;
+};
+
+/// Discretized single-area LFC plant; output y = Δf.
+control::DiscreteLti lfc_plant(const LfcParams& params = {});
+
+/// Fully designed case study (load-step initial condition, relay-style
+/// monitors, pfc: |Δf| back within tolerance at the horizon).
+CaseStudy make_lfc_case_study(const LfcParams& params = {});
+
+}  // namespace cpsguard::models

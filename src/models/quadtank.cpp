@@ -1,0 +1,68 @@
+#include "models/quadtank.hpp"
+
+#include <cmath>
+
+namespace cpsguard::models {
+
+using control::ContinuousLti;
+using control::DiscreteLti;
+using linalg::Matrix;
+using linalg::Vector;
+
+DiscreteLti quadtank_plant(const QuadTankParams& p) {
+  // Linearization time constants T_i = (A_i / a_i) sqrt(2 h_i / g).
+  auto tc = [&](double area, double outlet, double level) {
+    return (area / outlet) * std::sqrt(2.0 * level / p.gravity);
+  };
+  const double t1 = tc(p.area1, p.outlet1, p.level1);
+  const double t2 = tc(p.area2, p.outlet2, p.level2);
+  const double t3 = tc(p.area3, p.outlet3, p.level3);
+  const double t4 = tc(p.area4, p.outlet4, p.level4);
+
+  ContinuousLti ct;
+  ct.a = Matrix{{-1.0 / t1, 0.0, p.area3 / (p.area1 * t3), 0.0},
+                {0.0, -1.0 / t2, 0.0, p.area4 / (p.area2 * t4)},
+                {0.0, 0.0, -1.0 / t3, 0.0},
+                {0.0, 0.0, 0.0, -1.0 / t4}};
+  ct.b = Matrix{{p.split1 * p.k1 / p.area1, 0.0},
+                {0.0, p.split2 * p.k2 / p.area2},
+                {0.0, (1.0 - p.split2) * p.k2 / p.area3},
+                {(1.0 - p.split1) * p.k1 / p.area4, 0.0}};
+  ct.c = Matrix{{1.0, 0.0, 0.0, 0.0},
+                {0.0, 1.0, 0.0, 0.0}};
+  ct.d = Matrix{{0.0, 0.0}, {0.0, 0.0}};
+
+  DiscreteLti plant = control::c2d(ct, p.ts);
+  plant.q = 1e-5 * Matrix::identity(4);
+  plant.r = Matrix{{2.5e-4, 0.0}, {0.0, 2.5e-4}};
+  return plant;
+}
+
+CaseStudy make_quadtank_case_study(const QuadTankParams& p) {
+  const DiscreteLti plant = quadtank_plant(p);
+
+  control::LoopConfig loop = control::LoopConfig::design(
+      plant,
+      /*state_cost=*/Matrix::diagonal(Vector{50.0, 10.0, 1.0, 1.0}),
+      /*input_cost=*/Matrix::diagonal(Vector{0.5, 0.5}),
+      /*reference=*/Vector{p.target1, 0.0});
+
+  monitor::MonitorSet mdc;
+  mdc.add(std::make_unique<monitor::RangeMonitor>(0, 3.0, "tank1 level dev"));
+  mdc.add(std::make_unique<monitor::RangeMonitor>(1, 3.0, "tank2 level dev"));
+  mdc.set_dead_zone(3);
+
+  CaseStudy cs{
+      "quadruple-tank",
+      loop,
+      synth::ReachCriterion(/*state_index=*/0, /*target=*/p.target1, p.tolerance),
+      std::move(mdc),
+      p.horizon,
+      control::Norm::kInf,
+      p.noise_bounds,
+      std::nullopt,
+      linalg::Vector{2.0, 2.0}};  // level spoof limit [cm]
+  return cs;
+}
+
+}  // namespace cpsguard::models

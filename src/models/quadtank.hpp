@@ -1,0 +1,37 @@
+// quadtank.hpp — quadruple-tank process benchmark (Johansson 2000).
+//
+// The only bundled MIMO plant (2 pump inputs, 2 level measurements,
+// 4 states): exercises the library's multi-input paths (LQR/Kalman with
+// p > 1, vector operating points) and gives the test suite a slow
+// chemical-process dynamics contrast to the fast automotive models.
+#pragma once
+
+#include "models/case_study.hpp"
+
+namespace cpsguard::models {
+
+struct QuadTankParams {
+  // Tank cross-sections [cm^2] and outlet areas [cm^2] (Johansson's values).
+  double area1 = 28.0, area2 = 32.0, area3 = 28.0, area4 = 32.0;
+  double outlet1 = 0.071, outlet2 = 0.057, outlet3 = 0.071, outlet4 = 0.057;
+  double k1 = 3.33, k2 = 3.35;     ///< pump gains [cm^3/(V s)]
+  double split1 = 0.7, split2 = 0.6;  ///< valve splits (minimum-phase setting)
+  double gravity = 981.0;          ///< [cm/s^2]
+  double level1 = 12.4, level2 = 12.7, level3 = 1.8, level4 = 1.4;  ///< lin. point [cm]
+  double ts = 3.0;                 ///< sampling period [s] (slow process)
+
+  double target1 = 1.0;            ///< desired lower-tank-1 level deviation [cm]
+  double tolerance = 0.25;         ///< pfc band [cm]
+  std::size_t horizon = 40;        ///< 2 minutes
+  linalg::Vector noise_bounds{0.05, 0.05};  ///< level sensor noise [cm]
+};
+
+/// Linearized discrete model; states are level deviations of tanks 1-4,
+/// outputs are the two lower-tank levels.
+control::DiscreteLti quadtank_plant(const QuadTankParams& params = {});
+
+/// Case study: drive tank 1 to a new level; range monitors on both level
+/// sensors form the (weak) pre-existing monitoring system.
+CaseStudy make_quadtank_case_study(const QuadTankParams& params = {});
+
+}  // namespace cpsguard::models

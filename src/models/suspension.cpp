@@ -1,0 +1,60 @@
+#include "models/suspension.hpp"
+
+namespace cpsguard::models {
+
+using control::ContinuousLti;
+using control::DiscreteLti;
+using linalg::Matrix;
+using linalg::Vector;
+
+DiscreteLti suspension_plant(const SuspensionParams& p) {
+  // x = [zs, zs', zu, zu'] (body travel/velocity, wheel travel/velocity),
+  // u = actuator force between the masses.
+  const double ms = p.sprung_mass, mu = p.unsprung_mass;
+  const double ks = p.spring, bs = p.damper, kt = p.tire_spring;
+  ContinuousLti ct;
+  ct.a = Matrix{{0.0, 1.0, 0.0, 0.0},
+                {-ks / ms, -bs / ms, ks / ms, bs / ms},
+                {0.0, 0.0, 0.0, 1.0},
+                {ks / mu, bs / mu, -(ks + kt) / mu, -bs / mu}};
+  ct.b = Matrix{{0.0}, {1.0 / ms}, {0.0}, {-1.0 / mu}};
+  // Measurements: body travel and suspension deflection.
+  ct.c = Matrix{{1.0, 0.0, 0.0, 0.0},
+                {1.0, 0.0, -1.0, 0.0}};
+  ct.d = Matrix{{0.0}, {0.0}};
+
+  DiscreteLti plant = control::c2d(ct, p.ts);
+  plant.q = 1e-8 * Matrix::identity(4);
+  plant.r = Matrix{{2.5e-7, 0.0}, {0.0, 2.5e-5}};
+  return plant;
+}
+
+CaseStudy make_suspension_case_study(const SuspensionParams& p) {
+  const DiscreteLti plant = suspension_plant(p);
+
+  control::LoopConfig loop = control::LoopConfig::design(
+      plant,
+      /*state_cost=*/Matrix::diagonal(Vector{5e5, 10.0, 1e3, 1.0}),
+      /*input_cost=*/Matrix{{1e-6}},
+      /*reference=*/Vector{0.0},
+      /*tracked_outputs=*/{0});
+  loop.x1 = Vector{0.05, 0.0, 0.0, 0.0};  // 5 cm initial body displacement
+
+  monitor::MonitorSet mdc;
+  mdc.add(std::make_unique<monitor::RangeMonitor>(0, 0.12, "body travel"));
+  mdc.add(std::make_unique<monitor::RangeMonitor>(1, 0.15, "deflection"));
+  mdc.set_dead_zone(4);
+
+  CaseStudy cs{
+      "suspension",
+      loop,
+      synth::ReachCriterion(/*state_index=*/0, /*target=*/0.0, p.tolerance),
+      std::move(mdc),
+      p.horizon,
+      control::Norm::kInf,
+      p.noise_bounds,
+      std::nullopt};
+  return cs;
+}
+
+}  // namespace cpsguard::models

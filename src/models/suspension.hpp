@@ -1,0 +1,30 @@
+// suspension.hpp — quarter-car active suspension benchmark.
+//
+// A four-state plant (sprung/unsprung mass positions and velocities) with
+// two measurements; exercises the library on a larger state space than the
+// two-state case studies and appears in the scaling ablation.
+#pragma once
+
+#include "models/case_study.hpp"
+
+namespace cpsguard::models {
+
+struct SuspensionParams {
+  double sprung_mass = 300.0;     ///< quarter body mass [kg]
+  double unsprung_mass = 40.0;    ///< wheel assembly mass [kg]
+  double spring = 15000.0;        ///< suspension stiffness [N/m]
+  double damper = 1000.0;         ///< suspension damping [N s/m]
+  double tire_spring = 150000.0;  ///< tire stiffness [N/m]
+  double ts = 0.01;               ///< sampling period [s]
+
+  double tolerance = 0.01;        ///< pfc band on body travel [m]
+  std::size_t horizon = 40;
+  linalg::Vector noise_bounds{0.0005, 0.005};
+};
+
+control::DiscreteLti suspension_plant(const SuspensionParams& params = {});
+
+/// Case study: regulate body travel to zero from an initial disturbance.
+CaseStudy make_suspension_case_study(const SuspensionParams& params = {});
+
+}  // namespace cpsguard::models

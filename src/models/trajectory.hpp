@@ -1,0 +1,39 @@
+// trajectory.hpp — trajectory-tracking system (paper Fig. 1).
+//
+// The motivational example of the paper (after Kerns et al.'s GPS-spoofed
+// UAV): a deviation-tracking loop that must regulate the position deviation
+// to zero.  We model it as a sampled double integrator
+//   pos' = vel,  vel' = u
+// sampled at Ts = 0.1 s with the position deviation measured.  An attacker
+// who injects small sensor offsets late in the transient can keep the loop
+// away from the reference while the residue stays tiny — the effect the
+// variable threshold is designed to catch.
+#pragma once
+
+#include "models/case_study.hpp"
+
+namespace cpsguard::models {
+
+/// Model constants for the trajectory tracker.
+struct TrajectoryParams {
+  double ts = 0.1;                ///< sampling period [s]
+  double natural_freq = 2.0;      ///< inner-loop natural frequency [rad/s]
+  double damping = 0.7;           ///< inner-loop damping ratio
+  double initial_deviation = 0.4; ///< starting position deviation [m]
+  double tolerance = 0.05;        ///< pfc band around zero deviation [m]
+  std::size_t horizon = 10;       ///< T (1 second, matching Fig. 1's axis)
+  double noise_bound = 0.01;      ///< benign measurement noise bound [m]
+  /// Attacker power: largest spoofed position offset per sample [m].  The
+  /// trajectory example has no plausibility monitors, so an unbounded
+  /// attacker is degenerate (arbitrarily large residues); GPS-spoofing
+  /// offsets of this size match the deviations of the paper's Fig. 1.
+  double attack_bound = 0.3;
+};
+
+/// Discrete double-integrator plant with position measurement.
+control::DiscreteLti trajectory_plant(const TrajectoryParams& params = {});
+
+/// Fully designed case study (LQG loop, pfc, empty mdc).
+CaseStudy make_trajectory_case_study(const TrajectoryParams& params = {});
+
+}  // namespace cpsguard::models

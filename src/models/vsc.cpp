@@ -1,0 +1,78 @@
+#include "models/vsc.hpp"
+
+#include "control/kalman.hpp"
+#include "control/lqr.hpp"
+
+namespace cpsguard::models {
+
+using control::ContinuousLti;
+using control::DiscreteLti;
+using linalg::Matrix;
+using linalg::Vector;
+
+DiscreteLti vsc_plant(const VscParams& p) {
+  const double mv = p.mass * p.speed;
+  const double a11 = -(p.cf + p.cr) / mv;
+  const double a12 = -1.0 + (p.cr * p.lr - p.cf * p.lf) / (mv * p.speed);
+  const double a21 = (p.cr * p.lr - p.cf * p.lf) / p.inertia_z;
+  const double a22 = -(p.cf * p.lf * p.lf + p.cr * p.lr * p.lr) / (p.inertia_z * p.speed);
+
+  ContinuousLti ct;
+  ct.a = Matrix{{a11, a12}, {a21, a22}};
+  // Input: corrective yaw moment from the hydraulic unit.
+  ct.b = Matrix{{0.0}, {1.0 / p.inertia_z}};
+  // Outputs: gamma, and a_y = v*(beta' + gamma) = v*a11*beta + v*(a12+1)*gamma.
+  ct.c = Matrix{{0.0, 1.0},
+                {p.speed * a11, p.speed * (a12 + 1.0)}};
+  ct.d = Matrix{{0.0}, {0.0}};
+
+  DiscreteLti plant = control::c2d(ct, p.ts);
+  plant.q = Matrix{{2e-5, 0.0}, {0.0, 2e-5}};  // keeps the Kalman gain meaningful
+  plant.r = Matrix{{1e-6, 0.0}, {0.0, 2.5e-4}};  // sigma: 1e-3 rad/s, 1.6e-2 m/s^2
+  return plant;
+}
+
+monitor::MonitorSet vsc_monitors(const VscParams& p) {
+  monitor::MonitorSet mdc;
+  mdc.add(std::make_unique<monitor::RangeMonitor>(0, p.gamma_range, "gamma"));
+  mdc.add(std::make_unique<monitor::GradientMonitor>(0, p.gamma_gradient, "gamma"));
+  mdc.add(std::make_unique<monitor::RangeMonitor>(1, p.ay_range, "a_y"));
+  mdc.add(std::make_unique<monitor::GradientMonitor>(1, p.ay_gradient, "a_y"));
+  // gamma_est = a_y / v; monitored: |gamma - a_y / v| <= allowedDiff.
+  mdc.add(std::make_unique<monitor::RelationMonitor>(
+      Vector{1.0, -1.0 / p.speed}, 0.0, p.allowed_diff, "gamma vs gamma_est"));
+  mdc.set_dead_zone(p.dead_zone);
+  return mdc;
+}
+
+CaseStudy make_vsc_case_study(const VscParams& p) {
+  const DiscreteLti plant = vsc_plant(p);
+
+  // Track the yaw-rate output only.  The transient must clear the gradient
+  // monitors' dead zone: a BRISK response keeps the over-limit burst shorter
+  // than 7 samples (a sluggish one drags it past the dead zone), and the
+  // maneuver size (gamma_ref) bounds how long a_y keeps slewing.
+  control::LoopConfig loop = control::LoopConfig::design(
+      plant,
+      /*state_cost=*/Matrix{{1.0, 0.0}, {0.0, 5000.0}},
+      /*input_cost=*/Matrix{{2e-8}},
+      /*reference=*/Vector{p.gamma_ref},
+      /*tracked_outputs=*/{0});
+
+  // pfc: yaw rate within 80 % of the desired value at the deadline.
+  const double tolerance = 0.2 * p.gamma_ref;
+
+  CaseStudy cs{
+      "vsc",
+      loop,
+      synth::ReachCriterion(/*state_index=*/1, /*target=*/p.gamma_ref, tolerance),
+      vsc_monitors(p),
+      p.horizon,
+      control::Norm::kInf,
+      p.noise_bounds,
+      std::nullopt,
+      p.attack_bounds};
+  return cs;
+}
+
+}  // namespace cpsguard::models

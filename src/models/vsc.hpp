@@ -1,0 +1,61 @@
+// vsc.hpp — Vehicle Stability Controller case study (paper Section IV).
+//
+// Single-track (bicycle) lateral dynamics after Aoki et al. / Zheng et al.
+// with states x = [beta (sideslip angle), gamma (yaw rate)], corrective
+// yaw-moment input, and the two CAN-borne (attackable) measurements of the
+// paper: yaw rate (Yrs) and lateral acceleration (Ay).  Ts = 40 ms.
+//
+// The monitoring system uses the paper's constants verbatim:
+//   allowedDiff (|gamma - gamma_est|)  0.035 rad/s
+//   range of gamma                     0.2   rad/s
+//   gradient of gamma                  0.175 rad/s^2
+//   range of a_y                       15    m/s^2
+//   gradient of a_y                    2     m/s^3
+//   dead zone                          300 ms = 7 samples
+// pfc: yaw rate within 80 % of the desired value within 50 samples.
+#pragma once
+
+#include "models/case_study.hpp"
+
+namespace cpsguard::models {
+
+/// Vehicle and experiment parameters (defaults follow Zheng et al. 2006).
+struct VscParams {
+  double mass = 1704.7;        ///< [kg]
+  double inertia_z = 3048.1;   ///< yaw inertia [kg m^2]
+  double lf = 1.035;           ///< CoG -> front axle [m]
+  double lr = 1.655;           ///< CoG -> rear axle [m]
+  double cf = 105000.0;        ///< front cornering stiffness [N/rad]
+  double cr = 120000.0;        ///< rear cornering stiffness [N/rad]
+  double speed = 20.0;         ///< longitudinal speed [m/s]
+  double ts = 0.04;            ///< sampling period [s]
+
+  double gamma_ref = 0.08;     ///< desired yaw rate [rad/s]
+  std::size_t horizon = 50;    ///< T: pfc deadline in samples (2 s)
+
+  // Monitoring constants (paper values).
+  double allowed_diff = 0.035;     ///< [rad/s]
+  double gamma_range = 0.2;        ///< [rad/s]
+  double gamma_gradient = 0.175;   ///< [rad/s^2]
+  double ay_range = 15.0;          ///< [m/s^2]
+  double ay_gradient = 2.0;        ///< [m/s^3]
+  std::size_t dead_zone = 7;       ///< samples (300 ms)
+
+  linalg::Vector noise_bounds{0.002, 0.05};  ///< benign noise: gamma, a_y
+  /// Sensor full-scale spoofing limits per channel (gamma, a_y): without an
+  /// amplitude limit, the dead zone lets an attacker inject arbitrarily
+  /// large 6-sample bursts between resets, making "maximum damage"
+  /// unbounded.  These reflect plausible CAN signal ranges.
+  linalg::Vector attack_bounds{0.4, 8.0};
+};
+
+/// Discretized single-track plant; outputs y = [gamma; a_y].
+control::DiscreteLti vsc_plant(const VscParams& params = {});
+
+/// The paper's monitoring system (range + gradient + relation, dead zone).
+monitor::MonitorSet vsc_monitors(const VscParams& params = {});
+
+/// Fully designed case study.
+CaseStudy make_vsc_case_study(const VscParams& params = {});
+
+}  // namespace cpsguard::models

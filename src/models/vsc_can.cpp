@@ -1,0 +1,56 @@
+#include "models/vsc_can.hpp"
+
+namespace cpsguard::models {
+
+using can::ByteOrder;
+using can::MessageSpec;
+using can::SensorMessageBinding;
+using can::SignalSpec;
+
+SensorMessageBinding vsc_yaw_rate_binding() {
+  SignalSpec yaw;
+  yaw.name = "YawRate";
+  yaw.start_bit = 0;
+  yaw.length = 16;
+  yaw.byte_order = ByteOrder::kLittleEndian;
+  yaw.is_signed = true;
+  yaw.scale = 1e-4;  // rad/s per bit
+
+  MessageSpec msg;
+  msg.name = "YRS_01";
+  msg.id = 0x130;
+  msg.dlc = 8;
+  msg.signals = {yaw};
+
+  return SensorMessageBinding{msg, {0}};
+}
+
+SensorMessageBinding vsc_lateral_accel_binding() {
+  SignalSpec ay;
+  ay.name = "LateralAccel";
+  ay.start_bit = 7;  // Motorola MSB of byte 0
+  ay.length = 16;
+  ay.byte_order = ByteOrder::kBigEndian;
+  ay.is_signed = true;
+  ay.scale = 5e-4;  // m/s^2 per bit
+
+  MessageSpec msg;
+  msg.name = "AY_01";
+  msg.id = 0x131;
+  msg.dlc = 8;
+  msg.signals = {ay};
+
+  return SensorMessageBinding{msg, {1}};
+}
+
+std::vector<SensorMessageBinding> vsc_sensor_bindings() {
+  return {vsc_yaw_rate_binding(), vsc_lateral_accel_binding()};
+}
+
+can::CanLoopTransport make_vsc_transport(const VscParams& params) {
+  const CaseStudy cs = make_vsc_case_study(params);
+  return can::CanLoopTransport(cs.loop, vsc_sensor_bindings(),
+                               can::Bus(500000.0));
+}
+
+}  // namespace cpsguard::models

@@ -1,0 +1,30 @@
+// vsc_can.hpp — CAN database for the VSC case study's attacked sensors.
+//
+// The paper's threat model is a MITM on the CAN segment carrying the yaw
+// rate (Yrs) and lateral acceleration (Ay) sensors.  These bindings give
+// that segment a concrete DBC: signal scalings typical of production
+// chassis messages, 16-bit signed fixed point, 500 kbit/s.  Experiments
+// that route the VSC loop through can::CanLoopTransport exercise the exact
+// quantize-pack-spoof-unpack path the paper's attacker sits on.
+#pragma once
+
+#include "can/transport.hpp"
+#include "models/vsc.hpp"
+
+namespace cpsguard::models {
+
+/// Yaw-rate message (id 0x130): one 16-bit signed signal, 1e-4 rad/s per
+/// bit (±3.27 rad/s full scale), bound to plant output 0 (gamma).
+can::SensorMessageBinding vsc_yaw_rate_binding();
+
+/// Lateral-acceleration message (id 0x131): one 16-bit signed signal,
+/// 5e-4 m/s^2 per bit (±16.4 m/s^2 full scale), bound to output 1 (a_y).
+can::SensorMessageBinding vsc_lateral_accel_binding();
+
+/// Both sensor bindings, covering the VSC's outputs exactly.
+std::vector<can::SensorMessageBinding> vsc_sensor_bindings();
+
+/// The VSC closed loop routed over a 500 kbit/s CAN bus.
+can::CanLoopTransport make_vsc_transport(const VscParams& params = {});
+
+}  // namespace cpsguard::models

@@ -1,0 +1,203 @@
+#include "monitor/monitor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace cpsguard::monitor {
+
+using control::Trace;
+using linalg::Vector;
+using sym::AffineExpr;
+using sym::BoolExpr;
+using sym::RelOp;
+using sym::SymbolicTrace;
+using util::require;
+
+namespace {
+
+/// |expr| <= limit as a conjunction of two non-strict literals.
+BoolExpr abs_le(const AffineExpr& expr, double limit) {
+  return BoolExpr::conj({BoolExpr::lit(expr - limit, RelOp::kLe),
+                         BoolExpr::lit(-expr - limit, RelOp::kLe)});
+}
+
+}  // namespace
+
+RangeMonitor::RangeMonitor(std::size_t output_index, double limit, std::string label)
+    : output_index_(output_index), limit_(limit), label_(std::move(label)) {
+  require(limit > 0.0, "RangeMonitor: limit must be positive");
+}
+
+bool RangeMonitor::violated(const Trace& trace, std::size_t k) const {
+  return std::abs(trace.y[k][output_index_]) > limit_;
+}
+
+BoolExpr RangeMonitor::ok_expr(const SymbolicTrace& trace, std::size_t k,
+                               double margin) const {
+  return abs_le(trace.y[k][output_index_], limit_ * (1.0 - margin));
+}
+
+std::string RangeMonitor::describe() const {
+  std::ostringstream out;
+  out << "range(|y[" << output_index_ << "]| <= " << limit_;
+  if (!label_.empty()) out << ", " << label_;
+  out << ")";
+  return out.str();
+}
+
+std::unique_ptr<SensorMonitor> RangeMonitor::clone() const {
+  return std::make_unique<RangeMonitor>(*this);
+}
+
+GradientMonitor::GradientMonitor(std::size_t output_index, double limit_per_second,
+                                 std::string label)
+    : output_index_(output_index), limit_(limit_per_second), label_(std::move(label)) {
+  require(limit_per_second > 0.0, "GradientMonitor: limit must be positive");
+}
+
+bool GradientMonitor::violated(const Trace& trace, std::size_t k) const {
+  if (k == 0) return false;
+  const double dy = trace.y[k][output_index_] - trace.y[k - 1][output_index_];
+  return std::abs(dy) / trace.ts > limit_;
+}
+
+BoolExpr GradientMonitor::ok_expr(const SymbolicTrace& trace, std::size_t k,
+                                  double margin) const {
+  if (k == 0) return BoolExpr::constant(true);
+  const AffineExpr dy = trace.y[k][output_index_] - trace.y[k - 1][output_index_];
+  return abs_le(dy, limit_ * trace.ts * (1.0 - margin));
+}
+
+std::string GradientMonitor::describe() const {
+  std::ostringstream out;
+  out << "gradient(|dy[" << output_index_ << "]/dt| <= " << limit_;
+  if (!label_.empty()) out << ", " << label_;
+  out << ")";
+  return out.str();
+}
+
+std::unique_ptr<SensorMonitor> GradientMonitor::clone() const {
+  return std::make_unique<GradientMonitor>(*this);
+}
+
+RelationMonitor::RelationMonitor(Vector output_coeffs, double offset, double limit,
+                                 std::string label)
+    : coeffs_(std::move(output_coeffs)), offset_(offset), limit_(limit),
+      label_(std::move(label)) {
+  require(limit > 0.0, "RelationMonitor: limit must be positive");
+}
+
+bool RelationMonitor::violated(const Trace& trace, std::size_t k) const {
+  require(trace.y[k].size() == coeffs_.size(), "RelationMonitor: output dim mismatch");
+  double v = offset_;
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) v += coeffs_[i] * trace.y[k][i];
+  return std::abs(v) > limit_;
+}
+
+BoolExpr RelationMonitor::ok_expr(const SymbolicTrace& trace, std::size_t k,
+                                  double margin) const {
+  require(trace.y[k].size() == coeffs_.size(), "RelationMonitor: output dim mismatch");
+  AffineExpr v = AffineExpr::constant(trace.y[k].front().num_vars(), offset_);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i] != 0.0) v += coeffs_[i] * trace.y[k][i];
+  }
+  return abs_le(v, limit_ * (1.0 - margin));
+}
+
+std::string RelationMonitor::describe() const {
+  std::ostringstream out;
+  out << "relation(|" << coeffs_.str() << " . y + " << offset_ << "| <= " << limit_;
+  if (!label_.empty()) out << ", " << label_;
+  out << ")";
+  return out.str();
+}
+
+std::unique_ptr<SensorMonitor> RelationMonitor::clone() const {
+  return std::make_unique<RelationMonitor>(*this);
+}
+
+MonitorSet::MonitorSet(const MonitorSet& other)
+    : dead_zone_(other.dead_zone_), combiner_(other.combiner_) {
+  monitors_.reserve(other.monitors_.size());
+  for (const auto& m : other.monitors_) monitors_.push_back(m->clone());
+}
+
+MonitorSet& MonitorSet::operator=(const MonitorSet& other) {
+  if (this == &other) return *this;
+  MonitorSet copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+void MonitorSet::add(std::unique_ptr<SensorMonitor> monitor) {
+  require(monitor != nullptr, "MonitorSet::add: null monitor");
+  monitors_.push_back(std::move(monitor));
+}
+
+void MonitorSet::set_dead_zone(std::size_t samples) {
+  require(samples >= 1, "MonitorSet: dead zone must be >= 1 sample");
+  dead_zone_ = samples;
+}
+
+bool MonitorSet::composite_violation(const Trace& trace, std::size_t k) const {
+  if (monitors_.empty()) return false;
+  if (combiner_ == ViolationCombiner::kAny) {
+    for (const auto& m : monitors_)
+      if (m->violated(trace, k)) return true;
+    return false;
+  }
+  for (const auto& m : monitors_)
+    if (!m->violated(trace, k)) return false;
+  return true;
+}
+
+std::optional<std::size_t> MonitorSet::first_alarm(const Trace& trace) const {
+  if (monitors_.empty()) return std::nullopt;
+  std::size_t run = 0;
+  for (std::size_t k = 0; k < trace.steps(); ++k) {
+    run = composite_violation(trace, k) ? run + 1 : 0;
+    if (run >= dead_zone_) return k;
+  }
+  return std::nullopt;
+}
+
+BoolExpr MonitorSet::stealthy_expr(const SymbolicTrace& trace, double margin) const {
+  if (monitors_.empty()) return BoolExpr::constant(true);
+  const std::size_t steps = trace.steps();
+  if (steps < dead_zone_) return BoolExpr::constant(true);
+
+  // Per-sample "no composite violation" predicates.
+  std::vector<BoolExpr> sample_ok;
+  sample_ok.reserve(steps);
+  for (std::size_t k = 0; k < steps; ++k) {
+    std::vector<BoolExpr> oks;
+    oks.reserve(monitors_.size());
+    for (const auto& m : monitors_) oks.push_back(m->ok_expr(trace, k, margin));
+    // kAny combiner: composite ok = every monitor ok; kAll: any monitor ok.
+    sample_ok.push_back(combiner_ == ViolationCombiner::kAny
+                            ? BoolExpr::conj(std::move(oks))
+                            : BoolExpr::disj(std::move(oks)));
+  }
+
+  // No alarm <=> every dead-zone window contains a violation-free sample.
+  std::vector<BoolExpr> windows;
+  windows.reserve(steps - dead_zone_ + 1);
+  for (std::size_t start = 0; start + dead_zone_ <= steps; ++start) {
+    std::vector<BoolExpr> any_ok(sample_ok.begin() + static_cast<std::ptrdiff_t>(start),
+                                 sample_ok.begin() + static_cast<std::ptrdiff_t>(start + dead_zone_));
+    windows.push_back(BoolExpr::disj(std::move(any_ok)));
+  }
+  return BoolExpr::conj(std::move(windows));
+}
+
+std::string MonitorSet::describe() const {
+  std::ostringstream out;
+  out << "MonitorSet(dead_zone=" << dead_zone_ << ", combiner="
+      << (combiner_ == ViolationCombiner::kAny ? "any" : "all") << ")";
+  for (const auto& m : monitors_) out << "\n  - " << m->describe();
+  return out.str();
+}
+
+}  // namespace cpsguard::monitor

@@ -1,0 +1,169 @@
+// monitor.hpp — plausibility monitors on sensor measurements ("mdc").
+//
+// Section IV of the paper describes an industrial-style monitoring system
+// for the VSC: range and gradient checks on each measurement, a relation
+// (consistency) check between yaw rate and lateral acceleration, and a dead
+// zone — an alarm is raised only when the violation persists for a whole
+// dead-zone window.
+//
+// Every monitor exposes two faces of the same predicate:
+//  * violated(trace, k)        — concrete evaluation on a simulation trace;
+//  * ok_expr(symbolic, k)      — the NEGATED predicate ("measurement looks
+//                                sane at instant k") over affine traces,
+//                                which is what the stealthiness encoding
+//                                needs (a conjunction of linear literals).
+// A test suite cross-checks the two faces against each other.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "control/trace.hpp"
+#include "sym/constraint.hpp"
+#include "sym/unroller.hpp"
+
+namespace cpsguard::monitor {
+
+/// Abstract per-sample monitor over measurements.
+class SensorMonitor {
+ public:
+  virtual ~SensorMonitor() = default;
+
+  /// True when the monitor flags instant `k` of a concrete trace.
+  virtual bool violated(const control::Trace& trace, std::size_t k) const = 0;
+
+  /// Symbolic "instant k looks sane" predicate (conjunction of linear
+  /// literals over the affine trace).  `margin` relatively tightens the
+  /// limit (limit * (1 - margin)): attack finders use a small interior
+  /// margin so their models replay robustly on the concrete monitors, while
+  /// certifiers use margin = 0 (exact paper semantics).
+  virtual sym::BoolExpr ok_expr(const sym::SymbolicTrace& trace, std::size_t k,
+                                double margin = 0.0) const = 0;
+
+  virtual std::string describe() const = 0;
+
+  /// Deep copy (MonitorSet is copyable for per-experiment variations).
+  virtual std::unique_ptr<SensorMonitor> clone() const = 0;
+};
+
+/// |y_k[output]| <= limit  (absolute range check).
+class RangeMonitor final : public SensorMonitor {
+ public:
+  RangeMonitor(std::size_t output_index, double limit, std::string label = "");
+
+  bool violated(const control::Trace& trace, std::size_t k) const override;
+  sym::BoolExpr ok_expr(const sym::SymbolicTrace& trace, std::size_t k,
+                        double margin = 0.0) const override;
+  std::string describe() const override;
+  std::unique_ptr<SensorMonitor> clone() const override;
+
+  std::size_t output_index() const { return output_index_; }
+  double limit() const { return limit_; }
+
+ private:
+  std::size_t output_index_;
+  double limit_;
+  std::string label_;
+};
+
+/// |y_k[output] - y_{k-1}[output]| / Ts <= limit  (slew-rate check).
+/// The first sample has no predecessor and never violates.
+class GradientMonitor final : public SensorMonitor {
+ public:
+  GradientMonitor(std::size_t output_index, double limit_per_second,
+                  std::string label = "");
+
+  bool violated(const control::Trace& trace, std::size_t k) const override;
+  sym::BoolExpr ok_expr(const sym::SymbolicTrace& trace, std::size_t k,
+                        double margin = 0.0) const override;
+  std::string describe() const override;
+  std::unique_ptr<SensorMonitor> clone() const override;
+
+  std::size_t output_index() const { return output_index_; }
+  double limit_per_second() const { return limit_; }
+
+ private:
+  std::size_t output_index_;
+  double limit_;
+  std::string label_;
+};
+
+/// |coeffs . y_k + offset| <= limit — cross-sensor consistency, e.g. the
+/// VSC's "measured yaw rate vs yaw rate estimated from lateral acceleration"
+/// check (gamma - a_y / v_x within allowedDiff).
+class RelationMonitor final : public SensorMonitor {
+ public:
+  RelationMonitor(linalg::Vector output_coeffs, double offset, double limit,
+                  std::string label = "");
+
+  bool violated(const control::Trace& trace, std::size_t k) const override;
+  sym::BoolExpr ok_expr(const sym::SymbolicTrace& trace, std::size_t k,
+                        double margin = 0.0) const override;
+  std::string describe() const override;
+  std::unique_ptr<SensorMonitor> clone() const override;
+
+  double limit() const { return limit_; }
+  const linalg::Vector& output_coeffs() const { return coeffs_; }
+  double offset() const { return offset_; }
+
+ private:
+  linalg::Vector coeffs_;
+  double offset_;
+  double limit_;
+  std::string label_;
+};
+
+/// How per-monitor violations combine into the composite per-sample
+/// violation that feeds the dead-zone counter.
+enum class ViolationCombiner {
+  kAny,  ///< composite violation when ANY monitor flags the sample
+  kAll,  ///< composite violation only when ALL monitors flag the sample
+};
+
+/// A set of monitors plus the dead-zone alarm policy.  An alarm fires at
+/// instant k when the composite violation held at every instant of the
+/// window [k - dead_zone + 1, k].  dead_zone = 1 alarms immediately.
+class MonitorSet {
+ public:
+  MonitorSet() = default;
+  MonitorSet(const MonitorSet& other);
+  MonitorSet& operator=(const MonitorSet& other);
+  MonitorSet(MonitorSet&&) = default;
+  MonitorSet& operator=(MonitorSet&&) = default;
+
+  void add(std::unique_ptr<SensorMonitor> monitor);
+  void set_dead_zone(std::size_t samples);
+  void set_combiner(ViolationCombiner combiner) { combiner_ = combiner; }
+
+  std::size_t size() const { return monitors_.size(); }
+  bool empty() const { return monitors_.empty(); }
+  std::size_t dead_zone() const { return dead_zone_; }
+  const SensorMonitor& at(std::size_t i) const { return *monitors_[i]; }
+
+  /// Composite violation at instant k of a concrete trace.
+  bool composite_violation(const control::Trace& trace, std::size_t k) const;
+
+  /// First instant at which the alarm fires, if any.
+  std::optional<std::size_t> first_alarm(const control::Trace& trace) const;
+
+  /// True when the trace never raises the alarm.
+  bool stealthy(const control::Trace& trace) const { return !first_alarm(trace).has_value(); }
+
+  /// Symbolic "the monitoring system stays silent over the whole horizon":
+  /// for every dead-zone window there is at least one violation-free sample.
+  /// With kAny, "violation-free" is the conjunction of all monitors' ok
+  /// predicates; with kAll it is the disjunction of them.  See
+  /// SensorMonitor::ok_expr for the meaning of `margin`.
+  sym::BoolExpr stealthy_expr(const sym::SymbolicTrace& trace, double margin = 0.0) const;
+
+  std::string describe() const;
+
+ private:
+  std::vector<std::unique_ptr<SensorMonitor>> monitors_;
+  std::size_t dead_zone_ = 1;
+  ViolationCombiner combiner_ = ViolationCombiner::kAny;
+};
+
+}  // namespace cpsguard::monitor

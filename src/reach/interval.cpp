@@ -1,0 +1,119 @@
+#include "reach/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace cpsguard::reach {
+
+using util::require;
+
+Interval::Interval(double lo_in, double hi_in) : lo(lo_in), hi(hi_in) {
+  require(lo_in <= hi_in, "Interval: lo must not exceed hi");
+}
+
+Interval Interval::symmetric(double r) {
+  require(r >= 0.0, "Interval::symmetric: radius must be non-negative");
+  return Interval(-r, r);
+}
+
+double Interval::magnitude() const { return std::max(std::abs(lo), std::abs(hi)); }
+
+Interval Interval::operator+(const Interval& rhs) const {
+  return Interval(lo + rhs.lo, hi + rhs.hi);
+}
+
+Interval Interval::operator-(const Interval& rhs) const {
+  return Interval(lo - rhs.hi, hi - rhs.lo);
+}
+
+Interval Interval::operator*(double s) const {
+  return s >= 0.0 ? Interval(lo * s, hi * s) : Interval(hi * s, lo * s);
+}
+
+Interval Interval::hull(const Interval& other) const {
+  return Interval(std::min(lo, other.lo), std::max(hi, other.hi));
+}
+
+std::string Interval::str() const {
+  std::ostringstream out;
+  out << "[" << lo << ", " << hi << "]";
+  return out.str();
+}
+
+Interval operator*(double s, const Interval& iv) { return iv * s; }
+
+Box Box::point(const linalg::Vector& v) {
+  std::vector<Interval> dims;
+  dims.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) dims.push_back(Interval::point(v[i]));
+  return Box(std::move(dims));
+}
+
+Box Box::symmetric(const linalg::Vector& radii) {
+  std::vector<Interval> dims;
+  dims.reserve(radii.size());
+  for (std::size_t i = 0; i < radii.size(); ++i)
+    dims.push_back(Interval::symmetric(radii[i]));
+  return Box(std::move(dims));
+}
+
+const Interval& Box::operator[](std::size_t i) const {
+  require(i < dims_.size(), "Box: index out of range");
+  return dims_[i];
+}
+
+Interval& Box::operator[](std::size_t i) {
+  require(i < dims_.size(), "Box: index out of range");
+  return dims_[i];
+}
+
+linalg::Vector Box::center() const {
+  linalg::Vector c(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) c[i] = dims_[i].center();
+  return c;
+}
+
+linalg::Vector Box::radii() const {
+  linalg::Vector r(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) r[i] = dims_[i].radius();
+  return r;
+}
+
+bool Box::contains(const linalg::Vector& v) const {
+  require(v.size() == dims_.size(), "Box::contains: dimension mismatch");
+  for (std::size_t i = 0; i < dims_.size(); ++i)
+    if (!dims_[i].contains(v[i])) return false;
+  return true;
+}
+
+bool Box::contains(const Box& other) const {
+  require(other.dim() == dims_.size(), "Box::contains: dimension mismatch");
+  for (std::size_t i = 0; i < dims_.size(); ++i)
+    if (!dims_[i].contains(other[i])) return false;
+  return true;
+}
+
+Box Box::hull(const Box& other) const {
+  require(other.dim() == dims_.size(), "Box::hull: dimension mismatch");
+  std::vector<Interval> dims;
+  dims.reserve(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i)
+    dims.push_back(dims_[i].hull(other[i]));
+  return Box(std::move(dims));
+}
+
+std::string Box::str() const {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) out << " x ";
+    out << dims_[i].str();
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace cpsguard::reach

@@ -1,0 +1,80 @@
+// interval.hpp — closed-interval arithmetic.
+//
+// Support type for the reachability substrate: interval hulls of zonotopes,
+// per-instant envelopes of attacker-reachable deviations, and quick
+// containment checks against performance bands.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cpsguard::reach {
+
+/// Closed interval [lo, hi].  Empty intervals are not representable;
+/// constructors require lo <= hi.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  Interval() = default;
+  Interval(double lo_in, double hi_in);
+
+  static Interval point(double v) { return Interval(v, v); }
+  /// Symmetric interval [-r, r]; r must be non-negative.
+  static Interval symmetric(double r);
+
+  double width() const { return hi - lo; }
+  double center() const { return 0.5 * (lo + hi); }
+  double radius() const { return 0.5 * (hi - lo); }
+  /// Largest absolute value contained.
+  double magnitude() const;
+
+  bool contains(double v) const { return lo <= v && v <= hi; }
+  bool contains(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+  bool intersects(const Interval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+
+  Interval operator+(const Interval& rhs) const;
+  Interval operator-(const Interval& rhs) const;
+  Interval operator*(double s) const;
+  Interval hull(const Interval& other) const;
+
+  std::string str() const;
+};
+
+Interval operator*(double s, const Interval& iv);
+
+/// Axis-aligned box in R^n.
+class Box {
+ public:
+  Box() = default;
+  explicit Box(std::vector<Interval> dims) : dims_(std::move(dims)) {}
+  /// Degenerate box at a point.
+  static Box point(const linalg::Vector& v);
+  /// Symmetric box with per-component radii.
+  static Box symmetric(const linalg::Vector& radii);
+
+  std::size_t dim() const { return dims_.size(); }
+  const Interval& operator[](std::size_t i) const;
+  Interval& operator[](std::size_t i);
+
+  linalg::Vector center() const;
+  linalg::Vector radii() const;
+
+  bool contains(const linalg::Vector& v) const;
+  bool contains(const Box& other) const;
+  Box hull(const Box& other) const;
+
+  std::string str() const;
+
+ private:
+  std::vector<Interval> dims_;
+};
+
+}  // namespace cpsguard::reach

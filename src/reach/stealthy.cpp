@@ -1,0 +1,169 @@
+#include "reach/stealthy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace cpsguard::reach {
+
+using linalg::Matrix;
+using linalg::Vector;
+using util::require;
+
+namespace {
+
+/// Stacked dynamics of [x; x̂] with the stealthy attacker reparametrized as
+/// the residue disturbance d_k (see header).
+struct StackedSystem {
+  Matrix m;        // 2n x 2n
+  Matrix n_gain;   // 2n x m_out: injects L d_k into the estimate block
+  Vector offset;   // 2n: operating-point feedthrough b0 in both blocks
+};
+
+StackedSystem build_stacked(const control::LoopConfig& loop) {
+  const auto& sys = loop.plant;
+  const std::size_t n = sys.num_states();
+  const std::size_t m = sys.num_outputs();
+  const Matrix bk = sys.b * loop.feedback_gain;
+  const Vector b0 =
+      sys.b * loop.operating_point.u_ss + bk * loop.operating_point.x_ss;
+
+  StackedSystem out;
+  out.m = Matrix(2 * n, 2 * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      out.m(r, c) = sys.a(r, c);
+      out.m(r, n + c) = -bk(r, c);
+      out.m(n + r, n + c) = sys.a(r, c) - bk(r, c);
+    }
+  }
+  out.n_gain = Matrix(2 * n, m);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < m; ++c) out.n_gain(n + r, c) = loop.kalman_gain(r, c);
+  out.offset = Vector(2 * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    out.offset[r] = b0[r];
+    out.offset[n + r] = b0[r];
+  }
+  return out;
+}
+
+Box project(const Zonotope& stacked, std::size_t begin, std::size_t count) {
+  const Box hull = stacked.interval_hull();
+  std::vector<Interval> dims;
+  dims.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) dims.push_back(hull[begin + i]);
+  return Box(std::move(dims));
+}
+
+}  // namespace
+
+StealthyReachResult stealthy_reach(const control::LoopConfig& loop,
+                                   const detect::ThresholdVector& thresholds,
+                                   std::size_t horizon,
+                                   const StealthyReachOptions& options) {
+  loop.validate();
+  require(horizon > 0, "stealthy_reach: horizon must be positive");
+  const detect::ThresholdVector filled = thresholds.filled();
+  require(filled.size() > 0 && filled.is_set(0),
+          "stealthy_reach: at least one threshold must be set (an instant "
+          "with no residue check leaves the attacker unbounded)");
+  for (std::size_t k = 0; k < filled.size(); ++k)
+    require(filled.is_set(k), "stealthy_reach: threshold vector has gaps");
+
+  const auto& sys = loop.plant;
+  const std::size_t n = sys.num_states();
+  const std::size_t m = sys.num_outputs();
+  const StackedSystem stacked = build_stacked(loop);
+
+  // Initial stacked set: x1 (point or box) x {xhat1}.
+  Vector center(2 * n);
+  Box x1_box = options.initial_states.value_or(Box::point(loop.x1));
+  require(x1_box.dim() == n, "stealthy_reach: initial state box dimension");
+  for (std::size_t i = 0; i < n; ++i) {
+    center[i] = x1_box[i].center();
+    center[n + i] = loop.xhat1[i];
+  }
+  Matrix gens(2 * n, 0);
+  Zonotope set(center, gens);
+  {
+    const Vector radii = x1_box.radii();
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i)
+      if (radii[i] > 0.0) any = true;
+    if (any) {
+      Vector stacked_radii(2 * n);
+      for (std::size_t i = 0; i < n; ++i) stacked_radii[i] = radii[i];
+      set = set.minkowski_sum(Box::symmetric(stacked_radii));
+    }
+  }
+
+  StealthyReachResult result;
+  result.state_hull.reserve(horizon + 1);
+  result.estimate_hull.reserve(horizon + 1);
+  result.state_hull.push_back(project(set, 0, n));
+  result.estimate_hull.push_back(project(set, n, n));
+  result.peak_order = set.order();
+
+  // The first instant applies the configured initial input u1 instead of
+  // the feedback law (ClosedLoop computes u_{k+1} from x̂_{k+1} only after
+  // the first update), so step 0 uses block-diagonal dynamics with a B*u1
+  // offset.
+  Matrix m0(2 * n, 2 * n);
+  Vector offset0(2 * n);
+  {
+    const Vector bu1 = sys.b * loop.u1;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        m0(r, c) = sys.a(r, c);
+        m0(n + r, n + c) = sys.a(r, c);
+      }
+      offset0[r] = bu1[r];
+      offset0[n + r] = bu1[r];
+    }
+  }
+
+  for (std::size_t k = 0; k < horizon; ++k) {
+    // Threshold at instant k: reuse the last entry past the vector end
+    // (ResidueDetector::filled semantics).
+    const double th = filled[std::min(k, filled.size() - 1)];
+    // d_k ranges over the norm ball of radius th; the L-inf box is a sound
+    // superset for every supported norm.
+    Vector d_radii(m);
+    for (std::size_t i = 0; i < m; ++i) d_radii[i] = th;
+    const Zonotope disturbance =
+        Zonotope::from_box(Box::symmetric(d_radii)).affine_map(stacked.n_gain);
+    set = (k == 0 ? set.affine_map(m0, offset0)
+                  : set.affine_map(stacked.m, stacked.offset))
+              .minkowski_sum(disturbance);
+    if (set.order() > options.max_order) set = set.reduce(options.max_order);
+    result.peak_order = std::max(result.peak_order, set.order());
+    result.state_hull.push_back(project(set, 0, n));
+    result.estimate_hull.push_back(project(set, n, n));
+  }
+  return result;
+}
+
+bool certify_no_stealthy_violation(const control::LoopConfig& loop,
+                                   const synth::ReachCriterion& pfc,
+                                   const detect::ThresholdVector& thresholds,
+                                   std::size_t horizon,
+                                   const StealthyReachOptions& options) {
+  const StealthyReachResult r = stealthy_reach(loop, thresholds, horizon, options);
+  const Interval final_state = r.state_hull.back()[pfc.state_index()];
+  const Interval band(pfc.target() - pfc.tolerance(), pfc.target() + pfc.tolerance());
+  return band.contains(final_state);
+}
+
+double max_stealthy_deviation(const control::LoopConfig& loop,
+                              std::size_t state_index, double target,
+                              const detect::ThresholdVector& thresholds,
+                              std::size_t horizon,
+                              const StealthyReachOptions& options) {
+  const StealthyReachResult r = stealthy_reach(loop, thresholds, horizon, options);
+  const Interval final_state = r.state_hull.back()[state_index];
+  return (final_state - Interval::point(target)).magnitude();
+}
+
+}  // namespace cpsguard::reach

@@ -1,0 +1,82 @@
+// stealthy.hpp — sound over-approximation of what a stealthy attacker can do.
+//
+// Key observation (exact reparametrization): with the residue detector in
+// place, a stealthy attack must keep z_k inside the threshold ball, and the
+// *only* way the attack enters the loop is through z_k = C x_k - C x̂_k + a_k.
+// Substituting d_k := z_k turns the attacked closed loop into the linear
+// system
+//
+//   x_{k+1}  = A x_k - B K x̂_k + b0           b0 = B u_ss + B K x_ss
+//   x̂_{k+1} = (A - B K) x̂_k + L d_k + b0     ||d_k|| < Th[k]
+//
+// i.e. the stealthy attacker is exactly an exogenous disturbance d_k
+// bounded by the threshold vector.  Propagating a zonotope through this
+// system yields, per instant, a superset of every state the plant can be
+// driven to by ANY stealthy attack (the monitoring system mdc and attacker
+// power limits only shrink the true set, so ignoring them is sound).  If
+// the final-state envelope sits inside the pfc band, NO stealthy attack
+// violates pfc — a certificate obtained in microseconds, compared against
+// the SMT route in bench/ablation_reach.
+//
+// The converse does not hold: an envelope escaping the band does not imply
+// a concrete attack (over-approximation + ignored mdc) — that direction is
+// Algorithm 1's job.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "control/closed_loop.hpp"
+#include "detect/threshold.hpp"
+#include "reach/zonotope.hpp"
+#include "synth/spec.hpp"
+
+namespace cpsguard::reach {
+
+struct StealthyReachOptions {
+  /// Zonotope order cap (Girard reduction above it).  At the default the
+  /// reduction never triggers for horizons <= ~35 on 2-state plants.
+  std::size_t max_order = 80;
+  /// Box of admissible initial plant states; default: the loop's x1.
+  std::optional<Box> initial_states;
+};
+
+struct StealthyReachResult {
+  /// Per-instant interval hull of the reachable plant state x_k under all
+  /// stealthy attacks; entries k = 0..T (T+1 entries, mirroring Trace::x).
+  std::vector<Box> state_hull;
+  /// Per-instant hull of the estimate x̂_k (same indexing).
+  std::vector<Box> estimate_hull;
+  /// Largest zonotope order reached during propagation (diagnostics).
+  std::size_t peak_order = 0;
+};
+
+/// Propagates the stealthy-attacker envelope for `horizon` instants against
+/// the (filled) threshold vector.  Unset thresholds mean an unconstrained
+/// residue at that instant — rejected, because the envelope would be
+/// unbounded; deploy-time semantics (ThresholdVector::filled) fill gaps
+/// before the call, matching detect::ResidueDetector.
+StealthyReachResult stealthy_reach(const control::LoopConfig& loop,
+                                   const detect::ThresholdVector& thresholds,
+                                   std::size_t horizon,
+                                   const StealthyReachOptions& options = {});
+
+/// Sound safety certificate: true when NO attack that stays stealthy
+/// w.r.t. `thresholds` can violate the reach criterion (final state outside
+/// the tolerance band).  False means "unknown" — not "attack exists".
+bool certify_no_stealthy_violation(const control::LoopConfig& loop,
+                                   const synth::ReachCriterion& pfc,
+                                   const detect::ThresholdVector& thresholds,
+                                   std::size_t horizon,
+                                   const StealthyReachOptions& options = {});
+
+/// Largest |x_final[state_index] - target| any stealthy attack can achieve
+/// per the over-approximation (the attacker-capability number used by the
+/// capability-envelope example and the reach ablation bench).
+double max_stealthy_deviation(const control::LoopConfig& loop,
+                              std::size_t state_index, double target,
+                              const detect::ThresholdVector& thresholds,
+                              std::size_t horizon,
+                              const StealthyReachOptions& options = {});
+
+}  // namespace cpsguard::reach

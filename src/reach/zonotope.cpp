@@ -1,0 +1,123 @@
+#include "reach/zonotope.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace cpsguard::reach {
+
+using linalg::Matrix;
+using linalg::Vector;
+using util::require;
+
+Zonotope::Zonotope(Vector center)
+    : center_(std::move(center)), generators_(center_.size(), 0) {}
+
+Zonotope::Zonotope(Vector center, Matrix generators)
+    : center_(std::move(center)), generators_(std::move(generators)) {
+  require(generators_.rows() == center_.size(),
+          "Zonotope: generator rows must match center dimension");
+}
+
+Zonotope Zonotope::from_box(const Box& box) {
+  const std::size_t n = box.dim();
+  const Vector radii = box.radii();
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (radii[i] > 0.0) ++nonzero;
+  Matrix g(n, nonzero);
+  std::size_t col = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (radii[i] > 0.0) g(i, col++) = radii[i];
+  }
+  return Zonotope(box.center(), std::move(g));
+}
+
+Zonotope Zonotope::affine_map(const Matrix& m) const {
+  require(m.cols() == dim(), "Zonotope::affine_map: dimension mismatch");
+  return Zonotope(m * center_, m * generators_);
+}
+
+Zonotope Zonotope::affine_map(const Matrix& m, const Vector& t) const {
+  Zonotope out = affine_map(m);
+  require(t.size() == out.dim(), "Zonotope::affine_map: offset dimension mismatch");
+  out.center_ = out.center_ + t;
+  return out;
+}
+
+Zonotope Zonotope::minkowski_sum(const Zonotope& other) const {
+  require(other.dim() == dim(), "Zonotope::minkowski_sum: dimension mismatch");
+  Matrix g(dim(), order() + other.order());
+  for (std::size_t r = 0; r < dim(); ++r) {
+    for (std::size_t c = 0; c < order(); ++c) g(r, c) = generators_(r, c);
+    for (std::size_t c = 0; c < other.order(); ++c)
+      g(r, order() + c) = other.generators_(r, c);
+  }
+  return Zonotope(center_ + other.center_, std::move(g));
+}
+
+Zonotope Zonotope::minkowski_sum(const Box& box) const {
+  return minkowski_sum(Zonotope::from_box(box));
+}
+
+Box Zonotope::interval_hull() const {
+  std::vector<Interval> dims;
+  dims.reserve(dim());
+  for (std::size_t r = 0; r < dim(); ++r) {
+    double radius = 0.0;
+    for (std::size_t c = 0; c < order(); ++c) radius += std::abs(generators_(r, c));
+    dims.push_back(Interval(center_[r] - radius, center_[r] + radius));
+  }
+  return Box(std::move(dims));
+}
+
+double Zonotope::support(const Vector& direction) const {
+  require(direction.size() == dim(), "Zonotope::support: dimension mismatch");
+  double value = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) value += direction[i] * center_[i];
+  for (std::size_t c = 0; c < order(); ++c) {
+    double dot = 0.0;
+    for (std::size_t r = 0; r < dim(); ++r) dot += direction[r] * generators_(r, c);
+    value += std::abs(dot);
+  }
+  return value;
+}
+
+Zonotope Zonotope::reduce(std::size_t max_order) const {
+  require(max_order >= dim(),
+          "Zonotope::reduce: max_order must be at least the dimension");
+  if (order() <= max_order) return *this;
+
+  // Girard: sort generators by L1 norm, keep the largest (max_order - dim)
+  // exactly, and over-approximate the rest with their bounding box.
+  const std::size_t keep = max_order - dim();
+  std::vector<double> norms(order(), 0.0);
+  for (std::size_t c = 0; c < order(); ++c)
+    for (std::size_t r = 0; r < dim(); ++r) norms[c] += std::abs(generators_(r, c));
+  std::vector<std::size_t> idx(order());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return norms[a] > norms[b]; });
+
+  Matrix g(dim(), keep + dim());
+  for (std::size_t c = 0; c < keep; ++c)
+    for (std::size_t r = 0; r < dim(); ++r) g(r, c) = generators_(r, idx[c]);
+  // Box the tail: per-dimension sum of absolute contributions.
+  for (std::size_t t = keep; t < order(); ++t)
+    for (std::size_t r = 0; r < dim(); ++r)
+      g(r, keep + r) += std::abs(generators_(r, idx[t]));
+  return Zonotope(center_, std::move(g));
+}
+
+std::string Zonotope::str() const {
+  std::ostringstream out;
+  out << "zonotope(dim=" << dim() << ", order=" << order()
+      << ", hull=" << interval_hull().str() << ")";
+  return out.str();
+}
+
+}  // namespace cpsguard::reach

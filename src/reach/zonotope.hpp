@@ -1,0 +1,67 @@
+// zonotope.hpp — zonotopes for linear reachability.
+//
+// A zonotope Z = {c + G b : ||b||_inf <= 1} is closed under exactly the two
+// operations linear reachability needs — affine maps (M Z + t) and
+// Minkowski sums (Z1 (+) Z2) — with no wrapping effect, which is why it is
+// the standard set representation for LTI reach analysis.  Order reduction
+// (Girard's box method) keeps the generator count bounded over long
+// horizons at the cost of a sound over-approximation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "reach/interval.hpp"
+
+namespace cpsguard::reach {
+
+class Zonotope {
+ public:
+  Zonotope() = default;
+  /// Degenerate zonotope: a point.
+  explicit Zonotope(linalg::Vector center);
+  /// Center + generator matrix (one generator per column).
+  Zonotope(linalg::Vector center, linalg::Matrix generators);
+
+  /// Axis-aligned box as a zonotope (one generator per nonzero radius).
+  static Zonotope from_box(const Box& box);
+
+  std::size_t dim() const { return center_.size(); }
+  std::size_t order() const { return generators_.cols(); }
+  const linalg::Vector& center() const { return center_; }
+  const linalg::Matrix& generators() const { return generators_; }
+
+  /// M * Z (+ optional offset t).
+  Zonotope affine_map(const linalg::Matrix& m) const;
+  Zonotope affine_map(const linalg::Matrix& m, const linalg::Vector& t) const;
+
+  /// Minkowski sum.
+  Zonotope minkowski_sum(const Zonotope& other) const;
+  /// Minkowski sum with an axis-aligned box (common case: bounded input).
+  Zonotope minkowski_sum(const Box& box) const;
+
+  /// Tight axis-aligned bounding box.
+  Box interval_hull() const;
+
+  /// Support function: max over Z of <direction, p>.
+  double support(const linalg::Vector& direction) const;
+
+  /// True when the point is within the interval hull (cheap necessary
+  /// check; exact membership needs an LP and is not required here).
+  bool hull_contains(const linalg::Vector& p) const {
+    return interval_hull().contains(p);
+  }
+
+  /// Girard order reduction: keeps the `max_order` - dim largest
+  /// generators and boxes the rest.  Sound (result contains *this).
+  Zonotope reduce(std::size_t max_order) const;
+
+  std::string str() const;
+
+ private:
+  linalg::Vector center_;
+  linalg::Matrix generators_;  // dim x order
+};
+
+}  // namespace cpsguard::reach

@@ -1,0 +1,183 @@
+#include "solver/lp_backend.hpp"
+
+#include <chrono>
+
+#include "util/logging.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::solver {
+
+using sym::BoolExpr;
+using sym::LinearConstraint;
+using sym::RelOp;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct SearchContext {
+  std::size_t num_vars = 0;
+  const std::vector<double>* objective = nullptr;  // dense, maximize
+  double strict_epsilon = 1e-7;
+  std::size_t max_branches = 0;
+  Clock::time_point deadline;
+  std::size_t branches = 0;
+  bool budget_exhausted = false;
+};
+
+// Adds `lit` to the LP rows; strict inequalities get an epsilon margin and
+// kNe is handled by the caller (branched).
+void add_literal(LpProblem& lp, const LinearConstraint& lit, double eps) {
+  std::vector<double> coeffs(lp.num_vars, 0.0);
+  for (std::size_t i = 0; i < lp.num_vars; ++i) coeffs[i] = lit.expr.coeff(i);
+  const double rhs = -lit.expr.constant_term();
+  switch (lit.op) {
+    case RelOp::kLe: lp.add_row(std::move(coeffs), LpRel::kLe, rhs); break;
+    case RelOp::kLt: lp.add_row(std::move(coeffs), LpRel::kLe, rhs - eps); break;
+    case RelOp::kGe: lp.add_row(std::move(coeffs), LpRel::kGe, rhs); break;
+    case RelOp::kGt: lp.add_row(std::move(coeffs), LpRel::kGe, rhs + eps); break;
+    case RelOp::kEq: lp.add_row(std::move(coeffs), LpRel::kEq, rhs); break;
+    case RelOp::kNe:
+      throw util::SolverError("LpBackend: kNe literal must be branched, not added");
+  }
+}
+
+// Splits a formula into conjunct literals and pending disjunctions.
+// Returns false if the formula is constant-false.
+bool flatten(const BoolExpr& e, std::vector<const LinearConstraint*>& lits,
+             std::vector<const BoolExpr*>& disjunctions) {
+  switch (e.kind()) {
+    case BoolExpr::Kind::kTrue: return true;
+    case BoolExpr::Kind::kFalse: return false;
+    case BoolExpr::Kind::kLit:
+      if (e.literal().op == RelOp::kNe) {
+        disjunctions.push_back(&e);  // branch into < / >
+      } else {
+        lits.push_back(&e.literal());
+      }
+      return true;
+    case BoolExpr::Kind::kAnd:
+      for (const auto& c : e.children())
+        if (!flatten(c, lits, disjunctions)) return false;
+      return true;
+    case BoolExpr::Kind::kOr:
+      disjunctions.push_back(&e);
+      return true;
+  }
+  return false;
+}
+
+// Depth-first search over pending disjunctions.  `lits` is the current
+// conjunction; returns kSat + assignment, kUnsat, or kUnknown on budget.
+SolveStatus search(SearchContext& ctx, std::vector<const LinearConstraint*>& lits,
+                   std::vector<const BoolExpr*>& disjunctions, std::vector<double>& model,
+                   double& objective_value) {
+  if (Clock::now() > ctx.deadline || ctx.branches >= ctx.max_branches) {
+    ctx.budget_exhausted = true;
+    return SolveStatus::kUnknown;
+  }
+  ++ctx.branches;
+
+  // LP relaxation of this node: the conjunction gathered so far, ignoring
+  // pending disjunctions.  Infeasibility prunes the whole subtree — without
+  // this look-ahead, refuting a formula with w dead-zone windows would cost
+  // 7^w leaf LPs instead of a handful of node LPs.
+  {
+    LpProblem lp;
+    lp.num_vars = ctx.num_vars;
+    if (disjunctions.empty() && ctx.objective) lp.objective = *ctx.objective;
+    for (const auto* lit : lits) add_literal(lp, *lit, ctx.strict_epsilon);
+    const LpResult res = solve_lp(lp);
+    if (res.status == LpStatus::kInfeasible) return SolveStatus::kUnsat;
+    if (res.status == LpStatus::kIterLimit) {
+      ctx.budget_exhausted = true;
+      return SolveStatus::kUnknown;
+    }
+    if (disjunctions.empty()) {
+      if (res.status == LpStatus::kOptimal || res.status == LpStatus::kUnbounded) {
+        model = res.x;
+        objective_value = res.objective;
+        return SolveStatus::kSat;
+      }
+      return SolveStatus::kUnsat;
+    }
+  }
+
+  // Branch on the last pending disjunction (cheap pop/push).
+  const BoolExpr* pick = disjunctions.back();
+  disjunctions.pop_back();
+
+  // kNe literal: branch into the two strict half-spaces.
+  std::vector<BoolExpr> ne_branches;
+  std::vector<const BoolExpr*> branch_list;
+  if (pick->kind() == BoolExpr::Kind::kLit) {
+    ne_branches.push_back(BoolExpr::lit(pick->literal().expr, RelOp::kLt));
+    ne_branches.push_back(BoolExpr::lit(pick->literal().expr, RelOp::kGt));
+    branch_list = {&ne_branches[0], &ne_branches[1]};
+  } else {
+    for (const auto& c : pick->children()) branch_list.push_back(&c);
+  }
+
+  bool any_unknown = false;
+  for (const BoolExpr* branch : branch_list) {
+    const std::size_t lit_mark = lits.size();
+    const std::size_t dis_mark = disjunctions.size();
+    if (flatten(*branch, lits, disjunctions)) {
+      const SolveStatus s = search(ctx, lits, disjunctions, model, objective_value);
+      if (s == SolveStatus::kSat) return s;
+      if (s == SolveStatus::kUnknown) any_unknown = true;
+    }
+    lits.resize(lit_mark);
+    disjunctions.resize(dis_mark);
+  }
+  disjunctions.push_back(pick);
+  return any_unknown ? SolveStatus::kUnknown : SolveStatus::kUnsat;
+}
+
+}  // namespace
+
+Solution LpBackend::solve(const Problem& problem) {
+  const auto start = Clock::now();
+  SearchContext ctx;
+  ctx.num_vars = problem.num_vars;
+  std::vector<double> dense_objective;
+  if (problem.objective) {
+    dense_objective.resize(problem.num_vars);
+    for (std::size_t i = 0; i < problem.num_vars; ++i)
+      dense_objective[i] = problem.objective->coeff(i);
+    ctx.objective = &dense_objective;
+  }
+  ctx.strict_epsilon = options_.strict_epsilon;
+  ctx.max_branches = options_.max_branches;
+  ctx.deadline = start + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(options_.timeout_seconds));
+
+  Solution sol;
+  std::vector<const LinearConstraint*> lits;
+  std::vector<const BoolExpr*> disjunctions;
+  if (!flatten(problem.constraint, lits, disjunctions)) {
+    sol.status = SolveStatus::kUnsat;
+  } else {
+    double objective_value = 0.0;
+    sol.status = search(ctx, lits, disjunctions, sol.values, objective_value);
+    if (sol.status == SolveStatus::kSat) {
+      sol.objective_value = objective_value;
+      if (problem.objective)
+        sol.objective_value = problem.objective->evaluate(sol.values);
+      // Guard against numeric drift: the model must satisfy the formula
+      // within a small tolerance.  The tolerance must stay below
+      // strict_epsilon or valid strict/!= models would be rejected.
+      if (!problem.constraint.holds(sol.values, options_.strict_epsilon * 0.5)) {
+        CPSG_WARN("lp") << "model failed formula re-check; reporting unknown";
+        sol.status = SolveStatus::kUnknown;
+        sol.values.clear();
+      }
+    }
+  }
+  branches_ = ctx.branches;
+  sol.solve_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  sol.diagnostics = "branches=" + std::to_string(ctx.branches);
+  return sol;
+}
+
+}  // namespace cpsguard::solver

@@ -1,0 +1,37 @@
+// lp_backend.hpp — attack finding via simplex + disjunction branching.
+//
+// The unrolled attack problems are disjunctive linear programs: a big
+// conjunction of linear inequalities (stealthiness, monitors) around a few
+// disjunctions (the negated performance criterion, dead-zone windows).
+// This backend runs a DPLL-style depth-first search over the disjunctions
+// and solves a pure LP at each leaf with the from-scratch simplex.
+//
+// Role in the tool: a *fast attack finder*.  Its SAT answers are checked by
+// construction (the model is re-evaluated against the formula); its UNSAT
+// answers are floating-point-trustworthy only, so synthesis always lets Z3
+// certify the final "no stealthy attack exists" verdict (see
+// synth::AttackVectorSynthesizer).
+#pragma once
+
+#include "solver/problem.hpp"
+#include "solver/simplex.hpp"
+
+namespace cpsguard::solver {
+
+class LpBackend final : public SolverBackend {
+ public:
+  explicit LpBackend(SolverOptions options = {}) : options_(options) {}
+
+  Solution solve(const Problem& problem) override;
+  std::string name() const override { return "simplex-dpll"; }
+  bool complete() const override { return false; }
+
+  /// Branches explored by the most recent solve (bench diagnostics).
+  std::size_t last_branch_count() const { return branches_; }
+
+ private:
+  SolverOptions options_;
+  std::size_t branches_ = 0;
+};
+
+}  // namespace cpsguard::solver

@@ -1,0 +1,14 @@
+#include "solver/problem.hpp"
+
+namespace cpsguard::solver {
+
+std::string status_name(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kSat: return "sat";
+    case SolveStatus::kUnsat: return "unsat";
+    case SolveStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace cpsguard::solver

@@ -1,0 +1,60 @@
+// problem.hpp — solver-agnostic feasibility/optimization problems.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sym/constraint.hpp"
+
+namespace cpsguard::solver {
+
+/// A feasibility (or linear optimization) problem over `num_vars` reals.
+struct Problem {
+  std::size_t num_vars = 0;
+  sym::BoolExpr constraint;                  ///< formula to satisfy
+  std::optional<sym::AffineExpr> objective;  ///< if set: maximize
+  std::vector<std::string> var_names;        ///< optional diagnostics
+};
+
+enum class SolveStatus { kSat, kUnsat, kUnknown };
+
+std::string status_name(SolveStatus s);
+
+/// Solver verdict.  `values` is meaningful only when status == kSat.
+struct Solution {
+  SolveStatus status = SolveStatus::kUnknown;
+  std::vector<double> values;
+  double objective_value = 0.0;
+  double solve_seconds = 0.0;
+  std::string diagnostics;
+};
+
+/// Options shared by backends.
+struct SolverOptions {
+  double timeout_seconds = 600.0;
+  /// Margin used by numeric backends to realize strict inequalities; model
+  /// re-validation uses half this value, so it also bounds the acceptable
+  /// numeric drift of simplex solutions.
+  double strict_epsilon = 1e-6;
+  /// Branch budget for the disjunction search in the LP backend.
+  std::size_t max_branches = 200000;
+};
+
+/// Abstract solver backend.
+class SolverBackend {
+ public:
+  virtual ~SolverBackend() = default;
+
+  virtual Solution solve(const Problem& problem) = 0;
+
+  /// Identifier for logs and bench tables.
+  virtual std::string name() const = 0;
+
+  /// True when kUnsat answers are proofs of infeasibility of the exact
+  /// rational constraint system (Z3).  The LP backend is numeric and
+  /// reports false: its kUnsat is trustworthy only up to floating point.
+  virtual bool complete() const = 0;
+};
+
+}  // namespace cpsguard::solver

@@ -1,0 +1,223 @@
+#include "solver/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/status.hpp"
+
+namespace cpsguard::solver {
+
+using util::require;
+
+void LpProblem::add_row(std::vector<double> coeffs, LpRel rel, double rhs) {
+  require(coeffs.size() == num_vars, "LpProblem::add_row: coefficient arity mismatch");
+  rows.push_back(Row{std::move(coeffs), rel, rhs});
+}
+
+namespace {
+
+constexpr double kPivotTol = 1e-9;
+
+// Dense tableau simplex over the standard form produced in solve_lp.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols),
+                                                data_(rows * cols, 0.0) {}
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double pv = at(pr, pc);
+    for (std::size_t c = 0; c < cols_; ++c) at(pr, c) /= pv;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double f = at(r, pc);
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) at(r, c) -= f * at(pr, c);
+    }
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace
+
+LpResult solve_lp(const LpProblem& problem, std::size_t max_pivots) {
+  const std::size_t n = problem.num_vars;
+  const std::size_t m = problem.rows.size();
+  require(problem.objective.empty() || problem.objective.size() == n,
+          "solve_lp: objective arity mismatch");
+
+  // Standard-form variable layout:
+  //   columns [0, 2n)        : x_i = y_{2i} - y_{2i+1}  (free-variable split)
+  //   columns [2n, 2n+m)     : slack/surplus, one per row (0 width for ==)
+  //   columns [2n+m, ...)    : artificials (>= rows with negative direction
+  //                            and == rows)
+  // We allocate one slack column per row for simplicity; == rows simply do
+  // not use theirs.
+  const std::size_t slack0 = 2 * n;
+  const std::size_t art0 = slack0 + m;
+
+  // Determine which rows need artificials after normalizing rhs >= 0.
+  std::vector<int> row_sign(m, 1);
+  std::vector<bool> needs_art(m, false);
+  std::size_t num_art = 0;
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto& row = problem.rows[r];
+    const double b = row.rhs;
+    row_sign[r] = (b < 0.0) ? -1 : 1;
+    LpRel rel = row.rel;
+    if (row_sign[r] < 0) {
+      if (rel == LpRel::kLe) rel = LpRel::kGe;
+      else if (rel == LpRel::kGe) rel = LpRel::kLe;
+    }
+    // After normalization rhs >= 0:  <= rows start feasible via the slack;
+    // >= and == rows need an artificial basis column.
+    needs_art[r] = (rel != LpRel::kLe);
+    if (needs_art[r]) ++num_art;
+  }
+
+  const std::size_t total_cols = art0 + num_art + 1;  // +1 rhs column
+  // Row layout: m constraint rows, then the objective row, then (phase 1)
+  // the artificial-cost row.
+  Tableau t(m + 2, total_cols);
+  std::vector<std::size_t> basis(m, 0);
+
+  std::size_t art_next = art0;
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto& row = problem.rows[r];
+    const double sgn = row_sign[r];
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = sgn * row.coeffs[i];
+      t.at(r, 2 * i) = v;
+      t.at(r, 2 * i + 1) = -v;
+    }
+    LpRel rel = row.rel;
+    if (sgn < 0) {
+      if (rel == LpRel::kLe) rel = LpRel::kGe;
+      else if (rel == LpRel::kGe) rel = LpRel::kLe;
+    }
+    if (rel == LpRel::kLe) {
+      t.at(r, slack0 + r) = 1.0;
+      basis[r] = slack0 + r;
+    } else if (rel == LpRel::kGe) {
+      t.at(r, slack0 + r) = -1.0;
+    }
+    if (needs_art[r]) {
+      t.at(r, art_next) = 1.0;
+      basis[r] = art_next;
+      ++art_next;
+    }
+    t.at(r, total_cols - 1) = sgn * row.rhs;
+  }
+
+  const std::size_t obj_row = m;      // phase-2 objective (maximize c'x -> row holds -c)
+  const std::size_t art_row = m + 1;  // phase-1 objective
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = problem.objective.empty() ? 0.0 : problem.objective[i];
+    t.at(obj_row, 2 * i) = -c;   // maximize c'x == minimize -c'x
+    t.at(obj_row, 2 * i + 1) = c;
+  }
+  // Phase-1 cost: sum of artificials; express reduced costs by subtracting
+  // each artificial's row.
+  for (std::size_t c = art0; c < art0 + num_art; ++c) t.at(art_row, c) = 1.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] >= art0) {
+      for (std::size_t c = 0; c < total_cols; ++c) t.at(art_row, c) -= t.at(r, c);
+    }
+  }
+
+  LpResult result;
+  std::size_t pivots = 0;
+
+  auto run_phase = [&](std::size_t cost_row, std::size_t col_limit) -> LpStatus {
+    for (;;) {
+      if (pivots >= max_pivots) return LpStatus::kIterLimit;
+      // Bland's rule: entering column = lowest index with negative reduced cost.
+      std::size_t pc = total_cols;
+      for (std::size_t c = 0; c < col_limit; ++c) {
+        if (t.at(cost_row, c) < -kPivotTol) {
+          pc = c;
+          break;
+        }
+      }
+      if (pc == total_cols) return LpStatus::kOptimal;
+      // Ratio test; Bland tie-break on basis index.
+      std::size_t pr = m;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < m; ++r) {
+        const double a = t.at(r, pc);
+        if (a > kPivotTol) {
+          const double ratio = t.at(r, total_cols - 1) / a;
+          if (ratio < best - 1e-12 ||
+              (std::abs(ratio - best) <= 1e-12 && (pr == m || basis[r] < basis[pr]))) {
+            best = ratio;
+            pr = r;
+          }
+        }
+      }
+      if (pr == m) return LpStatus::kUnbounded;
+      t.pivot(pr, pc);
+      basis[pr] = pc;
+      ++pivots;
+    }
+  };
+
+  // Phase 1 (skip if no artificials were needed).
+  if (num_art > 0) {
+    const LpStatus s1 = run_phase(art_row, art0 + num_art);
+    result.pivots = pivots;
+    if (s1 == LpStatus::kIterLimit) {
+      result.status = LpStatus::kIterLimit;
+      return result;
+    }
+    const double infeas = -t.at(art_row, total_cols - 1);
+    if (infeas > 1e-7) {
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    // Pivot any artificial still in the basis out (degenerate zero rows).
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] >= art0) {
+        std::size_t pc = total_cols;
+        for (std::size_t c = 0; c < art0; ++c) {
+          if (std::abs(t.at(r, c)) > kPivotTol) {
+            pc = c;
+            break;
+          }
+        }
+        if (pc != total_cols) {
+          t.pivot(r, pc);
+          basis[r] = pc;
+          ++pivots;
+        }
+      }
+    }
+  }
+
+  // Phase 2: only structural + slack columns may enter.
+  const LpStatus s2 = run_phase(obj_row, art0);
+  result.pivots = pivots;
+
+  // Recover the primal point (also for unbounded: the current basic point).
+  std::vector<double> y(total_cols - 1, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < y.size()) y[basis[r]] = t.at(r, total_cols - 1);
+  }
+  result.x.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) result.x[i] = y[2 * i] - y[2 * i + 1];
+  if (!problem.objective.empty()) {
+    double v = 0.0;
+    for (std::size_t i = 0; i < n; ++i) v += problem.objective[i] * result.x[i];
+    result.objective = v;
+  }
+  result.status = s2;
+  return result;
+}
+
+}  // namespace cpsguard::solver

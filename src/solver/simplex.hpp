@@ -1,0 +1,48 @@
+// simplex.hpp — dense two-phase primal simplex.
+//
+// A from-scratch LP solver used by the LP attack-finding backend.  Free
+// variables are split into positive parts, inequality rows get slack /
+// surplus variables, and phase 1 minimizes artificial infeasibility.
+// Bland's rule guarantees termination.  Intended problem sizes are the
+// unrolled-attack LPs (a few hundred variables/rows), for which a dense
+// tableau is entirely adequate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cpsguard::solver {
+
+/// Relation of one LP row `a . x (rel) b`.
+enum class LpRel { kLe, kGe, kEq };
+
+/// LP in inequality form over free (unbounded) variables.
+struct LpProblem {
+  std::size_t num_vars = 0;
+
+  struct Row {
+    std::vector<double> coeffs;  ///< dense, length num_vars
+    LpRel rel = LpRel::kLe;
+    double rhs = 0.0;
+  };
+  std::vector<Row> rows;
+
+  /// Objective to MAXIMIZE; empty means pure feasibility.
+  std::vector<double> objective;
+
+  void add_row(std::vector<double> coeffs, LpRel rel, double rhs);
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;       ///< primal point (valid for kOptimal/kUnbounded ray base)
+  double objective = 0.0;
+  std::size_t pivots = 0;
+};
+
+/// Solves `problem`; `max_pivots` bounds total pivot count across phases.
+LpResult solve_lp(const LpProblem& problem, std::size_t max_pivots = 100000);
+
+}  // namespace cpsguard::solver

@@ -1,0 +1,164 @@
+#include "solver/z3_backend.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include <z3++.h>
+
+#include "linalg/rational.hpp"
+#include "util/logging.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::solver {
+
+using sym::AffineExpr;
+using sym::BoolExpr;
+using sym::LinearConstraint;
+using sym::RelOp;
+
+namespace {
+
+/// Translates the library IR into Z3 terms with exact rational constants.
+class Z3Translator {
+ public:
+  Z3Translator(z3::context& ctx, std::size_t num_vars,
+               const std::vector<std::string>& names)
+      : ctx_(ctx), vars_(ctx) {
+    for (std::size_t i = 0; i < num_vars; ++i) {
+      const std::string name =
+          i < names.size() ? names[i] : ("v" + std::to_string(i));
+      vars_.push_back(ctx_.real_const(name.c_str()));
+    }
+  }
+
+  z3::expr_vector& vars() { return vars_; }
+
+  z3::expr rational(double v) const {
+    return ctx_.real_val(linalg::rational_string(v).c_str());
+  }
+
+  z3::expr affine(const AffineExpr& e) const {
+    z3::expr acc = rational(e.constant_term());
+    for (std::size_t i = 0; i < e.num_vars(); ++i) {
+      const double c = e.coeff(i);
+      if (c == 0.0) continue;
+      if (c == 1.0) {
+        acc = acc + vars_[static_cast<unsigned>(i)];
+      } else if (c == -1.0) {
+        acc = acc - vars_[static_cast<unsigned>(i)];
+      } else {
+        acc = acc + rational(c) * vars_[static_cast<unsigned>(i)];
+      }
+    }
+    return acc;
+  }
+
+  z3::expr literal(const LinearConstraint& lit) const {
+    const z3::expr e = affine(lit.expr);
+    const z3::expr zero = ctx_.real_val(0);
+    switch (lit.op) {
+      case RelOp::kLe: return e <= zero;
+      case RelOp::kLt: return e < zero;
+      case RelOp::kGe: return e >= zero;
+      case RelOp::kGt: return e > zero;
+      case RelOp::kEq: return e == zero;
+      case RelOp::kNe: return e != zero;
+    }
+    throw util::SolverError("Z3Backend: unknown RelOp");
+  }
+
+  z3::expr formula(const BoolExpr& f) const {
+    switch (f.kind()) {
+      case BoolExpr::Kind::kTrue: return ctx_.bool_val(true);
+      case BoolExpr::Kind::kFalse: return ctx_.bool_val(false);
+      case BoolExpr::Kind::kLit: return literal(f.literal());
+      case BoolExpr::Kind::kAnd: {
+        z3::expr_vector parts(ctx_);
+        for (const auto& c : f.children()) parts.push_back(formula(c));
+        return z3::mk_and(parts);
+      }
+      case BoolExpr::Kind::kOr: {
+        z3::expr_vector parts(ctx_);
+        for (const auto& c : f.children()) parts.push_back(formula(c));
+        return z3::mk_or(parts);
+      }
+    }
+    throw util::SolverError("Z3Backend: unknown BoolExpr kind");
+  }
+
+ private:
+  z3::context& ctx_;
+  z3::expr_vector vars_;
+};
+
+double numeral_to_double(const z3::expr& v) {
+  // Rational model values: evaluate numerator/denominator as doubles.
+  if (v.is_numeral()) {
+    std::string s = v.get_decimal_string(17);
+    if (!s.empty() && s.back() == '?') s.pop_back();  // Z3 marks truncated decimals
+    return std::stod(s);
+  }
+  throw util::SolverError("Z3Backend: model value is not a numeral");
+}
+
+template <typename SolverLike>
+Solution extract_model(SolverLike& s, z3::expr_vector& vars, std::size_t num_vars) {
+  Solution sol;
+  sol.status = SolveStatus::kSat;
+  const z3::model model = s.get_model();
+  sol.values.resize(num_vars, 0.0);
+  for (std::size_t i = 0; i < num_vars; ++i) {
+    const z3::expr v = model.eval(vars[static_cast<unsigned>(i)], /*model_completion=*/true);
+    sol.values[i] = numeral_to_double(v);
+  }
+  return sol;
+}
+
+}  // namespace
+
+Solution Z3Backend::solve(const Problem& problem) {
+  const auto start = std::chrono::steady_clock::now();
+  Solution sol;
+  try {
+    z3::context ctx;
+    Z3Translator tr(ctx, problem.num_vars, problem.var_names);
+    const z3::expr constraint = tr.formula(problem.constraint);
+    const unsigned timeout_ms = static_cast<unsigned>(
+        std::min(options_.timeout_seconds, 3600.0) * 1000.0);
+
+    if (problem.objective) {
+      z3::optimize opt(ctx);
+      z3::params p(ctx);
+      p.set("timeout", timeout_ms);
+      opt.set(p);
+      opt.add(constraint);
+      opt.maximize(tr.affine(*problem.objective));
+      const z3::check_result r = opt.check();
+      if (r == z3::sat) {
+        sol = extract_model(opt, tr.vars(), problem.num_vars);
+        sol.objective_value = problem.objective->evaluate(sol.values);
+      } else {
+        sol.status = (r == z3::unsat) ? SolveStatus::kUnsat : SolveStatus::kUnknown;
+      }
+    } else {
+      z3::solver s(ctx);
+      z3::params p(ctx);
+      p.set("timeout", timeout_ms);
+      s.set(p);
+      s.add(constraint);
+      const z3::check_result r = s.check();
+      if (r == z3::sat) {
+        sol = extract_model(s, tr.vars(), problem.num_vars);
+      } else {
+        sol.status = (r == z3::unsat) ? SolveStatus::kUnsat : SolveStatus::kUnknown;
+      }
+    }
+  } catch (const z3::exception& e) {
+    throw util::SolverError(std::string("Z3Backend: ") + e.msg());
+  }
+  sol.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return sol;
+}
+
+}  // namespace cpsguard::solver

@@ -1,0 +1,25 @@
+// z3_backend.hpp — complete QF_LRA backend over the Z3 SMT solver.
+//
+// This is the solver the paper uses.  Every double coefficient is converted
+// to its exact dyadic rational before entering Z3 (linalg::rational), so an
+// UNSAT verdict is a proof that no attack vector exists for the exact
+// unrolled constraint system — the guarantee Algorithm 1 relies on.
+#pragma once
+
+#include "solver/problem.hpp"
+
+namespace cpsguard::solver {
+
+class Z3Backend final : public SolverBackend {
+ public:
+  explicit Z3Backend(SolverOptions options = {}) : options_(options) {}
+
+  Solution solve(const Problem& problem) override;
+  std::string name() const override { return "z3"; }
+  bool complete() const override { return true; }
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace cpsguard::solver

@@ -1,0 +1,33 @@
+#include "stl/criterion.hpp"
+
+namespace cpsguard::stl {
+
+StlCriterion::StlCriterion(Formula formula)
+    : formula_(std::move(formula)), negation_(formula_.negate()) {}
+
+bool StlCriterion::satisfied(const control::Trace& trace) const {
+  return holds(formula_, trace, 0);
+}
+
+double StlCriterion::deviation(const control::Trace& trace) const {
+  return robustness(formula_, trace, 0);
+}
+
+sym::BoolExpr StlCriterion::satisfied_expr(const sym::SymbolicTrace& trace) const {
+  return encode(formula_, trace, 0);
+}
+
+sym::BoolExpr StlCriterion::violated_expr(const sym::SymbolicTrace& trace,
+                                          double margin) const {
+  EncodeOptions options;
+  options.margin = margin;
+  return encode(negation_, trace, 0, options);
+}
+
+std::string StlCriterion::describe() const { return "stl(" + formula_.str() + ")"; }
+
+synth::Criterion criterion(Formula formula) {
+  return synth::Criterion(std::make_shared<StlCriterion>(std::move(formula)));
+}
+
+}  // namespace cpsguard::stl

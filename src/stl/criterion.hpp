@@ -1,0 +1,45 @@
+// criterion.hpp — STL formulas as synthesis performance criteria.
+//
+// Wraps a bounded STL formula as a synth::CriterionInterface so the whole
+// pipeline — Algorithm 1 attack synthesis, Algorithms 2/3 threshold
+// synthesis, the FAR protocol — runs against any linear STL pfc, not just
+// the paper's reach property.  The attacker's goal becomes the NNF negation
+// of the formula, encoded over the affine trace with a robustness margin.
+#pragma once
+
+#include <memory>
+
+#include "stl/encode.hpp"
+#include "stl/formula.hpp"
+#include "stl/semantics.hpp"
+#include "synth/spec.hpp"
+
+namespace cpsguard::stl {
+
+/// Evaluates/encodes `formula` at instant 0 of the trace.
+class StlCriterion final : public synth::CriterionInterface {
+ public:
+  explicit StlCriterion(Formula formula);
+
+  bool satisfied(const control::Trace& trace) const override;
+
+  /// Robustness at instant 0 — positive iff satisfied (up to boundaries).
+  double deviation(const control::Trace& trace) const override;
+
+  sym::BoolExpr satisfied_expr(const sym::SymbolicTrace& trace) const override;
+  sym::BoolExpr violated_expr(const sym::SymbolicTrace& trace,
+                              double margin) const override;
+
+  const Formula& formula() const { return formula_; }
+
+  std::string describe() const override;
+
+ private:
+  Formula formula_;
+  Formula negation_;  // cached NNF negation (the attacker's goal)
+};
+
+/// Convenience: wraps a formula into the type-erased synth::Criterion.
+synth::Criterion criterion(Formula formula);
+
+}  // namespace cpsguard::stl

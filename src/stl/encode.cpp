@@ -1,0 +1,114 @@
+#include "stl/encode.hpp"
+
+#include "util/status.hpp"
+
+namespace cpsguard::stl {
+
+using sym::BoolExpr;
+using sym::RelOp;
+
+namespace {
+
+BoolExpr encode_atom(const Atom& a, const sym::SymbolicTrace& trace, std::size_t t,
+                     double margin) {
+  const sym::AffineExpr e = a.expr.evaluate(trace, t);
+  if (margin == 0.0) return BoolExpr::lit(e, a.op);
+  // Satisfaction must be robust by the absolute slack m: the atom's
+  // satisfaction region shrinks by m in the direction of its inequality.
+  const double m = margin * a.expr.margin_scale();
+  switch (a.op) {
+    case RelOp::kLe: return BoolExpr::lit(e + m, RelOp::kLe);
+    case RelOp::kLt: return BoolExpr::lit(e + m, RelOp::kLt);
+    case RelOp::kGe: return BoolExpr::lit(e - m, RelOp::kGe);
+    case RelOp::kGt: return BoolExpr::lit(e - m, RelOp::kGt);
+    case RelOp::kEq:
+      // Robust equality is unsatisfiable for m > 0; encode the conjunction,
+      // which the backends simplify to false.
+      return BoolExpr::conj(
+          {BoolExpr::lit(e + m, RelOp::kLe), BoolExpr::lit(-e + m, RelOp::kLe)});
+    case RelOp::kNe:
+      return BoolExpr::disj(
+          {BoolExpr::lit(e - m, RelOp::kGe), BoolExpr::lit(-e - m, RelOp::kGe)});
+  }
+  return BoolExpr::lit(e, a.op);
+}
+
+BoolExpr encode_rec(const Formula& f, const sym::SymbolicTrace& trace, std::size_t t,
+                    double margin) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue: return BoolExpr::constant(true);
+    case FormulaKind::kFalse: return BoolExpr::constant(false);
+    case FormulaKind::kAtom: return encode_atom(f.atom_ref(), trace, t, margin);
+    case FormulaKind::kAnd: {
+      std::vector<BoolExpr> parts;
+      parts.reserve(f.children().size());
+      for (const Formula& c : f.children())
+        parts.push_back(encode_rec(c, trace, t, margin));
+      return BoolExpr::conj(std::move(parts));
+    }
+    case FormulaKind::kOr: {
+      std::vector<BoolExpr> parts;
+      parts.reserve(f.children().size());
+      for (const Formula& c : f.children())
+        parts.push_back(encode_rec(c, trace, t, margin));
+      return BoolExpr::disj(std::move(parts));
+    }
+    case FormulaKind::kGlobally: {
+      const Window& w = f.window();
+      std::vector<BoolExpr> parts;
+      parts.reserve(w.hi - w.lo + 1);
+      for (std::size_t k = t + w.lo; k <= t + w.hi; ++k)
+        parts.push_back(encode_rec(f.children()[0], trace, k, margin));
+      return BoolExpr::conj(std::move(parts));
+    }
+    case FormulaKind::kEventually: {
+      const Window& w = f.window();
+      std::vector<BoolExpr> parts;
+      parts.reserve(w.hi - w.lo + 1);
+      for (std::size_t k = t + w.lo; k <= t + w.hi; ++k)
+        parts.push_back(encode_rec(f.children()[0], trace, k, margin));
+      return BoolExpr::disj(std::move(parts));
+    }
+    case FormulaKind::kUntil: {
+      const Window& w = f.window();
+      std::vector<BoolExpr> witnesses;
+      for (std::size_t k = t + w.lo; k <= t + w.hi; ++k) {
+        std::vector<BoolExpr> parts;
+        parts.push_back(encode_rec(f.children()[1], trace, k, margin));
+        for (std::size_t j = t; j < k; ++j)
+          parts.push_back(encode_rec(f.children()[0], trace, j, margin));
+        witnesses.push_back(BoolExpr::conj(std::move(parts)));
+      }
+      return BoolExpr::disj(std::move(witnesses));
+    }
+    case FormulaKind::kRelease: {
+      const Window& w = f.window();
+      std::vector<BoolExpr> obligations;
+      for (std::size_t k = t + w.lo; k <= t + w.hi; ++k) {
+        std::vector<BoolExpr> parts;
+        parts.push_back(encode_rec(f.children()[1], trace, k, margin));
+        for (std::size_t j = t; j < k; ++j)
+          parts.push_back(encode_rec(f.children()[0], trace, j, margin));
+        obligations.push_back(BoolExpr::disj(std::move(parts)));
+      }
+      return BoolExpr::conj(std::move(obligations));
+    }
+  }
+  return BoolExpr::constant(true);
+}
+
+}  // namespace
+
+BoolExpr encode(const Formula& f, const sym::SymbolicTrace& trace, std::size_t t,
+                const EncodeOptions& options) {
+  util::require(trace.steps() > 0, "stl::encode: empty symbolic trace");
+  // Fail fast with a clear message; the per-atom range checks inside
+  // SignalExpr::evaluate are the precise guard.
+  util::require(t + f.depth() <= trace.x.size() - 1,
+                "stl::encode: formula depth " + std::to_string(f.depth()) +
+                    " at instant " + std::to_string(t) +
+                    " exceeds the unrolled horizon");
+  return encode_rec(f, trace, t, options.margin);
+}
+
+}  // namespace cpsguard::stl

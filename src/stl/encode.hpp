@@ -1,0 +1,34 @@
+// encode.hpp — bounded STL to QF_LRA over the affine unrolled trace.
+//
+// Because STL atoms are linear over trace signals and the unrolled trace is
+// affine over the attack variables, every bounded formula expands into a
+// sym::BoolExpr whose literals are linear constraints over the same decision
+// vector Algorithm 1 already solves for.  Window operators expand
+// syntactically: G to a conjunction over the window, F to a disjunction,
+// U/R to the standard prefix expansions.  The index arithmetic matches
+// stl/semantics.cpp exactly; tests cross-check encode().holds(theta)
+// against holds(concretized trace) on random assignments.
+#pragma once
+
+#include "stl/formula.hpp"
+#include "sym/constraint.hpp"
+#include "sym/unroller.hpp"
+
+namespace cpsguard::stl {
+
+/// Options controlling the robustness margin of the encoding.
+struct EncodeOptions {
+  /// Absolute slack added in favour of *violating* each atom: an atom
+  /// "e <= 0" encodes as "e <= -margin * scale(atom)" — satisfaction must
+  /// be robust by the margin.  Attack finders encode the negated pfc with a
+  /// small margin so SAT models replay as genuine violations on the
+  /// concrete implementation; certifiers use 0 (exact semantics).
+  double margin = 0.0;
+};
+
+/// Encodes `f` evaluated at instant `t` over the affine trace.  Throws
+/// InvalidArgument when t + f.depth() exceeds the unrolled horizon.
+sym::BoolExpr encode(const Formula& f, const sym::SymbolicTrace& trace,
+                     std::size_t t = 0, const EncodeOptions& options = {});
+
+}  // namespace cpsguard::stl

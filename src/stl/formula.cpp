@@ -1,0 +1,353 @@
+#include "stl/formula.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace cpsguard::stl {
+
+using util::require;
+
+std::string Window::str() const {
+  std::ostringstream out;
+  out << "[" << lo << "," << hi << "]";
+  return out.str();
+}
+
+std::string Atom::str() const {
+  std::ostringstream out;
+  out << expr.str() << " " << sym::rel_name(op) << " 0";
+  return out.str();
+}
+
+std::string formula_kind_name(FormulaKind kind) {
+  switch (kind) {
+    case FormulaKind::kTrue: return "true";
+    case FormulaKind::kFalse: return "false";
+    case FormulaKind::kAtom: return "atom";
+    case FormulaKind::kAnd: return "and";
+    case FormulaKind::kOr: return "or";
+    case FormulaKind::kGlobally: return "G";
+    case FormulaKind::kEventually: return "F";
+    case FormulaKind::kUntil: return "U";
+    case FormulaKind::kRelease: return "R";
+  }
+  return "?";
+}
+
+struct Formula::Node {
+  FormulaKind kind = FormulaKind::kTrue;
+  Atom atom;                       // kAtom
+  std::vector<Formula> children;   // kAnd/kOr (n-ary), temporal (1 or 2)
+  Window window;                   // temporal operators
+};
+
+namespace {
+
+std::shared_ptr<const Formula::Node> make_node(Formula::Node node) {
+  return std::make_shared<const Formula::Node>(std::move(node));
+}
+
+}  // namespace
+
+Formula::Formula() : Formula(constant(true)) {}
+
+Formula::Formula(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+Formula Formula::constant(bool value) {
+  Node n;
+  n.kind = value ? FormulaKind::kTrue : FormulaKind::kFalse;
+  return Formula(make_node(std::move(n)));
+}
+
+Formula Formula::atom(Atom a) {
+  Node n;
+  n.kind = FormulaKind::kAtom;
+  n.atom = std::move(a);
+  return Formula(make_node(std::move(n)));
+}
+
+Formula Formula::atom(SignalExpr expr, sym::RelOp op) {
+  return atom(Atom{std::move(expr), op});
+}
+
+namespace {
+
+Formula make_nary(FormulaKind kind, std::vector<Formula> children) {
+  const bool is_and = kind == FormulaKind::kAnd;
+  std::vector<Formula> flat;
+  for (Formula& c : children) {
+    if (c.kind() == FormulaKind::kTrue) {
+      if (!is_and) return Formula::constant(true);
+      continue;  // neutral for AND
+    }
+    if (c.kind() == FormulaKind::kFalse) {
+      if (is_and) return Formula::constant(false);
+      continue;  // neutral for OR
+    }
+    if (c.kind() == kind) {
+      for (const Formula& gc : c.children()) flat.push_back(gc);
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return Formula::constant(is_and);
+  if (flat.size() == 1) return flat.front();
+  return is_and ? Formula::conj(std::move(flat)) : Formula::disj(std::move(flat));
+}
+
+}  // namespace
+
+Formula Formula::conj(std::vector<Formula> children) {
+  // Fast path used by make_nary once simplified: build the node directly
+  // when no simplification applies.
+  bool needs_simplify = children.size() < 2;
+  for (const Formula& c : children) {
+    if (c.is_constant() || c.kind() == FormulaKind::kAnd) {
+      needs_simplify = true;
+      break;
+    }
+  }
+  if (needs_simplify) return make_nary(FormulaKind::kAnd, std::move(children));
+  Node n;
+  n.kind = FormulaKind::kAnd;
+  n.children = std::move(children);
+  return Formula(make_node(std::move(n)));
+}
+
+Formula Formula::disj(std::vector<Formula> children) {
+  bool needs_simplify = children.size() < 2;
+  for (const Formula& c : children) {
+    if (c.is_constant() || c.kind() == FormulaKind::kOr) {
+      needs_simplify = true;
+      break;
+    }
+  }
+  if (needs_simplify) return make_nary(FormulaKind::kOr, std::move(children));
+  Node n;
+  n.kind = FormulaKind::kOr;
+  n.children = std::move(children);
+  return Formula(make_node(std::move(n)));
+}
+
+Formula Formula::globally(Window w, Formula child) {
+  require(w.lo <= w.hi, "Formula::globally: window lo > hi");
+  if (child.is_constant()) return child;
+  Node n;
+  n.kind = FormulaKind::kGlobally;
+  n.window = w;
+  n.children = {std::move(child)};
+  return Formula(make_node(std::move(n)));
+}
+
+Formula Formula::eventually(Window w, Formula child) {
+  require(w.lo <= w.hi, "Formula::eventually: window lo > hi");
+  if (child.is_constant()) return child;
+  Node n;
+  n.kind = FormulaKind::kEventually;
+  n.window = w;
+  n.children = {std::move(child)};
+  return Formula(make_node(std::move(n)));
+}
+
+Formula Formula::until(Window w, Formula lhs, Formula rhs) {
+  require(w.lo <= w.hi, "Formula::until: window lo > hi");
+  Node n;
+  n.kind = FormulaKind::kUntil;
+  n.window = w;
+  n.children = {std::move(lhs), std::move(rhs)};
+  return Formula(make_node(std::move(n)));
+}
+
+Formula Formula::release(Window w, Formula lhs, Formula rhs) {
+  require(w.lo <= w.hi, "Formula::release: window lo > hi");
+  Node n;
+  n.kind = FormulaKind::kRelease;
+  n.window = w;
+  n.children = {std::move(lhs), std::move(rhs)};
+  return Formula(make_node(std::move(n)));
+}
+
+Formula Formula::implies(const Formula& lhs, Formula rhs) {
+  return disj({lhs.negate(), std::move(rhs)});
+}
+
+FormulaKind Formula::kind() const { return node_->kind; }
+
+bool Formula::is_constant() const {
+  return node_->kind == FormulaKind::kTrue || node_->kind == FormulaKind::kFalse;
+}
+
+bool Formula::constant_value() const {
+  require(is_constant(), "Formula::constant_value: not a constant");
+  return node_->kind == FormulaKind::kTrue;
+}
+
+const Atom& Formula::atom_ref() const {
+  require(node_->kind == FormulaKind::kAtom, "Formula::atom_ref: not an atom");
+  return node_->atom;
+}
+
+const std::vector<Formula>& Formula::children() const { return node_->children; }
+
+const Window& Formula::window() const {
+  require(node_->kind == FormulaKind::kGlobally ||
+              node_->kind == FormulaKind::kEventually ||
+              node_->kind == FormulaKind::kUntil ||
+              node_->kind == FormulaKind::kRelease,
+          "Formula::window: not a temporal node");
+  return node_->window;
+}
+
+Formula Formula::negate() const {
+  switch (node_->kind) {
+    case FormulaKind::kTrue: return constant(false);
+    case FormulaKind::kFalse: return constant(true);
+    case FormulaKind::kAtom: return atom(node_->atom.negated());
+    case FormulaKind::kAnd: {
+      std::vector<Formula> negated;
+      negated.reserve(node_->children.size());
+      for (const Formula& c : node_->children) negated.push_back(c.negate());
+      return disj(std::move(negated));
+    }
+    case FormulaKind::kOr: {
+      std::vector<Formula> negated;
+      negated.reserve(node_->children.size());
+      for (const Formula& c : node_->children) negated.push_back(c.negate());
+      return conj(std::move(negated));
+    }
+    case FormulaKind::kGlobally:
+      return eventually(node_->window, node_->children[0].negate());
+    case FormulaKind::kEventually:
+      return globally(node_->window, node_->children[0].negate());
+    case FormulaKind::kUntil:
+      return release(node_->window, node_->children[0].negate(),
+                     node_->children[1].negate());
+    case FormulaKind::kRelease:
+      return until(node_->window, node_->children[0].negate(),
+                   node_->children[1].negate());
+  }
+  return constant(true);
+}
+
+std::size_t Formula::depth() const {
+  switch (node_->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+      return 0;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::size_t d = 0;
+      for (const Formula& c : node_->children) d = std::max(d, c.depth());
+      return d;
+    }
+    case FormulaKind::kGlobally:
+    case FormulaKind::kEventually:
+      return node_->window.hi + node_->children[0].depth();
+    case FormulaKind::kUntil:
+    case FormulaKind::kRelease: {
+      // psi can be required at t + hi; phi at instants strictly before the
+      // witnessing k, i.e. up to t + hi - 1.
+      const std::size_t lhs_depth =
+          node_->window.hi == 0
+              ? node_->children[0].depth()
+              : node_->window.hi - 1 + node_->children[0].depth();
+      const std::size_t rhs_depth = node_->window.hi + node_->children[1].depth();
+      return std::max(lhs_depth, rhs_depth);
+    }
+  }
+  return 0;
+}
+
+std::size_t Formula::atom_count() const {
+  switch (node_->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return 0;
+    case FormulaKind::kAtom:
+      return 1;
+    default: {
+      std::size_t total = 0;
+      for (const Formula& c : node_->children) total += c.atom_count();
+      return total;
+    }
+  }
+}
+
+std::string Formula::str() const {
+  std::ostringstream out;
+  switch (node_->kind) {
+    case FormulaKind::kTrue: out << "true"; break;
+    case FormulaKind::kFalse: out << "false"; break;
+    case FormulaKind::kAtom: out << node_->atom.str(); break;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const char* sep = node_->kind == FormulaKind::kAnd ? " & " : " | ";
+      out << "(";
+      for (std::size_t i = 0; i < node_->children.size(); ++i) {
+        if (i) out << sep;
+        out << node_->children[i].str();
+      }
+      out << ")";
+      break;
+    }
+    case FormulaKind::kGlobally:
+    case FormulaKind::kEventually:
+      out << formula_kind_name(node_->kind) << node_->window.str() << "("
+          << node_->children[0].str() << ")";
+      break;
+    case FormulaKind::kUntil:
+    case FormulaKind::kRelease:
+      out << "(" << node_->children[0].str() << " " << formula_kind_name(node_->kind)
+          << node_->window.str() << " " << node_->children[1].str() << ")";
+      break;
+  }
+  return out.str();
+}
+
+Formula abs_le(const SignalExpr& expr, double bound) {
+  return Formula::conj({Formula::atom(expr - bound, sym::RelOp::kLe),
+                        Formula::atom(-expr - bound, sym::RelOp::kLe)});
+}
+
+Formula abs_ge(const SignalExpr& expr, double bound) {
+  return Formula::disj({Formula::atom(expr - bound, sym::RelOp::kGe),
+                        Formula::atom(-expr - bound, sym::RelOp::kGe)});
+}
+
+Formula operator<=(const SignalExpr& lhs, double rhs) {
+  return Formula::atom(lhs - rhs, sym::RelOp::kLe);
+}
+Formula operator<(const SignalExpr& lhs, double rhs) {
+  return Formula::atom(lhs - rhs, sym::RelOp::kLt);
+}
+Formula operator>=(const SignalExpr& lhs, double rhs) {
+  return Formula::atom(lhs - rhs, sym::RelOp::kGe);
+}
+Formula operator>(const SignalExpr& lhs, double rhs) {
+  return Formula::atom(lhs - rhs, sym::RelOp::kGt);
+}
+Formula operator<=(const SignalExpr& lhs, const SignalExpr& rhs) {
+  return Formula::atom(lhs - rhs, sym::RelOp::kLe);
+}
+Formula operator<(const SignalExpr& lhs, const SignalExpr& rhs) {
+  return Formula::atom(lhs - rhs, sym::RelOp::kLt);
+}
+Formula operator>=(const SignalExpr& lhs, const SignalExpr& rhs) {
+  return Formula::atom(lhs - rhs, sym::RelOp::kGe);
+}
+Formula operator>(const SignalExpr& lhs, const SignalExpr& rhs) {
+  return Formula::atom(lhs - rhs, sym::RelOp::kGt);
+}
+
+Formula operator&&(const Formula& lhs, const Formula& rhs) {
+  return Formula::conj({lhs, rhs});
+}
+Formula operator||(const Formula& lhs, const Formula& rhs) {
+  return Formula::disj({lhs, rhs});
+}
+Formula operator!(const Formula& f) { return f.negate(); }
+
+}  // namespace cpsguard::stl

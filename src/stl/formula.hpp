@@ -1,0 +1,138 @@
+// formula.hpp — bounded signal temporal logic (STL) over closed-loop traces.
+//
+// Grammar (discrete time, window bounds in sampling instants):
+//   phi := true | false | atom
+//        | !phi | phi & phi | phi | phi | phi -> phi
+//        | G[a,b] phi | F[a,b] phi | phi U[a,b] phi | phi R[a,b] phi
+// Atoms are linear predicates over trace signals (see SignalExpr), so every
+// bounded formula unrolls into a sym::BoolExpr in QF_LRA — which is what
+// lets an STL formula serve as the synthesis pipeline's pfc (stl::criterion)
+// or as an extra monitoring constraint.
+//
+// Formulas are immutable DAG nodes behind shared_ptr; the Formula value type
+// copies in O(1).  Negation is structural (NNF-preserving): the AST keeps a
+// kNot node only around atoms, where it is resolved by flipping the
+// relation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stl/signal_expr.hpp"
+#include "sym/constraint.hpp"
+
+namespace cpsguard::stl {
+
+/// Inclusive discrete-time window [lo, hi] (in sampling instants).
+struct Window {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+
+  std::string str() const;
+};
+
+/// "expr op 0" — the linear predicates at STL leaves.
+struct Atom {
+  SignalExpr expr;
+  sym::RelOp op = sym::RelOp::kLe;
+
+  /// The complementary predicate (<= becomes >, ...).
+  Atom negated() const { return Atom{expr, sym::negate(op)}; }
+
+  std::string str() const;
+};
+
+class Formula;
+
+/// Node kinds of the STL AST.
+enum class FormulaKind {
+  kTrue,
+  kFalse,
+  kAtom,
+  kAnd,
+  kOr,
+  kGlobally,
+  kEventually,
+  kUntil,
+  kRelease,
+};
+
+std::string formula_kind_name(FormulaKind kind);
+
+/// Value-semantic handle on an immutable STL formula.
+class Formula {
+ public:
+  /// Default-constructed formulas are `true`.
+  Formula();
+
+  static Formula constant(bool value);
+  static Formula atom(Atom a);
+  static Formula atom(SignalExpr expr, sym::RelOp op);
+  /// n-ary conjunction / disjunction; constants are simplified away and
+  /// nests of the same kind flattened.
+  static Formula conj(std::vector<Formula> children);
+  static Formula disj(std::vector<Formula> children);
+  static Formula globally(Window w, Formula child);
+  static Formula eventually(Window w, Formula child);
+  /// until(w, phi, psi): psi holds at some k in [t+w.lo, t+w.hi] and phi
+  /// holds at every j in [t, k).
+  static Formula until(Window w, Formula lhs, Formula rhs);
+  /// release(w, phi, psi): the dual of until — psi holds at every k in
+  /// [t+w.lo, t+w.hi] unless phi released it at some earlier j in [t, k).
+  static Formula release(Window w, Formula lhs, Formula rhs);
+  /// lhs -> rhs, sugar for !lhs | rhs.
+  static Formula implies(const Formula& lhs, Formula rhs);
+
+  FormulaKind kind() const;
+  bool is_constant() const;
+  /// Constant value; only meaningful for kTrue/kFalse.
+  bool constant_value() const;
+  const Atom& atom_ref() const;
+  const std::vector<Formula>& children() const;
+  const Window& window() const;
+
+  /// Structural negation in negation normal form (no kNot nodes; atoms are
+  /// flipped, AND/OR and G/F and U/R are swapped).
+  Formula negate() const;
+
+  /// Number of sampling instants past the evaluation instant the formula
+  /// can reference: evaluating at t touches instants up to t + depth().
+  std::size_t depth() const;
+
+  /// Number of atom leaves (diagnostics).
+  std::size_t atom_count() const;
+
+  std::string str() const;
+
+  /// Opaque node type (defined in formula.cpp).
+  struct Node;
+
+ private:
+  explicit Formula(std::shared_ptr<const Node> node);
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// abs(expr) <= bound (conjunction of two half-spaces).
+Formula abs_le(const SignalExpr& expr, double bound);
+/// abs(expr) >= bound (disjunction of two half-spaces).
+Formula abs_ge(const SignalExpr& expr, double bound);
+
+/// Comparison sugar producing atoms: expr <= c, expr >= c, ...
+Formula operator<=(const SignalExpr& lhs, double rhs);
+Formula operator<(const SignalExpr& lhs, double rhs);
+Formula operator>=(const SignalExpr& lhs, double rhs);
+Formula operator>(const SignalExpr& lhs, double rhs);
+Formula operator<=(const SignalExpr& lhs, const SignalExpr& rhs);
+Formula operator<(const SignalExpr& lhs, const SignalExpr& rhs);
+Formula operator>=(const SignalExpr& lhs, const SignalExpr& rhs);
+Formula operator>(const SignalExpr& lhs, const SignalExpr& rhs);
+
+/// Boolean sugar.
+Formula operator&&(const Formula& lhs, const Formula& rhs);
+Formula operator||(const Formula& lhs, const Formula& rhs);
+Formula operator!(const Formula& f);
+
+}  // namespace cpsguard::stl

@@ -1,0 +1,31 @@
+#include "stl/monitor.hpp"
+
+namespace cpsguard::stl {
+
+StlMonitor::StlMonitor(Formula formula, std::string label)
+    : formula_(std::move(formula)), label_(std::move(label)) {}
+
+bool StlMonitor::violated(const control::Trace& trace, std::size_t k) const {
+  const auto fit = last_valid_instant(formula_, trace);
+  if (!fit || k > *fit) return false;  // window runs past the horizon
+  return !holds(formula_, trace, k);
+}
+
+sym::BoolExpr StlMonitor::ok_expr(const sym::SymbolicTrace& trace, std::size_t k,
+                                  double margin) const {
+  const auto fit = last_valid_instant(formula_, trace);
+  if (!fit || k > *fit) return sym::BoolExpr::constant(true);
+  EncodeOptions options;
+  options.margin = margin;
+  return encode(formula_, trace, k, options);
+}
+
+std::string StlMonitor::describe() const {
+  return "stl(" + (label_.empty() ? formula_.str() : label_) + ")";
+}
+
+std::unique_ptr<monitor::SensorMonitor> StlMonitor::clone() const {
+  return std::make_unique<StlMonitor>(formula_, label_);
+}
+
+}  // namespace cpsguard::stl

@@ -1,0 +1,44 @@
+// monitor.hpp (stl) — STL formulas as plausibility monitors (mdc).
+//
+// The paper's monitoring system is a fixed menu (range, gradient, relation
+// + dead zone).  StlMonitor generalizes the menu: any bounded linear STL
+// formula evaluated per sampling instant becomes a SensorMonitor, so it
+// composes with MonitorSet's dead-zone policy and enters Algorithm 1's
+// stealthiness encoding exactly like the built-ins.  Example: "a yaw-rate
+// spike must be followed by a lateral-acceleration response within 3
+// samples" — a cross-sensor temporal sanity check none of the paper's
+// monitors can express.
+//
+// Windowing semantics: the formula is evaluated at instant k over the
+// samples k..k+depth.  Instants whose window runs past the horizon are
+// treated as non-violating (the check needs data that does not exist yet),
+// both concretely and in the symbolic encoding — the two faces stay
+// aligned.
+#pragma once
+
+#include "monitor/monitor.hpp"
+#include "stl/encode.hpp"
+#include "stl/formula.hpp"
+#include "stl/semantics.hpp"
+
+namespace cpsguard::stl {
+
+/// SensorMonitor adapter: instant k violates when `formula` is false at k.
+class StlMonitor final : public monitor::SensorMonitor {
+ public:
+  explicit StlMonitor(Formula formula, std::string label = "");
+
+  bool violated(const control::Trace& trace, std::size_t k) const override;
+  sym::BoolExpr ok_expr(const sym::SymbolicTrace& trace, std::size_t k,
+                        double margin = 0.0) const override;
+  std::string describe() const override;
+  std::unique_ptr<monitor::SensorMonitor> clone() const override;
+
+  const Formula& formula() const { return formula_; }
+
+ private:
+  Formula formula_;
+  std::string label_;
+};
+
+}  // namespace cpsguard::stl

@@ -1,0 +1,310 @@
+#include "stl/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace cpsguard::stl {
+
+namespace {
+
+/// Hand-rolled recursive-descent parser.  Tokenization is folded into the
+/// scanner: the grammar is small enough that a separate token stream would
+/// only add indirection.
+class Parser {
+ public:
+  // Owns a null-terminated copy: parse_number uses strtod, which needs a
+  // terminator a string_view cannot promise.
+  explicit Parser(std::string_view text) : owned_(text), text_(owned_) {}
+
+  Formula parse_formula() {
+    Formula f = parse_implication();
+    skip_ws();
+    if (!at_end()) fail("trailing input");
+    return f;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::ostringstream out;
+    out << "stl::parse: " << message << " at position " << pos_ << " in \"" << text_
+        << "\"";
+    throw util::InvalidArgument(out.str());
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+
+  char peek() const { return at_end() ? '\0' : text_[pos_]; }
+
+  char peek_at(std::size_t offset) const {
+    return pos_ + offset >= text_.size() ? '\0' : text_[pos_ + offset];
+  }
+
+  void skip_ws() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_word(std::string_view word) {
+    skip_ws();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    // Words must not run into an identifier tail (e.g. "true" vs "truex").
+    const char next = peek_at(word.size());
+    if (std::isalnum(static_cast<unsigned char>(next)) || next == '_') return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void expect(char c, const char* context) {
+    if (!consume(c)) fail(std::string("expected '") + c + "' " + context);
+  }
+
+  std::size_t parse_integer() {
+    skip_ws();
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("expected integer");
+    std::size_t value = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      value = value * 10 + static_cast<std::size_t>(peek() - '0');
+      ++pos_;
+    }
+    return value;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) fail("expected number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  Window parse_window() {
+    expect('[', "to open window");
+    Window w;
+    w.lo = parse_integer();
+    expect(',', "between window bounds");
+    w.hi = parse_integer();
+    expect(']', "to close window");
+    if (w.lo > w.hi) fail("window lo > hi");
+    return w;
+  }
+
+  /// 'G', 'F', 'U', 'R' are operators only when followed by '['; otherwise
+  /// they could be the head of nothing in this grammar (signals are
+  /// lowercase), but be strict anyway.
+  bool peek_temporal(char op) {
+    skip_ws();
+    if (peek() != op) return false;
+    std::size_t look = pos_ + 1;
+    while (look < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[look])))
+      ++look;
+    return look < text_.size() && text_[look] == '[';
+  }
+
+  std::optional<SignalExpr> try_parse_signal() {
+    skip_ws();
+    SignalKind kind;
+    std::size_t name_len = 0;
+    if (text_.substr(pos_, 4) == "xhat") {
+      kind = SignalKind::kEstimate;
+      name_len = 4;
+    } else if (peek() == 'x') {
+      kind = SignalKind::kState;
+      name_len = 1;
+    } else if (peek() == 'y') {
+      kind = SignalKind::kOutput;
+      name_len = 1;
+    } else if (peek() == 'u') {
+      kind = SignalKind::kInput;
+      name_len = 1;
+    } else if (peek() == 'z') {
+      kind = SignalKind::kResidue;
+      name_len = 1;
+    } else {
+      return std::nullopt;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(peek_at(name_len))))
+      return std::nullopt;
+    pos_ += name_len;
+    const std::size_t index = parse_integer();
+    return SignalExpr(kind, index);
+  }
+
+  SignalExpr parse_term() {
+    skip_ws();
+    if (consume('-')) {
+      SignalExpr inner = parse_term();
+      return -inner;
+    }
+    if (auto sig = try_parse_signal()) {
+      SignalExpr e = *sig;
+      skip_ws();
+      if (consume('*')) e *= parse_number();
+      return e;
+    }
+    const double value = parse_number();
+    skip_ws();
+    if (consume('*')) {
+      auto sig = try_parse_signal();
+      if (!sig) fail("expected signal after '*'");
+      return value * *sig;
+    }
+    return SignalExpr(value);
+  }
+
+  SignalExpr parse_sum() {
+    SignalExpr e = parse_term();
+    for (;;) {
+      skip_ws();
+      if (consume('+')) {
+        e += parse_term();
+      } else if (peek() == '-' && peek_at(1) != '>') {
+        ++pos_;
+        e -= parse_term();
+      } else {
+        return e;
+      }
+    }
+  }
+
+  std::optional<sym::RelOp> try_parse_relop() {
+    skip_ws();
+    if (text_.substr(pos_, 2) == "<=") { pos_ += 2; return sym::RelOp::kLe; }
+    if (text_.substr(pos_, 2) == ">=") { pos_ += 2; return sym::RelOp::kGe; }
+    if (text_.substr(pos_, 2) == "==") { pos_ += 2; return sym::RelOp::kEq; }
+    if (text_.substr(pos_, 2) == "!=") { pos_ += 2; return sym::RelOp::kNe; }
+    if (peek() == '<') { ++pos_; return sym::RelOp::kLt; }
+    if (peek() == '>') { ++pos_; return sym::RelOp::kGt; }
+    return std::nullopt;
+  }
+
+  Formula parse_atom() {
+    skip_ws();
+    if (consume_word("abs")) {
+      expect('(', "after abs");
+      SignalExpr inner = parse_sum();
+      expect(')', "to close abs");
+      const auto op = try_parse_relop();
+      if (!op) fail("expected relational operator after abs(...)");
+      SignalExpr rhs = parse_sum();
+      if (!rhs.is_constant())
+        fail("abs comparisons require a constant right-hand side");
+      const double bound = rhs.constant();
+      switch (*op) {
+        case sym::RelOp::kLe:
+        case sym::RelOp::kLt:
+          return abs_le(inner, bound);
+        case sym::RelOp::kGe:
+        case sym::RelOp::kGt:
+          return abs_ge(inner, bound);
+        default:
+          fail("abs comparisons support <=, <, >=, > only");
+      }
+    }
+    SignalExpr lhs = parse_sum();
+    const auto op = try_parse_relop();
+    if (!op) fail("expected relational operator");
+    SignalExpr rhs = parse_sum();
+    return Formula::atom(lhs - rhs, *op);
+  }
+
+  Formula parse_unary() {
+    skip_ws();
+    if (consume('!')) return parse_unary().negate();
+    if (peek_temporal('G')) {
+      ++pos_;
+      const Window w = parse_window();
+      return Formula::globally(w, parse_unary());
+    }
+    if (peek_temporal('F')) {
+      ++pos_;
+      const Window w = parse_window();
+      return Formula::eventually(w, parse_unary());
+    }
+    if (consume_word("true")) return Formula::constant(true);
+    if (consume_word("false")) return Formula::constant(false);
+    if (consume('(')) {
+      Formula inner = parse_implication();
+      expect(')', "to close group");
+      return inner;
+    }
+    return parse_atom();
+  }
+
+  Formula parse_binary() {
+    Formula lhs = parse_unary();
+    if (peek_temporal('U')) {
+      ++pos_;
+      const Window w = parse_window();
+      return Formula::until(w, std::move(lhs), parse_unary());
+    }
+    if (peek_temporal('R')) {
+      ++pos_;
+      const Window w = parse_window();
+      return Formula::release(w, std::move(lhs), parse_unary());
+    }
+    return lhs;
+  }
+
+  Formula parse_conj() {
+    std::vector<Formula> parts{parse_binary()};
+    for (;;) {
+      skip_ws();
+      if (peek() == '&') {
+        ++pos_;
+        if (peek() == '&') ++pos_;
+        parts.push_back(parse_binary());
+      } else {
+        break;
+      }
+    }
+    return parts.size() == 1 ? parts.front() : Formula::conj(std::move(parts));
+  }
+
+  Formula parse_disj() {
+    std::vector<Formula> parts{parse_conj()};
+    for (;;) {
+      skip_ws();
+      if (peek() == '|') {
+        ++pos_;
+        if (peek() == '|') ++pos_;
+        parts.push_back(parse_conj());
+      } else {
+        break;
+      }
+    }
+    return parts.size() == 1 ? parts.front() : Formula::disj(std::move(parts));
+  }
+
+  Formula parse_implication() {
+    Formula lhs = parse_disj();
+    skip_ws();
+    if (peek() == '-' && peek_at(1) == '>') {
+      pos_ += 2;
+      return Formula::implies(lhs, parse_implication());
+    }
+    return lhs;
+  }
+
+  std::string owned_;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Formula parse(std::string_view text) { return Parser(text).parse_formula(); }
+
+}  // namespace cpsguard::stl

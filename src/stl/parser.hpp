@@ -1,0 +1,40 @@
+// parser.hpp — text syntax for STL formulas.
+//
+// Grammar (sample indices in windows; signals are x/xhat/y/u/z followed by
+// a component index):
+//
+//   formula  := disj ( '->' formula )?                (implication, right-assoc)
+//   disj     := conj ( ('|' | '||') conj )*
+//   conj     := binary ( ('&' | '&&') binary )*
+//   binary   := unary ( ('U' | 'R') window unary )?   (until / release)
+//   unary    := '!' unary
+//             | ('G' | 'F') window unary
+//             | '(' formula ')'
+//             | 'true' | 'false'
+//             | atom
+//   atom     := sum relop sum | 'abs' '(' sum ')' relop sum
+//   sum      := term ( ('+' | '-') term )*
+//   term     := number ( '*' signal )? | signal ( '*' number )? | '-' term
+//   signal   := ('x' | 'xhat' | 'y' | 'u' | 'z') integer
+//   window   := '[' integer ',' integer ']'
+//   relop    := '<=' | '<' | '>=' | '>' | '==' | '!='
+//
+// Examples:
+//   "G[0,49](abs(x0 - 0.25) <= 0.05)"
+//   "y0 >= 0.1 -> F[0,7](abs(z0) <= 0.01)"
+//   "(y1 <= 14.9) U[0,10] (x0 >= 0.2)"
+//
+// Parse errors throw util::InvalidArgument with position information.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "stl/formula.hpp"
+
+namespace cpsguard::stl {
+
+/// Parses `text` into a formula.
+Formula parse(std::string_view text);
+
+}  // namespace cpsguard::stl

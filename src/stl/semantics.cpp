@@ -1,0 +1,223 @@
+#include "stl/semantics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/status.hpp"
+
+namespace cpsguard::stl {
+
+namespace {
+
+bool atom_holds(const Atom& a, const control::Trace& trace, std::size_t t) {
+  const double v = a.expr.evaluate(trace, t);
+  switch (a.op) {
+    case sym::RelOp::kLe: return v <= 0.0;
+    case sym::RelOp::kLt: return v < 0.0;
+    case sym::RelOp::kGe: return v >= 0.0;
+    case sym::RelOp::kGt: return v > 0.0;
+    case sym::RelOp::kEq: return v == 0.0;
+    case sym::RelOp::kNe: return v != 0.0;
+  }
+  return false;
+}
+
+double atom_robustness(const Atom& a, const control::Trace& trace, std::size_t t) {
+  const double v = a.expr.evaluate(trace, t);
+  switch (a.op) {
+    case sym::RelOp::kLe:
+    case sym::RelOp::kLt:
+      return -v;
+    case sym::RelOp::kGe:
+    case sym::RelOp::kGt:
+      return v;
+    case sym::RelOp::kEq:
+      return -std::abs(v);
+    case sym::RelOp::kNe:
+      return std::abs(v);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+bool holds(const Formula& f, const control::Trace& trace, std::size_t t) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue: return true;
+    case FormulaKind::kFalse: return false;
+    case FormulaKind::kAtom: return atom_holds(f.atom_ref(), trace, t);
+    case FormulaKind::kAnd:
+      return std::all_of(f.children().begin(), f.children().end(),
+                         [&](const Formula& c) { return holds(c, trace, t); });
+    case FormulaKind::kOr:
+      return std::any_of(f.children().begin(), f.children().end(),
+                         [&](const Formula& c) { return holds(c, trace, t); });
+    case FormulaKind::kGlobally: {
+      const Window& w = f.window();
+      for (std::size_t k = t + w.lo; k <= t + w.hi; ++k)
+        if (!holds(f.children()[0], trace, k)) return false;
+      return true;
+    }
+    case FormulaKind::kEventually: {
+      const Window& w = f.window();
+      for (std::size_t k = t + w.lo; k <= t + w.hi; ++k)
+        if (holds(f.children()[0], trace, k)) return true;
+      return false;
+    }
+    case FormulaKind::kUntil: {
+      const Window& w = f.window();
+      for (std::size_t k = t + w.lo; k <= t + w.hi; ++k) {
+        if (!holds(f.children()[1], trace, k)) continue;
+        bool prefix_ok = true;
+        for (std::size_t j = t; j < k; ++j) {
+          if (!holds(f.children()[0], trace, j)) {
+            prefix_ok = false;
+            break;
+          }
+        }
+        if (prefix_ok) return true;
+      }
+      return false;
+    }
+    case FormulaKind::kRelease: {
+      const Window& w = f.window();
+      for (std::size_t k = t + w.lo; k <= t + w.hi; ++k) {
+        if (holds(f.children()[1], trace, k)) continue;
+        bool released = false;
+        for (std::size_t j = t; j < k; ++j) {
+          if (holds(f.children()[0], trace, j)) {
+            released = true;
+            break;
+          }
+        }
+        if (!released) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+double robustness(const Formula& f, const control::Trace& trace, std::size_t t) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  switch (f.kind()) {
+    case FormulaKind::kTrue: return kInf;
+    case FormulaKind::kFalse: return -kInf;
+    case FormulaKind::kAtom: return atom_robustness(f.atom_ref(), trace, t);
+    case FormulaKind::kAnd: {
+      double rho = kInf;
+      for (const Formula& c : f.children())
+        rho = std::min(rho, robustness(c, trace, t));
+      return rho;
+    }
+    case FormulaKind::kOr: {
+      double rho = -kInf;
+      for (const Formula& c : f.children())
+        rho = std::max(rho, robustness(c, trace, t));
+      return rho;
+    }
+    case FormulaKind::kGlobally: {
+      const Window& w = f.window();
+      double rho = kInf;
+      for (std::size_t k = t + w.lo; k <= t + w.hi; ++k)
+        rho = std::min(rho, robustness(f.children()[0], trace, k));
+      return rho;
+    }
+    case FormulaKind::kEventually: {
+      const Window& w = f.window();
+      double rho = -kInf;
+      for (std::size_t k = t + w.lo; k <= t + w.hi; ++k)
+        rho = std::max(rho, robustness(f.children()[0], trace, k));
+      return rho;
+    }
+    case FormulaKind::kUntil: {
+      const Window& w = f.window();
+      double rho = -kInf;
+      double prefix = kInf;  // min over rho(phi, j) for j in [t, k)
+      for (std::size_t k = t; k <= t + w.hi; ++k) {
+        if (k >= t + w.lo)
+          rho = std::max(rho,
+                         std::min(robustness(f.children()[1], trace, k), prefix));
+        // phi is never referenced at the last window instant (prefixes are
+        // strict), so skip it — the trace may end exactly at depth().
+        if (k < t + w.hi)
+          prefix = std::min(prefix, robustness(f.children()[0], trace, k));
+      }
+      return rho;
+    }
+    case FormulaKind::kRelease: {
+      const Window& w = f.window();
+      double rho = kInf;
+      double prefix = -kInf;  // max over rho(phi, j) for j in [t, k)
+      for (std::size_t k = t; k <= t + w.hi; ++k) {
+        if (k >= t + w.lo)
+          rho = std::min(rho,
+                         std::max(robustness(f.children()[1], trace, k), prefix));
+        if (k < t + w.hi)
+          prefix = std::max(prefix, robustness(f.children()[0], trace, k));
+      }
+      return rho;
+    }
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// Largest valid evaluation instant, or nullopt when none exists.
+template <typename TraceT>
+std::optional<std::size_t> max_instant_rec(const Formula& f,
+                                           const TraceT& trace) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return trace.steps() == 0 ? std::optional<std::size_t>{}
+                                : std::optional<std::size_t>{trace.steps() - 1};
+    case FormulaKind::kAtom:
+      return f.atom_ref().expr.max_instant(trace);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::optional<std::size_t> best;
+      for (const Formula& c : f.children()) {
+        const auto m = max_instant_rec(c, trace);
+        if (!m) return std::nullopt;
+        best = best ? std::min(*best, *m) : *m;
+      }
+      return best;
+    }
+    case FormulaKind::kGlobally:
+    case FormulaKind::kEventually: {
+      const auto child = max_instant_rec(f.children()[0], trace);
+      if (!child || *child < f.window().hi) return std::nullopt;
+      return *child - f.window().hi;
+    }
+    case FormulaKind::kUntil:
+    case FormulaKind::kRelease: {
+      const auto lhs = max_instant_rec(f.children()[0], trace);
+      const auto rhs = max_instant_rec(f.children()[1], trace);
+      if (!lhs || !rhs) return std::nullopt;
+      if (*rhs < f.window().hi) return std::nullopt;
+      const std::size_t rhs_limit = *rhs - f.window().hi;
+      // phi is referenced up to (t + hi - 1) when hi > 0.
+      if (f.window().hi == 0) return std::min(*lhs, rhs_limit);
+      if (*lhs + 1 < f.window().hi) return std::nullopt;
+      return std::min(*lhs + 1 - f.window().hi, rhs_limit);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::size_t> last_valid_instant(const Formula& f,
+                                              const control::Trace& trace) {
+  return max_instant_rec(f, trace);
+}
+
+std::optional<std::size_t> last_valid_instant(const Formula& f,
+                                              const sym::SymbolicTrace& trace) {
+  return max_instant_rec(f, trace);
+}
+
+}  // namespace cpsguard::stl

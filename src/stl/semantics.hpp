@@ -1,0 +1,38 @@
+// semantics.hpp — boolean and quantitative (robustness) STL semantics.
+//
+// Strict bounded-horizon semantics: evaluating `f` at instant `t` touches
+// instants up to `t + f.depth()`; the trace must be long enough (checked,
+// InvalidArgument otherwise).  There is no truncation — the encoder
+// (stl/encode.hpp) uses identical index arithmetic, and a test suite holds
+// the two faces together on random traces.
+#pragma once
+
+#include "control/trace.hpp"
+#include "stl/formula.hpp"
+
+namespace cpsguard::stl {
+
+/// Boolean satisfaction of `f` on `trace` at instant `t` (default: 0).
+bool holds(const Formula& f, const control::Trace& trace, std::size_t t = 0);
+
+/// Quantitative robustness: positive when satisfied, negative when violated
+/// (zero on the boundary; the sign convention matches holds() except on
+/// measure-zero boundaries).
+///   atom e<=0 : -e        atom e>=0 : e
+///   and: min   or: max    G: min over window   F: max over window
+///   until:  max_k min(rho(psi,k), min_{t<=j<k} rho(phi,j))
+///   release dual.
+double robustness(const Formula& f, const control::Trace& trace, std::size_t t = 0);
+
+/// Largest instant at which `f` can be evaluated on `trace`
+/// (i.e. max t with t + depth within every referenced signal's range).
+/// Returns nullopt when the trace is too short even for t = 0.
+std::optional<std::size_t> last_valid_instant(const Formula& f,
+                                              const control::Trace& trace);
+
+/// Same fit computation over the affine trace — StlMonitor uses it to keep
+/// the concrete and symbolic faces aligned on window boundaries.
+std::optional<std::size_t> last_valid_instant(const Formula& f,
+                                              const sym::SymbolicTrace& trace);
+
+}  // namespace cpsguard::stl

@@ -1,0 +1,185 @@
+#include "stl/signal_expr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace cpsguard::stl {
+
+using util::require;
+
+std::string signal_kind_name(SignalKind kind) {
+  switch (kind) {
+    case SignalKind::kState: return "x";
+    case SignalKind::kEstimate: return "xhat";
+    case SignalKind::kOutput: return "y";
+    case SignalKind::kInput: return "u";
+    case SignalKind::kResidue: return "z";
+  }
+  return "?";
+}
+
+SignalExpr::SignalExpr(SignalKind kind, std::size_t index, double coeff) {
+  terms_.push_back(SignalTerm{kind, index, coeff});
+}
+
+SignalExpr& SignalExpr::operator+=(const SignalExpr& rhs) {
+  for (const SignalTerm& t : rhs.terms_) {
+    auto it = std::find_if(terms_.begin(), terms_.end(), [&](const SignalTerm& mine) {
+      return mine.kind == t.kind && mine.index == t.index;
+    });
+    if (it != terms_.end()) {
+      it->coeff += t.coeff;
+    } else {
+      terms_.push_back(t);
+    }
+  }
+  constant_ += rhs.constant_;
+  return *this;
+}
+
+SignalExpr& SignalExpr::operator-=(const SignalExpr& rhs) {
+  SignalExpr negated = rhs;
+  negated *= -1.0;
+  return *this += negated;
+}
+
+SignalExpr& SignalExpr::operator*=(double s) {
+  for (SignalTerm& t : terms_) t.coeff *= s;
+  constant_ *= s;
+  return *this;
+}
+
+namespace {
+
+template <typename TraceT>
+std::size_t kind_length(const TraceT& trace, SignalKind kind) {
+  switch (kind) {
+    case SignalKind::kState: return trace.x.size();
+    case SignalKind::kEstimate: return trace.xhat.size();
+    case SignalKind::kOutput: return trace.y.size();
+    case SignalKind::kInput: return trace.u.size();
+    case SignalKind::kResidue: return trace.z.size();
+  }
+  return 0;
+}
+
+template <typename TraceT>
+std::size_t max_instant_impl(const std::vector<SignalTerm>& terms, const TraceT& trace) {
+  // A constant expression is evaluable anywhere the trace has samples.
+  std::size_t max_k = trace.z.empty() ? 0 : trace.z.size() - 1;
+  bool first = true;
+  for (const SignalTerm& t : terms) {
+    const std::size_t len = kind_length(trace, t.kind);
+    require(len > 0, "SignalExpr: trace has no samples for signal " +
+                         signal_kind_name(t.kind));
+    const std::size_t k = len - 1;
+    max_k = first ? k : std::min(max_k, k);
+    first = false;
+  }
+  return max_k;
+}
+
+}  // namespace
+
+std::size_t SignalExpr::max_instant(const control::Trace& trace) const {
+  return max_instant_impl(terms_, trace);
+}
+
+std::size_t SignalExpr::max_instant(const sym::SymbolicTrace& trace) const {
+  return max_instant_impl(terms_, trace);
+}
+
+double SignalExpr::evaluate(const control::Trace& trace, std::size_t k) const {
+  double value = constant_;
+  for (const SignalTerm& t : terms_) {
+    const std::vector<linalg::Vector>* series = nullptr;
+    switch (t.kind) {
+      case SignalKind::kState: series = &trace.x; break;
+      case SignalKind::kEstimate: series = &trace.xhat; break;
+      case SignalKind::kOutput: series = &trace.y; break;
+      case SignalKind::kInput: series = &trace.u; break;
+      case SignalKind::kResidue: series = &trace.z; break;
+    }
+    require(k < series->size(), "SignalExpr: instant " + std::to_string(k) +
+                                    " out of range for signal " +
+                                    signal_kind_name(t.kind));
+    require(t.index < (*series)[k].size(),
+            "SignalExpr: component " + std::to_string(t.index) +
+                " out of range for signal " + signal_kind_name(t.kind));
+    value += t.coeff * (*series)[k][t.index];
+  }
+  return value;
+}
+
+sym::AffineExpr SignalExpr::evaluate(const sym::SymbolicTrace& trace,
+                                     std::size_t k) const {
+  sym::AffineExpr value(trace.layout.num_vars(), constant_);
+  for (const SignalTerm& t : terms_) {
+    const std::vector<sym::AffineVec>* series = nullptr;
+    switch (t.kind) {
+      case SignalKind::kState: series = &trace.x; break;
+      case SignalKind::kEstimate: series = &trace.xhat; break;
+      case SignalKind::kOutput: series = &trace.y; break;
+      case SignalKind::kInput: series = &trace.u; break;
+      case SignalKind::kResidue: series = &trace.z; break;
+    }
+    require(k < series->size(), "SignalExpr: instant " + std::to_string(k) +
+                                    " out of range for signal " +
+                                    signal_kind_name(t.kind));
+    require(t.index < (*series)[k].size(),
+            "SignalExpr: component " + std::to_string(t.index) +
+                " out of range for signal " + signal_kind_name(t.kind));
+    value += t.coeff * (*series)[k][t.index];
+  }
+  return value;
+}
+
+double SignalExpr::margin_scale() const {
+  double scale = std::max(std::abs(constant_), 1.0);
+  for (const SignalTerm& t : terms_) scale = std::max(scale, std::abs(t.coeff));
+  return scale;
+}
+
+std::string SignalExpr::str() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const SignalTerm& t : terms_) {
+    if (t.coeff == 0.0) continue;
+    if (!first) out << (t.coeff < 0.0 ? " - " : " + ");
+    if (first && t.coeff < 0.0) out << "-";
+    const double mag = std::abs(t.coeff);
+    if (mag != 1.0) out << mag << "*";
+    out << signal_kind_name(t.kind) << t.index;
+    first = false;
+  }
+  if (first) {
+    out << constant_;
+  } else if (constant_ != 0.0) {
+    out << (constant_ < 0.0 ? " - " : " + ") << std::abs(constant_);
+  }
+  return out.str();
+}
+
+SignalExpr operator+(SignalExpr lhs, const SignalExpr& rhs) { return lhs += rhs; }
+SignalExpr operator-(SignalExpr lhs, const SignalExpr& rhs) { return lhs -= rhs; }
+SignalExpr operator*(double s, SignalExpr e) { return e *= s; }
+SignalExpr operator*(SignalExpr e, double s) { return e *= s; }
+SignalExpr operator-(SignalExpr e) { return e *= -1.0; }
+SignalExpr operator+(SignalExpr lhs, double c) { return lhs += c; }
+SignalExpr operator-(SignalExpr lhs, double c) { return lhs -= c; }
+SignalExpr operator+(double c, SignalExpr rhs) { return rhs += c; }
+SignalExpr operator-(double c, SignalExpr rhs) {
+  rhs *= -1.0;
+  return rhs += c;
+}
+
+SignalExpr state(std::size_t index) { return SignalExpr(SignalKind::kState, index); }
+SignalExpr estimate(std::size_t index) { return SignalExpr(SignalKind::kEstimate, index); }
+SignalExpr output(std::size_t index) { return SignalExpr(SignalKind::kOutput, index); }
+SignalExpr input(std::size_t index) { return SignalExpr(SignalKind::kInput, index); }
+SignalExpr residue(std::size_t index) { return SignalExpr(SignalKind::kResidue, index); }
+
+}  // namespace cpsguard::stl

@@ -1,0 +1,96 @@
+// signal_expr.hpp — linear expressions over closed-loop trace quantities.
+//
+// STL atoms compare a *linear* combination of trace signals at the current
+// sampling instant against zero.  Linearity is deliberate: it keeps every
+// bounded STL formula expressible as a sym::BoolExpr over the affine
+// unrolled trace, so the whole synthesis pipeline (Algorithms 1-3) accepts
+// STL performance criteria without leaving QF_LRA.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "control/trace.hpp"
+#include "sym/affine.hpp"
+#include "sym/unroller.hpp"
+
+namespace cpsguard::stl {
+
+/// Which closed-loop signal a term references.
+enum class SignalKind {
+  kState,     ///< plant state x_k (valid indices 0..T)
+  kEstimate,  ///< observer estimate x̂_k (valid indices 0..T)
+  kOutput,    ///< (possibly attacked) measurement y_k (0..T-1)
+  kInput,     ///< control input u_k (0..T-1)
+  kResidue,   ///< residue z_k = y_k - ŷ_k (0..T-1)
+};
+
+std::string signal_kind_name(SignalKind kind);
+
+/// coeff * signal[index] evaluated at the formula's current instant.
+struct SignalTerm {
+  SignalKind kind = SignalKind::kState;
+  std::size_t index = 0;
+  double coeff = 1.0;
+};
+
+/// constant + sum of terms; the building block of STL atoms.
+class SignalExpr {
+ public:
+  SignalExpr() = default;
+  /// Constant expression.
+  explicit SignalExpr(double constant) : constant_(constant) {}
+  /// Single-term expression.
+  SignalExpr(SignalKind kind, std::size_t index, double coeff = 1.0);
+
+  const std::vector<SignalTerm>& terms() const { return terms_; }
+  double constant() const { return constant_; }
+  bool is_constant() const { return terms_.empty(); }
+
+  SignalExpr& operator+=(const SignalExpr& rhs);
+  SignalExpr& operator-=(const SignalExpr& rhs);
+  SignalExpr& operator*=(double s);
+  SignalExpr& operator+=(double c) { constant_ += c; return *this; }
+  SignalExpr& operator-=(double c) { constant_ -= c; return *this; }
+
+  /// Largest instant at which the expression can be evaluated on `trace`
+  /// (state/estimate terms extend one step past the last sampling instant).
+  std::size_t max_instant(const control::Trace& trace) const;
+  std::size_t max_instant(const sym::SymbolicTrace& trace) const;
+
+  /// Concrete value at instant k.  Throws InvalidArgument past max_instant.
+  double evaluate(const control::Trace& trace, std::size_t k) const;
+
+  /// Affine form over the solver variables at instant k.
+  sym::AffineExpr evaluate(const sym::SymbolicTrace& trace, std::size_t k) const;
+
+  /// Scale used to turn relative robustness margins into absolute slack:
+  /// max(|constant|, max |coeff|, 1).
+  double margin_scale() const;
+
+  std::string str() const;
+
+ private:
+  std::vector<SignalTerm> terms_;
+  double constant_ = 0.0;
+};
+
+SignalExpr operator+(SignalExpr lhs, const SignalExpr& rhs);
+SignalExpr operator-(SignalExpr lhs, const SignalExpr& rhs);
+SignalExpr operator*(double s, SignalExpr e);
+SignalExpr operator*(SignalExpr e, double s);
+SignalExpr operator-(SignalExpr e);
+SignalExpr operator+(SignalExpr lhs, double c);
+SignalExpr operator-(SignalExpr lhs, double c);
+SignalExpr operator+(double c, SignalExpr rhs);
+SignalExpr operator-(double c, SignalExpr rhs);
+
+/// Convenience constructors mirroring the parser's signal names.
+SignalExpr state(std::size_t index);
+SignalExpr estimate(std::size_t index);
+SignalExpr output(std::size_t index);
+SignalExpr input(std::size_t index);
+SignalExpr residue(std::size_t index);
+
+}  // namespace cpsguard::stl

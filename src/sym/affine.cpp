@@ -1,0 +1,145 @@
+#include "sym/affine.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace cpsguard::sym {
+
+using util::require;
+
+AffineExpr AffineExpr::variable(std::size_t num_vars, std::size_t index) {
+  require(index < num_vars, "AffineExpr::variable: index out of range");
+  AffineExpr e(num_vars);
+  e.coeffs_[index] = 1.0;
+  return e;
+}
+
+AffineExpr AffineExpr::constant(std::size_t num_vars, double c) {
+  return AffineExpr(num_vars, c);
+}
+
+double AffineExpr::coeff(std::size_t i) const {
+  require(i < coeffs_.size(), "AffineExpr::coeff: index out of range");
+  return coeffs_[i];
+}
+
+double& AffineExpr::coeff(std::size_t i) {
+  require(i < coeffs_.size(), "AffineExpr::coeff: index out of range");
+  return coeffs_[i];
+}
+
+AffineExpr& AffineExpr::operator+=(const AffineExpr& rhs) {
+  require(num_vars() == rhs.num_vars(), "AffineExpr+=: variable space mismatch");
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) coeffs_[i] += rhs.coeffs_[i];
+  constant_ += rhs.constant_;
+  return *this;
+}
+
+AffineExpr& AffineExpr::operator-=(const AffineExpr& rhs) {
+  require(num_vars() == rhs.num_vars(), "AffineExpr-=: variable space mismatch");
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) coeffs_[i] -= rhs.coeffs_[i];
+  constant_ -= rhs.constant_;
+  return *this;
+}
+
+AffineExpr& AffineExpr::operator*=(double s) {
+  for (auto& c : coeffs_) c *= s;
+  constant_ *= s;
+  return *this;
+}
+
+double AffineExpr::evaluate(const std::vector<double>& values) const {
+  require(values.size() == coeffs_.size(), "AffineExpr::evaluate: bad assignment size");
+  double acc = constant_;
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) acc += coeffs_[i] * values[i];
+  return acc;
+}
+
+bool AffineExpr::is_constant(double tol) const {
+  for (double c : coeffs_)
+    if (std::abs(c) > tol) return false;
+  return true;
+}
+
+std::string AffineExpr::str(int precision) const {
+  std::ostringstream out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, constant_);
+  out << buf;
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i] == 0.0) continue;
+    std::snprintf(buf, sizeof(buf), "%+.*g", precision, coeffs_[i]);
+    out << ' ' << buf << "*v" << i;
+  }
+  return out.str();
+}
+
+AffineExpr operator+(AffineExpr lhs, const AffineExpr& rhs) { return lhs += rhs; }
+AffineExpr operator-(AffineExpr lhs, const AffineExpr& rhs) { return lhs -= rhs; }
+AffineExpr operator*(double s, AffineExpr e) { return e *= s; }
+AffineExpr operator*(AffineExpr e, double s) { return e *= s; }
+AffineExpr operator-(AffineExpr e) { return e *= -1.0; }
+AffineExpr operator+(AffineExpr lhs, double c) { return lhs += c; }
+AffineExpr operator-(AffineExpr lhs, double c) { return lhs -= c; }
+
+AffineVec affine_zero(std::size_t num_vars, std::size_t dim) {
+  return AffineVec(dim, AffineExpr(num_vars));
+}
+
+AffineVec affine_const(std::size_t num_vars, const linalg::Vector& v) {
+  AffineVec out;
+  out.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out.push_back(AffineExpr::constant(num_vars, v[i]));
+  return out;
+}
+
+AffineVec affine_mul(const linalg::Matrix& m, const AffineVec& v) {
+  require(m.cols() == v.size(), "affine_mul: dimension mismatch");
+  const std::size_t nv = v.empty() ? 0 : v.front().num_vars();
+  AffineVec out(m.rows(), AffineExpr(nv));
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const double s = m(r, c);
+      if (s == 0.0) continue;
+      out[r] += s * v[c];
+    }
+  }
+  return out;
+}
+
+AffineVec affine_add(AffineVec lhs, const AffineVec& rhs) {
+  require(lhs.size() == rhs.size(), "affine_add: dimension mismatch");
+  for (std::size_t i = 0; i < lhs.size(); ++i) lhs[i] += rhs[i];
+  return lhs;
+}
+
+AffineVec affine_sub(AffineVec lhs, const AffineVec& rhs) {
+  require(lhs.size() == rhs.size(), "affine_sub: dimension mismatch");
+  for (std::size_t i = 0; i < lhs.size(); ++i) lhs[i] -= rhs[i];
+  return lhs;
+}
+
+AffineVec affine_add_const(AffineVec lhs, const linalg::Vector& rhs) {
+  require(lhs.size() == rhs.size(), "affine_add_const: dimension mismatch");
+  for (std::size_t i = 0; i < lhs.size(); ++i) lhs[i] += rhs[i];
+  return lhs;
+}
+
+AffineExpr pad_variables(const AffineExpr& e, std::size_t new_num_vars) {
+  require(new_num_vars >= e.num_vars(), "pad_variables: cannot shrink variable space");
+  AffineExpr out(new_num_vars, e.constant_term());
+  for (std::size_t i = 0; i < e.num_vars(); ++i) out.coeff(i) = e.coeff(i);
+  return out;
+}
+
+linalg::Vector affine_evaluate(const AffineVec& v, const std::vector<double>& values) {
+  linalg::Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i].evaluate(values);
+  return out;
+}
+
+}  // namespace cpsguard::sym

@@ -1,0 +1,88 @@
+// affine.hpp — affine forms over the solver's decision variables.
+//
+// Plant, estimator and controller are all linear and the attack enters
+// additively, so every quantity in the unrolled closed loop is an *affine
+// function* of the decision vector theta = (a_1..a_T, optional x_1).  The
+// unroller propagates these forms numerically; solvers then only ever see
+// the T*m attack variables and purely linear constraints — no per-step
+// state variables.  This is the encoding that keeps T = 50+ horizons fast.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cpsguard::sym {
+
+/// value = constant + sum_i coeff[i] * var_i over a fixed variable space.
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+  /// Zero form over `num_vars` variables.
+  explicit AffineExpr(std::size_t num_vars) : coeffs_(num_vars, 0.0) {}
+  /// Constant form.
+  AffineExpr(std::size_t num_vars, double constant)
+      : coeffs_(num_vars, 0.0), constant_(constant) {}
+
+  /// The form "var_i" over `num_vars` variables.
+  static AffineExpr variable(std::size_t num_vars, std::size_t index);
+  /// The constant form `c`.
+  static AffineExpr constant(std::size_t num_vars, double c);
+
+  std::size_t num_vars() const { return coeffs_.size(); }
+  double coeff(std::size_t i) const;
+  double& coeff(std::size_t i);
+  double constant_term() const { return constant_; }
+  double& constant_term() { return constant_; }
+
+  AffineExpr& operator+=(const AffineExpr& rhs);
+  AffineExpr& operator-=(const AffineExpr& rhs);
+  AffineExpr& operator*=(double s);
+  AffineExpr& operator+=(double c) { constant_ += c; return *this; }
+  AffineExpr& operator-=(double c) { constant_ -= c; return *this; }
+
+  /// Evaluates the form at a concrete assignment.
+  double evaluate(const std::vector<double>& values) const;
+
+  /// True when every coefficient is zero (the form is a constant).
+  bool is_constant(double tol = 0.0) const;
+
+  std::string str(int precision = 6) const;
+
+ private:
+  std::vector<double> coeffs_;
+  double constant_ = 0.0;
+};
+
+AffineExpr operator+(AffineExpr lhs, const AffineExpr& rhs);
+AffineExpr operator-(AffineExpr lhs, const AffineExpr& rhs);
+AffineExpr operator*(double s, AffineExpr e);
+AffineExpr operator*(AffineExpr e, double s);
+AffineExpr operator-(AffineExpr e);
+AffineExpr operator+(AffineExpr lhs, double c);
+AffineExpr operator-(AffineExpr lhs, double c);
+
+/// A vector of affine forms (a symbolic R^n value).
+using AffineVec = std::vector<AffineExpr>;
+
+/// Zero symbolic vector of dimension `dim` over `num_vars` variables.
+AffineVec affine_zero(std::size_t num_vars, std::size_t dim);
+/// Symbolic copy of a concrete vector.
+AffineVec affine_const(std::size_t num_vars, const linalg::Vector& v);
+/// Matrix-symbolic-vector product.
+AffineVec affine_mul(const linalg::Matrix& m, const AffineVec& v);
+AffineVec affine_add(AffineVec lhs, const AffineVec& rhs);
+AffineVec affine_sub(AffineVec lhs, const AffineVec& rhs);
+/// Adds a concrete offset vector to a symbolic one.
+AffineVec affine_add_const(AffineVec lhs, const linalg::Vector& rhs);
+/// Evaluates all components at a concrete assignment.
+linalg::Vector affine_evaluate(const AffineVec& v, const std::vector<double>& values);
+
+/// Re-embeds `e` into a larger variable space (appended variables get zero
+/// coefficients).  Used when auxiliary solver variables (e.g. the effort
+/// bounds of min-effort attack synthesis) are appended to a problem.
+AffineExpr pad_variables(const AffineExpr& e, std::size_t new_num_vars);
+
+}  // namespace cpsguard::sym

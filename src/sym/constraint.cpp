@@ -1,0 +1,254 @@
+#include "sym/constraint.hpp"
+
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace cpsguard::sym {
+
+using util::require;
+
+RelOp negate(RelOp op) {
+  switch (op) {
+    case RelOp::kLe: return RelOp::kGt;
+    case RelOp::kLt: return RelOp::kGe;
+    case RelOp::kGe: return RelOp::kLt;
+    case RelOp::kGt: return RelOp::kLe;
+    case RelOp::kEq: return RelOp::kNe;
+    case RelOp::kNe: return RelOp::kEq;
+  }
+  throw util::InvalidArgument("negate: unknown RelOp");
+}
+
+std::string rel_name(RelOp op) {
+  switch (op) {
+    case RelOp::kLe: return "<=";
+    case RelOp::kLt: return "<";
+    case RelOp::kGe: return ">=";
+    case RelOp::kGt: return ">";
+    case RelOp::kEq: return "==";
+    case RelOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+bool LinearConstraint::holds(const std::vector<double>& values, double tol) const {
+  const double v = expr.evaluate(values);
+  switch (op) {
+    case RelOp::kLe: return v <= tol;
+    case RelOp::kLt: return v < tol;
+    case RelOp::kGe: return v >= -tol;
+    case RelOp::kGt: return v > -tol;
+    case RelOp::kEq: return std::abs(v) <= tol;
+    case RelOp::kNe: return std::abs(v) > tol;
+  }
+  return false;
+}
+
+BoolExpr BoolExpr::constant(bool value) {
+  BoolExpr e;
+  e.kind_ = value ? Kind::kTrue : Kind::kFalse;
+  return e;
+}
+
+BoolExpr BoolExpr::lit(LinearConstraint c) {
+  BoolExpr e;
+  e.kind_ = Kind::kLit;
+  e.lit_ = std::move(c);
+  return e;
+}
+
+BoolExpr BoolExpr::lit(AffineExpr expr, RelOp op) {
+  return lit(LinearConstraint{std::move(expr), op});
+}
+
+BoolExpr BoolExpr::conj(std::vector<BoolExpr> children) {
+  std::vector<BoolExpr> kept;
+  for (auto& c : children) {
+    if (c.is_false()) return constant(false);
+    if (c.is_true()) continue;
+    if (c.kind_ == Kind::kAnd) {
+      for (auto& g : c.children_) kept.push_back(std::move(g));
+    } else {
+      kept.push_back(std::move(c));
+    }
+  }
+  if (kept.empty()) return constant(true);
+  if (kept.size() == 1) return std::move(kept.front());
+  BoolExpr e;
+  e.kind_ = Kind::kAnd;
+  e.children_ = std::move(kept);
+  return e;
+}
+
+BoolExpr BoolExpr::disj(std::vector<BoolExpr> children) {
+  std::vector<BoolExpr> kept;
+  for (auto& c : children) {
+    if (c.is_true()) return constant(true);
+    if (c.is_false()) continue;
+    if (c.kind_ == Kind::kOr) {
+      for (auto& g : c.children_) kept.push_back(std::move(g));
+    } else {
+      kept.push_back(std::move(c));
+    }
+  }
+  if (kept.empty()) return constant(false);
+  if (kept.size() == 1) return std::move(kept.front());
+  BoolExpr e;
+  e.kind_ = Kind::kOr;
+  e.children_ = std::move(kept);
+  return e;
+}
+
+const LinearConstraint& BoolExpr::literal() const {
+  require(kind_ == Kind::kLit, "BoolExpr::literal: not a literal");
+  return lit_;
+}
+
+const std::vector<BoolExpr>& BoolExpr::children() const { return children_; }
+
+BoolExpr BoolExpr::negate() const {
+  switch (kind_) {
+    case Kind::kTrue: return constant(false);
+    case Kind::kFalse: return constant(true);
+    case Kind::kLit: return lit(LinearConstraint{lit_.expr, sym::negate(lit_.op)});
+    case Kind::kAnd: {
+      std::vector<BoolExpr> out;
+      out.reserve(children_.size());
+      for (const auto& c : children_) out.push_back(c.negate());
+      return disj(std::move(out));
+    }
+    case Kind::kOr: {
+      std::vector<BoolExpr> out;
+      out.reserve(children_.size());
+      for (const auto& c : children_) out.push_back(c.negate());
+      return conj(std::move(out));
+    }
+  }
+  throw util::InvalidArgument("BoolExpr::negate: unknown kind");
+}
+
+bool BoolExpr::holds(const std::vector<double>& values, double tol) const {
+  switch (kind_) {
+    case Kind::kTrue: return true;
+    case Kind::kFalse: return false;
+    case Kind::kLit: return lit_.holds(values, tol);
+    case Kind::kAnd:
+      for (const auto& c : children_)
+        if (!c.holds(values, tol)) return false;
+      return true;
+    case Kind::kOr:
+      for (const auto& c : children_)
+        if (c.holds(values, tol)) return true;
+      return false;
+  }
+  return false;
+}
+
+std::size_t BoolExpr::literal_count() const {
+  switch (kind_) {
+    case Kind::kLit: return 1;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::size_t n = 0;
+      for (const auto& c : children_) n += c.literal_count();
+      return n;
+    }
+    default: return 0;
+  }
+}
+
+std::string BoolExpr::str() const {
+  switch (kind_) {
+    case Kind::kTrue: return "true";
+    case Kind::kFalse: return "false";
+    case Kind::kLit: return "(" + lit_.expr.str() + " " + rel_name(lit_.op) + " 0)";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::ostringstream out;
+      out << (kind_ == Kind::kAnd ? "(and" : "(or");
+      for (const auto& c : children_) out << ' ' << c.str();
+      out << ')';
+      return out.str();
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+// Enumerates all sign vectors s in {-1,+1}^dim and yields s . v as affine
+// forms — the supporting halfspaces of the L1 ball.
+std::vector<AffineExpr> sign_pattern_sums(const AffineVec& v) {
+  const std::size_t dim = v.size();
+  require(dim <= 16, "L1 norm encoding: dimension too large");
+  const std::size_t nv = v.empty() ? 0 : v.front().num_vars();
+  std::vector<AffineExpr> out;
+  out.reserve(std::size_t{1} << dim);
+  for (std::size_t mask = 0; mask < (std::size_t{1} << dim); ++mask) {
+    AffineExpr acc(nv);
+    for (std::size_t i = 0; i < dim; ++i) {
+      acc += ((mask >> i) & 1U) ? v[i] : -v[i];
+    }
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
+}  // namespace
+
+BoolExpr norm_le(const AffineVec& v, double bound, control::Norm norm, bool strict) {
+  const RelOp op = strict ? RelOp::kLt : RelOp::kLe;
+  std::vector<BoolExpr> parts;
+  switch (norm) {
+    case control::Norm::kInf:
+      for (const auto& e : v) {
+        parts.push_back(BoolExpr::lit(e - bound, op));    // e - b (op) 0
+        parts.push_back(BoolExpr::lit(-e - bound, op));   // -e - b (op) 0
+      }
+      return BoolExpr::conj(std::move(parts));
+    case control::Norm::kOne:
+      for (auto& s : sign_pattern_sums(v)) parts.push_back(BoolExpr::lit(s - bound, op));
+      return BoolExpr::conj(std::move(parts));
+    case control::Norm::kTwo:
+      throw util::InvalidArgument(
+          "norm_le: the L2 ball is not polyhedral; use Norm::kInf or kOne for encoding");
+  }
+  throw util::InvalidArgument("norm_le: unknown norm");
+}
+
+BoolExpr norm_ge(const AffineVec& v, double bound, control::Norm norm, bool strict) {
+  return norm_le(v, bound, norm, !strict).negate();
+}
+
+BoolExpr pad_variables(const BoolExpr& e, std::size_t new_num_vars) {
+  switch (e.kind()) {
+    case BoolExpr::Kind::kTrue:
+    case BoolExpr::Kind::kFalse:
+      return e;
+    case BoolExpr::Kind::kLit:
+      return BoolExpr::lit(pad_variables(e.literal().expr, new_num_vars), e.literal().op);
+    case BoolExpr::Kind::kAnd:
+    case BoolExpr::Kind::kOr: {
+      std::vector<BoolExpr> kids;
+      kids.reserve(e.children().size());
+      for (const auto& c : e.children()) kids.push_back(pad_variables(c, new_num_vars));
+      return e.kind() == BoolExpr::Kind::kAnd ? BoolExpr::conj(std::move(kids))
+                                              : BoolExpr::disj(std::move(kids));
+    }
+  }
+  throw util::InvalidArgument("pad_variables: unknown kind");
+}
+
+BoolExpr box_constraint(const AffineVec& v, const linalg::Vector& lo,
+                        const linalg::Vector& hi) {
+  require(v.size() == lo.size() && v.size() == hi.size(), "box_constraint: size mismatch");
+  std::vector<BoolExpr> parts;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    parts.push_back(BoolExpr::lit(v[i] - hi[i], RelOp::kLe));
+    parts.push_back(BoolExpr::lit(-v[i] + lo[i], RelOp::kLe));
+  }
+  return BoolExpr::conj(std::move(parts));
+}
+
+}  // namespace cpsguard::sym

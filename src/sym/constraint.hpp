@@ -1,0 +1,95 @@
+// constraint.hpp — boolean combinations of linear constraints (NNF).
+//
+// Solver backends consume this IR: the Z3 backend maps it 1:1 onto QF_LRA,
+// the LP backend branches over disjunctions.  Formulas are kept in negation
+// normal form; negation is performed structurally by flipping relations and
+// swapping AND/OR.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/norm.hpp"
+#include "sym/affine.hpp"
+
+namespace cpsguard::sym {
+
+/// Relation of an affine form against zero.
+enum class RelOp {
+  kLe,  ///< e <= 0
+  kLt,  ///< e <  0
+  kGe,  ///< e >= 0
+  kGt,  ///< e >  0
+  kEq,  ///< e == 0
+  kNe,  ///< e != 0 (lowered to (e<0 | e>0) by backends)
+};
+
+RelOp negate(RelOp op);
+std::string rel_name(RelOp op);
+
+/// "expr op 0".
+struct LinearConstraint {
+  AffineExpr expr;
+  RelOp op = RelOp::kLe;
+
+  /// Evaluates the constraint at a concrete assignment.
+  bool holds(const std::vector<double>& values, double tol = 0.0) const;
+};
+
+/// NNF boolean formula over linear constraints.
+class BoolExpr {
+ public:
+  enum class Kind { kTrue, kFalse, kLit, kAnd, kOr };
+
+  /// Constant true/false formulas.
+  static BoolExpr constant(bool value);
+  /// Atomic linear constraint.
+  static BoolExpr lit(LinearConstraint c);
+  static BoolExpr lit(AffineExpr e, RelOp op);
+  /// Conjunction / disjunction; simplifies constants and flattens nests of
+  /// the same kind.
+  static BoolExpr conj(std::vector<BoolExpr> children);
+  static BoolExpr disj(std::vector<BoolExpr> children);
+
+  Kind kind() const { return kind_; }
+  bool is_true() const { return kind_ == Kind::kTrue; }
+  bool is_false() const { return kind_ == Kind::kFalse; }
+  const LinearConstraint& literal() const;
+  const std::vector<BoolExpr>& children() const;
+
+  /// Structural negation (stays in NNF).
+  BoolExpr negate() const;
+
+  /// Concrete evaluation.
+  bool holds(const std::vector<double>& values, double tol = 0.0) const;
+
+  /// Number of literal leaves (diagnostics / bench reporting).
+  std::size_t literal_count() const;
+
+  std::string str() const;
+
+ private:
+  Kind kind_ = Kind::kTrue;
+  LinearConstraint lit_;
+  std::vector<BoolExpr> children_;
+};
+
+/// ||v||_norm <= / < bound as a purely linear formula.
+/// Supported: kInf (2*dim literals, conjunction) and kOne (2^dim sign-pattern
+/// halfspaces, conjunction).  kTwo throws util::InvalidArgument — the L2
+/// ball is not polyhedral; use kInf or kOne for synthesis.
+BoolExpr norm_le(const AffineVec& v, double bound, control::Norm norm, bool strict = false);
+
+/// ||v||_norm >= / > bound (the complement, a disjunction).
+BoolExpr norm_ge(const AffineVec& v, double bound, control::Norm norm, bool strict = false);
+
+/// lo_i <= v_i <= hi_i componentwise.
+BoolExpr box_constraint(const AffineVec& v, const linalg::Vector& lo, const linalg::Vector& hi);
+
+/// Re-embeds every literal of `e` into a larger variable space (see
+/// sym::pad_variables on AffineExpr).
+BoolExpr pad_variables(const BoolExpr& e, std::size_t new_num_vars);
+
+}  // namespace cpsguard::sym

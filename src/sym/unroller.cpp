@@ -1,0 +1,132 @@
+#include "sym/unroller.hpp"
+
+#include "util/status.hpp"
+
+namespace cpsguard::sym {
+
+using control::LoopConfig;
+using control::Signal;
+using control::Trace;
+using linalg::Vector;
+using util::require;
+
+std::size_t VariableLayout::attack_var(std::size_t k, std::size_t i) const {
+  require(k < horizon && i < output_dim, "VariableLayout::attack_var: out of range");
+  return k * output_dim + i;
+}
+
+std::size_t VariableLayout::x1_var(std::size_t j) const {
+  require(symbolic_x1, "VariableLayout::x1_var: x1 is not symbolic");
+  require(j < state_dim, "VariableLayout::x1_var: out of range");
+  return horizon * output_dim + j;
+}
+
+std::string VariableLayout::var_name(std::size_t index) const {
+  if (index < horizon * output_dim) {
+    const std::size_t k = index / output_dim;
+    const std::size_t i = index % output_dim;
+    return "a_" + std::to_string(k + 1) + "_" + std::to_string(i);
+  }
+  return "x1_" + std::to_string(index - horizon * output_dim);
+}
+
+Trace SymbolicTrace::concretize(const std::vector<double>& values) const {
+  Trace tr;
+  tr.ts = ts;
+  for (const auto& v : x) tr.x.push_back(affine_evaluate(v, values));
+  for (const auto& v : xhat) tr.xhat.push_back(affine_evaluate(v, values));
+  for (const auto& v : u) tr.u.push_back(affine_evaluate(v, values));
+  for (const auto& v : y) tr.y.push_back(affine_evaluate(v, values));
+  for (const auto& v : z) tr.z.push_back(affine_evaluate(v, values));
+  return tr;
+}
+
+SymbolicTrace unroll(const LoopConfig& config, std::size_t steps,
+                     const InitialStateSpec& init) {
+  config.validate();
+  require(steps > 0, "unroll: steps must be positive");
+  const auto& sys = config.plant;
+  const std::size_t n = sys.num_states();
+  const std::size_t m = sys.num_outputs();
+
+  SymbolicTrace st;
+  st.layout.horizon = steps;
+  st.layout.output_dim = m;
+  st.layout.state_dim = n;
+  st.layout.symbolic_x1 = init.symbolic();
+  st.ts = sys.ts;
+  const std::size_t nv = st.layout.num_vars();
+
+  // Initial conditions, mirroring ClosedLoop::simulate.
+  AffineVec x;
+  if (init.symbolic()) {
+    require(init.hi.has_value() && init.lo->size() == n && init.hi->size() == n,
+            "unroll: symbolic x1 needs lo and hi of dimension n");
+    x.reserve(n);
+    for (std::size_t j = 0; j < n; ++j)
+      x.push_back(AffineExpr::variable(nv, st.layout.x1_var(j)));
+  } else {
+    x = affine_const(nv, init.fixed.value_or(config.x1));
+  }
+  AffineVec xhat = affine_const(nv, config.xhat1);
+  AffineVec u = affine_const(nv, config.u1);
+
+  const auto& op = config.operating_point;
+  for (std::size_t k = 0; k < steps; ++k) {
+    AffineVec a;
+    a.reserve(m);
+    for (std::size_t i = 0; i < m; ++i)
+      a.push_back(AffineExpr::variable(nv, st.layout.attack_var(k, i)));
+
+    AffineVec y = affine_add(affine_add(affine_mul(sys.c, x), affine_mul(sys.d, u)), a);
+    AffineVec yhat = affine_add(affine_mul(sys.c, xhat), affine_mul(sys.d, u));
+    AffineVec z = affine_sub(y, yhat);
+
+    st.x.push_back(x);
+    st.xhat.push_back(xhat);
+    st.u.push_back(u);
+    st.y.push_back(y);
+    st.z.push_back(z);
+
+    AffineVec xn = affine_add(affine_mul(sys.a, x), affine_mul(sys.b, u));
+    AffineVec xhn = affine_add(affine_add(affine_mul(sys.a, xhat), affine_mul(sys.b, u)),
+                               affine_mul(config.kalman_gain, z));
+    // u = u_ss - K (x̂ - x_ss) = (u_ss + K x_ss) - K x̂
+    AffineVec un = affine_mul(config.feedback_gain, xhn);
+    for (auto& e : un) e *= -1.0;
+    const Vector offset = op.u_ss + config.feedback_gain * op.x_ss;
+    un = affine_add_const(std::move(un), offset);
+
+    x = std::move(xn);
+    xhat = std::move(xhn);
+    u = std::move(un);
+  }
+  st.x.push_back(x);
+  st.xhat.push_back(xhat);
+  return st;
+}
+
+Signal attack_from_assignment(const VariableLayout& layout,
+                              const std::vector<double>& values) {
+  require(values.size() == layout.num_vars(), "attack_from_assignment: bad assignment");
+  Signal out;
+  out.reserve(layout.horizon);
+  for (std::size_t k = 0; k < layout.horizon; ++k) {
+    Vector a(layout.output_dim);
+    for (std::size_t i = 0; i < layout.output_dim; ++i)
+      a[i] = values[layout.attack_var(k, i)];
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+std::optional<Vector> x1_from_assignment(const VariableLayout& layout,
+                                         const std::vector<double>& values) {
+  if (!layout.symbolic_x1) return std::nullopt;
+  require(values.size() == layout.num_vars(), "x1_from_assignment: bad assignment");
+  Vector x1(layout.state_dim);
+  for (std::size_t j = 0; j < layout.state_dim; ++j) x1[j] = values[layout.x1_var(j)];
+  return x1;
+}
+
+}  // namespace cpsguard::sym

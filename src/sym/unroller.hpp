@@ -1,0 +1,77 @@
+// unroller.hpp — symbolic execution of the closed loop.
+//
+// Mirrors control::ClosedLoop::simulate step-for-step with the attack
+// vector (and optionally the initial plant state) symbolic; everything else
+// is evaluated numerically, so the result is an affine trace over the
+// decision variables.  A dedicated test cross-checks the unroller against
+// the concrete simulator on random attack vectors — the two must agree to
+// machine precision, which is what makes solver verdicts statements about
+// the implementation.
+#pragma once
+
+#include <optional>
+
+#include "control/closed_loop.hpp"
+#include "sym/affine.hpp"
+
+namespace cpsguard::sym {
+
+/// Initial-state specification for Algorithm 1's "x1 <- V".
+struct InitialStateSpec {
+  /// Fixed initial state (default: LoopConfig::x1).
+  std::optional<linalg::Vector> fixed;
+  /// Box-uncertain initial state: x1 is symbolic with lo <= x1 <= hi.
+  std::optional<linalg::Vector> lo, hi;
+
+  bool symbolic() const { return lo.has_value(); }
+};
+
+/// Layout of the decision vector theta = (a_1..a_T, x1?).
+struct VariableLayout {
+  std::size_t horizon = 0;      ///< T
+  std::size_t output_dim = 0;   ///< m (attack dimension per step)
+  std::size_t state_dim = 0;    ///< n
+  bool symbolic_x1 = false;
+
+  std::size_t num_vars() const {
+    return horizon * output_dim + (symbolic_x1 ? state_dim : 0);
+  }
+  /// Index of attack component i at sampling instant k (0-based).
+  std::size_t attack_var(std::size_t k, std::size_t i) const;
+  /// Index of initial-state component j (requires symbolic_x1).
+  std::size_t x1_var(std::size_t j) const;
+  /// Human-readable variable name for diagnostics.
+  std::string var_name(std::size_t index) const;
+};
+
+/// Affine-form record of the unrolled loop; indices mirror control::Trace.
+struct SymbolicTrace {
+  VariableLayout layout;
+  std::vector<AffineVec> x;     ///< length T+1
+  std::vector<AffineVec> xhat;  ///< length T+1
+  std::vector<AffineVec> u;     ///< length T
+  std::vector<AffineVec> y;     ///< length T
+  std::vector<AffineVec> z;     ///< length T
+  double ts = 0.0;
+
+  std::size_t steps() const { return z.size(); }
+
+  /// Substitutes a concrete decision vector, recovering a numeric trace.
+  control::Trace concretize(const std::vector<double>& values) const;
+};
+
+/// Unrolls `config` for `steps` instants with symbolic attack (and optional
+/// symbolic x1).  Noise is zero, matching Algorithm 1's noise-free model.
+SymbolicTrace unroll(const control::LoopConfig& config, std::size_t steps,
+                     const InitialStateSpec& init = {});
+
+/// Extracts the attack Signal encoded in a solver assignment.
+control::Signal attack_from_assignment(const VariableLayout& layout,
+                                       const std::vector<double>& values);
+
+/// Extracts the initial state from a solver assignment (layout.symbolic_x1
+/// must hold; otherwise returns std::nullopt).
+std::optional<linalg::Vector> x1_from_assignment(const VariableLayout& layout,
+                                                 const std::vector<double>& values);
+
+}  // namespace cpsguard::sym

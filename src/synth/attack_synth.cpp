@@ -1,0 +1,254 @@
+#include "synth/attack_synth.hpp"
+
+#include <algorithm>
+
+#include "sym/unroller.hpp"
+#include "util/logging.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::synth {
+
+using control::Norm;
+using detect::ThresholdVector;
+using solver::Problem;
+using solver::Solution;
+using solver::SolveStatus;
+using sym::AffineExpr;
+using sym::BoolExpr;
+using sym::RelOp;
+
+AttackVectorSynthesizer::AttackVectorSynthesizer(
+    AttackProblem problem, std::shared_ptr<solver::SolverBackend> certifier,
+    std::shared_ptr<solver::SolverBackend> finder)
+    : problem_(std::move(problem)), certifier_(std::move(certifier)),
+      finder_(std::move(finder)) {
+  util::require(certifier_ != nullptr, "AttackVectorSynthesizer: certifier required");
+  util::require(problem_.pfc.valid(), "AttackVectorSynthesizer: pfc criterion required");
+  util::require(problem_.horizon > 0, "AttackVectorSynthesizer: horizon must be positive");
+  util::require(problem_.norm != Norm::kTwo,
+                "AttackVectorSynthesizer: synthesis norms are kInf/kOne (L2 ball is "
+                "not polyhedral)");
+  trace_ = sym::unroll(problem_.loop, problem_.horizon, problem_.init);
+  static_constraints_exact_ = static_constraints(0.0);
+  static_constraints_finder_ = static_constraints(problem_.finder_margin);
+}
+
+BoolExpr AttackVectorSynthesizer::static_constraints(double margin) const {
+  std::vector<BoolExpr> parts;
+  parts.push_back(problem_.mdc.stealthy_expr(trace_, margin));
+  parts.push_back(problem_.pfc.violated_expr(trace_, margin));
+  if (problem_.attack_bound || problem_.attack_bounds) {
+    const std::size_t m = trace_.layout.output_dim;
+    linalg::Vector bounds(m);
+    if (problem_.attack_bounds) {
+      util::require(problem_.attack_bounds->size() == m,
+                    "AttackVectorSynthesizer: attack_bounds dimension mismatch");
+      bounds = *problem_.attack_bounds;
+    } else {
+      for (std::size_t i = 0; i < m; ++i) bounds[i] = *problem_.attack_bound;
+    }
+    for (std::size_t i = 0; i < m; ++i)
+      util::require(bounds[i] > 0.0,
+                    "AttackVectorSynthesizer: attack bounds must be positive");
+    const std::size_t nv = trace_.layout.num_vars();
+    linalg::Vector lo(m), hi(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      lo[i] = -bounds[i];
+      hi[i] = bounds[i];
+    }
+    for (std::size_t k = 0; k < problem_.horizon; ++k) {
+      sym::AffineVec a;
+      a.reserve(m);
+      for (std::size_t i = 0; i < m; ++i)
+        a.push_back(AffineExpr::variable(nv, trace_.layout.attack_var(k, i)));
+      parts.push_back(sym::box_constraint(a, lo, hi));
+    }
+  }
+  if (problem_.init.symbolic()) {
+    for (std::size_t j = 0; j < trace_.layout.state_dim; ++j) {
+      sym::AffineVec x1{trace_.x.front()[j]};
+      parts.push_back(sym::box_constraint(
+          x1, linalg::Vector{(*problem_.init.lo)[j]}, linalg::Vector{(*problem_.init.hi)[j]}));
+    }
+  }
+  return BoolExpr::conj(std::move(parts));
+}
+
+Problem AttackVectorSynthesizer::build_problem(const ThresholdVector& thresholds,
+                                               AttackObjective objective,
+                                               double margin) const {
+  const std::size_t nv = trace_.layout.num_vars();
+  const std::size_t attack_vars = trace_.layout.horizon * trace_.layout.output_dim;
+  // kMinEffort appends one effort bound t_j >= |a_j| per attack variable.
+  const std::size_t total =
+      objective == AttackObjective::kMinEffort ? nv + attack_vars : nv;
+
+  Problem p;
+  p.num_vars = total;
+  for (std::size_t i = 0; i < nv; ++i) p.var_names.push_back(trace_.layout.var_name(i));
+  for (std::size_t i = nv; i < total; ++i)
+    p.var_names.push_back("t" + std::to_string(i - nv));
+
+  BoolExpr statics;
+  if (margin == problem_.finder_margin) {
+    statics = static_constraints_finder_;
+  } else if (margin == 0.0) {
+    statics = static_constraints_exact_;
+  } else {
+    statics = static_constraints(margin);
+  }
+  std::vector<BoolExpr> parts;
+  parts.push_back(total == nv ? std::move(statics)
+                              : sym::pad_variables(statics, total));
+  // Stealthiness against the residue detector: ||z_k|| < Th[k] for set k.
+  for (std::size_t k = 0; k < problem_.horizon && k < thresholds.size(); ++k) {
+    if (!thresholds.is_set(k)) continue;
+    BoolExpr stealthy = sym::norm_le(trace_.z[k], thresholds[k] * (1.0 - margin),
+                                     problem_.norm, /*strict=*/true);
+    parts.push_back(total == nv ? std::move(stealthy)
+                                : sym::pad_variables(stealthy, total));
+  }
+
+  switch (objective) {
+    case AttackObjective::kAny:
+      break;
+    case AttackObjective::kMinEffort: {
+      // t_j >= a_j and t_j >= -a_j; maximize -(sum t_j).
+      AffineExpr neg_total_effort(total);
+      for (std::size_t j = 0; j < attack_vars; ++j) {
+        const AffineExpr a = AffineExpr::variable(total, j);
+        const AffineExpr t = AffineExpr::variable(total, nv + j);
+        parts.push_back(BoolExpr::lit(a - t, RelOp::kLe));
+        parts.push_back(BoolExpr::lit(-a - t, RelOp::kLe));
+        neg_total_effort -= t;
+      }
+      p.objective = neg_total_effort;
+      break;
+    }
+    case AttackObjective::kMaxDeviation: {
+      std::optional<AffineExpr> dev = problem_.pfc.deviation_expr(trace_);
+      util::require(dev.has_value(),
+                    "kMaxDeviation requires a criterion with a deviation expression");
+      p.objective = std::move(*dev);
+      break;
+    }
+  }
+  p.constraint = BoolExpr::conj(std::move(parts));
+  return p;
+}
+
+AttackResult AttackVectorSynthesizer::finish(const Solution& sol, const std::string& backend,
+                                             bool certified) const {
+  AttackResult out;
+  out.status = sol.status;
+  out.certified = certified;
+  out.backend = backend;
+  out.solve_seconds = sol.solve_seconds;
+  if (sol.status == SolveStatus::kSat) {
+    // Auxiliary variables (effort bounds) trail the layout variables.
+    std::vector<double> values(sol.values.begin(),
+                               sol.values.begin() +
+                                   static_cast<std::ptrdiff_t>(trace_.layout.num_vars()));
+    out.attack = sym::attack_from_assignment(trace_.layout, values);
+    out.x1 = sym::x1_from_assignment(trace_.layout, values);
+    // Re-simulate through the actual implementation so downstream consumers
+    // (the synthesis loops, plots) see implementation-exact residues.
+    control::LoopConfig cfg = problem_.loop;
+    if (out.x1) cfg.x1 = *out.x1;
+    out.trace = control::ClosedLoop(cfg).simulate(problem_.horizon, &out.attack);
+  }
+  return out;
+}
+
+AttackResult AttackVectorSynthesizer::synthesize_fast(const ThresholdVector& thresholds,
+                                                      AttackObjective objective) {
+  if (!finder_) return synthesize(thresholds, objective);
+  const Problem tightened = build_problem(thresholds, objective, problem_.finder_margin);
+  ++finder_calls_;
+  const Solution fast = finder_->solve(tightened);
+  return finish(fast, finder_->name(), /*certified=*/false);
+}
+
+AttackResult AttackVectorSynthesizer::synthesize(const ThresholdVector& thresholds,
+                                                 AttackObjective objective) {
+  if (objective == AttackObjective::kMaxDeviation) {
+    // Global optimization over a disjunctive feasible set is expensive for
+    // both backends (the LP's DFS only optimizes within one branch; Z3's
+    // Optimize engine struggles with the dead-zone disjunctions).  Instead:
+    // bisection on a deviation floor d with plain feasibility queries of
+    // "stealthy and |deviation| >= d", keeping the last SAT model.
+    const double tol = std::max(problem_.pfc.tolerance(), 1e-9);
+    std::optional<AffineExpr> dev_expr = problem_.pfc.deviation_expr(trace_);
+    util::require(dev_expr.has_value(),
+                  "kMaxDeviation requires a criterion with a deviation expression");
+    auto query = [&](double floor_value, bool allow_certifier) {
+      Problem p = build_problem(thresholds, AttackObjective::kAny,
+                                problem_.finder_margin);
+      const sym::AffineExpr dev = *dev_expr;
+      p.constraint = BoolExpr::conj(
+          {std::move(p.constraint), sym::norm_ge({dev}, floor_value, Norm::kInf)});
+      if (finder_) {
+        ++finder_calls_;
+        const Solution fast = finder_->solve(p);
+        if (fast.status != SolveStatus::kUnknown || !allow_certifier) return fast;
+      }
+      if (!allow_certifier && finder_) {
+        Solution give_up;
+        give_up.status = SolveStatus::kUnknown;
+        return give_up;
+      }
+      ++certifier_calls_;
+      return certifier_->solve(p);
+    };
+
+    double lo = tol * (1.0 + 2.0 * problem_.finder_margin);
+    Solution best = query(lo, /*allow_certifier=*/true);
+    if (best.status != SolveStatus::kSat)
+      return finish(best, "maxdev-bisection", best.status == SolveStatus::kUnsat);
+    // Exponential growth to bracket the supremum, then bisection.
+    // Growth/refinement phases use the fast finder only: a conservative
+    // under-estimate of the supremum is acceptable here and keeps the demo
+    // benches off Z3's slow path through the dead-zone disjunctions.
+    double hi = lo * 2.0;
+    for (int i = 0; i < 60; ++i) {
+      const Solution s = query(hi, /*allow_certifier=*/false);
+      if (s.status != SolveStatus::kSat) break;
+      best = s;
+      lo = hi;
+      hi *= 2.0;
+    }
+    for (int i = 0; i < 24; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      const Solution s = query(mid, /*allow_certifier=*/false);
+      if (s.status == SolveStatus::kSat) {
+        best = s;
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+      if (hi - lo <= 1e-4 * hi) break;
+    }
+    return finish(best, "maxdev-bisection", false);
+  }
+  if (finder_) {
+    const Problem tightened =
+        build_problem(thresholds, objective, problem_.finder_margin);
+    ++finder_calls_;
+    const Solution fast = finder_->solve(tightened);
+    if (fast.status == SolveStatus::kSat) {
+      CPSG_DEBUG("attvecsyn") << "finder " << finder_->name() << " found attack in "
+                              << fast.solve_seconds << "s";
+      return finish(fast, finder_->name(), finder_->complete());
+    }
+    CPSG_DEBUG("attvecsyn") << "finder returned " << solver::status_name(fast.status)
+                            << "; escalating to " << certifier_->name();
+  }
+  const Problem p = build_problem(thresholds, objective);
+  ++certifier_calls_;
+  const Solution sol = certifier_->solve(p);
+  CPSG_DEBUG("attvecsyn") << certifier_->name() << ": " << solver::status_name(sol.status)
+                          << " in " << sol.solve_seconds << "s";
+  return finish(sol, certifier_->name(), certifier_->complete());
+}
+
+}  // namespace cpsguard::synth

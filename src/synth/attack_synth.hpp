@@ -1,0 +1,132 @@
+// attack_synth.hpp — Algorithm 1: ATTVECSYN.
+//
+// Formally checks the control implementation: does an attack vector
+// a_1..a_T exist that (i) keeps every set residue threshold silent
+// (||z_k|| < Th[k]), (ii) keeps the monitoring system (mdc) silent, and
+// (iii) violates the performance criterion pfc?  SAT returns the concrete
+// attack; UNSAT (from a complete backend) proves no stealthy attack exists.
+//
+// The closed loop is unrolled once into affine forms over the attack
+// variables (sym::unroll) and reused across calls — only the threshold
+// constraints change between CEGIS rounds.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "control/closed_loop.hpp"
+#include "detect/threshold.hpp"
+#include "monitor/monitor.hpp"
+#include "solver/problem.hpp"
+#include "synth/spec.hpp"
+
+namespace cpsguard::synth {
+
+/// Everything Algorithm 1 needs besides the threshold vector.
+struct AttackProblem {
+  control::LoopConfig loop;
+  Criterion pfc;
+  monitor::MonitorSet mdc;       ///< may be empty
+  std::size_t horizon = 0;       ///< T
+  control::Norm norm = control::Norm::kInf;
+  sym::InitialStateSpec init;    ///< x1 in V (default: fixed at loop.x1)
+  /// Optional attacker power limit: |a_k[i]| <= attack_bound for all
+  /// channels.
+  std::optional<double> attack_bound;
+  /// Per-channel attacker power limits (overrides attack_bound when set):
+  /// |a_k[i]| <= attack_bounds[i].  Models sensor full-scale ranges — with
+  /// a dead-zoned monitoring system and no amplitude limit, an attacker
+  /// could inject arbitrarily large bursts between dead-zone resets.
+  std::optional<linalg::Vector> attack_bounds;
+  /// Relative interior margin used by the fast finder: monitor limits and
+  /// thresholds are tightened and the pfc band inflated by this factor, so
+  /// SAT models replay robustly on the concrete implementation (boundary
+  /// vertices from the LP would otherwise flip monitors by rounding).  The
+  /// certifier always solves the exact (margin-free) problem, so UNSAT
+  /// verdicts keep the paper's semantics.
+  double finder_margin = 1e-5;
+};
+
+/// Outcome of one ATTVECSYN call.
+struct AttackResult {
+  solver::SolveStatus status = solver::SolveStatus::kUnknown;
+  /// True when the verdict came from a complete backend (Z3) — UNSAT is a
+  /// proof only in that case.
+  bool certified = false;
+  std::string backend;           ///< backend that produced the verdict
+  double solve_seconds = 0.0;
+
+  // Populated when status == kSat:
+  control::Signal attack;          ///< the synthesized a_1..a_T
+  std::optional<linalg::Vector> x1;  ///< chosen initial state (if symbolic)
+  control::Trace trace;            ///< noise-free attacked closed-loop run
+
+  bool found() const { return status == solver::SolveStatus::kSat; }
+};
+
+/// How the attack model is selected among all feasible stealthy attacks.
+enum class AttackObjective {
+  kAny,           ///< plain feasibility — the paper's ATTVECSYN
+  kMinEffort,     ///< minimize sum |a_k[i]|: sparse, "cheapest" attack.
+                  ///  CEGIS counterexamples of this kind concentrate on the
+                  ///  instants that genuinely matter, which is what the
+                  ///  greedy threshold updates assume.
+  kMaxDeviation,  ///< maximize the signed final deviation (most damaging)
+};
+
+/// Algorithm 1 with a fast-finder / certifier backend pair.
+///
+/// `finder` (optional) is tried first — typically the simplex LP backend,
+/// whose SAT answers are re-validated against the formula.  When the finder
+/// does not return SAT, `certifier` (typically Z3) decides; its UNSAT is
+/// the formal guarantee the synthesis loops terminate on.
+class AttackVectorSynthesizer {
+ public:
+  AttackVectorSynthesizer(AttackProblem problem,
+                          std::shared_ptr<solver::SolverBackend> certifier,
+                          std::shared_ptr<solver::SolverBackend> finder = nullptr);
+
+  /// Runs ATTVECSYN against the given threshold specification (which may be
+  /// empty/all-unset, modelling "no residue detector").
+  AttackResult synthesize(const detect::ThresholdVector& thresholds,
+                          AttackObjective objective = AttackObjective::kAny);
+
+  /// Finder-only ATTVECSYN: answers from the fast backend alone (falls back
+  /// to the certifier only when no finder is configured).  A non-SAT answer
+  /// is NOT a proof — the CEGIS loops use this inside each round and ask
+  /// synthesize() for the certified verdict once the finder runs dry.
+  AttackResult synthesize_fast(const detect::ThresholdVector& thresholds,
+                               AttackObjective objective = AttackObjective::kAny);
+
+  /// The full problem for the given thresholds and objective (used by the
+  /// encode-time benchmarks and tests).  `margin` > 0 tightens the attacker
+  /// space as described at AttackProblem::finder_margin.
+  solver::Problem build_problem(const detect::ThresholdVector& thresholds,
+                                AttackObjective objective = AttackObjective::kAny,
+                                double margin = 0.0) const;
+
+  const AttackProblem& problem() const { return problem_; }
+  const sym::SymbolicTrace& symbolic_trace() const { return trace_; }
+
+  /// Cumulative number of solver calls (bench reporting).
+  std::size_t finder_calls() const { return finder_calls_; }
+  std::size_t certifier_calls() const { return certifier_calls_; }
+
+ private:
+  AttackResult finish(const solver::Solution& sol, const std::string& backend,
+                      bool certified) const;
+
+  AttackProblem problem_;
+  std::shared_ptr<solver::SolverBackend> certifier_;
+  std::shared_ptr<solver::SolverBackend> finder_;
+  sym::BoolExpr static_constraints(double margin) const;
+
+  sym::SymbolicTrace trace_;                 ///< unrolled once, reused every call
+  sym::BoolExpr static_constraints_exact_;   ///< mdc + !pfc + bounds, margin 0
+  sym::BoolExpr static_constraints_finder_;  ///< same, tightened by finder_margin
+  std::size_t finder_calls_ = 0;
+  std::size_t certifier_calls_ = 0;
+};
+
+}  // namespace cpsguard::synth

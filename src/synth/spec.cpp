@@ -1,0 +1,94 @@
+#include "synth/spec.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace cpsguard::synth {
+
+using sym::AffineExpr;
+using sym::BoolExpr;
+using sym::RelOp;
+using util::require;
+
+ReachCriterion::ReachCriterion(std::size_t state_index, double target, double tolerance)
+    : state_index_(state_index), target_(target), tolerance_(tolerance) {
+  require(tolerance > 0.0, "ReachCriterion: tolerance must be positive");
+}
+
+bool ReachCriterion::satisfied(const control::Trace& trace) const {
+  return std::abs(deviation(trace)) <= tolerance_;
+}
+
+double ReachCriterion::deviation(const control::Trace& trace) const {
+  require(!trace.x.empty(), "ReachCriterion: empty trace");
+  return trace.x.back()[state_index_] - target_;
+}
+
+BoolExpr ReachCriterion::satisfied_expr(const sym::SymbolicTrace& trace) const {
+  require(!trace.x.empty(), "ReachCriterion: empty symbolic trace");
+  const AffineExpr dev = trace.x.back()[state_index_] - target_;
+  return BoolExpr::conj({BoolExpr::lit(dev - tolerance_, RelOp::kLe),
+                         BoolExpr::lit(-dev - tolerance_, RelOp::kLe)});
+}
+
+BoolExpr ReachCriterion::violated_expr(const sym::SymbolicTrace& trace,
+                                       double margin) const {
+  if (margin == 0.0) return satisfied_expr(trace).negate();
+  const AffineExpr dev = trace.x.back()[state_index_] - target_;
+  const double tol = tolerance_ * (1.0 + margin);
+  return BoolExpr::conj({BoolExpr::lit(dev - tol, RelOp::kLe),
+                         BoolExpr::lit(-dev - tol, RelOp::kLe)})
+      .negate();
+}
+
+std::optional<AffineExpr> ReachCriterion::deviation_expr(
+    const sym::SymbolicTrace& trace) const {
+  require(!trace.x.empty(), "ReachCriterion: empty symbolic trace");
+  return trace.x.back()[state_index_] - target_;
+}
+
+std::string ReachCriterion::describe() const {
+  std::ostringstream out;
+  out << "reach(|x[" << state_index_ << "] - " << target_ << "| <= " << tolerance_
+      << " at horizon end)";
+  return out.str();
+}
+
+Criterion::Criterion(ReachCriterion reach)
+    : impl_(std::make_shared<ReachCriterion>(std::move(reach))) {}
+
+Criterion::Criterion(std::shared_ptr<const CriterionInterface> impl)
+    : impl_(std::move(impl)) {}
+
+const CriterionInterface& Criterion::impl() const {
+  require(impl_ != nullptr, "Criterion: empty handle");
+  return *impl_;
+}
+
+bool Criterion::satisfied(const control::Trace& trace) const {
+  return impl().satisfied(trace);
+}
+
+double Criterion::deviation(const control::Trace& trace) const {
+  return impl().deviation(trace);
+}
+
+BoolExpr Criterion::satisfied_expr(const sym::SymbolicTrace& trace) const {
+  return impl().satisfied_expr(trace);
+}
+
+BoolExpr Criterion::violated_expr(const sym::SymbolicTrace& trace, double margin) const {
+  return impl().violated_expr(trace, margin);
+}
+
+std::optional<AffineExpr> Criterion::deviation_expr(const sym::SymbolicTrace& trace) const {
+  return impl().deviation_expr(trace);
+}
+
+double Criterion::tolerance() const { return impl().tolerance(); }
+
+std::string Criterion::describe() const { return impl().describe(); }
+
+}  // namespace cpsguard::synth

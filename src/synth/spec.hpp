@@ -1,0 +1,123 @@
+// spec.hpp — performance criteria ("pfc") for synthesis.
+//
+// The paper's pfc: starting from any admissible initial state, a designated
+// plant quantity must reach an epsilon-neighbourhood of the reference within
+// T sampling instants.  An attack is *successful* when it keeps every
+// detector/monitor silent while making the loop miss this criterion.
+//
+// Criteria are polymorphic: ReachCriterion is the paper's reach property,
+// and stl::StlCriterion (src/stl) lets any bounded signal-temporal-logic
+// formula act as pfc.  The synthesis pipeline consumes the type-erased
+// Criterion wrapper, which both convert to implicitly.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "control/trace.hpp"
+#include "sym/constraint.hpp"
+#include "sym/unroller.hpp"
+
+namespace cpsguard::synth {
+
+/// Interface every performance criterion implements.  Implementations must
+/// be immutable after construction (Criterion shares them freely).
+class CriterionInterface {
+ public:
+  virtual ~CriterionInterface() = default;
+
+  /// Concrete check on a simulated trace.
+  virtual bool satisfied(const control::Trace& trace) const = 0;
+
+  /// Signed satisfaction measure for diagnostics and plots: >= 0 iff
+  /// satisfied for robustness-style criteria; reach criteria report the
+  /// signed final deviation (whose |.| <= tolerance iff satisfied).
+  virtual double deviation(const control::Trace& trace) const = 0;
+
+  /// Symbolic pfc over the affine trace.
+  virtual sym::BoolExpr satisfied_expr(const sym::SymbolicTrace& trace) const = 0;
+
+  /// Symbolic NEGATED pfc — the attacker's goal.  `margin` relatively
+  /// inflates the satisfaction region, requiring the violation to be robust
+  /// (attack finders use it so their models replay as genuine violations on
+  /// the concrete implementation).
+  virtual sym::BoolExpr violated_expr(const sym::SymbolicTrace& trace,
+                                      double margin) const = 0;
+
+  /// Affine expression whose value the kMaxDeviation attack objective
+  /// maximizes, when the criterion admits one (reach criteria: the signed
+  /// final deviation).  nullopt disables that objective.
+  virtual std::optional<sym::AffineExpr> deviation_expr(
+      const sym::SymbolicTrace& trace) const {
+    (void)trace;
+    return std::nullopt;
+  }
+
+  /// Half-width of the satisfaction band when the criterion has one
+  /// (seeds the kMaxDeviation bisection); 0 otherwise.
+  virtual double tolerance() const { return 0.0; }
+
+  virtual std::string describe() const = 0;
+};
+
+/// |x_final[state_index] - target| <= tolerance, evaluated on the state
+/// after the last closed-loop update (x_{T+1}).
+class ReachCriterion final : public CriterionInterface {
+ public:
+  ReachCriterion(std::size_t state_index, double target, double tolerance);
+
+  bool satisfied(const control::Trace& trace) const override;
+
+  /// Signed deviation x_final[i] - target (diagnostics, plots).
+  double deviation(const control::Trace& trace) const override;
+
+  sym::BoolExpr satisfied_expr(const sym::SymbolicTrace& trace) const override;
+
+  /// Symbolic NEGATED pfc — a disjunction of the two half-spaces outside
+  /// the tolerance band (inflated by `margin`).
+  sym::BoolExpr violated_expr(const sym::SymbolicTrace& trace,
+                              double margin = 0.0) const override;
+
+  std::optional<sym::AffineExpr> deviation_expr(
+      const sym::SymbolicTrace& trace) const override;
+
+  std::size_t state_index() const { return state_index_; }
+  double target() const { return target_; }
+  double tolerance() const override { return tolerance_; }
+
+  std::string describe() const override;
+
+ private:
+  std::size_t state_index_;
+  double target_;
+  double tolerance_;
+};
+
+/// Value-semantic handle on an immutable criterion.  Implicitly
+/// constructible from ReachCriterion (and from stl::StlCriterion via the
+/// shared_ptr constructor), so AttackProblem call sites read naturally.
+class Criterion {
+ public:
+  /// Empty handle; AttackVectorSynthesizer rejects problems built with it.
+  Criterion() = default;
+  Criterion(ReachCriterion reach);  // NOLINT(google-explicit-constructor)
+  Criterion(std::shared_ptr<const CriterionInterface> impl);  // NOLINT
+
+  bool valid() const { return impl_ != nullptr; }
+
+  bool satisfied(const control::Trace& trace) const;
+  double deviation(const control::Trace& trace) const;
+  sym::BoolExpr satisfied_expr(const sym::SymbolicTrace& trace) const;
+  sym::BoolExpr violated_expr(const sym::SymbolicTrace& trace, double margin = 0.0) const;
+  std::optional<sym::AffineExpr> deviation_expr(const sym::SymbolicTrace& trace) const;
+  double tolerance() const;
+  std::string describe() const;
+
+  const CriterionInterface& impl() const;
+
+ private:
+  std::shared_ptr<const CriterionInterface> impl_;
+};
+
+}  // namespace cpsguard::synth

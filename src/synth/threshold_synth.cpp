@@ -1,0 +1,516 @@
+#include "synth/threshold_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::synth {
+
+using detect::ThresholdVector;
+using util::require;
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// One CEGIS round: ask the fast finder for a counterexample; when it runs
+/// dry, get the certified verdict (which may still produce a counterexample
+/// living within the finder's interior margin).
+AttackResult next_counterexample(AttackVectorSynthesizer& attvecsyn,
+                                 const detect::ThresholdVector& thresholds,
+                                 AttackObjective objective) {
+  AttackResult ar = attvecsyn.synthesize_fast(thresholds, objective);
+  if (ar.found()) return ar;
+  return attvecsyn.synthesize(thresholds, objective);
+}
+
+/// Smallest set threshold strictly before index i (+inf when none).
+double min_set_before(const ThresholdVector& th, std::size_t i) {
+  double best = kInfinity;
+  for (std::size_t k = 0; k < i; ++k)
+    if (th.is_set(k)) best = std::min(best, th[k]);
+  return best;
+}
+
+/// Largest set threshold strictly after index i (0 when none).
+double max_set_after(const ThresholdVector& th, std::size_t i) {
+  double best = 0.0;
+  for (std::size_t k = i + 1; k < th.size(); ++k)
+    if (th.is_set(k)) best = std::max(best, th[k]);
+  return best;
+}
+
+/// Which rule fired and where (drives the adaptive cut deepening).
+struct UpdateInfo {
+  enum class Kind { kInsert, kReduce } kind = Kind::kInsert;
+  std::size_t position = 0;
+};
+
+/// One pivot-based strengthening step (cases 1a / 1b / 1c of Algorithm 2).
+/// `residues` are the counterexample's residue norms; modifies `th` so the
+/// counterexample is detected while keeping the vector monotone decreasing.
+/// `reduce_margin` is the (possibly adaptively deepened) shrink used by the
+/// reduction case.
+UpdateInfo apply_pivot_update(ThresholdVector& th, const std::vector<double>& residues,
+                              const SynthesisOptions& options, double reduce_margin) {
+  const std::size_t horizon = th.size();
+  const double shrink = 1.0 - options.progress_margin;
+  const double floor = options.threshold_floor;
+
+  for (std::size_t p = 0; p < horizon; ++p) {
+    if (!th.is_set(p)) continue;
+
+    // Case 1a: a residue before p already reaches Th[p] — pin a new
+    // threshold at the largest such residue, clamped by earlier thresholds.
+    std::size_t best_i = horizon;
+    double best_v = -1.0;
+    for (std::size_t k = 0; k < p; ++k) {
+      if (th.is_set(k)) continue;  // additions target unset instants
+      if (residues[k] >= th[p] && residues[k] > best_v) {
+        best_v = residues[k];
+        best_i = k;
+      }
+    }
+    if (best_i < horizon) {
+      const double v =
+          std::max(std::min(min_set_before(th, best_i), best_v * shrink), floor);
+      if (v >= max_set_after(th, best_i)) {  // monotone order stays intact
+        th.set(best_i, v);
+        CPSG_DEBUG("pivot") << "case 1a: Th[" << best_i << "] = " << v;
+        return {UpdateInfo::Kind::kInsert, best_i};
+      }
+    }
+
+    // Case 1b: the largest residue after p, provided it dominates every
+    // threshold set after it.
+    best_i = horizon;
+    best_v = -1.0;
+    for (std::size_t k = p + 1; k < horizon; ++k) {
+      if (th.is_set(k)) continue;
+      if (residues[k] > best_v) {
+        best_v = residues[k];
+        best_i = k;
+      }
+    }
+    if (best_i < horizon && best_v >= max_set_after(th, best_i)) {
+      const double v =
+          std::max(std::min(min_set_before(th, best_i), best_v * shrink), floor);
+      if (v >= max_set_after(th, best_i)) {
+        th.set(best_i, v);
+        CPSG_DEBUG("pivot") << "case 1b: Th[" << best_i << "] = " << v;
+        return {UpdateInfo::Kind::kInsert, best_i};
+      }
+    }
+  }
+
+  // Coverage case: cases 1a/1b key off residues relative to EXISTING
+  // thresholds, so an attacker can hide all its effort at instants that
+  // never acquired a threshold (e.g. the very first samples).  Cover the
+  // unset instant with the largest residue whenever that can be done
+  // monotonically — this detects the current attack directly.
+  {
+    std::size_t best_i = horizon;
+    double best_v = 0.0;
+    for (std::size_t k = 0; k < horizon; ++k) {
+      if (th.is_set(k)) continue;
+      if (residues[k] > best_v) {
+        best_v = residues[k];
+        best_i = k;
+      }
+    }
+    if (best_i < horizon && best_v > 0.0) {
+      const double v =
+          std::max(std::min(min_set_before(th, best_i), best_v * shrink), floor);
+      if (v >= max_set_after(th, best_i)) {
+        th.set(best_i, v);
+        CPSG_DEBUG("pivot") << "coverage: Th[" << best_i << "] = " << v;
+        return {UpdateInfo::Kind::kInsert, best_i};
+      }
+    }
+  }
+
+  // Case 1c: reduce the existing threshold that needs the least effort —
+  // the smallest gap Th[i] - ||z_i|| — down to the residue, then push later
+  // thresholds down to preserve monotonicity.  Positions whose residue is
+  // already at the floor are only cut as a last resort: shrinking them
+  // further cannot newly detect anything (the floor clamp would leave the
+  // attack stealthy) and chasing such phantom gaps stalls the loop.
+  std::size_t best_i = horizon;
+  double best_gap = kInfinity;
+  for (int pass = 0; pass < 2 && best_i == horizon; ++pass) {
+    for (std::size_t i = 0; i < horizon; ++i) {
+      if (!th.is_set(i)) continue;
+      if (pass == 0 && residues[i] * shrink <= floor) continue;
+      const double gap = th[i] - residues[i];
+      if (gap < best_gap) {
+        best_gap = gap;
+        best_i = i;
+      }
+    }
+  }
+  require(best_i < horizon, "apply_pivot_update: no threshold to reduce");
+  const double v = std::max(residues[best_i] * (1.0 - reduce_margin), floor);
+  th.set(best_i, v);
+  for (std::size_t k = best_i + 1; k < horizon; ++k)
+    if (th.is_set(k) && th[k] > v) th.set(k, v);
+  CPSG_DEBUG("pivot") << "case 1c: Th[" << best_i << "] reduced to " << v;
+  return {UpdateInfo::Kind::kReduce, best_i};
+}
+
+/// Adaptive cut deepening: while counterexamples force cuts at the same
+/// position round after round (boundary play by the attacker), the margin
+/// doubles, turning an epsilon-crawl into geometric descent; a cut at a new
+/// position resets to the configured base margin.
+class AdaptiveMargin {
+ public:
+  explicit AdaptiveMargin(double base) : base_(base), current_(base) {}
+
+  double current() const { return current_; }
+
+  void observe(const UpdateInfo& info) {
+    if (info.kind == UpdateInfo::Kind::kReduce && info.position == last_position_) {
+      current_ = std::min(0.5, current_ * 2.0);
+    } else {
+      current_ = base_;
+    }
+    last_position_ = info.position;
+  }
+
+ private:
+  double base_;
+  double current_;
+  std::size_t last_position_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace
+
+SynthesisResult pivot_threshold_synthesis(AttackVectorSynthesizer& attvecsyn,
+                                          const SynthesisOptions& options) {
+  const std::size_t horizon = attvecsyn.problem().horizon;
+  const control::Norm norm = attvecsyn.problem().norm;
+
+  SynthesisResult result;
+  result.thresholds = ThresholdVector(horizon);
+
+  AttackResult ar =
+      next_counterexample(attvecsyn, result.thresholds, options.counterexample_objective);
+  ++result.rounds;
+  result.total_seconds += ar.solve_seconds;
+  if (!ar.found()) {  // existing monitors already suffice
+    result.converged = ar.status == solver::SolveStatus::kUnsat;
+    result.certified = ar.certified;
+    return result;
+  }
+
+  // Pivot: pin the first threshold at the peak-residue instant.
+  {
+    const std::vector<double> residues = ar.trace.residue_norms(norm);
+    const std::size_t i = ar.trace.argmax_residue(norm);
+    result.thresholds.set(
+        i, std::max(residues[i] * (1.0 - options.progress_margin),
+                    options.threshold_floor));
+    if (options.record_history) result.history.push_back(result.thresholds);
+  }
+
+  AdaptiveMargin margin(options.progress_margin);
+  while (result.rounds < options.max_rounds) {
+    ar = next_counterexample(attvecsyn, result.thresholds,
+                             options.counterexample_objective);
+    ++result.rounds;
+    result.total_seconds += ar.solve_seconds;
+    if (!ar.found()) {
+      result.converged = ar.status == solver::SolveStatus::kUnsat;
+      result.certified = ar.certified;
+      break;
+    }
+    const UpdateInfo info = apply_pivot_update(result.thresholds,
+                                               ar.trace.residue_norms(norm), options,
+                                               margin.current());
+    margin.observe(info);
+    if (options.record_history) result.history.push_back(result.thresholds);
+    CPSG_INFO("pivot") << "round " << result.rounds << ": "
+                       << result.thresholds.num_set() << " thresholds set";
+  }
+  return result;
+}
+
+std::size_t min_area_rectangle(const std::vector<double>& residues,
+                               const ThresholdVector& thresholds) {
+  require(residues.size() == thresholds.size(), "min_area_rectangle: size mismatch");
+  const std::size_t horizon = thresholds.size();
+  const double floor = 1e-9;  // mirrors SynthesisOptions::threshold_floor default
+  std::size_t best_i = horizon;
+  double best_area = kInfinity;
+  // Pass 0 considers only cuts that land above the threshold floor (cuts at
+  // floor-level residues cannot newly detect anything); pass 1 is the
+  // unrestricted fallback.
+  for (int pass = 0; pass < 2 && best_i == horizon; ++pass) {
+    for (std::size_t i = 0; i < horizon; ++i) {
+      if (!thresholds.is_set(i)) continue;
+      const double cut = residues[i];
+      if (cut >= thresholds[i]) continue;  // cutting here would not tighten
+      if (pass == 0 && cut <= floor * 2.0) continue;
+      double area = 0.0;
+      for (std::size_t j = i; j < horizon && thresholds.is_set(j) && thresholds[j] > cut;
+           ++j)
+        area += thresholds[j] - cut;
+      if (area < best_area) {
+        best_area = area;
+        best_i = i;
+      }
+    }
+  }
+  require(best_i < horizon, "min_area_rectangle: no admissible cut position");
+  return best_i;
+}
+
+SynthesisResult stepwise_threshold_synthesis(AttackVectorSynthesizer& attvecsyn,
+                                             const SynthesisOptions& options) {
+  const std::size_t horizon = attvecsyn.problem().horizon;
+  const control::Norm norm = attvecsyn.problem().norm;
+
+  SynthesisResult result;
+  result.thresholds = ThresholdVector(horizon);
+
+  AttackResult ar =
+      next_counterexample(attvecsyn, result.thresholds, options.counterexample_objective);
+  ++result.rounds;
+  result.total_seconds += ar.solve_seconds;
+  if (!ar.found()) {
+    result.converged = ar.status == solver::SolveStatus::kUnsat;
+    result.certified = ar.certified;
+    return result;
+  }
+
+  // First step: constant height ||z_i*|| over [0, i*] with i* the
+  // peak-residue instant of the unconstrained attack.
+  std::size_t staircase_end;
+  {
+    const std::vector<double> residues = ar.trace.residue_norms(norm);
+    staircase_end = ar.trace.argmax_residue(norm);
+    const double h = std::max(residues[staircase_end] * (1.0 - options.progress_margin),
+                              options.threshold_floor);
+    for (std::size_t j = 0; j <= staircase_end; ++j) result.thresholds.set(j, h);
+    if (options.record_history) result.history.push_back(result.thresholds);
+  }
+
+  // Phase A (case 2a): extend the staircase rightwards, one step per
+  // counterexample, keeping step heights non-increasing.
+  while (staircase_end + 1 < horizon && result.rounds < options.max_rounds) {
+    ar = next_counterexample(attvecsyn, result.thresholds,
+                             options.counterexample_objective);
+    ++result.rounds;
+    result.total_seconds += ar.solve_seconds;
+    if (!ar.found()) {
+      result.converged = ar.status == solver::SolveStatus::kUnsat;
+      result.certified = ar.certified;
+      return result;
+    }
+    const std::vector<double> residues = ar.trace.residue_norms(norm);
+    const double prev_height = result.thresholds[staircase_end];
+    // Largest residue beyond the staircase that fits under the previous
+    // step; when every residue out there overshoots, extend flat at the
+    // previous height to keep the staircase monotone.
+    std::size_t k = horizon;
+    double best = -1.0;
+    for (std::size_t j = staircase_end + 1; j < horizon; ++j) {
+      if (residues[j] <= prev_height && residues[j] > best) {
+        best = residues[j];
+        k = j;
+      }
+    }
+    double h = 0.0;
+    if (k == horizon) {
+      k = horizon - 1;
+      h = prev_height;
+    } else {
+      h = std::max(best * (1.0 - options.progress_margin), options.threshold_floor);
+    }
+    for (std::size_t j = staircase_end + 1; j <= k; ++j) result.thresholds.set(j, h);
+    staircase_end = k;
+    if (options.record_history) result.history.push_back(result.thresholds);
+    CPSG_INFO("stepwise") << "round " << result.rounds << ": step to " << k
+                          << " at height " << h;
+  }
+
+  // Phase B (case 2b): carve minimum-area rectangles until UNSAT.
+  AdaptiveMargin margin(options.progress_margin);
+  while (result.rounds < options.max_rounds) {
+    ar = next_counterexample(attvecsyn, result.thresholds,
+                             options.counterexample_objective);
+    ++result.rounds;
+    result.total_seconds += ar.solve_seconds;
+    if (!ar.found()) {
+      result.converged = ar.status == solver::SolveStatus::kUnsat;
+      result.certified = ar.certified;
+      break;
+    }
+    const std::vector<double> residues = ar.trace.residue_norms(norm);
+    const std::size_t cut = min_area_rectangle(residues, result.thresholds);
+    margin.observe({UpdateInfo::Kind::kReduce, cut});
+    const double cut_val = std::max(residues[cut] * (1.0 - margin.current()),
+                                    options.threshold_floor);
+    for (std::size_t j = cut; j < horizon && result.thresholds.is_set(j) &&
+                              result.thresholds[j] > cut_val;
+         ++j) {
+      result.thresholds.set(j, cut_val);
+    }
+    if (options.record_history) result.history.push_back(result.thresholds);
+    CPSG_INFO("stepwise") << "round " << result.rounds << ": cut at " << cut
+                          << " to " << cut_val;
+  }
+  return result;
+}
+
+StaticSynthesisResult static_threshold_synthesis(AttackVectorSynthesizer& attvecsyn,
+                                                 const StaticSynthesisOptions& options) {
+  const std::size_t horizon = attvecsyn.problem().horizon;
+  const control::Norm norm = attvecsyn.problem().norm;
+
+  StaticSynthesisResult result;
+  result.certified = true;
+
+  // Bracket seed: residue peak of the unconstrained attack.
+  AttackResult ar = attvecsyn.synthesize(ThresholdVector(horizon));
+  ++result.solver_rounds;
+  result.total_seconds += ar.solve_seconds;
+  if (!ar.found()) {
+    // No attack even without a residue detector: any threshold is safe.
+    result.threshold = kInfinity;
+    result.converged = ar.status == solver::SolveStatus::kUnsat;
+    result.certified = ar.certified;
+    return result;
+  }
+  double hi = options.initial_upper;
+  if (hi <= 0.0) {
+    const std::vector<double> residues = ar.trace.residue_norms(norm);
+    hi = 2.0 * *std::max_element(residues.begin(), residues.end());
+  }
+  double lo = 0.0;  // the c -> 0 limit disables the attack channel entirely
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= 0.0) break;
+    ar = attvecsyn.synthesize(ThresholdVector::constant(horizon, mid));
+    ++result.solver_rounds;
+    result.total_seconds += ar.solve_seconds;
+    if (ar.found()) {
+      hi = mid;  // attack slips under a constant mid: unsafe
+    } else {
+      if (ar.status != solver::SolveStatus::kUnsat) break;  // solver gave up
+      lo = mid;  // proven safe
+      result.certified = result.certified && ar.certified;
+    }
+    if (hi - lo <= options.relative_tolerance * std::max(hi, 1e-12)) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.threshold = lo;
+  result.converged = result.converged && lo > 0.0;
+  return result;
+}
+
+SynthesisResult relaxation_threshold_synthesis(AttackVectorSynthesizer& attvecsyn,
+                                               const RelaxationOptions& options) {
+  const std::size_t horizon = attvecsyn.problem().horizon;
+
+  SynthesisResult result;
+  result.thresholds = ThresholdVector(horizon);
+
+  // Seed: the largest provably-safe static constant.
+  const StaticSynthesisResult base =
+      static_threshold_synthesis(attvecsyn, options.static_options);
+  result.rounds = base.solver_rounds;
+  result.total_seconds = base.total_seconds;
+  if (!base.converged || base.threshold <= 0.0) {
+    if (std::isinf(base.threshold)) {
+      // No attack exists even without a detector: nothing to synthesize.
+      result.converged = true;
+      result.certified = base.certified;
+    }
+    return result;
+  }
+  for (std::size_t k = 0; k < horizon; ++k) result.thresholds.set(k, base.threshold);
+
+  // Raise each position left-to-right.  The candidate value is capped by the
+  // predecessor (monotonicity) and by growth_cap * static level; "still
+  // safe" during bisection is judged by the fast finder (provisional), the
+  // final vector is certified exactly below.
+  const double cap0 = base.threshold * options.growth_cap;
+  for (std::size_t i = 0; i + 1 < horizon; ++i) {
+    const double ceiling = i == 0 ? cap0 : result.thresholds[i - 1];
+    double lo = result.thresholds[i];  // known (provisionally) safe
+    double hi = ceiling;
+    if (hi <= lo) continue;
+    // Quick reject: if even the ceiling is safe, take it outright.
+    ThresholdVector probe = result.thresholds;
+    probe.set(i, hi);
+    AttackResult ar = attvecsyn.synthesize_fast(probe);
+    ++result.rounds;
+    result.total_seconds += ar.solve_seconds;
+    if (!ar.found()) {
+      result.thresholds.set(i, hi);
+      continue;
+    }
+    for (std::size_t step = 0; step < options.bisection_steps; ++step) {
+      // Log-space bisection: the ceiling can sit orders of magnitude above
+      // the safe value, which linear bisection cannot close in few steps.
+      const double mid = std::sqrt(lo * hi);
+      probe.set(i, mid);
+      ar = attvecsyn.synthesize_fast(probe);
+      ++result.rounds;
+      result.total_seconds += ar.solve_seconds;
+      if (ar.found())
+        hi = mid;
+      else
+        lo = mid;
+    }
+    result.thresholds.set(i, lo);
+  }
+
+  // Exact certification; on a counterexample, repair by shrinking the
+  // instant with the smallest threshold-to-residue gap (it is the binding
+  // one) and re-certify.
+  const control::Norm norm = attvecsyn.problem().norm;
+  const std::size_t retries =
+      options.certify_retries ? options.certify_retries : 2 * horizon;
+  for (std::size_t attempt = 0; attempt <= retries; ++attempt) {
+    const AttackResult check = attvecsyn.synthesize(result.thresholds);
+    ++result.rounds;
+    result.total_seconds += check.solve_seconds;
+    if (!check.found()) {
+      result.converged = check.status == solver::SolveStatus::kUnsat;
+      result.certified = check.certified;
+      break;
+    }
+    const std::vector<double> residues = check.trace.residue_norms(norm);
+    // Shrink the smallest-gap position whose clamp STRICTLY decreases it —
+    // attackers also play boundary at positions already sitting at the
+    // static base, where the clamp would no-op and stall the repair.
+    std::size_t best_i = horizon;
+    double best_gap = kInfinity;
+    for (std::size_t i = 0; i < horizon; ++i) {
+      if (!result.thresholds.is_set(i)) continue;
+      const double v = std::max(residues[i] * 0.95, base.threshold);
+      if (v >= result.thresholds[i] * (1.0 - 1e-12)) continue;  // no progress
+      const double gap = result.thresholds[i] - residues[i];
+      if (gap < best_gap) {
+        best_gap = gap;
+        best_i = i;
+      }
+    }
+    if (best_i == horizon) break;
+    const double v = std::max(residues[best_i] * 0.95, base.threshold);
+    result.thresholds.set(best_i, v);
+    for (std::size_t k = best_i + 1; k < horizon; ++k)
+      if (result.thresholds[k] > result.thresholds[best_i])
+        result.thresholds.set(k, result.thresholds[best_i]);
+  }
+  return result;
+}
+
+}  // namespace cpsguard::synth

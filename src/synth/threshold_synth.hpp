@@ -1,0 +1,113 @@
+// threshold_synth.hpp — Algorithms 2 & 3 and the static-threshold baseline.
+//
+// Both variable-threshold synthesizers are CEGIS loops around Algorithm 1:
+// each round asks ATTVECSYN for a stealthy successful attack against the
+// current threshold vector and, if one exists, strengthens the vector just
+// enough to kill it while preserving the monotone-decreasing (Alg 2) or
+// monotone staircase (Alg 3) shape.  Termination is certified by the
+// complete backend returning UNSAT.
+#pragma once
+
+#include <vector>
+
+#include "detect/threshold.hpp"
+#include "synth/attack_synth.hpp"
+
+namespace cpsguard::synth {
+
+struct SynthesisOptions {
+  std::size_t max_rounds = 500;
+  /// Floor used when a counterexample residue is (numerically) zero —
+  /// thresholds must stay strictly positive to remain "set".
+  double threshold_floor = 1e-9;
+  /// Relative shrink applied whenever a threshold is derived from a
+  /// counterexample residue: Th <- residue * (1 - progress_margin).  The
+  /// solver otherwise returns attacks sitting epsilon below the current
+  /// thresholds and each round would only shave that epsilon off — the
+  /// margin forces geometric progress at the cost of slightly more
+  /// conservative (lower) thresholds.
+  double progress_margin = 0.05;
+  /// Keep the per-round threshold vectors for plots/analysis.
+  bool record_history = false;
+  /// Counterexample canonicalization.  kMinEffort (default) asks for the
+  /// cheapest stealthy attack: sparse counterexamples that exercise only
+  /// the instants that genuinely matter, which is what the greedy update
+  /// rules assume.  kAny reproduces the paper's plain ATTVECSYN models.
+  AttackObjective counterexample_objective = AttackObjective::kMinEffort;
+};
+
+struct SynthesisResult {
+  detect::ThresholdVector thresholds;
+  std::size_t rounds = 0;          ///< ATTVECSYN rounds including the final UNSAT
+  bool converged = false;          ///< final ATTVECSYN returned UNSAT
+  bool certified = false;          ///< ... from a complete backend
+  double total_seconds = 0.0;      ///< total solver time
+  std::vector<detect::ThresholdVector> history;  ///< per-round (when recorded)
+};
+
+/// Algorithm 2: pivot-based synthesis of a monotonically decreasing
+/// threshold vector.
+SynthesisResult pivot_threshold_synthesis(AttackVectorSynthesizer& attvecsyn,
+                                          const SynthesisOptions& options = {});
+
+/// Algorithm 3: step-wise synthesis of a monotone staircase threshold.
+SynthesisResult stepwise_threshold_synthesis(AttackVectorSynthesizer& attvecsyn,
+                                             const SynthesisOptions& options = {});
+
+/// The MINAREARECTANGLE primitive of Algorithm 3, exposed for tests: given
+/// the residue norms of the current counterexample and the current
+/// (staircase) thresholds, returns the cut position whose rectangle —
+/// lowering the staircase to the residue level from that position rightwards
+/// while it exceeds that level — removes the least area.  Only positions
+/// whose residue lies strictly below their threshold qualify (the cut must
+/// detect the attack).  Returns the chosen index.
+std::size_t min_area_rectangle(const std::vector<double>& residues,
+                               const detect::ThresholdVector& thresholds);
+
+/// Baseline: largest provably-safe STATIC threshold via bisection (safety
+/// is monotone in the threshold: lowering a safe constant stays safe).
+struct StaticSynthesisOptions {
+  std::size_t max_iterations = 24;
+  double relative_tolerance = 1e-3;
+  /// Upper bracket seed; when 0 the residue peak of the unconstrained
+  /// attack (doubled) is used.
+  double initial_upper = 0.0;
+};
+
+struct StaticSynthesisResult {
+  double threshold = 0.0;          ///< largest constant proven safe
+  std::size_t solver_rounds = 0;
+  bool converged = false;
+  bool certified = false;
+  double total_seconds = 0.0;
+};
+
+StaticSynthesisResult static_threshold_synthesis(AttackVectorSynthesizer& attvecsyn,
+                                                 const StaticSynthesisOptions& options = {});
+
+/// Extension (this library's contribution, motivated by the paper's
+/// "future work" note): relaxation-based synthesis.
+///
+/// The safe threshold vectors form a downward-closed set, so instead of
+/// shrinking from the unsafe side (Algorithms 2/3, whose greedy updates can
+/// allocate the entire safety budget to one instant), start INSIDE the safe
+/// set at the certified static constant and raise thresholds left-to-right
+/// by bisection while safety is preserved.  Properties:
+///   * the result dominates the static baseline pointwise, so its false
+///     alarm rate is never worse — the paper's headline comparison holds by
+///     construction;
+///   * it is monotone decreasing (each position is capped by its
+///     predecessor);
+///   * the returned vector is certified by one final exact UNSAT check
+///     (finder verdicts steer the bisection; Z3 seals the result).
+struct RelaxationOptions {
+  std::size_t bisection_steps = 12;   ///< per-position refinement (log-space)
+  double growth_cap = 1e4;            ///< max Th[i] as a multiple of the static level
+  std::size_t certify_retries = 0;    ///< repair rounds for the final check (0 = 2 * horizon)
+  StaticSynthesisOptions static_options;  ///< seeding baseline
+};
+
+SynthesisResult relaxation_threshold_synthesis(AttackVectorSynthesizer& attvecsyn,
+                                               const RelaxationOptions& options = {});
+
+}  // namespace cpsguard::synth

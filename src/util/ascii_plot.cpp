@@ -1,0 +1,94 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace cpsguard::util {
+namespace {
+
+bool finite(double v) { return std::isfinite(v); }
+
+}  // namespace
+
+std::string render_plot(const std::vector<Series>& series, const PlotOptions& opts) {
+  require(opts.width >= 8 && opts.height >= 4, "render_plot: canvas too small");
+  std::size_t max_len = 0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    max_len = std::max(max_len, s.values.size());
+    for (double v : s.values) {
+      if (!finite(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  std::ostringstream out;
+  if (!opts.title.empty()) out << "  " << opts.title << '\n';
+  if (max_len == 0 || !finite(lo) || !finite(hi)) {
+    out << "  (no data)\n";
+    return out.str();
+  }
+  if (opts.y_zero) {
+    lo = std::min(lo, 0.0);
+    hi = std::max(hi, 0.0);
+  }
+  if (hi - lo < 1e-12) {  // flat line: widen the band so it renders mid-canvas
+    const double pad = std::max(1e-12, std::abs(hi) * 0.1 + 1e-6);
+    lo -= pad;
+    hi += pad;
+  }
+
+  const int w = opts.width;
+  const int h = opts.height;
+  std::vector<std::string> canvas(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+  auto to_col = [&](std::size_t idx) {
+    if (max_len <= 1) return 0;
+    return static_cast<int>(std::lround(static_cast<double>(idx) * (w - 1) /
+                                        static_cast<double>(max_len - 1)));
+  };
+  auto to_row = [&](double v) {
+    const double t = (v - lo) / (hi - lo);
+    const int r = static_cast<int>(std::lround(t * (h - 1)));
+    return (h - 1) - std::clamp(r, 0, h - 1);  // row 0 is the top
+  };
+
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      if (!finite(s.values[i])) continue;
+      canvas[static_cast<std::size_t>(to_row(s.values[i]))]
+            [static_cast<std::size_t>(to_col(i))] = s.glyph;
+    }
+  }
+
+  char label[32];
+  for (int r = 0; r < h; ++r) {
+    const double v = hi - (hi - lo) * r / (h - 1);
+    std::snprintf(label, sizeof(label), "%10.4g", v);
+    const bool tick = (r == 0 || r == h - 1 || r == h / 2);
+    out << (tick ? label : std::string(10, ' ')) << " |" << canvas[static_cast<std::size_t>(r)]
+        << '\n';
+  }
+  out << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  std::snprintf(label, sizeof(label), "%zu", max_len - 1);
+  out << std::string(12, ' ') << "0" << std::string(static_cast<std::size_t>(std::max(1, w - 1 - static_cast<int>(std::string(label).size()))), ' ')
+      << label;
+  if (!opts.x_label.empty()) out << "   [" << opts.x_label << ']';
+  out << '\n';
+  out << "  legend:";
+  for (const auto& s : series) out << "  '" << s.glyph << "' = " << s.name;
+  out << '\n';
+  return out.str();
+}
+
+std::string render_plot(const std::string& name, const std::vector<double>& values,
+                        const PlotOptions& opts) {
+  return render_plot(std::vector<Series>{{name, values, '*'}}, opts);
+}
+
+}  // namespace cpsguard::util

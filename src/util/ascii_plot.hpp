@@ -1,0 +1,37 @@
+// ascii_plot.hpp — terminal line plots for bench "figures".
+//
+// Each paper figure is rendered as an ASCII chart so `for b in bench/*; do
+// $b; done` shows the reproduced series without any plotting dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cpsguard::util {
+
+/// One named series of (implicit index, value) points.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+  char glyph = '*';
+};
+
+/// Options controlling the rendering of an AsciiPlot.
+struct PlotOptions {
+  int width = 72;    ///< plot area columns (excluding axis labels)
+  int height = 20;   ///< plot area rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool y_zero = false;  ///< force the y-range to include 0
+};
+
+/// Renders up to ~6 series over a shared x index (sample number).
+/// Series may have different lengths; x spans the longest one.
+std::string render_plot(const std::vector<Series>& series, const PlotOptions& opts);
+
+/// Convenience: plot a single series.
+std::string render_plot(const std::string& name, const std::vector<double>& values,
+                        const PlotOptions& opts);
+
+}  // namespace cpsguard::util

@@ -1,0 +1,54 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace cpsguard::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : arity_(columns.size()) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  out_.open(path);
+  if (!out_) throw IoError("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  require(values.size() == arity_, "CsvWriter::row: arity mismatch");
+  std::ostringstream line;
+  line.precision(12);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) line << ',';
+    line << values[i];
+  }
+  out_ << line.str() << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& cells) {
+  require(cells.size() == arity_, "CsvWriter::row_strings: arity mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+bool ensure_directory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return !ec;
+}
+
+}  // namespace cpsguard::util

@@ -1,0 +1,39 @@
+// csv.hpp — CSV emission for experiment artifacts.
+//
+// Every bench binary mirrors its printed series into a CSV file so figures
+// can be re-plotted outside the terminal.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cpsguard::util {
+
+/// Streaming CSV writer.  Columns are fixed at construction; each row must
+/// supply exactly that many cells.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws IoError if the file cannot be created.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// Appends one data row.  Throws InvalidArgument on arity mismatch.
+  void row(const std::vector<double>& values);
+
+  /// Appends one row of preformatted cells.
+  void row_strings(const std::vector<std::string>& cells);
+
+  /// Number of data rows written so far.
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+/// Creates `dir` (and parents) if missing; returns false on failure.
+bool ensure_directory(const std::string& dir);
+
+}  // namespace cpsguard::util

@@ -1,0 +1,44 @@
+// logging.hpp — tiny leveled logger used across the library.
+//
+// The synthesis loops (CEGIS rounds, solver calls) narrate progress through
+// this logger so long-running benches stay observable.  Logging is opt-in:
+// the default level is kWarn, benches raise it to kInfo.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cpsguard::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& tag, const std::string& msg);
+
+/// Stream-style log statement: LOG_STREAM(kInfo, "synth") << "round " << r;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string tag) : level_(level), tag_(std::move(tag)) {}
+  ~LogStream() { log_line(level_, tag_, out_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream out_;
+};
+
+}  // namespace cpsguard::util
+
+#define CPSG_LOG(level, tag) ::cpsguard::util::LogStream(level, tag)
+#define CPSG_DEBUG(tag) CPSG_LOG(::cpsguard::util::LogLevel::kDebug, tag)
+#define CPSG_INFO(tag) CPSG_LOG(::cpsguard::util::LogLevel::kInfo, tag)
+#define CPSG_WARN(tag) CPSG_LOG(::cpsguard::util::LogLevel::kWarn, tag)

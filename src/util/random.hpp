@@ -1,0 +1,53 @@
+// random.hpp — deterministic random number generation.
+//
+// All stochastic pieces of the library (process/measurement noise, the
+// Monte-Carlo FAR protocol) draw from util::Rng so every experiment is
+// reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cpsguard::util {
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+///
+/// We implement the generator ourselves instead of relying on std::mt19937
+/// so the bit stream is identical across standard libraries — the FAR
+/// experiment must reproduce exactly from its seed.
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 on `seed`.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Vector of `n` iid gaussian(0, stddev) samples.
+  std::vector<double> gaussian_vector(std::size_t n, double stddev);
+
+  /// Vector of `n` iid uniform [lo, hi) samples.
+  std::vector<double> uniform_vector(std::size_t n, double lo, double hi);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace cpsguard::util

@@ -1,0 +1,49 @@
+// status.hpp — error handling primitives for cpsguard.
+//
+// The library reports contract violations and numerical failures through a
+// small exception hierarchy rooted at util::Error.  Recoverable "no result"
+// outcomes (e.g. UNSAT from a solver) are modelled with std::optional /
+// dedicated result enums instead of exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cpsguard::util {
+
+/// Root of the cpsguard exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad dimension, bad index...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or met a singular matrix.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// An I/O operation (CSV dump, code emission) failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A solver backend failed in an unexpected way (Z3 exception, bad model).
+class SolverError : public Error {
+ public:
+  explicit SolverError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgument with `msg` when `cond` is false.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+}  // namespace cpsguard::util

@@ -1,0 +1,51 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace cpsguard::util {
+
+TextTable::TextTable(std::vector<std::string> header) { rows_.push_back(std::move(header)); }
+
+void TextTable::row(std::vector<std::string> cells) {
+  require(cells.size() == rows_.front().size(), "TextTable::row: arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::row_numeric(const std::string& label, const std::vector<double>& values,
+                            int precision) {
+  std::vector<std::string> cells;
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_double(v, precision));
+  row(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(rows_.front().size(), 0);
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out << r[c] << std::string(widths[c] - r[c].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emit(rows_.front());
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    out << std::string(widths[c], '-') << "  ";
+  out << '\n';
+  for (std::size_t i = 1; i < rows_.size(); ++i) emit(rows_[i]);
+  return out.str();
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+}  // namespace cpsguard::util

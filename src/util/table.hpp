@@ -1,0 +1,36 @@
+// table.hpp — aligned text tables for bench/test reporting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cpsguard::util {
+
+/// Accumulates rows of string cells and renders an aligned table with a
+/// header rule, e.g.
+///
+///   detector         FAR      rounds
+///   ---------------  -------  ------
+///   pivot (Alg 2)    61.5 %   56
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; pads/truncates nothing — arity must match the header.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void row_numeric(const std::string& label, const std::vector<double>& values,
+                   int precision = 4);
+
+  /// Renders the table.
+  std::string str() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `precision` significant decimal digits.
+std::string format_double(double v, int precision = 4);
+
+}  // namespace cpsguard::util

@@ -1,0 +1,237 @@
+// Code-generation tests: structural checks on the emitted C, plus the
+// integration test that compiles the module with the system C compiler and
+// cross-checks its alarm decisions sample-by-sample against the C++
+// runtime on random noisy/attacked traces.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "codegen/c_emitter.hpp"
+#include "control/closed_loop.hpp"
+#include "detect/detector.hpp"
+#include "control/noise.hpp"
+#include "models/quadtank.hpp"
+#include "models/vsc.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::codegen {
+namespace {
+
+using detect::ThresholdVector;
+
+ThresholdVector demo_thresholds(std::size_t horizon) {
+  ThresholdVector th(horizon);
+  for (std::size_t k = 0; k < horizon; ++k)
+    th.set(k, 0.05 - 0.0005 * static_cast<double>(k));
+  return th;
+}
+
+TEST(Emitter, ContainsExpectedSymbols) {
+  const auto cs = models::make_vsc_case_study();
+  const std::string code =
+      emit_detector_c(cs.loop, demo_thresholds(cs.horizon), cs.mdc);
+  for (const char* needle :
+       {"cpsguard_state_t", "cpsguard_init", "cpsguard_step", "cpsguard_TH",
+        "cpsguard_A", "cpsguard_L", "cpsguard_K", "viol_run", "alarm_residue",
+        "alarm_monitor", "/* --- header --- */"}) {
+    EXPECT_NE(code.find(needle), std::string::npos) << "missing " << needle;
+  }
+}
+
+TEST(Emitter, CustomPrefix) {
+  const auto cs = models::make_vsc_case_study();
+  CodegenOptions opts;
+  opts.symbol_prefix = "vsc_det";
+  const std::string code =
+      emit_detector_c(cs.loop, demo_thresholds(cs.horizon), cs.mdc, opts);
+  EXPECT_NE(code.find("vsc_det_step"), std::string::npos);
+  EXPECT_EQ(code.find("cpsguard_step"), std::string::npos);
+}
+
+TEST(Emitter, RejectsEmptyThresholds) {
+  const auto cs = models::make_vsc_case_study();
+  EXPECT_THROW(emit_detector_c(cs.loop, ThresholdVector{}, cs.mdc),
+               util::InvalidArgument);
+}
+
+TEST(Emitter, NormVariantsEmit) {
+  const auto cs = models::make_vsc_case_study();
+  for (control::Norm norm :
+       {control::Norm::kInf, control::Norm::kOne, control::Norm::kTwo}) {
+    CodegenOptions opts;
+    opts.norm = norm;
+    EXPECT_FALSE(emit_detector_c(cs.loop, demo_thresholds(cs.horizon), cs.mdc, opts)
+                     .empty());
+  }
+}
+
+// ---- compile-and-cross-check ----------------------------------------------
+
+/// Compiles the emitted module together with a driver that reads measurement
+/// vectors from stdin and prints "alarmmask residue" per step.
+class CompiledDetector {
+ public:
+  CompiledDetector(const control::LoopConfig& loop, const ThresholdVector& th,
+                   const monitor::MonitorSet& mdc, control::Norm norm) {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cpsguard_codegen_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    CodegenOptions opts;
+    opts.norm = norm;
+    opts.emit_selftest = false;
+    write_detector_c((dir_ / "detector.c").string(), loop, th, mdc, opts);
+
+    std::ofstream driver(dir_ / "driver.c");
+    driver << "#include \"detector.c\"\n#include <stdio.h>\n"
+           << "int main(void) {\n"
+           << "  cpsguard_state_t s; cpsguard_init(&s);\n"
+           << "  double y[cpsguard_M]; double zn;\n"
+           << "  while (1) {\n"
+           << "    for (int i = 0; i < cpsguard_M; ++i)\n"
+           << "      if (scanf(\"%lf\", &y[i]) != 1) return 0;\n"
+           << "    int mask = cpsguard_step(&s, y, &zn);\n"
+           << "    printf(\"%d %.17g\\n\", mask, zn);\n"
+           << "  }\n}\n";
+    driver.close();
+
+    const std::string cmd = "cc -std=c99 -O2 -o " + (dir_ / "driver").string() + " " +
+                            (dir_ / "driver.c").string() + " -lm 2>" +
+                            (dir_ / "cc.log").string();
+    compiled_ = std::system(cmd.c_str()) == 0;
+  }
+
+  ~CompiledDetector() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  bool compiled() const { return compiled_; }
+
+  /// Runs the compiled detector on a measurement sequence.
+  struct StepOut {
+    int mask;
+    double residue;
+  };
+  std::vector<StepOut> run(const std::vector<linalg::Vector>& measurements) const {
+    const auto input = dir_ / "in.txt";
+    std::ofstream in(input);
+    in.precision(17);
+    for (const auto& y : measurements) {
+      for (std::size_t i = 0; i < y.size(); ++i) in << y[i] << ' ';
+      in << '\n';
+    }
+    in.close();
+    const auto output = dir_ / "out.txt";
+    const std::string cmd =
+        (dir_ / "driver").string() + " < " + input.string() + " > " + output.string();
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+    std::ifstream out(output);
+    std::vector<StepOut> result;
+    StepOut so{};
+    while (out >> so.mask >> so.residue) result.push_back(so);
+    return result;
+  }
+
+ private:
+  std::filesystem::path dir_;
+  bool compiled_ = false;
+};
+
+TEST(CompiledDetector, MatchesCppRuntimeOnRandomTraces) {
+  const auto cs = models::make_vsc_case_study();
+  const ThresholdVector th = demo_thresholds(cs.horizon);
+  const control::Norm norm = control::Norm::kInf;
+  CompiledDetector compiled(cs.loop, th, cs.mdc, norm);
+  if (!compiled.compiled()) GTEST_SKIP() << "no system C compiler available";
+
+  const control::ClosedLoop loop(cs.loop);
+  const detect::ResidueDetector cpp_detector(th, norm);
+  util::Rng rng(123);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    // Mix of benign noise and occasional attack spikes.
+    const auto noise =
+        control::bounded_uniform_signal(rng, cs.horizon, cs.noise_bounds);
+    control::Signal attack = control::zero_signal(cs.horizon, 2);
+    if (trial % 2 == 1) {
+      for (std::size_t k = cs.horizon / 2; k < cs.horizon; ++k)
+        attack[k] = linalg::Vector{rng.uniform(-0.05, 0.05), rng.uniform(-0.3, 0.3)};
+    }
+    const auto tr = loop.simulate(cs.horizon, &attack, nullptr, &noise);
+
+    const auto steps = compiled.run(tr.y);
+    ASSERT_EQ(steps.size(), tr.steps());
+
+    // Residues must agree to near machine precision at every step.
+    for (std::size_t k = 0; k < tr.steps(); ++k) {
+      EXPECT_NEAR(steps[k].residue, control::vector_norm(tr.z[k], norm), 1e-9)
+          << "trial " << trial << " step " << k;
+    }
+
+    // Alarm decisions must agree (C latches; compare final verdicts).
+    const bool cpp_residue_alarm = cpp_detector.triggered(tr);
+    const bool cpp_monitor_alarm = !cs.mdc.stealthy(tr);
+    const int final_mask = steps.back().mask;
+    EXPECT_EQ((final_mask & 1) != 0, cpp_residue_alarm) << "trial " << trial;
+    EXPECT_EQ((final_mask & 2) != 0, cpp_monitor_alarm) << "trial " << trial;
+  }
+}
+
+TEST(Emitter, MimoPlantEmits) {
+  // Two inputs, two outputs, four states: the emitted loops must use the
+  // right dimensions everywhere (regression guard for index mixups).
+  const auto cs = models::make_quadtank_case_study();
+  const std::string code =
+      emit_detector_c(cs.loop, demo_thresholds(cs.horizon), cs.mdc);
+  EXPECT_NE(code.find("#define cpsguard_N 4"), std::string::npos);
+  EXPECT_NE(code.find("#define cpsguard_M 2"), std::string::npos);
+  EXPECT_NE(code.find("#define cpsguard_P 2"), std::string::npos);
+}
+
+TEST(CompiledDetector, MimoMatchesCppRuntime) {
+  const auto cs = models::make_quadtank_case_study();
+  const ThresholdVector th = demo_thresholds(cs.horizon);
+  CompiledDetector compiled(cs.loop, th, cs.mdc, control::Norm::kInf);
+  if (!compiled.compiled()) GTEST_SKIP() << "no system C compiler available";
+  util::Rng rng(7);
+  const auto noise = control::bounded_uniform_signal(rng, cs.horizon, cs.noise_bounds);
+  const auto tr =
+      control::ClosedLoop(cs.loop).simulate(cs.horizon, nullptr, nullptr, &noise);
+  const auto steps = compiled.run(tr.y);
+  ASSERT_EQ(steps.size(), tr.steps());
+  for (std::size_t k = 0; k < tr.steps(); ++k)
+    EXPECT_NEAR(steps[k].residue, control::vector_norm(tr.z[k], control::Norm::kInf),
+                1e-9);
+}
+
+TEST(CompiledDetector, SelftestBuildRuns) {
+  const auto cs = models::make_vsc_case_study();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("cpsguard_selftest_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  write_detector_c((dir / "det.c").string(), cs.loop, demo_thresholds(cs.horizon),
+                   cs.mdc);
+  const std::string cmd = "cc -std=c99 -DCPSGUARD_SELFTEST -o " +
+                          (dir / "selftest").string() + " " + (dir / "det.c").string() +
+                          " -lm && " + (dir / "selftest").string() + " > " +
+                          (dir / "out.txt").string();
+  if (std::system(cmd.c_str()) != 0) {
+    std::filesystem::remove_all(dir);
+    GTEST_SKIP() << "no system C compiler available";
+  }
+  std::ifstream out(dir / "out.txt");
+  std::string line;
+  std::getline(out, line);
+  EXPECT_NE(line.find("alarms="), std::string::npos);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace cpsguard::codegen

@@ -1,0 +1,242 @@
+// Unit tests for the control substrate: discretization, estimator/LQR
+// design, closed-loop simulation, trace utilities, noise generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/closed_loop.hpp"
+#include "control/kalman.hpp"
+#include "control/lqr.hpp"
+#include "control/lti.hpp"
+#include "control/noise.hpp"
+#include "control/norm.hpp"
+#include "linalg/decomp.hpp"
+#include "models/trajectory.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::control {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+ContinuousLti double_integrator() {
+  ContinuousLti ct;
+  ct.a = Matrix{{0.0, 1.0}, {0.0, 0.0}};
+  ct.b = Matrix{{0.0}, {1.0}};
+  ct.c = Matrix{{1.0, 0.0}};
+  ct.d = Matrix{{0.0}};
+  return ct;
+}
+
+DiscreteLti simple_stable_plant() {
+  // One-state leaky integrator with direct measurement.
+  DiscreteLti sys;
+  sys.a = Matrix{{0.9}};
+  sys.b = Matrix{{0.1}};
+  sys.c = Matrix{{1.0}};
+  sys.d = Matrix{{0.0}};
+  sys.ts = 0.1;
+  sys.q = Matrix{{1e-4}};
+  sys.r = Matrix{{1e-4}};
+  return sys;
+}
+
+TEST(Norms, AllThree) {
+  const Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(vector_norm(v, Norm::kInf), 4.0);
+  EXPECT_DOUBLE_EQ(vector_norm(v, Norm::kOne), 7.0);
+  EXPECT_DOUBLE_EQ(vector_norm(v, Norm::kTwo), 5.0);
+  EXPECT_EQ(norm_name(Norm::kInf), "Linf");
+}
+
+TEST(C2d, DoubleIntegratorClosedForm) {
+  // ZOH of the double integrator: Ad = [[1, T], [0, 1]], Bd = [T^2/2, T].
+  const double T = 0.2;
+  const DiscreteLti d = c2d(double_integrator(), T);
+  EXPECT_NEAR(d.a(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(d.a(0, 1), T, 1e-12);
+  EXPECT_NEAR(d.a(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(d.b(0, 0), T * T / 2.0, 1e-12);
+  EXPECT_NEAR(d.b(1, 0), T, 1e-12);
+}
+
+TEST(C2d, FirstOrderClosedForm) {
+  // dx = -x + u: Ad = e^{-T}, Bd = 1 - e^{-T}.
+  ContinuousLti ct;
+  ct.a = Matrix{{-1.0}};
+  ct.b = Matrix{{1.0}};
+  ct.c = Matrix{{1.0}};
+  ct.d = Matrix{{0.0}};
+  const double T = 0.3;
+  const DiscreteLti d = c2d(ct, T);
+  EXPECT_NEAR(d.a(0, 0), std::exp(-T), 1e-12);
+  EXPECT_NEAR(d.b(0, 0), 1.0 - std::exp(-T), 1e-12);
+}
+
+TEST(C2d, RejectsNonPositivePeriod) {
+  EXPECT_THROW(c2d(double_integrator(), 0.0), util::InvalidArgument);
+}
+
+DiscreteLti c2d_with_noise() {
+  DiscreteLti sys = c2d(double_integrator(), 0.1);
+  sys.q = Matrix{{1e-3, 0.0}, {0.0, 1e-3}};
+  sys.r = Matrix{{1e-4}};
+  return sys;
+}
+
+TEST(Kalman, GainStabilizesErrorDynamics) {
+  const DiscreteLti sys = c2d_with_noise();
+  const KalmanDesign kd = design_kalman(sys);
+  // Prediction-error dynamics A - L C must be Schur stable.
+  const Matrix err = sys.a - kd.gain * sys.c;
+  EXPECT_LT(linalg::spectral_radius(err), 1.0);
+  // Covariance must be symmetric positive semidefinite (diagonal >= 0).
+  for (std::size_t i = 0; i < kd.covariance.rows(); ++i)
+    EXPECT_GE(kd.covariance(i, i), 0.0);
+}
+
+TEST(Kalman, FilterConvergesToTruth) {
+  const DiscreteLti sys = c2d_with_noise();
+  const KalmanDesign kd = design_kalman(sys);
+  KalmanFilter kf(sys, kd.gain, Vector{0.0, 0.0});
+  // True system starts at [1, 0] with zero input; filter starts at origin.
+  Vector x{1.0, 0.0};
+  const Vector u{0.0};
+  for (int k = 0; k < 200; ++k) {
+    const Vector y = sys.c * x;
+    const Vector z = kf.residue(y, u);
+    kf.update(u, z);
+    x = sys.a * x;
+  }
+  // Marginally stable plant: the estimate must track the truth.
+  EXPECT_NEAR(kf.estimate()[0], x[0], 1e-3);
+}
+
+TEST(Lqr, GainStabilizesPlant) {
+  const DiscreteLti sys = c2d_with_noise();
+  const LqrDesign ld = design_lqr(sys, Matrix::diagonal(Vector{10.0, 1.0}), Matrix{{1.0}});
+  EXPECT_LT(linalg::spectral_radius(sys.a - sys.b * ld.gain), 1.0);
+}
+
+TEST(Lqr, HigherInputCostMeansSmallerGain) {
+  const DiscreteLti sys = c2d_with_noise();
+  const Matrix q = Matrix::diagonal(Vector{10.0, 1.0});
+  const auto cheap = design_lqr(sys, q, Matrix{{0.1}});
+  const auto expensive = design_lqr(sys, q, Matrix{{10.0}});
+  EXPECT_GT(cheap.gain.norm_fro(), expensive.gain.norm_fro());
+}
+
+TEST(SteadyState, TracksReference) {
+  const DiscreteLti sys = simple_stable_plant();
+  const OperatingPoint op = steady_state_for_reference(sys, Vector{2.0});
+  // x_ss must be a fixed point and produce the reference output.
+  const Vector xn = sys.a * op.x_ss + sys.b * op.u_ss;
+  EXPECT_NEAR(xn[0], op.x_ss[0], 1e-9);
+  EXPECT_NEAR((sys.c * op.x_ss + sys.d * op.u_ss)[0], 2.0, 1e-9);
+}
+
+TEST(ClosedLoop, RegulatesToOperatingPoint) {
+  const DiscreteLti sys = simple_stable_plant();
+  LoopConfig cfg = LoopConfig::design(sys, Matrix{{10.0}}, Matrix{{1.0}}, Vector{1.5});
+  const Trace tr = ClosedLoop(cfg).simulate(300);
+  EXPECT_NEAR(tr.x.back()[0], cfg.operating_point.x_ss[0], 1e-6);
+}
+
+TEST(ClosedLoop, StackedMatrixIsStable) {
+  const auto cs = models::make_trajectory_case_study();
+  EXPECT_LT(linalg::spectral_radius(ClosedLoop(cs.loop).stacked_closed_loop_matrix()), 1.0);
+}
+
+TEST(ClosedLoop, TraceShapes) {
+  const auto cs = models::make_trajectory_case_study();
+  const Trace tr = ClosedLoop(cs.loop).simulate(10);
+  EXPECT_EQ(tr.steps(), 10u);
+  EXPECT_EQ(tr.x.size(), 11u);
+  EXPECT_EQ(tr.xhat.size(), 11u);
+  EXPECT_EQ(tr.u.size(), 10u);
+  EXPECT_EQ(tr.y.size(), 10u);
+}
+
+TEST(ClosedLoop, AttackShiftsResidueExactly) {
+  // With matched initial estimate and no noise the residue equals the
+  // injected attack at the first instant: z_1 = a_1.
+  const auto cs = models::make_trajectory_case_study();
+  Signal attack = zero_signal(5, 1);
+  attack[0][0] = 0.123;
+  const Trace tr = ClosedLoop(cs.loop).simulate(5, &attack);
+  EXPECT_NEAR(tr.z[0][0], 0.123, 1e-12);
+}
+
+TEST(ClosedLoop, ZeroAttackMatchesNoAttack) {
+  const auto cs = models::make_trajectory_case_study();
+  const Signal attack = zero_signal(8, 1);
+  const Trace a = ClosedLoop(cs.loop).simulate(8, &attack);
+  const Trace b = ClosedLoop(cs.loop).simulate(8);
+  for (std::size_t k = 0; k < 8; ++k)
+    EXPECT_DOUBLE_EQ(a.z[k][0], b.z[k][0]);
+}
+
+TEST(ClosedLoop, SignalValidation) {
+  const auto cs = models::make_trajectory_case_study();
+  const Signal short_sig = zero_signal(3, 1);
+  EXPECT_THROW(ClosedLoop(cs.loop).simulate(5, &short_sig), util::InvalidArgument);
+  const Signal bad_dim = zero_signal(5, 2);
+  EXPECT_THROW(ClosedLoop(cs.loop).simulate(5, &bad_dim), util::InvalidArgument);
+}
+
+TEST(Trace, ResidueNormsAndArgmax) {
+  Trace tr;
+  tr.ts = 0.1;
+  tr.z = {Vector{0.1}, Vector{-0.5}, Vector{0.3}};
+  const auto norms = tr.residue_norms(Norm::kInf);
+  EXPECT_DOUBLE_EQ(norms[1], 0.5);
+  EXPECT_EQ(tr.argmax_residue(Norm::kInf), 1u);
+}
+
+TEST(Trace, GradientSeries) {
+  Trace tr;
+  tr.ts = 0.5;
+  tr.y = {Vector{1.0}, Vector{2.0}, Vector{1.5}};
+  const auto g = tr.output_gradient_series(0);
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+  EXPECT_DOUBLE_EQ(g[1], 2.0);
+  EXPECT_DOUBLE_EQ(g[2], -1.0);
+}
+
+TEST(Noise, BoundedUniformRespectsBounds) {
+  util::Rng rng(3);
+  const Signal s = bounded_uniform_signal(rng, 500, Vector{0.2, 0.01});
+  for (const auto& v : s) {
+    EXPECT_LE(std::abs(v[0]), 0.2);
+    EXPECT_LE(std::abs(v[1]), 0.01);
+  }
+}
+
+TEST(Noise, GaussianMatchesMoments) {
+  util::Rng rng(5);
+  const Signal s = gaussian_signal(rng, 20000, Vector{2.0});
+  double mean = 0.0, var = 0.0;
+  for (const auto& v : s) mean += v[0];
+  mean /= static_cast<double>(s.size());
+  for (const auto& v : s) var += (v[0] - mean) * (v[0] - mean);
+  var /= static_cast<double>(s.size());
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Noise, CovarianceShaping) {
+  util::Rng rng(11);
+  Matrix cov{{4.0, 1.0}, {1.0, 2.0}};
+  const Signal s = gaussian_signal_cov(rng, 50000, cov);
+  Matrix emp(2, 2);
+  for (const auto& v : s)
+    for (std::size_t i = 0; i < 2; ++i)
+      for (std::size_t j = 0; j < 2; ++j) emp(i, j) += v[i] * v[j];
+  emp *= 1.0 / static_cast<double>(s.size());
+  EXPECT_TRUE(emp.approx_equal(cov, 0.15));
+}
+
+}  // namespace
+}  // namespace cpsguard::control

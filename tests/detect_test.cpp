@@ -1,0 +1,332 @@
+// Tests for threshold vectors, runtime detectors and the FAR protocol.
+#include <gtest/gtest.h>
+
+#include "control/closed_loop.hpp"
+#include "control/kalman.hpp"
+#include "detect/detector.hpp"
+#include "detect/far.hpp"
+#include "detect/noise_floor.hpp"
+#include "detect/threshold.hpp"
+#include "models/trajectory.hpp"
+#include "models/vsc.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::detect {
+namespace {
+
+using control::Norm;
+using control::Trace;
+using linalg::Vector;
+
+Trace residue_trace(const std::vector<double>& zs) {
+  Trace tr;
+  tr.ts = 0.1;
+  for (double z : zs) {
+    tr.z.push_back(Vector{z});
+    tr.y.push_back(Vector{0.0});
+  }
+  return tr;
+}
+
+TEST(ThresholdVector, SetAndQuery) {
+  ThresholdVector th(5);
+  EXPECT_EQ(th.num_set(), 0u);
+  th.set(2, 0.5);
+  EXPECT_TRUE(th.is_set(2));
+  EXPECT_FALSE(th.is_set(0));
+  EXPECT_DOUBLE_EQ(th[2], 0.5);
+  EXPECT_EQ(th.num_set(), 1u);
+  EXPECT_THROW(th.set(5, 1.0), util::InvalidArgument);
+  EXPECT_THROW(th.set(0, -1.0), util::InvalidArgument);
+}
+
+TEST(ThresholdVector, MonotoneDecreasingIgnoresUnset) {
+  ThresholdVector th(6);
+  th.set(1, 0.9);
+  th.set(4, 0.3);
+  EXPECT_TRUE(th.monotone_decreasing());
+  th.set(5, 0.4);  // increase at the end
+  EXPECT_FALSE(th.monotone_decreasing());
+}
+
+TEST(ThresholdVector, MinMaxSet) {
+  ThresholdVector th(4);
+  EXPECT_DOUBLE_EQ(th.min_set(), 0.0);
+  th.set(0, 2.0);
+  th.set(3, 0.5);
+  EXPECT_DOUBLE_EQ(th.min_set(), 0.5);
+  EXPECT_DOUBLE_EQ(th.max_set(), 2.0);
+}
+
+TEST(ThresholdVector, FilledCarriesForward) {
+  ThresholdVector th(5);
+  th.set(1, 1.0);
+  th.set(3, 0.4);
+  const ThresholdVector f = th.filled();
+  EXPECT_DOUBLE_EQ(f[0], 1.0);  // prefix seeded with the first set value
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+  EXPECT_DOUBLE_EQ(f[2], 1.0);
+  EXPECT_DOUBLE_EQ(f[3], 0.4);
+  EXPECT_DOUBLE_EQ(f[4], 0.4);
+}
+
+TEST(ThresholdVector, ConstantFactory) {
+  const ThresholdVector th = ThresholdVector::constant(3, 0.7);
+  EXPECT_EQ(th.num_set(), 3u);
+  EXPECT_TRUE(th.monotone_decreasing());
+  EXPECT_THROW(ThresholdVector::constant(3, 0.0), util::InvalidArgument);
+}
+
+TEST(ResidueDetector, AlarmsAtOrAboveThreshold) {
+  ThresholdVector th(4);
+  th.set(0, 0.5);
+  const ResidueDetector det(th, Norm::kInf);
+  EXPECT_FALSE(det.triggered(residue_trace({0.4, 0.49, 0.3, 0.2})));
+  // Paper semantics: alarm when ||z|| >= Th (boundary included).
+  const auto alarm = det.first_alarm(residue_trace({0.2, 0.5, 0.1, 0.1}));
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(*alarm, 1u);
+}
+
+TEST(ResidueDetector, VariableThresholdTimeDependence) {
+  ThresholdVector th(3);
+  th.set(0, 1.0);
+  th.set(1, 0.5);
+  th.set(2, 0.1);
+  const ResidueDetector det(th, Norm::kInf);
+  // 0.3 passes at instants 0 and 1 but alarms at instant 2.
+  const auto alarm = det.first_alarm(residue_trace({0.3, 0.3, 0.3}));
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(*alarm, 2u);
+}
+
+TEST(ResidueDetector, TraceLongerThanTableReusesLastEntry) {
+  ThresholdVector th(2);
+  th.set(0, 1.0);
+  th.set(1, 0.2);
+  const ResidueDetector det(th, Norm::kInf);
+  const auto alarm = det.first_alarm(residue_trace({0.1, 0.1, 0.1, 0.25}));
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(*alarm, 3u);
+}
+
+TEST(Chi2Detector, StatisticAndAlarm) {
+  const linalg::Matrix s{{4.0}};
+  const Chi2Detector det(s, 1.0);  // z^2 / 4 > 1  <=>  |z| > 2
+  EXPECT_DOUBLE_EQ(det.statistic(Vector{2.0}), 1.0);
+  EXPECT_FALSE(det.triggered(residue_trace({1.9, -1.9})));
+  EXPECT_TRUE(det.triggered(residue_trace({0.0, 2.5})));
+}
+
+TEST(CusumDetector, AccumulatesDrift) {
+  const CusumDetector det(/*drift=*/0.5, /*threshold=*/1.0, Norm::kInf);
+  // Each sample adds |z| - 0.5; three samples at 1.0 -> g = 1.5 > 1.
+  const auto alarm = det.first_alarm(residue_trace({1.0, 1.0, 1.0}));
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(*alarm, 2u);
+  // Below drift: never alarms.
+  EXPECT_FALSE(det.triggered(residue_trace({0.4, 0.4, 0.4, 0.4})));
+}
+
+TEST(CusumDetector, StatisticSeriesResets) {
+  const CusumDetector det(0.5, 10.0, Norm::kInf);
+  const auto g = det.statistic_series(residue_trace({1.0, 0.0, 1.0}));
+  EXPECT_DOUBLE_EQ(g[0], 0.5);
+  EXPECT_DOUBLE_EQ(g[1], 0.0);  // max(0, 0.5 - 0.5)
+  EXPECT_DOUBLE_EQ(g[2], 0.5);
+}
+
+// ---- noise floor -----------------------------------------------------------
+
+TEST(NoiseFloor, QuantilesBoundedByPeak) {
+  const auto cs = models::make_trajectory_case_study();
+  NoiseFloorSetup setup;
+  setup.num_runs = 100;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  const NoiseFloor floor = estimate_noise_floor(control::ClosedLoop(cs.loop), setup);
+  ASSERT_EQ(floor.quantiles.size(), cs.horizon);
+  for (double q : floor.quantiles) {
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, floor.peak + 1e-12);
+  }
+  // With bound 0.01 uniform noise the per-sample residue can't exceed a few
+  // noise magnitudes.
+  EXPECT_LT(floor.peak, 0.1);
+}
+
+TEST(NoiseFloor, HigherQuantileIsHigher) {
+  const auto cs = models::make_trajectory_case_study();
+  NoiseFloorSetup setup;
+  setup.num_runs = 150;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  setup.quantile = 0.5;
+  const NoiseFloor median = estimate_noise_floor(control::ClosedLoop(cs.loop), setup);
+  setup.quantile = 0.95;
+  const NoiseFloor p95 = estimate_noise_floor(control::ClosedLoop(cs.loop), setup);
+  for (std::size_t k = 0; k < cs.horizon; ++k)
+    EXPECT_LE(median.quantiles[k], p95.quantiles[k] + 1e-12);
+}
+
+TEST(NoiseFloor, CountsThresholdInstantsBelowFloor) {
+  const auto cs = models::make_trajectory_case_study();
+  NoiseFloorSetup setup;
+  setup.num_runs = 100;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  const NoiseFloor floor = estimate_noise_floor(control::ClosedLoop(cs.loop), setup);
+  // Sub-noise thresholds are flagged at every instant, generous ones never.
+  EXPECT_EQ(floor.instants_below(ThresholdVector::constant(cs.horizon, 1e-9)),
+            cs.horizon);
+  EXPECT_EQ(floor.instants_below(ThresholdVector::constant(cs.horizon, 10.0)), 0u);
+}
+
+// ---- FAR protocol ----------------------------------------------------------
+
+TEST(Far, LooseThresholdHasLowerFarThanTight) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+
+  FarSetup setup;
+  setup.num_runs = 300;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  setup.seed = 99;
+
+  std::vector<FarCandidate> candidates;
+  candidates.push_back({"tight", ResidueDetector(
+      ThresholdVector::constant(cs.horizon, 1e-4), cs.norm)});
+  candidates.push_back({"loose", ResidueDetector(
+      ThresholdVector::constant(cs.horizon, 0.5), cs.norm)});
+  const FarReport report = evaluate_far(loop, cs.mdc, candidates, setup);
+
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_GT(report.rows[0].rate(), 0.9);  // tight: nearly every noise alarms
+  EXPECT_LT(report.rows[1].rate(), 0.1);  // loose: almost never
+  EXPECT_EQ(report.rows[0].evaluated, report.rows[1].evaluated);
+}
+
+TEST(Far, Deterministic) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  FarSetup setup;
+  setup.num_runs = 50;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  setup.seed = 7;
+  std::vector<FarCandidate> candidates{
+      {"d", ResidueDetector(ThresholdVector::constant(cs.horizon, 0.01), cs.norm)}};
+  const FarReport a = evaluate_far(loop, cs.mdc, candidates, setup);
+  const FarReport b = evaluate_far(loop, cs.mdc, candidates, setup);
+  EXPECT_EQ(a.rows[0].alarms, b.rows[0].alarms);
+  EXPECT_EQ(a.discarded_by_mdc, b.discarded_by_mdc);
+}
+
+TEST(Far, PfcFilterDiscardsViolatingRuns) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  FarSetup setup;
+  setup.num_runs = 100;
+  setup.horizon = cs.horizon;
+  // Noise so large the loop misses pfc in most runs.
+  setup.noise_bounds = Vector{5.0};
+  setup.seed = 3;
+  setup.pfc = [&](const Trace& tr) { return cs.pfc.satisfied(tr); };
+  std::vector<FarCandidate> candidates{
+      {"d", ResidueDetector(ThresholdVector::constant(cs.horizon, 0.01), cs.norm)}};
+  const FarReport report = evaluate_far(loop, cs.mdc, candidates, setup);
+  EXPECT_GT(report.discarded_by_pfc, 0u);
+}
+
+TEST(Far, MdcFilterDiscardsFlaggedRuns) {
+  const auto cs = models::make_vsc_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  FarSetup setup;
+  setup.num_runs = 60;
+  setup.horizon = cs.horizon;
+  // Noise violating the gamma gradient monitor (0.175 rad/s^2 = 0.007/sample)
+  // almost surely for 7 consecutive samples.
+  setup.noise_bounds = Vector{0.2, 10.0};
+  setup.seed = 5;
+  const FarReport report = evaluate_far(loop, cs.mdc, {}, setup);
+  EXPECT_GT(report.discarded_by_mdc, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// WindowedDetector (k-of-m alarm policy)
+
+TEST(WindowedDetector, OneOfOneMatchesPlainDetector) {
+  const ThresholdVector th = ThresholdVector::constant(6, 0.5);
+  const ResidueDetector plain(th, control::Norm::kInf);
+  const WindowedDetector windowed(th, control::Norm::kInf, 1, 1);
+  for (const auto& norms :
+       {std::vector<double>{0.1, 0.2, 0.3}, std::vector<double>{0.1, 0.6, 0.2},
+        std::vector<double>{0.9, 0.0, 0.0}}) {
+    const control::Trace tr = residue_trace(norms);
+    EXPECT_EQ(plain.first_alarm(tr), windowed.first_alarm(tr));
+  }
+}
+
+TEST(WindowedDetector, ForgivesIsolatedSpikes) {
+  const ThresholdVector th = ThresholdVector::constant(8, 0.5);
+  const WindowedDetector det(th, control::Norm::kInf, 2, 3);
+  // Spikes separated by >= 3 quiet samples never accumulate 2-in-3.
+  EXPECT_FALSE(det.triggered(
+      residue_trace({0.9, 0.1, 0.1, 0.1, 0.9, 0.1, 0.1, 0.1})));
+  // Two spikes within a 3-window alarm at the second spike.
+  const control::Trace tr = residue_trace({0.9, 0.1, 0.9, 0.1});
+  ASSERT_TRUE(det.triggered(tr));
+  EXPECT_EQ(*det.first_alarm(tr), 2u);
+}
+
+TEST(WindowedDetector, SlidingWindowExpiresOldExceedances) {
+  const ThresholdVector th = ThresholdVector::constant(8, 0.5);
+  const WindowedDetector det(th, control::Norm::kInf, 2, 2);
+  // Exceedances at 0 and 2: the window [1,2] holds only one -> silent.
+  EXPECT_FALSE(det.triggered(residue_trace({0.9, 0.1, 0.9, 0.1})));
+  // Consecutive exceedances alarm.
+  EXPECT_TRUE(det.triggered(residue_trace({0.1, 0.9, 0.9, 0.1})));
+}
+
+TEST(WindowedDetector, ValidatesParameters) {
+  const ThresholdVector th = ThresholdVector::constant(4, 0.5);
+  EXPECT_THROW(WindowedDetector(th, control::Norm::kInf, 0, 3),
+               util::InvalidArgument);
+  EXPECT_THROW(WindowedDetector(th, control::Norm::kInf, 4, 3),
+               util::InvalidArgument);
+  EXPECT_THROW(WindowedDetector(ThresholdVector(), control::Norm::kInf, 1, 1),
+               util::InvalidArgument);
+}
+
+TEST(WindowedDetector, ReducesFalseAlarmsKeepsSustainedDetection) {
+  // Property on the trajectory fixture: 2-of-3 windowing never alarms more
+  // than the plain detector on ANY trace, and still catches a sustained
+  // bias attack.
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  const ThresholdVector th = ThresholdVector::constant(cs.horizon, 0.02);
+  const ResidueDetector plain(th, cs.norm);
+  const WindowedDetector windowed(th, cs.norm, 2, 3);
+
+  util::Rng rng(77);
+  std::size_t plain_alarms = 0, windowed_alarms = 0;
+  for (int run = 0; run < 100; ++run) {
+    const control::Signal noise =
+        control::bounded_uniform_signal(rng, cs.horizon, cs.noise_bounds);
+    const control::Trace tr = loop.simulate(cs.horizon, nullptr, nullptr, &noise);
+    const bool p = plain.triggered(tr);
+    const bool w = windowed.triggered(tr);
+    EXPECT_LE(w, p) << "windowing must not add alarms";
+    plain_alarms += p;
+    windowed_alarms += w;
+  }
+  EXPECT_LE(windowed_alarms, plain_alarms);
+
+  control::Signal bias(cs.horizon, Vector{0.2});
+  const control::Trace attacked = loop.simulate(cs.horizon, &bias);
+  EXPECT_TRUE(windowed.triggered(attacked));
+}
+
+}  // namespace
+}  // namespace cpsguard::detect

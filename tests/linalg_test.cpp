@@ -1,0 +1,258 @@
+// Unit tests for the dense linear-algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/decomp.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/rational.hpp"
+#include "linalg/riccati.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::linalg {
+namespace {
+
+TEST(Vector, BasicOps) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ((a + b)[0], 5.0);
+  EXPECT_DOUBLE_EQ((b - a)[2], 3.0);
+  EXPECT_DOUBLE_EQ((2.0 * a)[1], 4.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_DOUBLE_EQ(a.norm1(), 6.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 3.0);
+  EXPECT_NEAR(a.norm2(), std::sqrt(14.0), 1e-15);
+}
+
+TEST(Vector, BoundsChecked) {
+  Vector a{1.0};
+  EXPECT_THROW(a[1], util::InvalidArgument);
+  EXPECT_THROW(a.dot(Vector{1.0, 2.0}), util::InvalidArgument);
+}
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(m(2, 0), util::InvalidArgument);
+  EXPECT_THROW((Matrix{{1.0}, {1.0, 2.0}}), util::InvalidArgument);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  const Matrix d = Matrix::diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+}
+
+TEST(Matrix, Product) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+  const Vector v = a * Vector{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(Matrix, TransposeAndConcat) {
+  Matrix a{{1.0, 2.0, 3.0}};
+  const Matrix at = a.transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at(2, 0), 3.0);
+  const Matrix h = hcat(a, Matrix{{4.0}});
+  EXPECT_EQ(h.cols(), 4u);
+  const Matrix v = vcat(a, Matrix{{7.0, 8.0, 9.0}});
+  EXPECT_EQ(v.rows(), 2u);
+  EXPECT_DOUBLE_EQ(v(1, 2), 9.0);
+}
+
+TEST(Lu, SolvesRandomSystems) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + trial % 6;
+    Matrix a(n, n);
+    Vector x_true(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      x_true[r] = rng.uniform(-2.0, 2.0);
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+      a(r, r) += 3.0;  // diagonal dominance => well-conditioned
+    }
+    const Vector b = a * x_true;
+    const Vector x = solve(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(Lu, DetectsSingular) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(Lu lu(a), util::NumericalError);
+}
+
+TEST(Lu, Determinant) {
+  Matrix a{{2.0, 0.0}, {1.0, 3.0}};
+  EXPECT_NEAR(determinant(a), 6.0, 1e-12);
+  Matrix b{{0.0, 1.0}, {1.0, 0.0}};  // permutation: det = -1
+  EXPECT_NEAR(determinant(b), -1.0, 1e-12);
+}
+
+TEST(Lu, InverseRoundTrip) {
+  Matrix a{{4.0, 7.0}, {2.0, 6.0}};
+  const Matrix ainv = inverse(a);
+  EXPECT_TRUE((a * ainv).approx_equal(Matrix::identity(2), 1e-12));
+}
+
+TEST(Cholesky, FactorsSpd) {
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const Matrix l = cholesky(a);
+  EXPECT_TRUE((l * l.transpose()).approx_equal(a, 1e-12));
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(a), util::NumericalError);
+}
+
+TEST(SpectralRadius, KnownValues) {
+  Matrix rot{{0.0, -0.5}, {0.5, 0.0}};  // eigenvalues +-0.5i
+  EXPECT_NEAR(spectral_radius(rot), 0.5, 1e-6);
+  Matrix diag_m = Matrix::diagonal(Vector{0.9, 0.3});
+  EXPECT_NEAR(spectral_radius(diag_m), 0.9, 1e-6);
+}
+
+TEST(Expm, ZeroMatrixIsIdentity) {
+  EXPECT_TRUE(expm(Matrix(3, 3)).approx_equal(Matrix::identity(3), 1e-14));
+}
+
+TEST(Expm, DiagonalMatchesScalarExp) {
+  const Matrix e = expm(Matrix::diagonal(Vector{1.0, -2.0}));
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, NilpotentClosedForm) {
+  // exp([[0, t], [0, 0]]) = [[1, t], [0, 1]]
+  Matrix a{{0.0, 0.7}, {0.0, 0.0}};
+  const Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 1), 0.7, 1e-14);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-14);
+}
+
+TEST(Expm, LargeNormUsesScaling) {
+  // exp(diag(10, -10)) still accurate after scaling-and-squaring.
+  const Matrix e = expm(Matrix::diagonal(Vector{10.0, -10.0}));
+  EXPECT_NEAR(e(0, 0) / std::exp(10.0), 1.0, 1e-10);
+  EXPECT_NEAR(e(1, 1) / std::exp(-10.0), 1.0, 1e-10);
+}
+
+TEST(Expm, AdditivityOnCommutingMatrices) {
+  Matrix a{{0.1, 0.2}, {0.0, 0.3}};
+  const Matrix e1 = expm(a);
+  const Matrix e2 = expm(a * 2.0);
+  EXPECT_TRUE((e1 * e1).approx_equal(e2, 1e-10));
+}
+
+TEST(Dlyap, SolvesScalar) {
+  // p = a p a + q with a = 0.5, q = 1 -> p = 1 / (1 - 0.25)
+  const Matrix p = solve_dlyap(Matrix{{0.5}}, Matrix{{1.0}});
+  EXPECT_NEAR(p(0, 0), 4.0 / 3.0, 1e-10);
+}
+
+TEST(Dlyap, ResidualIsSmall) {
+  Matrix a{{0.8, 0.1}, {-0.2, 0.7}};
+  Matrix q{{1.0, 0.2}, {0.2, 2.0}};
+  const Matrix p = solve_dlyap(a, q);
+  const Matrix res = a * p * a.transpose() + q - p;
+  EXPECT_LT(res.max_abs(), 1e-9);
+}
+
+TEST(Dlyap, DivergesOnUnstable) {
+  EXPECT_THROW(solve_dlyap(Matrix{{1.1}}, Matrix{{1.0}}), util::NumericalError);
+}
+
+TEST(Dare, ScalarClosedForm) {
+  // p = a^2 p - a^2 p^2 b^2/(r + p b^2) + q; a=1, b=1, q=1, r=1 -> golden ratio
+  const Matrix p = solve_dare(Matrix{{1.0}}, Matrix{{1.0}}, Matrix{{1.0}}, Matrix{{1.0}});
+  EXPECT_NEAR(p(0, 0), (1.0 + std::sqrt(5.0)) / 2.0, 1e-9);
+}
+
+TEST(Dare, ResidualIsSmall) {
+  Matrix a{{1.0, 0.1}, {0.0, 1.0}};
+  Matrix b{{0.0}, {0.1}};
+  Matrix q = Matrix::diagonal(Vector{1.0, 1.0});
+  Matrix r{{0.5}};
+  const Matrix p = solve_dare(a, b, q, r);
+  const Matrix bt = b.transpose();
+  const Matrix gain = solve(r + bt * p * b, bt * p * a);
+  const Matrix res = a.transpose() * p * a - a.transpose() * p * b * gain + q - p;
+  EXPECT_LT(res.max_abs(), 1e-7);
+}
+
+// ---- exact rational conversion ------------------------------------------
+
+TEST(Rational, SimpleValues) {
+  EXPECT_EQ(rational_string(0.0), "0");
+  EXPECT_EQ(rational_string(1.0), "1");
+  EXPECT_EQ(rational_string(-2.0), "-2");
+  EXPECT_EQ(rational_string(0.5), "1/2");
+  EXPECT_EQ(rational_string(0.25), "1/4");
+  EXPECT_EQ(rational_string(-0.75), "-3/4");
+  EXPECT_EQ(rational_string(3.0), "3");
+}
+
+TEST(Rational, PowerOfTwoScaling) {
+  EXPECT_EQ(rational_string(1024.0), "1024");
+  EXPECT_EQ(rational_string(1.0 / 1024.0), "1/1024");
+}
+
+TEST(Rational, RejectsNonFinite) {
+  EXPECT_THROW(to_rational(std::nan("")), util::InvalidArgument);
+  EXPECT_THROW(to_rational(INFINITY), util::InvalidArgument);
+}
+
+TEST(BigintHelpers, TimesTwoAndShift) {
+  EXPECT_EQ(bigint::times_two("0"), "0");
+  EXPECT_EQ(bigint::times_two("9"), "18");
+  EXPECT_EQ(bigint::times_two("499"), "998");
+  EXPECT_EQ(bigint::shift_left("1", 10), "1024");
+  EXPECT_EQ(bigint::shift_left("3", 4), "48");
+}
+
+/// Property: the rational string, re-evaluated in double arithmetic, must
+/// reproduce the original double exactly (the conversion is lossless).
+class RationalRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(RationalRoundTrip, Exact) {
+  const double v = GetParam();
+  const Rational r = to_rational(v);
+  // long double: the denominator 2^k can exceed DBL_MAX for tiny doubles.
+  const long double num = std::stold(r.numerator);
+  const long double den = std::stold(r.denominator);
+  const double back = static_cast<double>((r.negative ? -1.0L : 1.0L) * num / den);
+  EXPECT_EQ(back, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(KnownValues, RationalRoundTrip,
+                         ::testing::Values(0.1, -0.3, 1e-9, 1e9, 3.14159265358979,
+                                           0.04, 0.035, 2.0 / 3.0, 1e-300, 5e17));
+
+TEST(Rational, RandomRoundTrip) {
+  util::Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.gaussian(0.0, 100.0) * std::pow(10.0, rng.uniform(-8.0, 8.0));
+    const Rational r = to_rational(v);
+    const double back = static_cast<double>(
+        (r.negative ? -1.0L : 1.0L) * std::stold(r.numerator) / std::stold(r.denominator));
+    EXPECT_EQ(back, v) << "value " << v;
+  }
+}
+
+}  // namespace
+}  // namespace cpsguard::linalg

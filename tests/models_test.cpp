@@ -1,0 +1,137 @@
+// Sanity tests for the bundled case studies: every designed loop must be
+// stable, nominally meet its own performance criterion, and keep its
+// monitoring system silent on the nominal (noise-free) run — otherwise the
+// synthesis problem would be vacuous.
+#include <gtest/gtest.h>
+
+#include "control/closed_loop.hpp"
+#include "linalg/decomp.hpp"
+#include "models/aircraft.hpp"
+#include "models/dcmotor.hpp"
+#include "models/lfc.hpp"
+#include "models/quadtank.hpp"
+#include "models/suspension.hpp"
+#include "models/trajectory.hpp"
+#include "control/noise.hpp"
+#include "models/vsc.hpp"
+#include "util/random.hpp"
+
+namespace cpsguard::models {
+namespace {
+
+CaseStudy by_name(const std::string& name) {
+  if (name == "trajectory") return make_trajectory_case_study();
+  if (name == "vsc") return make_vsc_case_study();
+  if (name == "dcmotor") return make_dcmotor_case_study();
+  if (name == "quadtank") return make_quadtank_case_study();
+  if (name == "lfc") return make_lfc_case_study();
+  if (name == "aircraft") return make_aircraft_pitch_case_study();
+  return make_suspension_case_study();
+}
+
+class CaseStudyContract : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CaseStudyContract, ConfigValidates) {
+  const CaseStudy cs = by_name(GetParam());
+  EXPECT_NO_THROW(cs.loop.validate());
+  EXPECT_GT(cs.horizon, 0u);
+  EXPECT_EQ(cs.noise_bounds.size(), cs.loop.plant.num_outputs());
+}
+
+TEST_P(CaseStudyContract, ClosedLoopIsStable) {
+  const CaseStudy cs = by_name(GetParam());
+  EXPECT_LT(linalg::spectral_radius(
+                control::ClosedLoop(cs.loop).stacked_closed_loop_matrix()),
+            1.0);
+}
+
+TEST_P(CaseStudyContract, NominalRunMeetsPfc) {
+  const CaseStudy cs = by_name(GetParam());
+  const auto tr = control::ClosedLoop(cs.loop).simulate(cs.horizon);
+  EXPECT_TRUE(cs.pfc.satisfied(tr))
+      << cs.name << ": nominal deviation " << cs.pfc.deviation(tr);
+}
+
+TEST_P(CaseStudyContract, NominalRunKeepsMonitorsSilent) {
+  const CaseStudy cs = by_name(GetParam());
+  const auto tr = control::ClosedLoop(cs.loop).simulate(cs.horizon);
+  EXPECT_TRUE(cs.mdc.stealthy(tr)) << cs.name << ": monitors alarm on nominal run";
+}
+
+TEST_P(CaseStudyContract, BenignNoiseKeepsPfc) {
+  // The FAR protocol requires noise small enough to keep pfc in most runs.
+  const CaseStudy cs = by_name(GetParam());
+  const control::ClosedLoop loop(cs.loop);
+  util::Rng rng(71);
+  std::size_t kept = 0;
+  const std::size_t trials = 50;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto noise = control::bounded_uniform_signal(rng, cs.horizon, cs.noise_bounds);
+    const auto tr = loop.simulate(cs.horizon, nullptr, nullptr, &noise);
+    if (cs.pfc.satisfied(tr)) ++kept;
+  }
+  EXPECT_GT(kept, trials / 2) << cs.name << ": noise bounds too aggressive";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, CaseStudyContract,
+                         ::testing::Values("trajectory", "vsc", "dcmotor", "suspension",
+                                           "quadtank", "lfc", "aircraft"));
+
+TEST(VscModel, SteadyStateConsistency) {
+  // At steady state the relation monitor's quantity gamma - a_y / v must
+  // vanish (the monitor constants were chosen around this identity).
+  const VscParams p;
+  const CaseStudy cs = make_vsc_case_study(p);
+  const auto tr = control::ClosedLoop(cs.loop).simulate(200);
+  const auto& y = tr.y.back();
+  EXPECT_NEAR(y[0] - y[1] / p.speed, 0.0, 1e-3);
+  // And the achieved yaw rate approaches the reference.
+  EXPECT_NEAR(tr.x.back()[1], p.gamma_ref, 0.01);
+}
+
+TEST(VscModel, MonitorConstantsMatchPaper) {
+  const VscParams p;
+  EXPECT_DOUBLE_EQ(p.allowed_diff, 0.035);
+  EXPECT_DOUBLE_EQ(p.gamma_range, 0.2);
+  EXPECT_DOUBLE_EQ(p.gamma_gradient, 0.175);
+  EXPECT_DOUBLE_EQ(p.ay_range, 15.0);
+  EXPECT_DOUBLE_EQ(p.ay_gradient, 2.0);
+  EXPECT_EQ(p.dead_zone, 7u);            // 300 ms at Ts = 40 ms
+  EXPECT_DOUBLE_EQ(p.ts, 0.04);
+  EXPECT_EQ(make_vsc_case_study(p).mdc.dead_zone(), 7u);
+}
+
+TEST(VscModel, PlantIsOpenLoopStable) {
+  EXPECT_TRUE(vsc_plant().stable());  // bicycle model at moderate speed
+}
+
+TEST(TrajectoryModel, PlantIsStrictlyStable) {
+  // The damped deviation dynamics are the premise for decreasing thresholds.
+  EXPECT_TRUE(trajectory_plant().stable());
+}
+
+TEST(QuadTankModel, IsGenuinelyMimo) {
+  const auto plant = quadtank_plant();
+  EXPECT_EQ(plant.num_inputs(), 2u);
+  EXPECT_EQ(plant.num_outputs(), 2u);
+  EXPECT_EQ(plant.num_states(), 4u);
+  EXPECT_TRUE(plant.stable());
+}
+
+TEST(QuadTankModel, UpperTanksCoupleIntoLowerOnes) {
+  // The multivariable character: pump 1 also fills tank 4, pump 2 tank 3.
+  const auto plant = quadtank_plant();
+  EXPECT_GT(plant.b(3, 0), 0.0);
+  EXPECT_GT(plant.b(2, 1), 0.0);
+}
+
+TEST(TrajectoryModel, AttackBoundPlumbedThrough) {
+  const auto cs = make_trajectory_case_study();
+  ASSERT_TRUE(cs.attack_bound.has_value());
+  const auto problem = cs.attack_problem();
+  EXPECT_EQ(problem.attack_bound, cs.attack_bound);
+  EXPECT_EQ(problem.horizon, cs.horizon);
+}
+
+}  // namespace
+}  // namespace cpsguard::models

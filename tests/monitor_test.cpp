@@ -1,0 +1,172 @@
+// Tests for the plausibility monitors: concrete semantics, dead-zone alarm
+// logic, and the concrete-vs-symbolic cross-check property.
+#include <gtest/gtest.h>
+
+#include "control/closed_loop.hpp"
+#include "models/vsc.hpp"
+#include "monitor/monitor.hpp"
+#include "sym/unroller.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::monitor {
+namespace {
+
+using control::Signal;
+using control::Trace;
+using linalg::Vector;
+
+/// Builds a minimal trace with the given scalar measurement series.
+Trace trace_from_outputs(const std::vector<double>& ys, double ts = 0.1) {
+  Trace tr;
+  tr.ts = ts;
+  for (double y : ys) tr.y.push_back(Vector{y});
+  tr.z.assign(ys.size(), Vector{0.0});
+  return tr;
+}
+
+Trace trace_from_outputs2(const std::vector<std::pair<double, double>>& ys,
+                          double ts = 0.1) {
+  Trace tr;
+  tr.ts = ts;
+  for (const auto& [a, b] : ys) tr.y.push_back(Vector{a, b});
+  tr.z.assign(ys.size(), Vector{0.0, 0.0});
+  return tr;
+}
+
+TEST(RangeMonitor, FlagsOutOfRange) {
+  const RangeMonitor m(0, 1.0);
+  const Trace tr = trace_from_outputs({0.5, -1.5, 1.0});
+  EXPECT_FALSE(m.violated(tr, 0));
+  EXPECT_TRUE(m.violated(tr, 1));
+  EXPECT_FALSE(m.violated(tr, 2));  // boundary is allowed
+}
+
+TEST(RangeMonitor, RejectsNonPositiveLimit) {
+  EXPECT_THROW(RangeMonitor(0, 0.0), util::InvalidArgument);
+}
+
+TEST(GradientMonitor, FlagsFastChanges) {
+  const GradientMonitor m(0, 2.0);  // max 2 units/s; ts = 0.1 -> 0.2/sample
+  const Trace tr = trace_from_outputs({0.0, 0.1, 0.4, 0.45});
+  EXPECT_FALSE(m.violated(tr, 0));  // no predecessor
+  EXPECT_FALSE(m.violated(tr, 1));  // 1.0/s
+  EXPECT_TRUE(m.violated(tr, 2));   // 3.0/s
+  EXPECT_FALSE(m.violated(tr, 3));
+}
+
+TEST(RelationMonitor, ChecksLinearConsistency) {
+  // |y0 - y1/2| <= 0.1
+  const RelationMonitor m(Vector{1.0, -0.5}, 0.0, 0.1);
+  const Trace tr = trace_from_outputs2({{1.0, 2.0}, {1.0, 1.0}});
+  EXPECT_FALSE(m.violated(tr, 0));  // 1 - 1 = 0
+  EXPECT_TRUE(m.violated(tr, 1));   // 1 - 0.5 = 0.5
+}
+
+TEST(MonitorSet, DeadZoneRequiresConsecutiveViolations) {
+  MonitorSet ms;
+  ms.add(std::make_unique<RangeMonitor>(0, 1.0));
+  ms.set_dead_zone(3);
+  // Two violations, break, then three in a row: alarm at the 3rd of the run.
+  const Trace tr = trace_from_outputs({2.0, 2.0, 0.0, 2.0, 2.0, 2.0, 0.0});
+  const auto alarm = ms.first_alarm(tr);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(*alarm, 5u);
+}
+
+TEST(MonitorSet, DeadZoneOneAlarmsImmediately) {
+  MonitorSet ms;
+  ms.add(std::make_unique<RangeMonitor>(0, 1.0));
+  ms.set_dead_zone(1);
+  const Trace tr = trace_from_outputs({0.0, 5.0});
+  ASSERT_TRUE(ms.first_alarm(tr).has_value());
+  EXPECT_EQ(*ms.first_alarm(tr), 1u);
+}
+
+TEST(MonitorSet, EmptySetNeverAlarms) {
+  MonitorSet ms;
+  const Trace tr = trace_from_outputs({100.0});
+  EXPECT_TRUE(ms.stealthy(tr));
+}
+
+TEST(MonitorSet, CombinerSemantics) {
+  MonitorSet any_set;
+  any_set.add(std::make_unique<RangeMonitor>(0, 1.0));
+  any_set.add(std::make_unique<RangeMonitor>(1, 10.0));
+  any_set.set_dead_zone(1);
+  MonitorSet all_set(any_set);
+  all_set.set_combiner(ViolationCombiner::kAll);
+
+  // Only the first output violates.
+  const Trace tr = trace_from_outputs2({{5.0, 0.0}});
+  EXPECT_FALSE(any_set.stealthy(tr));
+  EXPECT_TRUE(all_set.stealthy(tr));
+}
+
+TEST(MonitorSet, CopyIsDeep) {
+  MonitorSet a;
+  a.add(std::make_unique<RangeMonitor>(0, 1.0));
+  a.set_dead_zone(2);
+  MonitorSet b(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.dead_zone(), 2u);
+  b.add(std::make_unique<RangeMonitor>(0, 2.0));
+  EXPECT_EQ(a.size(), 1u);  // original untouched
+}
+
+TEST(MonitorSet, DeadZoneValidation) {
+  MonitorSet ms;
+  EXPECT_THROW(ms.set_dead_zone(0), util::InvalidArgument);
+}
+
+// ---- cross-check: symbolic ok_expr agrees with concrete violated() --------
+
+TEST(SymbolicCrossCheck, VscMonitorsAgreeWithConcrete) {
+  const auto params = models::VscParams{};
+  const auto cs = models::make_vsc_case_study(params);
+  const std::size_t T = 20;
+  const sym::SymbolicTrace st = sym::unroll(cs.loop, T);
+  const control::ClosedLoop loop(cs.loop);
+
+  util::Rng rng(31);
+  for (int trial = 0; trial < 15; ++trial) {
+    // Random attack; scale chosen so both silent and violated cases occur.
+    std::vector<double> theta(st.layout.num_vars());
+    const double scale = (trial % 3 == 0) ? 0.002 : 0.08;
+    for (auto& v : theta) v = rng.uniform(-scale, scale);
+    const Signal attack = sym::attack_from_assignment(st.layout, theta);
+    const Trace tr = loop.simulate(T, &attack);
+
+    for (std::size_t i = 0; i < cs.mdc.size(); ++i) {
+      const auto& mon = cs.mdc.at(i);
+      for (std::size_t k = 0; k < T; ++k) {
+        const bool concrete_ok = !mon.violated(tr, k);
+        const bool symbolic_ok = mon.ok_expr(st, k).holds(theta, 1e-9);
+        EXPECT_EQ(concrete_ok, symbolic_ok)
+            << mon.describe() << " disagrees at k=" << k << " trial=" << trial;
+      }
+    }
+    // Whole-system stealthiness must agree as well.
+    EXPECT_EQ(cs.mdc.stealthy(tr), cs.mdc.stealthy_expr(st).holds(theta, 1e-9))
+        << "trial " << trial;
+  }
+}
+
+TEST(SymbolicStealthyExpr, ShortHorizonIsTriviallySilent) {
+  // Horizon shorter than the dead zone can never alarm.
+  const auto cs = models::make_vsc_case_study();
+  const sym::SymbolicTrace st = sym::unroll(cs.loop, cs.mdc.dead_zone() - 1);
+  EXPECT_TRUE(cs.mdc.stealthy_expr(st).is_true());
+}
+
+TEST(Describe, MentionsStructure) {
+  const auto mdc = models::vsc_monitors();
+  const std::string d = mdc.describe();
+  EXPECT_NE(d.find("dead_zone=7"), std::string::npos);
+  EXPECT_NE(d.find("range"), std::string::npos);
+  EXPECT_NE(d.find("gradient"), std::string::npos);
+  EXPECT_NE(d.find("relation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpsguard::monitor

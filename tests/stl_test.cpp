@@ -1,0 +1,554 @@
+// Tests for the STL substrate: formula construction and NNF negation,
+// parser round-trips and diagnostics, boolean/quantitative semantics, the
+// QF_LRA encoder (cross-checked against concrete evaluation — the property
+// that makes STL verdicts statements about the implementation), and the
+// StlCriterion adapter feeding the synthesis pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "control/closed_loop.hpp"
+#include "models/trajectory.hpp"
+#include "stl/criterion.hpp"
+#include "stl/encode.hpp"
+#include "stl/formula.hpp"
+#include "stl/monitor.hpp"
+#include "stl/parser.hpp"
+#include "stl/semantics.hpp"
+#include "stl/signal_expr.hpp"
+#include "sym/unroller.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::stl {
+namespace {
+
+using control::Trace;
+using linalg::Vector;
+
+// ---------------------------------------------------------------------------
+// Trace fixtures
+
+/// 1-state / 1-output trace with x = xs and y/u/z derived per-index so each
+/// signal kind is distinguishable in atoms: y_k = 2 x_k, u_k = -x_k,
+/// z_k = x_k / 2, xhat_k = x_k + 10.
+Trace make_trace(const std::vector<double>& xs) {
+  Trace tr;
+  tr.ts = 0.1;
+  for (double v : xs) {
+    tr.x.push_back(Vector{v});
+    tr.xhat.push_back(Vector{v + 10.0});
+  }
+  for (std::size_t k = 0; k + 1 < xs.size(); ++k) {
+    tr.y.push_back(Vector{2.0 * xs[k]});
+    tr.u.push_back(Vector{-xs[k]});
+    tr.z.push_back(Vector{xs[k] / 2.0});
+  }
+  return tr;
+}
+
+// ---------------------------------------------------------------------------
+// SignalExpr
+
+TEST(SignalExpr, ArithmeticCombinesTerms) {
+  const SignalExpr e = 2.0 * state(0) - output(0) + 0.5;
+  const Trace tr = make_trace({1.0, 3.0, 5.0});
+  // 2*x0 - y0 + 0.5 = 2*1 - 2 + 0.5 at k=0.
+  EXPECT_DOUBLE_EQ(e.evaluate(tr, 0), 0.5);
+  EXPECT_DOUBLE_EQ(e.evaluate(tr, 1), 2.0 * 3.0 - 6.0 + 0.5);
+}
+
+TEST(SignalExpr, MergesDuplicateTerms) {
+  const SignalExpr e = state(0) + state(0) + state(0);
+  EXPECT_EQ(e.terms().size(), 1u);
+  EXPECT_DOUBLE_EQ(e.terms()[0].coeff, 3.0);
+}
+
+TEST(SignalExpr, StateReachesOnePastOutputs) {
+  const Trace tr = make_trace({1.0, 2.0, 3.0});
+  EXPECT_EQ(state(0).max_instant(tr), 2u);
+  EXPECT_EQ(output(0).max_instant(tr), 1u);
+  EXPECT_EQ((state(0) + output(0)).max_instant(tr), 1u);
+}
+
+TEST(SignalExpr, OutOfRangeThrows) {
+  const Trace tr = make_trace({1.0, 2.0});
+  EXPECT_THROW(output(0).evaluate(tr, 1), util::InvalidArgument);
+  EXPECT_THROW(state(1).evaluate(tr, 0), util::InvalidArgument);
+  EXPECT_NO_THROW(state(0).evaluate(tr, 1));
+}
+
+TEST(SignalExpr, Printing) {
+  EXPECT_EQ((2.0 * state(0) - output(1) + 0.5).str(), "2*x0 - y1 + 0.5");
+  EXPECT_EQ(SignalExpr(3.0).str(), "3");
+  EXPECT_EQ((-state(0)).str(), "-x0");
+}
+
+// ---------------------------------------------------------------------------
+// Formula structure
+
+TEST(Formula, ConstantSimplification) {
+  const Formula t = Formula::constant(true);
+  const Formula f = Formula::constant(false);
+  EXPECT_EQ(Formula::conj({t, t}).kind(), FormulaKind::kTrue);
+  EXPECT_EQ(Formula::conj({t, f}).kind(), FormulaKind::kFalse);
+  EXPECT_EQ(Formula::disj({f, f}).kind(), FormulaKind::kFalse);
+  EXPECT_EQ(Formula::disj({f, t}).kind(), FormulaKind::kTrue);
+}
+
+TEST(Formula, FlattensNestedConnectives) {
+  const Formula a = state(0) <= 1.0;
+  const Formula b = state(0) >= -1.0;
+  const Formula c = output(0) <= 2.0;
+  const Formula nested = Formula::conj({Formula::conj({a, b}), c});
+  EXPECT_EQ(nested.kind(), FormulaKind::kAnd);
+  EXPECT_EQ(nested.children().size(), 3u);
+}
+
+TEST(Formula, SingletonConnectiveCollapses) {
+  const Formula a = state(0) <= 1.0;
+  EXPECT_EQ(Formula::conj({a}).kind(), FormulaKind::kAtom);
+  EXPECT_EQ(Formula::disj({a}).kind(), FormulaKind::kAtom);
+}
+
+TEST(Formula, NegationSwapsDuals) {
+  const Formula a = state(0) <= 1.0;
+  const Formula g = Formula::globally({0, 5}, a);
+  const Formula ng = g.negate();
+  EXPECT_EQ(ng.kind(), FormulaKind::kEventually);
+  EXPECT_EQ(ng.children()[0].kind(), FormulaKind::kAtom);
+  EXPECT_EQ(ng.children()[0].atom_ref().op, sym::RelOp::kGt);
+
+  const Formula u = Formula::until({1, 4}, a, output(0) >= 0.0);
+  EXPECT_EQ(u.negate().kind(), FormulaKind::kRelease);
+  EXPECT_EQ(u.negate().negate().kind(), FormulaKind::kUntil);
+}
+
+TEST(Formula, DoubleNegationPreservesSemantics) {
+  const Formula f = Formula::implies(
+      state(0) >= 0.1, Formula::eventually({0, 2}, abs_le(output(0), 0.5)));
+  const Formula ff = f.negate().negate();
+  const Trace tr = make_trace({0.2, 0.3, 0.1, 0.05, 0.0});
+  for (std::size_t t = 0; t <= 2; ++t)
+    EXPECT_EQ(holds(f, tr, t), holds(ff, tr, t)) << "t=" << t;
+}
+
+TEST(Formula, DepthComputation) {
+  const Formula a = state(0) <= 1.0;
+  EXPECT_EQ(a.depth(), 0u);
+  EXPECT_EQ(Formula::globally({0, 5}, a).depth(), 5u);
+  EXPECT_EQ(Formula::globally({0, 3}, Formula::eventually({0, 4}, a)).depth(), 7u);
+  EXPECT_EQ(Formula::until({2, 6}, a, a).depth(), 6u);
+  // Nested: phi of until only referenced up to hi-1.
+  const Formula deep_lhs = Formula::globally({0, 4}, a);
+  EXPECT_EQ(Formula::until({0, 3}, deep_lhs, a).depth(), 2u + 4u);
+}
+
+TEST(Formula, WindowValidation) {
+  EXPECT_THROW(Formula::globally({3, 1}, state(0) <= 0.0), util::InvalidArgument);
+  EXPECT_THROW(Formula::until({5, 2}, state(0) <= 0.0, state(0) >= 0.0),
+               util::InvalidArgument);
+}
+
+TEST(Formula, AtomCount) {
+  const Formula f = abs_le(state(0), 1.0) || abs_ge(output(0), 2.0);
+  EXPECT_EQ(f.atom_count(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Boolean semantics
+
+TEST(Semantics, AtomRelops) {
+  const Trace tr = make_trace({1.0, 2.0});
+  EXPECT_TRUE(holds(state(0) <= 1.0, tr, 0));
+  EXPECT_FALSE(holds(state(0) < 1.0, tr, 0));
+  EXPECT_TRUE(holds(state(0) >= 1.0, tr, 0));
+  EXPECT_FALSE(holds(state(0) > 1.0, tr, 0));
+  EXPECT_TRUE(holds(Formula::atom(state(0) - 1.0, sym::RelOp::kEq), tr, 0));
+  EXPECT_FALSE(holds(Formula::atom(state(0) - 1.0, sym::RelOp::kNe), tr, 0));
+}
+
+TEST(Semantics, GloballyAndEventually) {
+  const Trace tr = make_trace({0.0, 1.0, 2.0, 3.0, 4.0});
+  EXPECT_TRUE(holds(Formula::globally({0, 3}, state(0) <= 3.0), tr, 0));
+  EXPECT_FALSE(holds(Formula::globally({0, 4}, state(0) <= 3.0), tr, 0));
+  EXPECT_TRUE(holds(Formula::eventually({0, 4}, state(0) >= 4.0), tr, 0));
+  EXPECT_FALSE(holds(Formula::eventually({0, 3}, state(0) >= 4.0), tr, 0));
+  // Shifted evaluation instant.
+  EXPECT_TRUE(holds(Formula::eventually({0, 2}, state(0) >= 4.0), tr, 2));
+}
+
+TEST(Semantics, WindowOffsetsRespected) {
+  const Trace tr = make_trace({5.0, 0.0, 0.0, 5.0, 5.0});
+  // G[1,2]: only instants 1..2 matter.
+  EXPECT_TRUE(holds(Formula::globally({1, 2}, state(0) <= 0.0), tr, 0));
+  EXPECT_FALSE(holds(Formula::globally({0, 2}, state(0) <= 0.0), tr, 0));
+}
+
+TEST(Semantics, UntilRequiresPrefix) {
+  // phi: x <= 1; psi: x >= 9.
+  const Formula u = Formula::until({0, 3}, state(0) <= 1.0, state(0) >= 9.0);
+  EXPECT_TRUE(holds(u, make_trace({0.0, 1.0, 9.0, 0.0, 0.0}), 0));
+  // Prefix broken before the witness.
+  EXPECT_FALSE(holds(u, make_trace({0.0, 5.0, 9.0, 0.0, 0.0}), 0));
+  // Witness outside window.
+  EXPECT_FALSE(holds(u, make_trace({0.0, 1.0, 1.0, 1.0, 9.0}), 0));
+  // Witness at the first instant needs no prefix.
+  EXPECT_TRUE(holds(u, make_trace({9.0, 0.0, 0.0, 0.0, 0.0}), 0));
+}
+
+TEST(Semantics, ReleaseDualOfUntil) {
+  const Formula phi = state(0) >= 5.0;
+  const Formula psi = state(0) <= 2.0;
+  const Formula r = Formula::release({0, 3}, phi, psi);
+  const Formula not_u = Formula::until({0, 3}, phi.negate(), psi.negate()).negate();
+  for (const auto& xs : {std::vector<double>{0, 1, 2, 1, 0},
+                         std::vector<double>{0, 6, 9, 9, 9},
+                         std::vector<double>{0, 1, 9, 9, 9},
+                         std::vector<double>{9, 9, 9, 9, 9}}) {
+    const Trace tr = make_trace(xs);
+    EXPECT_EQ(holds(r, tr, 0), holds(not_u, tr, 0));
+  }
+}
+
+TEST(Semantics, ImplicationSugar) {
+  const Formula f = Formula::implies(state(0) >= 1.0, output(0) >= 2.0);
+  EXPECT_TRUE(holds(f, make_trace({0.5, 0.0}), 0));   // antecedent false
+  EXPECT_TRUE(holds(f, make_trace({1.5, 0.0}), 0));   // y0 = 3 >= 2
+  const Trace tr = make_trace({1.0, 0.0});
+  EXPECT_TRUE(holds(f, tr, 0));  // y0 = 2 >= 2
+}
+
+TEST(Semantics, LastValidInstant) {
+  const Trace tr = make_trace({0, 1, 2, 3, 4});  // x: 0..4, y/u/z: 0..3
+  EXPECT_EQ(last_valid_instant(state(0) <= 0.0, tr), 4u);
+  EXPECT_EQ(last_valid_instant(output(0) <= 0.0, tr), 3u);
+  EXPECT_EQ(last_valid_instant(Formula::globally({0, 2}, state(0) <= 0.0), tr), 2u);
+  EXPECT_EQ(last_valid_instant(Formula::globally({0, 9}, state(0) <= 0.0), tr),
+            std::nullopt);
+}
+
+TEST(Semantics, TooShortTraceThrows) {
+  const Trace tr = make_trace({0.0, 1.0});
+  // The predicate holds everywhere, so G cannot short-circuit and must
+  // touch the out-of-range instant.
+  EXPECT_THROW(holds(Formula::globally({0, 5}, state(0) <= 10.0), tr, 0),
+               util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness
+
+TEST(Robustness, AtomMagnitudes) {
+  const Trace tr = make_trace({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(robustness(state(0) <= 3.0, tr, 0), 2.0);
+  EXPECT_DOUBLE_EQ(robustness(state(0) >= 3.0, tr, 0), -2.0);
+  EXPECT_DOUBLE_EQ(robustness(abs_le(state(0), 3.0), tr, 0), 2.0);
+}
+
+TEST(Robustness, MinMaxOverWindow) {
+  const Trace tr = make_trace({1.0, 4.0, 2.0, 0.0, 1.0});
+  // G: worst margin; F: best margin (against x <= 5).
+  EXPECT_DOUBLE_EQ(robustness(Formula::globally({0, 3}, state(0) <= 5.0), tr, 0), 1.0);
+  EXPECT_DOUBLE_EQ(robustness(Formula::eventually({0, 3}, state(0) <= 5.0), tr, 0),
+                   5.0);
+}
+
+TEST(Robustness, SignMatchesBooleanSemantics) {
+  util::Rng rng(7);
+  const Formula f = Formula::implies(
+      state(0) >= 0.0,
+      Formula::until({0, 2}, abs_le(output(0), 1.6), state(0) <= -0.1) ||
+          Formula::globally({0, 3}, abs_le(residue(0), 0.45)));
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> xs;
+    for (int k = 0; k < 6; ++k) xs.push_back(rng.uniform(-1.0, 1.0));
+    const Trace tr = make_trace(xs);
+    const double rho = robustness(f, tr, 0);
+    if (std::abs(rho) < 1e-12) continue;  // boundary: sign unspecified
+    EXPECT_EQ(holds(f, tr, 0), rho > 0.0)
+        << "trial " << trial << " rho=" << rho;
+  }
+}
+
+TEST(Robustness, ConstantFormulas) {
+  const Trace tr = make_trace({0.0, 1.0});
+  EXPECT_EQ(robustness(Formula::constant(true), tr, 0),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(robustness(Formula::constant(false), tr, 0),
+            -std::numeric_limits<double>::infinity());
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+TEST(Parser, AtomsAndPrecedence) {
+  const Formula f = parse("x0 <= 1 & y0 >= 2 | z0 < 3");
+  // '&' binds tighter than '|'.
+  ASSERT_EQ(f.kind(), FormulaKind::kOr);
+  ASSERT_EQ(f.children().size(), 2u);
+  EXPECT_EQ(f.children()[0].kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f.children()[1].kind(), FormulaKind::kAtom);
+}
+
+TEST(Parser, TemporalOperators) {
+  const Formula g = parse("G[0,5](x0 <= 1)");
+  EXPECT_EQ(g.kind(), FormulaKind::kGlobally);
+  EXPECT_EQ(g.window().lo, 0u);
+  EXPECT_EQ(g.window().hi, 5u);
+
+  const Formula u = parse("(x0 <= 1) U[1,4] (y0 >= 0)");
+  EXPECT_EQ(u.kind(), FormulaKind::kUntil);
+  const Formula r = parse("(x0 <= 1) R[0,4] (y0 >= 0)");
+  EXPECT_EQ(r.kind(), FormulaKind::kRelease);
+}
+
+TEST(Parser, SignalNames) {
+  EXPECT_EQ(parse("xhat0 <= 1").atom_ref().expr.terms()[0].kind,
+            SignalKind::kEstimate);
+  EXPECT_EQ(parse("x0 <= 1").atom_ref().expr.terms()[0].kind, SignalKind::kState);
+  EXPECT_EQ(parse("u2 <= 1").atom_ref().expr.terms()[0].kind, SignalKind::kInput);
+  EXPECT_EQ(parse("z1 <= 1").atom_ref().expr.terms()[0].kind, SignalKind::kResidue);
+}
+
+TEST(Parser, LinearArithmetic) {
+  const Formula f = parse("2*x0 - 0.5*y0 + 1 <= 3 - x0");
+  const Atom& a = f.atom_ref();
+  // Normalized to lhs - rhs <= 0: 3*x0 - 0.5*y0 - 2 <= 0.
+  const Trace tr = make_trace({1.0, 0.0});
+  EXPECT_DOUBLE_EQ(a.expr.evaluate(tr, 0), 3.0 - 1.0 - 2.0);
+  EXPECT_EQ(a.op, sym::RelOp::kLe);
+}
+
+TEST(Parser, AbsSugar) {
+  const Formula le = parse("abs(x0 - 0.25) <= 0.05");
+  EXPECT_EQ(le.kind(), FormulaKind::kAnd);
+  EXPECT_EQ(le.atom_count(), 2u);
+  const Formula ge = parse("abs(z0) >= 0.1");
+  EXPECT_EQ(ge.kind(), FormulaKind::kOr);
+}
+
+TEST(Parser, ImplicationRightAssociative) {
+  const Formula f = parse("x0 >= 1 -> y0 >= 2 -> u0 <= 0");
+  // a -> (b -> c) == !a | (!b | c)
+  EXPECT_EQ(f.kind(), FormulaKind::kOr);
+}
+
+TEST(Parser, NegationAppliesNnf) {
+  const Formula f = parse("!G[0,3](x0 <= 1)");
+  EXPECT_EQ(f.kind(), FormulaKind::kEventually);
+  EXPECT_EQ(f.children()[0].atom_ref().op, sym::RelOp::kGt);
+}
+
+TEST(Parser, Constants) {
+  EXPECT_EQ(parse("true").kind(), FormulaKind::kTrue);
+  EXPECT_EQ(parse("false & x0 <= 1").kind(), FormulaKind::kFalse);
+}
+
+TEST(Parser, WhitespaceRobust) {
+  EXPECT_NO_THROW(parse("  G [ 0 , 5 ] ( x0   <=  1.5e-2 ) "));
+}
+
+TEST(Parser, ErrorsCarryPosition) {
+  try {
+    parse("G[0,5](x0 <= )");
+    FAIL() << "expected parse error";
+  } catch (const util::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("position"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), util::InvalidArgument);
+  EXPECT_THROW(parse("x0"), util::InvalidArgument);
+  EXPECT_THROW(parse("G[5,1](x0 <= 1)"), util::InvalidArgument);
+  EXPECT_THROW(parse("x0 <= 1 extra"), util::InvalidArgument);
+  EXPECT_THROW(parse("abs(x0) == 1"), util::InvalidArgument);
+  EXPECT_THROW(parse("abs(x0) <= y0"), util::InvalidArgument);
+}
+
+TEST(Parser, ParsedMatchesBuilt) {
+  const Formula parsed = parse("G[0,4](abs(x0 - 0.25) <= 0.05)");
+  const Formula built = Formula::globally({0, 4}, abs_le(state(0) - 0.25, 0.05));
+  const util::Rng seed(3);
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> xs;
+    for (int k = 0; k < 5; ++k) xs.push_back(rng.uniform(0.1, 0.4));
+    const Trace tr = make_trace(xs);
+    EXPECT_EQ(holds(parsed, tr, 0), holds(built, tr, 0));
+    EXPECT_DOUBLE_EQ(robustness(parsed, tr, 0), robustness(built, tr, 0));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Encoder: symbolic and concrete semantics must agree
+
+class EncodeAgreement : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EncodeAgreement, RandomAttacksAgree) {
+  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const std::size_t horizon = 8;
+  const sym::SymbolicTrace strace = sym::unroll(cs.loop, horizon);
+  const control::ClosedLoop loop(cs.loop);
+  const Formula f = parse(GetParam());
+  ASSERT_LE(f.depth(), horizon - 1) << "fixture formula too deep";
+
+  util::Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> theta =
+        rng.uniform_vector(strace.layout.num_vars(), -0.3, 0.3);
+    control::Signal attack = sym::attack_from_assignment(strace.layout, theta);
+    const Trace tr = loop.simulate(horizon, &attack);
+    const sym::BoolExpr enc = encode(f, strace, 0);
+    EXPECT_EQ(enc.holds(theta), holds(f, tr, 0))
+        << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formulas, EncodeAgreement,
+    ::testing::Values(
+        "G[0,7](abs(z0) <= 0.08)",
+        "F[0,7](abs(x0) <= 0.02)",
+        "G[0,3](abs(y0) <= 0.5) | F[2,6](x0 >= 0.2)",
+        "(abs(z0) <= 0.1) U[0,6] (abs(x0 - 0.05) <= 0.02)",
+        "(x0 >= 0.0) R[0,5] (abs(y0) <= 0.6)",
+        "x0 >= 0.1 -> F[0,5](abs(x0) <= 0.3)",
+        "G[1,4](2*x0 - y0 <= 0.4 & u0 >= -2)"));
+
+TEST(Encode, MarginTightensSatisfaction) {
+  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const sym::SymbolicTrace strace = sym::unroll(cs.loop, 6);
+  const Formula f = parse("G[0,5](abs(z0) <= 0.05)");
+
+  // theta = 0 (no attack): residues are tiny, formula robustly true.
+  const std::vector<double> theta(strace.layout.num_vars(), 0.0);
+  EXPECT_TRUE(encode(f, strace, 0).holds(theta));
+  EncodeOptions strict;
+  strict.margin = 10.0;  // absurdly demanding margin
+  EXPECT_FALSE(encode(f, strace, 0, strict).holds(theta));
+}
+
+TEST(Encode, DepthBeyondHorizonThrows) {
+  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const sym::SymbolicTrace strace = sym::unroll(cs.loop, 4);
+  EXPECT_THROW(encode(parse("G[0,9](x0 <= 1)"), strace, 0), util::InvalidArgument);
+  EXPECT_NO_THROW(encode(parse("G[0,3](x0 <= 1)"), strace, 0));
+}
+
+// ---------------------------------------------------------------------------
+// StlCriterion
+
+TEST(StlCriterion, MatchesReachCriterionSemantics) {
+  // The paper's pfc as an STL formula: at the last instant the state must
+  // lie in the tolerance band.  ReachCriterion checks x_{T+1} (index T in
+  // the trace), i.e. G[T,T] on the state signal.
+  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const std::size_t horizon = cs.horizon;
+  const synth::ReachCriterion reach(0, 0.0, 0.05);
+  const Formula f =
+      Formula::globally({horizon, horizon}, abs_le(state(0), 0.05));
+  const synth::Criterion stl_pfc = criterion(f);
+
+  const control::ClosedLoop loop(cs.loop);
+  util::Rng rng(23);
+  const sym::SymbolicTrace strace = sym::unroll(cs.loop, horizon);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> theta =
+        rng.uniform_vector(strace.layout.num_vars(), -0.2, 0.2);
+    control::Signal attack = sym::attack_from_assignment(strace.layout, theta);
+    const Trace tr = loop.simulate(horizon, &attack);
+    EXPECT_EQ(stl_pfc.satisfied(tr), reach.satisfied(tr)) << "trial " << trial;
+    EXPECT_EQ(stl_pfc.satisfied_expr(strace).holds(theta),
+              reach.satisfied_expr(strace).holds(theta));
+    EXPECT_EQ(stl_pfc.violated_expr(strace).holds(theta),
+              reach.violated_expr(strace).holds(theta));
+  }
+}
+
+TEST(StlCriterion, DeviationIsRobustness) {
+  const Formula f = Formula::globally({0, 1}, abs_le(state(0), 1.0));
+  const StlCriterion crit(f);
+  const Trace tr = make_trace({0.25, -0.5, 0.0});
+  EXPECT_DOUBLE_EQ(crit.deviation(tr), 0.5);
+  EXPECT_TRUE(crit.satisfied(tr));
+}
+
+TEST(StlCriterion, DescribeMentionsFormula) {
+  const synth::Criterion c = criterion(parse("G[0,3](abs(x0) <= 1)"));
+  EXPECT_NE(c.describe().find("stl("), std::string::npos);
+  EXPECT_NE(c.describe().find("G[0,3]"), std::string::npos);
+}
+
+TEST(StlCriterion, NoDeviationExprDisablesMaxDeviation) {
+  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const sym::SymbolicTrace strace = sym::unroll(cs.loop, 4);
+  const synth::Criterion c = criterion(parse("G[0,3](abs(x0) <= 1)"));
+  EXPECT_FALSE(c.deviation_expr(strace).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// StlMonitor (STL formulas as mdc plausibility monitors)
+
+TEST(StlMonitor, MatchesRangeMonitorOnBothFaces) {
+  // |y0| <= 0.5 as STL must agree with the built-in RangeMonitor sample by
+  // sample, concretely and in the symbolic encoding.
+  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const std::size_t horizon = 8;
+  const StlMonitor stl_monitor(abs_le(output(0), 0.5));
+  const monitor::RangeMonitor range_monitor(0, 0.5);
+
+  const control::ClosedLoop loop(cs.loop);
+  const sym::SymbolicTrace strace = sym::unroll(cs.loop, horizon);
+  util::Rng rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> theta =
+        rng.uniform_vector(strace.layout.num_vars(), -0.6, 0.6);
+    control::Signal attack = sym::attack_from_assignment(strace.layout, theta);
+    const Trace tr = loop.simulate(horizon, &attack);
+    for (std::size_t k = 0; k < horizon; ++k) {
+      EXPECT_EQ(stl_monitor.violated(tr, k), range_monitor.violated(tr, k))
+          << "trial " << trial << " k=" << k;
+      EXPECT_EQ(stl_monitor.ok_expr(strace, k).holds(theta),
+                range_monitor.ok_expr(strace, k).holds(theta));
+    }
+  }
+}
+
+TEST(StlMonitor, TemporalWindowPastHorizonNeverViolates) {
+  // A check that needs 3 future samples cannot flag the last instants.
+  const StlMonitor m(Formula::eventually({0, 3}, state(0) <= 0.0));
+  const Trace tr = make_trace({1.0, 1.0, 1.0, 1.0, 1.0, 1.0});  // never <= 0
+  // x has 6 entries -> last fitting instant for F[0,3] over x is 2.
+  EXPECT_TRUE(m.violated(tr, 0));
+  EXPECT_TRUE(m.violated(tr, 2));
+  EXPECT_FALSE(m.violated(tr, 3));  // window would run past the trace
+  EXPECT_FALSE(m.violated(tr, 5));
+}
+
+TEST(StlMonitor, ComposesWithDeadZone) {
+  // Dead zone 3: the alarm needs three consecutive violations.
+  monitor::MonitorSet set;
+  set.add(std::make_unique<StlMonitor>(abs_le(state(0), 0.5)));
+  set.set_dead_zone(3);
+  // Two isolated violations: no alarm.
+  EXPECT_TRUE(set.stealthy(make_trace({1.0, 0.0, 1.0, 0.0, 0.0})));
+  // Three consecutive: alarm.
+  const Trace bad = make_trace({1.0, 1.0, 1.0, 0.0, 0.0});
+  EXPECT_FALSE(set.stealthy(bad));
+  ASSERT_TRUE(set.first_alarm(bad).has_value());
+  EXPECT_EQ(*set.first_alarm(bad), 2u);
+}
+
+TEST(StlMonitor, CloneIsIndependent) {
+  const StlMonitor m(abs_le(output(0), 1.0), "sanity");
+  const auto copy = m.clone();
+  EXPECT_EQ(copy->describe(), m.describe());
+  const Trace tr = make_trace({2.0, 0.0});
+  EXPECT_EQ(copy->violated(tr, 0), m.violated(tr, 0));
+}
+
+}  // namespace
+}  // namespace cpsguard::stl

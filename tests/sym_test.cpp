@@ -1,0 +1,229 @@
+// Tests for affine forms, the constraint IR and — crucially — the
+// unroller-vs-simulator cross-check: the symbolic trace evaluated at any
+// concrete attack must match the concrete simulation bit-for-bit (within
+// accumulation rounding), because solver verdicts are claims about the
+// implementation.
+#include <gtest/gtest.h>
+
+#include "control/closed_loop.hpp"
+#include "models/aircraft.hpp"
+#include "models/dcmotor.hpp"
+#include "models/lfc.hpp"
+#include "models/suspension.hpp"
+#include "models/trajectory.hpp"
+#include "models/vsc.hpp"
+#include "sym/affine.hpp"
+#include "sym/constraint.hpp"
+#include "sym/unroller.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::sym {
+namespace {
+
+using control::Norm;
+using linalg::Vector;
+
+TEST(AffineExpr, Arithmetic) {
+  const AffineExpr x = AffineExpr::variable(3, 0);
+  const AffineExpr y = AffineExpr::variable(3, 1);
+  AffineExpr e = 2.0 * x - y + 5.0;
+  EXPECT_DOUBLE_EQ(e.coeff(0), 2.0);
+  EXPECT_DOUBLE_EQ(e.coeff(1), -1.0);
+  EXPECT_DOUBLE_EQ(e.coeff(2), 0.0);
+  EXPECT_DOUBLE_EQ(e.constant_term(), 5.0);
+  EXPECT_DOUBLE_EQ(e.evaluate({1.0, 2.0, 9.0}), 5.0);
+}
+
+TEST(AffineExpr, SpaceMismatchThrows) {
+  AffineExpr a(2), b(3);
+  EXPECT_THROW(a += b, util::InvalidArgument);
+}
+
+TEST(AffineExpr, PadVariables) {
+  AffineExpr e = AffineExpr::variable(2, 1) * 3.0 + 1.5;
+  const AffineExpr p = pad_variables(e, 5);
+  EXPECT_EQ(p.num_vars(), 5u);
+  EXPECT_DOUBLE_EQ(p.coeff(1), 3.0);
+  EXPECT_DOUBLE_EQ(p.coeff(4), 0.0);
+  EXPECT_DOUBLE_EQ(p.constant_term(), 1.5);
+  EXPECT_THROW(pad_variables(p, 2), util::InvalidArgument);
+}
+
+TEST(AffineVec, MatrixProduct) {
+  const std::size_t nv = 2;
+  AffineVec v{AffineExpr::variable(nv, 0), AffineExpr::variable(nv, 1)};
+  const linalg::Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const AffineVec out = affine_mul(m, v);
+  EXPECT_DOUBLE_EQ(out[0].coeff(0), 1.0);
+  EXPECT_DOUBLE_EQ(out[0].coeff(1), 2.0);
+  EXPECT_DOUBLE_EQ(out[1].coeff(0), 3.0);
+  EXPECT_DOUBLE_EQ(out[1].coeff(1), 4.0);
+}
+
+TEST(BoolExpr, ConstantsSimplify) {
+  EXPECT_TRUE(BoolExpr::conj({}).is_true());
+  EXPECT_TRUE(BoolExpr::disj({}).is_false());
+  EXPECT_TRUE(BoolExpr::conj({BoolExpr::constant(false)}).is_false());
+  EXPECT_TRUE(BoolExpr::disj({BoolExpr::constant(true)}).is_true());
+}
+
+TEST(BoolExpr, FlattensNestedSameKind) {
+  const AffineExpr x = AffineExpr::variable(1, 0);
+  const BoolExpr inner = BoolExpr::conj({BoolExpr::lit(x, RelOp::kLe),
+                                         BoolExpr::lit(x + 1.0, RelOp::kLe)});
+  const BoolExpr outer = BoolExpr::conj({inner, BoolExpr::lit(x + 2.0, RelOp::kLe)});
+  EXPECT_EQ(outer.children().size(), 3u);
+}
+
+TEST(BoolExpr, NegationIsInvolutiveOnEvaluation) {
+  util::Rng rng(1);
+  const AffineExpr x = AffineExpr::variable(2, 0);
+  const AffineExpr y = AffineExpr::variable(2, 1);
+  const BoolExpr f = BoolExpr::disj({
+      BoolExpr::conj({BoolExpr::lit(x - 1.0, RelOp::kLe), BoolExpr::lit(y, RelOp::kGt)}),
+      BoolExpr::lit(x + y - 3.0, RelOp::kGe)});
+  const BoolExpr nf = f.negate();
+  const BoolExpr nnf = nf.negate();
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> v{rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)};
+    EXPECT_NE(f.holds(v), nf.holds(v));
+    EXPECT_EQ(f.holds(v), nnf.holds(v));
+  }
+}
+
+TEST(BoolExpr, RelOpSemantics) {
+  const AffineExpr x = AffineExpr::variable(1, 0);
+  EXPECT_TRUE(BoolExpr::lit(x, RelOp::kLe).holds({0.0}));
+  EXPECT_FALSE(BoolExpr::lit(x, RelOp::kLt).holds({0.0}));
+  EXPECT_TRUE(BoolExpr::lit(x, RelOp::kEq).holds({0.0}));
+  EXPECT_FALSE(BoolExpr::lit(x, RelOp::kNe).holds({0.0}));
+  EXPECT_TRUE(BoolExpr::lit(x, RelOp::kNe).holds({0.5}));
+}
+
+TEST(NormConstraints, InfBallMembership) {
+  util::Rng rng(2);
+  const std::size_t nv = 2;
+  AffineVec v{AffineExpr::variable(nv, 0), AffineExpr::variable(nv, 1)};
+  const BoolExpr inside = norm_le(v, 1.0, Norm::kInf);
+  const BoolExpr outside = norm_ge(v, 1.0, Norm::kInf, /*strict=*/true);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> p{rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)};
+    const double n = std::max(std::abs(p[0]), std::abs(p[1]));
+    EXPECT_EQ(inside.holds(p), n <= 1.0);
+    EXPECT_EQ(outside.holds(p), n > 1.0);
+  }
+}
+
+TEST(NormConstraints, OneBallMembership) {
+  util::Rng rng(3);
+  const std::size_t nv = 2;
+  AffineVec v{AffineExpr::variable(nv, 0), AffineExpr::variable(nv, 1)};
+  const BoolExpr inside = norm_le(v, 1.0, Norm::kOne);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> p{rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5)};
+    EXPECT_EQ(inside.holds(p), std::abs(p[0]) + std::abs(p[1]) <= 1.0);
+  }
+}
+
+TEST(NormConstraints, TwoNormRejectedInEncoding) {
+  AffineVec v{AffineExpr::variable(1, 0)};
+  EXPECT_THROW(norm_le(v, 1.0, Norm::kTwo), util::InvalidArgument);
+}
+
+TEST(Layout, IndexingAndNames) {
+  VariableLayout layout;
+  layout.horizon = 3;
+  layout.output_dim = 2;
+  layout.state_dim = 4;
+  layout.symbolic_x1 = true;
+  EXPECT_EQ(layout.num_vars(), 10u);
+  EXPECT_EQ(layout.attack_var(2, 1), 5u);
+  EXPECT_EQ(layout.x1_var(3), 9u);
+  EXPECT_EQ(layout.var_name(0), "a_1_0");
+  EXPECT_EQ(layout.var_name(6), "x1_0");
+  EXPECT_THROW(layout.attack_var(3, 0), util::InvalidArgument);
+}
+
+// ---- the central property: unroller == simulator --------------------------
+
+class UnrollerCrossCheck : public ::testing::TestWithParam<const char*> {
+ protected:
+  static control::LoopConfig loop_for(const std::string& name) {
+    if (name == "trajectory") return models::make_trajectory_case_study().loop;
+    if (name == "vsc") return models::make_vsc_case_study().loop;
+    if (name == "dcmotor") return models::make_dcmotor_case_study().loop;
+    if (name == "lfc") return models::make_lfc_case_study().loop;
+    if (name == "aircraft") return models::make_aircraft_pitch_case_study().loop;
+    return models::make_suspension_case_study().loop;
+  }
+};
+
+TEST_P(UnrollerCrossCheck, MatchesSimulatorOnRandomAttacks) {
+  const control::LoopConfig cfg = loop_for(GetParam());
+  const std::size_t T = 25;
+  const SymbolicTrace st = unroll(cfg, T);
+  util::Rng rng(17);
+  const std::size_t m = cfg.plant.num_outputs();
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> theta(st.layout.num_vars());
+    for (auto& v : theta) v = rng.uniform(-0.5, 0.5);
+    const control::Signal attack = attack_from_assignment(st.layout, theta);
+    ASSERT_EQ(attack.size(), T);
+    ASSERT_EQ(attack.front().size(), m);
+
+    const control::Trace sim = control::ClosedLoop(cfg).simulate(T, &attack);
+    const control::Trace symbolic = st.concretize(theta);
+    for (std::size_t k = 0; k < T; ++k) {
+      for (std::size_t i = 0; i < m; ++i) {
+        EXPECT_NEAR(symbolic.z[k][i], sim.z[k][i], 1e-9)
+            << "residue mismatch at k=" << k << " i=" << i;
+        EXPECT_NEAR(symbolic.y[k][i], sim.y[k][i], 1e-9);
+      }
+      for (std::size_t j = 0; j < cfg.plant.num_states(); ++j)
+        EXPECT_NEAR(symbolic.x[k][j], sim.x[k][j], 1e-9);
+    }
+    for (std::size_t j = 0; j < cfg.plant.num_states(); ++j)
+      EXPECT_NEAR(symbolic.x[T][j], sim.x[T][j], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, UnrollerCrossCheck,
+                         ::testing::Values("trajectory", "vsc", "dcmotor", "suspension",
+                                           "lfc", "aircraft"));
+
+TEST(Unroller, SymbolicInitialState) {
+  const control::LoopConfig cfg = models::make_trajectory_case_study().loop;
+  InitialStateSpec init;
+  init.lo = Vector{0.3, -0.1};
+  init.hi = Vector{0.5, 0.1};
+  const SymbolicTrace st = unroll(cfg, 5, init);
+  EXPECT_TRUE(st.layout.symbolic_x1);
+  EXPECT_EQ(st.layout.num_vars(), 5u + 2u);
+
+  // Evaluating with a chosen x1 must equal simulating from that x1.
+  std::vector<double> theta(st.layout.num_vars(), 0.0);
+  theta[st.layout.x1_var(0)] = 0.42;
+  theta[st.layout.x1_var(1)] = 0.05;
+  control::LoopConfig cfg2 = cfg;
+  cfg2.x1 = Vector{0.42, 0.05};
+  const control::Trace sim = control::ClosedLoop(cfg2).simulate(5);
+  const control::Trace symbolic = st.concretize(theta);
+  for (std::size_t k = 0; k < 5; ++k)
+    EXPECT_NEAR(symbolic.z[k][0], sim.z[k][0], 1e-12);
+}
+
+TEST(Unroller, ResidueEqualsAttackWhenSynced) {
+  // With xhat1 == x1 and zero noise, z_k is exactly the attack response:
+  // injecting only a_1 gives z_1 = a_1.
+  const control::LoopConfig cfg = models::make_trajectory_case_study().loop;
+  const SymbolicTrace st = unroll(cfg, 4);
+  std::vector<double> theta(st.layout.num_vars(), 0.0);
+  theta[st.layout.attack_var(0, 0)] = 0.2;
+  const control::Trace tr = st.concretize(theta);
+  EXPECT_NEAR(tr.z[0][0], 0.2, 1e-12);
+}
+
+}  // namespace
+}  // namespace cpsguard::sym

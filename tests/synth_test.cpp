@@ -1,0 +1,280 @@
+// Tests for the paper's algorithms: ATTVECSYN (Algorithm 1), pivot-based
+// and step-wise threshold synthesis (Algorithms 2 & 3), and the static
+// baseline.  The headline properties:
+//   * synthesized attacks really are stealthy and really violate pfc when
+//     replayed through the concrete implementation;
+//   * synthesized thresholds are certified (Z3 UNSAT) and detect the
+//     attacks that previously slipped through;
+//   * threshold shapes satisfy the paper's structural hypotheses
+//     (monotone decreasing / staircase).
+#include <gtest/gtest.h>
+
+#include "detect/detector.hpp"
+#include "models/dcmotor.hpp"
+#include "models/trajectory.hpp"
+#include "solver/lp_backend.hpp"
+#include "solver/z3_backend.hpp"
+#include "synth/attack_synth.hpp"
+#include "synth/spec.hpp"
+#include "synth/threshold_synth.hpp"
+#include "util/random.hpp"
+
+namespace cpsguard::synth {
+namespace {
+
+using control::Norm;
+using detect::ResidueDetector;
+using detect::ThresholdVector;
+using solver::SolveStatus;
+
+std::shared_ptr<solver::Z3Backend> z3() { return std::make_shared<solver::Z3Backend>(); }
+std::shared_ptr<solver::LpBackend> lp() { return std::make_shared<solver::LpBackend>(); }
+
+AttackVectorSynthesizer make_trajectory_synth() {
+  const auto cs = models::make_trajectory_case_study();
+  return AttackVectorSynthesizer(cs.attack_problem(), z3(), lp());
+}
+
+TEST(ReachCriterion, ConcreteSemantics) {
+  const ReachCriterion pfc(0, 1.0, 0.1);
+  control::Trace tr;
+  tr.x = {linalg::Vector{0.0, 0.0}, linalg::Vector{1.05, 0.0}};
+  EXPECT_TRUE(pfc.satisfied(tr));
+  EXPECT_NEAR(pfc.deviation(tr), 0.05, 1e-12);
+  tr.x.back() = linalg::Vector{1.2, 0.0};
+  EXPECT_FALSE(pfc.satisfied(tr));
+}
+
+TEST(ReachCriterion, SymbolicAgreesWithConcrete) {
+  const auto cs = models::make_trajectory_case_study();
+  const auto st = sym::unroll(cs.loop, cs.horizon);
+  util::Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> theta(st.layout.num_vars());
+    for (auto& v : theta) v = rng.uniform(-0.2, 0.2);
+    const auto attack = sym::attack_from_assignment(st.layout, theta);
+    const auto tr = control::ClosedLoop(cs.loop).simulate(cs.horizon, &attack);
+    EXPECT_EQ(cs.pfc.satisfied(tr), cs.pfc.satisfied_expr(st).holds(theta, 1e-9));
+    EXPECT_EQ(!cs.pfc.satisfied(tr), cs.pfc.violated_expr(st).holds(theta, -1e-9));
+  }
+}
+
+TEST(AttackSynthesis, FindsAttackWithoutDetector) {
+  auto avs = make_trajectory_synth();
+  const AttackResult ar = avs.synthesize(ThresholdVector(avs.problem().horizon));
+  ASSERT_TRUE(ar.found());
+  // The replayed attack must genuinely violate pfc on the implementation.
+  EXPECT_FALSE(avs.problem().pfc.satisfied(ar.trace));
+  // And it must respect the attacker power bound.
+  for (const auto& a : ar.attack)
+    EXPECT_LE(a.norm_inf(), *avs.problem().attack_bound + 1e-6);
+}
+
+TEST(AttackSynthesis, RespectsThresholds) {
+  auto avs = make_trajectory_synth();
+  const std::size_t T = avs.problem().horizon;
+  ThresholdVector th(T);
+  for (std::size_t k = 0; k < T; ++k) th.set(k, 0.05);
+  const AttackResult ar = avs.synthesize(th);
+  if (ar.found()) {
+    const auto norms = ar.trace.residue_norms(avs.problem().norm);
+    for (double n : norms) EXPECT_LT(n, 0.05 + 1e-6);
+  } else {
+    EXPECT_EQ(ar.status, SolveStatus::kUnsat);
+  }
+}
+
+TEST(AttackSynthesis, TightThresholdsProvablyBlock) {
+  auto avs = make_trajectory_synth();
+  const std::size_t T = avs.problem().horizon;
+  // Far below the certified static-safe level: no attack can fit.
+  const AttackResult ar = avs.synthesize(ThresholdVector::constant(T, 1e-6));
+  EXPECT_EQ(ar.status, SolveStatus::kUnsat);
+  EXPECT_TRUE(ar.certified);
+}
+
+TEST(AttackSynthesis, MinEffortIsSparser) {
+  auto avs = make_trajectory_synth();
+  const ThresholdVector none(avs.problem().horizon);
+  const AttackResult any = avs.synthesize(none, AttackObjective::kAny);
+  const AttackResult sparse = avs.synthesize(none, AttackObjective::kMinEffort);
+  ASSERT_TRUE(any.found());
+  ASSERT_TRUE(sparse.found());
+  auto effort = [](const control::Signal& s) {
+    double total = 0.0;
+    for (const auto& a : s) total += a.norm1();
+    return total;
+  };
+  EXPECT_LE(effort(sparse.attack), effort(any.attack) + 1e-6);
+}
+
+TEST(AttackSynthesis, MaxDeviationIsWorst) {
+  auto avs = make_trajectory_synth();
+  const ThresholdVector none(avs.problem().horizon);
+  const AttackResult any = avs.synthesize(none, AttackObjective::kAny);
+  const AttackResult worst = avs.synthesize(none, AttackObjective::kMaxDeviation);
+  ASSERT_TRUE(any.found());
+  ASSERT_TRUE(worst.found());
+  EXPECT_GE(avs.problem().pfc.deviation(worst.trace),
+            avs.problem().pfc.deviation(any.trace) - 1e-6);
+}
+
+TEST(AttackSynthesis, CallCountersAdvance) {
+  auto avs = make_trajectory_synth();
+  const std::size_t f0 = avs.finder_calls();
+  avs.synthesize(ThresholdVector(avs.problem().horizon));
+  EXPECT_GT(avs.finder_calls(), f0);
+}
+
+// ---- min_area_rectangle unit behaviour ------------------------------------
+
+TEST(MinAreaRectangle, PrefersCheapestCut) {
+  // Staircase 1.0 1.0 0.5 0.5 with residues 0.1 0.1 0.4 0.4: the areas of
+  // the candidate cuts are 2.6, 1.7, 0.2 and 0.1 — the trailing position
+  // wins (cutting there removes (0.5 - 0.4) * 1 of threshold mass).
+  ThresholdVector th(4);
+  th.set(0, 1.0);
+  th.set(1, 1.0);
+  th.set(2, 0.5);
+  th.set(3, 0.5);
+  const std::vector<double> residues{0.1, 0.1, 0.4, 0.4};
+  EXPECT_EQ(min_area_rectangle(residues, th), 3u);
+}
+
+TEST(MinAreaRectangle, DeepCheapCutBeatsShallowWideOne) {
+  // A tiny rectangle at the front (1.0 -> 0.99 over one instant) is cheaper
+  // than cutting the long tail down to near zero.
+  ThresholdVector th(5);
+  th.set(0, 1.0);
+  for (std::size_t k = 1; k < 5; ++k) th.set(k, 0.5);
+  const std::vector<double> residues{0.99, 0.01, 0.01, 0.01, 0.01};
+  EXPECT_EQ(min_area_rectangle(residues, th), 0u);
+}
+
+TEST(MinAreaRectangle, SkipsNonTighteningPositions) {
+  ThresholdVector th(2);
+  th.set(0, 0.5);
+  th.set(1, 0.5);
+  // Residue at 0 exceeds the threshold (cannot happen for stealthy attacks,
+  // but the primitive must not pick it).
+  const std::vector<double> residues{0.9, 0.2};
+  EXPECT_EQ(min_area_rectangle(residues, th), 1u);
+}
+
+// ---- end-to-end synthesis --------------------------------------------------
+
+class SynthesisEndToEnd : public ::testing::TestWithParam<const char*> {
+ protected:
+  SynthesisResult run(AttackVectorSynthesizer& avs) const {
+    SynthesisOptions opts;
+    opts.max_rounds = 120;
+    if (std::string(GetParam()) == "pivot") return pivot_threshold_synthesis(avs, opts);
+    return stepwise_threshold_synthesis(avs, opts);
+  }
+};
+
+// The paper's greedy loops are not guaranteed to converge within any fixed
+// round budget (see DESIGN.md §6), so the contract tested here is: the loop
+// terminates within its cap, its output is structurally well-formed, every
+// round's update genuinely detected its counterexample, and IF it converged
+// the result is certified safe.
+TEST_P(SynthesisEndToEnd, TerminatesWellFormedAndSafeWhenConverged) {
+  auto avs = make_trajectory_synth();
+  const SynthesisResult res = run(avs);
+  EXPECT_LE(res.rounds, 120u);
+  EXPECT_TRUE(res.thresholds.monotone_decreasing());
+  EXPECT_GT(res.thresholds.num_set(), 0u);
+  if (res.converged) {
+    EXPECT_TRUE(res.certified);
+    const AttackResult ar = avs.synthesize(res.thresholds);
+    EXPECT_EQ(ar.status, SolveStatus::kUnsat);
+  }
+}
+
+TEST_P(SynthesisEndToEnd, DetectsTheUnconstrainedAttack) {
+  auto avs = make_trajectory_synth();
+  const AttackResult attack = avs.synthesize(ThresholdVector(avs.problem().horizon));
+  ASSERT_TRUE(attack.found());
+  const SynthesisResult res = run(avs);
+  const ResidueDetector det(res.thresholds, avs.problem().norm);
+  EXPECT_TRUE(det.triggered(attack.trace))
+      << "synthesized thresholds must catch the round-1 attack";
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, SynthesisEndToEnd,
+                         ::testing::Values("pivot", "stepwise"));
+
+TEST(StepwiseSynthesis, StaircaseShapeHoldsThroughout) {
+  auto avs = make_trajectory_synth();
+  SynthesisOptions opts;
+  opts.max_rounds = 120;
+  opts.record_history = true;
+  const SynthesisResult res = stepwise_threshold_synthesis(avs, opts);
+  for (const auto& th : res.history) EXPECT_TRUE(th.monotone_decreasing());
+  EXPECT_TRUE(res.thresholds.monotone_decreasing());
+}
+
+// ---- relaxation synthesis (library extension) -------------------------------
+
+TEST(RelaxationSynthesis, CertifiedSafeAndDominatesStatic) {
+  auto avs = make_trajectory_synth();
+  const SynthesisResult res = relaxation_threshold_synthesis(avs);
+  ASSERT_TRUE(res.converged);
+  EXPECT_TRUE(res.certified);
+  EXPECT_TRUE(res.thresholds.monotone_decreasing());
+  EXPECT_EQ(res.thresholds.num_set(), avs.problem().horizon);
+
+  const StaticSynthesisResult fixed = static_threshold_synthesis(avs);
+  ASSERT_TRUE(fixed.converged);
+  // Pointwise domination: every instant at least as generous as the static
+  // baseline (this is what makes its FAR provably no worse).
+  for (std::size_t k = 0; k < avs.problem().horizon; ++k)
+    EXPECT_GE(res.thresholds[k], fixed.threshold * 0.999);
+  // Strict improvement over the static constant is system-dependent: when
+  // the static point already sits on the Pareto frontier of the safe set
+  // (true for this plant: the budget constraint binds in every coordinate),
+  // relaxation correctly returns (approximately) the static vector.  The
+  // guarantee tested here is domination, not strict improvement.
+
+  // Safety recheck.
+  EXPECT_EQ(avs.synthesize(res.thresholds).status, SolveStatus::kUnsat);
+}
+
+TEST(RelaxationSynthesis, DetectsTheUnconstrainedAttack) {
+  auto avs = make_trajectory_synth();
+  const AttackResult attack = avs.synthesize(ThresholdVector(avs.problem().horizon));
+  ASSERT_TRUE(attack.found());
+  const SynthesisResult res = relaxation_threshold_synthesis(avs);
+  ASSERT_TRUE(res.converged);
+  EXPECT_TRUE(ResidueDetector(res.thresholds, avs.problem().norm).triggered(attack.trace));
+}
+
+TEST(StaticSynthesis, FindsLargestSafeConstant) {
+  auto avs = make_trajectory_synth();
+  const StaticSynthesisResult res = static_threshold_synthesis(avs);
+  ASSERT_TRUE(res.converged);
+  ASSERT_TRUE(res.certified);
+  ASSERT_GT(res.threshold, 0.0);
+  // The found constant is safe...
+  EXPECT_EQ(avs.synthesize(ThresholdVector::constant(avs.problem().horizon, res.threshold))
+                .status,
+            SolveStatus::kUnsat);
+  // ...but meaningfully larger constants are not (bisection tightness).
+  EXPECT_EQ(avs.synthesize(
+                   ThresholdVector::constant(avs.problem().horizon, res.threshold * 1.2))
+                .status,
+            SolveStatus::kSat);
+}
+
+TEST(Synthesis, HistoryRecordsRounds) {
+  auto avs = make_trajectory_synth();
+  SynthesisOptions opts;
+  opts.max_rounds = 120;
+  opts.record_history = true;
+  const SynthesisResult res = pivot_threshold_synthesis(avs, opts);
+  EXPECT_FALSE(res.history.empty());
+  for (const auto& th : res.history) EXPECT_TRUE(th.monotone_decreasing());
+}
+
+}  // namespace
+}  // namespace cpsguard::synth

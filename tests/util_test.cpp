@@ -1,0 +1,155 @@
+// Tests for the utility layer: RNG determinism, CSV emission, tables,
+// ASCII plotting, logging levels.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+#include "util/table.hpp"
+
+namespace cpsguard::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  EXPECT_NE(Rng(42).next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 0.0), InvalidArgument);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(2);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  Rng rng(3);
+  int counts[5] = {0};
+  for (int i = 0; i < 50000; ++i) ++counts[rng.below(5)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+  EXPECT_THROW(rng.below(0), InvalidArgument);
+}
+
+TEST(Rng, VectorHelpers) {
+  Rng rng(4);
+  EXPECT_EQ(rng.gaussian_vector(7, 1.0).size(), 7u);
+  const auto u = rng.uniform_vector(9, -1.0, 1.0);
+  EXPECT_EQ(u.size(), 9u);
+  for (double v : u) EXPECT_LE(std::abs(v), 1.0);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const auto path = std::filesystem::temp_directory_path() / "cpsguard_csv_test.csv";
+  {
+    CsvWriter csv(path.string(), {"a", "b"});
+    csv.row({1.0, 2.0});
+    csv.row_strings({"x", "y"});
+    EXPECT_EQ(csv.rows_written(), 2u);
+    EXPECT_THROW(csv.row({1.0}), InvalidArgument);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, CreatesParentDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() / "cpsguard_csv_dir";
+  std::filesystem::remove_all(dir);
+  {
+    CsvWriter csv((dir / "sub" / "f.csv").string(), {"x"});
+    csv.row({1.0});
+  }
+  EXPECT_TRUE(std::filesystem::exists(dir / "sub" / "f.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row_numeric("beta", {2.5}, 3);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_THROW(t.row({"too", "many", "cells"}), InvalidArgument);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 3), "3.14");
+  EXPECT_EQ(format_double(1000000.0, 4), "1e+06");
+}
+
+TEST(AsciiPlot, RendersSeriesAndLegend) {
+  PlotOptions opts;
+  opts.title = "test plot";
+  opts.width = 40;
+  opts.height = 10;
+  const std::string s =
+      render_plot({{"up", {0.0, 1.0, 2.0, 3.0}, '*'}, {"down", {3.0, 2.0, 1.0, 0.0}, 'o'}},
+                  opts);
+  EXPECT_NE(s.find("test plot"), std::string::npos);
+  EXPECT_NE(s.find("'*' = up"), std::string::npos);
+  EXPECT_NE(s.find("'o' = down"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, HandlesEmptyAndFlat) {
+  PlotOptions opts;
+  EXPECT_NE(render_plot("empty", {}, opts).find("(no data)"), std::string::npos);
+  EXPECT_FALSE(render_plot("flat", {1.0, 1.0, 1.0}, opts).empty());
+}
+
+TEST(AsciiPlot, RejectsTinyCanvas) {
+  PlotOptions opts;
+  opts.width = 2;
+  EXPECT_THROW(render_plot("x", {1.0}, opts), InvalidArgument);
+}
+
+TEST(Logging, ThresholdFilters) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kOff);
+  CPSG_INFO("test") << "this must not crash while filtered";
+  set_log_level(old);
+}
+
+TEST(Status, RequireThrowsWithMessage) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  try {
+    require(false, "broken invariant");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("broken invariant"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cpsguard::util
