@@ -1,0 +1,90 @@
+// Batch scenario engine microbenchmarks: raw simulate_into throughput
+// through sim::run_noise_batch, ROC workload assembly, and template attack
+// search, each as a function of the worker-thread count.  All of these
+// produce bit-identical results for every thread count (see tests/sim_test),
+// so the numbers here are pure scheduling/scaling overhead.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "cpsguard.hpp"
+
+namespace {
+
+using namespace cpsguard;
+
+const models::CaseStudy& trajectory() {
+  static const models::CaseStudy cs = models::make_trajectory_case_study();
+  return cs;
+}
+
+const models::CaseStudy& vsc() {
+  static const models::CaseStudy cs = models::make_vsc_case_study();
+  return cs;
+}
+
+// 1000 noise-only runs pushed through per-thread workspaces.
+void BM_BatchNoiseRuns(benchmark::State& state) {
+  const auto& cs = trajectory();
+  const control::ClosedLoop loop(cs.loop);
+  const sim::BatchRunner runner(static_cast<std::size_t>(state.range(0)));
+  const std::size_t runs = 1000;
+  for (auto _ : state) {
+    std::atomic<std::size_t> alarms{0};
+    sim::run_noise_batch(runner, loop, runs, cs.horizon, cs.noise_bounds,
+                         /*seed=*/1, /*index_offset=*/0,
+                         [&](std::size_t, const control::Trace& tr) {
+                           if (!cs.mdc.stealthy(tr))
+                             alarms.fetch_add(1, std::memory_order_relaxed);
+                         });
+    benchmark::DoNotOptimize(alarms.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(runs));
+}
+BENCHMARK(BM_BatchNoiseRuns)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+// ROC workload assembly (60 monitored benign draws + 12 attacked runs).
+void BM_BatchMakeWorkload(benchmark::State& state) {
+  const auto& cs = trajectory();
+  const control::ClosedLoop loop(cs.loop);
+  std::vector<control::Signal> attacks;
+  for (double mag : {0.05, 0.1, 0.2, 0.3}) {
+    attacks.push_back(attacks::bias_attack(linalg::Vector{1.0}).build(mag, cs.horizon, 1));
+    attacks.push_back(
+        attacks::surge_attack(linalg::Vector{1.0}, 0.6).build(mag, cs.horizon, 1));
+    attacks.push_back(
+        attacks::geometric_attack(linalg::Vector{1.0}, 1.3).build(mag, cs.horizon, 1));
+  }
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detect::make_workload(loop, cs.mdc, 60, cs.horizon,
+                                                   cs.noise_bounds, attacks,
+                                                   /*seed=*/7,
+                                                   /*noisy_attacks=*/true, threads));
+  }
+}
+BENCHMARK(BM_BatchMakeWorkload)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+// Template attack search on the VSC fixture (bracket + 40-step bisection
+// per template, fanned out over templates).
+void BM_BatchTemplateSearch(benchmark::State& state) {
+  const auto& cs = vsc();
+  const control::ClosedLoop loop(cs.loop);
+  const std::vector<attacks::AttackTemplate> templates =
+      attacks::standard_library(cs.loop.plant.num_outputs(), cs.horizon);
+  attacks::SearchOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacks::search_templates(
+        loop, cs.pfc, cs.mdc, /*detector=*/nullptr, cs.horizon, templates, options));
+  }
+}
+BENCHMARK(BM_BatchTemplateSearch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

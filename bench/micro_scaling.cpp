@@ -31,6 +31,23 @@ void BM_ClosedLoopSimulate(benchmark::State& state) {
 }
 BENCHMARK(BM_ClosedLoopSimulate)->Arg(10)->Arg(50)->Arg(200);
 
+void BM_ClosedLoopSimulateInto(benchmark::State& state) {
+  // The batch-engine hot path: trace + workspace buffers reused across
+  // runs, so the steady state is allocation-free.
+  const auto& cs = vsc();
+  const control::ClosedLoop loop(cs.loop);
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  control::Trace tr;
+  control::SimWorkspace ws;
+  for (auto _ : state) {
+    loop.simulate_into(tr, ws, steps);
+    benchmark::DoNotOptimize(tr.z.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_ClosedLoopSimulateInto)->Arg(10)->Arg(50)->Arg(200);
+
 void BM_SymbolicUnroll(benchmark::State& state) {
   const auto& cs = vsc();
   const auto steps = static_cast<std::size_t>(state.range(0));
@@ -112,6 +129,27 @@ void BM_FarEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FarEvaluation)->Arg(100)->Arg(1000);
+
+void BM_FarEvaluationThreads(benchmark::State& state) {
+  // Same protocol fanned out over the sim::BatchRunner worker pool; the
+  // report is bit-identical to the serial run for every thread count.
+  const auto& cs = trajectory();
+  const control::ClosedLoop loop(cs.loop);
+  const std::vector<detect::FarCandidate> candidates{
+      {"c", detect::ResidueDetector(
+                detect::ThresholdVector::constant(cs.horizon, 0.05), cs.norm)}};
+  detect::FarSetup setup;
+  setup.num_runs = 1000;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  setup.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detect::evaluate_far(loop, cs.mdc, candidates, setup));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_FarEvaluationThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->MeasureProcessCPUTime()->UseRealTime();
 
 void BM_CodegenEmit(benchmark::State& state) {
   const auto& cs = vsc();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "control/norm.hpp"
+#include "sim/batch.hpp"
 #include "util/status.hpp"
 
 namespace cpsguard::attacks {
@@ -12,19 +13,68 @@ using control::Trace;
 
 namespace {
 
-struct Probe {
-  bool violates = false;
-  Trace trace;
-};
-
-Probe probe(const control::ClosedLoop& loop, const synth::Criterion& pfc,
-            std::size_t horizon, const AttackTemplate& tmpl, double magnitude) {
+// Simulates one magnitude into the caller's scratch trace and reports
+// whether pfc breaks; traces are swapped (not copied) when a new best
+// violator is found, so the whole search reuses two trace buffers.
+bool probe(const control::ClosedLoop& loop, const synth::Criterion& pfc,
+           std::size_t horizon, const AttackTemplate& tmpl, double magnitude,
+           Trace& trace, control::SimWorkspace& ws) {
   const std::size_t dim = loop.config().plant.num_outputs();
   const Signal attack = tmpl.build(magnitude, horizon, dim);
-  Probe out;
-  out.trace = loop.simulate(horizon, &attack);
-  out.violates = !pfc.satisfied(out.trace);
-  return out;
+  loop.simulate_into(trace, ws, horizon, &attack);
+  return !pfc.satisfied(trace);
+}
+
+TemplateResult search_one(const control::ClosedLoop& loop, const synth::Criterion& pfc,
+                          const monitor::MonitorSet& monitors,
+                          const detect::ResidueDetector* detector, std::size_t horizon,
+                          const AttackTemplate& tmpl, const SearchOptions& options,
+                          Trace& scratch, Trace& best_trace,
+                          control::SimWorkspace& ws) {
+  TemplateResult r;
+  r.name = tmpl.name;
+
+  // Exponential growth to find a violating magnitude.
+  double hi = options.initial_magnitude;
+  bool found = false;
+  while (hi <= options.max_magnitude) {
+    if (probe(loop, pfc, horizon, tmpl, hi, scratch, ws)) {
+      found = true;
+      break;
+    }
+    hi *= 2.0;
+  }
+  if (!found) return r;
+  std::swap(best_trace, scratch);
+
+  // Bisection down to the smallest violating magnitude.  Template
+  // families need not be perfectly monotone (feedback can fold the
+  // deviation back into the band), so keep the smallest *observed*
+  // violator rather than trusting the midpoint predicate globally.
+  double lo = hi / 2.0;
+  double best = hi;
+  for (std::size_t i = 0; i < options.bisection_steps; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe(loop, pfc, horizon, tmpl, mid, scratch, ws)) {
+      hi = mid;
+      if (mid < best) {
+        best = mid;
+        std::swap(best_trace, scratch);
+      }
+    } else {
+      lo = mid;
+    }
+    if (hi - lo <= 1e-6 * hi) break;
+  }
+
+  r.min_violating_magnitude = best;
+  r.caught_by_monitors = !monitors.stealthy(best_trace);
+  r.caught_by_detector = detector != nullptr && detector->triggered(best_trace);
+  const std::vector<double> norms = best_trace.residue_norms(
+      detector ? detector->norm() : control::Norm::kInf);
+  for (double v : norms) r.residue_peak = std::max(r.residue_peak, v);
+  r.deviation = std::abs(pfc.deviation(best_trace));
+  return r;
 }
 
 }  // namespace
@@ -38,61 +88,21 @@ std::vector<TemplateResult> search_templates(
                     options.max_magnitude > options.initial_magnitude,
                 "search_templates: bad magnitude bracket");
 
-  std::vector<TemplateResult> results;
-  results.reserve(templates.size());
-  for (const AttackTemplate& tmpl : templates) {
-    TemplateResult r;
-    r.name = tmpl.name;
-
-    // Exponential growth to find a violating magnitude.
-    double hi = options.initial_magnitude;
-    Probe hit;
-    bool found = false;
-    while (hi <= options.max_magnitude) {
-      hit = probe(loop, pfc, horizon, tmpl, hi);
-      if (hit.violates) {
-        found = true;
-        break;
-      }
-      hi *= 2.0;
-    }
-    if (!found) {
-      results.push_back(std::move(r));
-      continue;
-    }
-
-    // Bisection down to the smallest violating magnitude.  Template
-    // families need not be perfectly monotone (feedback can fold the
-    // deviation back into the band), so keep the smallest *observed*
-    // violator rather than trusting the midpoint predicate globally.
-    double lo = hi / 2.0;
-    double best = hi;
-    Probe best_probe = hit;
-    for (std::size_t i = 0; i < options.bisection_steps; ++i) {
-      const double mid = 0.5 * (lo + hi);
-      const Probe p = probe(loop, pfc, horizon, tmpl, mid);
-      if (p.violates) {
-        hi = mid;
-        if (mid < best) {
-          best = mid;
-          best_probe = p;
-        }
-      } else {
-        lo = mid;
-      }
-      if (hi - lo <= 1e-6 * hi) break;
-    }
-
-    r.min_violating_magnitude = best;
-    r.caught_by_monitors = !monitors.stealthy(best_probe.trace);
-    r.caught_by_detector = detector != nullptr && detector->triggered(best_probe.trace);
-    const std::vector<double> norms =
-        best_probe.trace.residue_norms(detector ? detector->norm()
-                                                : control::Norm::kInf);
-    for (double v : norms) r.residue_peak = std::max(r.residue_peak, v);
-    r.deviation = std::abs(pfc.deviation(best_probe.trace));
-    results.push_back(std::move(r));
-  }
+  // Each template's bracket + bisection is independent of the others, so
+  // fan the templates out and key results by template index.
+  std::vector<TemplateResult> results(templates.size());
+  const sim::BatchRunner runner(options.threads);
+  struct Scratch {
+    Trace trace, best;
+    control::SimWorkspace workspace;
+  };
+  std::vector<Scratch> scratch(runner.threads());
+  runner.for_each(templates.size(), [&](std::size_t idx, std::size_t slot) {
+    Scratch& s = scratch[slot];
+    results[idx] = search_one(loop, pfc, monitors, detector, horizon,
+                              templates[idx], options, s.trace, s.best,
+                              s.workspace);
+  });
   return results;
 }
 

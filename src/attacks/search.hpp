@@ -25,6 +25,10 @@ struct SearchOptions {
   double initial_magnitude = 1e-3;
   double max_magnitude = 1e6;
   std::size_t bisection_steps = 40;
+  /// Worker threads for the per-template fan-out: 1 = serial (default),
+  /// 0 = one per hardware thread.  Each template's bracket/bisection is
+  /// fully independent, so results are identical for every setting.
+  std::size_t threads = 1;
 };
 
 /// Outcome for one template.

@@ -1,5 +1,6 @@
 #include "control/closed_loop.hpp"
 
+#include "linalg/kernels.hpp"
 #include "util/status.hpp"
 
 namespace cpsguard::control {
@@ -45,53 +46,80 @@ ClosedLoop::ClosedLoop(LoopConfig config) : config_(std::move(config)) {
 Trace ClosedLoop::simulate(std::size_t steps, const Signal* attack,
                            const Signal* process_noise,
                            const Signal* measurement_noise) const {
+  Trace tr;
+  SimWorkspace ws;
+  simulate_into(tr, ws, steps, attack, process_noise, measurement_noise);
+  return tr;
+}
+
+void ClosedLoop::simulate_into(Trace& tr, SimWorkspace& ws, std::size_t steps,
+                               const Signal* attack, const Signal* process_noise,
+                               const Signal* measurement_noise) const {
   const auto& sys = config_.plant;
   const std::size_t n = sys.num_states();
   const std::size_t m = sys.num_outputs();
+  const std::size_t p = sys.num_inputs();
   auto check_signal = [&](const Signal* s, std::size_t dim, const char* what) {
     if (!s) return;
-    require(s->size() >= steps, std::string(what) + ": too few entries");
+    if (s->size() < steps)
+      throw util::InvalidArgument(std::string(what) + ": too few entries");
     for (const auto& v : *s)
-      require(v.size() == dim, std::string(what) + ": wrong vector dimension");
+      if (v.size() != dim)
+        throw util::InvalidArgument(std::string(what) + ": wrong vector dimension");
   };
   check_signal(attack, m, "ClosedLoop: attack signal");
   check_signal(process_noise, n, "ClosedLoop: process noise");
   check_signal(measurement_noise, m, "ClosedLoop: measurement noise");
 
-  Trace tr;
   tr.ts = sys.ts;
-  tr.x.reserve(steps + 1);
-  tr.xhat.reserve(steps + 1);
-  tr.u.reserve(steps);
-  tr.y.reserve(steps);
-  tr.z.reserve(steps);
+  tr.prepare(steps, n, m, p);
+  ws.x = config_.x1;
+  ws.xhat = config_.xhat1;
+  ws.u = config_.u1;
+  ws.yhat.resize(m);
+  ws.xn.resize(n);
+  ws.xhatn.resize(n);
+  ws.dev.resize(n);
+  ws.kdev.resize(p);
 
-  Vector x = config_.x1;
-  Vector xhat = config_.xhat1;
-  Vector u = config_.u1;
   const auto& op = config_.operating_point;
+  using namespace linalg;  // gemv_into / axpy_into / sub_into
   for (std::size_t k = 0; k < steps; ++k) {
-    Vector y = sys.c * x + sys.d * u;
-    if (attack) y += (*attack)[k];
-    if (measurement_noise) y += (*measurement_noise)[k];
-    const Vector yhat = sys.c * xhat + sys.d * u;
-    const Vector z = y - yhat;
+    // y_k = C x + D u (+ attack + measurement noise), written in place.
+    Vector& y = tr.y[k];
+    gemv_into(1.0, sys.c, ws.x, 0.0, y);
+    gemv_into(1.0, sys.d, ws.u, 1.0, y);
+    if (attack) axpy_into(1.0, (*attack)[k], y);
+    if (measurement_noise) axpy_into(1.0, (*measurement_noise)[k], y);
 
-    tr.x.push_back(x);
-    tr.xhat.push_back(xhat);
-    tr.u.push_back(u);
-    tr.y.push_back(y);
-    tr.z.push_back(z);
+    // ŷ_k = C x̂ + D u;  z_k = y_k - ŷ_k.
+    gemv_into(1.0, sys.c, ws.xhat, 0.0, ws.yhat);
+    gemv_into(1.0, sys.d, ws.u, 1.0, ws.yhat);
+    sub_into(y, ws.yhat, tr.z[k]);
 
-    Vector xn = sys.a * x + sys.b * u;
-    if (process_noise) xn += (*process_noise)[k];
-    x = std::move(xn);
-    xhat = sys.a * xhat + sys.b * u + config_.kalman_gain * z;
-    u = op.u_ss - config_.feedback_gain * (xhat - op.x_ss);
+    tr.x[k] = ws.x;
+    tr.xhat[k] = ws.xhat;
+    tr.u[k] = ws.u;
+
+    // x_{k+1} = A x + B u (+ process noise).
+    gemv_into(1.0, sys.a, ws.x, 0.0, ws.xn);
+    gemv_into(1.0, sys.b, ws.u, 1.0, ws.xn);
+    if (process_noise) axpy_into(1.0, (*process_noise)[k], ws.xn);
+    std::swap(ws.x, ws.xn);
+
+    // x̂_{k+1} = A x̂ + B u + L z.
+    gemv_into(1.0, sys.a, ws.xhat, 0.0, ws.xhatn);
+    gemv_into(1.0, sys.b, ws.u, 1.0, ws.xhatn);
+    gemv_into(1.0, config_.kalman_gain, tr.z[k], 1.0, ws.xhatn);
+    std::swap(ws.xhat, ws.xhatn);
+
+    // u_{k+1} = u_ss - K (x̂_{k+1} - x_ss).
+    sub_into(ws.xhat, op.x_ss, ws.dev);
+    gemv_into(1.0, config_.feedback_gain, ws.dev, 0.0, ws.kdev);
+    sub_into(op.u_ss, ws.kdev, ws.u);
   }
-  tr.x.push_back(x);
-  tr.xhat.push_back(xhat);
-  return tr;
+  tr.x[steps] = ws.x;
+  tr.xhat[steps] = ws.xhat;
 }
 
 Matrix ClosedLoop::stacked_closed_loop_matrix() const {

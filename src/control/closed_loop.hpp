@@ -45,6 +45,20 @@ struct LoopConfig {
                            const std::vector<std::size_t>& tracked_outputs = {});
 };
 
+/// Reusable scratch state for ClosedLoop::simulate_into.  One workspace per
+/// worker thread; contents are overwritten on every run and carry no
+/// information between runs.
+struct SimWorkspace {
+  linalg::Vector x;      ///< current plant state
+  linalg::Vector xhat;   ///< current estimate
+  linalg::Vector u;      ///< current input
+  linalg::Vector yhat;   ///< predicted output C x̂ + D u
+  linalg::Vector xn;     ///< next plant state accumulator
+  linalg::Vector xhatn;  ///< next estimate accumulator
+  linalg::Vector dev;    ///< x̂ - x_ss
+  linalg::Vector kdev;   ///< K (x̂ - x_ss)
+};
+
 /// Deterministic closed-loop simulator with attack and noise injection.
 class ClosedLoop {
  public:
@@ -56,6 +70,15 @@ class ClosedLoop {
   Trace simulate(std::size_t steps, const Signal* attack = nullptr,
                  const Signal* process_noise = nullptr,
                  const Signal* measurement_noise = nullptr) const;
+
+  /// Allocation-free variant: writes the run into `trace` and keeps all
+  /// scratch state in `workspace`, both of which are reshaped on entry and
+  /// reuse their buffers across calls.  Produces bit-identical results to
+  /// simulate() — the batch engine in src/sim relies on that equivalence.
+  void simulate_into(Trace& trace, SimWorkspace& workspace, std::size_t steps,
+                     const Signal* attack = nullptr,
+                     const Signal* process_noise = nullptr,
+                     const Signal* measurement_noise = nullptr) const;
 
   const LoopConfig& config() const { return config_; }
 

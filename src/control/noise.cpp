@@ -32,13 +32,19 @@ Signal gaussian_signal_cov(util::Rng& rng, std::size_t steps, const Matrix& cova
 
 Signal bounded_uniform_signal(util::Rng& rng, std::size_t steps, const Vector& bounds) {
   Signal out;
-  out.reserve(steps);
-  for (std::size_t k = 0; k < steps; ++k) {
-    Vector v(bounds.size());
-    for (std::size_t i = 0; i < bounds.size(); ++i) v[i] = rng.uniform(-bounds[i], bounds[i]);
-    out.push_back(std::move(v));
-  }
+  bounded_uniform_signal_into(rng, steps, bounds, out);
   return out;
+}
+
+void bounded_uniform_signal_into(util::Rng& rng, std::size_t steps,
+                                 const Vector& bounds, Signal& out) {
+  out.resize(steps);
+  for (std::size_t k = 0; k < steps; ++k) {
+    Vector& v = out[k];
+    v.resize(bounds.size());
+    for (std::size_t i = 0; i < bounds.size(); ++i)
+      v[i] = rng.uniform(-bounds[i], bounds[i]);
+  }
 }
 
 }  // namespace cpsguard::control

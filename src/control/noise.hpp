@@ -22,4 +22,10 @@ Signal gaussian_signal_cov(util::Rng& rng, std::size_t steps,
 Signal bounded_uniform_signal(util::Rng& rng, std::size_t steps,
                               const linalg::Vector& bounds);
 
+/// Allocation-free variant for the batch engine: reshapes `out` and reuses
+/// its buffers across calls.  Draws the same values as
+/// bounded_uniform_signal for the same generator state.
+void bounded_uniform_signal_into(util::Rng& rng, std::size_t steps,
+                                 const linalg::Vector& bounds, Signal& out);
+
 }  // namespace cpsguard::control

@@ -8,6 +8,23 @@ Signal zero_signal(std::size_t steps, std::size_t dim) {
   return Signal(steps, linalg::Vector(dim));
 }
 
+namespace {
+
+void shape(std::vector<linalg::Vector>& series, std::size_t len, std::size_t dim) {
+  series.resize(len);
+  for (auto& v : series) v.resize(dim);
+}
+
+}  // namespace
+
+void Trace::prepare(std::size_t steps, std::size_t n, std::size_t m, std::size_t p) {
+  shape(x, steps + 1, n);
+  shape(xhat, steps + 1, n);
+  shape(u, steps, p);
+  shape(y, steps, m);
+  shape(z, steps, m);
+}
+
 std::vector<double> Trace::residue_norms(Norm norm) const {
   std::vector<double> out;
   out.reserve(z.size());

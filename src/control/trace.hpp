@@ -31,6 +31,12 @@ struct Trace {
   /// Number of sampling instants T.
   std::size_t steps() const { return z.size(); }
 
+  /// Shapes the record for a run of `steps` instants of an (n states,
+  /// m outputs, p inputs) loop.  Existing vector allocations are kept, so a
+  /// Trace handed repeatedly to ClosedLoop::simulate_into settles into a
+  /// steady state with no per-run allocation.
+  void prepare(std::size_t steps, std::size_t n, std::size_t m, std::size_t p);
+
   /// ||z_k|| for all k under the chosen norm (length T).
   std::vector<double> residue_norms(Norm norm) const;
 

@@ -38,6 +38,7 @@
 #include "detect/threshold.hpp"
 #include "linalg/decomp.hpp"
 #include "linalg/expm.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/rational.hpp"
 #include "linalg/riccati.hpp"
@@ -54,6 +55,8 @@
 #include "reach/interval.hpp"
 #include "reach/stealthy.hpp"
 #include "reach/zonotope.hpp"
+#include "sim/batch.hpp"
+#include "sim/monte_carlo.hpp"
 #include "solver/lp_backend.hpp"
 #include "solver/problem.hpp"
 #include "solver/simplex.hpp"

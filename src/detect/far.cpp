@@ -1,12 +1,19 @@
 #include "detect/far.hpp"
 
+#include "sim/monte_carlo.hpp"
 #include "util/logging.hpp"
 #include "util/status.hpp"
 
 namespace cpsguard::detect {
 
-using control::Signal;
 using control::Trace;
+
+namespace {
+
+// Per-run verdict of the protocol's filtering stages.
+enum class RunStatus : std::uint8_t { kEvaluated, kDiscardedPfc, kDiscardedMdc };
+
+}  // namespace
 
 FarReport evaluate_far(const control::ClosedLoop& loop, const monitor::MonitorSet& monitors,
                        const std::vector<FarCandidate>& candidates, const FarSetup& setup) {
@@ -14,31 +21,51 @@ FarReport evaluate_far(const control::ClosedLoop& loop, const monitor::MonitorSe
   util::require(setup.noise_bounds.size() == loop.config().plant.num_outputs(),
                 "evaluate_far: noise bound dimension must match outputs");
 
-  util::Rng rng(setup.seed);
   FarReport report;
   report.total_runs = setup.num_runs;
   report.rows.reserve(candidates.size());
   for (const auto& c : candidates) report.rows.push_back(FarRow{c.name, 0, 0});
 
+  // Every run records its verdicts keyed by run index; the reduction below
+  // walks them in order, so the report is independent of the thread count.
+  std::vector<RunStatus> status(setup.num_runs, RunStatus::kEvaluated);
+  std::vector<std::uint8_t> alarms(setup.num_runs * candidates.size(), 0);
+
+  const sim::BatchRunner runner(setup.threads);
+  sim::run_noise_batch(
+      runner, loop, setup.num_runs, setup.horizon, setup.noise_bounds, setup.seed,
+      /*index_offset=*/0, [&](std::size_t run, const Trace& trace) {
+        if (setup.pfc && !setup.pfc(trace)) {
+          status[run] = RunStatus::kDiscardedPfc;
+          return;
+        }
+        if (!monitors.stealthy(trace)) {
+          status[run] = RunStatus::kDiscardedMdc;
+          return;
+        }
+        for (std::size_t i = 0; i < candidates.size(); ++i)
+          alarms[run * candidates.size() + i] =
+              candidates[i].detector.triggered(trace) ? 1 : 0;
+      });
+
   for (std::size_t run = 0; run < setup.num_runs; ++run) {
-    const Signal noise =
-        control::bounded_uniform_signal(rng, setup.horizon, setup.noise_bounds);
-    const Trace trace = loop.simulate(setup.horizon, /*attack=*/nullptr,
-                                      /*process_noise=*/nullptr, &noise);
-    if (setup.pfc && !setup.pfc(trace)) {
-      ++report.discarded_by_pfc;
-      continue;
-    }
-    if (!monitors.stealthy(trace)) {
-      ++report.discarded_by_mdc;
-      continue;
-    }
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      ++report.rows[i].evaluated;
-      if (candidates[i].detector.triggered(trace)) ++report.rows[i].alarms;
+    switch (status[run]) {
+      case RunStatus::kDiscardedPfc:
+        ++report.discarded_by_pfc;
+        break;
+      case RunStatus::kDiscardedMdc:
+        ++report.discarded_by_mdc;
+        break;
+      case RunStatus::kEvaluated:
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          ++report.rows[i].evaluated;
+          report.rows[i].alarms += alarms[run * candidates.size() + i];
+        }
+        break;
     }
   }
-  CPSG_INFO("far") << "evaluated " << setup.num_runs << " runs, pfc-discard "
+  CPSG_INFO("far") << "evaluated " << setup.num_runs << " runs on "
+                   << runner.threads() << " thread(s), pfc-discard "
                    << report.discarded_by_pfc << ", mdc-discard "
                    << report.discarded_by_mdc;
   return report;

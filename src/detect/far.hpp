@@ -29,9 +29,15 @@ struct FarSetup {
   std::size_t num_runs = 1000;         ///< N noise vectors
   std::size_t horizon = 50;            ///< T samples per run
   linalg::Vector noise_bounds;         ///< per-output bound of the uniform noise
+  /// Run i draws its noise from util::Rng::substream(seed, i), so the
+  /// report is bit-identical for every `threads` setting.
   std::uint64_t seed = 1;
+  /// Worker threads for the run fan-out: 1 = serial (default), 0 = one per
+  /// hardware thread.
+  std::size_t threads = 1;
   /// Performance check: runs violating it are discarded (the paper draws
-  /// noise "such that pfc is maintained").  Null = keep everything.
+  /// noise "such that pfc is maintained").  Null = keep everything.  Must be
+  /// thread-safe when threads != 1 (it is invoked concurrently).
   std::function<bool(const control::Trace&)> pfc;
 };
 

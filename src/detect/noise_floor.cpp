@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "control/norm.hpp"
+#include "sim/monte_carlo.hpp"
 #include "util/status.hpp"
 
 namespace cpsguard::detect {
@@ -25,23 +27,22 @@ NoiseFloor estimate_noise_floor(const control::ClosedLoop& loop,
   util::require(setup.noise_bounds.size() == loop.config().plant.num_outputs(),
                 "estimate_noise_floor: noise bound dimension mismatch");
 
-  util::Rng rng(setup.seed);
-  // samples[k][run] = ||z_k|| of that run.
+  // samples[k][run] = ||z_k|| of that run; every worker writes only its own
+  // run column, so the fan-out needs no synchronization.
   std::vector<std::vector<double>> samples(setup.horizon);
-  for (auto& s : samples) s.reserve(setup.num_runs);
+  for (auto& s : samples) s.resize(setup.num_runs);
+
+  const sim::BatchRunner runner(setup.threads);
+  sim::run_noise_batch(
+      runner, loop, setup.num_runs, setup.horizon, setup.noise_bounds, setup.seed,
+      /*index_offset=*/0, [&](std::size_t run, const control::Trace& tr) {
+        for (std::size_t k = 0; k < setup.horizon; ++k)
+          samples[k][run] = control::vector_norm(tr.z[k], setup.norm);
+      });
 
   NoiseFloor out;
-  for (std::size_t run = 0; run < setup.num_runs; ++run) {
-    const control::Signal noise =
-        control::bounded_uniform_signal(rng, setup.horizon, setup.noise_bounds);
-    const control::Trace tr =
-        loop.simulate(setup.horizon, nullptr, nullptr, &noise);
-    const std::vector<double> norms = tr.residue_norms(setup.norm);
-    for (std::size_t k = 0; k < setup.horizon; ++k) {
-      samples[k].push_back(norms[k]);
-      out.peak = std::max(out.peak, norms[k]);
-    }
-  }
+  for (std::size_t k = 0; k < setup.horizon; ++k)
+    for (double v : samples[k]) out.peak = std::max(out.peak, v);
 
   out.quantiles.resize(setup.horizon);
   for (std::size_t k = 0; k < setup.horizon; ++k) {

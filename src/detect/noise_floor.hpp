@@ -25,7 +25,11 @@ struct NoiseFloorSetup {
   linalg::Vector noise_bounds;  ///< per-output bound of the uniform noise
   double quantile = 0.95;       ///< per-instant quantile of ||z_k||
   control::Norm norm = control::Norm::kInf;
+  /// Run i draws its noise from util::Rng::substream(seed, i).
   std::uint64_t seed = 7;
+  /// Worker threads: 1 = serial (default), 0 = one per hardware thread.
+  /// The estimate is bit-identical for every setting.
+  std::size_t threads = 1;
 };
 
 struct NoiseFloor {

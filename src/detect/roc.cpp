@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "control/noise.hpp"
+#include "sim/monte_carlo.hpp"
 #include "util/random.hpp"
 #include "util/status.hpp"
 
@@ -48,11 +50,17 @@ RocCurve evaluate_roc(std::string name, const ThresholdVector& thresholds,
   require(!workload.benign.empty() && !workload.attacked.empty(),
           "evaluate_roc: workload must contain both benign and attacked runs");
 
+  for (double s : options.scales)
+    require(s > 0.0, "evaluate_roc: scales must be positive");
+
   RocCurve curve;
   curve.name = std::move(name);
-  curve.points.reserve(options.scales.size());
-  for (double s : options.scales) {
-    require(s > 0.0, "evaluate_roc: scales must be positive");
+  curve.points.resize(options.scales.size());
+  // Scales are independent sweeps over immutable traces: fan them out with
+  // results keyed by scale index.
+  const sim::BatchRunner runner(options.threads);
+  runner.for_each(options.scales.size(), [&](std::size_t idx, std::size_t) {
+    const double s = options.scales[idx];
     ThresholdVector scaled(thresholds.size());
     for (std::size_t k = 0; k < thresholds.size(); ++k)
       if (thresholds.is_set(k)) scaled.set(k, thresholds[k] * s);
@@ -78,8 +86,8 @@ RocCurve evaluate_roc(std::string name, const ThresholdVector& thresholds,
                            static_cast<double>(workload.attacked.size());
     point.mean_detection_delay =
         detections > 0 ? delay_sum / static_cast<double>(detections) : 0.0;
-    curve.points.push_back(point);
-  }
+    curve.points[idx] = point;
+  });
   return curve;
 }
 
@@ -88,35 +96,68 @@ RocWorkload make_workload(const control::ClosedLoop& loop,
                           std::size_t benign_runs, std::size_t horizon,
                           const linalg::Vector& noise_bounds,
                           const std::vector<Signal>& attacks, std::uint64_t seed,
-                          bool noisy_attacks) {
+                          bool noisy_attacks, std::size_t threads) {
   require(benign_runs > 0, "make_workload: need benign runs");
-  util::Rng rng(seed);
+  const sim::BatchRunner runner(threads);
   RocWorkload workload;
   workload.benign.reserve(benign_runs);
-  std::size_t produced = 0;
   // Cap the attempts so a monitor that rejects everything cannot loop
-  // forever; the paper's protocol likewise discards flagged runs.
+  // forever; the paper's protocol likewise discards flagged runs.  Draws
+  // are simulated in parallel waves but accepted strictly in attempt-index
+  // order, so the kept set never depends on the thread count.
   const std::size_t max_attempts = benign_runs * 20;
-  for (std::size_t attempt = 0; attempt < max_attempts && produced < benign_runs;
-       ++attempt) {
-    const Signal noise = control::bounded_uniform_signal(rng, horizon, noise_bounds);
-    Trace tr = loop.simulate(horizon, nullptr, nullptr, &noise);
-    if (!monitors.stealthy(tr)) continue;
-    workload.benign.push_back(std::move(tr));
-    ++produced;
+  std::vector<sim::RunScratch> scratch(runner.threads());
+  std::size_t attempted = 0;
+  bool rejections_seen = false;
+  while (workload.benign.size() < benign_runs && attempted < max_attempts) {
+    const std::size_t missing = benign_runs - workload.benign.size();
+    // The first wave assumes every draw passes; once the monitors have
+    // rejected something, oversample so retry tails don't degenerate into
+    // many tiny fan-outs.
+    const std::size_t target = rejections_seen ? 2 * missing : missing;
+    const std::size_t wave = std::min(max_attempts - attempted,
+                                      std::max(target, runner.threads()));
+    std::vector<std::optional<Trace>> kept(wave);
+    runner.for_each(wave, [&](std::size_t i, std::size_t slot) {
+      sim::RunScratch& s = scratch[slot];
+      util::Rng rng = util::Rng::substream(seed, attempted + i);
+      control::bounded_uniform_signal_into(rng, horizon, noise_bounds, s.noise);
+      loop.simulate_into(s.trace, s.workspace, horizon, nullptr, nullptr, &s.noise);
+      if (monitors.stealthy(s.trace)) {
+        // Swap the finished trace out of the worker scratch: no deep copy,
+        // and simulate_into re-prepares the buffers on the next run.
+        kept[i].emplace();
+        std::swap(*kept[i], s.trace);
+      }
+    });
+    for (auto& candidate : kept) {
+      if (!candidate) {
+        rejections_seen = true;
+        continue;
+      }
+      if (workload.benign.size() == benign_runs) break;
+      workload.benign.push_back(std::move(*candidate));
+    }
+    attempted += wave;
   }
-  require(produced == benign_runs,
+  require(workload.benign.size() == benign_runs,
           "make_workload: monitors rejected too many benign draws");
 
-  workload.attacked.reserve(attacks.size());
-  for (const Signal& attack : attacks) {
+  // Attacked runs: one substream per attack, indexed past the benign
+  // attempt range so the two draws never overlap.
+  workload.attacked.resize(attacks.size());
+  runner.for_each(attacks.size(), [&](std::size_t j, std::size_t slot) {
+    sim::RunScratch& s = scratch[slot];
     if (noisy_attacks) {
-      const Signal noise = control::bounded_uniform_signal(rng, horizon, noise_bounds);
-      workload.attacked.push_back(loop.simulate(horizon, &attack, nullptr, &noise));
+      util::Rng rng = util::Rng::substream(seed, max_attempts + j);
+      control::bounded_uniform_signal_into(rng, horizon, noise_bounds, s.noise);
+      loop.simulate_into(s.trace, s.workspace, horizon, &attacks[j], nullptr,
+                         &s.noise);
     } else {
-      workload.attacked.push_back(loop.simulate(horizon, &attack));
+      loop.simulate_into(s.trace, s.workspace, horizon, &attacks[j]);
     }
-  }
+    std::swap(workload.attacked[j], s.trace);
+  });
   return workload;
 }
 

@@ -49,6 +49,9 @@ struct RocOptions {
   /// Scales applied to the threshold vector (log-spaced by default helper).
   std::vector<double> scales;
   control::Norm norm = control::Norm::kInf;
+  /// Worker threads for the per-scale fan-out: 1 = serial (default),
+  /// 0 = one per hardware thread.  The curve is identical either way.
+  std::size_t threads = 1;
 };
 
 /// Log-spaced scale grid from `lo` to `hi` (inclusive), `count` >= 2 points.
@@ -62,11 +65,16 @@ RocCurve evaluate_roc(std::string name, const ThresholdVector& thresholds,
 /// noise-only runs that pass the monitors (others are discarded, mirroring
 /// the paper's FAR protocol) and the given attack signals replayed through
 /// the loop (optionally with the same noise model).
+///
+/// Candidate draw i (and attacked run j) uses its own RNG substream of
+/// `seed`, and draws are accepted in index order, so the workload is
+/// bit-identical for every `threads` setting (1 = serial, 0 = hardware).
 RocWorkload make_workload(const control::ClosedLoop& loop,
                           const monitor::MonitorSet& monitors,
                           std::size_t benign_runs, std::size_t horizon,
                           const linalg::Vector& noise_bounds,
                           const std::vector<control::Signal>& attacks,
-                          std::uint64_t seed, bool noisy_attacks = true);
+                          std::uint64_t seed, bool noisy_attacks = true,
+                          std::size_t threads = 1);
 
 }  // namespace cpsguard::detect

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/decomp.hpp"
+#include "linalg/kernels.hpp"
 #include "util/status.hpp"
 
 namespace cpsguard::linalg {
@@ -40,7 +41,13 @@ Matrix expm(const Matrix& a) {
 
   // r = (V - U)^{-1} (V + U)
   Matrix r = solve(v - u, v + u);
-  for (int k = 0; k < s; ++k) r = r * r;
+  // Undo the scaling by repeated squaring, ping-ponging between two buffers
+  // instead of allocating a fresh product each round.
+  Matrix r2;
+  for (int k = 0; k < s; ++k) {
+    mat_mul_into(r, r, r2);
+    std::swap(r, r2);
+  }
   return r;
 }
 

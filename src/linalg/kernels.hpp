@@ -1,0 +1,151 @@
+// kernels.hpp — fused, unchecked, write-into linear-algebra kernels.
+//
+// The checked Matrix/Vector operators in matrix.hpp validate dimensions and
+// allocate a fresh result on every call, which is the right trade-off for
+// API users but dominates the closed-loop simulation hot path (~7 temporary
+// vectors per sampling instant).  This header provides the allocation-free
+// substrate those hot loops run on:
+//
+//  * kernels::*  — raw double* span kernels with no checks at all; the
+//    caller guarantees sizes and (where documented) non-aliasing.
+//  * *_into      — Matrix/Vector-level wrappers that validate dimensions
+//    once (throwing util::InvalidArgument) and then run the raw kernel,
+//    writing into a caller-owned destination instead of allocating.
+//
+// The checked operators in matrix.hpp are themselves implemented on top of
+// these kernels, so both paths compute bit-identical results.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+#include "linalg/matrix.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::linalg {
+
+namespace kernels {
+
+// The raw kernels are defined inline: simulation dimensions are tiny
+// (n, m <= ~20), so at -O2 inlining beats any call into a library body.
+
+/// y = alpha * A x + beta * y with A row-major (rows x cols).  Each output
+/// entry is formed as beta * y[r] + alpha * (row dot x), so beta = 0 fully
+/// overwrites y and beta = 1 accumulates.  x and y must not alias.
+inline void gemv(double alpha, const double* a, std::size_t rows,
+                 std::size_t cols, const double* x, double beta,
+                 double* y) noexcept {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = a + r * cols;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] = (beta == 0.0 ? 0.0 : beta * y[r]) + alpha * acc;
+  }
+}
+
+/// y += alpha * x (n entries).
+inline void axpy(std::size_t n, double alpha, const double* x,
+                 double* y) noexcept {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// out = a - b (n entries).  out may alias a or b.
+inline void sub(std::size_t n, const double* a, const double* b,
+                double* out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+/// out = a + b (n entries).  out may alias a or b.
+inline void add(std::size_t n, const double* a, const double* b,
+                double* out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+/// x *= s (n entries).
+inline void scal(std::size_t n, double s, double* x) noexcept {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+/// dst[i] = value for all n entries.
+inline void fill(std::size_t n, double value, double* dst) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = value;
+}
+
+/// C = A B with A (ar x ac), B (ac x bc), all row-major.  C is fully
+/// overwritten and must not alias A or B.
+inline void mat_mul(const double* a, std::size_t ar, std::size_t ac,
+                    const double* b, std::size_t bc, double* c) noexcept {
+  fill(ar * bc, 0.0, c);
+  for (std::size_t r = 0; r < ar; ++r) {
+    const double* arow = a + r * ac;
+    double* crow = c + r * bc;
+    for (std::size_t k = 0; k < ac; ++k) {
+      const double av = arow[k];
+      if (av == 0.0) continue;
+      const double* brow = b + k * bc;
+      for (std::size_t j = 0; j < bc; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// out = A^T with A (rows x cols) row-major.  out must not alias A.
+inline void transpose(const double* a, std::size_t rows, std::size_t cols,
+                      double* out) noexcept {
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) out[c * rows + r] = a[r * cols + c];
+}
+
+/// dst = src (n entries).
+inline void copy(std::size_t n, const double* src, double* dst) noexcept {
+  if (n) std::memcpy(dst, src, n * sizeof(double));
+}
+
+}  // namespace kernels
+
+/// y = alpha * A x + beta * y.  Requires A.cols() == x.size() and
+/// A.rows() == y.size(); throws util::InvalidArgument otherwise.
+inline void gemv_into(double alpha, const Matrix& a, const Vector& x, double beta,
+                      Vector& y) {
+  util::require(a.cols() == x.size(), "gemv_into: A.cols() != x.size()");
+  util::require(a.rows() == y.size(), "gemv_into: A.rows() != y.size()");
+  util::require(&x != &y, "gemv_into: x must not alias y");
+  kernels::gemv(alpha, a.data(), a.rows(), a.cols(), x.data(), beta, y.data());
+}
+
+/// y += alpha * x.  Requires matching sizes.
+inline void axpy_into(double alpha, const Vector& x, Vector& y) {
+  util::require(x.size() == y.size(), "axpy_into: dimension mismatch");
+  kernels::axpy(x.size(), alpha, x.data(), y.data());
+}
+
+/// out = a - b.  Resizes `out` to a.size(); requires a.size() == b.size().
+inline void sub_into(const Vector& a, const Vector& b, Vector& out) {
+  util::require(a.size() == b.size(), "sub_into: dimension mismatch");
+  out.resize(a.size());
+  kernels::sub(a.size(), a.data(), b.data(), out.data());
+}
+
+/// out = a + b.  Resizes `out` to a.size(); requires a.size() == b.size().
+inline void add_into(const Vector& a, const Vector& b, Vector& out) {
+  util::require(a.size() == b.size(), "add_into: dimension mismatch");
+  out.resize(a.size());
+  kernels::add(a.size(), a.data(), b.data(), out.data());
+}
+
+/// out = A B.  Resizes `out` to (A.rows() x B.cols()); requires
+/// A.cols() == B.rows() and that `out` is a distinct object from both.
+inline void mat_mul_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  util::require(a.cols() == b.rows(), "mat_mul_into: dimension mismatch");
+  util::require(&out != &a && &out != &b, "mat_mul_into: out must not alias inputs");
+  out.resize(a.rows(), b.cols());
+  kernels::mat_mul(a.data(), a.rows(), a.cols(), b.data(), b.cols(), out.data());
+}
+
+/// out = A^T.  Resizes `out`; requires `out` distinct from `a`.
+inline void transpose_into(const Matrix& a, Matrix& out) {
+  util::require(&out != &a, "transpose_into: out must not alias input");
+  out.resize(a.cols(), a.rows());
+  kernels::transpose(a.data(), a.rows(), a.cols(), out.data());
+}
+
+}  // namespace cpsguard::linalg

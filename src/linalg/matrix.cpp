@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "linalg/kernels.hpp"
 #include "util/status.hpp"
 
 namespace cpsguard::linalg {
@@ -114,6 +115,12 @@ Matrix Matrix::column(const Vector& v) {
   return m;
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 double& Matrix::operator()(std::size_t r, std::size_t c) {
   require(r < rows_ && c < cols_, "Matrix: index out of range");
   return data_[r * cols_ + c];
@@ -143,19 +150,14 @@ Matrix& Matrix::operator*=(double s) {
 
 Matrix Matrix::transpose() const {
   Matrix t(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r)
-    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  kernels::transpose(data(), rows_, cols_, t.data());
   return t;
 }
 
 Vector Matrix::operator*(const Vector& v) const {
   require(cols_ == v.size(), "Matrix*Vector: dimension mismatch");
   Vector out(rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) acc += data_[r * cols_ + c] * v[c];
-    out[r] = acc;
-  }
+  kernels::gemv(1.0, data(), rows_, cols_, v.data(), 0.0, out.data());
   return out;
 }
 
@@ -223,13 +225,8 @@ Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
 Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
   require(lhs.cols() == rhs.rows(), "Matrix*Matrix: dimension mismatch");
   Matrix out(lhs.rows(), rhs.cols());
-  for (std::size_t r = 0; r < lhs.rows(); ++r) {
-    for (std::size_t k = 0; k < lhs.cols(); ++k) {
-      const double lv = lhs(r, k);
-      if (lv == 0.0) continue;
-      for (std::size_t c = 0; c < rhs.cols(); ++c) out(r, c) += lv * rhs(k, c);
-    }
-  }
+  kernels::mat_mul(lhs.data(), lhs.rows(), lhs.cols(), rhs.data(), rhs.cols(),
+                   out.data());
   return out;
 }
 

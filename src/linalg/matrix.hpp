@@ -37,6 +37,10 @@ class Vector {
   const double* data() const { return data_.data(); }
   const std::vector<double>& raw() const { return data_; }
 
+  /// Resizes to `n` entries (new entries zero).  Shrinking keeps the
+  /// allocation, so workspace vectors can be reused across runs.
+  void resize(std::size_t n) { data_.resize(n, 0.0); }
+
   Vector& operator+=(const Vector& rhs);
   Vector& operator-=(const Vector& rhs);
   Vector& operator*=(double s);
@@ -88,6 +92,15 @@ class Matrix {
   /// Checked element access.
   double& operator()(std::size_t r, std::size_t c);
   double operator()(std::size_t r, std::size_t c) const;
+
+  /// Raw row-major storage (rows() * cols() entries) for kernel use.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Reshapes to rows x cols; contents are unspecified afterwards.  Keeps
+  /// the allocation when the new shape is not larger, so workspace matrices
+  /// can be reused across iterations.
+  void resize(std::size_t rows, std::size_t cols);
 
   Matrix& operator+=(const Matrix& rhs);
   Matrix& operator-=(const Matrix& rhs);

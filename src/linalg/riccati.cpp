@@ -1,6 +1,7 @@
 #include "linalg/riccati.hpp"
 
 #include "linalg/decomp.hpp"
+#include "linalg/kernels.hpp"
 #include "util/status.hpp"
 
 namespace cpsguard::linalg {
@@ -9,13 +10,18 @@ Matrix solve_dlyap(const Matrix& a, const Matrix& q, int max_iters, double tol) 
   util::require(a.square() && q.square() && a.rows() == q.rows(),
                 "solve_dlyap: shape mismatch");
   // Doubling iteration: after k steps P_k = sum_{i<2^k} A^i Q (A')^i.
+  // All per-iteration products go through mat_mul_into on reused buffers.
   Matrix ak = a;
   Matrix p = q;
+  Matrix akt, akp, delta, ak2;
   for (int it = 0; it < max_iters; ++it) {
-    const Matrix delta = ak * p * ak.transpose();
+    transpose_into(ak, akt);
+    mat_mul_into(ak, p, akp);
+    mat_mul_into(akp, akt, delta);
     p += delta;
     if (delta.max_abs() < tol * std::max(1.0, p.max_abs())) return p;
-    ak = ak * ak;
+    mat_mul_into(ak, ak, ak2);
+    std::swap(ak, ak2);
   }
   throw util::NumericalError("solve_dlyap: no convergence (is rho(A) < 1?)");
 }
@@ -30,12 +36,21 @@ Matrix solve_dare(const Matrix& a, const Matrix& b, const Matrix& q, const Matri
   const Matrix at = a.transpose();
   const Matrix bt = b.transpose();
   Matrix p = q;
+  Matrix btp, btpb, btpa, atp, atpa, atpb, atpbg, next;
   for (int it = 0; it < max_iters; ++it) {
-    const Matrix btp = bt * p;
-    const Matrix gain = solve(r + btp * b, btp * a);  // (R + B'PB)^{-1} B'PA
-    const Matrix next = at * p * a - at * p * b * gain + q;
+    mat_mul_into(bt, p, btp);
+    mat_mul_into(btp, b, btpb);
+    mat_mul_into(btp, a, btpa);
+    const Matrix gain = solve(r + btpb, btpa);  // (R + B'PB)^{-1} B'PA
+    mat_mul_into(at, p, atp);
+    mat_mul_into(atp, a, atpa);
+    mat_mul_into(atp, b, atpb);
+    mat_mul_into(atpb, gain, atpbg);
+    next = atpa;
+    next -= atpbg;
+    next += q;
     const double diff = (next - p).max_abs();
-    p = next;
+    std::swap(p, next);
     if (diff < tol * std::max(1.0, p.max_abs())) return p;
   }
   throw util::NumericalError("solve_dare: no convergence (stabilizability?)");

@@ -1,0 +1,66 @@
+#include "sim/batch.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpsguard::sim {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+BatchRunner::BatchRunner(std::size_t threads) : threads_(resolve_threads(threads)) {}
+
+void BatchRunner::for_each(
+    std::size_t count,
+    const std::function<void(std::size_t run, std::size_t slot)>& fn) const {
+  if (count == 0) return;
+  if (threads_ == 1 || count == 1) {
+    for (std::size_t run = 0; run < count; ++run) fn(run, 0);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&](std::size_t slot) {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      const std::size_t run = next.fetch_add(1, std::memory_order_relaxed);
+      if (run >= count) return;
+      try {
+        fn(run, slot);
+      } catch (...) {
+        abort.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const std::size_t spawned = std::min(threads_, count);
+  pool.reserve(spawned);
+  try {
+    for (std::size_t slot = 0; slot < spawned; ++slot)
+      pool.emplace_back(worker, slot);
+  } catch (...) {
+    // Thread creation failed (resource exhaustion): stop handing out runs,
+    // join what was spawned, and surface a catchable error instead of
+    // letting ~thread() on a joinable thread call std::terminate.
+    abort.store(true, std::memory_order_relaxed);
+    for (auto& t : pool) t.join();
+    throw;
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace cpsguard::sim

@@ -1,0 +1,47 @@
+// batch.hpp — deterministic parallel fan-out of simulation scenarios.
+//
+// Every Monte-Carlo protocol in the library (FAR estimation, ROC workload
+// assembly, noise-floor quantiles, template attack search) is a loop of
+// independent closed-loop runs.  BatchRunner executes such a loop across
+// worker threads — spawned per for_each call and joined before it returns,
+// so keep whole batches per call rather than calling in a tight loop —
+// with two invariants:
+//
+//  1. Results are keyed by run index, never by completion order, and each
+//     run draws its randomness from util::Rng::substream(seed, run).  The
+//     outcome is therefore bit-identical for any thread count, including
+//     the inline threads == 1 path.
+//  2. Workers are identified by a slot in [0, threads()), so callers keep
+//     one control::SimWorkspace / scratch Trace per slot and run the whole
+//     batch without per-run allocation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace cpsguard::sim {
+
+/// Resolves a user-facing thread-count knob: 0 = one worker per hardware
+/// thread (at least 1), anything else is taken literally.
+std::size_t resolve_threads(std::size_t requested);
+
+class BatchRunner {
+ public:
+  /// `threads` = 0 picks the hardware concurrency.
+  explicit BatchRunner(std::size_t threads = 0);
+
+  std::size_t threads() const { return threads_; }
+
+  /// Runs fn(run, slot) for every run in [0, count).  Runs are pulled from
+  /// a shared atomic counter, so the partition balances load dynamically;
+  /// `slot` identifies the executing worker for workspace lookup.  With one
+  /// thread everything executes inline on the caller.  The first exception
+  /// thrown by any run is rethrown on the caller after all workers join.
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t run, std::size_t slot)>& fn) const;
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace cpsguard::sim

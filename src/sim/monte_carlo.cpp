@@ -1,0 +1,26 @@
+#include "sim/monte_carlo.hpp"
+
+#include <vector>
+
+#include "control/noise.hpp"
+#include "util/random.hpp"
+
+namespace cpsguard::sim {
+
+void run_noise_batch(
+    const BatchRunner& runner, const control::ClosedLoop& loop, std::size_t count,
+    std::size_t horizon, const linalg::Vector& noise_bounds, std::uint64_t seed,
+    std::uint64_t index_offset,
+    const std::function<void(std::size_t run, const control::Trace& trace)>& consume) {
+  std::vector<RunScratch> scratch(runner.threads());
+  runner.for_each(count, [&](std::size_t run, std::size_t slot) {
+    RunScratch& s = scratch[slot];
+    util::Rng rng = util::Rng::substream(seed, index_offset + run);
+    control::bounded_uniform_signal_into(rng, horizon, noise_bounds, s.noise);
+    loop.simulate_into(s.trace, s.workspace, horizon, /*attack=*/nullptr,
+                       /*process_noise=*/nullptr, &s.noise);
+    consume(run, s.trace);
+  });
+}
+
+}  // namespace cpsguard::sim

@@ -1,0 +1,37 @@
+// monte_carlo.hpp — shared scaffolding for noise-driven Monte-Carlo
+// protocols (FAR estimation, ROC workload assembly, noise floors).
+//
+// Each protocol is "run N independent noise-only simulations and look at
+// the traces".  run_noise_batch owns the per-worker scratch (workspace,
+// trace, noise signal) and the per-run RNG substream discipline, so callers
+// only provide the consumer that inspects each finished trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "control/closed_loop.hpp"
+#include "sim/batch.hpp"
+
+namespace cpsguard::sim {
+
+/// Per-worker scratch buffers for one simulation scenario.
+struct RunScratch {
+  control::SimWorkspace workspace;
+  control::Trace trace;
+  control::Signal noise;
+};
+
+/// Runs `count` independent measurement-noise-only simulations of `loop`
+/// over `horizon` steps.  Run i draws its bounded-uniform noise from
+/// util::Rng::substream(seed, index_offset + i) and `consume(i, trace)` is
+/// invoked with the finished trace.  `consume` runs concurrently on worker
+/// threads: it must only write run-indexed state (and must not retain the
+/// trace reference, which is worker-local and reused by the next run).
+void run_noise_batch(
+    const BatchRunner& runner, const control::ClosedLoop& loop, std::size_t count,
+    std::size_t horizon, const linalg::Vector& noise_bounds, std::uint64_t seed,
+    std::uint64_t index_offset,
+    const std::function<void(std::size_t run, const control::Trace& trace)>& consume);
+
+}  // namespace cpsguard::sim

@@ -24,6 +24,20 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : s_) s = splitmix64(sm);
 }
 
+Rng Rng::substream(std::uint64_t seed, std::uint64_t index) {
+  // One SplitMix64 round decorrelates the user seed; a second round over
+  // (mixed + index * golden) scrambles the stream index before the Rng
+  // constructor expands the result into xoshiro state.  The extra round
+  // matters: seeding the constructor with `mixed + golden * index` directly
+  // would make neighbouring substreams share 3 of their 4 state words
+  // (each state word is the next SplitMix64 output, so stream i+1's state
+  // would be stream i's shifted by one).
+  std::uint64_t sm = seed;
+  const std::uint64_t mixed = splitmix64(sm);
+  std::uint64_t stream = mixed + 0x9E3779B97F4A7C15ULL * index;
+  return Rng(splitmix64(stream));
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

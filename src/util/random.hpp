@@ -20,6 +20,11 @@ class Rng {
   /// Seeds the state via SplitMix64 on `seed`.
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
+  /// Statistically independent generator for substream `index` of `seed`.
+  /// Monte-Carlo protocols give every run its own substream so results are
+  /// identical no matter how runs are distributed over worker threads.
+  static Rng substream(std::uint64_t seed, std::uint64_t index);
+
   /// Next raw 64-bit output.
   std::uint64_t next_u64();
 

@@ -46,4 +46,11 @@ inline void require(bool cond, const std::string& msg) {
   if (!cond) throw InvalidArgument(msg);
 }
 
+/// Literal-message overload: avoids materialising a std::string on the
+/// success path, which matters in per-sample hot loops (the string overload
+/// above allocates its temporary even when `cond` holds).
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
 }  // namespace cpsguard::util

@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
+#include <utility>
 
 #include "linalg/decomp.hpp"
 #include "linalg/expm.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/rational.hpp"
 #include "linalg/riccati.hpp"
@@ -252,6 +255,116 @@ TEST(Rational, RandomRoundTrip) {
         (r.negative ? -1.0L : 1.0L) * std::stold(r.numerator) / std::stold(r.denominator));
     EXPECT_EQ(back, v) << "value " << v;
   }
+}
+
+// ---- write-into kernels ----------------------------------------------------
+
+Matrix random_matrix(util::Rng& rng, std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(-2.0, 2.0);
+  return m;
+}
+
+Vector random_vector(util::Rng& rng, std::size_t n) {
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+TEST(Kernels, GemvIntoMatchesCheckedOperator) {
+  util::Rng rng(11);
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes{
+      {1, 1}, {3, 2}, {2, 5}, {7, 7}, {12, 4}};
+  for (const auto& [rows, cols] : shapes) {
+    const Matrix a = random_matrix(rng, rows, cols);
+    const Vector x = random_vector(rng, cols);
+    const Vector reference = a * x;
+
+    Vector y(rows);
+    gemv_into(1.0, a, x, 0.0, y);
+    for (std::size_t r = 0; r < rows; ++r) EXPECT_EQ(y[r], reference[r]);
+
+    // beta = 1 accumulates on top of the existing contents.
+    Vector acc = random_vector(rng, rows);
+    const Vector expected = acc + reference;
+    gemv_into(1.0, a, x, 1.0, acc);
+    for (std::size_t r = 0; r < rows; ++r) EXPECT_EQ(acc[r], expected[r]);
+  }
+}
+
+TEST(Kernels, MatMulIntoMatchesCheckedOperator) {
+  util::Rng rng(12);
+  const std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> shapes{
+      {1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {8, 2, 6}};
+  for (const auto& [m, k, n] : shapes) {
+    const Matrix a = random_matrix(rng, m, k);
+    const Matrix b = random_matrix(rng, k, n);
+    const Matrix reference = a * b;
+    Matrix out;
+    mat_mul_into(a, b, out);
+    EXPECT_EQ(out.rows(), m);
+    EXPECT_EQ(out.cols(), n);
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < n; ++c) EXPECT_EQ(out(r, c), reference(r, c));
+  }
+}
+
+TEST(Kernels, TransposeIntoMatchesTranspose) {
+  util::Rng rng(13);
+  const Matrix a = random_matrix(rng, 4, 7);
+  const Matrix reference = a.transpose();
+  Matrix out;
+  transpose_into(a, out);
+  EXPECT_EQ(out.rows(), 7u);
+  EXPECT_EQ(out.cols(), 4u);
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c) EXPECT_EQ(out(r, c), reference(r, c));
+}
+
+TEST(Kernels, VectorIntoOps) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{0.5, -1.0, 2.0};
+  Vector out;
+  sub_into(a, b, out);
+  EXPECT_EQ(out[0], 0.5);
+  EXPECT_EQ(out[1], 3.0);
+  EXPECT_EQ(out[2], 1.0);
+  add_into(a, b, out);
+  EXPECT_EQ(out[1], 1.0);
+  Vector y{1.0, 1.0, 1.0};
+  axpy_into(2.0, a, y);
+  EXPECT_EQ(y[0], 3.0);
+  EXPECT_EQ(y[2], 7.0);
+}
+
+TEST(Kernels, IntoWrappersValidateDimensions) {
+  const Matrix a(2, 3);
+  Vector x(2);   // wrong: needs 3
+  Vector y(2);
+  EXPECT_THROW(gemv_into(1.0, a, x, 0.0, y), util::InvalidArgument);
+  Vector x3(3);
+  Vector y3(3);  // wrong: needs 2
+  EXPECT_THROW(gemv_into(1.0, a, x3, 0.0, y3), util::InvalidArgument);
+  EXPECT_THROW(axpy_into(1.0, x, y3), util::InvalidArgument);
+  Vector out;
+  EXPECT_THROW(sub_into(x, y3, out), util::InvalidArgument);
+  Matrix o;
+  EXPECT_THROW(mat_mul_into(a, Matrix(2, 2), o), util::InvalidArgument);
+  Matrix sq(3, 3);
+  EXPECT_THROW(mat_mul_into(sq, sq, sq), util::InvalidArgument);  // aliasing
+}
+
+TEST(Kernels, CheckedAccessStillThrowsAfterKernelRewrite) {
+  // Regression: the hot paths moved to unchecked spans, but the public API
+  // must keep validating.
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), util::InvalidArgument);
+  EXPECT_THROW(m(0, 2), util::InvalidArgument);
+  Vector v(2);
+  EXPECT_THROW(v[2], util::InvalidArgument);
+  EXPECT_THROW((m * Vector{1.0, 2.0, 3.0}), util::InvalidArgument);
+  EXPECT_THROW(m * Matrix(3, 3), util::InvalidArgument);
 }
 
 }  // namespace

@@ -1,0 +1,282 @@
+// Tests for the batch scenario engine: BatchRunner scheduling, RNG
+// substreams, the allocation-free simulate_into path, and — the load-bearing
+// property — bit-identical results between serial and parallel execution of
+// the FAR / ROC / noise-floor / template-search protocols across 1, 2 and 8
+// worker threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "attacks/search.hpp"
+#include "attacks/templates.hpp"
+#include "control/closed_loop.hpp"
+#include "control/noise.hpp"
+#include "detect/far.hpp"
+#include "detect/noise_floor.hpp"
+#include "detect/roc.hpp"
+#include "models/trajectory.hpp"
+#include "models/vsc.hpp"
+#include "sim/batch.hpp"
+#include "sim/monte_carlo.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::sim {
+namespace {
+
+using control::Signal;
+using control::Trace;
+using linalg::Vector;
+
+void expect_traces_identical(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.steps(), b.steps());
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t k = 0; k < a.x.size(); ++k)
+    for (std::size_t i = 0; i < a.x[k].size(); ++i)
+      EXPECT_EQ(a.x[k][i], b.x[k][i]) << "x[" << k << "][" << i << "]";
+  for (std::size_t k = 0; k < a.steps(); ++k) {
+    for (std::size_t i = 0; i < a.y[k].size(); ++i)
+      EXPECT_EQ(a.y[k][i], b.y[k][i]) << "y[" << k << "][" << i << "]";
+    for (std::size_t i = 0; i < a.z[k].size(); ++i)
+      EXPECT_EQ(a.z[k][i], b.z[k][i]) << "z[" << k << "][" << i << "]";
+  }
+}
+
+TEST(BatchRunner, RunsEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    const BatchRunner runner(threads);
+    EXPECT_EQ(runner.threads(), threads);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    runner.for_each(hits.size(), [&](std::size_t run, std::size_t slot) {
+      EXPECT_LT(slot, threads);
+      hits[run].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(BatchRunner, ZeroCountIsNoop) {
+  const BatchRunner runner(4);
+  bool called = false;
+  runner.for_each(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(BatchRunner, PropagatesExceptions) {
+  for (std::size_t threads : {1u, 4u}) {
+    const BatchRunner runner(threads);
+    EXPECT_THROW(runner.for_each(16,
+                                 [&](std::size_t run, std::size_t) {
+                                   if (run == 7)
+                                     throw util::InvalidArgument("boom");
+                                 }),
+                 util::InvalidArgument);
+  }
+}
+
+TEST(BatchRunner, ZeroThreadsPicksHardwareConcurrency) {
+  const BatchRunner runner(0);
+  EXPECT_GE(runner.threads(), 1u);
+}
+
+TEST(RngSubstream, DeterministicAndDecorrelated) {
+  util::Rng a = util::Rng::substream(42, 3);
+  util::Rng b = util::Rng::substream(42, 3);
+  util::Rng c = util::Rng::substream(42, 4);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    any_diff |= (va != c.next_u64());
+  }
+  EXPECT_TRUE(any_diff) << "neighbouring substreams must differ";
+}
+
+TEST(SimulateInto, MatchesSimulateExactly) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  util::Rng rng(5);
+  const Signal noise = control::bounded_uniform_signal(rng, cs.horizon, cs.noise_bounds);
+  Signal attack(cs.horizon, Vector{0.05});
+
+  const Trace reference = loop.simulate(cs.horizon, &attack, nullptr, &noise);
+  Trace tr;
+  control::SimWorkspace ws;
+  loop.simulate_into(tr, ws, cs.horizon, &attack, nullptr, &noise);
+  expect_traces_identical(reference, tr);
+}
+
+TEST(SimulateInto, BuffersSurviveReuseAcrossHorizons) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  Trace tr;
+  control::SimWorkspace ws;
+  // Long run, short run, long run again: stale buffer contents from a
+  // previous horizon must never leak into a later run.
+  for (std::size_t steps : {50u, 20u, 50u, 7u}) {
+    loop.simulate_into(tr, ws, steps);
+    const Trace reference = loop.simulate(steps);
+    expect_traces_identical(reference, tr);
+  }
+}
+
+TEST(RunNoiseBatch, DrawsMatchSubstreamsRegardlessOfThreads) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  // Reference: simulate run i serially from its substream.
+  std::vector<Trace> reference(12);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    util::Rng rng = util::Rng::substream(9, 100 + i);
+    const Signal noise =
+        control::bounded_uniform_signal(rng, cs.horizon, cs.noise_bounds);
+    reference[i] = loop.simulate(cs.horizon, nullptr, nullptr, &noise);
+  }
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    std::vector<Trace> got(reference.size());
+    run_noise_batch(BatchRunner(threads), loop, reference.size(), cs.horizon,
+                    cs.noise_bounds, 9, 100,
+                    [&](std::size_t run, const Trace& tr) { got[run] = tr; });
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      expect_traces_identical(reference[i], got[i]);
+  }
+}
+
+// ---- protocol determinism across thread counts -----------------------------
+
+TEST(ParallelDeterminism, FarReportBitIdenticalAcrossThreads) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  std::vector<detect::FarCandidate> candidates;
+  candidates.push_back({"tight", detect::ResidueDetector(
+      detect::ThresholdVector::constant(cs.horizon, 1e-3), cs.norm)});
+  candidates.push_back({"loose", detect::ResidueDetector(
+      detect::ThresholdVector::constant(cs.horizon, 0.05), cs.norm)});
+
+  detect::FarSetup setup;
+  setup.num_runs = 200;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  setup.seed = 21;
+  setup.pfc = [&](const Trace& tr) { return cs.pfc.satisfied(tr); };
+
+  setup.threads = 1;
+  const detect::FarReport serial = detect::evaluate_far(loop, cs.mdc, candidates, setup);
+  for (std::size_t threads : {2u, 8u}) {
+    setup.threads = threads;
+    const detect::FarReport parallel =
+        detect::evaluate_far(loop, cs.mdc, candidates, setup);
+    EXPECT_EQ(serial.discarded_by_pfc, parallel.discarded_by_pfc);
+    EXPECT_EQ(serial.discarded_by_mdc, parallel.discarded_by_mdc);
+    ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+    for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+      EXPECT_EQ(serial.rows[i].alarms, parallel.rows[i].alarms) << "row " << i;
+      EXPECT_EQ(serial.rows[i].evaluated, parallel.rows[i].evaluated) << "row " << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, WorkloadBitIdenticalAcrossThreads) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  std::vector<Signal> attacks;
+  for (double mag : {0.1, 0.25})
+    attacks.push_back(attacks::bias_attack(Vector{1.0}).build(mag, cs.horizon, 1));
+
+  const detect::RocWorkload serial = detect::make_workload(
+      loop, cs.mdc, 30, cs.horizon, cs.noise_bounds, attacks, 13, true, 1);
+  for (std::size_t threads : {2u, 8u}) {
+    const detect::RocWorkload parallel = detect::make_workload(
+        loop, cs.mdc, 30, cs.horizon, cs.noise_bounds, attacks, 13, true, threads);
+    ASSERT_EQ(serial.benign.size(), parallel.benign.size());
+    for (std::size_t i = 0; i < serial.benign.size(); ++i)
+      expect_traces_identical(serial.benign[i], parallel.benign[i]);
+    ASSERT_EQ(serial.attacked.size(), parallel.attacked.size());
+    for (std::size_t i = 0; i < serial.attacked.size(); ++i)
+      expect_traces_identical(serial.attacked[i], parallel.attacked[i]);
+  }
+}
+
+TEST(ParallelDeterminism, RocCurveIdenticalAcrossThreads) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  std::vector<Signal> attacks;
+  for (double mag : {0.1, 0.25})
+    attacks.push_back(attacks::bias_attack(Vector{1.0}).build(mag, cs.horizon, 1));
+  const detect::RocWorkload w = detect::make_workload(
+      loop, cs.mdc, 25, cs.horizon, cs.noise_bounds, attacks, 3);
+
+  detect::RocOptions opts;
+  opts.scales = detect::log_scales(0.1, 10.0, 7);
+  opts.threads = 1;
+  const detect::RocCurve serial = detect::evaluate_roc(
+      "s", detect::ThresholdVector::constant(cs.horizon, 0.02), w, opts);
+  for (std::size_t threads : {2u, 8u}) {
+    opts.threads = threads;
+    const detect::RocCurve parallel = detect::evaluate_roc(
+        "p", detect::ThresholdVector::constant(cs.horizon, 0.02), w, opts);
+    ASSERT_EQ(serial.points.size(), parallel.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      EXPECT_EQ(serial.points[i].false_alarm_rate, parallel.points[i].false_alarm_rate);
+      EXPECT_EQ(serial.points[i].detection_rate, parallel.points[i].detection_rate);
+      EXPECT_EQ(serial.points[i].mean_detection_delay,
+                parallel.points[i].mean_detection_delay);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, NoiseFloorIdenticalAcrossThreads) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  detect::NoiseFloorSetup setup;
+  setup.num_runs = 80;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+
+  setup.threads = 1;
+  const detect::NoiseFloor serial = detect::estimate_noise_floor(loop, setup);
+  for (std::size_t threads : {2u, 8u}) {
+    setup.threads = threads;
+    const detect::NoiseFloor parallel = detect::estimate_noise_floor(loop, setup);
+    EXPECT_EQ(serial.peak, parallel.peak);
+    ASSERT_EQ(serial.quantiles.size(), parallel.quantiles.size());
+    for (std::size_t k = 0; k < serial.quantiles.size(); ++k)
+      EXPECT_EQ(serial.quantiles[k], parallel.quantiles[k]) << "instant " << k;
+  }
+}
+
+TEST(ParallelDeterminism, TemplateSearchIdenticalAcrossThreads) {
+  const auto cs = models::make_vsc_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  const std::vector<attacks::AttackTemplate> templates =
+      attacks::standard_library(cs.loop.plant.num_outputs(), cs.horizon);
+
+  attacks::SearchOptions options;
+  options.threads = 1;
+  const auto serial = attacks::search_templates(loop, cs.pfc, cs.mdc, nullptr,
+                                                cs.horizon, templates, options);
+  for (std::size_t threads : {2u, 8u}) {
+    options.threads = threads;
+    const auto parallel = attacks::search_templates(loop, cs.pfc, cs.mdc, nullptr,
+                                                    cs.horizon, templates, options);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].name, parallel[i].name);
+      EXPECT_EQ(serial[i].min_violating_magnitude.has_value(),
+                parallel[i].min_violating_magnitude.has_value());
+      if (serial[i].min_violating_magnitude) {
+        EXPECT_EQ(*serial[i].min_violating_magnitude,
+                  *parallel[i].min_violating_magnitude);
+      }
+      EXPECT_EQ(serial[i].caught_by_monitors, parallel[i].caught_by_monitors);
+      EXPECT_EQ(serial[i].caught_by_detector, parallel[i].caught_by_detector);
+      EXPECT_EQ(serial[i].residue_peak, parallel[i].residue_peak);
+      EXPECT_EQ(serial[i].deviation, parallel[i].deviation);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpsguard::sim
