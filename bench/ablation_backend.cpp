@@ -2,6 +2,9 @@
 // with Z3 certifier, for attack synthesis across horizons.  Reports wall
 // time and verdict agreement.  This quantifies the value of the affine
 // pre-elimination + LP fast path relative to the paper's plain-Z3 workflow.
+//
+// Each arm is the attack-synthesis protocol with the spec's solver wiring
+// (use_finder / solver_timeout_seconds) flipped.
 #include <chrono>
 
 #include "bench_common.hpp"
@@ -13,6 +16,7 @@ int main() {
   util::ensure_directory(bench::out_dir());
   bench::banner("Ablation A1", "attack-finding backends: z3 vs simplex-dpll (+z3 certifier)");
 
+  const scenario::ExperimentRunner runner;
   util::TextTable t({"model", "T", "backend", "status", "time [s]"});
   util::CsvWriter csv(bench::out_dir() + "/ablation_backend.csv",
                       {"model", "horizon", "backend", "sat", "seconds"});
@@ -31,27 +35,31 @@ int main() {
       if (!cs.pfc.satisfied(nominal)) continue;
 
       for (const bool use_finder : {false, true}) {
+        scenario::ScenarioSpec spec;
+        spec.name = "ablation/backend";
+        spec.title = "attack synthesis backend comparison";
+        spec.study = cs;
+        spec.protocol = scenario::Protocol::kAttack;
+        spec.objective = synth::AttackObjective::kAny;
+        spec.use_finder = use_finder;
         // The pure-Z3 arm is the paper's plain workflow and can be slow on
         // the VSC's dead-zone disjunctions; cap each call so the table
         // reports "unknown (capped)" instead of stalling the harness (the
         // paper used 12-hour timeouts for the same reason).
-        solver::SolverOptions z3_options;
-        z3_options.timeout_seconds = use_finder ? 600.0 : 180.0;
-        auto z3 = std::make_shared<solver::Z3Backend>(z3_options);
-        auto lp = use_finder ? std::make_shared<solver::LpBackend>() : nullptr;
-        synth::AttackVectorSynthesizer avs(cs.attack_problem(), z3, lp);
+        spec.solver_timeout_seconds = use_finder ? 600.0 : 180.0;
+
         const auto start = std::chrono::steady_clock::now();
-        const synth::AttackResult ar =
-            avs.synthesize(detect::ThresholdVector(cs.horizon));
+        const scenario::Report report = runner.run(spec);
         const double secs =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
                 .count();
         t.row({cs.name, std::to_string(cs.horizon),
                use_finder ? "simplex-dpll+z3" : "z3 only",
-               solver::status_name(ar.status), util::format_double(secs, 4)});
+               report.summary("status"), util::format_double(secs, 4)});
         csv.row_strings({cs.name, std::to_string(cs.horizon),
                          use_finder ? "hybrid" : "z3",
-                         ar.found() ? "1" : "0", util::format_double(secs, 6)});
+                         report.summary("found") == "yes" ? "1" : "0",
+                         util::format_double(secs, 6)});
       }
     }
   }

@@ -3,6 +3,9 @@
 // zone and measures the attacker's best achievable pfc deviation: longer
 // dead zones give the attacker room for short monitor-violating bursts, so
 // the achievable damage should grow with the dead zone.
+//
+// Each arm is the attack-synthesis protocol on a dead-zone variant of the
+// VSC study — specs are data, so the sweep is a loop over specs.
 #include "bench_common.hpp"
 
 using namespace cpsguard;
@@ -12,6 +15,7 @@ int main() {
   util::ensure_directory(bench::out_dir());
   bench::banner("Ablation A3", "VSC: attacker damage vs monitoring dead zone");
 
+  const scenario::ExperimentRunner runner;
   util::TextTable t({"dead zone [samples]", "attack exists", "max |deviation| [rad/s]",
                      "solve time [s]"});
   util::CsvWriter csv(bench::out_dir() + "/ablation_deadzone.csv",
@@ -21,17 +25,23 @@ int main() {
   for (const std::size_t dz : {1u, 2u, 4u, 7u, 10u, 12u}) {
     models::VscParams params;
     params.dead_zone = dz;
-    const models::CaseStudy cs = models::make_vsc_case_study(params);
-    bench::Solvers solvers;
-    auto avs = bench::make_synth(cs, solvers);
-    const synth::AttackResult ar = avs.synthesize(
-        detect::ThresholdVector(cs.horizon), synth::AttackObjective::kMaxDeviation);
-    const double dev = ar.found() ? std::abs(cs.pfc.deviation(ar.trace)) : 0.0;
+    scenario::ScenarioSpec spec;
+    spec.name = "ablation/deadzone-" + std::to_string(dz);
+    spec.title = "VSC attack synthesis, dead zone " + std::to_string(dz);
+    spec.study = models::make_vsc_case_study(params);
+    spec.protocol = scenario::Protocol::kAttack;
+    spec.objective = synth::AttackObjective::kMaxDeviation;
+
+    const scenario::Report report = runner.run(spec);
+    const bool found = report.summary("found") == "yes";
+    const double dev =
+        found ? std::abs(std::stod(report.summary("deviation"))) : 0.0;
+    const double seconds = std::stod(report.summary("solve_seconds"));
     devs.push_back(dev);
-    t.row({std::to_string(dz), ar.found() ? "yes" : "no",
-           ar.found() ? util::format_double(dev, 4) : "-",
-           util::format_double(ar.solve_seconds, 3)});
-    csv.row({static_cast<double>(dz), ar.found() ? 1.0 : 0.0, dev, ar.solve_seconds});
+    t.row({std::to_string(dz), found ? "yes" : "no",
+           found ? util::format_double(dev, 4) : "-",
+           util::format_double(seconds, 3)});
+    csv.row({static_cast<double>(dz), found ? 1.0 : 0.0, dev, seconds});
   }
   std::printf("\n%s\n", t.str().c_str());
 

@@ -2,6 +2,9 @@
 // this ablation synthesizes thresholds under L-infinity and L1 and compares
 // detector behaviour and FAR on the VSC.  (L2 is runtime-only: its ball is
 // not polyhedral, so it cannot be used in the complete encoding.)
+//
+// Each arm reuses the registered "table1" scenario (synthesis + FAR in one
+// protocol) with the study's norm swapped — the sweep is data, not code.
 #include "bench_common.hpp"
 
 using namespace cpsguard;
@@ -11,44 +14,40 @@ int main() {
   util::ensure_directory(bench::out_dir());
   bench::banner("Ablation A2", "residue norm (Linf vs L1): synthesis + FAR on the VSC");
 
+  const scenario::ExperimentRunner runner;
   util::TextTable t({"norm", "alg", "rounds", "converged", "max Th", "min Th", "FAR"});
   util::CsvWriter csv(bench::out_dir() + "/ablation_norm.csv",
                       {"norm", "alg", "rounds", "converged", "far"});
 
   for (const control::Norm norm : {control::Norm::kInf, control::Norm::kOne}) {
-    models::CaseStudy cs = models::make_vsc_case_study();
-    cs.norm = norm;
-    bench::Solvers solvers;
-    auto avs = bench::make_synth(cs, solvers);
-    synth::SynthesisOptions opts;
-    opts.max_rounds = 250;
+    scenario::ScenarioSpec spec = scenario::Registry::instance().at("table1");
+    spec.name = "ablation/norm-" + control::norm_name(norm);
+    spec.study.norm = norm;
+    spec.mc.num_runs = 400;
+    spec.mc.seed = 77;
+    spec.far_pfc_filter = false;  // the A2 protocol keeps every benign run
+    spec.synthesis.max_rounds = 250;
+    spec.detectors = {
+        scenario::DetectorSpec::synthesis(scenario::DetectorSpec::Kind::kSynthPivot,
+                                          "pivot"),
+        scenario::DetectorSpec::synthesis(
+            scenario::DetectorSpec::Kind::kSynthStepwise, "stepwise")};
 
-    const synth::SynthesisResult pivot = synth::pivot_threshold_synthesis(avs, opts);
-    const synth::SynthesisResult stepwise = synth::stepwise_threshold_synthesis(avs, opts);
-
-    detect::FarSetup setup;
-    setup.num_runs = 400;
-    setup.horizon = cs.horizon;
-    setup.noise_bounds = cs.noise_bounds;
-    setup.seed = 77;
-    const detect::FarReport report = detect::evaluate_far(
-        control::ClosedLoop(cs.loop), cs.mdc,
-        {{"pivot", detect::ResidueDetector(pivot.thresholds, norm)},
-         {"stepwise", detect::ResidueDetector(stepwise.thresholds, norm)}},
-        setup);
-
-    const synth::SynthesisResult* results[] = {&pivot, &stepwise};
-    const char* names[] = {"pivot", "stepwise"};
-    for (int i = 0; i < 2; ++i) {
-      t.row({control::norm_name(norm), names[i], std::to_string(results[i]->rounds),
-             results[i]->converged ? "yes" : "no",
-             util::format_double(results[i]->thresholds.max_set(), 4),
-             util::format_double(results[i]->thresholds.min_set(), 4),
-             util::format_double(100.0 * report.rows[i].rate(), 3) + " %"});
-      csv.row_strings({control::norm_name(norm), names[i],
-                       std::to_string(results[i]->rounds),
-                       results[i]->converged ? "1" : "0",
-                       util::format_double(report.rows[i].rate(), 6)});
+    const scenario::Report report = runner.run(spec);
+    const scenario::ReportTable& far = *report.table("far");
+    const scenario::ReportTable& synthesis = *report.table("synthesis");
+    for (std::size_t i = 0; i < far.rows.size(); ++i) {
+      // synthesis columns: algorithm, rounds, converged, certified, seconds,
+      // set, monotone; far columns: detector, alarms, evaluated, far.
+      const detect::ThresholdVector th(*report.series("th/" + far.rows[i][0]));
+      t.row({control::norm_name(norm), far.rows[i][0], synthesis.rows[i][1],
+             synthesis.rows[i][2], util::format_double(th.max_set(), 4),
+             util::format_double(th.min_set(), 4),
+             util::format_double(100.0 * std::stod(far.rows[i][3]), 3) + " %"});
+      csv.row_strings({control::norm_name(norm), far.rows[i][0],
+                       synthesis.rows[i][1],
+                       synthesis.rows[i][2] == "yes" ? "1" : "0",
+                       far.rows[i][3]});
     }
   }
   std::printf("\n%s\n", t.str().c_str());

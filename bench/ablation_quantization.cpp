@@ -32,7 +32,7 @@ int main() {
   util::ensure_directory(bench::out_dir());
   bench::banner("A6", "CAN quantization: signal resolution vs residue detection");
 
-  const models::CaseStudy cs = models::make_vsc_case_study();
+  const models::CaseStudy& cs = scenario::Registry::instance().study("vsc");
   const std::size_t T = cs.horizon;
   const double mitm_bias = 0.03;  // m/s^2 — a small, plausible a_y spoof
   const std::size_t far_runs = 200;

@@ -31,7 +31,7 @@ int main() {
   util::ensure_directory(bench::out_dir());
   bench::banner("A7", "sound reach certificate vs exact SMT certificate");
 
-  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const models::CaseStudy& cs = scenario::Registry::instance().study("trajectory");
   const synth::ReachCriterion pfc(0, 0.0, 0.05);
   const std::size_t T = cs.horizon;
 

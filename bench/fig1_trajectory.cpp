@@ -11,11 +11,27 @@
 // `vth` here is the illustrative curve (a scaled benign-residue envelope);
 // the formally synthesized vectors appear in Fig 3 / Table 1.
 //
+// Every stage is a scenario: "fig1/single" (traces), "fig1/floor" (noise
+// envelope + vth), plus spec copies for the static synthesis and the
+// attack sneaking under Th.
+//
 // Shape to reproduce: `th` flags even harmless noise; the attack slips
 // under `Th`; `vth` admits the noise yet catches the attack.
+#include <algorithm>
+
 #include "bench_common.hpp"
 
 using namespace cpsguard;
+
+namespace {
+
+// Alarm check on report series: the real detector rule, on the recorded
+// residue norms.
+bool exceeds(const std::vector<double>& residues, const detect::ThresholdVector& th) {
+  return detect::first_alarm_in_series(residues, th).has_value();
+}
+
+}  // namespace
 
 int main() {
   util::set_log_level(util::LogLevel::kWarn);
@@ -23,55 +39,49 @@ int main() {
   bench::banner("Fig 1",
                 "trajectory tracking: noise vs attack, static vs variable threshold");
 
-  models::CaseStudy cs = models::make_trajectory_case_study();
-  // Paper setting: estimator starts cold (x̂_1 = 0, x_1 = 0.4 m).
-  cs.loop.xhat1 = linalg::Vector(cs.loop.plant.num_states());
-  const control::ClosedLoop loop(cs.loop);
+  const scenario::Registry& registry = scenario::Registry::instance();
+  const scenario::ExperimentRunner runner;
 
-  // --- benign traces --------------------------------------------------------
-  const control::Trace nominal = loop.simulate(cs.horizon);
-  util::Rng rng(2020);
-  const control::Signal noise =
-      control::bounded_uniform_signal(rng, cs.horizon, cs.noise_bounds);
-  const control::Trace noisy = loop.simulate(cs.horizon, nullptr, nullptr, &noise);
+  // --- benign traces + residue envelope (registered scenarios) --------------
+  const scenario::Report single = runner.run(registry.at("fig1/single"));
+  const scenario::Report floor = runner.run(registry.at("fig1/floor"));
+  const detect::ThresholdVector vth(*floor.series("th/vth"));
+  const std::size_t T = vth.size();
 
-  // Benign residue envelope (95 % quantile per instant) — decaying with the
-  // estimator transient; the illustrative vth rides 40 % above it.
-  detect::NoiseFloorSetup nf;
-  nf.num_runs = 300;
-  nf.horizon = cs.horizon;
-  nf.noise_bounds = cs.noise_bounds;
-  nf.norm = cs.norm;
-  const detect::NoiseFloor floor = detect::estimate_noise_floor(loop, nf);
-  detect::ThresholdVector vth(cs.horizon);
-  for (std::size_t k = 0; k < cs.horizon; ++k)
-    vth.set(k, 1.4 * std::max(floor.quantiles[k], 1e-6));
-
-  // --- thresholds th (tight) and Th (loose) ---------------------------------
-  bench::Solvers solvers;
-  auto avs = bench::make_synth(cs, solvers);
-  const synth::StaticSynthesisResult tight = synth::static_threshold_synthesis(avs);
-  const double th_small = std::max(tight.threshold, 1e-9);
+  // --- thresholds th (tight, provably safe) and Th (loose) ------------------
+  scenario::ScenarioSpec synth_spec = registry.at("fig1/single");
+  synth_spec.name = "fig1/static_synth";
+  synth_spec.protocol = scenario::Protocol::kSynthesis;
+  synth_spec.detectors = {scenario::DetectorSpec::synthesis(
+      scenario::DetectorSpec::Kind::kSynthStatic, "static")};
+  const scenario::Report tight = runner.run(synth_spec);
+  const double th_small =
+      std::max(detect::ThresholdVector(*tight.series("th/static")).max_set(), 1e-9);
   const double th_large = vth.max_set();  // loose constant at the vth peak
 
   // --- the attack: most damaging while staying under Th ---------------------
-  const synth::AttackResult attack = avs.synthesize(
-      detect::ThresholdVector::constant(cs.horizon, th_large),
-      synth::AttackObjective::kMaxDeviation);
+  scenario::ScenarioSpec attack_spec = registry.at("fig1/single");
+  attack_spec.name = "fig1/attack";
+  attack_spec.protocol = scenario::Protocol::kAttack;
+  attack_spec.detectors = {
+      scenario::DetectorSpec::static_threshold("Th (loose)", th_large)};
+  const scenario::Report attack = runner.run(attack_spec);
+  const bool attack_found = attack.summary("found") == "yes";
   std::printf("\n  static th = %.5g (provably safe), Th = %.5g (loose)\n", th_small,
               th_large);
-  std::printf("  attack under Th: %s", attack.found() ? "found" : "none");
-  if (attack.found())
-    std::printf(" (final deviation %.4g m vs tolerance %.4g m)",
-                cs.pfc.deviation(attack.trace), cs.pfc.tolerance());
+  std::printf("  attack under Th: %s", attack_found ? "found" : "none");
+  if (attack_found)
+    std::printf(" (final deviation %s m vs tolerance %s m)",
+                attack.summary("deviation").c_str(),
+                attack.summary("tolerance").c_str());
   std::printf("\n");
 
   // --- Fig 1a ----------------------------------------------------------------
-  util::Series dev_nom{"deviation, no noise", nominal.state_series(0), '.'};
-  util::Series dev_noise{"deviation, noise", noisy.state_series(0), 'o'};
+  util::Series dev_nom{"deviation, no noise", *single.series("nominal/x0"), '.'};
+  util::Series dev_noise{"deviation, noise", *single.series("noisy/x0"), 'o'};
   util::Series dev_attack{"deviation, attack",
-                          attack.found() ? attack.trace.state_series(0)
-                                         : std::vector<double>{},
+                          attack_found ? *attack.series("attack/x0")
+                                       : std::vector<double>{},
                           '*'};
   util::PlotOptions p1;
   p1.title = "Fig 1a — position deviation [m] vs sample (Ts = 0.1 s)";
@@ -80,13 +90,13 @@ int main() {
   bench::dump_csv("fig1a_deviation.csv", {dev_nom, dev_noise, dev_attack});
 
   // --- Fig 1b ----------------------------------------------------------------
-  util::Series res_noise{"residue under noise", noisy.residue_norms(cs.norm), 'o'};
-  util::Series res_attack{"residue under attack",
-                          attack.found() ? attack.trace.residue_norms(cs.norm)
-                                         : std::vector<double>{},
-                          '*'};
-  util::Series s_th{"static th", std::vector<double>(cs.horizon, th_small), '_'};
-  util::Series s_Th{"static Th", std::vector<double>(cs.horizon, th_large), '='};
+  const std::vector<double>& res_noise_values = *single.series("noisy/z_norm");
+  const std::vector<double> res_attack_values =
+      attack_found ? *attack.series("attack/z_norm") : std::vector<double>{};
+  util::Series res_noise{"residue under noise", res_noise_values, 'o'};
+  util::Series res_attack{"residue under attack", res_attack_values, '*'};
+  util::Series s_th{"static th", std::vector<double>(T, th_small), '_'};
+  util::Series s_Th{"static Th", std::vector<double>(T, th_large), '='};
   util::Series s_vth{"variable vth", vth.filled().values(), '+'};
   util::PlotOptions p2;
   p2.title = "Fig 1b — residue norms and thresholds vs sample";
@@ -96,25 +106,22 @@ int main() {
   bench::dump_csv("fig1b_residues.csv", {res_noise, res_attack, s_th, s_Th, s_vth});
 
   // --- the qualitative claims as a table --------------------------------------
-  const detect::ResidueDetector det_small(
-      detect::ThresholdVector::constant(cs.horizon, th_small), cs.norm);
-  const detect::ResidueDetector det_large(
-      detect::ThresholdVector::constant(cs.horizon, th_large), cs.norm);
-  const detect::ResidueDetector det_var(vth, cs.norm);
-
+  const detect::ThresholdVector vec_small = detect::ThresholdVector::constant(T, th_small);
+  const detect::ThresholdVector vec_large = detect::ThresholdVector::constant(T, th_large);
   util::TextTable t({"detector", "alarms on benign noise", "alarms on attack"});
   auto yn = [](bool b) { return std::string(b ? "yes" : "no"); };
   const std::string na = "-";
-  t.row({"static th (tight)", yn(det_small.triggered(noisy)),
-         attack.found() ? yn(det_small.triggered(attack.trace)) : na});
-  t.row({"static Th (loose)", yn(det_large.triggered(noisy)),
-         attack.found() ? yn(det_large.triggered(attack.trace)) : na});
-  t.row({"variable vth", yn(det_var.triggered(noisy)),
-         attack.found() ? yn(det_var.triggered(attack.trace)) : na});
+  t.row({"static th (tight)", yn(exceeds(res_noise_values, vec_small)),
+         attack_found ? yn(exceeds(res_attack_values, vec_small)) : na});
+  t.row({"static Th (loose)", yn(exceeds(res_noise_values, vec_large)),
+         attack_found ? yn(exceeds(res_attack_values, vec_large)) : na});
+  t.row({"variable vth", yn(exceeds(res_noise_values, vth)),
+         attack_found ? yn(exceeds(res_attack_values, vth)) : na});
   std::printf("\n%s\n", t.str().c_str());
-  const bool shape_ok = det_small.triggered(noisy) && !det_var.triggered(noisy) &&
-                        attack.found() && !det_large.triggered(attack.trace) &&
-                        det_var.triggered(attack.trace);
+  const bool shape_ok = exceeds(res_noise_values, vec_small) &&
+                        !exceeds(res_noise_values, vth) && attack_found &&
+                        !exceeds(res_attack_values, vec_large) &&
+                        exceeds(res_attack_values, vth);
   std::printf("  paper's Fig 1 claims (tight flags noise / attack slips under loose /\n"
               "  vth admits noise and catches attack): %s\n",
               shape_ok ? "ALL REPRODUCED" : "see table");

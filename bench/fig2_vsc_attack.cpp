@@ -2,7 +2,8 @@
 // Controller: a synthesized false-data-injection attack drives the true yaw
 // rate away from the reference (2a) while every measurement-plausibility
 // monitor stays silent (2b: a_y range/gradient, 2c: gamma range/gradient
-// and the gamma-vs-gamma_est relation check).
+// and the gamma-vs-gamma_est relation check).  The attack, both traces and
+// the per-monitor verdicts come from the registered "fig2" scenario.
 #include "bench_common.hpp"
 
 using namespace cpsguard;
@@ -12,33 +13,31 @@ int main() {
   util::ensure_directory(bench::out_dir());
   bench::banner("Fig 2", "VSC: stealthy attack bypassing the industrial monitoring system");
 
-  const models::VscParams params;
-  const models::CaseStudy cs = models::make_vsc_case_study(params);
-  bench::Solvers solvers;
-  auto avs = bench::make_synth(cs, solvers);
-
-  // Algorithm 1 with no residue detector: mdc alone must be bypassable.
-  const synth::AttackResult ar = avs.synthesize(
-      detect::ThresholdVector(cs.horizon), synth::AttackObjective::kMaxDeviation);
-  if (!ar.found()) {
+  const models::VscParams params;  // plot limits (paper values)
+  const scenario::Report report = scenario::ExperimentRunner().run(
+      scenario::Registry::instance().at("fig2"));
+  if (report.summary("found") != "yes") {
     std::printf("  NO attack found (status %s) — monitoring system alone blocks the "
                 "attacker; paper expects an attack here.\n",
-                solver::status_name(ar.status).c_str());
+                report.summary("status").c_str());
     return 1;
   }
-  std::printf("  attack synthesized by %s in %.2fs; final gamma deviation %.4g rad/s "
-              "(tolerance %.4g)\n",
-              ar.backend.c_str(), ar.solve_seconds, cs.pfc.deviation(ar.trace),
-              cs.pfc.tolerance());
+  std::printf("  attack synthesized by %s in %ss; final gamma deviation %s rad/s "
+              "(tolerance %s)\n",
+              report.summary("backend").c_str(),
+              report.summary("solve_seconds").c_str(),
+              report.summary("deviation").c_str(),
+              report.summary("tolerance").c_str());
   std::printf("  monitoring system stays silent: %s\n",
-              cs.mdc.stealthy(ar.trace) ? "yes (stealthy)" : "NO (bug!)");
+              report.summary("monitors_silent") == "yes" ? "yes (stealthy)"
+                                                         : "NO (bug!)");
 
-  const control::Trace nominal = control::ClosedLoop(cs.loop).simulate(cs.horizon);
+  const std::size_t T = report.series("attack/y0")->size();
 
   // --- Fig 2a: plant state gamma -------------------------------------------
-  util::Series g_nom{"gamma nominal", nominal.state_series(1), '.'};
-  util::Series g_att{"gamma under attack", ar.trace.state_series(1), '*'};
-  util::Series g_ref{"reference", std::vector<double>(cs.horizon + 1, params.gamma_ref), '-'};
+  util::Series g_nom{"gamma nominal", *report.series("nominal/x1"), '.'};
+  util::Series g_att{"gamma under attack", *report.series("attack/x1"), '*'};
+  util::Series g_ref{"reference", std::vector<double>(T + 1, params.gamma_ref), '-'};
   util::PlotOptions p;
   p.title = "Fig 2a — true yaw rate gamma [rad/s] vs sample (Ts = 40 ms)";
   p.y_zero = true;
@@ -46,27 +45,28 @@ int main() {
   bench::dump_csv("fig2a_gamma.csv", {g_nom, g_att, g_ref});
 
   // --- Fig 2b: monitors on a_y ----------------------------------------------
-  util::Series ay{"measured a_y", ar.trace.output_series(1), '*'};
-  util::Series ay_lim{"range limit", std::vector<double>(cs.horizon, params.ay_range), '-'};
-  util::Series ay_grad{"gradient of a_y", ar.trace.output_gradient_series(1), 'o'};
+  util::Series ay{"measured a_y", *report.series("attack/y1"), '*'};
+  util::Series ay_lim{"range limit", std::vector<double>(T, params.ay_range), '-'};
+  util::Series ay_grad{"gradient of a_y", *report.series("attack/dy1"), 'o'};
   util::Series ay_grad_lim{"gradient limit",
-                           std::vector<double>(cs.horizon, params.ay_gradient), '='};
+                           std::vector<double>(T, params.ay_gradient), '='};
   p.title = "Fig 2b — a_y measurement and its monitors (all below limits)";
   std::printf("%s\n", util::render_plot({ay, ay_lim, ay_grad, ay_grad_lim}, p).c_str());
   bench::dump_csv("fig2b_ay_monitoring.csv", {ay, ay_lim, ay_grad, ay_grad_lim});
 
   // --- Fig 2c: monitors on gamma ---------------------------------------------
+  const std::vector<double>& gamma_meas = *report.series("attack/y0");
+  const std::vector<double>& ay_meas = *report.series("attack/y1");
   std::vector<double> rel_series;
-  for (std::size_t k = 0; k < cs.horizon; ++k)
-    rel_series.push_back(
-        std::abs(ar.trace.y[k][0] - ar.trace.y[k][1] / params.speed));
-  util::Series gm{"measured gamma", ar.trace.output_series(0), '*'};
-  util::Series gm_lim{"range limit", std::vector<double>(cs.horizon, params.gamma_range), '-'};
-  util::Series gm_grad{"gradient of gamma", ar.trace.output_gradient_series(0), 'o'};
+  for (std::size_t k = 0; k < T; ++k)
+    rel_series.push_back(std::abs(gamma_meas[k] - ay_meas[k] / params.speed));
+  util::Series gm{"measured gamma", gamma_meas, '*'};
+  util::Series gm_lim{"range limit", std::vector<double>(T, params.gamma_range), '-'};
+  util::Series gm_grad{"gradient of gamma", *report.series("attack/dy0"), 'o'};
   util::Series gm_grad_lim{"gradient limit",
-                           std::vector<double>(cs.horizon, params.gamma_gradient), '='};
+                           std::vector<double>(T, params.gamma_gradient), '='};
   util::Series rel{"|gamma - gamma_est|", rel_series, 'x'};
-  util::Series rel_lim{"allowedDiff", std::vector<double>(cs.horizon, params.allowed_diff),
+  util::Series rel_lim{"allowedDiff", std::vector<double>(T, params.allowed_diff),
                        '~'};
   p.title = "Fig 2c — gamma measurement, gradient and relation monitor";
   std::printf("%s\n",
@@ -74,19 +74,13 @@ int main() {
   bench::dump_csv("fig2c_gamma_monitoring.csv",
                   {gm, gm_lim, gm_grad, gm_grad_lim, rel, rel_lim});
 
-  // --- per-monitor verdicts ---------------------------------------------------
+  // --- per-monitor verdicts (from the scenario report) ------------------------
+  const scenario::ReportTable& monitors = *report.table("monitors");
   util::TextTable t({"monitor", "max violation run", "alarm (dead zone 7)"});
-  for (std::size_t i = 0; i < cs.mdc.size(); ++i) {
-    std::size_t run = 0, max_run = 0;
-    for (std::size_t k = 0; k < cs.horizon; ++k) {
-      run = cs.mdc.at(i).violated(ar.trace, k) ? run + 1 : 0;
-      max_run = std::max(max_run, run);
-    }
-    t.row({cs.mdc.at(i).describe(), std::to_string(max_run),
-           max_run >= cs.mdc.dead_zone() ? "yes" : "no"});
-  }
+  for (const auto& row : monitors.rows) t.row({row[0], row[1], row[2]});
   std::printf("\n%s\n", t.str().c_str());
   std::printf("  paper's claim: the attack defeats pfc while every monitor stays "
               "below its dead-zone alarm.\n");
+  report.write_json(bench::out_dir() + "/fig2_report.json");
   return 0;
 }

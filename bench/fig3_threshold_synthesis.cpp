@@ -2,7 +2,8 @@
 // algorithms on the VSC case study, plus their convergence round counts
 // (paper: Algorithm 2 terminates in round 56, Algorithm 3 in round 37; the
 // shape to reproduce is "both produce monotone decreasing thresholds and
-// the step-wise variant converges in fewer rounds").
+// the step-wise variant converges in fewer rounds").  The pipeline is the
+// registered "fig3" scenario (which also re-certifies both vectors).
 #include "bench_common.hpp"
 
 using namespace cpsguard;
@@ -12,45 +13,34 @@ int main() {
   util::ensure_directory(bench::out_dir());
   bench::banner("Fig 3", "VSC: variable threshold synthesis (Algorithms 2 and 3)");
 
-  const models::CaseStudy cs = models::make_vsc_case_study();
-  bench::Solvers solvers;
-  auto avs = bench::make_synth(cs, solvers);
-
-  synth::SynthesisOptions opts;
-  opts.max_rounds = 300;
-
-  std::printf("  running Algorithm 2 (pivot-based)...\n");
-  const synth::SynthesisResult pivot = synth::pivot_threshold_synthesis(avs, opts);
-  std::printf("  running Algorithm 3 (step-wise)...\n");
-  const synth::SynthesisResult stepwise = synth::stepwise_threshold_synthesis(avs, opts);
-
-  util::TextTable t({"algorithm", "rounds", "converged", "certified", "solver time [s]",
-                     "thresholds set", "monotone"});
-  auto row = [&](const char* name, const synth::SynthesisResult& r) {
-    t.row({name, std::to_string(r.rounds), r.converged ? "yes" : "no",
-           r.certified ? "yes" : "no", util::format_double(r.total_seconds, 3),
-           std::to_string(r.thresholds.num_set()),
-           r.thresholds.monotone_decreasing() ? "yes" : "no"});
-  };
-  row("pivot (Alg 2)", pivot);
-  row("step-wise (Alg 3)", stepwise);
-  std::printf("\n%s\n", t.str().c_str());
+  std::printf("  running scenario 'fig3' (Algorithms 2 and 3 + safety re-check)...\n");
+  const scenario::Report report = scenario::ExperimentRunner().run(
+      scenario::Registry::instance().at("fig3"));
+  std::printf("\n%s\n", report.text().c_str());
   std::printf("  paper reference: Alg 2 terminated in round 56, Alg 3 in round 37 "
               "(both monotone decreasing, Alg 3 faster).\n");
 
-  util::Series s_pivot{"pivot (Alg 2)", pivot.thresholds.filled().values(), '*'};
-  util::Series s_step{"step-wise (Alg 3)", stepwise.thresholds.filled().values(), 'o'};
+  const std::string pivot_label = "pivot (Alg 2)";
+  const std::string stepwise_label = "step-wise (Alg 3)";
+  util::Series s_pivot{
+      pivot_label,
+      detect::ThresholdVector(*report.series("th/" + pivot_label)).filled().values(),
+      '*'};
+  util::Series s_step{
+      stepwise_label,
+      detect::ThresholdVector(*report.series("th/" + stepwise_label)).filled().values(),
+      'o'};
   util::PlotOptions p;
   p.title = "Fig 3 — synthesized threshold vs sampling instant (Ts = 40 ms)";
   p.y_zero = true;
   std::printf("%s\n", util::render_plot({s_pivot, s_step}, p).c_str());
   bench::dump_csv("fig3_thresholds.csv", {s_pivot, s_step});
+  report.write_json(bench::out_dir() + "/fig3_report.json");
 
-  // Safety cross-check: final vectors must be UNSAT-certified.
-  const synth::AttackResult check_p = avs.synthesize(pivot.thresholds);
-  const synth::AttackResult check_s = avs.synthesize(stepwise.thresholds);
-  std::printf("  safety re-check: pivot=%s, step-wise=%s (expect unsat + unsat)\n",
-              solver::status_name(check_p.status).c_str(),
-              solver::status_name(check_s.status).c_str());
-  return (pivot.converged && stepwise.converged) ? 0 : 1;
+  // The scenario's table carries the safety re-check verdicts (expect
+  // unsat + unsat) and the convergence flags the exit code reports.
+  const bool converged =
+      report.summary("converged/" + pivot_label) == "yes" &&
+      report.summary("converged/" + stepwise_label) == "yes";
+  return converged ? 0 : 1;
 }

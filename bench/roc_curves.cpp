@@ -1,18 +1,14 @@
 // ROC curves (extension bench, E1) — the paper's FAR comparison, widened.
 //
 // The paper reports one FAR number per detector at the synthesized
-// operating point.  Here each detector's threshold vector is swept by a
-// scale factor and the full (false-alarm rate, detection rate) curve is
-// traced on a common workload: monitor-silent benign noise runs vs a mix
-// of template attacks and the SMT-synthesized stealthy attack.  Shape to
-// reproduce: the synthesized variable thresholds dominate the provably
-// safe static constant across the sweep (higher detection at equal FAR),
-// i.e. the paper's single-point comparison is not an artifact of the
-// operating point.
+// operating point.  The registered "roc_paper" scenario sweeps each
+// detector's threshold vector by a scale factor and traces the full
+// (false-alarm rate, detection rate) curve on a common workload:
+// monitor-silent benign noise runs vs template attacks plus the
+// SMT-synthesized stealthy attack.  Shape to reproduce: the synthesized
+// variable thresholds dominate the provably safe static constant across
+// the sweep (higher detection at equal FAR).
 #include "bench_common.hpp"
-
-#include "attacks/templates.hpp"
-#include "detect/roc.hpp"
 
 using namespace cpsguard;
 
@@ -21,99 +17,41 @@ int main() {
   util::ensure_directory(bench::out_dir());
   bench::banner("E1", "ROC curves: synthesized variable vs static thresholds");
 
-  models::CaseStudy cs = models::make_trajectory_case_study();
-  cs.loop.xhat1 = linalg::Vector(cs.loop.plant.num_states());  // cold estimator
-  const control::ClosedLoop loop(cs.loop);
-  const std::size_t T = cs.horizon;
+  std::printf("  running scenario 'roc_paper' (synthesis + workload + sweep)...\n");
+  const scenario::Report report = scenario::ExperimentRunner().run(
+      scenario::Registry::instance().at("roc_paper"));
 
-  // --- synthesized detectors -------------------------------------------------
-  // Variable entrant: the relaxation synthesizer (certified safe, dominates
-  // the static baseline pointwise by construction).  Algorithm 3 accepts
-  // the same problem but its greedy staircase needs many more rounds on the
-  // cold-estimator fixture; the per-round behaviour is fig3/table1's topic.
-  bench::Solvers solvers;
-  auto avs = bench::make_synth(cs, solvers);
-  const synth::SynthesisResult variable =
-      synth::relaxation_threshold_synthesis(avs);
-  const synth::StaticSynthesisResult static_synth =
-      synth::static_threshold_synthesis(avs);
-  std::printf("variable thresholds (%zu rounds, certified=%s): %s\n",
-              variable.rounds, variable.certified ? "yes" : "no",
-              variable.thresholds.str().c_str());
-  std::printf("static baseline: %.5f (certified=%s)\n\n", static_synth.threshold,
-              static_synth.certified ? "yes" : "no");
+  const std::string var_label = "variable (relaxation)";
+  const std::string static_label = "static baseline";
+  std::printf("workload: %s benign runs, %s attacked runs (SMT attack found: %s)\n\n",
+              report.summary("benign_runs").c_str(),
+              report.summary("attacked_runs").c_str(),
+              report.summary("smt_attack_found").c_str());
 
-  // --- workload ----------------------------------------------------------------
-  std::vector<control::Signal> attacked;
-  for (double mag : {0.08, 0.12, 0.18, 0.25, 0.35}) {
-    attacked.push_back(
-        attacks::bias_attack(linalg::Vector{1.0}).build(mag, T, 1));
-    attacked.push_back(
-        attacks::surge_attack(linalg::Vector{1.0}, 0.6).build(mag, T, 1));
-    attacked.push_back(
-        attacks::geometric_attack(linalg::Vector{1.0}, 1.3).build(mag, T, 1));
-    attacked.push_back(
-        attacks::ramp_attack(linalg::Vector{1.0}).build(mag, T, 1));
-  }
-  // Plus the SMT attack that defeats the loose static detector (the paper's
-  // Fig 1 scenario).
-  const synth::AttackResult smt_attack = avs.synthesize(
-      detect::ThresholdVector::constant(T, 2.0 * static_synth.threshold),
-      synth::AttackObjective::kMaxDeviation);
-  if (smt_attack.found()) attacked.push_back(smt_attack.attack);
-
-  const detect::RocWorkload workload = detect::make_workload(
-      loop, cs.mdc, /*benign_runs=*/400, T, cs.noise_bounds, attacked, /*seed=*/2020);
-  std::printf("workload: %zu benign runs, %zu attacked runs\n\n",
-              workload.benign.size(), workload.attacked.size());
-
-  // --- sweep -------------------------------------------------------------------
-  detect::RocOptions roc_options;
-  roc_options.scales = detect::log_scales(0.25, 8.0, 13);
-  roc_options.norm = cs.norm;
-
-  const detect::RocCurve variable_curve = detect::evaluate_roc(
-      "variable (relaxation)", variable.thresholds, workload, roc_options);
-  const detect::RocCurve static_curve = detect::evaluate_roc(
-      "static baseline",
-      detect::ThresholdVector::constant(T, static_synth.threshold), workload,
-      roc_options);
-
-  std::printf("%-8s | %-28s | %-28s\n", "", "variable (relaxation)",
-              "static baseline");
+  const scenario::ReportTable& var_curve = *report.table("roc/" + var_label);
+  const scenario::ReportTable& static_curve = *report.table("roc/" + static_label);
+  std::printf("%-8s | %-28s | %-28s\n", "", var_label.c_str(), static_label.c_str());
   std::printf("%-8s | %-9s %-9s %-8s | %-9s %-9s %-8s\n", "scale", "FAR",
               "detect", "delay", "FAR", "detect", "delay");
   std::printf("---------+------------------------------+----------------------"
               "--------\n");
-  for (std::size_t i = 0; i < roc_options.scales.size(); ++i) {
-    const auto& v = variable_curve.points[i];
-    const auto& s = static_curve.points[i];
+  for (std::size_t i = 0; i < var_curve.rows.size(); ++i) {
+    const auto& v = var_curve.rows[i];     // scale, far, detection, mean_delay
+    const auto& s = static_curve.rows[i];
     std::printf("%-8.3f | %-9.3f %-9.3f %-8.1f | %-9.3f %-9.3f %-8.1f\n",
-                roc_options.scales[i], v.false_alarm_rate, v.detection_rate,
-                v.mean_detection_delay, s.false_alarm_rate, s.detection_rate,
-                s.mean_detection_delay);
+                std::stod(v[0]), std::stod(v[1]), std::stod(v[2]), std::stod(v[3]),
+                std::stod(s[1]), std::stod(s[2]), std::stod(s[3]));
   }
-  std::printf("\nAUC: variable %.4f vs static %.4f -> %s\n", variable_curve.auc(),
-              static_curve.auc(),
-              variable_curve.auc() >= static_curve.auc()
+
+  const double var_auc = std::stod(report.summary("auc/" + var_label));
+  const double static_auc = std::stod(report.summary("auc/" + static_label));
+  std::printf("\nAUC: variable %.4f vs static %.4f -> %s\n", var_auc, static_auc,
+              var_auc >= static_auc
                   ? "variable dominates (paper's comparison holds curve-wide)"
                   : "static wins (UNEXPECTED)");
 
-  std::vector<util::Series> series;
-  series.push_back({"scale", roc_options.scales});
-  auto col = [&](const detect::RocCurve& c, auto proj, const std::string& name) {
-    std::vector<double> v;
-    for (const auto& p : c.points) v.push_back(proj(p));
-    series.push_back({name, v});
-  };
-  col(variable_curve, [](const detect::RocPoint& p) { return p.false_alarm_rate; },
-      "var_far");
-  col(variable_curve, [](const detect::RocPoint& p) { return p.detection_rate; },
-      "var_det");
-  col(static_curve, [](const detect::RocPoint& p) { return p.false_alarm_rate; },
-      "static_far");
-  col(static_curve, [](const detect::RocPoint& p) { return p.detection_rate; },
-      "static_det");
-  bench::dump_csv("roc_curves.csv", series);
+  for (const auto& path : report.write_csv(bench::out_dir() + "/roc_curves"))
+    std::printf("  [csv] %s\n", path.c_str());
+  report.write_json(bench::out_dir() + "/roc_curves_report.json");
   return 0;
 }

@@ -4,12 +4,14 @@
 // as a threshold-bounded disturbance (see src/reach/stealthy.hpp) turns
 // "worst stealthy deviation" into a zonotope propagation that answers in
 // microseconds.  This example
-//   1. sweeps a static threshold level and plots the attacker's deviation
-//      envelope against the pfc band — the crossover is the largest
-//      provably safe static threshold (up to over-approximation),
+//   1. sweeps a static threshold level and tabulates the attacker's
+//      deviation envelope against the pfc band — the crossover is the
+//      largest provably safe static threshold (up to over-approximation),
 //   2. compares the envelope of a synthesized decreasing vector with the
 //      static one of equal FAR-relevant late-phase level,
-//   3. cross-checks the certificate against template attacks.
+//   3. cross-checks the certificate against template attacks — the
+//      registered template-search scenario with the certified level as the
+//      deployed detector.
 //
 //   ./examples/attacker_capability
 #include <cstdio>
@@ -21,7 +23,8 @@ using namespace cpsguard;
 int main() {
   util::set_log_level(util::LogLevel::kWarn);
 
-  const models::CaseStudy cs = models::make_trajectory_case_study();
+  const scenario::Registry& registry = scenario::Registry::instance();
+  const models::CaseStudy& cs = registry.study("trajectory");
   const synth::ReachCriterion pfc(0, 0.0, 0.05);
   const std::size_t T = cs.horizon;
 
@@ -54,23 +57,28 @@ int main() {
                        : "not certifiable by the envelope (needs Algorithm 1)");
 
   // --- 3. cross-check with template attacks ----------------------------------
-  const control::ClosedLoop loop(cs.loop);
-  const detect::ResidueDetector detector(
-      detect::ThresholdVector::constant(T, largest_safe), cs.norm);
-  const auto results = attacks::search_templates(
-      loop, synth::Criterion(pfc), cs.mdc, &detector, T,
-      attacks::standard_library(1, T));
+  scenario::ScenarioSpec spec = registry.at("trajectory/templates");
+  spec.name = "trajectory/templates@certified";
+  spec.detectors = {scenario::DetectorSpec::static_threshold("certified static",
+                                                             largest_safe)};
+  const scenario::Report report = scenario::ExperimentRunner().run(spec);
+  const scenario::ReportTable& table = *report.table("templates");
   std::printf("\ntemplate attacks against the certified static level:\n");
-  for (const auto& r : results) {
-    if (!r.min_violating_magnitude) {
+  for (const auto& row : table.rows) {
+    // columns: template, min_magnitude, caught_by_monitors,
+    //          caught_by_detector, residue_peak, deviation, stealthy
+    const std::string& name = row[0];
+    const std::string& magnitude = row[1];
+    const bool caught = row[3] == "yes";
+    if (magnitude == "-") {
       std::printf("  %-10s cannot violate pfc at any magnitude tried\n",
-                  r.name.c_str());
+                  name.c_str());
       continue;
     }
-    std::printf("  %-10s needs magnitude %.3f to break pfc -> detector %s\n",
-                r.name.c_str(), *r.min_violating_magnitude,
-                r.caught_by_detector ? "ALARMS (as certified)" : "silent (BUG)");
-    if (!r.caught_by_detector) return 1;  // would contradict the certificate
+    std::printf("  %-10s needs magnitude %s to break pfc -> detector %s\n",
+                name.c_str(), magnitude.c_str(),
+                caught ? "ALARMS (as certified)" : "silent (BUG)");
+    if (!caught) return 1;  // would contradict the certificate
   }
   return 0;
 }

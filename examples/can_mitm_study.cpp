@@ -2,7 +2,8 @@
 //
 // The paper's attacker sits on the CAN bus between the yaw-rate /
 // lateral-acceleration sensors and the VSC.  This example drives the VSC
-// loop through the CAN transport model and shows
+// loop (from the scenario registry's case-study catalogue) through the CAN
+// transport model and shows
 //   1. what the bus itself costs: quantization floor and arbitration load,
 //   2. that a benign run over CAN still meets pfc,
 //   3. a frame-level MITM spoof: physically bounded by the codec's full
@@ -19,7 +20,7 @@ using namespace cpsguard;
 int main() {
   util::set_log_level(util::LogLevel::kWarn);
 
-  const models::CaseStudy cs = models::make_vsc_case_study();
+  const models::CaseStudy& cs = scenario::Registry::instance().study("vsc");
   const can::CanLoopTransport transport = models::make_vsc_transport();
   const std::size_t T = cs.horizon;
 
@@ -34,9 +35,9 @@ int main() {
 
   // --- 2. benign run over CAN -------------------------------------------------
   const control::Trace benign = transport.simulate(T);
-  std::printf("benign over CAN: pfc %s (final gamma %.4f rad/s, target %.4f)\n",
+  std::printf("benign over CAN: pfc %s (final gamma %.4f rad/s)\n",
               cs.pfc.satisfied(benign) ? "satisfied" : "VIOLATED",
-              benign.x.back()[1], 0.08);
+              benign.x.back()[1]);
 
   // A detector needs thresholds above the quantization floor; verify the
   // benign residue peak over CAN stays small.

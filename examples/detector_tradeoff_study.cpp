@@ -1,10 +1,11 @@
 // detector_tradeoff_study.cpp — comparing detector families on one plant.
 //
-// Residue thresholds are not the only anomaly detectors: this example pits
-// the synthesized variable threshold against chi-squared and CUSUM
-// baselines on the DC-motor case study, measuring (a) whether each catches
-// the solver-synthesized stealthy attack and (b) its false alarm rate on
-// benign noise — the trade-off surface the paper's Fig. 1 sketches.
+// Residue thresholds are not the only anomaly detectors: the registered
+// "dcmotor/tradeoff" scenario pits the synthesized variable threshold
+// against static, chi-squared and CUSUM baselines on the DC-motor case
+// study, measuring (a) whether each catches the solver-synthesized
+// stealthy attack and (b) its false alarm rate on benign noise — the
+// trade-off surface the paper's Fig. 1 sketches, as one FAR protocol run.
 //
 //   ./examples/detector_tradeoff_study
 #include <cstdio>
@@ -14,69 +15,20 @@
 using namespace cpsguard;
 
 int main() {
-  const models::CaseStudy cs = models::make_dcmotor_case_study();
-  const control::ClosedLoop loop(cs.loop);
+  const scenario::Registry& registry = scenario::Registry::instance();
+  const scenario::Report report =
+      scenario::ExperimentRunner().run(registry.at("dcmotor/tradeoff"));
 
-  auto z3 = std::make_shared<solver::Z3Backend>();
-  auto lp = std::make_shared<solver::LpBackend>();
-  synth::AttackVectorSynthesizer attvecsyn(cs.attack_problem(), z3, lp);
-
-  // The adversary: most damaging stealthy attack against the monitors alone.
-  const synth::AttackResult attack = attvecsyn.synthesize(
-      detect::ThresholdVector(cs.horizon), synth::AttackObjective::kMaxDeviation);
-  if (!attack.found()) {
+  if (report.summary("attack_found") != "yes") {
     std::printf("no stealthy attack exists for this plant/monitor combination\n");
     return 0;
   }
-  std::printf("adversary: stealthy attack with final speed error %.3f rad/s\n\n",
-              cs.pfc.deviation(attack.trace));
+  std::printf("adversary: stealthy attack with final speed error %s rad/s\n\n",
+              report.summary("attack_deviation").c_str());
+  std::printf("%s\n", report.text().c_str());
 
-  // Candidate detectors.
-  const synth::SynthesisResult variable =
-      synth::relaxation_threshold_synthesis(attvecsyn);
-  const synth::StaticSynthesisResult fixed = synth::static_threshold_synthesis(attvecsyn);
-
-  const control::KalmanDesign kd = control::design_kalman(cs.loop.plant);
-  const detect::ResidueDetector det_var(variable.thresholds, cs.norm);
-  const detect::ResidueDetector det_static(
-      detect::ThresholdVector::constant(cs.horizon, std::max(fixed.threshold, 1e-9)),
-      cs.norm);
-  const detect::Chi2Detector det_chi2(kd.innovation, 6.63);  // ~1% tail for m=1
-  const detect::CusumDetector det_cusum(/*drift=*/0.02, /*threshold=*/0.1, cs.norm);
-
-  // Evaluate: detection of the attack + FAR over seeded noise runs.
-  util::Rng rng(555);
-  const std::size_t far_runs = 400;
-  auto far_of = [&](auto&& detector) {
-    std::size_t alarms = 0, kept = 0;
-    util::Rng local(999);
-    for (std::size_t i = 0; i < far_runs; ++i) {
-      const auto noise =
-          control::bounded_uniform_signal(local, cs.horizon, cs.noise_bounds);
-      const auto tr = loop.simulate(cs.horizon, nullptr, nullptr, &noise);
-      if (!cs.mdc.stealthy(tr)) continue;
-      ++kept;
-      if (detector.triggered(tr)) ++alarms;
-    }
-    return kept ? static_cast<double>(alarms) / static_cast<double>(kept) : 0.0;
-  };
-
-  util::TextTable t({"detector", "catches attack", "FAR on benign noise"});
-  auto yn = [](bool b) { return std::string(b ? "yes" : "no"); };
-  t.row({"variable threshold (synth)", yn(det_var.triggered(attack.trace)),
-         util::format_double(100.0 * far_of(det_var), 3) + " %"});
-  t.row({"static threshold (max safe)", yn(det_static.triggered(attack.trace)),
-         util::format_double(100.0 * far_of(det_static), 3) + " %"});
-  t.row({"chi-squared (1% tail)", yn(det_chi2.triggered(attack.trace)),
-         util::format_double(100.0 * far_of(det_chi2), 3) + " %"});
-  t.row({"CUSUM", yn(det_cusum.triggered(attack.trace)),
-         util::format_double(100.0 * far_of(det_cusum), 3) + " %"});
-  std::printf("%s\n", t.str().c_str());
-
-  std::printf("reading: statistical detectors tuned for low FAR need not catch a\n"
+  std::printf("\nreading: statistical detectors tuned for low FAR need not catch a\n"
               "worst-case stealthy attack — only the synthesized threshold comes\n"
-              "with a proof (%s).\n",
-              variable.certified ? "present" : "absent");
-  (void)rng;
+              "with a proof (see the synthesis table's certified column).\n");
   return 0;
 }

@@ -1,9 +1,10 @@
 // embedded_deployment.cpp — from synthesis result to ECU-ready C code.
 //
-// Demonstrates the code generator: synthesize a threshold for the
-// suspension case study, emit the C99 detector module, compile it with the
-// system C compiler, and replay a noisy trace through BOTH the C++ runtime
-// and the compiled C module to show they agree sample-by-sample.
+// Demonstrates the code generator: run the registered "suspension/synth"
+// scenario (certified threshold synthesis), emit the C99 detector module
+// from the reported thresholds, compile it with the system C compiler, and
+// replay a noisy trace through BOTH the C++ runtime and the compiled C
+// module to show they agree sample-by-sample.
 //
 //   ./examples/embedded_deployment
 #include <cstdio>
@@ -15,17 +16,14 @@
 using namespace cpsguard;
 
 int main() {
-  const models::CaseStudy cs = models::make_suspension_case_study();
+  const scenario::Registry& registry = scenario::Registry::instance();
+  const models::CaseStudy& cs = registry.study("suspension");
 
-  auto z3 = std::make_shared<solver::Z3Backend>();
-  auto lp = std::make_shared<solver::LpBackend>();
-  synth::AttackVectorSynthesizer attvecsyn(cs.attack_problem(), z3, lp);
+  const scenario::Report synthesis =
+      scenario::ExperimentRunner().run(registry.at("suspension/synth"));
+  std::printf("%s\n", synthesis.text().c_str());
 
-  const synth::SynthesisResult res = synth::relaxation_threshold_synthesis(attvecsyn);
-  std::printf("synthesis: %zu rounds, converged=%s\n", res.rounds,
-              res.converged ? "yes" : "no");
-
-  detect::ThresholdVector thresholds = res.thresholds;
+  detect::ThresholdVector thresholds(*synthesis.series("th/relaxation"));
   if (thresholds.num_set() == 0) {
     // No attack existed; deploy a noise-calibrated constant instead.
     thresholds = detect::ThresholdVector::constant(cs.horizon, 0.01);

@@ -1,11 +1,13 @@
 // quickstart.cpp — the 60-second tour of cpsguard.
 //
-// Workflow: describe a plant, design the loop, state what "working" means
-// (pfc), ask Algorithm 1 whether a stealthy attack exists, synthesize a
-// provably safe variable threshold with Algorithm 3, and check its false
-// alarm rate against benign noise.
+// Experiments are data: every bundled plant is pre-registered in
+// scenario::Registry with a family of default scenarios, and one
+// ExperimentRunner executes any of them.  The tour below asks Algorithm 1
+// whether a stealthy attack exists, synthesizes a provably safe variable
+// threshold, measures its false alarm rate, and ships the C detector —
+// each step a registry lookup (or a copied spec) plus a report read.
 //
-//   ./examples/quickstart
+//   ./examples/quickstart            (same pipeline: cpsguard_cli run quickstart)
 #include <cstdio>
 
 #include "cpsguard.hpp"
@@ -13,72 +15,43 @@
 using namespace cpsguard;
 
 int main() {
-  // 1. A plant: continuous-time double-integrator-ish deviation dynamics,
-  //    discretized at 10 Hz.  (Any LTI model works; see src/models for the
-  //    paper's case studies.)
-  control::ContinuousLti ct;
-  ct.a = linalg::Matrix{{0.0, 1.0}, {-4.0, -2.8}};
-  ct.b = linalg::Matrix{{0.0}, {1.0}};
-  ct.c = linalg::Matrix{{1.0, 0.0}};
-  ct.d = linalg::Matrix{{0.0}};
-  control::DiscreteLti plant = control::c2d(ct, 0.1);
-  plant.q = 1e-3 * linalg::Matrix::identity(2);  // process noise covariance
-  plant.r = linalg::Matrix{{2.5e-5}};            // measurement noise covariance
+  const scenario::Registry& registry = scenario::Registry::instance();
+  const scenario::ExperimentRunner runner;
 
-  // 2. Close the loop: LQR state feedback on a steady-state Kalman estimate.
-  control::LoopConfig loop = control::LoopConfig::design(
-      plant, /*state_cost=*/linalg::Matrix::diagonal(linalg::Vector{400.0, 40.0}),
-      /*input_cost=*/linalg::Matrix{{0.2}}, /*reference=*/linalg::Vector{0.0});
-  loop.x1 = linalg::Vector{0.4, 0.0};  // event: 0.4 m deviation to regulate away
-  loop.xhat1 = loop.x1;
-
-  // 3. The contract: deviation within +-5 cm after 10 samples.
-  const synth::ReachCriterion pfc(/*state_index=*/0, /*target=*/0.0, /*tol=*/0.05);
-
-  // 4. Algorithm 1: does a stealthy attack defeat the contract?
-  synth::AttackProblem problem{loop,
-                               pfc,
-                               monitor::MonitorSet{},  // no pre-existing monitors
-                               /*horizon=*/10,
-                               control::Norm::kInf,
-                               /*init=*/{},
-                               /*attack_bound=*/0.3};  // spoof limit: 0.3 m per sample
-  auto z3 = std::make_shared<solver::Z3Backend>();
-  auto lp = std::make_shared<solver::LpBackend>();
-  synth::AttackVectorSynthesizer attvecsyn(problem, z3, lp);
-
-  const synth::AttackResult attack =
-      attvecsyn.synthesize(detect::ThresholdVector(problem.horizon));
+  // 1. Does a stealthy attack defeat the contract?  The registered
+  //    "quickstart" scenario carries the study (double-integrator deviation
+  //    loop, |x0| <= 0.05 m after 10 samples, spoof limit 0.3 m); specs are
+  //    plain data, so switching the protocol is an assignment.
+  scenario::ScenarioSpec probe = registry.at("quickstart");
+  probe.name = "quickstart/attack";
+  probe.protocol = scenario::Protocol::kAttack;
+  probe.detectors.clear();  // "without a detector": monitors alone
+  const scenario::Report attack = runner.run(probe);
+  const bool attack_found = attack.summary("found") == "yes";
   std::printf("stealthy attack without a detector: %s\n",
-              attack.found() ? "EXISTS" : "none");
-  if (attack.found()) {
-    std::printf("  final deviation under attack: %.3f m (tolerance 0.05 m)\n",
-                pfc.deviation(attack.trace));
+              attack_found ? "EXISTS" : "none");
+  if (attack_found)
+    std::printf("  final deviation under attack: %s m (tolerance 0.05 m)\n",
+                attack.summary("deviation").c_str());
+
+  // 2. Synthesize a certified variable threshold and Monte-Carlo its false
+  //    alarm rate — the registered quickstart scenario end-to-end.
+  const scenario::Report report = runner.run(registry.at("quickstart"));
+  std::printf("\n%s\n", report.text().c_str());
+
+  // 3. Ship it: the synthesized thresholds ride in the report; emit the C
+  //    module an ECU build would compile.
+  const std::vector<double>* thresholds = report.series("th/synthesized");
+  if (thresholds != nullptr) {
+    codegen::write_detector_c("quickstart_detector.c",
+                              registry.study("quickstart").loop,
+                              detect::ThresholdVector(*thresholds),
+                              monitor::MonitorSet{});
+    std::printf("wrote quickstart_detector.c (self-contained C99 detector)\n");
   }
 
-  // 5. Synthesize a variable threshold that provably blocks every such
-  //    attack.  (The paper's CEGIS loops are pivot_/stepwise_threshold_
-  //    synthesis; the relaxation extension shown here guarantees
-  //    convergence and a certified result.)
-  const synth::SynthesisResult th = synth::relaxation_threshold_synthesis(attvecsyn);
-  std::printf("relaxation synthesis: %zu rounds, converged=%s, certified=%s\n",
-              th.rounds, th.converged ? "yes" : "no", th.certified ? "yes" : "no");
-  std::printf("  thresholds: %s\n", th.thresholds.str().c_str());
-
-  // 6. How twitchy is the detector?  Monte-Carlo FAR against benign noise.
-  detect::FarSetup far;
-  far.num_runs = 500;
-  far.horizon = problem.horizon;
-  far.noise_bounds = linalg::Vector{0.01};
-  const detect::FarReport report = detect::evaluate_far(
-      control::ClosedLoop(loop), monitor::MonitorSet{},
-      {{"synthesized", detect::ResidueDetector(th.thresholds, problem.norm)}}, far);
-  std::printf("false alarm rate on benign noise: %.1f %%\n",
-              100.0 * report.rows[0].rate());
-
-  // 7. Ship it: emit the C module an ECU build would compile.
-  codegen::write_detector_c("quickstart_detector.c", loop, th.thresholds,
-                            monitor::MonitorSet{});
-  std::printf("wrote quickstart_detector.c (self-contained C99 detector)\n");
+  // 4. Every report serializes: JSON for machines, CSV mirrors for plots.
+  report.write_json("quickstart_report.json");
+  std::printf("wrote quickstart_report.json\n");
   return 0;
 }

@@ -1,16 +1,16 @@
 // stl_contract_synthesis.cpp — STL contracts end-to-end.
 //
 // The paper fixes pfc to one reach property.  cpsguard generalizes: any
-// bounded linear STL formula can be the contract.  This example
+// bounded linear STL formula can be the contract, and a ScenarioSpec's
+// pfc_override swaps it in without touching the rest of the spec.  This
+// example
 //   1. parses an STL contract from text ("reach the band AND never slew
 //      faster than the actuator allows"),
-//   2. monitors it on benign traces (boolean verdict + robustness margin),
-//   3. hands it to Algorithm 1 as pfc and asks Z3 for a stealthy attack,
-//   4. synthesizes a variable threshold against the STL contract — using
-//      the relaxation synthesizer, whose convergence is guaranteed (the
-//      paper's Algorithms 2/3 also accept STL criteria, but their greedy
-//      cuts converge slowly when the contract's robustness margin is
-//      tight) — and re-checks that no stealthy attack survives.
+//   2. monitors it on a benign trace (boolean verdict + robustness margin),
+//   3. hands it to Algorithm 1 as pfc via a copied registry spec,
+//   4. synthesizes a variable threshold against the STL contract and
+//      re-checks (the synthesis report's recheck column) that no stealthy
+//      attack survives.
 //
 //   ./examples/stl_contract_synthesis
 #include <cstdio>
@@ -22,15 +22,14 @@ using namespace cpsguard;
 int main() {
   util::set_log_level(util::LogLevel::kWarn);
 
-  // Trajectory-tracking loop (paper Fig 1 setting, cold estimator).
-  models::CaseStudy cs = models::make_trajectory_case_study();
+  // Trajectory-tracking loop (paper Fig 1 setting).
+  const scenario::Registry& registry = scenario::Registry::instance();
+  const models::CaseStudy& cs = registry.study("trajectory");
   const std::size_t T = cs.horizon;
 
   // The contract, in STL text.  x0 is the deviation; u0 the corrective
-  // input.  "Settle into the 6 cm band for two consecutive samples within
-  // the horizon, and the input never saturates (|u| <= 8 — the nominal
-  // transient peaks near 6.6)."  The nominal run satisfies it with margin:
-  // x enters the band at sample 9 and stays.
+  // input.  "Settle into the band for two consecutive samples within the
+  // horizon, and the input never saturates."
   const std::string contract_text =
       "F[0," + std::to_string(T - 1) + "](G[0,1](abs(x0) <= 0.10))"
       " & G[0," + std::to_string(T - 1) + "](abs(u0) <= 8)";
@@ -50,19 +49,23 @@ int main() {
               stl::robustness(contract, benign));
 
   // --- Algorithm 1 with the STL contract as pfc -----------------------------
-  synth::AttackProblem problem = cs.attack_problem();
-  problem.pfc = stl::criterion(contract);
-  auto z3 = std::make_shared<solver::Z3Backend>();
-  auto lp = std::make_shared<solver::LpBackend>();
-  synth::AttackVectorSynthesizer avs(std::move(problem), z3, lp);
+  // The registry spec is data: copy it, swap the criterion, run.
+  scenario::ScenarioSpec probe = registry.at("trajectory/single");
+  probe.name = "stl/attack";
+  probe.title = "trajectory tracking under an STL contract";
+  probe.protocol = scenario::Protocol::kAttack;
+  probe.pfc_override = stl::criterion(contract);
+  probe.objective = synth::AttackObjective::kAny;
+  probe.detectors.clear();
 
-  const synth::AttackResult attack = avs.synthesize(detect::ThresholdVector());
-  if (attack.found()) {
-    std::printf("\nno detector: stealthy attack found (backend %s, %.2fs)\n",
-                attack.backend.c_str(), attack.solve_seconds);
-    std::printf("  attacked run: holds = %s, robustness = %+.4f\n",
-                stl::holds(contract, attack.trace) ? "yes" : "no",
-                stl::robustness(contract, attack.trace));
+  const scenario::ExperimentRunner runner;
+  const scenario::Report attack = runner.run(probe);
+  if (attack.summary("found") == "yes") {
+    std::printf("\nno detector: stealthy attack found (backend %s, %ss)\n",
+                attack.summary("backend").c_str(),
+                attack.summary("solve_seconds").c_str());
+    std::printf("  attacked run: robustness = %s (< 0: contract violated)\n",
+                attack.summary("deviation").c_str());
   } else {
     std::printf("\nno attack exists even without a detector — contract is "
                 "attack-proof as stated\n");
@@ -70,17 +73,20 @@ int main() {
   }
 
   // --- threshold synthesis against the STL contract -------------------------
-  const synth::SynthesisResult synth_result =
-      synth::relaxation_threshold_synthesis(avs);
-  std::printf("\nrelaxation synthesis (STL pfc): %zu rounds, converged=%s, "
-              "certified=%s\n",
-              synth_result.rounds, synth_result.converged ? "yes" : "no",
-              synth_result.certified ? "yes" : "no");
-  std::printf("threshold vector: %s\n", synth_result.thresholds.str().c_str());
+  scenario::ScenarioSpec harden = probe;
+  harden.name = "stl/synth";
+  harden.protocol = scenario::Protocol::kSynthesis;
+  harden.detectors = {scenario::DetectorSpec::synthesis(
+      scenario::DetectorSpec::Kind::kSynthRelaxation, "relaxation")};
+  const scenario::Report synthesis = runner.run(harden);
+  std::printf("\n%s\n", synthesis.text().c_str());
 
-  const synth::AttackResult recheck = avs.synthesize(synth_result.thresholds);
+  // The protocol re-checks each synthesized vector with Algorithm 1; unsat
+  // means Z3 certified that no stealthy attack survives.
+  const scenario::ReportTable& table = *synthesis.table("synthesis");
+  const std::string& recheck = table.rows.front().back();
   std::printf("re-check with synthesized thresholds: %s\n",
-              recheck.found() ? "ATTACK SURVIVES (unexpected)"
-                              : "no stealthy attack (certified by Z3)");
-  return recheck.found() ? 1 : 0;
+              recheck == "unsat" ? "no stealthy attack (certified by Z3)"
+                                 : ("ATTACK SURVIVES (" + recheck + ")").c_str());
+  return recheck == "unsat" ? 0 : 1;
 }

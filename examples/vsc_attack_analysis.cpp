@@ -3,6 +3,10 @@
 // attacks (Algorithm 1), inspect the worst one, then harden the system with
 // a synthesized variable threshold and prove the attack channel closed.
 //
+// Both phases are registered scenarios ("fig2" probes, "vsc/harden"
+// synthesizes + re-certifies); this example runs them and reads the
+// reports.
+//
 //   ./examples/vsc_attack_analysis
 #include <cstdio>
 
@@ -12,65 +16,55 @@ using namespace cpsguard;
 
 int main() {
   util::set_log_level(util::LogLevel::kInfo);
-  const models::VscParams params;
-  const models::CaseStudy cs = models::make_vsc_case_study(params);
+  const scenario::Registry& registry = scenario::Registry::instance();
+  const scenario::ExperimentRunner runner;
+  const models::CaseStudy& cs = registry.study("vsc");
 
-  std::printf("VSC case study (Ts = %.0f ms, horizon %zu samples)\n",
-              params.ts * 1000.0, cs.horizon);
+  std::printf("VSC case study (horizon %zu samples)\n", cs.horizon);
   std::printf("monitoring system:\n%s\n\n", cs.mdc.describe().c_str());
 
-  auto z3 = std::make_shared<solver::Z3Backend>();
-  auto lp = std::make_shared<solver::LpBackend>();
-  synth::AttackVectorSynthesizer attvecsyn(cs.attack_problem(), z3, lp);
-
   // --- 1. Is the existing monitoring system enough? -------------------------
-  const synth::AttackResult worst = attvecsyn.synthesize(
-      detect::ThresholdVector(cs.horizon), synth::AttackObjective::kMaxDeviation);
-  if (!worst.found()) {
+  const scenario::Report attack = runner.run(registry.at("fig2"));
+  if (attack.summary("found") != "yes") {
     std::printf("No stealthy attack exists — the monitors suffice.\n");
     return 0;
   }
-  std::printf("Stealthy attack found (%s, %.2f s solve):\n", worst.backend.c_str(),
-              worst.solve_seconds);
-  std::printf("  yaw rate misses the reference by %.4f rad/s (tolerance %.4f)\n",
-              cs.pfc.deviation(worst.trace), cs.pfc.tolerance());
+  std::printf("Stealthy attack found (%s, %s s solve):\n",
+              attack.summary("backend").c_str(),
+              attack.summary("solve_seconds").c_str());
+  std::printf("  yaw rate misses the reference by %s rad/s (tolerance %s)\n",
+              attack.summary("deviation").c_str(),
+              attack.summary("tolerance").c_str());
   std::printf("  monitoring system silent: %s\n\n",
-              cs.mdc.stealthy(worst.trace) ? "yes" : "no");
+              attack.summary("monitors_silent").c_str());
 
-  // Print the attack vector itself — this is what an adversary would inject
-  // on the CAN bus at each 40 ms slot.
+  // The attack vector itself — what an adversary would inject on the CAN
+  // bus at each 40 ms slot — rides in the report's series.
+  const std::vector<double>& a_gamma = *attack.series("attack/a0");
+  const std::vector<double>& a_ay = *attack.series("attack/a1");
+  const std::vector<double>& norms = *attack.series("attack/z_norm");
   std::printf("  k :   a_gamma [rad/s]   a_ay [m/s^2]   ||z_k||\n");
-  const auto norms = worst.trace.residue_norms(cs.norm);
-  for (std::size_t k = 0; k < cs.horizon; k += 5) {
-    std::printf("  %2zu:   %+11.5f      %+10.5f     %.5f\n", k + 1,
-                worst.attack[k][0], worst.attack[k][1], norms[k]);
-  }
+  for (std::size_t k = 0; k < cs.horizon; k += 5)
+    std::printf("  %2zu:   %+11.5f      %+10.5f     %.5f\n", k + 1, a_gamma[k],
+                a_ay[k], norms[k]);
 
-  // --- 2. Harden: synthesize a variable threshold ---------------------------
-  // (The paper's Algorithm 3 is stepwise_threshold_synthesis; run fig3 for
-  // its behaviour.  The relaxation synthesizer used here converges with a
-  // certified result, which is what a hardening workflow needs.)
-  const synth::SynthesisResult hard = synth::relaxation_threshold_synthesis(attvecsyn);
-  std::printf("\nrelaxation synthesis: %zu rounds, converged=%s, certified=%s\n",
-              hard.rounds, hard.converged ? "yes" : "no",
-              hard.certified ? "yes" : "no");
-  std::printf("  thresholds: %s\n", hard.thresholds.str().c_str());
+  // --- 2. Harden: synthesize a certified variable threshold -----------------
+  // (The paper's Algorithm 3 is the "fig3" scenario; the relaxation
+  // synthesizer used by vsc/harden converges with a certified result, which
+  // is what a hardening workflow needs.  Its report re-checks safety: the
+  // "recheck" column must read unsat.)
+  const scenario::Report harden = runner.run(registry.at("vsc/harden"));
+  std::printf("\n%s\n", harden.text().c_str());
 
-  // --- 3. Verify the hardened system ---------------------------------------
-  const synth::AttackResult recheck = attvecsyn.synthesize(hard.thresholds);
-  std::printf("\nATTVECSYN against the hardened detector: %s%s\n",
-              solver::status_name(recheck.status).c_str(),
-              recheck.status == solver::SolveStatus::kUnsat && recheck.certified
-                  ? " (Z3-certified: no stealthy attack exists)"
-                  : "");
-
-  // The detector also catches the previously synthesized worst attack.
-  const detect::ResidueDetector detector(hard.thresholds, cs.norm);
-  const auto alarm = detector.first_alarm(worst.trace);
-  if (alarm) std::printf("the worst attack now alarms at sample %zu\n", *alarm);
+  // --- 3. Verify the hardened system on the recorded worst attack -----------
+  const detect::ThresholdVector hardened(*harden.series("th/relaxation"));
+  if (const auto alarm = detect::first_alarm_in_series(norms, hardened))
+    std::printf("the worst attack now alarms at sample %zu\n", *alarm);
 
   // --- 4. Deploy ------------------------------------------------------------
-  codegen::write_detector_c("vsc_detector.c", cs.loop, hard.thresholds, cs.mdc);
+  codegen::write_detector_c(
+      "vsc_detector.c", cs.loop,
+      detect::ThresholdVector(*harden.series("th/relaxation")), cs.mdc);
   std::printf("wrote vsc_detector.c — compile with: cc -std=c99 -DCPSGUARD_SELFTEST "
               "vsc_detector.c -lm\n");
   return 0;

@@ -5,16 +5,22 @@
 // attack detectors with formally synthesized variable thresholds.
 //
 // Typical flow (see examples/quickstart.cpp):
-//   1. describe the plant (control::DiscreteLti) and design the loop
-//      (control::LoopConfig::design) — or use a models::CaseStudy;
-//   2. state the performance criterion (synth::ReachCriterion) and any
-//      existing monitors (monitor::MonitorSet);
-//   3. run synth::AttackVectorSynthesizer (Algorithm 1) to find stealthy
-//      attacks, and synth::pivot_threshold_synthesis /
-//      synth::stepwise_threshold_synthesis (Algorithms 2 & 3) to derive a
-//      provably safe variable threshold;
-//   4. evaluate false alarms with detect::evaluate_far and deploy via
-//      codegen::emit_detector_c.
+//   1. look up a bundled experiment in scenario::Registry::instance() —
+//      every models::CaseStudy is pre-registered with a family of default
+//      scenarios ("vsc/far", "trajectory/roc", ...), next to the paper
+//      fixtures ("table1", "fig2", "fig3", "quickstart");
+//   2. execute it with scenario::ExperimentRunner — single run, Monte-Carlo
+//      FAR, ROC sweep, noise floor, template search, or threshold/attack
+//      synthesis, all driven through the sim::BatchRunner batch engine with
+//      per-run RNG substreams (bit-identical at any thread count) — and
+//      read the structured scenario::Report (JSON/CSV serializable);
+//   3. for custom experiments, copy a spec and edit it as data (plant,
+//      noise envelope, detector list, protocol), or drop to the layers
+//      below: synth::AttackVectorSynthesizer (Algorithm 1),
+//      synth::pivot_/stepwise_threshold_synthesis (Algorithms 2 & 3),
+//      detect::evaluate_far, and codegen::write_detector_c for deployment.
+// The cpsguard_cli binary exposes the same registry as
+//   cpsguard_cli list | describe <scenario> | run <scenario>.
 #pragma once
 
 #include "attacks/search.hpp"
@@ -55,7 +61,12 @@
 #include "reach/interval.hpp"
 #include "reach/stealthy.hpp"
 #include "reach/zonotope.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
 #include "sim/batch.hpp"
+#include "sim/config.hpp"
 #include "sim/monte_carlo.hpp"
 #include "solver/lp_backend.hpp"
 #include "solver/problem.hpp"
@@ -76,6 +87,7 @@
 #include "synth/threshold_synth.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/random.hpp"
 #include "util/status.hpp"

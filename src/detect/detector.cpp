@@ -12,19 +12,42 @@ using linalg::Matrix;
 using linalg::Vector;
 using util::require;
 
+namespace {
+
+// The alarm rule, shared between the trace- and series-based entry points
+// so they can never diverge: instant k alarms when the (filled) threshold
+// there is set and the residue norm reaches it.
+template <typename NormAt>
+std::optional<std::size_t> scan_alarm(std::size_t count,
+                                      const ThresholdVector& filled,
+                                      NormAt&& norm_at) {
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t idx = std::min(k, filled.size() - 1);
+    const double th = filled[idx];
+    if (th <= 0.0) continue;  // nothing set anywhere before the first entry
+    if (norm_at(k) >= th) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 ResidueDetector::ResidueDetector(ThresholdVector thresholds, Norm norm)
     : thresholds_(thresholds.filled()), norm_(norm) {
   require(!thresholds_.empty(), "ResidueDetector: empty threshold vector");
 }
 
 std::optional<std::size_t> ResidueDetector::first_alarm(const Trace& trace) const {
-  for (std::size_t k = 0; k < trace.steps(); ++k) {
-    const std::size_t idx = std::min(k, thresholds_.size() - 1);
-    const double th = thresholds_[idx];
-    if (th <= 0.0) continue;  // nothing set anywhere before the first entry
-    if (vector_norm(trace.z[k], norm_) >= th) return k;
-  }
-  return std::nullopt;
+  return scan_alarm(trace.steps(), thresholds_, [&](std::size_t k) {
+    return vector_norm(trace.z[k], norm_);
+  });
+}
+
+std::optional<std::size_t> first_alarm_in_series(
+    const std::vector<double>& residue_norms, const ThresholdVector& thresholds) {
+  if (thresholds.empty()) return std::nullopt;
+  return scan_alarm(residue_norms.size(), thresholds.filled(),
+                    [&](std::size_t k) { return residue_norms[k]; });
 }
 
 WindowedDetector::WindowedDetector(ThresholdVector thresholds, Norm norm,

@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "control/trace.hpp"
 #include "detect/threshold.hpp"
@@ -32,6 +33,12 @@ class ResidueDetector {
   ThresholdVector thresholds_;  // stored filled()
   control::Norm norm_;
 };
+
+/// ResidueDetector's alarm rule on a precomputed residue-norm series (how
+/// scenario reports carry traces): first instant whose norm reaches the
+/// (filled) threshold, nullopt when silent or `thresholds` is empty.
+std::optional<std::size_t> first_alarm_in_series(
+    const std::vector<double>& residue_norms, const ThresholdVector& thresholds);
 
 /// Chi-squared detector baseline: alarm when  z' S^{-1} z > threshold,
 /// with S the innovation covariance from the Kalman design.  Included as a

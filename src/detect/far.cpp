@@ -15,6 +15,16 @@ enum class RunStatus : std::uint8_t { kEvaluated, kDiscardedPfc, kDiscardedMdc }
 
 }  // namespace
 
+FarCandidate::FarCandidate(std::string name_, ResidueDetector detector)
+    : name(std::move(name_)),
+      triggered([det = std::move(detector)](const Trace& trace) {
+        return det.triggered(trace);
+      }) {}
+
+FarCandidate::FarCandidate(std::string name_,
+                           std::function<bool(const Trace&)> triggered_)
+    : name(std::move(name_)), triggered(std::move(triggered_)) {}
+
 FarReport evaluate_far(const control::ClosedLoop& loop, const monitor::MonitorSet& monitors,
                        const std::vector<FarCandidate>& candidates, const FarSetup& setup) {
   util::require(setup.num_runs > 0, "evaluate_far: num_runs must be positive");
@@ -44,8 +54,7 @@ FarReport evaluate_far(const control::ClosedLoop& loop, const monitor::MonitorSe
           return;
         }
         for (std::size_t i = 0; i < candidates.size(); ++i)
-          alarms[run * candidates.size() + i] =
-              candidates[i].detector.triggered(trace) ? 1 : 0;
+          alarms[run * candidates.size() + i] = candidates[i].triggered(trace) ? 1 : 0;
       });
 
   for (std::size_t run = 0; run < setup.num_runs; ++run) {

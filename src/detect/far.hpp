@@ -15,26 +15,30 @@
 #include "control/noise.hpp"
 #include "detect/detector.hpp"
 #include "monitor/monitor.hpp"
+#include "sim/config.hpp"
 #include "util/random.hpp"
 
 namespace cpsguard::detect {
 
-/// One candidate detector entered into the comparison.
+/// One candidate detector entered into the comparison.  Any alarm predicate
+/// qualifies (residue thresholds, chi-squared, CUSUM, windowed policies...);
+/// it is invoked concurrently when the protocol runs multi-threaded, so it
+/// must be thread-safe (the bundled detectors are: triggered() is const and
+/// stateless per call).
 struct FarCandidate {
+  FarCandidate(std::string name, ResidueDetector detector);
+  FarCandidate(std::string name,
+               std::function<bool(const control::Trace&)> triggered);
+
   std::string name;
-  ResidueDetector detector;
+  std::function<bool(const control::Trace&)> triggered;
 };
 
-struct FarSetup {
-  std::size_t num_runs = 1000;         ///< N noise vectors
-  std::size_t horizon = 50;            ///< T samples per run
-  linalg::Vector noise_bounds;         ///< per-output bound of the uniform noise
-  /// Run i draws its noise from util::Rng::substream(seed, i), so the
-  /// report is bit-identical for every `threads` setting.
-  std::uint64_t seed = 1;
-  /// Worker threads for the run fan-out: 1 = serial (default), 0 = one per
-  /// hardware thread.
-  std::size_t threads = 1;
+/// Monte-Carlo knobs (sim::MonteCarloConfig: num_runs, horizon,
+/// noise_bounds, seed, threads) plus the protocol's pfc filter.
+struct FarSetup : sim::MonteCarloConfig {
+  FarSetup() { num_runs = 1000; }  // the paper's 1000 noise vectors
+
   /// Performance check: runs violating it are discarded (the paper draws
   /// noise "such that pfc is maintained").  Null = keep everything.  Must be
   /// thread-safe when threads != 1 (it is invoked concurrently).

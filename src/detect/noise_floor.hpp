@@ -15,21 +15,20 @@
 #include "control/closed_loop.hpp"
 #include "control/noise.hpp"
 #include "detect/threshold.hpp"
+#include "sim/config.hpp"
 #include "util/random.hpp"
 
 namespace cpsguard::detect {
 
-struct NoiseFloorSetup {
-  std::size_t num_runs = 200;
-  std::size_t horizon = 50;
-  linalg::Vector noise_bounds;  ///< per-output bound of the uniform noise
-  double quantile = 0.95;       ///< per-instant quantile of ||z_k||
+/// Monte-Carlo knobs (sim::MonteCarloConfig) plus the quantile/norm choice.
+struct NoiseFloorSetup : sim::MonteCarloConfig {
+  NoiseFloorSetup() {
+    num_runs = 200;
+    seed = 7;
+  }
+
+  double quantile = 0.95;  ///< per-instant quantile of ||z_k||
   control::Norm norm = control::Norm::kInf;
-  /// Run i draws its noise from util::Rng::substream(seed, i).
-  std::uint64_t seed = 7;
-  /// Worker threads: 1 = serial (default), 0 = one per hardware thread.
-  /// The estimate is bit-identical for every setting.
-  std::size_t threads = 1;
 };
 
 struct NoiseFloor {

@@ -93,12 +93,15 @@ RocCurve evaluate_roc(std::string name, const ThresholdVector& thresholds,
 
 RocWorkload make_workload(const control::ClosedLoop& loop,
                           const monitor::MonitorSet& monitors,
-                          std::size_t benign_runs, std::size_t horizon,
-                          const linalg::Vector& noise_bounds,
-                          const std::vector<Signal>& attacks, std::uint64_t seed,
-                          bool noisy_attacks, std::size_t threads) {
+                          const WorkloadSetup& setup) {
+  const std::size_t benign_runs = setup.num_runs;
+  const std::size_t horizon = setup.horizon;
+  const linalg::Vector& noise_bounds = setup.noise_bounds;
+  const std::vector<Signal>& attacks = setup.attacks;
+  const std::uint64_t seed = setup.seed;
+  const bool noisy_attacks = setup.noisy_attacks;
   require(benign_runs > 0, "make_workload: need benign runs");
-  const sim::BatchRunner runner(threads);
+  const sim::BatchRunner runner(setup.threads);
   RocWorkload workload;
   workload.benign.reserve(benign_runs);
   // Cap the attempts so a monitor that rejects everything cannot loop
@@ -159,6 +162,23 @@ RocWorkload make_workload(const control::ClosedLoop& loop,
     std::swap(workload.attacked[j], s.trace);
   });
   return workload;
+}
+
+RocWorkload make_workload(const control::ClosedLoop& loop,
+                          const monitor::MonitorSet& monitors,
+                          std::size_t benign_runs, std::size_t horizon,
+                          const linalg::Vector& noise_bounds,
+                          const std::vector<Signal>& attacks, std::uint64_t seed,
+                          bool noisy_attacks, std::size_t threads) {
+  WorkloadSetup setup;
+  setup.num_runs = benign_runs;
+  setup.horizon = horizon;
+  setup.noise_bounds = noise_bounds;
+  setup.attacks = attacks;
+  setup.seed = seed;
+  setup.noisy_attacks = noisy_attacks;
+  setup.threads = threads;
+  return make_workload(loop, monitors, setup);
 }
 
 }  // namespace cpsguard::detect

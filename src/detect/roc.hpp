@@ -16,6 +16,7 @@
 #include "detect/detector.hpp"
 #include "detect/threshold.hpp"
 #include "monitor/monitor.hpp"
+#include "sim/config.hpp"
 
 namespace cpsguard::detect {
 
@@ -61,14 +62,31 @@ std::vector<double> log_scales(double lo, double hi, std::size_t count);
 RocCurve evaluate_roc(std::string name, const ThresholdVector& thresholds,
                       const RocWorkload& workload, const RocOptions& options);
 
-/// Builds a benign/attacked workload from a closed loop: `benign_runs`
+/// Workload recipe: Monte-Carlo knobs (sim::MonteCarloConfig — num_runs is
+/// the benign-run count) plus the attack signals to replay.
+struct WorkloadSetup : sim::MonteCarloConfig {
+  WorkloadSetup() { num_runs = 400; }
+
+  /// Attack signals replayed through the loop for the detection side.
+  std::vector<control::Signal> attacks;
+  /// Replay the attacks on top of fresh benign noise (the realistic
+  /// setting); false replays them noise-free.
+  bool noisy_attacks = true;
+};
+
+/// Builds a benign/attacked workload from a closed loop: `setup.num_runs`
 /// noise-only runs that pass the monitors (others are discarded, mirroring
-/// the paper's FAR protocol) and the given attack signals replayed through
-/// the loop (optionally with the same noise model).
+/// the paper's FAR protocol) and `setup.attacks` replayed through the loop
+/// (optionally with the same noise model).
 ///
 /// Candidate draw i (and attacked run j) uses its own RNG substream of
-/// `seed`, and draws are accepted in index order, so the workload is
+/// `setup.seed`, and draws are accepted in index order, so the workload is
 /// bit-identical for every `threads` setting (1 = serial, 0 = hardware).
+RocWorkload make_workload(const control::ClosedLoop& loop,
+                          const monitor::MonitorSet& monitors,
+                          const WorkloadSetup& setup);
+
+/// Positional convenience wrapper over the WorkloadSetup overload.
 RocWorkload make_workload(const control::ClosedLoop& loop,
                           const monitor::MonitorSet& monitors,
                           std::size_t benign_runs, std::size_t horizon,

@@ -6,9 +6,11 @@
 // envelope used by the Monte-Carlo FAR protocol.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "control/closed_loop.hpp"
+#include "linalg/matrix.hpp"
 #include "monitor/monitor.hpp"
 #include "synth/attack_synth.hpp"
 #include "synth/spec.hpp"
@@ -18,7 +20,10 @@ namespace cpsguard::models {
 struct CaseStudy {
   std::string name;
   control::LoopConfig loop;
-  synth::ReachCriterion pfc;
+  // Placeholder default (unit tolerance band on state 0) keeps CaseStudy
+  // default-constructible — scenario::ScenarioSpec holds one by value;
+  // every bundled factory overrides it.
+  synth::ReachCriterion pfc{0, 0.0, 1.0};
   monitor::MonitorSet mdc;
   std::size_t horizon = 0;
   control::Norm norm = control::Norm::kInf;

@@ -1,0 +1,295 @@
+#include "scenario/registry.hpp"
+
+#include "control/lti.hpp"
+#include "models/aircraft.hpp"
+#include "models/dcmotor.hpp"
+#include "models/lfc.hpp"
+#include "models/quadtank.hpp"
+#include "models/suspension.hpp"
+#include "models/trajectory.hpp"
+#include "models/vsc.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::scenario {
+
+using util::require;
+
+namespace {
+
+// The quickstart plant of examples/quickstart.cpp and the README: a
+// double-integrator-ish deviation loop at 10 Hz with a 0.4 m tracking
+// event.  Registered like the paper studies so the 60-second tour is
+// `cpsguard_cli run quickstart`.
+models::CaseStudy make_quickstart_study() {
+  control::ContinuousLti ct;
+  ct.a = linalg::Matrix{{0.0, 1.0}, {-4.0, -2.8}};
+  ct.b = linalg::Matrix{{0.0}, {1.0}};
+  ct.c = linalg::Matrix{{1.0, 0.0}};
+  ct.d = linalg::Matrix{{0.0}};
+  control::DiscreteLti plant = control::c2d(ct, 0.1);
+  plant.q = 1e-3 * linalg::Matrix::identity(2);
+  plant.r = linalg::Matrix{{2.5e-5}};
+
+  control::LoopConfig loop = control::LoopConfig::design(
+      plant, /*state_cost=*/linalg::Matrix::diagonal(linalg::Vector{400.0, 40.0}),
+      /*input_cost=*/linalg::Matrix{{0.2}}, /*reference=*/linalg::Vector{0.0});
+  loop.x1 = linalg::Vector{0.4, 0.0};
+  loop.xhat1 = loop.x1;
+
+  models::CaseStudy cs{"quickstart",
+                       loop,
+                       synth::ReachCriterion(/*state_index=*/0, /*target=*/0.0,
+                                             /*tol=*/0.05),
+                       monitor::MonitorSet{},
+                       /*horizon=*/10,
+                       control::Norm::kInf,
+                       linalg::Vector{0.01},
+                       /*attack_bound=*/0.3};
+  return cs;
+}
+
+ScenarioSpec base_spec(std::string name, std::string title,
+                       const models::CaseStudy& study, Protocol protocol) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.title = std::move(title);
+  spec.study = study;
+  spec.protocol = protocol;
+  return spec;
+}
+
+// The paper fixtures and extension experiments, registered on top of the
+// per-study default families.
+void register_paper_scenarios(Registry& registry) {
+  const models::CaseStudy vsc = models::make_vsc_case_study();
+  const models::CaseStudy dcmotor = models::make_dcmotor_case_study();
+  const models::CaseStudy suspension = models::make_suspension_case_study();
+
+  // Trajectory tracking with a cold estimator — the paper's Fig 1 setting
+  // (x̂1 = 0 while x1 = 0.4 m): benign residues start large and decay with
+  // the estimator transient.
+  models::CaseStudy cold = models::make_trajectory_case_study();
+  cold.name = "trajectory-tracking (cold estimator)";
+  cold.loop.xhat1 = linalg::Vector(cold.loop.plant.num_states());
+
+  {  // The quickstart tour: FAR of a relaxation-synthesized detector.
+    ScenarioSpec spec = base_spec(
+        "quickstart",
+        "synthesize a certified variable threshold and measure its FAR",
+        registry.study("quickstart"), Protocol::kFar);
+    spec.mc.num_runs = 500;
+    spec.detectors = {DetectorSpec::synthesis(
+        DetectorSpec::Kind::kSynthRelaxation, "synthesized")};
+    registry.add(std::move(spec));
+  }
+  {  // Table 1: FAR of Algorithm 2 / Algorithm 3 / static baseline on VSC.
+    ScenarioSpec spec = base_spec(
+        "table1", "VSC false alarm rates: variable vs static thresholds (paper "
+                  "Table 1: 61.5 % / 45.6 % / 98.9 %)",
+        vsc, Protocol::kFar);
+    spec.mc.num_runs = 1000;
+    spec.mc.seed = 1234;
+    spec.synthesis.max_rounds = 300;
+    spec.detectors = {
+        DetectorSpec::synthesis(DetectorSpec::Kind::kSynthPivot, "pivot (Alg 2)"),
+        DetectorSpec::synthesis(DetectorSpec::Kind::kSynthStepwise,
+                                "step-wise (Alg 3)"),
+        DetectorSpec::synthesis(DetectorSpec::Kind::kSynthStatic,
+                                "static (baseline)")};
+    registry.add(std::move(spec));
+  }
+  {  // Fig 2: the stealthy attack bypassing the industrial monitors.
+    ScenarioSpec spec = base_spec(
+        "fig2", "VSC: most damaging stealthy attack vs the monitoring system",
+        vsc, Protocol::kAttack);
+    spec.objective = synth::AttackObjective::kMaxDeviation;
+    registry.add(std::move(spec));
+  }
+  {  // Fig 3: Algorithms 2 and 3 on the VSC.
+    ScenarioSpec spec = base_spec(
+        "fig3", "VSC: variable-threshold synthesis (Algorithms 2 and 3)", vsc,
+        Protocol::kSynthesis);
+    spec.synthesis.max_rounds = 300;
+    spec.detectors = {
+        DetectorSpec::synthesis(DetectorSpec::Kind::kSynthPivot, "pivot (Alg 2)"),
+        DetectorSpec::synthesis(DetectorSpec::Kind::kSynthStepwise,
+                                "step-wise (Alg 3)")};
+    registry.add(std::move(spec));
+  }
+  {  // Fig 1 ingredients: the benign residue envelope on the cold estimator.
+    ScenarioSpec spec = base_spec(
+        "fig1/floor",
+        "trajectory (cold estimator): benign residue envelope (95 % quantile) "
+        "and the illustrative vth riding 40 % above it",
+        cold, Protocol::kNoiseFloor);
+    spec.mc.num_runs = 300;
+    spec.detectors = {DetectorSpec::noise_calibrated("vth", 1.4)};
+    registry.add(std::move(spec));
+  }
+  {  // Fig 1 traces: nominal vs seeded noisy run.
+    ScenarioSpec spec = base_spec(
+        "fig1/single", "trajectory (cold estimator): nominal and noisy traces",
+        cold, Protocol::kSingle);
+    spec.mc.seed = 2020;
+    registry.add(std::move(spec));
+  }
+  {  // ROC extension (E1): variable vs static across the whole sweep.
+    ScenarioSpec spec = base_spec(
+        "roc_paper",
+        "trajectory (cold estimator): ROC sweep, synthesized variable vs "
+        "static thresholds on a template + SMT attack workload",
+        cold, Protocol::kRoc);
+    spec.mc.num_runs = 400;
+    spec.mc.seed = 2020;
+    spec.roc.include_smt_attack = true;
+    spec.detectors = {DetectorSpec::synthesis(
+                          DetectorSpec::Kind::kSynthRelaxation,
+                          "variable (relaxation)"),
+                      DetectorSpec::synthesis(DetectorSpec::Kind::kSynthStatic,
+                                              "static baseline")};
+    registry.add(std::move(spec));
+  }
+  {  // Detector family trade-off on the DC motor.
+    ScenarioSpec spec = base_spec(
+        "dcmotor/tradeoff",
+        "DC motor: synthesized threshold vs chi-squared and CUSUM baselines "
+        "(attack coverage + FAR)",
+        dcmotor, Protocol::kFar);
+    spec.mc.num_runs = 400;
+    spec.mc.seed = 999;
+    spec.far_pfc_filter = false;  // the tradeoff study keeps every benign run
+    spec.far_against_attack = true;
+    spec.detectors = {
+        DetectorSpec::synthesis(DetectorSpec::Kind::kSynthRelaxation,
+                                "variable threshold (synth)"),
+        DetectorSpec::synthesis(DetectorSpec::Kind::kSynthStatic,
+                                "static threshold (max safe)"),
+        DetectorSpec::chi2("chi-squared (1% tail)", 6.63),
+        DetectorSpec::cusum("CUSUM", 0.02, 0.1)};
+    registry.add(std::move(spec));
+  }
+  {  // Hardening workflow: certified relaxation synthesis on the VSC.
+    ScenarioSpec spec = base_spec(
+        "vsc/harden",
+        "VSC: harden the monitoring system with a certified variable threshold",
+        vsc, Protocol::kSynthesis);
+    spec.detectors = {DetectorSpec::synthesis(
+        DetectorSpec::Kind::kSynthRelaxation, "relaxation")};
+    registry.add(std::move(spec));
+  }
+  {  // Deployment fixture: certified synthesis on the suspension study.
+    ScenarioSpec spec = base_spec(
+        "suspension/synth",
+        "suspension: certified threshold synthesis for codegen deployment",
+        suspension, Protocol::kSynthesis);
+    spec.detectors = {DetectorSpec::synthesis(
+        DetectorSpec::Kind::kSynthRelaxation, "relaxation")};
+    registry.add(std::move(spec));
+  }
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry registry = [] {
+    Registry r;
+    r.add_study("quickstart", make_quickstart_study());
+    r.add_study("aircraft", models::make_aircraft_pitch_case_study());
+    r.add_study("dcmotor", models::make_dcmotor_case_study());
+    r.add_study("lfc", models::make_lfc_case_study());
+    r.add_study("quadtank", models::make_quadtank_case_study());
+    r.add_study("suspension", models::make_suspension_case_study());
+    r.add_study("trajectory", models::make_trajectory_case_study());
+    r.add_study("vsc", models::make_vsc_case_study());
+    register_paper_scenarios(r);
+    return r;
+  }();
+  return registry;
+}
+
+void Registry::add(ScenarioSpec spec) {
+  require(!spec.name.empty(), "Registry: scenario needs a name");
+  const auto [it, inserted] = scenarios_.emplace(spec.name, std::move(spec));
+  require(inserted, "Registry: duplicate scenario '" + it->first + "'");
+}
+
+void Registry::add_study(const std::string& key, models::CaseStudy study) {
+  require(!key.empty(), "Registry: study needs a key");
+  const auto [it, inserted] = studies_.emplace(key, std::move(study));
+  require(inserted, "Registry: duplicate study '" + key + "'");
+  const models::CaseStudy& cs = it->second;
+
+  add(base_spec(key + "/single", cs.name + ": nominal + seeded noisy run", cs,
+                Protocol::kSingle));
+  {
+    ScenarioSpec far = base_spec(
+        key + "/far", cs.name + ": Monte-Carlo FAR of noise-calibrated detectors",
+        cs, Protocol::kFar);
+    far.detectors = {DetectorSpec::noise_calibrated("variable (1.4x floor)"),
+                     DetectorSpec::noise_peak_static("static (benign peak)")};
+    add(std::move(far));
+  }
+  add(base_spec(key + "/noise_floor",
+                cs.name + ": benign residue-norm quantile envelope", cs,
+                Protocol::kNoiseFloor));
+  {
+    ScenarioSpec roc = base_spec(
+        key + "/roc", cs.name + ": ROC sweep of noise-calibrated detectors", cs,
+        Protocol::kRoc);
+    roc.mc.num_runs = 200;
+    roc.detectors = {DetectorSpec::noise_calibrated("variable (1.4x floor)"),
+                     DetectorSpec::noise_peak_static("static (benign peak)")};
+    add(std::move(roc));
+  }
+  {
+    ScenarioSpec templates = base_spec(
+        key + "/templates",
+        cs.name + ": smallest-magnitude template attack search vs the "
+                  "noise-calibrated detector",
+        cs, Protocol::kTemplateSearch);
+    templates.detectors = {DetectorSpec::noise_calibrated("variable (1.4x floor)")};
+    add(std::move(templates));
+  }
+}
+
+bool Registry::has(const std::string& name) const {
+  return scenarios_.count(name) != 0;
+}
+
+const ScenarioSpec* Registry::find(const std::string& name) const {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+const ScenarioSpec& Registry::at(const std::string& name) const {
+  if (const ScenarioSpec* spec = find(name)) return *spec;
+  std::string message = "Registry: unknown scenario '" + name + "'; known:";
+  for (const auto& [key, spec] : scenarios_) message += " " + key;
+  throw util::InvalidArgument(message);
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [key, spec] : scenarios_) out.push_back(key);
+  return out;
+}
+
+std::vector<std::string> Registry::study_names() const {
+  std::vector<std::string> out;
+  out.reserve(studies_.size());
+  for (const auto& [key, study] : studies_) out.push_back(key);
+  return out;
+}
+
+const models::CaseStudy& Registry::study(const std::string& key) const {
+  const auto it = studies_.find(key);
+  if (it == studies_.end()) {
+    std::string message = "Registry: unknown case study '" + key + "'; known:";
+    for (const auto& [name, study] : studies_) message += " " + name;
+    throw util::InvalidArgument(message);
+  }
+  return it->second;
+}
+
+}  // namespace cpsguard::scenario

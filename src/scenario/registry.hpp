@@ -1,0 +1,53 @@
+// registry.hpp — the process-wide catalogue of named scenarios.
+//
+// Registry::instance() comes pre-populated with every bundled
+// models::CaseStudy (as both a lookup-able study and a family of default
+// scenarios: single / far / noise_floor / roc / templates) plus the paper's
+// experiment fixtures (table1, fig2, fig3, the ROC extension...).  New
+// experiments are specs added here — not new translation units — and
+// cpsguard_cli exposes the whole catalogue as list | describe | run.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace cpsguard::scenario {
+
+class Registry {
+ public:
+  /// The process-wide registry, built (thread-safely, once) on first use.
+  static Registry& instance();
+
+  /// Empty registry for tests; prefer instance() elsewhere.
+  Registry() = default;
+
+  /// Registers a scenario.  Throws util::InvalidArgument on duplicate names.
+  void add(ScenarioSpec spec);
+  /// Registers a case study under `key` and derives the default scenario
+  /// family `<key>/{single,far,noise_floor,roc,templates}` from it.
+  void add_study(const std::string& key, models::CaseStudy study);
+
+  bool has(const std::string& name) const;
+  const ScenarioSpec* find(const std::string& name) const;
+  /// Lookup that throws util::InvalidArgument with a suggestion list.
+  const ScenarioSpec& at(const std::string& name) const;
+
+  /// Registered scenario names, sorted.
+  std::vector<std::string> names() const;
+  /// Registered case-study keys, sorted.
+  std::vector<std::string> study_names() const;
+  /// Bundled case study by key ("vsc", "trajectory", ...).
+  const models::CaseStudy& study(const std::string& key) const;
+
+  std::size_t size() const { return scenarios_.size(); }
+
+ private:
+  // Ordered maps: list/names() output is deterministic and diff-friendly.
+  std::map<std::string, ScenarioSpec> scenarios_;
+  std::map<std::string, models::CaseStudy> studies_;
+};
+
+}  // namespace cpsguard::scenario

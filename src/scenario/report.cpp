@@ -1,0 +1,153 @@
+#include "scenario/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+#include "util/table.hpp"
+
+namespace cpsguard::scenario {
+
+std::string format_cell(double v) { return util::json_number(v); }
+
+void Report::add_summary(const std::string& key, const std::string& value) {
+  summary_.emplace_back(key, value);
+}
+void Report::add_summary(const std::string& key, const char* value) {
+  summary_.emplace_back(key, std::string(value));
+}
+void Report::add_summary(const std::string& key, double value) {
+  summary_.emplace_back(key, format_cell(value));
+}
+void Report::add_summary(const std::string& key, std::uint64_t value) {
+  summary_.emplace_back(key, std::to_string(value));
+}
+void Report::add_summary(const std::string& key, bool value) {
+  summary_.emplace_back(key, value ? "yes" : "no");
+}
+
+const std::string& Report::summary(const std::string& key) const {
+  static const std::string empty;
+  for (const auto& [k, v] : summary_)
+    if (k == key) return v;
+  return empty;
+}
+
+ReportTable& Report::add_table(std::string name, std::vector<std::string> columns) {
+  tables_.push_back(ReportTable{std::move(name), std::move(columns), {}});
+  return tables_.back();
+}
+
+const ReportTable* Report::table(const std::string& name) const {
+  for (const auto& t : tables_)
+    if (t.name == name) return &t;
+  return nullptr;
+}
+
+void Report::add_series(util::Series series) { series_.push_back(std::move(series)); }
+
+const std::vector<double>* Report::series(const std::string& name) const {
+  for (const auto& s : series_)
+    if (s.name == name) return &s.values;
+  return nullptr;
+}
+
+std::string Report::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("scenario").value(scenario_);
+  w.key("protocol").value(protocol_);
+  w.key("summary").begin_object();
+  for (const auto& [k, v] : summary_) w.key(k).value(v);
+  w.end_object();
+  w.key("tables").begin_array();
+  for (const auto& t : tables_) {
+    w.begin_object();
+    w.key("name").value(t.name);
+    w.key("columns").value(t.columns);
+    w.key("rows").begin_array();
+    for (const auto& row : t.rows) w.value(row);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("series").begin_array();
+  for (const auto& s : series_) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("values").value(s.values);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void Report::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw util::IoError("Report: cannot open " + path);
+  out << to_json() << '\n';
+  if (!out) throw util::IoError("Report: write failed for " + path);
+}
+
+namespace {
+
+// Table names become file-name fragments; keep them shell-friendly.
+std::string slug(const std::string& name) {
+  std::string out;
+  for (const char c : name)
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> Report::write_csv(const std::string& prefix) const {
+  std::vector<std::string> written;
+  for (const auto& t : tables_) {
+    const std::string path = prefix + "_" + slug(t.name) + ".csv";
+    util::CsvWriter csv(path, t.columns);
+    for (const auto& row : t.rows) csv.row_strings(row);
+    written.push_back(path);
+  }
+  if (!series_.empty()) {
+    std::vector<std::string> columns{"k"};
+    std::size_t len = 0;
+    for (const auto& s : series_) {
+      columns.push_back(s.name);
+      len = std::max(len, s.values.size());
+    }
+    const std::string path = prefix + "_series.csv";
+    util::CsvWriter csv(path, columns);
+    for (std::size_t k = 0; k < len; ++k) {
+      std::vector<std::string> row{std::to_string(k)};
+      for (const auto& s : series_) {
+        // One missing-value marker for both ragged padding and non-finite
+        // samples: "nan" (format_cell would spell non-finite as JSON null).
+        const bool present = k < s.values.size() && std::isfinite(s.values[k]);
+        row.push_back(present ? format_cell(s.values[k]) : std::string("nan"));
+      }
+      csv.row_strings(row);
+    }
+    written.push_back(path);
+  }
+  return written;
+}
+
+std::string Report::text() const {
+  std::string out;
+  out += "scenario: " + scenario_ + " (" + protocol_ + ")\n";
+  for (const auto& [k, v] : summary_) out += "  " + k + ": " + v + "\n";
+  for (const auto& t : tables_) {
+    util::TextTable table(t.columns);
+    for (const auto& row : t.rows) table.row(row);
+    out += "\n[" + t.name + "]\n" + table.str();
+  }
+  return out;
+}
+
+}  // namespace cpsguard::scenario

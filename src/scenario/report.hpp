@@ -1,0 +1,86 @@
+// report.hpp — the structured outcome of one executed scenario.
+//
+// Every protocol the ExperimentRunner knows (single run, Monte-Carlo FAR,
+// ROC sweep, noise floor, template search, threshold/attack synthesis)
+// reduces to the same artifact shape: ordered summary stats, row-oriented
+// tables, and named numeric series.  One Report type means one JSON/CSV
+// serializer, one terminal renderer, and a uniform surface for tests to
+// assert bit-identical reproduction across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/ascii_plot.hpp"
+
+namespace cpsguard::scenario {
+
+/// One row-oriented artifact table (cells are preformatted strings).
+struct ReportTable {
+  std::string name;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+class Report {
+ public:
+  Report() = default;
+  Report(std::string scenario, std::string protocol)
+      : scenario_(std::move(scenario)), protocol_(std::move(protocol)) {}
+
+  const std::string& scenario() const { return scenario_; }
+  const std::string& protocol() const { return protocol_; }
+
+  /// Ordered key/value summary stats.  Numeric overloads format
+  /// deterministically (%.17g), so identical doubles serialize identically
+  /// regardless of thread count or locale.
+  void add_summary(const std::string& key, const std::string& value);
+  void add_summary(const std::string& key, const char* value);
+  void add_summary(const std::string& key, double value);
+  void add_summary(const std::string& key, std::uint64_t value);
+  void add_summary(const std::string& key, bool value);
+  /// Summary lookup; empty string when absent.
+  const std::string& summary(const std::string& key) const;
+  const std::vector<std::pair<std::string, std::string>>& summaries() const {
+    return summary_;
+  }
+
+  /// Appends a table (arity of every row must match `columns`).
+  ReportTable& add_table(std::string name, std::vector<std::string> columns);
+  const ReportTable* table(const std::string& name) const;
+  const std::vector<ReportTable>& tables() const { return tables_; }
+
+  /// Appends a named numeric series (threshold vectors, trace signals,
+  /// quantile envelopes...) for plotting harnesses and the CSV mirror.
+  void add_series(util::Series series);
+  const std::vector<double>* series(const std::string& name) const;
+  const std::vector<util::Series>& all_series() const { return series_; }
+
+  /// Whole report as one JSON document (util::JsonWriter).
+  std::string to_json() const;
+  /// Writes to_json() to `path`.  Throws util::IoError on failure.
+  void write_json(const std::string& path) const;
+  /// Mirrors every table to `<prefix>_<table>.csv` and the series (index
+  /// column + NaN padding for ragged lengths) to `<prefix>_series.csv`.
+  /// Returns the paths written.
+  std::vector<std::string> write_csv(const std::string& prefix) const;
+
+  /// Terminal rendering: summary lines plus aligned tables.
+  std::string text() const;
+
+ private:
+  std::string scenario_;
+  std::string protocol_;
+  std::vector<std::pair<std::string, std::string>> summary_;
+  std::vector<ReportTable> tables_;
+  std::vector<util::Series> series_;
+};
+
+/// Deterministic cell/number formatting used by the runner (%.17g; exact
+/// round-trip so "bit-identical at any thread count" is checkable on the
+/// serialized artifact).
+std::string format_cell(double v);
+
+}  // namespace cpsguard::scenario

@@ -1,0 +1,633 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "attacks/search.hpp"
+#include "attacks/templates.hpp"
+#include "control/kalman.hpp"
+#include "control/noise.hpp"
+#include "detect/detector.hpp"
+#include "detect/far.hpp"
+#include "detect/noise_floor.hpp"
+#include "detect/roc.hpp"
+#include "sim/batch.hpp"
+#include "solver/lp_backend.hpp"
+#include "solver/problem.hpp"
+#include "solver/z3_backend.hpp"
+#include "synth/threshold_synth.hpp"
+#include "util/logging.hpp"
+#include "util/status.hpp"
+#include "util/table.hpp"
+
+namespace cpsguard::scenario {
+
+using control::Trace;
+using detect::ThresholdVector;
+using util::format_double;
+using util::require;
+
+namespace {
+
+// Calibration stages that need their own randomness (noise-calibrated
+// detector thresholds inside a FAR/ROC scenario) derive their seed from the
+// scenario seed with this fixed offset, so the protocol draws and the
+// calibration draws never share a substream and every stage stays
+// deterministic at any thread count.
+constexpr std::uint64_t kCalibrationSeedOffset = 0x9E3779B97F4A7C15ULL;
+
+/// A realized candidate detector: alarm predicates plus (when it reduces to
+/// residue thresholds) the threshold vector and synthesis metadata.
+struct BuiltDetector {
+  DetectorSpec spec;
+  ThresholdVector thresholds;  // empty for chi2/CUSUM
+  std::function<bool(const Trace&)> triggered;
+  std::function<std::optional<std::size_t>(const Trace&)> first_alarm;
+  // Synthesis metadata (zero/false for non-synthesized kinds).
+  std::size_t rounds = 0;
+  bool converged = false;
+  bool certified = false;
+  double seconds = 0.0;
+};
+
+/// Everything the protocol strategies share for one run: the resolved spec
+/// plus lazily constructed expensive pieces (solver stack, noise floors).
+class Context {
+ public:
+  explicit Context(ScenarioSpec spec)
+      : spec_(std::move(spec)),
+        horizon_(spec_.effective_horizon()),
+        noise_bounds_(spec_.effective_noise_bounds()),
+        runs_(spec_.effective_runs()),
+        pfc_(spec_.effective_pfc()),
+        loop_(spec_.study.loop) {
+    require(horizon_ > 0, "scenario: horizon resolves to zero");
+  }
+
+  const ScenarioSpec& spec() const { return spec_; }
+  std::size_t horizon() const { return horizon_; }
+  const linalg::Vector& noise_bounds() const { return noise_bounds_; }
+  std::size_t runs() const { return runs_; }
+  const synth::Criterion& pfc() const { return pfc_; }
+  const control::ClosedLoop& loop() const { return loop_; }
+  std::size_t threads() const { return spec_.mc.threads; }
+  std::uint64_t seed() const { return spec_.mc.seed; }
+
+  /// Algorithm-1 synthesizer over the (possibly overridden) pfc/horizon.
+  synth::AttackVectorSynthesizer& synthesizer() {
+    if (!synthesizer_) {
+      synth::AttackProblem problem = spec_.study.attack_problem();
+      problem.pfc = pfc_;
+      problem.horizon = horizon_;
+      solver::SolverOptions z3_options;
+      if (spec_.solver_timeout_seconds > 0.0)
+        z3_options.timeout_seconds = spec_.solver_timeout_seconds;
+      auto z3 = std::make_shared<solver::Z3Backend>(z3_options);
+      auto lp = spec_.use_finder ? std::make_shared<solver::LpBackend>() : nullptr;
+      synthesizer_.emplace(std::move(problem), std::move(z3), std::move(lp));
+    }
+    return *synthesizer_;
+  }
+
+  /// Largest provably-safe static threshold, computed once per run (the
+  /// kSynthStatic detector and the ROC SMT adversary share it).
+  const synth::StaticSynthesisResult& static_synthesis() {
+    if (!static_synthesis_)
+      static_synthesis_ = synth::static_threshold_synthesis(synthesizer());
+    return *static_synthesis_;
+  }
+
+  /// Installs an already-estimated floor, so a protocol that computed the
+  /// benign envelope itself (run_noise_floor) calibrates its detectors on
+  /// the exact envelope it reports.
+  void prime_calibration_floor(double quantile, detect::NoiseFloor floor) {
+    floors_.insert_or_assign(quantile, std::move(floor));
+  }
+
+  /// Benign residue floor at `quantile`, cached, on the calibration seed.
+  const detect::NoiseFloor& calibration_floor(double quantile) {
+    auto it = floors_.find(quantile);
+    if (it != floors_.end()) return it->second;
+    require(noise_bounds_.size() != 0,
+            "scenario: noise-calibrated detector needs noise bounds");
+    detect::NoiseFloorSetup setup;
+    setup.num_runs = 300;
+    setup.horizon = horizon_;
+    setup.noise_bounds = noise_bounds_;
+    setup.quantile = quantile;
+    setup.norm = spec_.study.norm;
+    setup.seed = seed() + kCalibrationSeedOffset;
+    setup.threads = threads();
+    return floors_.emplace(quantile, detect::estimate_noise_floor(loop_, setup))
+        .first->second;
+  }
+
+ private:
+  ScenarioSpec spec_;
+  std::size_t horizon_;
+  linalg::Vector noise_bounds_;
+  std::size_t runs_;
+  synth::Criterion pfc_;
+  control::ClosedLoop loop_;
+  std::optional<synth::AttackVectorSynthesizer> synthesizer_;
+  std::optional<synth::StaticSynthesisResult> static_synthesis_;
+  std::map<double, detect::NoiseFloor> floors_;
+};
+
+BuiltDetector wrap_residue(DetectorSpec spec, ThresholdVector thresholds,
+                           control::Norm norm) {
+  BuiltDetector built;
+  built.spec = std::move(spec);
+  built.thresholds = thresholds;
+  auto det = std::make_shared<detect::ResidueDetector>(std::move(thresholds), norm);
+  built.triggered = [det](const Trace& tr) { return det->triggered(tr); };
+  built.first_alarm = [det](const Trace& tr) { return det->first_alarm(tr); };
+  return built;
+}
+
+BuiltDetector build_detector(Context& ctx, const DetectorSpec& spec) {
+  const control::Norm norm = ctx.spec().study.norm;
+  const std::size_t T = ctx.horizon();
+  switch (spec.kind) {
+    case DetectorSpec::Kind::kStatic:
+      require(spec.value > 0.0, "scenario: static detector needs a positive value");
+      return wrap_residue(spec, ThresholdVector::constant(T, spec.value), norm);
+    case DetectorSpec::Kind::kNoiseCalibrated: {
+      const detect::NoiseFloor& floor = ctx.calibration_floor(spec.quantile);
+      ThresholdVector vth(T);
+      for (std::size_t k = 0; k < T; ++k)
+        vth.set(k, spec.scale * std::max(floor.quantiles[k], 1e-9));
+      return wrap_residue(spec, std::move(vth), norm);
+    }
+    case DetectorSpec::Kind::kNoisePeakStatic: {
+      const detect::NoiseFloor& floor = ctx.calibration_floor(spec.quantile);
+      const double level = spec.scale * std::max(floor.peak, 1e-9);
+      return wrap_residue(spec, ThresholdVector::constant(T, level), norm);
+    }
+    case DetectorSpec::Kind::kSynthPivot:
+    case DetectorSpec::Kind::kSynthStepwise:
+    case DetectorSpec::Kind::kSynthRelaxation: {
+      synth::SynthesisResult result;
+      if (spec.kind == DetectorSpec::Kind::kSynthPivot)
+        result = synth::pivot_threshold_synthesis(ctx.synthesizer(),
+                                                  ctx.spec().synthesis);
+      else if (spec.kind == DetectorSpec::Kind::kSynthStepwise)
+        result = synth::stepwise_threshold_synthesis(ctx.synthesizer(),
+                                                     ctx.spec().synthesis);
+      else
+        result = synth::relaxation_threshold_synthesis(ctx.synthesizer());
+      BuiltDetector built = wrap_residue(spec, result.thresholds, norm);
+      built.rounds = result.rounds;
+      built.converged = result.converged;
+      built.certified = result.certified;
+      built.seconds = result.total_seconds;
+      return built;
+    }
+    case DetectorSpec::Kind::kSynthStatic: {
+      const synth::StaticSynthesisResult& result = ctx.static_synthesis();
+      BuiltDetector built = wrap_residue(
+          spec, ThresholdVector::constant(T, std::max(result.threshold, 1e-9)),
+          norm);
+      built.rounds = result.solver_rounds;
+      built.converged = result.converged;
+      built.certified = result.certified;
+      built.seconds = result.total_seconds;
+      return built;
+    }
+    case DetectorSpec::Kind::kChi2: {
+      const control::KalmanDesign kd =
+          control::design_kalman(ctx.spec().study.loop.plant);
+      BuiltDetector built;
+      built.spec = spec;
+      auto det = std::make_shared<detect::Chi2Detector>(kd.innovation, spec.value);
+      built.triggered = [det](const Trace& tr) { return det->triggered(tr); };
+      built.first_alarm = [det](const Trace& tr) { return det->first_alarm(tr); };
+      return built;
+    }
+    case DetectorSpec::Kind::kCusum: {
+      BuiltDetector built;
+      built.spec = spec;
+      auto det =
+          std::make_shared<detect::CusumDetector>(spec.drift, spec.value, norm);
+      built.triggered = [det](const Trace& tr) { return det->triggered(tr); };
+      built.first_alarm = [det](const Trace& tr) { return det->first_alarm(tr); };
+      return built;
+    }
+  }
+  throw util::InvalidArgument("scenario: unknown detector kind");
+}
+
+std::vector<BuiltDetector> build_detectors(Context& ctx) {
+  std::vector<BuiltDetector> built;
+  built.reserve(ctx.spec().detectors.size());
+  for (const auto& spec : ctx.spec().detectors)
+    built.push_back(build_detector(ctx, spec));
+  return built;
+}
+
+void add_threshold_series(Report& report, const std::vector<BuiltDetector>& dets) {
+  for (const auto& d : dets)
+    if (d.spec.threshold_based())
+      report.add_series({"th/" + d.spec.label, d.thresholds.values()});
+}
+
+void add_synthesis_table(Report& report, const std::vector<BuiltDetector>& dets) {
+  if (std::none_of(dets.begin(), dets.end(),
+                   [](const BuiltDetector& d) { return d.spec.synthesized(); }))
+    return;
+  ReportTable& table = report.add_table(
+      "synthesis",
+      {"algorithm", "rounds", "converged", "certified", "seconds", "set", "monotone"});
+  for (const auto& d : dets) {
+    if (!d.spec.synthesized()) continue;
+    table.rows.push_back({d.spec.label, std::to_string(d.rounds),
+                          d.converged ? "yes" : "no", d.certified ? "yes" : "no",
+                          format_double(d.seconds, 3),
+                          std::to_string(d.thresholds.num_set()),
+                          d.thresholds.monotone_decreasing() ? "yes" : "no"});
+  }
+}
+
+void add_trace_series(Report& report, const std::string& prefix, const Trace& trace,
+                      control::Norm norm) {
+  if (trace.steps() == 0) return;
+  for (std::size_t i = 0; i < trace.x.front().size(); ++i)
+    report.add_series({prefix + "/x" + std::to_string(i), trace.state_series(i)});
+  for (std::size_t j = 0; j < trace.y.front().size(); ++j) {
+    report.add_series({prefix + "/y" + std::to_string(j), trace.output_series(j)});
+    report.add_series(
+        {prefix + "/dy" + std::to_string(j), trace.output_gradient_series(j)});
+  }
+  report.add_series({prefix + "/z_norm", trace.residue_norms(norm)});
+}
+
+// ---------------------------------------------------------------------------
+// Protocol strategies.  Each one is a thin adapter: spec fields in,
+// detect/attacks protocol call through sim::BatchRunner, Report rows out.
+// ---------------------------------------------------------------------------
+
+void run_far(Context& ctx, Report& report) {
+  std::vector<BuiltDetector> detectors = build_detectors(ctx);
+  require(!detectors.empty(), "scenario: FAR protocol needs detectors");
+
+  detect::FarSetup setup;
+  setup.num_runs = ctx.runs();
+  setup.horizon = ctx.horizon();
+  setup.noise_bounds = ctx.noise_bounds();
+  setup.seed = ctx.seed();
+  setup.threads = ctx.threads();
+  if (ctx.spec().far_pfc_filter) {
+    const synth::Criterion pfc = ctx.pfc();
+    setup.pfc = [pfc](const Trace& tr) { return pfc.satisfied(tr); };
+  }
+
+  std::vector<detect::FarCandidate> candidates;
+  candidates.reserve(detectors.size());
+  for (const auto& d : detectors) candidates.emplace_back(d.spec.label, d.triggered);
+
+  const detect::FarReport far = detect::evaluate_far(
+      ctx.loop(), ctx.spec().study.mdc, candidates, setup);
+
+  // Optional adversary column: does each candidate catch the worst stealthy
+  // attack Algorithm 1 can produce against the monitors alone?
+  std::optional<synth::AttackResult> attack;
+  if (ctx.spec().far_against_attack) {
+    attack = ctx.synthesizer().synthesize(ThresholdVector(ctx.horizon()),
+                                          ctx.spec().objective);
+    report.add_summary("attack_found", attack->found());
+    if (attack->found())
+      report.add_summary("attack_deviation",
+                         ctx.pfc().deviation(attack->trace));
+  }
+
+  report.add_summary("total_runs", far.total_runs);
+  report.add_summary("discarded_by_pfc", far.discarded_by_pfc);
+  report.add_summary("discarded_by_mdc", far.discarded_by_mdc);
+
+  std::vector<std::string> columns{"detector", "alarms", "evaluated", "far"};
+  if (attack) columns.push_back("catches_attack");
+  ReportTable& table = report.add_table("far", std::move(columns));
+  for (std::size_t i = 0; i < far.rows.size(); ++i) {
+    const auto& row = far.rows[i];
+    std::vector<std::string> cells{row.name, std::to_string(row.alarms),
+                                   std::to_string(row.evaluated),
+                                   format_double(row.rate(), 6)};
+    if (attack)
+      cells.push_back(attack->found()
+                          ? (detectors[i].triggered(attack->trace) ? "yes" : "no")
+                          : "-");
+    table.rows.push_back(std::move(cells));
+  }
+  add_synthesis_table(report, detectors);
+  add_threshold_series(report, detectors);
+}
+
+void run_noise_floor(Context& ctx, Report& report) {
+  detect::NoiseFloorSetup setup;
+  setup.num_runs = ctx.runs();
+  setup.horizon = ctx.horizon();
+  setup.noise_bounds = ctx.noise_bounds();
+  setup.quantile = ctx.spec().quantile;
+  setup.norm = ctx.spec().study.norm;
+  setup.seed = ctx.seed();
+  setup.threads = ctx.threads();
+  const detect::NoiseFloor floor = detect::estimate_noise_floor(ctx.loop(), setup);
+
+  report.add_summary("runs", setup.num_runs);
+  report.add_summary("quantile", setup.quantile);
+  report.add_summary("peak", floor.peak);
+  report.add_series({"quantile", floor.quantiles});
+
+  // Calibrate this scenario's detectors on the exact envelope reported
+  // above — noise-calibrated thresholds must be `scale` × these quantiles,
+  // not a re-estimate from different draws.  A detector asking for a
+  // different quantile would silently ride a separately-drawn floor, so
+  // reject the mismatch.
+  for (const auto& d : ctx.spec().detectors) {
+    const bool floor_calibrated = d.kind == DetectorSpec::Kind::kNoiseCalibrated ||
+                                  d.kind == DetectorSpec::Kind::kNoisePeakStatic;
+    require(!floor_calibrated || d.quantile == ctx.spec().quantile,
+            "scenario: noise-floor detectors must use the scenario quantile");
+  }
+  ctx.prime_calibration_floor(setup.quantile, floor);
+  std::vector<BuiltDetector> detectors = build_detectors(ctx);
+  if (!detectors.empty()) {
+    ReportTable& table =
+        report.add_table("floor", {"detector", "instants_below_floor"});
+    for (const auto& d : detectors) {
+      require(d.spec.threshold_based(),
+              "scenario: noise-floor diagnostics need threshold detectors");
+      table.rows.push_back(
+          {d.spec.label, std::to_string(floor.instants_below(d.thresholds))});
+    }
+    add_threshold_series(report, detectors);
+  }
+}
+
+void run_single(Context& ctx, Report& report) {
+  const control::Norm norm = ctx.spec().study.norm;
+  const Trace nominal = ctx.loop().simulate(ctx.horizon());
+  util::Rng rng = util::Rng::substream(ctx.seed(), 0);
+  const control::Signal noise =
+      control::bounded_uniform_signal(rng, ctx.horizon(), ctx.noise_bounds());
+  const Trace noisy =
+      ctx.loop().simulate(ctx.horizon(), nullptr, nullptr, &noise);
+
+  const synth::Criterion pfc = ctx.pfc();
+  report.add_summary("pfc", pfc.describe());
+  report.add_summary("nominal_pfc_satisfied", pfc.satisfied(nominal));
+  report.add_summary("noisy_pfc_satisfied", pfc.satisfied(noisy));
+  report.add_summary("nominal_deviation", pfc.deviation(nominal));
+  report.add_summary("noisy_deviation", pfc.deviation(noisy));
+  const auto residues = noisy.residue_norms(norm);
+  report.add_summary("noisy_residue_peak",
+                     residues.empty()
+                         ? 0.0
+                         : *std::max_element(residues.begin(), residues.end()));
+  report.add_summary("monitors_silent_on_noise",
+                     ctx.spec().study.mdc.stealthy(noisy));
+  add_trace_series(report, "nominal", nominal, norm);
+  add_trace_series(report, "noisy", noisy, norm);
+
+  std::vector<BuiltDetector> detectors = build_detectors(ctx);
+  if (!detectors.empty()) {
+    ReportTable& table = report.add_table("single", {"detector", "alarms_on_noise"});
+    for (const auto& d : detectors)
+      table.rows.push_back({d.spec.label, d.triggered(noisy) ? "yes" : "no"});
+    add_threshold_series(report, detectors);
+  }
+}
+
+void run_roc(Context& ctx, Report& report) {
+  std::vector<BuiltDetector> detectors = build_detectors(ctx);
+  require(!detectors.empty(), "scenario: ROC protocol needs detectors");
+  for (const auto& d : detectors)
+    require(d.spec.threshold_based(),
+            "scenario: ROC sweeps need threshold-based detectors");
+
+  const std::size_t T = ctx.horizon();
+  const std::size_t dim = ctx.spec().study.loop.plant.num_outputs();
+  const RocConfig& roc = ctx.spec().roc;
+  const std::vector<double> magnitudes =
+      roc.magnitudes.empty() ? std::vector<double>{0.08, 0.12, 0.18, 0.25, 0.35}
+                             : roc.magnitudes;
+
+  // Attacked side: the template shapes of the FDI literature at each
+  // magnitude, optionally joined by the paper's SMT-synthesized adversary.
+  linalg::Vector mask(dim);
+  for (std::size_t i = 0; i < dim; ++i) mask[i] = 1.0;
+  std::vector<control::Signal> attacked;
+  for (const double mag : magnitudes) {
+    attacked.push_back(attacks::bias_attack(mask).build(mag, T, dim));
+    attacked.push_back(attacks::surge_attack(mask, 0.6).build(mag, T, dim));
+    attacked.push_back(attacks::geometric_attack(mask, 1.3).build(mag, T, dim));
+    attacked.push_back(attacks::ramp_attack(mask).build(mag, T, dim));
+  }
+  if (roc.include_smt_attack) {
+    const synth::StaticSynthesisResult& safe = ctx.static_synthesis();
+    const synth::AttackResult smt = ctx.synthesizer().synthesize(
+        ThresholdVector::constant(T, roc.smt_threshold_scale *
+                                         std::max(safe.threshold, 1e-9)),
+        ctx.spec().objective);
+    report.add_summary("smt_attack_found", smt.found());
+    if (smt.found()) attacked.push_back(smt.attack);
+  }
+
+  detect::WorkloadSetup workload_setup;
+  workload_setup.num_runs = ctx.runs();
+  workload_setup.horizon = T;
+  workload_setup.noise_bounds = ctx.noise_bounds();
+  workload_setup.seed = ctx.seed();
+  workload_setup.threads = ctx.threads();
+  workload_setup.attacks = std::move(attacked);
+  const detect::RocWorkload workload =
+      detect::make_workload(ctx.loop(), ctx.spec().study.mdc, workload_setup);
+  report.add_summary("benign_runs", workload.benign.size());
+  report.add_summary("attacked_runs", workload.attacked.size());
+
+  detect::RocOptions options;
+  options.scales =
+      roc.scales.empty() ? detect::log_scales(0.25, 8.0, 13) : roc.scales;
+  options.norm = ctx.spec().study.norm;
+  options.threads = ctx.threads();
+
+  report.add_series({"scale", options.scales});
+  for (const auto& d : detectors) {
+    const detect::RocCurve curve =
+        detect::evaluate_roc(d.spec.label, d.thresholds, workload, options);
+    report.add_summary("auc/" + d.spec.label, curve.auc());
+    ReportTable& table = report.add_table(
+        "roc/" + d.spec.label, {"scale", "far", "detection", "mean_delay"});
+    std::vector<double> fars, detections;
+    for (const auto& p : curve.points) {
+      table.rows.push_back({format_cell(p.scale), format_double(p.false_alarm_rate, 6),
+                            format_double(p.detection_rate, 6),
+                            format_double(p.mean_detection_delay, 4)});
+      fars.push_back(p.false_alarm_rate);
+      detections.push_back(p.detection_rate);
+    }
+    report.add_series({"far/" + d.spec.label, std::move(fars)});
+    report.add_series({"detection/" + d.spec.label, std::move(detections)});
+  }
+  add_synthesis_table(report, detectors);
+  add_threshold_series(report, detectors);
+}
+
+void run_template_search(Context& ctx, Report& report) {
+  // The search protocol reports "caught by THE detector": one deployed
+  // threshold detector at most.
+  require(ctx.spec().detectors.size() <= 1,
+          "scenario: template search takes at most one deployed detector");
+  std::vector<BuiltDetector> detectors = build_detectors(ctx);
+  const detect::ResidueDetector* detector = nullptr;
+  std::optional<detect::ResidueDetector> holder;
+  if (!detectors.empty()) {
+    require(detectors.front().spec.threshold_based(),
+            "scenario: template search needs a threshold detector");
+    holder.emplace(detectors.front().thresholds, ctx.spec().study.norm);
+    detector = &*holder;
+  }
+
+  attacks::SearchOptions options;
+  options.threads = ctx.threads();
+  const std::size_t dim = ctx.spec().study.loop.plant.num_outputs();
+  const auto results = attacks::search_templates(
+      ctx.loop(), ctx.pfc(), ctx.spec().study.mdc, detector, ctx.horizon(),
+      attacks::standard_library(dim, ctx.horizon()), options);
+
+  std::size_t stealthy = 0;
+  ReportTable& table = report.add_table(
+      "templates", {"template", "min_magnitude", "caught_by_monitors",
+                    "caught_by_detector", "residue_peak", "deviation", "stealthy"});
+  for (const auto& r : results) {
+    if (r.stealthy_success()) ++stealthy;
+    table.rows.push_back(
+        {r.name,
+         r.min_violating_magnitude ? format_cell(*r.min_violating_magnitude) : "-",
+         r.caught_by_monitors ? "yes" : "no", r.caught_by_detector ? "yes" : "no",
+         format_cell(r.residue_peak), format_cell(r.deviation),
+         r.stealthy_success() ? "yes" : "no"});
+  }
+  report.add_summary("templates", results.size());
+  report.add_summary("stealthy_successes", stealthy);
+  add_threshold_series(report, detectors);
+}
+
+void run_synthesis(Context& ctx, Report& report) {
+  std::vector<BuiltDetector> detectors = build_detectors(ctx);
+  require(!detectors.empty(), "scenario: synthesis protocol needs algorithms");
+  for (const auto& d : detectors)
+    require(d.spec.synthesized(),
+            "scenario: synthesis protocol takes synthesis detector kinds");
+
+  ReportTable& table = report.add_table(
+      "synthesis", {"algorithm", "rounds", "converged", "certified", "seconds",
+                    "set", "monotone", "recheck"});
+  for (const auto& d : detectors) {
+    // Safety cross-check: the final vector must admit no stealthy attack.
+    const synth::AttackResult recheck = ctx.synthesizer().synthesize(d.thresholds);
+    table.rows.push_back({d.spec.label, std::to_string(d.rounds),
+                          d.converged ? "yes" : "no", d.certified ? "yes" : "no",
+                          format_double(d.seconds, 3),
+                          std::to_string(d.thresholds.num_set()),
+                          d.thresholds.monotone_decreasing() ? "yes" : "no",
+                          solver::status_name(recheck.status)});
+    report.add_summary("converged/" + d.spec.label, d.converged);
+  }
+  add_threshold_series(report, detectors);
+}
+
+void run_attack(Context& ctx, Report& report) {
+  const control::Norm norm = ctx.spec().study.norm;
+  // No detectors: the paper's "monitors alone" probe.  Otherwise exactly
+  // one threshold detector is the deployed one the attack must evade (a
+  // longer list would be silently ignored — reject it instead).
+  require(ctx.spec().detectors.size() <= 1,
+          "scenario: attack synthesis takes at most one deployed detector");
+  ThresholdVector deployed(ctx.horizon());
+  std::vector<BuiltDetector> detectors = build_detectors(ctx);
+  if (!detectors.empty()) {
+    require(detectors.front().spec.threshold_based(),
+            "scenario: attack synthesis needs a threshold detector");
+    deployed = detectors.front().thresholds;
+    add_threshold_series(report, detectors);
+  }
+  const synth::AttackResult attack =
+      ctx.synthesizer().synthesize(deployed, ctx.spec().objective);
+
+  report.add_summary("status", solver::status_name(attack.status));
+  report.add_summary("found", attack.found());
+  report.add_summary("certified", attack.certified);
+  report.add_summary("backend", attack.backend);
+  report.add_summary("solve_seconds", format_double(attack.solve_seconds, 3));
+  const Trace nominal = ctx.loop().simulate(ctx.horizon());
+  add_trace_series(report, "nominal", nominal, norm);
+  if (!attack.found()) return;
+
+  const synth::Criterion pfc = ctx.pfc();
+  report.add_summary("deviation", pfc.deviation(attack.trace));
+  report.add_summary("tolerance", pfc.tolerance());
+  report.add_summary("monitors_silent",
+                     ctx.spec().study.mdc.stealthy(attack.trace));
+  add_trace_series(report, "attack", attack.trace, norm);
+  if (!attack.attack.empty() && attack.attack.front().size() > 0) {
+    const std::size_t dim = attack.attack.front().size();
+    for (std::size_t j = 0; j < dim; ++j) {
+      std::vector<double> channel;
+      channel.reserve(attack.attack.size());
+      for (const auto& a : attack.attack) channel.push_back(a[j]);
+      report.add_series({"attack/a" + std::to_string(j), std::move(channel)});
+    }
+  }
+
+  // Per-monitor verdicts: longest violation run vs the dead zone.
+  const monitor::MonitorSet& mdc = ctx.spec().study.mdc;
+  if (mdc.size() != 0) {
+    ReportTable& table =
+        report.add_table("monitors", {"monitor", "max_violation_run", "alarm"});
+    for (std::size_t i = 0; i < mdc.size(); ++i) {
+      std::size_t run = 0, max_run = 0;
+      for (std::size_t k = 0; k < ctx.horizon(); ++k) {
+        run = mdc.at(i).violated(attack.trace, k) ? run + 1 : 0;
+        max_run = std::max(max_run, run);
+      }
+      table.rows.push_back({mdc.at(i).describe(), std::to_string(max_run),
+                            max_run >= mdc.dead_zone() ? "yes" : "no"});
+    }
+  }
+}
+
+}  // namespace
+
+Report ExperimentRunner::run(const ScenarioSpec& spec,
+                             const Overrides& overrides) const {
+  ScenarioSpec resolved = spec;
+  if (overrides.threads) resolved.mc.threads = *overrides.threads;
+  if (overrides.num_runs) resolved.mc.num_runs = *overrides.num_runs;
+  if (overrides.seed) resolved.mc.seed = *overrides.seed;
+
+  Context ctx(std::move(resolved));
+  Report report(ctx.spec().name, protocol_name(ctx.spec().protocol));
+  report.add_summary("case_study", ctx.spec().study.name);
+  report.add_summary("horizon", ctx.horizon());
+  report.add_summary("seed", std::uint64_t{ctx.seed()});
+  CPSG_INFO("scenario") << "running " << ctx.spec().name << " ("
+                        << protocol_name(ctx.spec().protocol) << ") on "
+                        << sim::resolve_threads(ctx.threads()) << " thread(s)";
+
+  switch (ctx.spec().protocol) {
+    case Protocol::kSingle: run_single(ctx, report); break;
+    case Protocol::kFar: run_far(ctx, report); break;
+    case Protocol::kNoiseFloor: run_noise_floor(ctx, report); break;
+    case Protocol::kRoc: run_roc(ctx, report); break;
+    case Protocol::kTemplateSearch: run_template_search(ctx, report); break;
+    case Protocol::kSynthesis: run_synthesis(ctx, report); break;
+    case Protocol::kAttack: run_attack(ctx, report); break;
+  }
+  return report;
+}
+
+}  // namespace cpsguard::scenario

@@ -1,0 +1,35 @@
+// runner.hpp — one engine that executes any ScenarioSpec.
+//
+// The ExperimentRunner resolves a spec's study-dependent defaults, realizes
+// its detector list (synthesis, noise calibration, statistical baselines),
+// dispatches on the protocol, and drives every Monte-Carlo stage through
+// sim::BatchRunner with util::Rng::substream per-run seeding.  The outcome
+// is a scenario::Report whose numbers are bit-identical for every thread
+// count — the PR-1 batch-engine invariant, surfaced end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "scenario/report.hpp"
+#include "scenario/spec.hpp"
+
+namespace cpsguard::scenario {
+
+class ExperimentRunner {
+ public:
+  /// Command-line style overrides applied on top of the spec; unset fields
+  /// keep the spec's values.
+  struct Overrides {
+    std::optional<std::size_t> threads;   ///< 0 = one per hardware thread
+    std::optional<std::size_t> num_runs;
+    std::optional<std::uint64_t> seed;
+  };
+
+  /// Executes the scenario and returns its report.  Throws
+  /// util::InvalidArgument on specs the protocol cannot honour (e.g. an ROC
+  /// sweep over a chi-squared detector, which has no threshold vector).
+  Report run(const ScenarioSpec& spec, const Overrides& overrides = {}) const;
+};
+
+}  // namespace cpsguard::scenario

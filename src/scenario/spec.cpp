@@ -1,0 +1,156 @@
+#include "scenario/spec.hpp"
+
+#include "util/status.hpp"
+#include "util/table.hpp"
+
+namespace cpsguard::scenario {
+
+std::string protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kSingle: return "single";
+    case Protocol::kFar: return "far";
+    case Protocol::kNoiseFloor: return "noise_floor";
+    case Protocol::kRoc: return "roc";
+    case Protocol::kTemplateSearch: return "template_search";
+    case Protocol::kSynthesis: return "synthesis";
+    case Protocol::kAttack: return "attack";
+  }
+  throw util::InvalidArgument("protocol_name: unknown protocol");
+}
+
+namespace {
+
+std::string kind_name(DetectorSpec::Kind kind) {
+  switch (kind) {
+    case DetectorSpec::Kind::kStatic: return "static";
+    case DetectorSpec::Kind::kNoiseCalibrated: return "noise-calibrated";
+    case DetectorSpec::Kind::kNoisePeakStatic: return "noise-peak static";
+    case DetectorSpec::Kind::kSynthPivot: return "pivot (Alg 2)";
+    case DetectorSpec::Kind::kSynthStepwise: return "step-wise (Alg 3)";
+    case DetectorSpec::Kind::kSynthRelaxation: return "relaxation";
+    case DetectorSpec::Kind::kSynthStatic: return "static synthesis";
+    case DetectorSpec::Kind::kChi2: return "chi-squared";
+    case DetectorSpec::Kind::kCusum: return "CUSUM";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool DetectorSpec::threshold_based() const {
+  return kind != Kind::kChi2 && kind != Kind::kCusum;
+}
+
+bool DetectorSpec::synthesized() const {
+  switch (kind) {
+    case Kind::kSynthPivot:
+    case Kind::kSynthStepwise:
+    case Kind::kSynthRelaxation:
+    case Kind::kSynthStatic:
+      return true;
+    default:
+      return false;
+  }
+}
+
+DetectorSpec DetectorSpec::static_threshold(std::string label, double value) {
+  DetectorSpec spec;
+  spec.kind = Kind::kStatic;
+  spec.label = std::move(label);
+  spec.value = value;
+  return spec;
+}
+
+DetectorSpec DetectorSpec::noise_calibrated(std::string label, double scale,
+                                            double quantile) {
+  DetectorSpec spec;
+  spec.kind = Kind::kNoiseCalibrated;
+  spec.label = std::move(label);
+  spec.scale = scale;
+  spec.quantile = quantile;
+  return spec;
+}
+
+DetectorSpec DetectorSpec::noise_peak_static(std::string label, double scale,
+                                             double quantile) {
+  DetectorSpec spec;
+  spec.kind = Kind::kNoisePeakStatic;
+  spec.label = std::move(label);
+  spec.scale = scale;
+  spec.quantile = quantile;
+  return spec;
+}
+
+DetectorSpec DetectorSpec::synthesis(Kind kind, std::string label) {
+  DetectorSpec spec;
+  spec.kind = kind;
+  spec.label = std::move(label);
+  util::require(spec.synthesized(), "DetectorSpec::synthesis: non-synthesis kind");
+  return spec;
+}
+
+DetectorSpec DetectorSpec::chi2(std::string label, double limit) {
+  DetectorSpec spec;
+  spec.kind = Kind::kChi2;
+  spec.label = std::move(label);
+  spec.value = limit;
+  return spec;
+}
+
+DetectorSpec DetectorSpec::cusum(std::string label, double drift, double limit) {
+  DetectorSpec spec;
+  spec.kind = Kind::kCusum;
+  spec.label = std::move(label);
+  spec.drift = drift;
+  spec.value = limit;
+  return spec;
+}
+
+std::size_t ScenarioSpec::effective_horizon() const {
+  return mc.horizon != 0 ? mc.horizon : study.horizon;
+}
+
+linalg::Vector ScenarioSpec::effective_noise_bounds() const {
+  return mc.noise_bounds.size() != 0 ? mc.noise_bounds : study.noise_bounds;
+}
+
+synth::Criterion ScenarioSpec::effective_pfc() const {
+  return pfc_override.valid() ? pfc_override : synth::Criterion(study.pfc);
+}
+
+std::size_t ScenarioSpec::effective_runs() const {
+  if (mc.num_runs != 0) return mc.num_runs;
+  switch (protocol) {
+    case Protocol::kFar: return 1000;   // the paper's FAR sample size
+    case Protocol::kNoiseFloor: return 200;
+    case Protocol::kRoc: return 400;    // benign side of the workload
+    default: return 1;
+  }
+}
+
+std::string ScenarioSpec::describe() const {
+  std::string out;
+  out += "scenario: " + name + "\n";
+  out += "  " + title + "\n";
+  out += "  case study: " + study.name + " (horizon " +
+         std::to_string(effective_horizon()) + ", " +
+         std::to_string(study.loop.plant.num_outputs()) + " outputs, " +
+         std::to_string(study.mdc.size()) + " monitors)\n";
+  out += "  protocol: " + protocol_name(protocol) + "\n";
+  out += "  pfc: " + effective_pfc().describe() + "\n";
+  const linalg::Vector bounds = effective_noise_bounds();
+  std::string bounds_str;
+  for (std::size_t i = 0; i < bounds.size(); ++i)
+    bounds_str += (i != 0 ? ", " : "") + util::format_double(bounds[i], 4);
+  out += "  noise bounds: [" + bounds_str + "]\n";
+  out += "  runs: " + std::to_string(effective_runs()) + ", seed " +
+         std::to_string(mc.seed) + "\n";
+  if (!detectors.empty()) {
+    out += "  detectors:\n";
+    for (const auto& d : detectors)
+      out += "    - " + d.label + " (" + kind_name(d.kind) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace cpsguard::scenario

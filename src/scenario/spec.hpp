@@ -1,0 +1,141 @@
+// spec.hpp — declarative description of one experiment scenario.
+//
+// The paper's evaluation is a cross product: case-study plant × benign
+// noise envelope × detector/threshold configuration × protocol (single
+// run, Monte-Carlo FAR, ROC sweep, noise floor, template search, threshold
+// or attack synthesis).  A ScenarioSpec captures one point of that product
+// as plain data, so the whole space is enumerable (scenario::Registry),
+// scriptable (cpsguard_cli) and executable by one engine
+// (scenario::ExperimentRunner) instead of a hand-written main() per
+// experiment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/case_study.hpp"
+#include "sim/config.hpp"
+#include "synth/attack_synth.hpp"
+#include "synth/threshold_synth.hpp"
+
+namespace cpsguard::scenario {
+
+/// The experiment protocols the runner knows how to execute.
+enum class Protocol {
+  kSingle,         ///< nominal + one seeded noisy run, traces as series
+  kFar,            ///< Monte-Carlo false-alarm rate over the detector list
+  kNoiseFloor,     ///< per-instant benign residue-norm quantiles
+  kRoc,            ///< threshold-scale sweep on a benign/attacked workload
+  kTemplateSearch, ///< smallest-successful-magnitude search over templates
+  kSynthesis,      ///< run the listed threshold-synthesis algorithms
+  kAttack,         ///< Algorithm 1: synthesize a stealthy attack
+};
+
+/// Parse-friendly protocol names ("far", "roc", ...).
+std::string protocol_name(Protocol protocol);
+
+/// How one candidate detector of a scenario is obtained.  Declarative so a
+/// spec can mix formally synthesized detectors with noise-calibrated and
+/// statistical baselines without writing code.
+struct DetectorSpec {
+  enum class Kind {
+    kStatic,           ///< constant threshold at `value`
+    kNoiseCalibrated,  ///< `scale` × per-instant noise-floor quantile
+    kNoisePeakStatic,  ///< `scale` × noise-floor peak, as a constant
+    kSynthPivot,       ///< Algorithm 2 (pivot) variable threshold
+    kSynthStepwise,    ///< Algorithm 3 (step-wise) variable threshold
+    kSynthRelaxation,  ///< relaxation synthesis (certified, monotone)
+    kSynthStatic,      ///< largest provably-safe static threshold
+    kChi2,             ///< chi-squared baseline at statistic limit `value`
+    kCusum,            ///< CUSUM baseline (drift `drift`, limit `value`)
+  };
+
+  Kind kind = Kind::kStatic;
+  std::string label;
+  double value = 0.0;      ///< static/chi2/cusum limit
+  double scale = 1.4;      ///< noise-calibrated headroom multiplier
+  double quantile = 0.95;  ///< noise-calibrated quantile
+  double drift = 0.02;     ///< CUSUM drift
+
+  /// True for kinds that reduce to a residue ThresholdVector (everything
+  /// but chi2/CUSUM) — the ones ROC sweeps and codegen can consume.
+  bool threshold_based() const;
+  /// True for kinds that invoke the synthesis pipeline (need a solver).
+  bool synthesized() const;
+
+  static DetectorSpec static_threshold(std::string label, double value);
+  static DetectorSpec noise_calibrated(std::string label, double scale = 1.4,
+                                       double quantile = 0.95);
+  /// Constant at `scale` × the largest residue norm observed across the
+  /// calibration runs (NoiseFloor::peak; `quantile` only shapes the cached
+  /// floor it rides on).
+  static DetectorSpec noise_peak_static(std::string label, double scale = 1.0,
+                                        double quantile = 0.95);
+  static DetectorSpec synthesis(Kind kind, std::string label);
+  static DetectorSpec chi2(std::string label, double limit);
+  static DetectorSpec cusum(std::string label, double drift, double limit);
+};
+
+/// Knobs of the ROC protocol.
+struct RocConfig {
+  /// Threshold multipliers; empty = detect::log_scales(0.25, 8.0, 13).
+  std::vector<double> scales;
+  /// Magnitudes for the template attacks in the workload; empty = a
+  /// standard spread {0.08, 0.12, 0.18, 0.25, 0.35}.
+  std::vector<double> magnitudes;
+  /// Additionally synthesize the paper's Fig-1 adversary (most damaging
+  /// attack under a loose static threshold) into the attacked side.
+  bool include_smt_attack = false;
+  /// The loose static threshold, as a multiple of the synthesized safe one.
+  double smt_threshold_scale = 2.0;
+};
+
+/// One declarative experiment: everything the runner needs, as data.
+struct ScenarioSpec {
+  std::string name;   ///< registry key, e.g. "vsc/far"
+  std::string title;  ///< one-line human description
+  models::CaseStudy study;
+  Protocol protocol = Protocol::kSingle;
+
+  /// Monte-Carlo knobs.  horizon == 0 resolves to study.horizon; an empty
+  /// noise_bounds resolves to study.noise_bounds; num_runs == 0 resolves to
+  /// a per-protocol default.
+  sim::MonteCarloConfig mc{/*num_runs=*/0, /*horizon=*/0, /*noise_bounds=*/{},
+                           /*seed=*/1, /*threads=*/1};
+
+  /// Candidate detectors (FAR rows, ROC entrants, synthesis algorithms...).
+  std::vector<DetectorSpec> detectors;
+
+  /// Replaces study.pfc when valid — e.g. an STL contract as the
+  /// performance criterion (examples/stl_contract_synthesis).
+  synth::Criterion pfc_override;
+
+  double quantile = 0.95;  ///< noise-floor protocol quantile
+  RocConfig roc;
+  /// Attack-synthesis objective (kAttack, and the far_against_attack /
+  /// SMT-workload adversaries).
+  synth::AttackObjective objective = synth::AttackObjective::kMaxDeviation;
+  synth::SynthesisOptions synthesis;  ///< Algorithm 2/3 options
+  /// kFar extra: synthesize the worst stealthy attack and report, per
+  /// detector, whether it is caught (the detector trade-off comparison).
+  bool far_against_attack = false;
+  /// Filter FAR runs through study.pfc (the paper's protocol).
+  bool far_pfc_filter = true;
+  /// Solver wiring for synthesized pieces: use the simplex fast finder
+  /// next to the Z3 certifier, and an optional per-call timeout.
+  bool use_finder = true;
+  double solver_timeout_seconds = 0.0;  ///< 0 = no cap
+
+  /// Effective values after resolving the study-dependent defaults.
+  std::size_t effective_horizon() const;
+  linalg::Vector effective_noise_bounds() const;
+  std::size_t effective_runs() const;
+  synth::Criterion effective_pfc() const;
+
+  /// Multi-line human description (CLI `describe`).
+  std::string describe() const;
+};
+
+}  // namespace cpsguard::scenario

@@ -1,0 +1,31 @@
+// config.hpp — the shared knobs of every Monte-Carlo protocol.
+//
+// FAR estimation, noise-floor quantiles, ROC workload assembly and (minus
+// the noise) template search all answer "run N seeded scenarios over T
+// instants and aggregate".  Their setup structs inherit MonteCarloConfig so
+// the scenario layer can treat "how much work, from which seed, on how many
+// threads" uniformly, and so new protocols don't reinvent the fields.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace cpsguard::sim {
+
+struct MonteCarloConfig {
+  std::size_t num_runs = 0;     ///< N independent runs
+  std::size_t horizon = 50;     ///< T samples per run
+  /// Per-output bound of the benign uniform measurement noise.
+  linalg::Vector noise_bounds;
+  /// Run i draws its randomness from util::Rng::substream(seed, i), so
+  /// every protocol built on this config is bit-identical for any thread
+  /// count.
+  std::uint64_t seed = 1;
+  /// Worker threads for the run fan-out: 1 = serial, 0 = one per hardware
+  /// thread.
+  std::size_t threads = 1;
+};
+
+}  // namespace cpsguard::sim

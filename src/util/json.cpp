@@ -1,0 +1,150 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/status.hpp"
+
+namespace cpsguard::util {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  out_ += '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  require(!stack_.empty() && stack_.back() == Frame::kObject,
+          "JsonWriter: end_object with no open object");
+  require(!key_pending_, "JsonWriter: end_object with a dangling key");
+  stack_.pop_back();
+  has_items_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  out_ += '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  require(!stack_.empty() && stack_.back() == Frame::kArray,
+          "JsonWriter: end_array with no open array");
+  stack_.pop_back();
+  has_items_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  require(!stack_.empty() && stack_.back() == Frame::kObject,
+          "JsonWriter: key outside an object");
+  require(!key_pending_, "JsonWriter: consecutive keys without a value");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  out_ += json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::vector<double>& values) {
+  begin_array();
+  for (const double v : values) value(v);
+  return end_array();
+}
+
+JsonWriter& JsonWriter::value(const std::vector<std::string>& values) {
+  begin_array();
+  for (const auto& v : values) value(v);
+  return end_array();
+}
+
+const std::string& JsonWriter::str() const {
+  require(stack_.empty(), "JsonWriter: str() with unclosed containers");
+  return out_;
+}
+
+void JsonWriter::before_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  if (stack_.empty()) {
+    require(out_.empty(), "JsonWriter: only one top-level value allowed");
+    return;
+  }
+  require(stack_.back() == Frame::kArray,
+          "JsonWriter: object members need a key");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+}
+
+}  // namespace cpsguard::util

@@ -1,0 +1,66 @@
+// json.hpp — streaming JSON emission for experiment reports.
+//
+// scenario::Report serializes itself through this writer so every
+// experiment artifact (summary stats + tables + series) has a stable,
+// machine-readable form next to the CSV mirrors.  The writer is
+// deliberately tiny: a stack of open containers, strict nesting checks via
+// util::require, and deterministic number formatting (%.17g round-trips
+// every double bit-exactly, which the cross-thread reproducibility tests
+// rely on).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpsguard::util {
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+std::string json_escape(const std::string& s);
+
+/// Shortest exact decimal form of `v` (%.17g; "null" for NaN/inf, which
+/// JSON cannot represent).
+std::string json_number(double v);
+
+/// Stack-checked streaming JSON writer.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("runs").value(std::uint64_t{1000});
+///   w.key("rows").begin_array(); ... w.end_array();
+///   w.end_object();
+///   std::string doc = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Names the next value inside an object.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+
+  /// Whole-array conveniences.
+  JsonWriter& value(const std::vector<double>& values);
+  JsonWriter& value(const std::vector<std::string>& values);
+
+  /// Finished document.  Requires every container to be closed.
+  const std::string& str() const;
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+  void before_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool key_pending_ = false;
+};
+
+}  // namespace cpsguard::util

@@ -1,0 +1,215 @@
+// Tests for the scenario layer: registry lookup/describe round-trips, the
+// ExperimentRunner's bit-identical results across 1/2/8 worker threads
+// (extending the sim_test.cpp invariant to whole reports), and golden
+// outputs for the JSON/CSV report serializers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::scenario {
+namespace {
+
+// ---- registry ---------------------------------------------------------------
+
+TEST(Registry, EnumeratesEveryBundledCaseStudy) {
+  const Registry& registry = Registry::instance();
+  const std::vector<std::string> studies = registry.study_names();
+  for (const char* expected : {"aircraft", "dcmotor", "lfc", "quadtank",
+                               "quickstart", "suspension", "trajectory", "vsc"})
+    EXPECT_NE(std::find(studies.begin(), studies.end(), expected), studies.end())
+        << expected;
+
+  // Every study comes with its default scenario family.
+  for (const auto& study : studies)
+    for (const char* protocol : {"single", "far", "noise_floor", "roc", "templates"})
+      EXPECT_TRUE(registry.has(study + "/" + protocol)) << study << "/" << protocol;
+
+  // The paper fixtures ride on top.
+  for (const char* fixture : {"quickstart", "table1", "fig2", "fig3", "roc_paper"})
+    EXPECT_TRUE(registry.has(fixture)) << fixture;
+}
+
+TEST(Registry, LookupDescribeRoundTrip) {
+  const Registry& registry = Registry::instance();
+  for (const auto& name : registry.names()) {
+    const ScenarioSpec& spec = registry.at(name);
+    EXPECT_EQ(spec.name, name);
+    const std::string description = spec.describe();
+    // The description carries the registry key, the protocol and the study.
+    EXPECT_NE(description.find(name), std::string::npos) << description;
+    EXPECT_NE(description.find(protocol_name(spec.protocol)), std::string::npos);
+    EXPECT_NE(description.find(spec.study.name), std::string::npos);
+  }
+}
+
+TEST(Registry, UnknownNamesThrow) {
+  const Registry& registry = Registry::instance();
+  EXPECT_THROW(registry.at("no-such-scenario"), util::InvalidArgument);
+  EXPECT_THROW(registry.study("no-such-study"), util::InvalidArgument);
+  EXPECT_EQ(registry.find("no-such-scenario"), nullptr);
+}
+
+TEST(Registry, RejectsDuplicates) {
+  Registry registry;
+  ScenarioSpec spec;
+  spec.name = "dup";
+  spec.study = Registry::instance().study("trajectory");
+  registry.add(spec);
+  EXPECT_THROW(registry.add(spec), util::InvalidArgument);
+}
+
+// ---- runner determinism across thread counts --------------------------------
+
+// Whole-report equality at the serialized level: every summary value, table
+// cell and series sample must match bit-for-bit.
+void expect_reports_identical(const Report& a, const Report& b) {
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+Report run_threads(const std::string& name, std::size_t threads,
+                   std::size_t runs) {
+  ExperimentRunner::Overrides overrides;
+  overrides.threads = threads;
+  overrides.num_runs = runs;
+  return ExperimentRunner().run(Registry::instance().at(name), overrides);
+}
+
+TEST(ExperimentRunner, FarReportBitIdenticalAcrossThreads) {
+  const Report serial = run_threads("trajectory/far", 1, 60);
+  for (const std::size_t threads : {2u, 8u})
+    expect_reports_identical(serial, run_threads("trajectory/far", threads, 60));
+}
+
+TEST(ExperimentRunner, NoiseFloorReportBitIdenticalAcrossThreads) {
+  const Report serial = run_threads("vsc/noise_floor", 1, 40);
+  for (const std::size_t threads : {2u, 8u})
+    expect_reports_identical(serial, run_threads("vsc/noise_floor", threads, 40));
+}
+
+TEST(ExperimentRunner, RocReportBitIdenticalAcrossThreads) {
+  const Report serial = run_threads("trajectory/roc", 1, 30);
+  for (const std::size_t threads : {2u, 8u})
+    expect_reports_identical(serial, run_threads("trajectory/roc", threads, 30));
+}
+
+TEST(ExperimentRunner, TemplateSearchReportBitIdenticalAcrossThreads) {
+  const Report serial = run_threads("vsc/templates", 1, 1);
+  for (const std::size_t threads : {2u, 8u})
+    expect_reports_identical(serial, run_threads("vsc/templates", threads, 1));
+}
+
+TEST(ExperimentRunner, SeedOverrideChangesTheDraws) {
+  ExperimentRunner::Overrides a, b;
+  a.num_runs = b.num_runs = 50;
+  a.seed = 1;
+  b.seed = 2;
+  const ExperimentRunner runner;
+  const ScenarioSpec& spec = Registry::instance().at("trajectory/noise_floor");
+  EXPECT_NE(runner.run(spec, a).to_json(), runner.run(spec, b).to_json());
+}
+
+TEST(ExperimentRunner, SingleProtocolEmitsTraceSeries) {
+  const Report report = run_threads("trajectory/single", 1, 1);
+  ASSERT_NE(report.series("nominal/x0"), nullptr);
+  ASSERT_NE(report.series("noisy/z_norm"), nullptr);
+  EXPECT_EQ(report.series("noisy/z_norm")->size(),
+            Registry::instance().study("trajectory").horizon);
+  EXPECT_EQ(report.summary("nominal_pfc_satisfied"), "yes");
+}
+
+// ---- report serialization golden outputs ------------------------------------
+
+Report golden_report() {
+  Report report("golden/far", "far");
+  report.add_summary("total_runs", std::uint64_t{3});
+  report.add_summary("rate", 0.5);
+  report.add_summary("label", std::string("a \"quoted\"\nvalue"));
+  ReportTable& table = report.add_table("far", {"detector", "far"});
+  table.rows.push_back({"tight", "0.9"});
+  table.rows.push_back({"loose", "0.1"});
+  report.add_series({"th", {1.0, 0.25, 0.0625}});
+  return report;
+}
+
+TEST(Report, JsonGoldenOutput) {
+  const std::string expected =
+      "{\"scenario\":\"golden/far\",\"protocol\":\"far\","
+      "\"summary\":{\"total_runs\":\"3\",\"rate\":\"0.5\","
+      "\"label\":\"a \\\"quoted\\\"\\nvalue\"},"
+      "\"tables\":[{\"name\":\"far\",\"columns\":[\"detector\",\"far\"],"
+      "\"rows\":[[\"tight\",\"0.9\"],[\"loose\",\"0.1\"]]}],"
+      "\"series\":[{\"name\":\"th\",\"values\":[1,0.25,0.0625]}]}";
+  EXPECT_EQ(golden_report().to_json(), expected);
+}
+
+TEST(Report, CsvGoldenOutput) {
+  const std::string prefix = ::testing::TempDir() + "scenario_golden";
+  const std::vector<std::string> written = golden_report().write_csv(prefix);
+  ASSERT_EQ(written.size(), 2u);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  EXPECT_EQ(slurp(written[0]), "detector,far\ntight,0.9\nloose,0.1\n");
+  EXPECT_EQ(slurp(written[1]), "k,th\n0,1\n1,0.25\n2,0.0625\n");
+  for (const auto& path : written) std::remove(path.c_str());
+}
+
+TEST(Report, SummaryAndSeriesLookup) {
+  const Report report = golden_report();
+  EXPECT_EQ(report.summary("rate"), "0.5");
+  EXPECT_EQ(report.summary("missing"), "");
+  ASSERT_NE(report.series("th"), nullptr);
+  EXPECT_EQ(report.series("th")->size(), 3u);
+  EXPECT_EQ(report.series("missing"), nullptr);
+  ASSERT_NE(report.table("far"), nullptr);
+  EXPECT_EQ(report.table("missing"), nullptr);
+}
+
+// ---- JSON writer ------------------------------------------------------------
+
+TEST(JsonWriter, EscapesAndNests) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("text").value("tab\there \"x\" \\ done");
+  w.key("numbers").value(std::vector<double>{0.1, 1e300});
+  w.key("flag").value(true);
+  w.key("nested").begin_object().key("n").value(std::uint64_t{7}).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"text\":\"tab\\there \\\"x\\\" \\\\ done\","
+            "\"numbers\":[0.10000000000000001,1.0000000000000001e+300],"
+            "\"flag\":true,\"nested\":{\"n\":7}}");
+}
+
+TEST(JsonWriter, RejectsMalformedDocuments) {
+  {
+    util::JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), util::InvalidArgument);  // member without key
+  }
+  {
+    util::JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.str(), util::InvalidArgument);  // unclosed container
+  }
+  {
+    util::JsonWriter w;
+    EXPECT_THROW(w.end_object(), util::InvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace cpsguard::scenario
