@@ -14,13 +14,20 @@
 //      synthesis, all driven through the sim::BatchRunner batch engine with
 //      per-run RNG substreams (bit-identical at any thread count) — and
 //      read the structured scenario::Report (JSON/CSV serializable);
-//   3. for custom experiments, copy a spec and edit it as data (plant,
+//   3. to cover a whole parameter space instead of one point, run a sweep
+//      campaign from sweep::SweepRegistry::instance() ("table1_sweep",
+//      "roc_sweep", ...) through sweep::CampaignEngine — the grid expands
+//      from a declarative SweepSpec, cells are cached content-addressed
+//      (re-runs recompute only changed cells), and execution shards over
+//      machines and resumes after interruption, all bit-identical;
+//   4. for custom experiments, copy a spec and edit it as data (plant,
 //      noise envelope, detector list, protocol), or drop to the layers
 //      below: synth::AttackVectorSynthesizer (Algorithm 1),
 //      synth::pivot_/stepwise_threshold_synthesis (Algorithms 2 & 3),
 //      detect::evaluate_far, and codegen::write_detector_c for deployment.
-// The cpsguard_cli binary exposes the same registry as
-//   cpsguard_cli list | describe <scenario> | run <scenario>.
+// The cpsguard_cli binary exposes both registries as
+//   cpsguard_cli list | describe <scenario> | run <scenario>
+//   cpsguard_cli sweep list | describe | run | merge | status.
 #pragma once
 
 #include "attacks/search.hpp"
@@ -79,6 +86,10 @@
 #include "stl/parser.hpp"
 #include "stl/semantics.hpp"
 #include "stl/signal_expr.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/campaign.hpp"
+#include "sweep/registry.hpp"
+#include "sweep/spec.hpp"
 #include "sym/affine.hpp"
 #include "sym/constraint.hpp"
 #include "sym/unroller.hpp"

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 #include <fstream>
+#include <iterator>
 
 #include "util/csv.hpp"
 #include "util/json.hpp"
@@ -85,6 +86,41 @@ std::string Report::to_json() const {
   w.end_array();
   w.end_object();
   return w.str();
+}
+
+Report Report::from_json(const std::string& json) {
+  const util::JsonValue doc = util::parse_json(json);
+  Report report(doc.at("scenario").as_string(), doc.at("protocol").as_string());
+  for (const auto& [key, value] : doc.at("summary").members())
+    report.add_summary(key, value.as_string());
+  const util::JsonValue& tables = doc.at("tables");
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    const util::JsonValue& t = tables.at(i);
+    std::vector<std::string> columns;
+    for (std::size_t c = 0; c < t.at("columns").size(); ++c)
+      columns.push_back(t.at("columns").at(c).as_string());
+    ReportTable& table = report.add_table(t.at("name").as_string(), std::move(columns));
+    const util::JsonValue& rows = t.at("rows");
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      std::vector<std::string> cells;
+      for (std::size_t c = 0; c < rows.at(r).size(); ++c)
+        cells.push_back(rows.at(r).at(c).as_string());
+      table.rows.push_back(std::move(cells));
+    }
+  }
+  const util::JsonValue& series = doc.at("series");
+  for (std::size_t i = 0; i < series.size(); ++i)
+    report.add_series({series.at(i).at("name").as_string(),
+                       series.at(i).at("values").as_number_array()});
+  return report;
+}
+
+Report Report::read_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::IoError("Report: cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return from_json(text);
 }
 
 void Report::write_json(const std::string& path) const {

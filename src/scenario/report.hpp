@@ -60,6 +60,13 @@ class Report {
 
   /// Whole report as one JSON document (util::JsonWriter).
   std::string to_json() const;
+  /// Inverse of to_json(): rebuilds a Report from its serialized form.
+  /// Exact round-trip — from_json(r.to_json()).to_json() == r.to_json() —
+  /// which the sweep cache relies on to keep cold and warm campaign runs
+  /// bit-identical.  Throws util::InvalidArgument on malformed documents.
+  static Report from_json(const std::string& json);
+  /// from_json over the contents of `path`.  Throws util::IoError.
+  static Report read_json(const std::string& path);
   /// Writes to_json() to `path`.  Throws util::IoError on failure.
   void write_json(const std::string& path) const;
   /// Mirrors every table to `<prefix>_<table>.csv` and the series (index

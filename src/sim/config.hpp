@@ -24,7 +24,9 @@ struct MonteCarloConfig {
   /// count.
   std::uint64_t seed = 1;
   /// Worker threads for the run fan-out: 1 = serial, 0 = one per hardware
-  /// thread.
+  /// thread.  Threads are an execution detail, never part of a result's
+  /// identity — sweep::fingerprint deliberately excludes this field when
+  /// keying the content-addressed campaign cache.
   std::size_t threads = 1;
 };
 

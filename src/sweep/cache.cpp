@@ -1,0 +1,57 @@
+#include "sweep/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "util/csv.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::sweep {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  util::require(!dir_.empty(), "ResultCache: empty cache directory");
+}
+
+std::string ResultCache::entry_path(const std::string& fingerprint) const {
+  util::require(fingerprint.size() >= 3,
+                "ResultCache: fingerprint too short to shard");
+  return dir_ + "/" + fingerprint.substr(0, 2) + "/" + fingerprint + ".json";
+}
+
+bool ResultCache::has(const std::string& fingerprint) const {
+  std::error_code ec;
+  return fs::is_regular_file(entry_path(fingerprint), ec);
+}
+
+std::optional<std::string> ResultCache::load(const std::string& fingerprint) const {
+  const std::string path = entry_path(fingerprint);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::error_code ec;
+    if (!fs::exists(path, ec)) return std::nullopt;
+    throw util::IoError("ResultCache: cannot read " + path);
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) throw util::IoError("ResultCache: read failed for " + path);
+  return text;
+}
+
+void ResultCache::store(const std::string& fingerprint,
+                        const std::string& json) const {
+  util::write_file_atomic(entry_path(fingerprint), json);
+}
+
+std::size_t ResultCache::size() const {
+  std::error_code ec;
+  if (!fs::is_directory(dir_, ec)) return 0;
+  std::size_t count = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir_, ec))
+    if (entry.is_regular_file() && entry.path().extension() == ".json") ++count;
+  return count;
+}
+
+}  // namespace cpsguard::sweep

@@ -1,0 +1,49 @@
+// cache.hpp — content-addressed result cache for sweep campaigns.
+//
+// One entry per executed cell: the cell's Report JSON, stored under the
+// SHA-256 fingerprint of its fully-resolved ScenarioSpec (sweep/spec.hpp).
+// Re-running a campaign therefore recomputes only cells whose parameters
+// (or the code-version salt) changed; sharded and resumed runs pick up each
+// other's results through the same directory.  Writes are atomic
+// (temp file + rename), so a killed run never leaves a half-written entry
+// for the resume to trip over.
+//
+// Layout: <dir>/<first 2 hex chars>/<full fingerprint>.json — the two-char
+// fan-out keeps directory listings manageable for six-figure campaigns.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace cpsguard::sweep {
+
+class ResultCache {
+ public:
+  /// Opens (and lazily creates) the cache rooted at `dir`.
+  explicit ResultCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Path an entry for `fingerprint` lives at (whether or not it exists).
+  std::string entry_path(const std::string& fingerprint) const;
+
+  bool has(const std::string& fingerprint) const;
+
+  /// Entry contents, or nullopt when absent.  Throws util::IoError when the
+  /// entry exists but cannot be read.
+  std::optional<std::string> load(const std::string& fingerprint) const;
+
+  /// Atomically stores `json` under `fingerprint` (write temp + rename).
+  /// Overwrites an existing entry with identical content by construction —
+  /// the fingerprint is a content address.  Throws util::IoError on failure.
+  void store(const std::string& fingerprint, const std::string& json) const;
+
+  /// Number of entries currently on disk (walks the fan-out dirs).
+  std::size_t size() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace cpsguard::sweep

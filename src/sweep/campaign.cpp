@@ -1,0 +1,428 @@
+#include "sweep/campaign.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "scenario/runner.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::sweep {
+
+namespace fs = std::filesystem;
+using scenario::Protocol;
+using scenario::Report;
+using scenario::ReportTable;
+using util::require;
+
+ShardSelector ShardSelector::parse(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  require(slash != std::string::npos && slash > 0 && slash + 1 < text.size(),
+          "shard: expected 'i/N', got '" + text + "'");
+  ShardSelector shard;
+  try {
+    std::size_t consumed = 0;
+    shard.index = std::stoull(text.substr(0, slash), &consumed);
+    require(consumed == slash, "shard: bad index in '" + text + "'");
+    const std::string count = text.substr(slash + 1);
+    shard.count = std::stoull(count, &consumed);
+    require(consumed == count.size(), "shard: bad count in '" + text + "'");
+  } catch (const std::logic_error&) {
+    throw util::InvalidArgument("shard: expected 'i/N', got '" + text + "'");
+  }
+  require(shard.count > 0, "shard: count must be positive");
+  require(shard.index < shard.count,
+          "shard: index " + std::to_string(shard.index) + " out of range for " +
+              std::to_string(shard.count) + " shards");
+  return shard;
+}
+
+namespace {
+
+std::string manifest_path(const std::string& work_dir, const std::string& campaign,
+                          const ShardSelector& shard) {
+  return work_dir + "/" + campaign + ".shard-" + std::to_string(shard.index) +
+         "-of-" + std::to_string(shard.count) + ".json";
+}
+
+struct ManifestCell {
+  std::size_t index = 0;
+  std::string fingerprint;
+  bool done = false;
+};
+
+std::string manifest_json(const SweepSpec& spec, const std::string& expansion,
+                          const ShardSelector& shard,
+                          const std::vector<ManifestCell>& cells) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("campaign").value(spec.name);
+  w.key("base").value(spec.base);
+  w.key("expansion").value(expansion);
+  w.key("shard_index").value(std::uint64_t{shard.index});
+  w.key("shard_count").value(std::uint64_t{shard.count});
+  w.key("cells").begin_array();
+  for (const auto& cell : cells) {
+    w.begin_object();
+    w.key("index").value(std::uint64_t{cell.index});
+    w.key("fingerprint").value(cell.fingerprint);
+    w.key("done").value(cell.done);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+/// Completed cell indices recorded by the manifest at `path`, or nullopt
+/// when the file is absent / unreadable / from a different expansion.
+std::optional<std::set<std::size_t>> read_manifest_done(
+    const std::string& path, const std::string& expansion) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  try {
+    const util::JsonValue doc = util::parse_json(text);
+    if (doc.at("expansion").as_string() != expansion) return std::nullopt;
+    std::set<std::size_t> done;
+    const util::JsonValue& cells = doc.at("cells");
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      if (cells.at(i).at("done").as_bool())
+        done.insert(static_cast<std::size_t>(cells.at(i).at("index").as_number()));
+    return done;
+  } catch (const util::Error&) {
+    return std::nullopt;  // corrupt manifest: treat as absent, recompute
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign report assembly.  Always fed from serialized cell JSON (the
+// cache, or the in-memory store of a --no-cache run) so every execution
+// mode shares one code path and the outputs are bit-identical.
+// ---------------------------------------------------------------------------
+
+/// Per-protocol metric columns extracted from one cell report.
+struct CellMetrics {
+  std::vector<std::string> labels;  ///< column suffixes, e.g. detector names
+  std::vector<std::string> cells;   ///< formatted values, same arity
+  std::vector<double> values;       ///< numeric mirror for series/frontier
+};
+
+/// Numeric value of a report cell; NaN for non-numeric content (e.g. the
+/// "null" a protocol emits for an undefined statistic) so one odd cell
+/// degrades its series sample instead of aborting the whole campaign.
+double parse_metric(const std::string& cell) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(cell, &consumed);
+    return consumed == cell.size() ? value
+                                   : std::numeric_limits<double>::quiet_NaN();
+  } catch (const std::logic_error&) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+CellMetrics extract_metrics(Protocol protocol, const Report& cell) {
+  CellMetrics out;
+  switch (protocol) {
+    case Protocol::kFar: {
+      const ReportTable* far = cell.table("far");
+      if (far == nullptr) break;
+      for (const auto& row : far->rows) {
+        // far table columns: detector, alarms, evaluated, far[, ...].
+        out.labels.push_back("far/" + row.at(0));
+        out.cells.push_back(row.at(3));
+        out.values.push_back(parse_metric(row.at(3)));
+      }
+      break;
+    }
+    case Protocol::kRoc: {
+      for (const auto& [key, value] : cell.summaries()) {
+        if (key.rfind("auc/", 0) != 0) continue;
+        out.labels.push_back(key);
+        out.cells.push_back(value);
+        out.values.push_back(parse_metric(value));
+      }
+      break;
+    }
+    case Protocol::kNoiseFloor: {
+      out.labels.push_back("peak");
+      out.cells.push_back(cell.summary("peak"));
+      out.values.push_back(parse_metric(cell.summary("peak")));
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+/// Loader contract: fingerprint -> serialized cell Report.
+using CellLoader = std::function<std::string(const Cell&)>;
+
+Report build_campaign_report(const SweepSpec& spec, const std::vector<Cell>& cells,
+                             const std::string& expansion,
+                             const CellLoader& load) {
+  Report report(spec.name, "sweep");
+  report.add_summary("base", spec.base);
+  report.add_summary("cells", std::uint64_t{cells.size()});
+  report.add_summary("axes", std::uint64_t{spec.axes.size()});
+  report.add_summary("expansion", expansion);
+
+  ReportTable& axes_table = report.add_table("axes", {"axis", "values"});
+  for (const auto& axis : spec.axes) {
+    std::string values;
+    for (std::size_t i = 0; i < axis.values.size(); ++i)
+      values += (i == 0 ? "" : " ") + scenario::format_cell(axis.values[i]);
+    axes_table.rows.push_back({axis.param, values});
+  }
+
+  // Metric columns come from the first cell; every cell shares the
+  // detector list, so the shape is uniform across the grid.
+  const Protocol protocol =
+      cells.empty() ? Protocol::kSingle : cells.front().spec.protocol;
+  std::vector<std::string> columns{"cell"};
+  for (const auto& axis : spec.axes) columns.push_back(axis.param);
+  std::vector<std::string> metric_labels;
+  std::vector<std::vector<double>> metric_series;
+  std::optional<Report> first;  // reused for cell 0 in the loop below
+  if (!cells.empty()) {
+    first = Report::from_json(load(cells.front()));
+    metric_labels = extract_metrics(protocol, *first).labels;
+    for (const auto& label : metric_labels) columns.push_back(label);
+    metric_series.resize(metric_labels.size());
+  }
+
+  // Frontier bookkeeping: per metric label, the best (lowest) value seen.
+  std::vector<double> best(metric_labels.size(),
+                           std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> best_cell(metric_labels.size(), 0);
+  std::vector<std::string> best_value(metric_labels.size());
+
+  ReportTable& cells_table = report.add_table("cells", columns);
+  for (const auto& cell : cells) {
+    const Report cell_report = cell.index == cells.front().index
+                                   ? *first
+                                   : Report::from_json(load(cell));
+    const CellMetrics metrics = extract_metrics(protocol, cell_report);
+    require(metrics.labels == metric_labels,
+            "sweep: cell " + cell.id() + " metric shape mismatch");
+    std::vector<std::string> row{cell.id()};
+    for (const double c : cell.coordinates)
+      row.push_back(scenario::format_cell(c));
+    for (std::size_t m = 0; m < metrics.cells.size(); ++m) {
+      row.push_back(metrics.cells[m]);
+      metric_series[m].push_back(metrics.values[m]);
+      if (metrics.values[m] < best[m]) {
+        best[m] = metrics.values[m];
+        best_cell[m] = cell.index;
+        best_value[m] = metrics.cells[m];
+      }
+    }
+    cells_table.rows.push_back(std::move(row));
+  }
+
+  // Best-value frontier (for FAR campaigns: the lowest false-alarm rate
+  // each detector achieves anywhere on the grid, and where).
+  if (!metric_labels.empty() && !cells.empty()) {
+    std::vector<std::string> frontier_columns{"metric", "best", "cell"};
+    for (const auto& axis : spec.axes) frontier_columns.push_back(axis.param);
+    ReportTable& frontier =
+        report.add_table("frontier", std::move(frontier_columns));
+    for (std::size_t m = 0; m < metric_labels.size(); ++m) {
+      // best_value stays empty when the metric was NaN in every cell
+      // (nothing finite to minimize): say so instead of naming a winner.
+      if (best_value[m].empty()) {
+        std::vector<std::string> row{metric_labels[m], "-", "-"};
+        for (std::size_t a = 0; a < spec.axes.size(); ++a) row.push_back("-");
+        frontier.rows.push_back(std::move(row));
+        continue;
+      }
+      const Cell& winner = cells[best_cell[m]];
+      std::vector<std::string> row{metric_labels[m], best_value[m], winner.id()};
+      for (const double c : winner.coordinates)
+        row.push_back(scenario::format_cell(c));
+      frontier.rows.push_back(std::move(row));
+    }
+    for (std::size_t m = 0; m < metric_labels.size(); ++m)
+      report.add_series({metric_labels[m], std::move(metric_series[m])});
+  }
+  return report;
+}
+
+}  // namespace
+
+CampaignRun CampaignEngine::run(const SweepSpec& spec,
+                                const CampaignOptions& options) const {
+  const std::vector<Cell> cells = spec.expand(scenario::Registry::instance());
+  const std::string expansion = expansion_fingerprint(spec.name, cells);
+
+  CampaignRun outcome;
+  outcome.cells_total = cells.size();
+  outcome.expansion = expansion;
+
+  std::vector<const Cell*> owned;
+  for (const auto& cell : cells)
+    if (options.shard.owns(cell.index)) owned.push_back(&cell);
+  outcome.cells_in_shard = owned.size();
+
+  std::vector<std::string> fingerprints(cells.size());
+  for (const auto& cell : cells) fingerprints[cell.index] = fingerprint(cell.spec);
+
+  // In-memory store for --no-cache runs; the report loader reads from it
+  // through the same serialized-JSON path the cache uses.
+  std::map<std::string, std::string> memory;
+  std::optional<ResultCache> cache;
+  if (options.use_cache) cache.emplace(options.cache_dir);
+
+  std::set<std::size_t> manifest_done;
+  if (options.use_cache) {
+    outcome.manifest_path =
+        manifest_path(options.work_dir, spec.name, options.shard);
+    if (auto done = read_manifest_done(outcome.manifest_path, expansion))
+      manifest_done = std::move(*done);
+  }
+
+  std::vector<ManifestCell> manifest_cells;
+  manifest_cells.reserve(owned.size());
+  for (const Cell* cell : owned)
+    manifest_cells.push_back(
+        {cell->index, fingerprints[cell->index],
+         manifest_done.count(cell->index) != 0 &&
+             cache && cache->has(fingerprints[cell->index])});
+
+  const auto flush_manifest = [&] {
+    if (!options.use_cache) return;
+    util::write_file_atomic(
+        outcome.manifest_path,
+        manifest_json(spec, expansion, options.shard, manifest_cells));
+  };
+  flush_manifest();
+
+  const scenario::ExperimentRunner runner;
+  scenario::ExperimentRunner::Overrides overrides;
+  overrides.threads = options.threads;
+
+  bool budget_exhausted = false;
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    const Cell& cell = *owned[i];
+    ManifestCell& entry = manifest_cells[i];
+    if (entry.done) {
+      ++outcome.cache_hits;
+      continue;
+    }
+    if (cache && cache->has(entry.fingerprint)) {
+      ++outcome.cache_hits;
+      entry.done = true;
+      flush_manifest();
+      continue;
+    }
+    if (options.max_cells != 0 && outcome.executed >= options.max_cells) {
+      budget_exhausted = true;
+      break;
+    }
+    CPSG_INFO("sweep") << spec.name << ": running " << cell.id() << " ("
+                       << outcome.executed + outcome.cache_hits + 1 << "/"
+                       << owned.size() << ")";
+    const Report cell_report = runner.run(cell.spec, overrides);
+    const std::string json = cell_report.to_json();
+    if (cache)
+      cache->store(entry.fingerprint, json);
+    else
+      memory[entry.fingerprint] = json;
+    ++outcome.executed;
+    entry.done = true;
+    flush_manifest();
+  }
+
+  outcome.complete = !budget_exhausted;
+  if (!outcome.complete || options.shard.count != 1) return outcome;
+
+  const CellLoader load = [&](const Cell& cell) -> std::string {
+    const std::string& fp = fingerprints[cell.index];
+    if (cache) {
+      auto json = cache->load(fp);
+      require(json.has_value(), "sweep: cache entry vanished for " + cell.id());
+      return *json;
+    }
+    return memory.at(fp);
+  };
+  outcome.report = build_campaign_report(spec, cells, expansion, load);
+  return outcome;
+}
+
+Report CampaignEngine::merge(const SweepSpec& spec,
+                             const CampaignOptions& options) const {
+  const std::vector<Cell> cells = spec.expand(scenario::Registry::instance());
+  const std::string expansion = expansion_fingerprint(spec.name, cells);
+  const ResultCache cache(options.cache_dir);
+
+  std::vector<std::size_t> missing;
+  std::vector<std::string> fingerprints(cells.size());
+  for (const auto& cell : cells) {
+    fingerprints[cell.index] = fingerprint(cell.spec);
+    if (!cache.has(fingerprints[cell.index])) missing.push_back(cell.index);
+  }
+  if (!missing.empty()) {
+    // Map missing cells onto the shards that own them so the error says
+    // which `sweep run --shard i/N` invocations still have to happen.
+    std::set<std::size_t> shards;
+    for (const std::size_t index : missing)
+      shards.insert(index % options.shard.count);
+    std::string message = "sweep: merge of '" + spec.name + "' is missing " +
+                          std::to_string(missing.size()) + "/" +
+                          std::to_string(cells.size()) + " cells (shards";
+    for (const std::size_t s : shards)
+      message += " " + std::to_string(s) + "/" + std::to_string(options.shard.count);
+    throw util::InvalidArgument(message + " incomplete)");
+  }
+
+  const CellLoader load = [&](const Cell& cell) -> std::string {
+    auto json = cache.load(fingerprints[cell.index]);
+    require(json.has_value(), "sweep: cache entry vanished for " + cell.id());
+    return *json;
+  };
+  return build_campaign_report(spec, cells, expansion, load);
+}
+
+CampaignStatus CampaignEngine::status(const SweepSpec& spec,
+                                      const CampaignOptions& options) const {
+  const std::vector<Cell> cells = spec.expand(scenario::Registry::instance());
+  const std::string expansion = expansion_fingerprint(spec.name, cells);
+
+  CampaignStatus status;
+  status.cells_total = cells.size();
+
+  std::error_code ec;
+  if (!fs::is_directory(options.work_dir, ec)) return status;
+  std::set<std::size_t> done;
+  const std::string prefix = spec.name + ".shard-";
+  // Sorted traversal so stale_manifests listings are deterministic.
+  std::vector<fs::path> entries;
+  for (const auto& entry : fs::directory_iterator(options.work_dir, ec))
+    entries.push_back(entry.path());
+  std::sort(entries.begin(), entries.end());
+  for (const auto& path : entries) {
+    const std::string file = path.filename().string();
+    if (file.rfind(prefix, 0) != 0 || path.extension() != ".json") continue;
+    if (auto shard_done = read_manifest_done(path.string(), expansion)) {
+      ++status.shards_seen;
+      done.insert(shard_done->begin(), shard_done->end());
+    } else {
+      status.stale_manifests.push_back(file);
+    }
+  }
+  status.cells_done = done.size();
+  return status;
+}
+
+}  // namespace cpsguard::sweep

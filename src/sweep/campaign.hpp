@@ -1,0 +1,99 @@
+// campaign.hpp — executes a SweepSpec: cached, sharded, resumable.
+//
+// The engine expands a campaign into cells (sweep/spec.hpp), partitions
+// them deterministically over shards (cell_index mod shard_count), and
+// drives each owned cell through scenario::ExperimentRunner.  Three
+// invariants make campaigns composable:
+//
+//  1. Content-addressed caching: a cell's Report JSON is stored under the
+//     fingerprint of its resolved spec, so re-running recomputes only
+//     changed cells and shards share results through the cache directory.
+//  2. Single read path: the campaign report is always assembled from the
+//     stored JSON (never from in-memory results), so cold, warm, resumed
+//     and shard-merged executions are bit-identical by construction.
+//  3. Resumability: a per-shard manifest under the work dir records which
+//     cells completed; an interrupted run (kill, --max-cells budget)
+//     continues where it left off.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/report.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/spec.hpp"
+
+namespace cpsguard::sweep {
+
+/// Deterministic shard partition: shard i of N owns the cells with
+/// index % N == i.  The default 0/1 owns everything.
+struct ShardSelector {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  bool owns(std::size_t cell_index) const {
+    return cell_index % count == index;
+  }
+  /// Parses "i/N" (0 <= i < N).  Throws util::InvalidArgument.
+  static ShardSelector parse(const std::string& text);
+};
+
+struct CampaignOptions {
+  std::string cache_dir = ".cpsguard/cache";
+  std::string work_dir = ".cpsguard/campaigns";  ///< shard manifests
+  ShardSelector shard;
+  /// Worker threads per cell's Monte-Carlo stage (0 = hardware threads).
+  /// Cells execute serially — each cell already fans out internally, and
+  /// nesting pools would oversubscribe without changing any result.
+  std::size_t threads = 1;
+  /// When false, results are kept in memory only (no cache reads or
+  /// writes, no resume) — for tests that need a guaranteed-fresh run.
+  bool use_cache = true;
+  /// Execute at most this many not-yet-cached cells, then stop with
+  /// complete=false.  Simulates interruption; 0 = no budget.
+  std::size_t max_cells = 0;
+};
+
+/// Outcome of one `run` invocation (one shard's worth of work).
+struct CampaignRun {
+  std::size_t cells_total = 0;     ///< whole campaign
+  std::size_t cells_in_shard = 0;  ///< owned by this shard
+  std::size_t executed = 0;        ///< computed fresh this invocation
+  std::size_t cache_hits = 0;      ///< satisfied from the cache
+  bool complete = false;           ///< every owned cell done
+  std::string manifest_path;       ///< "" when use_cache is false
+  std::string expansion;           ///< expansion fingerprint
+  /// The merged campaign report; present when this run covers the whole
+  /// campaign (shard 0/1) and completed.  Sharded runs defer to merge().
+  std::optional<scenario::Report> report;
+};
+
+/// Progress of a campaign as recorded by shard manifests in the work dir.
+struct CampaignStatus {
+  std::size_t cells_total = 0;
+  std::size_t cells_done = 0;   ///< union over shards, deduplicated
+  std::size_t shards_seen = 0;  ///< manifests found in the work dir
+  std::vector<std::string> stale_manifests;  ///< expansion-mismatched files
+};
+
+class CampaignEngine {
+ public:
+  /// Executes `spec`'s cells owned by options.shard.  Throws util::Error on
+  /// unknown base scenarios / axis parameters and on I/O failures.
+  CampaignRun run(const SweepSpec& spec, const CampaignOptions& options) const;
+
+  /// Stitches a (possibly sharded) campaign into one report: every cell
+  /// must be present in the cache.  Throws util::InvalidArgument listing
+  /// the missing shards otherwise.  The result is bit-identical to the
+  /// report of an unsharded `run`.
+  scenario::Report merge(const SweepSpec& spec,
+                         const CampaignOptions& options) const;
+
+  /// Reads shard manifests for `spec` from options.work_dir.
+  CampaignStatus status(const SweepSpec& spec,
+                        const CampaignOptions& options) const;
+};
+
+}  // namespace cpsguard::sweep

@@ -1,0 +1,114 @@
+#include "sweep/registry.hpp"
+
+#include "util/status.hpp"
+
+namespace cpsguard::sweep {
+
+using scenario::DetectorSpec;
+using util::require;
+
+namespace {
+
+void register_paper_campaigns(SweepRegistry& registry) {
+  {  // Table 1 as a campaign: FAR across the noise envelope × detector
+     // headroom × CUSUM drift space the paper samples one point of.
+    SweepSpec spec;
+    spec.name = "table1_sweep";
+    spec.title = "VSC FAR grid: noise envelope x detector headroom x CUSUM "
+                 "drift (the space behind paper Table 1)";
+    spec.base = "vsc/far";
+    spec.detectors = {
+        DetectorSpec::noise_calibrated("variable (floor)", 1.4),
+        DetectorSpec::noise_peak_static("static (benign peak)", 1.0),
+        DetectorSpec::cusum("CUSUM", 0.02, 0.1)};
+    spec.fixed = {{"runs", 150}};
+    spec.axes = {
+        Axis::list("noise_scale", {0.6, 0.8, 1.0, 1.2, 1.4}),
+        Axis::list("detector_scale", {1.0, 1.2, 1.4, 1.7, 2.0}),
+        Axis::list("cusum_drift", {0.005, 0.01, 0.02, 0.04})};
+    registry.add(std::move(spec));  // 5 x 5 x 4 = 100 cells
+  }
+  {  // The Fig-3 trade-off as data: FAR of a fixed static threshold swept
+     // over its level, across noise envelopes — the frontier threshold
+     // synthesis navigates, sampled exhaustively.
+    SweepSpec spec;
+    spec.name = "threshold_sweep";
+    spec.title = "VSC FAR frontier of a static threshold: level (log-spaced) "
+                 "x noise envelope";
+    spec.base = "vsc/far";
+    spec.detectors = {DetectorSpec::static_threshold("static", 0.05)};
+    spec.fixed = {{"runs", 150}};
+    spec.axes = {Axis::range("threshold", 0.01, 0.32, 16, /*log_scale=*/true),
+                 Axis::list("noise_scale", {0.75, 1.0, 1.25})};
+    registry.add(std::move(spec));  // 16 x 3 = 48 cells
+  }
+  {  // ROC sweep: how the whole curve (AUC) moves with the benign envelope
+     // and the calibration headroom.
+    SweepSpec spec;
+    spec.name = "roc_sweep";
+    spec.title = "trajectory ROC AUC: noise envelope x calibration headroom";
+    spec.base = "trajectory/roc";
+    spec.fixed = {{"runs", 60}};
+    spec.axes = {Axis::list("noise_scale", {0.8, 1.0, 1.25}),
+                 Axis::list("detector_scale", {1.2, 1.4, 1.7})};
+    registry.add(std::move(spec));  // 3 x 3 = 9 cells
+  }
+  {  // Quantization x dead-zone ablation grid: sensor resolution enters as
+     // the additive uniform quantization-noise model (ablation A6), the
+     // dead zone as the paper's monitoring constant (ablation A3).
+    SweepSpec spec;
+    spec.name = "quant_deadzone_sweep";
+    spec.title = "VSC FAR ablation: CAN quantization step x monitoring dead "
+                 "zone";
+    spec.base = "vsc/far";
+    spec.fixed = {{"runs", 150}};
+    spec.axes = {
+        Axis::list("quantization_step", {0.0, 0.004, 0.01, 0.03, 0.06, 0.1}),
+        Axis::list("dead_zone", {1, 2, 4, 7, 10, 12})};
+    registry.add(std::move(spec));  // 6 x 6 = 36 cells
+  }
+}
+
+}  // namespace
+
+SweepRegistry& SweepRegistry::instance() {
+  static SweepRegistry registry = [] {
+    SweepRegistry r;
+    register_paper_campaigns(r);
+    return r;
+  }();
+  return registry;
+}
+
+void SweepRegistry::add(SweepSpec spec) {
+  require(!spec.name.empty(), "SweepRegistry: campaign needs a name");
+  require(!spec.base.empty(),
+          "SweepRegistry: campaign '" + spec.name + "' needs a base scenario");
+  const auto [it, inserted] = campaigns_.emplace(spec.name, std::move(spec));
+  require(inserted, "SweepRegistry: duplicate campaign '" + it->first + "'");
+}
+
+bool SweepRegistry::has(const std::string& name) const {
+  return campaigns_.count(name) != 0;
+}
+
+const SweepSpec* SweepRegistry::find(const std::string& name) const {
+  const auto it = campaigns_.find(name);
+  return it == campaigns_.end() ? nullptr : &it->second;
+}
+
+const SweepSpec& SweepRegistry::at(const std::string& name) const {
+  if (const SweepSpec* spec = find(name)) return *spec;
+  std::string message = "SweepRegistry: unknown campaign '" + name + "'; known:";
+  for (const auto& [key, spec] : campaigns_) message += " " + key;
+  throw util::InvalidArgument(message);
+}
+
+std::vector<std::string> SweepRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(campaigns_.size());
+  for (const auto& [key, spec] : campaigns_) out.push_back(key);
+  return out;
+}
+
+}  // namespace cpsguard::sweep

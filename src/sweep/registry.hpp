@@ -1,0 +1,45 @@
+// registry.hpp — the catalogue of named sweep campaigns.
+//
+// SweepRegistry::instance() comes pre-populated with the paper-shaped
+// campaigns: the Table-1 FAR grid, the Fig-3-style threshold frontier, an
+// ROC sweep and the quantization × dead-zone ablation grid.  Every bundled
+// campaign is built from deterministic detector kinds (noise-calibrated,
+// static, CUSUM) — no solver calls, no wall-clock columns — so campaign
+// reports are bit-identical across cold-cache, warm-cache, interrupted+
+// resumed and sharded+merged executions, which the CI sweep gate asserts.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sweep/spec.hpp"
+
+namespace cpsguard::sweep {
+
+class SweepRegistry {
+ public:
+  /// The process-wide registry, built (thread-safely, once) on first use.
+  static SweepRegistry& instance();
+
+  /// Empty registry for tests; prefer instance() elsewhere.
+  SweepRegistry() = default;
+
+  /// Registers a campaign.  Throws util::InvalidArgument on duplicates.
+  void add(SweepSpec spec);
+
+  bool has(const std::string& name) const;
+  const SweepSpec* find(const std::string& name) const;
+  /// Lookup that throws util::InvalidArgument with a suggestion list.
+  const SweepSpec& at(const std::string& name) const;
+
+  /// Registered campaign names, sorted.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const { return campaigns_.size(); }
+
+ private:
+  std::map<std::string, SweepSpec> campaigns_;
+};
+
+}  // namespace cpsguard::sweep

@@ -1,0 +1,286 @@
+#include "sweep/spec.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "control/norm.hpp"
+#include "util/hash.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::sweep {
+
+using scenario::DetectorSpec;
+using scenario::ScenarioSpec;
+using util::require;
+
+Axis Axis::list(std::string param, std::vector<double> values) {
+  require(!values.empty(), "Axis: needs at least one value");
+  Axis axis;
+  axis.param = std::move(param);
+  axis.values = std::move(values);
+  return axis;
+}
+
+Axis Axis::range(std::string param, double lo, double hi, std::size_t count,
+                 bool log_scale) {
+  require(count >= 2, "Axis::range: needs at least two points");
+  require(!log_scale || (lo > 0.0 && hi > 0.0),
+          "Axis::range: log spacing needs positive endpoints");
+  std::vector<double> values;
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(count - 1);
+    values.push_back(log_scale ? lo * std::pow(hi / lo, t)
+                               : lo + t * (hi - lo));
+  }
+  return list(std::move(param), std::move(values));
+}
+
+namespace {
+
+std::size_t positive_count(const std::string& param, double value) {
+  require(value >= 1.0 && value == std::floor(value),
+          "sweep: '" + param + "' expects a positive integer, got " +
+              util::json_number(value));
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+void apply_param(ScenarioSpec& spec, const std::string& param, double value) {
+  if (param == "noise_scale") {
+    require(value > 0.0, "sweep: noise_scale must be positive");
+    linalg::Vector bounds = spec.effective_noise_bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) bounds[i] *= value;
+    spec.mc.noise_bounds = std::move(bounds);
+  } else if (param == "quantization_step") {
+    // Additive uniform quantization-noise model (ablation A6): a step-Δ
+    // codec contributes up to Δ/2 of rounding error per sample, so the
+    // benign envelope every detector must clear widens by Δ/2.
+    require(value >= 0.0, "sweep: quantization_step must be non-negative");
+    linalg::Vector bounds = spec.effective_noise_bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) bounds[i] += value / 2.0;
+    spec.mc.noise_bounds = std::move(bounds);
+  } else if (param == "runs") {
+    spec.mc.num_runs = positive_count(param, value);
+  } else if (param == "seed") {
+    require(value >= 0.0 && value == std::floor(value),
+            "sweep: seed expects a non-negative integer");
+    spec.mc.seed = static_cast<std::uint64_t>(value);
+  } else if (param == "horizon") {
+    spec.mc.horizon = positive_count(param, value);
+  } else if (param == "quantile") {
+    require(value > 0.0 && value < 1.0, "sweep: quantile must be in (0, 1)");
+    spec.quantile = value;
+    for (auto& d : spec.detectors)
+      if (d.kind == DetectorSpec::Kind::kNoiseCalibrated ||
+          d.kind == DetectorSpec::Kind::kNoisePeakStatic)
+        d.quantile = value;
+  } else if (param == "detector_scale") {
+    require(value > 0.0, "sweep: detector_scale must be positive");
+    for (auto& d : spec.detectors)
+      if (d.kind == DetectorSpec::Kind::kNoiseCalibrated ||
+          d.kind == DetectorSpec::Kind::kNoisePeakStatic)
+        d.scale = value;
+  } else if (param == "threshold") {
+    require(value > 0.0, "sweep: threshold must be positive");
+    for (auto& d : spec.detectors)
+      if (d.kind == DetectorSpec::Kind::kStatic) d.value = value;
+  } else if (param == "chi2_limit") {
+    require(value > 0.0, "sweep: chi2_limit must be positive");
+    for (auto& d : spec.detectors)
+      if (d.kind == DetectorSpec::Kind::kChi2) d.value = value;
+  } else if (param == "cusum_limit") {
+    require(value > 0.0, "sweep: cusum_limit must be positive");
+    for (auto& d : spec.detectors)
+      if (d.kind == DetectorSpec::Kind::kCusum) d.value = value;
+  } else if (param == "cusum_drift") {
+    require(value >= 0.0, "sweep: cusum_drift must be non-negative");
+    for (auto& d : spec.detectors)
+      if (d.kind == DetectorSpec::Kind::kCusum) d.drift = value;
+  } else if (param == "dead_zone") {
+    spec.study.mdc.set_dead_zone(positive_count(param, value));
+  } else {
+    throw util::InvalidArgument("sweep: unknown parameter '" + param + "'");
+  }
+}
+
+std::string Cell::id() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "cell-%05zu", index);
+  return buf;
+}
+
+std::size_t SweepSpec::cell_count() const {
+  std::size_t count = 1;
+  for (const auto& axis : axes) count *= axis.values.size();
+  return count;
+}
+
+std::vector<Cell> SweepSpec::expand(const scenario::Registry& registry) const {
+  require(!name.empty(), "SweepSpec: campaign needs a name");
+  for (const auto& axis : axes)
+    require(!axis.values.empty(), "SweepSpec: axis '" + axis.param + "' is empty");
+
+  // Resolve the base once: effective values materialized, detector list
+  // overridden, fixed bindings applied.  Axis application then starts from
+  // the same fully-resolved spec for every cell.
+  ScenarioSpec base_spec = registry.at(base);
+  if (!detectors.empty()) base_spec.detectors = detectors;
+  base_spec.mc.num_runs = base_spec.effective_runs();
+  base_spec.mc.horizon = base_spec.effective_horizon();
+  base_spec.mc.noise_bounds = base_spec.effective_noise_bounds();
+  for (const auto& binding : fixed)
+    apply_param(base_spec, binding.param, binding.value);
+
+  const std::size_t total = cell_count();
+  std::vector<Cell> cells;
+  cells.reserve(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    Cell cell;
+    cell.index = index;
+    cell.spec = base_spec;
+    // Row-major decode: the last axis varies fastest.
+    std::size_t remainder = index;
+    cell.coordinates.resize(axes.size());
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      const Axis& axis = axes[a];
+      cell.coordinates[a] = axis.values[remainder % axis.values.size()];
+      remainder /= axis.values.size();
+    }
+    std::string suffix;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      apply_param(cell.spec, axes[a].param, cell.coordinates[a]);
+      suffix += (a == 0 ? "" : ",") + axes[a].param + "=" +
+                util::json_number(cell.coordinates[a]);
+    }
+    cell.spec.name = name + "/" + cell.id() +
+                     (suffix.empty() ? "" : "[" + suffix + "]");
+    cell.spec.title = title;
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::string SweepSpec::describe() const {
+  std::string out;
+  out += "campaign: " + name + "\n";
+  out += "  " + title + "\n";
+  out += "  base scenario: " + base + "\n";
+  if (!detectors.empty())
+    out += "  detectors: " + std::to_string(detectors.size()) +
+           " (overriding the base list)\n";
+  for (const auto& binding : fixed)
+    out += "  fixed: " + binding.param + " = " + util::json_number(binding.value) +
+           "\n";
+  for (const auto& axis : axes) {
+    out += "  axis: " + axis.param + " in {";
+    for (std::size_t i = 0; i < axis.values.size(); ++i)
+      out += (i == 0 ? "" : ", ") + util::json_number(axis.values[i]);
+    out += "}\n";
+  }
+  out += "  cells: " + std::to_string(cell_count()) + "\n";
+  return out;
+}
+
+namespace {
+
+void hash_matrix(util::Sha256& h, const linalg::Matrix& m) {
+  h.update(std::uint64_t{m.rows()});
+  h.update(std::uint64_t{m.cols()});
+  // Entry-wise (not raw bytes) so every double goes through the same
+  // -0.0/NaN canonicalization as the rest of the fingerprint.
+  const std::size_t n = m.rows() * m.cols();
+  for (std::size_t i = 0; i < n; ++i) h.update(m.data()[i]);
+}
+
+void hash_vector(util::Sha256& h, const linalg::Vector& v) {
+  h.update(std::uint64_t{v.size()});
+  for (std::size_t i = 0; i < v.size(); ++i) h.update(v[i]);
+}
+
+void hash_loop(util::Sha256& h, const control::LoopConfig& loop) {
+  hash_matrix(h, loop.plant.a);
+  hash_matrix(h, loop.plant.b);
+  hash_matrix(h, loop.plant.c);
+  hash_matrix(h, loop.plant.d);
+  hash_matrix(h, loop.plant.q);
+  hash_matrix(h, loop.plant.r);
+  hash_matrix(h, loop.kalman_gain);
+  hash_matrix(h, loop.feedback_gain);
+  hash_vector(h, loop.operating_point.x_ss);
+  hash_vector(h, loop.operating_point.u_ss);
+  hash_vector(h, loop.x1);
+  hash_vector(h, loop.xhat1);
+  hash_vector(h, loop.u1);
+}
+
+}  // namespace
+
+std::string fingerprint(const ScenarioSpec& spec) {
+  util::Sha256 h;
+  h.update(std::string(kFingerprintSalt));
+  h.update(scenario::protocol_name(spec.protocol));
+
+  // Case study: dynamics, criterion, monitoring system, envelope.
+  h.update(spec.study.name);
+  hash_loop(h, spec.study.loop);
+  h.update(spec.effective_pfc().describe());
+  h.update(spec.effective_pfc().tolerance());
+  h.update(spec.study.mdc.describe());  // includes dead zone + combiner
+  h.update(control::norm_name(spec.study.norm));
+  h.update(spec.study.attack_bound ? *spec.study.attack_bound : -1.0);
+  hash_vector(h, spec.study.attack_bounds ? *spec.study.attack_bounds
+                                          : linalg::Vector());
+
+  // Monte-Carlo knobs — effective values, so a defaulted and an explicit
+  // equal setting share one cache entry.  Threads are intentionally
+  // absent: results are bit-identical at any thread count.
+  h.update(std::uint64_t{spec.effective_runs()});
+  h.update(std::uint64_t{spec.effective_horizon()});
+  hash_vector(h, spec.effective_noise_bounds());
+  h.update(std::uint64_t{spec.mc.seed});
+
+  h.update(std::uint64_t{spec.detectors.size()});
+  for (const auto& d : spec.detectors) {
+    h.update(std::uint64_t(static_cast<int>(d.kind)));
+    h.update(d.label);
+    h.update(d.value);
+    h.update(d.scale);
+    h.update(d.quantile);
+    h.update(d.drift);
+  }
+
+  h.update(spec.quantile);
+  h.update(spec.roc.scales);
+  h.update(spec.roc.magnitudes);
+  h.update(std::uint64_t{spec.roc.include_smt_attack ? 1u : 0u});
+  h.update(spec.roc.smt_threshold_scale);
+  h.update(std::uint64_t(static_cast<int>(spec.objective)));
+  h.update(std::uint64_t{spec.synthesis.max_rounds});
+  h.update(spec.synthesis.threshold_floor);
+  h.update(spec.synthesis.progress_margin);
+  h.update(std::uint64_t(static_cast<int>(spec.synthesis.counterexample_objective)));
+  h.update(std::uint64_t{spec.far_against_attack ? 1u : 0u});
+  h.update(std::uint64_t{spec.far_pfc_filter ? 1u : 0u});
+  h.update(std::uint64_t{spec.use_finder ? 1u : 0u});
+  h.update(spec.solver_timeout_seconds);
+  return h.hex_digest();
+}
+
+std::string expansion_fingerprint(const std::string& campaign,
+                                  const std::vector<Cell>& cells) {
+  util::Sha256 h;
+  h.update(std::string(kFingerprintSalt));
+  h.update(campaign);
+  h.update(std::uint64_t{cells.size()});
+  for (const auto& cell : cells) {
+    h.update(std::uint64_t{cell.index});
+    h.update(cell.coordinates);
+    h.update(fingerprint(cell.spec));
+  }
+  return h.hex_digest();
+}
+
+}  // namespace cpsguard::sweep

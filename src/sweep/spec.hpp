@@ -1,0 +1,123 @@
+// spec.hpp — declarative parameter sweeps over registered scenarios.
+//
+// The paper's headline artifacts (Table 1 FAR rates, the Fig-3 threshold
+// frontier, the ROC curves) are samples from an implicit parameter space:
+// noise envelope × detector configuration × monitoring settings.  A
+// SweepSpec names that space explicitly — a base ScenarioSpec from the
+// scenario::Registry plus a list of axes — and expands into the full
+// cross-product of concrete, fully-resolved ScenarioSpecs ("cells").  The
+// campaign engine (sweep/campaign.hpp) then executes, caches, shards and
+// merges those cells; this header owns only the data model: axes, the
+// deterministic row-major expansion, and the content fingerprint that keys
+// the result cache.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+
+namespace cpsguard::sweep {
+
+/// Code-version salt folded into every cell fingerprint.  Bump it whenever
+/// the meaning of cached results changes (runner semantics, report schema,
+/// RNG stream layout) so stale cache entries can never be replayed.
+inline constexpr char kFingerprintSalt[] = "cpsguard-sweep-cache-v1";
+
+/// One sweep dimension: a named parameter and its candidate values.
+///
+/// Supported parameter names (applied to a resolved ScenarioSpec):
+///   noise_scale        multiply the effective noise bounds by v
+///   quantization_step  sensor quantization of step v, entering as the
+///                      standard additive uniform-noise model: each noise
+///                      bound grows by v/2
+///   runs               Monte-Carlo runs (v > 0)
+///   seed               RNG seed
+///   horizon            analysis horizon in samples (v > 0)
+///   quantile           noise-floor quantile, also applied to every
+///                      floor-calibrated detector
+///   detector_scale     `scale` of noise-calibrated / noise-peak detectors
+///   threshold          `value` of static-threshold detectors
+///   chi2_limit         `value` of chi-squared detectors
+///   cusum_limit        `value` of CUSUM detectors
+///   cusum_drift        `drift` of CUSUM detectors
+///   dead_zone          monitoring-system dead zone in samples (v >= 1)
+struct Axis {
+  std::string param;
+  std::vector<double> values;
+
+  static Axis list(std::string param, std::vector<double> values);
+  /// `count` evenly spaced values over [lo, hi] inclusive; log-spaced when
+  /// `log_scale` (requires lo, hi > 0).
+  static Axis range(std::string param, double lo, double hi, std::size_t count,
+                    bool log_scale = false);
+};
+
+/// A fixed parameter binding applied to the base spec before the axes.
+struct Binding {
+  std::string param;
+  double value = 0.0;
+};
+
+/// One cell of the expanded grid: the grid position, the axis coordinates
+/// that produced it, and the fully-resolved scenario it runs.
+struct Cell {
+  std::size_t index = 0;               ///< row-major position in the grid
+  std::vector<double> coordinates;     ///< one value per axis, in axis order
+  scenario::ScenarioSpec spec;
+
+  /// Stable id from the grid position, e.g. "cell-00042".  The resolved
+  /// spec's name additionally carries the coordinate suffix
+  /// ("<campaign>/cell-00042[noise_scale=1.25,...]").
+  std::string id() const;
+};
+
+/// A declarative campaign: base scenario + fixed bindings + axes.
+struct SweepSpec {
+  std::string name;   ///< campaign key, e.g. "table1_sweep"
+  std::string title;  ///< one-line human description
+  std::string base;   ///< base scenario name in scenario::Registry
+  /// Non-empty replaces the base scenario's detector list (e.g. to add a
+  /// CUSUM entrant the default family does not carry).
+  std::vector<scenario::DetectorSpec> detectors;
+  std::vector<Binding> fixed;
+  std::vector<Axis> axes;
+
+  /// Product of the axis sizes (1 when there are no axes).
+  std::size_t cell_count() const;
+
+  /// Expands the full grid against `registry`, row-major with the LAST
+  /// axis varying fastest (nested loops in declaration order).  Cell specs
+  /// are fully resolved: study-dependent defaults are materialized before
+  /// the axes apply, so two cells differ exactly where their coordinates
+  /// differ.  Throws util::InvalidArgument on unknown base scenarios,
+  /// unknown axis parameters, or values a parameter cannot take.
+  std::vector<Cell> expand(const scenario::Registry& registry) const;
+
+  /// Multi-line human description (CLI `sweep describe`).
+  std::string describe() const;
+};
+
+/// Applies one parameter binding to a resolved spec (see Axis for the
+/// vocabulary).  Exposed for tests and for embedding applications that
+/// build grids by hand.
+void apply_param(scenario::ScenarioSpec& spec, const std::string& param,
+                 double value);
+
+/// Content fingerprint of a fully-resolved scenario: a SHA-256 over every
+/// spec field that can influence the report — study dynamics, detector
+/// list, Monte-Carlo knobs, protocol configuration — plus kFingerprintSalt.
+/// Deliberately EXCLUDES the thread count: reports are bit-identical at any
+/// thread count (the PR-1 invariant), so all thread counts share one cache
+/// entry.
+std::string fingerprint(const scenario::ScenarioSpec& spec);
+
+/// Fingerprint of a whole expansion (campaign name + every cell
+/// fingerprint, in order).  Shard manifests record it so `merge` can refuse
+/// to stitch shards produced by a different campaign definition.
+std::string expansion_fingerprint(const std::string& campaign,
+                                  const std::vector<Cell>& cells);
+
+}  // namespace cpsguard::sweep

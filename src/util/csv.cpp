@@ -1,5 +1,7 @@
 #include "util/csv.hpp"
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <sstream>
 
@@ -49,6 +51,32 @@ bool ensure_directory(const std::string& dir) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   return !ec;
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) {
+    fs::create_directories(parent, ec);
+    if (ec) throw IoError("write_file_atomic: cannot create " + parent.string());
+  }
+  // Process-unique temp name: concurrent writers of the same target (e.g.
+  // two sweep shards landing one cache entry) race benignly on the final
+  // rename instead of corrupting each other's partial writes.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("write_file_atomic: cannot open " + tmp);
+    out << content;
+    if (!out) throw IoError("write_file_atomic: write failed for " + tmp);
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw IoError("write_file_atomic: rename to " + path + " failed");
+  }
 }
 
 }  // namespace cpsguard::util

@@ -36,4 +36,11 @@ class CsvWriter {
 /// Creates `dir` (and parents) if missing; returns false on failure.
 bool ensure_directory(const std::string& dir);
 
+/// Atomically replaces `path` with `content`: writes a process-unique temp
+/// file next to it, then renames.  Parents are created as needed.  A
+/// killed writer never leaves a half-written file at `path` — the sweep
+/// cache and campaign manifests rely on this for resume safety.  Throws
+/// IoError on failure.
+void write_file_atomic(const std::string& path, const std::string& content);
+
 }  // namespace cpsguard::util

@@ -1,0 +1,55 @@
+// hash.hpp — content-addressed fingerprinting for experiment artifacts.
+//
+// The sweep layer caches one Report JSON per fully-resolved scenario cell,
+// keyed by a digest of every field that can change the result.  The digest
+// must be stable across platforms, standard libraries and process runs, so
+// we implement SHA-256 ourselves (FIPS 180-4, ~80 lines) instead of pulling
+// a dependency, and hash doubles by their IEEE-754 bit pattern — the same
+// "bit-identical or different" contract the reports themselves obey.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpsguard::util {
+
+/// Streaming SHA-256.  Feed bytes/fields with update(), then read the
+/// 64-char lowercase hex digest.  finished objects reject further updates.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Raw bytes.
+  Sha256& update(const void* data, std::size_t len);
+  /// Length-prefixed string: update(s.size()) then the bytes, so
+  /// ("ab","c") and ("a","bc") hash differently when fed field-by-field.
+  Sha256& update(const std::string& s);
+  /// Little-endian 64-bit value.
+  Sha256& update(std::uint64_t v);
+  /// IEEE-754 bit pattern (normalizes -0.0 to +0.0 so the two equal
+  /// doubles share a digest; NaNs hash as one canonical quiet NaN).
+  Sha256& update(double v);
+  /// Length-prefixed vector of doubles.
+  Sha256& update(const std::vector<double>& values);
+
+  /// Finalizes (idempotent) and returns the lowercase hex digest.
+  std::string hex_digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+  void finalize();
+
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+  std::string digest_;
+};
+
+/// One-shot digest of a string's bytes (no length prefix).
+std::string sha256_hex(const std::string& data);
+
+}  // namespace cpsguard::util

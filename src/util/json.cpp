@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "util/status.hpp"
 
@@ -145,6 +146,278 @@ void JsonWriter::before_value() {
           "JsonWriter: object members need a key");
   if (has_items_.back()) out_ += ',';
   has_items_.back() = true;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+bool JsonValue::as_bool() const {
+  require(kind_ == Kind::kBool, "JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  require(kind_ == Kind::kNumber, "JsonValue: not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  require(kind_ == Kind::kString, "JsonValue: not a string");
+  return string_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  throw InvalidArgument("JsonValue: size() on a scalar");
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  require(kind_ == Kind::kArray, "JsonValue: not an array");
+  require(index < array_.size(), "JsonValue: array index out of range");
+  return array_[index];
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  if (const JsonValue* v = find(key)) return *v;
+  throw InvalidArgument("JsonValue: missing object member '" + key + "'");
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  require(kind_ == Kind::kObject, "JsonValue: not an object");
+  for (const auto& [name, value] : object_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  require(kind_ == Kind::kObject, "JsonValue: not an object");
+  return object_;
+}
+
+std::vector<double> JsonValue::as_number_array() const {
+  require(kind_ == Kind::kArray, "JsonValue: not an array");
+  std::vector<double> out;
+  out.reserve(array_.size());
+  for (const JsonValue& v : array_) {
+    if (v.is_null())  // the writer's encoding of NaN/inf
+      out.push_back(std::nan(""));
+    else
+      out.push_back(v.as_number());
+  }
+  return out;
+}
+
+/// Recursive-descent parser over the document string.  Kept in the .cpp so
+/// the header exposes only parse_json; JsonValue befriends it for direct
+/// field access while building nodes.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    require(pos_ == text_.size(), error("trailing characters"));
+    return value;
+  }
+
+ private:
+  std::string error(const std::string& what) const {
+    return "parse_json: " + what + " at byte " + std::to_string(pos_);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    require(pos_ < text_.size(), error("unexpected end of input"));
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    require(peek() == c, error(std::string("expected '") + c + "'"));
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::strlen(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kString;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kBool;
+        if (consume_literal("true"))
+          v.bool_ = true;
+        else if (consume_literal("false"))
+          v.bool_ = false;
+        else
+          throw InvalidArgument(error("bad literal"));
+        return v;
+      }
+      case 'n':
+        require(consume_literal("null"), error("bad literal"));
+        return JsonValue();
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      v.object_.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array_.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      require(pos_ < text_.size(), error("unterminated string"));
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      require(pos_ < text_.size(), error("unterminated escape"));
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          require(pos_ + 4 <= text_.size(), error("truncated \\u escape"));
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= unsigned(h - 'A' + 10);
+            else
+              throw InvalidArgument(error("bad \\u escape"));
+          }
+          // UTF-8 encode (the writer only emits \u00XX control codes, but
+          // accept the full BMP; surrogate pairs are out of scope).
+          if (code < 0x80) {
+            out += char(code);
+          } else if (code < 0x800) {
+            out += char(0xC0 | (code >> 6));
+            out += char(0x80 | (code & 0x3F));
+          } else {
+            out += char(0xE0 | (code >> 12));
+            out += char(0x80 | ((code >> 6) & 0x3F));
+            out += char(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          throw InvalidArgument(error("unknown escape"));
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-')
+        ++pos_;
+      else
+        break;
+    }
+    require(pos_ > start, error("expected a value"));
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      std::size_t consumed = 0;
+      JsonValue v;
+      v.kind_ = JsonValue::Kind::kNumber;
+      v.number_ = std::stod(token, &consumed);
+      require(consumed == token.size(), error("bad number '" + token + "'"));
+      return v;
+    } catch (const std::logic_error&) {
+      throw InvalidArgument(error("bad number '" + token + "'"));
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
 }
 
 }  // namespace cpsguard::util

@@ -1,16 +1,20 @@
-// json.hpp — streaming JSON emission for experiment reports.
+// json.hpp — streaming JSON emission and parsing for experiment artifacts.
 //
-// scenario::Report serializes itself through this writer so every
+// scenario::Report serializes itself through the writer so every
 // experiment artifact (summary stats + tables + series) has a stable,
 // machine-readable form next to the CSV mirrors.  The writer is
 // deliberately tiny: a stack of open containers, strict nesting checks via
 // util::require, and deterministic number formatting (%.17g round-trips
 // every double bit-exactly, which the cross-thread reproducibility tests
-// rely on).
+// rely on).  The matching reader (JsonValue + parse_json) exists so the
+// sweep layer can round-trip cached reports and campaign manifests without
+// an external dependency.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cpsguard::util {
@@ -62,5 +66,56 @@ class JsonWriter {
   std::vector<bool> has_items_;  // parallel to stack_
   bool key_pending_ = false;
 };
+
+/// Parsed JSON document node.  Objects keep member order (the writer emits
+/// deterministically ordered documents; the reader must not reshuffle them,
+/// or the cache round-trip tests could not compare re-serialized output).
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; each throws InvalidArgument on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access.  size() also counts object members.
+  std::size_t size() const;
+  const JsonValue& at(std::size_t index) const;
+
+  /// Object access: member lookup (throws on missing / non-object), probe
+  /// (nullptr on missing), and ordered member list.
+  const JsonValue& at(const std::string& key) const;
+  const JsonValue* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Convenience: array of numbers -> vector<double> (throws on non-number
+  /// elements; JSON null elements — the writer's NaN encoding — parse as NaN).
+  std::vector<double> as_number_array() const;
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one JSON document (with trailing whitespace only).  Throws
+/// util::InvalidArgument with a byte offset on malformed input.  Supports
+/// exactly the grammar the writer emits plus standard \uXXXX escapes.
+JsonValue parse_json(const std::string& text);
 
 }  // namespace cpsguard::util

@@ -167,6 +167,33 @@ TEST(Report, CsvGoldenOutput) {
   for (const auto& path : written) std::remove(path.c_str());
 }
 
+TEST(Report, FromJsonRoundTripsExactly) {
+  // The sweep cache depends on this identity: a report read back from its
+  // serialized form must re-serialize to the same bytes.
+  const Report original = golden_report();
+  const Report parsed = Report::from_json(original.to_json());
+  EXPECT_EQ(parsed.to_json(), original.to_json());
+  EXPECT_EQ(parsed.scenario(), "golden/far");
+  EXPECT_EQ(parsed.protocol(), "far");
+  EXPECT_EQ(parsed.summary("rate"), "0.5");
+  ASSERT_NE(parsed.table("far"), nullptr);
+  EXPECT_EQ(parsed.table("far")->rows.size(), 2u);
+  ASSERT_NE(parsed.series("th"), nullptr);
+  EXPECT_EQ(*parsed.series("th"), (std::vector<double>{1.0, 0.25, 0.0625}));
+
+  EXPECT_THROW(Report::from_json("{\"scenario\":\"x\"}"), util::InvalidArgument);
+  EXPECT_THROW(Report::from_json("not json"), util::InvalidArgument);
+}
+
+TEST(Report, ReadJsonMatchesWriteJson) {
+  const std::string path = ::testing::TempDir() + "scenario_roundtrip.json";
+  golden_report().write_json(path);
+  const Report read = Report::read_json(path);
+  EXPECT_EQ(read.to_json(), golden_report().to_json());
+  std::remove(path.c_str());
+  EXPECT_THROW(Report::read_json(path), util::IoError);
+}
+
 TEST(Report, SummaryAndSeriesLookup) {
   const Report report = golden_report();
   EXPECT_EQ(report.summary("rate"), "0.5");

@@ -1,0 +1,369 @@
+// Tests for the sweep layer: grid expansion round-trips, spec
+// fingerprinting, the content-addressed cache, and the campaign engine's
+// headline invariant — cold-cache, warm-cache, interrupted+resumed and
+// sharded+merged executions all produce bit-identical campaign reports, at
+// any thread count.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "scenario/registry.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/campaign.hpp"
+#include "sweep/registry.hpp"
+#include "sweep/spec.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test, removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path(::testing::TempDir() + "sweep_" + name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+/// A small, fast campaign over a registered scenario (no solver calls).
+SweepSpec tiny_campaign() {
+  SweepSpec spec;
+  spec.name = "test_campaign";
+  spec.title = "trajectory FAR over a 2x3 grid";
+  spec.base = "trajectory/far";
+  spec.fixed = {{"runs", 40}};
+  spec.axes = {Axis::list("noise_scale", {0.8, 1.0}),
+               Axis::list("detector_scale", {1.2, 1.4, 1.6})};
+  return spec;
+}
+
+CampaignOptions scratch_options(const ScratchDir& scratch) {
+  CampaignOptions options;
+  options.cache_dir = scratch.path + "/cache";
+  options.work_dir = scratch.path + "/campaigns";
+  return options;
+}
+
+// ---- axes & expansion -------------------------------------------------------
+
+TEST(Axis, RangeLinearAndLog) {
+  const Axis lin = Axis::range("threshold", 0.0, 1.0, 5);
+  ASSERT_EQ(lin.values.size(), 5u);
+  EXPECT_DOUBLE_EQ(lin.values[0], 0.0);
+  EXPECT_DOUBLE_EQ(lin.values[2], 0.5);
+  EXPECT_DOUBLE_EQ(lin.values[4], 1.0);
+
+  const Axis log = Axis::range("threshold", 0.01, 1.0, 3, /*log_scale=*/true);
+  ASSERT_EQ(log.values.size(), 3u);
+  EXPECT_NEAR(log.values[1], 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(log.values[2], 1.0);
+
+  EXPECT_THROW(Axis::range("x", 0.0, 1.0, 1), util::InvalidArgument);
+  EXPECT_THROW(Axis::range("x", 0.0, 1.0, 3, true), util::InvalidArgument);
+  EXPECT_THROW(Axis::list("x", {}), util::InvalidArgument);
+}
+
+TEST(SweepSpec, ExpandsRowMajorWithLastAxisFastest) {
+  const SweepSpec spec = tiny_campaign();
+  EXPECT_EQ(spec.cell_count(), 6u);
+  const std::vector<Cell> cells = spec.expand(scenario::Registry::instance());
+  ASSERT_EQ(cells.size(), 6u);
+  // Row-major: noise_scale varies slowest, detector_scale fastest.
+  EXPECT_EQ(cells[0].coordinates, (std::vector<double>{0.8, 1.2}));
+  EXPECT_EQ(cells[1].coordinates, (std::vector<double>{0.8, 1.4}));
+  EXPECT_EQ(cells[2].coordinates, (std::vector<double>{0.8, 1.6}));
+  EXPECT_EQ(cells[3].coordinates, (std::vector<double>{1.0, 1.2}));
+  EXPECT_EQ(cells[5].coordinates, (std::vector<double>{1.0, 1.6}));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    // The resolved cell records its grid position and coordinates.
+    EXPECT_NE(cells[i].spec.name.find(cells[i].id()), std::string::npos);
+    EXPECT_NE(cells[i].spec.name.find("detector_scale="), std::string::npos);
+    // Fixed binding applied everywhere.
+    EXPECT_EQ(cells[i].spec.mc.num_runs, 40u);
+  }
+  // Axis application reached the detectors and the noise bounds.
+  const scenario::ScenarioSpec& base =
+      scenario::Registry::instance().at("trajectory/far");
+  const linalg::Vector base_bounds = base.effective_noise_bounds();
+  const linalg::Vector cell_bounds = cells[0].spec.effective_noise_bounds();
+  ASSERT_EQ(cell_bounds.size(), base_bounds.size());
+  for (std::size_t i = 0; i < cell_bounds.size(); ++i)
+    EXPECT_DOUBLE_EQ(cell_bounds[i], 0.8 * base_bounds[i]);
+  EXPECT_DOUBLE_EQ(cells[0].spec.detectors[0].scale, 1.2);
+}
+
+TEST(SweepSpec, ApplyParamCoversMonitoringAndQuantization) {
+  scenario::ScenarioSpec spec = scenario::Registry::instance().at("vsc/far");
+  const linalg::Vector before = spec.effective_noise_bounds();
+
+  apply_param(spec, "dead_zone", 3);
+  EXPECT_EQ(spec.study.mdc.dead_zone(), 3u);
+
+  apply_param(spec, "quantization_step", 0.1);
+  const linalg::Vector after = spec.effective_noise_bounds();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < after.size(); ++i)
+    EXPECT_DOUBLE_EQ(after[i], before[i] + 0.05);
+
+  apply_param(spec, "seed", 99);
+  EXPECT_EQ(spec.mc.seed, 99u);
+
+  EXPECT_THROW(apply_param(spec, "no_such_param", 1.0), util::InvalidArgument);
+  EXPECT_THROW(apply_param(spec, "dead_zone", 0.0), util::InvalidArgument);
+  EXPECT_THROW(apply_param(spec, "noise_scale", -1.0), util::InvalidArgument);
+}
+
+TEST(SweepSpec, UnknownBaseThrows) {
+  SweepSpec spec = tiny_campaign();
+  spec.base = "no-such-scenario";
+  EXPECT_THROW(spec.expand(scenario::Registry::instance()),
+               util::InvalidArgument);
+}
+
+// ---- fingerprinting ---------------------------------------------------------
+
+TEST(Fingerprint, StableAndSensitive) {
+  const scenario::ScenarioSpec base =
+      scenario::Registry::instance().at("trajectory/far");
+  const std::string fp = fingerprint(base);
+  EXPECT_EQ(fp.size(), 64u);
+  EXPECT_EQ(fp, fingerprint(base));  // deterministic
+
+  scenario::ScenarioSpec changed = base;
+  changed.mc.seed += 1;
+  EXPECT_NE(fingerprint(changed), fp);
+
+  changed = base;
+  changed.mc.num_runs = base.effective_runs() + 1;
+  EXPECT_NE(fingerprint(changed), fp);
+
+  changed = base;
+  changed.detectors[0].scale *= 2.0;
+  EXPECT_NE(fingerprint(changed), fp);
+
+  changed = base;
+  changed.study.mdc.set_dead_zone(5);
+  EXPECT_NE(fingerprint(changed), fp);
+
+  // Synthesis knobs steer synthesized-threshold results; all of them must
+  // enter the cache key, including the counterexample canonicalization.
+  changed = base;
+  changed.synthesis.counterexample_objective = synth::AttackObjective::kAny;
+  EXPECT_NE(fingerprint(changed), fp);
+
+  // Explicitly materialized defaults hash like the defaults themselves...
+  changed = base;
+  changed.mc.num_runs = base.effective_runs();
+  changed.mc.horizon = base.effective_horizon();
+  changed.mc.noise_bounds = base.effective_noise_bounds();
+  EXPECT_EQ(fingerprint(changed), fp);
+  // ...and the thread count is not part of the result's identity.
+  changed.mc.threads = 8;
+  EXPECT_EQ(fingerprint(changed), fp);
+}
+
+// ---- result cache -----------------------------------------------------------
+
+TEST(ResultCache, StoreLoadRoundTrip) {
+  const ScratchDir scratch("cache");
+  const ResultCache cache(scratch.path + "/cache");
+  const std::string key(64, 'a');
+  EXPECT_FALSE(cache.has(key));
+  EXPECT_FALSE(cache.load(key).has_value());
+  cache.store(key, "{\"x\":1}");
+  EXPECT_TRUE(cache.has(key));
+  ASSERT_TRUE(cache.load(key).has_value());
+  EXPECT_EQ(*cache.load(key), "{\"x\":1}");
+  EXPECT_EQ(cache.size(), 1u);
+  // Content-addressed: storing again is an idempotent overwrite.
+  cache.store(key, "{\"x\":1}");
+  EXPECT_EQ(cache.size(), 1u);
+  // Fan-out layout: entry lives under the first two fingerprint chars.
+  EXPECT_NE(cache.entry_path(key).find("/aa/"), std::string::npos);
+}
+
+// ---- campaign engine --------------------------------------------------------
+
+TEST(CampaignEngine, ColdAndWarmRunsAreBitIdentical) {
+  const ScratchDir scratch("coldwarm");
+  const SweepSpec spec = tiny_campaign();
+  const CampaignOptions options = scratch_options(scratch);
+  const CampaignEngine engine;
+
+  const CampaignRun cold = engine.run(spec, options);
+  ASSERT_TRUE(cold.complete);
+  ASSERT_TRUE(cold.report.has_value());
+  EXPECT_EQ(cold.executed, 6u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+
+  const CampaignRun warm = engine.run(spec, options);
+  ASSERT_TRUE(warm.complete);
+  ASSERT_TRUE(warm.report.has_value());
+  EXPECT_EQ(warm.executed, 0u);
+  EXPECT_EQ(warm.cache_hits, 6u);
+  EXPECT_EQ(cold.report->to_json(), warm.report->to_json());
+
+  // A cache-less run computes everything fresh and still agrees.
+  CampaignOptions no_cache = options;
+  no_cache.use_cache = false;
+  no_cache.cache_dir = scratch.path + "/unused";
+  const CampaignRun fresh = engine.run(spec, no_cache);
+  ASSERT_TRUE(fresh.report.has_value());
+  EXPECT_EQ(fresh.executed, 6u);
+  EXPECT_EQ(cold.report->to_json(), fresh.report->to_json());
+}
+
+TEST(CampaignEngine, ShardMergeEqualsUnshardedAtEveryThreadCount) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const ScratchDir scratch("shard_t" + std::to_string(threads));
+    const SweepSpec spec = tiny_campaign();
+    const CampaignEngine engine;
+
+    CampaignOptions unsharded = scratch_options(scratch);
+    unsharded.threads = threads;
+    unsharded.cache_dir = scratch.path + "/cache_unsharded";
+    const CampaignRun whole = engine.run(spec, unsharded);
+    ASSERT_TRUE(whole.report.has_value());
+
+    CampaignOptions sharded = scratch_options(scratch);
+    sharded.threads = threads;
+    sharded.cache_dir = scratch.path + "/cache_sharded";
+    sharded.shard.count = 4;
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      sharded.shard.index = i;
+      const CampaignRun part = engine.run(spec, sharded);
+      EXPECT_TRUE(part.complete);
+      EXPECT_FALSE(part.report.has_value());  // partial shards defer to merge
+      covered += part.cells_in_shard;
+    }
+    EXPECT_EQ(covered, 6u);
+    const scenario::Report merged = engine.merge(spec, sharded);
+    EXPECT_EQ(whole.report->to_json(), merged.to_json());
+  }
+}
+
+TEST(CampaignEngine, InterruptedRunResumesBitIdentically) {
+  const ScratchDir scratch("resume");
+  const SweepSpec spec = tiny_campaign();
+  const CampaignEngine engine;
+
+  CampaignOptions reference_options = scratch_options(scratch);
+  reference_options.cache_dir = scratch.path + "/cache_ref";
+  const CampaignRun reference = engine.run(spec, reference_options);
+  ASSERT_TRUE(reference.report.has_value());
+
+  // "Kill" the campaign after 2 cells: the manifest and cache survive...
+  CampaignOptions options = scratch_options(scratch);
+  options.max_cells = 2;
+  const CampaignRun interrupted = engine.run(spec, options);
+  EXPECT_FALSE(interrupted.complete);
+  EXPECT_FALSE(interrupted.report.has_value());
+  EXPECT_EQ(interrupted.executed, 2u);
+
+  const CampaignStatus mid = engine.status(spec, options);
+  EXPECT_EQ(mid.cells_total, 6u);
+  EXPECT_EQ(mid.cells_done, 2u);
+  EXPECT_EQ(mid.shards_seen, 1u);
+
+  // ...and the continuation picks up exactly where the run died.
+  options.max_cells = 0;
+  const CampaignRun resumed = engine.run(spec, options);
+  ASSERT_TRUE(resumed.complete);
+  ASSERT_TRUE(resumed.report.has_value());
+  EXPECT_EQ(resumed.executed, 4u);
+  EXPECT_EQ(resumed.cache_hits, 2u);
+  EXPECT_EQ(reference.report->to_json(), resumed.report->to_json());
+}
+
+TEST(CampaignEngine, MergeRefusesIncompleteCampaigns) {
+  const ScratchDir scratch("incomplete");
+  const SweepSpec spec = tiny_campaign();
+  const CampaignEngine engine;
+
+  CampaignOptions options = scratch_options(scratch);
+  options.shard.count = 2;
+  options.shard.index = 0;
+  ASSERT_TRUE(engine.run(spec, options).complete);
+  // Shard 1 never ran: merge must name the missing shard instead of
+  // emitting a silently partial report.
+  try {
+    engine.merge(spec, options);
+    FAIL() << "expected merge to throw";
+  } catch (const util::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("1/2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(CampaignEngine, StaleManifestFromChangedSpecIsIgnored) {
+  const ScratchDir scratch("stale");
+  SweepSpec spec = tiny_campaign();
+  const CampaignEngine engine;
+  const CampaignOptions options = scratch_options(scratch);
+  ASSERT_TRUE(engine.run(spec, options).complete);
+
+  // Change the campaign definition: the recorded manifest no longer
+  // matches the expansion, so nothing counts as done...
+  spec.fixed = {{"runs", 50}};
+  const CampaignStatus status = engine.status(spec, options);
+  EXPECT_EQ(status.cells_done, 0u);
+  EXPECT_EQ(status.stale_manifests.size(), 1u);
+
+  // ...and a run recomputes every cell (no stale cache key matches).
+  const CampaignRun rerun = engine.run(spec, options);
+  EXPECT_EQ(rerun.executed, 6u);
+  EXPECT_EQ(rerun.cache_hits, 0u);
+}
+
+TEST(ShardSelector, ParsesAndRejects) {
+  const ShardSelector shard = ShardSelector::parse("2/5");
+  EXPECT_EQ(shard.index, 2u);
+  EXPECT_EQ(shard.count, 5u);
+  EXPECT_TRUE(shard.owns(7));
+  EXPECT_FALSE(shard.owns(8));
+  for (const char* bad : {"", "3", "/4", "3/", "4/4", "5/4", "a/b", "1/0"})
+    EXPECT_THROW(ShardSelector::parse(bad), util::InvalidArgument) << bad;
+}
+
+// ---- bundled campaigns ------------------------------------------------------
+
+TEST(SweepRegistry, BundlesThePaperCampaigns) {
+  const SweepRegistry& registry = SweepRegistry::instance();
+  for (const char* name : {"table1_sweep", "threshold_sweep", "roc_sweep",
+                           "quant_deadzone_sweep"})
+    EXPECT_TRUE(registry.has(name)) << name;
+  EXPECT_THROW(registry.at("no-such-campaign"), util::InvalidArgument);
+  EXPECT_EQ(registry.find("no-such-campaign"), nullptr);
+
+  // The acceptance-grade campaign is >= 100 cells, and every bundled grid
+  // expands cleanly against the scenario registry.
+  EXPECT_GE(registry.at("table1_sweep").cell_count(), 100u);
+  for (const auto& name : registry.names()) {
+    const SweepSpec& spec = registry.at(name);
+    const std::vector<Cell> cells = spec.expand(scenario::Registry::instance());
+    EXPECT_EQ(cells.size(), spec.cell_count());
+    const std::string description = spec.describe();
+    EXPECT_NE(description.find(name), std::string::npos);
+    EXPECT_NE(description.find(spec.base), std::string::npos);
+  }
+}
+
+TEST(SweepRegistry, RejectsDuplicatesAndAnonymousCampaigns) {
+  SweepRegistry registry;
+  SweepSpec spec = tiny_campaign();
+  registry.add(spec);
+  EXPECT_THROW(registry.add(spec), util::InvalidArgument);
+  SweepSpec anonymous;
+  anonymous.base = "vsc/far";
+  EXPECT_THROW(registry.add(anonymous), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cpsguard::sweep

@@ -1,13 +1,16 @@
 // Tests for the utility layer: RNG determinism, CSV emission, tables,
-// ASCII plotting, logging levels.
+// ASCII plotting, logging levels, SHA-256 fingerprinting, JSON parsing.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
+#include "util/hash.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/random.hpp"
 #include "util/status.hpp"
@@ -148,6 +151,92 @@ TEST(Status, RequireThrowsWithMessage) {
     FAIL() << "expected throw";
   } catch (const InvalidArgument& e) {
     EXPECT_NE(std::string(e.what()).find("broken invariant"), std::string::npos);
+  }
+}
+
+// ---- SHA-256 ----------------------------------------------------------------
+
+TEST(Sha256, Fips180KnownVectors) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // Multi-block input (crosses the 64-byte boundary).
+  EXPECT_EQ(sha256_hex(std::string(1000, 'a')),
+            "41edece42d63e8d9bf515a9ba6932e1c20cbc9f5a5d134645adb5db1b9737ea3");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  Sha256 h;
+  h.update("ab", 2).update("c", 1);
+  EXPECT_EQ(h.hex_digest(), sha256_hex("abc"));
+  // hex_digest is idempotent and further updates are rejected.
+  EXPECT_EQ(h.hex_digest(), sha256_hex("abc"));
+  EXPECT_THROW(h.update("x", 1), InvalidArgument);
+}
+
+TEST(Sha256, FieldFramingPreventsConcatenationCollisions) {
+  Sha256 ab_c, a_bc;
+  ab_c.update(std::string("ab")).update(std::string("c"));
+  a_bc.update(std::string("a")).update(std::string("bc"));
+  EXPECT_NE(ab_c.hex_digest(), a_bc.hex_digest());
+}
+
+TEST(Sha256, DoubleHashingNormalizesZeroAndNan) {
+  const auto digest = [](double v) { return Sha256().update(v).hex_digest(); };
+  EXPECT_EQ(digest(0.0), digest(-0.0));
+  EXPECT_EQ(digest(std::nan("1")), digest(std::nan("2")));
+  EXPECT_NE(digest(1.0), digest(1.0 + 1e-15));  // distinct bit patterns differ
+}
+
+// ---- JSON parser ------------------------------------------------------------
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("text").value("tab\there \"x\" \\ done");
+  w.key("numbers").value(std::vector<double>{0.1, 1e300, -4.0});
+  w.key("flag").value(true);
+  w.key("missing").value(std::nan(""));  // writer emits null
+  w.key("nested").begin_object().key("n").value(std::uint64_t{7}).end_object();
+  w.end_object();
+
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.at("text").as_string(), "tab\there \"x\" \\ done");
+  const std::vector<double> numbers = doc.at("numbers").as_number_array();
+  ASSERT_EQ(numbers.size(), 3u);
+  EXPECT_EQ(numbers[0], 0.1);  // %.17g round-trips bit-exactly
+  EXPECT_EQ(numbers[1], 1e300);
+  EXPECT_EQ(numbers[2], -4.0);
+  EXPECT_TRUE(doc.at("flag").as_bool());
+  EXPECT_TRUE(doc.at("missing").is_null());
+  EXPECT_EQ(doc.at("nested").at("n").as_number(), 7.0);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+  EXPECT_THROW(doc.at("absent"), InvalidArgument);
+}
+
+TEST(JsonParse, PreservesObjectMemberOrder) {
+  const JsonValue doc = parse_json("{\"z\":1,\"a\":2,\"m\":3}");
+  ASSERT_EQ(doc.members().size(), 3u);
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.members()[2].first, "m");
+}
+
+TEST(JsonParse, HandlesEscapesAndWhitespace) {
+  const JsonValue doc =
+      parse_json(" {\n \"s\" : \"a\\u0041\\n\\\"\" , \"arr\" : [ 1 , 2.5e1 ] }\n");
+  EXPECT_EQ(doc.at("s").as_string(), "aA\n\"");
+  EXPECT_EQ(doc.at("arr").at(1).as_number(), 25.0);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1 2", "\"unterminated",
+        "{\"a\":1}]", "nul", "[01x]"}) {
+    EXPECT_THROW(parse_json(bad), InvalidArgument) << bad;
   }
 }
 

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a recorded baseline.
+
+Turns the CI "benchmark smoke" step into a regression gate: every benchmark
+present in both files is compared and the job fails when one regresses past
+the tolerance.
+
+Two modes:
+
+  ratio (default)
+      Each benchmark's current/baseline time ratio is normalized by the
+      MEDIAN ratio over the common set before comparing.  Machine speed
+      then cancels out, so a baseline recorded on one box gates runs on
+      another: what is checked is the performance *profile* (no single hot
+      path got slower relative to the rest).  A uniform slowdown of
+      everything — a slower CI runner — passes; one kernel regressing 2x
+      while the rest hold fails.  The median (not a mean) anchors the
+      normalization, so one benchmark improving dramatically cannot drag
+      the reference down and flag the unchanged majority as regressions.
+
+  absolute
+      Direct time comparison.  Only meaningful when baseline and current
+      run on comparable hardware (e.g. the local re-record workflow).
+
+Exit codes: 0 ok, 1 regression(s), 2 usage/input error.
+
+Usage:
+  tools/bench_compare.py --baseline bench/BENCH_pr1_after.json \
+                         --current micro_out.json [--tolerance 0.25] \
+                         [--mode ratio|absolute] [--min-common 3]
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+# Thread-scaling variants (BM_Foo/4/process_time/...) measure the machine
+# as much as the code: the recorded baselines come from a 1-core container
+# where they are flat, while CI runners fan out.  They are excluded from
+# the gate by default; pass --exclude '' to keep them.
+DEFAULT_EXCLUDE = r"/(?:[2-9]|[1-9][0-9]+)/process_time"
+
+
+def load_benchmarks(path):
+    """name -> real_time for aggregate-free google-benchmark output."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        time = bench.get("real_time")
+        if name is None or time is None or time <= 0:
+            continue
+        times[name] = float(time)
+    return times
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return math.sqrt(ordered[mid - 1] * ordered[mid])  # geometric mid for ratios
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="recorded bench/BENCH_*.json baseline")
+    parser.add_argument("--current", required=True,
+                        help="fresh --benchmark_out=... JSON to check")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative slowdown (default 0.25 = +25%%)")
+    parser.add_argument("--mode", choices=("ratio", "absolute"), default="ratio")
+    parser.add_argument("--min-common", type=int, default=3,
+                        help="fail unless at least this many benchmarks are "
+                             "comparable (guards against filter typos silently "
+                             "comparing nothing)")
+    parser.add_argument("--exclude", default=DEFAULT_EXCLUDE,
+                        help="regex of benchmark names to skip (default: "
+                             "multi-thread scaling variants); '' disables")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    common = sorted(set(baseline) & set(current))
+    if args.exclude:
+        skip = re.compile(args.exclude)
+        common = [n for n in common if not skip.search(n)]
+    if len(common) < args.min_common:
+        print(f"bench_compare: only {len(common)} benchmark(s) common to "
+              f"{args.baseline} and {args.current} (need {args.min_common}); "
+              f"baseline has {len(baseline)}, current has {len(current)}",
+              file=sys.stderr)
+        return 2
+
+    if args.mode == "ratio":
+        scale = median([current[n] / baseline[n] for n in common])
+    else:
+        scale = 1.0
+
+    header = (f"comparing {len(common)} benchmarks "
+              f"({args.mode} mode, tolerance +{args.tolerance:.0%}, "
+              f"machine scale {scale:.3g})")
+    print(header)
+    print(f"{'benchmark':<58} {'baseline':>12} {'current':>12} {'delta':>8}")
+    regressions = []
+    for name in common:
+        base = baseline[name]
+        curr = current[name] / scale
+        delta = curr / base - 1.0
+        flag = ""
+        if delta > args.tolerance:
+            flag = "  REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:<58} {base:>12.4g} {curr:>12.4g} {delta:>+7.1%}{flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond +{args.tolerance:.0%}:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-// cpsguard_cli.cpp — the scenario registry as a command-line tool.
+// cpsguard_cli.cpp — the scenario + sweep registries as a command-line tool.
 //
 //   cpsguard_cli list
 //       every bundled case study and registered scenario
@@ -9,9 +9,25 @@
 //       execute through scenario::ExperimentRunner and print/serialize the
 //       structured report.  Results are bit-identical for every --threads
 //       value (0 = one worker per hardware thread).
+//   cpsguard_cli sweep list | describe <campaign>
+//       the registered sweep campaigns and their expanded grids
+//   cpsguard_cli sweep run <campaign> [--shard i/N] [--threads N]
+//                          [--cache-dir D] [--work-dir D] [--no-cache]
+//                          [--max-cells K] [--out report.json] [--csv prefix]
+//                          [--quiet]
+//       execute (this shard of) a campaign through sweep::CampaignEngine:
+//       content-addressed result caching, per-shard manifests, resumable.
+//   cpsguard_cli sweep merge <campaign> [--shards N] [--cache-dir D]
+//                            [--out report.json] [--csv prefix] [--quiet]
+//       stitch a sharded campaign into the single report an unsharded run
+//       would have produced (bit-identical)
+//   cpsguard_cli sweep status <campaign> [--work-dir D]
+//       completion state recorded by the shard manifests
 //
 // New experiments need a ScenarioSpec registered in src/scenario/registry.cpp
-// (or by the embedding application), not a new binary.
+// and new campaigns a SweepSpec in src/sweep/registry.cpp (or either added by
+// the embedding application) — not a new binary.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -19,6 +35,8 @@
 
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
+#include "sweep/campaign.hpp"
+#include "sweep/registry.hpp"
 #include "util/logging.hpp"
 #include "util/status.hpp"
 
@@ -31,8 +49,16 @@ int usage(const char* argv0) {
                "usage: %s list\n"
                "       %s describe <scenario>\n"
                "       %s run <scenario> [--threads N] [--runs N] [--seed S]\n"
-               "                         [--out report.json] [--csv prefix] [--quiet]\n",
-               argv0, argv0, argv0);
+               "                         [--out report.json] [--csv prefix] [--quiet]\n"
+               "       %s sweep list\n"
+               "       %s sweep describe <campaign>\n"
+               "       %s sweep run <campaign> [--shard i/N] [--threads N]\n"
+               "                    [--cache-dir D] [--work-dir D] [--no-cache]\n"
+               "                    [--max-cells K] [--out report.json] [--csv prefix] [--quiet]\n"
+               "       %s sweep merge <campaign> [--shards N] [--cache-dir D]\n"
+               "                    [--out report.json] [--csv prefix] [--quiet]\n"
+               "       %s sweep status <campaign> [--work-dir D]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -75,6 +101,20 @@ std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
   }
 }
 
+/// Shared report emission for `run`, `sweep run` and `sweep merge`.
+void emit_report(const scenario::Report& report, const std::string& out_path,
+                 const std::string& csv_prefix, bool quiet) {
+  if (!quiet) std::printf("%s", report.text().c_str());
+  if (!out_path.empty()) {
+    report.write_json(out_path);
+    if (!quiet) std::printf("\n[json] %s\n", out_path.c_str());
+  }
+  if (!csv_prefix.empty()) {
+    for (const auto& path : report.write_csv(csv_prefix))
+      if (!quiet) std::printf("[csv] %s\n", path.c_str());
+  }
+}
+
 int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   scenario::ExperimentRunner::Overrides overrides;
   std::string out_path, csv_prefix;
@@ -102,16 +142,168 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
 
   const scenario::ScenarioSpec& spec = scenario::Registry::instance().at(name);
   const scenario::Report report = scenario::ExperimentRunner().run(spec, overrides);
-  if (!quiet) std::printf("%s", report.text().c_str());
-  if (!out_path.empty()) {
-    report.write_json(out_path);
-    if (!quiet) std::printf("\n[json] %s\n", out_path.c_str());
-  }
-  if (!csv_prefix.empty()) {
-    for (const auto& path : report.write_csv(csv_prefix))
-      if (!quiet) std::printf("[csv] %s\n", path.c_str());
+  emit_report(report, out_path, csv_prefix, quiet);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// sweep subcommands
+// ---------------------------------------------------------------------------
+
+int cmd_sweep_list() {
+  const sweep::SweepRegistry& registry = sweep::SweepRegistry::instance();
+  std::printf("sweep campaigns:\n");
+  for (const auto& name : registry.names()) {
+    const sweep::SweepSpec& spec = registry.at(name);
+    std::printf("  %-24s [%4zu cells] %s\n", name.c_str(), spec.cell_count(),
+                spec.title.c_str());
   }
   return 0;
+}
+
+int cmd_sweep_describe(const std::string& name) {
+  std::printf("%s", sweep::SweepRegistry::instance().at(name).describe().c_str());
+  return 0;
+}
+
+/// Flag parsing for the sweep subcommands.  Each subcommand declares the
+/// flags it can honor; anything else rejects instead of being silently
+/// swallowed (e.g. `sweep run --shards 4` must error, not run one shard).
+struct SweepArgs {
+  sweep::CampaignOptions options;
+  std::string out_path, csv_prefix;
+  bool quiet = false;
+};
+
+int parse_sweep_args(const std::vector<std::string>& args,
+                     const std::vector<std::string>& allowed, SweepArgs& parsed) {
+  const auto allows = [&allowed](const char* flag) {
+    return std::find(allowed.begin(), allowed.end(), flag) != allowed.end();
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const bool has_value = i + 1 < args.size();
+    if (arg == "--quiet" && allows("--quiet")) {
+      parsed.quiet = true;
+    } else if (arg == "--no-cache" && allows("--no-cache")) {
+      parsed.options.use_cache = false;
+    } else if (arg == "--shard" && allows("--shard") && has_value) {
+      parsed.options.shard = sweep::ShardSelector::parse(args[++i]);
+    } else if (arg == "--shards" && allows("--shards") && has_value) {
+      parsed.options.shard.count =
+          static_cast<std::size_t>(parse_u64(arg, args[++i]));
+      util::require(parsed.options.shard.count > 0, "--shards must be positive");
+    } else if (arg == "--threads" && allows("--threads") && has_value) {
+      parsed.options.threads = static_cast<std::size_t>(parse_u64(arg, args[++i]));
+    } else if (arg == "--max-cells" && allows("--max-cells") && has_value) {
+      parsed.options.max_cells =
+          static_cast<std::size_t>(parse_u64(arg, args[++i]));
+    } else if (arg == "--cache-dir" && allows("--cache-dir") && has_value) {
+      parsed.options.cache_dir = args[++i];
+    } else if (arg == "--work-dir" && allows("--work-dir") && has_value) {
+      parsed.options.work_dir = args[++i];
+    } else if (arg == "--out" && allows("--out") && has_value) {
+      parsed.out_path = args[++i];
+    } else if (arg == "--csv" && allows("--csv") && has_value) {
+      parsed.csv_prefix = args[++i];
+    } else {
+      std::fprintf(stderr, "unknown/incomplete option '%s' for this subcommand\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  return 0;
+}
+
+int cmd_sweep_run(const std::string& name, const std::vector<std::string>& args) {
+  SweepArgs parsed;
+  if (const int rc = parse_sweep_args(
+          args,
+          {"--quiet", "--no-cache", "--shard", "--threads", "--max-cells",
+           "--cache-dir", "--work-dir", "--out", "--csv"},
+          parsed))
+    return rc;
+  if (parsed.options.shard.count != 1 &&
+      (!parsed.out_path.empty() || !parsed.csv_prefix.empty())) {
+    std::fprintf(stderr,
+                 "--out/--csv need the full campaign report; a partial shard "
+                 "has none — run the other shards and use `sweep merge`\n");
+    return 2;
+  }
+  const sweep::SweepSpec& spec = sweep::SweepRegistry::instance().at(name);
+  const sweep::CampaignRun outcome =
+      sweep::CampaignEngine().run(spec, parsed.options);
+
+  if (!parsed.quiet || !outcome.complete) {
+    std::printf("campaign %s: shard %zu/%zu owns %zu of %zu cells — "
+                "%zu executed, %zu cache hits%s\n",
+                name.c_str(), parsed.options.shard.index,
+                parsed.options.shard.count, outcome.cells_in_shard,
+                outcome.cells_total, outcome.executed, outcome.cache_hits,
+                outcome.complete ? "" : " [INCOMPLETE: --max-cells budget]");
+    if (!outcome.manifest_path.empty())
+      std::printf("manifest: %s\n", outcome.manifest_path.c_str());
+  }
+  if (outcome.report) {
+    if (!parsed.quiet) std::printf("\n");
+    emit_report(*outcome.report, parsed.out_path, parsed.csv_prefix, parsed.quiet);
+  } else if (outcome.complete && parsed.options.shard.count != 1 &&
+             !parsed.quiet) {
+    std::printf("shard complete; run the other shards, then "
+                "`sweep merge %s --shards %zu` for the campaign report\n",
+                name.c_str(), parsed.options.shard.count);
+  }
+  return outcome.complete ? 0 : 4;
+}
+
+int cmd_sweep_merge(const std::string& name, const std::vector<std::string>& args) {
+  SweepArgs parsed;
+  if (const int rc = parse_sweep_args(
+          args, {"--quiet", "--shards", "--cache-dir", "--out", "--csv"}, parsed))
+    return rc;
+  const sweep::SweepSpec& spec = sweep::SweepRegistry::instance().at(name);
+  const scenario::Report report =
+      sweep::CampaignEngine().merge(spec, parsed.options);
+  emit_report(report, parsed.out_path, parsed.csv_prefix, parsed.quiet);
+  return 0;
+}
+
+int cmd_sweep_status(const std::string& name,
+                     const std::vector<std::string>& args) {
+  SweepArgs parsed;
+  if (const int rc = parse_sweep_args(args, {"--work-dir"}, parsed)) return rc;
+  const sweep::SweepSpec& spec = sweep::SweepRegistry::instance().at(name);
+  const sweep::CampaignStatus status =
+      sweep::CampaignEngine().status(spec, parsed.options);
+  std::printf("campaign %s: %zu/%zu cells done across %zu shard manifest(s)\n",
+              name.c_str(), status.cells_done, status.cells_total,
+              status.shards_seen);
+  for (const auto& stale : status.stale_manifests)
+    std::printf("  stale manifest (different campaign definition): %s\n",
+                stale.c_str());
+  return status.cells_done == status.cells_total ? 0 : 4;
+}
+
+int cmd_sweep(const std::vector<std::string>& args, const char* argv0) {
+  if (args.empty()) return usage(argv0);
+  const std::string& sub = args[0];
+  const std::vector<std::string> rest(args.begin() + (args.size() > 1 ? 2 : 1),
+                                      args.end());
+  if (sub == "list") return cmd_sweep_list();
+  if (args.size() >= 2) {
+    if (sub == "describe") {
+      if (!rest.empty()) {
+        std::fprintf(stderr, "sweep describe takes no options (got '%s')\n",
+                     rest.front().c_str());
+        return 2;
+      }
+      return cmd_sweep_describe(args[1]);
+    }
+    if (sub == "run") return cmd_sweep_run(args[1], rest);
+    if (sub == "merge") return cmd_sweep_merge(args[1], rest);
+    if (sub == "status") return cmd_sweep_status(args[1], rest);
+  }
+  return usage(argv0);
 }
 
 }  // namespace
@@ -125,6 +317,8 @@ int main(int argc, char** argv) {
     if (command == "describe" && argc >= 3) return cmd_describe(argv[2]);
     if (command == "run" && argc >= 3)
       return cmd_run(argv[2], std::vector<std::string>(argv + 3, argv + argc));
+    if (command == "sweep")
+      return cmd_sweep(std::vector<std::string>(argv + 2, argv + argc), argv[0]);
   } catch (const util::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;
