@@ -1,0 +1,121 @@
+// PR-4 benchmarks: the simulate→evaluate split.
+//
+// BM_FarSeparate re-runs the whole FAR protocol once per detector setting
+// (the pre-split cost model: N settings = N simulation batches).
+// BM_FarBank runs ONE protocol with all N settings as a detector bank, and
+// BM_FarEvaluateOnly isolates phase 2 (streaming the bank over recorded
+// residues) — together they show the detector-axis cost collapsing from
+// "re-simulate everything" to "re-judge the recorded residues".
+// BM_SweepCold{Grouped,Ungrouped} measure the same effect end-to-end
+// through the campaign engine on a threshold-axis sweep (8 cells,
+// 2 simulation groups, cache disabled so every run is cold).
+#include <benchmark/benchmark.h>
+
+#include "cpsguard.hpp"
+
+namespace {
+
+using namespace cpsguard;
+
+const models::CaseStudy& trajectory() {
+  static const models::CaseStudy cs = models::make_trajectory_case_study();
+  return cs;
+}
+
+detect::FarSetup far_setup(const models::CaseStudy& cs) {
+  detect::FarSetup setup;
+  setup.num_runs = 200;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  return setup;
+}
+
+std::vector<detect::FarCandidate> bank_candidates(const models::CaseStudy& cs,
+                                                  std::size_t count) {
+  std::vector<detect::FarCandidate> candidates;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double level = 0.01 * static_cast<double>(i + 1);
+    candidates.emplace_back(
+        "th" + std::to_string(i),
+        detect::ResidueDetector(
+            detect::ThresholdVector::constant(cs.horizon, level), cs.norm));
+  }
+  return candidates;
+}
+
+void BM_FarSeparate(benchmark::State& state) {
+  // N detector settings the pre-split way: one full protocol run each.
+  const auto& cs = trajectory();
+  const control::ClosedLoop loop(cs.loop);
+  const auto candidates =
+      bank_candidates(cs, static_cast<std::size_t>(state.range(0)));
+  const detect::FarSetup setup = far_setup(cs);
+  for (auto _ : state) {
+    for (const auto& candidate : candidates)
+      benchmark::DoNotOptimize(
+          detect::evaluate_far(loop, cs.mdc, {candidate}, setup));
+  }
+}
+BENCHMARK(BM_FarSeparate)->Arg(4)->Arg(16);
+
+void BM_FarBank(benchmark::State& state) {
+  // The same N settings as one bank: one simulation batch per iteration.
+  const auto& cs = trajectory();
+  const control::ClosedLoop loop(cs.loop);
+  const auto candidates =
+      bank_candidates(cs, static_cast<std::size_t>(state.range(0)));
+  const detect::FarSetup setup = far_setup(cs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detect::evaluate_far(loop, cs.mdc, candidates, setup));
+  }
+}
+BENCHMARK(BM_FarBank)->Arg(4)->Arg(16);
+
+void BM_FarEvaluateOnly(benchmark::State& state) {
+  // Phase 2 alone: what a sweep cell costs once its simulation group's
+  // batch is recorded.
+  const auto& cs = trajectory();
+  const control::ClosedLoop loop(cs.loop);
+  const auto candidates =
+      bank_candidates(cs, static_cast<std::size_t>(state.range(0)));
+  const detect::FarSimulation sim(loop, cs.mdc, far_setup(cs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.evaluate(candidates));
+  }
+}
+BENCHMARK(BM_FarEvaluateOnly)->Arg(4)->Arg(16);
+
+sweep::SweepSpec threshold_axis_campaign() {
+  sweep::SweepSpec spec;
+  spec.name = "bench_grouped";
+  spec.title = "trajectory FAR threshold axis";
+  spec.base = "trajectory/far";
+  spec.detectors = {scenario::DetectorSpec::static_threshold("static", 0.05)};
+  spec.fixed = {{"runs", 60}};
+  spec.axes = {sweep::Axis::list("noise_scale", {0.9, 1.1}),
+               sweep::Axis::range("threshold", 0.01, 0.08, 4, /*log=*/true)};
+  return spec;  // 8 cells, 2 simulation groups
+}
+
+void run_cold_campaign(bool group_simulations) {
+  sweep::CampaignOptions options;
+  options.use_cache = false;
+  options.group_simulations = group_simulations;
+  const sweep::CampaignRun outcome =
+      sweep::CampaignEngine().run(threshold_axis_campaign(), options);
+  if (!outcome.report.has_value()) std::abort();
+}
+
+void BM_SweepColdGrouped(benchmark::State& state) {
+  for (auto _ : state) run_cold_campaign(/*group_simulations=*/true);
+}
+BENCHMARK(BM_SweepColdGrouped);
+
+void BM_SweepColdUngrouped(benchmark::State& state) {
+  for (auto _ : state) run_cold_campaign(/*group_simulations=*/false);
+}
+BENCHMARK(BM_SweepColdUngrouped);
+
+}  // namespace
+
+BENCHMARK_MAIN();

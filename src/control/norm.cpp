@@ -1,5 +1,7 @@
 #include "control/norm.hpp"
 
+#include <cmath>
+
 #include "util/status.hpp"
 
 namespace cpsguard::control {
@@ -9,6 +11,22 @@ double vector_norm(const linalg::Vector& v, Norm norm) {
     case Norm::kInf: return v.norm_inf();
     case Norm::kOne: return v.norm1();
     case Norm::kTwo: return v.norm2();
+  }
+  throw util::InvalidArgument("vector_norm: unknown norm");
+}
+
+double vector_norm(const double* data, std::size_t n, Norm norm) {
+  double acc = 0.0;
+  switch (norm) {
+    case Norm::kInf:
+      for (std::size_t i = 0; i < n; ++i) acc = std::max(acc, std::abs(data[i]));
+      return acc;
+    case Norm::kOne:
+      for (std::size_t i = 0; i < n; ++i) acc += std::abs(data[i]);
+      return acc;
+    case Norm::kTwo:
+      for (std::size_t i = 0; i < n; ++i) acc += data[i] * data[i];
+      return std::sqrt(acc);
   }
   throw util::InvalidArgument("vector_norm: unknown norm");
 }

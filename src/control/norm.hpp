@@ -21,6 +21,11 @@ enum class Norm {
 /// Applies the selected norm to `v`.
 double vector_norm(const linalg::Vector& v, Norm norm);
 
+/// Same norms over a raw span (the recorded-residue hot path).  Identical
+/// operation order to the Vector overload, so the two faces are
+/// bit-identical.
+double vector_norm(const double* data, std::size_t n, Norm norm);
+
 /// Human-readable norm name ("Linf", "L1", "L2").
 std::string norm_name(Norm norm);
 

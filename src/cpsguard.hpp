@@ -13,12 +13,19 @@
 //      FAR, ROC sweep, noise floor, template search, or threshold/attack
 //      synthesis, all driven through the sim::BatchRunner batch engine with
 //      per-run RNG substreams (bit-identical at any thread count) — and
-//      read the structured scenario::Report (JSON/CSV serializable);
+//      read the structured scenario::Report (JSON/CSV serializable).
+//      Every Monte-Carlo protocol is two-phase: SIMULATE records the
+//      residual traces once (detect::FarSimulation, NoiseFloorSamples,
+//      RocResidues), then EVALUATE streams detector banks over them —
+//      detectors are detect::OnlineDetector instances (reset()/step(z)),
+//      compared N-at-a-time by detect::DetectorBank;
 //   3. to cover a whole parameter space instead of one point, run a sweep
 //      campaign from sweep::SweepRegistry::instance() ("table1_sweep",
 //      "roc_sweep", ...) through sweep::CampaignEngine — the grid expands
 //      from a declarative SweepSpec, cells are cached content-addressed
-//      (re-runs recompute only changed cells), and execution shards over
+//      (re-runs recompute only changed cells), cells differing only on
+//      detector axes share one simulated batch (simulation groups, keyed
+//      by sweep::simulation_fingerprint), and execution shards over
 //      machines and resumes after interruption, all bit-identical;
 //   4. for custom experiments, copy a spec and edit it as data (plant,
 //      noise envelope, detector list, protocol), or drop to the layers
@@ -47,6 +54,7 @@
 #include "detect/detector.hpp"
 #include "detect/far.hpp"
 #include "detect/noise_floor.hpp"
+#include "detect/online.hpp"
 #include "detect/roc.hpp"
 #include "detect/threshold.hpp"
 #include "linalg/decomp.hpp"
@@ -75,6 +83,7 @@
 #include "sim/batch.hpp"
 #include "sim/config.hpp"
 #include "sim/monte_carlo.hpp"
+#include "sim/stats.hpp"
 #include "solver/lp_backend.hpp"
 #include "solver/problem.hpp"
 #include "solver/simplex.hpp"

@@ -12,42 +12,29 @@ using linalg::Matrix;
 using linalg::Vector;
 using util::require;
 
-namespace {
-
-// The alarm rule, shared between the trace- and series-based entry points
-// so they can never diverge: instant k alarms when the (filled) threshold
-// there is set and the residue norm reaches it.
-template <typename NormAt>
-std::optional<std::size_t> scan_alarm(std::size_t count,
-                                      const ThresholdVector& filled,
-                                      NormAt&& norm_at) {
-  for (std::size_t k = 0; k < count; ++k) {
-    const std::size_t idx = std::min(k, filled.size() - 1);
-    const double th = filled[idx];
-    if (th <= 0.0) continue;  // nothing set anywhere before the first entry
-    if (norm_at(k) >= th) return k;
-  }
-  return std::nullopt;
-}
-
-}  // namespace
-
 ResidueDetector::ResidueDetector(ThresholdVector thresholds, Norm norm)
     : thresholds_(thresholds.filled()), norm_(norm) {
   require(!thresholds_.empty(), "ResidueDetector: empty threshold vector");
 }
 
 std::optional<std::size_t> ResidueDetector::first_alarm(const Trace& trace) const {
-  return scan_alarm(trace.steps(), thresholds_, [&](std::size_t k) {
-    return vector_norm(trace.z[k], norm_);
-  });
+  for (std::size_t k = 0; k < trace.steps(); ++k)
+    if (threshold_alarm_at(thresholds_, k, vector_norm(trace.z[k], norm_)))
+      return k;
+  return std::nullopt;
+}
+
+std::unique_ptr<OnlineDetector> ResidueDetector::make_online() const {
+  return std::make_unique<ThresholdOnline>(thresholds_, norm_);
 }
 
 std::optional<std::size_t> first_alarm_in_series(
     const std::vector<double>& residue_norms, const ThresholdVector& thresholds) {
   if (thresholds.empty()) return std::nullopt;
-  return scan_alarm(residue_norms.size(), thresholds.filled(),
-                    [&](std::size_t k) { return residue_norms[k]; });
+  const ThresholdVector filled = thresholds.filled();
+  for (std::size_t k = 0; k < residue_norms.size(); ++k)
+    if (threshold_alarm_at(filled, k, residue_norms[k])) return k;
+  return std::nullopt;
 }
 
 WindowedDetector::WindowedDetector(ThresholdVector thresholds, Norm norm,
@@ -58,21 +45,12 @@ WindowedDetector::WindowedDetector(ThresholdVector thresholds, Norm norm,
 }
 
 std::optional<std::size_t> WindowedDetector::first_alarm(const Trace& trace) const {
-  // Ring buffer of the last m exceedance flags; count tracks its sum.
-  std::vector<bool> window(m_, false);
-  std::size_t count = 0;
-  for (std::size_t i = 0; i < trace.steps(); ++i) {
-    const std::size_t slot = i % m_;
-    if (window[slot]) --count;
-    const std::size_t idx = std::min(i, thresholds_.size() - 1);
-    const double th = thresholds_[idx];
-    const bool exceeded =
-        th > 0.0 && control::vector_norm(trace.z[i], norm_) >= th;
-    window[slot] = exceeded;
-    if (exceeded) ++count;
-    if (count >= k_) return i;
-  }
-  return std::nullopt;
+  WindowedOnline online(thresholds_, norm_, k_, m_);
+  return streaming_first_alarm(online, trace);
+}
+
+std::unique_ptr<OnlineDetector> WindowedDetector::make_online() const {
+  return std::make_unique<WindowedOnline>(thresholds_, norm_, k_, m_);
 }
 
 Chi2Detector::Chi2Detector(const Matrix& innovation_covariance, double threshold)
@@ -81,7 +59,7 @@ Chi2Detector::Chi2Detector(const Matrix& innovation_covariance, double threshold
 }
 
 double Chi2Detector::statistic(const Vector& z) const {
-  return z.dot(s_inv_ * z);
+  return chi2_statistic(s_inv_, z);
 }
 
 std::optional<std::size_t> Chi2Detector::first_alarm(const Trace& trace) const {
@@ -91,6 +69,10 @@ std::optional<std::size_t> Chi2Detector::first_alarm(const Trace& trace) const {
   return std::nullopt;
 }
 
+std::unique_ptr<OnlineDetector> Chi2Detector::make_online() const {
+  return std::make_unique<Chi2Online>(Chi2Online::from_inverse(s_inv_, threshold_));
+}
+
 CusumDetector::CusumDetector(double drift, double threshold, Norm norm)
     : drift_(drift), threshold_(threshold), norm_(norm) {
   require(threshold > 0.0, "CusumDetector: threshold must be positive");
@@ -98,12 +80,8 @@ CusumDetector::CusumDetector(double drift, double threshold, Norm norm)
 }
 
 std::optional<std::size_t> CusumDetector::first_alarm(const Trace& trace) const {
-  double g = 0.0;
-  for (std::size_t k = 0; k < trace.steps(); ++k) {
-    g = std::max(0.0, g + vector_norm(trace.z[k], norm_) - drift_);
-    if (g > threshold_) return k;
-  }
-  return std::nullopt;
+  CusumOnline online(drift_, threshold_, norm_);
+  return streaming_first_alarm(online, trace);
 }
 
 std::vector<double> CusumDetector::statistic_series(const Trace& trace) const {
@@ -111,10 +89,14 @@ std::vector<double> CusumDetector::statistic_series(const Trace& trace) const {
   out.reserve(trace.steps());
   double g = 0.0;
   for (std::size_t k = 0; k < trace.steps(); ++k) {
-    g = std::max(0.0, g + vector_norm(trace.z[k], norm_) - drift_);
+    g = cusum_update(g, vector_norm(trace.z[k], norm_), drift_);
     out.push_back(g);
   }
   return out;
+}
+
+std::unique_ptr<OnlineDetector> CusumDetector::make_online() const {
+  return std::make_unique<CusumOnline>(drift_, threshold_, norm_);
 }
 
 }  // namespace cpsguard::detect

@@ -1,11 +1,20 @@
-// detector.hpp — runtime residue-based detectors.
+// detector.hpp — runtime residue-based detectors (trace-level wrappers).
+//
+// Each class pairs a detector configuration with the convenience of
+// evaluating a whole recorded trace at once.  The alarm rules themselves
+// live in detect/online.hpp (threshold_alarm_at, cusum_update,
+// chi2_statistic, and the OnlineDetector implementations); every wrapper
+// here delegates to that single streaming core, and make_online() hands
+// the same configuration to DetectorBank / Monte-Carlo evaluation.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "control/trace.hpp"
+#include "detect/online.hpp"
 #include "detect/threshold.hpp"
 #include "linalg/matrix.hpp"
 
@@ -25,6 +34,9 @@ class ResidueDetector {
   bool triggered(const control::Trace& trace) const {
     return first_alarm(trace).has_value();
   }
+
+  /// Streaming instance with this configuration (detect/online.hpp).
+  std::unique_ptr<OnlineDetector> make_online() const;
 
   const ThresholdVector& thresholds() const { return thresholds_; }
   control::Norm norm() const { return norm_; }
@@ -55,6 +67,8 @@ class Chi2Detector {
   /// The statistic g_k for one residue.
   double statistic(const linalg::Vector& z) const;
 
+  std::unique_ptr<OnlineDetector> make_online() const;
+
  private:
   linalg::Matrix s_inv_;
   double threshold_;
@@ -76,6 +90,8 @@ class WindowedDetector {
   bool triggered(const control::Trace& trace) const {
     return first_alarm(trace).has_value();
   }
+
+  std::unique_ptr<OnlineDetector> make_online() const;
 
   const ThresholdVector& thresholds() const { return thresholds_; }
   std::size_t k() const { return k_; }
@@ -101,6 +117,8 @@ class CusumDetector {
 
   /// Full statistic series for plots.
   std::vector<double> statistic_series(const control::Trace& trace) const;
+
+  std::unique_ptr<OnlineDetector> make_online() const;
 
  private:
   double drift_;

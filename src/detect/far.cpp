@@ -8,25 +8,86 @@ namespace cpsguard::detect {
 
 using control::Trace;
 
-namespace {
-
-// Per-run verdict of the protocol's filtering stages.
-enum class RunStatus : std::uint8_t { kEvaluated, kDiscardedPfc, kDiscardedMdc };
-
-}  // namespace
-
 FarCandidate::FarCandidate(std::string name_, ResidueDetector detector)
-    : name(std::move(name_)),
-      triggered([det = std::move(detector)](const Trace& trace) {
-        return det.triggered(trace);
-      }) {}
+    : name(std::move(name_)) {
+  auto online = std::shared_ptr<OnlineDetector>(detector.make_online());
+  factory = [online] { return online->clone(); };
+}
 
-FarCandidate::FarCandidate(std::string name_,
-                           std::function<bool(const Trace&)> triggered_)
-    : name(std::move(name_)), triggered(std::move(triggered_)) {}
+FarCandidate::FarCandidate(std::string name_, DetectorFactory factory_)
+    : name(std::move(name_)), factory(std::move(factory_)) {}
+
+FarSimulation::FarSimulation(const control::ClosedLoop& loop,
+                             const monitor::MonitorSet& monitors,
+                             const FarSetup& setup) {
+  util::require(setup.num_runs > 0, "FarSimulation: num_runs must be positive");
+  util::require(setup.noise_bounds.size() == loop.config().plant.num_outputs(),
+                "FarSimulation: noise bound dimension must match outputs");
+
+  // Every run records its verdict (and, when kept, its residues) keyed by
+  // run index, so the record is independent of the thread count.
+  evaluated_.assign(setup.num_runs, 0);
+  residues_.resize(setup.num_runs);
+
+  const sim::BatchRunner runner(setup.threads);
+  std::vector<std::uint8_t> pfc_discard(setup.num_runs, 0);
+  std::vector<std::uint8_t> mdc_discard(setup.num_runs, 0);
+  sim::run_noise_batch(
+      runner, loop, setup.num_runs, setup.horizon, setup.noise_bounds, setup.seed,
+      /*index_offset=*/0, [&](std::size_t run, const Trace& trace) {
+        if (setup.pfc && !setup.pfc(trace)) {
+          pfc_discard[run] = 1;
+          return;
+        }
+        if (!monitors.stealthy(trace)) {
+          mdc_discard[run] = 1;
+          return;
+        }
+        evaluated_[run] = 1;
+        residues_[run].assign(trace.z);
+      });
+
+  for (std::size_t run = 0; run < setup.num_runs; ++run) {
+    discarded_by_pfc_ += pfc_discard[run];
+    discarded_by_mdc_ += mdc_discard[run];
+    evaluated_runs_ += evaluated_[run];
+  }
+  CPSG_INFO("far") << "simulated " << setup.num_runs << " runs on "
+                   << runner.threads() << " thread(s), pfc-discard "
+                   << discarded_by_pfc_ << ", mdc-discard " << discarded_by_mdc_;
+}
+
+FarReport FarSimulation::evaluate(const std::vector<FarCandidate>& candidates) const {
+  FarReport report;
+  report.total_runs = total_runs();
+  report.discarded_by_pfc = discarded_by_pfc_;
+  report.discarded_by_mdc = discarded_by_mdc_;
+  report.rows.reserve(candidates.size());
+  for (const auto& c : candidates) report.rows.push_back(FarRow{c.name, 0, 0});
+
+  DetectorBank bank;
+  for (const auto& c : candidates) bank.add(c.factory());
+  std::vector<std::optional<std::size_t>> first_alarms;
+  for (std::size_t run = 0; run < evaluated_.size(); ++run) {
+    if (!evaluated_[run]) continue;
+    bank.evaluate(residues_[run], first_alarms);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      ++report.rows[i].evaluated;
+      report.rows[i].alarms += first_alarms[i].has_value() ? 1 : 0;
+    }
+  }
+  return report;
+}
 
 FarReport evaluate_far(const control::ClosedLoop& loop, const monitor::MonitorSet& monitors,
                        const std::vector<FarCandidate>& candidates, const FarSetup& setup) {
+  // One-shot protocol: the candidate set is known up front, so evaluate
+  // inside the simulation callback instead of recording residues —
+  // constant memory regardless of num_runs, same alarm rules, same
+  // numbers.  (FarSimulation exists for the record-once/evaluate-many
+  // setting: sweep simulation groups.)  Every worker slot owns its own
+  // bank of factory-fresh detector instances, so stateful detectors
+  // (CUSUM) can never race or leak state across runs.
   util::require(setup.num_runs > 0, "evaluate_far: num_runs must be positive");
   util::require(setup.noise_bounds.size() == loop.config().plant.num_outputs(),
                 "evaluate_far: noise bound dimension must match outputs");
@@ -36,15 +97,21 @@ FarReport evaluate_far(const control::ClosedLoop& loop, const monitor::MonitorSe
   report.rows.reserve(candidates.size());
   for (const auto& c : candidates) report.rows.push_back(FarRow{c.name, 0, 0});
 
-  // Every run records its verdicts keyed by run index; the reduction below
-  // walks them in order, so the report is independent of the thread count.
+  enum class RunStatus : std::uint8_t { kEvaluated, kDiscardedPfc, kDiscardedMdc };
   std::vector<RunStatus> status(setup.num_runs, RunStatus::kEvaluated);
   std::vector<std::uint8_t> alarms(setup.num_runs * candidates.size(), 0);
 
   const sim::BatchRunner runner(setup.threads);
+  std::vector<DetectorBank> banks(runner.threads());
+  std::vector<std::vector<std::optional<std::size_t>>> first_alarms(
+      runner.threads());
+  for (auto& bank : banks)
+    for (const auto& c : candidates) bank.add(c.factory());
+
   sim::run_noise_batch(
       runner, loop, setup.num_runs, setup.horizon, setup.noise_bounds, setup.seed,
-      /*index_offset=*/0, [&](std::size_t run, const Trace& trace) {
+      /*index_offset=*/0,
+      [&](std::size_t run, std::size_t slot, const Trace& trace) {
         if (setup.pfc && !setup.pfc(trace)) {
           status[run] = RunStatus::kDiscardedPfc;
           return;
@@ -53,8 +120,12 @@ FarReport evaluate_far(const control::ClosedLoop& loop, const monitor::MonitorSe
           status[run] = RunStatus::kDiscardedMdc;
           return;
         }
+        // Worker-local bank: judge this run's residues in place and keep
+        // only the verdict bits.
+        banks[slot].evaluate(trace, first_alarms[slot]);
         for (std::size_t i = 0; i < candidates.size(); ++i)
-          alarms[run * candidates.size() + i] = candidates[i].triggered(trace) ? 1 : 0;
+          alarms[run * candidates.size() + i] =
+              first_alarms[slot][i].has_value() ? 1 : 0;
       });
 
   for (std::size_t run = 0; run < setup.num_runs; ++run) {

@@ -3,8 +3,15 @@
 // Protocol from the paper: generate N random bounded measurement-noise
 // vectors small enough that the performance criterion is maintained,
 // discard the ones the existing monitoring system (mdc) flags, then report
-// the fraction of the remaining benign runs each threshold detector alarms
-// on.  Everything is driven from one Rng seed for reproducibility.
+// the fraction of the remaining benign runs each detector alarms on.
+// Everything is driven from one Rng seed for reproducibility.
+//
+// The protocol is two-phase.  FarSimulation is phase 1: simulate the noise
+// batch ONCE, recording each run's pfc/mdc verdict and — for the runs that
+// survive — its residue trace.  evaluate() is phase 2: stream any detector
+// bank over the recorded residues.  Comparing N detector settings (or a
+// sweep campaign's whole detector axis) therefore costs one simulation
+// batch plus N cheap streaming passes, instead of N simulation batches.
 #pragma once
 
 #include <functional>
@@ -14,24 +21,22 @@
 #include "control/closed_loop.hpp"
 #include "control/noise.hpp"
 #include "detect/detector.hpp"
+#include "detect/online.hpp"
 #include "monitor/monitor.hpp"
 #include "sim/config.hpp"
 #include "util/random.hpp"
 
 namespace cpsguard::detect {
 
-/// One candidate detector entered into the comparison.  Any alarm predicate
-/// qualifies (residue thresholds, chi-squared, CUSUM, windowed policies...);
-/// it is invoked concurrently when the protocol runs multi-threaded, so it
-/// must be thread-safe (the bundled detectors are: triggered() is const and
-/// stateless per call).
+/// One candidate detector entered into the comparison: a factory producing
+/// a fresh streaming instance per evaluation pass, so stateful detectors
+/// (CUSUM) can never share running state across runs or worker threads.
 struct FarCandidate {
   FarCandidate(std::string name, ResidueDetector detector);
-  FarCandidate(std::string name,
-               std::function<bool(const control::Trace&)> triggered);
+  FarCandidate(std::string name, DetectorFactory factory);
 
   std::string name;
-  std::function<bool(const control::Trace&)> triggered;
+  DetectorFactory factory;
 };
 
 /// Monte-Carlo knobs (sim::MonteCarloConfig: num_runs, horizon,
@@ -59,8 +64,38 @@ struct FarReport {
   std::vector<FarRow> rows;          ///< one per candidate detector
 };
 
-/// Runs the protocol for `candidates` against the given closed loop and
-/// monitoring system.
+/// Phase 1 of the FAR protocol: the simulated noise batch with per-run
+/// verdicts and the residue traces of the evaluated (kept) runs.
+class FarSimulation {
+ public:
+  /// Simulates setup.num_runs noise-only runs of `loop` (parallel across
+  /// setup.threads, bit-identical at any thread count) and records the
+  /// residues of every run that passes the pfc filter and the monitors.
+  FarSimulation(const control::ClosedLoop& loop,
+                const monitor::MonitorSet& monitors, const FarSetup& setup);
+
+  std::size_t total_runs() const { return evaluated_.size(); }
+  std::size_t discarded_by_pfc() const { return discarded_by_pfc_; }
+  std::size_t discarded_by_mdc() const { return discarded_by_mdc_; }
+  std::size_t evaluated_runs() const { return evaluated_runs_; }
+
+  /// Phase 2: sweeps the candidates (as one DetectorBank) over the recorded
+  /// runs and reports per-candidate alarm rates.  Deterministic and cheap —
+  /// call it as many times as there are detector settings to compare.
+  FarReport evaluate(const std::vector<FarCandidate>& candidates) const;
+
+ private:
+  std::size_t discarded_by_pfc_ = 0;
+  std::size_t discarded_by_mdc_ = 0;
+  std::size_t evaluated_runs_ = 0;
+  std::vector<std::uint8_t> evaluated_;  ///< per-run keep flag
+  /// Residues of run i (flat, one allocation per kept run); empty when the
+  /// run was discarded.
+  std::vector<ResidueRecord> residues_;
+};
+
+/// Runs the whole protocol (phase 1 + phase 2) for `candidates` against the
+/// given closed loop and monitoring system.
 FarReport evaluate_far(const control::ClosedLoop& loop, const monitor::MonitorSet& monitors,
                        const std::vector<FarCandidate>& candidates, const FarSetup& setup);
 

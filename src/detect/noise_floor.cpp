@@ -19,41 +19,54 @@ std::size_t NoiseFloor::instants_below(const ThresholdVector& thresholds) const 
   return count;
 }
 
-NoiseFloor estimate_noise_floor(const control::ClosedLoop& loop,
-                                const NoiseFloorSetup& setup) {
-  util::require(setup.num_runs > 0, "estimate_noise_floor: num_runs must be positive");
-  util::require(setup.quantile > 0.0 && setup.quantile < 1.0,
-                "estimate_noise_floor: quantile must be in (0, 1)");
+NoiseFloorSamples::NoiseFloorSamples(const control::ClosedLoop& loop,
+                                     const NoiseFloorSetup& setup) {
+  util::require(setup.num_runs > 0, "NoiseFloorSamples: num_runs must be positive");
   util::require(setup.noise_bounds.size() == loop.config().plant.num_outputs(),
-                "estimate_noise_floor: noise bound dimension mismatch");
+                "NoiseFloorSamples: noise bound dimension mismatch");
 
   // samples[k][run] = ||z_k|| of that run; every worker writes only its own
   // run column, so the fan-out needs no synchronization.
-  std::vector<std::vector<double>> samples(setup.horizon);
-  for (auto& s : samples) s.resize(setup.num_runs);
+  samples_.resize(setup.horizon);
+  for (auto& s : samples_) s.resize(setup.num_runs);
 
   const sim::BatchRunner runner(setup.threads);
   sim::run_noise_batch(
       runner, loop, setup.num_runs, setup.horizon, setup.noise_bounds, setup.seed,
       /*index_offset=*/0, [&](std::size_t run, const control::Trace& tr) {
         for (std::size_t k = 0; k < setup.horizon; ++k)
-          samples[k][run] = control::vector_norm(tr.z[k], setup.norm);
+          samples_[k][run] = control::vector_norm(tr.z[k], setup.norm);
       });
 
-  NoiseFloor out;
   for (std::size_t k = 0; k < setup.horizon; ++k)
-    for (double v : samples[k]) out.peak = std::max(out.peak, v);
+    for (double v : samples_[k]) peak_ = std::max(peak_, v);
+}
 
-  out.quantiles.resize(setup.horizon);
-  for (std::size_t k = 0; k < setup.horizon; ++k) {
-    auto& s = samples[k];
+NoiseFloor NoiseFloorSamples::floor(double quantile) const {
+  util::require(quantile > 0.0 && quantile < 1.0,
+                "NoiseFloorSamples: quantile must be in (0, 1)");
+  NoiseFloor out;
+  out.peak = peak_;
+  out.quantiles.resize(samples_.size());
+  std::vector<double> column;
+  for (std::size_t k = 0; k < samples_.size(); ++k) {
+    column = samples_[k];
     const auto idx = static_cast<std::size_t>(
-        std::min<double>(static_cast<double>(s.size() - 1),
-                         std::floor(setup.quantile * static_cast<double>(s.size()))));
-    std::nth_element(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(idx), s.end());
-    out.quantiles[k] = s[idx];
+        std::min<double>(static_cast<double>(column.size() - 1),
+                         std::floor(quantile * static_cast<double>(column.size()))));
+    std::nth_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(idx),
+                     column.end());
+    out.quantiles[k] = column[idx];
   }
   return out;
+}
+
+NoiseFloor estimate_noise_floor(const control::ClosedLoop& loop,
+                                const NoiseFloorSetup& setup) {
+  // Validate the quantile before simulating anything.
+  util::require(setup.quantile > 0.0 && setup.quantile < 1.0,
+                "estimate_noise_floor: quantile must be in (0, 1)");
+  return NoiseFloorSamples(loop, setup).floor(setup.quantile);
 }
 
 }  // namespace cpsguard::detect

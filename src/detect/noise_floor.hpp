@@ -7,6 +7,12 @@
 // Monte-Carlo noise runs, giving both a diagnostic ("how much of this
 // threshold vector sits below the noise floor?") and a principled lower
 // envelope for threshold post-processing.
+//
+// Two-phase: NoiseFloorSamples simulates the batch once and keeps the raw
+// per-instant norm samples; floor(q) extracts the quantile envelope for any
+// number of quantiles without re-simulating — which is how a sweep's
+// quantile axis (or a scenario mixing 0.5/0.95-calibrated detectors)
+// shares one simulation batch.
 #pragma once
 
 #include <cstddef>
@@ -42,7 +48,30 @@ struct NoiseFloor {
   std::size_t instants_below(const ThresholdVector& thresholds) const;
 };
 
-/// Runs the Monte-Carlo estimate.
+/// Phase 1: the recorded per-instant residue-norm samples of one benign
+/// Monte-Carlo batch (setup.quantile is ignored at collection time).
+class NoiseFloorSamples {
+ public:
+  NoiseFloorSamples(const control::ClosedLoop& loop,
+                    const NoiseFloorSetup& setup);
+
+  std::size_t horizon() const { return samples_.size(); }
+  std::size_t runs() const {
+    return samples_.empty() ? 0 : samples_.front().size();
+  }
+  double peak() const { return peak_; }
+
+  /// Phase 2: the `quantile` envelope over the recorded samples — the same
+  /// estimator at the same samples as estimate_noise_floor, so extracting
+  /// several quantiles from one batch is bit-identical to re-estimating.
+  NoiseFloor floor(double quantile) const;
+
+ private:
+  std::vector<std::vector<double>> samples_;  ///< [instant][run] = ||z_k||
+  double peak_ = 0.0;
+};
+
+/// Runs the Monte-Carlo estimate (phase 1 + phase 2 in one call).
 NoiseFloor estimate_noise_floor(const control::ClosedLoop& loop,
                                 const NoiseFloorSetup& setup);
 

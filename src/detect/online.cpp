@@ -1,0 +1,252 @@
+#include "detect/online.hpp"
+
+#include "linalg/decomp.hpp"
+#include "stl/semantics.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::detect {
+
+using control::Norm;
+using linalg::Matrix;
+using linalg::Vector;
+using util::require;
+
+double chi2_statistic(const Matrix& s_inv, const Vector& z) {
+  return z.dot(s_inv * z);
+}
+
+bool OnlineDetector::step_norm(double /*residue_norm*/) {
+  throw util::InvalidArgument(
+      "OnlineDetector: step_norm on a detector without a shared norm");
+}
+
+// ---- ThresholdOnline -------------------------------------------------------
+
+ThresholdOnline::ThresholdOnline(const ThresholdVector& thresholds, Norm norm)
+    : NormOnlineDetector(norm), thresholds_(thresholds.filled()) {
+  require(!thresholds_.empty(), "ThresholdOnline: empty threshold vector");
+}
+
+std::unique_ptr<OnlineDetector> ThresholdOnline::clone() const {
+  return std::make_unique<ThresholdOnline>(thresholds_, norm_);
+}
+
+// ---- WindowedOnline --------------------------------------------------------
+
+WindowedOnline::WindowedOnline(const ThresholdVector& thresholds, Norm norm,
+                               std::size_t k, std::size_t m)
+    : NormOnlineDetector(norm), thresholds_(thresholds.filled()), k_(k), m_(m) {
+  require(!thresholds_.empty(), "WindowedOnline: empty threshold vector");
+  require(k >= 1 && k <= m, "WindowedOnline: need 1 <= k <= m");
+  reset();
+}
+
+void WindowedOnline::reset() {
+  window_.assign(m_, false);
+  count_ = 0;
+  i_ = 0;
+}
+
+bool WindowedOnline::step_norm(double residue_norm) {
+  const std::size_t slot = i_ % m_;
+  if (window_[slot]) --count_;
+  const bool exceeded = threshold_alarm_at(thresholds_, i_, residue_norm);
+  window_[slot] = exceeded;
+  if (exceeded) ++count_;
+  ++i_;
+  return count_ >= k_;
+}
+
+std::unique_ptr<OnlineDetector> WindowedOnline::clone() const {
+  return std::make_unique<WindowedOnline>(thresholds_, norm_, k_, m_);
+}
+
+// ---- CusumOnline -----------------------------------------------------------
+
+CusumOnline::CusumOnline(double drift, double limit, Norm norm)
+    : NormOnlineDetector(norm), drift_(drift), limit_(limit) {
+  require(limit > 0.0, "CusumOnline: limit must be positive");
+  require(drift >= 0.0, "CusumOnline: drift must be non-negative");
+}
+
+std::unique_ptr<OnlineDetector> CusumOnline::clone() const {
+  return std::make_unique<CusumOnline>(drift_, limit_, norm_);
+}
+
+// ---- Chi2Online ------------------------------------------------------------
+
+Chi2Online::Chi2Online(const Matrix& innovation_covariance, double limit)
+    : s_inv_(linalg::inverse(innovation_covariance)), limit_(limit) {
+  require(limit > 0.0, "Chi2Online: limit must be positive");
+}
+
+Chi2Online::Chi2Online(FromInverseTag, Matrix s_inv, double limit)
+    : s_inv_(std::move(s_inv)), limit_(limit) {
+  require(limit > 0.0, "Chi2Online: limit must be positive");
+}
+
+Chi2Online Chi2Online::from_inverse(Matrix s_inv, double limit) {
+  return Chi2Online(FromInverseTag{}, std::move(s_inv), limit);
+}
+
+std::unique_ptr<OnlineDetector> Chi2Online::clone() const {
+  return std::unique_ptr<OnlineDetector>(
+      new Chi2Online(FromInverseTag{}, s_inv_, limit_));
+}
+
+// ---- StlResidueOnline ------------------------------------------------------
+
+namespace {
+
+/// Rejects formulas referencing anything but the residue signal — the
+/// only quantity a streaming residue detector observes.
+void require_residue_only(const stl::Formula& f) {
+  switch (f.kind()) {
+    case stl::FormulaKind::kTrue:
+    case stl::FormulaKind::kFalse:
+      return;
+    case stl::FormulaKind::kAtom:
+      for (const stl::SignalTerm& term : f.atom_ref().expr.terms())
+        require(term.kind == stl::SignalKind::kResidue,
+                "StlResidueOnline: formula references signal '" +
+                    stl::signal_kind_name(term.kind) +
+                    "'; only residue terms are observable online");
+      return;
+    default:
+      for (const stl::Formula& child : f.children()) require_residue_only(child);
+      return;
+  }
+}
+
+}  // namespace
+
+StlResidueOnline::StlResidueOnline(stl::Formula pass_condition)
+    : formula_(std::move(pass_condition)), depth_(formula_.depth()) {
+  require_residue_only(formula_);
+}
+
+void StlResidueOnline::reset() { buffer_.z.clear(); }
+
+bool StlResidueOnline::step(const Vector& z) {
+  buffer_.z.push_back(z);
+  const std::size_t k = buffer_.z.size() - 1;
+  if (k < depth_) return false;  // window not complete yet
+  return !stl::holds(formula_, buffer_, k - depth_);
+}
+
+std::unique_ptr<OnlineDetector> StlResidueOnline::clone() const {
+  return std::make_unique<StlResidueOnline>(formula_);
+}
+
+// ---- ResidueRecord ---------------------------------------------------------
+
+void ResidueRecord::assign(const std::vector<Vector>& z) {
+  steps_ = z.size();
+  dim_ = z.empty() ? 0 : z.front().size();
+  data_.resize(steps_ * dim_);
+  double* out = data_.data();
+  for (const Vector& v : z) {
+    require(v.size() == dim_, "ResidueRecord: ragged residue dimensions");
+    for (std::size_t i = 0; i < dim_; ++i) *out++ = v[i];
+  }
+}
+
+// ---- streaming helpers -----------------------------------------------------
+
+std::optional<std::size_t> streaming_first_alarm(
+    OnlineDetector& det, const std::vector<Vector>& residues) {
+  det.reset();
+  for (std::size_t k = 0; k < residues.size(); ++k)
+    if (det.step(residues[k])) return k;
+  return std::nullopt;
+}
+
+std::optional<std::size_t> streaming_first_alarm(OnlineDetector& det,
+                                                 const control::Trace& trace) {
+  return streaming_first_alarm(det, trace.z);
+}
+
+// ---- DetectorBank ----------------------------------------------------------
+
+std::size_t DetectorBank::add(std::unique_ptr<OnlineDetector> detector) {
+  require(detector != nullptr, "DetectorBank: null detector");
+  Entry entry{std::move(detector), -1};
+  if (const auto norm = entry.detector->shared_norm()) {
+    const auto it = std::find(norms_.begin(), norms_.end(), *norm);
+    entry.norm_slot = it - norms_.begin();
+    if (it == norms_.end()) {
+      norms_.push_back(*norm);
+      norm_series_.emplace_back();
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+void DetectorBank::evaluate(const std::vector<Vector>& residues,
+                            std::vector<std::optional<std::size_t>>& first_alarms) {
+  const std::size_t steps = residues.size();
+  for (std::size_t s = 0; s < norms_.size(); ++s) {
+    norm_series_[s].resize(steps);
+    for (std::size_t k = 0; k < steps; ++k)
+      norm_series_[s][k] = control::vector_norm(residues[k], norms_[s]);
+  }
+  first_alarms.assign(entries_.size(), std::nullopt);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    entry.detector->reset();
+    if (entry.norm_slot >= 0) {
+      const std::vector<double>& series =
+          norm_series_[static_cast<std::size_t>(entry.norm_slot)];
+      for (std::size_t k = 0; k < steps; ++k)
+        if (entry.detector->step_norm(series[k])) {
+          first_alarms[i] = k;
+          break;
+        }
+    } else {
+      for (std::size_t k = 0; k < steps; ++k)
+        if (entry.detector->step(residues[k])) {
+          first_alarms[i] = k;
+          break;
+        }
+    }
+  }
+}
+
+void DetectorBank::evaluate(const ResidueRecord& record,
+                            std::vector<std::optional<std::size_t>>& first_alarms) {
+  const std::size_t steps = record.steps();
+  const std::size_t dim = record.dim();
+  for (std::size_t s = 0; s < norms_.size(); ++s) {
+    norm_series_[s].resize(steps);
+    for (std::size_t k = 0; k < steps; ++k)
+      norm_series_[s][k] = control::vector_norm(record.row(k), dim, norms_[s]);
+  }
+  first_alarms.assign(entries_.size(), std::nullopt);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    entry.detector->reset();
+    if (entry.norm_slot >= 0) {
+      const std::vector<double>& series =
+          norm_series_[static_cast<std::size_t>(entry.norm_slot)];
+      for (std::size_t k = 0; k < steps; ++k)
+        if (entry.detector->step_norm(series[k])) {
+          first_alarms[i] = k;
+          break;
+        }
+    } else {
+      scratch_.resize(dim);
+      double* scratch = scratch_.data();
+      for (std::size_t k = 0; k < steps; ++k) {
+        const double* row = record.row(k);
+        for (std::size_t d = 0; d < dim; ++d) scratch[d] = row[d];
+        if (entry.detector->step(scratch_)) {
+          first_alarms[i] = k;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cpsguard::detect

@@ -1,0 +1,275 @@
+// online.hpp — streaming (one-sample-at-a-time) alarm evaluation.
+//
+// Every runtime detector in the library reduces to the same shape: consume
+// the residue of each sampling instant in order, keep whatever running
+// state the decision rule needs, and report the first alarming instant.
+// OnlineDetector is that shape made explicit — `reset()` rewinds to the
+// pre-run state, `step(z)` consumes one residue and says whether this
+// instant alarms.  The trace-based detector classes (detect/detector.hpp)
+// are thin wrappers that stream a recorded trace through the same rule, so
+// the alarm semantics live in exactly one place per detector kind.
+//
+// DetectorBank is the fan-in: N detector configurations evaluated in one
+// pass over a recorded residue trace, with the residue-norm series computed
+// once per distinct norm and shared by every norm-consuming detector.  The
+// Monte-Carlo protocols (detect/far.hpp) and the sweep engine's
+// simulation groups (sweep/campaign.hpp) are built on it: simulate once,
+// sweep the whole bank over the recorded residues.
+//
+// Instances are deliberately stateful and NOT thread-safe; concurrent
+// evaluation hands every worker its own instance via DetectorFactory
+// (or OnlineDetector::clone()).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "control/norm.hpp"
+#include "control/trace.hpp"
+#include "detect/threshold.hpp"
+#include "linalg/matrix.hpp"
+#include "stl/formula.hpp"
+
+namespace cpsguard::detect {
+
+/// The threshold alarm rule, shared by every entry point (streaming,
+/// trace-based, series-based) so they can never diverge: instant k alarms
+/// when the (filled) threshold there is set and the residue norm reaches
+/// it.  `filled` must come from ThresholdVector::filled(); instants beyond
+/// it reuse its last entry.
+inline bool threshold_alarm_at(const ThresholdVector& filled, std::size_t k,
+                               double residue_norm) {
+  if (filled.empty()) return false;
+  const double th = filled[std::min(k, filled.size() - 1)];
+  return th > 0.0 && residue_norm >= th;
+}
+
+/// The CUSUM statistic update g_k = max(0, g_{k-1} + ||z_k|| - drift),
+/// shared by the streaming detector and the plotting series.
+inline double cusum_update(double g, double residue_norm, double drift) {
+  return std::max(0.0, g + residue_norm - drift);
+}
+
+/// The chi-squared statistic g_k = z' S^{-1} z (S = innovation covariance).
+double chi2_statistic(const linalg::Matrix& s_inv, const linalg::Vector& z);
+
+/// Streaming alarm evaluator: feed the residues z_1..z_T of one run in
+/// order; step() returns true at every alarming instant.  reset() rewinds
+/// all running state so the instance can evaluate the next run.
+class OnlineDetector {
+ public:
+  virtual ~OnlineDetector() = default;
+
+  /// Rewinds to the pre-run state.
+  virtual void reset() = 0;
+
+  /// Consumes the next instant's residue; true when this instant alarms.
+  virtual bool step(const linalg::Vector& z) = 0;
+
+  /// When the detector consumes only ||z|| under a fixed norm, that norm;
+  /// DetectorBank then feeds step_norm() from a norm series computed once
+  /// and shared across the whole bank.  nullopt = needs the full residue.
+  virtual std::optional<control::Norm> shared_norm() const {
+    return std::nullopt;
+  }
+
+  /// Norm fast path; only called when shared_norm() is set.
+  virtual bool step_norm(double residue_norm);
+
+  /// Fresh instance with the same configuration and pre-run state.
+  virtual std::unique_ptr<OnlineDetector> clone() const = 0;
+};
+
+/// Produces a fresh streaming instance per evaluation pass — the
+/// thread-safe currency of the Monte-Carlo protocols (stateful detectors
+/// such as CUSUM must never share an instance across runs or workers).
+using DetectorFactory = std::function<std::unique_ptr<OnlineDetector>()>;
+
+/// Base for detectors that consume only the residue norm: step() applies
+/// the configured norm and defers to step_norm().
+class NormOnlineDetector : public OnlineDetector {
+ public:
+  explicit NormOnlineDetector(control::Norm norm) : norm_(norm) {}
+
+  std::optional<control::Norm> shared_norm() const final { return norm_; }
+  bool step(const linalg::Vector& z) final {
+    return step_norm(control::vector_norm(z, norm_));
+  }
+  bool step_norm(double residue_norm) override = 0;
+
+ protected:
+  control::Norm norm_;
+};
+
+/// Streaming face of ResidueDetector: ||z_k|| >= Th[k] on the filled
+/// threshold vector.
+class ThresholdOnline final : public NormOnlineDetector {
+ public:
+  ThresholdOnline(const ThresholdVector& thresholds, control::Norm norm);
+
+  void reset() override { k_ = 0; }
+  bool step_norm(double residue_norm) override {
+    return threshold_alarm_at(thresholds_, k_++, residue_norm);
+  }
+  std::unique_ptr<OnlineDetector> clone() const override;
+
+  const ThresholdVector& thresholds() const { return thresholds_; }
+
+ private:
+  ThresholdVector thresholds_;  // stored filled()
+  std::size_t k_ = 0;
+};
+
+/// Streaming face of WindowedDetector: k-of-m exceedances over the sliding
+/// window [i-m+1, i].
+class WindowedOnline final : public NormOnlineDetector {
+ public:
+  /// Requires 1 <= k <= m.
+  WindowedOnline(const ThresholdVector& thresholds, control::Norm norm,
+                 std::size_t k, std::size_t m);
+
+  void reset() override;
+  bool step_norm(double residue_norm) override;
+  std::unique_ptr<OnlineDetector> clone() const override;
+
+ private:
+  ThresholdVector thresholds_;  // stored filled()
+  std::size_t k_;
+  std::size_t m_;
+  std::vector<bool> window_;  // last m exceedance flags
+  std::size_t count_ = 0;     // exceedances within the window
+  std::size_t i_ = 0;         // current instant
+};
+
+/// Streaming face of CusumDetector: g_k via cusum_update, alarm when
+/// g_k > limit.
+class CusumOnline final : public NormOnlineDetector {
+ public:
+  CusumOnline(double drift, double limit, control::Norm norm);
+
+  void reset() override { g_ = 0.0; }
+  bool step_norm(double residue_norm) override {
+    g_ = cusum_update(g_, residue_norm, drift_);
+    return g_ > limit_;
+  }
+  std::unique_ptr<OnlineDetector> clone() const override;
+
+ private:
+  double drift_;
+  double limit_;
+  double g_ = 0.0;
+};
+
+/// Streaming face of Chi2Detector: z' S^{-1} z > limit.  Needs the full
+/// residue vector, so it takes the slow lane of a DetectorBank.
+class Chi2Online final : public OnlineDetector {
+ public:
+  /// `innovation_covariance` is S from the Kalman design (inverted here).
+  Chi2Online(const linalg::Matrix& innovation_covariance, double limit);
+
+  /// For wrappers that already hold S^{-1} (detect::Chi2Detector).
+  static Chi2Online from_inverse(linalg::Matrix s_inv, double limit);
+
+  void reset() override {}
+  bool step(const linalg::Vector& z) override {
+    return chi2_statistic(s_inv_, z) > limit_;
+  }
+  std::unique_ptr<OnlineDetector> clone() const override;
+
+ private:
+  struct FromInverseTag {};
+  Chi2Online(FromInverseTag, linalg::Matrix s_inv, double limit);
+
+  linalg::Matrix s_inv_;
+  double limit_;
+};
+
+/// Streaming monitor for a bounded STL formula over the residue signal
+/// (stl::residue(i) atoms only; any other signal kind is rejected).  The
+/// formula is the PASS condition; with window depth d, step k >= d
+/// evaluates it at instant k - d over the buffered residues and alarms
+/// when it fails — i.e. the alarm fires at the step that completes a
+/// violating window, the earliest instant an online monitor can know.
+/// Steps before the first complete window never alarm.
+class StlResidueOnline final : public OnlineDetector {
+ public:
+  explicit StlResidueOnline(stl::Formula pass_condition);
+
+  void reset() override;
+  bool step(const linalg::Vector& z) override;
+  std::unique_ptr<OnlineDetector> clone() const override;
+
+  const stl::Formula& formula() const { return formula_; }
+
+ private:
+  stl::Formula formula_;
+  std::size_t depth_;
+  control::Trace buffer_;  // only z is populated
+};
+
+/// One run's recorded residues in flat row-major storage (steps × dim):
+/// one allocation per run instead of one per instant.  The storage format
+/// of FarSimulation's record and the DetectorBank hot path.
+class ResidueRecord {
+ public:
+  /// Copies a trace's residue vectors (all of equal dimension).
+  void assign(const std::vector<linalg::Vector>& z);
+
+  std::size_t steps() const { return steps_; }
+  std::size_t dim() const { return dim_; }
+  bool empty() const { return steps_ == 0; }
+  /// Residue z_k as a raw span of dim() entries.
+  const double* row(std::size_t k) const { return data_.data() + k * dim_; }
+
+ private:
+  std::vector<double> data_;
+  std::size_t steps_ = 0;
+  std::size_t dim_ = 0;
+};
+
+/// First alarming instant when `trace` (its residues) is streamed through
+/// `det` from a fresh reset; nullopt when silent.
+std::optional<std::size_t> streaming_first_alarm(OnlineDetector& det,
+                                                 const control::Trace& trace);
+std::optional<std::size_t> streaming_first_alarm(
+    OnlineDetector& det, const std::vector<linalg::Vector>& residues);
+
+/// N detector configurations evaluated in one pass over a recorded residue
+/// trace.  Norm-consuming detectors (shared_norm() set) are fed from a
+/// residue-norm series computed once per distinct norm, so a bank of N
+/// threshold variants costs one norm computation per instant — the
+/// decomposition behind the sweep engine's simulation groups.
+class DetectorBank {
+ public:
+  /// Adds a detector; returns its index.
+  std::size_t add(std::unique_ptr<OnlineDetector> detector);
+  std::size_t size() const { return entries_.size(); }
+  OnlineDetector& at(std::size_t i) { return *entries_[i].detector; }
+
+  /// Streams one run's residues through every detector from a fresh
+  /// reset(); first_alarms[i] = first alarming instant of detector i.
+  void evaluate(const std::vector<linalg::Vector>& residues,
+                std::vector<std::optional<std::size_t>>& first_alarms);
+  /// Same over a flat record — the allocation-free per-run hot path.
+  void evaluate(const ResidueRecord& record,
+                std::vector<std::optional<std::size_t>>& first_alarms);
+  void evaluate(const control::Trace& trace,
+                std::vector<std::optional<std::size_t>>& first_alarms) {
+    evaluate(trace.z, first_alarms);
+  }
+
+ private:
+  struct Entry {
+    std::unique_ptr<OnlineDetector> detector;
+    std::ptrdiff_t norm_slot;  // index into norms_, -1 = full residue
+  };
+  std::vector<Entry> entries_;
+  std::vector<control::Norm> norms_;               // distinct shared norms
+  std::vector<std::vector<double>> norm_series_;  // reused per run
+  linalg::Vector scratch_;  // row view for full-residue detectors
+};
+
+}  // namespace cpsguard::detect

@@ -6,6 +6,7 @@
 
 #include "control/noise.hpp"
 #include "sim/monte_carlo.hpp"
+#include "sim/stats.hpp"
 #include "util/random.hpp"
 #include "util/status.hpp"
 
@@ -44,10 +45,30 @@ std::vector<double> log_scales(double lo, double hi, std::size_t count) {
   return scales;
 }
 
+RocResidues RocResidues::compute(const RocWorkload& workload, control::Norm norm) {
+  RocResidues out;
+  out.norm = norm;
+  out.benign.reserve(workload.benign.size());
+  for (const Trace& tr : workload.benign) out.benign.push_back(tr.residue_norms(norm));
+  out.attacked.reserve(workload.attacked.size());
+  for (const Trace& tr : workload.attacked)
+    out.attacked.push_back(tr.residue_norms(norm));
+  return out;
+}
+
 RocCurve evaluate_roc(std::string name, const ThresholdVector& thresholds,
                       const RocWorkload& workload, const RocOptions& options) {
-  require(!options.scales.empty(), "evaluate_roc: scale grid is empty");
   require(!workload.benign.empty() && !workload.attacked.empty(),
+          "evaluate_roc: workload must contain both benign and attacked runs");
+  return evaluate_roc(std::move(name), thresholds,
+                      RocResidues::compute(workload, options.norm), options);
+}
+
+RocCurve evaluate_roc(std::string name, const ThresholdVector& thresholds,
+                      const RocResidues& residues, const RocOptions& options) {
+  require(!thresholds.empty(), "evaluate_roc: empty threshold vector");
+  require(!options.scales.empty(), "evaluate_roc: scale grid is empty");
+  require(!residues.benign.empty() && !residues.attacked.empty(),
           "evaluate_roc: workload must contain both benign and attacked runs");
 
   for (double s : options.scales)
@@ -56,34 +77,42 @@ RocCurve evaluate_roc(std::string name, const ThresholdVector& thresholds,
   RocCurve curve;
   curve.name = std::move(name);
   curve.points.resize(options.scales.size());
-  // Scales are independent sweeps over immutable traces: fan them out with
-  // results keyed by scale index.
+  // Scales are independent sweeps over immutable norm series: fan them out
+  // with results keyed by scale index.  The norms were computed once for
+  // the whole workload; each scale only runs the threshold rule.
   const sim::BatchRunner runner(options.threads);
   runner.for_each(options.scales.size(), [&](std::size_t idx, std::size_t) {
     const double s = options.scales[idx];
     ThresholdVector scaled(thresholds.size());
     for (std::size_t k = 0; k < thresholds.size(); ++k)
       if (thresholds.is_set(k)) scaled.set(k, thresholds[k] * s);
-    const ResidueDetector detector(scaled, options.norm);
+    const ThresholdVector filled = scaled.filled();
 
     RocPoint point;
     point.scale = s;
     std::size_t false_alarms = 0;
-    for (const Trace& tr : workload.benign)
-      if (detector.triggered(tr)) ++false_alarms;
+    for (const std::vector<double>& norms : residues.benign) {
+      for (std::size_t k = 0; k < norms.size(); ++k)
+        if (threshold_alarm_at(filled, k, norms[k])) {
+          ++false_alarms;
+          break;
+        }
+    }
     point.false_alarm_rate =
-        static_cast<double>(false_alarms) / static_cast<double>(workload.benign.size());
+        static_cast<double>(false_alarms) / static_cast<double>(residues.benign.size());
 
     std::size_t detections = 0;
     double delay_sum = 0.0;
-    for (const Trace& tr : workload.attacked) {
-      if (const auto alarm = detector.first_alarm(tr)) {
-        ++detections;
-        delay_sum += static_cast<double>(*alarm);
-      }
+    for (const std::vector<double>& norms : residues.attacked) {
+      for (std::size_t k = 0; k < norms.size(); ++k)
+        if (threshold_alarm_at(filled, k, norms[k])) {
+          ++detections;
+          delay_sum += static_cast<double>(k);
+          break;
+        }
     }
     point.detection_rate = static_cast<double>(detections) /
-                           static_cast<double>(workload.attacked.size());
+                           static_cast<double>(residues.attacked.size());
     point.mean_detection_delay =
         detections > 0 ? delay_sum / static_cast<double>(detections) : 0.0;
     curve.points[idx] = point;
@@ -121,6 +150,7 @@ RocWorkload make_workload(const control::ClosedLoop& loop,
     const std::size_t wave = std::min(max_attempts - attempted,
                                       std::max(target, runner.threads()));
     std::vector<std::optional<Trace>> kept(wave);
+    sim::stats::add_simulated_runs(wave);
     runner.for_each(wave, [&](std::size_t i, std::size_t slot) {
       sim::RunScratch& s = scratch[slot];
       util::Rng rng = util::Rng::substream(seed, attempted + i);
@@ -149,6 +179,7 @@ RocWorkload make_workload(const control::ClosedLoop& loop,
   // Attacked runs: one substream per attack, indexed past the benign
   // attempt range so the two draws never overlap.
   workload.attacked.resize(attacks.size());
+  sim::stats::add_simulated_runs(attacks.size());
   runner.for_each(attacks.size(), [&](std::size_t j, std::size_t slot) {
     sim::RunScratch& s = scratch[slot];
     if (noisy_attacks) {

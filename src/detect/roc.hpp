@@ -28,6 +28,18 @@ struct RocWorkload {
   std::vector<control::Trace> attacked;
 };
 
+/// Phase-2 input of the ROC protocol: the workload's residue-norm series
+/// under one norm, computed once and shared by every scale, detector and
+/// sweep cell evaluated against the workload.  Threshold detection only
+/// reads ||z_k||, so the traces themselves never need to be revisited.
+struct RocResidues {
+  control::Norm norm = control::Norm::kInf;
+  std::vector<std::vector<double>> benign;
+  std::vector<std::vector<double>> attacked;
+
+  static RocResidues compute(const RocWorkload& workload, control::Norm norm);
+};
+
 struct RocPoint {
   double scale = 1.0;            ///< threshold multiplier
   double false_alarm_rate = 0.0; ///< alarms / benign runs
@@ -58,9 +70,16 @@ struct RocOptions {
 /// Log-spaced scale grid from `lo` to `hi` (inclusive), `count` >= 2 points.
 std::vector<double> log_scales(double lo, double hi, std::size_t count);
 
-/// Evaluates the scaled-threshold detector family on the workload.
+/// Evaluates the scaled-threshold detector family on the workload
+/// (computes RocResidues under options.norm, then delegates below).
 RocCurve evaluate_roc(std::string name, const ThresholdVector& thresholds,
                       const RocWorkload& workload, const RocOptions& options);
+
+/// Same sweep over precomputed residue norms — the two-phase fast path
+/// when several detectors (or sweep cells) share one workload.
+/// options.norm is ignored; `residues.norm` already fixed it.
+RocCurve evaluate_roc(std::string name, const ThresholdVector& thresholds,
+                      const RocResidues& residues, const RocOptions& options);
 
 /// Workload recipe: Monte-Carlo knobs (sim::MonteCarloConfig — num_runs is
 /// the benign-run count) plus the attack signals to replay.

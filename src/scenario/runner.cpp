@@ -13,6 +13,7 @@
 #include "detect/detector.hpp"
 #include "detect/far.hpp"
 #include "detect/noise_floor.hpp"
+#include "detect/online.hpp"
 #include "detect/roc.hpp"
 #include "sim/batch.hpp"
 #include "solver/lp_backend.hpp"
@@ -39,26 +40,44 @@ namespace {
 // deterministic at any thread count.
 constexpr std::uint64_t kCalibrationSeedOffset = 0x9E3779B97F4A7C15ULL;
 
-/// A realized candidate detector: alarm predicates plus (when it reduces to
-/// residue thresholds) the threshold vector and synthesis metadata.
+/// A realized candidate detector: a streaming prototype (cloned per
+/// evaluation pass) plus (when it reduces to residue thresholds) the
+/// threshold vector and synthesis metadata.
 struct BuiltDetector {
   DetectorSpec spec;
   ThresholdVector thresholds;  // empty for chi2/CUSUM
-  std::function<bool(const Trace&)> triggered;
-  std::function<std::optional<std::size_t>(const Trace&)> first_alarm;
+  std::shared_ptr<const detect::OnlineDetector> prototype;
   // Synthesis metadata (zero/false for non-synthesized kinds).
   std::size_t rounds = 0;
   bool converged = false;
   bool certified = false;
   double seconds = 0.0;
+
+  /// Per-run instance factory — the currency of detect::FarCandidate.
+  detect::DetectorFactory factory() const {
+    return [proto = prototype] { return proto->clone(); };
+  }
+  std::optional<std::size_t> first_alarm(const Trace& trace) const {
+    const auto det = prototype->clone();
+    return detect::streaming_first_alarm(*det, trace);
+  }
+  bool triggered(const Trace& trace) const {
+    return first_alarm(trace).has_value();
+  }
 };
 
-/// Everything the protocol strategies share for one run: the resolved spec
-/// plus lazily constructed expensive pieces (solver stack, noise floors).
+/// Everything one simulation group shares: the reference spec (detector
+/// settings may differ per cell, the simulation configuration may not),
+/// lazily constructed expensive pieces (solver stack, calibration floor
+/// samples) and the lazily recorded phase-1 simulation artifacts every
+/// cell's detector bank is evaluated against.
 class Context {
  public:
-  explicit Context(ScenarioSpec spec)
+  /// `shared` marks a context serving a multi-cell group: protocols then
+  /// prefer the record-once phase-1 artifacts over streaming one-shots.
+  explicit Context(ScenarioSpec spec, bool shared = false)
       : spec_(std::move(spec)),
+        shared_(shared),
         horizon_(spec_.effective_horizon()),
         noise_bounds_(spec_.effective_noise_bounds()),
         runs_(spec_.effective_runs()),
@@ -66,6 +85,9 @@ class Context {
         loop_(spec_.study.loop) {
     require(horizon_ > 0, "scenario: horizon resolves to zero");
   }
+
+  /// True when several cells share this context's phase-1 artifacts.
+  bool shared() const { return shared_; }
 
   const ScenarioSpec& spec() const { return spec_; }
   std::size_t horizon() const { return horizon_; }
@@ -92,7 +114,7 @@ class Context {
     return *synthesizer_;
   }
 
-  /// Largest provably-safe static threshold, computed once per run (the
+  /// Largest provably-safe static threshold, computed once per group (the
   /// kSynthStatic detector and the ROC SMT adversary share it).
   const synth::StaticSynthesisResult& static_synthesis() {
     if (!static_synthesis_)
@@ -107,26 +129,133 @@ class Context {
     floors_.insert_or_assign(quantile, std::move(floor));
   }
 
-  /// Benign residue floor at `quantile`, cached, on the calibration seed.
+  /// Benign residue floor at `quantile`, on the calibration seed.  The
+  /// underlying 300-run sample batch is simulated once per group; every
+  /// quantile (cached per value) is extracted from it.
   const detect::NoiseFloor& calibration_floor(double quantile) {
     auto it = floors_.find(quantile);
     if (it != floors_.end()) return it->second;
     require(noise_bounds_.size() != 0,
             "scenario: noise-calibrated detector needs noise bounds");
-    detect::NoiseFloorSetup setup;
-    setup.num_runs = 300;
+    if (!calibration_samples_) {
+      detect::NoiseFloorSetup setup;
+      setup.num_runs = 300;
+      setup.horizon = horizon_;
+      setup.noise_bounds = noise_bounds_;
+      setup.norm = spec_.study.norm;
+      setup.seed = seed() + kCalibrationSeedOffset;
+      setup.threads = threads();
+      calibration_samples_.emplace(loop_, setup);
+    }
+    return floors_.emplace(quantile, calibration_samples_->floor(quantile))
+        .first->second;
+  }
+
+  /// The FAR protocol's Monte-Carlo knobs (shared by the streaming
+  /// one-shot and the record-once phase 1).
+  detect::FarSetup far_setup() const {
+    detect::FarSetup setup;
+    setup.num_runs = runs_;
     setup.horizon = horizon_;
     setup.noise_bounds = noise_bounds_;
-    setup.quantile = quantile;
-    setup.norm = spec_.study.norm;
-    setup.seed = seed() + kCalibrationSeedOffset;
+    setup.seed = seed();
     setup.threads = threads();
-    return floors_.emplace(quantile, detect::estimate_noise_floor(loop_, setup))
-        .first->second;
+    if (spec_.far_pfc_filter) {
+      const synth::Criterion pfc = pfc_;
+      setup.pfc = [pfc](const Trace& tr) { return pfc.satisfied(tr); };
+    }
+    return setup;
+  }
+
+  /// Phase 1 of the FAR protocol: the noise batch with per-run verdicts
+  /// and recorded residues, simulated once per group.
+  const detect::FarSimulation& far_simulation() {
+    if (!far_simulation_) far_simulation_.emplace(loop_, spec_.study.mdc, far_setup());
+    return *far_simulation_;
+  }
+
+  /// The far_against_attack adversary (worst stealthy attack against the
+  /// monitors alone), synthesized once per group.
+  const synth::AttackResult& far_adversary() {
+    if (!far_adversary_)
+      far_adversary_ =
+          synthesizer().synthesize(ThresholdVector(horizon_), spec_.objective);
+    return *far_adversary_;
+  }
+
+  /// Phase 1 of the noise-floor protocol: the raw norm samples on the
+  /// protocol seed, simulated once per group; cells extract their own
+  /// quantile envelopes from them.
+  const detect::NoiseFloorSamples& protocol_floor_samples() {
+    if (!protocol_samples_) {
+      detect::NoiseFloorSetup setup;
+      setup.num_runs = runs_;
+      setup.horizon = horizon_;
+      setup.noise_bounds = noise_bounds_;
+      setup.norm = spec_.study.norm;
+      setup.seed = seed();
+      setup.threads = threads();
+      protocol_samples_.emplace(loop_, setup);
+    }
+    return *protocol_samples_;
+  }
+
+  /// Phase 1 of the ROC protocol: attacked signals (template shapes plus
+  /// the optional SMT adversary), the simulated workload, and its residue
+  /// norms — built once per group.
+  struct RocShared {
+    std::optional<bool> smt_found;  ///< set when include_smt_attack
+    detect::RocWorkload workload;
+    detect::RocResidues residues;
+  };
+  const RocShared& roc_shared() {
+    if (roc_shared_) return *roc_shared_;
+    const std::size_t T = horizon_;
+    const std::size_t dim = spec_.study.loop.plant.num_outputs();
+    const RocConfig& roc = spec_.roc;
+    const std::vector<double> magnitudes =
+        roc.magnitudes.empty() ? std::vector<double>{0.08, 0.12, 0.18, 0.25, 0.35}
+                               : roc.magnitudes;
+
+    // Attacked side: the template shapes of the FDI literature at each
+    // magnitude, optionally joined by the paper's SMT-synthesized adversary.
+    linalg::Vector mask(dim);
+    for (std::size_t i = 0; i < dim; ++i) mask[i] = 1.0;
+    std::vector<control::Signal> attacked;
+    for (const double mag : magnitudes) {
+      attacked.push_back(attacks::bias_attack(mask).build(mag, T, dim));
+      attacked.push_back(attacks::surge_attack(mask, 0.6).build(mag, T, dim));
+      attacked.push_back(attacks::geometric_attack(mask, 1.3).build(mag, T, dim));
+      attacked.push_back(attacks::ramp_attack(mask).build(mag, T, dim));
+    }
+    RocShared shared;
+    if (roc.include_smt_attack) {
+      const synth::StaticSynthesisResult& safe = static_synthesis();
+      const synth::AttackResult smt = synthesizer().synthesize(
+          ThresholdVector::constant(T, roc.smt_threshold_scale *
+                                           std::max(safe.threshold, 1e-9)),
+          spec_.objective);
+      shared.smt_found = smt.found();
+      if (smt.found()) attacked.push_back(smt.attack);
+    }
+
+    detect::WorkloadSetup workload_setup;
+    workload_setup.num_runs = runs_;
+    workload_setup.horizon = T;
+    workload_setup.noise_bounds = noise_bounds_;
+    workload_setup.seed = seed();
+    workload_setup.threads = threads();
+    workload_setup.attacks = std::move(attacked);
+    shared.workload = detect::make_workload(loop_, spec_.study.mdc, workload_setup);
+    shared.residues =
+        detect::RocResidues::compute(shared.workload, spec_.study.norm);
+    roc_shared_ = std::move(shared);
+    return *roc_shared_;
   }
 
  private:
   ScenarioSpec spec_;
+  bool shared_;
   std::size_t horizon_;
   linalg::Vector noise_bounds_;
   std::size_t runs_;
@@ -134,7 +263,12 @@ class Context {
   control::ClosedLoop loop_;
   std::optional<synth::AttackVectorSynthesizer> synthesizer_;
   std::optional<synth::StaticSynthesisResult> static_synthesis_;
+  std::optional<detect::NoiseFloorSamples> calibration_samples_;
   std::map<double, detect::NoiseFloor> floors_;
+  std::optional<detect::FarSimulation> far_simulation_;
+  std::optional<synth::AttackResult> far_adversary_;
+  std::optional<detect::NoiseFloorSamples> protocol_samples_;
+  std::optional<RocShared> roc_shared_;
 };
 
 BuiltDetector wrap_residue(DetectorSpec spec, ThresholdVector thresholds,
@@ -142,9 +276,8 @@ BuiltDetector wrap_residue(DetectorSpec spec, ThresholdVector thresholds,
   BuiltDetector built;
   built.spec = std::move(spec);
   built.thresholds = thresholds;
-  auto det = std::make_shared<detect::ResidueDetector>(std::move(thresholds), norm);
-  built.triggered = [det](const Trace& tr) { return det->triggered(tr); };
-  built.first_alarm = [det](const Trace& tr) { return det->first_alarm(tr); };
+  built.prototype =
+      std::make_shared<detect::ThresholdOnline>(std::move(thresholds), norm);
   return built;
 }
 
@@ -202,29 +335,28 @@ BuiltDetector build_detector(Context& ctx, const DetectorSpec& spec) {
           control::design_kalman(ctx.spec().study.loop.plant);
       BuiltDetector built;
       built.spec = spec;
-      auto det = std::make_shared<detect::Chi2Detector>(kd.innovation, spec.value);
-      built.triggered = [det](const Trace& tr) { return det->triggered(tr); };
-      built.first_alarm = [det](const Trace& tr) { return det->first_alarm(tr); };
+      built.prototype =
+          std::make_shared<detect::Chi2Online>(kd.innovation, spec.value);
       return built;
     }
     case DetectorSpec::Kind::kCusum: {
       BuiltDetector built;
       built.spec = spec;
-      auto det =
-          std::make_shared<detect::CusumDetector>(spec.drift, spec.value, norm);
-      built.triggered = [det](const Trace& tr) { return det->triggered(tr); };
-      built.first_alarm = [det](const Trace& tr) { return det->first_alarm(tr); };
+      built.prototype =
+          std::make_shared<detect::CusumOnline>(spec.drift, spec.value, norm);
       return built;
     }
   }
   throw util::InvalidArgument("scenario: unknown detector kind");
 }
 
-std::vector<BuiltDetector> build_detectors(Context& ctx) {
+/// Realizes `cell`'s detector list against the group context — the only
+/// per-cell stage of the groupable protocols.
+std::vector<BuiltDetector> build_detectors(Context& ctx,
+                                           const ScenarioSpec& cell) {
   std::vector<BuiltDetector> built;
-  built.reserve(ctx.spec().detectors.size());
-  for (const auto& spec : ctx.spec().detectors)
-    built.push_back(build_detector(ctx, spec));
+  built.reserve(cell.detectors.size());
+  for (const auto& spec : cell.detectors) built.push_back(build_detector(ctx, spec));
   return built;
 }
 
@@ -265,47 +397,42 @@ void add_trace_series(Report& report, const std::string& prefix, const Trace& tr
 }
 
 // ---------------------------------------------------------------------------
-// Protocol strategies.  Each one is a thin adapter: spec fields in,
-// detect/attacks protocol call through sim::BatchRunner, Report rows out.
+// Protocol strategies.  Each one takes the group context plus the resolved
+// cell spec it reports on: phase 1 (simulation) lives in the context and is
+// shared across the group's cells; phase 2 (detector realization and bank
+// evaluation) reads only the cell.  For single-cell groups this reduces to
+// exactly the classic per-scenario execution.
 // ---------------------------------------------------------------------------
 
-void run_far(Context& ctx, Report& report) {
-  std::vector<BuiltDetector> detectors = build_detectors(ctx);
+void run_far(Context& ctx, const ScenarioSpec& cell, Report& report) {
+  std::vector<BuiltDetector> detectors = build_detectors(ctx, cell);
   require(!detectors.empty(), "scenario: FAR protocol needs detectors");
-
-  detect::FarSetup setup;
-  setup.num_runs = ctx.runs();
-  setup.horizon = ctx.horizon();
-  setup.noise_bounds = ctx.noise_bounds();
-  setup.seed = ctx.seed();
-  setup.threads = ctx.threads();
-  if (ctx.spec().far_pfc_filter) {
-    const synth::Criterion pfc = ctx.pfc();
-    setup.pfc = [pfc](const Trace& tr) { return pfc.satisfied(tr); };
-  }
 
   std::vector<detect::FarCandidate> candidates;
   candidates.reserve(detectors.size());
-  for (const auto& d : detectors) candidates.emplace_back(d.spec.label, d.triggered);
-
-  const detect::FarReport far = detect::evaluate_far(
-      ctx.loop(), ctx.spec().study.mdc, candidates, setup);
+  for (const auto& d : detectors) candidates.emplace_back(d.spec.label, d.factory());
+  // Multi-cell groups simulate once and stream each cell's bank over the
+  // recorded residues; a standalone cell takes the constant-memory
+  // one-shot (judged inside the batch callback).  Same rules, same report.
+  const detect::FarReport far =
+      ctx.shared() ? ctx.far_simulation().evaluate(candidates)
+                   : detect::evaluate_far(ctx.loop(), ctx.spec().study.mdc,
+                                          candidates, ctx.far_setup());
 
   // Optional adversary column: does each candidate catch the worst stealthy
   // attack Algorithm 1 can produce against the monitors alone?
-  std::optional<synth::AttackResult> attack;
+  const synth::AttackResult* attack = nullptr;
   if (ctx.spec().far_against_attack) {
-    attack = ctx.synthesizer().synthesize(ThresholdVector(ctx.horizon()),
-                                          ctx.spec().objective);
+    attack = &ctx.far_adversary();
     report.add_summary("attack_found", attack->found());
     if (attack->found())
       report.add_summary("attack_deviation",
                          ctx.pfc().deviation(attack->trace));
   }
 
-  report.add_summary("total_runs", far.total_runs);
-  report.add_summary("discarded_by_pfc", far.discarded_by_pfc);
-  report.add_summary("discarded_by_mdc", far.discarded_by_mdc);
+  report.add_summary("total_runs", std::uint64_t{far.total_runs});
+  report.add_summary("discarded_by_pfc", std::uint64_t{far.discarded_by_pfc});
+  report.add_summary("discarded_by_mdc", std::uint64_t{far.discarded_by_mdc});
 
   std::vector<std::string> columns{"detector", "alarms", "evaluated", "far"};
   if (attack) columns.push_back("catches_attack");
@@ -325,35 +452,29 @@ void run_far(Context& ctx, Report& report) {
   add_threshold_series(report, detectors);
 }
 
-void run_noise_floor(Context& ctx, Report& report) {
-  detect::NoiseFloorSetup setup;
-  setup.num_runs = ctx.runs();
-  setup.horizon = ctx.horizon();
-  setup.noise_bounds = ctx.noise_bounds();
-  setup.quantile = ctx.spec().quantile;
-  setup.norm = ctx.spec().study.norm;
-  setup.seed = ctx.seed();
-  setup.threads = ctx.threads();
-  const detect::NoiseFloor floor = detect::estimate_noise_floor(ctx.loop(), setup);
+void run_noise_floor(Context& ctx, const ScenarioSpec& cell, Report& report) {
+  // Phase 1 (shared): the sample batch.  Phase 2: this cell's quantile.
+  const detect::NoiseFloorSamples& samples = ctx.protocol_floor_samples();
+  const detect::NoiseFloor floor = samples.floor(cell.quantile);
 
-  report.add_summary("runs", setup.num_runs);
-  report.add_summary("quantile", setup.quantile);
+  report.add_summary("runs", std::uint64_t{ctx.runs()});
+  report.add_summary("quantile", cell.quantile);
   report.add_summary("peak", floor.peak);
   report.add_series({"quantile", floor.quantiles});
 
-  // Calibrate this scenario's detectors on the exact envelope reported
-  // above — noise-calibrated thresholds must be `scale` × these quantiles,
-  // not a re-estimate from different draws.  A detector asking for a
-  // different quantile would silently ride a separately-drawn floor, so
-  // reject the mismatch.
-  for (const auto& d : ctx.spec().detectors) {
+  // Calibrate this cell's detectors on the exact envelope reported above —
+  // noise-calibrated thresholds must be `scale` × these quantiles, not a
+  // re-estimate from different draws.  A detector asking for a different
+  // quantile would silently ride a separately-drawn floor, so reject the
+  // mismatch.
+  for (const auto& d : cell.detectors) {
     const bool floor_calibrated = d.kind == DetectorSpec::Kind::kNoiseCalibrated ||
                                   d.kind == DetectorSpec::Kind::kNoisePeakStatic;
-    require(!floor_calibrated || d.quantile == ctx.spec().quantile,
+    require(!floor_calibrated || d.quantile == cell.quantile,
             "scenario: noise-floor detectors must use the scenario quantile");
   }
-  ctx.prime_calibration_floor(setup.quantile, floor);
-  std::vector<BuiltDetector> detectors = build_detectors(ctx);
+  ctx.prime_calibration_floor(cell.quantile, floor);
+  std::vector<BuiltDetector> detectors = build_detectors(ctx, cell);
   if (!detectors.empty()) {
     ReportTable& table =
         report.add_table("floor", {"detector", "instants_below_floor"});
@@ -367,8 +488,8 @@ void run_noise_floor(Context& ctx, Report& report) {
   }
 }
 
-void run_single(Context& ctx, Report& report) {
-  const control::Norm norm = ctx.spec().study.norm;
+void run_single(Context& ctx, const ScenarioSpec& cell, Report& report) {
+  const control::Norm norm = cell.study.norm;
   const Trace nominal = ctx.loop().simulate(ctx.horizon());
   util::Rng rng = util::Rng::substream(ctx.seed(), 0);
   const control::Signal noise =
@@ -388,11 +509,11 @@ void run_single(Context& ctx, Report& report) {
                          ? 0.0
                          : *std::max_element(residues.begin(), residues.end()));
   report.add_summary("monitors_silent_on_noise",
-                     ctx.spec().study.mdc.stealthy(noisy));
+                     cell.study.mdc.stealthy(noisy));
   add_trace_series(report, "nominal", nominal, norm);
   add_trace_series(report, "noisy", noisy, norm);
 
-  std::vector<BuiltDetector> detectors = build_detectors(ctx);
+  std::vector<BuiltDetector> detectors = build_detectors(ctx, cell);
   if (!detectors.empty()) {
     ReportTable& table = report.add_table("single", {"detector", "alarms_on_noise"});
     for (const auto& d : detectors)
@@ -401,63 +522,32 @@ void run_single(Context& ctx, Report& report) {
   }
 }
 
-void run_roc(Context& ctx, Report& report) {
-  std::vector<BuiltDetector> detectors = build_detectors(ctx);
+void run_roc(Context& ctx, const ScenarioSpec& cell, Report& report) {
+  std::vector<BuiltDetector> detectors = build_detectors(ctx, cell);
   require(!detectors.empty(), "scenario: ROC protocol needs detectors");
   for (const auto& d : detectors)
     require(d.spec.threshold_based(),
             "scenario: ROC sweeps need threshold-based detectors");
 
-  const std::size_t T = ctx.horizon();
-  const std::size_t dim = ctx.spec().study.loop.plant.num_outputs();
-  const RocConfig& roc = ctx.spec().roc;
-  const std::vector<double> magnitudes =
-      roc.magnitudes.empty() ? std::vector<double>{0.08, 0.12, 0.18, 0.25, 0.35}
-                             : roc.magnitudes;
-
-  // Attacked side: the template shapes of the FDI literature at each
-  // magnitude, optionally joined by the paper's SMT-synthesized adversary.
-  linalg::Vector mask(dim);
-  for (std::size_t i = 0; i < dim; ++i) mask[i] = 1.0;
-  std::vector<control::Signal> attacked;
-  for (const double mag : magnitudes) {
-    attacked.push_back(attacks::bias_attack(mask).build(mag, T, dim));
-    attacked.push_back(attacks::surge_attack(mask, 0.6).build(mag, T, dim));
-    attacked.push_back(attacks::geometric_attack(mask, 1.3).build(mag, T, dim));
-    attacked.push_back(attacks::ramp_attack(mask).build(mag, T, dim));
-  }
-  if (roc.include_smt_attack) {
-    const synth::StaticSynthesisResult& safe = ctx.static_synthesis();
-    const synth::AttackResult smt = ctx.synthesizer().synthesize(
-        ThresholdVector::constant(T, roc.smt_threshold_scale *
-                                         std::max(safe.threshold, 1e-9)),
-        ctx.spec().objective);
-    report.add_summary("smt_attack_found", smt.found());
-    if (smt.found()) attacked.push_back(smt.attack);
-  }
-
-  detect::WorkloadSetup workload_setup;
-  workload_setup.num_runs = ctx.runs();
-  workload_setup.horizon = T;
-  workload_setup.noise_bounds = ctx.noise_bounds();
-  workload_setup.seed = ctx.seed();
-  workload_setup.threads = ctx.threads();
-  workload_setup.attacks = std::move(attacked);
-  const detect::RocWorkload workload =
-      detect::make_workload(ctx.loop(), ctx.spec().study.mdc, workload_setup);
-  report.add_summary("benign_runs", workload.benign.size());
-  report.add_summary("attacked_runs", workload.attacked.size());
+  // Phase 1 (shared): attacked signals, workload simulation, residue
+  // norms.  Phase 2: this cell's detectors over its own scale grid.
+  const Context::RocShared& shared = ctx.roc_shared();
+  if (shared.smt_found.has_value())
+    report.add_summary("smt_attack_found", *shared.smt_found);
+  report.add_summary("benign_runs", std::uint64_t{shared.workload.benign.size()});
+  report.add_summary("attacked_runs",
+                     std::uint64_t{shared.workload.attacked.size()});
 
   detect::RocOptions options;
-  options.scales =
-      roc.scales.empty() ? detect::log_scales(0.25, 8.0, 13) : roc.scales;
+  options.scales = cell.roc.scales.empty() ? detect::log_scales(0.25, 8.0, 13)
+                                           : cell.roc.scales;
   options.norm = ctx.spec().study.norm;
   options.threads = ctx.threads();
 
   report.add_series({"scale", options.scales});
   for (const auto& d : detectors) {
     const detect::RocCurve curve =
-        detect::evaluate_roc(d.spec.label, d.thresholds, workload, options);
+        detect::evaluate_roc(d.spec.label, d.thresholds, shared.residues, options);
     report.add_summary("auc/" + d.spec.label, curve.auc());
     ReportTable& table = report.add_table(
         "roc/" + d.spec.label, {"scale", "far", "detection", "mean_delay"});
@@ -476,26 +566,26 @@ void run_roc(Context& ctx, Report& report) {
   add_threshold_series(report, detectors);
 }
 
-void run_template_search(Context& ctx, Report& report) {
+void run_template_search(Context& ctx, const ScenarioSpec& cell, Report& report) {
   // The search protocol reports "caught by THE detector": one deployed
   // threshold detector at most.
-  require(ctx.spec().detectors.size() <= 1,
+  require(cell.detectors.size() <= 1,
           "scenario: template search takes at most one deployed detector");
-  std::vector<BuiltDetector> detectors = build_detectors(ctx);
+  std::vector<BuiltDetector> detectors = build_detectors(ctx, cell);
   const detect::ResidueDetector* detector = nullptr;
   std::optional<detect::ResidueDetector> holder;
   if (!detectors.empty()) {
     require(detectors.front().spec.threshold_based(),
             "scenario: template search needs a threshold detector");
-    holder.emplace(detectors.front().thresholds, ctx.spec().study.norm);
+    holder.emplace(detectors.front().thresholds, cell.study.norm);
     detector = &*holder;
   }
 
   attacks::SearchOptions options;
   options.threads = ctx.threads();
-  const std::size_t dim = ctx.spec().study.loop.plant.num_outputs();
+  const std::size_t dim = cell.study.loop.plant.num_outputs();
   const auto results = attacks::search_templates(
-      ctx.loop(), ctx.pfc(), ctx.spec().study.mdc, detector, ctx.horizon(),
+      ctx.loop(), ctx.pfc(), cell.study.mdc, detector, ctx.horizon(),
       attacks::standard_library(dim, ctx.horizon()), options);
 
   std::size_t stealthy = 0;
@@ -511,13 +601,13 @@ void run_template_search(Context& ctx, Report& report) {
          format_cell(r.residue_peak), format_cell(r.deviation),
          r.stealthy_success() ? "yes" : "no"});
   }
-  report.add_summary("templates", results.size());
-  report.add_summary("stealthy_successes", stealthy);
+  report.add_summary("templates", std::uint64_t{results.size()});
+  report.add_summary("stealthy_successes", std::uint64_t{stealthy});
   add_threshold_series(report, detectors);
 }
 
-void run_synthesis(Context& ctx, Report& report) {
-  std::vector<BuiltDetector> detectors = build_detectors(ctx);
+void run_synthesis(Context& ctx, const ScenarioSpec& cell, Report& report) {
+  std::vector<BuiltDetector> detectors = build_detectors(ctx, cell);
   require(!detectors.empty(), "scenario: synthesis protocol needs algorithms");
   for (const auto& d : detectors)
     require(d.spec.synthesized(),
@@ -540,15 +630,15 @@ void run_synthesis(Context& ctx, Report& report) {
   add_threshold_series(report, detectors);
 }
 
-void run_attack(Context& ctx, Report& report) {
-  const control::Norm norm = ctx.spec().study.norm;
+void run_attack(Context& ctx, const ScenarioSpec& cell, Report& report) {
+  const control::Norm norm = cell.study.norm;
   // No detectors: the paper's "monitors alone" probe.  Otherwise exactly
   // one threshold detector is the deployed one the attack must evade (a
   // longer list would be silently ignored — reject it instead).
-  require(ctx.spec().detectors.size() <= 1,
+  require(cell.detectors.size() <= 1,
           "scenario: attack synthesis takes at most one deployed detector");
   ThresholdVector deployed(ctx.horizon());
-  std::vector<BuiltDetector> detectors = build_detectors(ctx);
+  std::vector<BuiltDetector> detectors = build_detectors(ctx, cell);
   if (!detectors.empty()) {
     require(detectors.front().spec.threshold_based(),
             "scenario: attack synthesis needs a threshold detector");
@@ -556,7 +646,7 @@ void run_attack(Context& ctx, Report& report) {
     add_threshold_series(report, detectors);
   }
   const synth::AttackResult attack =
-      ctx.synthesizer().synthesize(deployed, ctx.spec().objective);
+      ctx.synthesizer().synthesize(deployed, cell.objective);
 
   report.add_summary("status", solver::status_name(attack.status));
   report.add_summary("found", attack.found());
@@ -571,7 +661,7 @@ void run_attack(Context& ctx, Report& report) {
   report.add_summary("deviation", pfc.deviation(attack.trace));
   report.add_summary("tolerance", pfc.tolerance());
   report.add_summary("monitors_silent",
-                     ctx.spec().study.mdc.stealthy(attack.trace));
+                     cell.study.mdc.stealthy(attack.trace));
   add_trace_series(report, "attack", attack.trace, norm);
   if (!attack.attack.empty() && attack.attack.front().size() > 0) {
     const std::size_t dim = attack.attack.front().size();
@@ -584,7 +674,7 @@ void run_attack(Context& ctx, Report& report) {
   }
 
   // Per-monitor verdicts: longest violation run vs the dead zone.
-  const monitor::MonitorSet& mdc = ctx.spec().study.mdc;
+  const monitor::MonitorSet& mdc = cell.study.mdc;
   if (mdc.size() != 0) {
     ReportTable& table =
         report.add_table("monitors", {"monitor", "max_violation_run", "alarm"});
@@ -600,34 +690,143 @@ void run_attack(Context& ctx, Report& report) {
   }
 }
 
+/// Executes one cell against its (possibly shared) context.
+Report execute(Context& ctx, const ScenarioSpec& cell) {
+  Report report(cell.name, protocol_name(cell.protocol));
+  report.add_summary("case_study", cell.study.name);
+  report.add_summary("horizon", std::uint64_t{ctx.horizon()});
+  report.add_summary("seed", std::uint64_t{cell.mc.seed});
+  CPSG_INFO("scenario") << "running " << cell.name << " ("
+                        << protocol_name(cell.protocol) << ") on "
+                        << sim::resolve_threads(ctx.threads()) << " thread(s)";
+
+  switch (cell.protocol) {
+    case Protocol::kSingle: run_single(ctx, cell, report); break;
+    case Protocol::kFar: run_far(ctx, cell, report); break;
+    case Protocol::kNoiseFloor: run_noise_floor(ctx, cell, report); break;
+    case Protocol::kRoc: run_roc(ctx, cell, report); break;
+    case Protocol::kTemplateSearch: run_template_search(ctx, cell, report); break;
+    case Protocol::kSynthesis: run_synthesis(ctx, cell, report); break;
+    case Protocol::kAttack: run_attack(ctx, cell, report); break;
+  }
+  return report;
+}
+
+/// Simulation compatibility across a group: everything that feeds phase 1
+/// (the fields sweep::simulation_fingerprint hashes) must agree.  The
+/// sweep engine guarantees this through the fingerprint; these checks
+/// catch hand-built groups.
+void require_same_simulation(const ScenarioSpec& ref, const ScenarioSpec& cell) {
+  const auto bad = [&](const char* what) {
+    throw util::InvalidArgument(
+        std::string("scenario: run_group cells differ on simulation field '") +
+        what + "' (" + ref.name + " vs " + cell.name + ")");
+  };
+  const auto same_vector = [](const linalg::Vector& a, const linalg::Vector& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      if (a[i] != b[i]) return false;
+    return true;
+  };
+  const auto same_matrix = [](const linalg::Matrix& a, const linalg::Matrix& b) {
+    if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+    const std::size_t n = a.rows() * a.cols();
+    for (std::size_t i = 0; i < n; ++i)
+      if (a.data()[i] != b.data()[i]) return false;
+    return true;
+  };
+
+  if (cell.protocol != ref.protocol) bad("protocol");
+  if (cell.study.name != ref.study.name) bad("study");
+  const control::LoopConfig& rl = ref.study.loop;
+  const control::LoopConfig& cl = cell.study.loop;
+  if (!same_matrix(cl.plant.a, rl.plant.a) || !same_matrix(cl.plant.b, rl.plant.b) ||
+      !same_matrix(cl.plant.c, rl.plant.c) || !same_matrix(cl.plant.d, rl.plant.d) ||
+      !same_matrix(cl.plant.q, rl.plant.q) || !same_matrix(cl.plant.r, rl.plant.r) ||
+      !same_matrix(cl.kalman_gain, rl.kalman_gain) ||
+      !same_matrix(cl.feedback_gain, rl.feedback_gain) ||
+      !same_vector(cl.operating_point.x_ss, rl.operating_point.x_ss) ||
+      !same_vector(cl.operating_point.u_ss, rl.operating_point.u_ss) ||
+      !same_vector(cl.x1, rl.x1) || !same_vector(cl.xhat1, rl.xhat1) ||
+      !same_vector(cl.u1, rl.u1))
+    bad("loop");
+  if (cell.study.norm != ref.study.norm) bad("norm");
+  if (cell.study.mdc.describe() != ref.study.mdc.describe()) bad("mdc");
+  if (cell.effective_pfc().describe() != ref.effective_pfc().describe())
+    bad("pfc");
+  if (cell.effective_pfc().tolerance() != ref.effective_pfc().tolerance())
+    bad("pfc_tolerance");
+  if (cell.study.attack_bound != ref.study.attack_bound) bad("attack_bound");
+  if (cell.study.attack_bounds.has_value() != ref.study.attack_bounds.has_value() ||
+      (cell.study.attack_bounds &&
+       !same_vector(*cell.study.attack_bounds, *ref.study.attack_bounds)))
+    bad("attack_bounds");
+  if (cell.effective_runs() != ref.effective_runs()) bad("runs");
+  if (cell.effective_horizon() != ref.effective_horizon()) bad("horizon");
+  if (cell.mc.seed != ref.mc.seed) bad("seed");
+  if (!same_vector(ref.effective_noise_bounds(), cell.effective_noise_bounds()))
+    bad("noise_bounds");
+  if (cell.far_pfc_filter != ref.far_pfc_filter) bad("far_pfc_filter");
+  if (cell.far_against_attack != ref.far_against_attack) bad("far_against_attack");
+  if (cell.roc.magnitudes != ref.roc.magnitudes) bad("roc.magnitudes");
+  if (cell.roc.include_smt_attack != ref.roc.include_smt_attack)
+    bad("roc.include_smt_attack");
+  if (cell.roc.smt_threshold_scale != ref.roc.smt_threshold_scale)
+    bad("roc.smt_threshold_scale");
+  if (cell.objective != ref.objective) bad("objective");
+  if (cell.synthesis.max_rounds != ref.synthesis.max_rounds ||
+      cell.synthesis.threshold_floor != ref.synthesis.threshold_floor ||
+      cell.synthesis.progress_margin != ref.synthesis.progress_margin ||
+      cell.synthesis.counterexample_objective !=
+          ref.synthesis.counterexample_objective)
+    bad("synthesis");
+  if (cell.use_finder != ref.use_finder) bad("use_finder");
+  if (cell.solver_timeout_seconds != ref.solver_timeout_seconds)
+    bad("solver_timeout_seconds");
+}
+
 }  // namespace
 
 Report ExperimentRunner::run(const ScenarioSpec& spec,
                              const Overrides& overrides) const {
-  ScenarioSpec resolved = spec;
-  if (overrides.threads) resolved.mc.threads = *overrides.threads;
-  if (overrides.num_runs) resolved.mc.num_runs = *overrides.num_runs;
-  if (overrides.seed) resolved.mc.seed = *overrides.seed;
+  std::vector<Report> reports = run_group({spec}, overrides);
+  return std::move(reports.front());
+}
 
-  Context ctx(std::move(resolved));
-  Report report(ctx.spec().name, protocol_name(ctx.spec().protocol));
-  report.add_summary("case_study", ctx.spec().study.name);
-  report.add_summary("horizon", ctx.horizon());
-  report.add_summary("seed", std::uint64_t{ctx.seed()});
-  CPSG_INFO("scenario") << "running " << ctx.spec().name << " ("
-                        << protocol_name(ctx.spec().protocol) << ") on "
-                        << sim::resolve_threads(ctx.threads()) << " thread(s)";
+std::vector<Report> ExperimentRunner::run_group(
+    const std::vector<ScenarioSpec>& specs, const Overrides& overrides) const {
+  require(!specs.empty(), "scenario: run_group needs at least one spec");
 
-  switch (ctx.spec().protocol) {
-    case Protocol::kSingle: run_single(ctx, report); break;
-    case Protocol::kFar: run_far(ctx, report); break;
-    case Protocol::kNoiseFloor: run_noise_floor(ctx, report); break;
-    case Protocol::kRoc: run_roc(ctx, report); break;
-    case Protocol::kTemplateSearch: run_template_search(ctx, report); break;
-    case Protocol::kSynthesis: run_synthesis(ctx, report); break;
-    case Protocol::kAttack: run_attack(ctx, report); break;
+  std::vector<ScenarioSpec> resolved;
+  resolved.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    ScenarioSpec r = spec;
+    if (overrides.threads) r.mc.threads = *overrides.threads;
+    if (overrides.num_runs) r.mc.num_runs = *overrides.num_runs;
+    if (overrides.seed) r.mc.seed = *overrides.seed;
+    resolved.push_back(std::move(r));
   }
-  return report;
+
+  // The Monte-Carlo protocols share one context (hence one simulate
+  // phase); the rest execute standalone, context and all.
+  const bool groupable = protocol_shares_simulation(resolved.front().protocol);
+  if (resolved.size() > 1 && groupable)
+    for (const ScenarioSpec& cell : resolved)
+      require_same_simulation(resolved.front(), cell);
+
+  std::vector<Report> reports;
+  reports.reserve(resolved.size());
+  std::optional<Context> shared;
+  for (const ScenarioSpec& cell : resolved) {
+    if (groupable) {
+      if (!shared) shared.emplace(resolved.front(), /*shared=*/resolved.size() > 1);
+      reports.push_back(execute(*shared, cell));
+    } else {
+      Context ctx(cell);
+      reports.push_back(execute(ctx, cell));
+    }
+  }
+  return reports;
 }
 
 }  // namespace cpsguard::scenario

@@ -6,10 +6,20 @@
 // sim::BatchRunner with util::Rng::substream per-run seeding.  The outcome
 // is a scenario::Report whose numbers are bit-identical for every thread
 // count — the PR-1 batch-engine invariant, surfaced end-to-end.
+//
+// Every Monte-Carlo protocol executes in two phases: SIMULATE (the noise
+// batch / ROC workload / floor samples, recorded once) then EVALUATE (the
+// detector bank streamed over the recorded residues).  run_group() exposes
+// the decomposition: scenarios that share their simulation configuration
+// and differ only in detector settings are executed against ONE recorded
+// simulation, each still producing the report `run` would have produced
+// alone.  The sweep engine's simulation groups (sweep::CampaignEngine)
+// are built on it.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "scenario/report.hpp"
 #include "scenario/spec.hpp"
@@ -30,6 +40,21 @@ class ExperimentRunner {
   /// util::InvalidArgument on specs the protocol cannot honour (e.g. an ROC
   /// sweep over a chi-squared detector, which has no threshold vector).
   Report run(const ScenarioSpec& spec, const Overrides& overrides = {}) const;
+
+  /// Executes several scenarios as one simulation group: one report per
+  /// spec, in order.  For the Monte-Carlo protocols (far, noise_floor,
+  /// roc) all specs must share their simulation-relevant configuration
+  /// (sweep::simulation_fingerprint equality: same protocol, study,
+  /// Monte-Carlo knobs, protocol workload settings) and may differ only on
+  /// detector settings — the simulate phase then runs once and every
+  /// spec's detector bank is evaluated over the shared recorded residues.
+  /// For deterministic detector kinds each report is bit-identical to a
+  /// standalone `run`; solver-derived shared artifacts (the FAR adversary
+  /// attack, the ROC SMT workload entry) are synthesized once per group.
+  /// Other protocols fall back to consecutive standalone runs.  Throws
+  /// util::InvalidArgument when the specs are not simulation-compatible.
+  std::vector<Report> run_group(const std::vector<ScenarioSpec>& specs,
+                                const Overrides& overrides = {}) const;
 };
 
 }  // namespace cpsguard::scenario

@@ -18,6 +18,11 @@ std::string protocol_name(Protocol protocol) {
   throw util::InvalidArgument("protocol_name: unknown protocol");
 }
 
+bool protocol_shares_simulation(Protocol protocol) {
+  return protocol == Protocol::kFar || protocol == Protocol::kNoiseFloor ||
+         protocol == Protocol::kRoc;
+}
+
 namespace {
 
 std::string kind_name(DetectorSpec::Kind kind) {

@@ -36,6 +36,12 @@ enum class Protocol {
 /// Parse-friendly protocol names ("far", "roc", ...).
 std::string protocol_name(Protocol protocol);
 
+/// True for the Monte-Carlo protocols whose simulate phase can be shared
+/// across an ExperimentRunner::run_group (far, noise_floor, roc).  The
+/// others execute standalone per cell — sweep simulation grouping treats
+/// their cells as singleton groups.
+bool protocol_shares_simulation(Protocol protocol);
+
 /// How one candidate detector of a scenario is obtained.  Declarative so a
 /// spec can mix formally synthesized detectors with noise-calibrated and
 /// statistical baselines without writing code.

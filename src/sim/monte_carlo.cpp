@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "control/noise.hpp"
+#include "sim/stats.hpp"
 #include "util/random.hpp"
 
 namespace cpsguard::sim {
@@ -12,6 +13,18 @@ void run_noise_batch(
     std::size_t horizon, const linalg::Vector& noise_bounds, std::uint64_t seed,
     std::uint64_t index_offset,
     const std::function<void(std::size_t run, const control::Trace& trace)>& consume) {
+  run_noise_batch(runner, loop, count, horizon, noise_bounds, seed, index_offset,
+                  [&consume](std::size_t run, std::size_t /*slot*/,
+                             const control::Trace& trace) { consume(run, trace); });
+}
+
+void run_noise_batch(
+    const BatchRunner& runner, const control::ClosedLoop& loop, std::size_t count,
+    std::size_t horizon, const linalg::Vector& noise_bounds, std::uint64_t seed,
+    std::uint64_t index_offset,
+    const std::function<void(std::size_t run, std::size_t slot,
+                             const control::Trace& trace)>& consume) {
+  stats::add_simulated_runs(count);
   std::vector<RunScratch> scratch(runner.threads());
   runner.for_each(count, [&](std::size_t run, std::size_t slot) {
     RunScratch& s = scratch[slot];
@@ -19,7 +32,7 @@ void run_noise_batch(
     control::bounded_uniform_signal_into(rng, horizon, noise_bounds, s.noise);
     loop.simulate_into(s.trace, s.workspace, horizon, /*attack=*/nullptr,
                        /*process_noise=*/nullptr, &s.noise);
-    consume(run, s.trace);
+    consume(run, slot, s.trace);
   });
 }
 

@@ -34,4 +34,14 @@ void run_noise_batch(
     std::uint64_t index_offset,
     const std::function<void(std::size_t run, const control::Trace& trace)>& consume);
 
+/// Variant that also hands `consume` the worker slot in [0, threads()), for
+/// callers that keep their own per-worker state next to the scratch this
+/// function owns (e.g. a detect::DetectorBank per worker).
+void run_noise_batch(
+    const BatchRunner& runner, const control::ClosedLoop& loop, std::size_t count,
+    std::size_t horizon, const linalg::Vector& noise_bounds, std::uint64_t seed,
+    std::uint64_t index_offset,
+    const std::function<void(std::size_t run, std::size_t slot,
+                             const control::Trace& trace)>& consume);
+
 }  // namespace cpsguard::sim

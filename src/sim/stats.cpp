@@ -1,0 +1,23 @@
+#include "sim/stats.hpp"
+
+#include <atomic>
+
+namespace cpsguard::sim::stats {
+
+namespace {
+std::atomic<std::uint64_t> g_simulated_runs{0};
+}  // namespace
+
+std::uint64_t simulated_runs() {
+  return g_simulated_runs.load(std::memory_order_relaxed);
+}
+
+void reset_simulated_runs() {
+  g_simulated_runs.store(0, std::memory_order_relaxed);
+}
+
+void add_simulated_runs(std::uint64_t count) {
+  g_simulated_runs.fetch_add(count, std::memory_order_relaxed);
+}
+
+}  // namespace cpsguard::sim::stats

@@ -1,0 +1,28 @@
+// stats.hpp — process-wide simulation counters.
+//
+// The sweep engine's simulation groups exist to make a measurable claim:
+// cells that differ only on detector axes share one Monte-Carlo batch, so
+// a grouped campaign simulates a fraction of what an ungrouped one does.
+// These counters make the claim checkable — the batch entry points
+// (sim::run_noise_batch and detect::make_workload) record every simulated
+// run, tests assert the drop, and `cpsguard_cli sweep describe` surfaces
+// the cells / distinct-simulations ratio before a campaign runs.
+#pragma once
+
+#include <cstdint>
+
+namespace cpsguard::sim::stats {
+
+/// Closed-loop runs simulated through the Monte-Carlo batch entry points
+/// since process start (or the last reset).  Single simulate() calls made
+/// directly by protocols (nominal traces, template search) are not counted
+/// — the counter tracks exactly the work that simulation groups share.
+std::uint64_t simulated_runs();
+
+/// Rewinds the counter (tests).
+void reset_simulated_runs();
+
+/// Called by the batch entry points; relaxed atomic, safe from workers.
+void add_simulated_runs(std::uint64_t count);
+
+}  // namespace cpsguard::sim::stats

@@ -276,7 +276,12 @@ CampaignRun CampaignEngine::run(const SweepSpec& spec,
   outcome.cells_in_shard = owned.size();
 
   std::vector<std::string> fingerprints(cells.size());
-  for (const auto& cell : cells) fingerprints[cell.index] = fingerprint(cell.spec);
+  std::vector<std::string> sim_fingerprints(cells.size());
+  for (const auto& cell : cells) {
+    fingerprints[cell.index] = fingerprint(cell.spec);
+    sim_fingerprints[cell.index] = simulation_fingerprint(cell.spec);
+  }
+  outcome.simulation_groups = simulation_group_count(cells);
 
   // In-memory store for --no-cache runs; the report loader reads from it
   // through the same serialized-JSON path the cache uses.
@@ -312,10 +317,19 @@ CampaignRun CampaignEngine::run(const SweepSpec& spec,
   scenario::ExperimentRunner::Overrides overrides;
   overrides.threads = options.threads;
 
+  // Pending cells execute in index order; with simulation grouping, a
+  // pending cell pulls every later owned pending cell that shares its
+  // simulation fingerprint into one ExperimentRunner::run_group, so the
+  // whole group rides a single simulated batch.  The per-cell reports (and
+  // thus the cache entries and the campaign report) are bit-identical to
+  // one-cell-at-a-time execution — grouping only removes repeated
+  // simulation work, never changes results.
+  std::vector<std::uint8_t> executed_now(owned.size(), 0);
   bool budget_exhausted = false;
   for (std::size_t i = 0; i < owned.size(); ++i) {
     const Cell& cell = *owned[i];
     ManifestCell& entry = manifest_cells[i];
+    if (executed_now[i]) continue;
     if (entry.done) {
       ++outcome.cache_hits;
       continue;
@@ -330,17 +344,47 @@ CampaignRun CampaignEngine::run(const SweepSpec& spec,
       budget_exhausted = true;
       break;
     }
-    CPSG_INFO("sweep") << spec.name << ": running " << cell.id() << " ("
-                       << outcome.executed + outcome.cache_hits + 1 << "/"
+
+    // Collect this cell's simulation group (within the remaining budget).
+    std::vector<std::size_t> group{i};
+    if (options.group_simulations &&
+        scenario::protocol_shares_simulation(cell.spec.protocol)) {
+      const std::size_t budget_left =
+          options.max_cells == 0
+              ? owned.size()
+              : options.max_cells - outcome.executed;
+      for (std::size_t j = i + 1; j < owned.size() && group.size() < budget_left;
+           ++j) {
+        if (executed_now[j] || manifest_cells[j].done) continue;
+        if (sim_fingerprints[owned[j]->index] != sim_fingerprints[cell.index])
+          continue;
+        if (cache && cache->has(manifest_cells[j].fingerprint)) continue;
+        group.push_back(j);
+      }
+    }
+
+    CPSG_INFO("sweep") << spec.name << ": running " << cell.id()
+                       << (group.size() > 1
+                               ? " (+" + std::to_string(group.size() - 1) +
+                                     " cells sharing its simulation)"
+                               : "")
+                       << " (" << outcome.executed + outcome.cache_hits + 1 << "/"
                        << owned.size() << ")";
-    const Report cell_report = runner.run(cell.spec, overrides);
-    const std::string json = cell_report.to_json();
-    if (cache)
-      cache->store(entry.fingerprint, json);
-    else
-      memory[entry.fingerprint] = json;
-    ++outcome.executed;
-    entry.done = true;
+    std::vector<scenario::ScenarioSpec> specs;
+    specs.reserve(group.size());
+    for (const std::size_t j : group) specs.push_back(owned[j]->spec);
+    const std::vector<Report> reports = runner.run_group(specs, overrides);
+    for (std::size_t g = 0; g < group.size(); ++g) {
+      const std::size_t j = group[g];
+      const std::string json = reports[g].to_json();
+      if (cache)
+        cache->store(manifest_cells[j].fingerprint, json);
+      else
+        memory[manifest_cells[j].fingerprint] = json;
+      ++outcome.executed;
+      manifest_cells[j].done = true;
+      executed_now[j] = 1;
+    }
     flush_manifest();
   }
 

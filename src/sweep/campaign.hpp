@@ -54,6 +54,13 @@ struct CampaignOptions {
   /// Execute at most this many not-yet-cached cells, then stop with
   /// complete=false.  Simulates interruption; 0 = no budget.
   std::size_t max_cells = 0;
+  /// Share simulation batches across cells with equal
+  /// sweep::simulation_fingerprint (cells differing only on detector axes):
+  /// each group runs as one scenario::ExperimentRunner::run_group, so the
+  /// cold-run simulation count drops from cells to distinct groups.  The
+  /// stored cell reports are bit-identical either way (asserted by
+  /// tests/sweep_test.cpp); false forces one simulation per cell.
+  bool group_simulations = true;
 };
 
 /// Outcome of one `run` invocation (one shard's worth of work).
@@ -62,6 +69,9 @@ struct CampaignRun {
   std::size_t cells_in_shard = 0;  ///< owned by this shard
   std::size_t executed = 0;        ///< computed fresh this invocation
   std::size_t cache_hits = 0;      ///< satisfied from the cache
+  /// Distinct simulation groups across the whole campaign — the number of
+  /// Monte-Carlo batches a grouped cold run simulates for cells_total cells.
+  std::size_t simulation_groups = 0;
   bool complete = false;           ///< every owned cell done
   std::string manifest_path;       ///< "" when use_cache is false
   std::string expansion;           ///< expansion fingerprint

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <set>
 
 #include "control/norm.hpp"
 #include "util/hash.hpp"
@@ -216,11 +217,12 @@ void hash_loop(util::Sha256& h, const control::LoopConfig& loop) {
   hash_vector(h, loop.u1);
 }
 
-}  // namespace
+// The simulation-relevant spec fields, split around the detector-side block
+// so fingerprint() and simulation_fingerprint() hash the shared fields in
+// EXACTLY the same byte order — fingerprint() keys the persistent result
+// cache, so its byte stream must never change shape.
 
-std::string fingerprint(const ScenarioSpec& spec) {
-  util::Sha256 h;
-  h.update(std::string(kFingerprintSalt));
+void hash_simulation_prefix(util::Sha256& h, const ScenarioSpec& spec) {
   h.update(scenario::protocol_name(spec.protocol));
 
   // Case study: dynamics, criterion, monitoring system, envelope.
@@ -241,6 +243,29 @@ std::string fingerprint(const ScenarioSpec& spec) {
   h.update(std::uint64_t{spec.effective_horizon()});
   hash_vector(h, spec.effective_noise_bounds());
   h.update(std::uint64_t{spec.mc.seed});
+}
+
+void hash_simulation_suffix(util::Sha256& h, const ScenarioSpec& spec) {
+  h.update(spec.roc.magnitudes);
+  h.update(std::uint64_t{spec.roc.include_smt_attack ? 1u : 0u});
+  h.update(spec.roc.smt_threshold_scale);
+  h.update(std::uint64_t(static_cast<int>(spec.objective)));
+  h.update(std::uint64_t{spec.synthesis.max_rounds});
+  h.update(spec.synthesis.threshold_floor);
+  h.update(spec.synthesis.progress_margin);
+  h.update(std::uint64_t(static_cast<int>(spec.synthesis.counterexample_objective)));
+  h.update(std::uint64_t{spec.far_against_attack ? 1u : 0u});
+  h.update(std::uint64_t{spec.far_pfc_filter ? 1u : 0u});
+  h.update(std::uint64_t{spec.use_finder ? 1u : 0u});
+  h.update(spec.solver_timeout_seconds);
+}
+
+}  // namespace
+
+std::string fingerprint(const ScenarioSpec& spec) {
+  util::Sha256 h;
+  h.update(std::string(kFingerprintSalt));
+  hash_simulation_prefix(h, spec);
 
   h.update(std::uint64_t{spec.detectors.size()});
   for (const auto& d : spec.detectors) {
@@ -254,19 +279,31 @@ std::string fingerprint(const ScenarioSpec& spec) {
 
   h.update(spec.quantile);
   h.update(spec.roc.scales);
-  h.update(spec.roc.magnitudes);
-  h.update(std::uint64_t{spec.roc.include_smt_attack ? 1u : 0u});
-  h.update(spec.roc.smt_threshold_scale);
-  h.update(std::uint64_t(static_cast<int>(spec.objective)));
-  h.update(std::uint64_t{spec.synthesis.max_rounds});
-  h.update(spec.synthesis.threshold_floor);
-  h.update(spec.synthesis.progress_margin);
-  h.update(std::uint64_t(static_cast<int>(spec.synthesis.counterexample_objective)));
-  h.update(std::uint64_t{spec.far_against_attack ? 1u : 0u});
-  h.update(std::uint64_t{spec.far_pfc_filter ? 1u : 0u});
-  h.update(std::uint64_t{spec.use_finder ? 1u : 0u});
-  h.update(spec.solver_timeout_seconds);
+  hash_simulation_suffix(h, spec);
   return h.hex_digest();
+}
+
+std::string simulation_fingerprint(const ScenarioSpec& spec) {
+  util::Sha256 h;
+  h.update(std::string(kSimulationSalt));
+  hash_simulation_prefix(h, spec);
+  hash_simulation_suffix(h, spec);
+  return h.hex_digest();
+}
+
+std::size_t simulation_group_count(const std::vector<Cell>& cells) {
+  // Cells of protocols whose simulate phase cannot be shared across a
+  // run_group (single, template_search, synthesis, attack) are singleton
+  // groups no matter what their simulation fingerprints say.
+  std::set<std::string> groups;
+  std::size_t singletons = 0;
+  for (const Cell& cell : cells) {
+    if (scenario::protocol_shares_simulation(cell.spec.protocol))
+      groups.insert(simulation_fingerprint(cell.spec));
+    else
+      ++singletons;
+  }
+  return groups.size() + singletons;
 }
 
 std::string expansion_fingerprint(const std::string& campaign,

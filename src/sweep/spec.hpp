@@ -26,6 +26,10 @@ namespace cpsguard::sweep {
 /// RNG stream layout) so stale cache entries can never be replayed.
 inline constexpr char kFingerprintSalt[] = "cpsguard-sweep-cache-v1";
 
+/// Salt of the simulation-group fingerprint, distinct from the cache salt
+/// so the two key spaces can never be confused for one another.
+inline constexpr char kSimulationSalt[] = "cpsguard-sweep-simgroup-v1";
+
 /// One sweep dimension: a named parameter and its candidate values.
 ///
 /// Supported parameter names (applied to a resolved ScenarioSpec):
@@ -113,6 +117,21 @@ void apply_param(scenario::ScenarioSpec& spec, const std::string& param,
 /// thread count (the PR-1 invariant), so all thread counts share one cache
 /// entry.
 std::string fingerprint(const scenario::ScenarioSpec& spec);
+
+/// Fingerprint of the SIMULATION a resolved scenario runs: like
+/// fingerprint(), but excluding everything that only configures detector
+/// realization and evaluation — the detector list, the noise-floor
+/// quantile, the ROC scale grid.  Cells of a campaign whose simulation
+/// fingerprints match (e.g. a `threshold` or `cusum_*` axis) differ only
+/// in how the recorded residues are judged, so the campaign engine runs
+/// them as one scenario::ExperimentRunner::run_group over one simulated
+/// batch.
+std::string simulation_fingerprint(const scenario::ScenarioSpec& spec);
+
+/// Number of distinct simulation groups in an expansion — the number of
+/// Monte-Carlo batches a grouped cold run actually simulates.  cells.size()
+/// divided by this is the sweep's simulation-sharing factor.
+std::size_t simulation_group_count(const std::vector<Cell>& cells);
 
 /// Fingerprint of a whole expansion (campaign name + every cell
 /// fingerprint, in order).  Shard manifests record it so `merge` can refuse

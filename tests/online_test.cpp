@@ -1,0 +1,288 @@
+// Tests for the streaming detector layer (detect/online.hpp): bit-identity
+// of streaming vs trace-based first_alarm for every detector kind across
+// all bundled case studies, DetectorBank fan-in, the STL residue adapter's
+// windowed semantics, and the two-phase FAR pipeline (FarSimulation) —
+// including determinism of stateful (CUSUM) candidates at any thread count.
+#include <gtest/gtest.h>
+
+#include "attacks/templates.hpp"
+#include "control/closed_loop.hpp"
+#include "control/kalman.hpp"
+#include "control/noise.hpp"
+#include "detect/detector.hpp"
+#include "detect/far.hpp"
+#include "detect/noise_floor.hpp"
+#include "detect/online.hpp"
+#include "models/trajectory.hpp"
+#include "scenario/registry.hpp"
+#include "stl/formula.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::detect {
+namespace {
+
+using control::Norm;
+using control::Trace;
+using linalg::Vector;
+
+Trace residue_trace(const std::vector<double>& zs) {
+  Trace tr;
+  tr.ts = 0.1;
+  for (double z : zs) {
+    tr.z.push_back(Vector{z});
+    tr.y.push_back(Vector{0.0});
+  }
+  return tr;
+}
+
+/// A few benign noisy runs plus one attacked run of a case study.
+std::vector<Trace> study_traces(const models::CaseStudy& cs) {
+  const control::ClosedLoop loop(cs.loop);
+  std::vector<Trace> traces;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    util::Rng rng = util::Rng::substream(42, i);
+    const control::Signal noise =
+        control::bounded_uniform_signal(rng, cs.horizon, cs.noise_bounds);
+    traces.push_back(loop.simulate(cs.horizon, nullptr, nullptr, &noise));
+  }
+  const std::size_t dim = cs.loop.plant.num_outputs();
+  Vector mask(dim);
+  for (std::size_t i = 0; i < dim; ++i) mask[i] = 1.0;
+  double bound = 0.0;
+  for (std::size_t i = 0; i < cs.noise_bounds.size(); ++i)
+    bound = std::max(bound, cs.noise_bounds[i]);
+  const control::Signal attack =
+      attacks::bias_attack(mask).build(5.0 * std::max(bound, 1e-3), cs.horizon, dim);
+  traces.push_back(loop.simulate(cs.horizon, &attack));
+  return traces;
+}
+
+/// Largest residue norm across the given traces (to scale thresholds so
+/// that some detectors alarm and some stay silent).
+double residue_peak(const std::vector<Trace>& traces, Norm norm) {
+  double peak = 0.0;
+  for (const Trace& tr : traces)
+    for (const auto& n : tr.residue_norms(norm)) peak = std::max(peak, n);
+  return std::max(peak, 1e-9);
+}
+
+TEST(OnlineDetector, StreamingMatchesTraceFirstAlarmAcrossCaseStudies) {
+  const scenario::Registry& registry = scenario::Registry::instance();
+  ASSERT_EQ(registry.study_names().size(), 8u);
+  for (const auto& name : registry.study_names()) {
+    const models::CaseStudy& cs = registry.study(name);
+    const std::vector<Trace> traces = study_traces(cs);
+    const double peak = residue_peak(traces, cs.norm);
+
+    // One trace-level detector of every kind, spanning tight (always
+    // alarming), mid, and loose (mostly silent) settings.
+    ThresholdVector variable(cs.horizon);
+    for (std::size_t k = 0; k < cs.horizon; ++k)
+      variable.set(k, peak * (1.2 - 0.9 * static_cast<double>(k) /
+                                        static_cast<double>(cs.horizon)));
+    const ResidueDetector tight(ThresholdVector::constant(cs.horizon, 0.05 * peak),
+                                cs.norm);
+    const ResidueDetector loose(ThresholdVector::constant(cs.horizon, 2.0 * peak),
+                                cs.norm);
+    const ResidueDetector staircase(variable, cs.norm);
+    const WindowedDetector windowed(
+        ThresholdVector::constant(cs.horizon, 0.4 * peak), cs.norm, 2, 3);
+    const CusumDetector cusum(0.1 * peak, 0.5 * peak, cs.norm);
+    const control::KalmanDesign kd = control::design_kalman(cs.loop.plant);
+    const Chi2Detector chi2(kd.innovation, 1.0);
+
+    for (const Trace& tr : traces) {
+      // Trace-based and streaming evaluation must agree exactly, for every
+      // detector kind...
+      const auto check = [&](const auto& detector, const char* label) {
+        const auto online = detector.make_online();
+        EXPECT_EQ(detector.first_alarm(tr), streaming_first_alarm(*online, tr))
+            << name << ": " << label;
+      };
+      check(tight, "tight");
+      check(loose, "loose");
+      check(staircase, "staircase");
+      check(windowed, "windowed");
+      check(cusum, "cusum");
+      check(chi2, "chi2");
+
+      // ...and so must the bank, which shares one norm series across the
+      // norm-consuming detectors.
+      DetectorBank bank;
+      bank.add(tight.make_online());
+      bank.add(loose.make_online());
+      bank.add(staircase.make_online());
+      bank.add(windowed.make_online());
+      bank.add(cusum.make_online());
+      bank.add(chi2.make_online());
+      std::vector<std::optional<std::size_t>> alarms;
+      bank.evaluate(tr, alarms);
+      ASSERT_EQ(alarms.size(), 6u);
+      EXPECT_EQ(alarms[0], tight.first_alarm(tr)) << name;
+      EXPECT_EQ(alarms[1], loose.first_alarm(tr)) << name;
+      EXPECT_EQ(alarms[2], staircase.first_alarm(tr)) << name;
+      EXPECT_EQ(alarms[3], windowed.first_alarm(tr)) << name;
+      EXPECT_EQ(alarms[4], cusum.first_alarm(tr)) << name;
+      EXPECT_EQ(alarms[5], chi2.first_alarm(tr)) << name;
+    }
+  }
+}
+
+TEST(OnlineDetector, ResetRewindsStatefulDetectors) {
+  // Feeding the same trace twice through one instance must give the same
+  // alarms — reset() fully rewinds CUSUM accumulation and window state.
+  const Trace tr = residue_trace({1.0, 1.0, 1.0});
+  CusumOnline cusum(/*drift=*/0.5, /*limit=*/1.0, Norm::kInf);
+  const auto first = streaming_first_alarm(cusum, tr);
+  const auto second = streaming_first_alarm(cusum, tr);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first, second);
+
+  WindowedOnline windowed(ThresholdVector::constant(4, 0.5), Norm::kInf, 2, 2);
+  EXPECT_EQ(streaming_first_alarm(windowed, residue_trace({0.9, 0.9, 0.1, 0.1})),
+            streaming_first_alarm(windowed, residue_trace({0.9, 0.9, 0.1, 0.1})));
+}
+
+TEST(OnlineDetector, BankWithoutNormDetectorsAndEmptyTrace) {
+  DetectorBank bank;
+  const linalg::Matrix s{{4.0}};
+  bank.add(std::make_unique<Chi2Online>(s, 1.0));
+  std::vector<std::optional<std::size_t>> alarms;
+  bank.evaluate(residue_trace({}), alarms);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_FALSE(alarms[0].has_value());
+  bank.evaluate(residue_trace({0.0, 2.5}), alarms);
+  EXPECT_EQ(alarms[0], std::optional<std::size_t>(1));
+}
+
+// ---- STL residue adapter ---------------------------------------------------
+
+TEST(StlResidueOnline, DepthZeroFormulaMatchesThresholdRule) {
+  // Pass condition residue(0) <= 0.5: alarms exactly when z > 0.5.
+  StlResidueOnline det(stl::residue(0) <= 0.5);
+  EXPECT_EQ(streaming_first_alarm(det, residue_trace({0.1, 0.6, 0.2})),
+            std::optional<std::size_t>(1));
+  EXPECT_FALSE(
+      streaming_first_alarm(det, residue_trace({0.1, 0.5, 0.2})).has_value());
+}
+
+TEST(StlResidueOnline, WindowedFormulaAlarmsWhenWindowCompletes) {
+  // Pass condition F[0,2] residue(0) <= 0.5: "within every 3-sample window
+  // the residue dips to 0.5" — depth 2, so step k judges instant k-2.  A
+  // trace that never dips alarms at step 2 (the first complete window).
+  StlResidueOnline det(stl::Formula::eventually({0, 2}, stl::residue(0) <= 0.5));
+  EXPECT_EQ(streaming_first_alarm(det, residue_trace({0.9, 0.9, 0.9, 0.9})),
+            std::optional<std::size_t>(2));
+  // One dip per window keeps it silent.
+  EXPECT_FALSE(streaming_first_alarm(det, residue_trace({0.9, 0.4, 0.9, 0.9, 0.4}))
+                   .has_value());
+}
+
+TEST(StlResidueOnline, RejectsNonResidueSignals) {
+  EXPECT_THROW(StlResidueOnline(stl::output(0) <= 1.0), util::InvalidArgument);
+  EXPECT_THROW(StlResidueOnline(stl::Formula::globally(
+                   {0, 1}, stl::state(0) - stl::residue(0) <= 1.0)),
+               util::InvalidArgument);
+}
+
+TEST(StlResidueOnline, WorksInsideABank) {
+  DetectorBank bank;
+  bank.add(std::make_unique<StlResidueOnline>(stl::residue(0) <= 0.5));
+  bank.add(std::make_unique<ThresholdOnline>(ThresholdVector::constant(4, 0.7),
+                                             Norm::kInf));
+  std::vector<std::optional<std::size_t>> alarms;
+  bank.evaluate(residue_trace({0.1, 0.6, 0.8, 0.1}), alarms);
+  EXPECT_EQ(alarms[0], std::optional<std::size_t>(1));  // > 0.5
+  EXPECT_EQ(alarms[1], std::optional<std::size_t>(2));  // >= 0.7
+}
+
+// ---- two-phase FAR pipeline ------------------------------------------------
+
+TEST(FarSimulation, EvaluateMatchesEvaluateFarAndIsRepeatable) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  FarSetup setup;
+  setup.num_runs = 120;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  setup.seed = 11;
+
+  std::vector<FarCandidate> candidates;
+  candidates.push_back({"tight", ResidueDetector(
+      ThresholdVector::constant(cs.horizon, 1e-3), cs.norm)});
+  candidates.push_back({"cusum", [&] {
+    return std::make_unique<CusumOnline>(0.001, 0.02, cs.norm);
+  }});
+
+  const FarSimulation sim(loop, cs.mdc, setup);
+  const FarReport once = sim.evaluate(candidates);
+  const FarReport direct = evaluate_far(loop, cs.mdc, candidates, setup);
+  // One simulation, many evaluations: re-evaluating the recorded runs (in
+  // any order, any number of times) must reproduce the one-shot protocol.
+  const FarReport again = sim.evaluate(candidates);
+  ASSERT_EQ(once.rows.size(), 2u);
+  for (std::size_t i = 0; i < once.rows.size(); ++i) {
+    EXPECT_EQ(once.rows[i].alarms, direct.rows[i].alarms);
+    EXPECT_EQ(once.rows[i].evaluated, direct.rows[i].evaluated);
+    EXPECT_EQ(once.rows[i].alarms, again.rows[i].alarms);
+  }
+  EXPECT_EQ(once.discarded_by_mdc, direct.discarded_by_mdc);
+}
+
+TEST(FarSimulation, StatefulCandidatesDeterministicAcrossThreads) {
+  // The per-run detector factory means CUSUM state can never leak across
+  // runs or workers: alarms are identical at every thread count.
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  FarSetup setup;
+  setup.num_runs = 150;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  setup.seed = 23;
+
+  std::vector<FarCandidate> candidates;
+  candidates.push_back({"cusum", [&] {
+    return std::make_unique<CusumOnline>(0.002, 0.01, cs.norm);
+  }});
+  candidates.push_back({"windowed", [&] {
+    return std::make_unique<WindowedOnline>(
+        ThresholdVector::constant(cs.horizon, 0.01), cs.norm, 2, 3);
+  }});
+
+  setup.threads = 1;
+  const FarReport serial = evaluate_far(loop, cs.mdc, candidates, setup);
+  EXPECT_GT(serial.rows[0].alarms, 0u);  // the setting actually alarms
+  for (const std::size_t threads : {2u, 8u}) {
+    setup.threads = threads;
+    const FarReport parallel = evaluate_far(loop, cs.mdc, candidates, setup);
+    for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+      EXPECT_EQ(serial.rows[i].alarms, parallel.rows[i].alarms);
+      EXPECT_EQ(serial.rows[i].evaluated, parallel.rows[i].evaluated);
+    }
+  }
+}
+
+TEST(NoiseFloorSamples, QuantileExtractionMatchesOneShotEstimate) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  NoiseFloorSetup setup;
+  setup.num_runs = 80;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+
+  const NoiseFloorSamples samples(loop, setup);
+  for (const double q : {0.5, 0.9, 0.95}) {
+    setup.quantile = q;
+    const NoiseFloor one_shot = estimate_noise_floor(loop, setup);
+    const NoiseFloor extracted = samples.floor(q);
+    EXPECT_EQ(one_shot.peak, extracted.peak);
+    ASSERT_EQ(one_shot.quantiles.size(), extracted.quantiles.size());
+    for (std::size_t k = 0; k < one_shot.quantiles.size(); ++k)
+      EXPECT_EQ(one_shot.quantiles[k], extracted.quantiles[k]) << "instant " << k;
+  }
+  EXPECT_THROW(samples.floor(0.0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cpsguard::detect

@@ -107,6 +107,37 @@ TEST(ExperimentRunner, TemplateSearchReportBitIdenticalAcrossThreads) {
     expect_reports_identical(serial, run_threads("vsc/templates", threads, 1));
 }
 
+TEST(ExperimentRunner, RunGroupMatchesStandaloneRuns) {
+  // Three FAR cells over one simulation, differing only in detectors: each
+  // grouped report must be bit-identical to its standalone run.
+  const ScenarioSpec base = Registry::instance().at("trajectory/far");
+  std::vector<ScenarioSpec> cells(3, base);
+  cells[0].name = "group/static";
+  cells[0].detectors = {DetectorSpec::static_threshold("static", 0.02)};
+  cells[1].name = "group/cusum";
+  cells[1].detectors = {DetectorSpec::cusum("cusum", 0.005, 0.05),
+                        DetectorSpec::static_threshold("static", 0.05)};
+  cells[2].name = "group/chi2";
+  cells[2].detectors = {DetectorSpec::chi2("chi2", 6.63)};
+
+  ExperimentRunner::Overrides overrides;
+  overrides.num_runs = 50;
+  const ExperimentRunner runner;
+  const std::vector<Report> grouped = runner.run_group(cells, overrides);
+  ASSERT_EQ(grouped.size(), 3u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Report standalone = runner.run(cells[i], overrides);
+    expect_reports_identical(grouped[i], standalone);
+  }
+}
+
+TEST(ExperimentRunner, RunGroupRejectsSimulationMismatch) {
+  const ScenarioSpec base = Registry::instance().at("trajectory/far");
+  std::vector<ScenarioSpec> cells(2, base);
+  cells[1].mc.seed += 1;
+  EXPECT_THROW(ExperimentRunner().run_group(cells), util::InvalidArgument);
+}
+
 TEST(ExperimentRunner, SeedOverrideChangesTheDraws) {
   ExperimentRunner::Overrides a, b;
   a.num_runs = b.num_runs = 50;

@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "scenario/registry.hpp"
+#include "sim/stats.hpp"
 #include "sweep/cache.hpp"
 #include "sweep/campaign.hpp"
 #include "sweep/registry.hpp"
@@ -169,6 +170,58 @@ TEST(Fingerprint, StableAndSensitive) {
   EXPECT_EQ(fingerprint(changed), fp);
 }
 
+TEST(SimulationFingerprint, IgnoresDetectorAxesTracksSimulationAxes) {
+  const scenario::ScenarioSpec base =
+      scenario::Registry::instance().at("vsc/far");
+  const std::string sim_fp = simulation_fingerprint(base);
+  EXPECT_EQ(sim_fp.size(), 64u);
+  EXPECT_EQ(sim_fp, simulation_fingerprint(base));  // deterministic
+  EXPECT_NE(sim_fp, fingerprint(base));  // distinct key spaces
+
+  // Detector-side changes (the sweep's detector axes: threshold, cusum_*,
+  // chi2_limit, quantile, detector_scale) leave the simulation untouched...
+  scenario::ScenarioSpec changed = base;
+  changed.detectors = {scenario::DetectorSpec::static_threshold("s", 0.25),
+                       scenario::DetectorSpec::cusum("c", 0.01, 0.2)};
+  EXPECT_EQ(simulation_fingerprint(changed), sim_fp);
+  EXPECT_NE(fingerprint(changed), fingerprint(base));
+
+  changed = base;
+  apply_param(changed, "detector_scale", 1.7);
+  apply_param(changed, "quantile", 0.9);
+  EXPECT_EQ(simulation_fingerprint(changed), sim_fp);
+
+  // ...while every simulation-side knob moves it.
+  changed = base;
+  apply_param(changed, "noise_scale", 1.25);
+  EXPECT_NE(simulation_fingerprint(changed), sim_fp);
+  changed = base;
+  apply_param(changed, "runs", 77);
+  EXPECT_NE(simulation_fingerprint(changed), sim_fp);
+  changed = base;
+  apply_param(changed, "seed", 99);
+  EXPECT_NE(simulation_fingerprint(changed), sim_fp);
+  changed = base;
+  apply_param(changed, "dead_zone", 3);
+  EXPECT_NE(simulation_fingerprint(changed), sim_fp);
+}
+
+TEST(SimulationFingerprint, CountsGroupsOfBundledCampaigns) {
+  const scenario::Registry& scenarios = scenario::Registry::instance();
+  const SweepRegistry& registry = SweepRegistry::instance();
+  // threshold_sweep: 16-point threshold axis (detector) x 3 noise scales
+  // (simulation) -> 3 groups; quant_deadzone_sweep: both axes are
+  // simulation-side -> no sharing.
+  EXPECT_EQ(simulation_group_count(
+                registry.at("threshold_sweep").expand(scenarios)),
+            3u);
+  EXPECT_EQ(simulation_group_count(registry.at("roc_sweep").expand(scenarios)),
+            3u);
+  EXPECT_EQ(simulation_group_count(
+                registry.at("quant_deadzone_sweep").expand(scenarios)),
+            36u);
+}
+
 // ---- result cache -----------------------------------------------------------
 
 TEST(ResultCache, StoreLoadRoundTrip) {
@@ -281,6 +334,112 @@ TEST(CampaignEngine, InterruptedRunResumesBitIdentically) {
   EXPECT_EQ(resumed.executed, 4u);
   EXPECT_EQ(resumed.cache_hits, 2u);
   EXPECT_EQ(reference.report->to_json(), resumed.report->to_json());
+}
+
+/// A campaign with both detector axes (threshold, cusum_drift) and one
+/// simulation axis (noise_scale): 8 cells in 2 simulation groups.
+SweepSpec grouped_campaign() {
+  SweepSpec spec;
+  spec.name = "test_grouped";
+  spec.title = "trajectory FAR: detector axes over shared simulations";
+  spec.base = "trajectory/far";
+  spec.detectors = {scenario::DetectorSpec::static_threshold("static", 0.05),
+                    scenario::DetectorSpec::cusum("cusum", 0.01, 0.1)};
+  spec.fixed = {{"runs", 40}};
+  spec.axes = {Axis::list("noise_scale", {0.8, 1.0}),
+               Axis::list("threshold", {0.02, 0.05}),
+               Axis::list("cusum_drift", {0.005, 0.01})};
+  return spec;
+}
+
+TEST(CampaignEngine, GroupedAndUngroupedRunsAreBitIdenticalAtEveryThreadCount) {
+  const SweepSpec spec = grouped_campaign();
+  ASSERT_EQ(simulation_group_count(spec.expand(scenario::Registry::instance())),
+            2u);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const ScratchDir scratch("grouped_t" + std::to_string(threads));
+    const CampaignEngine engine;
+
+    CampaignOptions grouped = scratch_options(scratch);
+    grouped.threads = threads;
+    grouped.cache_dir = scratch.path + "/cache_grouped";
+    const CampaignRun g = engine.run(spec, grouped);
+    ASSERT_TRUE(g.report.has_value());
+    EXPECT_EQ(g.executed, 8u);
+    EXPECT_EQ(g.simulation_groups, 2u);
+
+    CampaignOptions ungrouped = scratch_options(scratch);
+    ungrouped.threads = threads;
+    ungrouped.cache_dir = scratch.path + "/cache_ungrouped";
+    ungrouped.group_simulations = false;
+    const CampaignRun u = engine.run(spec, ungrouped);
+    ASSERT_TRUE(u.report.has_value());
+    EXPECT_EQ(g.report->to_json(), u.report->to_json());
+  }
+}
+
+TEST(CampaignEngine, GroupedColdRunSimulatesOncePerGroup) {
+  // The instrumented simulation counter: a grouped cold run must simulate
+  // one Monte-Carlo batch per DISTINCT simulation group, an ungrouped one
+  // per cell — same reports either way (asserted above).
+  const ScratchDir scratch("simcount");
+  const SweepSpec spec = grouped_campaign();
+  const CampaignEngine engine;
+
+  CampaignOptions options = scratch_options(scratch);
+  options.use_cache = false;
+  sim::stats::reset_simulated_runs();
+  const CampaignRun grouped = engine.run(spec, options);
+  const std::uint64_t grouped_runs = sim::stats::simulated_runs();
+  ASSERT_TRUE(grouped.report.has_value());
+
+  options.group_simulations = false;
+  sim::stats::reset_simulated_runs();
+  const CampaignRun ungrouped = engine.run(spec, options);
+  const std::uint64_t ungrouped_runs = sim::stats::simulated_runs();
+  ASSERT_TRUE(ungrouped.report.has_value());
+
+  // 8 cells in 2 groups, every cell the same 40-run batch: the grouped run
+  // does exactly groups/cells of the ungrouped simulation work.
+  EXPECT_EQ(ungrouped_runs, 8u * 40u);
+  EXPECT_EQ(grouped_runs, 2u * 40u);
+
+  // A warm (fully cached) run simulates nothing at all.
+  CampaignOptions cached = scratch_options(scratch);
+  ASSERT_TRUE(engine.run(spec, cached).complete);
+  sim::stats::reset_simulated_runs();
+  const CampaignRun warm = engine.run(spec, cached);
+  EXPECT_EQ(warm.cache_hits, 8u);
+  EXPECT_EQ(sim::stats::simulated_runs(), 0u);
+}
+
+TEST(CampaignEngine, GroupedNoiseFloorCellsShareTheSampleBatch) {
+  // quantile is a detector-side axis: noise-floor cells at different
+  // quantiles ride one simulated sample batch and still report their own
+  // envelopes.
+  SweepSpec spec;
+  spec.name = "test_floor_group";
+  spec.title = "trajectory noise floor over a quantile axis";
+  spec.base = "trajectory/noise_floor";
+  spec.fixed = {{"runs", 50}};
+  spec.axes = {Axis::list("quantile", {0.5, 0.9, 0.95})};
+  ASSERT_EQ(simulation_group_count(spec.expand(scenario::Registry::instance())),
+            1u);
+
+  const ScratchDir scratch("floorgroup");
+  CampaignOptions options = scratch_options(scratch);
+  options.use_cache = false;
+  sim::stats::reset_simulated_runs();
+  const CampaignRun grouped = CampaignEngine().run(spec, options);
+  EXPECT_EQ(sim::stats::simulated_runs(), 50u);  // one batch for 3 cells
+  ASSERT_TRUE(grouped.report.has_value());
+
+  options.group_simulations = false;
+  sim::stats::reset_simulated_runs();
+  const CampaignRun ungrouped = CampaignEngine().run(spec, options);
+  EXPECT_EQ(sim::stats::simulated_runs(), 150u);
+  ASSERT_TRUE(ungrouped.report.has_value());
+  EXPECT_EQ(grouped.report->to_json(), ungrouped.report->to_json());
 }
 
 TEST(CampaignEngine, MergeRefusesIncompleteCampaigns) {

@@ -162,7 +162,18 @@ int cmd_sweep_list() {
 }
 
 int cmd_sweep_describe(const std::string& name) {
-  std::printf("%s", sweep::SweepRegistry::instance().at(name).describe().c_str());
+  const sweep::SweepSpec& spec = sweep::SweepRegistry::instance().at(name);
+  std::printf("%s", spec.describe().c_str());
+  // Speedup potential before anything runs: cells that differ only on
+  // detector axes share one simulated batch (a "simulation group").
+  const std::vector<sweep::Cell> cells =
+      spec.expand(scenario::Registry::instance());
+  const std::size_t groups = sweep::simulation_group_count(cells);
+  std::printf("  simulation groups: %zu (%zu cells / %.1fx shared simulation)\n",
+              groups, cells.size(),
+              groups == 0 ? 0.0
+                          : static_cast<double>(cells.size()) /
+                                static_cast<double>(groups));
   return 0;
 }
 
@@ -235,11 +246,12 @@ int cmd_sweep_run(const std::string& name, const std::vector<std::string>& args)
       sweep::CampaignEngine().run(spec, parsed.options);
 
   if (!parsed.quiet || !outcome.complete) {
-    std::printf("campaign %s: shard %zu/%zu owns %zu of %zu cells — "
-                "%zu executed, %zu cache hits%s\n",
+    std::printf("campaign %s: shard %zu/%zu owns %zu of %zu cells "
+                "(%zu simulation groups) — %zu executed, %zu cache hits%s\n",
                 name.c_str(), parsed.options.shard.index,
                 parsed.options.shard.count, outcome.cells_in_shard,
-                outcome.cells_total, outcome.executed, outcome.cache_hits,
+                outcome.cells_total, outcome.simulation_groups,
+                outcome.executed, outcome.cache_hits,
                 outcome.complete ? "" : " [INCOMPLETE: --max-cells budget]");
     if (!outcome.manifest_path.empty())
       std::printf("manifest: %s\n", outcome.manifest_path.c_str());
