@@ -1,0 +1,277 @@
+// PR-5 benchmarks: fused step kernels + norm-only simulation.
+//
+// BM_StepUnfusedPr1 replays the PR-1 cost model (one gemv/axpy/sub chain
+// per instant, ~7 kernel invocations each) as a local reference loop;
+// BM_StepFixed / BM_StepGeneric drive the same simulation through the
+// fused StepKernel under both dispatches — the fixed-vs-unfused ratio is
+// the tentpole's single-thread win on the simulate path.
+//
+// The FAR/1000 trio is the headline comparison, on the VSC plant at the
+// table1 horizon (1000 benign runs, horizon 50, a small threshold/CUSUM
+// bank, monitor-free so the fast path is eligible):
+//   BM_Far1000Pr4Baseline — the pre-PR-5 cost model replayed exactly
+//     (unfused kernel chain, full trace per run, bank over residues);
+//   BM_Far1000FullTrace   — the fused kernel with the norm-only kill
+//     switch off (isolates the fusion win);
+//   BM_Far1000NormOnly    — the new default (fused + norm-only).
+// The acceptance bar is NormOnly >= 2x over Pr4Baseline.  Each leg carries
+// `residue_memory_per_run`: the bytes the simulate phase materializes per
+// run for residue evaluation — full-trace: the whole Trace
+// (steps·(2n+p+2m)+2n doubles, it must exist to be recorded) plus the
+// retained ResidueRecord (steps·m); norm-only: the retained norm series
+// (steps doubles) only.  The bar there is a >= 4x drop (measured 11x).
+//
+// BM_SweepColdFloor{NormOnly,FullTrace} measures the effect end-to-end
+// through a cold (cache-less) noise-floor campaign.
+//
+// Recorded baseline: bench/BENCH_pr5_step_kernel.json (1-core dev
+// container — thread-scaling variants stay excluded from the CI gate).
+#include <benchmark/benchmark.h>
+
+#include "cpsguard.hpp"
+
+namespace {
+
+using namespace cpsguard;
+using control::Signal;
+using control::Trace;
+using linalg::Vector;
+
+const models::CaseStudy& trajectory() {
+  static const models::CaseStudy cs = models::make_trajectory_case_study();
+  return cs;
+}
+
+const models::CaseStudy& vsc() {
+  static const models::CaseStudy cs = models::make_vsc_case_study();
+  return cs;
+}
+
+Signal bench_noise(const models::CaseStudy& cs) {
+  util::Rng rng(17);
+  return control::bounded_uniform_signal(rng, cs.horizon, cs.noise_bounds);
+}
+
+// The PR-1 simulate_into body on the public unfused kernels — the
+// pre-step-kernel cost model.
+void unfused_simulate(const control::LoopConfig& config, std::size_t steps,
+                      const Signal* noise, Trace& tr) {
+  const auto& sys = config.plant;
+  tr.ts = sys.ts;
+  tr.prepare(steps, sys.num_states(), sys.num_outputs(), sys.num_inputs());
+  static thread_local Vector x, xhat, u, yhat, xn, xhatn, dev, kdev;
+  x = config.x1;
+  xhat = config.xhat1;
+  u = config.u1;
+  yhat.resize(sys.num_outputs());
+  xn.resize(sys.num_states());
+  xhatn.resize(sys.num_states());
+  dev.resize(sys.num_states());
+  kdev.resize(sys.num_inputs());
+  const auto& op = config.operating_point;
+  using namespace linalg;
+  for (std::size_t k = 0; k < steps; ++k) {
+    Vector& y = tr.y[k];
+    gemv_into(1.0, sys.c, x, 0.0, y);
+    gemv_into(1.0, sys.d, u, 1.0, y);
+    if (noise) axpy_into(1.0, (*noise)[k], y);
+    gemv_into(1.0, sys.c, xhat, 0.0, yhat);
+    gemv_into(1.0, sys.d, u, 1.0, yhat);
+    sub_into(y, yhat, tr.z[k]);
+    tr.x[k] = x;
+    tr.xhat[k] = xhat;
+    tr.u[k] = u;
+    gemv_into(1.0, sys.a, x, 0.0, xn);
+    gemv_into(1.0, sys.b, u, 1.0, xn);
+    std::swap(x, xn);
+    gemv_into(1.0, sys.a, xhat, 0.0, xhatn);
+    gemv_into(1.0, sys.b, u, 1.0, xhatn);
+    gemv_into(1.0, config.kalman_gain, tr.z[k], 1.0, xhatn);
+    std::swap(xhat, xhatn);
+    sub_into(xhat, op.x_ss, dev);
+    gemv_into(1.0, config.feedback_gain, dev, 0.0, kdev);
+    sub_into(op.u_ss, kdev, u);
+  }
+  tr.x[steps] = x;
+  tr.xhat[steps] = xhat;
+}
+
+void BM_StepUnfusedPr1(benchmark::State& state) {
+  const auto& cs = trajectory();
+  const Signal noise = bench_noise(cs);
+  Trace tr;
+  for (auto _ : state) {
+    unfused_simulate(cs.loop, cs.horizon, &noise, tr);
+    benchmark::DoNotOptimize(tr.z.back().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cs.horizon));
+}
+BENCHMARK(BM_StepUnfusedPr1);
+
+void simulate_with_kernel(benchmark::State& state, bool allow_fixed) {
+  const auto& cs = trajectory();
+  linalg::StepKernelOptions options;
+  options.allow_fixed = allow_fixed;
+  const control::ClosedLoop loop(cs.loop, options);
+  const Signal noise = bench_noise(cs);
+  Trace tr;
+  control::SimWorkspace ws;
+  for (auto _ : state) {
+    loop.simulate_into(tr, ws, cs.horizon, nullptr, nullptr, &noise);
+    benchmark::DoNotOptimize(tr.z.back().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cs.horizon));
+}
+
+void BM_StepFixed(benchmark::State& state) { simulate_with_kernel(state, true); }
+BENCHMARK(BM_StepFixed);
+
+void BM_StepGeneric(benchmark::State& state) { simulate_with_kernel(state, false); }
+BENCHMARK(BM_StepGeneric);
+
+void BM_StepFixedNormOnly(benchmark::State& state) {
+  // The full fast path: fused fixed kernel, no trace at all.
+  const auto& cs = trajectory();
+  const control::ClosedLoop loop(cs.loop);
+  const Signal noise = bench_noise(cs);
+  control::SimWorkspace ws;
+  std::vector<std::vector<double>> series;
+  const std::vector<control::Norm> norms{cs.norm};
+  for (auto _ : state) {
+    loop.simulate_norms_into(ws, cs.horizon, norms, series, nullptr, nullptr,
+                             &noise);
+    benchmark::DoNotOptimize(series[0].data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cs.horizon));
+}
+BENCHMARK(BM_StepFixedNormOnly);
+
+std::vector<detect::FarCandidate> far_bank(const models::CaseStudy& cs) {
+  std::vector<detect::FarCandidate> candidates;
+  for (std::size_t i = 0; i < 4; ++i)
+    candidates.emplace_back(
+        "th" + std::to_string(i),
+        detect::ResidueDetector(
+            detect::ThresholdVector::constant(cs.horizon,
+                                              0.008 + 0.004 * double(i)),
+            cs.norm));
+  candidates.emplace_back("cusum", [&cs] {
+    return std::make_unique<detect::CusumOnline>(0.004, 0.06, cs.norm);
+  });
+  return candidates;
+}
+
+/// Bytes the simulate phase materializes per run for residue evaluation
+/// (see the file comment for the definition).
+double residue_memory_per_run(const models::CaseStudy& cs, bool norm_only) {
+  const double steps = static_cast<double>(cs.horizon);
+  const double n = static_cast<double>(cs.loop.plant.num_states());
+  const double m = static_cast<double>(cs.loop.plant.num_outputs());
+  const double p = static_cast<double>(cs.loop.plant.num_inputs());
+  if (norm_only) return 8.0 * steps;  // one retained norm series
+  return 8.0 * (steps * (2.0 * n + p + 2.0 * m) + 2.0 * n  // materialized Trace
+                + steps * m);                              // retained residues
+}
+
+void far_bench(benchmark::State& state, const models::CaseStudy& cs,
+               std::size_t runs, bool norm_only) {
+  // Monitor-free FAR protocol (the norm-only eligible setting); the
+  // full-trace leg pins the kill switch off, i.e. the PR-4 execution.
+  const control::ClosedLoop loop(cs.loop);
+  const monitor::MonitorSet no_monitors;
+  const auto candidates = far_bank(cs);
+  detect::FarSetup setup;
+  setup.num_runs = runs;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  sim::set_norm_only_enabled(norm_only);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        detect::evaluate_far(loop, no_monitors, candidates, setup));
+  }
+  sim::set_norm_only_enabled(true);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(runs));
+  state.counters["residue_memory_per_run"] =
+      benchmark::Counter(residue_memory_per_run(cs, norm_only));
+}
+
+void BM_Far1000Pr4Baseline(benchmark::State& state) {
+  // The pre-PR-5 cost model, replayed exactly: unfused per-instant kernel
+  // chain, full trace per run, detector bank streamed over the recorded
+  // residues.  The headline claim is BM_Far1000NormOnly vs this.
+  const auto& cs = vsc();
+  const control::ClosedLoop loop(cs.loop);
+  const auto candidates = far_bank(cs);
+  detect::DetectorBank bank;
+  for (const auto& c : candidates) bank.add(c.factory());
+  Trace tr;
+  Signal noise;
+  std::vector<std::optional<std::size_t>> first_alarms;
+  std::vector<std::size_t> alarms(candidates.size(), 0);
+  for (auto _ : state) {
+    for (std::size_t run = 0; run < 1000; ++run) {
+      util::Rng rng = util::Rng::substream(1, run);
+      control::bounded_uniform_signal_into(rng, cs.horizon, cs.noise_bounds,
+                                           noise);
+      unfused_simulate(cs.loop, cs.horizon, &noise, tr);
+      bank.evaluate(tr, first_alarms);
+      for (std::size_t i = 0; i < candidates.size(); ++i)
+        alarms[i] += first_alarms[i].has_value() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(alarms.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+  state.counters["residue_memory_per_run"] =
+      benchmark::Counter(residue_memory_per_run(cs, false));
+}
+BENCHMARK(BM_Far1000Pr4Baseline);
+
+void BM_Far1000FullTrace(benchmark::State& state) {
+  far_bench(state, vsc(), 1000, /*norm_only=*/false);
+}
+BENCHMARK(BM_Far1000FullTrace);
+
+void BM_Far1000NormOnly(benchmark::State& state) {
+  far_bench(state, vsc(), 1000, /*norm_only=*/true);
+}
+BENCHMARK(BM_Far1000NormOnly);
+
+sweep::SweepSpec floor_campaign() {
+  sweep::SweepSpec spec;
+  spec.name = "bench_floor_sweep";
+  spec.title = "trajectory noise floor over a quantile axis";
+  spec.base = "trajectory/noise_floor";
+  spec.fixed = {{"runs", 120}};
+  spec.axes = {sweep::Axis::list("quantile", {0.5, 0.75, 0.9, 0.95})};
+  return spec;  // 4 cells, 1 simulation group
+}
+
+void sweep_cold_floor(benchmark::State& state, bool norm_only) {
+  sweep::CampaignOptions options;
+  options.use_cache = false;
+  sim::set_norm_only_enabled(norm_only);
+  for (auto _ : state) {
+    const sweep::CampaignRun outcome =
+        sweep::CampaignEngine().run(floor_campaign(), options);
+    if (!outcome.report.has_value()) std::abort();
+  }
+  sim::set_norm_only_enabled(true);
+}
+
+void BM_SweepColdFloorFullTrace(benchmark::State& state) {
+  sweep_cold_floor(state, /*norm_only=*/false);
+}
+BENCHMARK(BM_SweepColdFloorFullTrace);
+
+void BM_SweepColdFloorNormOnly(benchmark::State& state) {
+  sweep_cold_floor(state, /*norm_only=*/true);
+}
+BENCHMARK(BM_SweepColdFloorNormOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

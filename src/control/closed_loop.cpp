@@ -1,6 +1,6 @@
 #include "control/closed_loop.hpp"
 
-#include "linalg/kernels.hpp"
+#include "control/norm.hpp"
 #include "util/status.hpp"
 
 namespace cpsguard::control {
@@ -39,8 +39,33 @@ LoopConfig LoopConfig::design(const DiscreteLti& plant, const Matrix& state_cost
   return cfg;
 }
 
-ClosedLoop::ClosedLoop(LoopConfig config) : config_(std::move(config)) {
+ClosedLoop::ClosedLoop(LoopConfig config)
+    : ClosedLoop(std::move(config), linalg::StepKernelOptions{}) {}
+
+ClosedLoop::ClosedLoop(LoopConfig config,
+                       const linalg::StepKernelOptions& kernel_options)
+    : config_(std::move(config)) {
   config_.validate();
+  // Pack the update matrices into the fused kernel once; the kernel owns
+  // its copies, so config_ may be mutated or moved afterwards without
+  // invalidating it.  Dispatch (fixed vs generic) happens here, keyed on
+  // (n, m, p) — see linalg/step_kernel.cpp.
+  linalg::StepKernelConfig kc;
+  kc.n = config_.plant.num_states();
+  kc.m = config_.plant.num_outputs();
+  kc.p = config_.plant.num_inputs();
+  kc.a = config_.plant.a.data();
+  kc.b = config_.plant.b.data();
+  kc.c = config_.plant.c.data();
+  kc.d = config_.plant.d.data();
+  kc.l = config_.kalman_gain.data();
+  kc.k = config_.feedback_gain.data();
+  kc.x_ss = config_.operating_point.x_ss.data();
+  kc.u_ss = config_.operating_point.u_ss.data();
+  kc.x1 = config_.x1.data();
+  kc.xhat1 = config_.xhat1.data();
+  kc.u1 = config_.u1.data();
+  kernel_ = linalg::make_step_kernel(kc, kernel_options);
 }
 
 Trace ClosedLoop::simulate(std::size_t steps, const Signal* attack,
@@ -52,13 +77,12 @@ Trace ClosedLoop::simulate(std::size_t steps, const Signal* attack,
   return tr;
 }
 
-void ClosedLoop::simulate_into(Trace& tr, SimWorkspace& ws, std::size_t steps,
-                               const Signal* attack, const Signal* process_noise,
+void ClosedLoop::check_signals(std::size_t steps, const Signal* attack,
+                               const Signal* process_noise,
                                const Signal* measurement_noise) const {
   const auto& sys = config_.plant;
   const std::size_t n = sys.num_states();
   const std::size_t m = sys.num_outputs();
-  const std::size_t p = sys.num_inputs();
   auto check_signal = [&](const Signal* s, std::size_t dim, const char* what) {
     if (!s) return;
     if (s->size() < steps)
@@ -70,56 +94,61 @@ void ClosedLoop::simulate_into(Trace& tr, SimWorkspace& ws, std::size_t steps,
   check_signal(attack, m, "ClosedLoop: attack signal");
   check_signal(process_noise, n, "ClosedLoop: process noise");
   check_signal(measurement_noise, m, "ClosedLoop: measurement noise");
+}
+
+void ClosedLoop::simulate_into(Trace& tr, SimWorkspace& ws, std::size_t steps,
+                               const Signal* attack, const Signal* process_noise,
+                               const Signal* measurement_noise) const {
+  const auto& sys = config_.plant;
+  const std::size_t n = sys.num_states();
+  const std::size_t m = sys.num_outputs();
+  const std::size_t p = sys.num_inputs();
+  check_signals(steps, attack, process_noise, measurement_noise);
 
   tr.ts = sys.ts;
   tr.prepare(steps, n, m, p);
-  ws.x = config_.x1;
-  ws.xhat = config_.xhat1;
-  ws.u = config_.u1;
-  ws.yhat.resize(m);
-  ws.xn.resize(n);
-  ws.xhatn.resize(n);
-  ws.dev.resize(n);
-  ws.kdev.resize(p);
+  linalg::StepState& s = ws.step;
+  kernel_->begin_run(s);
 
-  const auto& op = config_.operating_point;
-  using namespace linalg;  // gemv_into / axpy_into / sub_into
   for (std::size_t k = 0; k < steps; ++k) {
-    // y_k = C x + D u (+ attack + measurement noise), written in place.
-    Vector& y = tr.y[k];
-    gemv_into(1.0, sys.c, ws.x, 0.0, y);
-    gemv_into(1.0, sys.d, ws.u, 1.0, y);
-    if (attack) axpy_into(1.0, (*attack)[k], y);
-    if (measurement_noise) axpy_into(1.0, (*measurement_noise)[k], y);
-
-    // ŷ_k = C x̂ + D u;  z_k = y_k - ŷ_k.
-    gemv_into(1.0, sys.c, ws.xhat, 0.0, ws.yhat);
-    gemv_into(1.0, sys.d, ws.u, 1.0, ws.yhat);
-    sub_into(y, ws.yhat, tr.z[k]);
-
-    tr.x[k] = ws.x;
-    tr.xhat[k] = ws.xhat;
-    tr.u[k] = ws.u;
-
-    // x_{k+1} = A x + B u (+ process noise).
-    gemv_into(1.0, sys.a, ws.x, 0.0, ws.xn);
-    gemv_into(1.0, sys.b, ws.u, 1.0, ws.xn);
-    if (process_noise) axpy_into(1.0, (*process_noise)[k], ws.xn);
-    std::swap(ws.x, ws.xn);
-
-    // x̂_{k+1} = A x̂ + B u + L z.
-    gemv_into(1.0, sys.a, ws.xhat, 0.0, ws.xhatn);
-    gemv_into(1.0, sys.b, ws.u, 1.0, ws.xhatn);
-    gemv_into(1.0, config_.kalman_gain, tr.z[k], 1.0, ws.xhatn);
-    std::swap(ws.xhat, ws.xhatn);
-
-    // u_{k+1} = u_ss - K (x̂_{k+1} - x_ss).
-    sub_into(ws.xhat, op.x_ss, ws.dev);
-    gemv_into(1.0, config_.feedback_gain, ws.dev, 0.0, ws.kdev);
-    sub_into(op.u_ss, ws.kdev, ws.u);
+    // Record the pre-update state, then run the fused instant: y_k and z_k
+    // are written straight into the trace, x/x̂/u advance in the workspace.
+    for (std::size_t i = 0; i < n; ++i) tr.x[k][i] = s.x[i];
+    for (std::size_t i = 0; i < n; ++i) tr.xhat[k][i] = s.xhat[i];
+    for (std::size_t i = 0; i < p; ++i) tr.u[k][i] = s.u[i];
+    kernel_->step(s, attack ? (*attack)[k].data() : nullptr,
+                  process_noise ? (*process_noise)[k].data() : nullptr,
+                  measurement_noise ? (*measurement_noise)[k].data() : nullptr,
+                  tr.y[k].data(), tr.z[k].data());
   }
-  tr.x[steps] = ws.x;
-  tr.xhat[steps] = ws.xhat;
+  for (std::size_t i = 0; i < n; ++i) tr.x[steps][i] = s.x[i];
+  for (std::size_t i = 0; i < n; ++i) tr.xhat[steps][i] = s.xhat[i];
+}
+
+void ClosedLoop::simulate_norms_into(SimWorkspace& ws, std::size_t steps,
+                                     const std::vector<Norm>& norms,
+                                     std::vector<std::vector<double>>& out,
+                                     const Signal* attack,
+                                     const Signal* process_noise,
+                                     const Signal* measurement_noise) const {
+  require(!norms.empty(), "simulate_norms_into: need at least one norm");
+  const std::size_t m = config_.plant.num_outputs();
+  check_signals(steps, attack, process_noise, measurement_noise);
+
+  out.resize(norms.size());
+  for (auto& series : out) series.resize(steps);
+  linalg::StepState& s = ws.step;
+  kernel_->begin_run(s);
+
+  for (std::size_t k = 0; k < steps; ++k) {
+    // z_k lands in the workspace scratch row; only its norms survive.
+    kernel_->step(s, attack ? (*attack)[k].data() : nullptr,
+                  process_noise ? (*process_noise)[k].data() : nullptr,
+                  measurement_noise ? (*measurement_noise)[k].data() : nullptr,
+                  /*y_out=*/nullptr, /*z_out=*/nullptr);
+    for (std::size_t j = 0; j < norms.size(); ++j)
+      out[j][k] = vector_norm(s.z, m, norms[j]);
+  }
 }
 
 Matrix ClosedLoop::stacked_closed_loop_matrix() const {

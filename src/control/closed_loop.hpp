@@ -12,15 +12,26 @@
 //   x_{k+1}   = A x_k + B u_k + w_k
 //   x̂_{k+1}   = A x̂_k + B u_k + L z_k
 //   u_{k+1}   = u_ss - K (x̂_{k+1} - x_ss)
+//
+// Execution goes through a linalg::StepKernel built once at construction:
+// the whole instant runs as one fused pass over matrices packed into a
+// contiguous block, dispatched to a fully-unrolled fixed-dimension
+// specialization when (n, m, p) matches a registered case-study signature
+// and to a generic dynamic-dimension kernel otherwise — bit-identical
+// either way (see linalg/step_kernel.hpp for the contract, including the
+// opt-in non-bit-identical `condensed` mode).
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "control/kalman.hpp"
 #include "control/lqr.hpp"
 #include "control/lti.hpp"
 #include "control/trace.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/step_kernel.hpp"
 
 namespace cpsguard::control {
 
@@ -45,24 +56,22 @@ struct LoopConfig {
                            const std::vector<std::size_t>& tracked_outputs = {});
 };
 
-/// Reusable scratch state for ClosedLoop::simulate_into.  One workspace per
-/// worker thread; contents are overwritten on every run and carry no
-/// information between runs.
+/// Reusable scratch state for ClosedLoop::simulate_into and
+/// simulate_norms_into.  One workspace per worker thread; contents are
+/// overwritten on every run and carry no information between runs.
 struct SimWorkspace {
-  linalg::Vector x;      ///< current plant state
-  linalg::Vector xhat;   ///< current estimate
-  linalg::Vector u;      ///< current input
-  linalg::Vector yhat;   ///< predicted output C x̂ + D u
-  linalg::Vector xn;     ///< next plant state accumulator
-  linalg::Vector xhatn;  ///< next estimate accumulator
-  linalg::Vector dev;    ///< x̂ - x_ss
-  linalg::Vector kdev;   ///< K (x̂ - x_ss)
+  linalg::StepState step;  ///< kernel state: x, x̂, u, next buffers, z scratch
 };
 
 /// Deterministic closed-loop simulator with attack and noise injection.
 class ClosedLoop {
  public:
   explicit ClosedLoop(LoopConfig config);
+
+  /// Kernel-selection override for tests and benchmarks (force the generic
+  /// dispatch, opt into the condensed mode).  Results are bit-identical
+  /// across dispatches; condensed mode is tolerance-equal only.
+  ClosedLoop(LoopConfig config, const linalg::StepKernelOptions& kernel_options);
 
   /// Runs `steps` sampling instants.  Any of the signals may be null
   /// (treated as zero); non-null signals must have `steps` entries of the
@@ -80,14 +89,37 @@ class ClosedLoop {
                      const Signal* process_noise = nullptr,
                      const Signal* measurement_noise = nullptr) const;
 
+  /// Norm-only variant: advances the same kernel but materializes NO trace,
+  /// keeping only the residual-norm series — out[i][k] = ||z_k|| under
+  /// norms[i], bit-identical to Trace::residue_norms(norms[i]) of the
+  /// corresponding simulate_into run.  Memory touched per run drops from
+  /// O(steps·(2n+p+2m)) trace storage to O(steps·norms.size()), which is
+  /// what lets detector-only Monte-Carlo protocols (detect::FarSimulation,
+  /// NoiseFloorSamples, RocResidues) scale to long horizons.
+  void simulate_norms_into(SimWorkspace& workspace, std::size_t steps,
+                           const std::vector<Norm>& norms,
+                           std::vector<std::vector<double>>& out,
+                           const Signal* attack = nullptr,
+                           const Signal* process_noise = nullptr,
+                           const Signal* measurement_noise = nullptr) const;
+
   const LoopConfig& config() const { return config_; }
+
+  /// The fused per-instant kernel this loop dispatches to.  Immutable and
+  /// shared across copies of the loop; per-run state lives in SimWorkspace.
+  const linalg::StepKernel& step_kernel() const { return *kernel_; }
 
   /// Closed-loop state transition matrix of the stacked [x; x̂] system with
   /// u eliminated; used for stability sanity checks in tests.
   linalg::Matrix stacked_closed_loop_matrix() const;
 
  private:
+  void check_signals(std::size_t steps, const Signal* attack,
+                     const Signal* process_noise,
+                     const Signal* measurement_noise) const;
+
   LoopConfig config_;
+  std::shared_ptr<const linalg::StepKernel> kernel_;
 };
 
 }  // namespace cpsguard::control

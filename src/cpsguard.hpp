@@ -18,7 +18,15 @@
 //      residual traces once (detect::FarSimulation, NoiseFloorSamples,
 //      RocResidues), then EVALUATE streams detector banks over them —
 //      detectors are detect::OnlineDetector instances (reset()/step(z)),
-//      compared N-at-a-time by detect::DetectorBank;
+//      compared N-at-a-time by detect::DetectorBank.  Simulation itself
+//      runs through fused linalg::StepKernels (one pass per sampling
+//      instant, dispatched to compile-time-specialized fixed-dimension
+//      kernels for the registered case-study signatures, bit-identical to
+//      the generic fallback), and when every detector in the bank reads
+//      only the shared residual norm the simulate phase goes norm-only:
+//      ||z_k|| is computed on the fly and no trace is materialized
+//      (ClosedLoop::simulate_norms_into / sim::run_noise_norm_batch),
+//      cutting per-run memory from O(steps·dim) to O(steps);
 //   3. to cover a whole parameter space instead of one point, run a sweep
 //      campaign from sweep::SweepRegistry::instance() ("table1_sweep",
 //      "roc_sweep", ...) through sweep::CampaignEngine — the grid expands
@@ -63,6 +71,7 @@
 #include "linalg/matrix.hpp"
 #include "linalg/rational.hpp"
 #include "linalg/riccati.hpp"
+#include "linalg/step_kernel.hpp"
 #include "models/aircraft.hpp"
 #include "models/case_study.hpp"
 #include "models/dcmotor.hpp"

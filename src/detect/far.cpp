@@ -8,6 +8,19 @@ namespace cpsguard::detect {
 
 using control::Trace;
 
+namespace {
+
+/// Norm-only eligibility shared by both protocol entry points: the pfc
+/// filter reads plant states and the monitors read measurements, so the
+/// norm-only record (which materializes neither) is only valid without
+/// them; the caller additionally guarantees every detector consumes a
+/// recorded norm.
+bool norm_only_eligible(const FarSetup& setup, const monitor::MonitorSet& monitors) {
+  return !setup.pfc && monitors.empty() && sim::norm_only_enabled();
+}
+
+}  // namespace
+
 FarCandidate::FarCandidate(std::string name_, ResidueDetector detector)
     : name(std::move(name_)) {
   auto online = std::shared_ptr<OnlineDetector>(detector.make_online());
@@ -17,19 +30,49 @@ FarCandidate::FarCandidate(std::string name_, ResidueDetector detector)
 FarCandidate::FarCandidate(std::string name_, DetectorFactory factory_)
     : name(std::move(name_)), factory(std::move(factory_)) {}
 
+std::optional<std::vector<control::Norm>> candidate_shared_norms(
+    const std::vector<FarCandidate>& candidates) {
+  std::vector<DetectorFactory> factories;
+  factories.reserve(candidates.size());
+  for (const auto& c : candidates) factories.push_back(c.factory);
+  return shared_norms(factories);
+}
+
 FarSimulation::FarSimulation(const control::ClosedLoop& loop,
                              const monitor::MonitorSet& monitors,
-                             const FarSetup& setup) {
+                             const FarSetup& setup,
+                             const std::vector<control::Norm>* norm_only) {
   util::require(setup.num_runs > 0, "FarSimulation: num_runs must be positive");
   util::require(setup.noise_bounds.size() == loop.config().plant.num_outputs(),
                 "FarSimulation: noise bound dimension must match outputs");
 
-  // Every run records its verdict (and, when kept, its residues) keyed by
-  // run index, so the record is independent of the thread count.
+  // Every run records its verdict (and, when kept, its residues or norm
+  // series) keyed by run index, so the record is independent of the thread
+  // count.
   evaluated_.assign(setup.num_runs, 0);
-  residues_.resize(setup.num_runs);
 
   const sim::BatchRunner runner(setup.threads);
+  if (norm_only && !norm_only->empty() && norm_only_eligible(setup, monitors)) {
+    // Norm-only phase 1: without pfc filter and monitors every run is
+    // kept, and each keeps only its residual-norm series.
+    record_norms_ = *norm_only;
+    norm_records_.resize(setup.num_runs);
+    sim::run_noise_norm_batch(
+        runner, loop, setup.num_runs, setup.horizon, setup.noise_bounds,
+        setup.seed, /*index_offset=*/0, record_norms_,
+        [&](std::size_t run, std::size_t /*slot*/,
+            const std::vector<std::vector<double>>& series) {
+          evaluated_[run] = 1;
+          norm_records_[run].assign(series);
+        });
+    evaluated_runs_ = setup.num_runs;
+    CPSG_INFO("far") << "simulated " << setup.num_runs
+                     << " norm-only runs on " << runner.threads()
+                     << " thread(s)";
+    return;
+  }
+
+  residues_.resize(setup.num_runs);
   std::vector<std::uint8_t> pfc_discard(setup.num_runs, 0);
   std::vector<std::uint8_t> mdc_discard(setup.num_runs, 0);
   sim::run_noise_batch(
@@ -70,7 +113,13 @@ FarReport FarSimulation::evaluate(const std::vector<FarCandidate>& candidates) c
   std::vector<std::optional<std::size_t>> first_alarms;
   for (std::size_t run = 0; run < evaluated_.size(); ++run) {
     if (!evaluated_[run]) continue;
-    bank.evaluate(residues_[run], first_alarms);
+    // The norm-only record feeds step_norm() from the recorded series;
+    // the residue record recomputes the same series first.  Identical
+    // decision sequences, identical report.
+    if (norm_only())
+      bank.evaluate_norms(record_norms_, norm_records_[run], first_alarms);
+    else
+      bank.evaluate(residues_[run], first_alarms);
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       ++report.rows[i].evaluated;
       report.rows[i].alarms += first_alarms[i].has_value() ? 1 : 0;
@@ -97,16 +146,45 @@ FarReport evaluate_far(const control::ClosedLoop& loop, const monitor::MonitorSe
   report.rows.reserve(candidates.size());
   for (const auto& c : candidates) report.rows.push_back(FarRow{c.name, 0, 0});
 
-  enum class RunStatus : std::uint8_t { kEvaluated, kDiscardedPfc, kDiscardedMdc };
-  std::vector<RunStatus> status(setup.num_runs, RunStatus::kEvaluated);
-  std::vector<std::uint8_t> alarms(setup.num_runs * candidates.size(), 0);
-
   const sim::BatchRunner runner(setup.threads);
   std::vector<DetectorBank> banks(runner.threads());
   std::vector<std::vector<std::optional<std::size_t>>> first_alarms(
       runner.threads());
   for (auto& bank : banks)
     for (const auto& c : candidates) bank.add(c.factory());
+
+  // Fast path: when every candidate streams a shared norm and neither the
+  // pfc filter nor the monitors need the trace, the whole protocol runs
+  // norm-only — the kernel computes ||z_k|| on the fly, nothing is
+  // materialized, and every run is evaluated.  Bit-identical verdicts.
+  const std::optional<std::vector<control::Norm>> norms =
+      candidate_shared_norms(candidates);
+  if (norms && !norms->empty() && norm_only_eligible(setup, monitors)) {
+    std::vector<std::uint8_t> alarms(setup.num_runs * candidates.size(), 0);
+    sim::run_noise_norm_batch(
+        runner, loop, setup.num_runs, setup.horizon, setup.noise_bounds,
+        setup.seed, /*index_offset=*/0, *norms,
+        [&](std::size_t run, std::size_t slot,
+            const std::vector<std::vector<double>>& series) {
+          banks[slot].evaluate_norms(*norms, series, first_alarms[slot]);
+          for (std::size_t i = 0; i < candidates.size(); ++i)
+            alarms[run * candidates.size() + i] =
+                first_alarms[slot][i].has_value() ? 1 : 0;
+        });
+    for (std::size_t run = 0; run < setup.num_runs; ++run)
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        ++report.rows[i].evaluated;
+        report.rows[i].alarms += alarms[run * candidates.size() + i];
+      }
+    CPSG_INFO("far") << "evaluated " << setup.num_runs
+                     << " norm-only runs on " << runner.threads()
+                     << " thread(s)";
+    return report;
+  }
+
+  enum class RunStatus : std::uint8_t { kEvaluated, kDiscardedPfc, kDiscardedMdc };
+  std::vector<RunStatus> status(setup.num_runs, RunStatus::kEvaluated);
+  std::vector<std::uint8_t> alarms(setup.num_runs * candidates.size(), 0);
 
   sim::run_noise_batch(
       runner, loop, setup.num_runs, setup.horizon, setup.noise_bounds, setup.seed,

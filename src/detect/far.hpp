@@ -71,8 +71,21 @@ class FarSimulation {
   /// Simulates setup.num_runs noise-only runs of `loop` (parallel across
   /// setup.threads, bit-identical at any thread count) and records the
   /// residues of every run that passes the pfc filter and the monitors.
+  ///
+  /// When `norm_only` names the residual norms every later-evaluated bank
+  /// consumes (detect::shared_norms) AND the protocol is eligible — no pfc
+  /// filter, empty monitor set (both read the full trace), and
+  /// sim::norm_only_enabled() — phase 1 records only those norm series:
+  /// O(steps) per kept run per norm kind instead of O(steps·dim) residues,
+  /// with no trace materialized at all.  evaluate() reports are
+  /// bit-identical either way; banks needing more than the recorded norms
+  /// are rejected at evaluate() time.
   FarSimulation(const control::ClosedLoop& loop,
-                const monitor::MonitorSet& monitors, const FarSetup& setup);
+                const monitor::MonitorSet& monitors, const FarSetup& setup,
+                const std::vector<control::Norm>* norm_only = nullptr);
+
+  /// True when phase 1 recorded residual-norm series instead of residues.
+  bool norm_only() const { return !record_norms_.empty(); }
 
   std::size_t total_runs() const { return evaluated_.size(); }
   std::size_t discarded_by_pfc() const { return discarded_by_pfc_; }
@@ -90,9 +103,18 @@ class FarSimulation {
   std::size_t evaluated_runs_ = 0;
   std::vector<std::uint8_t> evaluated_;  ///< per-run keep flag
   /// Residues of run i (flat, one allocation per kept run); empty when the
-  /// run was discarded.
+  /// run was discarded.  Unused in norm-only mode.
   std::vector<ResidueRecord> residues_;
+  /// Norm-only record: the norm kinds and, per run, their series.
+  std::vector<control::Norm> record_norms_;
+  std::vector<NormRecord> norm_records_;
 };
+
+/// The norms every candidate's detector consumes, when they all stream
+/// norms (detect::shared_norms over the candidates' factories); nullopt as
+/// soon as one needs full residues.
+std::optional<std::vector<control::Norm>> candidate_shared_norms(
+    const std::vector<FarCandidate>& candidates);
 
 /// Runs the whole protocol (phase 1 + phase 2) for `candidates` against the
 /// given closed loop and monitoring system.

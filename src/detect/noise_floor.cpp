@@ -31,12 +31,26 @@ NoiseFloorSamples::NoiseFloorSamples(const control::ClosedLoop& loop,
   for (auto& s : samples_) s.resize(setup.num_runs);
 
   const sim::BatchRunner runner(setup.threads);
-  sim::run_noise_batch(
-      runner, loop, setup.num_runs, setup.horizon, setup.noise_bounds, setup.seed,
-      /*index_offset=*/0, [&](std::size_t run, const control::Trace& tr) {
-        for (std::size_t k = 0; k < setup.horizon; ++k)
-          samples_[k][run] = control::vector_norm(tr.z[k], setup.norm);
-      });
+  if (sim::norm_only_enabled()) {
+    // The floor consumes nothing but ||z_k||, so this protocol is always
+    // norm-only eligible: the kernel computes the norms on the fly and no
+    // trace is ever materialized.  Same values, same estimator.
+    sim::run_noise_norm_batch(
+        runner, loop, setup.num_runs, setup.horizon, setup.noise_bounds,
+        setup.seed, /*index_offset=*/0, {setup.norm},
+        [&](std::size_t run, std::size_t /*slot*/,
+            const std::vector<std::vector<double>>& series) {
+          for (std::size_t k = 0; k < setup.horizon; ++k)
+            samples_[k][run] = series[0][k];
+        });
+  } else {
+    sim::run_noise_batch(
+        runner, loop, setup.num_runs, setup.horizon, setup.noise_bounds, setup.seed,
+        /*index_offset=*/0, [&](std::size_t run, const control::Trace& tr) {
+          for (std::size_t k = 0; k < setup.horizon; ++k)
+            samples_[k][run] = control::vector_norm(tr.z[k], setup.norm);
+        });
+  }
 
   for (std::size_t k = 0; k < setup.horizon; ++k)
     for (double v : samples_[k]) peak_ = std::max(peak_, v);

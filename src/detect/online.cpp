@@ -151,6 +151,39 @@ void ResidueRecord::assign(const std::vector<Vector>& z) {
   }
 }
 
+// ---- NormRecord ------------------------------------------------------------
+
+void NormRecord::assign(const std::vector<std::vector<double>>& series) {
+  kinds_ = series.size();
+  steps_ = series.empty() ? 0 : series.front().size();
+  data_.resize(kinds_ * steps_);
+  double* out = data_.data();
+  for (const std::vector<double>& s : series) {
+    require(s.size() == steps_, "NormRecord: ragged norm series");
+    for (const double v : s) *out++ = v;
+  }
+}
+
+namespace {
+std::optional<Norm> shared_norms_probe(const DetectorFactory& factory) {
+  const std::unique_ptr<OnlineDetector> probe = factory();
+  require(probe != nullptr, "shared_norms: factory produced null detector");
+  return probe->shared_norm();
+}
+}  // namespace
+
+std::optional<std::vector<Norm>> shared_norms(
+    const std::vector<DetectorFactory>& factories) {
+  std::vector<Norm> norms;
+  for (const DetectorFactory& factory : factories) {
+    const std::optional<Norm> norm = shared_norms_probe(factory);
+    if (!norm) return std::nullopt;  // needs the full residue vector
+    if (std::find(norms.begin(), norms.end(), *norm) == norms.end())
+      norms.push_back(*norm);
+  }
+  return norms;
+}
+
 // ---- streaming helpers -----------------------------------------------------
 
 std::optional<std::size_t> streaming_first_alarm(
@@ -247,6 +280,62 @@ void DetectorBank::evaluate(const ResidueRecord& record,
       }
     }
   }
+}
+
+void DetectorBank::evaluate_norm_spans(
+    const std::vector<Norm>& norms, const double* const* series,
+    std::size_t steps, std::vector<std::optional<std::size_t>>& first_alarms) {
+  // Map each bank norm slot onto the caller's series table (member scratch:
+  // this runs once per recorded run, so it must not allocate).
+  slot_scratch_.resize(norms_.size());
+  std::size_t* slot_of = slot_scratch_.data();
+  for (std::size_t s = 0; s < norms_.size(); ++s) {
+    const auto it = std::find(norms.begin(), norms.end(), norms_[s]);
+    require(it != norms.end(),
+            "DetectorBank: norm-only record lacks a norm this bank needs");
+    slot_of[s] = static_cast<std::size_t>(it - norms.begin());
+  }
+  first_alarms.assign(entries_.size(), std::nullopt);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    require(entry.norm_slot >= 0,
+            "DetectorBank: full-residue detector cannot ride a norm-only record");
+    entry.detector->reset();
+    const double* span =
+        series[slot_of[static_cast<std::size_t>(entry.norm_slot)]];
+    for (std::size_t k = 0; k < steps; ++k)
+      if (entry.detector->step_norm(span[k])) {
+        first_alarms[i] = k;
+        break;
+      }
+  }
+}
+
+void DetectorBank::evaluate_norms(
+    const std::vector<Norm>& norms, const std::vector<std::vector<double>>& series,
+    std::vector<std::optional<std::size_t>>& first_alarms) {
+  require(series.size() == norms.size(),
+          "DetectorBank: norm series / norm list arity mismatch");
+  span_scratch_.resize(series.size());
+  std::size_t steps = 0;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    span_scratch_[s] = series[s].data();
+    steps = series[s].size();
+    require(series[s].size() == series.front().size(),
+            "DetectorBank: ragged norm series");
+  }
+  evaluate_norm_spans(norms, span_scratch_.data(), steps, first_alarms);
+}
+
+void DetectorBank::evaluate_norms(
+    const std::vector<Norm>& norms, const NormRecord& record,
+    std::vector<std::optional<std::size_t>>& first_alarms) {
+  require(record.kinds() == norms.size(),
+          "DetectorBank: norm record / norm list arity mismatch");
+  span_scratch_.resize(record.kinds());
+  for (std::size_t s = 0; s < record.kinds(); ++s)
+    span_scratch_[s] = record.series(s);
+  evaluate_norm_spans(norms, span_scratch_.data(), record.steps(), first_alarms);
 }
 
 }  // namespace cpsguard::detect

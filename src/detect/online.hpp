@@ -230,6 +230,41 @@ class ResidueRecord {
   std::size_t dim_ = 0;
 };
 
+/// One run's residual-norm series under a fixed list of norm kinds, flat
+/// [kind][step] storage — the record of a norm-only simulation.  Next to
+/// ResidueRecord's O(steps × dim) this keeps O(steps) per norm kind, which
+/// is what lets record-once/judge-many campaigns scale to long horizons.
+/// The norm kinds themselves are carried by the owner (they are shared by
+/// every run of a batch).
+class NormRecord {
+ public:
+  /// Copies the series (one per norm kind, all of equal length) into one
+  /// flat allocation.
+  void assign(const std::vector<std::vector<double>>& series);
+
+  std::size_t steps() const { return steps_; }
+  std::size_t kinds() const { return kinds_; }
+  bool empty() const { return steps_ == 0; }
+  /// The series of norm kind `slot`, steps() entries.
+  const double* series(std::size_t slot) const {
+    return data_.data() + slot * steps_;
+  }
+
+ private:
+  std::vector<double> data_;
+  std::size_t steps_ = 0;
+  std::size_t kinds_ = 0;
+};
+
+/// The norm-only capability query: when every detector the factories
+/// produce consumes only a shared residual norm (shared_norm() set), the
+/// distinct norms of the bank in first-use order; nullopt as soon as any
+/// detector needs full residues.  Each factory is instantiated once — the
+/// currency protocols use to decide whether their simulate phase may
+/// record norm series instead of residue traces.
+std::optional<std::vector<control::Norm>> shared_norms(
+    const std::vector<DetectorFactory>& factories);
+
 /// First alarming instant when `trace` (its residues) is streamed through
 /// `det` from a fresh reset; nullopt when silent.
 std::optional<std::size_t> streaming_first_alarm(OnlineDetector& det,
@@ -260,16 +295,36 @@ class DetectorBank {
                 std::vector<std::optional<std::size_t>>& first_alarms) {
     evaluate(trace.z, first_alarms);
   }
+  /// Streams one norm-only-recorded run: series[s] holds the residual-norm
+  /// series of `norms[s]` (all of `steps` entries).  Every bank entry must
+  /// consume one of those norms — full-residue detectors cannot ride a
+  /// norm-only record, and a missing norm kind throws util::InvalidArgument.
+  void evaluate_norms(const std::vector<control::Norm>& norms,
+                      const std::vector<std::vector<double>>& series,
+                      std::vector<std::optional<std::size_t>>& first_alarms);
+  /// Same over the flat record produced by a norm-only phase 1.
+  void evaluate_norms(const std::vector<control::Norm>& norms,
+                      const NormRecord& record,
+                      std::vector<std::optional<std::size_t>>& first_alarms);
 
  private:
   struct Entry {
     std::unique_ptr<OnlineDetector> detector;
     std::ptrdiff_t norm_slot;  // index into norms_, -1 = full residue
   };
+
+  /// Shared body of the norm-only overloads: series[s] = the span of
+  /// norms[s], `steps` entries each.
+  void evaluate_norm_spans(const std::vector<control::Norm>& norms,
+                           const double* const* series, std::size_t steps,
+                           std::vector<std::optional<std::size_t>>& first_alarms);
+
   std::vector<Entry> entries_;
   std::vector<control::Norm> norms_;               // distinct shared norms
   std::vector<std::vector<double>> norm_series_;  // reused per run
   linalg::Vector scratch_;  // row view for full-residue detectors
+  std::vector<const double*> span_scratch_;  // norm-only span table, reused
+  std::vector<std::size_t> slot_scratch_;    // norm-slot mapping, reused
 };
 
 }  // namespace cpsguard::detect

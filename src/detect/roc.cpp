@@ -195,6 +195,59 @@ RocWorkload make_workload(const control::ClosedLoop& loop,
   return workload;
 }
 
+RocResidues make_workload_norms(const control::ClosedLoop& loop,
+                                const monitor::MonitorSet& monitors,
+                                const WorkloadSetup& setup, control::Norm norm) {
+  require(monitors.empty(),
+          "make_workload_norms: benign filtering needs measurements; use "
+          "make_workload when the monitor set is non-empty");
+  require(setup.num_runs > 0, "make_workload_norms: need benign runs");
+
+  const std::size_t horizon = setup.horizon;
+  const sim::BatchRunner runner(setup.threads);
+  RocResidues out;
+  out.norm = norm;
+  out.benign.resize(setup.num_runs);
+  out.attacked.resize(setup.attacks.size());
+
+  // Benign side: with no monitors every draw is accepted, so the kept runs
+  // are exactly substreams 0..num_runs-1 — the set make_workload's
+  // index-ordered acceptance keeps.  run_noise_norm_batch also records the
+  // run / dispatch / norm-only counters.
+  const std::vector<control::Norm> norms{norm};
+  sim::run_noise_norm_batch(
+      runner, loop, setup.num_runs, horizon, setup.noise_bounds, setup.seed,
+      /*index_offset=*/0, norms,
+      [&](std::size_t run, std::size_t /*slot*/,
+          const std::vector<std::vector<double>>& series) {
+        out.benign[run] = series[0];
+      });
+
+  // Attacked side: one substream per attack, indexed past make_workload's
+  // benign attempt cap (20x oversampling) so the draws can never overlap
+  // the benign ones — the same offset rule make_workload uses.
+  const std::size_t attack_offset = setup.num_runs * 20;
+  sim::stats::add_simulated_runs(setup.attacks.size());
+  sim::stats::add_dispatch_runs(loop.step_kernel().fixed(), setup.attacks.size());
+  sim::stats::add_norm_only_runs(setup.attacks.size());
+  std::vector<sim::RunScratch> scratch(runner.threads());
+  runner.for_each(setup.attacks.size(), [&](std::size_t j, std::size_t slot) {
+    sim::RunScratch& s = scratch[slot];
+    if (setup.noisy_attacks) {
+      util::Rng rng = util::Rng::substream(setup.seed, attack_offset + j);
+      control::bounded_uniform_signal_into(rng, horizon, setup.noise_bounds,
+                                           s.noise);
+      loop.simulate_norms_into(s.workspace, horizon, norms, s.norms,
+                               &setup.attacks[j], nullptr, &s.noise);
+    } else {
+      loop.simulate_norms_into(s.workspace, horizon, norms, s.norms,
+                               &setup.attacks[j]);
+    }
+    out.attacked[j] = s.norms[0];
+  });
+  return out;
+}
+
 RocWorkload make_workload(const control::ClosedLoop& loop,
                           const monitor::MonitorSet& monitors,
                           std::size_t benign_runs, std::size_t horizon,

@@ -105,6 +105,19 @@ RocWorkload make_workload(const control::ClosedLoop& loop,
                           const monitor::MonitorSet& monitors,
                           const WorkloadSetup& setup);
 
+/// Norm-only phase 1: simulates make_workload's benign draws and attack
+/// replays straight into residual-norm series under `norm`, materializing
+/// no trace — the result equals RocResidues::compute(make_workload(...),
+/// norm) for an EMPTY monitor set bit-identically (same RNG substreams:
+/// benign draw i rides substream(seed, i), attacked run j rides
+/// substream(seed, 20·num_runs + j)).  Monitors read measurements, so a
+/// non-empty monitor set throws util::InvalidArgument; callers gate on
+/// monitors.empty() plus sim::norm_only_enabled() and fall back to
+/// make_workload otherwise.
+RocResidues make_workload_norms(const control::ClosedLoop& loop,
+                                const monitor::MonitorSet& monitors,
+                                const WorkloadSetup& setup, control::Norm norm);
+
 /// Positional convenience wrapper over the WorkloadSetup overload.
 RocWorkload make_workload(const control::ClosedLoop& loop,
                           const monitor::MonitorSet& monitors,

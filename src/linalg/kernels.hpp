@@ -16,7 +16,9 @@
 // these kernels, so both paths compute bit-identical results.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 
 #include "linalg/matrix.hpp"
@@ -28,24 +30,60 @@ namespace kernels {
 
 // The raw kernels are defined inline: simulation dimensions are tiny
 // (n, m <= ~20), so at -O2 inlining beats any call into a library body.
+//
+// Non-aliasing contract: unless a kernel's comment explicitly allows it
+// ("out may alias..."), no output span may overlap any input span — the
+// loops read inputs after writing earlier output entries.  The contract is
+// asserted per kernel below (CPSG_KERNEL_ASSERT_NOALIAS, compiled only
+// with assertions enabled) and enforced with thrown errors at the checked
+// *_into wrappers.
+
+#ifdef NDEBUG
+#define CPSG_KERNEL_ASSERT_NOALIAS(out, out_len, in, in_len) ((void)0)
+#else
+// Integer comparison (not raw pointer <) so spans from unrelated arrays
+// stay well-defined to compare.
+#define CPSG_KERNEL_ASSERT_NOALIAS(out, out_len, in, in_len)                 \
+  assert((reinterpret_cast<std::uintptr_t>((out) + (out_len)) <=             \
+              reinterpret_cast<std::uintptr_t>(in) ||                        \
+          reinterpret_cast<std::uintptr_t>((in) + (in_len)) <=               \
+              reinterpret_cast<std::uintptr_t>(out)) &&                      \
+         "kernel spans must not overlap")
+#endif
 
 /// y = alpha * A x + beta * y with A row-major (rows x cols).  Each output
 /// entry is formed as beta * y[r] + alpha * (row dot x), so beta = 0 fully
-/// overwrites y and beta = 1 accumulates.  x and y must not alias.
+/// overwrites y and beta = 1 accumulates.  y must alias neither A nor x.
+/// The beta == 0 test is hoisted out of the row loop (two loop bodies);
+/// both bodies write exactly the value the unhoisted expression produced —
+/// including the `0.0 +` term of the beta = 0 case, which rounds a -0.0
+/// accumulator to +0.0 — so the hoist is bit-identical.
 inline void gemv(double alpha, const double* a, std::size_t rows,
                  std::size_t cols, const double* x, double beta,
                  double* y) noexcept {
-  for (std::size_t r = 0; r < rows; ++r) {
-    const double* row = a + r * cols;
-    double acc = 0.0;
-    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
-    y[r] = (beta == 0.0 ? 0.0 : beta * y[r]) + alpha * acc;
+  CPSG_KERNEL_ASSERT_NOALIAS(y, rows, a, rows * cols);
+  CPSG_KERNEL_ASSERT_NOALIAS(y, rows, x, cols);
+  if (beta == 0.0) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* row = a + r * cols;
+      double acc = 0.0;
+      for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+      y[r] = 0.0 + alpha * acc;
+    }
+  } else {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* row = a + r * cols;
+      double acc = 0.0;
+      for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+      y[r] = beta * y[r] + alpha * acc;
+    }
   }
 }
 
-/// y += alpha * x (n entries).
+/// y += alpha * x (n entries).  x and y must not overlap.
 inline void axpy(std::size_t n, double alpha, const double* x,
                  double* y) noexcept {
+  CPSG_KERNEL_ASSERT_NOALIAS(y, n, x, n);
   for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
@@ -75,6 +113,8 @@ inline void fill(std::size_t n, double value, double* dst) noexcept {
 /// overwritten and must not alias A or B.
 inline void mat_mul(const double* a, std::size_t ar, std::size_t ac,
                     const double* b, std::size_t bc, double* c) noexcept {
+  CPSG_KERNEL_ASSERT_NOALIAS(c, ar * bc, a, ar * ac);
+  CPSG_KERNEL_ASSERT_NOALIAS(c, ar * bc, b, ac * bc);
   fill(ar * bc, 0.0, c);
   for (std::size_t r = 0; r < ar; ++r) {
     const double* arow = a + r * ac;
@@ -91,12 +131,14 @@ inline void mat_mul(const double* a, std::size_t ar, std::size_t ac,
 /// out = A^T with A (rows x cols) row-major.  out must not alias A.
 inline void transpose(const double* a, std::size_t rows, std::size_t cols,
                       double* out) noexcept {
+  CPSG_KERNEL_ASSERT_NOALIAS(out, rows * cols, a, rows * cols);
   for (std::size_t r = 0; r < rows; ++r)
     for (std::size_t c = 0; c < cols; ++c) out[c * rows + r] = a[r * cols + c];
 }
 
-/// dst = src (n entries).
+/// dst = src (n entries).  src and dst must not overlap (memcpy contract).
 inline void copy(std::size_t n, const double* src, double* dst) noexcept {
+  CPSG_KERNEL_ASSERT_NOALIAS(dst, n, src, n);
   if (n) std::memcpy(dst, src, n * sizeof(double));
 }
 

@@ -1,0 +1,242 @@
+#include "linalg/step_kernel.hpp"
+
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace cpsguard::linalg {
+
+namespace {
+
+using util::require;
+
+// ---------------------------------------------------------------------------
+// Dimension policies.  FixedDims returns compile-time constants, so after
+// inlining every loop below has a constant trip count and the optimizer
+// fully unrolls it; DynamicDims carries runtime values.  Both drive the SAME
+// templated bodies, which is what makes fixed-vs-generic bit-identity hold
+// by construction.
+// ---------------------------------------------------------------------------
+
+template <std::size_t N, std::size_t M, std::size_t P>
+struct FixedDims {
+  static constexpr std::size_t n() { return N; }
+  static constexpr std::size_t m() { return M; }
+  static constexpr std::size_t p() { return P; }
+};
+
+struct DynamicDims {
+  std::size_t n_, m_, p_;
+  std::size_t n() const { return n_; }
+  std::size_t m() const { return m_; }
+  std::size_t p() const { return p_; }
+};
+
+/// Row-vector dot product with the exact accumulation order of
+/// kernels::gemv (acc starts at 0.0, adds row[c] * v[c] in column order).
+inline double dot(const double* row, const double* v, std::size_t count) {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < count; ++c) acc += row[c] * v[c];
+  return acc;
+}
+
+/// Dot product over an elementwise difference, dot(row, a - b) with the
+/// difference formed term by term (condensed mode only).
+inline double dot_diff(const double* row, const double* a, const double* b,
+                       std::size_t count) {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < count; ++c) acc += row[c] * (a[c] - b[c]);
+  return acc;
+}
+
+/// Rounds a double count up to a multiple of 8 (64 bytes), so every section
+/// of the packed block starts cache-line-aligned relative to the base.
+inline std::size_t pad8(std::size_t doubles) { return (doubles + 7) & ~std::size_t{7}; }
+
+template <class Dims>
+class StepKernelImpl final : public StepKernel {
+ public:
+  StepKernelImpl(const StepKernelConfig& cfg, Dims dims, bool fixed,
+                 bool condensed)
+      : StepKernel(dims.n(), dims.m(), dims.p(), fixed, condensed), dims_(dims) {
+    const std::size_t n = dims_.n(), m = dims_.m(), p = dims_.p();
+    // One contiguous block, every section aligned to a 64-byte boundary
+    // relative to the base.  Section padding is storage-only: the loops
+    // below always iterate exact dimensions, so the pad lanes are never
+    // read and cannot perturb any result.
+    const std::size_t offsets[] = {
+        pad8(n * n),  // a
+        pad8(n * p),  // b
+        pad8(m * n),  // c
+        pad8(m * p),  // d
+        pad8(n * m),  // l
+        pad8(p * n),  // k
+        pad8(n),      // x_ss
+        pad8(p),      // u_ss / cu
+        pad8(n),      // x1
+        pad8(n),      // xhat1
+        pad8(p),      // u1
+        pad8(p),      // cu (condensed input offset)
+    };
+    std::size_t total = 0;
+    for (const std::size_t sz : offsets) total += sz;
+    block_.assign(total, 0.0);
+    double* base = block_.data();
+    const auto take = [&](std::size_t index) {
+      double* out = base;
+      base += offsets[index];
+      return out;
+    };
+    a_ = copy_into(take(0), cfg.a, n * n);
+    b_ = copy_into(take(1), cfg.b, n * p);
+    c_ = copy_into(take(2), cfg.c, m * n);
+    d_ = copy_into(take(3), cfg.d, m * p);
+    l_ = copy_into(take(4), cfg.l, n * m);
+    k_ = copy_into(take(5), cfg.k, p * n);
+    x_ss_ = copy_into(take(6), cfg.x_ss, n);
+    u_ss_ = copy_into(take(7), cfg.u_ss, p);
+    x1_ = copy_into(take(8), cfg.x1, n);
+    xhat1_ = copy_into(take(9), cfg.xhat1, n);
+    u1_ = copy_into(take(10), cfg.u1, p);
+    // cu = u_ss + K x_ss: the condensed mode's folded input offset.
+    double* cu = take(11);
+    for (std::size_t r = 0; r < p; ++r)
+      cu[r] = u_ss_[r] + dot(k_ + r * n, x_ss_, n);
+    cu_ = cu;
+  }
+
+  void begin_run(StepState& s) const override {
+    const std::size_t n = dims_.n(), m = dims_.m(), p = dims_.p();
+    const std::size_t need = 4 * n + p + m;
+    if (s.buf.size() != need) s.buf.assign(need, 0.0);
+    double* base = s.buf.data();
+    s.x = base;
+    s.xhat = base + n;
+    s.xn = base + 2 * n;
+    s.xhatn = base + 3 * n;
+    s.u = base + 4 * n;
+    s.z = base + 4 * n + p;
+    for (std::size_t i = 0; i < n; ++i) s.x[i] = x1_[i];
+    for (std::size_t i = 0; i < n; ++i) s.xhat[i] = xhat1_[i];
+    for (std::size_t i = 0; i < p; ++i) s.u[i] = u1_[i];
+  }
+
+  void step(StepState& s, const double* attack, const double* process_noise,
+            const double* measurement_noise, double* y_out,
+            double* z_out) const override {
+    const std::size_t n = dims_.n(), m = dims_.m(), p = dims_.p();
+    double* z = z_out ? z_out : s.z;
+
+    if (!condensed()) {
+      // Exact mode.  Each scalar below reproduces, in order, exactly the
+      // operations the unfused gemv/axpy/sub chain performed on it; rows
+      // are independent, so fusing per row changes nothing bitwise.
+      //   y_r  = (0.0 + C_r·x) + D_r·u (+ a_r) (+ v_r)
+      //   ŷ_r  = (0.0 + C_r·x̂) + D_r·u;   z_r = y_r - ŷ_r
+      for (std::size_t r = 0; r < m; ++r) {
+        double yr = 0.0 + dot(c_ + r * n, s.x, n);
+        yr = yr + dot(d_ + r * p, s.u, p);
+        if (attack) yr += attack[r];
+        if (measurement_noise) yr += measurement_noise[r];
+        double yh = 0.0 + dot(c_ + r * n, s.xhat, n);
+        yh = yh + dot(d_ + r * p, s.u, p);
+        z[r] = yr - yh;
+        if (y_out) y_out[r] = yr;
+      }
+    } else {
+      // Condensed mode: z = C (x - x̂) + a + v (the D u terms cancel).
+      // Reassociated — within tolerance of exact, never bit-identical.
+      for (std::size_t r = 0; r < m; ++r) {
+        double zr = dot_diff(c_ + r * n, s.x, s.xhat, n);
+        if (attack) zr += attack[r];
+        if (measurement_noise) zr += measurement_noise[r];
+        z[r] = zr;
+      }
+      if (y_out) {
+        for (std::size_t r = 0; r < m; ++r) {
+          double yr = dot(c_ + r * n, s.x, n) + dot(d_ + r * p, s.u, p);
+          if (attack) yr += attack[r];
+          if (measurement_noise) yr += measurement_noise[r];
+          y_out[r] = yr;
+        }
+      }
+    }
+
+    // x_{k+1} = (0.0 + A_r·x) + B_r·u (+ w_r);  x̂_{k+1} adds L_r·z.  Both
+    // read only pre-update state and z, so the row fusion is exact.
+    for (std::size_t r = 0; r < n; ++r) {
+      double xr = 0.0 + dot(a_ + r * n, s.x, n);
+      xr = xr + dot(b_ + r * p, s.u, p);
+      if (process_noise) xr += process_noise[r];
+      s.xn[r] = xr;
+      double xh = 0.0 + dot(a_ + r * n, s.xhat, n);
+      xh = xh + dot(b_ + r * p, s.u, p);
+      xh = xh + dot(l_ + r * m, z, m);
+      s.xhatn[r] = xh;
+    }
+    std::swap(s.x, s.xn);
+    std::swap(s.xhat, s.xhatn);
+
+    // u_{k+1} = u_ss - K (x̂_{k+1} - x_ss).  Exact mode forms the deviation
+    // term by term inside the dot (identical values, identical order to the
+    // sub_into + gemv_into + sub_into chain); condensed uses the folded
+    // offset cu = u_ss + K x_ss.
+    if (!condensed()) {
+      for (std::size_t r = 0; r < p; ++r)
+        s.u[r] = u_ss_[r] - (0.0 + dot_diff(k_ + r * n, s.xhat, x_ss_, n));
+    } else {
+      for (std::size_t r = 0; r < p; ++r)
+        s.u[r] = cu_[r] - dot(k_ + r * n, s.xhat, n);
+    }
+  }
+
+ private:
+  static const double* copy_into(double* dst, const double* src,
+                                 std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) dst[i] = src[i];
+    return dst;
+  }
+
+  Dims dims_;
+  std::vector<double> block_;
+  const double *a_, *b_, *c_, *d_, *l_, *k_;
+  const double *x_ss_, *u_ss_, *x1_, *xhat1_, *u1_, *cu_;
+};
+
+void validate(const StepKernelConfig& cfg) {
+  require(cfg.n > 0 && cfg.m > 0 && cfg.p > 0,
+          "make_step_kernel: dimensions must be positive");
+  require(cfg.a && cfg.b && cfg.c && cfg.d && cfg.l && cfg.k && cfg.x_ss &&
+              cfg.u_ss && cfg.x1 && cfg.xhat1 && cfg.u1,
+          "make_step_kernel: null matrix/vector pointer");
+}
+
+}  // namespace
+
+std::unique_ptr<const StepKernel> make_step_kernel(
+    const StepKernelConfig& cfg, const StepKernelOptions& options) {
+  validate(cfg);
+  if (options.allow_fixed) {
+    // Dispatch table over the registered dimension signatures; one branch
+    // chain evaluated once per ClosedLoop construction.
+#define CPSG_STEP_KERNEL_DISPATCH(N, M, P)                                 \
+  if (cfg.n == N && cfg.m == M && cfg.p == P)                              \
+    return std::make_unique<StepKernelImpl<FixedDims<N, M, P>>>(           \
+        cfg, FixedDims<N, M, P>{}, /*fixed=*/true, options.condensed);
+    CPSG_STEP_KERNEL_FIXED_DIMS(CPSG_STEP_KERNEL_DISPATCH)
+#undef CPSG_STEP_KERNEL_DISPATCH
+  }
+  return std::make_unique<StepKernelImpl<DynamicDims>>(
+      cfg, DynamicDims{cfg.n, cfg.m, cfg.p}, /*fixed=*/false,
+      options.condensed);
+}
+
+std::vector<std::array<std::size_t, 3>> fixed_step_kernel_dims() {
+  std::vector<std::array<std::size_t, 3>> out;
+#define CPSG_STEP_KERNEL_LIST(N, M, P) out.push_back({N, M, P});
+  CPSG_STEP_KERNEL_FIXED_DIMS(CPSG_STEP_KERNEL_LIST)
+#undef CPSG_STEP_KERNEL_LIST
+  return out;
+}
+
+}  // namespace cpsguard::linalg

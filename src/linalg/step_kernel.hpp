@@ -1,0 +1,159 @@
+// step_kernel.hpp — fused, optionally compile-time-specialized kernels that
+// advance one closed-loop sampling instant.
+//
+// Every Monte-Carlo experiment in the library bottoms out in the same inner
+// loop: advance a tiny LTI closed loop (n, m, p <= ~20, typically n <= 6)
+// one instant at a time.  PR 1 removed the allocations from that loop; what
+// remained was per-call dimension plumbing and memory traffic across ~7
+// separate gemv/axpy invocations per step.  A StepKernel executes the whole
+// instant — measurement, residue, plant update, Kalman correction, LQR
+// input — as ONE fused pass over matrices packed once into a contiguous,
+// alignment-padded block:
+//
+//  * FixedStepKernel<N, M, P> (internally StepKernelImpl<FixedDims<...>>)
+//    bakes the dimensions into the type, so the compiler fully unrolls the
+//    dot products and keeps the whole state in registers.  The factory
+//    instantiates it for the dimension signatures of the registered case
+//    studies (see CPSG_STEP_KERNEL_FIXED_DIMS below).
+//  * The generic kernel shares the same templated body with runtime
+//    dimensions, so ANY model keeps working and both dispatches compute
+//    bit-identical results by construction.
+//
+// Bit-identity contract: in the default (exact) mode the fused body
+// performs, per output scalar, exactly the operation sequence of the PR-1
+// chain of kernels::gemv / axpy / sub calls — fusion removes memory traffic
+// and dispatch, never reassociates floating point.  Simulation reports are
+// therefore bit-identical to the unfused path (pinned by
+// tests/step_kernel_test.cpp against a reference implementation).
+//
+// The opt-in `condensed` mode DOES reassociate: it folds the operating
+// point into a precomputed input offset (u = (u_ss + K x_ss) - K x̂) and
+// computes the residue directly as z = C (x - x̂) + a + v (the D u terms of
+// y and ŷ cancel).  It agrees with the exact mode only within tolerance and
+// is never selected by default.
+//
+// Kernels are immutable after construction (they own copies of the packed
+// matrices) and therefore shareable across threads; all per-run mutable
+// state lives in a caller-owned StepState, one per worker.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace cpsguard::linalg {
+
+/// Raw row-major views of one closed loop's update matrices and initial
+/// conditions.  Only read during kernel construction (the kernel copies
+/// everything into its own packed block), so the pointers may go away
+/// afterwards.
+struct StepKernelConfig {
+  std::size_t n = 0;  ///< states
+  std::size_t m = 0;  ///< outputs
+  std::size_t p = 0;  ///< inputs
+  const double* a = nullptr;      ///< n x n
+  const double* b = nullptr;      ///< n x p
+  const double* c = nullptr;      ///< m x n
+  const double* d = nullptr;      ///< m x p
+  const double* l = nullptr;      ///< Kalman gain, n x m
+  const double* k = nullptr;      ///< feedback gain, p x n
+  const double* x_ss = nullptr;   ///< operating point state, n
+  const double* u_ss = nullptr;   ///< operating point input, p
+  const double* x1 = nullptr;     ///< initial plant state, n
+  const double* xhat1 = nullptr;  ///< initial estimate, n
+  const double* u1 = nullptr;     ///< initial input, p
+};
+
+struct StepKernelOptions {
+  /// Fold the operating point and compute z = C (x - x̂) + a + v directly.
+  /// Faster, but floating-point-reassociated: agrees with the exact mode
+  /// within tolerance only.  Never the default.
+  bool condensed = false;
+  /// Allow dispatch to a fixed-dimension specialization when (n, m, p)
+  /// matches a registered signature; false forces the generic kernel
+  /// (tests and benchmarks pin fixed-vs-generic bit-identity through this).
+  bool allow_fixed = true;
+};
+
+/// Per-run mutable state of a step kernel: current x / x̂ / u, the
+/// double-buffered next-state accumulators and a residue scratch row.  One
+/// flat allocation, owned by the caller (one instance per worker thread)
+/// and reshaped by StepKernel::begin_run; contents carry no information
+/// between runs.
+struct StepState {
+  std::vector<double> buf;
+  double* x = nullptr;      ///< current plant state (n)
+  double* xhat = nullptr;   ///< current estimate (n)
+  double* u = nullptr;      ///< current input (p)
+  double* xn = nullptr;     ///< next-state accumulator (n)
+  double* xhatn = nullptr;  ///< next-estimate accumulator (n)
+  double* z = nullptr;      ///< residue scratch used when step() gets no z_out (m)
+};
+
+/// One fused closed-loop sampling instant (paper Algorithm 1, lines 4-8):
+///   y_k     = C x_k + D u_k + a_k + v_k
+///   ŷ_k     = C x̂_k + D u_k,   z_k = y_k - ŷ_k
+///   x_{k+1} = A x_k + B u_k + w_k
+///   x̂_{k+1} = A x̂_k + B u_k + L z_k
+///   u_{k+1} = u_ss - K (x̂_{k+1} - x_ss)
+class StepKernel {
+ public:
+  virtual ~StepKernel() = default;
+
+  std::size_t num_states() const { return n_; }
+  std::size_t num_outputs() const { return m_; }
+  std::size_t num_inputs() const { return p_; }
+  /// True when this is a compile-time-specialized (fixed-dimension) kernel.
+  bool fixed() const { return fixed_; }
+  bool condensed() const { return condensed_; }
+
+  /// Shapes `state` for this kernel's dimensions and loads the initial
+  /// conditions x1 / x̂1 / u1.  Reuses the state's buffer across runs.
+  virtual void begin_run(StepState& state) const = 0;
+
+  /// Advances one sampling instant.  `attack` and `measurement_noise` are
+  /// m-vectors, `process_noise` an n-vector; null means zero.  The residue
+  /// z_k is written to `z_out` (m entries) when given, else to state.z;
+  /// y_k is written to `y_out` when given and not computed otherwise in
+  /// condensed mode.  None of the pointers may alias the state buffers.
+  virtual void step(StepState& state, const double* attack,
+                    const double* process_noise, const double* measurement_noise,
+                    double* y_out, double* z_out) const = 0;
+
+ protected:
+  StepKernel(std::size_t n, std::size_t m, std::size_t p, bool fixed,
+             bool condensed)
+      : n_(n), m_(m), p_(p), fixed_(fixed), condensed_(condensed) {}
+
+ private:
+  std::size_t n_, m_, p_;
+  bool fixed_;
+  bool condensed_;
+};
+
+/// Builds the kernel for one loop: a fixed-dimension specialization when
+/// (n, m, p) matches a registered signature (and options allow it), the
+/// generic dynamic-dimension kernel otherwise.  Throws util::InvalidArgument
+/// on inconsistent dimensions or null matrix pointers.
+std::unique_ptr<const StepKernel> make_step_kernel(
+    const StepKernelConfig& config, const StepKernelOptions& options = {});
+
+/// The dimension signatures the factory specializes for — the (n, m, p) of
+/// the registered case studies:
+///   (2,1,1) quickstart / dc-motor / trajectory    (2,2,1) VSC
+///   (3,1,1) aircraft pitch / load-frequency       (4,2,1) suspension
+///   (4,2,2) quadruple tank
+/// Kept as an X-macro so the factory and the bit-identity tests enumerate
+/// exactly the same table.
+#define CPSG_STEP_KERNEL_FIXED_DIMS(X) \
+  X(2, 1, 1)                           \
+  X(2, 2, 1)                           \
+  X(3, 1, 1)                           \
+  X(4, 2, 1)                           \
+  X(4, 2, 2)
+
+/// The table above as data, for tests that iterate it.
+std::vector<std::array<std::size_t, 3>> fixed_step_kernel_dims();
+
+}  // namespace cpsguard::linalg

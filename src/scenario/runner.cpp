@@ -16,6 +16,7 @@
 #include "detect/online.hpp"
 #include "detect/roc.hpp"
 #include "sim/batch.hpp"
+#include "sim/config.hpp"
 #include "solver/lp_backend.hpp"
 #include "solver/problem.hpp"
 #include "solver/z3_backend.hpp"
@@ -75,9 +76,17 @@ class Context {
  public:
   /// `shared` marks a context serving a multi-cell group: protocols then
   /// prefer the record-once phase-1 artifacts over streaming one-shots.
-  explicit Context(ScenarioSpec spec, bool shared = false)
+  /// `norm_only_capable` says every cell served by this context evaluates
+  /// only norm-streaming detectors (run_group computes it from the specs'
+  /// detector kinds), so the phase-1 artifacts may record residual-norm
+  /// series instead of traces — the protocols below still intersect that
+  /// with their own eligibility (no pfc filter / empty monitor set /
+  /// sim::norm_only_enabled()) before switching.
+  explicit Context(ScenarioSpec spec, bool shared = false,
+                   bool norm_only_capable = false)
       : spec_(std::move(spec)),
         shared_(shared),
+        norm_only_capable_(norm_only_capable),
         horizon_(spec_.effective_horizon()),
         noise_bounds_(spec_.effective_noise_bounds()),
         runs_(spec_.effective_runs()),
@@ -168,9 +177,15 @@ class Context {
   }
 
   /// Phase 1 of the FAR protocol: the noise batch with per-run verdicts
-  /// and recorded residues, simulated once per group.
+  /// and recorded residues — or, when every cell's detectors stream the
+  /// study norm and the protocol is eligible, just the norm series —
+  /// simulated once per group.
   const detect::FarSimulation& far_simulation() {
-    if (!far_simulation_) far_simulation_.emplace(loop_, spec_.study.mdc, far_setup());
+    if (!far_simulation_) {
+      const std::vector<control::Norm> norms{spec_.study.norm};
+      far_simulation_.emplace(loop_, spec_.study.mdc, far_setup(),
+                              norm_only_capable_ ? &norms : nullptr);
+    }
     return *far_simulation_;
   }
 
@@ -205,8 +220,12 @@ class Context {
   /// norms — built once per group.
   struct RocShared {
     std::optional<bool> smt_found;  ///< set when include_smt_attack
+    /// Recorded traces; stays empty on the norm-only path (only the
+    /// residue norms below are ever evaluated).
     detect::RocWorkload workload;
     detect::RocResidues residues;
+    std::size_t benign_runs = 0;
+    std::size_t attacked_runs = 0;
   };
   const RocShared& roc_shared() {
     if (roc_shared_) return *roc_shared_;
@@ -246,9 +265,23 @@ class Context {
     workload_setup.seed = seed();
     workload_setup.threads = threads();
     workload_setup.attacks = std::move(attacked);
-    shared.workload = detect::make_workload(loop_, spec_.study.mdc, workload_setup);
-    shared.residues =
-        detect::RocResidues::compute(shared.workload, spec_.study.norm);
+    // ROC cells only ever evaluate threshold rules over ||z_k||, so with no
+    // monitors to filter benign draws the workload records norm series
+    // directly — bit-identical residue norms, no traces materialized.
+    if (norm_only_capable_ && spec_.study.mdc.empty() &&
+        sim::norm_only_enabled()) {
+      shared.residues = detect::make_workload_norms(
+          loop_, spec_.study.mdc, workload_setup, spec_.study.norm);
+      shared.benign_runs = shared.residues.benign.size();
+      shared.attacked_runs = shared.residues.attacked.size();
+    } else {
+      shared.workload =
+          detect::make_workload(loop_, spec_.study.mdc, workload_setup);
+      shared.residues =
+          detect::RocResidues::compute(shared.workload, spec_.study.norm);
+      shared.benign_runs = shared.workload.benign.size();
+      shared.attacked_runs = shared.workload.attacked.size();
+    }
     roc_shared_ = std::move(shared);
     return *roc_shared_;
   }
@@ -256,6 +289,7 @@ class Context {
  private:
   ScenarioSpec spec_;
   bool shared_;
+  bool norm_only_capable_;
   std::size_t horizon_;
   linalg::Vector noise_bounds_;
   std::size_t runs_;
@@ -534,9 +568,8 @@ void run_roc(Context& ctx, const ScenarioSpec& cell, Report& report) {
   const Context::RocShared& shared = ctx.roc_shared();
   if (shared.smt_found.has_value())
     report.add_summary("smt_attack_found", *shared.smt_found);
-  report.add_summary("benign_runs", std::uint64_t{shared.workload.benign.size()});
-  report.add_summary("attacked_runs",
-                     std::uint64_t{shared.workload.attacked.size()});
+  report.add_summary("benign_runs", std::uint64_t{shared.benign_runs});
+  report.add_summary("attacked_runs", std::uint64_t{shared.attacked_runs});
 
   detect::RocOptions options;
   options.scales = cell.roc.scales.empty() ? detect::log_scales(0.25, 8.0, 13)
@@ -814,12 +847,38 @@ std::vector<Report> ExperimentRunner::run_group(
     for (const ScenarioSpec& cell : resolved)
       require_same_simulation(resolved.front(), cell);
 
+  // Norm-only capability of the whole group: the shared phase-1 record may
+  // drop full traces only when EVERY cell's detector bank streams residual
+  // norms.  FAR candidates come straight from the detector specs (chi²
+  // needs the residue vector); ROC cells are threshold-rule-only by
+  // construction and noise floors consume nothing but ||z_k||, so those
+  // protocols are capable on the detector axis by definition.  The
+  // protocols themselves still intersect this with pfc/monitor/toggle
+  // eligibility.
+  bool norm_only_capable = false;
+  switch (resolved.front().protocol) {
+    case Protocol::kFar:
+      norm_only_capable = true;
+      for (const ScenarioSpec& cell : resolved)
+        for (const DetectorSpec& d : cell.detectors)
+          norm_only_capable = norm_only_capable && d.norm_streaming();
+      break;
+    case Protocol::kNoiseFloor:
+    case Protocol::kRoc:
+      norm_only_capable = true;
+      break;
+    default:
+      break;
+  }
+
   std::vector<Report> reports;
   reports.reserve(resolved.size());
   std::optional<Context> shared;
   for (const ScenarioSpec& cell : resolved) {
     if (groupable) {
-      if (!shared) shared.emplace(resolved.front(), /*shared=*/resolved.size() > 1);
+      if (!shared)
+        shared.emplace(resolved.front(), /*shared=*/resolved.size() > 1,
+                       norm_only_capable);
       reports.push_back(execute(*shared, cell));
     } else {
       Context ctx(cell);

@@ -46,6 +46,8 @@ bool DetectorSpec::threshold_based() const {
   return kind != Kind::kChi2 && kind != Kind::kCusum;
 }
 
+bool DetectorSpec::norm_streaming() const { return kind != Kind::kChi2; }
+
 bool DetectorSpec::synthesized() const {
   switch (kind) {
     case Kind::kSynthPivot:

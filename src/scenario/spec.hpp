@@ -68,6 +68,10 @@ struct DetectorSpec {
   /// True for kinds that reduce to a residue ThresholdVector (everything
   /// but chi2/CUSUM) — the ones ROC sweeps and codegen can consume.
   bool threshold_based() const;
+  /// True for kinds whose streaming detector consumes only the shared
+  /// residual norm (everything but chi2, which needs the residue vector) —
+  /// the detector-axis half of the norm-only simulation capability.
+  bool norm_streaming() const;
   /// True for kinds that invoke the synthesis pipeline (need a solver).
   bool synthesized() const;
 

@@ -1,0 +1,19 @@
+#include "sim/config.hpp"
+
+#include <atomic>
+
+namespace cpsguard::sim {
+
+namespace {
+std::atomic<bool> g_norm_only_enabled{true};
+}  // namespace
+
+bool norm_only_enabled() {
+  return g_norm_only_enabled.load(std::memory_order_relaxed);
+}
+
+void set_norm_only_enabled(bool enabled) {
+  g_norm_only_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace cpsguard::sim

@@ -30,4 +30,15 @@ struct MonteCarloConfig {
   std::size_t threads = 1;
 };
 
+/// Process-wide kill switch for the norm-only simulation mode (default
+/// enabled).  When a protocol is eligible — every detector in the bank
+/// consumes only a shared residual norm, no pfc filter, no monitors — its
+/// simulate phase records residual-norm series instead of full traces.
+/// Reports are bit-identical either way (pinned by tests); the switch
+/// exists so tests and benchmarks can compare the two paths.  Not
+/// thread-safe against concurrently running protocols: flip it only
+/// between experiments.
+bool norm_only_enabled();
+void set_norm_only_enabled(bool enabled);
+
 }  // namespace cpsguard::sim

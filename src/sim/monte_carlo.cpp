@@ -25,6 +25,7 @@ void run_noise_batch(
     const std::function<void(std::size_t run, std::size_t slot,
                              const control::Trace& trace)>& consume) {
   stats::add_simulated_runs(count);
+  stats::add_dispatch_runs(loop.step_kernel().fixed(), count);
   std::vector<RunScratch> scratch(runner.threads());
   runner.for_each(count, [&](std::size_t run, std::size_t slot) {
     RunScratch& s = scratch[slot];
@@ -33,6 +34,28 @@ void run_noise_batch(
     loop.simulate_into(s.trace, s.workspace, horizon, /*attack=*/nullptr,
                        /*process_noise=*/nullptr, &s.noise);
     consume(run, slot, s.trace);
+  });
+}
+
+void run_noise_norm_batch(
+    const BatchRunner& runner, const control::ClosedLoop& loop, std::size_t count,
+    std::size_t horizon, const linalg::Vector& noise_bounds, std::uint64_t seed,
+    std::uint64_t index_offset, const std::vector<control::Norm>& norms,
+    const std::function<void(std::size_t run, std::size_t slot,
+                             const std::vector<std::vector<double>>& series)>&
+        consume) {
+  stats::add_simulated_runs(count);
+  stats::add_dispatch_runs(loop.step_kernel().fixed(), count);
+  stats::add_norm_only_runs(count);
+  std::vector<RunScratch> scratch(runner.threads());
+  runner.for_each(count, [&](std::size_t run, std::size_t slot) {
+    RunScratch& s = scratch[slot];
+    util::Rng rng = util::Rng::substream(seed, index_offset + run);
+    control::bounded_uniform_signal_into(rng, horizon, noise_bounds, s.noise);
+    loop.simulate_norms_into(s.workspace, horizon, norms, s.norms,
+                             /*attack=*/nullptr, /*process_noise=*/nullptr,
+                             &s.noise);
+    consume(run, slot, s.norms);
   });
 }
 

@@ -20,6 +20,9 @@ struct RunScratch {
   control::SimWorkspace workspace;
   control::Trace trace;
   control::Signal noise;
+  /// Residual-norm series buffers of the norm-only batch (one per norm
+  /// kind, horizon entries each).
+  std::vector<std::vector<double>> norms;
 };
 
 /// Runs `count` independent measurement-noise-only simulations of `loop`
@@ -43,5 +46,19 @@ void run_noise_batch(
     std::uint64_t index_offset,
     const std::function<void(std::size_t run, std::size_t slot,
                              const control::Trace& trace)>& consume);
+
+/// Norm-only variant: identical draws and run/seed discipline, but each run
+/// materializes no trace — the kernel computes the residual norm(s) on the
+/// fly and `consume(run, slot, series)` receives series[i][k] = ||z_k||
+/// under norms[i], bit-identical to Trace::residue_norms on the run that
+/// run_noise_batch would have produced.  `series` is worker-local scratch
+/// reused by the next run: consumers must copy what they keep.
+void run_noise_norm_batch(
+    const BatchRunner& runner, const control::ClosedLoop& loop, std::size_t count,
+    std::size_t horizon, const linalg::Vector& noise_bounds, std::uint64_t seed,
+    std::uint64_t index_offset, const std::vector<control::Norm>& norms,
+    const std::function<void(std::size_t run, std::size_t slot,
+                             const std::vector<std::vector<double>>& series)>&
+        consume);
 
 }  // namespace cpsguard::sim

@@ -6,18 +6,49 @@ namespace cpsguard::sim::stats {
 
 namespace {
 std::atomic<std::uint64_t> g_simulated_runs{0};
+std::atomic<std::uint64_t> g_fixed_dispatch_runs{0};
+std::atomic<std::uint64_t> g_generic_dispatch_runs{0};
+std::atomic<std::uint64_t> g_norm_only_runs{0};
 }  // namespace
 
 std::uint64_t simulated_runs() {
   return g_simulated_runs.load(std::memory_order_relaxed);
 }
 
+std::uint64_t fixed_dispatch_runs() {
+  return g_fixed_dispatch_runs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t generic_dispatch_runs() {
+  return g_generic_dispatch_runs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t norm_only_runs() {
+  return g_norm_only_runs.load(std::memory_order_relaxed);
+}
+
 void reset_simulated_runs() {
   g_simulated_runs.store(0, std::memory_order_relaxed);
 }
 
+void reset_all_counters() {
+  g_simulated_runs.store(0, std::memory_order_relaxed);
+  g_fixed_dispatch_runs.store(0, std::memory_order_relaxed);
+  g_generic_dispatch_runs.store(0, std::memory_order_relaxed);
+  g_norm_only_runs.store(0, std::memory_order_relaxed);
+}
+
 void add_simulated_runs(std::uint64_t count) {
   g_simulated_runs.fetch_add(count, std::memory_order_relaxed);
+}
+
+void add_dispatch_runs(bool fixed_kernel, std::uint64_t count) {
+  (fixed_kernel ? g_fixed_dispatch_runs : g_generic_dispatch_runs)
+      .fetch_add(count, std::memory_order_relaxed);
+}
+
+void add_norm_only_runs(std::uint64_t count) {
+  g_norm_only_runs.fetch_add(count, std::memory_order_relaxed);
 }
 
 }  // namespace cpsguard::sim::stats

@@ -1,12 +1,15 @@
 // stats.hpp — process-wide simulation counters.
 //
-// The sweep engine's simulation groups exist to make a measurable claim:
-// cells that differ only on detector axes share one Monte-Carlo batch, so
-// a grouped campaign simulates a fraction of what an ungrouped one does.
-// These counters make the claim checkable — the batch entry points
-// (sim::run_noise_batch and detect::make_workload) record every simulated
-// run, tests assert the drop, and `cpsguard_cli sweep describe` surfaces
-// the cells / distinct-simulations ratio before a campaign runs.
+// The sweep engine's simulation groups and the norm-only/fused-kernel fast
+// paths exist to make measurable claims: grouped campaigns simulate a
+// fraction of what ungrouped ones do, registry scenarios dispatch to the
+// fixed-dimension fused kernel, and detector-only protocols ride the
+// norm-only record.  These counters make the claims checkable — the batch
+// entry points (sim::run_noise_batch, sim::run_noise_norm_batch and
+// detect::make_workload) record every simulated run and which kernel
+// dispatch served it, tests assert the split, and `cpsguard_cli sweep
+// describe` surfaces the cells / distinct-simulations ratio before a
+// campaign runs.
 #pragma once
 
 #include <cstdint>
@@ -19,10 +22,24 @@ namespace cpsguard::sim::stats {
 /// — the counter tracks exactly the work that simulation groups share.
 std::uint64_t simulated_runs();
 
-/// Rewinds the counter (tests).
-void reset_simulated_runs();
+/// Of the counted runs, how many executed on a fixed-dimension fused
+/// kernel vs the generic dynamic-dimension fallback (dispatch recorded per
+/// batch at the same entry points).
+std::uint64_t fixed_dispatch_runs();
+std::uint64_t generic_dispatch_runs();
 
-/// Called by the batch entry points; relaxed atomic, safe from workers.
+/// Counted runs that took the norm-only path (residual-norm series only,
+/// no materialized trace).
+std::uint64_t norm_only_runs();
+
+/// Rewinds the run counter (tests).  Leaves the dispatch / norm-only
+/// counters alone; reset_all_counters rewinds everything.
+void reset_simulated_runs();
+void reset_all_counters();
+
+/// Called by the batch entry points; relaxed atomics, safe from workers.
 void add_simulated_runs(std::uint64_t count);
+void add_dispatch_runs(bool fixed_kernel, std::uint64_t count);
+void add_norm_only_runs(std::uint64_t count);
 
 }  // namespace cpsguard::sim::stats

@@ -1,0 +1,559 @@
+// Tests for the fused step-kernel layer (PR 5): fixed-dimension dispatch,
+// bit-identity of the fused pass against a PR-1-style unfused reference
+// (across all registered case studies AND fuzzed dynamic dimensions), the
+// condensed mode's tolerance contract, and the norm-only simulation mode —
+// protocol reports must be bit-identical whether phase 1 records full
+// residue traces or only residual-norm series, through evaluate_far,
+// FarSimulation, the noise floor, ROC workloads, ExperimentRunner
+// run_group and a cold sweep campaign.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "attacks/templates.hpp"
+#include "control/closed_loop.hpp"
+#include "control/noise.hpp"
+#include "detect/far.hpp"
+#include "detect/noise_floor.hpp"
+#include "detect/online.hpp"
+#include "detect/roc.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/step_kernel.hpp"
+#include "models/trajectory.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "sweep/campaign.hpp"
+#include "sweep/registry.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard {
+namespace {
+
+using control::Signal;
+using control::Trace;
+using linalg::Matrix;
+using linalg::Vector;
+
+/// RAII guard so a test can force the full-trace path and always restore
+/// the norm-only default.
+struct NormOnlyGuard {
+  explicit NormOnlyGuard(bool enabled) { sim::set_norm_only_enabled(enabled); }
+  ~NormOnlyGuard() { sim::set_norm_only_enabled(true); }
+};
+
+/// The PR-1 simulate_into body, verbatim, on the public unfused kernels —
+/// the ground truth the fused StepKernel must match bitwise.
+Trace reference_simulate(const control::LoopConfig& config, std::size_t steps,
+                         const Signal* attack, const Signal* process_noise,
+                         const Signal* measurement_noise) {
+  const auto& sys = config.plant;
+  Trace tr;
+  tr.ts = sys.ts;
+  tr.prepare(steps, sys.num_states(), sys.num_outputs(), sys.num_inputs());
+  Vector x = config.x1, xhat = config.xhat1, u = config.u1;
+  Vector yhat(sys.num_outputs()), xn(sys.num_states()), xhatn(sys.num_states());
+  Vector dev(sys.num_states()), kdev(sys.num_inputs());
+  const auto& op = config.operating_point;
+  using namespace linalg;
+  for (std::size_t k = 0; k < steps; ++k) {
+    Vector& y = tr.y[k];
+    gemv_into(1.0, sys.c, x, 0.0, y);
+    gemv_into(1.0, sys.d, u, 1.0, y);
+    if (attack) axpy_into(1.0, (*attack)[k], y);
+    if (measurement_noise) axpy_into(1.0, (*measurement_noise)[k], y);
+    gemv_into(1.0, sys.c, xhat, 0.0, yhat);
+    gemv_into(1.0, sys.d, u, 1.0, yhat);
+    sub_into(y, yhat, tr.z[k]);
+    tr.x[k] = x;
+    tr.xhat[k] = xhat;
+    tr.u[k] = u;
+    gemv_into(1.0, sys.a, x, 0.0, xn);
+    gemv_into(1.0, sys.b, u, 1.0, xn);
+    if (process_noise) axpy_into(1.0, (*process_noise)[k], xn);
+    std::swap(x, xn);
+    gemv_into(1.0, sys.a, xhat, 0.0, xhatn);
+    gemv_into(1.0, sys.b, u, 1.0, xhatn);
+    gemv_into(1.0, config.kalman_gain, tr.z[k], 1.0, xhatn);
+    std::swap(xhat, xhatn);
+    sub_into(xhat, op.x_ss, dev);
+    gemv_into(1.0, config.feedback_gain, dev, 0.0, kdev);
+    sub_into(op.u_ss, kdev, u);
+  }
+  tr.x[steps] = x;
+  tr.xhat[steps] = xhat;
+  return tr;
+}
+
+void expect_traces_identical(const Trace& a, const Trace& b, const char* what) {
+  ASSERT_EQ(a.steps(), b.steps()) << what;
+  auto expect_series = [&](const std::vector<Vector>& sa,
+                           const std::vector<Vector>& sb, const char* name) {
+    ASSERT_EQ(sa.size(), sb.size()) << what << " " << name;
+    for (std::size_t k = 0; k < sa.size(); ++k) {
+      ASSERT_EQ(sa[k].size(), sb[k].size()) << what << " " << name;
+      for (std::size_t i = 0; i < sa[k].size(); ++i)
+        ASSERT_EQ(sa[k][i], sb[k][i])
+            << what << " " << name << "[" << k << "][" << i << "]";
+    }
+  };
+  expect_series(a.x, b.x, "x");
+  expect_series(a.xhat, b.xhat, "xhat");
+  expect_series(a.u, b.u, "u");
+  expect_series(a.y, b.y, "y");
+  expect_series(a.z, b.z, "z");
+}
+
+/// Seeded test signals of the loop's dimensions.
+struct TestSignals {
+  Signal attack, wnoise, vnoise;
+};
+TestSignals make_signals(const control::LoopConfig& config, std::size_t steps,
+                         std::uint64_t seed) {
+  const std::size_t n = config.plant.num_states();
+  const std::size_t m = config.plant.num_outputs();
+  util::Rng rng(seed);
+  Vector mbound(m), nbound(n);
+  for (std::size_t i = 0; i < m; ++i) mbound[i] = 0.05;
+  for (std::size_t i = 0; i < n; ++i) nbound[i] = 0.02;
+  TestSignals s;
+  s.attack = control::bounded_uniform_signal(rng, steps, mbound);
+  s.wnoise = control::bounded_uniform_signal(rng, steps, nbound);
+  s.vnoise = control::bounded_uniform_signal(rng, steps, mbound);
+  return s;
+}
+
+TEST(StepKernel, AllRegisteredStudiesDispatchFixed) {
+  // Every registered case study's (n, m, p) must be in the specialization
+  // table — that is the whole point of the table.
+  const auto& registry = scenario::Registry::instance();
+  for (const std::string& name : registry.study_names()) {
+    const control::ClosedLoop loop(registry.study(name).loop);
+    EXPECT_TRUE(loop.step_kernel().fixed()) << name;
+    EXPECT_FALSE(loop.step_kernel().condensed()) << name;
+  }
+  // And the advertised table matches what the factory actually serves.
+  for (const auto& dims : linalg::fixed_step_kernel_dims()) {
+    EXPECT_GE(dims[0], 1u);
+    EXPECT_GE(dims[1], 1u);
+    EXPECT_GE(dims[2], 1u);
+  }
+}
+
+TEST(StepKernel, FixedMatchesGenericAndReferenceOnAllStudies) {
+  const auto& registry = scenario::Registry::instance();
+  linalg::StepKernelOptions generic_only;
+  generic_only.allow_fixed = false;
+  for (const std::string& name : registry.study_names()) {
+    const control::LoopConfig& config = registry.study(name).loop;
+    const std::size_t steps = 60;
+    const TestSignals s = make_signals(config, steps, 0xC0FFEE);
+
+    const Trace want =
+        reference_simulate(config, steps, &s.attack, &s.wnoise, &s.vnoise);
+    const control::ClosedLoop fixed(config);
+    const control::ClosedLoop generic(config, generic_only);
+    ASSERT_TRUE(fixed.step_kernel().fixed()) << name;
+    ASSERT_FALSE(generic.step_kernel().fixed()) << name;
+
+    const Trace got_fixed = fixed.simulate(steps, &s.attack, &s.wnoise, &s.vnoise);
+    const Trace got_generic =
+        generic.simulate(steps, &s.attack, &s.wnoise, &s.vnoise);
+    expect_traces_identical(want, got_fixed, name.c_str());
+    expect_traces_identical(want, got_generic, name.c_str());
+  }
+}
+
+/// Random loop of the given dimensions: entries scaled down so 40 steps
+/// stay finite; bit-identity does not care about stability, but finite
+/// numbers make failures readable.
+control::LoopConfig random_loop(std::size_t n, std::size_t m, std::size_t p,
+                                util::Rng& rng) {
+  const auto entry = [&](double scale) { return rng.uniform(-scale, scale); };
+  control::LoopConfig cfg;
+  cfg.plant.a.resize(n, n);
+  for (std::size_t i = 0; i < n * n; ++i)
+    cfg.plant.a.data()[i] = entry(0.9 / static_cast<double>(n));
+  cfg.plant.b.resize(n, p);
+  for (std::size_t i = 0; i < n * p; ++i) cfg.plant.b.data()[i] = entry(0.5);
+  cfg.plant.c.resize(m, n);
+  for (std::size_t i = 0; i < m * n; ++i) cfg.plant.c.data()[i] = entry(1.0);
+  cfg.plant.d.resize(m, p);
+  for (std::size_t i = 0; i < m * p; ++i) cfg.plant.d.data()[i] = entry(0.1);
+  cfg.plant.ts = 0.01;
+  cfg.plant.q = Matrix::identity(n);
+  cfg.plant.r = Matrix::identity(m);
+  cfg.kalman_gain.resize(n, m);
+  for (std::size_t i = 0; i < n * m; ++i)
+    cfg.kalman_gain.data()[i] = entry(0.3 / static_cast<double>(m));
+  cfg.feedback_gain.resize(p, n);
+  for (std::size_t i = 0; i < p * n; ++i)
+    cfg.feedback_gain.data()[i] = entry(0.3 / static_cast<double>(n));
+  cfg.operating_point.x_ss.resize(n);
+  cfg.operating_point.u_ss.resize(p);
+  cfg.x1.resize(n);
+  cfg.xhat1.resize(n);
+  cfg.u1.resize(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    cfg.operating_point.x_ss[i] = entry(0.5);
+    cfg.x1[i] = entry(0.5);
+    cfg.xhat1[i] = entry(0.5);
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    cfg.operating_point.u_ss[i] = entry(0.5);
+    cfg.u1[i] = entry(0.5);
+  }
+  return cfg;
+}
+
+TEST(StepKernel, FuzzedDynamicDimensionsMatchReference) {
+  // Random models across n, m, p in [1, 24]: whatever the dispatch picks
+  // (fixed for table signatures, generic otherwise) must match the unfused
+  // reference bitwise.
+  util::Rng rng(0xFEED);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t n = 1 + rng.next_u64() % 24;
+    const std::size_t m = 1 + rng.next_u64() % 24;
+    const std::size_t p = 1 + rng.next_u64() % 24;
+    const control::LoopConfig config = random_loop(n, m, p, rng);
+    const std::size_t steps = 40;
+    const TestSignals s = make_signals(config, steps, 0xAB + iter);
+
+    const Trace want =
+        reference_simulate(config, steps, &s.attack, &s.wnoise, &s.vnoise);
+    const control::ClosedLoop loop(config);
+    linalg::StepKernelOptions generic_only;
+    generic_only.allow_fixed = false;
+    const control::ClosedLoop generic(config, generic_only);
+    const std::string what = "n=" + std::to_string(n) + " m=" + std::to_string(m) +
+                             " p=" + std::to_string(p);
+    expect_traces_identical(want, loop.simulate(steps, &s.attack, &s.wnoise, &s.vnoise),
+                            what.c_str());
+    expect_traces_identical(
+        want, generic.simulate(steps, &s.attack, &s.wnoise, &s.vnoise),
+        what.c_str());
+  }
+}
+
+TEST(StepKernel, CondensedModeAgreesWithinTolerance) {
+  const auto cs = models::make_trajectory_case_study();
+  linalg::StepKernelOptions condensed;
+  condensed.condensed = true;
+  const control::ClosedLoop exact(cs.loop);
+  const control::ClosedLoop folded(cs.loop, condensed);
+  EXPECT_TRUE(folded.step_kernel().condensed());
+
+  const TestSignals s = make_signals(cs.loop, cs.horizon, 77);
+  const Trace a = exact.simulate(cs.horizon, &s.attack, &s.wnoise, &s.vnoise);
+  const Trace b = folded.simulate(cs.horizon, &s.attack, &s.wnoise, &s.vnoise);
+  ASSERT_EQ(a.steps(), b.steps());
+  for (std::size_t k = 0; k < a.steps(); ++k) {
+    for (std::size_t i = 0; i < a.z[k].size(); ++i)
+      EXPECT_NEAR(a.z[k][i], b.z[k][i], 1e-9) << "z[" << k << "]";
+    for (std::size_t i = 0; i < a.y[k].size(); ++i)
+      EXPECT_NEAR(a.y[k][i], b.y[k][i], 1e-9) << "y[" << k << "]";
+  }
+  for (std::size_t i = 0; i < a.x.back().size(); ++i)
+    EXPECT_NEAR(a.x.back()[i], b.x.back()[i], 1e-9);
+}
+
+TEST(StepKernel, SimulateNormsMatchesTraceResidueNorms) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  const TestSignals s = make_signals(cs.loop, cs.horizon, 123);
+  const Trace tr = loop.simulate(cs.horizon, &s.attack, nullptr, &s.vnoise);
+
+  const std::vector<control::Norm> norms{control::Norm::kInf, control::Norm::kOne,
+                                         control::Norm::kTwo};
+  control::SimWorkspace ws;
+  std::vector<std::vector<double>> series;
+  loop.simulate_norms_into(ws, cs.horizon, norms, series, &s.attack, nullptr,
+                           &s.vnoise);
+  ASSERT_EQ(series.size(), norms.size());
+  for (std::size_t j = 0; j < norms.size(); ++j) {
+    const std::vector<double> want = tr.residue_norms(norms[j]);
+    ASSERT_EQ(series[j].size(), want.size());
+    for (std::size_t k = 0; k < want.size(); ++k)
+      EXPECT_EQ(series[j][k], want[k]) << "norm " << j << " step " << k;
+  }
+}
+
+TEST(DetectorBank, NormOnlyRecordMatchesResidueEvaluation) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  const TestSignals s = make_signals(cs.loop, cs.horizon, 321);
+  const Trace tr = loop.simulate(cs.horizon, nullptr, nullptr, &s.vnoise);
+
+  const auto make_bank = [&](detect::DetectorBank& bank) {
+    bank.add(std::make_unique<detect::ThresholdOnline>(
+        detect::ThresholdVector::constant(cs.horizon, 0.01), cs.norm));
+    bank.add(std::make_unique<detect::CusumOnline>(0.005, 0.05, cs.norm));
+    bank.add(std::make_unique<detect::WindowedOnline>(
+        detect::ThresholdVector::constant(cs.horizon, 0.008), cs.norm, 2, 4));
+  };
+  detect::DetectorBank over_residues, over_norms;
+  make_bank(over_residues);
+  make_bank(over_norms);
+
+  std::vector<std::optional<std::size_t>> want, got;
+  over_residues.evaluate(tr, want);
+
+  const std::vector<control::Norm> norms{cs.norm};
+  detect::NormRecord record;
+  record.assign({tr.residue_norms(cs.norm)});
+  over_norms.evaluate_norms(norms, record, got);
+  EXPECT_EQ(want, got);
+
+  // A full-residue detector must refuse the norm-only record.
+  detect::DetectorBank with_chi2;
+  with_chi2.add(std::make_unique<detect::Chi2Online>(Matrix::identity(1), 1.0));
+  EXPECT_THROW(with_chi2.evaluate_norms(norms, record, got), util::Error);
+}
+
+TEST(SharedNorms, DetectsNormOnlyBanks) {
+  const auto cs = models::make_trajectory_case_study();
+  std::vector<detect::FarCandidate> candidates;
+  candidates.emplace_back(
+      "th", detect::ResidueDetector(
+                detect::ThresholdVector::constant(cs.horizon, 0.01), cs.norm));
+  candidates.emplace_back("cusum", [&] {
+    return std::make_unique<detect::CusumOnline>(0.005, 0.05, cs.norm);
+  });
+  auto norms = detect::candidate_shared_norms(candidates);
+  ASSERT_TRUE(norms.has_value());
+  EXPECT_EQ(norms->size(), 1u);
+  EXPECT_EQ(norms->front(), cs.norm);
+
+  candidates.emplace_back("chi2", [] {
+    return std::make_unique<detect::Chi2Online>(Matrix::identity(1), 1.0);
+  });
+  EXPECT_FALSE(detect::candidate_shared_norms(candidates).has_value());
+}
+
+detect::FarSetup far_setup(const models::CaseStudy& cs, std::size_t runs) {
+  detect::FarSetup setup;
+  setup.num_runs = runs;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  setup.seed = 11;
+  return setup;
+}
+
+std::vector<detect::FarCandidate> far_candidates(const models::CaseStudy& cs) {
+  std::vector<detect::FarCandidate> candidates;
+  candidates.emplace_back(
+      "th", detect::ResidueDetector(
+                detect::ThresholdVector::constant(cs.horizon, 0.012), cs.norm));
+  candidates.emplace_back("cusum", [&] {
+    return std::make_unique<detect::CusumOnline>(0.004, 0.06, cs.norm);
+  });
+  return candidates;
+}
+
+std::string far_report_string(const detect::FarReport& report) {
+  std::string out = std::to_string(report.total_runs) + "/" +
+                    std::to_string(report.discarded_by_pfc) + "/" +
+                    std::to_string(report.discarded_by_mdc);
+  for (const auto& row : report.rows)
+    out += ";" + row.name + ":" + std::to_string(row.alarms) + "/" +
+           std::to_string(row.evaluated);
+  return out;
+}
+
+TEST(NormOnlyFar, OneShotAndRecordedPathsMatchFullTrace) {
+  // trajectory: no monitors, and this setup has no pfc filter — the
+  // norm-only fast path engages and must report bit-identically to the
+  // full-trace path (toggled off via the kill switch).
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  const auto candidates = far_candidates(cs);
+  const detect::FarSetup setup = far_setup(cs, 120);
+
+  sim::stats::reset_all_counters();
+  const detect::FarReport fast = detect::evaluate_far(loop, cs.mdc, candidates, setup);
+  EXPECT_EQ(sim::stats::norm_only_runs(), 120u);
+
+  std::string full;
+  {
+    NormOnlyGuard guard(false);
+    sim::stats::reset_all_counters();
+    const detect::FarReport slow =
+        detect::evaluate_far(loop, cs.mdc, candidates, setup);
+    EXPECT_EQ(sim::stats::norm_only_runs(), 0u);
+    full = far_report_string(slow);
+  }
+  EXPECT_EQ(far_report_string(fast), full);
+
+  // Record-once phase 1, both storages, same evaluation.
+  const std::vector<control::Norm> norms{cs.norm};
+  const detect::FarSimulation recorded_norms(loop, cs.mdc, setup, &norms);
+  EXPECT_TRUE(recorded_norms.norm_only());
+  const detect::FarSimulation recorded_full(loop, cs.mdc, setup);
+  EXPECT_FALSE(recorded_full.norm_only());
+  EXPECT_EQ(far_report_string(recorded_norms.evaluate(candidates)), full);
+  EXPECT_EQ(far_report_string(recorded_full.evaluate(candidates)), full);
+}
+
+TEST(NormOnlyFar, PfcFilterAndMonitorsDisableTheFastPath) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  detect::FarSetup setup = far_setup(cs, 40);
+  setup.pfc = [](const Trace&) { return true; };
+  const std::vector<control::Norm> norms{cs.norm};
+  const detect::FarSimulation sim(loop, cs.mdc, setup, &norms);
+  EXPECT_FALSE(sim.norm_only()) << "pfc filter must force full traces";
+}
+
+TEST(NormOnlyNoiseFloor, MatchesFullTraceEstimate) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  detect::NoiseFloorSetup setup;
+  setup.num_runs = 80;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  setup.norm = cs.norm;
+
+  sim::stats::reset_all_counters();
+  const detect::NoiseFloor fast = detect::estimate_noise_floor(loop, setup);
+  EXPECT_EQ(sim::stats::norm_only_runs(), 80u);
+  detect::NoiseFloor slow;
+  {
+    NormOnlyGuard guard(false);
+    slow = detect::estimate_noise_floor(loop, setup);
+  }
+  EXPECT_EQ(fast.peak, slow.peak);
+  ASSERT_EQ(fast.quantiles.size(), slow.quantiles.size());
+  for (std::size_t k = 0; k < fast.quantiles.size(); ++k)
+    EXPECT_EQ(fast.quantiles[k], slow.quantiles[k]);
+}
+
+TEST(NormOnlyRoc, WorkloadNormsMatchFullWorkload) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  detect::WorkloadSetup setup;
+  setup.num_runs = 30;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  setup.seed = 5;
+  Vector mask(cs.loop.plant.num_outputs());
+  for (std::size_t i = 0; i < mask.size(); ++i) mask[i] = 1.0;
+  setup.attacks = {attacks::bias_attack(mask).build(0.1, cs.horizon, mask.size()),
+                   attacks::ramp_attack(mask).build(0.15, cs.horizon, mask.size())};
+
+  const detect::RocResidues fast =
+      detect::make_workload_norms(loop, cs.mdc, setup, cs.norm);
+  const detect::RocResidues slow = detect::RocResidues::compute(
+      detect::make_workload(loop, cs.mdc, setup), cs.norm);
+  ASSERT_EQ(fast.benign.size(), slow.benign.size());
+  ASSERT_EQ(fast.attacked.size(), slow.attacked.size());
+  for (std::size_t i = 0; i < fast.benign.size(); ++i)
+    EXPECT_EQ(fast.benign[i], slow.benign[i]) << "benign " << i;
+  for (std::size_t j = 0; j < fast.attacked.size(); ++j)
+    EXPECT_EQ(fast.attacked[j], slow.attacked[j]) << "attacked " << j;
+}
+
+/// Toggle comparison through the experiment engine: the report JSON must
+/// not depend on whether the norm-only mode is available.
+void expect_toggle_invariant_report(const std::string& scenario_name,
+                                    bool expect_norm_only_engaged) {
+  const scenario::ExperimentRunner runner;
+  const scenario::ScenarioSpec& spec =
+      scenario::Registry::instance().at(scenario_name);
+
+  sim::stats::reset_all_counters();
+  const std::string fast = runner.run(spec).to_json();
+  if (expect_norm_only_engaged) {
+    EXPECT_GT(sim::stats::norm_only_runs(), 0u) << scenario_name;
+    EXPECT_GT(sim::stats::fixed_dispatch_runs(), 0u) << scenario_name;
+    EXPECT_EQ(sim::stats::generic_dispatch_runs(), 0u) << scenario_name;
+  }
+
+  NormOnlyGuard guard(false);
+  sim::stats::reset_all_counters();
+  const std::string slow = runner.run(spec).to_json();
+  EXPECT_EQ(sim::stats::norm_only_runs(), 0u);
+  EXPECT_EQ(fast, slow) << scenario_name;
+}
+
+TEST(NormOnlyScenario, NoiseFloorReportIsToggleInvariant) {
+  expect_toggle_invariant_report("trajectory/noise_floor",
+                                 /*expect_norm_only_engaged=*/true);
+}
+
+TEST(NormOnlyScenario, RocReportIsToggleInvariant) {
+  expect_toggle_invariant_report("trajectory/roc",
+                                 /*expect_norm_only_engaged=*/true);
+}
+
+TEST(NormOnlyScenario, FarGroupReportsAreToggleInvariant) {
+  // A multi-cell FAR group on a monitor-free study with the pfc filter off:
+  // the shared FarSimulation records norm series only, and every cell's
+  // report must equal the full-trace group's bit for bit.
+  const auto& registry = scenario::Registry::instance();
+  scenario::ScenarioSpec base = registry.at("trajectory/far");
+  base.far_pfc_filter = false;
+  base.mc.num_runs = 60;
+  scenario::ScenarioSpec cell_a = base;
+  cell_a.name = "far_group/a";
+  cell_a.detectors = {scenario::DetectorSpec::static_threshold("th_low", 0.01)};
+  scenario::ScenarioSpec cell_b = base;
+  cell_b.name = "far_group/b";
+  cell_b.detectors = {scenario::DetectorSpec::static_threshold("th_high", 0.03),
+                      scenario::DetectorSpec::cusum("cusum", 0.004, 0.06)};
+
+  const scenario::ExperimentRunner runner;
+  sim::stats::reset_all_counters();
+  const std::vector<scenario::Report> fast = runner.run_group({cell_a, cell_b});
+  EXPECT_EQ(sim::stats::norm_only_runs(), 60u);
+  EXPECT_EQ(sim::stats::simulated_runs(), 60u) << "one shared batch";
+
+  NormOnlyGuard guard(false);
+  sim::stats::reset_all_counters();
+  const std::vector<scenario::Report> slow = runner.run_group({cell_a, cell_b});
+  EXPECT_EQ(sim::stats::norm_only_runs(), 0u);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i)
+    EXPECT_EQ(fast[i].to_json(), slow[i].to_json());
+}
+
+TEST(NormOnlySweep, ColdCampaignsAreToggleInvariant) {
+  // Cold (cache-less) campaigns through the full sweep engine: a shrunk
+  // threshold_sweep (VSC — monitors keep it on the full-trace path either
+  // way) and a trajectory noise-floor sweep that actually rides norm-only.
+  sweep::SweepSpec threshold = sweep::SweepRegistry::instance().at("threshold_sweep");
+  threshold.fixed = {{"runs", 40}};
+
+  sweep::SweepSpec floor;
+  floor.name = "step_kernel_floor_sweep";
+  floor.title = "trajectory noise floor over a quantile axis";
+  floor.base = "trajectory/noise_floor";
+  floor.fixed = {{"runs", 50}};
+  floor.axes = {sweep::Axis::list("quantile", {0.5, 0.9, 0.95})};
+
+  sweep::CampaignOptions options;
+  options.use_cache = false;
+  const sweep::CampaignEngine engine;
+  for (const sweep::SweepSpec* spec : {&threshold, &floor}) {
+    sim::stats::reset_all_counters();
+    const sweep::CampaignRun fast = engine.run(*spec, options);
+    ASSERT_TRUE(fast.report.has_value()) << spec->name;
+    const std::uint64_t fast_norm_only = sim::stats::norm_only_runs();
+
+    NormOnlyGuard guard(false);
+    sim::stats::reset_all_counters();
+    const sweep::CampaignRun slow = engine.run(*spec, options);
+    ASSERT_TRUE(slow.report.has_value()) << spec->name;
+    EXPECT_EQ(sim::stats::norm_only_runs(), 0u);
+    EXPECT_EQ(fast.report->to_json(), slow.report->to_json()) << spec->name;
+
+    if (spec == &floor)
+      EXPECT_GT(fast_norm_only, 0u)
+          << "monitor-free sweep must ride the norm-only record";
+  }
+}
+
+}  // namespace
+}  // namespace cpsguard

@@ -22,7 +22,16 @@ Two modes:
       Direct time comparison.  Only meaningful when baseline and current
       run on comparable hardware (e.g. the local re-record workflow).
 
-Exit codes: 0 ok, 1 regression(s), 2 usage/input error.
+The per-benchmark comparison table is always printed — also when the gate
+passes — so CI logs show the measured profile, not just a verdict.
+
+Exit codes (distinct so CI logs are diagnosable at a glance):
+  0  ok
+  1  regression(s) beyond tolerance
+  2  usage/input error (unreadable file, too few comparable benchmarks)
+  3  baseline benchmark(s) missing from the current run (renamed/removed
+     bench: the gate would otherwise silently compare a shrunken profile;
+     pass --allow-missing to tolerate)
 
 Usage:
   tools/bench_compare.py --baseline bench/BENCH_pr1_after.json \
@@ -88,13 +97,25 @@ def main():
     parser.add_argument("--exclude", default=DEFAULT_EXCLUDE,
                         help="regex of benchmark names to skip (default: "
                              "multi-thread scaling variants); '' disables")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="tolerate baseline benchmarks absent from the "
+                             "current run instead of failing with exit code 3")
     args = parser.parse_args()
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
+    skip = re.compile(args.exclude) if args.exclude else None
+    missing = sorted(n for n in baseline
+                     if n not in current and not (skip and skip.search(n)))
+    if missing:
+        print(f"bench_compare: {len(missing)} baseline benchmark(s) missing "
+              f"from {args.current}:", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        if not args.allow_missing:
+            return 3
     common = sorted(set(baseline) & set(current))
-    if args.exclude:
-        skip = re.compile(args.exclude)
+    if skip:
         common = [n for n in common if not skip.search(n)]
     if len(common) < args.min_common:
         print(f"bench_compare: only {len(common)} benchmark(s) common to "
