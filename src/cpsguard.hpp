@@ -34,7 +34,14 @@
 //      (re-runs recompute only changed cells), cells differing only on
 //      detector axes share one simulated batch (simulation groups, keyed
 //      by sweep::simulation_fingerprint), and execution shards over
-//      machines and resumes after interruption, all bit-identical;
+//      machines and resumes after interruption, all bit-identical.
+//      The fabric is fault-tolerant end to end: cache entries carry
+//      embedded checksums (corrupt ones are quarantined and recomputed),
+//      failing cells are retried under util::RetryPolicy and then recorded
+//      without aborting their siblings, sweep::Coordinator supervises one
+//      worker process per shard (heartbeat liveness, crash/hang relaunch
+//      with backoff), and every failure path is rehearsable through the
+//      deterministic util::fault injection registry;
 //   4. for custom experiments, copy a spec and edit it as data (plant,
 //      noise envelope, detector list, protocol), or drop to the layers
 //      below: synth::AttackVectorSynthesizer (Algorithm 1),
@@ -42,7 +49,8 @@
 //      detect::evaluate_far, and codegen::write_detector_c for deployment.
 // The cpsguard_cli binary exposes both registries as
 //   cpsguard_cli list | describe <scenario> | run <scenario>
-//   cpsguard_cli sweep list | describe | run | merge | status.
+//   cpsguard_cli sweep list | describe | run | coordinate | merge
+//                 | status | fsck.
 #pragma once
 
 #include "attacks/search.hpp"
@@ -106,6 +114,7 @@
 #include "stl/signal_expr.hpp"
 #include "sweep/cache.hpp"
 #include "sweep/campaign.hpp"
+#include "sweep/coordinator.hpp"
 #include "sweep/registry.hpp"
 #include "sweep/spec.hpp"
 #include "sym/affine.hpp"
@@ -116,8 +125,10 @@
 #include "synth/threshold_synth.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
+#include "util/fault.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/random.hpp"
+#include "util/retry.hpp"
 #include "util/status.hpp"
 #include "util/table.hpp"

@@ -91,7 +91,11 @@ class Context {
         noise_bounds_(spec_.effective_noise_bounds()),
         runs_(spec_.effective_runs()),
         pfc_(spec_.effective_pfc()),
-        loop_(spec_.study.loop) {
+        loop_(spec_.study.loop, [&] {
+          linalg::StepKernelOptions options;
+          options.condensed = spec_.condensed;
+          return options;
+        }()) {
     require(horizon_ > 0, "scenario: horizon resolves to zero");
   }
 
@@ -816,6 +820,7 @@ void require_same_simulation(const ScenarioSpec& ref, const ScenarioSpec& cell) 
   if (cell.use_finder != ref.use_finder) bad("use_finder");
   if (cell.solver_timeout_seconds != ref.solver_timeout_seconds)
     bad("solver_timeout_seconds");
+  if (cell.condensed != ref.condensed) bad("condensed");
 }
 
 }  // namespace
@@ -837,6 +842,7 @@ std::vector<Report> ExperimentRunner::run_group(
     if (overrides.threads) r.mc.threads = *overrides.threads;
     if (overrides.num_runs) r.mc.num_runs = *overrides.num_runs;
     if (overrides.seed) r.mc.seed = *overrides.seed;
+    if (overrides.condensed) r.condensed = *overrides.condensed;
     resolved.push_back(std::move(r));
   }
 
@@ -884,6 +890,10 @@ std::vector<Report> ExperimentRunner::run_group(
       Context ctx(cell);
       reports.push_back(execute(ctx, cell));
     }
+    // Condensed-kernel runs trade the bit-exactness contract for
+    // throughput; say so in the artifact itself.
+    if (cell.condensed)
+      reports.back().add_summary("step_kernel", "condensed (non-bit-exact)");
   }
   return reports;
 }

@@ -34,6 +34,9 @@ class ExperimentRunner {
     std::optional<std::size_t> threads;   ///< 0 = one per hardware thread
     std::optional<std::size_t> num_runs;
     std::optional<std::uint64_t> seed;
+    /// Condensed step kernel (throughput over bit-exact reproducibility);
+    /// the report is labelled non-bit-exact.  See ScenarioSpec::condensed.
+    std::optional<bool> condensed;
   };
 
   /// Executes the scenario and returns its report.  Throws

@@ -152,6 +152,7 @@ std::string ScenarioSpec::describe() const {
   out += "  noise bounds: [" + bounds_str + "]\n";
   out += "  runs: " + std::to_string(effective_runs()) + ", seed " +
          std::to_string(mc.seed) + "\n";
+  if (condensed) out += "  step kernel: condensed (non-bit-exact)\n";
   if (!detectors.empty()) {
     out += "  detectors:\n";
     for (const auto& d : detectors)

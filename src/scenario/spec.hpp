@@ -138,6 +138,15 @@ struct ScenarioSpec {
   bool use_finder = true;
   double solver_timeout_seconds = 0.0;  ///< 0 = no cap
 
+  /// Run the simulation through the condensed step kernel
+  /// (linalg::StepKernelOptions::condensed): folds the operating point into
+  /// the update matrices for throughput, trading the bit-exactness
+  /// guarantee for tolerance-equality.  Reports carry a "step_kernel"
+  /// summary labelling them non-bit-exact, and the sweep fingerprint
+  /// includes this flag so condensed results never share a cache entry
+  /// with exact ones.
+  bool condensed = false;
+
   /// Effective values after resolving the study-dependent defaults.
   std::size_t effective_horizon() const;
   linalg::Vector effective_noise_bounds() const;

@@ -1,18 +1,64 @@
 #include "sweep/cache.hpp"
 
+#include <unistd.h>
+
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 
 #include "util/csv.hpp"
+#include "util/fault.hpp"
+#include "util/hash.hpp"
+#include "util/logging.hpp"
 #include "util/status.hpp"
 
 namespace cpsguard::sweep {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+/// Entry framing: one header line carrying the payload digest, then the
+/// payload bytes verbatim.  Self-describing and cheap to verify without a
+/// JSON parse; anything that does not match byte-for-byte is corrupt.
+constexpr char kChecksumPrefix[] = "sha256:";
+constexpr std::size_t kPrefixLen = sizeof(kChecksumPrefix) - 1;
+constexpr std::size_t kDigestLen = 64;
+constexpr std::size_t kHeaderLen = kPrefixLen + kDigestLen + 1;  // + '\n'
+
+std::string frame_entry(const std::string& payload) {
+  return kChecksumPrefix + util::sha256_hex(payload) + "\n" + payload;
+}
+
+/// Payload of a framed entry, or nullopt when the frame or checksum is bad.
+std::optional<std::string> unframe_entry(const std::string& raw) {
+  if (raw.size() < kHeaderLen) return std::nullopt;
+  if (raw.compare(0, kPrefixLen, kChecksumPrefix) != 0) return std::nullopt;
+  if (raw[kHeaderLen - 1] != '\n') return std::nullopt;
+  const std::string digest = raw.substr(kPrefixLen, kDigestLen);
+  std::string payload = raw.substr(kHeaderLen);
+  if (util::sha256_hex(payload) != digest) return std::nullopt;
+  return payload;
+}
+
+bool is_temp_file(const fs::path& path) {
+  // write_file_atomic temp names: <target>.tmp.<pid>
+  return path.filename().string().find(".tmp.") != std::string::npos;
+}
+
+double file_age_seconds(const fs::path& path, std::error_code& ec) {
+  const auto mtime = fs::last_write_time(path, ec);
+  if (ec) return 0.0;
+  const auto now = fs::file_time_type::clock::now();
+  return std::chrono::duration<double>(now - mtime).count();
+}
+
+}  // namespace
+
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
   util::require(!dir_.empty(), "ResultCache: empty cache directory");
+  remove_stale_temps(kStaleTempSeconds);
 }
 
 std::string ResultCache::entry_path(const std::string& fingerprint) const {
@@ -26,32 +72,126 @@ bool ResultCache::has(const std::string& fingerprint) const {
   return fs::is_regular_file(entry_path(fingerprint), ec);
 }
 
+void ResultCache::quarantine(const std::string& path) const {
+  std::error_code ec;
+  fs::create_directories(quarantine_dir(), ec);
+  const std::string target =
+      quarantine_dir() + "/" + fs::path(path).filename().string();
+  fs::rename(path, target, ec);
+  if (ec) fs::remove(path, ec);  // cross-device or exotic failure: drop it
+  CPSG_WARN("sweep") << "quarantined corrupt cache entry " << path;
+}
+
 std::optional<std::string> ResultCache::load(const std::string& fingerprint) const {
   const std::string path = entry_path(fingerprint);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::error_code ec;
-    if (!fs::exists(path, ec)) return std::nullopt;
-    throw util::IoError("ResultCache: cannot read " + path);
+  std::string raw;
+  bool readable = false;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      raw.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+      readable = !in.bad();
+    }
   }
-  std::string text((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  if (in.bad()) throw util::IoError("ResultCache: read failed for " + path);
-  return text;
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return std::nullopt;
+  if (readable && util::fault::should_fail("cache_read")) readable = false;
+  if (!readable) {
+    quarantine(path);
+    return std::nullopt;
+  }
+  std::optional<std::string> payload = unframe_entry(raw);
+  if (!payload) {
+    quarantine(path);
+    return std::nullopt;
+  }
+  return payload;
+}
+
+bool ResultCache::verify(const std::string& fingerprint) const {
+  return load(fingerprint).has_value();
 }
 
 void ResultCache::store(const std::string& fingerprint,
                         const std::string& json) const {
-  util::write_file_atomic(entry_path(fingerprint), json);
+  const std::string path = entry_path(fingerprint);
+  util::fault::maybe_throw("cache_rename", path);
+  std::string framed = frame_entry(json);
+  util::fault::maybe_corrupt("cache_write", framed);
+  util::write_file_atomic(path, framed);
 }
 
 std::size_t ResultCache::size() const {
   std::error_code ec;
   if (!fs::is_directory(dir_, ec)) return 0;
   std::size_t count = 0;
-  for (const auto& entry : fs::recursive_directory_iterator(dir_, ec))
-    if (entry.is_regular_file() && entry.path().extension() == ".json") ++count;
+  for (const auto& shard : fs::directory_iterator(dir_, ec)) {
+    if (!shard.is_directory() || shard.path().filename() == "corrupt") continue;
+    std::error_code inner;
+    for (const auto& entry : fs::directory_iterator(shard.path(), inner))
+      if (entry.is_regular_file() && entry.path().extension() == ".json" &&
+          !is_temp_file(entry.path()))
+        ++count;
+  }
   return count;
+}
+
+std::size_t ResultCache::remove_stale_temps(double max_age_seconds) const {
+  std::error_code ec;
+  if (!fs::is_directory(dir_, ec)) return 0;
+  std::size_t removed = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file() || !is_temp_file(entry.path())) continue;
+    std::error_code age_ec;
+    if (file_age_seconds(entry.path(), age_ec) < max_age_seconds && !age_ec)
+      continue;
+    std::error_code rm_ec;
+    if (fs::remove(entry.path(), rm_ec)) ++removed;
+  }
+  if (removed != 0)
+    CPSG_INFO("sweep") << "removed " << removed << " orphaned temp file(s) in "
+                       << dir_;
+  return removed;
+}
+
+ResultCache::FsckReport ResultCache::fsck() const {
+  FsckReport report;
+  report.temps_removed = remove_stale_temps(0.0);
+  std::error_code ec;
+  if (!fs::is_directory(dir_, ec)) return report;
+  for (const auto& shard : fs::directory_iterator(dir_, ec)) {
+    if (!shard.is_directory() || shard.path().filename() == "corrupt") continue;
+    std::error_code inner;
+    for (const auto& entry : fs::directory_iterator(shard.path(), inner)) {
+      if (!entry.is_regular_file() || entry.path().extension() != ".json")
+        continue;
+      ++report.entries;
+      // Entry files are named <fingerprint>.json.
+      const std::string fingerprint = entry.path().stem().string();
+      if (verify(fingerprint))
+        ++report.ok;
+      else
+        ++report.quarantined;
+    }
+  }
+  return report;
+}
+
+bool ResultCache::writable(const std::string& dir) {
+  if (dir.empty()) return false;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec || !fs::is_directory(dir, ec)) return false;
+  const std::string probe = dir + "/.probe.tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << "probe";
+    if (!out) return false;
+  }
+  fs::remove(probe, ec);
+  return true;
 }
 
 }  // namespace cpsguard::sweep

@@ -8,8 +8,17 @@
 // (temp file + rename), so a killed run never leaves a half-written entry
 // for the resume to trip over.
 //
+// Integrity: every entry embeds a SHA-256 checksum of its payload
+// ("sha256:<hex>\n" header line).  load() verifies it and, on any mismatch
+// — torn write that slipped past the rename, bit rot, truncation, an
+// unparsable header — QUARANTINES the entry into <dir>/corrupt/ and reports
+// a miss, so the cell is recomputed instead of poisoning every future
+// merge.  Orphaned "*.tmp.*" files from crashed writers are swept when the
+// cache opens; fsck() audits the whole store on demand.
+//
 // Layout: <dir>/<first 2 hex chars>/<full fingerprint>.json — the two-char
 // fan-out keeps directory listings manageable for six-figure campaigns.
+// <dir>/corrupt/ holds quarantined entries and never counts toward size().
 #pragma once
 
 #include <cstddef>
@@ -20,29 +29,70 @@ namespace cpsguard::sweep {
 
 class ResultCache {
  public:
-  /// Opens (and lazily creates) the cache rooted at `dir`.
+  /// Temps older than this are considered orphaned by a dead writer and
+  /// removed when the cache opens (live writers rename within seconds).
+  static constexpr double kStaleTempSeconds = 3600.0;
+
+  /// Opens (and lazily creates) the cache rooted at `dir`, sweeping stale
+  /// temp files left behind by crashed writers.
   explicit ResultCache(std::string dir);
 
   const std::string& dir() const { return dir_; }
 
+  /// Quarantine directory corrupt entries are moved into.
+  std::string quarantine_dir() const { return dir_ + "/corrupt"; }
+
   /// Path an entry for `fingerprint` lives at (whether or not it exists).
   std::string entry_path(const std::string& fingerprint) const;
 
+  /// Existence only — no integrity check (use verify/load for that).
   bool has(const std::string& fingerprint) const;
 
-  /// Entry contents, or nullopt when absent.  Throws util::IoError when the
-  /// entry exists but cannot be read.
+  /// Verified entry payload, or nullopt when absent.  A present entry that
+  /// fails its checksum (torn write, bit rot, unreadable file) is moved to
+  /// the quarantine directory and reported as a miss — never an error, so
+  /// corruption always degrades to recomputation.
   std::optional<std::string> load(const std::string& fingerprint) const;
 
-  /// Atomically stores `json` under `fingerprint` (write temp + rename).
-  /// Overwrites an existing entry with identical content by construction —
-  /// the fingerprint is a content address.  Throws util::IoError on failure.
+  /// True when the entry exists and passes its checksum; quarantines on
+  /// failure exactly like load().
+  bool verify(const std::string& fingerprint) const;
+
+  /// Atomically stores `json` under `fingerprint` with an embedded payload
+  /// checksum (write temp + rename).  Overwrites an existing entry with
+  /// identical content by construction — the fingerprint is a content
+  /// address.  Throws util::IoError on failure.
   void store(const std::string& fingerprint, const std::string& json) const;
 
-  /// Number of entries currently on disk (walks the fan-out dirs).
+  /// Number of entries currently on disk (walks the fan-out dirs;
+  /// quarantined entries and temp files excluded).
   std::size_t size() const;
 
+  /// Removes "*.tmp.*" droppings older than `max_age_seconds` anywhere
+  /// under the cache (a crash between temp-write and rename orphans them
+  /// forever otherwise).  Returns the number removed.
+  std::size_t remove_stale_temps(double max_age_seconds) const;
+
+  /// Full integrity audit: verifies every entry (quarantining failures)
+  /// and sweeps every stale temp file.
+  struct FsckReport {
+    std::size_t entries = 0;      ///< entries examined
+    std::size_t ok = 0;           ///< passed their checksum
+    std::size_t quarantined = 0;  ///< moved to corrupt/
+    std::size_t temps_removed = 0;
+  };
+  FsckReport fsck() const;
+
+  /// True when `dir` exists or can be created and a probe file can be
+  /// written into it — the campaign engine downgrades to in-memory
+  /// execution (with a warning) when this fails instead of aborting.
+  static bool writable(const std::string& dir);
+
  private:
+  /// Moves the entry at `path` into corrupt/ (best effort; removal as the
+  /// fallback so a poisoned entry can never be read again either way).
+  void quarantine(const std::string& path) const;
+
   std::string dir_;
 };
 

@@ -1,16 +1,17 @@
 #include "sweep/campaign.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <functional>
-#include <iterator>
 #include <limits>
 #include <map>
-#include <set>
 
 #include "scenario/runner.hpp"
 #include "util/csv.hpp"
+#include "util/fault.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/status.hpp"
@@ -45,47 +46,15 @@ ShardSelector ShardSelector::parse(const std::string& text) {
   return shard;
 }
 
-namespace {
-
-std::string manifest_path(const std::string& work_dir, const std::string& campaign,
-                          const ShardSelector& shard) {
+std::string ShardManifest::path(const std::string& work_dir,
+                                const std::string& campaign,
+                                const ShardSelector& shard) {
   return work_dir + "/" + campaign + ".shard-" + std::to_string(shard.index) +
          "-of-" + std::to_string(shard.count) + ".json";
 }
 
-struct ManifestCell {
-  std::size_t index = 0;
-  std::string fingerprint;
-  bool done = false;
-};
-
-std::string manifest_json(const SweepSpec& spec, const std::string& expansion,
-                          const ShardSelector& shard,
-                          const std::vector<ManifestCell>& cells) {
-  util::JsonWriter w;
-  w.begin_object();
-  w.key("campaign").value(spec.name);
-  w.key("base").value(spec.base);
-  w.key("expansion").value(expansion);
-  w.key("shard_index").value(std::uint64_t{shard.index});
-  w.key("shard_count").value(std::uint64_t{shard.count});
-  w.key("cells").begin_array();
-  for (const auto& cell : cells) {
-    w.begin_object();
-    w.key("index").value(std::uint64_t{cell.index});
-    w.key("fingerprint").value(cell.fingerprint);
-    w.key("done").value(cell.done);
-    w.end_object();
-  }
-  w.end_array();
-  w.end_object();
-  return w.str();
-}
-
-/// Completed cell indices recorded by the manifest at `path`, or nullopt
-/// when the file is absent / unreadable / from a different expansion.
-std::optional<std::set<std::size_t>> read_manifest_done(
-    const std::string& path, const std::string& expansion) {
+std::optional<ShardManifest> ShardManifest::read(const std::string& path,
+                                                 const std::string& expansion) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::string text((std::istreambuf_iterator<char>(in)),
@@ -93,15 +62,61 @@ std::optional<std::set<std::size_t>> read_manifest_done(
   try {
     const util::JsonValue doc = util::parse_json(text);
     if (doc.at("expansion").as_string() != expansion) return std::nullopt;
-    std::set<std::size_t> done;
+    ShardManifest manifest;
+    // heartbeat/pid entered the schema with the fault-tolerance layer;
+    // tolerate their absence so pre-upgrade manifests still resume.
+    if (const util::JsonValue* hb = doc.find("heartbeat"))
+      manifest.heartbeat = static_cast<std::uint64_t>(hb->as_number());
+    if (const util::JsonValue* pid = doc.find("pid"))
+      manifest.pid = static_cast<std::uint64_t>(pid->as_number());
     const util::JsonValue& cells = doc.at("cells");
-    for (std::size_t i = 0; i < cells.size(); ++i)
-      if (cells.at(i).at("done").as_bool())
-        done.insert(static_cast<std::size_t>(cells.at(i).at("index").as_number()));
-    return done;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const util::JsonValue& cell = cells.at(i);
+      const auto index = static_cast<std::size_t>(cell.at("index").as_number());
+      if (cell.at("done").as_bool()) manifest.done.insert(index);
+      const util::JsonValue* failed = cell.find("failed");
+      if (failed != nullptr && failed->as_bool()) manifest.failed.insert(index);
+    }
+    return manifest;
   } catch (const util::Error&) {
     return std::nullopt;  // corrupt manifest: treat as absent, recompute
   }
+}
+
+namespace {
+
+struct ManifestCell {
+  std::size_t index = 0;
+  std::string fingerprint;
+  bool done = false;
+  bool failed = false;
+};
+
+std::string manifest_json(const SweepSpec& spec, const std::string& expansion,
+                          const ShardSelector& shard,
+                          const std::vector<ManifestCell>& cells,
+                          std::uint64_t heartbeat) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("campaign").value(spec.name);
+  w.key("base").value(spec.base);
+  w.key("expansion").value(expansion);
+  w.key("shard_index").value(std::uint64_t{shard.index});
+  w.key("shard_count").value(std::uint64_t{shard.count});
+  w.key("heartbeat").value(heartbeat);
+  w.key("pid").value(static_cast<std::uint64_t>(::getpid()));
+  w.key("cells").begin_array();
+  for (const auto& cell : cells) {
+    w.begin_object();
+    w.key("index").value(std::uint64_t{cell.index});
+    w.key("fingerprint").value(cell.fingerprint);
+    w.key("done").value(cell.done);
+    w.key("failed").value(cell.failed);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 // ---------------------------------------------------------------------------
@@ -170,13 +185,15 @@ CellMetrics extract_metrics(Protocol protocol, const Report& cell) {
 using CellLoader = std::function<std::string(const Cell&)>;
 
 Report build_campaign_report(const SweepSpec& spec, const std::vector<Cell>& cells,
-                             const std::string& expansion,
+                             const std::string& expansion, bool condensed,
                              const CellLoader& load) {
   Report report(spec.name, "sweep");
   report.add_summary("base", spec.base);
   report.add_summary("cells", std::uint64_t{cells.size()});
   report.add_summary("axes", std::uint64_t{spec.axes.size()});
   report.add_summary("expansion", expansion);
+  if (condensed)
+    report.add_summary("step_kernel", "condensed (non-bit-exact)");
 
   ReportTable& axes_table = report.add_table("axes", {"axis", "values"});
   for (const auto& axis : spec.axes) {
@@ -259,11 +276,21 @@ Report build_campaign_report(const SweepSpec& spec, const std::vector<Cell>& cel
   return report;
 }
 
+/// Expands the campaign, applying the condensed-kernel option BEFORE any
+/// fingerprint is computed so condensed cells key a disjoint cache region.
+std::vector<Cell> expand_cells(const SweepSpec& spec,
+                               const CampaignOptions& options) {
+  std::vector<Cell> cells = spec.expand(scenario::Registry::instance());
+  if (options.condensed)
+    for (Cell& cell : cells) cell.spec.condensed = true;
+  return cells;
+}
+
 }  // namespace
 
 CampaignRun CampaignEngine::run(const SweepSpec& spec,
                                 const CampaignOptions& options) const {
-  const std::vector<Cell> cells = spec.expand(scenario::Registry::instance());
+  const std::vector<Cell> cells = expand_cells(spec, options);
   const std::string expansion = expansion_fingerprint(spec.name, cells);
 
   CampaignRun outcome;
@@ -283,33 +310,60 @@ CampaignRun CampaignEngine::run(const SweepSpec& spec,
   }
   outcome.simulation_groups = simulation_group_count(cells);
 
-  // In-memory store for --no-cache runs; the report loader reads from it
+  // Graceful degradation: an unwritable cache directory downgrades to
+  // in-memory execution (no persistence, no resume) instead of aborting —
+  // the run still produces its report.
+  bool use_cache = options.use_cache;
+  if (use_cache && !ResultCache::writable(options.cache_dir)) {
+    CPSG_WARN("sweep") << spec.name << ": cache dir '" << options.cache_dir
+                       << "' is not writable — degrading to in-memory "
+                          "execution (results will not be persisted)";
+    use_cache = false;
+    outcome.cache_degraded = true;
+  }
+
+  // In-memory store for --no-cache and degraded runs (and the fallback for
+  // entries whose store keeps failing); the report loader reads from it
   // through the same serialized-JSON path the cache uses.
   std::map<std::string, std::string> memory;
   std::optional<ResultCache> cache;
-  if (options.use_cache) cache.emplace(options.cache_dir);
+  if (use_cache) cache.emplace(options.cache_dir);
 
-  std::set<std::size_t> manifest_done;
-  if (options.use_cache) {
+  ShardManifest previous;
+  bool manifests_enabled = use_cache;
+  if (manifests_enabled) {
     outcome.manifest_path =
-        manifest_path(options.work_dir, spec.name, options.shard);
-    if (auto done = read_manifest_done(outcome.manifest_path, expansion))
-      manifest_done = std::move(*done);
+        ShardManifest::path(options.work_dir, spec.name, options.shard);
+    if (auto manifest = ShardManifest::read(outcome.manifest_path, expansion))
+      previous = std::move(*manifest);
   }
 
+  // A cell is done only when the manifest says so AND its cache entry is
+  // present and passes its checksum — a corrupt entry is quarantined here
+  // and the cell recomputed.  Previously-failed cells are re-attempted.
   std::vector<ManifestCell> manifest_cells;
   manifest_cells.reserve(owned.size());
   for (const Cell* cell : owned)
     manifest_cells.push_back(
         {cell->index, fingerprints[cell->index],
-         manifest_done.count(cell->index) != 0 &&
-             cache && cache->has(fingerprints[cell->index])});
+         previous.done.count(cell->index) != 0 && cache &&
+             cache->verify(fingerprints[cell->index]),
+         false});
 
+  std::uint64_t heartbeat = 0;
   const auto flush_manifest = [&] {
-    if (!options.use_cache) return;
-    util::write_file_atomic(
-        outcome.manifest_path,
-        manifest_json(spec, expansion, options.shard, manifest_cells));
+    if (!manifests_enabled) return;
+    ++heartbeat;
+    try {
+      util::write_file_atomic(
+          outcome.manifest_path,
+          manifest_json(spec, expansion, options.shard, manifest_cells,
+                        heartbeat));
+    } catch (const util::IoError& e) {
+      CPSG_WARN("sweep") << spec.name << ": cannot write shard manifest ("
+                         << e.what() << ") — resume disabled for this run";
+      manifests_enabled = false;
+    }
   };
   flush_manifest();
 
@@ -317,14 +371,80 @@ CampaignRun CampaignEngine::run(const SweepSpec& spec,
   scenario::ExperimentRunner::Overrides overrides;
   overrides.threads = options.threads;
 
+  const util::RetryPolicy& retry = options.cell_retry;
+
+  // Persists one computed cell: store + read-back verification (a torn
+  // write is quarantined by verify and retried), with the in-memory store
+  // as the last-resort fallback so the run's own report never depends on a
+  // failing disk.  Marks the cell done either way — a memory-only result
+  // is re-detected as missing by the next run's verify and recomputed.
+  std::vector<std::uint8_t> executed_now(owned.size(), 0);
+  const auto store_cell = [&](std::size_t j, const std::string& json) {
+    ManifestCell& entry = manifest_cells[j];
+    bool persisted = false;
+    if (cache) {
+      for (std::size_t attempt = 1; retry.allows(attempt); ++attempt) {
+        try {
+          cache->store(entry.fingerprint, json);
+          if (cache->verify(entry.fingerprint)) {
+            persisted = true;
+            break;
+          }
+          CPSG_WARN("sweep") << "torn cache write for " << entry.fingerprint
+                             << " (attempt " << attempt << "), retrying";
+        } catch (const util::Error& e) {
+          CPSG_WARN("sweep") << "cache store failed (attempt " << attempt
+                             << "): " << e.what();
+        }
+        if (retry.allows(attempt + 1))
+          util::sleep_for_ms(retry.delay_ms(attempt, entry.index));
+      }
+    }
+    if (!persisted) {
+      memory[entry.fingerprint] = json;
+      if (cache)
+        CPSG_WARN("sweep") << "cell result " << entry.fingerprint
+                           << " kept in memory only (cache store kept "
+                              "failing); a later run recomputes it";
+    }
+    // The manifest records only PERSISTED cells as done: a memory-only
+    // result serves this run's report but cannot serve a resume or a
+    // merge, so the next attempt must recompute it.
+    entry.done = persisted;
+    entry.failed = false;
+    executed_now[j] = 1;
+    ++outcome.executed;
+  };
+
+  // One cell, standalone, with `attempts` tries left (its group pass
+  // already consumed the first attempt).  nullopt = exhausted.
+  const auto run_single =
+      [&](const Cell& cell, std::size_t attempts) -> std::optional<std::string> {
+    for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+      try {
+        util::fault::maybe_throw("cell_execute", cell.id());
+        return runner.run(cell.spec, overrides).to_json();
+      } catch (const util::Error& e) {
+        CPSG_WARN("sweep") << spec.name << ": cell " << cell.id()
+                           << " failed (" << e.what() << "), attempt "
+                           << attempt << "/" << attempts;
+        if (attempt < attempts)
+          util::sleep_for_ms(retry.delay_ms(attempt, cell.index));
+      }
+    }
+    return std::nullopt;
+  };
+
   // Pending cells execute in index order; with simulation grouping, a
   // pending cell pulls every later owned pending cell that shares its
   // simulation fingerprint into one ExperimentRunner::run_group, so the
   // whole group rides a single simulated batch.  The per-cell reports (and
   // thus the cache entries and the campaign report) are bit-identical to
   // one-cell-at-a-time execution — grouping only removes repeated
-  // simulation work, never changes results.
-  std::vector<std::uint8_t> executed_now(owned.size(), 0);
+  // simulation work, never changes results.  A cell whose execution throws
+  // (or draws a cell_execute fault) is retried standalone under the retry
+  // policy and, if it keeps failing, recorded as failed while its siblings
+  // continue.
   bool budget_exhausted = false;
   for (std::size_t i = 0; i < owned.size(); ++i) {
     const Cell& cell = *owned[i];
@@ -334,7 +454,7 @@ CampaignRun CampaignEngine::run(const SweepSpec& spec,
       ++outcome.cache_hits;
       continue;
     }
-    if (cache && cache->has(entry.fingerprint)) {
+    if (cache && cache->verify(entry.fingerprint)) {
       ++outcome.cache_hits;
       entry.done = true;
       flush_manifest();
@@ -344,6 +464,11 @@ CampaignRun CampaignEngine::run(const SweepSpec& spec,
       budget_exhausted = true;
       break;
     }
+
+    // Chaos sites: a supervised worker dies / hangs at a cell boundary
+    // here; the coordinator's liveness tracking must recover both.
+    util::fault::maybe_abort("worker_abort");
+    util::fault::maybe_stall("worker_stall");
 
     // Collect this cell's simulation group (within the remaining budget).
     std::vector<std::size_t> group{i};
@@ -358,10 +483,17 @@ CampaignRun CampaignEngine::run(const SweepSpec& spec,
         if (executed_now[j] || manifest_cells[j].done) continue;
         if (sim_fingerprints[owned[j]->index] != sim_fingerprints[cell.index])
           continue;
-        if (cache && cache->has(manifest_cells[j].fingerprint)) continue;
+        if (cache && cache->verify(manifest_cells[j].fingerprint)) continue;
         group.push_back(j);
       }
     }
+
+    // First attempt: members drawing a cell_execute fault peel off into
+    // the standalone retry path; the rest run as one group.
+    std::vector<std::size_t> healthy, faulted;
+    for (const std::size_t j : group)
+      (util::fault::should_fail("cell_execute") ? faulted : healthy)
+          .push_back(j);
 
     CPSG_INFO("sweep") << spec.name << ": running " << cell.id()
                        << (group.size() > 1
@@ -370,51 +502,85 @@ CampaignRun CampaignEngine::run(const SweepSpec& spec,
                                : "")
                        << " (" << outcome.executed + outcome.cache_hits + 1 << "/"
                        << owned.size() << ")";
-    std::vector<scenario::ScenarioSpec> specs;
-    specs.reserve(group.size());
-    for (const std::size_t j : group) specs.push_back(owned[j]->spec);
-    const std::vector<Report> reports = runner.run_group(specs, overrides);
-    for (std::size_t g = 0; g < group.size(); ++g) {
-      const std::size_t j = group[g];
-      const std::string json = reports[g].to_json();
-      if (cache)
-        cache->store(manifest_cells[j].fingerprint, json);
-      else
-        memory[manifest_cells[j].fingerprint] = json;
-      ++outcome.executed;
-      manifest_cells[j].done = true;
-      executed_now[j] = 1;
+    if (!healthy.empty()) {
+      std::vector<scenario::ScenarioSpec> specs;
+      specs.reserve(healthy.size());
+      for (const std::size_t j : healthy) specs.push_back(owned[j]->spec);
+      try {
+        const std::vector<Report> reports = runner.run_group(specs, overrides);
+        for (std::size_t g = 0; g < healthy.size(); ++g)
+          store_cell(healthy[g], reports[g].to_json());
+        healthy.clear();
+      } catch (const util::Error& e) {
+        CPSG_WARN("sweep") << spec.name << ": simulation group at " << cell.id()
+                           << " failed (" << e.what()
+                           << "), retrying its cells standalone";
+      }
+    }
+    // Whatever is left — fault-drawn members plus a failed group — gets
+    // the remaining attempts standalone.
+    faulted.insert(faulted.end(), healthy.begin(), healthy.end());
+    std::sort(faulted.begin(), faulted.end());
+    for (const std::size_t j : faulted) {
+      if (auto json = run_single(*owned[j], retry.max_attempts - 1)) {
+        store_cell(j, *json);
+      } else {
+        manifest_cells[j].failed = true;
+        executed_now[j] = 1;
+        outcome.failed_cells.push_back(owned[j]->index);
+        CPSG_WARN("sweep") << spec.name << ": cell " << owned[j]->id()
+                           << " exhausted its " << retry.max_attempts
+                           << " attempts — recorded as failed, continuing "
+                              "with its siblings";
+      }
     }
     flush_manifest();
   }
 
-  outcome.complete = !budget_exhausted;
+  std::sort(outcome.failed_cells.begin(), outcome.failed_cells.end());
+  outcome.complete = !budget_exhausted && outcome.failed_cells.empty();
   if (!outcome.complete || options.shard.count != 1) return outcome;
 
   const CellLoader load = [&](const Cell& cell) -> std::string {
     const std::string& fp = fingerprints[cell.index];
+    const auto it = memory.find(fp);
+    if (it != memory.end()) return it->second;
     if (cache) {
-      auto json = cache->load(fp);
-      require(json.has_value(), "sweep: cache entry vanished for " + cell.id());
-      return *json;
+      if (auto json = cache->load(fp)) return *json;
+      // The entry vanished or was quarantined between execution and report
+      // assembly (torn write published by a concurrent shard, injected
+      // read fault).  Recompute — execution is deterministic, so the
+      // report stays bit-identical.
+      CPSG_WARN("sweep") << spec.name << ": cache entry for " << cell.id()
+                         << " lost before report assembly — recomputing";
+      const std::string json = runner.run(cell.spec, overrides).to_json();
+      try {
+        cache->store(fp, json);
+      } catch (const util::Error&) {
+      }
+      return memory.emplace(fp, json).first->second;
     }
     return memory.at(fp);
   };
-  outcome.report = build_campaign_report(spec, cells, expansion, load);
+  outcome.report =
+      build_campaign_report(spec, cells, expansion, options.condensed, load);
   return outcome;
 }
 
 Report CampaignEngine::merge(const SweepSpec& spec,
                              const CampaignOptions& options) const {
-  const std::vector<Cell> cells = spec.expand(scenario::Registry::instance());
+  const std::vector<Cell> cells = expand_cells(spec, options);
   const std::string expansion = expansion_fingerprint(spec.name, cells);
   const ResultCache cache(options.cache_dir);
 
+  // verify (not has): a corrupt entry is quarantined here and reported
+  // missing, so the merge error names the shards to re-run instead of a
+  // poisoned report surviving into downstream artifacts.
   std::vector<std::size_t> missing;
   std::vector<std::string> fingerprints(cells.size());
   for (const auto& cell : cells) {
     fingerprints[cell.index] = fingerprint(cell.spec);
-    if (!cache.has(fingerprints[cell.index])) missing.push_back(cell.index);
+    if (!cache.verify(fingerprints[cell.index])) missing.push_back(cell.index);
   }
   if (!missing.empty()) {
     // Map missing cells onto the shards that own them so the error says
@@ -435,12 +601,12 @@ Report CampaignEngine::merge(const SweepSpec& spec,
     require(json.has_value(), "sweep: cache entry vanished for " + cell.id());
     return *json;
   };
-  return build_campaign_report(spec, cells, expansion, load);
+  return build_campaign_report(spec, cells, expansion, options.condensed, load);
 }
 
 CampaignStatus CampaignEngine::status(const SweepSpec& spec,
                                       const CampaignOptions& options) const {
-  const std::vector<Cell> cells = spec.expand(scenario::Registry::instance());
+  const std::vector<Cell> cells = expand_cells(spec, options);
   const std::string expansion = expansion_fingerprint(spec.name, cells);
 
   CampaignStatus status;
@@ -449,6 +615,7 @@ CampaignStatus CampaignEngine::status(const SweepSpec& spec,
   std::error_code ec;
   if (!fs::is_directory(options.work_dir, ec)) return status;
   std::set<std::size_t> done;
+  std::set<std::size_t> failed;
   const std::string prefix = spec.name + ".shard-";
   // Sorted traversal so stale_manifests listings are deterministic.
   std::vector<fs::path> entries;
@@ -458,15 +625,32 @@ CampaignStatus CampaignEngine::status(const SweepSpec& spec,
   for (const auto& path : entries) {
     const std::string file = path.filename().string();
     if (file.rfind(prefix, 0) != 0 || path.extension() != ".json") continue;
-    if (auto shard_done = read_manifest_done(path.string(), expansion)) {
+    if (auto manifest = ShardManifest::read(path.string(), expansion)) {
       ++status.shards_seen;
-      done.insert(shard_done->begin(), shard_done->end());
+      done.insert(manifest->done.begin(), manifest->done.end());
+      failed.insert(manifest->failed.begin(), manifest->failed.end());
     } else {
       status.stale_manifests.push_back(file);
     }
   }
   status.cells_done = done.size();
+  status.cells_failed = failed.size();
   return status;
+}
+
+std::vector<std::string> CampaignEngine::prune(
+    const SweepSpec& spec, const CampaignOptions& options) const {
+  const CampaignStatus current = status(spec, options);
+  std::vector<std::string> removed;
+  for (const std::string& file : current.stale_manifests) {
+    std::error_code ec;
+    if (fs::remove(options.work_dir + "/" + file, ec) && !ec)
+      removed.push_back(file);
+  }
+  if (!removed.empty())
+    CPSG_INFO("sweep") << spec.name << ": pruned " << removed.size()
+                       << " stale manifest(s)";
+  return removed;
 }
 
 }  // namespace cpsguard::sweep

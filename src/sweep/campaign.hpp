@@ -1,4 +1,5 @@
-// campaign.hpp — executes a SweepSpec: cached, sharded, resumable.
+// campaign.hpp — executes a SweepSpec: cached, sharded, resumable,
+// fault-tolerant.
 //
 // The engine expands a campaign into cells (sweep/spec.hpp), partitions
 // them deterministically over shards (cell_index mod shard_count), and
@@ -14,16 +15,28 @@
 //  3. Resumability: a per-shard manifest under the work dir records which
 //     cells completed; an interrupted run (kill, --max-cells budget)
 //     continues where it left off.
+//
+// Fault tolerance (PR 6) hardens all three: cache entries are checksummed
+// and quarantined on corruption (sweep/cache.hpp), a failing cell is
+// retried under options.cell_retry and — when it keeps failing — recorded
+// in CampaignRun::failed_cells while its siblings keep executing, an
+// unwritable cache dir downgrades to in-memory execution with a warning,
+// and every failure path is exercisable deterministically through the
+// util::fault site registry.  sweep/coordinator.hpp supervises whole
+// worker processes on top of this.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "scenario/report.hpp"
 #include "sweep/cache.hpp"
 #include "sweep/spec.hpp"
+#include "util/retry.hpp"
 
 namespace cpsguard::sweep {
 
@@ -61,6 +74,15 @@ struct CampaignOptions {
   /// stored cell reports are bit-identical either way (asserted by
   /// tests/sweep_test.cpp); false forces one simulation per cell.
   bool group_simulations = true;
+  /// Attempt budget and backoff for a cell whose execution (or whose cache
+  /// store) fails; a cell that exhausts it lands in
+  /// CampaignRun::failed_cells instead of aborting the run.
+  util::RetryPolicy cell_retry;
+  /// Run every cell through the condensed step kernel (throughput over
+  /// bit-exact reproducibility).  Applied before fingerprinting, so
+  /// condensed campaigns key a disjoint region of the cache, and the
+  /// campaign report is labelled non-bit-exact.
+  bool condensed = false;
 };
 
 /// Outcome of one `run` invocation (one shard's worth of work).
@@ -72,6 +94,13 @@ struct CampaignRun {
   /// Distinct simulation groups across the whole campaign — the number of
   /// Monte-Carlo batches a grouped cold run simulates for cells_total cells.
   std::size_t simulation_groups = 0;
+  /// Owned cells whose execution kept failing after options.cell_retry was
+  /// exhausted.  Their siblings still executed; a later run re-attempts
+  /// exactly these cells.
+  std::vector<std::size_t> failed_cells;
+  /// True when the cache directory was unwritable and the run fell back to
+  /// in-memory execution (results are not persisted, resume is disabled).
+  bool cache_degraded = false;
   bool complete = false;           ///< every owned cell done
   std::string manifest_path;       ///< "" when use_cache is false
   std::string expansion;           ///< expansion fingerprint
@@ -80,30 +109,61 @@ struct CampaignRun {
   std::optional<scenario::Report> report;
 };
 
+/// One shard's progress record in the work dir.  The engine rewrites it
+/// atomically after every cell, stamping a monotonically increasing
+/// heartbeat and the writer's pid — the coordinator's liveness signal for
+/// detecting hung workers.
+struct ShardManifest {
+  std::set<std::size_t> done;    ///< completed cell indices
+  std::set<std::size_t> failed;  ///< cells that exhausted their retries
+  std::uint64_t heartbeat = 0;   ///< flush counter (strictly increasing)
+  std::uint64_t pid = 0;         ///< writer process
+
+  static std::string path(const std::string& work_dir,
+                          const std::string& campaign,
+                          const ShardSelector& shard);
+  /// Reads and validates the manifest at `path`; nullopt when the file is
+  /// absent, unparsable, or recorded under a different expansion
+  /// fingerprint (i.e. a stale campaign definition).
+  static std::optional<ShardManifest> read(const std::string& path,
+                                           const std::string& expansion);
+};
+
 /// Progress of a campaign as recorded by shard manifests in the work dir.
 struct CampaignStatus {
   std::size_t cells_total = 0;
-  std::size_t cells_done = 0;   ///< union over shards, deduplicated
-  std::size_t shards_seen = 0;  ///< manifests found in the work dir
+  std::size_t cells_done = 0;    ///< union over shards, deduplicated
+  std::size_t cells_failed = 0;  ///< union of recorded failed cells
+  std::size_t shards_seen = 0;   ///< manifests found in the work dir
   std::vector<std::string> stale_manifests;  ///< expansion-mismatched files
 };
 
 class CampaignEngine {
  public:
   /// Executes `spec`'s cells owned by options.shard.  Throws util::Error on
-  /// unknown base scenarios / axis parameters and on I/O failures.
+  /// unknown base scenarios / axis parameters and on I/O failures outside
+  /// cell execution; a cell whose execution fails is retried under
+  /// options.cell_retry and then recorded in failed_cells (complete=false)
+  /// without stopping its siblings.
   CampaignRun run(const SweepSpec& spec, const CampaignOptions& options) const;
 
   /// Stitches a (possibly sharded) campaign into one report: every cell
-  /// must be present in the cache.  Throws util::InvalidArgument listing
-  /// the missing shards otherwise.  The result is bit-identical to the
-  /// report of an unsharded `run`.
+  /// must be present in the cache and pass its integrity check (corrupt
+  /// entries are quarantined and reported missing).  Throws
+  /// util::InvalidArgument listing the incomplete shards otherwise.  The
+  /// result is bit-identical to the report of an unsharded `run`.
   scenario::Report merge(const SweepSpec& spec,
                          const CampaignOptions& options) const;
 
   /// Reads shard manifests for `spec` from options.work_dir.
   CampaignStatus status(const SweepSpec& spec,
                         const CampaignOptions& options) const;
+
+  /// Deletes the stale (expansion-mismatched) manifests that status()
+  /// reports — they belong to a previous campaign definition and nothing
+  /// else ever cleans them up.  Returns the deleted file names.
+  std::vector<std::string> prune(const SweepSpec& spec,
+                                 const CampaignOptions& options) const;
 };
 
 }  // namespace cpsguard::sweep

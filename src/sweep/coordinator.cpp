@@ -1,0 +1,282 @@
+#include "sweep/coordinator.hpp"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+
+#include "scenario/registry.hpp"
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::sweep {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Worker exit protocol.  kGraceful mirrors the CLI's exit code for an
+/// incomplete-but-orderly run (`sweep run` exits 4 on complete=false), so
+/// exec-mode workers speak it natively; fork-mode workers use kIncomplete.
+/// Anything else — and any signal — is a crash.
+constexpr int kIncomplete = 75;
+constexpr int kGracefulCli = 4;
+
+bool graceful_exit(int code) {
+  return code == 0 || code == kIncomplete || code == kGracefulCli;
+}
+
+/// Per-(shard, attempt) fault seed: deterministic, but a relaunched worker
+/// is not condemned to replay the exact draw sequence that killed its
+/// predecessor.
+std::uint64_t attempt_seed(std::uint64_t base, std::size_t shard,
+                           std::size_t attempt) {
+  return base + 104729u * shard + 7919u * attempt;
+}
+
+/// Rewrites a fault spec's trailing "@seed" (appending one if absent).
+std::string spec_with_seed(const std::string& spec, std::uint64_t seed) {
+  const std::size_t at = spec.rfind('@');
+  const std::string sites = at == std::string::npos ? spec : spec.substr(0, at);
+  return sites + "@" + std::to_string(seed);
+}
+
+struct Slot {
+  std::size_t shard = 0;
+  pid_t pid = -1;
+  std::size_t attempts = 0;
+  std::size_t crashes = 0;
+  bool done = false;
+  bool ok = false;
+  std::uint64_t heartbeat_seen = 0;
+  Clock::time_point last_progress;
+  Clock::time_point respawn_at;
+};
+
+}  // namespace
+
+CoordinatedRun Coordinator::run(const SweepSpec& spec,
+                                const CoordinatorOptions& options) const {
+  util::require(options.workers > 0, "coordinate: need at least one worker");
+  util::require(options.campaign.use_cache,
+                "coordinate: workers share results through the cache; "
+                "--no-cache cannot be coordinated");
+
+  std::vector<Cell> cells = spec.expand(scenario::Registry::instance());
+  if (options.campaign.condensed)
+    for (Cell& cell : cells) cell.spec.condensed = true;
+  const std::string expansion = expansion_fingerprint(spec.name, cells);
+  std::vector<std::string> fingerprints(cells.size());
+  for (const Cell& cell : cells)
+    fingerprints[cell.index] = fingerprint(cell.spec);
+
+  // The fault plan is validated up front (bad site names / probabilities
+  // fail fast in the coordinator, not in a crash-looping worker); only the
+  // seed varies per spawn.
+  std::uint64_t fault_seed = 1;
+  if (!options.fault_spec.empty())
+    fault_seed = util::fault::FaultPlan::parse(options.fault_spec).seed;
+
+  const auto shard_of = [&](std::size_t index) {
+    return ShardSelector{index, options.workers};
+  };
+
+  // Ground truth for accepting a worker's exit: every cell the shard owns
+  // is either verified in the shared cache or recorded as failed in its
+  // manifest.  A worker can exit 0 with a memory-only result (its cache
+  // stores kept failing) — the manifest then shows the cell not done, the
+  // coverage check fails, and the shard is relaunched to recompute it.
+  // verify() also quarantines entries torn after the worker checked them.
+  const auto shard_covered = [&](std::size_t shard) {
+    const auto manifest = ShardManifest::read(
+        ShardManifest::path(options.campaign.work_dir, spec.name,
+                            shard_of(shard)),
+        expansion);
+    const ResultCache cache(options.campaign.cache_dir);
+    for (const Cell& cell : cells) {
+      if (!shard_of(shard).owns(cell.index)) continue;
+      if (manifest && manifest->failed.count(cell.index) != 0) continue;
+      if (!cache.verify(fingerprints[cell.index])) return false;
+    }
+    return true;
+  };
+  const auto spawn = [&](Slot& slot) {
+    ++slot.attempts;
+    const std::string child_spec =
+        options.fault_spec.empty()
+            ? std::string()
+            : spec_with_seed(options.fault_spec,
+                             attempt_seed(fault_seed, slot.shard,
+                                          slot.attempts));
+    const pid_t pid = ::fork();
+    util::require(pid >= 0, "coordinate: fork failed");
+    if (pid == 0) {
+      // Worker.  Never returns: _Exit (not exit) so a fork-mode child
+      // leaves the parent's atexit handlers and test harness untouched.
+      if (!options.worker_argv.empty()) {
+        std::vector<std::string> argv = options.worker_argv;
+        argv.push_back("--shard");
+        argv.push_back(std::to_string(slot.shard) + "/" +
+                       std::to_string(options.workers));
+        if (!child_spec.empty()) {
+          argv.push_back("--inject");
+          argv.push_back(child_spec);
+        }
+        std::vector<char*> raw;
+        raw.reserve(argv.size() + 1);
+        for (std::string& arg : argv) raw.push_back(arg.data());
+        raw.push_back(nullptr);
+        ::execv(raw[0], raw.data());
+        std::_Exit(127);
+      }
+      util::fault::clear();
+      if (!child_spec.empty())
+        util::fault::install(util::fault::FaultPlan::parse(child_spec));
+      try {
+        CampaignOptions worker = options.campaign;
+        worker.shard = shard_of(slot.shard);
+        const CampaignRun run = CampaignEngine().run(spec, worker);
+        std::_Exit(run.complete ? 0 : kIncomplete);
+      } catch (...) {
+        std::_Exit(70);
+      }
+    }
+    slot.pid = pid;
+    slot.heartbeat_seen = 0;
+    slot.last_progress = Clock::now();
+    CPSG_INFO("sweep") << spec.name << ": worker for shard " << slot.shard
+                       << "/" << options.workers << " started (pid " << pid
+                       << ", attempt " << slot.attempts << ")";
+  };
+
+  // Crash/hang and graceful-incomplete both consume relaunch attempts from
+  // the same budget; a shard that exhausts it after a crash is marked
+  // failed (ok=false), after a graceful exit it keeps its partial results
+  // (ok=true, failures stand in the manifest).
+  const auto retire_or_reschedule = [&](Slot& slot, bool graceful) {
+    slot.pid = -1;
+    if (options.worker_retry.allows(slot.attempts + 1)) {
+      const double delay =
+          options.worker_retry.delay_ms(slot.attempts, slot.shard);
+      slot.respawn_at =
+          Clock::now() + std::chrono::milliseconds(
+                             static_cast<std::int64_t>(delay));
+      CPSG_WARN("sweep") << spec.name << ": shard " << slot.shard
+                         << (graceful ? " incomplete" : " crashed")
+                         << ", relaunching in " << delay << " ms";
+      return;
+    }
+    slot.done = true;
+    slot.ok = graceful;
+    CPSG_WARN("sweep") << spec.name << ": shard " << slot.shard
+                       << " exhausted its " << options.worker_retry.max_attempts
+                       << " attempts ("
+                       << (graceful ? "failed cells recorded" : "giving up")
+                       << ")";
+  };
+
+  std::vector<Slot> slots(options.workers);
+  const auto now0 = Clock::now();
+  for (std::size_t w = 0; w < options.workers; ++w) {
+    slots[w].shard = w;
+    slots[w].respawn_at = now0;
+  }
+
+  const auto hang_deadline = std::chrono::milliseconds(
+      static_cast<std::int64_t>(options.hang_timeout_s * 1000.0));
+  bool running = true;
+  while (running) {
+    running = false;
+    const auto now = Clock::now();
+    for (Slot& slot : slots) {
+      if (slot.done) continue;
+      running = true;
+      if (slot.pid < 0) {
+        if (now >= slot.respawn_at) spawn(slot);
+        continue;
+      }
+      int status = 0;
+      const pid_t reaped = ::waitpid(slot.pid, &status, WNOHANG);
+      if (reaped == slot.pid) {
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0 &&
+            shard_covered(slot.shard)) {
+          slot.pid = -1;
+          slot.done = true;
+          slot.ok = true;
+        } else if (WIFEXITED(status) && graceful_exit(WEXITSTATUS(status))) {
+          retire_or_reschedule(slot, /*graceful=*/true);
+        } else {
+          ++slot.crashes;
+          retire_or_reschedule(slot, /*graceful=*/false);
+        }
+        continue;
+      }
+      // Liveness: the worker rewrites its manifest (with a strictly
+      // increasing heartbeat) after every cell.  A frozen heartbeat past
+      // the deadline means a hung worker — kill it; the reap above then
+      // takes the crash path and relaunches.
+      const auto manifest = ShardManifest::read(
+          ShardManifest::path(options.campaign.work_dir, spec.name,
+                              shard_of(slot.shard)),
+          expansion);
+      if (manifest && manifest->heartbeat > slot.heartbeat_seen) {
+        slot.heartbeat_seen = manifest->heartbeat;
+        slot.last_progress = now;
+      } else if (now - slot.last_progress > hang_deadline) {
+        CPSG_WARN("sweep") << spec.name << ": worker for shard " << slot.shard
+                           << " (pid " << slot.pid << ") made no progress for "
+                           << options.hang_timeout_s << " s — killing it";
+        ::kill(slot.pid, SIGKILL);
+        slot.last_progress = now;  // one kill per deadline, reap picks it up
+      }
+    }
+    if (running) util::sleep_for_ms(options.poll_interval_ms);
+  }
+
+  CoordinatedRun outcome;
+  outcome.cells_total = cells.size();
+  std::set<std::size_t> done;
+  std::set<std::size_t> failed;
+  for (const Slot& slot : slots) {
+    outcome.workers.push_back({slot.shard, slot.attempts, slot.crashes,
+                               slot.ok});
+    const auto manifest = ShardManifest::read(
+        ShardManifest::path(options.campaign.work_dir, spec.name,
+                            shard_of(slot.shard)),
+        expansion);
+    if (!manifest) continue;
+    done.insert(manifest->done.begin(), manifest->done.end());
+    for (const std::size_t index : manifest->failed)
+      if (done.count(index) == 0) failed.insert(index);
+  }
+  outcome.cells_done = done.size();
+  outcome.failed_cells.assign(failed.begin(), failed.end());
+
+  const bool all_ok = std::all_of(slots.begin(), slots.end(),
+                                  [](const Slot& s) { return s.ok; });
+  outcome.complete =
+      all_ok && failed.empty() && done.size() == cells.size();
+  if (outcome.complete) {
+    CampaignOptions merge = options.campaign;
+    merge.shard = ShardSelector{0, options.workers};
+    try {
+      outcome.report = CampaignEngine().merge(spec, merge);
+    } catch (const util::Error& e) {
+      // Entries lost between the coverage checks and the merge: report
+      // incomplete (a re-run heals the cache) instead of throwing away the
+      // supervision outcome.
+      CPSG_WARN("sweep") << spec.name << ": merge failed after coordination ("
+                         << e.what() << ")";
+      outcome.complete = false;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace cpsguard::sweep

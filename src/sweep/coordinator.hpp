@@ -1,0 +1,93 @@
+// coordinator.hpp — supervised multi-worker campaign execution.
+//
+// The coordinator is the process-level half of the fault-tolerance story:
+// where CampaignEngine retries individual cells inside one process, the
+// Coordinator spawns one worker process per shard, watches each worker's
+// liveness through its heartbeat-stamped shard manifest, and relaunches
+// workers that crash or hang — under a util::RetryPolicy with exponential
+// backoff — until every shard either finishes or exhausts its attempts.
+// Because shard manifests and the result cache survive a worker's death,
+// a relaunched worker resumes exactly where its predecessor stopped, and
+// the merged campaign report is bit-identical to an unsharded run.
+//
+// Workers run in one of two modes:
+//   - fork mode (default): the worker is a fork of the coordinator that
+//     calls CampaignEngine::run in-process and _Exit()s.  Hermetic; used
+//     by the tests.
+//   - exec mode (worker_argv non-empty): the worker re-executes the given
+//     command line (e.g. `cpsguard_cli sweep run <campaign> --shard i/N`),
+//     with `--shard i/N` and the per-attempt `--inject` spec appended.
+//     The CLI's `sweep coordinate` uses this with /proc/self/exe.
+//
+// Fault injection composes: options.fault_spec is armed INSIDE each
+// worker (never in the coordinator) with a per-attempt seed, so relaunch
+// attempts draw different — but deterministic — fault outcomes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/report.hpp"
+#include "sweep/campaign.hpp"
+#include "util/retry.hpp"
+
+namespace cpsguard::sweep {
+
+struct CoordinatorOptions {
+  /// Worker (= shard) count; each worker w runs shard w/workers.
+  std::size_t workers = 2;
+  /// Per-worker campaign options; the shard field is overwritten per
+  /// worker.  cell_retry, cache/work dirs and condensed apply inside each
+  /// worker unchanged.
+  CampaignOptions campaign;
+  /// Attempt budget and backoff for relaunching a crashed or hung worker.
+  util::RetryPolicy worker_retry;
+  /// A worker whose manifest shows no progress (heartbeat unchanged) for
+  /// this long is declared hung, killed, and relaunched.
+  double hang_timeout_s = 30.0;
+  /// Supervision poll interval.
+  double poll_interval_ms = 25.0;
+  /// util::fault::FaultPlan spec armed inside every worker (see
+  /// util/fault.hpp for the grammar); empty = no injection.  The plan seed
+  /// is offset per (shard, attempt) so relaunches are deterministic but
+  /// not condemned to repeat the fatal draw.
+  std::string fault_spec;
+  /// Non-empty switches to exec mode: the worker command line, to which
+  /// the coordinator appends `--shard i/N` (and `--inject <spec>` when
+  /// fault_spec is set).
+  std::vector<std::string> worker_argv;
+};
+
+/// Fate of one shard's worker slot.
+struct WorkerOutcome {
+  std::size_t shard = 0;
+  std::size_t attempts = 0;  ///< processes spawned for this shard
+  std::size_t crashes = 0;   ///< non-zero exits + signals (incl. hang kills)
+  bool ok = false;           ///< a worker process finished gracefully
+};
+
+struct CoordinatedRun {
+  std::size_t cells_total = 0;
+  std::size_t cells_done = 0;  ///< union over shard manifests
+  /// Cells recorded as failed (retry-exhausted) by any worker.
+  std::vector<std::size_t> failed_cells;
+  std::vector<WorkerOutcome> workers;
+  /// Every shard finished gracefully and no cell failed.
+  bool complete = false;
+  /// merge() of the finished campaign; present iff complete.
+  std::optional<scenario::Report> report;
+};
+
+class Coordinator {
+ public:
+  /// Runs `spec` across options.workers supervised worker processes and —
+  /// when every shard completes — merges the result.  Throws util::Error
+  /// on configuration errors (unknown campaign, bad worker command);
+  /// worker crashes and hangs are handled, not thrown.
+  CoordinatedRun run(const SweepSpec& spec,
+                     const CoordinatorOptions& options) const;
+};
+
+}  // namespace cpsguard::sweep

@@ -258,6 +258,9 @@ void hash_simulation_suffix(util::Sha256& h, const ScenarioSpec& spec) {
   h.update(std::uint64_t{spec.far_pfc_filter ? 1u : 0u});
   h.update(std::uint64_t{spec.use_finder ? 1u : 0u});
   h.update(spec.solver_timeout_seconds);
+  // Condensed-kernel results are tolerance-equal, not bit-identical, to
+  // exact ones — they must never share a cache entry or simulation group.
+  h.update(std::uint64_t{spec.condensed ? 1u : 0u});
 }
 
 }  // namespace

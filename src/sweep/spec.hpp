@@ -24,7 +24,9 @@ namespace cpsguard::sweep {
 /// Code-version salt folded into every cell fingerprint.  Bump it whenever
 /// the meaning of cached results changes (runner semantics, report schema,
 /// RNG stream layout) so stale cache entries can never be replayed.
-inline constexpr char kFingerprintSalt[] = "cpsguard-sweep-cache-v1";
+/// v2: checksummed cache-entry framing (sweep/cache.hpp) and the condensed
+/// step-kernel flag entering the key.
+inline constexpr char kFingerprintSalt[] = "cpsguard-sweep-cache-v2";
 
 /// Salt of the simulation-group fingerprint, distinct from the cache salt
 /// so the two key spaces can never be confused for one another.

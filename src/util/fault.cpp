@@ -1,0 +1,207 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/hash.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+#include "util/retry.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::util::fault {
+
+namespace {
+
+constexpr const char* kKnownSites[] = {"cache_read",   "cache_write",
+                                       "cache_rename", "cell_execute",
+                                       "worker_abort", "worker_stall"};
+
+bool known_site(const std::string& site) {
+  for (const char* name : kKnownSites)
+    if (site == name) return true;
+  return false;
+}
+
+/// Armed plan plus per-site draw state.  One mutex guards everything: the
+/// sites fire on failure paths and per-cell boundaries, never inside the
+/// per-sample simulation loops, so contention is irrelevant.
+struct Registry {
+  std::mutex mutex;
+  FaultPlan plan;
+  bool armed = false;
+  std::map<std::string, Rng> streams;
+  std::map<std::string, std::size_t> failures;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+/// Stable per-site substream index: first 8 digest bytes of the site name.
+std::uint64_t site_stream_index(const std::string& site) {
+  const std::string digest = sha256_hex(site);
+  std::uint64_t index = 0;
+  for (int i = 0; i < 16; ++i) {
+    const char c = digest[i];
+    index = (index << 4) | static_cast<std::uint64_t>(
+                               c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+  return index;
+}
+
+double parse_probability(const std::string& site, const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const double p = std::stod(text, &consumed);
+    require(consumed == text.size() && p >= 0.0 && p <= 1.0,
+            "fault: bad probability '" + text + "' for site " + site);
+    return p;
+  } catch (const std::logic_error&) {
+    throw InvalidArgument("fault: bad probability '" + text + "' for site " +
+                          site);
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t default_seed) {
+  FaultPlan plan;
+  plan.seed = default_seed;
+  std::string body = spec;
+  const std::size_t at = body.rfind('@');
+  if (at != std::string::npos) {
+    const std::string seed_text = body.substr(at + 1);
+    try {
+      std::size_t consumed = 0;
+      plan.seed = std::stoull(seed_text, &consumed);
+      require(consumed == seed_text.size(),
+              "fault: bad seed '" + seed_text + "'");
+    } catch (const std::logic_error&) {
+      throw InvalidArgument("fault: bad seed '" + seed_text + "'");
+    }
+    body = body.substr(0, at);
+  }
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t comma = body.find(',', pos);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string item = body.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    require(eq != std::string::npos && eq > 0 && eq + 1 < item.size(),
+            "fault: expected 'site=probability[:limit]', got '" + item + "'");
+    const std::string site = item.substr(0, eq);
+    require(known_site(site), "fault: unknown site '" + site + "'");
+    std::string value = item.substr(eq + 1);
+    SiteSpec entry;
+    const std::size_t colon = value.find(':');
+    if (colon != std::string::npos) {
+      const std::string limit = value.substr(colon + 1);
+      try {
+        std::size_t consumed = 0;
+        entry.max_failures = std::stoull(limit, &consumed);
+        require(consumed == limit.size(), "fault: bad limit '" + limit + "'");
+      } catch (const std::logic_error&) {
+        throw InvalidArgument("fault: bad limit '" + limit + "'");
+      }
+      value = value.substr(0, colon);
+    }
+    entry.probability = parse_probability(site, value);
+    plan.sites[site] = entry;
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  for (const auto& [site, spec] : sites) {
+    if (!out.empty()) out += ',';
+    out += site + "=" + json_number(spec.probability);
+    if (spec.max_failures != static_cast<std::size_t>(-1))
+      out += ":" + std::to_string(spec.max_failures);
+  }
+  out += "@" + std::to_string(seed);
+  return out;
+}
+
+void install(const FaultPlan& plan) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.plan = plan;
+  reg.armed = !plan.sites.empty();
+  reg.streams.clear();
+  reg.failures.clear();
+  for (const auto& [site, spec] : plan.sites) {
+    (void)spec;
+    reg.streams.emplace(site, Rng::substream(plan.seed, site_stream_index(site)));
+    reg.failures[site] = 0;
+  }
+  if (reg.armed)
+    CPSG_WARN("fault") << "fault injection armed: " << plan.describe();
+}
+
+void clear() { install(FaultPlan{}); }
+
+bool armed() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.armed;
+}
+
+bool should_fail(const std::string& site) {
+  require(known_site(site), "fault: unknown site '" + site + "'");
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (!reg.armed) return false;
+  const auto it = reg.plan.sites.find(site);
+  if (it == reg.plan.sites.end()) return false;
+  std::size_t& count = reg.failures[site];
+  if (count >= it->second.max_failures) return false;
+  const bool fail = reg.streams.at(site).uniform() < it->second.probability;
+  if (fail) {
+    ++count;
+    CPSG_WARN("fault") << "injected failure at site " << site << " (#" << count
+                       << ")";
+  }
+  return fail;
+}
+
+std::size_t injected(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.failures.find(site);
+  return it == reg.failures.end() ? 0 : it->second;
+}
+
+void maybe_throw(const std::string& site, const std::string& what) {
+  if (should_fail(site)) throw IoError("fault:" + site + ": " + what);
+}
+
+void maybe_abort(const std::string& site) {
+  if (should_fail(site)) {
+    CPSG_WARN("fault") << "aborting process at site " << site;
+    std::_Exit(kAbortExitCode);
+  }
+}
+
+void maybe_stall(const std::string& site) {
+  if (should_fail(site)) {
+    CPSG_WARN("fault") << "stalling at site " << site;
+    sleep_for_ms(kStallSeconds * 1000.0);
+  }
+}
+
+void maybe_corrupt(const std::string& site, std::string& payload) {
+  if (!should_fail(site)) return;
+  // Tear roughly in half and append bytes no valid entry ends with, so the
+  // damage is visible to checksums but not to file-existence checks.
+  payload.resize(payload.size() / 2);
+  payload.append("\x00\xff torn", 7);  // embedded NUL: append with length
+}
+
+}  // namespace cpsguard::util::fault

@@ -1,0 +1,92 @@
+// fault.hpp — deterministic fault injection for the campaign fabric.
+//
+// Robustness code is only trustworthy when its failure paths execute, so
+// the sweep layer routes every failure-prone operation through a named
+// fault SITE.  Arming a seeded FaultPlan makes those sites fail with the
+// configured probability — thrown I/O errors, torn cache payloads, aborted
+// worker processes, stalls — and because every draw comes from util::Rng
+// substreams of the plan seed, a chaos run is exactly reproducible: same
+// plan, same faults, same recovery.  Unarmed (the default), every helper
+// here is a no-op on the hot path.
+//
+// Registered sites:
+//   cache_read    ResultCache::load — entry unreadable, quarantined as corrupt
+//   cache_write   ResultCache::store — payload torn (detected on later read)
+//   cache_rename  ResultCache::store — atomic publish fails (ENOSPC-style)
+//   cell_execute  CampaignEngine — a cell's execution throws
+//   worker_abort  CampaignEngine loop — the worker process dies mid-shard
+//   worker_stall  CampaignEngine loop — the worker hangs (deadline testing)
+//
+// A plan is armed per process: `cpsguard_cli ... --inject SPEC` or the
+// CPSGUARD_INJECT environment variable, SPEC being a comma-separated list
+// of `site=probability[:max_failures]` with an optional trailing `@seed`,
+// e.g. `cache_write=0.1,worker_abort=0.05@7`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cpsguard::util::fault {
+
+/// Exit code a worker_abort fault dies with (distinguishable from crashes
+/// the test harness did not inject).
+inline constexpr int kAbortExitCode = 86;
+
+/// Seconds a worker_stall fault sleeps — far past any sane coordinator
+/// deadline, so a stalled worker is always reaped by supervision, never by
+/// the stall expiring on its own.
+inline constexpr double kStallSeconds = 120.0;
+
+struct SiteSpec {
+  double probability = 0.0;  ///< per-draw failure probability in [0, 1]
+  /// The site disarms after this many injected failures (SIZE_MAX = never):
+  /// `cell_execute=1:2` deterministically fails exactly the first two draws.
+  std::size_t max_failures = static_cast<std::size_t>(-1);
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::map<std::string, SiteSpec> sites;
+
+  /// Parses `spec` ("site=p[:limit],...[@seed]").  Unknown site names and
+  /// malformed probabilities throw util::InvalidArgument; an empty spec
+  /// yields an empty plan.  `default_seed` applies when no `@seed` suffix.
+  static FaultPlan parse(const std::string& spec, std::uint64_t default_seed = 1);
+
+  /// Canonical single-line form ("cache_write=0.1:3,worker_abort=0.05@7").
+  std::string describe() const;
+};
+
+/// Arms `plan` for this process (replacing any previous plan and resetting
+/// all per-site draw state).  An empty plan disarms.
+void install(const FaultPlan& plan);
+void clear();
+bool armed();
+
+/// Draws site `site`: true when the armed plan injects a failure here.
+/// Always false when unarmed or the site is not in the plan.  Thread-safe;
+/// draws are consumed in call order from a per-site substream of the seed.
+bool should_fail(const std::string& site);
+
+/// Number of failures site `site` has injected since install().
+std::size_t injected(const std::string& site);
+
+/// should_fail + throw util::IoError("fault:<site>: " + what).
+void maybe_throw(const std::string& site, const std::string& what);
+
+/// should_fail + immediate process death via _Exit(kAbortExitCode) — the
+/// moral equivalent of SIGKILL mid-shard; destructors do not run, so
+/// partially written state is left exactly as a real crash would leave it.
+void maybe_abort(const std::string& site);
+
+/// should_fail + sleep kStallSeconds (simulates a hung worker; the
+/// coordinator's attempt deadline is expected to reap the process first).
+void maybe_stall(const std::string& site);
+
+/// should_fail + tear `payload` (truncates it mid-way and appends garbage),
+/// simulating a torn write that slips past the atomic rename.
+void maybe_corrupt(const std::string& site, std::string& payload);
+
+}  // namespace cpsguard::util::fault

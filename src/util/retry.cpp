@@ -1,0 +1,32 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/random.hpp"
+
+namespace cpsguard::util {
+
+double RetryPolicy::delay_ms(std::size_t attempt, std::uint64_t salt) const {
+  if (attempt == 0) return 0.0;
+  double delay = base_delay_ms;
+  for (std::size_t i = 1; i < attempt && delay < max_delay_ms; ++i)
+    delay *= multiplier;
+  delay = std::min(delay, max_delay_ms);
+  if (jitter <= 0.0) return delay;
+  // Substream (seed ^ salt, attempt): distinct retry loops and distinct
+  // attempts draw independent, reproducible jitter factors.
+  Rng rng = Rng::substream(seed ^ salt, attempt);
+  const double factor = 1.0 - jitter + 2.0 * jitter * rng.uniform();
+  return delay * factor;
+}
+
+void sleep_for_ms(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace cpsguard::util

@@ -1,0 +1,40 @@
+// retry.hpp — bounded retry with exponential backoff and deterministic jitter.
+//
+// The campaign fabric retries failing work at two levels: the engine
+// re-attempts a cell that threw (sweep::CampaignEngine) and the coordinator
+// relaunches a crashed or hung worker (sweep::Coordinator).  Both share this
+// policy.  Jitter is drawn from util::Rng seeded by (seed, salt, attempt),
+// so a given schedule is reproducible from its seed — the same property the
+// Monte-Carlo layer has, extended to failure handling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cpsguard::util {
+
+struct RetryPolicy {
+  /// Total attempts including the first one; 1 = no retries.
+  std::size_t max_attempts = 3;
+  double base_delay_ms = 10.0;   ///< delay after the first failure
+  double max_delay_ms = 2000.0;  ///< exponential growth cap
+  double multiplier = 2.0;       ///< per-attempt growth factor
+  /// Jitter fraction in [0, 1]: the delay is scaled by a deterministic
+  /// uniform draw from [1 - jitter, 1 + jitter].  Spreads simultaneous
+  /// relaunches without losing reproducibility.
+  double jitter = 0.5;
+  std::uint64_t seed = 1;  ///< jitter stream seed
+
+  /// Backoff before attempt `attempt + 1`, given that attempt `attempt`
+  /// (1-based) just failed.  `salt` separates the jitter streams of
+  /// independent retry loops (e.g. one per cell) under one policy.
+  double delay_ms(std::size_t attempt, std::uint64_t salt = 0) const;
+
+  /// True while `attempt` (1-based) is within budget.
+  bool allows(std::size_t attempt) const { return attempt <= max_attempts; }
+};
+
+/// Blocks the calling thread for `ms` milliseconds (no-op when ms <= 0).
+void sleep_for_ms(double ms);
+
+}  // namespace cpsguard::util

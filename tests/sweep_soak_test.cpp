@@ -1,0 +1,102 @@
+// Chaos soak for the fault-tolerant campaign fabric (ctest label "soak",
+// excluded from the fast suites): repeated coordinated runs under layered
+// fault injection — worker aborts, worker stalls, torn cache writes,
+// transient cell failures — across several seeds.  Every surviving run
+// must produce a campaign report byte-identical to the fault-free
+// unsharded reference; runs that exhaust their budgets must fail
+// gracefully (failed cells recorded, no crash escaping the coordinator).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "sweep/campaign.hpp"
+#include "sweep/coordinator.hpp"
+#include "sweep/spec.hpp"
+#include "util/fault.hpp"
+
+namespace cpsguard::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path(::testing::TempDir() + "sweep_soak_" + name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+SweepSpec soak_campaign() {
+  SweepSpec spec;
+  spec.name = "soak_campaign";
+  spec.title = "trajectory FAR soak grid";
+  spec.base = "trajectory/far";
+  spec.fixed = {{"runs", 40}};
+  spec.axes = {Axis::list("noise_scale", {0.8, 1.0}),
+               Axis::list("detector_scale", {1.2, 1.4, 1.6})};
+  return spec;
+}
+
+TEST(CoordinatorSoak, SelfHealsAcrossSeedsBitIdentically) {
+  const SweepSpec spec = soak_campaign();
+
+  const ScratchDir clean_scratch("ref");
+  CampaignOptions clean_options;
+  clean_options.cache_dir = clean_scratch.path + "/cache";
+  clean_options.work_dir = clean_scratch.path + "/campaigns";
+  const CampaignRun clean = CampaignEngine().run(spec, clean_options);
+  ASSERT_TRUE(clean.report.has_value());
+  const std::string reference = clean.report->to_json();
+
+  for (const std::uint64_t seed : {3u, 17u, 29u, 101u, 4099u}) {
+    const ScratchDir scratch("seed" + std::to_string(seed));
+    CoordinatorOptions options;
+    options.workers = 2;
+    options.campaign.cache_dir = scratch.path + "/cache";
+    options.campaign.work_dir = scratch.path + "/campaigns";
+    options.campaign.cell_retry.base_delay_ms = 0.01;
+    options.worker_retry.max_attempts = 12;
+    options.worker_retry.base_delay_ms = 1.0;
+    options.worker_retry.max_delay_ms = 10.0;
+    // Stalls are expensive (each costs a hang_timeout before the kill), so
+    // they are rare and capped; the other faults fire freely.
+    options.hang_timeout_s = 1.5;
+    options.fault_spec = "worker_abort=0.25,worker_stall=0.02:1,"
+                         "cache_write=0.25,cell_execute=0.2@" +
+                         std::to_string(seed);
+    const CoordinatedRun outcome = Coordinator().run(spec, options);
+    ASSERT_TRUE(outcome.complete) << "seed " << seed;
+    ASSERT_TRUE(outcome.report.has_value()) << "seed " << seed;
+    EXPECT_EQ(outcome.report->to_json(), reference) << "seed " << seed;
+  }
+}
+
+TEST(CoordinatorSoak, RepeatedGiveUpStaysGraceful) {
+  // Hard-failing cells across repeated coordinated attempts: the fabric
+  // must keep reporting the failures without ever crashing or wedging.
+  const SweepSpec spec = soak_campaign();
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const ScratchDir scratch("giveup" + std::to_string(seed));
+    CoordinatorOptions options;
+    options.workers = 3;
+    options.campaign.cache_dir = scratch.path + "/cache";
+    options.campaign.work_dir = scratch.path + "/campaigns";
+    options.campaign.cell_retry.max_attempts = 1;
+    options.worker_retry.max_attempts = 2;
+    options.worker_retry.base_delay_ms = 1.0;
+    options.worker_retry.max_delay_ms = 5.0;
+    options.fault_spec = "cell_execute=1@" + std::to_string(seed);
+    const CoordinatedRun outcome = Coordinator().run(spec, options);
+    EXPECT_FALSE(outcome.complete) << "seed " << seed;
+    EXPECT_EQ(outcome.failed_cells.size(), 6u) << "seed " << seed;
+    for (const WorkerOutcome& worker : outcome.workers)
+      EXPECT_TRUE(worker.ok) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cpsguard::sweep

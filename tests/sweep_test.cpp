@@ -2,9 +2,12 @@
 // fingerprinting, the content-addressed cache, and the campaign engine's
 // headline invariant — cold-cache, warm-cache, interrupted+resumed and
 // sharded+merged executions all produce bit-identical campaign reports, at
-// any thread count.
+// any thread count.  The chaos section at the bottom exercises the
+// fault-tolerance layer (cache integrity, cell retries, worker
+// supervision) through util::fault's deterministic injection.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
@@ -12,8 +15,10 @@
 #include "sim/stats.hpp"
 #include "sweep/cache.hpp"
 #include "sweep/campaign.hpp"
+#include "sweep/coordinator.hpp"
 #include "sweep/registry.hpp"
 #include "sweep/spec.hpp"
+#include "util/fault.hpp"
 #include "util/status.hpp"
 
 namespace cpsguard::sweep {
@@ -511,6 +516,350 @@ TEST(SweepRegistry, BundlesThePaperCampaigns) {
     const std::string description = spec.describe();
     EXPECT_NE(description.find(name), std::string::npos);
     EXPECT_NE(description.find(spec.base), std::string::npos);
+  }
+}
+
+// ---- cache integrity --------------------------------------------------------
+
+/// Appends garbage to the stored entry file, breaking its checksum.
+void corrupt_entry(const ResultCache& cache, const std::string& key) {
+  std::ofstream out(cache.entry_path(key), std::ios::app | std::ios::binary);
+  const std::string garbage("\x00\xffgarbage", 9);  // embedded NUL, so write()
+  out.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+}
+
+TEST(ResultCache, CorruptEntryQuarantinedOnLoad) {
+  const ScratchDir scratch("corrupt");
+  const ResultCache cache(scratch.path + "/cache");
+  const std::string key(64, 'b');
+  cache.store(key, "{\"x\":1}");
+  ASSERT_TRUE(cache.verify(key));
+
+  corrupt_entry(cache, key);
+  EXPECT_TRUE(cache.has(key));         // existence check is checksum-blind
+  EXPECT_FALSE(cache.load(key).has_value());  // verified read is not
+  // The torn entry moved to the quarantine, so it reads as a miss forever
+  // (recompute), and the evidence is preserved for inspection.
+  EXPECT_FALSE(cache.has(key));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(fs::exists(cache.quarantine_dir()));
+  EXPECT_EQ(std::distance(fs::directory_iterator(cache.quarantine_dir()),
+                          fs::directory_iterator{}),
+            1);
+
+  // verify() takes the same quarantine path.
+  cache.store(key, "{\"x\":1}");
+  corrupt_entry(cache, key);
+  EXPECT_FALSE(cache.verify(key));
+  EXPECT_FALSE(cache.has(key));
+}
+
+TEST(ResultCache, FsckVerifiesEveryEntry) {
+  const ScratchDir scratch("fsck");
+  const ResultCache cache(scratch.path + "/cache");
+  const std::string good(64, 'c');
+  const std::string bad(64, 'd');
+  cache.store(good, "{\"ok\":true}");
+  cache.store(bad, "{\"ok\":false}");
+  corrupt_entry(cache, bad);
+
+  const ResultCache::FsckReport report = cache.fsck();
+  EXPECT_EQ(report.entries, 2u);
+  EXPECT_EQ(report.ok, 1u);
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_TRUE(cache.has(good));
+  EXPECT_FALSE(cache.has(bad));
+}
+
+TEST(ResultCache, StaleTempFilesSweptOnOpen) {
+  const ScratchDir scratch("temps");
+  const std::string dir = scratch.path + "/cache";
+  {
+    const ResultCache cache(dir);
+    cache.store(std::string(64, 'e'), "{}");
+    // store() publishes atomically: no temp file may outlive it.
+    std::size_t temps = 0;
+    for (const auto& entry : fs::recursive_directory_iterator(dir))
+      if (entry.path().filename().string().find(".tmp.") != std::string::npos)
+        ++temps;
+    EXPECT_EQ(temps, 0u);
+  }
+  // An orphaned temp from a crashed writer: swept once it is stale, kept
+  // while it might still belong to a live writer.
+  fs::create_directories(dir + "/ff");
+  const std::string stale = dir + "/ff/" + std::string(64, 'f') + ".json.tmp.1";
+  const std::string young = dir + "/ff/" + std::string(64, 'f') + ".json.tmp.2";
+  std::ofstream(stale) << "torn";
+  std::ofstream(young) << "torn";
+  fs::last_write_time(stale, fs::file_time_type::clock::now() -
+                                 std::chrono::hours(2));
+  const ResultCache reopened(dir);
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(young));
+  EXPECT_EQ(reopened.size(), 1u);  // temps never count as entries
+}
+
+// ---- chaos: engine-level fault tolerance ------------------------------------
+
+/// Arms a fault plan for the duration of one test scope.
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec) {
+    util::fault::install(util::fault::FaultPlan::parse(spec));
+  }
+  ~FaultGuard() { util::fault::clear(); }
+};
+
+TEST(CampaignEngine, TornCacheEntryIsRecomputedBitIdentically) {
+  const ScratchDir scratch("torn");
+  const SweepSpec spec = tiny_campaign();
+  const CampaignOptions options = scratch_options(scratch);
+  const CampaignEngine engine;
+
+  const CampaignRun cold = engine.run(spec, options);
+  ASSERT_TRUE(cold.report.has_value());
+
+  // Corrupt one stored cell behind the engine's back (a torn write that
+  // slipped past the writer, bitrot, a partial rsync...).
+  const std::vector<Cell> cells = spec.expand(scenario::Registry::instance());
+  const ResultCache cache(options.cache_dir);
+  corrupt_entry(cache, fingerprint(cells[3].spec));
+
+  // The re-run detects it at the verify-based hit check, quarantines it,
+  // recomputes exactly that cell, and the report is unchanged.
+  const CampaignRun healed = engine.run(spec, options);
+  ASSERT_TRUE(healed.complete);
+  EXPECT_EQ(healed.executed, 1u);
+  EXPECT_EQ(healed.cache_hits, 5u);
+  EXPECT_EQ(cold.report->to_json(), healed.report->to_json());
+}
+
+TEST(CampaignEngine, FaultInjectedColdRunIsBitIdentical) {
+  const SweepSpec spec = tiny_campaign();
+  const CampaignEngine engine;
+
+  const ScratchDir clean_scratch("chaos_ref");
+  const CampaignRun clean = engine.run(spec, scratch_options(clean_scratch));
+  ASSERT_TRUE(clean.report.has_value());
+
+  // Torn cache writes and transient cell failures, healed by the store
+  // verify-retry loop and the cell retry policy: the campaign still
+  // completes, and the report is byte-identical to the fault-free run.
+  const ScratchDir scratch("chaos");
+  CampaignOptions options = scratch_options(scratch);
+  options.cell_retry.base_delay_ms = 0.01;
+  const FaultGuard faults("cache_write=0.3,cell_execute=0.2@17");
+  const CampaignRun chaotic = engine.run(spec, options);
+  ASSERT_TRUE(chaotic.complete);
+  ASSERT_TRUE(chaotic.report.has_value());
+  EXPECT_TRUE(chaotic.failed_cells.empty());
+  EXPECT_EQ(clean.report->to_json(), chaotic.report->to_json());
+}
+
+TEST(CampaignEngine, FailedCellsReportedWithoutAbortingSiblings) {
+  const SweepSpec spec = tiny_campaign();
+  const CampaignEngine engine;
+
+  const ScratchDir clean_scratch("failed_ref");
+  const CampaignRun clean = engine.run(spec, scratch_options(clean_scratch));
+  ASSERT_TRUE(clean.report.has_value());
+
+  const ScratchDir scratch("failed");
+  CampaignOptions options = scratch_options(scratch);
+  options.cell_retry.max_attempts = 1;  // no retries: first fault is fatal
+  std::vector<std::size_t> failed;
+  {
+    // The first two cell executions fail deterministically; with the
+    // retry budget at 1 they land in failed_cells while the other four
+    // cells execute and persist.
+    const FaultGuard faults("cell_execute=1:2@1");
+    const CampaignRun run = engine.run(spec, options);
+    EXPECT_FALSE(run.complete);
+    EXPECT_FALSE(run.report.has_value());
+    EXPECT_EQ(run.failed_cells.size(), 2u);
+    EXPECT_EQ(run.executed, 4u);
+    failed = run.failed_cells;
+
+    const CampaignStatus status = engine.status(spec, options);
+    EXPECT_EQ(status.cells_failed, 2u);
+    EXPECT_EQ(status.cells_done, 4u);
+  }
+
+  // The next (fault-free) run re-attempts exactly the failed cells and the
+  // campaign converges to the clean report.
+  const CampaignRun healed = engine.run(spec, options);
+  ASSERT_TRUE(healed.complete);
+  EXPECT_EQ(healed.executed, failed.size());
+  EXPECT_EQ(healed.cache_hits, 4u);
+  EXPECT_EQ(clean.report->to_json(), healed.report->to_json());
+}
+
+TEST(CampaignEngine, UnwritableCacheDirDegradesToInMemory) {
+  const SweepSpec spec = tiny_campaign();
+  const CampaignEngine engine;
+
+  const ScratchDir clean_scratch("degrade_ref");
+  const CampaignRun clean = engine.run(spec, scratch_options(clean_scratch));
+  ASSERT_TRUE(clean.report.has_value());
+
+  // cache_dir nested under a regular file can never be created.
+  const ScratchDir scratch("degrade");
+  std::ofstream(scratch.path + "/blocker") << "x";
+  CampaignOptions options = scratch_options(scratch);
+  options.cache_dir = scratch.path + "/blocker/cache";
+  const CampaignRun degraded = engine.run(spec, options);
+  EXPECT_TRUE(degraded.cache_degraded);
+  ASSERT_TRUE(degraded.complete);
+  ASSERT_TRUE(degraded.report.has_value());
+  EXPECT_EQ(degraded.executed, 6u);
+  EXPECT_EQ(clean.report->to_json(), degraded.report->to_json());
+}
+
+TEST(ShardManifest, RecordsHeartbeatPidAndSurvivesPrune) {
+  const ScratchDir scratch("manifest");
+  const SweepSpec spec = tiny_campaign();
+  const CampaignOptions options = scratch_options(scratch);
+  const CampaignEngine engine;
+  ASSERT_TRUE(engine.run(spec, options).complete);
+
+  const std::vector<Cell> cells = spec.expand(scenario::Registry::instance());
+  const std::string expansion = expansion_fingerprint(spec.name, cells);
+  const std::string path =
+      ShardManifest::path(options.work_dir, spec.name, options.shard);
+  const auto manifest = ShardManifest::read(path, expansion);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->done.size(), 6u);
+  EXPECT_TRUE(manifest->failed.empty());
+  EXPECT_GT(manifest->heartbeat, 0u);
+  EXPECT_NE(manifest->pid, 0u);
+  // Wrong expansion — a different campaign definition — reads as absent.
+  EXPECT_FALSE(ShardManifest::read(path, "not-the-expansion").has_value());
+
+  // prune() removes exactly the stale manifests, not the live one.
+  std::ofstream(options.work_dir + "/" + spec.name + ".shard-7-of-9.json")
+      << "{\"stale\":true}";
+  const std::vector<std::string> removed = engine.prune(spec, options);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_NE(removed[0].find("7-of-9"), std::string::npos);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_TRUE(engine.status(spec, options).stale_manifests.empty());
+}
+
+// ---- condensed step kernel --------------------------------------------------
+
+TEST(Fingerprint, CondensedKeysADisjointCacheRegion) {
+  scenario::ScenarioSpec spec =
+      scenario::Registry::instance().at("trajectory/far");
+  const std::string exact_fp = fingerprint(spec);
+  const std::string exact_sim = simulation_fingerprint(spec);
+  spec.condensed = true;
+  EXPECT_NE(fingerprint(spec), exact_fp);
+  EXPECT_NE(simulation_fingerprint(spec), exact_sim);
+}
+
+TEST(CampaignEngine, CondensedRunIsLabelledAndCached) {
+  const ScratchDir scratch("condensed");
+  const SweepSpec spec = tiny_campaign();
+  CampaignOptions options = scratch_options(scratch);
+  options.condensed = true;
+  const CampaignEngine engine;
+
+  const CampaignRun cold = engine.run(spec, options);
+  ASSERT_TRUE(cold.report.has_value());
+  EXPECT_EQ(cold.report->summary("step_kernel"), "condensed (non-bit-exact)");
+
+  // Warm re-run hits the condensed cache region; merge carries the label.
+  const CampaignRun warm = engine.run(spec, options);
+  EXPECT_EQ(warm.cache_hits, 6u);
+  EXPECT_EQ(cold.report->to_json(), warm.report->to_json());
+  EXPECT_EQ(engine.merge(spec, options).to_json(), cold.report->to_json());
+
+  // The exact-kernel campaign shares nothing with the condensed one: a
+  // fresh exact run against the same cache directory recomputes all cells.
+  CampaignOptions exact = options;
+  exact.condensed = false;
+  const CampaignRun exact_run = engine.run(spec, exact);
+  EXPECT_EQ(exact_run.executed, 6u);
+  EXPECT_EQ(exact_run.cache_hits, 0u);
+  ASSERT_TRUE(exact_run.report.has_value());
+  EXPECT_EQ(exact_run.report->summary("step_kernel"), "");
+}
+
+// ---- chaos: worker supervision ----------------------------------------------
+
+TEST(Coordinator, FaultFreeCoordinatedRunMatchesUnsharded) {
+  const SweepSpec spec = tiny_campaign();
+
+  const ScratchDir clean_scratch("coord_ref");
+  const CampaignRun clean =
+      CampaignEngine().run(spec, scratch_options(clean_scratch));
+  ASSERT_TRUE(clean.report.has_value());
+
+  const ScratchDir scratch("coord");
+  CoordinatorOptions options;
+  options.workers = 2;
+  options.campaign = scratch_options(scratch);
+  const CoordinatedRun outcome = Coordinator().run(spec, options);
+  ASSERT_TRUE(outcome.complete);
+  ASSERT_TRUE(outcome.report.has_value());
+  EXPECT_EQ(outcome.cells_done, 6u);
+  ASSERT_EQ(outcome.workers.size(), 2u);
+  for (const WorkerOutcome& worker : outcome.workers) {
+    EXPECT_TRUE(worker.ok);
+    EXPECT_EQ(worker.attempts, 1u);
+    EXPECT_EQ(worker.crashes, 0u);
+  }
+  EXPECT_EQ(clean.report->to_json(), outcome.report->to_json());
+}
+
+TEST(Coordinator, RecoversCrashedWorkersBitIdentically) {
+  const SweepSpec spec = tiny_campaign();
+
+  const ScratchDir clean_scratch("crash_ref");
+  const CampaignRun clean =
+      CampaignEngine().run(spec, scratch_options(clean_scratch));
+  ASSERT_TRUE(clean.report.has_value());
+
+  // Workers abort mid-shard with probability 1/2 per cell boundary; the
+  // cache and manifest survive each death, so relaunches resume.  The
+  // retry budget is generous because every attempt makes progress.
+  const ScratchDir scratch("crash");
+  CoordinatorOptions options;
+  options.workers = 2;
+  options.campaign = scratch_options(scratch);
+  options.fault_spec = "worker_abort=0.5@29";
+  options.worker_retry.max_attempts = 12;
+  options.worker_retry.base_delay_ms = 1.0;
+  options.worker_retry.max_delay_ms = 5.0;
+  const CoordinatedRun outcome = Coordinator().run(spec, options);
+  ASSERT_TRUE(outcome.complete);
+  ASSERT_TRUE(outcome.report.has_value());
+  std::size_t crashes = 0;
+  for (const WorkerOutcome& worker : outcome.workers) crashes += worker.crashes;
+  EXPECT_GT(crashes, 0u) << "the fault plan never fired; pick another seed";
+  EXPECT_EQ(clean.report->to_json(), outcome.report->to_json());
+}
+
+TEST(Coordinator, GracefulWhenCellsKeepFailing) {
+  // Every cell execution fails, with no retry budget anywhere: the
+  // coordinated campaign must come back incomplete with every cell
+  // reported failed — not crash, not hang, not abort the siblings.
+  const ScratchDir scratch("giveup");
+  const SweepSpec spec = tiny_campaign();
+  CoordinatorOptions options;
+  options.workers = 2;
+  options.campaign = scratch_options(scratch);
+  options.campaign.cell_retry.max_attempts = 1;
+  options.fault_spec = "cell_execute=1@5";
+  options.worker_retry.max_attempts = 2;
+  options.worker_retry.base_delay_ms = 1.0;
+  options.worker_retry.max_delay_ms = 5.0;
+  const CoordinatedRun outcome = Coordinator().run(spec, options);
+  EXPECT_FALSE(outcome.complete);
+  EXPECT_FALSE(outcome.report.has_value());
+  EXPECT_EQ(outcome.failed_cells.size(), 6u);
+  for (const WorkerOutcome& worker : outcome.workers) {
+    EXPECT_TRUE(worker.ok) << "graceful: failures recorded, not crashed";
+    EXPECT_EQ(worker.attempts, 2u);
   }
 }
 

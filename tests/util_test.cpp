@@ -2,22 +2,128 @@
 // ASCII plotting, logging levels, SHA-256 fingerprinting, JSON parsing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
+#include "util/fault.hpp"
 #include "util/hash.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/random.hpp"
+#include "util/retry.hpp"
 #include "util/status.hpp"
 #include "util/table.hpp"
 
 namespace cpsguard::util {
 namespace {
+
+// ---- retry policy -----------------------------------------------------------
+
+TEST(RetryPolicy, ExponentialBackoffWithCapAndJitter) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 10.0;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 55.0;
+  policy.jitter = 0.5;
+  policy.seed = 7;
+
+  EXPECT_TRUE(policy.allows(1));
+  EXPECT_TRUE(policy.allows(3));
+  EXPECT_FALSE(policy.allows(4));  // default max_attempts = 3
+
+  // Attempt k's nominal delay is base * multiplier^(k-1), capped; jitter
+  // scales it into [1-j, 1+j] of nominal.  Deterministic per (seed, salt).
+  for (std::size_t attempt = 1; attempt <= 6; ++attempt) {
+    const double nominal =
+        std::min(policy.max_delay_ms,
+                 policy.base_delay_ms * std::pow(policy.multiplier,
+                                                 static_cast<double>(attempt - 1)));
+    const double delay = policy.delay_ms(attempt);
+    EXPECT_GE(delay, nominal * 0.5) << attempt;
+    EXPECT_LE(delay, nominal * 1.5) << attempt;
+    EXPECT_DOUBLE_EQ(delay, policy.delay_ms(attempt));  // deterministic
+  }
+  // Different salts draw different jitter (workers don't thunder-herd).
+  EXPECT_NE(policy.delay_ms(1, 0), policy.delay_ms(1, 1));
+
+  RetryPolicy no_jitter = policy;
+  no_jitter.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(no_jitter.delay_ms(1), 10.0);
+  EXPECT_DOUBLE_EQ(no_jitter.delay_ms(2), 20.0);
+  EXPECT_DOUBLE_EQ(no_jitter.delay_ms(4), 55.0);  // capped
+}
+
+// ---- fault injection --------------------------------------------------------
+
+/// Clears any armed plan on scope exit so tests cannot leak faults.
+struct FaultScope {
+  ~FaultScope() { fault::clear(); }
+};
+
+TEST(FaultPlan, ParsesSitesLimitsAndSeed) {
+  const fault::FaultPlan plan =
+      fault::FaultPlan::parse("cache_write=0.25,cell_execute=1:2@42");
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.sites.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.sites.at("cache_write").probability, 0.25);
+  EXPECT_EQ(plan.sites.at("cell_execute").max_failures, 2u);
+
+  // Default seed when the spec carries none.
+  EXPECT_EQ(fault::FaultPlan::parse("worker_abort=0.1", 9).seed, 9u);
+
+  // Unknown sites and malformed specs are configuration errors.
+  EXPECT_THROW(fault::FaultPlan::parse("no_such_site=0.5"), InvalidArgument);
+  EXPECT_THROW(fault::FaultPlan::parse("cache_write=2.0"), InvalidArgument);
+  EXPECT_THROW(fault::FaultPlan::parse("cache_write"), InvalidArgument);
+  EXPECT_THROW(fault::FaultPlan::parse("cache_write=0.5@x"), InvalidArgument);
+}
+
+TEST(Fault, DrawsAreDeterministicAndCapped) {
+  const FaultScope scope;
+  const auto draw_failures = [](std::uint64_t seed) {
+    fault::install(fault::FaultPlan::parse("cell_execute=0.5:3@" +
+                                           std::to_string(seed)));
+    std::vector<bool> draws;
+    for (int i = 0; i < 64; ++i)
+      draws.push_back(fault::should_fail("cell_execute"));
+    return draws;
+  };
+  const std::vector<bool> a = draw_failures(11);
+  EXPECT_EQ(a, draw_failures(11));   // same seed, same outcomes
+  EXPECT_NE(a, draw_failures(12));   // different seed, different outcomes
+  // The :3 cut-off: never more than three injected failures.
+  EXPECT_EQ(std::count(a.begin(), a.end(), true), 3);
+
+  // Unarmed sites never fail; unknown sites are rejected even when armed.
+  fault::clear();
+  EXPECT_FALSE(fault::armed());
+  EXPECT_FALSE(fault::should_fail("cell_execute"));
+  fault::install(fault::FaultPlan::parse("cache_read=1"));
+  EXPECT_TRUE(fault::armed());
+  EXPECT_FALSE(fault::should_fail("cell_execute"));  // not in the plan
+  EXPECT_THROW(fault::should_fail("no_such_site"), InvalidArgument);
+}
+
+TEST(Fault, MaybeThrowAndCorrupt) {
+  const FaultScope scope;
+  fault::install(fault::FaultPlan::parse("cell_execute=1:1,cache_write=1:1"));
+  EXPECT_THROW(fault::maybe_throw("cell_execute", "ctx"), Error);
+  EXPECT_NO_THROW(fault::maybe_throw("cell_execute", "ctx"));  // cap reached
+
+  std::string payload = "{\"a\":123456789}";
+  const std::string original = payload;
+  fault::maybe_corrupt("cache_write", payload);
+  EXPECT_NE(payload, original);  // torn: truncated + garbage appended
+  payload = original;
+  fault::maybe_corrupt("cache_write", payload);  // cap reached: untouched
+  EXPECT_EQ(payload, original);
+}
 
 TEST(Rng, DeterministicFromSeed) {
   Rng a(42), b(42), c(43);

@@ -5,24 +5,45 @@
 //   cpsguard_cli describe <scenario>
 //       the resolved spec of one scenario
 //   cpsguard_cli run <scenario> [--threads N] [--runs N] [--seed S]
-//                               [--out report.json] [--csv prefix] [--quiet]
+//                               [--condensed] [--out report.json]
+//                               [--csv prefix] [--quiet]
 //       execute through scenario::ExperimentRunner and print/serialize the
 //       structured report.  Results are bit-identical for every --threads
-//       value (0 = one worker per hardware thread).
+//       value (0 = one worker per hardware thread); --condensed trades that
+//       bit-exactness for the fused step kernel's throughput (the report is
+//       labelled).
 //   cpsguard_cli sweep list | describe <campaign>
 //       the registered sweep campaigns and their expanded grids
 //   cpsguard_cli sweep run <campaign> [--shard i/N] [--threads N]
 //                          [--cache-dir D] [--work-dir D] [--no-cache]
-//                          [--max-cells K] [--out report.json] [--csv prefix]
+//                          [--max-cells K] [--retries N] [--condensed]
+//                          [--inject SPEC] [--out report.json] [--csv prefix]
 //                          [--quiet]
 //       execute (this shard of) a campaign through sweep::CampaignEngine:
 //       content-addressed result caching, per-shard manifests, resumable.
+//       Failing cells are retried (--retries) and then recorded as failed
+//       without aborting their siblings; --inject arms the deterministic
+//       fault-injection registry (util/fault.hpp) for chaos drills.
+//   cpsguard_cli sweep coordinate <campaign> [--workers N] [--threads N]
+//                          [--cache-dir D] [--work-dir D] [--retries N]
+//                          [--worker-retries N] [--hang-timeout S]
+//                          [--condensed] [--inject SPEC] [--out report.json]
+//                          [--csv prefix] [--quiet]
+//       supervised multi-worker execution: one re-exec'd `sweep run` worker
+//       per shard, crashed/hung workers relaunched with backoff, results
+//       merged (bit-identical to an unsharded run).  --inject arms faults
+//       inside the workers only.
 //   cpsguard_cli sweep merge <campaign> [--shards N] [--cache-dir D]
-//                            [--out report.json] [--csv prefix] [--quiet]
+//                            [--condensed] [--out report.json] [--csv prefix]
+//                            [--quiet]
 //       stitch a sharded campaign into the single report an unsharded run
 //       would have produced (bit-identical)
-//   cpsguard_cli sweep status <campaign> [--work-dir D]
-//       completion state recorded by the shard manifests
+//   cpsguard_cli sweep status <campaign> [--work-dir D] [--prune] [--condensed]
+//       completion state recorded by the shard manifests; --prune deletes
+//       manifests left behind by older campaign definitions
+//   cpsguard_cli sweep fsck [--cache-dir D]
+//       verify every cache entry's checksum, quarantine corrupt ones to
+//       <cache-dir>/corrupt/, remove stale temp files
 //
 // New experiments need a ScenarioSpec registered in src/scenario/registry.cpp
 // and new campaigns a SweepSpec in src/sweep/registry.cpp (or either added by
@@ -36,7 +57,9 @@
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
 #include "sweep/campaign.hpp"
+#include "sweep/coordinator.hpp"
 #include "sweep/registry.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/status.hpp"
 
@@ -49,16 +72,24 @@ int usage(const char* argv0) {
                "usage: %s list\n"
                "       %s describe <scenario>\n"
                "       %s run <scenario> [--threads N] [--runs N] [--seed S]\n"
-               "                         [--out report.json] [--csv prefix] [--quiet]\n"
+               "                         [--condensed] [--out report.json] [--csv prefix] [--quiet]\n"
                "       %s sweep list\n"
                "       %s sweep describe <campaign>\n"
                "       %s sweep run <campaign> [--shard i/N] [--threads N]\n"
                "                    [--cache-dir D] [--work-dir D] [--no-cache]\n"
-               "                    [--max-cells K] [--out report.json] [--csv prefix] [--quiet]\n"
-               "       %s sweep merge <campaign> [--shards N] [--cache-dir D]\n"
+               "                    [--max-cells K] [--retries N] [--condensed] [--inject SPEC]\n"
                "                    [--out report.json] [--csv prefix] [--quiet]\n"
-               "       %s sweep status <campaign> [--work-dir D]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               "       %s sweep coordinate <campaign> [--workers N] [--threads N]\n"
+               "                    [--cache-dir D] [--work-dir D] [--retries N]\n"
+               "                    [--worker-retries N] [--hang-timeout S] [--condensed]\n"
+               "                    [--inject SPEC] [--out report.json] [--csv prefix] [--quiet]\n"
+               "       %s sweep merge <campaign> [--shards N] [--cache-dir D] [--condensed]\n"
+               "                    [--out report.json] [--csv prefix] [--quiet]\n"
+               "       %s sweep status <campaign> [--work-dir D] [--prune]\n"
+               "                    [--condensed]\n"
+               "       %s sweep fsck [--cache-dir D]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+               argv0);
   return 2;
 }
 
@@ -124,6 +155,8 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
     const bool has_value = i + 1 < args.size();
     if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--condensed") {
+      overrides.condensed = true;
     } else if (arg == "--threads" && has_value) {
       overrides.threads = static_cast<std::size_t>(parse_u64(arg, args[++i]));
     } else if (arg == "--runs" && has_value) {
@@ -183,6 +216,11 @@ int cmd_sweep_describe(const std::string& name) {
 struct SweepArgs {
   sweep::CampaignOptions options;
   std::string out_path, csv_prefix;
+  std::string inject;  ///< fault spec (util/fault.hpp grammar)
+  std::size_t workers = 2;
+  std::size_t worker_retries = 3;
+  double hang_timeout_s = 30.0;
+  bool prune = false;
   bool quiet = false;
 };
 
@@ -213,6 +251,33 @@ int parse_sweep_args(const std::vector<std::string>& args,
       parsed.options.cache_dir = args[++i];
     } else if (arg == "--work-dir" && allows("--work-dir") && has_value) {
       parsed.options.work_dir = args[++i];
+    } else if (arg == "--retries" && allows("--retries") && has_value) {
+      parsed.options.cell_retry.max_attempts =
+          static_cast<std::size_t>(parse_u64(arg, args[++i]));
+      util::require(parsed.options.cell_retry.max_attempts > 0,
+                    "--retries must be positive");
+    } else if (arg == "--condensed" && allows("--condensed")) {
+      parsed.options.condensed = true;
+    } else if (arg == "--inject" && allows("--inject") && has_value) {
+      parsed.inject = args[++i];
+    } else if (arg == "--workers" && allows("--workers") && has_value) {
+      parsed.workers = static_cast<std::size_t>(parse_u64(arg, args[++i]));
+      util::require(parsed.workers > 0, "--workers must be positive");
+    } else if (arg == "--worker-retries" && allows("--worker-retries") &&
+               has_value) {
+      parsed.worker_retries = static_cast<std::size_t>(parse_u64(arg, args[++i]));
+      util::require(parsed.worker_retries > 0,
+                    "--worker-retries must be positive");
+    } else if (arg == "--hang-timeout" && allows("--hang-timeout") && has_value) {
+      try {
+        parsed.hang_timeout_s = std::stod(args[++i]);
+      } catch (const std::logic_error&) {
+        throw util::InvalidArgument("--hang-timeout expects seconds, got '" +
+                                    args[i] + "'");
+      }
+      util::require(parsed.hang_timeout_s > 0, "--hang-timeout must be positive");
+    } else if (arg == "--prune" && allows("--prune")) {
+      parsed.prune = true;
     } else if (arg == "--out" && allows("--out") && has_value) {
       parsed.out_path = args[++i];
     } else if (arg == "--csv" && allows("--csv") && has_value) {
@@ -231,9 +296,12 @@ int cmd_sweep_run(const std::string& name, const std::vector<std::string>& args)
   if (const int rc = parse_sweep_args(
           args,
           {"--quiet", "--no-cache", "--shard", "--threads", "--max-cells",
-           "--cache-dir", "--work-dir", "--out", "--csv"},
+           "--cache-dir", "--work-dir", "--retries", "--condensed", "--inject",
+           "--out", "--csv"},
           parsed))
     return rc;
+  if (!parsed.inject.empty())
+    util::fault::install(util::fault::FaultPlan::parse(parsed.inject));
   if (parsed.options.shard.count != 1 &&
       (!parsed.out_path.empty() || !parsed.csv_prefix.empty())) {
     std::fprintf(stderr,
@@ -246,13 +314,24 @@ int cmd_sweep_run(const std::string& name, const std::vector<std::string>& args)
       sweep::CampaignEngine().run(spec, parsed.options);
 
   if (!parsed.quiet || !outcome.complete) {
+    std::string incomplete;
+    if (!outcome.complete)
+      incomplete = outcome.failed_cells.empty()
+                       ? " [INCOMPLETE: --max-cells budget]"
+                       : " [INCOMPLETE: " +
+                             std::to_string(outcome.failed_cells.size()) +
+                             " cell(s) failed after retries]";
     std::printf("campaign %s: shard %zu/%zu owns %zu of %zu cells "
                 "(%zu simulation groups) — %zu executed, %zu cache hits%s\n",
                 name.c_str(), parsed.options.shard.index,
                 parsed.options.shard.count, outcome.cells_in_shard,
                 outcome.cells_total, outcome.simulation_groups,
-                outcome.executed, outcome.cache_hits,
-                outcome.complete ? "" : " [INCOMPLETE: --max-cells budget]");
+                outcome.executed, outcome.cache_hits, incomplete.c_str());
+    for (const std::size_t index : outcome.failed_cells)
+      std::printf("  failed cell: cell-%05zu\n", index);
+    if (outcome.cache_degraded)
+      std::printf("cache DEGRADED: results were not persisted "
+                  "(unwritable cache dir)\n");
     if (!outcome.manifest_path.empty())
       std::printf("manifest: %s\n", outcome.manifest_path.c_str());
   }
@@ -271,7 +350,10 @@ int cmd_sweep_run(const std::string& name, const std::vector<std::string>& args)
 int cmd_sweep_merge(const std::string& name, const std::vector<std::string>& args) {
   SweepArgs parsed;
   if (const int rc = parse_sweep_args(
-          args, {"--quiet", "--shards", "--cache-dir", "--out", "--csv"}, parsed))
+          args,
+          {"--quiet", "--shards", "--cache-dir", "--condensed", "--out",
+           "--csv"},
+          parsed))
     return rc;
   const sweep::SweepSpec& spec = sweep::SweepRegistry::instance().at(name);
   const scenario::Report report =
@@ -283,17 +365,93 @@ int cmd_sweep_merge(const std::string& name, const std::vector<std::string>& arg
 int cmd_sweep_status(const std::string& name,
                      const std::vector<std::string>& args) {
   SweepArgs parsed;
-  if (const int rc = parse_sweep_args(args, {"--work-dir"}, parsed)) return rc;
+  if (const int rc = parse_sweep_args(
+          args, {"--work-dir", "--prune", "--condensed"}, parsed))
+    return rc;
   const sweep::SweepSpec& spec = sweep::SweepRegistry::instance().at(name);
-  const sweep::CampaignStatus status =
-      sweep::CampaignEngine().status(spec, parsed.options);
+  const sweep::CampaignEngine engine;
+  const sweep::CampaignStatus status = engine.status(spec, parsed.options);
   std::printf("campaign %s: %zu/%zu cells done across %zu shard manifest(s)\n",
               name.c_str(), status.cells_done, status.cells_total,
               status.shards_seen);
-  for (const auto& stale : status.stale_manifests)
-    std::printf("  stale manifest (different campaign definition): %s\n",
-                stale.c_str());
+  if (status.cells_failed != 0)
+    std::printf("  %zu cell(s) recorded as failed (retries exhausted)\n",
+                status.cells_failed);
+  if (parsed.prune) {
+    for (const auto& removed : engine.prune(spec, parsed.options))
+      std::printf("  pruned stale manifest: %s\n", removed.c_str());
+  } else {
+    for (const auto& stale : status.stale_manifests)
+      std::printf("  stale manifest (different campaign definition): %s "
+                  "[--prune deletes it]\n",
+                  stale.c_str());
+  }
   return status.cells_done == status.cells_total ? 0 : 4;
+}
+
+int cmd_sweep_fsck(const std::vector<std::string>& args) {
+  SweepArgs parsed;
+  if (const int rc = parse_sweep_args(args, {"--cache-dir"}, parsed)) return rc;
+  sweep::ResultCache cache(parsed.options.cache_dir);
+  const sweep::ResultCache::FsckReport report = cache.fsck();
+  std::printf("cache %s: %zu entries, %zu ok, %zu quarantined, "
+              "%zu stale temp file(s) removed\n",
+              parsed.options.cache_dir.c_str(), report.entries, report.ok,
+              report.quarantined, report.temps_removed);
+  if (report.quarantined != 0)
+    std::printf("corrupt entries moved to %s; the next `sweep run` "
+                "recomputes them\n",
+                cache.quarantine_dir().c_str());
+  return report.quarantined == 0 ? 0 : 4;
+}
+
+int cmd_sweep_coordinate(const std::string& name,
+                         const std::vector<std::string>& args) {
+  SweepArgs parsed;
+  if (const int rc = parse_sweep_args(
+          args,
+          {"--quiet", "--workers", "--threads", "--cache-dir", "--work-dir",
+           "--retries", "--worker-retries", "--hang-timeout", "--condensed",
+           "--inject", "--out", "--csv"},
+          parsed))
+    return rc;
+  const sweep::SweepSpec& spec = sweep::SweepRegistry::instance().at(name);
+
+  sweep::CoordinatorOptions options;
+  options.workers = parsed.workers;
+  options.campaign = parsed.options;
+  options.worker_retry.max_attempts = parsed.worker_retries;
+  options.hang_timeout_s = parsed.hang_timeout_s;
+  options.fault_spec = parsed.inject;
+  // Workers re-exec this binary: `<self> sweep run <campaign> ...` with the
+  // shard (and per-attempt fault seed) appended by the coordinator.
+  options.worker_argv = {"/proc/self/exe", "sweep",    "run",
+                         name,             "--quiet",  "--cache-dir",
+                         parsed.options.cache_dir,     "--work-dir",
+                         parsed.options.work_dir,      "--threads",
+                         std::to_string(parsed.options.threads),
+                         "--retries",
+                         std::to_string(parsed.options.cell_retry.max_attempts)};
+  if (parsed.options.condensed) options.worker_argv.push_back("--condensed");
+
+  const sweep::CoordinatedRun outcome = sweep::Coordinator().run(spec, options);
+  if (!parsed.quiet || !outcome.complete) {
+    std::printf("campaign %s: %zu workers, %zu/%zu cells done%s\n", name.c_str(),
+                options.workers, outcome.cells_done, outcome.cells_total,
+                outcome.complete ? "" : " [INCOMPLETE]");
+    for (const auto& worker : outcome.workers)
+      std::printf("  shard %zu/%zu: %zu attempt(s), %zu crash(es)%s\n",
+                  worker.shard, options.workers, worker.attempts, worker.crashes,
+                  worker.ok ? "" : " [gave up]");
+    for (const std::size_t index : outcome.failed_cells)
+      std::printf("  failed cell: cell-%05zu\n", index);
+  }
+  if (outcome.report) {
+    if (!parsed.quiet) std::printf("\n");
+    emit_report(*outcome.report, parsed.out_path, parsed.csv_prefix,
+                parsed.quiet);
+  }
+  return outcome.complete ? 0 : 4;
 }
 
 int cmd_sweep(const std::vector<std::string>& args, const char* argv0) {
@@ -302,6 +460,9 @@ int cmd_sweep(const std::vector<std::string>& args, const char* argv0) {
   const std::vector<std::string> rest(args.begin() + (args.size() > 1 ? 2 : 1),
                                       args.end());
   if (sub == "list") return cmd_sweep_list();
+  // fsck has no campaign positional: everything after "fsck" is flags.
+  if (sub == "fsck")
+    return cmd_sweep_fsck(std::vector<std::string>(args.begin() + 1, args.end()));
   if (args.size() >= 2) {
     if (sub == "describe") {
       if (!rest.empty()) {
@@ -312,6 +473,7 @@ int cmd_sweep(const std::vector<std::string>& args, const char* argv0) {
       return cmd_sweep_describe(args[1]);
     }
     if (sub == "run") return cmd_sweep_run(args[1], rest);
+    if (sub == "coordinate") return cmd_sweep_coordinate(args[1], rest);
     if (sub == "merge") return cmd_sweep_merge(args[1], rest);
     if (sub == "status") return cmd_sweep_status(args[1], rest);
   }
