@@ -1,0 +1,144 @@
+// PR-7 benchmarks: SoA multi-run batch step kernels.
+//
+// BM_BatchStepLanes/W drives the raw BatchStepKernel at lane width W over
+// the trajectory plant — items processed = steps x lanes, so items/s is the
+// aggregate step throughput and the W=1 leg is the scalar-fallback cost of
+// the same templated body.  Lane scaling is an ISA property (the compiler
+// lowers the packs to whatever -march allows), so every name carrying
+// "Lanes/" is excluded from the bench_compare CI gate per the existing
+// machine-sensitive-variant convention; the recorded numbers document the
+// shape, the gate pins only the arch-stable pair below.
+//
+// BM_Far1000BatchOff / BM_Far1000BatchAuto is that pair: the end-to-end
+// norm-only FAR/1000 protocol (VSC plant, table1 horizon, monitor-free,
+// threshold/CUSUM bank) with lane batching kill-switched vs auto-width.
+// Both run the identical protocol and report identical verdicts; the delta
+// is pure batch-kernel win at the build's default ISA.
+//
+// BM_Far1000NormOnlyLanes/W pins explicit widths for the lane-scaling
+// curve (again gate-excluded).  The PR acceptance bar — >= 2x over the PR-5
+// BM_Far1000NormOnly baseline at W=8 — is demonstrated on an AVX2
+// (-march=x86-64-v3) build; see bench/BENCH_pr7_batch_kernel.json notes.
+//
+// Recorded baseline: bench/BENCH_pr7_batch_kernel.json (1-core dev
+// container, default arch).
+#include <benchmark/benchmark.h>
+
+#include "cpsguard.hpp"
+
+namespace {
+
+using namespace cpsguard;
+using control::Signal;
+using linalg::Vector;
+
+const models::CaseStudy& trajectory() {
+  static const models::CaseStudy cs = models::make_trajectory_case_study();
+  return cs;
+}
+
+const models::CaseStudy& vsc() {
+  static const models::CaseStudy cs = models::make_vsc_case_study();
+  return cs;
+}
+
+linalg::StepKernelConfig kernel_config(const control::LoopConfig& loop) {
+  const auto& plant = loop.plant;
+  linalg::StepKernelConfig kc;
+  kc.n = plant.num_states();
+  kc.m = plant.num_outputs();
+  kc.p = plant.num_inputs();
+  kc.a = plant.a.data();
+  kc.b = plant.b.data();
+  kc.c = plant.c.data();
+  kc.d = plant.d.data();
+  kc.l = loop.kalman_gain.data();
+  kc.k = loop.feedback_gain.data();
+  kc.x_ss = loop.operating_point.x_ss.data();
+  kc.u_ss = loop.operating_point.u_ss.data();
+  kc.x1 = loop.x1.data();
+  kc.xhat1 = loop.xhat1.data();
+  kc.u1 = loop.u1.data();
+  return kc;
+}
+
+void BM_BatchStepLanes(benchmark::State& state) {
+  const auto& cs = trajectory();
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = cs.loop.plant.num_outputs();
+  const auto kernel =
+      linalg::make_batch_step_kernel(kernel_config(cs.loop), width);
+
+  // One measurement-noise SoA block, reused every iteration.
+  util::Rng rng(17);
+  std::vector<double> noise_soa(cs.horizon * m * width);
+  for (double& v : noise_soa) v = rng.uniform(-0.01, 0.01);
+  std::vector<double> series(cs.horizon * width);
+  double* series_out[] = {series.data()};
+  const linalg::BatchNorm norms[] = {linalg::BatchNorm::kInf};
+
+  linalg::BatchStepState lanes;
+  for (auto _ : state) {
+    kernel->begin_run(lanes);
+    kernel->run_norms(lanes, cs.horizon, nullptr, nullptr, noise_soa.data(),
+                      norms, 1, series_out);
+    benchmark::DoNotOptimize(series.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cs.horizon * width));
+}
+BENCHMARK(BM_BatchStepLanes)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+std::vector<detect::FarCandidate> far_bank(const models::CaseStudy& cs) {
+  std::vector<detect::FarCandidate> candidates;
+  for (std::size_t i = 0; i < 4; ++i)
+    candidates.emplace_back(
+        "th" + std::to_string(i),
+        detect::ResidueDetector(
+            detect::ThresholdVector::constant(cs.horizon,
+                                              0.008 + 0.004 * double(i)),
+            cs.norm));
+  candidates.emplace_back("cusum", [&cs] {
+    return std::make_unique<detect::CusumOnline>(0.004, 0.06, cs.norm);
+  });
+  return candidates;
+}
+
+void far_lanes_bench(benchmark::State& state, std::size_t lane_width) {
+  // The norm-only FAR/1000 protocol end-to-end at a pinned lane width
+  // (0 = auto, 1 = batching off).
+  const auto& cs = vsc();
+  const control::ClosedLoop loop(cs.loop);
+  const monitor::MonitorSet no_monitors;
+  const auto candidates = far_bank(cs);
+  detect::FarSetup setup;
+  setup.num_runs = 1000;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  sim::set_lane_width(lane_width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        detect::evaluate_far(loop, no_monitors, candidates, setup));
+  }
+  sim::set_lane_width(0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+
+void BM_Far1000BatchOff(benchmark::State& state) {
+  far_lanes_bench(state, /*lane_width=*/1);
+}
+BENCHMARK(BM_Far1000BatchOff);
+
+void BM_Far1000BatchAuto(benchmark::State& state) {
+  far_lanes_bench(state, /*lane_width=*/0);
+}
+BENCHMARK(BM_Far1000BatchAuto);
+
+void BM_Far1000NormOnlyLanes(benchmark::State& state) {
+  far_lanes_bench(state, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_Far1000NormOnlyLanes)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

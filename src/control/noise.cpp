@@ -47,4 +47,16 @@ void bounded_uniform_signal_into(util::Rng& rng, std::size_t steps,
   }
 }
 
+void bounded_uniform_soa_into(util::Rng& rng, std::size_t steps,
+                              const Vector& bounds, double* out_soa,
+                              std::size_t width, std::size_t lane) {
+  // The same draws in the same order as bounded_uniform_signal_into —
+  // value (k, i) lands at out_soa[(k*dim + i)*width + lane] instead of
+  // out[k][i], skipping the row-of-vectors staging entirely.
+  const std::size_t dim = bounds.size();
+  for (std::size_t k = 0; k < steps; ++k)
+    for (std::size_t i = 0; i < dim; ++i)
+      out_soa[(k * dim + i) * width + lane] = rng.uniform(-bounds[i], bounds[i]);
+}
+
 }  // namespace cpsguard::control

@@ -28,4 +28,12 @@ Signal bounded_uniform_signal(util::Rng& rng, std::size_t steps,
 void bounded_uniform_signal_into(util::Rng& rng, std::size_t steps,
                                  const linalg::Vector& bounds, Signal& out);
 
+/// Lane-interleaved variant for the SoA batch kernel: draws the exact same
+/// values as bounded_uniform_signal for the same generator state, writing
+/// value (k, i) to out_soa[(k*dim + i)*width + lane].  out_soa must hold
+/// steps * bounds.size() * width doubles.
+void bounded_uniform_soa_into(util::Rng& rng, std::size_t steps,
+                              const linalg::Vector& bounds, double* out_soa,
+                              std::size_t width, std::size_t lane);
+
 }  // namespace cpsguard::control

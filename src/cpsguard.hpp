@@ -26,7 +26,16 @@
 //      only the shared residual norm the simulate phase goes norm-only:
 //      ||z_k|| is computed on the fly and no trace is materialized
 //      (ClosedLoop::simulate_norms_into / sim::run_noise_norm_batch),
-//      cutting per-run memory from O(steps·dim) to O(steps);
+//      cutting per-run memory from O(steps·dim) to O(steps).  Norm-only
+//      batches additionally advance in SIMD lane groups: runs are
+//      partitioned W at a time through the structure-of-arrays
+//      linalg::BatchStepKernel (run axis = vector lane axis, matrices
+//      broadcast across lanes), each lane replaying the scalar operation
+//      sequence bit for bit, with sim::set_lane_width / --lanes as the
+//      kill switch (1) or override; a pfc filter decidable from the final
+//      plant state (synth::ReachCriterion, the paper's reach criterion)
+//      streams through detect::FarSetup::pfc_final so the FAR protocol
+//      stays norm-only with the filter active;
 //   3. to cover a whole parameter space instead of one point, run a sweep
 //      campaign from sweep::SweepRegistry::instance() ("table1_sweep",
 //      "roc_sweep", ...) through sweep::CampaignEngine — the grid expands
@@ -73,6 +82,7 @@
 #include "detect/online.hpp"
 #include "detect/roc.hpp"
 #include "detect/threshold.hpp"
+#include "linalg/batch_kernel.hpp"
 #include "linalg/decomp.hpp"
 #include "linalg/expm.hpp"
 #include "linalg/kernels.hpp"

@@ -10,13 +10,15 @@ using control::Trace;
 
 namespace {
 
-/// Norm-only eligibility shared by both protocol entry points: the pfc
-/// filter reads plant states and the monitors read measurements, so the
-/// norm-only record (which materializes neither) is only valid without
-/// them; the caller additionally guarantees every detector consumes a
-/// recorded norm.
+/// Norm-only eligibility shared by both protocol entry points: the monitors
+/// read measurements, so the norm-only record (which materializes no trace)
+/// is only valid without them, and the pfc filter must either be absent or
+/// come with its final-state face (setup.pfc_final) so it can judge runs
+/// from the x_{T+1} the kernel leaves behind; the caller additionally
+/// guarantees every detector consumes a recorded norm.
 bool norm_only_eligible(const FarSetup& setup, const monitor::MonitorSet& monitors) {
-  return !setup.pfc && monitors.empty() && sim::norm_only_enabled();
+  return (!setup.pfc || setup.pfc_final) && monitors.empty() &&
+         sim::norm_only_enabled();
 }
 
 }  // namespace
@@ -53,22 +55,34 @@ FarSimulation::FarSimulation(const control::ClosedLoop& loop,
 
   const sim::BatchRunner runner(setup.threads);
   if (norm_only && !norm_only->empty() && norm_only_eligible(setup, monitors)) {
-    // Norm-only phase 1: without pfc filter and monitors every run is
-    // kept, and each keeps only its residual-norm series.
+    // Norm-only phase 1: no monitors, and the pfc filter (when present)
+    // judges the final plant state the kernel exposes — runs it rejects are
+    // discarded exactly as on the trace path, every other run keeps only
+    // its residual-norm series.
+    const std::size_t n = loop.config().plant.num_states();
     record_norms_ = *norm_only;
     norm_records_.resize(setup.num_runs);
+    std::vector<std::uint8_t> pfc_discard(setup.num_runs, 0);
     sim::run_noise_norm_batch(
         runner, loop, setup.num_runs, setup.horizon, setup.noise_bounds,
         setup.seed, /*index_offset=*/0, record_norms_,
         [&](std::size_t run, std::size_t /*slot*/,
-            const std::vector<std::vector<double>>& series) {
+            const std::vector<std::vector<double>>& series,
+            const double* x_final) {
+          if (setup.pfc_final && !setup.pfc_final(x_final, n)) {
+            pfc_discard[run] = 1;
+            return;
+          }
           evaluated_[run] = 1;
           norm_records_[run].assign(series);
         });
-    evaluated_runs_ = setup.num_runs;
+    for (std::size_t run = 0; run < setup.num_runs; ++run) {
+      discarded_by_pfc_ += pfc_discard[run];
+      evaluated_runs_ += evaluated_[run];
+    }
     CPSG_INFO("far") << "simulated " << setup.num_runs
                      << " norm-only runs on " << runner.threads()
-                     << " thread(s)";
+                     << " thread(s), pfc-discard " << discarded_by_pfc_;
     return;
   }
 
@@ -153,32 +167,56 @@ FarReport evaluate_far(const control::ClosedLoop& loop, const monitor::MonitorSe
   for (auto& bank : banks)
     for (const auto& c : candidates) bank.add(c.factory());
 
-  // Fast path: when every candidate streams a shared norm and neither the
-  // pfc filter nor the monitors need the trace, the whole protocol runs
-  // norm-only — the kernel computes ||z_k|| on the fly, nothing is
-  // materialized, and every run is evaluated.  Bit-identical verdicts.
+  // Fast path: when every candidate streams a shared norm, the monitors are
+  // empty, and the pfc filter (if any) has a final-state face, the whole
+  // protocol runs norm-only — the kernel computes ||z_k|| on the fly,
+  // nothing is materialized, and the banks judge each lane group's
+  // interleaved series in place.  Bit-identical verdicts.
   const std::optional<std::vector<control::Norm>> norms =
       candidate_shared_norms(candidates);
   if (norms && !norms->empty() && norm_only_eligible(setup, monitors)) {
+    const std::size_t n = loop.config().plant.num_states();
+    std::vector<std::uint8_t> pfc_discard(setup.num_runs, 0);
     std::vector<std::uint8_t> alarms(setup.num_runs * candidates.size(), 0);
-    sim::run_noise_norm_batch(
+    // Per-slot contiguous x_{T+1} scratch for the pfc_final call (lane
+    // groups hand the final states over lane-interleaved).
+    std::vector<std::vector<double>> x_scratch(runner.threads());
+    sim::run_noise_norm_batch_lanes(
         runner, loop, setup.num_runs, setup.horizon, setup.noise_bounds,
         setup.seed, /*index_offset=*/0, *norms,
-        [&](std::size_t run, std::size_t slot,
-            const std::vector<std::vector<double>>& series) {
-          banks[slot].evaluate_norms(*norms, series, first_alarms[slot]);
-          for (std::size_t i = 0; i < candidates.size(); ++i)
-            alarms[run * candidates.size() + i] =
-                first_alarms[slot][i].has_value() ? 1 : 0;
+        [&](std::size_t slot, const sim::NormLaneGroup& g) {
+          for (std::size_t w = 0; w < g.lanes; ++w) {
+            const std::size_t run = g.first_run + w;
+            if (setup.pfc_final) {
+              std::vector<double>& x = x_scratch[slot];
+              x.resize(g.states);
+              for (std::size_t i = 0; i < g.states; ++i)
+                x[i] = g.x_final[i * g.width + w];
+              if (!setup.pfc_final(x.data(), n)) {
+                pfc_discard[run] = 1;
+                continue;
+              }
+            }
+            banks[slot].evaluate_norms_lane(*norms, g.series, g.steps,
+                                            g.width, w, first_alarms[slot]);
+            for (std::size_t i = 0; i < candidates.size(); ++i)
+              alarms[run * candidates.size() + i] =
+                  first_alarms[slot][i].has_value() ? 1 : 0;
+          }
         });
-    for (std::size_t run = 0; run < setup.num_runs; ++run)
+    for (std::size_t run = 0; run < setup.num_runs; ++run) {
+      if (pfc_discard[run]) {
+        ++report.discarded_by_pfc;
+        continue;
+      }
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         ++report.rows[i].evaluated;
         report.rows[i].alarms += alarms[run * candidates.size() + i];
       }
+    }
     CPSG_INFO("far") << "evaluated " << setup.num_runs
                      << " norm-only runs on " << runner.threads()
-                     << " thread(s)";
+                     << " thread(s), pfc-discard " << report.discarded_by_pfc;
     return report;
   }
 

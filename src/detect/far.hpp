@@ -48,6 +48,16 @@ struct FarSetup : sim::MonteCarloConfig {
   /// noise "such that pfc is maintained").  Null = keep everything.  Must be
   /// thread-safe when threads != 1 (it is invoked concurrently).
   std::function<bool(const control::Trace&)> pfc;
+
+  /// Final-state face of the same check, for criteria decidable from the
+  /// final plant state x_{T+1} alone (synth::ReachCriterion — the paper's
+  /// pfc).  When set, the norm-only fast path stays eligible with the pfc
+  /// filter active: the simulate phase exposes x_{T+1} without
+  /// materializing a trace, and this predicate replaces `pfc` there.  Must
+  /// agree with `pfc` on every run (the scenario layer derives both from
+  /// one synth::Criterion, and x_{T+1} is bit-identical between the two
+  /// paths) and be thread-safe like it.
+  std::function<bool(const double* x_final, std::size_t n)> pfc_final;
 };
 
 struct FarRow {
@@ -73,9 +83,10 @@ class FarSimulation {
   /// residues of every run that passes the pfc filter and the monitors.
   ///
   /// When `norm_only` names the residual norms every later-evaluated bank
-  /// consumes (detect::shared_norms) AND the protocol is eligible — no pfc
-  /// filter, empty monitor set (both read the full trace), and
-  /// sim::norm_only_enabled() — phase 1 records only those norm series:
+  /// consumes (detect::shared_norms) AND the protocol is eligible — pfc
+  /// filter absent or final-state-streamable (setup.pfc_final), empty
+  /// monitor set, and sim::norm_only_enabled() — phase 1 records only
+  /// those norm series:
   /// O(steps) per kept run per norm kind instead of O(steps·dim) residues,
   /// with no trace materialized at all.  evaluate() reports are
   /// bit-identical either way; banks needing more than the recorded norms

@@ -39,7 +39,8 @@ NoiseFloorSamples::NoiseFloorSamples(const control::ClosedLoop& loop,
         runner, loop, setup.num_runs, setup.horizon, setup.noise_bounds,
         setup.seed, /*index_offset=*/0, {setup.norm},
         [&](std::size_t run, std::size_t /*slot*/,
-            const std::vector<std::vector<double>>& series) {
+            const std::vector<std::vector<double>>& series,
+            const double* /*x_final*/) {
           for (std::size_t k = 0; k < setup.horizon; ++k)
             samples_[k][run] = series[0][k];
         });

@@ -284,7 +284,8 @@ void DetectorBank::evaluate(const ResidueRecord& record,
 
 void DetectorBank::evaluate_norm_spans(
     const std::vector<Norm>& norms, const double* const* series,
-    std::size_t steps, std::vector<std::optional<std::size_t>>& first_alarms) {
+    std::size_t steps, std::size_t stride,
+    std::vector<std::optional<std::size_t>>& first_alarms) {
   // Map each bank norm slot onto the caller's series table (member scratch:
   // this runs once per recorded run, so it must not allocate).
   slot_scratch_.resize(norms_.size());
@@ -304,7 +305,7 @@ void DetectorBank::evaluate_norm_spans(
     const double* span =
         series[slot_of[static_cast<std::size_t>(entry.norm_slot)]];
     for (std::size_t k = 0; k < steps; ++k)
-      if (entry.detector->step_norm(span[k])) {
+      if (entry.detector->step_norm(span[k * stride])) {
         first_alarms[i] = k;
         break;
       }
@@ -324,7 +325,8 @@ void DetectorBank::evaluate_norms(
     require(series[s].size() == series.front().size(),
             "DetectorBank: ragged norm series");
   }
-  evaluate_norm_spans(norms, span_scratch_.data(), steps, first_alarms);
+  evaluate_norm_spans(norms, span_scratch_.data(), steps, /*stride=*/1,
+                      first_alarms);
 }
 
 void DetectorBank::evaluate_norms(
@@ -335,7 +337,20 @@ void DetectorBank::evaluate_norms(
   span_scratch_.resize(record.kinds());
   for (std::size_t s = 0; s < record.kinds(); ++s)
     span_scratch_[s] = record.series(s);
-  evaluate_norm_spans(norms, span_scratch_.data(), record.steps(), first_alarms);
+  evaluate_norm_spans(norms, span_scratch_.data(), record.steps(),
+                      /*stride=*/1, first_alarms);
+}
+
+void DetectorBank::evaluate_norms_lane(
+    const std::vector<Norm>& norms, const double* const* series,
+    std::size_t steps, std::size_t width, std::size_t lane,
+    std::vector<std::optional<std::size_t>>& first_alarms) {
+  require(lane < width, "DetectorBank: lane out of range");
+  span_scratch_.resize(norms.size());
+  for (std::size_t s = 0; s < norms.size(); ++s)
+    span_scratch_[s] = series[s] + lane;
+  evaluate_norm_spans(norms, span_scratch_.data(), steps, /*stride=*/width,
+                      first_alarms);
 }
 
 }  // namespace cpsguard::detect

@@ -306,6 +306,14 @@ class DetectorBank {
   void evaluate_norms(const std::vector<control::Norm>& norms,
                       const NormRecord& record,
                       std::vector<std::optional<std::size_t>>& first_alarms);
+  /// Lane view of a batched norm-only simulation (sim::NormLaneGroup):
+  /// series[s][k * width + lane] is instant k of norm kind s for the given
+  /// lane.  Evaluates that lane in place — no de-interleaving copy —
+  /// equivalently to evaluate_norms on the lane's extracted series.
+  void evaluate_norms_lane(const std::vector<control::Norm>& norms,
+                           const double* const* series, std::size_t steps,
+                           std::size_t width, std::size_t lane,
+                           std::vector<std::optional<std::size_t>>& first_alarms);
 
  private:
   struct Entry {
@@ -314,9 +322,11 @@ class DetectorBank {
   };
 
   /// Shared body of the norm-only overloads: series[s] = the span of
-  /// norms[s], `steps` entries each.
+  /// norms[s], `steps` entries spaced `stride` apart (1 = contiguous,
+  /// lane width for the lane-interleaved view).
   void evaluate_norm_spans(const std::vector<control::Norm>& norms,
                            const double* const* series, std::size_t steps,
+                           std::size_t stride,
                            std::vector<std::optional<std::size_t>>& first_alarms);
 
   std::vector<Entry> entries_;

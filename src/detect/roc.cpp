@@ -219,7 +219,8 @@ RocResidues make_workload_norms(const control::ClosedLoop& loop,
       runner, loop, setup.num_runs, horizon, setup.noise_bounds, setup.seed,
       /*index_offset=*/0, norms,
       [&](std::size_t run, std::size_t /*slot*/,
-          const std::vector<std::vector<double>>& series) {
+          const std::vector<std::vector<double>>& series,
+          const double* /*x_final*/) {
         out.benign[run] = series[0];
       });
 

@@ -1,0 +1,541 @@
+#include "linalg/batch_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace cpsguard::linalg {
+
+namespace {
+
+using util::require;
+
+// ---------------------------------------------------------------------------
+// Packs: one value per lane, one arithmetic statement per scalar statement
+// of the step body.  ArrayPack is the portable reference (plain per-lane
+// loops, what W = 1 always uses); VecPack wraps a GCC/Clang vector-extension
+// type so the same statements lower to real SIMD.  Both keep every lane's
+// operation sequence identical to the scalar kernel's: elementwise + - *
+// reorder nothing, abs clears the sign bit exactly like std::abs, max is
+// std::max's (a < b) ? b : a select, and sqrt is IEEE-correctly-rounded
+// either way — which is what makes batch-vs-scalar bit-identity hold.
+// ---------------------------------------------------------------------------
+
+template <std::size_t W>
+struct ArrayPack {
+  double v[W];
+
+  static ArrayPack load(const double* p) {
+    ArrayPack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = p[i];
+    return r;
+  }
+  void store(double* p) const {
+    for (std::size_t i = 0; i < W; ++i) p[i] = v[i];
+  }
+  static ArrayPack broadcast(double s) {
+    ArrayPack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = s;
+    return r;
+  }
+  friend ArrayPack operator+(ArrayPack a, ArrayPack b) {
+    for (std::size_t i = 0; i < W; ++i) a.v[i] = a.v[i] + b.v[i];
+    return a;
+  }
+  friend ArrayPack operator-(ArrayPack a, ArrayPack b) {
+    for (std::size_t i = 0; i < W; ++i) a.v[i] = a.v[i] - b.v[i];
+    return a;
+  }
+  friend ArrayPack operator*(ArrayPack a, ArrayPack b) {
+    for (std::size_t i = 0; i < W; ++i) a.v[i] = a.v[i] * b.v[i];
+    return a;
+  }
+  ArrayPack& operator+=(ArrayPack o) {
+    for (std::size_t i = 0; i < W; ++i) v[i] = v[i] + o.v[i];
+    return *this;
+  }
+  static ArrayPack abs(ArrayPack a) {
+    for (std::size_t i = 0; i < W; ++i) a.v[i] = std::abs(a.v[i]);
+    return a;
+  }
+  static ArrayPack max(ArrayPack a, ArrayPack b) {
+    for (std::size_t i = 0; i < W; ++i) a.v[i] = std::max(a.v[i], b.v[i]);
+    return a;
+  }
+  static ArrayPack sqrt(ArrayPack a) {
+    for (std::size_t i = 0; i < W; ++i) a.v[i] = std::sqrt(a.v[i]);
+    return a;
+  }
+};
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CPSG_BATCH_VECTOR_EXT 1
+
+typedef double v2d __attribute__((vector_size(16)));
+typedef double v4d __attribute__((vector_size(32)));
+typedef double v8d __attribute__((vector_size(64)));
+typedef double v16d __attribute__((vector_size(128)));
+
+template <class V, std::size_t W>
+struct VecPack {
+  static constexpr std::size_t kLanes = W;
+  V v;
+
+  static VecPack load(const double* p) {
+    // memcpy-based moves: no alignment assumption baked into the type (the
+    // compiler emits unaligned vector loads, which cost nothing on the
+    // 64-byte-aligned SoA buffers the kernel actually uses).
+    VecPack r;
+    __builtin_memcpy(&r.v, p, sizeof(r.v));
+    return r;
+  }
+  void store(double* p) const { __builtin_memcpy(p, &v, sizeof(v)); }
+  static VecPack broadcast(double s) {
+    // Per-lane fill instead of V{} + s: an additive splat would quietly
+    // turn a broadcast -0.0 into +0.0.
+    VecPack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = s;
+    return r;
+  }
+  friend VecPack operator+(VecPack a, VecPack b) {
+    a.v = a.v + b.v;
+    return a;
+  }
+  friend VecPack operator-(VecPack a, VecPack b) {
+    a.v = a.v - b.v;
+    return a;
+  }
+  friend VecPack operator*(VecPack a, VecPack b) {
+    a.v = a.v * b.v;
+    return a;
+  }
+  VecPack& operator+=(VecPack o) {
+    v = v + o.v;
+    return *this;
+  }
+  // abs/max/sqrt are written as per-lane scalar loops on purpose: the
+  // vectorizer re-fuses them into packed sign-mask/maxpd/sqrtpd ops (it
+  // proves e.g. maxpd(b, a) returns bit-identical results to
+  // std::max(a, b), ±0 and NaN included), whereas the "native" vector
+  // forms — a ternary select or a mask-and-bitcast — scalarize per lane
+  // with GPR round-trips once the pack is wider than the ISA's registers
+  // (v8d on AVX2, anything above v2d on SSE2).
+  static VecPack abs(VecPack a) {
+    for (std::size_t i = 0; i < W; ++i) a.v[i] = std::abs(a.v[i]);
+    return a;
+  }
+  static VecPack max(VecPack a, VecPack b) {
+    for (std::size_t i = 0; i < W; ++i) a.v[i] = std::max(a.v[i], b.v[i]);
+    return a;
+  }
+  static VecPack sqrt(VecPack a) {
+    // IEEE sqrt is correctly rounded, so per-lane scalar sqrt and a packed
+    // sqrt instruction produce the same bits; the compiler vectorizes this.
+    for (std::size_t i = 0; i < W; ++i) a.v[i] = std::sqrt(a.v[i]);
+    return a;
+  }
+};
+
+/// A pack wider than the ISA's registers, built as an array of native-width
+/// VecPacks.  GCC keeps vector values wider than one register in memory
+/// (a W=8 body at AVX2 drowns in stack spills when written over v8d), but
+/// an array of C register-sized chunks with a constant-trip chunk loop
+/// stays in SSA registers — the W=8 body becomes two interleaved copies of
+/// the clean W=4 body.  Chunk-wise application of lane-wise ops changes
+/// nothing about per-lane operation order, so bit-identity is untouched.
+template <class Inner, std::size_t C>
+struct ChunkedPack {
+  static constexpr std::size_t kLanes = Inner::kLanes;
+  Inner c[C];
+
+  static ChunkedPack load(const double* p) {
+    ChunkedPack r;
+    for (std::size_t i = 0; i < C; ++i) r.c[i] = Inner::load(p + i * kLanes);
+    return r;
+  }
+  void store(double* p) const {
+    for (std::size_t i = 0; i < C; ++i) c[i].store(p + i * kLanes);
+  }
+  static ChunkedPack broadcast(double s) {
+    ChunkedPack r;
+    for (std::size_t i = 0; i < C; ++i) r.c[i] = Inner::broadcast(s);
+    return r;
+  }
+  friend ChunkedPack operator+(ChunkedPack a, ChunkedPack b) {
+    for (std::size_t i = 0; i < C; ++i) a.c[i] = a.c[i] + b.c[i];
+    return a;
+  }
+  friend ChunkedPack operator-(ChunkedPack a, ChunkedPack b) {
+    for (std::size_t i = 0; i < C; ++i) a.c[i] = a.c[i] - b.c[i];
+    return a;
+  }
+  friend ChunkedPack operator*(ChunkedPack a, ChunkedPack b) {
+    for (std::size_t i = 0; i < C; ++i) a.c[i] = a.c[i] * b.c[i];
+    return a;
+  }
+  ChunkedPack& operator+=(ChunkedPack o) {
+    for (std::size_t i = 0; i < C; ++i) c[i] += o.c[i];
+    return *this;
+  }
+  static ChunkedPack abs(ChunkedPack a) {
+    for (std::size_t i = 0; i < C; ++i) a.c[i] = Inner::abs(a.c[i]);
+    return a;
+  }
+  static ChunkedPack max(ChunkedPack a, ChunkedPack b) {
+    for (std::size_t i = 0; i < C; ++i) a.c[i] = Inner::max(a.c[i], b.c[i]);
+    return a;
+  }
+  static ChunkedPack sqrt(ChunkedPack a) {
+    for (std::size_t i = 0; i < C; ++i) a.c[i] = Inner::sqrt(a.c[i]);
+    return a;
+  }
+};
+
+/// Widest vector the target ISA holds in one register (doubles per
+/// register); packs beyond it are chunked.
+#if defined(__AVX512F__)
+constexpr std::size_t kNativeLanes = 8;
+#elif defined(__AVX__)
+constexpr std::size_t kNativeLanes = 4;
+#else
+constexpr std::size_t kNativeLanes = 2;  // x86-64 baseline SSE2
+#endif
+
+template <std::size_t W>
+struct VecFor;
+template <>
+struct VecFor<2> {
+  using type = VecPack<v2d, 2>;
+};
+template <>
+struct VecFor<4> {
+  using type = VecPack<v4d, 4>;
+};
+template <>
+struct VecFor<8> {
+  using type = VecPack<v8d, 8>;
+};
+template <>
+struct VecFor<16> {
+  using type = VecPack<v16d, 16>;
+};
+#endif  // vector extensions
+
+/// Lane-width -> pack type.  ArrayPack<1> is the scalar fallback body; the
+/// wider widths ride vector extensions when the compiler has them (one
+/// register when the width fits the ISA, chunks of registers when it
+/// doesn't) and fall back to the (still bit-correct) per-lane loops
+/// otherwise.
+template <std::size_t W>
+struct PackFor {
+  using type = ArrayPack<W>;
+};
+#ifdef CPSG_BATCH_VECTOR_EXT
+template <std::size_t W>
+struct WidePackFor {
+  // One register when the width fits; two chunks when it is double the
+  // native width.  Beyond that (4+ registers per pack value) the step body
+  // holds more live packs than the register file — chunking turns into a
+  // spill storm worse than GCC's even memory-based lowering of the single
+  // wide vector, so those widths keep the plain VecPack.
+  using type = typename std::conditional<
+      (W <= kNativeLanes), typename VecFor<W>::type,
+      typename std::conditional<
+          (W == 2 * kNativeLanes),
+          ChunkedPack<typename VecFor<kNativeLanes>::type, 2>,
+          typename VecFor<W>::type>::type>::type;
+};
+template <>
+struct PackFor<2> {
+  using type = typename WidePackFor<2>::type;
+};
+template <>
+struct PackFor<4> {
+  using type = typename WidePackFor<4>::type;
+};
+template <>
+struct PackFor<8> {
+  using type = typename WidePackFor<8>::type;
+};
+template <>
+struct PackFor<16> {
+  using type = typename WidePackFor<16>::type;
+};
+#endif
+
+// Same dimension policies as step_kernel.cpp: compile-time constants make
+// every loop below a constant trip count the optimizer fully unrolls.
+template <std::size_t N, std::size_t M, std::size_t P>
+struct FixedDims {
+  static constexpr std::size_t n() { return N; }
+  static constexpr std::size_t m() { return M; }
+  static constexpr std::size_t p() { return P; }
+};
+
+struct DynamicDims {
+  std::size_t n_, m_, p_;
+  std::size_t n() const { return n_; }
+  std::size_t m() const { return m_; }
+  std::size_t p() const { return p_; }
+};
+
+inline std::size_t pad8(std::size_t doubles) {
+  return (doubles + 7) & ~std::size_t{7};
+}
+
+/// SoA row dot product with the scalar kernel's exact accumulation order
+/// per lane: acc starts at 0.0 and adds row[c] * v[c] in column order.
+template <class P>
+inline P dot_soa(const double* row, const double* v_soa, std::size_t count,
+                 std::size_t width) {
+  P acc = P::broadcast(0.0);
+  for (std::size_t c = 0; c < count; ++c)
+    acc += P::broadcast(row[c]) * P::load(v_soa + c * width);
+  return acc;
+}
+
+template <class Dims, std::size_t W>
+class BatchKernelImpl final : public BatchStepKernel {
+ public:
+  using P = typename PackFor<W>::type;
+
+  BatchKernelImpl(const StepKernelConfig& cfg, Dims dims, bool fixed)
+      : BatchStepKernel(dims.n(), dims.m(), dims.p(), W, fixed), dims_(dims) {
+    const std::size_t n = dims_.n(), m = dims_.m(), p = dims_.p();
+    // One contiguous matrix block, 64-byte-aligned sections, exactly like
+    // StepKernelImpl: matrices are scalar (broadcast across lanes), only
+    // the per-run state is SoA.
+    const std::size_t offsets[] = {
+        pad8(n * n),  // a
+        pad8(n * p),  // b
+        pad8(m * n),  // c
+        pad8(m * p),  // d
+        pad8(n * m),  // l
+        pad8(p * n),  // k
+        pad8(n),      // x_ss
+        pad8(p),      // u_ss
+        pad8(n),      // x1
+        pad8(n),      // xhat1
+        pad8(p),      // u1
+    };
+    std::size_t total = 0;
+    for (const std::size_t sz : offsets) total += sz;
+    block_.assign(total, 0.0);
+    double* base = block_.data();
+    const auto take = [&](std::size_t index) {
+      double* out = base;
+      base += offsets[index];
+      return out;
+    };
+    a_ = copy_into(take(0), cfg.a, n * n);
+    b_ = copy_into(take(1), cfg.b, n * p);
+    c_ = copy_into(take(2), cfg.c, m * n);
+    d_ = copy_into(take(3), cfg.d, m * p);
+    l_ = copy_into(take(4), cfg.l, n * m);
+    k_ = copy_into(take(5), cfg.k, p * n);
+    x_ss_ = copy_into(take(6), cfg.x_ss, n);
+    u_ss_ = copy_into(take(7), cfg.u_ss, p);
+    x1_ = copy_into(take(8), cfg.x1, n);
+    xhat1_ = copy_into(take(9), cfg.xhat1, n);
+    u1_ = copy_into(take(10), cfg.u1, p);
+  }
+
+  void begin_run(BatchStepState& s) const override {
+    const std::size_t n = dims_.n(), m = dims_.m(), p = dims_.p();
+    const std::size_t sections[] = {
+        pad8(n * W),  // x
+        pad8(n * W),  // xhat
+        pad8(n * W),  // xn
+        pad8(n * W),  // xhatn
+        pad8(p * W),  // u
+        pad8(m * W),  // z
+    };
+    std::size_t total = 8;  // slack so the base can be rounded up to 64B
+    for (const std::size_t sz : sections) total += sz;
+    if (s.buf.size() != total) s.buf.assign(total, 0.0);
+    double* base = s.buf.data();
+    const auto addr = reinterpret_cast<std::uintptr_t>(base);
+    base += ((64 - (addr & 63)) & 63) / sizeof(double);
+    s.width = W;
+    s.x = base;
+    s.xhat = s.x + sections[0];
+    s.xn = s.xhat + sections[1];
+    s.xhatn = s.xn + sections[2];
+    s.u = s.xhatn + sections[3];
+    s.z = s.u + sections[4];
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t w = 0; w < W; ++w) s.x[i * W + w] = x1_[i];
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t w = 0; w < W; ++w) s.xhat[i * W + w] = xhat1_[i];
+    for (std::size_t i = 0; i < p; ++i)
+      for (std::size_t w = 0; w < W; ++w) s.u[i * W + w] = u1_[i];
+  }
+
+  void run_norms(BatchStepState& s, std::size_t steps, const double* attack,
+                 const double* process_noise, const double* measurement_noise,
+                 const BatchNorm* norms, std::size_t num_norms,
+                 double* const* series_out) const override {
+    require(s.width == W, "BatchStepKernel: state not shaped by begin_run");
+    const std::size_t n = dims_.n(), m = dims_.m(), p = dims_.p();
+    double* x = s.x;
+    double* xh = s.xhat;
+    double* xn = s.xn;
+    double* xhn = s.xhatn;
+    double* u = s.u;
+    double* z = s.z;
+
+    for (std::size_t k = 0; k < steps; ++k) {
+      const double* att = attack ? attack + k * m * W : nullptr;
+      const double* vn =
+          measurement_noise ? measurement_noise + k * m * W : nullptr;
+      const double* wn = process_noise ? process_noise + k * n * W : nullptr;
+
+      // Each statement is the scalar exact-mode step body with run w in
+      // lane w (see StepKernelImpl::step):
+      //   y_r  = (0.0 + C_r·x) + D_r·u (+ a_r) (+ v_r)
+      //   ŷ_r  = (0.0 + C_r·x̂) + D_r·u;   z_r = y_r - ŷ_r
+      for (std::size_t r = 0; r < m; ++r) {
+        P yr = P::broadcast(0.0) + dot_soa<P>(c_ + r * n, x, n, W);
+        yr = yr + dot_soa<P>(d_ + r * p, u, p, W);
+        if (att) yr += P::load(att + r * W);
+        if (vn) yr += P::load(vn + r * W);
+        P yh = P::broadcast(0.0) + dot_soa<P>(c_ + r * n, xh, n, W);
+        yh = yh + dot_soa<P>(d_ + r * p, u, p, W);
+        (yr - yh).store(z + r * W);
+      }
+
+      // Residue norms while z is hot — control::vector_norm's accumulation
+      // per lane (kInf: max of abs in order; kOne: sum of abs; kTwo:
+      // sqrt of the sum of squares).
+      for (std::size_t j = 0; j < num_norms; ++j) {
+        P acc = P::broadcast(0.0);
+        switch (norms[j]) {
+          case BatchNorm::kInf:
+            for (std::size_t i = 0; i < m; ++i)
+              acc = P::max(acc, P::abs(P::load(z + i * W)));
+            break;
+          case BatchNorm::kOne:
+            for (std::size_t i = 0; i < m; ++i)
+              acc += P::abs(P::load(z + i * W));
+            break;
+          case BatchNorm::kTwo:
+            for (std::size_t i = 0; i < m; ++i) {
+              const P zi = P::load(z + i * W);
+              acc += zi * zi;
+            }
+            acc = P::sqrt(acc);
+            break;
+        }
+        acc.store(series_out[j] + k * W);
+      }
+
+      // x_{k+1} = (0.0 + A_r·x) + B_r·u (+ w_r); x̂_{k+1} adds L_r·z.
+      for (std::size_t r = 0; r < n; ++r) {
+        P xr = P::broadcast(0.0) + dot_soa<P>(a_ + r * n, x, n, W);
+        xr = xr + dot_soa<P>(b_ + r * p, u, p, W);
+        if (wn) xr += P::load(wn + r * W);
+        xr.store(xn + r * W);
+        P xhr = P::broadcast(0.0) + dot_soa<P>(a_ + r * n, xh, n, W);
+        xhr = xhr + dot_soa<P>(b_ + r * p, u, p, W);
+        xhr = xhr + dot_soa<P>(l_ + r * m, z, m, W);
+        xhr.store(xhn + r * W);
+      }
+      std::swap(x, xn);
+      std::swap(xh, xhn);
+
+      // u_{k+1} = u_ss - (0.0 + K_r·(x̂ - x_ss)), deviation formed term by
+      // term inside the accumulation (dot_diff's order).
+      for (std::size_t r = 0; r < p; ++r) {
+        P acc = P::broadcast(0.0);
+        const double* row = k_ + r * n;
+        for (std::size_t c = 0; c < n; ++c)
+          acc += P::broadcast(row[c]) *
+                 (P::load(xh + c * W) - P::broadcast(x_ss_[c]));
+        (P::broadcast(u_ss_[r]) - (P::broadcast(0.0) + acc)).store(u + r * W);
+      }
+    }
+
+    s.x = x;
+    s.xhat = xh;
+    s.xn = xn;
+    s.xhatn = xhn;
+  }
+
+ private:
+  static const double* copy_into(double* dst, const double* src,
+                                 std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) dst[i] = src[i];
+    return dst;
+  }
+
+  Dims dims_;
+  std::vector<double> block_;
+  const double *a_, *b_, *c_, *d_, *l_, *k_;
+  const double *x_ss_, *u_ss_, *x1_, *xhat1_, *u1_;
+};
+
+template <std::size_t W>
+std::unique_ptr<const BatchStepKernel> make_for_width(
+    const StepKernelConfig& cfg, const StepKernelOptions& options) {
+  if (options.allow_fixed) {
+    // Same dispatch table as make_step_kernel, so a loop that got the
+    // fixed scalar kernel gets the fixed batch body and vice versa.
+#define CPSG_BATCH_KERNEL_DISPATCH(N, M, P)                             \
+  if (cfg.n == N && cfg.m == M && cfg.p == P)                           \
+    return std::make_unique<BatchKernelImpl<FixedDims<N, M, P>, W>>(    \
+        cfg, FixedDims<N, M, P>{}, /*fixed=*/true);
+    CPSG_STEP_KERNEL_FIXED_DIMS(CPSG_BATCH_KERNEL_DISPATCH)
+#undef CPSG_BATCH_KERNEL_DISPATCH
+  }
+  return std::make_unique<BatchKernelImpl<DynamicDims, W>>(
+      cfg, DynamicDims{cfg.n, cfg.m, cfg.p}, /*fixed=*/false);
+}
+
+}  // namespace
+
+bool batch_width_supported(std::size_t width) {
+  return width == 1 || width == 2 || width == 4 || width == 8 || width == 16;
+}
+
+std::size_t preferred_batch_width() {
+  // Twice the ISA's register width (lowered as a two-chunk pack): the
+  // second chunk fills the other execution port while the first's loads
+  // are in flight, and measured step throughput beats both the single
+  // register width and the 4+-chunk widths on every ISA level (SSE2,
+  // AVX2, AVX-512).
+#if defined(__AVX512F__)
+  return 16;
+#elif defined(__AVX__)
+  return 8;
+#else
+  return 4;
+#endif
+}
+
+std::unique_ptr<const BatchStepKernel> make_batch_step_kernel(
+    const StepKernelConfig& cfg, std::size_t width,
+    const StepKernelOptions& options) {
+  require(cfg.n > 0 && cfg.m > 0 && cfg.p > 0,
+          "make_batch_step_kernel: dimensions must be positive");
+  require(cfg.a && cfg.b && cfg.c && cfg.d && cfg.l && cfg.k && cfg.x_ss &&
+              cfg.u_ss && cfg.x1 && cfg.xhat1 && cfg.u1,
+          "make_batch_step_kernel: null matrix/vector pointer");
+  require(!options.condensed,
+          "make_batch_step_kernel: condensed mode has no batch body (use the "
+          "scalar kernel)");
+  require(batch_width_supported(width),
+          "make_batch_step_kernel: unsupported lane width");
+  switch (width) {
+    case 1: return make_for_width<1>(cfg, options);
+    case 2: return make_for_width<2>(cfg, options);
+    case 4: return make_for_width<4>(cfg, options);
+    case 8: return make_for_width<8>(cfg, options);
+    default: return make_for_width<16>(cfg, options);
+  }
+}
+
+}  // namespace cpsguard::linalg

@@ -1,0 +1,127 @@
+// batch_kernel.hpp — structure-of-arrays step kernels that advance W
+// independent Monte-Carlo runs per fused sampling instant.
+//
+// Every Monte-Carlo protocol is thousands of INDEPENDENT runs of one tiny
+// closed loop.  StepKernel (step_kernel.hpp) fused the sampling instant of
+// one run; the matrices are too small (n <= 6 for every registered case
+// study) for SIMD lanes to matter within a run.  BatchStepKernel is the
+// same fuse-and-specialize move one level up: the run axis becomes the
+// vector lane axis.  Matrices are packed once and broadcast across lanes;
+// per-run state (x, x̂, u) and per-run signals (noise, attack) are laid out
+// as aligned structure-of-arrays with lane stride W, so every arithmetic
+// statement of the scalar step body becomes one W-wide vector statement.
+//
+// Bit-identity contract: lane w executes exactly the scalar StepKernel's
+// exact-mode operation sequence on run w's data — vertical vectorization
+// reorders nothing within a lane, so every lane's norm series is
+// bit-identical to the scalar kernel's by construction (pinned by
+// tests/batch_kernel_test.cpp across all case studies and fuzzed
+// dimensions).  W = 1 instantiates the same templated body on plain
+// doubles and is the always-available scalar fallback.  The condensed
+// step-kernel mode is not replicated here: the factory rejects it and the
+// sim layer falls back to the scalar path.
+//
+// Vector widths are reached portably through GCC/Clang vector extensions
+// (one `vector_size` type per W); the compiler lowers them to whatever the
+// -march allows — SSE2 pairs at the baseline, 4-lane AVX at x86-64-v3,
+// 8-lane AVX-512 where present — and splits wider-than-native packs
+// automatically, so one templated body serves every ISA level.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "linalg/step_kernel.hpp"
+
+namespace cpsguard::linalg {
+
+/// Residue-norm kinds the batch kernel can stream, mirroring
+/// control::Norm's values one-to-one (linalg cannot depend on control;
+/// sim maps between the two enums).
+enum class BatchNorm {
+  kInf,  ///< max |z_i|
+  kOne,  ///< sum |z_i|
+  kTwo,  ///< Euclidean
+};
+
+/// Per-lane-group mutable state: the SoA faces of x / x̂ / u plus the
+/// double-buffered next-state accumulators and a residue scratch block.
+/// Entry i of lane w lives at [i * width + w]; every section starts
+/// 64-byte aligned so pack loads never split a cache line.  One instance
+/// per worker thread, reshaped by BatchStepKernel::begin_run and reused
+/// across lane groups.
+struct BatchStepState {
+  std::vector<double> buf;
+  std::size_t width = 0;    ///< lane stride the pointers below are laid out for
+  double* x = nullptr;      ///< current plant states (n x width)
+  double* xhat = nullptr;   ///< current estimates (n x width)
+  double* u = nullptr;      ///< current inputs (p x width)
+  double* xn = nullptr;     ///< next-state accumulators (n x width)
+  double* xhatn = nullptr;  ///< next-estimate accumulators (n x width)
+  double* z = nullptr;      ///< residue scratch (m x width)
+};
+
+/// W closed-loop runs advanced per fused sampling instant.  Immutable and
+/// shareable across threads after construction (it owns packed copies of
+/// the matrices, identical to StepKernel's packing); all mutable state
+/// lives in a caller-owned BatchStepState.
+class BatchStepKernel {
+ public:
+  virtual ~BatchStepKernel() = default;
+
+  std::size_t num_states() const { return n_; }
+  std::size_t num_outputs() const { return m_; }
+  std::size_t num_inputs() const { return p_; }
+  /// Lanes advanced per step — the SoA stride of states and signals.
+  std::size_t width() const { return w_; }
+  /// True when this is a compile-time-specialized (fixed-dimension) body.
+  bool fixed() const { return fixed_; }
+
+  /// Shapes `state` for this kernel's dimensions and lane width and
+  /// broadcasts the initial conditions x1 / x̂1 / u1 into every lane.
+  virtual void begin_run(BatchStepState& state) const = 0;
+
+  /// Advances `steps` fused instants for all width() lanes and streams the
+  /// per-lane residue norms.  Signals are SoA with entry r of instant k at
+  /// [(k * dim + r) * width + w] (attack & measurement noise: dim = m,
+  /// process noise: dim = n); null means zero.  For each requested norm
+  /// kind j, series_out[j][k * width + w] = ||z_k|| of lane w — the same
+  /// value, bit for bit, that the scalar kernel's run followed by
+  /// control::vector_norm produces for that run.  After the call,
+  /// state.x / xhat / u hold the final (post-horizon) lane states.
+  virtual void run_norms(BatchStepState& state, std::size_t steps,
+                         const double* attack_soa,
+                         const double* process_noise_soa,
+                         const double* measurement_noise_soa,
+                         const BatchNorm* norms, std::size_t num_norms,
+                         double* const* series_out) const = 0;
+
+ protected:
+  BatchStepKernel(std::size_t n, std::size_t m, std::size_t p, std::size_t w,
+                  bool fixed)
+      : n_(n), m_(m), p_(p), w_(w), fixed_(fixed) {}
+
+ private:
+  std::size_t n_, m_, p_, w_;
+  bool fixed_;
+};
+
+/// The lane widths the factory instantiates (1 is the scalar fallback).
+bool batch_width_supported(std::size_t width);
+
+/// The widest lane count the build's -march can keep in native registers:
+/// 8 with AVX-512, 4 with AVX, 2 otherwise (SSE2 pairs — always present
+/// on x86-64).  Wider widths still work (the compiler splits the packs);
+/// this is the auto-selection default, not a ceiling.
+std::size_t preferred_batch_width();
+
+/// Builds the W-lane kernel for one loop, dispatching to a fixed-dimension
+/// specialization exactly when make_step_kernel would (same signature
+/// table, honoring options.allow_fixed).  Requires a supported width and
+/// options.condensed == false; throws util::InvalidArgument otherwise.
+std::unique_ptr<const BatchStepKernel> make_batch_step_kernel(
+    const StepKernelConfig& config, std::size_t width,
+    const StepKernelOptions& options = {});
+
+}  // namespace cpsguard::linalg

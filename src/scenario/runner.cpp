@@ -176,6 +176,13 @@ class Context {
     if (spec_.far_pfc_filter) {
       const synth::Criterion pfc = pfc_;
       setup.pfc = [pfc](const Trace& tr) { return pfc.satisfied(tr); };
+      // Criteria decided by x_{T+1} alone (the paper's reach pfc) also get
+      // the streaming face, keeping the norm-only fast path eligible with
+      // the filter active.  Same Criterion, bit-identical verdicts.
+      if (pfc_.final_state_only())
+        setup.pfc_final = [pfc](const double* x_final, std::size_t n) {
+          return pfc.satisfied_final_state(x_final, n);
+        };
     }
     return setup;
   }

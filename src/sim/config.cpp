@@ -2,10 +2,14 @@
 
 #include <atomic>
 
+#include "linalg/batch_kernel.hpp"
+#include "util/status.hpp"
+
 namespace cpsguard::sim {
 
 namespace {
 std::atomic<bool> g_norm_only_enabled{true};
+std::atomic<std::size_t> g_lane_width{0};  // 0 = auto
 }  // namespace
 
 bool norm_only_enabled() {
@@ -14,6 +18,22 @@ bool norm_only_enabled() {
 
 void set_norm_only_enabled(bool enabled) {
   g_norm_only_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::size_t lane_width() {
+  return g_lane_width.load(std::memory_order_relaxed);
+}
+
+void set_lane_width(std::size_t width) {
+  util::require(width == 0 || linalg::batch_width_supported(width),
+                "set_lane_width: width must be 0 (auto) or a supported batch "
+                "width (1, 2, 4, 8, 16)");
+  g_lane_width.store(width, std::memory_order_relaxed);
+}
+
+std::size_t resolved_lane_width() {
+  const std::size_t width = lane_width();
+  return width == 0 ? linalg::preferred_batch_width() : width;
 }
 
 }  // namespace cpsguard::sim

@@ -41,4 +41,20 @@ struct MonteCarloConfig {
 bool norm_only_enabled();
 void set_norm_only_enabled(bool enabled);
 
+/// Process-wide lane width of the SoA batch step kernel (norm-only batches
+/// only; full-trace protocols always run the scalar path).  0 = auto
+/// (linalg::preferred_batch_width for the build's -march), 1 = batching
+/// disabled (the kill switch: every run takes the scalar kernel), other
+/// supported widths force that lane count.  Reports are bit-identical at
+/// every setting — lane width is an execution detail like the thread
+/// count, deliberately excluded from sweep::fingerprint's cache keys.
+/// Like the norm-only switch, flip it only between experiments.
+std::size_t lane_width();
+/// Throws util::InvalidArgument unless `width` is 0 or a supported batch
+/// width (linalg::batch_width_supported).
+void set_lane_width(std::size_t width);
+/// The width a batch entry point would use right now: lane_width(), with 0
+/// resolved to the build's preferred width.
+std::size_t resolved_lane_width();
+
 }  // namespace cpsguard::sim

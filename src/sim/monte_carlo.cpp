@@ -1,10 +1,14 @@
 #include "sim/monte_carlo.hpp"
 
+#include <memory>
 #include <vector>
 
 #include "control/noise.hpp"
+#include "linalg/batch_kernel.hpp"
+#include "sim/config.hpp"
 #include "sim/stats.hpp"
 #include "util/random.hpp"
+#include "util/status.hpp"
 
 namespace cpsguard::sim {
 
@@ -37,26 +41,191 @@ void run_noise_batch(
   });
 }
 
-void run_noise_norm_batch(
+namespace {
+
+linalg::BatchNorm to_batch_norm(control::Norm norm) {
+  switch (norm) {
+    case control::Norm::kInf: return linalg::BatchNorm::kInf;
+    case control::Norm::kOne: return linalg::BatchNorm::kOne;
+    case control::Norm::kTwo: return linalg::BatchNorm::kTwo;
+  }
+  throw util::InvalidArgument("run_noise_norm_batch: unknown norm");
+}
+
+/// Per-worker scratch of a lane-group batch: the SoA kernel state, the
+/// lane-interleaved noise block, the interleaved series output, plus a
+/// scalar RunScratch for tail runs.
+struct LaneScratch {
+  linalg::BatchStepState state;
+  std::vector<double> noise_soa;
+  std::vector<double> series;
+  std::vector<double*> series_mut;
+  std::vector<const double*> series_view;
+  RunScratch scalar;
+  std::vector<const double*> scalar_view;
+};
+
+}  // namespace
+
+void run_noise_norm_batch_lanes(
     const BatchRunner& runner, const control::ClosedLoop& loop, std::size_t count,
     std::size_t horizon, const linalg::Vector& noise_bounds, std::uint64_t seed,
     std::uint64_t index_offset, const std::vector<control::Norm>& norms,
-    const std::function<void(std::size_t run, std::size_t slot,
-                             const std::vector<std::vector<double>>& series)>&
+    const std::function<void(std::size_t slot, const NormLaneGroup& group)>&
         consume) {
+  util::require(!norms.empty(), "run_noise_norm_batch: need at least one norm");
   stats::add_simulated_runs(count);
   stats::add_dispatch_runs(loop.step_kernel().fixed(), count);
   stats::add_norm_only_runs(count);
-  std::vector<RunScratch> scratch(runner.threads());
-  runner.for_each(count, [&](std::size_t run, std::size_t slot) {
-    RunScratch& s = scratch[slot];
+
+  const std::size_t n = loop.config().plant.num_states();
+  const std::size_t m = loop.config().plant.num_outputs();
+
+  std::vector<LaneScratch> scratch(runner.threads());
+  const auto scalar_run = [&](std::size_t run, std::size_t slot) {
+    // The pre-batch per-run path, presented as a width-1 lane group.
+    LaneScratch& ls = scratch[slot];
+    RunScratch& s = ls.scalar;
     util::Rng rng = util::Rng::substream(seed, index_offset + run);
     control::bounded_uniform_signal_into(rng, horizon, noise_bounds, s.noise);
     loop.simulate_norms_into(s.workspace, horizon, norms, s.norms,
                              /*attack=*/nullptr, /*process_noise=*/nullptr,
                              &s.noise);
-    consume(run, slot, s.norms);
+    ls.scalar_view.resize(norms.size());
+    for (std::size_t j = 0; j < norms.size(); ++j)
+      ls.scalar_view[j] = s.norms[j].data();
+    NormLaneGroup group;
+    group.first_run = run;
+    group.lanes = 1;
+    group.width = 1;
+    group.steps = horizon;
+    group.states = n;
+    group.series = ls.scalar_view.data();
+    group.x_final = s.workspace.step.x;
+    consume(slot, group);
+  };
+
+  // Batching applies only to the exact (non-condensed) kernel — the batch
+  // body replicates the exact operation order; condensed mode keeps its
+  // scalar path.  Width 1 is the kill switch.
+  const std::size_t width = resolved_lane_width();
+  const bool batch =
+      width > 1 && count >= width && !loop.step_kernel().condensed();
+  if (!batch) {
+    runner.for_each(count,
+                    [&](std::size_t run, std::size_t slot) { scalar_run(run, slot); });
+    return;
+  }
+
+  // The batch kernel packs the same matrices the loop's scalar kernel
+  // packed; dispatch parity (fixed vs generic) mirrors the loop's kernel so
+  // forced-generic loops exercise the generic batch body too.
+  const auto& plant = loop.config().plant;
+  const auto& cfg = loop.config();
+  linalg::StepKernelConfig kc;
+  kc.n = n;
+  kc.m = m;
+  kc.p = plant.num_inputs();
+  kc.a = plant.a.data();
+  kc.b = plant.b.data();
+  kc.c = plant.c.data();
+  kc.d = plant.d.data();
+  kc.l = cfg.kalman_gain.data();
+  kc.k = cfg.feedback_gain.data();
+  kc.x_ss = cfg.operating_point.x_ss.data();
+  kc.u_ss = cfg.operating_point.u_ss.data();
+  kc.x1 = cfg.x1.data();
+  kc.xhat1 = cfg.xhat1.data();
+  kc.u1 = cfg.u1.data();
+  linalg::StepKernelOptions options;
+  options.allow_fixed = loop.step_kernel().fixed();
+  const std::unique_ptr<const linalg::BatchStepKernel> kernel =
+      linalg::make_batch_step_kernel(kc, width, options);
+
+  std::vector<linalg::BatchNorm> kinds;
+  kinds.reserve(norms.size());
+  for (const control::Norm norm : norms) kinds.push_back(to_batch_norm(norm));
+
+  const std::size_t full_groups = count / width;
+  const std::size_t tail = count % width;
+  stats::add_batched_runs(full_groups * width, width);
+  stats::add_scalar_tail_runs(tail);
+
+  // Work items: the full lane groups first, then the tail runs one by one
+  // through the scalar path.  Both are keyed by run index alone, so the
+  // result is independent of the thread count — and of the lane width,
+  // since every lane replays the scalar operation sequence bit for bit.
+  runner.for_each(full_groups + tail, [&](std::size_t item, std::size_t slot) {
+    if (item >= full_groups) {
+      scalar_run(full_groups * width + (item - full_groups), slot);
+      return;
+    }
+    LaneScratch& s = scratch[slot];
+    const std::size_t first = item * width;
+    s.noise_soa.resize(horizon * m * width);
+    s.series.resize(norms.size() * horizon * width);
+    s.series_mut.resize(norms.size());
+    s.series_view.resize(norms.size());
+    for (std::size_t j = 0; j < norms.size(); ++j) {
+      s.series_mut[j] = s.series.data() + j * horizon * width;
+      s.series_view[j] = s.series_mut[j];
+    }
+    // Per-run substreams drawn exactly as in the scalar path, each lane's
+    // values landing straight in its interleaved SoA slots.
+    for (std::size_t w = 0; w < width; ++w) {
+      util::Rng rng = util::Rng::substream(seed, index_offset + first + w);
+      control::bounded_uniform_soa_into(rng, horizon, noise_bounds,
+                                        s.noise_soa.data(), width, w);
+    }
+    kernel->begin_run(s.state);
+    kernel->run_norms(s.state, horizon, /*attack_soa=*/nullptr,
+                      /*process_noise_soa=*/nullptr, s.noise_soa.data(),
+                      kinds.data(), kinds.size(), s.series_mut.data());
+    NormLaneGroup group;
+    group.first_run = first;
+    group.lanes = width;
+    group.width = width;
+    group.steps = horizon;
+    group.states = n;
+    group.series = s.series_view.data();
+    group.x_final = s.state.x;
+    consume(slot, group);
   });
+}
+
+void run_noise_norm_batch(
+    const BatchRunner& runner, const control::ClosedLoop& loop, std::size_t count,
+    std::size_t horizon, const linalg::Vector& noise_bounds, std::uint64_t seed,
+    std::uint64_t index_offset, const std::vector<control::Norm>& norms,
+    const std::function<void(std::size_t run, std::size_t slot,
+                             const std::vector<std::vector<double>>& series,
+                             const double* x_final)>& consume) {
+  // De-interleaving face of the lane API: per-run vectors for consumers
+  // that keep the pre-batch signature.  The copy is O(steps · norms) per
+  // run — noise against the simulation itself.
+  struct WrapScratch {
+    std::vector<std::vector<double>> series;
+    std::vector<double> x_final;
+  };
+  std::vector<WrapScratch> scratch(runner.threads());
+  run_noise_norm_batch_lanes(
+      runner, loop, count, horizon, noise_bounds, seed, index_offset, norms,
+      [&](std::size_t slot, const NormLaneGroup& g) {
+        WrapScratch& s = scratch[slot];
+        s.series.resize(norms.size());
+        s.x_final.resize(g.states);
+        for (std::size_t w = 0; w < g.lanes; ++w) {
+          for (std::size_t j = 0; j < norms.size(); ++j) {
+            s.series[j].resize(g.steps);
+            const double* lane = g.series[j] + w;
+            for (std::size_t k = 0; k < g.steps; ++k)
+              s.series[j][k] = lane[k * g.width];
+          }
+          for (std::size_t i = 0; i < g.states; ++i)
+            s.x_final[i] = g.x_final[i * g.width + w];
+          consume(g.first_run + w, slot, s.series, s.x_final.data());
+        }
+      });
 }
 
 }  // namespace cpsguard::sim

@@ -49,16 +49,56 @@ void run_noise_batch(
 
 /// Norm-only variant: identical draws and run/seed discipline, but each run
 /// materializes no trace — the kernel computes the residual norm(s) on the
-/// fly and `consume(run, slot, series)` receives series[i][k] = ||z_k||
-/// under norms[i], bit-identical to Trace::residue_norms on the run that
-/// run_noise_batch would have produced.  `series` is worker-local scratch
+/// fly and `consume(run, slot, series, x_final)` receives series[i][k] =
+/// ||z_k|| under norms[i], bit-identical to Trace::residue_norms on the run
+/// that run_noise_batch would have produced, plus the final plant state
+/// x_{T+1} (num_states entries, == Trace::x.back() of that run) for
+/// final-state pfc checks.  `series` and `x_final` are worker-local scratch
 /// reused by the next run: consumers must copy what they keep.
+///
+/// When sim::resolved_lane_width() > 1 and the loop's kernel is exact
+/// (non-condensed), runs are partitioned into lane groups that advance
+/// through the SoA linalg::BatchStepKernel, W runs per instruction; the
+/// count % W leftover (and every run when batching is off) takes the
+/// scalar kernel.  RNG substreams are drawn per run exactly as in the
+/// scalar path and lane w reproduces the scalar operation sequence of run
+/// w, so the values handed to `consume` are bit-identical at every lane
+/// width and thread count.
 void run_noise_norm_batch(
     const BatchRunner& runner, const control::ClosedLoop& loop, std::size_t count,
     std::size_t horizon, const linalg::Vector& noise_bounds, std::uint64_t seed,
     std::uint64_t index_offset, const std::vector<control::Norm>& norms,
     const std::function<void(std::size_t run, std::size_t slot,
-                             const std::vector<std::vector<double>>& series)>&
+                             const std::vector<std::vector<double>>& series,
+                             const double* x_final)>& consume);
+
+/// One lane group of a norm-only batch as the kernel produced it — the
+/// zero-copy face of run_noise_norm_batch_lanes.  Lane w is run
+/// first_run + w; series[j][k * width + w] is instant k of norm kind j and
+/// x_final[i * width + w] is final-state component i.  Batched groups have
+/// lanes == width == the batch lane count; scalar runs (batching off, or
+/// the count % W tail) arrive as width-1 groups.  All pointers are
+/// worker-local scratch reused by the next group.
+struct NormLaneGroup {
+  std::size_t first_run = 0;  ///< run index of lane 0
+  std::size_t lanes = 0;      ///< runs in this group
+  std::size_t width = 0;      ///< lane stride of series / x_final
+  std::size_t steps = 0;      ///< instants per run
+  std::size_t states = 0;     ///< plant states (x_final rows)
+  const double* const* series = nullptr;  ///< one base pointer per norm kind
+  const double* x_final = nullptr;        ///< final plant states, SoA
+};
+
+/// Lane-group face of the norm-only batch: identical work, draws and
+/// counters to run_noise_norm_batch, but `consume(slot, group)` sees each
+/// lane group's interleaved series directly (detect::DetectorBank
+/// evaluates them in place via evaluate_norms_lane) instead of per-run
+/// de-interleaved copies.
+void run_noise_norm_batch_lanes(
+    const BatchRunner& runner, const control::ClosedLoop& loop, std::size_t count,
+    std::size_t horizon, const linalg::Vector& noise_bounds, std::uint64_t seed,
+    std::uint64_t index_offset, const std::vector<control::Norm>& norms,
+    const std::function<void(std::size_t slot, const NormLaneGroup& group)>&
         consume);
 
 }  // namespace cpsguard::sim

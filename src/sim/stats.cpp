@@ -9,6 +9,9 @@ std::atomic<std::uint64_t> g_simulated_runs{0};
 std::atomic<std::uint64_t> g_fixed_dispatch_runs{0};
 std::atomic<std::uint64_t> g_generic_dispatch_runs{0};
 std::atomic<std::uint64_t> g_norm_only_runs{0};
+std::atomic<std::uint64_t> g_batched_runs{0};
+std::atomic<std::uint64_t> g_scalar_tail_runs{0};
+std::atomic<std::uint64_t> g_lane_width_used{0};
 }  // namespace
 
 std::uint64_t simulated_runs() {
@@ -27,6 +30,18 @@ std::uint64_t norm_only_runs() {
   return g_norm_only_runs.load(std::memory_order_relaxed);
 }
 
+std::uint64_t batched_runs() {
+  return g_batched_runs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t scalar_tail_runs() {
+  return g_scalar_tail_runs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t lane_width_used() {
+  return g_lane_width_used.load(std::memory_order_relaxed);
+}
+
 void reset_simulated_runs() {
   g_simulated_runs.store(0, std::memory_order_relaxed);
 }
@@ -36,6 +51,9 @@ void reset_all_counters() {
   g_fixed_dispatch_runs.store(0, std::memory_order_relaxed);
   g_generic_dispatch_runs.store(0, std::memory_order_relaxed);
   g_norm_only_runs.store(0, std::memory_order_relaxed);
+  g_batched_runs.store(0, std::memory_order_relaxed);
+  g_scalar_tail_runs.store(0, std::memory_order_relaxed);
+  g_lane_width_used.store(0, std::memory_order_relaxed);
 }
 
 void add_simulated_runs(std::uint64_t count) {
@@ -49,6 +67,15 @@ void add_dispatch_runs(bool fixed_kernel, std::uint64_t count) {
 
 void add_norm_only_runs(std::uint64_t count) {
   g_norm_only_runs.fetch_add(count, std::memory_order_relaxed);
+}
+
+void add_batched_runs(std::uint64_t count, std::uint64_t width) {
+  g_batched_runs.fetch_add(count, std::memory_order_relaxed);
+  g_lane_width_used.store(width, std::memory_order_relaxed);
+}
+
+void add_scalar_tail_runs(std::uint64_t count) {
+  g_scalar_tail_runs.fetch_add(count, std::memory_order_relaxed);
 }
 
 }  // namespace cpsguard::sim::stats

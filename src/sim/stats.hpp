@@ -32,6 +32,15 @@ std::uint64_t generic_dispatch_runs();
 /// no materialized trace).
 std::uint64_t norm_only_runs();
 
+/// Of the norm-only runs, how many advanced through the SoA batch kernel
+/// (full lane groups) vs fell to the scalar tail of a batched call (the
+/// count % width leftover).  Runs of a call where batching was ineligible
+/// or disabled (lane width 1) count under neither.
+std::uint64_t batched_runs();
+std::uint64_t scalar_tail_runs();
+/// Lane width of the most recent batched call; 0 until one happens.
+std::uint64_t lane_width_used();
+
 /// Rewinds the run counter (tests).  Leaves the dispatch / norm-only
 /// counters alone; reset_all_counters rewinds everything.
 void reset_simulated_runs();
@@ -41,5 +50,7 @@ void reset_all_counters();
 void add_simulated_runs(std::uint64_t count);
 void add_dispatch_runs(bool fixed_kernel, std::uint64_t count);
 void add_norm_only_runs(std::uint64_t count);
+void add_batched_runs(std::uint64_t count, std::uint64_t width);
+void add_scalar_tail_runs(std::uint64_t count);
 
 }  // namespace cpsguard::sim::stats

@@ -12,6 +12,13 @@ using sym::BoolExpr;
 using sym::RelOp;
 using util::require;
 
+bool CriterionInterface::satisfied_final_state(const double* /*x_final*/,
+                                               std::size_t /*n*/) const {
+  throw util::InvalidArgument(
+      "Criterion: satisfied_final_state on a trace-only criterion (check "
+      "final_state_only() first)");
+}
+
 ReachCriterion::ReachCriterion(std::size_t state_index, double target, double tolerance)
     : state_index_(state_index), target_(target), tolerance_(tolerance) {
   require(tolerance > 0.0, "ReachCriterion: tolerance must be positive");
@@ -24,6 +31,15 @@ bool ReachCriterion::satisfied(const control::Trace& trace) const {
 double ReachCriterion::deviation(const control::Trace& trace) const {
   require(!trace.x.empty(), "ReachCriterion: empty trace");
   return trace.x.back()[state_index_] - target_;
+}
+
+bool ReachCriterion::satisfied_final_state(const double* x_final,
+                                           std::size_t n) const {
+  require(x_final != nullptr, "ReachCriterion: null final state");
+  require(state_index_ < n, "ReachCriterion: state index out of range");
+  // Same expression as satisfied() via deviation(): bit-identical verdicts
+  // between the trace and streaming faces.
+  return std::abs(x_final[state_index_] - target_) <= tolerance_;
 }
 
 BoolExpr ReachCriterion::satisfied_expr(const sym::SymbolicTrace& trace) const {
@@ -69,6 +85,12 @@ const CriterionInterface& Criterion::impl() const {
 
 bool Criterion::satisfied(const control::Trace& trace) const {
   return impl().satisfied(trace);
+}
+
+bool Criterion::final_state_only() const { return impl().final_state_only(); }
+
+bool Criterion::satisfied_final_state(const double* x_final, std::size_t n) const {
+  return impl().satisfied_final_state(x_final, n);
 }
 
 double Criterion::deviation(const control::Trace& trace) const {

@@ -58,6 +58,17 @@ class CriterionInterface {
   /// (seeds the kMaxDeviation bisection); 0 otherwise.
   virtual double tolerance() const { return 0.0; }
 
+  /// True when satisfied() reads nothing but the final plant state x_{T+1}
+  /// — the streaming face below is then available and norm-only protocols
+  /// (detect::FarSetup::pfc_final) can apply the criterion without
+  /// materializing a trace.  Default: false (trace-only).
+  virtual bool final_state_only() const { return false; }
+
+  /// Streaming check on the final plant state (`n` components).  Must
+  /// return exactly satisfied(trace) whenever x_final == trace.x.back().
+  /// Only callable when final_state_only(); the default throws.
+  virtual bool satisfied_final_state(const double* x_final, std::size_t n) const;
+
   virtual std::string describe() const = 0;
 };
 
@@ -81,6 +92,11 @@ class ReachCriterion final : public CriterionInterface {
 
   std::optional<sym::AffineExpr> deviation_expr(
       const sym::SymbolicTrace& trace) const override;
+
+  /// The reach check is decided by x_{T+1}[state_index] alone, so it
+  /// streams: norm-only FAR batches keep the paper's pfc filter active.
+  bool final_state_only() const override { return true; }
+  bool satisfied_final_state(const double* x_final, std::size_t n) const override;
 
   std::size_t state_index() const { return state_index_; }
   double target() const { return target_; }
@@ -107,6 +123,8 @@ class Criterion {
   bool valid() const { return impl_ != nullptr; }
 
   bool satisfied(const control::Trace& trace) const;
+  bool final_state_only() const;
+  bool satisfied_final_state(const double* x_final, std::size_t n) const;
   double deviation(const control::Trace& trace) const;
   sym::BoolExpr satisfied_expr(const sym::SymbolicTrace& trace) const;
   sym::BoolExpr violated_expr(const sym::SymbolicTrace& trace, double margin = 0.0) const;

@@ -1,0 +1,517 @@
+// Tests for the SoA multi-run batch step kernels (PR 7): batch-vs-scalar
+// bit-identity of norm series and final states across all registered case
+// studies and fuzzed dimensions (including tail groups where runs % W != 0),
+// the lane-width kill switch (reports unchanged when batching is disabled),
+// lane-batch stats counters, DetectorBank's zero-copy lane evaluation, the
+// final-state pfc face that keeps registry FAR scenarios norm-only with the
+// paper's pfc filter active, and cache-fingerprint neutrality of the lane
+// width (a warm sweep cache must hit at any --lanes value).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "control/closed_loop.hpp"
+#include "detect/far.hpp"
+#include "detect/online.hpp"
+#include "linalg/batch_kernel.hpp"
+#include "models/trajectory.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "sim/config.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/stats.hpp"
+#include "sweep/campaign.hpp"
+#include "synth/spec.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard {
+namespace {
+
+using control::Trace;
+using linalg::Matrix;
+using linalg::Vector;
+
+/// RAII guard pinning the norm-only batch lane width, restoring auto.
+struct LaneGuard {
+  explicit LaneGuard(std::size_t width) { sim::set_lane_width(width); }
+  ~LaneGuard() { sim::set_lane_width(0); }
+};
+
+/// RAII guard so a test can force the full-trace path and always restore
+/// the norm-only default.
+struct NormOnlyGuard {
+  explicit NormOnlyGuard(bool enabled) { sim::set_norm_only_enabled(enabled); }
+  ~NormOnlyGuard() { sim::set_norm_only_enabled(true); }
+};
+
+/// Every run's de-interleaved norm series and final plant state from one
+/// run_noise_norm_batch pass at the ambient lane width.
+struct BatchResult {
+  std::vector<std::vector<std::vector<double>>> series;  ///< [run][norm][k]
+  std::vector<std::vector<double>> x_final;              ///< [run][i]
+};
+
+BatchResult collect_norm_batch(const control::ClosedLoop& loop,
+                               std::size_t count, std::size_t horizon,
+                               const Vector& bounds, std::uint64_t seed,
+                               const std::vector<control::Norm>& norms,
+                               std::size_t threads = 1) {
+  BatchResult out;
+  out.series.resize(count);
+  out.x_final.resize(count);
+  const sim::BatchRunner runner(threads);
+  sim::run_noise_norm_batch(
+      runner, loop, count, horizon, bounds, seed, /*index_offset=*/0, norms,
+      [&](std::size_t run, std::size_t /*slot*/,
+          const std::vector<std::vector<double>>& series,
+          const double* x_final) {
+        out.series[run] = series;
+        out.x_final[run].assign(
+            x_final, x_final + loop.config().plant.num_states());
+      });
+  return out;
+}
+
+void expect_batch_results_identical(const BatchResult& a, const BatchResult& b,
+                                    const std::string& what) {
+  ASSERT_EQ(a.series.size(), b.series.size()) << what;
+  for (std::size_t run = 0; run < a.series.size(); ++run) {
+    ASSERT_EQ(a.series[run].size(), b.series[run].size()) << what;
+    for (std::size_t j = 0; j < a.series[run].size(); ++j) {
+      ASSERT_EQ(a.series[run][j].size(), b.series[run][j].size()) << what;
+      for (std::size_t k = 0; k < a.series[run][j].size(); ++k)
+        ASSERT_EQ(a.series[run][j][k], b.series[run][j][k])
+            << what << " run " << run << " norm " << j << " step " << k;
+    }
+    ASSERT_EQ(a.x_final[run].size(), b.x_final[run].size()) << what;
+    for (std::size_t i = 0; i < a.x_final[run].size(); ++i)
+      ASSERT_EQ(a.x_final[run][i], b.x_final[run][i])
+          << what << " run " << run << " x_final[" << i << "]";
+  }
+}
+
+const std::vector<control::Norm> kAllNorms{
+    control::Norm::kInf, control::Norm::kOne, control::Norm::kTwo};
+
+TEST(BatchKernel, WidthSupportAndFactoryContract) {
+  EXPECT_TRUE(linalg::batch_width_supported(1));
+  EXPECT_TRUE(linalg::batch_width_supported(2));
+  EXPECT_TRUE(linalg::batch_width_supported(4));
+  EXPECT_TRUE(linalg::batch_width_supported(8));
+  EXPECT_TRUE(linalg::batch_width_supported(16));
+  EXPECT_FALSE(linalg::batch_width_supported(0));
+  EXPECT_FALSE(linalg::batch_width_supported(3));
+  EXPECT_FALSE(linalg::batch_width_supported(32));
+  EXPECT_TRUE(linalg::batch_width_supported(linalg::preferred_batch_width()));
+
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  const auto& plant = cs.loop.plant;
+  linalg::StepKernelConfig kc;
+  kc.n = plant.num_states();
+  kc.m = plant.num_outputs();
+  kc.p = plant.num_inputs();
+  kc.a = plant.a.data();
+  kc.b = plant.b.data();
+  kc.c = plant.c.data();
+  kc.d = plant.d.data();
+  kc.l = cs.loop.kalman_gain.data();
+  kc.k = cs.loop.feedback_gain.data();
+  kc.x_ss = cs.loop.operating_point.x_ss.data();
+  kc.u_ss = cs.loop.operating_point.u_ss.data();
+  kc.x1 = cs.loop.x1.data();
+  kc.xhat1 = cs.loop.xhat1.data();
+  kc.u1 = cs.loop.u1.data();
+
+  const auto kernel = linalg::make_batch_step_kernel(kc, 4);
+  EXPECT_EQ(kernel->width(), 4u);
+  EXPECT_EQ(kernel->num_states(), plant.num_states());
+  EXPECT_TRUE(kernel->fixed()) << "trajectory is in the specialization table";
+
+  EXPECT_THROW(linalg::make_batch_step_kernel(kc, 3), util::Error);
+  linalg::StepKernelOptions condensed;
+  condensed.condensed = true;
+  EXPECT_THROW(linalg::make_batch_step_kernel(kc, 4, condensed), util::Error);
+}
+
+TEST(BatchKernel, BatchMatchesScalarOnAllStudies) {
+  // Every registered case study, lane widths 2 / 4 / 8, with a run count
+  // that leaves a scalar tail: series and final states must match the
+  // scalar (width-1) path bit for bit.
+  const auto& registry = scenario::Registry::instance();
+  for (const std::string& name : registry.study_names()) {
+    const models::CaseStudy& cs = registry.study(name);
+    const control::ClosedLoop loop(cs.loop);
+    BatchResult scalar;
+    {
+      LaneGuard guard(1);
+      scalar = collect_norm_batch(loop, /*count=*/19, cs.horizon,
+                                  cs.noise_bounds, /*seed=*/17, kAllNorms);
+    }
+    for (const std::size_t width : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      LaneGuard guard(width);
+      sim::stats::reset_all_counters();
+      const BatchResult batched = collect_norm_batch(
+          loop, /*count=*/19, cs.horizon, cs.noise_bounds, /*seed=*/17,
+          kAllNorms);
+      expect_batch_results_identical(
+          scalar, batched, name + " width " + std::to_string(width));
+      EXPECT_EQ(sim::stats::batched_runs(), (19 / width) * width) << name;
+      EXPECT_EQ(sim::stats::scalar_tail_runs(), 19 % width) << name;
+      EXPECT_EQ(sim::stats::lane_width_used(), width) << name;
+    }
+    // And thread-count invariance on top of the lane partition.
+    {
+      LaneGuard guard(4);
+      const BatchResult threaded = collect_norm_batch(
+          loop, /*count=*/19, cs.horizon, cs.noise_bounds, /*seed=*/17,
+          kAllNorms, /*threads=*/3);
+      expect_batch_results_identical(scalar, threaded, name + " threads 3");
+    }
+  }
+}
+
+/// Random loop of the given dimensions (entries scaled down so the horizon
+/// stays finite), mirroring the step-kernel fuzz harness.
+control::LoopConfig random_loop(std::size_t n, std::size_t m, std::size_t p,
+                                util::Rng& rng) {
+  const auto entry = [&](double scale) { return rng.uniform(-scale, scale); };
+  control::LoopConfig cfg;
+  cfg.plant.a.resize(n, n);
+  for (std::size_t i = 0; i < n * n; ++i)
+    cfg.plant.a.data()[i] = entry(0.9 / static_cast<double>(n));
+  cfg.plant.b.resize(n, p);
+  for (std::size_t i = 0; i < n * p; ++i) cfg.plant.b.data()[i] = entry(0.5);
+  cfg.plant.c.resize(m, n);
+  for (std::size_t i = 0; i < m * n; ++i) cfg.plant.c.data()[i] = entry(1.0);
+  cfg.plant.d.resize(m, p);
+  for (std::size_t i = 0; i < m * p; ++i) cfg.plant.d.data()[i] = entry(0.1);
+  cfg.plant.ts = 0.01;
+  cfg.plant.q = Matrix::identity(n);
+  cfg.plant.r = Matrix::identity(m);
+  cfg.kalman_gain.resize(n, m);
+  for (std::size_t i = 0; i < n * m; ++i)
+    cfg.kalman_gain.data()[i] = entry(0.3 / static_cast<double>(m));
+  cfg.feedback_gain.resize(p, n);
+  for (std::size_t i = 0; i < p * n; ++i)
+    cfg.feedback_gain.data()[i] = entry(0.3 / static_cast<double>(n));
+  cfg.operating_point.x_ss.resize(n);
+  cfg.operating_point.u_ss.resize(p);
+  cfg.x1.resize(n);
+  cfg.xhat1.resize(n);
+  cfg.u1.resize(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    cfg.operating_point.x_ss[i] = entry(0.5);
+    cfg.x1[i] = entry(0.5);
+    cfg.xhat1[i] = entry(0.5);
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    cfg.operating_point.u_ss[i] = entry(0.5);
+    cfg.u1[i] = entry(0.5);
+  }
+  return cfg;
+}
+
+TEST(BatchKernel, FuzzedDimensionsMatchScalar) {
+  // Random (n, m, p) across the fixed/generic dispatch boundary, cycling
+  // lane widths 2 / 4 / 8 / 16, run counts chosen to exercise tails.
+  const std::size_t widths[] = {2, 4, 8, 16};
+  util::Rng rng(0xBA7C);
+  for (int iter = 0; iter < 16; ++iter) {
+    const std::size_t n = 1 + rng.next_u64() % 10;
+    const std::size_t m = 1 + rng.next_u64() % 10;
+    const std::size_t p = 1 + rng.next_u64() % 10;
+    const std::size_t width = widths[iter % 4];
+    const std::size_t count = 2 * width + 1 + rng.next_u64() % width;
+    const control::LoopConfig cfg = random_loop(n, m, p, rng);
+    const control::ClosedLoop loop(cfg);
+    Vector bounds(m);
+    for (std::size_t i = 0; i < m; ++i) bounds[i] = 0.05;
+
+    const std::string what = "n=" + std::to_string(n) + " m=" + std::to_string(m) +
+                             " p=" + std::to_string(p) + " W=" +
+                             std::to_string(width);
+    BatchResult scalar, batched;
+    {
+      LaneGuard guard(1);
+      scalar = collect_norm_batch(loop, count, /*horizon=*/30, bounds,
+                                  /*seed=*/100 + iter, kAllNorms);
+    }
+    {
+      LaneGuard guard(width);
+      batched = collect_norm_batch(loop, count, /*horizon=*/30, bounds,
+                                   /*seed=*/100 + iter, kAllNorms);
+    }
+    expect_batch_results_identical(scalar, batched, what);
+  }
+}
+
+TEST(BatchKernel, CondensedLoopsKeepTheScalarPath) {
+  // The batch kernel replicates only the exact step body; a condensed loop
+  // must fall back to the scalar path at any lane width — same results, no
+  // batched runs counted.
+  const auto cs = models::make_trajectory_case_study();
+  linalg::StepKernelOptions condensed;
+  condensed.condensed = true;
+  const control::ClosedLoop loop(cs.loop, condensed);
+  BatchResult scalar, batched;
+  {
+    LaneGuard guard(1);
+    scalar = collect_norm_batch(loop, /*count=*/12, cs.horizon,
+                                cs.noise_bounds, /*seed=*/7, kAllNorms);
+  }
+  {
+    LaneGuard guard(4);
+    sim::stats::reset_all_counters();
+    batched = collect_norm_batch(loop, /*count=*/12, cs.horizon,
+                                 cs.noise_bounds, /*seed=*/7, kAllNorms);
+    EXPECT_EQ(sim::stats::batched_runs(), 0u);
+    EXPECT_EQ(sim::stats::lane_width_used(), 0u);
+  }
+  expect_batch_results_identical(scalar, batched, "condensed fallback");
+}
+
+TEST(BatchKernel, LaneWidthKnobValidatesAndResolves) {
+  EXPECT_THROW(sim::set_lane_width(3), util::Error);
+  EXPECT_THROW(sim::set_lane_width(5), util::Error);
+  {
+    LaneGuard guard(8);
+    EXPECT_EQ(sim::lane_width(), 8u);
+    EXPECT_EQ(sim::resolved_lane_width(), 8u);
+  }
+  EXPECT_EQ(sim::lane_width(), 0u) << "guard restores auto";
+  EXPECT_EQ(sim::resolved_lane_width(), linalg::preferred_batch_width());
+}
+
+TEST(DetectorBank, EvaluateNormsLaneMatchesContiguous) {
+  // A synthetic 3-lane interleaved series block: judging lane w in place
+  // must equal judging the de-interleaved copy.
+  const auto cs = models::make_trajectory_case_study();
+  const std::size_t steps = 24, width = 3;
+  const std::vector<control::Norm> norms{cs.norm};
+  util::Rng rng(99);
+  std::vector<double> block(steps * width);
+  for (double& v : block) v = rng.uniform(0.0, 0.03);
+  const double* series[] = {block.data()};
+
+  const auto make_bank = [&](detect::DetectorBank& bank) {
+    bank.add(std::make_unique<detect::ThresholdOnline>(
+        detect::ThresholdVector::constant(steps, 0.015), cs.norm));
+    bank.add(std::make_unique<detect::CusumOnline>(0.005, 0.05, cs.norm));
+    bank.add(std::make_unique<detect::WindowedOnline>(
+        detect::ThresholdVector::constant(steps, 0.012), cs.norm, 2, 4));
+  };
+  detect::DetectorBank lane_bank, copy_bank;
+  make_bank(lane_bank);
+  make_bank(copy_bank);
+
+  std::vector<std::optional<std::size_t>> got, want;
+  for (std::size_t w = 0; w < width; ++w) {
+    lane_bank.evaluate_norms_lane(norms, series, steps, width, w, got);
+    std::vector<std::vector<double>> contiguous(1);
+    for (std::size_t k = 0; k < steps; ++k)
+      contiguous[0].push_back(block[k * width + w]);
+    copy_bank.evaluate_norms(norms, contiguous, want);
+    EXPECT_EQ(got, want) << "lane " << w;
+  }
+  EXPECT_THROW(lane_bank.evaluate_norms_lane(norms, series, steps, width,
+                                             /*lane=*/width, got),
+               util::Error);
+}
+
+TEST(ReachCriterion, FinalStateFaceMatchesTraceVerdicts) {
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  const synth::Criterion criterion =
+      synth::ReachCriterion(/*state_index=*/0, /*target=*/0.25,
+                            /*tolerance=*/0.05);
+  ASSERT_TRUE(criterion.final_state_only());
+
+  const sim::BatchRunner runner(1);
+  sim::run_noise_batch(
+      runner, loop, /*count=*/25, cs.horizon, cs.noise_bounds, /*seed=*/3,
+      /*index_offset=*/0, [&](std::size_t run, const Trace& trace) {
+        EXPECT_EQ(criterion.satisfied(trace),
+                  criterion.satisfied_final_state(trace.x.back().data(),
+                                                  trace.x.back().size()))
+            << "run " << run;
+      });
+
+  // Out-of-range state index and trace-only criteria reject loudly.
+  const double x[2] = {0.0, 0.0};
+  const synth::Criterion wide = synth::ReachCriterion(5, 0.0, 0.1);
+  EXPECT_THROW(wide.satisfied_final_state(x, 2), util::Error);
+  struct TraceOnly final : synth::CriterionInterface {
+    bool satisfied(const Trace&) const override { return true; }
+    double deviation(const Trace&) const override { return 0.0; }
+    sym::BoolExpr satisfied_expr(const sym::SymbolicTrace&) const override {
+      throw util::InvalidArgument("unused");
+    }
+    sym::BoolExpr violated_expr(const sym::SymbolicTrace&, double) const override {
+      throw util::InvalidArgument("unused");
+    }
+    std::string describe() const override { return "trace-only"; }
+  };
+  const synth::Criterion trace_only{std::make_shared<const TraceOnly>()};
+  EXPECT_FALSE(trace_only.final_state_only());
+  EXPECT_THROW(trace_only.satisfied_final_state(x, 2), util::Error);
+}
+
+std::string far_report_string(const detect::FarReport& report) {
+  std::string out = std::to_string(report.total_runs) + "/" +
+                    std::to_string(report.discarded_by_pfc) + "/" +
+                    std::to_string(report.discarded_by_mdc);
+  for (const auto& row : report.rows)
+    out += ";" + row.name + ":" + std::to_string(row.alarms) + "/" +
+           std::to_string(row.evaluated);
+  return out;
+}
+
+TEST(NormOnlyFar, PfcFinalKeepsTheFastPathWithTheFilterActive) {
+  // The paper's protocol with its reach pfc: a tolerance picked off the
+  // observed final-state spread so the filter genuinely splits the batch,
+  // then the norm-only path (batched and kill-switched) must reproduce the
+  // full-trace report bit for bit — including the pfc discard count.
+  const auto cs = models::make_trajectory_case_study();
+  const control::ClosedLoop loop(cs.loop);
+  detect::FarSetup setup;
+  setup.num_runs = 60;
+  setup.horizon = cs.horizon;
+  setup.noise_bounds = cs.noise_bounds;
+  setup.seed = 11;
+
+  // Median |x_final[0] - target| over the batch as tolerance: about half
+  // the runs pass, half fail.
+  const double target = 0.0;
+  std::vector<double> devs;
+  sim::run_noise_batch(
+      sim::BatchRunner(1), loop, setup.num_runs, setup.horizon,
+      setup.noise_bounds, setup.seed, /*index_offset=*/0,
+      [&](std::size_t, const Trace& tr) {
+        devs.push_back(std::abs(tr.x.back()[0] - target));
+      });
+  std::sort(devs.begin(), devs.end());
+  const double tolerance = devs[devs.size() / 2];
+  const synth::Criterion pfc =
+      synth::ReachCriterion(0, target, tolerance);
+  setup.pfc = [pfc](const Trace& tr) { return pfc.satisfied(tr); };
+  setup.pfc_final = [pfc](const double* x_final, std::size_t n) {
+    return pfc.satisfied_final_state(x_final, n);
+  };
+
+  std::vector<detect::FarCandidate> candidates;
+  candidates.emplace_back(
+      "th", detect::ResidueDetector(
+                detect::ThresholdVector::constant(cs.horizon, 0.012), cs.norm));
+  candidates.emplace_back("cusum", [&] {
+    return std::make_unique<detect::CusumOnline>(0.004, 0.06, cs.norm);
+  });
+
+  std::string full;
+  {
+    NormOnlyGuard guard(false);
+    const detect::FarReport slow =
+        detect::evaluate_far(loop, cs.mdc, candidates, setup);
+    EXPECT_GT(slow.discarded_by_pfc, 0u) << "filter must actually bite";
+    EXPECT_LT(slow.discarded_by_pfc, setup.num_runs);
+    full = far_report_string(slow);
+  }
+
+  sim::stats::reset_all_counters();
+  const detect::FarReport fast =
+      detect::evaluate_far(loop, cs.mdc, candidates, setup);
+  EXPECT_EQ(sim::stats::norm_only_runs(), setup.num_runs)
+      << "pfc_final must keep the fast path eligible";
+  EXPECT_EQ(far_report_string(fast), full);
+  {
+    LaneGuard guard(1);  // kill switch: scalar lanes, same report
+    const detect::FarReport killed =
+        detect::evaluate_far(loop, cs.mdc, candidates, setup);
+    EXPECT_EQ(far_report_string(killed), full);
+  }
+
+  // Record-once phase 1 rides norm-only too, with the same verdicts.
+  const std::vector<control::Norm> norms{cs.norm};
+  const detect::FarSimulation recorded(loop, cs.mdc, setup, &norms);
+  EXPECT_TRUE(recorded.norm_only());
+  EXPECT_GT(recorded.discarded_by_pfc(), 0u);
+  EXPECT_EQ(far_report_string(recorded.evaluate(candidates)), full);
+}
+
+TEST(NormOnlyScenario, RegistryFarWithPfcFilterRidesNormOnly) {
+  // trajectory/far keeps the registry default far_pfc_filter = true; the
+  // reach pfc now streams, so the scenario must engage norm-only and stay
+  // toggle- and lane-invariant.
+  const scenario::ExperimentRunner runner;
+  const scenario::ScenarioSpec& spec =
+      scenario::Registry::instance().at("trajectory/far");
+  ASSERT_TRUE(spec.far_pfc_filter);
+  scenario::ExperimentRunner::Overrides overrides;
+  overrides.num_runs = 50;
+
+  sim::stats::reset_all_counters();
+  const std::string fast = runner.run(spec, overrides).to_json();
+  EXPECT_GT(sim::stats::norm_only_runs(), 0u)
+      << "streaming pfc must not force full traces";
+
+  {
+    LaneGuard guard(1);
+    const std::string scalar_lanes = runner.run(spec, overrides).to_json();
+    EXPECT_EQ(fast, scalar_lanes);
+  }
+  NormOnlyGuard guard(false);
+  sim::stats::reset_all_counters();
+  const std::string slow = runner.run(spec, overrides).to_json();
+  EXPECT_EQ(sim::stats::norm_only_runs(), 0u);
+  EXPECT_EQ(fast, slow);
+}
+
+TEST(NormOnlySweep, WarmCacheHitsAcrossLaneWidths) {
+  // The lane width must never enter cache fingerprints: a campaign cached
+  // at the auto width must be all cache hits when re-run with batching
+  // disabled, and the merged reports must match bit for bit.
+  namespace fs = std::filesystem;
+  const std::string scratch = ::testing::TempDir() + "batch_lane_cache";
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+
+  sweep::SweepSpec spec;
+  spec.name = "batch_lane_cache_sweep";
+  spec.title = "trajectory noise floor over a quantile axis";
+  spec.base = "trajectory/noise_floor";
+  spec.fixed = {{"runs", 40}};
+  spec.axes = {sweep::Axis::list("quantile", {0.5, 0.9, 0.95})};
+
+  sweep::CampaignOptions options;
+  options.cache_dir = scratch + "/cache";
+  options.work_dir = scratch + "/campaigns";
+  const sweep::CampaignEngine engine;
+
+  std::string cold_json, warm_json;
+  {
+    LaneGuard guard(0);  // auto width: batched simulation fills the cache
+    sim::stats::reset_all_counters();
+    const sweep::CampaignRun cold = engine.run(spec, options);
+    ASSERT_TRUE(cold.report.has_value());
+    EXPECT_GT(cold.executed, 0u);
+    EXPECT_GT(sim::stats::batched_runs(), 0u);
+    cold_json = cold.report->to_json();
+  }
+  {
+    LaneGuard guard(1);  // scalar lanes: same fingerprints, pure cache hits
+    const sweep::CampaignRun warm = engine.run(spec, options);
+    ASSERT_TRUE(warm.report.has_value());
+    EXPECT_EQ(warm.executed, 0u);
+    EXPECT_EQ(warm.cache_hits, warm.cells_total);
+    warm_json = warm.report->to_json();
+  }
+  EXPECT_EQ(cold_json, warm_json);
+  fs::remove_all(scratch);
+}
+
+}  // namespace
+}  // namespace cpsguard

@@ -5,16 +5,17 @@
 //   cpsguard_cli describe <scenario>
 //       the resolved spec of one scenario
 //   cpsguard_cli run <scenario> [--threads N] [--runs N] [--seed S]
-//                               [--condensed] [--out report.json]
+//                               [--lanes W] [--condensed] [--out report.json]
 //                               [--csv prefix] [--quiet]
 //       execute through scenario::ExperimentRunner and print/serialize the
 //       structured report.  Results are bit-identical for every --threads
-//       value (0 = one worker per hardware thread); --condensed trades that
-//       bit-exactness for the fused step kernel's throughput (the report is
-//       labelled).
+//       value (0 = one worker per hardware thread) and every --lanes value
+//       (SIMD lane width of norm-only batches: 0 = auto, 1 = scalar);
+//       --condensed trades that bit-exactness for the fused step kernel's
+//       throughput (the report is labelled).
 //   cpsguard_cli sweep list | describe <campaign>
 //       the registered sweep campaigns and their expanded grids
-//   cpsguard_cli sweep run <campaign> [--shard i/N] [--threads N]
+//   cpsguard_cli sweep run <campaign> [--shard i/N] [--threads N] [--lanes W]
 //                          [--cache-dir D] [--work-dir D] [--no-cache]
 //                          [--max-cells K] [--retries N] [--condensed]
 //                          [--inject SPEC] [--out report.json] [--csv prefix]
@@ -25,10 +26,10 @@
 //       without aborting their siblings; --inject arms the deterministic
 //       fault-injection registry (util/fault.hpp) for chaos drills.
 //   cpsguard_cli sweep coordinate <campaign> [--workers N] [--threads N]
-//                          [--cache-dir D] [--work-dir D] [--retries N]
-//                          [--worker-retries N] [--hang-timeout S]
-//                          [--condensed] [--inject SPEC] [--out report.json]
-//                          [--csv prefix] [--quiet]
+//                          [--lanes W] [--cache-dir D] [--work-dir D]
+//                          [--retries N] [--worker-retries N]
+//                          [--hang-timeout S] [--condensed] [--inject SPEC]
+//                          [--out report.json] [--csv prefix] [--quiet]
 //       supervised multi-worker execution: one re-exec'd `sweep run` worker
 //       per shard, crashed/hung workers relaunched with backoff, results
 //       merged (bit-identical to an unsharded run).  --inject arms faults
@@ -51,11 +52,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
 #include "sweep/campaign.hpp"
 #include "sweep/coordinator.hpp"
 #include "sweep/registry.hpp"
@@ -71,15 +75,15 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s list\n"
                "       %s describe <scenario>\n"
-               "       %s run <scenario> [--threads N] [--runs N] [--seed S]\n"
+               "       %s run <scenario> [--threads N] [--runs N] [--seed S] [--lanes W]\n"
                "                         [--condensed] [--out report.json] [--csv prefix] [--quiet]\n"
                "       %s sweep list\n"
                "       %s sweep describe <campaign>\n"
-               "       %s sweep run <campaign> [--shard i/N] [--threads N]\n"
+               "       %s sweep run <campaign> [--shard i/N] [--threads N] [--lanes W]\n"
                "                    [--cache-dir D] [--work-dir D] [--no-cache]\n"
                "                    [--max-cells K] [--retries N] [--condensed] [--inject SPEC]\n"
                "                    [--out report.json] [--csv prefix] [--quiet]\n"
-               "       %s sweep coordinate <campaign> [--workers N] [--threads N]\n"
+               "       %s sweep coordinate <campaign> [--workers N] [--threads N] [--lanes W]\n"
                "                    [--cache-dir D] [--work-dir D] [--retries N]\n"
                "                    [--worker-retries N] [--hang-timeout S] [--condensed]\n"
                "                    [--inject SPEC] [--out report.json] [--csv prefix] [--quiet]\n"
@@ -163,6 +167,8 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
       overrides.num_runs = static_cast<std::size_t>(parse_u64(arg, args[++i]));
     } else if (arg == "--seed" && has_value) {
       overrides.seed = parse_u64(arg, args[++i]);
+    } else if (arg == "--lanes" && has_value) {
+      sim::set_lane_width(static_cast<std::size_t>(parse_u64(arg, args[++i])));
     } else if (arg == "--out" && has_value) {
       out_path = args[++i];
     } else if (arg == "--csv" && has_value) {
@@ -174,8 +180,19 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   }
 
   const scenario::ScenarioSpec& spec = scenario::Registry::instance().at(name);
+  sim::stats::reset_all_counters();
   const scenario::Report report = scenario::ExperimentRunner().run(spec, overrides);
   emit_report(report, out_path, csv_prefix, quiet);
+  if (!quiet)
+    std::printf("[sim] runs %llu (fixed %llu, generic %llu), norm-only %llu, "
+                "lane-batched %llu @ width %llu (+%llu scalar tail)\n",
+                static_cast<unsigned long long>(sim::stats::simulated_runs()),
+                static_cast<unsigned long long>(sim::stats::fixed_dispatch_runs()),
+                static_cast<unsigned long long>(sim::stats::generic_dispatch_runs()),
+                static_cast<unsigned long long>(sim::stats::norm_only_runs()),
+                static_cast<unsigned long long>(sim::stats::batched_runs()),
+                static_cast<unsigned long long>(sim::stats::lane_width_used()),
+                static_cast<unsigned long long>(sim::stats::scalar_tail_runs()));
   return 0;
 }
 
@@ -207,6 +224,9 @@ int cmd_sweep_describe(const std::string& name) {
               groups == 0 ? 0.0
                           : static_cast<double>(cells.size()) /
                                 static_cast<double>(groups));
+  std::printf("  lane batching: width %zu (norm-only batches advance that many "
+              "runs per instruction; --lanes overrides, 1 = scalar)\n",
+              sim::resolved_lane_width());
   return 0;
 }
 
@@ -220,6 +240,10 @@ struct SweepArgs {
   std::size_t workers = 2;
   std::size_t worker_retries = 3;
   double hang_timeout_s = 30.0;
+  /// SIMD lane width of norm-only batches (0 = auto, 1 = scalar); unset
+  /// keeps the process default.  Never part of cache fingerprints — like
+  /// --threads, it cannot change any result bit.
+  std::optional<std::size_t> lanes;
   bool prune = false;
   bool quiet = false;
 };
@@ -244,6 +268,8 @@ int parse_sweep_args(const std::vector<std::string>& args,
       util::require(parsed.options.shard.count > 0, "--shards must be positive");
     } else if (arg == "--threads" && allows("--threads") && has_value) {
       parsed.options.threads = static_cast<std::size_t>(parse_u64(arg, args[++i]));
+    } else if (arg == "--lanes" && allows("--lanes") && has_value) {
+      parsed.lanes = static_cast<std::size_t>(parse_u64(arg, args[++i]));
     } else if (arg == "--max-cells" && allows("--max-cells") && has_value) {
       parsed.options.max_cells =
           static_cast<std::size_t>(parse_u64(arg, args[++i]));
@@ -295,11 +321,12 @@ int cmd_sweep_run(const std::string& name, const std::vector<std::string>& args)
   SweepArgs parsed;
   if (const int rc = parse_sweep_args(
           args,
-          {"--quiet", "--no-cache", "--shard", "--threads", "--max-cells",
-           "--cache-dir", "--work-dir", "--retries", "--condensed", "--inject",
-           "--out", "--csv"},
+          {"--quiet", "--no-cache", "--shard", "--threads", "--lanes",
+           "--max-cells", "--cache-dir", "--work-dir", "--retries",
+           "--condensed", "--inject", "--out", "--csv"},
           parsed))
     return rc;
+  if (parsed.lanes) sim::set_lane_width(*parsed.lanes);
   if (!parsed.inject.empty())
     util::fault::install(util::fault::FaultPlan::parse(parsed.inject));
   if (parsed.options.shard.count != 1 &&
@@ -410,9 +437,9 @@ int cmd_sweep_coordinate(const std::string& name,
   SweepArgs parsed;
   if (const int rc = parse_sweep_args(
           args,
-          {"--quiet", "--workers", "--threads", "--cache-dir", "--work-dir",
-           "--retries", "--worker-retries", "--hang-timeout", "--condensed",
-           "--inject", "--out", "--csv"},
+          {"--quiet", "--workers", "--threads", "--lanes", "--cache-dir",
+           "--work-dir", "--retries", "--worker-retries", "--hang-timeout",
+           "--condensed", "--inject", "--out", "--csv"},
           parsed))
     return rc;
   const sweep::SweepSpec& spec = sweep::SweepRegistry::instance().at(name);
@@ -433,6 +460,10 @@ int cmd_sweep_coordinate(const std::string& name,
                          "--retries",
                          std::to_string(parsed.options.cell_retry.max_attempts)};
   if (parsed.options.condensed) options.worker_argv.push_back("--condensed");
+  if (parsed.lanes) {
+    options.worker_argv.push_back("--lanes");
+    options.worker_argv.push_back(std::to_string(*parsed.lanes));
+  }
 
   const sweep::CoordinatedRun outcome = sweep::Coordinator().run(spec, options);
   if (!parsed.quiet || !outcome.complete) {
