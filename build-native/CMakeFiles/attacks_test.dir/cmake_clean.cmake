@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attacks_test.dir/tests/attacks_test.cpp.o"
+  "CMakeFiles/attacks_test.dir/tests/attacks_test.cpp.o.d"
+  "attacks_test"
+  "attacks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attacks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_kernel.dir/bench/batch_kernel.cpp.o"
+  "CMakeFiles/batch_kernel.dir/bench/batch_kernel.cpp.o.d"
+  "batch_kernel"
+  "batch_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

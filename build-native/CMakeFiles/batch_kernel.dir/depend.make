@@ -1,0 +1,2 @@
+# Empty dependencies file for batch_kernel.
+# This may be replaced when dependencies are built.

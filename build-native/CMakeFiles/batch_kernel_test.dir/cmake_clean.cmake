@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_kernel_test.dir/tests/batch_kernel_test.cpp.o"
+  "CMakeFiles/batch_kernel_test.dir/tests/batch_kernel_test.cpp.o.d"
+  "batch_kernel_test"
+  "batch_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_scaling.dir/bench/batch_scaling.cpp.o"
+  "CMakeFiles/batch_scaling.dir/bench/batch_scaling.cpp.o.d"
+  "batch_scaling"
+  "batch_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_backend.dir/bench/ablation_backend.cpp.o"
+  "CMakeFiles/bench_ablation_backend.dir/bench/ablation_backend.cpp.o.d"
+  "bench_ablation_backend"
+  "bench_ablation_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

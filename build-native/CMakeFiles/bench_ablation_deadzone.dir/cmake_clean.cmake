@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_deadzone.dir/bench/ablation_deadzone.cpp.o"
+  "CMakeFiles/bench_ablation_deadzone.dir/bench/ablation_deadzone.cpp.o.d"
+  "bench_ablation_deadzone"
+  "bench_ablation_deadzone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deadzone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

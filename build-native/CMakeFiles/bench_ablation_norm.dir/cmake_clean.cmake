@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_norm.dir/bench/ablation_norm.cpp.o"
+  "CMakeFiles/bench_ablation_norm.dir/bench/ablation_norm.cpp.o.d"
+  "bench_ablation_norm"
+  "bench_ablation_norm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quantization.dir/bench/ablation_quantization.cpp.o"
+  "CMakeFiles/bench_ablation_quantization.dir/bench/ablation_quantization.cpp.o.d"
+  "bench_ablation_quantization"
+  "bench_ablation_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_trajectory.dir/bench/fig1_trajectory.cpp.o"
+  "CMakeFiles/bench_fig1_trajectory.dir/bench/fig1_trajectory.cpp.o.d"
+  "bench_fig1_trajectory"
+  "bench_fig1_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_vsc_attack.dir/bench/fig2_vsc_attack.cpp.o"
+  "CMakeFiles/bench_fig2_vsc_attack.dir/bench/fig2_vsc_attack.cpp.o.d"
+  "bench_fig2_vsc_attack"
+  "bench_fig2_vsc_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_vsc_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

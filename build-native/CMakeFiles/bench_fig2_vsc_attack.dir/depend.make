@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2_vsc_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_threshold_synthesis.dir/bench/fig3_threshold_synthesis.cpp.o"
+  "CMakeFiles/bench_fig3_threshold_synthesis.dir/bench/fig3_threshold_synthesis.cpp.o.d"
+  "bench_fig3_threshold_synthesis"
+  "bench_fig3_threshold_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_threshold_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

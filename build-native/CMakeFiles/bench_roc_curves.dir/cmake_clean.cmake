@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_roc_curves.dir/bench/roc_curves.cpp.o"
+  "CMakeFiles/bench_roc_curves.dir/bench/roc_curves.cpp.o.d"
+  "bench_roc_curves"
+  "bench_roc_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roc_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_roc_curves.
+# This may be replaced when dependencies are built.

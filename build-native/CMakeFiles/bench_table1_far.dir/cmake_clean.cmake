@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_far.dir/bench/table1_far.cpp.o"
+  "CMakeFiles/bench_table1_far.dir/bench/table1_far.cpp.o.d"
+  "bench_table1_far"
+  "bench_table1_far.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_far.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

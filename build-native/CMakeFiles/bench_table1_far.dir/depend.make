@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table1_far.
+# This may be replaced when dependencies are built.

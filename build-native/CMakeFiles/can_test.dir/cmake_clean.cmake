@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/can_test.dir/tests/can_test.cpp.o"
+  "CMakeFiles/can_test.dir/tests/can_test.cpp.o.d"
+  "can_test"
+  "can_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/can_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_test.dir/tests/codegen_test.cpp.o"
+  "CMakeFiles/codegen_test.dir/tests/codegen_test.cpp.o.d"
+  "codegen_test"
+  "codegen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_test.dir/tests/control_test.cpp.o"
+  "CMakeFiles/control_test.dir/tests/control_test.cpp.o.d"
+  "control_test"
+  "control_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpsguard_cli.dir/tools/cpsguard_cli.cpp.o"
+  "CMakeFiles/cpsguard_cli.dir/tools/cpsguard_cli.cpp.o.d"
+  "cpsguard_cli"
+  "cpsguard_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpsguard_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_test.dir/tests/detect_test.cpp.o"
+  "CMakeFiles/detect_test.dir/tests/detect_test.cpp.o.d"
+  "detect_test"
+  "detect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

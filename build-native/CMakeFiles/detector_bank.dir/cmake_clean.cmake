@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_bank.dir/bench/detector_bank.cpp.o"
+  "CMakeFiles/detector_bank.dir/bench/detector_bank.cpp.o.d"
+  "detector_bank"
+  "detector_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for detector_bank.
+# This may be replaced when dependencies are built.

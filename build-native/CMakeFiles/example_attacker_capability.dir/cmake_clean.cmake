@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_attacker_capability.dir/examples/attacker_capability.cpp.o"
+  "CMakeFiles/example_attacker_capability.dir/examples/attacker_capability.cpp.o.d"
+  "example_attacker_capability"
+  "example_attacker_capability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_attacker_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

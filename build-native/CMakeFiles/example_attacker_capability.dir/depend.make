@@ -1,0 +1,2 @@
+# Empty dependencies file for example_attacker_capability.
+# This may be replaced when dependencies are built.

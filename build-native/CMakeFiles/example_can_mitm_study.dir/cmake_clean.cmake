@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_can_mitm_study.dir/examples/can_mitm_study.cpp.o"
+  "CMakeFiles/example_can_mitm_study.dir/examples/can_mitm_study.cpp.o.d"
+  "example_can_mitm_study"
+  "example_can_mitm_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_can_mitm_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_detector_tradeoff_study.dir/examples/detector_tradeoff_study.cpp.o"
+  "CMakeFiles/example_detector_tradeoff_study.dir/examples/detector_tradeoff_study.cpp.o.d"
+  "example_detector_tradeoff_study"
+  "example_detector_tradeoff_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_detector_tradeoff_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

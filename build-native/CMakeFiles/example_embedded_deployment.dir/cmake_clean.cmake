@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_embedded_deployment.dir/examples/embedded_deployment.cpp.o"
+  "CMakeFiles/example_embedded_deployment.dir/examples/embedded_deployment.cpp.o.d"
+  "example_embedded_deployment"
+  "example_embedded_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_embedded_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stl_contract_synthesis.dir/examples/stl_contract_synthesis.cpp.o"
+  "CMakeFiles/example_stl_contract_synthesis.dir/examples/stl_contract_synthesis.cpp.o.d"
+  "example_stl_contract_synthesis"
+  "example_stl_contract_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stl_contract_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

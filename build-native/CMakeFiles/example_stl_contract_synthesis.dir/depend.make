@@ -1,0 +1,2 @@
+# Empty dependencies file for example_stl_contract_synthesis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vsc_attack_analysis.dir/examples/vsc_attack_analysis.cpp.o"
+  "CMakeFiles/example_vsc_attack_analysis.dir/examples/vsc_attack_analysis.cpp.o.d"
+  "example_vsc_attack_analysis"
+  "example_vsc_attack_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vsc_attack_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_vsc_attack_analysis.
+# This may be replaced when dependencies are built.

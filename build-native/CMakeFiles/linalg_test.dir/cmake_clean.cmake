@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test.dir/tests/linalg_test.cpp.o"
+  "CMakeFiles/linalg_test.dir/tests/linalg_test.cpp.o.d"
+  "linalg_test"
+  "linalg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_scaling.dir/bench/micro_scaling.cpp.o"
+  "CMakeFiles/micro_scaling.dir/bench/micro_scaling.cpp.o.d"
+  "micro_scaling"
+  "micro_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_test.dir/tests/models_test.cpp.o"
+  "CMakeFiles/models_test.dir/tests/models_test.cpp.o.d"
+  "models_test"
+  "models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

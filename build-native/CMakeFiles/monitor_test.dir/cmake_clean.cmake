@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_test.dir/tests/monitor_test.cpp.o"
+  "CMakeFiles/monitor_test.dir/tests/monitor_test.cpp.o.d"
+  "monitor_test"
+  "monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_test.dir/tests/online_test.cpp.o"
+  "CMakeFiles/online_test.dir/tests/online_test.cpp.o.d"
+  "online_test"
+  "online_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

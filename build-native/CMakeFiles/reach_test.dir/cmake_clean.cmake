@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_test.dir/tests/reach_test.cpp.o"
+  "CMakeFiles/reach_test.dir/tests/reach_test.cpp.o.d"
+  "reach_test"
+  "reach_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roc_test.dir/tests/roc_test.cpp.o"
+  "CMakeFiles/roc_test.dir/tests/roc_test.cpp.o.d"
+  "roc_test"
+  "roc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_test.dir/tests/scenario_test.cpp.o"
+  "CMakeFiles/scenario_test.dir/tests/scenario_test.cpp.o.d"
+  "scenario_test"
+  "scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

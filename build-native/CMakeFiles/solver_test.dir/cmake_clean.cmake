@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_test.dir/tests/solver_test.cpp.o"
+  "CMakeFiles/solver_test.dir/tests/solver_test.cpp.o.d"
+  "solver_test"
+  "solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/step_kernel.dir/bench/step_kernel.cpp.o"
+  "CMakeFiles/step_kernel.dir/bench/step_kernel.cpp.o.d"
+  "step_kernel"
+  "step_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/step_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

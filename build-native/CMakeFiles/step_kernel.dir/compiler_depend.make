@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for step_kernel.
+# This may be replaced when dependencies are built.

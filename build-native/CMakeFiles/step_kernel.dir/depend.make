@@ -1,0 +1,2 @@
+# Empty dependencies file for step_kernel.
+# This may be replaced when dependencies are built.

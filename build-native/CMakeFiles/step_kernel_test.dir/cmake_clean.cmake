@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/step_kernel_test.dir/tests/step_kernel_test.cpp.o"
+  "CMakeFiles/step_kernel_test.dir/tests/step_kernel_test.cpp.o.d"
+  "step_kernel_test"
+  "step_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/step_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stl_test.dir/tests/stl_test.cpp.o"
+  "CMakeFiles/stl_test.dir/tests/stl_test.cpp.o.d"
+  "stl_test"
+  "stl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

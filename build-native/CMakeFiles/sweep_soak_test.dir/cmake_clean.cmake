@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_soak_test.dir/tests/sweep_soak_test.cpp.o"
+  "CMakeFiles/sweep_soak_test.dir/tests/sweep_soak_test.cpp.o.d"
+  "sweep_soak_test"
+  "sweep_soak_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

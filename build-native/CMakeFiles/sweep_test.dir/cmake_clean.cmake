@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_test.dir/tests/sweep_test.cpp.o"
+  "CMakeFiles/sweep_test.dir/tests/sweep_test.cpp.o.d"
+  "sweep_test"
+  "sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sym_test.dir/tests/sym_test.cpp.o"
+  "CMakeFiles/sym_test.dir/tests/sym_test.cpp.o.d"
+  "sym_test"
+  "sym_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sym_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_test.dir/tests/synth_test.cpp.o"
+  "CMakeFiles/synth_test.dir/tests/synth_test.cpp.o.d"
+  "synth_test"
+  "synth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/tests/util_test.cpp.o"
+  "CMakeFiles/util_test.dir/tests/util_test.cpp.o.d"
+  "util_test"
+  "util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
