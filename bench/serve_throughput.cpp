@@ -1,0 +1,123 @@
+// PR-8 benchmarks: the detection-as-a-service data path.
+//
+// BM_SessionFeedNorm pins the per-sample cost of one streaming session
+// (the Session layer over the online detector bank).  BM_TableRoundRobinFeed
+// is the service soak: N live sessions in a sharded SessionTable, fed
+// round-robin in 64-sample chunks through the same table.with() path the
+// socket server uses — its items_per_second at N = 10000 is the
+// "aggregate samples/sec across 10k concurrent sessions on one core"
+// number the service claims.  BM_SessionOpen and BM_SnapshotRestore bound
+// the control-plane costs (cheap blueprint instantiation; integrity-framed
+// state serialization), and BM_ProtocolFeedFrame the wire codec.
+//
+// Load samples sit below the alarm region (0.4x the blueprint reference
+// level): an alarmed session latches its detectors and stops paying for
+// them, so benign steady-state traffic is the honest (and the expensive)
+// case to measure.
+#include <benchmark/benchmark.h>
+
+#include "cpsguard.hpp"
+
+namespace {
+
+using namespace cpsguard;
+
+std::shared_ptr<const detect::SessionBlueprint> blueprint() {
+  // quickstart/far: solver-free noise-calibrated detectors, single shared
+  // norm — the same scenario the serve smoke gate streams.
+  static const auto bp = scenario::make_session_blueprint(
+      scenario::Registry::instance().at("quickstart/far"));
+  return bp;
+}
+
+/// A benign sample ring: uniform in [0, 0.4 x reference), never alarming.
+const std::vector<double>& benign_ring() {
+  static const std::vector<double> ring = [] {
+    serve::LoadOptions options;
+    options.amplitude = 0.4;
+    return serve::session_stream(*blueprint(), options, 0, 4096);
+  }();
+  return ring;
+}
+
+void BM_SessionFeedNorm(benchmark::State& state) {
+  detect::Session session(blueprint());
+  const std::vector<double>& ring = benign_ring();
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.feed_norm(ring[k & 4095]).new_alarms);
+    ++k;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SessionFeedNorm);
+
+void BM_TableRoundRobinFeed(benchmark::State& state) {
+  constexpr std::size_t kChunk = 64;
+  const std::size_t n_sessions = static_cast<std::size_t>(state.range(0));
+  serve::SessionTable::Options options;
+  options.shards = 8;
+  options.max_sessions = n_sessions;
+  serve::SessionTable table(options);
+  std::vector<std::uint64_t> sids;
+  sids.reserve(n_sessions);
+  for (std::size_t s = 0; s < n_sessions; ++s)
+    sids.push_back(table.insert(serve::ServedSession{
+        detect::Session(blueprint()), serve::FeedMode::kNorm, nullptr}));
+  const std::vector<double>& ring = benign_ring();
+
+  std::size_t s = 0;
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    table.with(sids[s], [&](serve::ServedSession& served) {
+      for (std::size_t k = 0; k < kChunk; ++k)
+        served.session.feed_norm(ring[(offset + k) & 4095]);
+    });
+    s = (s + 1 == n_sessions) ? 0 : s + 1;
+    offset = (offset + kChunk) & 4095;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kChunk));
+}
+BENCHMARK(BM_TableRoundRobinFeed)->Arg(1000)->Arg(10000);
+
+void BM_SessionOpen(benchmark::State& state) {
+  const auto bp = blueprint();
+  for (auto _ : state) {
+    detect::Session session(bp);
+    benchmark::DoNotOptimize(session.size());
+  }
+}
+BENCHMARK(BM_SessionOpen);
+
+void BM_SnapshotRestore(benchmark::State& state) {
+  detect::Session session(blueprint());
+  const std::vector<double>& ring = benign_ring();
+  for (std::size_t k = 0; k < 128; ++k) session.feed_norm(ring[k]);
+  for (auto _ : state) {
+    const std::string snap = session.snapshot();
+    detect::Session restored = detect::Session::restore(blueprint(), snap);
+    benchmark::DoNotOptimize(restored.steps_fed());
+  }
+}
+BENCHMARK(BM_SnapshotRestore);
+
+void BM_ProtocolFeedFrame(benchmark::State& state) {
+  serve::Message feed;
+  feed.type = serve::MsgType::kFeedNorm;
+  feed.sid = 42;
+  feed.samples.assign(benign_ring().begin(), benign_ring().begin() + 64);
+  for (auto _ : state) {
+    const std::string frame = serve::encode_frame(feed);
+    serve::FrameReader reader;
+    reader.append(frame.data(), frame.size());
+    const auto body = reader.next();
+    benchmark::DoNotOptimize(serve::decode_body(*body).samples.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 64));
+}
+BENCHMARK(BM_ProtocolFeedFrame);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -4,7 +4,11 @@
 // scenario (certified threshold synthesis), emit the C99 detector module
 // from the reported thresholds, compile it with the system C compiler, and
 // replay a noisy trace through BOTH the C++ runtime and the compiled C
-// module to show they agree sample-by-sample.
+// module to show they agree sample-by-sample.  The C++ side streams
+// through the service-facing detect::Session API — the same handle
+// cpsguard_serve multiplexes — including a snapshot()/restore() hand-off
+// halfway through the replay, so the deployed C module is checked against
+// exactly the state machine the detection service runs.
 //
 //   ./examples/embedded_deployment
 #include <cstdio>
@@ -61,22 +65,39 @@ int main() {
   }
   if (std::system("./susp_driver < susp_input.txt > susp_output.txt") != 0) return 1;
 
-  std::ifstream out("susp_output.txt");
+  // The C++ reference is a streaming Session over the same thresholds —
+  // the handle the detection service feeds — snapshotted and restored at
+  // the halfway instant to prove the hand-off is seamless.
   const detect::ResidueDetector cpp_det(thresholds, cs.norm);
+  const auto blueprint = std::make_shared<detect::SessionBlueprint>(
+      "suspension/synth", std::vector<std::string>{"residue"},
+      std::vector<detect::DetectorFactory>{
+          [cpp_det] { return cpp_det.make_online(); }});
+  detect::Session session(blueprint);
+
+  std::ifstream out("susp_output.txt");
   int mask = 0;
   double zn = 0.0;
   std::size_t k = 0, mismatches = 0;
   while (out >> mask >> zn && k < tr.steps()) {
+    if (k == tr.steps() / 2)
+      session = detect::Session::restore(blueprint, session.snapshot());
+    session.feed(tr.z[k]);
     const double ref = control::vector_norm(tr.z[k], cs.norm);
     if (std::abs(zn - ref) > 1e-9) ++mismatches;
     ++k;
+  }
+  const bool session_alarmed = session.first_alarms()[0].has_value();
+  if (session_alarmed != cpp_det.triggered(tr)) {
+    std::printf("session/batch alarm disagreement\n");
+    return 1;
   }
   std::printf("replayed %zu samples through the compiled C detector: %zu residue "
               "mismatches\n",
               k, mismatches);
   std::printf("C module final alarm mask: %d; C++ runtime alarms: residue=%s "
               "monitors=%s\n",
-              mask, cpp_det.triggered(tr) ? "yes" : "no",
+              mask, session_alarmed ? "yes" : "no",
               cs.mdc.stealthy(tr) ? "no" : "yes");
   return mismatches == 0 ? 0 : 1;
 }

@@ -89,6 +89,12 @@ double SignalSpec::effective_max() const {
 }
 
 std::uint64_t SignalSpec::encode(double physical) const {
+  // NaN would slide through clamp into llround, whose result for
+  // unrepresentable values is unspecified — reject instead of encoding
+  // garbage onto the bus.  Infinities are fine: they saturate like any
+  // other out-of-range value.
+  require(!std::isnan(physical),
+          "SignalSpec " + name + ": cannot encode NaN");
   const double clamped = std::clamp(physical, effective_min(), effective_max());
   const double raw_real = (clamped - offset) / scale;
   std::int64_t raw = static_cast<std::int64_t>(std::llround(raw_real));

@@ -51,7 +51,21 @@
 //      worker process per shard (heartbeat liveness, crash/hang relaunch
 //      with backoff), and every failure path is rehearsable through the
 //      deterministic util::fault injection registry;
-//   4. for custom experiments, copy a spec and edit it as data (plant,
+//   4. to run detection as a service instead of replaying recorded traces,
+//      open a detect::Session — a streaming handle over one scenario's
+//      online detector bank (feed residuals or precomputed norms sample by
+//      sample, read verdicts, snapshot()/restore() integrity-framed state
+//      mid-stream with bit-identical resumption) — built from
+//      scenario::make_session_blueprint(spec).  The cpsguard_serve binary
+//      hosts many such sessions behind a length-framed TCP/unix-socket
+//      protocol (serve/protocol.hpp documents the wire format,
+//      detect/session.hpp the snapshot versioning): serve::SessionTable
+//      is the sharded lock-striped session registry with LRU/TTL
+//      eviction, serve::CanIngest decodes raw CAN frames through
+//      can::signal_codec into residual samples bit-identical to
+//      can::CanLoopTransport, and serve::run_local_load /
+//      bench/serve_throughput.cpp soak the whole stack;
+//   5. for custom experiments, copy a spec and edit it as data (plant,
 //      noise envelope, detector list, protocol), or drop to the layers
 //      below: synth::AttackVectorSynthesizer (Algorithm 1),
 //      synth::pivot_/stepwise_threshold_synthesis (Algorithms 2 & 3),
@@ -59,7 +73,9 @@
 // The cpsguard_cli binary exposes both registries as
 //   cpsguard_cli list | describe <scenario> | run <scenario>
 //   cpsguard_cli sweep list | describe | run | coordinate | merge
-//                 | status | fsck.
+//                 | status | fsck
+// and the cpsguard_serve binary exposes the streaming service as
+//   cpsguard_serve serve | load | soak.
 #pragma once
 
 #include "attacks/search.hpp"
@@ -81,6 +97,7 @@
 #include "detect/noise_floor.hpp"
 #include "detect/online.hpp"
 #include "detect/roc.hpp"
+#include "detect/session.hpp"
 #include "detect/threshold.hpp"
 #include "linalg/batch_kernel.hpp"
 #include "linalg/decomp.hpp"
@@ -106,7 +123,14 @@
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
+#include "scenario/service.hpp"
 #include "scenario/spec.hpp"
+#include "serve/client.hpp"
+#include "serve/ingest.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/session_table.hpp"
 #include "sim/batch.hpp"
 #include "sim/config.hpp"
 #include "sim/monte_carlo.hpp"
@@ -134,6 +158,7 @@
 #include "synth/spec.hpp"
 #include "synth/threshold_synth.hpp"
 #include "util/ascii_plot.hpp"
+#include "util/bytes.hpp"
 #include "util/csv.hpp"
 #include "util/fault.hpp"
 #include "util/json.hpp"

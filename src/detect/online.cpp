@@ -20,23 +20,47 @@ bool OnlineDetector::step_norm(double /*residue_norm*/) {
       "OnlineDetector: step_norm on a detector without a shared norm");
 }
 
+void OnlineDetector::save_state(util::ByteWriter& /*out*/) const {}
+
+void OnlineDetector::load_state(util::ByteReader& /*in*/) {}
+
 // ---- ThresholdOnline -------------------------------------------------------
 
 ThresholdOnline::ThresholdOnline(const ThresholdVector& thresholds, Norm norm)
-    : NormOnlineDetector(norm), thresholds_(thresholds.filled()) {
-  require(!thresholds_.empty(), "ThresholdOnline: empty threshold vector");
+    : ThresholdOnline(std::make_shared<const ThresholdVector>(thresholds.filled()),
+                      norm) {}
+
+ThresholdOnline::ThresholdOnline(std::shared_ptr<const ThresholdVector> filled,
+                                 Norm norm)
+    : NormOnlineDetector(norm), thresholds_(std::move(filled)) {
+  require(thresholds_ != nullptr && !thresholds_->empty(),
+          "ThresholdOnline: empty threshold vector");
 }
 
 std::unique_ptr<OnlineDetector> ThresholdOnline::clone() const {
   return std::make_unique<ThresholdOnline>(thresholds_, norm_);
 }
 
+void ThresholdOnline::save_state(util::ByteWriter& out) const {
+  out.u64(k_);
+}
+
+void ThresholdOnline::load_state(util::ByteReader& in) {
+  k_ = static_cast<std::size_t>(in.u64());
+}
+
 // ---- WindowedOnline --------------------------------------------------------
 
 WindowedOnline::WindowedOnline(const ThresholdVector& thresholds, Norm norm,
                                std::size_t k, std::size_t m)
-    : NormOnlineDetector(norm), thresholds_(thresholds.filled()), k_(k), m_(m) {
-  require(!thresholds_.empty(), "WindowedOnline: empty threshold vector");
+    : WindowedOnline(std::make_shared<const ThresholdVector>(thresholds.filled()),
+                     norm, k, m) {}
+
+WindowedOnline::WindowedOnline(std::shared_ptr<const ThresholdVector> filled,
+                               Norm norm, std::size_t k, std::size_t m)
+    : NormOnlineDetector(norm), thresholds_(std::move(filled)), k_(k), m_(m) {
+  require(thresholds_ != nullptr && !thresholds_->empty(),
+          "WindowedOnline: empty threshold vector");
   require(k >= 1 && k <= m, "WindowedOnline: need 1 <= k <= m");
   reset();
 }
@@ -50,7 +74,7 @@ void WindowedOnline::reset() {
 bool WindowedOnline::step_norm(double residue_norm) {
   const std::size_t slot = i_ % m_;
   if (window_[slot]) --count_;
-  const bool exceeded = threshold_alarm_at(thresholds_, i_, residue_norm);
+  const bool exceeded = threshold_alarm_at(*thresholds_, i_, residue_norm);
   window_[slot] = exceeded;
   if (exceeded) ++count_;
   ++i_;
@@ -59,6 +83,35 @@ bool WindowedOnline::step_norm(double residue_norm) {
 
 std::unique_ptr<OnlineDetector> WindowedOnline::clone() const {
   return std::make_unique<WindowedOnline>(thresholds_, norm_, k_, m_);
+}
+
+void WindowedOnline::save_state(util::ByteWriter& out) const {
+  out.u64(i_);
+  // The window flags bit-packed LSB-first (count_ is derivable but stored
+  // states must restore without a recompute pass).
+  out.u64(count_);
+  std::uint8_t byte = 0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (window_[i]) byte = static_cast<std::uint8_t>(byte | (1U << (i % 8)));
+    if (i % 8 == 7 || i + 1 == m_) {
+      out.u8(byte);
+      byte = 0;
+    }
+  }
+}
+
+void WindowedOnline::load_state(util::ByteReader& in) {
+  i_ = static_cast<std::size_t>(in.u64());
+  count_ = static_cast<std::size_t>(in.u64());
+  window_.assign(m_, false);
+  std::uint8_t byte = 0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (i % 8 == 0) byte = in.u8();
+    window_[i] = ((byte >> (i % 8)) & 1U) != 0;
+  }
+  std::size_t recount = 0;
+  for (std::size_t i = 0; i < m_; ++i) recount += window_[i] ? 1 : 0;
+  require(recount == count_, "WindowedOnline: corrupt window state");
 }
 
 // ---- CusumOnline -----------------------------------------------------------
@@ -72,6 +125,10 @@ CusumOnline::CusumOnline(double drift, double limit, Norm norm)
 std::unique_ptr<OnlineDetector> CusumOnline::clone() const {
   return std::make_unique<CusumOnline>(drift_, limit_, norm_);
 }
+
+void CusumOnline::save_state(util::ByteWriter& out) const { out.f64(g_); }
+
+void CusumOnline::load_state(util::ByteReader& in) { g_ = in.f64(); }
 
 // ---- Chi2Online ------------------------------------------------------------
 
@@ -136,6 +193,26 @@ bool StlResidueOnline::step(const Vector& z) {
 
 std::unique_ptr<OnlineDetector> StlResidueOnline::clone() const {
   return std::make_unique<StlResidueOnline>(formula_);
+}
+
+void StlResidueOnline::save_state(util::ByteWriter& out) const {
+  out.u64(buffer_.z.size());
+  out.u32(static_cast<std::uint32_t>(
+      buffer_.z.empty() ? 0 : buffer_.z.front().size()));
+  for (const Vector& z : buffer_.z)
+    for (std::size_t i = 0; i < z.size(); ++i) out.f64(z[i]);
+}
+
+void StlResidueOnline::load_state(util::ByteReader& in) {
+  const std::size_t count = static_cast<std::size_t>(in.u64());
+  const std::size_t dim = in.u32();
+  buffer_.z.clear();
+  buffer_.z.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    Vector z(dim);
+    for (std::size_t i = 0; i < dim; ++i) z[i] = in.f64();
+    buffer_.z.push_back(std::move(z));
+  }
 }
 
 // ---- ResidueRecord ---------------------------------------------------------

@@ -32,6 +32,7 @@
 #include "detect/threshold.hpp"
 #include "linalg/matrix.hpp"
 #include "stl/formula.hpp"
+#include "util/bytes.hpp"
 
 namespace cpsguard::detect {
 
@@ -81,6 +82,17 @@ class OnlineDetector {
 
   /// Fresh instance with the same configuration and pre-run state.
   virtual std::unique_ptr<OnlineDetector> clone() const = 0;
+
+  /// Serializes the detector's MUTABLE running state (never its
+  /// configuration) into `out`; load_state() restores it bit-exactly onto
+  /// an identically configured instance.  The pair is what makes
+  /// detect::Session::snapshot()/restore() exact: a restored detector
+  /// continues the stream as if it had never stopped.  Stateless rules
+  /// (chi-squared) write nothing — the default.
+  virtual void save_state(util::ByteWriter& out) const;
+  /// Inverse of save_state(); throws util::InvalidArgument on bytes that do
+  /// not decode as this detector kind's state.
+  virtual void load_state(util::ByteReader& in);
 };
 
 /// Produces a fresh streaming instance per evaluation pass — the
@@ -109,17 +121,24 @@ class NormOnlineDetector : public OnlineDetector {
 class ThresholdOnline final : public NormOnlineDetector {
  public:
   ThresholdOnline(const ThresholdVector& thresholds, control::Norm norm);
+  /// Shares already-filled threshold storage: clone() goes through this, so
+  /// a million sessions hold ONE copy of the staircase, not a million —
+  /// the per-session footprint a service table depends on.
+  ThresholdOnline(std::shared_ptr<const ThresholdVector> filled,
+                  control::Norm norm);
 
   void reset() override { k_ = 0; }
   bool step_norm(double residue_norm) override {
-    return threshold_alarm_at(thresholds_, k_++, residue_norm);
+    return threshold_alarm_at(*thresholds_, k_++, residue_norm);
   }
   std::unique_ptr<OnlineDetector> clone() const override;
+  void save_state(util::ByteWriter& out) const override;
+  void load_state(util::ByteReader& in) override;
 
-  const ThresholdVector& thresholds() const { return thresholds_; }
+  const ThresholdVector& thresholds() const { return *thresholds_; }
 
  private:
-  ThresholdVector thresholds_;  // stored filled()
+  std::shared_ptr<const ThresholdVector> thresholds_;  // filled(), shared
   std::size_t k_ = 0;
 };
 
@@ -130,13 +149,18 @@ class WindowedOnline final : public NormOnlineDetector {
   /// Requires 1 <= k <= m.
   WindowedOnline(const ThresholdVector& thresholds, control::Norm norm,
                  std::size_t k, std::size_t m);
+  /// Shared-threshold variant (see ThresholdOnline); clone() uses it.
+  WindowedOnline(std::shared_ptr<const ThresholdVector> filled,
+                 control::Norm norm, std::size_t k, std::size_t m);
 
   void reset() override;
   bool step_norm(double residue_norm) override;
   std::unique_ptr<OnlineDetector> clone() const override;
+  void save_state(util::ByteWriter& out) const override;
+  void load_state(util::ByteReader& in) override;
 
  private:
-  ThresholdVector thresholds_;  // stored filled()
+  std::shared_ptr<const ThresholdVector> thresholds_;  // filled(), shared
   std::size_t k_;
   std::size_t m_;
   std::vector<bool> window_;  // last m exceedance flags
@@ -156,6 +180,8 @@ class CusumOnline final : public NormOnlineDetector {
     return g_ > limit_;
   }
   std::unique_ptr<OnlineDetector> clone() const override;
+  void save_state(util::ByteWriter& out) const override;
+  void load_state(util::ByteReader& in) override;
 
  private:
   double drift_;
@@ -201,6 +227,8 @@ class StlResidueOnline final : public OnlineDetector {
   void reset() override;
   bool step(const linalg::Vector& z) override;
   std::unique_ptr<OnlineDetector> clone() const override;
+  void save_state(util::ByteWriter& out) const override;
+  void load_state(util::ByteReader& in) override;
 
   const stl::Formula& formula() const { return formula_; }
 

@@ -1,0 +1,197 @@
+#include "detect/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace cpsguard::detect {
+
+using control::Norm;
+using util::ByteReader;
+using util::ByteWriter;
+using util::require;
+
+namespace {
+constexpr char kSnapshotMagic[4] = {'C', 'P', 'S', 'S'};
+constexpr std::uint32_t kSnapshotVersion = 1;
+}  // namespace
+
+// ---- SessionBlueprint ------------------------------------------------------
+
+SessionBlueprint::SessionBlueprint(std::string scenario,
+                                   std::vector<std::string> labels,
+                                   std::vector<DetectorFactory> factories)
+    : scenario_(std::move(scenario)),
+      labels_(std::move(labels)),
+      factories_(std::move(factories)) {
+  require(!factories_.empty(), "SessionBlueprint: needs at least one detector");
+  require(labels_.size() == factories_.size(),
+          "SessionBlueprint: label / factory arity mismatch");
+  norm_slots_.reserve(factories_.size());
+  for (const DetectorFactory& factory : factories_) {
+    const std::unique_ptr<OnlineDetector> probe = factory();
+    require(probe != nullptr, "SessionBlueprint: factory produced null detector");
+    // Same first-use ordering as DetectorBank::add, so norm slots agree.
+    if (const std::optional<Norm> norm = probe->shared_norm()) {
+      const auto it = std::find(norms_.begin(), norms_.end(), *norm);
+      norm_slots_.push_back(it - norms_.begin());
+      if (it == norms_.end()) norms_.push_back(*norm);
+    } else {
+      norm_slots_.push_back(-1);
+    }
+  }
+}
+
+bool SessionBlueprint::single_norm() const {
+  if (norms_.size() != 1) return false;
+  return std::all_of(norm_slots_.begin(), norm_slots_.end(),
+                     [](std::ptrdiff_t slot) { return slot == 0; });
+}
+
+void SessionBlueprint::set_reference_level(double level) {
+  require(level > 0.0 && std::isfinite(level),
+          "SessionBlueprint: reference level must be positive and finite");
+  reference_level_ = level;
+}
+
+// ---- Session ---------------------------------------------------------------
+
+Session::Session(std::shared_ptr<const SessionBlueprint> blueprint)
+    : blueprint_(std::move(blueprint)) {
+  require(blueprint_ != nullptr, "Session: null blueprint");
+  detectors_.reserve(blueprint_->size());
+  for (std::size_t i = 0; i < blueprint_->size(); ++i) {
+    detectors_.push_back(blueprint_->instantiate(i));
+    require(detectors_.back() != nullptr, "Session: factory produced null detector");
+    detectors_.back()->reset();
+  }
+  first_alarms_.assign(detectors_.size(), std::nullopt);
+  norm_scratch_.assign(blueprint_->norms().size(), 0.0);
+}
+
+SessionVerdict Session::feed(const linalg::Vector& z) {
+  const std::vector<Norm>& norms = blueprint_->norms();
+  for (std::size_t s = 0; s < norms.size(); ++s)
+    norm_scratch_[s] = control::vector_norm(z, norms[s]);
+  SessionVerdict verdict;
+  verdict.step = step_;
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    if (first_alarms_[i]) continue;  // the bank's stop-at-first-alarm rule
+    const std::ptrdiff_t slot = blueprint_->norm_slot(i);
+    const bool alarm = slot >= 0
+                           ? detectors_[i]->step_norm(
+                                 norm_scratch_[static_cast<std::size_t>(slot)])
+                           : detectors_[i]->step(z);
+    if (alarm) {
+      first_alarms_[i] = step_;
+      if (i < 64) verdict.new_alarms |= 1ULL << i;
+    }
+  }
+  ++step_;
+  return verdict;
+}
+
+SessionVerdict Session::feed_norm(double residue_norm) {
+  require(blueprint_->single_norm(),
+          "Session: feed_norm needs a single-shared-norm blueprint");
+  SessionVerdict verdict;
+  verdict.step = step_;
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    if (first_alarms_[i]) continue;
+    if (detectors_[i]->step_norm(residue_norm)) {
+      first_alarms_[i] = step_;
+      if (i < 64) verdict.new_alarms |= 1ULL << i;
+    }
+  }
+  ++step_;
+  return verdict;
+}
+
+std::uint64_t Session::alarm_mask() const {
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < first_alarms_.size() && i < 64; ++i)
+    if (first_alarms_[i]) mask |= 1ULL << i;
+  return mask;
+}
+
+void Session::reset() {
+  for (auto& det : detectors_) det->reset();
+  first_alarms_.assign(detectors_.size(), std::nullopt);
+  step_ = 0;
+}
+
+std::string Session::snapshot() const {
+  ByteWriter payload;
+  payload.raw(kSnapshotMagic, sizeof(kSnapshotMagic));
+  payload.u32(kSnapshotVersion);
+  payload.str(blueprint_->scenario());
+  payload.u32(static_cast<std::uint32_t>(detectors_.size()));
+  payload.u64(step_);
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    if (first_alarms_[i]) {
+      payload.u8(1);
+      payload.u64(*first_alarms_[i]);
+    } else {
+      payload.u8(0);
+    }
+    ByteWriter state;
+    detectors_[i]->save_state(state);
+    payload.str(state.take());
+  }
+  return util::frame_with_digest(payload.take());
+}
+
+Session Session::restore(std::shared_ptr<const SessionBlueprint> blueprint,
+                         const std::string& snapshot) {
+  const std::string payload =
+      util::unframe_with_digest(snapshot, "Session::restore");
+  ByteReader in(payload);
+  char magic[4];
+  in.raw(magic, sizeof(magic));
+  require(std::equal(magic, magic + 4, kSnapshotMagic),
+          "Session::restore: not a session snapshot (bad magic)");
+  const std::uint32_t version = in.u32();
+  require(version == kSnapshotVersion,
+          "Session::restore: unsupported snapshot version " +
+              std::to_string(version));
+  const std::string scenario = in.str();
+  Session session(std::move(blueprint));
+  require(scenario == session.blueprint_->scenario(),
+          "Session::restore: snapshot is for scenario '" + scenario +
+              "', blueprint realizes '" + session.blueprint_->scenario() + "'");
+  const std::uint32_t count = in.u32();
+  require(count == session.detectors_.size(),
+          "Session::restore: detector count mismatch");
+  session.step_ = static_cast<std::size_t>(in.u64());
+  for (std::size_t i = 0; i < session.detectors_.size(); ++i) {
+    if (in.u8() != 0) {
+      const std::uint64_t at = in.u64();
+      require(at < session.step_, "Session::restore: alarm beyond stream head");
+      session.first_alarms_[i] = static_cast<std::size_t>(at);
+    }
+    const std::string state = in.str();
+    ByteReader state_in(state);
+    session.detectors_[i]->load_state(state_in);
+    state_in.expect_done("Session::restore: detector state");
+  }
+  in.expect_done("Session::restore");
+  return session;
+}
+
+std::string Session::snapshot_scenario(const std::string& snapshot) {
+  const std::string payload =
+      util::unframe_with_digest(snapshot, "Session::snapshot_scenario");
+  ByteReader in(payload);
+  char magic[4];
+  in.raw(magic, sizeof(magic));
+  require(std::equal(magic, magic + 4, kSnapshotMagic),
+          "Session::snapshot_scenario: not a session snapshot (bad magic)");
+  const std::uint32_t version = in.u32();
+  require(version == kSnapshotVersion,
+          "Session::snapshot_scenario: unsupported snapshot version " +
+              std::to_string(version));
+  return in.str();
+}
+
+}  // namespace cpsguard::detect

@@ -1,0 +1,147 @@
+// session.hpp — addressable streaming detector state: the service-facing
+// face of the online detector bank.
+//
+// DetectorBank evaluates recorded series in batch; a Session turns the same
+// streaming kernels into a long-lived, incrementally-fed handle — the unit
+// the serve layer multiplexes by the thousand.  One Session owns one
+// scenario's realized detector instances plus per-stream state (step
+// counter, latched first alarms) and consumes samples one at a time:
+//
+//   Session s(blueprint);
+//   for (double norm : stream) {
+//     const SessionVerdict v = s.feed_norm(norm);
+//     if (v.any()) ...            // detectors that alarmed at THIS instant
+//   }
+//
+// Equivalence contract (pinned by tests/session_test.cpp): feeding a
+// residual series sample-by-sample produces exactly the first_alarms()
+// DetectorBank::evaluate / evaluate_norms reports for the same series —
+// including the bank's stop-at-first-alarm semantics (an alarmed detector
+// is latched and never stepped again), and including across a
+// snapshot()/restore() boundary anywhere mid-stream.
+//
+// Snapshot format (version 1): a compact binary payload wrapped in the
+// PR-6 cache integrity framing ("sha256:<hex>\n" + payload, see
+// util::frame_with_digest).  The payload is
+//
+//   magic "CPSS" | u32 version | str scenario | u32 n_detectors |
+//   u64 steps_fed | per detector: u8 alarmed [u64 first_alarm]
+//                                 u32 state_len + OnlineDetector state
+//
+// Versioning rules: the version bumps on ANY layout change (field order,
+// widths, per-kind state encodings); restore() rejects unknown versions
+// and never guesses — a snapshot is only portable between builds whose
+// detector-state encodings agree, which the u32 version asserts.  Adding a
+// new detector KIND does not bump the version (per-detector state blocks
+// are length-prefixed, so unknown state never misparses known fields).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "detect/online.hpp"
+
+namespace cpsguard::detect {
+
+/// Immutable, shareable recipe for one scenario's sessions: detector labels
+/// and factories plus the precomputed norm wiring.  Realize it once (see
+/// scenario::make_session_blueprint), then every Session::Session(...) is
+/// cheap — clone N small detector instances, no calibration, no solver.
+class SessionBlueprint {
+ public:
+  /// `labels` and `factories` must be the same length and non-empty; every
+  /// factory is probed once for its shared norm.
+  SessionBlueprint(std::string scenario, std::vector<std::string> labels,
+                   std::vector<DetectorFactory> factories);
+
+  const std::string& scenario() const { return scenario_; }
+  std::size_t size() const { return factories_.size(); }
+  const std::vector<std::string>& labels() const { return labels_; }
+  std::unique_ptr<OnlineDetector> instantiate(std::size_t i) const {
+    return factories_[i]();
+  }
+
+  /// Distinct shared norms in first-use order (DetectorBank's order);
+  /// empty when no detector streams a norm.
+  const std::vector<control::Norm>& norms() const { return norms_; }
+  /// Norm slot of detector i (index into norms()), -1 = full residue.
+  std::ptrdiff_t norm_slot(std::size_t i) const { return norm_slots_[i]; }
+  /// True when every detector streams one single shared norm — the
+  /// feed_norm() fast-path eligibility.
+  bool single_norm() const;
+
+  /// A positive reference magnitude for synthetic load (the largest level
+  /// any detector compares against); 1.0 when none is derivable.
+  double reference_level() const { return reference_level_; }
+  void set_reference_level(double level);
+
+ private:
+  std::string scenario_;
+  std::vector<std::string> labels_;
+  std::vector<DetectorFactory> factories_;
+  std::vector<control::Norm> norms_;
+  std::vector<std::ptrdiff_t> norm_slots_;
+  double reference_level_ = 1.0;
+};
+
+/// What one fed sample did: bit i of `new_alarms` is set when detector i
+/// (i < 64) alarmed for the first time at this instant.  Detectors beyond
+/// 64 still latch (see Session::first_alarms()) but have no mask bit.
+struct SessionVerdict {
+  std::uint64_t step = 0;        ///< 0-based index of the consumed instant
+  std::uint64_t new_alarms = 0;  ///< newly-latched detectors, bitmask
+  bool any() const { return new_alarms != 0; }
+};
+
+class Session {
+ public:
+  explicit Session(std::shared_ptr<const SessionBlueprint> blueprint);
+
+  const SessionBlueprint& blueprint() const { return *blueprint_; }
+  std::size_t size() const { return detectors_.size(); }
+  std::size_t steps_fed() const { return step_; }
+
+  /// Consumes one residual sample.  Matches DetectorBank::evaluate: each
+  /// distinct norm is computed once and shared; a detector that already
+  /// alarmed is never stepped again.
+  SessionVerdict feed(const linalg::Vector& z);
+  /// Norm fast path: consumes one precomputed residual-norm sample.
+  /// Requires blueprint().single_norm() (throws util::InvalidArgument
+  /// otherwise); matches DetectorBank::evaluate_norms bit for bit.
+  SessionVerdict feed_norm(double residue_norm);
+
+  /// First alarming instant per detector (latched), nullopt = still silent.
+  const std::vector<std::optional<std::size_t>>& first_alarms() const {
+    return first_alarms_;
+  }
+  /// first_alarms() folded to a bitmask over detectors 0..63.
+  std::uint64_t alarm_mask() const;
+
+  /// Rewinds every detector and the stream position to the pre-run state.
+  void reset();
+
+  /// Versioned, integrity-framed byte serialization of the full mutable
+  /// state (see the format comment at the top of this header).
+  std::string snapshot() const;
+  /// Rebuilds a session from snapshot() bytes.  The blueprint must realize
+  /// the same scenario (name and detector count are checked; the digest
+  /// catches corruption).  Throws util::InvalidArgument otherwise.
+  static Session restore(std::shared_ptr<const SessionBlueprint> blueprint,
+                         const std::string& snapshot);
+  /// Peeks the scenario name out of snapshot() bytes without a blueprint
+  /// (integrity-checked) — how a server picks the blueprint to restore
+  /// against.  Throws util::InvalidArgument on corrupt frames.
+  static std::string snapshot_scenario(const std::string& snapshot);
+
+ private:
+  std::shared_ptr<const SessionBlueprint> blueprint_;
+  std::vector<std::unique_ptr<OnlineDetector>> detectors_;
+  std::vector<std::optional<std::size_t>> first_alarms_;
+  std::vector<double> norm_scratch_;  // one value per distinct norm
+  std::size_t step_ = 0;
+};
+
+}  // namespace cpsguard::detect

@@ -15,6 +15,8 @@
 #include "detect/noise_floor.hpp"
 #include "detect/online.hpp"
 #include "detect/roc.hpp"
+#include "detect/session.hpp"
+#include "scenario/service.hpp"
 #include "sim/batch.hpp"
 #include "sim/config.hpp"
 #include "solver/lp_backend.hpp"
@@ -560,9 +562,25 @@ void run_single(Context& ctx, const ScenarioSpec& cell, Report& report) {
 
   std::vector<BuiltDetector> detectors = build_detectors(ctx, cell);
   if (!detectors.empty()) {
+    // The verdict table streams through the service-facing Session API —
+    // the same latched first-alarm semantics as the batch bank, one feed()
+    // per recorded instant (equivalence pinned by tests/session_test.cpp).
+    std::vector<std::string> labels;
+    std::vector<detect::DetectorFactory> factories;
+    labels.reserve(detectors.size());
+    factories.reserve(detectors.size());
+    for (const auto& d : detectors) {
+      labels.push_back(d.spec.label);
+      factories.push_back(d.factory());
+    }
+    auto blueprint = std::make_shared<const detect::SessionBlueprint>(
+        cell.name, std::move(labels), std::move(factories));
+    detect::Session session(std::move(blueprint));
+    for (const auto& z : noisy.z) session.feed(z);
     ReportTable& table = report.add_table("single", {"detector", "alarms_on_noise"});
-    for (const auto& d : detectors)
-      table.rows.push_back({d.spec.label, d.triggered(noisy) ? "yes" : "no"});
+    for (std::size_t i = 0; i < detectors.size(); ++i)
+      table.rows.push_back(
+          {detectors[i].spec.label, session.first_alarms()[i] ? "yes" : "no"});
     add_threshold_series(report, detectors);
   }
 }
@@ -831,6 +849,25 @@ void require_same_simulation(const ScenarioSpec& ref, const ScenarioSpec& cell) 
 }
 
 }  // namespace
+
+std::vector<RealizedDetector> realize_detectors(const ScenarioSpec& spec) {
+  require(!spec.detectors.empty(),
+          "scenario: realize_detectors needs a spec with detectors");
+  // A private context runs the same build pipeline the protocols use: same
+  // derived calibration seed, same synthesis stack, bit-identical detectors.
+  Context ctx(spec);
+  std::vector<BuiltDetector> built = build_detectors(ctx, spec);
+  std::vector<RealizedDetector> out;
+  out.reserve(built.size());
+  for (BuiltDetector& b : built) {
+    RealizedDetector r;
+    r.factory = b.factory();
+    r.spec = std::move(b.spec);
+    r.thresholds = std::move(b.thresholds);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
 
 Report ExperimentRunner::run(const ScenarioSpec& spec,
                              const Overrides& overrides) const {

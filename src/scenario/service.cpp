@@ -1,0 +1,38 @@
+#include "scenario/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace cpsguard::scenario {
+
+std::shared_ptr<const detect::SessionBlueprint> make_session_blueprint(
+    const ScenarioSpec& spec) {
+  std::vector<RealizedDetector> realized = realize_detectors(spec);
+  std::vector<std::string> labels;
+  std::vector<detect::DetectorFactory> factories;
+  labels.reserve(realized.size());
+  factories.reserve(realized.size());
+  double level = 0.0;
+  for (RealizedDetector& r : realized) {
+    labels.push_back(r.spec.label);
+    factories.push_back(std::move(r.factory));
+    // Reference magnitude for synthetic load: the largest level any
+    // detector compares against.  Threshold kinds expose it directly; for
+    // chi2/CUSUM the spec's limit is a coarse but usable stand-in.
+    level = std::max(level, r.thresholds.empty() ? r.spec.value
+                                                 : r.thresholds.max_set());
+  }
+  auto blueprint = std::make_shared<detect::SessionBlueprint>(
+      spec.name, std::move(labels), std::move(factories));
+  if (level > 0.0 && std::isfinite(level)) blueprint->set_reference_level(level);
+  return blueprint;
+}
+
+detect::Session make_session(const ScenarioSpec& spec) {
+  return detect::Session(make_session_blueprint(spec));
+}
+
+}  // namespace cpsguard::scenario

@@ -1,0 +1,49 @@
+// service.hpp — realize a scenario's detectors for streaming service.
+//
+// ExperimentRunner realizes DetectorSpecs deep inside its batch protocols;
+// the serve layer needs exactly that realization (calibration floors,
+// synthesis, threshold vectors) but as reusable per-stream factories, not a
+// one-shot batch evaluation.  realize_detectors() is that seam: it runs
+// the same build pipeline the protocols use — same calibration seed
+// derivation, same threshold math, bit-identical detectors — and returns
+// the per-detector factories.  make_session_blueprint() packages them as
+// the immutable detect::SessionBlueprint every session of a scenario
+// shares: realize once (possibly seconds of Monte-Carlo calibration or
+// solver time), then open millions of cheap sessions against it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "detect/session.hpp"
+#include "detect/threshold.hpp"
+#include "scenario/spec.hpp"
+
+namespace cpsguard::scenario {
+
+/// One realized candidate detector of a scenario: the resolved spec, the
+/// threshold vector (empty for chi2/CUSUM) and the per-stream factory.
+struct RealizedDetector {
+  DetectorSpec spec;
+  detect::ThresholdVector thresholds;
+  detect::DetectorFactory factory;
+};
+
+/// Realizes `spec`'s detector list exactly as the runner's protocols do
+/// (noise calibration on the derived calibration seed, synthesis through
+/// the solver stack, same threshold values bit for bit).  Throws
+/// util::InvalidArgument on specs without detectors.
+std::vector<RealizedDetector> realize_detectors(const ScenarioSpec& spec);
+
+/// Realizes the registered scenario's detectors into a shareable session
+/// blueprint keyed by the scenario name.  The blueprint's reference level
+/// is derived from the realized detectors (largest threshold / limit), so
+/// synthetic load generators can pick residual magnitudes that actually
+/// exercise the alarm boundary.
+std::shared_ptr<const detect::SessionBlueprint> make_session_blueprint(
+    const ScenarioSpec& spec);
+
+/// Convenience: blueprint + one fresh session over it.
+detect::Session make_session(const ScenarioSpec& spec);
+
+}  // namespace cpsguard::scenario

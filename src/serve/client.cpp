@@ -1,0 +1,152 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace cpsguard::serve {
+
+using util::require;
+
+Client Client::connect_unix(const std::string& path) {
+  require(path.size() < sizeof(sockaddr_un{}.sun_path),
+          "serve client: unix socket path too long");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  require(fd >= 0, "serve client: socket(AF_UNIX) failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw util::InvalidArgument("serve client: cannot connect to " + path);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(fd >= 0, "serve client: socket(AF_INET) failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw util::InvalidArgument("serve client: cannot connect to port " +
+                                std::to_string(port));
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Message Client::call(const Message& request) {
+  require(fd_ >= 0, "serve client: connection is closed");
+  const std::string frame = encode_frame(request);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    require(n > 0 || errno == EINTR, "serve client: send failed");
+    if (n > 0) sent += static_cast<std::size_t>(n);
+  }
+  while (true) {
+    if (const std::optional<std::string> body = reader_.next())
+      return decode_body(*body);
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    require(n > 0, "serve client: connection closed mid-reply");
+    reader_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+Message Client::expect(const Message& request, MsgType want) {
+  Message reply = call(request);
+  if (reply.type == MsgType::kError)
+    throw util::InvalidArgument("serve client: server error: " + reply.blob);
+  require(reply.type == want,
+          std::string("serve client: expected ") + msg_type_name(want) +
+              ", got " + msg_type_name(reply.type));
+  return reply;
+}
+
+std::uint64_t Client::open(FeedMode mode, const std::string& scenario) {
+  Message req;
+  req.type = MsgType::kOpen;
+  req.mode = static_cast<std::uint8_t>(mode);
+  req.scenario = scenario;
+  return expect(req, MsgType::kOpened).sid;
+}
+
+std::vector<std::uint64_t> Client::feed_norms(std::uint64_t sid,
+                                              const std::vector<double>& norms) {
+  Message req;
+  req.type = MsgType::kFeedNorm;
+  req.sid = sid;
+  req.samples = norms;
+  return expect(req, MsgType::kVerdicts).masks;
+}
+
+Message Client::query(std::uint64_t sid) {
+  Message req;
+  req.type = MsgType::kQuery;
+  req.sid = sid;
+  return expect(req, MsgType::kAlarms);
+}
+
+std::string Client::snapshot(std::uint64_t sid) {
+  Message req;
+  req.type = MsgType::kSnapshot;
+  req.sid = sid;
+  return expect(req, MsgType::kSnapshotData).blob;
+}
+
+std::uint64_t Client::restore(const std::string& blob) {
+  Message req;
+  req.type = MsgType::kRestore;
+  req.blob = blob;
+  return expect(req, MsgType::kRestored).sid;
+}
+
+void Client::close_session(std::uint64_t sid) {
+  Message req;
+  req.type = MsgType::kClose;
+  req.sid = sid;
+  expect(req, MsgType::kClosed);
+}
+
+void Client::ping() {
+  Message req;
+  req.type = MsgType::kPing;
+  expect(req, MsgType::kPong);
+}
+
+void Client::shutdown_server() {
+  Message req;
+  req.type = MsgType::kShutdown;
+  expect(req, MsgType::kPong);
+}
+
+}  // namespace cpsguard::serve

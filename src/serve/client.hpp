@@ -1,0 +1,54 @@
+// client.hpp — blocking request/response client for the serve protocol.
+//
+// One connection, one outstanding request at a time: call() writes a frame
+// and blocks until the matching reply frame arrives.  This is the driver
+// used by the load generator, the smoke gate and the tests; a production
+// ingester would pipeline feeds, which the server already supports (replies
+// come back in request order on each connection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace cpsguard::serve {
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(std::uint16_t port);  // loopback
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends `request`, blocks for one reply frame.  Throws
+  /// util::InvalidArgument on transport failure or a malformed reply.
+  Message call(const Message& request);
+
+  /// call(), then require the reply type (kError replies surface as
+  /// util::InvalidArgument carrying the server's message).
+  Message expect(const Message& request, MsgType want);
+
+  // Convenience wrappers over expect().
+  std::uint64_t open(FeedMode mode, const std::string& scenario);
+  std::vector<std::uint64_t> feed_norms(std::uint64_t sid,
+                                        const std::vector<double>& norms);
+  Message query(std::uint64_t sid);
+  std::string snapshot(std::uint64_t sid);
+  std::uint64_t restore(const std::string& blob);
+  void close_session(std::uint64_t sid);
+  void ping();
+  void shutdown_server();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace cpsguard::serve

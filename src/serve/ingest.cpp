@@ -1,0 +1,150 @@
+#include "serve/ingest.hpp"
+
+#include <string>
+#include <utility>
+
+#include "models/vsc_can.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::serve {
+
+using linalg::Matrix;
+using linalg::Vector;
+using util::require;
+
+namespace {
+
+// The step kernel's exact-mode accumulators (linalg/step_kernel.cpp):
+// acc starts at 0.0 and adds row[c] * v[c] in column order.  Replicating
+// them — not calling Matrix::operator* — is what makes observe() bit-
+// identical to the recorded loop under -ffp-contract=off.
+inline double dot(const double* row, const double* v, std::size_t count) {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < count; ++c) acc += row[c] * v[c];
+  return acc;
+}
+
+inline double dot_diff(const double* row, const double* a, const double* b,
+                       std::size_t count) {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < count; ++c) acc += row[c] * (a[c] - b[c]);
+  return acc;
+}
+
+}  // namespace
+
+ResidualObserver::ResidualObserver(const control::LoopConfig& config) {
+  config.validate();
+  a_ = config.plant.a;
+  b_ = config.plant.b;
+  c_ = config.plant.c;
+  d_ = config.plant.d;
+  l_ = config.kalman_gain;
+  k_ = config.feedback_gain;
+  x_ss_ = config.operating_point.x_ss;
+  u_ss_ = config.operating_point.u_ss;
+  xhat1_ = config.xhat1;
+  u1_ = config.u1;
+  reset();
+}
+
+void ResidualObserver::reset() {
+  xhat_ = xhat1_;
+  u_ = u1_;
+  z_.resize(c_.rows());
+  xhatn_.resize(a_.rows());
+}
+
+const Vector& ResidualObserver::observe(const Vector& y) {
+  const std::size_t n = a_.rows(), m = c_.rows(), p = b_.cols();
+  require(y.size() == m, "ResidualObserver: measurement dimension mismatch");
+  // ŷ_r = (0.0 + C_r·x̂) + D_r·u;  z_r = y_r - ŷ_r.  y_r is the measured
+  // value — noise, attack and CAN quantization already folded in upstream.
+  for (std::size_t r = 0; r < m; ++r) {
+    double yh = 0.0 + dot(c_.data() + r * n, xhat_.data(), n);
+    yh = yh + dot(d_.data() + r * p, u_.data(), p);
+    z_[r] = y[r] - yh;
+  }
+  // x̂_{k+1} = (0.0 + A_r·x̂) + B_r·u + L_r·z
+  for (std::size_t r = 0; r < n; ++r) {
+    double xh = 0.0 + dot(a_.data() + r * n, xhat_.data(), n);
+    xh = xh + dot(b_.data() + r * p, u_.data(), p);
+    xh = xh + dot(l_.data() + r * m, z_.data(), m);
+    xhatn_[r] = xh;
+  }
+  std::swap(xhat_, xhatn_);
+  // u_{k+1} = u_ss - K (x̂_{k+1} - x_ss), deviation formed inside the dot.
+  for (std::size_t r = 0; r < p; ++r)
+    u_[r] = u_ss_[r] - (0.0 + dot_diff(k_.data() + r * n, xhat_.data(),
+                                       x_ss_.data(), n));
+  return z_;
+}
+
+void ResidualObserver::save_state(util::ByteWriter& out) const {
+  out.u32(static_cast<std::uint32_t>(xhat_.size()));
+  out.u32(static_cast<std::uint32_t>(u_.size()));
+  for (std::size_t i = 0; i < xhat_.size(); ++i) out.f64(xhat_[i]);
+  for (std::size_t i = 0; i < u_.size(); ++i) out.f64(u_[i]);
+}
+
+void ResidualObserver::load_state(util::ByteReader& in) {
+  require(in.u32() == xhat_.size() && in.u32() == u_.size(),
+          "ResidualObserver: state dimension mismatch");
+  for (std::size_t i = 0; i < xhat_.size(); ++i) xhat_[i] = in.f64();
+  for (std::size_t i = 0; i < u_.size(); ++i) u_[i] = in.f64();
+}
+
+CanIngest::CanIngest(const control::LoopConfig& config,
+                     std::vector<can::SensorMessageBinding> bindings)
+    : observer_(config), bindings_(std::move(bindings)) {
+  const std::size_t m = config.plant.num_outputs();
+  require(!bindings_.empty(), "CanIngest: needs at least one binding");
+  std::vector<bool> covered(m, false);
+  for (const can::SensorMessageBinding& b : bindings_) {
+    b.validate(m);
+    for (const std::size_t idx : b.output_indices) {
+      require(!covered[idx], "CanIngest: output " + std::to_string(idx) +
+                                 " bound to two messages");
+      covered[idx] = true;
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i)
+    require(covered[i], "CanIngest: output " + std::to_string(i) + " not bound");
+  y_.resize(m);
+  seen_.assign(bindings_.size(), 0);
+}
+
+const Vector& CanIngest::ingest(const can::CanFrame* frames, std::size_t count) {
+  require(count == bindings_.size(),
+          "CanIngest: expected " + std::to_string(bindings_.size()) +
+              " frames per instant, got " + std::to_string(count));
+  seen_.assign(bindings_.size(), 0);
+  for (std::size_t f = 0; f < count; ++f) {
+    const can::CanFrame& frame = frames[f];
+    bool matched = false;
+    for (std::size_t b = 0; b < bindings_.size(); ++b) {
+      const can::MessageSpec& spec = bindings_[b].message;
+      if (frame.id != spec.id || frame.extended != spec.extended) continue;
+      require(!seen_[b], "CanIngest: duplicate frame for message " + spec.name);
+      seen_[b] = 1;
+      // unpack() re-validates dlc and payload framing — a truncated or
+      // padded hostile frame dies here, before any state advances.
+      const std::vector<double> values = spec.unpack(frame);
+      for (std::size_t i = 0; i < values.size(); ++i)
+        y_[bindings_[b].output_indices[i]] = values[i];
+      matched = true;
+      break;
+    }
+    require(matched, "CanIngest: unknown CAN identifier " +
+                         std::to_string(frame.id));
+  }
+  return observer_.observe(y_);
+}
+
+std::vector<can::SensorMessageBinding> can_bindings_for_study(
+    const std::string& study_name) {
+  if (study_name == "vsc") return models::vsc_sensor_bindings();
+  return {};
+}
+
+}  // namespace cpsguard::serve

@@ -1,0 +1,87 @@
+// ingest.hpp — server-side sample ingestion: raw measurements in, residual
+// samples out.
+//
+// A detection service rarely receives residuals: the edge devices ship raw
+// sensor readings (or the CAN frames carrying them).  This module closes
+// that gap with a ResidualObserver — a standalone replica of the closed
+// loop's estimator/controller recursion that turns a measured output series
+// y_1.. into exactly the residual series z_1.. the loop's recorder would
+// have produced, bit for bit (it reproduces the step kernel's exact-mode
+// accumulation order; pinned by tests/serve_test.cpp against recorded
+// traces) — and a CanIngest that first decodes each sampling instant's
+// frames through can::signal_codec, so the service consumes the very bytes
+// the paper's MITM sits on.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "can/transport.hpp"
+#include "control/closed_loop.hpp"
+#include "linalg/matrix.hpp"
+#include "util/bytes.hpp"
+
+namespace cpsguard::serve {
+
+/// Streaming estimator/controller replica.  Feed the measured outputs of a
+/// loop (honest, noisy or attacked — anything that reaches the controller)
+/// and read back the residuals its anomaly detectors see.  State is two
+/// small vectors (x̂, u), so millions of observers stay cheap; save_state /
+/// load_state round-trip them bit-exactly for session snapshots.
+class ResidualObserver {
+ public:
+  explicit ResidualObserver(const control::LoopConfig& config);
+
+  std::size_t output_dim() const { return c_.rows(); }
+
+  /// Consumes one measured output sample and returns the residual z_k.
+  /// The reference stays valid until the next observe()/reset().
+  const linalg::Vector& observe(const linalg::Vector& y);
+
+  void reset();
+  void save_state(util::ByteWriter& out) const;
+  void load_state(util::ByteReader& in);
+
+ private:
+  linalg::Matrix a_, b_, c_, d_, l_, k_;  // row-major, kernel layout
+  linalg::Vector x_ss_, u_ss_, xhat1_, u1_;
+  linalg::Vector xhat_, u_, z_, xhatn_;  // mutable recursion state
+};
+
+/// CAN-frame front end: decodes one sampling instant's frames (one frame
+/// per bound message, any arrival order) into the measured output vector
+/// and runs it through the ResidualObserver.  Unknown identifiers,
+/// duplicate or missing messages and malformed frames throw
+/// util::InvalidArgument without advancing the observer.
+class CanIngest {
+ public:
+  CanIngest(const control::LoopConfig& config,
+            std::vector<can::SensorMessageBinding> bindings);
+
+  /// Frames one sampling instant must deliver (one per bound message).
+  std::size_t messages_per_instant() const { return bindings_.size(); }
+  std::size_t output_dim() const { return observer_.output_dim(); }
+
+  /// Decodes + observes one instant; returns z_k (valid until next call).
+  const linalg::Vector& ingest(const can::CanFrame* frames, std::size_t count);
+
+  void reset() { observer_.reset(); }
+  void save_state(util::ByteWriter& out) const { observer_.save_state(out); }
+  void load_state(util::ByteReader& in) { observer_.load_state(in); }
+
+ private:
+  ResidualObserver observer_;
+  std::vector<can::SensorMessageBinding> bindings_;
+  linalg::Vector y_;                  // decode scratch
+  std::vector<std::uint8_t> seen_;    // per-binding duplicate guard, reused
+};
+
+/// The CAN database bound to a case study's sensor path, when the study has
+/// one (currently the VSC's yaw-rate / lateral-acceleration segment).
+/// Returns an empty vector for studies without CAN bindings — CAN-mode
+/// sessions on those scenarios are rejected at open time.
+std::vector<can::SensorMessageBinding> can_bindings_for_study(
+    const std::string& study_name);
+
+}  // namespace cpsguard::serve

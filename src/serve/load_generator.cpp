@@ -1,0 +1,102 @@
+#include "serve/load_generator.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "detect/online.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::serve {
+
+using util::require;
+
+std::vector<double> session_stream(const detect::SessionBlueprint& blueprint,
+                                   const LoadOptions& options,
+                                   std::size_t session_index,
+                                   std::size_t count) {
+  util::Rng rng = util::Rng::substream(options.seed, session_index);
+  const double peak = options.amplitude * blueprint.reference_level();
+  std::vector<double> stream(count);
+  for (double& v : stream) v = rng.uniform(0.0, peak);
+  return stream;
+}
+
+std::vector<std::optional<std::size_t>> offline_first_alarms(
+    const detect::SessionBlueprint& blueprint,
+    const std::vector<double>& stream) {
+  require(blueprint.single_norm(),
+          "offline_first_alarms: blueprint must stream a single norm");
+  detect::DetectorBank bank;
+  for (std::size_t i = 0; i < blueprint.size(); ++i)
+    bank.add(blueprint.instantiate(i));
+  std::vector<std::optional<std::size_t>> first_alarms;
+  bank.evaluate_norms(blueprint.norms(), {stream}, first_alarms);
+  return first_alarms;
+}
+
+LoadStats run_local_load(
+    SessionTable& table,
+    std::shared_ptr<const detect::SessionBlueprint> blueprint,
+    const LoadOptions& options) {
+  require(options.sessions > 0 && options.samples > 0 && options.chunk > 0,
+          "run_local_load: sessions, samples and chunk must be positive");
+  using clock = std::chrono::steady_clock;
+
+  std::vector<std::uint64_t> sids;
+  sids.reserve(options.sessions);
+  std::vector<std::vector<double>> streams;
+  streams.reserve(options.sessions);
+  for (std::size_t s = 0; s < options.sessions; ++s) {
+    sids.push_back(table.insert(
+        ServedSession{detect::Session(blueprint), FeedMode::kNorm, nullptr}));
+    streams.push_back(session_stream(*blueprint, options, s, options.samples));
+  }
+
+  // Round-robin chunked feeding: every session advances `chunk` samples per
+  // sweep, the access pattern a real multiplexing ingester produces.
+  std::vector<double> chunk_micros;
+  chunk_micros.reserve(options.sessions *
+                       ((options.samples + options.chunk - 1) / options.chunk));
+  const auto t0 = clock::now();
+  for (std::size_t offset = 0; offset < options.samples;
+       offset += options.chunk) {
+    const std::size_t end = std::min(options.samples, offset + options.chunk);
+    for (std::size_t s = 0; s < options.sessions; ++s) {
+      const auto c0 = clock::now();
+      const bool found = table.with(sids[s], [&](ServedSession& served) {
+        for (std::size_t k = offset; k < end; ++k)
+          served.session.feed_norm(streams[s][k]);
+      });
+      require(found, "run_local_load: session evicted mid-soak; raise "
+                     "max_sessions above the generated session count");
+      chunk_micros.push_back(
+          std::chrono::duration<double, std::micro>(clock::now() - c0).count() /
+          static_cast<double>(end - offset));
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(clock::now() - t0).count();
+
+  LoadStats stats;
+  stats.sessions = options.sessions;
+  stats.samples_total = options.sessions * options.samples;
+  stats.seconds = seconds;
+  for (const std::uint64_t sid : sids)
+    table.with(sid, [&](ServedSession& served) {
+      if (served.session.alarm_mask() != 0) ++stats.sessions_alarmed;
+    });
+  std::sort(chunk_micros.begin(), chunk_micros.end());
+  const auto pct = [&](double q) {
+    if (chunk_micros.empty()) return 0.0;
+    const std::size_t idx = std::min(
+        chunk_micros.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(chunk_micros.size())));
+    return chunk_micros[idx];
+  };
+  stats.p50_feed_micros = pct(0.50);
+  stats.p99_feed_micros = pct(0.99);
+  return stats;
+}
+
+}  // namespace cpsguard::serve

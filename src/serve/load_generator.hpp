@@ -1,0 +1,63 @@
+// load_generator.hpp — deterministic synthetic load for the serve stack.
+//
+// Every session gets its own util::Rng substream of (seed, session index),
+// so the stream a session receives is a pure function of (scenario, seed,
+// index, instant) — the server-side verdicts can be re-derived offline
+// byte-for-byte by replaying the same stream through a DetectorBank, which
+// is exactly what the smoke gate does.  Samples are uniform residual norms
+// in [0, amplitude x reference_level): spanning the alarm boundary, so a
+// realistic fraction of sessions actually alarms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detect/session.hpp"
+#include "serve/session_table.hpp"
+
+namespace cpsguard::serve {
+
+struct LoadOptions {
+  std::size_t sessions = 64;
+  std::size_t samples = 1000;  ///< per session
+  std::size_t chunk = 64;      ///< samples per feed call
+  std::uint64_t seed = 42;
+  double amplitude = 1.25;     ///< peak, in units of blueprint reference level
+};
+
+struct LoadStats {
+  std::size_t sessions = 0;
+  std::size_t samples_total = 0;
+  double seconds = 0.0;
+  double p50_feed_micros = 0.0;  ///< per-sample feed latency percentiles
+  double p99_feed_micros = 0.0;
+  std::size_t sessions_alarmed = 0;
+
+  double aggregate_rate() const {
+    return seconds > 0.0 ? static_cast<double>(samples_total) / seconds : 0.0;
+  }
+};
+
+/// The full residual-norm stream of one generated session.
+std::vector<double> session_stream(const detect::SessionBlueprint& blueprint,
+                                   const LoadOptions& options,
+                                   std::size_t session_index,
+                                   std::size_t count);
+
+/// Replays `stream` through a fresh offline DetectorBank built from the
+/// blueprint (evaluate_norms — the batch reference path) and returns the
+/// per-detector first alarms.  The smoke gate compares these against the
+/// served session's kAlarms reply.
+std::vector<std::optional<std::size_t>> offline_first_alarms(
+    const detect::SessionBlueprint& blueprint, const std::vector<double>& stream);
+
+/// In-process soak: opens `options.sessions` sessions in `table` against
+/// `blueprint` and feeds them round-robin, chunk by chunk, measuring feed
+/// latency.  Exercises the exact server data path minus the socket.
+LoadStats run_local_load(SessionTable& table,
+                         std::shared_ptr<const detect::SessionBlueprint> blueprint,
+                         const LoadOptions& options);
+
+}  // namespace cpsguard::serve

@@ -1,0 +1,263 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::serve {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::require;
+
+namespace {
+
+// Body-size guards: a hostile length prefix must never translate into a
+// large allocation.  Every element below is at least this many wire bytes,
+// so counts are checked against the bytes actually remaining.
+constexpr std::size_t kSampleWireBytes = 8;   // one f64
+constexpr std::size_t kCanFrameWireBytes = 4 + 1 + 1 + 8;
+
+void put_frames(ByteWriter& out, const std::vector<can::CanFrame>& frames) {
+  out.u32(static_cast<std::uint32_t>(frames.size()));
+  for (const can::CanFrame& f : frames) {
+    out.u32(f.id);
+    out.u8(f.extended ? 1 : 0);
+    out.u8(f.dlc);
+    out.raw(f.data.data(), f.data.size());
+  }
+}
+
+std::vector<can::CanFrame> get_frames(ByteReader& in) {
+  const std::uint32_t count = in.u32();
+  require(static_cast<std::size_t>(count) * kCanFrameWireBytes <= in.remaining(),
+          "serve: kFeedCan frame count exceeds body");
+  std::vector<can::CanFrame> frames(count);
+  for (can::CanFrame& f : frames) {
+    f.id = in.u32();
+    const std::uint8_t flags = in.u8();
+    require((flags & ~1u) == 0, "serve: kFeedCan unknown frame flags");
+    f.extended = (flags & 1u) != 0;
+    f.dlc = in.u8();
+    in.raw(f.data.data(), f.data.size());
+    f.validate();  // id range / dlc — reject hostile frames at the codec edge
+  }
+  return frames;
+}
+
+void put_samples(ByteWriter& out, const std::vector<double>& samples) {
+  for (const double v : samples) out.f64(v);
+}
+
+std::vector<double> get_samples(ByteReader& in, std::size_t count,
+                                const char* what) {
+  require(count * kSampleWireBytes <= in.remaining(),
+          std::string(what) + ": sample count exceeds body");
+  std::vector<double> samples(count);
+  for (double& v : samples) {
+    v = in.f64();
+    require(std::isfinite(v), std::string(what) + ": non-finite sample");
+  }
+  return samples;
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kOpen: return "open";
+    case MsgType::kFeedNorm: return "feed_norm";
+    case MsgType::kFeedResidual: return "feed_residual";
+    case MsgType::kFeedCan: return "feed_can";
+    case MsgType::kQuery: return "query";
+    case MsgType::kSnapshot: return "snapshot";
+    case MsgType::kRestore: return "restore";
+    case MsgType::kClose: return "close";
+    case MsgType::kPing: return "ping";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kOpened: return "opened";
+    case MsgType::kVerdicts: return "verdicts";
+    case MsgType::kAlarms: return "alarms";
+    case MsgType::kSnapshotData: return "snapshot_data";
+    case MsgType::kRestored: return "restored";
+    case MsgType::kClosed: return "closed";
+    case MsgType::kPong: return "pong";
+    case MsgType::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(const Message& msg) {
+  ByteWriter body;
+  body.u8(static_cast<std::uint8_t>(msg.type));
+  switch (msg.type) {
+    case MsgType::kOpen:
+      body.u8(msg.mode);
+      body.str(msg.scenario);
+      break;
+    case MsgType::kFeedNorm:
+      body.u64(msg.sid);
+      body.u32(static_cast<std::uint32_t>(msg.samples.size()));
+      put_samples(body, msg.samples);
+      break;
+    case MsgType::kFeedResidual:
+      require(msg.dim > 0 && msg.samples.size() % msg.dim == 0,
+              "serve: kFeedResidual samples not a multiple of dim");
+      body.u64(msg.sid);
+      body.u32(static_cast<std::uint32_t>(msg.samples.size() / msg.dim));
+      body.u32(msg.dim);
+      put_samples(body, msg.samples);
+      break;
+    case MsgType::kFeedCan:
+      body.u64(msg.sid);
+      put_frames(body, msg.frames);
+      break;
+    case MsgType::kQuery:
+    case MsgType::kSnapshot:
+    case MsgType::kClose:
+    case MsgType::kClosed:
+      body.u64(msg.sid);
+      break;
+    case MsgType::kRestore:
+    case MsgType::kSnapshotData:
+    case MsgType::kError:
+      body.str(msg.blob);
+      break;
+    case MsgType::kPing:
+    case MsgType::kShutdown:
+    case MsgType::kPong:
+      break;
+    case MsgType::kOpened:
+    case MsgType::kRestored:
+      body.u64(msg.sid);
+      body.u32(msg.n_detectors);
+      break;
+    case MsgType::kVerdicts:
+      body.u64(msg.sid);
+      body.u32(static_cast<std::uint32_t>(msg.masks.size()));
+      for (const std::uint64_t mask : msg.masks) body.u64(mask);
+      break;
+    case MsgType::kAlarms:
+      body.u64(msg.sid);
+      body.u64(msg.steps_fed);
+      body.u32(static_cast<std::uint32_t>(msg.first_alarms.size()));
+      for (const auto& alarm : msg.first_alarms) {
+        body.u8(alarm.has_value() ? 1 : 0);
+        if (alarm) body.u64(*alarm);
+      }
+      break;
+  }
+  const std::string encoded = body.take();
+  require(encoded.size() <= kMaxFrameBytes, "serve: frame exceeds size cap");
+  ByteWriter framed;
+  framed.u32(static_cast<std::uint32_t>(encoded.size()));
+  framed.raw(encoded.data(), encoded.size());
+  return framed.take();
+}
+
+Message decode_body(const std::string& body) {
+  require(body.size() <= kMaxFrameBytes, "serve: frame exceeds size cap");
+  ByteReader in(body);
+  Message msg;
+  const std::uint8_t raw_type = in.u8();
+  msg.type = static_cast<MsgType>(raw_type);
+  switch (msg.type) {
+    case MsgType::kOpen:
+      msg.mode = in.u8();
+      require(msg.mode <= static_cast<std::uint8_t>(FeedMode::kCan),
+              "serve: kOpen unknown feed mode");
+      msg.scenario = in.str();
+      require(!msg.scenario.empty(), "serve: kOpen empty scenario name");
+      break;
+    case MsgType::kFeedNorm:
+      msg.sid = in.u64();
+      msg.samples = get_samples(in, in.u32(), "serve: kFeedNorm");
+      break;
+    case MsgType::kFeedResidual: {
+      msg.sid = in.u64();
+      const std::uint32_t count = in.u32();
+      msg.dim = in.u32();
+      require(msg.dim > 0, "serve: kFeedResidual zero residual dimension");
+      require(count <= in.remaining() / (kSampleWireBytes * msg.dim),
+              "serve: kFeedResidual sample count exceeds body");
+      msg.samples = get_samples(
+          in, static_cast<std::size_t>(count) * msg.dim, "serve: kFeedResidual");
+      break;
+    }
+    case MsgType::kFeedCan:
+      msg.sid = in.u64();
+      msg.frames = get_frames(in);
+      break;
+    case MsgType::kQuery:
+    case MsgType::kSnapshot:
+    case MsgType::kClose:
+    case MsgType::kClosed:
+      msg.sid = in.u64();
+      break;
+    case MsgType::kRestore:
+    case MsgType::kSnapshotData:
+    case MsgType::kError:
+      msg.blob = in.str();
+      break;
+    case MsgType::kPing:
+    case MsgType::kShutdown:
+    case MsgType::kPong:
+      break;
+    case MsgType::kOpened:
+    case MsgType::kRestored:
+      msg.sid = in.u64();
+      msg.n_detectors = in.u32();
+      break;
+    case MsgType::kVerdicts: {
+      msg.sid = in.u64();
+      const std::uint32_t count = in.u32();
+      require(static_cast<std::size_t>(count) * 8 <= in.remaining(),
+              "serve: kVerdicts mask count exceeds body");
+      msg.masks.resize(count);
+      for (std::uint64_t& mask : msg.masks) mask = in.u64();
+      break;
+    }
+    case MsgType::kAlarms: {
+      msg.sid = in.u64();
+      msg.steps_fed = in.u64();
+      const std::uint32_t count = in.u32();
+      require(count <= in.remaining(), "serve: kAlarms count exceeds body");
+      msg.first_alarms.resize(count);
+      for (auto& alarm : msg.first_alarms)
+        if (in.u8() != 0) alarm = in.u64();
+      break;
+    }
+    default:
+      throw util::InvalidArgument("serve: unknown message type " +
+                                  std::to_string(raw_type));
+  }
+  in.expect_done(msg_type_name(msg.type));
+  return msg;
+}
+
+void FrameReader::append(const char* data, std::size_t len) {
+  buffer_.append(data, len);
+}
+
+std::optional<std::string> FrameReader::next() {
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return std::nullopt;
+  std::uint32_t length = 0;
+  std::memcpy(&length, buffer_.data() + consumed_, 4);
+  require(length <= kMaxFrameBytes,
+          "serve: peer announced frame beyond size cap");
+  require(length >= 1, "serve: empty frame (missing type byte)");
+  if (avail - 4 < length) return std::nullopt;
+  std::string body = buffer_.substr(consumed_ + 4, length);
+  consumed_ += 4 + static_cast<std::size_t>(length);
+  // Compact once the dead prefix dominates, amortizing the copy.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return body;
+}
+
+}  // namespace cpsguard::serve

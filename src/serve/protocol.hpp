@@ -1,0 +1,128 @@
+// protocol.hpp — the length-framed wire protocol of cpsguard_serve.
+//
+// Every message travels as one frame:
+//
+//   u32 length (LE, length of type + body, capped at kMaxFrameBytes)
+//   u8  type   (MsgType)
+//   body       (type-specific fields, util::ByteWriter encoding: LE
+//               integers, IEEE-754 f64 bit patterns, u32-length-prefixed
+//               strings)
+//
+// Client -> server:
+//   kOpen         u8 mode, str scenario
+//   kFeedNorm     u64 sid, u32 count, count x f64 residual norms
+//   kFeedResidual u64 sid, u32 count, u32 dim, count*dim x f64 residuals
+//   kFeedCan      u64 sid, u32 count, count x (u32 id, u8 flags(bit0 =
+//                 extended), u8 dlc, 8 raw bytes) CAN frames
+//   kQuery        u64 sid
+//   kSnapshot     u64 sid
+//   kRestore      str blob (a kSnapshotData blob)
+//   kClose        u64 sid
+//   kPing         (empty)
+//   kShutdown     (empty; server stops accepting after replying kPong)
+//
+// Server -> client:
+//   kOpened       u64 sid, u32 n_detectors
+//   kVerdicts     u64 sid, u32 count, count x u64 new-alarm masks (one per
+//                 consumed instant, bit i = detector i newly alarmed)
+//   kAlarms       u64 sid, u64 steps_fed, u32 n, n x (u8 has [u64 step])
+//   kSnapshotData str blob (integrity-framed serve snapshot; opaque)
+//   kRestored     u64 sid, u32 n_detectors
+//   kClosed       u64 sid
+//   kPong         (empty)
+//   kError        str text (the request it answers failed; session state is
+//                 unchanged, the connection stays usable)
+//
+// Versioning: the protocol has no version field of its own — the session
+// snapshot blob inside kSnapshotData/kRestore carries the (checked) state
+// version, and the frame layout above is append-only: new message types get
+// new type codes, existing bodies never change shape.  A receiver rejects
+// unknown type codes with kError instead of guessing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "can/frame.hpp"
+
+namespace cpsguard::serve {
+
+/// Hard cap on one frame's type + body, enforced by both ends: a peer that
+/// announces more is malformed or hostile and its connection is dropped.
+constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/// How a session wants its samples delivered.
+enum class FeedMode : std::uint8_t {
+  kNorm = 0,      ///< precomputed residual norms (feed_norm fast path)
+  kResidual = 1,  ///< full residual vectors
+  kCan = 2,       ///< raw CAN frames, decoded + observed server-side
+};
+
+enum class MsgType : std::uint8_t {
+  kOpen = 1,
+  kFeedNorm = 2,
+  kFeedResidual = 3,
+  kFeedCan = 4,
+  kQuery = 5,
+  kSnapshot = 6,
+  kRestore = 7,
+  kClose = 8,
+  kPing = 9,
+  kShutdown = 10,
+  kOpened = 64,
+  kVerdicts = 65,
+  kAlarms = 66,
+  kSnapshotData = 67,
+  kRestored = 68,
+  kClosed = 69,
+  kPong = 70,
+  kError = 127,
+};
+
+const char* msg_type_name(MsgType type);
+
+/// One decoded message: the union of all body fields, tagged by `type`
+/// (unused fields stay at their defaults — the codec only reads/writes the
+/// fields its type defines, see the header comment).
+struct Message {
+  MsgType type = MsgType::kPing;
+  std::uint8_t mode = 0;                ///< kOpen (FeedMode)
+  std::string scenario;                 ///< kOpen
+  std::uint64_t sid = 0;                ///< session-addressed messages
+  std::uint32_t dim = 0;                ///< kFeedResidual: residual dimension
+  std::vector<double> samples;          ///< kFeedNorm / kFeedResidual
+  std::vector<can::CanFrame> frames;    ///< kFeedCan
+  std::uint32_t n_detectors = 0;        ///< kOpened / kRestored
+  std::vector<std::uint64_t> masks;     ///< kVerdicts
+  std::uint64_t steps_fed = 0;          ///< kAlarms
+  std::vector<std::optional<std::uint64_t>> first_alarms;  ///< kAlarms
+  std::string blob;                     ///< kSnapshotData / kRestore / kError
+};
+
+/// Encodes `msg` as one complete frame (length prefix included).
+/// Throws util::InvalidArgument when the body would exceed kMaxFrameBytes.
+std::string encode_frame(const Message& msg);
+
+/// Decodes one deframed body (type byte + payload, no length prefix).
+/// Throws util::InvalidArgument on unknown types, truncated or oversized
+/// bodies, trailing bytes, or non-finite sample values.
+Message decode_body(const std::string& body);
+
+/// Incremental deframer: append() raw socket bytes, next() pops complete
+/// bodies (type + payload) in arrival order.  Throws util::InvalidArgument
+/// the moment a frame header announces more than kMaxFrameBytes — the
+/// caller must drop the connection, the stream cannot be resynchronized.
+class FrameReader {
+ public:
+  void append(const char* data, std::size_t len);
+  std::optional<std::string> next();
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // compacted lazily
+};
+
+}  // namespace cpsguard::serve

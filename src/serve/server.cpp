@@ -1,0 +1,375 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/service.hpp"
+#include "serve/protocol.hpp"
+#include "util/logging.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::serve {
+
+using util::require;
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  require(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+          "serve: fcntl(O_NONBLOCK) failed");
+}
+
+int make_unix_listener(const std::string& path) {
+  require(path.size() < sizeof(sockaddr_un{}.sun_path),
+          "serve: unix socket path too long");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  require(fd >= 0, "serve: socket(AF_UNIX) failed");
+  ::unlink(path.c_str());  // stale socket from a killed server
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 128) != 0) {
+    ::close(fd);
+    throw util::InvalidArgument("serve: cannot bind unix socket " + path);
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+int make_tcp_listener(std::uint16_t port, std::uint16_t& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(fd >= 0, "serve: socket(AF_INET) failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 128) != 0) {
+    ::close(fd);
+    throw util::InvalidArgument("serve: cannot bind loopback TCP port " +
+                                std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port = ntohs(bound.sin_port);
+  set_nonblocking(fd);
+  return fd;
+}
+
+}  // namespace
+
+struct Server::Connection {
+  int fd = -1;
+  FrameReader reader;
+  std::string outbuf;
+  std::size_t outoff = 0;
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), table_(options_.table) {
+  require(!options_.unix_path.empty() || options_.tcp,
+          "serve: enable a unix socket or TCP listener");
+  if (!options_.unix_path.empty())
+    unix_listener_ = make_unix_listener(options_.unix_path);
+  if (options_.tcp)
+    tcp_listener_ = make_tcp_listener(options_.tcp_port, bound_tcp_port_);
+  require(::pipe(wake_pipe_) == 0, "serve: pipe() failed");
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+}
+
+Server::~Server() {
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  if (unix_listener_ >= 0) ::close(unix_listener_);
+  if (tcp_listener_ >= 0) ::close(tcp_listener_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+void Server::stop() {
+  running_.store(false, std::memory_order_relaxed);
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+std::shared_ptr<const detect::SessionBlueprint> Server::blueprint_for(
+    const std::string& name) {
+  const auto it = blueprints_.find(name);
+  if (it != blueprints_.end()) return it->second;
+  const scenario::ScenarioSpec& spec = scenario::Registry::instance().at(name);
+  auto blueprint = scenario::make_session_blueprint(spec);
+  blueprints_.emplace(name, blueprint);
+  loops_.emplace(name, spec.study.loop);
+  CPSG_INFO("serve") << "realized blueprint '" << name << "' ("
+                     << blueprint->size() << " detectors)";
+  return blueprint;
+}
+
+ServedSession Server::open_session(FeedMode mode, const std::string& name) {
+  auto blueprint = blueprint_for(name);
+  ServedSession served{detect::Session(blueprint), mode, nullptr};
+  if (mode == FeedMode::kNorm)
+    require(blueprint->single_norm(),
+            "serve: scenario '" + name +
+                "' mixes norms; open it in residual or can mode");
+  if (mode == FeedMode::kCan) {
+    const scenario::ScenarioSpec& spec = scenario::Registry::instance().at(name);
+    std::vector<can::SensorMessageBinding> bindings =
+        can_bindings_for_study(spec.study.name);
+    require(!bindings.empty(), "serve: study '" + spec.study.name +
+                                   "' has no CAN sensor bindings");
+    served.ingest = std::make_unique<CanIngest>(loops_.at(name),
+                                                std::move(bindings));
+  }
+  return served;
+}
+
+ServedSession Server::restore_session(const std::string& blob) {
+  const ServeSnapshot snap = parse_serve_snapshot(blob);
+  const std::string name = detect::Session::snapshot_scenario(snap.session);
+  auto blueprint = blueprint_for(name);
+  ServedSession served{detect::Session::restore(blueprint, snap.session),
+                       snap.mode, nullptr};
+  if (snap.mode == FeedMode::kCan) {
+    const scenario::ScenarioSpec& spec = scenario::Registry::instance().at(name);
+    served.ingest = std::make_unique<CanIngest>(
+        loops_.at(name), can_bindings_for_study(spec.study.name));
+    util::ByteReader state(snap.ingest_state);
+    served.ingest->load_state(state);
+    state.expect_done("serve: ingest state");
+  }
+  return served;
+}
+
+Message Server::handle(const Message& req) {
+  Message reply;
+  switch (req.type) {
+    case MsgType::kPing:
+    case MsgType::kShutdown:
+      reply.type = MsgType::kPong;
+      return reply;
+    case MsgType::kOpen: {
+      ServedSession served =
+          open_session(static_cast<FeedMode>(req.mode), req.scenario);
+      reply.n_detectors = static_cast<std::uint32_t>(served.session.size());
+      reply.sid = table_.insert(std::move(served));
+      reply.type = MsgType::kOpened;
+      return reply;
+    }
+    case MsgType::kRestore: {
+      ServedSession served = restore_session(req.blob);
+      reply.n_detectors = static_cast<std::uint32_t>(served.session.size());
+      reply.sid = table_.insert(std::move(served));
+      reply.type = MsgType::kRestored;
+      return reply;
+    }
+    case MsgType::kClose:
+      require(table_.erase(req.sid), "serve: unknown session");
+      reply.type = MsgType::kClosed;
+      reply.sid = req.sid;
+      return reply;
+    default:
+      break;
+  }
+
+  // Session-addressed requests.  Exceptions inside the callback (mode
+  // mismatch, hostile frames) unwind through with() — the shard lock is a
+  // std::lock_guard, so the table stays consistent and the error reaches
+  // the client as kError.
+  reply.sid = req.sid;
+  const bool found = table_.with(req.sid, [&](ServedSession& s) {
+    switch (req.type) {
+      case MsgType::kFeedNorm: {
+        require(s.mode == FeedMode::kNorm, "serve: session is not norm-fed");
+        reply.type = MsgType::kVerdicts;
+        reply.masks.reserve(req.samples.size());
+        for (const double norm : req.samples)
+          reply.masks.push_back(s.session.feed_norm(norm).new_alarms);
+        break;
+      }
+      case MsgType::kFeedResidual: {
+        require(s.mode == FeedMode::kResidual,
+                "serve: session is not residual-fed");
+        reply.type = MsgType::kVerdicts;
+        linalg::Vector z(req.dim);
+        const std::size_t count = req.samples.size() / req.dim;
+        reply.masks.reserve(count);
+        for (std::size_t k = 0; k < count; ++k) {
+          for (std::size_t i = 0; i < req.dim; ++i)
+            z[i] = req.samples[k * req.dim + i];
+          reply.masks.push_back(s.session.feed(z).new_alarms);
+        }
+        break;
+      }
+      case MsgType::kFeedCan: {
+        require(s.mode == FeedMode::kCan, "serve: session is not CAN-fed");
+        require(s.ingest != nullptr, "serve: session has no CAN ingest");
+        const std::size_t mpi = s.ingest->messages_per_instant();
+        require(mpi > 0 && req.frames.size() % mpi == 0,
+                "serve: kFeedCan frame count not a whole number of instants");
+        reply.type = MsgType::kVerdicts;
+        reply.masks.reserve(req.frames.size() / mpi);
+        for (std::size_t k = 0; k * mpi < req.frames.size(); ++k) {
+          const linalg::Vector& z =
+              s.ingest->ingest(req.frames.data() + k * mpi, mpi);
+          reply.masks.push_back(s.session.feed(z).new_alarms);
+        }
+        break;
+      }
+      case MsgType::kQuery: {
+        reply.type = MsgType::kAlarms;
+        reply.steps_fed = s.session.steps_fed();
+        reply.first_alarms.assign(s.session.first_alarms().begin(),
+                                  s.session.first_alarms().end());
+        break;
+      }
+      case MsgType::kSnapshot:
+        reply.type = MsgType::kSnapshotData;
+        reply.blob = s.snapshot();
+        break;
+      default:
+        throw util::InvalidArgument(
+            std::string("serve: unexpected client message ") +
+            msg_type_name(req.type));
+    }
+  });
+  require(found, "serve: unknown session");
+  return reply;
+}
+
+void Server::accept_clients(int listener) {
+  while (true) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: nothing more to accept
+    set_nonblocking(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    connections_.emplace(fd, std::move(conn));
+  }
+}
+
+bool Server::flush_writes(Connection& conn) {
+  while (conn.outoff < conn.outbuf.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.outoff,
+               conn.outbuf.size() - conn.outoff, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outoff += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;  // peer gone
+  }
+  conn.outbuf.clear();
+  conn.outoff = 0;
+  return true;
+}
+
+bool Server::service_readable(Connection& conn) {
+  char buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.reader.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // orderly close
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;
+  }
+  try {
+    while (const std::optional<std::string> body = conn.reader.next()) {
+      Message reply;
+      bool shutdown = false;
+      try {
+        const Message req = decode_body(*body);
+        shutdown = req.type == MsgType::kShutdown;
+        reply = handle(req);
+      } catch (const std::exception& err) {
+        // Per-request failure: session state is unchanged, the framing is
+        // intact, so the connection stays usable.
+        reply.type = MsgType::kError;
+        reply.blob = err.what();
+      }
+      conn.outbuf += encode_frame(reply);
+      if (shutdown) {
+        CPSG_INFO("serve") << "shutdown requested by client";
+        running_.store(false, std::memory_order_relaxed);
+      }
+    }
+  } catch (const std::exception& err) {
+    // Deframing failure (oversized announcement): the stream cannot be
+    // resynchronized — drop the connection.
+    CPSG_WARN("serve") << "dropping connection: " << err.what();
+    return false;
+  }
+  return flush_writes(conn);
+}
+
+void Server::run() {
+  running_.store(true, std::memory_order_relaxed);
+  while (running_.load(std::memory_order_relaxed)) {
+    std::vector<pollfd> fds;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    if (unix_listener_ >= 0) fds.push_back({unix_listener_, POLLIN, 0});
+    if (tcp_listener_ >= 0) fds.push_back({tcp_listener_, POLLIN, 0});
+    const std::size_t first_client = fds.size();
+    for (const auto& [fd, conn] : connections_)
+      fds.push_back({fd, static_cast<short>(
+                             POLLIN | (conn->outbuf.empty() ? 0 : POLLOUT)),
+                     0});
+
+    const int ready = ::poll(fds.data(), fds.size(), options_.tick_millis);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      table_.tick();  // idle: advance the TTL clock
+      continue;
+    }
+
+    if (fds[0].revents != 0) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {}
+    }
+    for (std::size_t i = 1; i < first_client; ++i)
+      if (fds[i].revents != 0) accept_clients(fds[i].fd);
+
+    std::vector<int> dead;
+    for (std::size_t i = first_client; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      Connection& conn = *connections_.at(fds[i].fd);
+      bool alive = true;
+      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
+      if (alive && (fds[i].revents & POLLOUT)) alive = flush_writes(conn);
+      if (alive && (fds[i].revents & POLLIN)) alive = service_readable(conn);
+      if (!alive) dead.push_back(fds[i].fd);
+    }
+    for (const int fd : dead) {
+      ::close(fd);
+      connections_.erase(fd);
+    }
+  }
+  // Best-effort flush of pending replies (the kPong answering kShutdown).
+  for (auto& [fd, conn] : connections_) flush_writes(*conn);
+}
+
+}  // namespace cpsguard::serve

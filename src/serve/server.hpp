@@ -1,0 +1,83 @@
+// server.hpp — the cpsguard_serve ingestion server.
+//
+// A single-threaded poll() loop multiplexing any number of client
+// connections over a unix-domain socket (tests, same-host deployments)
+// and/or a loopback TCP listener.  Each connection speaks the length-framed
+// protocol of serve/protocol.hpp; sessions live in the shared SessionTable
+// and are addressed by id, so one connection can drive thousands of
+// sessions and a session survives its creator's disconnect (until evicted,
+// expired or closed).
+//
+// Blueprints are realized once per scenario name on first open (calibration
+// and synthesis cost), cached, and shared by every session of that
+// scenario; the per-open cost is cloning the detector instances.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "serve/session_table.hpp"
+
+namespace cpsguard::serve {
+
+struct ServerOptions {
+  std::string unix_path;        ///< empty = no unix listener
+  bool tcp = false;             ///< enable the loopback TCP listener
+  std::uint16_t tcp_port = 0;   ///< 0 = ephemeral (read back via tcp_port())
+  SessionTable::Options table;
+  /// Idle poll granularity; each expiry advances the table's TTL clock one
+  /// tick, so ttl_ticks * this is the session idle timeout.
+  int tick_millis = 1000;
+};
+
+class Server {
+ public:
+  /// Binds the configured listeners (throws util::InvalidArgument when
+  /// neither is enabled or a bind fails).  Serving starts with run().
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The TCP listener's bound port (0 when TCP is disabled).
+  std::uint16_t tcp_port() const { return bound_tcp_port_; }
+
+  /// Serves until stop() or a kShutdown frame.  Call from one thread.
+  void run();
+
+  /// Signals run() to return; safe from any thread / signal context.
+  void stop();
+
+  SessionTable& table() { return table_; }
+
+ private:
+  struct Connection;
+
+  std::shared_ptr<const detect::SessionBlueprint> blueprint_for(
+      const std::string& scenario);
+  ServedSession open_session(FeedMode mode, const std::string& scenario);
+  ServedSession restore_session(const std::string& blob);
+  Message handle(const Message& request);
+
+  void accept_clients(int listener);
+  bool service_readable(Connection& conn);  // false = drop connection
+  bool flush_writes(Connection& conn);
+
+  ServerOptions options_;
+  SessionTable table_;
+  int unix_listener_ = -1;
+  int tcp_listener_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t bound_tcp_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  std::map<std::string, std::shared_ptr<const detect::SessionBlueprint>>
+      blueprints_;
+  std::map<std::string, control::LoopConfig> loops_;  // for CAN observers
+};
+
+}  // namespace cpsguard::serve

@@ -1,0 +1,123 @@
+#include "serve/session_table.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace cpsguard::serve {
+
+using util::require;
+
+std::string ServedSession::snapshot() const {
+  util::ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(mode));
+  out.str(session.snapshot());
+  if (ingest) {
+    util::ByteWriter state;
+    ingest->save_state(state);
+    out.str(state.take());
+  }
+  return util::frame_with_digest(out.take());
+}
+
+ServeSnapshot parse_serve_snapshot(const std::string& blob) {
+  const std::string payload = util::unframe_with_digest(blob, "serve snapshot");
+  util::ByteReader in(payload);
+  ServeSnapshot snap;
+  const std::uint8_t mode = in.u8();
+  require(mode <= static_cast<std::uint8_t>(FeedMode::kCan),
+          "serve snapshot: unknown feed mode");
+  snap.mode = static_cast<FeedMode>(mode);
+  snap.session = in.str();
+  if (snap.mode == FeedMode::kCan) snap.ingest_state = in.str();
+  in.expect_done("serve snapshot");
+  return snap;
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SessionTable::SessionTable() : SessionTable(Options()) {}
+
+SessionTable::SessionTable(Options options) {
+  require(options.shards > 0 && options.max_sessions > 0,
+          "SessionTable: shards and max_sessions must be positive");
+  const std::size_t shards = round_up_pow2(options.shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  shard_bits_ = 0;
+  while ((std::size_t{1} << shard_bits_) < shards) ++shard_bits_;
+  per_shard_cap_ = std::max<std::size_t>(1, options.max_sessions / shards);
+  ttl_ticks_ = options.ttl_ticks;
+}
+
+std::uint64_t SessionTable::insert(ServedSession session) {
+  const std::size_t index =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) & (shards_.size() - 1);
+  Shard& shard = *shards_[index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.entries.size() >= per_shard_cap_) {
+    // Full: shed the shard's least-recently-used session.
+    const std::uint64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.entries.erase(victim);
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::uint64_t sid = (shard.next_serial++ << shard_bits_) | index;
+  shard.lru.push_front(sid);
+  Entry entry{std::move(session), shard.lru.begin(),
+              now_.load(std::memory_order_relaxed)};
+  shard.entries.emplace(sid, std::move(entry));
+  return sid;
+}
+
+bool SessionTable::erase(std::uint64_t sid) {
+  Shard& shard = shard_of(sid);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(sid);
+  if (it == shard.entries.end()) return false;
+  shard.lru.erase(it->second.lru_pos);
+  shard.entries.erase(it);
+  return true;
+}
+
+std::size_t SessionTable::tick() {
+  const std::uint64_t now = now_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (ttl_ticks_ == 0) return 0;
+  std::size_t removed = 0;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // LRU order means the stalest sessions sit at the back; stop at the
+    // first survivor.
+    while (!shard.lru.empty()) {
+      const std::uint64_t sid = shard.lru.back();
+      const auto it = shard.entries.find(sid);
+      if (now - it->second.last_tick <= ttl_ticks_) break;
+      shard.lru.pop_back();
+      shard.entries.erase(it);
+      ++removed;
+    }
+  }
+  expired_.fetch_add(removed, std::memory_order_relaxed);
+  return removed;
+}
+
+std::size_t SessionTable::size() const {
+  std::size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    total += shard_ptr->entries.size();
+  }
+  return total;
+}
+
+}  // namespace cpsguard::serve

@@ -1,0 +1,121 @@
+// session_table.hpp — the server's sharded registry of live sessions.
+//
+// One detection service multiplexes tens of thousands of concurrently-fed
+// sessions; the table is the only shared mutable structure, so it is lock-
+// striped: sessions hash to one of `shards` independently-locked shards
+// (the shard index lives in the low bits of the session id, so a session's
+// shard never has to be computed twice).  Capacity is bounded per shard —
+// inserting into a full shard evicts its least-recently-used session — and
+// an optional TTL clock (tick(), driven by the server's idle loop) expires
+// sessions no feed has touched for `ttl_ticks` ticks.  Both bounds exist
+// so a service pointed at by misbehaving clients degrades by shedding the
+// stalest state instead of growing without limit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/session.hpp"
+#include "serve/ingest.hpp"
+#include "serve/protocol.hpp"
+
+namespace cpsguard::serve {
+
+/// One served session: the detector state plus its feed mode and (for CAN
+/// sessions) the server-side ingest front end.
+struct ServedSession {
+  detect::Session session;
+  FeedMode mode = FeedMode::kNorm;
+  std::unique_ptr<CanIngest> ingest;  // CAN mode only
+
+  /// Integrity-framed serve snapshot: feed mode + session snapshot +
+  /// ingest state, the payload of kSnapshotData.
+  std::string snapshot() const;
+};
+
+/// Decoded serve snapshot (the inverse of ServedSession::snapshot): the
+/// feed mode, the detect::Session snapshot and (CAN mode) the ingest state.
+struct ServeSnapshot {
+  FeedMode mode = FeedMode::kNorm;
+  std::string session;
+  std::string ingest_state;
+};
+
+/// Unframes and splits a kSnapshotData blob.  Throws util::InvalidArgument
+/// on corruption (digest mismatch, unknown mode, trailing bytes).
+ServeSnapshot parse_serve_snapshot(const std::string& blob);
+
+class SessionTable {
+ public:
+  struct Options {
+    std::size_t shards = 8;          ///< rounded up to a power of two
+    std::size_t max_sessions = 65536;  ///< global cap, split across shards
+    std::uint64_t ttl_ticks = 0;     ///< 0 = never expire
+  };
+
+  SessionTable();  // default Options
+  explicit SessionTable(Options options);
+
+  /// Stores a session, evicting the shard's LRU entry when full.
+  /// Returns the new session id (never 0; ids are not reused).
+  std::uint64_t insert(ServedSession session);
+
+  /// Runs `fn(ServedSession&)` under the owning shard's lock, refreshing
+  /// the entry's LRU position and TTL stamp.  Returns false (without
+  /// calling fn) when the id is unknown — closed, evicted or expired.
+  template <class Fn>
+  bool with(std::uint64_t sid, Fn&& fn) {
+    Shard& shard = shard_of(sid);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(sid);
+    if (it == shard.entries.end()) return false;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    it->second.last_tick = now_.load(std::memory_order_relaxed);
+    fn(it->second.session);
+    return true;
+  }
+
+  /// Removes a session; false when unknown.
+  bool erase(std::uint64_t sid);
+
+  /// Advances the TTL clock one tick and expires overdue sessions across
+  /// all shards.  Returns the number expired.
+  std::size_t tick();
+
+  std::size_t size() const;
+  std::uint64_t evicted() const { return evicted_.load(std::memory_order_relaxed); }
+  std::uint64_t expired() const { return expired_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    ServedSession session;
+    std::list<std::uint64_t>::iterator lru_pos;
+    std::uint64_t last_tick = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, Entry> entries;
+    std::list<std::uint64_t> lru;  // front = most recently used
+    std::uint64_t next_serial = 1;
+  };
+
+  Shard& shard_of(std::uint64_t sid) {
+    return *shards_[sid & (shards_.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_bits_ = 0;
+  std::size_t per_shard_cap_ = 0;
+  std::uint64_t ttl_ticks_ = 0;
+  std::atomic<std::uint64_t> now_{0};
+  std::atomic<std::uint64_t> next_shard_{0};  // round-robin insert target
+  std::atomic<std::uint64_t> evicted_{0};
+  std::atomic<std::uint64_t> expired_{0};
+};
+
+}  // namespace cpsguard::serve

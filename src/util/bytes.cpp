@@ -1,0 +1,107 @@
+#include "util/bytes.hpp"
+
+#include <cstring>
+
+#include "util/hash.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::util {
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(const std::string& s) {
+  require(s.size() <= 0xFFFFFFFFULL, "ByteWriter: string too long for u32 prefix");
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s);
+}
+
+void ByteWriter::raw(const void* data, std::size_t len) {
+  out_.append(static_cast<const char*>(data), len);
+}
+
+const unsigned char* ByteReader::need(std::size_t count) {
+  require(count <= len_ - pos_, "ByteReader: truncated input");
+  const unsigned char* at = data_ + pos_;
+  pos_ += count;
+  return at;
+}
+
+std::uint8_t ByteReader::u8() { return *need(1); }
+
+std::uint32_t ByteReader::u32() {
+  const unsigned char* at = need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(at[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const unsigned char* at = need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(at[i]) << (8 * i);
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t len = u32();
+  const unsigned char* at = need(len);
+  return std::string(reinterpret_cast<const char*>(at), len);
+}
+
+void ByteReader::raw(void* out, std::size_t len) {
+  std::memcpy(out, need(len), len);
+}
+
+void ByteReader::expect_done(const char* what) const {
+  require(done(), std::string(what) + ": trailing bytes after payload");
+}
+
+namespace {
+constexpr char kDigestPrefix[] = "sha256:";
+constexpr std::size_t kPrefixLen = 7;
+constexpr std::size_t kDigestLen = 64;  // hex sha256
+}  // namespace
+
+std::string frame_with_digest(const std::string& payload) {
+  std::string framed;
+  framed.reserve(kPrefixLen + kDigestLen + 1 + payload.size());
+  framed.append(kDigestPrefix);
+  framed.append(sha256_hex(payload));
+  framed.push_back('\n');
+  framed.append(payload);
+  return framed;
+}
+
+std::string unframe_with_digest(const std::string& framed, const char* what) {
+  require(framed.size() >= kPrefixLen + kDigestLen + 1 &&
+              framed.compare(0, kPrefixLen, kDigestPrefix) == 0 &&
+              framed[kPrefixLen + kDigestLen] == '\n',
+          std::string(what) + ": missing integrity framing");
+  const std::string digest = framed.substr(kPrefixLen, kDigestLen);
+  std::string payload = framed.substr(kPrefixLen + kDigestLen + 1);
+  require(sha256_hex(payload) == digest,
+          std::string(what) + ": integrity digest mismatch (corrupt bytes)");
+  return payload;
+}
+
+}  // namespace cpsguard::util

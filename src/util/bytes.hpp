@@ -1,0 +1,88 @@
+// bytes.hpp — bounds-checked little-endian byte serialization.
+//
+// The service layer persists detector state (detect::Session snapshots) and
+// speaks a length-framed wire protocol (serve/protocol.hpp); both need one
+// portable, allocation-light encoding of integers, IEEE-754 doubles and
+// length-prefixed strings.  ByteWriter appends to a std::string (the same
+// currency the socket layer and the sha256 framing use), ByteReader walks a
+// borrowed buffer and throws util::InvalidArgument on any truncation or
+// overrun — hostile input must never read out of bounds or crash.
+//
+// Encoding rules (version-stable, shared by snapshots and the wire):
+//  * all integers little-endian, fixed width (u8/u32/u64);
+//  * doubles as their IEEE-754 bit pattern in a little-endian u64 — the
+//    round trip is bit-exact, which the snapshot/restore bit-identity
+//    contract depends on;
+//  * strings/blobs length-prefixed with a u32.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cpsguard::util {
+
+/// Appends little-endian primitives to an owned byte string.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// IEEE-754 bit pattern as a little-endian u64 (bit-exact round trip).
+  void f64(double v);
+  /// u32 length prefix + raw bytes.
+  void str(const std::string& s);
+  /// Raw bytes, no prefix (caller carries the length elsewhere).
+  void raw(const void* data, std::size_t len);
+
+  const std::string& bytes() const { return out_; }
+  std::string take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// Walks a borrowed buffer; every read is bounds-checked and throws
+/// util::InvalidArgument past the end.  The buffer must outlive the reader.
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t len)
+      : data_(static_cast<const unsigned char*>(data)), len_(len) {}
+  explicit ByteReader(const std::string& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  /// Reads a u32 length prefix, then that many bytes.
+  std::string str();
+  /// Reads `len` raw bytes into `out`.
+  void raw(void* out, std::size_t len);
+
+  std::size_t remaining() const { return len_ - pos_; }
+  bool done() const { return pos_ == len_; }
+  /// Throws unless the whole buffer was consumed — decoders call this so
+  /// trailing garbage is rejected, not silently ignored.
+  void expect_done(const char* what) const;
+
+ private:
+  const unsigned char* need(std::size_t count);
+
+  const unsigned char* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+/// Wraps `payload` in the library's integrity framing — the format PR 6's
+/// content-addressed cache established: "sha256:" + 64 hex chars + '\n' +
+/// payload.  Snapshot files and wire-carried snapshots reuse it so every
+/// durable artifact self-verifies the same way.
+std::string frame_with_digest(const std::string& payload);
+
+/// Inverse of frame_with_digest: verifies the digest and returns the
+/// payload.  Throws util::InvalidArgument on bad framing or a digest
+/// mismatch (`what` names the artifact in the error message).
+std::string unframe_with_digest(const std::string& framed, const char* what);
+
+}  // namespace cpsguard::util

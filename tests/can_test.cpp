@@ -402,6 +402,109 @@ TEST(Transport, ReplayMitmShiftsMeasurements) {
   EXPECT_NEAR(replayed.y[0][0], honest.y[0][0], 1e-12);
 }
 
+// ---------------------------------------------------------------------------
+// Hostile input: malformed and truncated frames at the codec edge
+
+TEST(HostileInput, EncodeRejectsNonFiniteValues) {
+  const SignalSpec s = basic_spec(ByteOrder::kLittleEndian, true, 0, 16, 1e-4);
+  EXPECT_THROW(s.encode(std::numeric_limits<double>::quiet_NaN()),
+               util::InvalidArgument);
+  // Infinities are clampable — they saturate like any out-of-range value.
+  EXPECT_EQ(s.encode(std::numeric_limits<double>::infinity()),
+            s.encode(s.effective_max()));
+  EXPECT_EQ(s.encode(-std::numeric_limits<double>::infinity()),
+            s.encode(s.effective_min()));
+}
+
+TEST(HostileInput, UnpackRejectsMismatchedFrames) {
+  const SensorMessageBinding binding = models::vsc_yaw_rate_binding();
+  const MessageSpec& spec = binding.message;
+  const CanFrame good = spec.pack(std::vector<double>(spec.signals.size(), 0.0));
+
+  CanFrame wrong_id = good;
+  wrong_id.id = good.id + 1;
+  EXPECT_THROW(spec.unpack(wrong_id), util::InvalidArgument);
+
+  CanFrame wrong_format = good;
+  wrong_format.extended = !good.extended;
+  EXPECT_THROW(spec.unpack(wrong_format), util::InvalidArgument);
+
+  // Truncated payload: a frame shorter than the message's dlc must be
+  // refused, not read past its payload.
+  CanFrame truncated = good;
+  truncated.dlc = 0;
+  truncated.data = {};
+  EXPECT_THROW(spec.unpack(truncated), util::InvalidArgument);
+}
+
+TEST(HostileInput, FrameValidationCatchesCorruptHeaders) {
+  CanFrame f;
+  f.id = kMaxBaseId + 1;  // base-format id overflow
+  EXPECT_THROW(f.validate(), util::InvalidArgument);
+  f.id = 0x100;
+  f.dlc = 9;  // dlc beyond classic CAN
+  EXPECT_THROW(f.validate(), util::InvalidArgument);
+  f.dlc = 2;
+  f.data = {1, 2, 3, 0, 0, 0, 0, 0};  // nonzero bytes past dlc
+  EXPECT_THROW(f.validate(), util::InvalidArgument);
+}
+
+TEST(HostileInput, GarbagePayloadsDecodeToBoundedFiniteValues) {
+  // Framing fuzz: any 8-byte payload on a valid header must decode without
+  // throwing, to finite physical values inside the signal's representable
+  // range — arbitrary bus garbage can never crash or poison the ingester
+  // with infinities.
+  const SensorMessageBinding binding = models::vsc_yaw_rate_binding();
+  const MessageSpec& spec = binding.message;
+  double lo = 0.0, hi = 0.0;
+  for (const SignalSpec& s : spec.signals) {
+    lo = std::min(lo, s.effective_min() - s.quantization_step());
+    hi = std::max(hi, s.effective_max() + s.quantization_step());
+  }
+  util::Rng rng = util::Rng::substream(99, 0);
+  for (int trial = 0; trial < 2000; ++trial) {
+    CanFrame frame;
+    frame.id = spec.id;
+    frame.extended = spec.extended;
+    frame.dlc = spec.dlc;
+    for (std::size_t b = 0; b < frame.dlc; ++b)
+      frame.data[b] =
+          static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+    const std::vector<double> values = spec.unpack(frame);
+    ASSERT_EQ(values.size(), spec.signals.size());
+    for (double v : values) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, lo);
+      EXPECT_LE(v, hi);
+    }
+  }
+}
+
+TEST(HostileInput, RandomRawsSurviveCodecRoundTripBothOrders) {
+  // insert/extract as a pair must be lossless for every start/length/order
+  // combination that validates — hostile bit windows either fail validate()
+  // or round-trip exactly; there is no third behaviour.
+  util::Rng rng = util::Rng::substream(17, 3);
+  for (int trial = 0; trial < 500; ++trial) {
+    SignalSpec s = basic_spec(
+        trial % 2 == 0 ? ByteOrder::kLittleEndian : ByteOrder::kBigEndian,
+        trial % 3 == 0,
+        static_cast<std::size_t>(rng.uniform(0.0, 64.0)),
+        1 + static_cast<std::size_t>(rng.uniform(0.0, 32.0)), 1.0);
+    try {
+      s.validate();
+    } catch (const util::InvalidArgument&) {
+      continue;  // rejected window: the defended outcome
+    }
+    const std::uint64_t raw =
+        static_cast<std::uint64_t>(rng.uniform(0.0, 1e18)) &
+        ((s.length == 64) ? ~0ULL : ((1ULL << s.length) - 1));
+    std::array<std::uint8_t, 8> data{};
+    insert_raw(data, s, raw);
+    EXPECT_EQ(extract_raw(data, s), raw);
+  }
+}
+
 TEST(Transport, BusReportCoversAllSensorTraffic) {
   const CanLoopTransport transport = models::make_vsc_transport();
   const BusReport report = transport.bus_report(50);

@@ -1,0 +1,592 @@
+// Tests for the serve stack: wire-protocol round trips and hostile-input
+// rejection, FrameReader reassembly, SessionTable LRU/TTL behaviour,
+// ResidualObserver / CanIngest bit-identity against recorded closed-loop
+// traces, serve-snapshot framing, and the end-to-end socket server
+// (unix + TCP) including error paths and restore.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "can/transport.hpp"
+#include "control/closed_loop.hpp"
+#include "control/noise.hpp"
+#include "detect/online.hpp"
+#include "detect/session.hpp"
+#include "models/vsc_can.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/service.hpp"
+#include "serve/client.hpp"
+#include "serve/ingest.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/session_table.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::serve {
+namespace {
+
+using control::Trace;
+using linalg::Vector;
+
+// ---- protocol --------------------------------------------------------------
+
+/// encode_frame → strip the length prefix → decode_body.
+Message roundtrip(const Message& msg) {
+  const std::string frame = encode_frame(msg);
+  FrameReader reader;
+  reader.append(frame.data(), frame.size());
+  const auto body = reader.next();
+  EXPECT_TRUE(body.has_value());
+  EXPECT_EQ(reader.buffered(), 0u);
+  return decode_body(*body);
+}
+
+TEST(Protocol, EncodeDecodeRoundTripsEveryType) {
+  Message open;
+  open.type = MsgType::kOpen;
+  open.mode = static_cast<std::uint8_t>(FeedMode::kCan);
+  open.scenario = "vsc/far";
+  Message out = roundtrip(open);
+  EXPECT_EQ(out.type, MsgType::kOpen);
+  EXPECT_EQ(out.mode, open.mode);
+  EXPECT_EQ(out.scenario, open.scenario);
+
+  Message feed;
+  feed.type = MsgType::kFeedNorm;
+  feed.sid = 0x1234567890ABCDEFULL;
+  feed.samples = {0.0, 1.5, 2.25};
+  out = roundtrip(feed);
+  EXPECT_EQ(out.sid, feed.sid);
+  EXPECT_EQ(out.samples, feed.samples);
+
+  Message residual;
+  residual.type = MsgType::kFeedResidual;
+  residual.sid = 7;
+  residual.dim = 2;
+  residual.samples = {1.0, 2.0, 3.0, 4.0};  // two instants of dim 2
+  out = roundtrip(residual);
+  EXPECT_EQ(out.dim, 2u);
+  EXPECT_EQ(out.samples, residual.samples);
+
+  Message can_feed;
+  can_feed.type = MsgType::kFeedCan;
+  can_feed.sid = 9;
+  can::CanFrame frame;
+  frame.id = 0x130;
+  frame.dlc = 8;
+  frame.data = {1, 2, 3, 4, 5, 6, 7, 8};
+  can_feed.frames = {frame};
+  out = roundtrip(can_feed);
+  ASSERT_EQ(out.frames.size(), 1u);
+  EXPECT_EQ(out.frames[0].id, 0x130u);
+  EXPECT_EQ(out.frames[0].data, frame.data);
+
+  Message alarms;
+  alarms.type = MsgType::kAlarms;
+  alarms.sid = 3;
+  alarms.steps_fed = 500;
+  alarms.first_alarms = {std::nullopt, 17, std::nullopt};
+  out = roundtrip(alarms);
+  EXPECT_EQ(out.steps_fed, 500u);
+  ASSERT_EQ(out.first_alarms.size(), 3u);
+  EXPECT_FALSE(out.first_alarms[0].has_value());
+  EXPECT_EQ(out.first_alarms[1], std::optional<std::uint64_t>(17));
+
+  Message verdicts;
+  verdicts.type = MsgType::kVerdicts;
+  verdicts.sid = 4;
+  verdicts.masks = {0, 5, ~0ULL};
+  EXPECT_EQ(roundtrip(verdicts).masks, verdicts.masks);
+
+  Message err;
+  err.type = MsgType::kError;
+  err.blob = "what went wrong";
+  EXPECT_EQ(roundtrip(err).blob, err.blob);
+
+  for (MsgType t : {MsgType::kPing, MsgType::kShutdown, MsgType::kPong})
+    EXPECT_EQ(roundtrip(Message{.type = t}).type, t);
+}
+
+TEST(Protocol, FrameReaderReassemblesArbitrarySplits) {
+  Message ping{.type = MsgType::kPing};
+  Message feed;
+  feed.type = MsgType::kFeedNorm;
+  feed.sid = 1;
+  feed.samples = {3.5};
+  const std::string stream = encode_frame(ping) + encode_frame(feed);
+
+  // Byte-by-byte delivery must produce exactly the two frames, in order.
+  FrameReader reader;
+  std::vector<Message> seen;
+  for (char c : stream) {
+    reader.append(&c, 1);
+    while (const auto body = reader.next()) seen.push_back(decode_body(*body));
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].type, MsgType::kPing);
+  EXPECT_EQ(seen[1].type, MsgType::kFeedNorm);
+  EXPECT_EQ(seen[1].samples, std::vector<double>{3.5});
+}
+
+TEST(Protocol, HostileFramesAreRejectedWithoutAllocation) {
+  // Length prefix beyond the cap: rejected before any buffering.
+  FrameReader reader;
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  reader.append(reinterpret_cast<const char*>(&huge), 4);
+  EXPECT_THROW(reader.next(), util::InvalidArgument);
+
+  // Zero-length frame has no type byte.
+  FrameReader empty_reader;
+  const std::uint32_t zero = 0;
+  empty_reader.append(reinterpret_cast<const char*>(&zero), 4);
+  EXPECT_THROW(empty_reader.next(), util::InvalidArgument);
+
+  // A count field claiming far more samples than the body carries must be
+  // rejected by the remaining-bytes guard, not by a giant resize.
+  util::ByteWriter lying;
+  lying.u8(static_cast<std::uint8_t>(MsgType::kFeedNorm));
+  lying.u64(1);
+  lying.u32(0x10000000);  // claims 256M samples in a near-empty body
+  EXPECT_THROW(decode_body(lying.take()), util::InvalidArgument);
+
+  // Same for CAN frame counts, residual matrices and alarm lists.
+  util::ByteWriter lying_can;
+  lying_can.u8(static_cast<std::uint8_t>(MsgType::kFeedCan));
+  lying_can.u64(1);
+  lying_can.u32(0xFFFFFF);
+  EXPECT_THROW(decode_body(lying_can.take()), util::InvalidArgument);
+
+  util::ByteWriter lying_res;
+  lying_res.u8(static_cast<std::uint8_t>(MsgType::kFeedResidual));
+  lying_res.u64(1);
+  lying_res.u32(0xFFFF);
+  lying_res.u32(0xFFFF);  // count * dim overflows the body many times over
+  EXPECT_THROW(decode_body(lying_res.take()), util::InvalidArgument);
+
+  // Non-finite samples never reach a detector.
+  util::ByteWriter nan_feed;
+  nan_feed.u8(static_cast<std::uint8_t>(MsgType::kFeedNorm));
+  nan_feed.u64(1);
+  nan_feed.u32(1);
+  nan_feed.f64(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(decode_body(nan_feed.take()), util::InvalidArgument);
+
+  // Unknown message type, unknown CAN frame flags, trailing garbage.
+  util::ByteWriter unknown;
+  unknown.u8(200);
+  EXPECT_THROW(decode_body(unknown.take()), util::InvalidArgument);
+
+  Message can_feed;
+  can_feed.type = MsgType::kFeedCan;
+  can_feed.sid = 1;
+  can::CanFrame frame;
+  frame.id = 0x10;
+  frame.dlc = 8;
+  can_feed.frames = {frame};
+  std::string encoded = encode_frame(can_feed);
+  encoded[4 + 1 + 8 + 4 + 4] = 0x7F;  // the flags byte of frame 0
+  FrameReader flag_reader;
+  flag_reader.append(encoded.data(), encoded.size());
+  EXPECT_THROW(decode_body(*flag_reader.next()), util::InvalidArgument);
+
+  std::string trailing = encode_frame(Message{.type = MsgType::kPing});
+  trailing.push_back('\0');
+  trailing[0] += 1;  // grow the announced length over the junk byte
+  FrameReader trail_reader;
+  trail_reader.append(trailing.data(), trailing.size());
+  EXPECT_THROW(decode_body(*trail_reader.next()), util::InvalidArgument);
+}
+
+// ---- session table ---------------------------------------------------------
+
+std::shared_ptr<const detect::SessionBlueprint> tiny_blueprint() {
+  std::vector<detect::DetectorFactory> factories;
+  factories.push_back([] {
+    return std::make_unique<detect::ThresholdOnline>(
+        detect::ThresholdVector::constant(4, 0.5), control::Norm::kInf);
+  });
+  return std::make_shared<const detect::SessionBlueprint>(
+      "tiny", std::vector<std::string>{"th"}, std::move(factories));
+}
+
+ServedSession make_served(const std::shared_ptr<const detect::SessionBlueprint>& bp) {
+  return ServedSession{detect::Session(bp), FeedMode::kNorm, nullptr};
+}
+
+TEST(SessionTable, InsertFeedEraseAndLruEviction) {
+  SessionTable::Options options;
+  options.shards = 1;
+  options.max_sessions = 3;
+  SessionTable table(options);
+  const auto bp = tiny_blueprint();
+
+  const std::uint64_t a = table.insert(make_served(bp));
+  const std::uint64_t b = table.insert(make_served(bp));
+  const std::uint64_t c = table.insert(make_served(bp));
+  EXPECT_EQ(table.size(), 3u);
+
+  // Touch `a` so `b` becomes the LRU victim of the next insert.
+  EXPECT_TRUE(table.with(a, [](ServedSession& s) { s.session.feed_norm(0.1); }));
+  const std::uint64_t d = table.insert(make_served(bp));
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.evicted(), 1u);
+  EXPECT_FALSE(table.with(b, [](ServedSession&) {}));
+  EXPECT_TRUE(table.with(a, [](ServedSession&) {}));
+  EXPECT_TRUE(table.with(c, [](ServedSession&) {}));
+  EXPECT_TRUE(table.with(d, [](ServedSession&) {}));
+
+  EXPECT_TRUE(table.erase(c));
+  EXPECT_FALSE(table.erase(c));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SessionTable, TtlExpiresUntouchedSessions) {
+  SessionTable::Options options;
+  options.shards = 2;
+  options.max_sessions = 16;
+  options.ttl_ticks = 2;
+  SessionTable table(options);
+  const auto bp = tiny_blueprint();
+
+  const std::uint64_t stale = table.insert(make_served(bp));
+  const std::uint64_t live = table.insert(make_served(bp));
+  EXPECT_EQ(table.tick(), 0u);
+  EXPECT_EQ(table.tick(), 0u);
+  // Refresh one session; the other crosses the TTL on the next tick.
+  EXPECT_TRUE(table.with(live, [](ServedSession&) {}));
+  EXPECT_EQ(table.tick(), 1u);
+  EXPECT_EQ(table.expired(), 1u);
+  EXPECT_FALSE(table.with(stale, [](ServedSession&) {}));
+  EXPECT_TRUE(table.with(live, [](ServedSession&) {}));
+}
+
+TEST(SessionTable, SessionIdsEncodeTheirShard) {
+  SessionTable table(SessionTable::Options{4, 64, 0});
+  const auto bp = tiny_blueprint();
+  // Round-robin inserts land on all four shards; every id must resolve.
+  std::vector<std::uint64_t> sids;
+  for (int i = 0; i < 8; ++i) sids.push_back(table.insert(make_served(bp)));
+  for (const std::uint64_t sid : sids)
+    EXPECT_TRUE(table.with(sid, [](ServedSession&) {}));
+  EXPECT_EQ(table.size(), 8u);
+}
+
+// ---- ingestion -------------------------------------------------------------
+
+TEST(ResidualObserver, BitIdenticalToClosedLoopResiduals) {
+  // Feeding the recorded measured outputs (noise and attack included) must
+  // reproduce the recorded residuals EXACTLY — the observer replicates the
+  // step kernel's accumulation order, not just its math.
+  const scenario::Registry& registry = scenario::Registry::instance();
+  for (const auto& name : registry.study_names()) {
+    const models::CaseStudy& cs = registry.study(name);
+    const control::ClosedLoop loop(cs.loop);
+    util::Rng rng = util::Rng::substream(11, 1);
+    const control::Signal noise =
+        control::bounded_uniform_signal(rng, cs.horizon, cs.noise_bounds);
+    const Trace tr = loop.simulate(cs.horizon, nullptr, nullptr, &noise);
+
+    ResidualObserver observer(cs.loop);
+    for (std::size_t k = 0; k < tr.y.size(); ++k) {
+      const Vector& z = observer.observe(tr.y[k]);
+      ASSERT_EQ(z.size(), tr.z[k].size());
+      for (std::size_t r = 0; r < z.size(); ++r)
+        EXPECT_EQ(z[r], tr.z[k][r]) << name << " step " << k << " row " << r;
+    }
+  }
+}
+
+TEST(ResidualObserver, StateRoundTripContinuesBitExactly) {
+  const models::CaseStudy& cs = scenario::Registry::instance().study("quickstart");
+  const control::ClosedLoop loop(cs.loop);
+  const Trace tr = loop.simulate(cs.horizon);
+
+  ResidualObserver direct(cs.loop);
+  ResidualObserver restored(cs.loop);
+  const std::size_t split = tr.y.size() / 2;
+  for (std::size_t k = 0; k < split; ++k) direct.observe(tr.y[k]);
+  util::ByteWriter out;
+  direct.save_state(out);
+  const std::string bytes = out.take();
+  util::ByteReader in(bytes);
+  restored.load_state(in);
+  for (std::size_t k = split; k < tr.y.size(); ++k) {
+    const Vector& a = direct.observe(tr.y[k]);
+    const Vector& b = restored.observe(tr.y[k]);
+    for (std::size_t r = 0; r < a.size(); ++r) EXPECT_EQ(a[r], b[r]);
+  }
+}
+
+TEST(CanIngest, BitIdenticalToCanLoopTransportUnderMitm) {
+  // Rebuild the exact frames the transport's controller unpacked (pack of
+  // the true output, rewritten by the same MITM) and push them through
+  // CanIngest: the residual stream must equal the transport trace's.
+  const models::CaseStudy& vsc = scenario::Registry::instance().study("vsc");
+  const auto bindings = models::vsc_sensor_bindings();
+  const can::CanLoopTransport transport(vsc.loop, bindings);
+  const can::SensorMessageBinding& yaw = bindings[0];
+  const can::Mitm mitm = can::additive_mitm(yaw, {0.2});
+  const std::size_t steps = vsc.horizon;
+  const Trace tr = transport.simulate(steps, &mitm);
+
+  const auto& sys = vsc.loop.plant;
+  CanIngest ingest(vsc.loop, bindings);
+  ASSERT_EQ(ingest.messages_per_instant(), bindings.size());
+  const can::Mitm replayed_mitm = can::additive_mitm(yaw, {0.2});
+  for (std::size_t k = 0; k < steps; ++k) {
+    const Vector y_true = sys.c * tr.x[k] + sys.d * tr.u[k];
+    std::vector<can::CanFrame> frames;
+    for (const auto& b : bindings) {
+      std::vector<double> phys(b.message.signals.size());
+      for (std::size_t i = 0; i < phys.size(); ++i)
+        phys[i] = y_true[b.output_indices[i]];
+      frames.push_back(replayed_mitm(b.message.pack(phys), k));
+    }
+    // Arrival order within an instant must not matter.
+    std::reverse(frames.begin(), frames.end());
+    const Vector& z = ingest.ingest(frames.data(), frames.size());
+    for (std::size_t r = 0; r < z.size(); ++r)
+      EXPECT_EQ(z[r], tr.z[k][r]) << "step " << k << " row " << r;
+  }
+}
+
+TEST(CanIngest, HostileFramesRejectedWithoutAdvancingState) {
+  const models::CaseStudy& vsc = scenario::Registry::instance().study("vsc");
+  const auto bindings = models::vsc_sensor_bindings();
+  CanIngest ingest(vsc.loop, bindings);
+  CanIngest reference(vsc.loop, bindings);
+
+  const auto instant_frames = [&](double v) {
+    std::vector<can::CanFrame> frames;
+    for (const auto& b : bindings)
+      frames.push_back(
+          b.message.pack(std::vector<double>(b.message.signals.size(), v)));
+    return frames;
+  };
+
+  std::vector<can::CanFrame> good = instant_frames(0.01);
+  ingest.ingest(good.data(), good.size());
+  reference.ingest(good.data(), good.size());
+
+  // Wrong frame count, unknown identifier, duplicate message, bad dlc:
+  // all throw, none advance the observer.
+  EXPECT_THROW(ingest.ingest(good.data(), good.size() - 1),
+               util::InvalidArgument);
+  std::vector<can::CanFrame> unknown = good;
+  unknown[0].id = 0x7FE;
+  EXPECT_THROW(ingest.ingest(unknown.data(), unknown.size()),
+               util::InvalidArgument);
+  std::vector<can::CanFrame> dup = good;
+  dup[1] = dup[0];
+  EXPECT_THROW(ingest.ingest(dup.data(), dup.size()), util::InvalidArgument);
+  std::vector<can::CanFrame> short_dlc = good;
+  short_dlc[0].dlc = 1;
+  EXPECT_THROW(ingest.ingest(short_dlc.data(), short_dlc.size()),
+               util::InvalidArgument);
+
+  // The next good instant must line up with an ingester that saw only good
+  // instants — failed calls left no partial state behind.
+  std::vector<can::CanFrame> next = instant_frames(0.02);
+  const Vector& z = ingest.ingest(next.data(), next.size());
+  const Vector& z_ref = reference.ingest(next.data(), next.size());
+  for (std::size_t r = 0; r < z.size(); ++r) EXPECT_EQ(z[r], z_ref[r]);
+}
+
+TEST(CanIngest, StudyBindingLookup) {
+  EXPECT_FALSE(can_bindings_for_study("vsc").empty());
+  EXPECT_TRUE(can_bindings_for_study("quickstart").empty());
+}
+
+// ---- serve snapshots -------------------------------------------------------
+
+TEST(ServeSnapshot, RoundTripAndCorruptionRejection) {
+  const auto bp = tiny_blueprint();
+  ServedSession served = make_served(bp);
+  served.session.feed_norm(0.9);
+  const std::string blob = served.snapshot();
+
+  const ServeSnapshot snap = parse_serve_snapshot(blob);
+  EXPECT_EQ(snap.mode, FeedMode::kNorm);
+  EXPECT_EQ(detect::Session::snapshot_scenario(snap.session), "tiny");
+  detect::Session resumed = detect::Session::restore(bp, snap.session);
+  EXPECT_EQ(resumed.steps_fed(), 1u);
+  EXPECT_EQ(resumed.first_alarms(), served.session.first_alarms());
+
+  std::string corrupt = blob;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  EXPECT_THROW(parse_serve_snapshot(corrupt), util::InvalidArgument);
+}
+
+// ---- end-to-end server -----------------------------------------------------
+
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerOptions options) : server_(std::move(options)) {
+    thread_ = std::thread([this] { server_.run(); });
+  }
+  ~ServerFixture() {
+    server_.stop();
+    if (thread_.joinable()) thread_.join();
+  }
+  Server& server() { return server_; }
+
+ private:
+  Server server_;
+  std::thread thread_;
+};
+
+TEST(Server, EndToEndOverUnixSocket) {
+  const std::string sock = "serve_test_e2e.sock";
+  std::remove(sock.c_str());
+  ServerOptions options;
+  options.unix_path = sock;
+  ServerFixture fixture(options);
+
+  Client client = Client::connect_unix(sock);
+  client.ping();
+
+  // Unknown scenario and unknown session surface as kError, and the
+  // connection survives to serve the next request.
+  EXPECT_THROW(client.open(FeedMode::kNorm, "no-such-scenario"),
+               util::InvalidArgument);
+  EXPECT_THROW(client.feed_norms(999, {0.1}), util::InvalidArgument);
+
+  const std::uint64_t sid = client.open(FeedMode::kNorm, "quickstart/far");
+  const scenario::ScenarioSpec& spec =
+      scenario::Registry::instance().at("quickstart/far");
+  const auto blueprint = scenario::make_session_blueprint(spec);
+
+  LoadOptions load;
+  load.samples = 40;
+  const std::vector<double> stream = session_stream(*blueprint, load, 0, 40);
+  std::uint64_t mask = 0;
+  for (const std::uint64_t m :
+       client.feed_norms(sid, std::vector<double>(stream.begin(),
+                                                  stream.begin() + 20)))
+    mask |= m;
+
+  // Snapshot mid-stream, keep feeding the original, then restore the
+  // snapshot as a SECOND live session and feed it the same tail: both must
+  // report identical alarms, equal to the offline replay.
+  const std::string snap = client.snapshot(sid);
+  const std::vector<double> tail(stream.begin() + 20, stream.end());
+  for (const std::uint64_t m : client.feed_norms(sid, tail)) mask |= m;
+  const std::uint64_t restored_sid = client.restore(snap);
+  EXPECT_NE(restored_sid, sid);
+  client.feed_norms(restored_sid, tail);
+
+  const Message direct = client.query(sid);
+  const Message resumed = client.query(restored_sid);
+  EXPECT_EQ(direct.steps_fed, 40u);
+  EXPECT_EQ(resumed.steps_fed, 40u);
+  EXPECT_EQ(direct.first_alarms, resumed.first_alarms);
+
+  const auto offline = offline_first_alarms(*blueprint, stream);
+  ASSERT_EQ(direct.first_alarms.size(), offline.size());
+  std::uint64_t offline_mask = 0;
+  for (std::size_t i = 0; i < offline.size(); ++i) {
+    EXPECT_EQ(direct.first_alarms[i].has_value(), offline[i].has_value());
+    if (offline[i]) {
+      EXPECT_EQ(*direct.first_alarms[i], static_cast<std::uint64_t>(*offline[i]));
+      if (i < 64) offline_mask |= 1ULL << i;
+    }
+  }
+  EXPECT_EQ(mask, offline_mask);
+
+  // Restoring a corrupted snapshot is an error; the session stays usable.
+  std::string corrupt = snap;
+  corrupt[corrupt.size() / 2] ^= 0x08;
+  EXPECT_THROW(client.restore(corrupt), util::InvalidArgument);
+  client.query(sid);
+
+  client.close_session(sid);
+  EXPECT_THROW(client.query(sid), util::InvalidArgument);
+  client.shutdown_server();
+}
+
+TEST(Server, CanModeSessionsDecodeFramesOverTcp) {
+  ServerOptions options;
+  options.tcp = true;
+  options.tcp_port = 0;  // ephemeral
+  ServerFixture fixture(options);
+  Client client = Client::connect_tcp(fixture.server().tcp_port());
+
+  // CAN mode needs study bindings: quickstart has none, the VSC does.
+  EXPECT_THROW(client.open(FeedMode::kCan, "quickstart/far"),
+               util::InvalidArgument);
+  const std::uint64_t sid = client.open(FeedMode::kCan, "vsc/far");
+
+  const models::CaseStudy& vsc = scenario::Registry::instance().study("vsc");
+  const auto bindings = models::vsc_sensor_bindings();
+  const can::CanLoopTransport transport(vsc.loop, bindings);
+  const Trace tr = transport.simulate(8);
+
+  // Feed the framed sensor traffic of 8 instants; verdicts come back one
+  // mask per instant and must match a local session fed the decoded
+  // residuals.
+  const auto& sys = vsc.loop.plant;
+  Message feed;
+  feed.type = MsgType::kFeedCan;
+  feed.sid = sid;
+  for (std::size_t k = 0; k < 8; ++k) {
+    const Vector y_true = sys.c * tr.x[k] + sys.d * tr.u[k];
+    for (const auto& b : bindings) {
+      std::vector<double> phys(b.message.signals.size());
+      for (std::size_t i = 0; i < phys.size(); ++i)
+        phys[i] = y_true[b.output_indices[i]];
+      feed.frames.push_back(b.message.pack(phys));
+    }
+  }
+  const Message verdicts = client.expect(feed, MsgType::kVerdicts);
+  EXPECT_EQ(verdicts.masks.size(), 8u);
+
+  const scenario::ScenarioSpec& spec =
+      scenario::Registry::instance().at("vsc/far");
+  detect::Session local = scenario::make_session(spec);
+  for (std::size_t k = 0; k < 8; ++k) local.feed(tr.z[k]);
+  const Message alarms = client.query(sid);
+  EXPECT_EQ(alarms.steps_fed, 8u);
+  ASSERT_EQ(alarms.first_alarms.size(), local.first_alarms().size());
+  for (std::size_t i = 0; i < local.first_alarms().size(); ++i) {
+    EXPECT_EQ(alarms.first_alarms[i].has_value(),
+              local.first_alarms()[i].has_value());
+    if (local.first_alarms()[i])
+      EXPECT_EQ(*alarms.first_alarms[i],
+                static_cast<std::uint64_t>(*local.first_alarms()[i]));
+  }
+
+  // A partial instant (frames not a multiple of messages_per_instant) is an
+  // error and feeds nothing.
+  Message partial;
+  partial.type = MsgType::kFeedCan;
+  partial.sid = sid;
+  partial.frames = {feed.frames[0]};
+  EXPECT_THROW(client.expect(partial, MsgType::kVerdicts),
+               util::InvalidArgument);
+  EXPECT_EQ(client.query(sid).steps_fed, 8u);
+  client.shutdown_server();
+}
+
+TEST(Server, LocalLoadSoakMatchesOfflineReplay) {
+  // The in-process soak path (what the throughput bench runs): every
+  // session's final alarms must equal the offline replay of its stream.
+  const scenario::ScenarioSpec& spec =
+      scenario::Registry::instance().at("quickstart/far");
+  const auto blueprint = scenario::make_session_blueprint(spec);
+  SessionTable table(SessionTable::Options{4, 256, 0});
+  LoadOptions options;
+  options.sessions = 32;
+  options.samples = 64;
+  options.chunk = 16;
+  const LoadStats stats = run_local_load(table, blueprint, options);
+  EXPECT_EQ(stats.sessions, 32u);
+  EXPECT_EQ(stats.samples_total, 32u * 64u);
+  EXPECT_GT(stats.seconds, 0.0);
+  EXPECT_GT(stats.sessions_alarmed, 0u);
+}
+
+}  // namespace
+}  // namespace cpsguard::serve

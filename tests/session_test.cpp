@@ -1,0 +1,340 @@
+// Tests for detect::Session, the service-facing streaming handle: bit
+// identity with DetectorBank for every detector kind across all bundled
+// case studies — including across a snapshot()/restore() boundary at every
+// split point of the stream — plus per-kind save_state/load_state round
+// trips, blueprint norm wiring, and snapshot corruption/version rejection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "attacks/templates.hpp"
+#include "control/closed_loop.hpp"
+#include "control/kalman.hpp"
+#include "control/noise.hpp"
+#include "detect/detector.hpp"
+#include "detect/online.hpp"
+#include "detect/session.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/service.hpp"
+#include "stl/formula.hpp"
+#include "util/bytes.hpp"
+#include "util/hash.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::detect {
+namespace {
+
+using control::Norm;
+using control::Trace;
+using linalg::Vector;
+
+/// A few benign noisy runs plus one attacked run of a case study (the same
+/// fixture online_test.cpp pins DetectorBank with).
+std::vector<Trace> study_traces(const models::CaseStudy& cs) {
+  const control::ClosedLoop loop(cs.loop);
+  std::vector<Trace> traces;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    util::Rng rng = util::Rng::substream(42, i);
+    const control::Signal noise =
+        control::bounded_uniform_signal(rng, cs.horizon, cs.noise_bounds);
+    traces.push_back(loop.simulate(cs.horizon, nullptr, nullptr, &noise));
+  }
+  const std::size_t dim = cs.loop.plant.num_outputs();
+  Vector mask(dim);
+  for (std::size_t i = 0; i < dim; ++i) mask[i] = 1.0;
+  double bound = 0.0;
+  for (std::size_t i = 0; i < cs.noise_bounds.size(); ++i)
+    bound = std::max(bound, cs.noise_bounds[i]);
+  const control::Signal attack =
+      attacks::bias_attack(mask).build(5.0 * std::max(bound, 1e-3), cs.horizon,
+                                       dim);
+  traces.push_back(loop.simulate(cs.horizon, &attack));
+  return traces;
+}
+
+double residue_peak(const std::vector<Trace>& traces, Norm norm) {
+  double peak = 0.0;
+  for (const Trace& tr : traces)
+    for (const auto& n : tr.residue_norms(norm)) peak = std::max(peak, n);
+  return std::max(peak, 1e-9);
+}
+
+/// Every detector kind, spanning alarming and silent settings, as shared
+/// factories (the form a SessionBlueprint holds).
+std::vector<DetectorFactory> study_factories(const models::CaseStudy& cs,
+                                             double peak) {
+  ThresholdVector variable(cs.horizon);
+  for (std::size_t k = 0; k < cs.horizon; ++k)
+    variable.set(k, peak * (1.2 - 0.9 * static_cast<double>(k) /
+                                      static_cast<double>(cs.horizon)));
+  std::vector<std::shared_ptr<OnlineDetector>> prototypes;
+  prototypes.push_back(
+      ResidueDetector(ThresholdVector::constant(cs.horizon, 0.05 * peak), cs.norm)
+          .make_online());
+  prototypes.push_back(
+      ResidueDetector(ThresholdVector::constant(cs.horizon, 2.0 * peak), cs.norm)
+          .make_online());
+  prototypes.push_back(ResidueDetector(variable, cs.norm).make_online());
+  prototypes.push_back(
+      WindowedDetector(ThresholdVector::constant(cs.horizon, 0.4 * peak),
+                       cs.norm, 2, 3)
+          .make_online());
+  prototypes.push_back(CusumDetector(0.1 * peak, 0.5 * peak, cs.norm).make_online());
+  const control::KalmanDesign kd = control::design_kalman(cs.loop.plant);
+  prototypes.push_back(Chi2Detector(kd.innovation, 1.0).make_online());
+  prototypes.push_back(std::make_shared<StlResidueOnline>(
+      stl::Formula::eventually({0, 2}, stl::residue(0) <= 0.4 * peak)));
+
+  std::vector<DetectorFactory> factories;
+  for (auto& proto : prototypes)
+    factories.push_back([proto] { return proto->clone(); });
+  return factories;
+}
+
+std::shared_ptr<const SessionBlueprint> study_blueprint(
+    const models::CaseStudy& cs, double peak) {
+  std::vector<DetectorFactory> factories = study_factories(cs, peak);
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < factories.size(); ++i)
+    labels.push_back("det" + std::to_string(i));
+  return std::make_shared<const SessionBlueprint>(cs.name, std::move(labels),
+                                                  std::move(factories));
+}
+
+std::vector<std::optional<std::size_t>> bank_first_alarms(
+    const SessionBlueprint& blueprint, const Trace& tr) {
+  DetectorBank bank;
+  for (std::size_t i = 0; i < blueprint.size(); ++i)
+    bank.add(blueprint.instantiate(i));
+  std::vector<std::optional<std::size_t>> alarms;
+  bank.evaluate(tr, alarms);
+  return alarms;
+}
+
+TEST(Session, MatchesDetectorBankAcrossCaseStudies) {
+  const scenario::Registry& registry = scenario::Registry::instance();
+  ASSERT_EQ(registry.study_names().size(), 8u);
+  for (const auto& name : registry.study_names()) {
+    const models::CaseStudy& cs = registry.study(name);
+    const std::vector<Trace> traces = study_traces(cs);
+    const double peak = residue_peak(traces, cs.norm);
+    const auto blueprint = study_blueprint(cs, peak);
+
+    for (const Trace& tr : traces) {
+      Session session(blueprint);
+      std::uint64_t mask_from_verdicts = 0;
+      for (const Vector& z : tr.z)
+        mask_from_verdicts |= session.feed(z).new_alarms;
+      EXPECT_EQ(session.first_alarms(), bank_first_alarms(*blueprint, tr))
+          << name;
+      EXPECT_EQ(session.alarm_mask(), mask_from_verdicts) << name;
+      EXPECT_EQ(session.steps_fed(), tr.z.size()) << name;
+    }
+  }
+}
+
+TEST(Session, SnapshotRestoreMidStreamIsExactAtEverySplit) {
+  // Cut the attacked run of every study at EVERY instant: feeding the tail
+  // into a restored session must reproduce the uninterrupted first alarms
+  // exactly — the detector-state round trip (satellite of the service
+  // layer) for every kind, stateful ones included.
+  const scenario::Registry& registry = scenario::Registry::instance();
+  for (const auto& name : registry.study_names()) {
+    const models::CaseStudy& cs = registry.study(name);
+    const std::vector<Trace> traces = study_traces(cs);
+    const double peak = residue_peak(traces, cs.norm);
+    const auto blueprint = study_blueprint(cs, peak);
+    const Trace& tr = traces.back();  // the attacked run
+
+    Session uninterrupted(blueprint);
+    for (const Vector& z : tr.z) uninterrupted.feed(z);
+
+    for (std::size_t split = 0; split <= tr.z.size(); ++split) {
+      Session head(blueprint);
+      for (std::size_t k = 0; k < split; ++k) head.feed(tr.z[k]);
+      Session tail = Session::restore(blueprint, head.snapshot());
+      EXPECT_EQ(tail.steps_fed(), split);
+      for (std::size_t k = split; k < tr.z.size(); ++k) tail.feed(tr.z[k]);
+      EXPECT_EQ(tail.first_alarms(), uninterrupted.first_alarms())
+          << name << " split at " << split;
+    }
+  }
+}
+
+TEST(Session, FeedNormMatchesEvaluateNorms) {
+  // The single-norm fast path against DetectorBank::evaluate_norms, on a
+  // blueprint of norm-only detectors.
+  const models::CaseStudy& cs = scenario::Registry::instance().study("quickstart");
+  const Trace tr = study_traces(cs).back();
+  const double peak = residue_peak({tr}, cs.norm);
+
+  std::vector<std::shared_ptr<OnlineDetector>> prototypes;
+  prototypes.push_back(
+      ResidueDetector(ThresholdVector::constant(cs.horizon, 0.3 * peak), cs.norm)
+          .make_online());
+  prototypes.push_back(
+      WindowedDetector(ThresholdVector::constant(cs.horizon, 0.4 * peak),
+                       cs.norm, 2, 3)
+          .make_online());
+  prototypes.push_back(CusumDetector(0.1 * peak, 0.5 * peak, cs.norm).make_online());
+  std::vector<DetectorFactory> factories;
+  std::vector<std::string> labels;
+  for (auto& proto : prototypes) {
+    factories.push_back([proto] { return proto->clone(); });
+    labels.push_back("d");
+  }
+  const auto blueprint = std::make_shared<const SessionBlueprint>(
+      "norm-only", std::move(labels), std::move(factories));
+  ASSERT_TRUE(blueprint->single_norm());
+
+  const std::vector<double> norms = tr.residue_norms(cs.norm);
+  Session session(blueprint);
+  for (double n : norms) session.feed_norm(n);
+
+  DetectorBank bank;
+  for (std::size_t i = 0; i < blueprint->size(); ++i)
+    bank.add(blueprint->instantiate(i));
+  std::vector<std::optional<std::size_t>> alarms;
+  bank.evaluate_norms(blueprint->norms(), {norms}, alarms);
+  EXPECT_EQ(session.first_alarms(), alarms);
+}
+
+TEST(Session, FeedNormRejectsMultiNormBlueprints) {
+  const models::CaseStudy& cs = scenario::Registry::instance().study("quickstart");
+  const auto blueprint = study_blueprint(cs, 1.0);  // includes chi2 + STL
+  ASSERT_FALSE(blueprint->single_norm());
+  Session session(blueprint);
+  EXPECT_THROW(session.feed_norm(0.5), util::InvalidArgument);
+}
+
+TEST(Session, BlueprintNormWiringMatchesBankFirstUseOrder) {
+  // Two distinct norms plus a full-residue detector: slots follow first-use
+  // order, and the full-residue detector gets the -1 slow lane.
+  std::vector<DetectorFactory> factories;
+  factories.push_back([] {
+    return std::make_unique<ThresholdOnline>(ThresholdVector::constant(4, 1.0),
+                                             Norm::kInf);
+  });
+  factories.push_back([] {
+    return std::make_unique<ThresholdOnline>(ThresholdVector::constant(4, 1.0),
+                                             Norm::kTwo);
+  });
+  factories.push_back([] {
+    return std::make_unique<Chi2Online>(linalg::Matrix{{4.0}}, 1.0);
+  });
+  factories.push_back([] {
+    return std::make_unique<ThresholdOnline>(ThresholdVector::constant(4, 1.0),
+                                             Norm::kTwo);
+  });
+  const SessionBlueprint blueprint("wiring", {"a", "b", "c", "d"},
+                                   std::move(factories));
+  ASSERT_EQ(blueprint.norms().size(), 2u);
+  EXPECT_EQ(blueprint.norms()[0], Norm::kInf);
+  EXPECT_EQ(blueprint.norms()[1], Norm::kTwo);
+  EXPECT_EQ(blueprint.norm_slot(0), 0);
+  EXPECT_EQ(blueprint.norm_slot(1), 1);
+  EXPECT_EQ(blueprint.norm_slot(2), -1);
+  EXPECT_EQ(blueprint.norm_slot(3), 1);
+  EXPECT_FALSE(blueprint.single_norm());
+}
+
+TEST(Session, DetectorStateRoundTripPerKind) {
+  // save_state/load_state onto a freshly cloned instance, mid-stream, for
+  // each kind in isolation: the continuation must match the original
+  // bit for bit (first alarm on the remaining samples).
+  const std::vector<double> series = {0.2, 0.9, 0.3, 0.9, 0.9, 0.1, 0.9, 0.9};
+  const auto roundtrip_matches = [&](OnlineDetector& det, std::size_t split) {
+    det.reset();
+    std::vector<bool> direct;
+    for (double v : series) direct.push_back(det.step(Vector{v}));
+
+    det.reset();
+    for (std::size_t k = 0; k < split; ++k) det.step(Vector{series[k]});
+    util::ByteWriter out;
+    det.save_state(out);
+    const std::string bytes = out.take();
+    const auto copy = det.clone();
+    util::ByteReader in(bytes);
+    copy->load_state(in);
+    in.expect_done("state");
+    for (std::size_t k = split; k < series.size(); ++k)
+      EXPECT_EQ(copy->step(Vector{series[k]}), direct[k]) << "instant " << k;
+  };
+
+  ThresholdOnline threshold(ThresholdVector::constant(4, 0.5), Norm::kInf);
+  WindowedOnline windowed(ThresholdVector::constant(4, 0.5), Norm::kInf, 2, 3);
+  CusumOnline cusum(0.3, 1.0, Norm::kInf);
+  Chi2Online chi2(linalg::Matrix{{4.0}}, 1.0);
+  StlResidueOnline stl_online(
+      stl::Formula::eventually({0, 2}, stl::residue(0) <= 0.5));
+  for (std::size_t split = 0; split <= series.size(); ++split) {
+    roundtrip_matches(threshold, split);
+    roundtrip_matches(windowed, split);
+    roundtrip_matches(cusum, split);
+    roundtrip_matches(chi2, split);
+    roundtrip_matches(stl_online, split);
+  }
+}
+
+TEST(Session, SnapshotRejectsCorruptionAndForeignBlueprints) {
+  const models::CaseStudy& cs = scenario::Registry::instance().study("quickstart");
+  const Trace tr = study_traces(cs).front();
+  const auto blueprint = study_blueprint(cs, 1.0);
+  Session session(blueprint);
+  for (const Vector& z : tr.z) session.feed(z);
+  const std::string snap = session.snapshot();
+  EXPECT_EQ(Session::snapshot_scenario(snap), cs.name);
+
+  // Bit flip anywhere in the payload: the digest framing catches it.
+  std::string corrupt = snap;
+  corrupt[corrupt.size() / 2] ^= 0x20;
+  EXPECT_THROW(Session::restore(blueprint, corrupt), util::InvalidArgument);
+  EXPECT_THROW(Session::snapshot_scenario(corrupt), util::InvalidArgument);
+
+  // Unknown snapshot version: re-framed so the digest passes, the version
+  // check must still reject.
+  std::string payload = util::unframe_with_digest(snap, "test");
+  payload[4] = 2;  // u32 version little-endian low byte, after "CPSS"
+  EXPECT_THROW(
+      Session::restore(blueprint, util::frame_with_digest(payload)),
+      util::InvalidArgument);
+
+  // A blueprint realizing a different scenario must be refused.
+  const auto other = study_blueprint(
+      scenario::Registry::instance().study("dcmotor"), 1.0);
+  EXPECT_THROW(Session::restore(other, snap), util::InvalidArgument);
+
+  EXPECT_THROW(Session::restore(blueprint, "not a snapshot"),
+               util::InvalidArgument);
+}
+
+TEST(Session, ServiceBlueprintMatchesRunnerDetectors) {
+  // scenario::make_session_blueprint realizes the registry scenario's own
+  // detectors; sessions from it must agree with a DetectorBank built from
+  // scenario::realize_detectors on the same stream.
+  const scenario::ScenarioSpec& spec =
+      scenario::Registry::instance().at("quickstart/far");
+  const auto blueprint = scenario::make_session_blueprint(spec);
+  ASSERT_TRUE(blueprint->single_norm());
+  ASSERT_GT(blueprint->reference_level(), 0.0);
+
+  util::Rng rng = util::Rng::substream(7, 0);
+  std::vector<double> norms;
+  for (int k = 0; k < 200; ++k)
+    norms.push_back(rng.uniform(0.0, 1.1 * blueprint->reference_level()));
+
+  Session session = scenario::make_session(spec);
+  for (double n : norms) session.feed_norm(n);
+
+  const auto realized = scenario::realize_detectors(spec);
+  DetectorBank bank;
+  for (const auto& r : realized) bank.add(r.factory());
+  std::vector<std::optional<std::size_t>> alarms;
+  bank.evaluate_norms(blueprint->norms(), {norms}, alarms);
+  EXPECT_EQ(session.first_alarms(), alarms);
+}
+
+}  // namespace
+}  // namespace cpsguard::detect

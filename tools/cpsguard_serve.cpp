@@ -1,0 +1,317 @@
+// cpsguard_serve.cpp — detection-as-a-service: the ingestion server and its
+// load/verification driver.
+//
+//   cpsguard_serve serve --unix PATH [--tcp PORT] [--max-sessions N]
+//                        [--shards N] [--ttl TICKS] [--tick-ms M]
+//       run the ingestion server until a client sends shutdown (or SIGTERM).
+//
+//   cpsguard_serve soak --scenario NAME [--sessions N] [--samples K]
+//                       [--chunk C] [--seed S] [--amplitude A]
+//                       [--max-sessions N] [--shards N]
+//       in-process soak of the server data path (SessionTable + Session,
+//       no sockets): prints one JSON stats object — the soak numbers
+//       recorded in bench/BENCH_pr8_serve.json.
+//
+//   cpsguard_serve load (--unix PATH | --tcp PORT) --scenario NAME [--sessions N]
+//                       [--samples K] [--chunk C] [--seed S] [--amplitude A]
+//                       [--verify] [--snapshot-dir D] [--restore-dir D]
+//                       [--shutdown]
+//       remote driver: opens (or --restore-dir restores) sessions over the
+//       wire, feeds each the deterministic per-session stream, then
+//       --verify replays the same streams through an offline DetectorBank
+//       (detect::DetectorBank::evaluate_norms) and requires the served
+//       first alarms to match exactly — the online-vs-offline equivalence
+//       gate, across snapshot/kill/restore when phases are chained.
+//       --snapshot-dir writes one snapshot file per session before exiting;
+//       --restore-dir resumes from such files and verifies against the
+//       FULL stream (restored steps + newly fed samples).
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/service.hpp"
+#include "serve/client.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/server.hpp"
+#include "util/logging.hpp"
+#include "util/status.hpp"
+
+using namespace cpsguard;
+
+namespace {
+
+serve::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server) g_server->stop();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s serve --unix PATH [--tcp PORT] [--max-sessions N] [--shards N]\n"
+      "                [--ttl TICKS] [--tick-ms M]\n"
+      "       %s soak --scenario NAME [--sessions N] [--samples K] [--chunk C]\n"
+      "               [--seed S] [--amplitude A] [--max-sessions N] [--shards N]\n"
+      "       %s load (--unix PATH | --tcp PORT) --scenario NAME\n"
+      "               [--sessions N] [--samples K]\n"
+      "               [--chunk C] [--seed S] [--amplitude A] [--verify]\n"
+      "               [--snapshot-dir D] [--restore-dir D] [--shutdown]\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> raw;
+  explicit Args(int argc, char** argv, int from) {
+    for (int i = from; i < argc; ++i) raw.emplace_back(argv[i]);
+  }
+  std::optional<std::string> value(const std::string& flag) const {
+    for (std::size_t i = 0; i + 1 < raw.size(); ++i)
+      if (raw[i] == flag) return raw[i + 1];
+    return std::nullopt;
+  }
+  bool flag(const std::string& name) const {
+    return std::find(raw.begin(), raw.end(), name) != raw.end();
+  }
+  std::uint64_t num(const std::string& flag, std::uint64_t fallback) const {
+    const auto v = value(flag);
+    return v ? std::stoull(*v) : fallback;
+  }
+  double real(const std::string& flag, double fallback) const {
+    const auto v = value(flag);
+    return v ? std::stod(*v) : fallback;
+  }
+};
+
+serve::LoadOptions load_options(const Args& args) {
+  serve::LoadOptions options;
+  options.sessions = args.num("--sessions", options.sessions);
+  options.samples = args.num("--samples", options.samples);
+  options.chunk = args.num("--chunk", options.chunk);
+  options.seed = args.num("--seed", options.seed);
+  options.amplitude = args.real("--amplitude", options.amplitude);
+  return options;
+}
+
+int cmd_serve(const Args& args) {
+  serve::ServerOptions options;
+  if (const auto path = args.value("--unix")) options.unix_path = *path;
+  if (const auto port = args.value("--tcp")) {
+    options.tcp = true;
+    options.tcp_port = static_cast<std::uint16_t>(std::stoul(*port));
+  }
+  options.table.max_sessions = args.num("--max-sessions", 65536);
+  options.table.shards = args.num("--shards", 8);
+  options.table.ttl_ticks = args.num("--ttl", 0);
+  options.tick_millis = static_cast<int>(args.num("--tick-ms", 1000));
+
+  serve::Server server(options);
+  g_server = &server;
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+  if (options.tcp)
+    std::printf("listening on tcp 127.0.0.1:%u\n", server.tcp_port());
+  if (!options.unix_path.empty())
+    std::printf("listening on unix %s\n", options.unix_path.c_str());
+  std::fflush(stdout);
+  server.run();
+  g_server = nullptr;
+  std::printf("server stopped (%zu sessions live, %llu evicted, %llu expired)\n",
+              server.table().size(),
+              static_cast<unsigned long long>(server.table().evicted()),
+              static_cast<unsigned long long>(server.table().expired()));
+  return 0;
+}
+
+int cmd_soak(const Args& args) {
+  const auto scenario = args.value("--scenario");
+  if (!scenario) {
+    std::fprintf(stderr, "soak: --scenario is required\n");
+    return 2;
+  }
+  const serve::LoadOptions options = load_options(args);
+  serve::SessionTable::Options table_options;
+  table_options.max_sessions = args.num("--max-sessions", options.sessions);
+  table_options.shards = args.num("--shards", 8);
+  serve::SessionTable table(table_options);
+
+  const scenario::ScenarioSpec& spec =
+      scenario::Registry::instance().at(*scenario);
+  const auto blueprint = scenario::make_session_blueprint(spec);
+  const serve::LoadStats stats =
+      serve::run_local_load(table, blueprint, options);
+
+  std::printf(
+      "{\"scenario\": \"%s\", \"sessions\": %zu, \"samples_total\": %zu, "
+      "\"seconds\": %.6f, \"samples_per_sec\": %.0f, "
+      "\"p50_feed_us\": %.4f, \"p99_feed_us\": %.4f, "
+      "\"sessions_alarmed\": %zu}\n",
+      scenario->c_str(), stats.sessions, stats.samples_total, stats.seconds,
+      stats.aggregate_rate(), stats.p50_feed_micros, stats.p99_feed_micros,
+      stats.sessions_alarmed);
+  return 0;
+}
+
+serve::Client connect_with_retry(const std::optional<std::string>& unix_path,
+                                 std::uint16_t tcp_port) {
+  const auto connect = [&] {
+    return unix_path ? serve::Client::connect_unix(*unix_path)
+                     : serve::Client::connect_tcp(tcp_port);
+  };
+  // The smoke gate starts the server concurrently; give it time to bind.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    try {
+      return connect();
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  return connect();  // final attempt, throws
+}
+
+std::string snapshot_path(const std::string& dir, std::size_t index) {
+  return dir + "/session_" + std::to_string(index) + ".snap";
+}
+
+int cmd_load(const Args& args) {
+  const auto unix_path = args.value("--unix");
+  const auto tcp_port = args.value("--tcp");
+  const auto scenario = args.value("--scenario");
+  if ((!unix_path && !tcp_port) || !scenario) {
+    std::fprintf(stderr,
+                 "load: --scenario and one of --unix/--tcp are required\n");
+    return 2;
+  }
+  const serve::LoadOptions options = load_options(args);
+  const auto snapshot_dir = args.value("--snapshot-dir");
+  const auto restore_dir = args.value("--restore-dir");
+
+  // The client realizes the same blueprint the server does — deterministic
+  // calibration, so reference levels and offline detectors agree exactly.
+  const scenario::ScenarioSpec& spec =
+      scenario::Registry::instance().at(*scenario);
+  const auto blueprint = scenario::make_session_blueprint(spec);
+
+  serve::Client client = connect_with_retry(
+      unix_path,
+      tcp_port ? static_cast<std::uint16_t>(std::stoul(*tcp_port)) : 0);
+  client.ping();
+
+  std::vector<std::uint64_t> sids(options.sessions);
+  std::vector<std::size_t> base_steps(options.sessions, 0);
+  for (std::size_t s = 0; s < options.sessions; ++s) {
+    if (restore_dir) {
+      std::ifstream in(snapshot_path(*restore_dir, s), std::ios::binary);
+      util::require(in.good(), "load: missing snapshot for session " +
+                                   std::to_string(s));
+      std::string blob((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      sids[s] = client.restore(blob);
+      base_steps[s] =
+          static_cast<std::size_t>(client.query(sids[s]).steps_fed);
+    } else {
+      sids[s] = client.open(serve::FeedMode::kNorm, *scenario);
+    }
+  }
+
+  // Feed: each session receives samples [base, base + samples) of its
+  // deterministic stream — the continuation of what a restored snapshot
+  // already consumed.
+  for (std::size_t s = 0; s < options.sessions; ++s) {
+    const std::size_t total = base_steps[s] + options.samples;
+    const std::vector<double> stream =
+        serve::session_stream(*blueprint, options, s, total);
+    for (std::size_t offset = base_steps[s]; offset < total;
+         offset += options.chunk) {
+      const std::size_t end = std::min(total, offset + options.chunk);
+      client.feed_norms(sids[s],
+                        std::vector<double>(stream.begin() + offset,
+                                            stream.begin() + end));
+    }
+  }
+
+  // Verify: served first alarms vs the offline batch bank over the FULL
+  // stream (restored prefix included) — exact match required, index and
+  // instant alike.
+  int mismatches = 0;
+  std::size_t alarmed = 0;
+  for (std::size_t s = 0; s < options.sessions; ++s) {
+    const serve::Message alarms = client.query(sids[s]);
+    const std::size_t total = base_steps[s] + options.samples;
+    util::require(alarms.steps_fed == total,
+                  "load: served session consumed wrong number of samples");
+    bool session_alarmed = false;
+    if (args.flag("--verify")) {
+      const std::vector<double> stream =
+          serve::session_stream(*blueprint, options, s, total);
+      const std::vector<std::optional<std::size_t>> offline =
+          serve::offline_first_alarms(*blueprint, stream);
+      if (offline.size() != alarms.first_alarms.size()) {
+        ++mismatches;
+        continue;
+      }
+      for (std::size_t i = 0; i < offline.size(); ++i) {
+        const auto& served = alarms.first_alarms[i];
+        const bool same =
+            offline[i].has_value() == served.has_value() &&
+            (!offline[i] || static_cast<std::uint64_t>(*offline[i]) == *served);
+        if (!same) {
+          ++mismatches;
+          std::fprintf(stderr,
+                       "load: session %zu detector %zu: served %s offline %s\n",
+                       s, i,
+                       served ? std::to_string(*served).c_str() : "-",
+                       offline[i] ? std::to_string(*offline[i]).c_str() : "-");
+        }
+        session_alarmed = session_alarmed || served.has_value();
+      }
+    } else {
+      for (const auto& served : alarms.first_alarms)
+        session_alarmed = session_alarmed || served.has_value();
+    }
+    if (session_alarmed) ++alarmed;
+  }
+
+  if (snapshot_dir) {
+    for (std::size_t s = 0; s < options.sessions; ++s) {
+      const std::string blob = client.snapshot(sids[s]);
+      std::ofstream out(snapshot_path(*snapshot_dir, s), std::ios::binary);
+      out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+      util::require(out.good(), "load: cannot write snapshot for session " +
+                                    std::to_string(s));
+    }
+  }
+  if (args.flag("--shutdown")) client.shutdown_server();
+
+  std::printf("{\"sessions\": %zu, \"samples\": %zu, \"alarmed\": %zu, "
+              "\"verified\": %s, \"mismatches\": %d}\n",
+              options.sessions, options.samples, alarmed,
+              args.flag("--verify") ? "true" : "false", mismatches);
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "soak") return cmd_soak(args);
+    if (cmd == "load") return cmd_load(args);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "cpsguard_serve: %s\n", err.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}

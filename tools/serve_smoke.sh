@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# serve_smoke.sh BINARY [SCENARIO] — end-to-end gate for the detection service.
+#
+# Phase 1: start the server, open 64 sessions, feed each the first samples
+# of its deterministic residual-norm stream over the unix socket, verify the
+# served first alarms byte-for-byte against an offline DetectorBank replay,
+# snapshot every session to disk, and shut the server down (the "kill").
+#
+# Phase 2: start a FRESH server process, restore all 64 sessions from the
+# snapshot files, feed each the continuation of its stream up to 1000 total
+# samples, and verify the full-stream alarms offline again — alarm indices
+# and instants must be identical to a detector bank that saw all 1000
+# samples in one uninterrupted pass.  Any drift across the
+# snapshot/kill/restore boundary fails the gate.
+#
+# The snapshot is taken at sample 5 — deliberately inside the scenario's
+# 10-step threshold horizon, where the per-instant threshold schedule still
+# varies.  A restore that resumed with the wrong step counter would index
+# the wrong threshold entry and shift post-restore alarms, so the mid-
+# horizon split makes the full-stream comparison sensitive to exactly the
+# state a snapshot must carry.
+set -euo pipefail
+
+BIN="$1"
+SCENARIO="${2:-quickstart/far}"
+DIR="serve_gate"
+SOCK="$DIR/serve.sock"
+
+rm -rf "$DIR"
+mkdir -p "$DIR/snapshots"
+
+"$BIN" serve --unix "$SOCK" &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null || true' EXIT
+
+# --amplitude 0.95 keeps per-sample alarm probability low enough that first
+# alarms spread across the threshold horizon, landing on both sides of the
+# snapshot/restore boundary.
+"$BIN" load --unix "$SOCK" --scenario "$SCENARIO" \
+  --sessions 64 --samples 5 --amplitude 0.95 --verify \
+  --snapshot-dir "$DIR/snapshots" --shutdown
+wait "$SERVER"
+
+"$BIN" serve --unix "$SOCK" &
+SERVER=$!
+
+"$BIN" load --unix "$SOCK" --scenario "$SCENARIO" \
+  --sessions 64 --samples 995 --amplitude 0.95 --verify \
+  --restore-dir "$DIR/snapshots" --shutdown
+wait "$SERVER"
+
+echo "serve smoke ok: 64 sessions survived snapshot/kill/restore bit-exactly"
