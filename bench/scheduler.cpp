@@ -1,0 +1,176 @@
+// PR-9 benchmarks: the process-wide work-stealing scheduler.
+//
+// BM_ThreadSpawnForkJoin is the pattern the scheduler replaces — spawn N
+// std::threads per batch, join them — and BM_TaskGroupForkJoin the same
+// fork/join as TaskGroup submissions on the persistent pool; their ratio is
+// the dispatch-overhead claim.  BM_BatchForEach measures the overhead
+// inside sim::BatchRunner with the scheduler on vs kill-switched back to
+// the spawn path.  BM_CampaignColdRun is the cold campaign wall (the tiny
+// trajectory/far 2x3 grid, cache off) at 1/2/4 threads — concurrent
+// simulation groups vs the strictly sequential loop.  BM_ShardFanoutFeed
+// is the serve-side aggregate: 64 live sessions in a sharded SessionTable
+// fed in 64-sample rounds, shards dispatched as scheduler tasks
+// (workers >= 2) vs inline (workers == 1), the same partition the socket
+// server's dispatcher uses.
+//
+// Thread-scaling variants (arg >= 2) are excluded from the ±25% CI gate by
+// bench_compare's default filter — on the 1-core container they measure
+// contention, not the code.  The /1 legs are the gate anchors.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "cpsguard.hpp"
+
+namespace {
+
+using namespace cpsguard;
+
+void BM_ThreadSpawnForkJoin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    std::atomic<std::size_t> acc{0};
+    for (std::size_t i = 0; i < n; ++i)
+      threads.emplace_back([&acc, i] { acc.fetch_add(i + 1); });
+    for (auto& t : threads) t.join();
+    benchmark::DoNotOptimize(acc.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ThreadSpawnForkJoin)->Arg(1)->Arg(4)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_TaskGroupForkJoin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler::resize_for_testing(n);
+  for (auto _ : state) {
+    sim::TaskGroup tasks(sim::Scheduler::instance());
+    std::atomic<std::size_t> acc{0};
+    for (std::size_t i = 0; i < n; ++i)
+      tasks.submit([&acc, i] { acc.fetch_add(i + 1); });
+    tasks.wait();
+    benchmark::DoNotOptimize(acc.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  sim::Scheduler::resize_for_testing(0);
+}
+BENCHMARK(BM_TaskGroupForkJoin)->Arg(1)->Arg(4)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+// 64 trivial Monte-Carlo slots through BatchRunner: on the pool, or
+// kill-switched back to the per-call spawn path.
+void batch_for_each(benchmark::State& state, bool pool) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  sim::set_scheduler_enabled(pool);
+  sim::Scheduler::resize_for_testing(threads);
+  const sim::BatchRunner runner(threads);
+  for (auto _ : state) {
+    std::atomic<std::size_t> acc{0};
+    runner.for_each(64, [&acc](std::size_t run, std::size_t) {
+      acc.fetch_add(run);
+    });
+    benchmark::DoNotOptimize(acc.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+  sim::set_scheduler_enabled(true);
+  sim::Scheduler::resize_for_testing(0);
+}
+void BM_BatchForEachPool(benchmark::State& state) {
+  batch_for_each(state, /*pool=*/true);
+}
+void BM_BatchForEachSpawn(benchmark::State& state) {
+  batch_for_each(state, /*pool=*/false);
+}
+BENCHMARK(BM_BatchForEachPool)->Arg(1)->Arg(4)
+    ->MeasureProcessCPUTime()->UseRealTime();
+BENCHMARK(BM_BatchForEachSpawn)->Arg(1)->Arg(4)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_CampaignColdRun(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler::resize_for_testing(threads);
+  sweep::SweepSpec spec;
+  spec.name = "bench_scheduler_campaign";
+  spec.title = "trajectory FAR over a 2x3 grid";
+  spec.base = "trajectory/far";
+  spec.fixed = {{"runs", 40}};
+  spec.axes = {sweep::Axis::list("noise_scale", {0.8, 1.0}),
+               sweep::Axis::list("detector_scale", {1.2, 1.4, 1.6})};
+  sweep::CampaignOptions options;
+  options.use_cache = false;
+  options.threads = threads;
+  for (auto _ : state) {
+    const sweep::CampaignRun run = sweep::CampaignEngine().run(spec, options);
+    benchmark::DoNotOptimize(run.executed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 6);
+  sim::Scheduler::resize_for_testing(0);
+}
+BENCHMARK(BM_CampaignColdRun)->Arg(1)->Arg(2)->Arg(4)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+std::shared_ptr<const detect::SessionBlueprint> blueprint() {
+  static const auto bp = scenario::make_session_blueprint(
+      scenario::Registry::instance().at("quickstart/far"));
+  return bp;
+}
+
+void BM_ShardFanoutFeed(benchmark::State& state) {
+  constexpr std::size_t kSessions = 64;
+  constexpr std::size_t kChunk = 64;
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler::resize_for_testing(workers);
+
+  serve::SessionTable::Options options;
+  options.shards = 8;
+  options.max_sessions = kSessions;
+  serve::SessionTable table(options);
+  std::vector<std::vector<std::uint64_t>> by_shard(table.shard_count());
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::uint64_t sid = table.insert(
+        serve::ServedSession{detect::Session(blueprint()), serve::FeedMode::kNorm,
+                             nullptr});
+    by_shard[table.shard_index(sid)].push_back(sid);
+  }
+  serve::LoadOptions load;
+  load.amplitude = 0.4;  // benign: never alarms, detectors never latch
+  const std::vector<double> ring =
+      serve::session_stream(*blueprint(), load, 0, 4096);
+
+  std::size_t k = 0;
+  const auto feed_shard = [&table, &ring](const std::vector<std::uint64_t>& sids,
+                                          std::size_t base) {
+    for (const std::uint64_t sid : sids)
+      table.with(sid, [&ring, base](serve::ServedSession& served) {
+        for (std::size_t i = 0; i < kChunk; ++i)
+          benchmark::DoNotOptimize(
+              served.session.feed_norm(ring[(base + i) & 4095]).new_alarms);
+      });
+  };
+  for (auto _ : state) {
+    if (workers >= 2) {
+      sim::TaskGroup tasks(sim::Scheduler::instance());
+      for (const auto& sids : by_shard) {
+        if (sids.empty()) continue;
+        tasks.submit([&feed_shard, &sids, k] { feed_shard(sids, k); });
+      }
+      tasks.wait();
+    } else {
+      for (const auto& sids : by_shard) feed_shard(sids, k);
+    }
+    k += kChunk;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSessions * kChunk));
+  sim::Scheduler::resize_for_testing(0);
+}
+BENCHMARK(BM_ShardFanoutFeed)->Arg(1)->Arg(4)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -35,7 +35,15 @@
 //      kill switch (1) or override; a pfc filter decidable from the final
 //      plant state (synth::ReachCriterion, the paper's reach criterion)
 //      streams through detect::FarSetup::pfc_final so the FAR protocol
-//      stays norm-only with the filter active;
+//      stays norm-only with the filter active.  All intra-process
+//      parallelism — Monte-Carlo batch slots, concurrent campaign
+//      simulation groups, serve shard workers — runs on one persistent
+//      process-wide work-stealing pool (sim::Scheduler, per-worker deques
+//      + fork/join sim::TaskGroup whose wait() helps drain its own group,
+//      so nested submission cannot deadlock); work partitioning is
+//      thread-count-independent, so results stay bit-identical at any
+//      pool size, and CPSG_SCHEDULER=off (or --threads 1) falls back to
+//      the pre-pool spawn-per-batch paths;
 //   3. to cover a whole parameter space instead of one point, run a sweep
 //      campaign from sweep::SweepRegistry::instance() ("table1_sweep",
 //      "roc_sweep", ...) through sweep::CampaignEngine — the grid expands
@@ -134,6 +142,7 @@
 #include "sim/batch.hpp"
 #include "sim/config.hpp"
 #include "sim/monte_carlo.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
 #include "solver/lp_backend.hpp"
 #include "solver/problem.hpp"

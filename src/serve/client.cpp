@@ -109,6 +109,14 @@ std::vector<std::uint64_t> Client::feed_norms(std::uint64_t sid,
   return expect(req, MsgType::kVerdicts).masks;
 }
 
+std::vector<BatchEntry> Client::feed_norm_batch(
+    std::vector<BatchEntry> entries) {
+  Message req;
+  req.type = MsgType::kFeedNormBatch;
+  req.entries = std::move(entries);
+  return expect(req, MsgType::kVerdictsBatch).entries;
+}
+
 Message Client::query(std::uint64_t sid) {
   Message req;
   req.type = MsgType::kQuery;

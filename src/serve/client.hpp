@@ -37,6 +37,9 @@ class Client {
   std::uint64_t open(FeedMode mode, const std::string& scenario);
   std::vector<std::uint64_t> feed_norms(std::uint64_t sid,
                                         const std::vector<double>& norms);
+  /// Many sessions' norm runs in one kFeedNormBatch frame; the returned
+  /// entries carry each session's new-alarm masks, in request order.
+  std::vector<BatchEntry> feed_norm_batch(std::vector<BatchEntry> entries);
   Message query(std::uint64_t sid);
   std::string snapshot(std::uint64_t sid);
   std::uint64_t restore(const std::string& blob);

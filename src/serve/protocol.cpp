@@ -19,6 +19,7 @@ namespace {
 // so counts are checked against the bytes actually remaining.
 constexpr std::size_t kSampleWireBytes = 8;   // one f64
 constexpr std::size_t kCanFrameWireBytes = 4 + 1 + 1 + 8;
+constexpr std::size_t kBatchEntryHeaderBytes = 8 + 4;  // u64 sid + u32 count
 
 void put_frames(ByteWriter& out, const std::vector<can::CanFrame>& frames) {
   out.u32(static_cast<std::uint32_t>(frames.size()));
@@ -77,6 +78,7 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kClose: return "close";
     case MsgType::kPing: return "ping";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kFeedNormBatch: return "feed_norm_batch";
     case MsgType::kOpened: return "opened";
     case MsgType::kVerdicts: return "verdicts";
     case MsgType::kAlarms: return "alarms";
@@ -84,6 +86,7 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kRestored: return "restored";
     case MsgType::kClosed: return "closed";
     case MsgType::kPong: return "pong";
+    case MsgType::kVerdictsBatch: return "verdicts_batch";
     case MsgType::kError: return "error";
   }
   return "unknown";
@@ -101,6 +104,22 @@ std::string encode_frame(const Message& msg) {
       body.u64(msg.sid);
       body.u32(static_cast<std::uint32_t>(msg.samples.size()));
       put_samples(body, msg.samples);
+      break;
+    case MsgType::kFeedNormBatch:
+      body.u32(static_cast<std::uint32_t>(msg.entries.size()));
+      for (const BatchEntry& entry : msg.entries) {
+        body.u64(entry.sid);
+        body.u32(static_cast<std::uint32_t>(entry.samples.size()));
+        put_samples(body, entry.samples);
+      }
+      break;
+    case MsgType::kVerdictsBatch:
+      body.u32(static_cast<std::uint32_t>(msg.entries.size()));
+      for (const BatchEntry& entry : msg.entries) {
+        body.u64(entry.sid);
+        body.u32(static_cast<std::uint32_t>(entry.masks.size()));
+        for (const std::uint64_t mask : entry.masks) body.u64(mask);
+      }
       break;
     case MsgType::kFeedResidual:
       require(msg.dim > 0 && msg.samples.size() % msg.dim == 0,
@@ -175,6 +194,36 @@ Message decode_body(const std::string& body) {
       msg.sid = in.u64();
       msg.samples = get_samples(in, in.u32(), "serve: kFeedNorm");
       break;
+    case MsgType::kFeedNormBatch: {
+      const std::uint32_t n_entries = in.u32();
+      // Every entry costs at least its sid + count header on the wire, so
+      // a hostile n_entries is rejected before any allocation.
+      require(static_cast<std::size_t>(n_entries) * kBatchEntryHeaderBytes <=
+                  in.remaining(),
+              "serve: kFeedNormBatch entry count exceeds body");
+      msg.entries.resize(n_entries);
+      for (BatchEntry& entry : msg.entries) {
+        entry.sid = in.u64();
+        entry.samples = get_samples(in, in.u32(), "serve: kFeedNormBatch");
+      }
+      break;
+    }
+    case MsgType::kVerdictsBatch: {
+      const std::uint32_t n_entries = in.u32();
+      require(static_cast<std::size_t>(n_entries) * kBatchEntryHeaderBytes <=
+                  in.remaining(),
+              "serve: kVerdictsBatch entry count exceeds body");
+      msg.entries.resize(n_entries);
+      for (BatchEntry& entry : msg.entries) {
+        entry.sid = in.u64();
+        const std::uint32_t count = in.u32();
+        require(static_cast<std::size_t>(count) * 8 <= in.remaining(),
+                "serve: kVerdictsBatch mask count exceeds body");
+        entry.masks.resize(count);
+        for (std::uint64_t& mask : entry.masks) mask = in.u64();
+      }
+      break;
+    }
     case MsgType::kFeedResidual: {
       msg.sid = in.u64();
       const std::uint32_t count = in.u32();

@@ -20,6 +20,10 @@
 //   kClose        u64 sid
 //   kPing         (empty)
 //   kShutdown     (empty; server stops accepting after replying kPong)
+//   kFeedNormBatch u32 n_entries, n_entries x (u64 sid, u32 count, count x
+//                 f64 residual norms) — many sessions' norm runs in ONE
+//                 frame, so high-rate ingesters amortize per-frame dispatch
+//                 (and the server can fan entries out across table shards)
 //
 // Server -> client:
 //   kOpened       u64 sid, u32 n_detectors
@@ -32,6 +36,9 @@
 //   kPong         (empty)
 //   kError        str text (the request it answers failed; session state is
 //                 unchanged, the connection stays usable)
+//   kVerdictsBatch u32 n_entries, n_entries x (u64 sid, u32 count, count x
+//                 u64 new-alarm masks) — answers kFeedNormBatch, entries in
+//                 request order
 //
 // Versioning: the protocol has no version field of its own — the session
 // snapshot blob inside kSnapshotData/kRestore carries the (checked) state
@@ -71,6 +78,7 @@ enum class MsgType : std::uint8_t {
   kClose = 8,
   kPing = 9,
   kShutdown = 10,
+  kFeedNormBatch = 11,
   kOpened = 64,
   kVerdicts = 65,
   kAlarms = 66,
@@ -78,10 +86,19 @@ enum class MsgType : std::uint8_t {
   kRestored = 68,
   kClosed = 69,
   kPong = 70,
+  kVerdictsBatch = 71,
   kError = 127,
 };
 
 const char* msg_type_name(MsgType type);
+
+/// One session's run inside a kFeedNormBatch frame (samples) or its
+/// kVerdictsBatch reply (masks); the unused vector stays empty.
+struct BatchEntry {
+  std::uint64_t sid = 0;
+  std::vector<double> samples;
+  std::vector<std::uint64_t> masks;
+};
 
 /// One decoded message: the union of all body fields, tagged by `type`
 /// (unused fields stay at their defaults — the codec only reads/writes the
@@ -99,6 +116,7 @@ struct Message {
   std::uint64_t steps_fed = 0;          ///< kAlarms
   std::vector<std::optional<std::uint64_t>> first_alarms;  ///< kAlarms
   std::string blob;                     ///< kSnapshotData / kRestore / kError
+  std::vector<BatchEntry> entries;      ///< kFeedNormBatch / kVerdictsBatch
 };
 
 /// Encodes `msg` as one complete frame (length prefix included).

@@ -16,6 +16,7 @@
 #include "scenario/registry.hpp"
 #include "scenario/service.hpp"
 #include "serve/protocol.hpp"
+#include "sim/scheduler.hpp"
 #include "util/logging.hpp"
 #include "util/status.hpp"
 
@@ -158,6 +159,47 @@ ServedSession Server::restore_session(const std::string& blob) {
   return served;
 }
 
+bool Server::shard_parallel() const {
+  return options_.shard_workers >= 2 && sim::scheduler_enabled();
+}
+
+Message Server::handle_feed_norm_batch(const Message& req) {
+  Message reply;
+  reply.type = MsgType::kVerdictsBatch;
+  reply.entries.resize(req.entries.size());
+  const auto run_entry = [&](std::size_t k) {
+    const BatchEntry& in = req.entries[k];
+    BatchEntry& out = reply.entries[k];
+    out.sid = in.sid;
+    const bool found = table_.with(in.sid, [&](ServedSession& s) {
+      require(s.mode == FeedMode::kNorm, "serve: session is not norm-fed");
+      out.masks.reserve(in.samples.size());
+      for (const double norm : in.samples)
+        out.masks.push_back(s.session.feed_norm(norm).new_alarms);
+    });
+    require(found, "serve: unknown session");
+  };
+  // Entries grouped by table shard: one task per shard keeps every
+  // session's samples in arrival order (a sid's shard never splits), so
+  // each verdict stream is bit-identical to sequential service.  A failing
+  // entry fails the whole frame with kError; entries on other shards (and
+  // earlier entries of its own) may already have been applied.
+  std::map<std::size_t, std::vector<std::size_t>> by_shard;
+  for (std::size_t k = 0; k < req.entries.size(); ++k)
+    by_shard[table_.shard_index(req.entries[k].sid)].push_back(k);
+  if (shard_parallel() && by_shard.size() >= 2) {
+    sim::TaskGroup tasks(sim::Scheduler::instance());
+    for (auto& [shard, members] : by_shard)
+      tasks.submit([&run_entry, members = std::move(members)] {
+        for (const std::size_t k : members) run_entry(k);
+      });
+    tasks.wait();  // rethrows the first entry failure -> kError reply
+  } else {
+    for (std::size_t k = 0; k < req.entries.size(); ++k) run_entry(k);
+  }
+  return reply;
+}
+
 Message Server::handle(const Message& req) {
   Message reply;
   switch (req.type) {
@@ -165,6 +207,8 @@ Message Server::handle(const Message& req) {
     case MsgType::kShutdown:
       reply.type = MsgType::kPong;
       return reply;
+    case MsgType::kFeedNormBatch:
+      return handle_feed_norm_batch(req);
     case MsgType::kOpen: {
       ServedSession served =
           open_session(static_cast<FeedMode>(req.mode), req.scenario);
@@ -282,6 +326,88 @@ bool Server::flush_writes(Connection& conn) {
   return true;
 }
 
+/// One decoded (or decode-failed) request of a poll round and the reply
+/// slot dispatch() fills for it.
+struct Server::Pending {
+  std::optional<Message> req;  ///< nullopt: decode failed, reply is ready
+  Message reply;
+};
+
+namespace {
+
+/// Requests that touch exactly one session through its table shard — the
+/// unit of order the shard-worker dispatch must (and only must) preserve.
+bool session_addressed(MsgType type) {
+  switch (type) {
+    case MsgType::kFeedNorm:
+    case MsgType::kFeedResidual:
+    case MsgType::kFeedCan:
+    case MsgType::kQuery:
+    case MsgType::kSnapshot:
+    case MsgType::kClose:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void Server::dispatch(std::vector<Pending>& batch) {
+  const auto answer = [this](Pending& p) {
+    try {
+      p.reply = handle(*p.req);
+    } catch (const std::exception& err) {
+      // Per-request failure: session state is unchanged, the framing is
+      // intact, so the connection stays usable.
+      p.reply = Message{};
+      p.reply.type = MsgType::kError;
+      p.reply.blob = err.what();
+    }
+  };
+  if (!shard_parallel()) {
+    for (Pending& p : batch)
+      if (p.req) answer(p);
+    return;
+  }
+  // Shard-worker path: a consecutive run of session-addressed requests
+  // fans out across the scheduler, one task per touched table shard.  A
+  // session's requests land on one shard — one task — in arrival order,
+  // so its verdict stream is bit-identical to inline service.  Control
+  // requests (open, restore, ping, shutdown, batch feeds with their own
+  // internal fan-out) are barriers handled inline by the poll thread.
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    if (!batch[i].req) {
+      ++i;
+      continue;
+    }
+    if (!session_addressed(batch[i].req->type)) {
+      answer(batch[i]);
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < batch.size() && batch[j].req &&
+           session_addressed(batch[j].req->type))
+      ++j;
+    std::map<std::size_t, std::vector<std::size_t>> by_shard;
+    for (std::size_t k = i; k < j; ++k)
+      by_shard[table_.shard_index(batch[k].req->sid)].push_back(k);
+    if (by_shard.size() < 2) {
+      for (std::size_t k = i; k < j; ++k) answer(batch[k]);
+    } else {
+      sim::TaskGroup tasks(sim::Scheduler::instance());
+      for (auto& [shard, members] : by_shard)
+        tasks.submit([&answer, &batch, members = std::move(members)] {
+          for (const std::size_t k : members) answer(batch[k]);
+        });
+      tasks.wait();  // answer() swallows request errors; nothing rethrows
+    }
+    i = j;
+  }
+}
+
 bool Server::service_readable(Connection& conn) {
   char buf[65536];
   while (true) {
@@ -294,31 +420,35 @@ bool Server::service_readable(Connection& conn) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     return false;
   }
+  // Decode every complete frame first, then dispatch: the split is what
+  // lets the shard-worker path see the whole poll round's worth of work.
+  std::vector<Pending> batch;
   try {
     while (const std::optional<std::string> body = conn.reader.next()) {
-      Message reply;
-      bool shutdown = false;
+      Pending p;
       try {
-        const Message req = decode_body(*body);
-        shutdown = req.type == MsgType::kShutdown;
-        reply = handle(req);
+        p.req = decode_body(*body);
       } catch (const std::exception& err) {
-        // Per-request failure: session state is unchanged, the framing is
-        // intact, so the connection stays usable.
-        reply.type = MsgType::kError;
-        reply.blob = err.what();
+        p.reply.type = MsgType::kError;
+        p.reply.blob = err.what();
       }
-      conn.outbuf += encode_frame(reply);
-      if (shutdown) {
-        CPSG_INFO("serve") << "shutdown requested by client";
-        running_.store(false, std::memory_order_relaxed);
-      }
+      batch.push_back(std::move(p));
     }
   } catch (const std::exception& err) {
     // Deframing failure (oversized announcement): the stream cannot be
     // resynchronized — drop the connection.
     CPSG_WARN("serve") << "dropping connection: " << err.what();
     return false;
+  }
+
+  dispatch(batch);
+
+  for (Pending& p : batch) {
+    conn.outbuf += encode_frame(p.reply);
+    if (p.req && p.req->type == MsgType::kShutdown) {
+      CPSG_INFO("serve") << "shutdown requested by client";
+      running_.store(false, std::memory_order_relaxed);
+    }
   }
   return flush_writes(conn);
 }

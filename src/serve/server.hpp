@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "serve/session_table.hpp"
 
@@ -31,6 +32,14 @@ struct ServerOptions {
   /// Idle poll granularity; each expiry advances the table's TTL clock one
   /// tick, so ttl_ticks * this is the session idle timeout.
   int tick_millis = 1000;
+  /// Shard-worker dispatch: at >= 2 (and with sim::scheduler_enabled()),
+  /// session-addressed work read in one poll round fans out across the
+  /// process-wide scheduler, one task per touched SessionTable shard —
+  /// per-session request order is preserved (a session's shard never
+  /// splits), so every session's verdict stream is bit-identical to
+  /// single-threaded service.  The poll loop stays the sole IO/accept
+  /// dispatcher.  0/1 = today's fully single-threaded path.
+  std::size_t shard_workers = 0;
 };
 
 class Server {
@@ -56,12 +65,16 @@ class Server {
 
  private:
   struct Connection;
+  struct Pending;
 
   std::shared_ptr<const detect::SessionBlueprint> blueprint_for(
       const std::string& scenario);
   ServedSession open_session(FeedMode mode, const std::string& scenario);
   ServedSession restore_session(const std::string& blob);
   Message handle(const Message& request);
+  Message handle_feed_norm_batch(const Message& request);
+  bool shard_parallel() const;
+  void dispatch(std::vector<Pending>& batch);
 
   void accept_clients(int listener);
   bool service_readable(Connection& conn);  // false = drop connection

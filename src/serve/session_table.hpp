@@ -91,6 +91,14 @@ class SessionTable {
   std::uint64_t evicted() const { return evicted_.load(std::memory_order_relaxed); }
   std::uint64_t expired() const { return expired_.load(std::memory_order_relaxed); }
 
+  /// Which lock stripe owns `sid` (its low bits).  Work addressed to
+  /// distinct shard indices touches distinct mutexes, so a dispatcher may
+  /// run it concurrently without further coordination.
+  std::size_t shard_index(std::uint64_t sid) const {
+    return sid & (shards_.size() - 1);
+  }
+  std::size_t shard_count() const { return shards_.size(); }
+
  private:
   struct Entry {
     ServedSession session;

@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "sim/scheduler.hpp"
+
 namespace cpsguard::sim {
 
 std::size_t resolve_threads(std::size_t requested) {
@@ -45,8 +47,25 @@ void BatchRunner::for_each(
     }
   };
 
-  std::vector<std::thread> pool;
   const std::size_t spawned = std::min(threads_, count);
+  if (scheduler_enabled()) {
+    // Persistent-pool path: the same worker loop, but slots 1..spawned-1
+    // ride the process-wide scheduler instead of fresh threads.  The
+    // caller takes slot 0 (so a batch always makes progress even when the
+    // pool is saturated by enclosing work), then helps drain its own
+    // group.  Slot identity — and with it the caller's workspace-per-slot
+    // contract — is untouched; results stay keyed by run index, so
+    // reports are bit-identical to the spawn path at any pool size.
+    TaskGroup group(Scheduler::instance());
+    for (std::size_t slot = 1; slot < spawned; ++slot)
+      group.submit([&worker, slot] { worker(slot); });
+    worker(0);
+    group.wait();  // worker() swallows into first_error; nothing rethrows here
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
+  std::vector<std::thread> pool;
   pool.reserve(spawned);
   try {
     for (std::size_t slot = 0; slot < spawned; ++slot)

@@ -3,9 +3,9 @@
 // Every Monte-Carlo protocol in the library (FAR estimation, ROC workload
 // assembly, noise-floor quantiles, template attack search) is a loop of
 // independent closed-loop runs.  BatchRunner executes such a loop across
-// worker threads — spawned per for_each call and joined before it returns,
-// so keep whole batches per call rather than calling in a tight loop —
-// with two invariants:
+// worker threads — tasks on the process-wide sim::Scheduler pool when it
+// is enabled, freshly spawned std::threads when CPSG_SCHEDULER=off — with
+// two invariants:
 //
 //  1. Results are keyed by run index, never by completion order, and each
 //     run draws its randomness from util::Rng::substream(seed, run).  The

@@ -1,0 +1,310 @@
+#include "sim/scheduler.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/batch.hpp"
+
+namespace cpsguard::sim {
+
+namespace {
+
+// -1 = environment not read yet; 0/1 once resolved (setter wins).
+std::atomic<int> g_scheduler_enabled{-1};
+
+std::atomic<std::uint64_t> g_tasks{0};
+std::atomic<std::uint64_t> g_steals{0};
+std::atomic<std::uint64_t> g_helped{0};
+
+}  // namespace
+
+bool scheduler_enabled() {
+  int state = g_scheduler_enabled.load(std::memory_order_acquire);
+  if (state < 0) {
+    const char* env = std::getenv("CPSG_SCHEDULER");
+    bool on = true;
+    if (env != nullptr) {
+      on = !(std::strcmp(env, "off") == 0 || std::strcmp(env, "OFF") == 0 ||
+             std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0);
+    }
+    state = on ? 1 : 0;
+    // A racing first query resolves the same value; either store wins.
+    g_scheduler_enabled.store(state, std::memory_order_release);
+  }
+  return state == 1;
+}
+
+void set_scheduler_enabled(bool enabled) {
+  g_scheduler_enabled.store(enabled ? 1 : 0, std::memory_order_release);
+}
+
+namespace stats {
+std::uint64_t scheduler_tasks() { return g_tasks.load(std::memory_order_relaxed); }
+std::uint64_t scheduler_steals() { return g_steals.load(std::memory_order_relaxed); }
+std::uint64_t scheduler_helped_tasks() { return g_helped.load(std::memory_order_relaxed); }
+void reset_scheduler_counters() {
+  g_tasks.store(0, std::memory_order_relaxed);
+  g_steals.store(0, std::memory_order_relaxed);
+  g_helped.store(0, std::memory_order_relaxed);
+}
+}  // namespace stats
+
+struct TaskGroup::State {
+  /// Tasks submitted and not yet finished (counted before enqueue, so a
+  /// waiter can never observe a transient zero between submit and push).
+  std::atomic<std::size_t> pending{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  std::exception_ptr first_error;
+};
+
+namespace {
+
+struct Task {
+  std::function<void()> fn;
+  std::shared_ptr<TaskGroup::State> group;
+};
+
+/// Runs one task: exceptions land in the group's first_error slot, and the
+/// last task out notifies the group's waiter.
+void finish_task(Task& task, std::atomic<std::uint64_t>* kind_counter) {
+  try {
+    task.fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(task.group->mutex);
+    if (!task.group->first_error) task.group->first_error = std::current_exception();
+  }
+  g_tasks.fetch_add(1, std::memory_order_relaxed);
+  if (kind_counter != nullptr) kind_counter->fetch_add(1, std::memory_order_relaxed);
+  if (task.group->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Lock/unlock orders this notify after the waiter's predicate check:
+    // it is either already waiting (gets the notify) or has not evaluated
+    // the predicate yet (sees pending == 0).
+    { std::lock_guard<std::mutex> lock(task.group->mutex); }
+    task.group->done.notify_all();
+  }
+}
+
+}  // namespace
+
+struct Scheduler::Impl {
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  explicit Impl(std::size_t worker_count) : queues(worker_count) {}
+
+  std::vector<WorkerQueue> queues;
+  std::vector<std::thread> threads;
+
+  // Sleep protocol: `ready` counts tasks sitting in deques.  Producers
+  // bump it, lock/unlock sleep_mutex (so a worker between predicate check
+  // and wait cannot miss the update), and notify.
+  std::mutex sleep_mutex;
+  std::condition_variable sleep_cv;
+  std::atomic<std::size_t> ready{0};
+  bool stopping = false;  // guarded by sleep_mutex
+
+  std::atomic<std::size_t> round_robin{0};
+
+  bool try_pop_front(std::size_t index, Task& out) {
+    WorkerQueue& q = queues[index];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty()) return false;
+    out = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    ready.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool try_steal(std::size_t thief, Task& out) {
+    const std::size_t n = queues.size();
+    for (std::size_t hop = 1; hop < n; ++hop) {
+      WorkerQueue& q = queues[(thief + hop) % n];
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (q.tasks.empty()) continue;
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      ready.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Removes one task belonging to `group` from any deque (front of the
+  /// owner's view — order within a group is not a contract).
+  bool try_pop_group_task(const TaskGroup::State* group, Task& out) {
+    for (WorkerQueue& q : queues) {
+      std::lock_guard<std::mutex> lock(q.mutex);
+      for (auto it = q.tasks.begin(); it != q.tasks.end(); ++it) {
+        if (it->group.get() != group) continue;
+        out = std::move(*it);
+        q.tasks.erase(it);
+        ready.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void push(std::size_t index, Task task, bool front) {
+    {
+      std::lock_guard<std::mutex> lock(queues[index].mutex);
+      if (front) {
+        queues[index].tasks.push_front(std::move(task));
+      } else {
+        queues[index].tasks.push_back(std::move(task));
+      }
+    }
+    ready.fetch_add(1, std::memory_order_release);
+    { std::lock_guard<std::mutex> lock(sleep_mutex); }
+    sleep_cv.notify_one();
+  }
+
+  void worker_main(std::size_t index);
+};
+
+namespace {
+
+// Which pool (if any) the current thread belongs to, for the submit-side
+// push-to-own-deque fast path and for nested-wait helping.
+thread_local Scheduler::Impl* tls_impl = nullptr;
+thread_local std::size_t tls_index = 0;
+
+}  // namespace
+
+void Scheduler::Impl::worker_main(std::size_t index) {
+  tls_impl = this;
+  tls_index = index;
+  for (;;) {
+    Task task;
+    if (try_pop_front(index, task)) {
+      finish_task(task, nullptr);
+      continue;
+    }
+    if (try_steal(index, task)) {
+      finish_task(task, &g_steals);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex);
+    sleep_cv.wait(lock, [this] {
+      return stopping || ready.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping && ready.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+Scheduler::Scheduler(std::size_t workers)
+    : impl_(new Impl(resolve_threads(workers))), workers_(impl_->queues.size()) {
+  impl_->threads.reserve(workers_);
+  for (std::size_t i = 0; i < workers_; ++i)
+    impl_->threads.emplace_back([this, i] { impl_->worker_main(i); });
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->sleep_mutex);
+    impl_->stopping = true;
+  }
+  impl_->sleep_cv.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+namespace {
+
+// instance() bookkeeping: the live pool and the pid that built it.  A
+// fork()ed child inherits the pointer but none of the threads (and possibly
+// mid-flight mutexes), so on pid mismatch the stale husk is leaked — never
+// touched — and a fresh pool is built.
+std::mutex g_instance_mutex;
+Scheduler* g_instance = nullptr;
+pid_t g_instance_pid = -1;
+std::size_t g_instance_workers = 0;  // 0 = hardware concurrency
+
+}  // namespace
+
+Scheduler& Scheduler::instance() {
+  std::lock_guard<std::mutex> lock(g_instance_mutex);
+  const pid_t pid = ::getpid();
+  if (g_instance == nullptr || g_instance_pid != pid) {
+    g_instance = new Scheduler(g_instance_workers);
+    g_instance_pid = pid;
+  }
+  return *g_instance;
+}
+
+void Scheduler::resize_for_testing(std::size_t workers) {
+  std::lock_guard<std::mutex> lock(g_instance_mutex);
+  g_instance_workers = workers;
+  if (g_instance != nullptr && g_instance_pid == ::getpid()) delete g_instance;
+  g_instance = new Scheduler(workers);
+  g_instance_pid = ::getpid();
+}
+
+TaskGroup::TaskGroup(Scheduler& scheduler)
+    : scheduler_(scheduler), state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() {
+  if (state_->pending.load(std::memory_order_acquire) == 0) return;
+  try {
+    wait();
+  } catch (...) {
+    // A group abandoned without wait() already has its error recorded;
+    // destructors must not throw.
+  }
+}
+
+void TaskGroup::submit(std::function<void()> fn) {
+  state_->pending.fetch_add(1, std::memory_order_acq_rel);
+  Task task{std::move(fn), state_};
+  Scheduler::Impl* impl = scheduler_.impl_;
+  if (tls_impl == impl) {
+    // Pool worker submitting: front of its own deque (LIFO keeps nested
+    // work hot; thieves take from the back).
+    impl->push(tls_index, std::move(task), /*front=*/true);
+  } else {
+    const std::size_t index =
+        impl->round_robin.fetch_add(1, std::memory_order_relaxed) % impl->queues.size();
+    impl->push(index, std::move(task), /*front=*/false);
+  }
+}
+
+void TaskGroup::wait() {
+  Scheduler::Impl* impl = scheduler_.impl_;
+  // Helping phase: run this group's still-queued tasks right here.  A pool
+  // worker waiting on a group it forked therefore makes progress instead
+  // of blocking its deque — nested submission can never deadlock.
+  while (state_->pending.load(std::memory_order_acquire) > 0) {
+    Task task;
+    if (!impl->try_pop_group_task(state_.get(), task)) break;
+    finish_task(task, &g_helped);
+  }
+  // Whatever remains is in flight on other workers.
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->done.wait(lock, [this] {
+      return state_->pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    error = state_->first_error;
+    state_->first_error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace cpsguard::sim

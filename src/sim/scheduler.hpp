@@ -1,0 +1,129 @@
+// scheduler.hpp — the process-wide work-stealing execution substrate.
+//
+// Before this existed every parallel layer owned its own threads:
+// sim::BatchRunner spawned and joined std::threads on every for_each call,
+// sweep::CampaignEngine ran simulation groups strictly sequentially (only
+// intra-group runs were parallel), and nesting the two would have
+// oversubscribed the box.  Scheduler replaces the three ad-hoc schemes with
+// one persistent pool:
+//
+//  - One worker thread per hardware thread (resolve_threads(0)), started
+//    lazily on first use and parked on a condition variable when idle.
+//  - Per-worker deques: an owner pushes and pops at the front (LIFO keeps
+//    nested child tasks hot in cache), idle workers steal from the back of
+//    a victim's deque (FIFO steals the oldest — coarsest — task).
+//  - TaskGroup is the fork/join handle: submit() enqueues tasks tagged with
+//    the group, wait() *helps* — the waiting thread executes pending tasks
+//    of its own group instead of blocking, so a campaign-group task that
+//    submits batch work and waits can never deadlock the pool (stack depth
+//    is bounded by the nesting depth, not the task count).  The first
+//    exception thrown by any task in the group is rethrown from wait().
+//
+// Determinism contract: the scheduler moves *where* work runs, never what
+// it computes.  Everything built on it stays keyed by run/cell index with
+// per-index RNG substreams, so reports remain bit-identical at any pool
+// size — including pool size 1 and the kill switch below.
+//
+// Kill switch: CPSG_SCHEDULER=off (or 0) in the environment — read once on
+// first query — or set_scheduler_enabled(false) from tests, makes every
+// client fall back to its pre-scheduler code path (BatchRunner spawns
+// threads per call, campaign groups run sequentially, serve workers refuse
+// to start).  Like the norm-only and lane-width switches, flip it only
+// between experiments.
+//
+// Fork safety: sweep's coordinator fork()s workers that inherit the parent
+// address space but none of its threads.  instance() therefore remembers
+// the pid that built the pool and constructs a fresh scheduler (leaking the
+// stale husk, whose mutexes may be mid-flight) when it runs in a forked
+// child.  Fork-mode children run campaigns at threads=1 today, so in
+// practice they never reach here — the check is a backstop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace cpsguard::sim {
+
+/// Process-wide scheduler kill switch (default on; CPSG_SCHEDULER=off/0
+/// disables it for the whole process).  The setter is a test hook and wins
+/// over the environment.
+bool scheduler_enabled();
+void set_scheduler_enabled(bool enabled);
+
+class Scheduler;
+
+/// Fork/join handle over tasks submitted to one Scheduler.  Not
+/// thread-safe: one thread forks and joins a given group (tasks of the
+/// group may themselves submit to *other* groups — that is the nesting
+/// wait() is built for).  Destroying a group waits for its tasks.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Scheduler& scheduler);
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues fn on the pool.  If the caller is itself a pool worker the
+  /// task goes to the front of its own deque (and may be stolen); external
+  /// threads round-robin across worker deques.
+  void submit(std::function<void()> fn);
+
+  /// Runs pending tasks of this group on the calling thread until none
+  /// remain, then blocks until in-flight stolen ones finish.  Rethrows the
+  /// group's first exception.  Safe to call from inside a pool task.
+  void wait();
+
+  /// Shared completion state (public so the scheduler internals can tag
+  /// queued tasks with it; not part of the client API).
+  struct State;
+
+ private:
+  friend class Scheduler;
+  Scheduler& scheduler_;
+  std::shared_ptr<State> state_;
+};
+
+class Scheduler {
+ public:
+  /// The process-wide pool, built on first use with resolve_threads(0)
+  /// workers.  Pid-checked: after fork() the child gets a fresh instance.
+  static Scheduler& instance();
+
+  /// Worker threads in the pool (>= 1).  A pool of size 1 still runs tasks
+  /// on its single worker; clients with a threads==1 knob should bypass
+  /// the scheduler entirely and stay inline instead.
+  std::size_t workers() const { return workers_; }
+
+  /// Tears the pool down and rebuilds it with `workers` threads (0 = one
+  /// per hardware thread).  Test hook for the pool-size determinism
+  /// matrix; requires no tasks in flight.
+  static void resize_for_testing(std::size_t workers);
+
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Pool internals (public for the same reason as TaskGroup::State).
+  struct Impl;
+
+ private:
+  friend class TaskGroup;
+  explicit Scheduler(std::size_t workers);
+
+  Impl* impl_;
+  std::size_t workers_;
+};
+
+namespace stats {
+/// Tasks executed by the pool since process start (or the last reset) and
+/// how many of those were taken from another worker's deque (steals) or
+/// executed by a thread helping its own group's wait().  Relaxed atomics.
+std::uint64_t scheduler_tasks();
+std::uint64_t scheduler_steals();
+std::uint64_t scheduler_helped_tasks();
+void reset_scheduler_counters();
+}  // namespace stats
+
+}  // namespace cpsguard::sim

@@ -8,8 +8,11 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <mutex>
 
 #include "scenario/runner.hpp"
+#include "sim/batch.hpp"
+#include "sim/scheduler.hpp"
 #include "util/csv.hpp"
 #include "util/fault.hpp"
 #include "util/json.hpp"
@@ -379,27 +382,34 @@ CampaignRun CampaignEngine::run(const SweepSpec& spec,
   // failing disk.  Marks the cell done either way — a memory-only result
   // is re-detected as missing by the next run's verify and recomputed.
   std::vector<std::uint8_t> executed_now(owned.size(), 0);
-  const auto store_cell = [&](std::size_t j, const std::string& json) {
-    ManifestCell& entry = manifest_cells[j];
-    bool persisted = false;
-    if (cache) {
-      for (std::size_t attempt = 1; retry.allows(attempt); ++attempt) {
-        try {
-          cache->store(entry.fingerprint, json);
-          if (cache->verify(entry.fingerprint)) {
-            persisted = true;
-            break;
-          }
-          CPSG_WARN("sweep") << "torn cache write for " << entry.fingerprint
-                             << " (attempt " << attempt << "), retrying";
-        } catch (const util::Error& e) {
-          CPSG_WARN("sweep") << "cache store failed (attempt " << attempt
-                             << "): " << e.what();
-        }
-        if (retry.allows(attempt + 1))
-          util::sleep_for_ms(retry.delay_ms(attempt, entry.index));
+
+  // Disk half: store + read-back verify with retries.  Touches only the
+  // cache (atomic per-fingerprint writes), so concurrent group tasks call
+  // it without holding the engine's state mutex.
+  const auto persist_cell = [&](const ManifestCell& entry,
+                                const std::string& json) -> bool {
+    if (!cache) return false;
+    for (std::size_t attempt = 1; retry.allows(attempt); ++attempt) {
+      try {
+        cache->store(entry.fingerprint, json);
+        if (cache->verify(entry.fingerprint)) return true;
+        CPSG_WARN("sweep") << "torn cache write for " << entry.fingerprint
+                           << " (attempt " << attempt << "), retrying";
+      } catch (const util::Error& e) {
+        CPSG_WARN("sweep") << "cache store failed (attempt " << attempt
+                           << "): " << e.what();
       }
+      if (retry.allows(attempt + 1))
+        util::sleep_for_ms(retry.delay_ms(attempt, entry.index));
     }
+    return false;
+  };
+
+  // Bookkeeping half: mutates the shared run state (memory store, manifest
+  // entries, counters).  Concurrent callers hold the state mutex.
+  const auto record_cell = [&](std::size_t j, const std::string& json,
+                               bool persisted) {
+    ManifestCell& entry = manifest_cells[j];
     if (!persisted) {
       memory[entry.fingerprint] = json;
       if (cache)
@@ -414,6 +424,10 @@ CampaignRun CampaignEngine::run(const SweepSpec& spec,
     entry.failed = false;
     executed_now[j] = 1;
     ++outcome.executed;
+  };
+
+  const auto store_cell = [&](std::size_t j, const std::string& json) {
+    record_cell(j, json, persist_cell(manifest_cells[j], json));
   };
 
   // One cell, standalone, with `attempts` tries left (its group pass
@@ -445,7 +459,126 @@ CampaignRun CampaignEngine::run(const SweepSpec& spec,
   // (or draws a cell_execute fault) is retried standalone under the retry
   // policy and, if it keeps failing, recorded as failed while its siblings
   // continue.
+  //
+  // With the process-wide scheduler on and >= 2 resolved threads, the
+  // groups themselves run CONCURRENTLY as tasks on sim::Scheduler: work
+  // stealing balances cheap detector-only groups against expensive
+  // simulation groups, each group's internal Monte-Carlo batch nests on
+  // the same pool (no oversubscription), and the report is still assembled
+  // from serialized cell JSON in index order — so it stays bit-identical
+  // to sequential execution.  The concurrent path steps aside whenever the
+  // sequential loop's richer semantics matter: a --max-cells budget (needs
+  // a deterministic cutoff point), armed fault injection (chaos sites fire
+  // at sequential cell boundaries), the kill switch, or threads == 1.
   bool budget_exhausted = false;
+  const bool concurrent_groups =
+      sim::scheduler_enabled() && sim::resolve_threads(options.threads) >= 2 &&
+      !util::fault::armed() && options.max_cells == 0 && owned.size() > 1;
+  if (concurrent_groups) {
+    // Classification pass: the same cache-hit arms the sequential loop
+    // walks, done up front so the partition below sees final done flags.
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      ManifestCell& entry = manifest_cells[i];
+      if (entry.done) {
+        ++outcome.cache_hits;
+        continue;
+      }
+      if (cache && cache->verify(entry.fingerprint)) {
+        ++outcome.cache_hits;
+        entry.done = true;
+      }
+    }
+    flush_manifest();
+
+    // Partition pass: identical grouping walk to the sequential loop —
+    // index order, later pending cells with a matching simulation
+    // fingerprint join the earliest group that wants them.
+    std::vector<std::vector<std::size_t>> groups;
+    std::vector<std::uint8_t> grouped(owned.size(), 0);
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      if (grouped[i] || manifest_cells[i].done) continue;
+      std::vector<std::size_t> members{i};
+      grouped[i] = 1;
+      if (options.group_simulations &&
+          scenario::protocol_shares_simulation(owned[i]->spec.protocol)) {
+        for (std::size_t j = i + 1; j < owned.size(); ++j) {
+          if (grouped[j] || manifest_cells[j].done) continue;
+          if (sim_fingerprints[owned[j]->index] !=
+              sim_fingerprints[owned[i]->index])
+            continue;
+          members.push_back(j);
+          grouped[j] = 1;
+        }
+      }
+      groups.push_back(std::move(members));
+    }
+
+    // Execution pass: one scheduler task per group.  Simulation and cache
+    // persistence run outside the lock (the cache's per-fingerprint writes
+    // are atomic and groups never share a fingerprint); only the shared
+    // run state — counters, memory store, manifest flush — is serialized.
+    std::mutex state_mutex;
+    sim::TaskGroup tasks(sim::Scheduler::instance());
+    for (const auto& members : groups) {
+      tasks.submit([&, &members = members] {
+        const Cell& lead = *owned[members.front()];
+        {
+          std::lock_guard<std::mutex> lock(state_mutex);
+          CPSG_INFO("sweep")
+              << spec.name << ": running " << lead.id()
+              << (members.size() > 1
+                      ? " (+" + std::to_string(members.size() - 1) +
+                            " cells sharing its simulation)"
+                      : "")
+              << " (" << outcome.executed + outcome.cache_hits + 1 << "/"
+              << owned.size() << ")";
+        }
+        std::vector<scenario::ScenarioSpec> specs;
+        specs.reserve(members.size());
+        for (const std::size_t j : members) specs.push_back(owned[j]->spec);
+        std::vector<std::string> jsons;
+        try {
+          const std::vector<Report> reports = runner.run_group(specs, overrides);
+          jsons.reserve(reports.size());
+          for (const Report& report : reports) jsons.push_back(report.to_json());
+        } catch (const util::Error& e) {
+          CPSG_WARN("sweep") << spec.name << ": simulation group at "
+                             << lead.id() << " failed (" << e.what()
+                             << "), retrying its cells standalone";
+          jsons.clear();
+        }
+        if (!jsons.empty()) {
+          for (std::size_t g = 0; g < members.size(); ++g) {
+            const bool persisted =
+                persist_cell(manifest_cells[members[g]], jsons[g]);
+            std::lock_guard<std::mutex> lock(state_mutex);
+            record_cell(members[g], jsons[g], persisted);
+          }
+        } else {
+          for (const std::size_t j : members) {
+            if (auto json = run_single(*owned[j], retry.max_attempts - 1)) {
+              const bool persisted = persist_cell(manifest_cells[j], *json);
+              std::lock_guard<std::mutex> lock(state_mutex);
+              record_cell(j, *json, persisted);
+            } else {
+              std::lock_guard<std::mutex> lock(state_mutex);
+              manifest_cells[j].failed = true;
+              executed_now[j] = 1;
+              outcome.failed_cells.push_back(owned[j]->index);
+              CPSG_WARN("sweep")
+                  << spec.name << ": cell " << owned[j]->id()
+                  << " exhausted its " << retry.max_attempts
+                  << " attempts — recorded as failed, continuing "
+                     "with its siblings";
+            }
+          }
+        }
+        std::lock_guard<std::mutex> lock(state_mutex);
+        flush_manifest();
+      });
+    }
+    tasks.wait();
+  } else {
   for (std::size_t i = 0; i < owned.size(); ++i) {
     const Cell& cell = *owned[i];
     ManifestCell& entry = manifest_cells[i];
@@ -535,6 +668,7 @@ CampaignRun CampaignEngine::run(const SweepSpec& spec,
       }
     }
     flush_manifest();
+  }
   }
 
   std::sort(outcome.failed_cells.begin(), outcome.failed_cells.end());

@@ -58,8 +58,13 @@ struct CampaignOptions {
   std::string work_dir = ".cpsguard/campaigns";  ///< shard manifests
   ShardSelector shard;
   /// Worker threads per cell's Monte-Carlo stage (0 = hardware threads).
-  /// Cells execute serially — each cell already fans out internally, and
-  /// nesting pools would oversubscribe without changing any result.
+  /// At >= 2 resolved threads (with sim::scheduler_enabled()) simulation
+  /// groups also execute concurrently as tasks on the process-wide
+  /// scheduler — one shared pool, so nesting cannot oversubscribe, and the
+  /// report is still assembled from serialized cell JSON in index order so
+  /// results are bit-identical to serial execution.  threads == 1, the
+  /// CPSG_SCHEDULER=off kill switch, armed fault injection, and a
+  /// --max-cells budget all keep the original strictly-sequential loop.
   std::size_t threads = 1;
   /// When false, results are kept in memory only (no cache reads or
   /// writes, no resume) — for tests that need a guaranteed-fresh run.

@@ -11,6 +11,7 @@
 #include <set>
 
 #include "scenario/registry.hpp"
+#include "sim/batch.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/status.hpp"
@@ -60,6 +61,12 @@ struct Slot {
 };
 
 }  // namespace
+
+std::size_t threads_per_worker(std::size_t requested, std::size_t workers) {
+  const std::size_t resolved = sim::resolve_threads(requested);
+  const std::size_t divided = workers == 0 ? resolved : resolved / workers;
+  return divided == 0 ? 1 : divided;
+}
 
 CoordinatedRun Coordinator::run(const SweepSpec& spec,
                                 const CoordinatorOptions& options) const {
@@ -141,6 +148,7 @@ CoordinatedRun Coordinator::run(const SweepSpec& spec,
       try {
         CampaignOptions worker = options.campaign;
         worker.shard = shard_of(slot.shard);
+        worker.threads = threads_per_worker(worker.threads, options.workers);
         const CampaignRun run = CampaignEngine().run(spec, worker);
         std::_Exit(run.complete ? 0 : kIncomplete);
       } catch (...) {

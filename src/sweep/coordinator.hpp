@@ -80,6 +80,13 @@ struct CoordinatedRun {
   std::optional<scenario::Report> report;
 };
 
+/// Per-worker thread budget: `requested` (0 = one per hardware thread)
+/// resolved and divided across `workers`, never below 1.  Both fork-mode
+/// children and the CLI's exec-mode worker command line forward THIS value
+/// — previously each re-exec'd worker resolved `--threads 0` to the full
+/// hardware_concurrency() and N workers oversubscribed the box N-fold.
+std::size_t threads_per_worker(std::size_t requested, std::size_t workers);
+
 class Coordinator {
  public:
   /// Runs `spec` across options.workers supervised worker processes and —

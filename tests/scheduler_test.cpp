@@ -1,0 +1,199 @@
+// Tests for the process-wide work-stealing scheduler: task execution and
+// counters, fork/join via TaskGroup, exception propagation from stolen
+// tasks, nested-submission deadlock freedom, and — the load-bearing
+// property — bit-identical scenario and campaign reports at pool sizes
+// 1/2/8 and with the CPSG_SCHEDULER kill switch engaged.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "sim/batch.hpp"
+#include "sim/scheduler.hpp"
+#include "sweep/campaign.hpp"
+#include "sweep/spec.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::sim {
+namespace {
+
+/// Pins the scheduler's pool size and kill switch for one test scope and
+/// restores the defaults (enabled, one worker per hardware thread) after.
+struct SchedulerConfig {
+  explicit SchedulerConfig(std::size_t workers, bool enabled = true) {
+    set_scheduler_enabled(enabled);
+    Scheduler::resize_for_testing(workers);
+  }
+  ~SchedulerConfig() {
+    set_scheduler_enabled(true);
+    Scheduler::resize_for_testing(0);
+  }
+};
+
+TEST(Scheduler, RunsEverySubmittedTaskExactlyOnce) {
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    SchedulerConfig config(workers);
+    EXPECT_EQ(Scheduler::instance().workers(), workers);
+    stats::reset_scheduler_counters();
+    std::vector<std::atomic<int>> hits(97);
+    for (auto& h : hits) h = 0;
+    TaskGroup group(Scheduler::instance());
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      group.submit([&hits, i] { hits[i].fetch_add(1); });
+    group.wait();
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    EXPECT_EQ(stats::scheduler_tasks(), hits.size());
+  }
+}
+
+TEST(Scheduler, GroupDestructorWaitsForItsTasks) {
+  SchedulerConfig config(2);
+  std::atomic<int> runs{0};
+  {
+    TaskGroup group(Scheduler::instance());
+    for (int i = 0; i < 8; ++i) group.submit([&runs] { runs.fetch_add(1); });
+  }
+  EXPECT_EQ(runs.load(), 8);
+}
+
+TEST(Scheduler, FirstExceptionPropagatesFromWait) {
+  for (const std::size_t workers : {1u, 4u}) {
+    SchedulerConfig config(workers);
+    std::atomic<int> completed{0};
+    TaskGroup group(Scheduler::instance());
+    for (int i = 0; i < 16; ++i)
+      group.submit([&completed, i] {
+        if (i % 3 == 0) throw util::InvalidArgument("task failure");
+        completed.fetch_add(1);
+      });
+    EXPECT_THROW(group.wait(), util::InvalidArgument);
+    // wait() returns (or throws) only once every task has finished — the
+    // non-throwing ones all ran even though siblings failed.
+    EXPECT_EQ(completed.load(), 10);
+  }
+}
+
+TEST(Scheduler, NestedSubmissionCannotDeadlock) {
+  // A pool task forks its own group and waits on it; the waiting thread
+  // helps drain that group, so even a single-worker pool makes progress.
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    SchedulerConfig config(workers);
+    std::atomic<int> leaves{0};
+    TaskGroup outer(Scheduler::instance());
+    for (int g = 0; g < 4; ++g)
+      outer.submit([&leaves] {
+        TaskGroup inner(Scheduler::instance());
+        for (int i = 0; i < 8; ++i)
+          inner.submit([&leaves] { leaves.fetch_add(1); });
+        inner.wait();
+      });
+    outer.wait();
+    EXPECT_EQ(leaves.load(), 32);
+  }
+}
+
+TEST(Scheduler, BatchRunnerPropagatesWorkerExceptions) {
+  SchedulerConfig config(4);
+  const BatchRunner runner(4);
+  EXPECT_THROW(runner.for_each(64,
+                               [](std::size_t run, std::size_t) {
+                                 if (run == 17)
+                                   throw util::InvalidArgument("run failure");
+                               }),
+               util::InvalidArgument);
+}
+
+TEST(Scheduler, BatchRunnerRidesThePoolWhenEnabled) {
+  SchedulerConfig config(4);
+  stats::reset_scheduler_counters();
+  const BatchRunner runner(4);
+  std::vector<std::atomic<int>> hits(33);
+  for (auto& h : hits) h = 0;
+  runner.for_each(hits.size(),
+                  [&hits](std::size_t run, std::size_t) { hits[run].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Slots 1..3 were scheduler tasks (slot 0 runs on the caller).
+  EXPECT_EQ(stats::scheduler_tasks(), 3u);
+
+  set_scheduler_enabled(false);
+  stats::reset_scheduler_counters();
+  runner.for_each(hits.size(), [](std::size_t, std::size_t) {});
+  EXPECT_EQ(stats::scheduler_tasks(), 0u);  // kill switch: spawn path
+}
+
+TEST(Scheduler, ScenarioReportsBitIdenticalAtEveryPoolSizeAndKillSwitch) {
+  const scenario::ScenarioSpec& spec =
+      scenario::Registry::instance().at("trajectory/far");
+  const scenario::ExperimentRunner runner;
+  scenario::ExperimentRunner::Overrides overrides;
+  overrides.threads = 4;
+  overrides.num_runs = 40;
+
+  std::string reference;
+  {
+    SchedulerConfig config(0, /*enabled=*/false);  // pre-scheduler spawn path
+    reference = runner.run(spec, overrides).to_json();
+  }
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    SchedulerConfig config(workers);
+    EXPECT_EQ(runner.run(spec, overrides).to_json(), reference)
+        << "pool size " << workers;
+  }
+}
+
+/// The sweep_test tiny campaign: fast, solver-free, 6 cells in 2 groups.
+sweep::SweepSpec tiny_campaign() {
+  sweep::SweepSpec spec;
+  spec.name = "scheduler_test_campaign";
+  spec.title = "trajectory FAR over a 2x3 grid";
+  spec.base = "trajectory/far";
+  spec.fixed = {{"runs", 40}};
+  spec.axes = {sweep::Axis::list("noise_scale", {0.8, 1.0}),
+               sweep::Axis::list("detector_scale", {1.2, 1.4, 1.6})};
+  return spec;
+}
+
+TEST(Scheduler, ConcurrentCampaignGroupsBitIdenticalToSequential) {
+  const sweep::SweepSpec spec = tiny_campaign();
+  sweep::CampaignOptions options;
+  options.use_cache = false;  // hermetic: memory-only, no scratch dirs
+
+  // Reference: today's strictly sequential loop (threads == 1).
+  options.threads = 1;
+  const sweep::CampaignRun sequential =
+      sweep::CampaignEngine().run(spec, options);
+  ASSERT_TRUE(sequential.report.has_value());
+  const std::string reference = sequential.report->to_json();
+
+  // Concurrent groups at several pool sizes: counters prove the scheduler
+  // actually carried tasks, the report must not move a bit.
+  options.threads = 4;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    SchedulerConfig config(workers);
+    stats::reset_scheduler_counters();
+    const sweep::CampaignRun concurrent =
+        sweep::CampaignEngine().run(spec, options);
+    ASSERT_TRUE(concurrent.report.has_value());
+    EXPECT_EQ(concurrent.report->to_json(), reference)
+        << "pool size " << workers;
+    EXPECT_EQ(concurrent.executed, sequential.executed);
+    EXPECT_GT(stats::scheduler_tasks(), 0u);
+  }
+
+  // Kill switch: threads >= 2 without the scheduler takes the sequential
+  // loop (with the spawn-path BatchRunner inside each group).
+  {
+    SchedulerConfig config(2, /*enabled=*/false);
+    stats::reset_scheduler_counters();
+    const sweep::CampaignRun off = sweep::CampaignEngine().run(spec, options);
+    ASSERT_TRUE(off.report.has_value());
+    EXPECT_EQ(off.report->to_json(), reference);
+    EXPECT_EQ(stats::scheduler_tasks(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cpsguard::sim

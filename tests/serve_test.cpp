@@ -5,7 +5,12 @@
 // (unix + TCP) including error paths and restore.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "can/transport.hpp"
@@ -22,6 +27,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/session_table.hpp"
+#include "sim/scheduler.hpp"
 #include "util/random.hpp"
 #include "util/status.hpp"
 
@@ -586,6 +592,203 @@ TEST(Server, LocalLoadSoakMatchesOfflineReplay) {
   EXPECT_EQ(stats.samples_total, 32u * 64u);
   EXPECT_GT(stats.seconds, 0.0);
   EXPECT_GT(stats.sessions_alarmed, 0u);
+}
+
+// ---- batch feeds & shard workers -------------------------------------------
+
+TEST(Protocol, BatchFramesRoundTripAndRejectHostileCounts) {
+  Message batch;
+  batch.type = MsgType::kFeedNormBatch;
+  batch.entries.push_back({7, {0.25, 1.0, 2.5}, {}});
+  batch.entries.push_back({9, {0.125}, {}});
+  Message out = roundtrip(batch);
+  EXPECT_EQ(out.type, MsgType::kFeedNormBatch);
+  ASSERT_EQ(out.entries.size(), 2u);
+  EXPECT_EQ(out.entries[0].sid, 7u);
+  EXPECT_EQ(out.entries[0].samples, batch.entries[0].samples);
+  EXPECT_EQ(out.entries[1].sid, 9u);
+  EXPECT_EQ(out.entries[1].samples, batch.entries[1].samples);
+
+  Message verdicts;
+  verdicts.type = MsgType::kVerdictsBatch;
+  verdicts.entries.push_back({7, {}, {0x1, 0x0, 0x3}});
+  out = roundtrip(verdicts);
+  EXPECT_EQ(out.type, MsgType::kVerdictsBatch);
+  ASSERT_EQ(out.entries.size(), 1u);
+  EXPECT_EQ(out.entries[0].sid, 7u);
+  EXPECT_EQ(out.entries[0].masks, verdicts.entries[0].masks);
+
+  // An entry count claiming more entries than the body could hold must be
+  // rejected by the remaining-bytes guard, not by a giant resize.
+  util::ByteWriter lying;
+  lying.u8(static_cast<std::uint8_t>(MsgType::kFeedNormBatch));
+  lying.u32(0x10000000);
+  EXPECT_THROW(decode_body(lying.take()), util::InvalidArgument);
+
+  // Same for one entry lying about its sample count...
+  util::ByteWriter lying_entry;
+  lying_entry.u8(static_cast<std::uint8_t>(MsgType::kFeedNormBatch));
+  lying_entry.u32(1);
+  lying_entry.u64(7);
+  lying_entry.u32(0x10000000);
+  EXPECT_THROW(decode_body(lying_entry.take()), util::InvalidArgument);
+
+  // ...and for a verdict entry lying about its mask count.
+  util::ByteWriter lying_masks;
+  lying_masks.u8(static_cast<std::uint8_t>(MsgType::kVerdictsBatch));
+  lying_masks.u32(1);
+  lying_masks.u64(7);
+  lying_masks.u32(0x10000000);
+  EXPECT_THROW(decode_body(lying_masks.take()), util::InvalidArgument);
+}
+
+TEST(Server, ShardWorkersBitIdenticalToSingleThread) {
+  // A 4-shard-worker server on a 4-worker pool vs the single-threaded path:
+  // every session's verdict masks and final first-alarm vector must not
+  // move a bit.
+  sim::Scheduler::resize_for_testing(4);
+  const std::string ref_sock = "serve_test_shard_ref.sock";
+  const std::string par_sock = "serve_test_shard_par.sock";
+  std::remove(ref_sock.c_str());
+  std::remove(par_sock.c_str());
+
+  ServerOptions ref_options;
+  ref_options.unix_path = ref_sock;
+  ref_options.table.shards = 4;
+  ServerFixture ref_fixture(ref_options);
+
+  ServerOptions par_options;
+  par_options.unix_path = par_sock;
+  par_options.table.shards = 4;
+  par_options.shard_workers = 4;
+  ServerFixture par_fixture(par_options);
+
+  Client ref = Client::connect_unix(ref_sock);
+  Client par = Client::connect_unix(par_sock);
+
+  const scenario::ScenarioSpec& spec =
+      scenario::Registry::instance().at("quickstart/far");
+  const auto blueprint = scenario::make_session_blueprint(spec);
+  LoadOptions load;
+  load.samples = 48;
+
+  constexpr std::size_t kSessions = 8;
+  std::vector<std::uint64_t> ref_sids, par_sids;
+  std::vector<std::vector<double>> streams;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    ref_sids.push_back(ref.open(FeedMode::kNorm, "quickstart/far"));
+    par_sids.push_back(par.open(FeedMode::kNorm, "quickstart/far"));
+    streams.push_back(session_stream(*blueprint, load, s, 48));
+  }
+
+  // Feed in rounds of 16 samples: the reference one session at a time, the
+  // sharded server as one kFeedNormBatch frame per round.
+  std::vector<std::uint64_t> ref_masks(kSessions, 0), par_masks(kSessions, 0);
+  for (std::size_t offset = 0; offset < 48; offset += 16) {
+    std::vector<BatchEntry> entries;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      const std::vector<double> chunk(streams[s].begin() + offset,
+                                      streams[s].begin() + offset + 16);
+      for (const std::uint64_t m : ref.feed_norms(ref_sids[s], chunk))
+        ref_masks[s] |= m;
+      entries.push_back({par_sids[s], chunk, {}});
+    }
+    const std::vector<BatchEntry> replies =
+        par.feed_norm_batch(std::move(entries));
+    ASSERT_EQ(replies.size(), kSessions);
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      EXPECT_EQ(replies[s].sid, par_sids[s]);
+      for (const std::uint64_t m : replies[s].masks) par_masks[s] |= m;
+    }
+  }
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    EXPECT_EQ(par_masks[s], ref_masks[s]) << "session " << s;
+    const Message ref_alarms = ref.query(ref_sids[s]);
+    const Message par_alarms = par.query(par_sids[s]);
+    EXPECT_EQ(ref_alarms.steps_fed, 48u);
+    EXPECT_EQ(par_alarms.steps_fed, 48u);
+    EXPECT_EQ(ref_alarms.first_alarms, par_alarms.first_alarms)
+        << "session " << s;
+  }
+
+  // A batch naming an unknown session fails the frame as kError...
+  EXPECT_THROW(par.feed_norm_batch({{~0ULL, {0.1}, {}}}),
+               util::InvalidArgument);
+  // ...and the connection plus the live sessions survive it.
+  EXPECT_EQ(par.query(par_sids[0]).steps_fed, 48u);
+
+  ref.shutdown_server();
+  par.shutdown_server();
+  sim::Scheduler::resize_for_testing(0);
+}
+
+TEST(Server, PipelinedFramesAnswerInOrderUnderShardWorkers) {
+  // Hand-rolled pipelining: many session-addressed frames plus control
+  // barriers written before any reply is read, so one poll round picks up
+  // several decoded requests and the shard-worker dispatch path actually
+  // fans out.  Replies must come back in request order regardless.
+  sim::Scheduler::resize_for_testing(4);
+  const std::string sock = "serve_test_pipeline.sock";
+  std::remove(sock.c_str());
+  ServerOptions options;
+  options.unix_path = sock;
+  options.table.shards = 4;
+  options.shard_workers = 4;
+  ServerFixture fixture(options);
+
+  Client opener = Client::connect_unix(sock);
+  std::vector<std::uint64_t> sids;
+  for (int s = 0; s < 4; ++s)
+    sids.push_back(opener.open(FeedMode::kNorm, "quickstart/far"));
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, sock.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  std::string wire;
+  std::vector<MsgType> want;
+  for (int round = 0; round < 3; ++round) {
+    for (const std::uint64_t sid : sids) {
+      Message feed;
+      feed.type = MsgType::kFeedNorm;
+      feed.sid = sid;
+      feed.samples = {0.25, 0.5};
+      wire += encode_frame(feed);
+      want.push_back(MsgType::kVerdicts);
+    }
+    wire += encode_frame(Message{.type = MsgType::kPing});
+    want.push_back(MsgType::kPong);
+  }
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+  FrameReader reader;
+  std::size_t got = 0;
+  while (got < want.size()) {
+    if (const auto body = reader.next()) {
+      EXPECT_EQ(decode_body(*body).type, want[got]) << "reply " << got;
+      ++got;
+      continue;
+    }
+    char buf[65536];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    reader.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  for (const std::uint64_t sid : sids)
+    EXPECT_EQ(opener.query(sid).steps_fed, 6u);
+  opener.shutdown_server();
+  sim::Scheduler::resize_for_testing(0);
 }
 
 }  // namespace

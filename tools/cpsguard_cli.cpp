@@ -451,12 +451,16 @@ int cmd_sweep_coordinate(const std::string& name,
   options.hang_timeout_s = parsed.hang_timeout_s;
   options.fault_spec = parsed.inject;
   // Workers re-exec this binary: `<self> sweep run <campaign> ...` with the
-  // shard (and per-attempt fault seed) appended by the coordinator.
+  // shard (and per-attempt fault seed) appended by the coordinator.  The
+  // forwarded --threads value is the pool divided across workers — passing
+  // the raw request through would let every worker resolve `--threads 0`
+  // to the full hardware_concurrency() and thrash the box N-fold.
   options.worker_argv = {"/proc/self/exe", "sweep",    "run",
                          name,             "--quiet",  "--cache-dir",
                          parsed.options.cache_dir,     "--work-dir",
                          parsed.options.work_dir,      "--threads",
-                         std::to_string(parsed.options.threads),
+                         std::to_string(sweep::threads_per_worker(
+                             parsed.options.threads, parsed.workers)),
                          "--retries",
                          std::to_string(parsed.options.cell_retry.max_attempts)};
   if (parsed.options.condensed) options.worker_argv.push_back("--condensed");

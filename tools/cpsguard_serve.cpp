@@ -58,13 +58,13 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s serve --unix PATH [--tcp PORT] [--max-sessions N] [--shards N]\n"
-      "                [--ttl TICKS] [--tick-ms M]\n"
+      "                [--ttl TICKS] [--tick-ms M] [--shard-workers N]\n"
       "       %s soak --scenario NAME [--sessions N] [--samples K] [--chunk C]\n"
       "               [--seed S] [--amplitude A] [--max-sessions N] [--shards N]\n"
       "       %s load (--unix PATH | --tcp PORT) --scenario NAME\n"
       "               [--sessions N] [--samples K]\n"
       "               [--chunk C] [--seed S] [--amplitude A] [--verify]\n"
-      "               [--snapshot-dir D] [--restore-dir D] [--shutdown]\n",
+      "               [--snapshot-dir D] [--restore-dir D] [--shutdown] [--batch]\n",
       argv0, argv0, argv0);
   return 2;
 }
@@ -113,6 +113,7 @@ int cmd_serve(const Args& args) {
   options.table.shards = args.num("--shards", 8);
   options.table.ttl_ticks = args.num("--ttl", 0);
   options.tick_millis = static_cast<int>(args.num("--tick-ms", 1000));
+  options.shard_workers = args.num("--shard-workers", 0);
 
   serve::Server server(options);
   g_server = &server;
@@ -225,17 +226,43 @@ int cmd_load(const Args& args) {
 
   // Feed: each session receives samples [base, base + samples) of its
   // deterministic stream — the continuation of what a restored snapshot
-  // already consumed.
-  for (std::size_t s = 0; s < options.sessions; ++s) {
-    const std::size_t total = base_steps[s] + options.samples;
-    const std::vector<double> stream =
-        serve::session_stream(*blueprint, options, s, total);
-    for (std::size_t offset = base_steps[s]; offset < total;
-         offset += options.chunk) {
-      const std::size_t end = std::min(total, offset + options.chunk);
-      client.feed_norms(sids[s],
-                        std::vector<double>(stream.begin() + offset,
-                                            stream.begin() + end));
+  // already consumed.  --batch advances every session in lockstep and
+  // ships each round as ONE kFeedNormBatch frame (per-session sample
+  // order is unchanged, so alarms are identical to per-session feeding);
+  // the default feeds sessions one kFeedNorm chunk at a time.
+  if (args.flag("--batch")) {
+    std::vector<std::vector<double>> streams(options.sessions);
+    for (std::size_t s = 0; s < options.sessions; ++s)
+      streams[s] = serve::session_stream(*blueprint, options, s,
+                                         base_steps[s] + options.samples);
+    for (std::size_t round = 0;; ++round) {
+      std::vector<serve::BatchEntry> entries;
+      for (std::size_t s = 0; s < options.sessions; ++s) {
+        const std::size_t total = base_steps[s] + options.samples;
+        const std::size_t offset = base_steps[s] + round * options.chunk;
+        if (offset >= total) continue;
+        const std::size_t end = std::min(total, offset + options.chunk);
+        serve::BatchEntry entry;
+        entry.sid = sids[s];
+        entry.samples.assign(streams[s].begin() + offset,
+                             streams[s].begin() + end);
+        entries.push_back(std::move(entry));
+      }
+      if (entries.empty()) break;
+      client.feed_norm_batch(std::move(entries));
+    }
+  } else {
+    for (std::size_t s = 0; s < options.sessions; ++s) {
+      const std::size_t total = base_steps[s] + options.samples;
+      const std::vector<double> stream =
+          serve::session_stream(*blueprint, options, s, total);
+      for (std::size_t offset = base_steps[s]; offset < total;
+           offset += options.chunk) {
+        const std::size_t end = std::min(total, offset + options.chunk);
+        client.feed_norms(sids[s],
+                          std::vector<double>(stream.begin() + offset,
+                                              stream.begin() + end));
+      }
     }
   }
 
