@@ -69,10 +69,14 @@
 //      protocol (serve/protocol.hpp documents the wire format,
 //      detect/session.hpp the snapshot versioning): serve::SessionTable
 //      is the sharded lock-striped session registry with LRU/TTL
-//      eviction, serve::CanIngest decodes raw CAN frames through
-//      can::signal_codec into residual samples bit-identical to
-//      can::CanLoopTransport, and serve::run_local_load /
-//      bench/serve_throughput.cpp soak the whole stack;
+//      eviction, serve::SessionStore persists every live session to a
+//      crash-safe state dir (restored — corrupt entries quarantined — on
+//      restart, so a kill -9 loses no verdict stream), serve::CanIngest
+//      decodes raw CAN frames through can::signal_codec into residual
+//      samples bit-identical to can::CanLoopTransport, serve::Client
+//      heals flapping transports under util::RetryPolicy backoff, and
+//      serve::run_local_load / bench/serve_throughput.cpp /
+//      tools/serve_chaos.sh soak and chaos-test the whole stack;
 //   5. for custom experiments, copy a spec and edit it as data (plant,
 //      noise envelope, detector list, protocol), or drop to the layers
 //      below: synth::AttackVectorSynthesizer (Algorithm 1),
@@ -138,6 +142,7 @@
 #include "serve/load_generator.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "serve/session_store.hpp"
 #include "serve/session_table.hpp"
 #include "sim/batch.hpp"
 #include "sim/config.hpp"

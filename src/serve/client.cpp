@@ -15,44 +15,103 @@ namespace cpsguard::serve {
 
 using util::require;
 
-Client Client::connect_unix(const std::string& path) {
-  require(path.size() < sizeof(sockaddr_un{}.sun_path),
-          "serve client: unix socket path too long");
+namespace {
+
+/// Raw dial helpers: a connected fd, or -1 with `err` describing why.
+int dial_unix(const std::string& path, std::string& err) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    err = "unix socket path too long";
+    return -1;
+  }
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  require(fd >= 0, "serve client: socket(AF_UNIX) failed");
+  if (fd < 0) {
+    err = "socket(AF_UNIX) failed";
+    return -1;
+  }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
-    throw util::InvalidArgument("serve client: cannot connect to " + path);
+    err = "cannot connect to " + path;
+    return -1;
   }
-  return Client(fd);
+  return fd;
 }
 
-Client Client::connect_tcp(std::uint16_t port) {
+int dial_tcp(std::uint16_t port, std::string& err) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  require(fd >= 0, "serve client: socket(AF_INET) failed");
+  if (fd < 0) {
+    err = "socket(AF_INET) failed";
+    return -1;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
-    throw util::InvalidArgument("serve client: cannot connect to port " +
-                                std::to_string(port));
+    err = "cannot connect to port " + std::to_string(port);
+    return -1;
   }
+  return fd;
+}
+
+/// Requests a retransmit cannot double-apply: they read state (or nothing),
+/// so reconnect-and-resend is safe.  Everything else — feeds above all —
+/// surfaces the transport failure for the caller to re-synchronize.
+bool retransmit_safe(MsgType type) {
+  switch (type) {
+    case MsgType::kPing:
+    case MsgType::kQuery:
+    case MsgType::kSnapshot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+  std::string err;
+  const int fd = dial_unix(path, err);
+  if (fd < 0) throw util::InvalidArgument("serve client: " + err);
   return Client(fd);
 }
 
+Client Client::connect_tcp(std::uint16_t port) {
+  std::string err;
+  const int fd = dial_tcp(port, err);
+  if (fd < 0) throw util::InvalidArgument("serve client: " + err);
+  return Client(fd);
+}
+
+Client Client::connect(const Endpoint& endpoint, util::RetryPolicy reconnect) {
+  require(!endpoint.unix_path.empty() || endpoint.tcp_port != 0,
+          "serve client: endpoint needs a unix path or a TCP port");
+  Client client;
+  client.endpoint_ = endpoint;
+  client.policy_ = reconnect;
+  client.ensure_connected();
+  return client;
+}
+
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      reader_(std::move(other.reader_)),
+      endpoint_(std::move(other.endpoint_)),
+      policy_(other.policy_),
+      dials_(other.dials_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     reader_ = std::move(other.reader_);
+    endpoint_ = std::move(other.endpoint_);
+    policy_ = other.policy_;
+    dials_ = other.dials_;
   }
   return *this;
 }
@@ -61,15 +120,43 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Message Client::call(const Message& request) {
-  require(fd_ >= 0, "serve client: connection is closed");
+void Client::ensure_connected() {
+  if (fd_ >= 0) return;
+  require(endpoint_.has_value(), "serve client: connection is closed");
+  std::string err;
+  for (std::size_t attempt = 1;; ++attempt) {
+    const int fd = !endpoint_->unix_path.empty()
+                       ? dial_unix(endpoint_->unix_path, err)
+                       : dial_tcp(endpoint_->tcp_port, err);
+    if (fd >= 0) {
+      fd_ = fd;
+      reader_ = FrameReader();  // a new byte stream: no stale frame state
+      ++dials_;
+      return;
+    }
+    if (!policy_.allows(attempt + 1))
+      throw util::IoError("serve client: reconnect failed after " +
+                          std::to_string(attempt) + " attempt(s): " + err);
+    util::sleep_for_ms(policy_.delay_ms(attempt, /*salt=*/dials_));
+  }
+}
+
+void Client::fail_transport(const std::string& what) {
+  ::close(fd_);
+  fd_ = -1;
+  reader_ = FrameReader();
+  throw util::IoError("serve client: " + what);
+}
+
+Message Client::call_once(const Message& request) {
   const std::string frame = encode_frame(request);
   std::size_t sent = 0;
   while (sent < frame.size()) {
     const ssize_t n =
         ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
-    require(n > 0 || errno == EINTR, "serve client: send failed");
-    if (n > 0) sent += static_cast<std::size_t>(n);
+    if (n < 0 && errno == EINTR) continue;  // interrupted: just retry
+    if (n <= 0) fail_transport("send failed");
+    sent += static_cast<std::size_t>(n);
   }
   while (true) {
     if (const std::optional<std::string> body = reader_.next())
@@ -77,9 +164,22 @@ Message Client::call(const Message& request) {
     char buf[65536];
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n < 0 && errno == EINTR) continue;
-    require(n > 0, "serve client: connection closed mid-reply");
+    if (n <= 0) fail_transport("connection closed mid-reply");
     reader_.append(buf, static_cast<std::size_t>(n));
   }
+}
+
+Message Client::call(const Message& request) {
+  ensure_connected();
+  try {
+    return call_once(request);
+  } catch (const util::IoError&) {
+    if (!endpoint_.has_value() || !retransmit_safe(request.type)) throw;
+  }
+  // Side-effect-free request on a redialable client: reconnect (under the
+  // policy's backoff) and retransmit once.
+  ensure_connected();
+  return call_once(request);
 }
 
 Message Client::expect(const Message& request, MsgType want) {

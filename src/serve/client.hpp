@@ -5,19 +5,46 @@
 // used by the load generator, the smoke gate and the tests; a production
 // ingester would pipeline feeds, which the server already supports (replies
 // come back in request order on each connection).
+//
+// Resilience: a client built from an Endpoint (connect(endpoint[, policy]))
+// remembers how to dial, so when the transport fails — server crash, idle
+// expiry, injected fault — the failing call() throws util::IoError and the
+// NEXT call() transparently redials under util::RetryPolicy capped backoff.
+// Requests with no server-side effect (ping, query, snapshot) go one step
+// further: a transport failure mid-call reconnects and retransmits once, so
+// control-plane probes ride a flapping server without the caller noticing.
+// Feeds are never retransmitted — the server may have applied the samples
+// before the connection died, and a blind resend would double-feed; callers
+// re-synchronize via query() instead (see the load generator's chaos mode).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "serve/protocol.hpp"
+#include "util/retry.hpp"
 
 namespace cpsguard::serve {
+
+/// Where a client dials: a unix socket path (preferred when set) or a
+/// loopback TCP port.
+struct Endpoint {
+  std::string unix_path;
+  std::uint16_t tcp_port = 0;
+};
 
 class Client {
  public:
   static Client connect_unix(const std::string& path);
   static Client connect_tcp(std::uint16_t port);  // loopback
+
+  /// Connects to `endpoint`, retrying the initial dial — and every later
+  /// reconnect — under `reconnect` (capped exponential backoff with
+  /// deterministic jitter).  Throws util::IoError when the attempt budget
+  /// is exhausted.
+  static Client connect(const Endpoint& endpoint,
+                        util::RetryPolicy reconnect = util::RetryPolicy{});
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -25,13 +52,18 @@ class Client {
   Client& operator=(const Client&) = delete;
   ~Client();
 
-  /// Sends `request`, blocks for one reply frame.  Throws
-  /// util::InvalidArgument on transport failure or a malformed reply.
+  /// Sends `request`, blocks for one reply frame.  Throws util::IoError on
+  /// transport failure (closing the connection; an Endpoint-built client
+  /// redials on the next call) and util::InvalidArgument on a malformed
+  /// reply.
   Message call(const Message& request);
 
   /// call(), then require the reply type (kError replies surface as
   /// util::InvalidArgument carrying the server's message).
   Message expect(const Message& request, MsgType want);
+
+  /// Successful dials beyond the first — how often the transport healed.
+  std::uint64_t reconnects() const { return dials_ == 0 ? 0 : dials_ - 1; }
 
   // Convenience wrappers over expect().
   std::uint64_t open(FeedMode mode, const std::string& scenario);
@@ -48,10 +80,18 @@ class Client {
   void shutdown_server();
 
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  explicit Client(int fd) : fd_(fd), dials_(1) {}
+  Client() = default;
+
+  void ensure_connected();
+  Message call_once(const Message& request);
+  [[noreturn]] void fail_transport(const std::string& what);
 
   int fd_ = -1;
   FrameReader reader_;
+  std::optional<Endpoint> endpoint_;
+  util::RetryPolicy policy_;
+  std::uint64_t dials_ = 0;
 };
 
 }  // namespace cpsguard::serve

@@ -7,7 +7,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -17,6 +19,7 @@
 #include "scenario/service.hpp"
 #include "serve/protocol.hpp"
 #include "sim/scheduler.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/status.hpp"
 
@@ -80,6 +83,10 @@ struct Server::Connection {
   FrameReader reader;
   std::string outbuf;
   std::size_t outoff = 0;
+  std::uint64_t last_activity_tick = 0;
+
+  /// Unflushed reply bytes — the backpressure quantity.
+  std::size_t pending() const { return outbuf.size() - outoff; }
 };
 
 Server::Server(ServerOptions options)
@@ -93,6 +100,14 @@ Server::Server(ServerOptions options)
   require(::pipe(wake_pipe_) == 0, "serve: pipe() failed");
   set_nonblocking(wake_pipe_[0]);
   set_nonblocking(wake_pipe_[1]);
+  // Held so accept() can still shed load when the fd table fills: closing
+  // this frees one descriptor to accept-and-close the newcomer with.
+  reserve_fd_ = ::open("/dev/null", O_RDONLY);
+  if (!options_.state_dir.empty()) {
+    store_ = std::make_unique<SessionStore>(options_.state_dir);
+    table_.track_removals(true);  // reaped sessions drop their state files
+    restore_from_store();
+  }
 }
 
 Server::~Server() {
@@ -101,7 +116,96 @@ Server::~Server() {
   if (tcp_listener_ >= 0) ::close(tcp_listener_);
   if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
   if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  if (reserve_fd_ >= 0) ::close(reserve_fd_);
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.accepted = counters_.accepted.load(std::memory_order_relaxed);
+  s.shed_overload = counters_.shed_overload.load(std::memory_order_relaxed);
+  s.shed_no_fds = counters_.shed_no_fds.load(std::memory_order_relaxed);
+  s.dropped_backpressure =
+      counters_.dropped_backpressure.load(std::memory_order_relaxed);
+  s.idle_closed = counters_.idle_closed.load(std::memory_order_relaxed);
+  s.faulted_io = counters_.faulted_io.load(std::memory_order_relaxed);
+  s.checkpoints = counters_.checkpoints.load(std::memory_order_relaxed);
+  s.checkpoint_failures =
+      counters_.checkpoint_failures.load(std::memory_order_relaxed);
+  s.restored = counters_.restored.load(std::memory_order_relaxed);
+  s.quarantined = counters_.quarantined.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::restore_from_store() {
+  const std::size_t present = store_->size();
+  const std::vector<SessionStore::Entry> entries = store_->load_all();
+  // load_all already quarantined entries that failed their digest.
+  counters_.quarantined.fetch_add(present - entries.size(),
+                                  std::memory_order_relaxed);
+  for (const SessionStore::Entry& entry : entries) {
+    try {
+      ServedSession served = restore_session(entry.blob);
+      const std::uint64_t steps = served.session.steps_fed();
+      table_.insert_with_sid(entry.sid, std::move(served));
+      persisted_steps_[entry.sid] = steps;
+      counters_.restored.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& err) {
+      // Digest-valid but undecodable (format drift, unknown scenario):
+      // same quarantine discipline, one lost session, not a failed boot.
+      CPSG_WARN("serve") << "cannot restore session " << entry.sid << ": "
+                         << err.what();
+      store_->quarantine(entry.sid);
+      counters_.quarantined.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!entries.empty())
+    CPSG_INFO("serve") << "restored "
+                       << counters_.restored.load(std::memory_order_relaxed)
+                       << " session(s) from " << store_->dir();
+}
+
+void Server::persist_session(std::uint64_t sid) {
+  if (!store_) return;
+  std::string blob;
+  std::uint64_t steps = 0;
+  const bool found = table_.peek(sid, [&](ServedSession& s) {
+    steps = s.session.steps_fed();
+    blob = s.snapshot();
+  });
+  if (!found) return;
+  try {
+    store_->persist(sid, blob);
+    persisted_steps_[sid] = steps;
+    counters_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& err) {
+    // Leave the previous snapshot (if any) authoritative; the next cadence
+    // retries because persisted_steps_ was not advanced.
+    counters_.checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+    CPSG_WARN("serve") << "checkpoint failed for session " << sid << ": "
+                       << err.what();
+  }
+}
+
+void Server::checkpoint_dirty() {
+  if (!store_) return;
+  for (const std::uint64_t sid : table_.ids()) {
+    const auto it = persisted_steps_.find(sid);
+    if (it != persisted_steps_.end()) {
+      std::uint64_t steps = 0;
+      table_.peek(sid, [&](ServedSession& s) { steps = s.session.steps_fed(); });
+      if (steps == it->second) continue;  // unchanged since last persist
+    }
+    persist_session(sid);
+  }
+}
+
+void Server::reap_store_files() {
+  if (!store_) return;
+  for (const std::uint64_t sid : table_.drain_reaped()) {
+    store_->remove(sid);
+    persisted_steps_.erase(sid);
+  }
 }
 
 void Server::stop() {
@@ -215,6 +319,9 @@ Message Server::handle(const Message& req) {
       reply.n_detectors = static_cast<std::uint32_t>(served.session.size());
       reply.sid = table_.insert(std::move(served));
       reply.type = MsgType::kOpened;
+      // Persist at birth so no live session is ever absent from the state
+      // dir: a crash one instant after the reply still restores it.
+      persist_session(reply.sid);
       return reply;
     }
     case MsgType::kRestore: {
@@ -222,6 +329,7 @@ Message Server::handle(const Message& req) {
       reply.n_detectors = static_cast<std::uint32_t>(served.session.size());
       reply.sid = table_.insert(std::move(served));
       reply.type = MsgType::kRestored;
+      persist_session(reply.sid);
       return reply;
     }
     case MsgType::kClose:
@@ -301,21 +409,57 @@ Message Server::handle(const Message& req) {
 void Server::accept_clients(int listener) {
   while (true) {
     const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN or transient error: nothing more to accept
+    if (fd < 0) {
+      if (errno == EMFILE || errno == ENFILE) {
+        // fd table exhausted.  Returning would hot-spin (the listener stays
+        // readable), so shed the newcomer: momentarily release the reserve
+        // descriptor, accept-and-close one connection, reclaim the reserve.
+        if (reserve_fd_ >= 0) {
+          ::close(reserve_fd_);
+          reserve_fd_ = -1;
+        }
+        const int shed = ::accept(listener, nullptr, nullptr);
+        if (shed >= 0) ::close(shed);
+        reserve_fd_ = ::open("/dev/null", O_RDONLY);
+        counters_.shed_no_fds.fetch_add(1, std::memory_order_relaxed);
+        if (shed < 0) return;  // could not shed either: give up this round
+        continue;
+      }
+      return;  // EAGAIN or transient error: nothing more to accept
+    }
+    if (options_.max_connections != 0 &&
+        connections_.size() >= options_.max_connections) {
+      // Over the cap: shed the newcomer, never the established clients.
+      ::close(fd);
+      counters_.shed_overload.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (util::fault::should_fail("serve_accept")) {
+      ::close(fd);
+      counters_.faulted_io.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     set_nonblocking(fd);
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->last_activity_tick = tick_count_;
     connections_.emplace(fd, std::move(conn));
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 bool Server::flush_writes(Connection& conn) {
+  if (conn.pending() > 0 && util::fault::should_fail("serve_write")) {
+    counters_.faulted_io.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   while (conn.outoff < conn.outbuf.size()) {
     const ssize_t n =
         ::send(conn.fd, conn.outbuf.data() + conn.outoff,
                conn.outbuf.size() - conn.outoff, MSG_NOSIGNAL);
     if (n > 0) {
       conn.outoff += static_cast<std::size_t>(n);
+      conn.last_activity_tick = tick_count_;
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
@@ -409,11 +553,16 @@ void Server::dispatch(std::vector<Pending>& batch) {
 }
 
 bool Server::service_readable(Connection& conn) {
+  if (util::fault::should_fail("serve_read")) {
+    counters_.faulted_io.fetch_add(1, std::memory_order_relaxed);
+    return false;  // drop the connection, as a failed read would
+  }
   char buf[65536];
   while (true) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn.reader.append(buf, static_cast<std::size_t>(n));
+      conn.last_activity_tick = tick_count_;
       continue;
     }
     if (n == 0) return false;  // orderly close
@@ -455,51 +604,144 @@ bool Server::service_readable(Connection& conn) {
 
 void Server::run() {
   running_.store(true, std::memory_order_relaxed);
+  using clock = std::chrono::steady_clock;
+  const auto tick_period =
+      std::chrono::milliseconds(std::max(1, options_.tick_millis));
+  auto next_tick = clock::now() + tick_period;
   while (running_.load(std::memory_order_relaxed)) {
     std::vector<pollfd> fds;
     fds.push_back({wake_pipe_[0], POLLIN, 0});
     if (unix_listener_ >= 0) fds.push_back({unix_listener_, POLLIN, 0});
     if (tcp_listener_ >= 0) fds.push_back({tcp_listener_, POLLIN, 0});
     const std::size_t first_client = fds.size();
+    for (const auto& [fd, conn] : connections_) {
+      // Backpressure: past the soft limit of unflushed replies a
+      // connection is not polled for reads — its pipelined requests wait
+      // in the socket until the peer drains what it already owes us.
+      short events = 0;
+      if (options_.outbuf_soft_limit == 0 ||
+          conn->pending() <= options_.outbuf_soft_limit)
+        events |= POLLIN;
+      if (conn->pending() > 0) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+    }
+
+    // Time-based tick: TTL, idle expiry and the checkpoint cadence fire
+    // every tick_millis of wall time whether or not the loop is busy.
+    const auto now = clock::now();
+    const int timeout =
+        next_tick <= now
+            ? 0
+            : static_cast<int>(std::chrono::duration_cast<
+                                   std::chrono::milliseconds>(next_tick - now)
+                                   .count()) +
+                  1;
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (ready < 0 && errno != EINTR) break;
+
+    if (ready > 0) {
+      if (fds[0].revents != 0) {
+        char drain_buf[64];
+        while (::read(wake_pipe_[0], drain_buf, sizeof(drain_buf)) > 0) {}
+      }
+      for (std::size_t i = 1; i < first_client; ++i)
+        if (fds[i].revents != 0) accept_clients(fds[i].fd);
+
+      std::vector<int> dead;
+      for (std::size_t i = first_client; i < fds.size(); ++i) {
+        if (fds[i].revents == 0) continue;
+        const auto conn_it = connections_.find(fds[i].fd);
+        if (conn_it == connections_.end()) continue;
+        Connection& conn = *conn_it->second;
+        bool alive = true;
+        if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
+        if (alive && (fds[i].revents & POLLOUT)) alive = flush_writes(conn);
+        if (alive && (fds[i].revents & POLLIN)) alive = service_readable(conn);
+        if (alive && options_.outbuf_hard_limit != 0 &&
+            conn.pending() > options_.outbuf_hard_limit) {
+          // A reader this far behind is a liability: cut it.  Its sessions
+          // stay in the table for whoever reconnects.
+          CPSG_WARN("serve") << "dropping connection fd " << conn.fd << ": "
+                             << conn.pending()
+                             << " unflushed bytes past the hard limit";
+          counters_.dropped_backpressure.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          alive = false;
+        }
+        if (!alive) dead.push_back(fds[i].fd);
+      }
+      for (const int fd : dead) {
+        ::close(fd);
+        connections_.erase(fd);
+      }
+    }
+
+    if (clock::now() >= next_tick) {
+      on_tick();
+      next_tick += tick_period;
+      // A long stall (debugger, swap storm) must not queue a tick burst.
+      if (next_tick < clock::now()) next_tick = clock::now() + tick_period;
+    }
+  }
+  drain();
+}
+
+void Server::on_tick() {
+  ++tick_count_;
+  table_.tick();
+  reap_store_files();
+  if (options_.idle_conn_ticks > 0) {
+    std::vector<int> idle;
     for (const auto& [fd, conn] : connections_)
-      fds.push_back({fd, static_cast<short>(
-                             POLLIN | (conn->outbuf.empty() ? 0 : POLLOUT)),
-                     0});
-
-    const int ready = ::poll(fds.data(), fds.size(), options_.tick_millis);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
+      if (tick_count_ - conn->last_activity_tick >= options_.idle_conn_ticks)
+        idle.push_back(fd);
+    for (const int fd : idle) {
+      ::close(fd);
+      connections_.erase(fd);
+      counters_.idle_closed.fetch_add(1, std::memory_order_relaxed);
     }
-    if (ready == 0) {
-      table_.tick();  // idle: advance the TTL clock
-      continue;
-    }
+  }
+  if (store_ && options_.checkpoint_ticks > 0 &&
+      tick_count_ % options_.checkpoint_ticks == 0)
+    checkpoint_dirty();
+}
 
-    if (fds[0].revents != 0) {
-      char drain[64];
-      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {}
-    }
-    for (std::size_t i = 1; i < first_client; ++i)
-      if (fds[i].revents != 0) accept_clients(fds[i].fd);
-
+void Server::drain() {
+  // Bounded graceful drain: flush what clients are owed (the kPong
+  // answering kShutdown, tail verdicts) without letting a blocked peer
+  // hang teardown, then land a final checkpoint.
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() +
+      std::chrono::milliseconds(std::max(0, options_.drain_deadline_ms));
+  while (true) {
+    std::vector<pollfd> fds;
+    for (const auto& [fd, conn] : connections_)
+      if (conn->pending() > 0) fds.push_back({fd, POLLOUT, 0});
+    if (fds.empty()) break;
+    const auto now = clock::now();
+    if (now >= deadline) break;
+    const int timeout =
+        static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  now)
+                .count()) +
+        1;
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) break;
     std::vector<int> dead;
-    for (std::size_t i = first_client; i < fds.size(); ++i) {
-      if (fds[i].revents == 0) continue;
-      Connection& conn = *connections_.at(fds[i].fd);
-      bool alive = true;
-      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
-      if (alive && (fds[i].revents & POLLOUT)) alive = flush_writes(conn);
-      if (alive && (fds[i].revents & POLLIN)) alive = service_readable(conn);
-      if (!alive) dead.push_back(fds[i].fd);
+    for (const pollfd& p : fds) {
+      if (p.revents == 0) continue;
+      if (!flush_writes(*connections_.at(p.fd))) dead.push_back(p.fd);
     }
     for (const int fd : dead) {
       ::close(fd);
       connections_.erase(fd);
     }
   }
-  // Best-effort flush of pending replies (the kPong answering kShutdown).
-  for (auto& [fd, conn] : connections_) flush_writes(*conn);
+  checkpoint_dirty();
+  reap_store_files();
 }
 
 }  // namespace cpsguard::serve

@@ -11,6 +11,18 @@
 // Blueprints are realized once per scenario name on first open (calibration
 // and synthesis cost), cached, and shared by every session of that
 // scenario; the per-open cost is cloning the detector instances.
+//
+// High availability: with `state_dir` set, every session is persisted to a
+// SessionStore on open and on a checkpoint cadence (`checkpoint_ticks`
+// ticks of the time-based tick clock), and a restarted server restores the
+// whole table — corrupt snapshots are quarantined, not fatal.  Overload
+// degrades the offender only: connections past `max_connections` are shed
+// at accept, a slow reader stops being polled for reads past
+// `outbuf_soft_limit` bytes of unflushed replies and is dropped past
+// `outbuf_hard_limit`, and connections idle for `idle_conn_ticks` ticks
+// are closed.  stop() (the SIGTERM/SIGINT path) drains: accepting ends,
+// outbufs flush under `drain_deadline_ms`, a final checkpoint lands, and
+// run() returns.
 #pragma once
 
 #include <atomic>
@@ -20,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/session_store.hpp"
 #include "serve/session_table.hpp"
 
 namespace cpsguard::serve {
@@ -29,9 +42,33 @@ struct ServerOptions {
   bool tcp = false;             ///< enable the loopback TCP listener
   std::uint16_t tcp_port = 0;   ///< 0 = ephemeral (read back via tcp_port())
   SessionTable::Options table;
-  /// Idle poll granularity; each expiry advances the table's TTL clock one
-  /// tick, so ttl_ticks * this is the session idle timeout.
+  /// Tick clock period: the table's TTL clock, idle-connection expiry and
+  /// the checkpoint cadence all advance every `tick_millis` of wall time
+  /// (under load too, not just when the poll loop is idle), so
+  /// ttl_ticks * this is the session idle timeout.
   int tick_millis = 1000;
+  /// Durability: when non-empty, sessions persist to a SessionStore here
+  /// (on open/restore and every `checkpoint_ticks` ticks) and a starting
+  /// server restores everything the directory holds.
+  std::string state_dir;
+  /// Checkpoint cadence in ticks (0 = only at open and graceful shutdown).
+  std::uint64_t checkpoint_ticks = 5;
+  /// Graceful-drain flush budget: after stop(), pending replies get this
+  /// many milliseconds to reach their peers before connections are cut.
+  int drain_deadline_ms = 2000;
+  /// Connection cap (0 = unlimited): connections past it are accepted and
+  /// immediately closed, shedding the newcomer without starving the rest.
+  std::size_t max_connections = 0;
+  /// Backpressure: a connection whose unflushed reply bytes pass the soft
+  /// limit stops being polled for reads (its pipelined requests wait in
+  /// the socket) until the peer drains below it; past the hard limit the
+  /// connection is dropped — a reader this slow is a liability.
+  std::size_t outbuf_soft_limit = 256 * 1024;
+  std::size_t outbuf_hard_limit = 4 * 1024 * 1024;
+  /// Connections with no read/write progress for this many ticks are
+  /// closed (0 = never).  Sessions survive: they live in the table, not
+  /// the connection.
+  std::uint64_t idle_conn_ticks = 0;
   /// Shard-worker dispatch: at >= 2 (and with sim::scheduler_enabled()),
   /// session-addressed work read in one poll round fans out across the
   /// process-wide scheduler, one task per touched SessionTable shard —
@@ -40,6 +77,21 @@ struct ServerOptions {
   /// single-threaded service.  The poll loop stays the sole IO/accept
   /// dispatcher.  0/1 = today's fully single-threaded path.
   std::size_t shard_workers = 0;
+};
+
+/// Operational counters, readable at any time (each is independently
+/// atomic; a snapshot taken mid-run may straddle a poll round).
+struct ServerStats {
+  std::uint64_t accepted = 0;             ///< connections admitted
+  std::uint64_t shed_overload = 0;        ///< closed at accept: over cap
+  std::uint64_t shed_no_fds = 0;          ///< closed at accept: EMFILE/ENFILE
+  std::uint64_t dropped_backpressure = 0; ///< outbuf passed the hard limit
+  std::uint64_t idle_closed = 0;          ///< idle-connection expiries
+  std::uint64_t faulted_io = 0;           ///< serve_read/serve_write injections
+  std::uint64_t checkpoints = 0;          ///< session snapshots persisted
+  std::uint64_t checkpoint_failures = 0;  ///< persist attempts that threw
+  std::uint64_t restored = 0;             ///< sessions restored at startup
+  std::uint64_t quarantined = 0;          ///< corrupt snapshots at startup
 };
 
 class Server {
@@ -58,10 +110,13 @@ class Server {
   /// Serves until stop() or a kShutdown frame.  Call from one thread.
   void run();
 
-  /// Signals run() to return; safe from any thread / signal context.
+  /// Signals run() to return (after draining); safe from any thread /
+  /// signal context.
   void stop();
 
   SessionTable& table() { return table_; }
+
+  ServerStats stats() const;
 
  private:
   struct Connection;
@@ -80,17 +135,42 @@ class Server {
   bool service_readable(Connection& conn);  // false = drop connection
   bool flush_writes(Connection& conn);
 
+  void restore_from_store();
+  void persist_session(std::uint64_t sid);  // best effort, never throws
+  void checkpoint_dirty();                  // persist sessions fed since last
+  void reap_store_files();
+  void on_tick();
+  void drain();
+
   ServerOptions options_;
   SessionTable table_;
+  std::unique_ptr<SessionStore> store_;  // null without state_dir
   int unix_listener_ = -1;
   int tcp_listener_ = -1;
   int wake_pipe_[2] = {-1, -1};
+  int reserve_fd_ = -1;  // released to accept-and-close under EMFILE
   std::uint16_t bound_tcp_port_ = 0;
   std::atomic<bool> running_{false};
   std::map<int, std::unique_ptr<Connection>> connections_;
   std::map<std::string, std::shared_ptr<const detect::SessionBlueprint>>
       blueprints_;
   std::map<std::string, control::LoopConfig> loops_;  // for CAN observers
+  std::map<std::uint64_t, std::uint64_t> persisted_steps_;  // sid -> steps
+  std::uint64_t tick_count_ = 0;
+
+  struct Counters {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> shed_overload{0};
+    std::atomic<std::uint64_t> shed_no_fds{0};
+    std::atomic<std::uint64_t> dropped_backpressure{0};
+    std::atomic<std::uint64_t> idle_closed{0};
+    std::atomic<std::uint64_t> faulted_io{0};
+    std::atomic<std::uint64_t> checkpoints{0};
+    std::atomic<std::uint64_t> checkpoint_failures{0};
+    std::atomic<std::uint64_t> restored{0};
+    std::atomic<std::uint64_t> quarantined{0};
+  };
+  mutable Counters counters_;
 };
 
 }  // namespace cpsguard::serve

@@ -1,0 +1,135 @@
+#include "serve/session_store.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+
+#include "util/bytes.hpp"
+#include "util/csv.hpp"
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kEntrySuffix = ".snap";
+
+bool is_temp_file(const fs::path& path) {
+  // write_file_atomic temp names: <target>.tmp.<pid>
+  return path.filename().string().find(".tmp.") != std::string::npos;
+}
+
+/// Session id of an entry file, or 0 (never a valid sid) when the name is
+/// not <digits>.snap — foreign files are left alone, not restored.
+std::uint64_t sid_of(const fs::path& path) {
+  const std::string name = path.filename().string();
+  if (name.size() <= std::char_traits<char>::length(kEntrySuffix)) return 0;
+  const std::size_t stem_len = name.size() - 5;
+  if (name.compare(stem_len, 5, kEntrySuffix) != 0) return 0;
+  std::uint64_t sid = 0;
+  for (std::size_t i = 0; i < stem_len; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return 0;
+    sid = sid * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return sid;
+}
+
+}  // namespace
+
+SessionStore::SessionStore(std::string dir) : dir_(std::move(dir)) {
+  util::require(!dir_.empty(), "SessionStore: empty state directory");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_))
+    throw util::IoError("SessionStore: cannot create state directory " + dir_);
+  // Sweep temps from writes a crash interrupted: the rename never happened,
+  // so the previous entry (if any) is still the authoritative snapshot.
+  std::size_t removed = 0;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file() || !is_temp_file(entry.path())) continue;
+    std::error_code rm_ec;
+    if (fs::remove(entry.path(), rm_ec)) ++removed;
+  }
+  if (removed != 0)
+    CPSG_INFO("serve") << "state dir " << dir_ << ": removed " << removed
+                       << " interrupted checkpoint temp(s)";
+}
+
+std::string SessionStore::entry_path(std::uint64_t sid) const {
+  return dir_ + "/" + std::to_string(sid) + kEntrySuffix;
+}
+
+void SessionStore::persist(std::uint64_t sid, const std::string& blob) const {
+  util::fault::maybe_throw("serve_checkpoint", entry_path(sid));
+  std::string payload = blob;
+  util::fault::maybe_corrupt("serve_checkpoint", payload);
+  util::write_file_atomic(entry_path(sid), payload);
+}
+
+bool SessionStore::remove(std::uint64_t sid) const {
+  std::error_code ec;
+  return fs::remove(entry_path(sid), ec);
+}
+
+void SessionStore::quarantine(std::uint64_t sid) const {
+  const std::string path = entry_path(sid);
+  std::error_code ec;
+  fs::create_directories(quarantine_dir(), ec);
+  const std::string target =
+      quarantine_dir() + "/" + fs::path(path).filename().string();
+  fs::rename(path, target, ec);
+  if (ec) fs::remove(path, ec);  // cross-device or exotic failure: drop it
+  CPSG_WARN("serve") << "quarantined corrupt session snapshot " << path;
+}
+
+std::vector<SessionStore::Entry> SessionStore::load_all() const {
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (const auto& file : fs::directory_iterator(dir_, ec)) {
+    if (!file.is_regular_file() || is_temp_file(file.path())) continue;
+    const std::uint64_t sid = sid_of(file.path());
+    if (sid == 0) continue;
+    std::string raw;
+    {
+      std::ifstream in(file.path(), std::ios::binary);
+      if (in)
+        raw.assign((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+      if (!in || in.bad()) {
+        quarantine(sid);
+        continue;
+      }
+    }
+    try {
+      util::unframe_with_digest(raw, "serve snapshot");
+    } catch (const std::exception&) {
+      quarantine(sid);
+      continue;
+    }
+    entries.push_back(Entry{sid, std::move(raw)});
+  }
+  // Directory iteration order is filesystem-dependent; sort so restores
+  // (and the serial high-water marks they imply) are reproducible.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.sid < b.sid; });
+  return entries;
+}
+
+std::size_t SessionStore::size() const {
+  std::size_t count = 0;
+  std::error_code ec;
+  for (const auto& file : fs::directory_iterator(dir_, ec))
+    if (file.is_regular_file() && !is_temp_file(file.path()) &&
+        sid_of(file.path()) != 0)
+      ++count;
+  return count;
+}
+
+}  // namespace cpsguard::serve

@@ -1,0 +1,75 @@
+// session_store.hpp — crash-safe durability for served sessions.
+//
+// The server's SessionTable is in-memory: a crash loses every live session.
+// SessionStore is the durable side — one file per session under a state
+// directory, each holding the session's integrity-framed serve snapshot
+// (ServedSession::snapshot, the same versioned sha256-framed blob that
+// travels on the wire as kSnapshotData).  The server persists on open and
+// on a checkpoint cadence, removes files when sessions close or age out,
+// and at startup restores everything the directory holds — quarantining
+// anything that fails its digest to <dir>/corrupt/, exactly the
+// sweep::ResultCache fsck discipline, so a torn write degrades to one lost
+// session instead of a failed restart.
+//
+// Layout:
+//   <dir>/<sid>.snap   one framed serve snapshot per live session
+//   <dir>/corrupt/     quarantined entries (never restored, kept for triage)
+//   <dir>/*.tmp.<pid>  in-flight atomic writes (swept on open)
+//
+// Writes go through util::write_file_atomic (temp file + rename), so a
+// kill -9 at any instant leaves either the previous snapshot or the new
+// one, never a torn file — torn payloads only arise from storage faults,
+// which the digest catches.  The `serve_checkpoint` fault site injects
+// both failure modes (thrown persist, torn payload) for chaos drills.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpsguard::serve {
+
+class SessionStore {
+ public:
+  /// Opens (creating if needed) the state directory and sweeps stale temp
+  /// files from interrupted writes.  Throws util::IoError when the
+  /// directory cannot be created or is not writable.
+  explicit SessionStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string quarantine_dir() const { return dir_ + "/corrupt"; }
+  std::string entry_path(std::uint64_t sid) const;
+
+  /// Atomically persists `blob` (an already integrity-framed serve
+  /// snapshot) as session `sid`'s entry, replacing any previous one.
+  /// Throws util::IoError on failure; the `serve_checkpoint` fault site can
+  /// inject a thrown failure or a torn payload here.
+  void persist(std::uint64_t sid, const std::string& blob) const;
+
+  /// Removes session `sid`'s entry; false when absent.
+  bool remove(std::uint64_t sid) const;
+
+  /// Moves session `sid`'s entry to <dir>/corrupt/ (best effort: a rename
+  /// failure falls back to deletion, so a bad entry never survives in the
+  /// restore path).
+  void quarantine(std::uint64_t sid) const;
+
+  struct Entry {
+    std::uint64_t sid = 0;
+    std::string blob;  ///< framed serve snapshot, digest already verified
+  };
+
+  /// All digest-valid entries in the directory; entries that fail framing
+  /// are quarantined and skipped.  Restore-side decode failures are the
+  /// caller's to quarantine (the digest cannot vouch for semantic validity
+  /// across format versions).
+  std::vector<Entry> load_all() const;
+
+  /// Live (non-quarantined, non-temp) entry count.
+  std::size_t size() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace cpsguard::serve

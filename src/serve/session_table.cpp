@@ -1,6 +1,7 @@
 #include "serve/session_table.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/status.hpp"
 
@@ -70,6 +71,7 @@ std::uint64_t SessionTable::insert(ServedSession session) {
     shard.lru.pop_back();
     shard.entries.erase(victim);
     evicted_.fetch_add(1, std::memory_order_relaxed);
+    record_reaped(victim);
   }
   const std::uint64_t sid = (shard.next_serial++ << shard_bits_) | index;
   shard.lru.push_front(sid);
@@ -86,6 +88,7 @@ bool SessionTable::erase(std::uint64_t sid) {
   if (it == shard.entries.end()) return false;
   shard.lru.erase(it->second.lru_pos);
   shard.entries.erase(it);
+  record_reaped(sid);
   return true;
 }
 
@@ -104,11 +107,58 @@ std::size_t SessionTable::tick() {
       if (now - it->second.last_tick <= ttl_ticks_) break;
       shard.lru.pop_back();
       shard.entries.erase(it);
+      record_reaped(sid);
       ++removed;
     }
   }
   expired_.fetch_add(removed, std::memory_order_relaxed);
   return removed;
+}
+
+void SessionTable::insert_with_sid(std::uint64_t sid, ServedSession session) {
+  const std::size_t index = sid & (shards_.size() - 1);
+  const std::uint64_t serial = sid >> shard_bits_;
+  require(sid != 0 && serial != 0,
+          "SessionTable: cannot restore session id " + std::to_string(sid) +
+              " (minted under a different shard count?)");
+  Shard& shard = *shards_[index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  require(shard.entries.find(sid) == shard.entries.end(),
+          "SessionTable: session id " + std::to_string(sid) +
+              " already exists");
+  if (shard.entries.size() >= per_shard_cap_) {
+    const std::uint64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.entries.erase(victim);
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+    record_reaped(victim);
+  }
+  shard.next_serial = std::max(shard.next_serial, serial + 1);
+  shard.lru.push_front(sid);
+  Entry entry{std::move(session), shard.lru.begin(),
+              now_.load(std::memory_order_relaxed)};
+  shard.entries.emplace(sid, std::move(entry));
+}
+
+std::vector<std::uint64_t> SessionTable::ids() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    for (const auto& [sid, entry] : shard_ptr->entries) out.push_back(sid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SessionTable::record_reaped(std::uint64_t sid) {
+  if (!track_removals_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(reaped_mutex_);
+  reaped_.push_back(sid);
+}
+
+std::vector<std::uint64_t> SessionTable::drain_reaped() {
+  std::lock_guard<std::mutex> lock(reaped_mutex_);
+  return std::exchange(reaped_, {});
 }
 
 std::size_t SessionTable::size() const {

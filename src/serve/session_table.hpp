@@ -80,6 +80,38 @@ class SessionTable {
     return true;
   }
 
+  /// Runs `fn(const ServedSession&)` under the owning shard's lock WITHOUT
+  /// refreshing the LRU position or TTL stamp — the checkpoint scan's
+  /// accessor, so persisting a session does not keep it artificially live.
+  /// Returns false (without calling fn) when the id is unknown.
+  template <class Fn>
+  bool peek(std::uint64_t sid, Fn&& fn) {
+    Shard& shard = shard_of(sid);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(sid);
+    if (it == shard.entries.end()) return false;
+    fn(it->second.session);
+    return true;
+  }
+
+  /// Re-inserts a session under a fixed id (a restore from the state dir).
+  /// The id routes to its original shard via its low bits; the shard's
+  /// serial counter is bumped past it so future insert()s never collide.
+  /// Requires the same shard count the id was minted under and an unused
+  /// id; evicts the shard's LRU entry when full, like insert().
+  void insert_with_sid(std::uint64_t sid, ServedSession session);
+
+  /// All live session ids (snapshot; per-shard locks taken in turn).
+  std::vector<std::uint64_t> ids() const;
+
+  /// When enabled, every removed session — LRU eviction, TTL expiry and
+  /// erase() — is recorded for drain_reaped(), so a durability layer can
+  /// delete the corresponding state files at its own cadence.
+  void track_removals(bool enabled) { track_removals_ = enabled; }
+
+  /// Returns and clears the ids reaped since the last drain.
+  std::vector<std::uint64_t> drain_reaped();
+
   /// Removes a session; false when unknown.
   bool erase(std::uint64_t sid);
 
@@ -116,6 +148,8 @@ class SessionTable {
     return *shards_[sid & (shards_.size() - 1)];
   }
 
+  void record_reaped(std::uint64_t sid);
+
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t shard_bits_ = 0;
   std::size_t per_shard_cap_ = 0;
@@ -124,6 +158,9 @@ class SessionTable {
   std::atomic<std::uint64_t> next_shard_{0};  // round-robin insert target
   std::atomic<std::uint64_t> evicted_{0};
   std::atomic<std::uint64_t> expired_{0};
+  std::atomic<bool> track_removals_{false};
+  std::mutex reaped_mutex_;
+  std::vector<std::uint64_t> reaped_;
 };
 
 }  // namespace cpsguard::serve

@@ -15,9 +15,10 @@ namespace cpsguard::util::fault {
 
 namespace {
 
-constexpr const char* kKnownSites[] = {"cache_read",   "cache_write",
-                                       "cache_rename", "cell_execute",
-                                       "worker_abort", "worker_stall"};
+constexpr const char* kKnownSites[] = {
+    "cache_read",   "cache_write", "cache_rename",     "cell_execute",
+    "worker_abort", "worker_stall", "serve_accept",    "serve_read",
+    "serve_write",  "serve_checkpoint"};
 
 bool known_site(const std::string& site) {
   for (const char* name : kKnownSites)

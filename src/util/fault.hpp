@@ -16,6 +16,10 @@
 //   cell_execute  CampaignEngine — a cell's execution throws
 //   worker_abort  CampaignEngine loop — the worker process dies mid-shard
 //   worker_stall  CampaignEngine loop — the worker hangs (deadline testing)
+//   serve_accept      serve::Server — an accepted connection is shed at once
+//   serve_read        serve::Server — a readable connection is dropped unread
+//   serve_write       serve::Server — a flush fails, dropping the connection
+//   serve_checkpoint  serve::SessionStore — a snapshot persist throws or tears
 //
 // A plan is armed per process: `cpsguard_cli ... --inject SPEC` or the
 // CPSGUARD_INJECT environment variable, SPEC being a comma-separated list

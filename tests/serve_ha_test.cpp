@@ -1,0 +1,634 @@
+// Tests for the high-availability serve layer: SessionStore durability
+// (persist/load/remove, quarantine of corrupt entries, temp-file sweep),
+// the SessionTable restore/checkpoint accessors (peek without LRU/TTL
+// refresh, insert_with_sid, reaped-id tracking), server restart from a
+// state dir with bit-exact resumed verdict streams, tick-cadence
+// checkpointing, overload protection (soft/hard outbuf backpressure,
+// max-connections shed, idle-connection expiry) where only the offender
+// degrades, and the client's RetryPolicy reconnect path against flapping
+// servers and injected serve faults.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "detect/online.hpp"
+#include "detect/session.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/service.hpp"
+#include "serve/client.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/session_store.hpp"
+#include "serve/session_table.hpp"
+#include "util/fault.hpp"
+#include "util/retry.hpp"
+#include "util/status.hpp"
+
+namespace cpsguard::serve {
+namespace {
+
+std::shared_ptr<const detect::SessionBlueprint> tiny_blueprint() {
+  std::vector<detect::DetectorFactory> factories;
+  factories.push_back([] {
+    return std::make_unique<detect::ThresholdOnline>(
+        detect::ThresholdVector::constant(4, 0.5), control::Norm::kInf);
+  });
+  return std::make_shared<const detect::SessionBlueprint>(
+      "tiny", std::vector<std::string>{"th"}, std::move(factories));
+}
+
+ServedSession make_served(
+    const std::shared_ptr<const detect::SessionBlueprint>& bp) {
+  return ServedSession{detect::Session(bp), FeedMode::kNorm, nullptr};
+}
+
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerOptions options) : server_(std::move(options)) {
+    thread_ = std::thread([this] { server_.run(); });
+  }
+  ~ServerFixture() {
+    server_.stop();
+    if (thread_.joinable()) thread_.join();
+  }
+  Server& server() { return server_; }
+
+ private:
+  Server server_;
+  std::thread thread_;
+};
+
+/// Polls `pred` every 10ms until it holds or `deadline_ms` elapses.
+template <class Pred>
+bool eventually(Pred&& pred, int deadline_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int raw_dial(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// ---- session store ---------------------------------------------------------
+
+TEST(SessionStore, PersistLoadRemoveAndQuarantine) {
+  const std::string dir = "serve_ha_store_dir";
+  std::filesystem::remove_all(dir);
+  SessionStore store(dir);
+
+  const auto bp = tiny_blueprint();
+  ServedSession one = make_served(bp);
+  one.session.feed_norm(0.9);
+  const std::string blob_one = one.snapshot();
+  ServedSession two = make_served(bp);
+  const std::string blob_two = two.snapshot();
+
+  store.persist(5, blob_one);
+  store.persist(9, blob_two);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.entry_path(5), dir + "/5.snap");
+
+  // A corrupt entry is quarantined by load_all, not returned and not fatal;
+  // a foreign file is ignored entirely.
+  { std::ofstream(dir + "/7.snap") << "sha256:lies\nnot a snapshot"; }
+  { std::ofstream(dir + "/notes.txt") << "operator scribbles"; }
+  const std::vector<SessionStore::Entry> entries = store.load_all();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].sid, 5u);
+  EXPECT_EQ(entries[0].blob, blob_one);
+  EXPECT_EQ(entries[1].sid, 9u);
+  EXPECT_EQ(entries[1].blob, blob_two);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/7.snap"));
+  EXPECT_TRUE(std::filesystem::exists(store.quarantine_dir() + "/7.snap"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/notes.txt"));
+  EXPECT_EQ(store.size(), 2u);
+
+  // Stale temp files from interrupted atomic writes are swept on open.
+  { std::ofstream(dir + "/5.snap.tmp.4242") << "half a write"; }
+  SessionStore reopened(dir);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/5.snap.tmp.4242"));
+  EXPECT_EQ(reopened.size(), 2u);
+
+  EXPECT_TRUE(store.remove(5));
+  EXPECT_FALSE(store.remove(5));
+  EXPECT_EQ(store.size(), 1u);
+  store.quarantine(9);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(store.quarantine_dir() + "/9.snap"));
+
+  // The serve_checkpoint fault site makes persist throw, then disarms at
+  // its failure limit.
+  util::fault::install(util::fault::FaultPlan::parse("serve_checkpoint=1:1@3"));
+  EXPECT_THROW(store.persist(11, blob_one), util::IoError);
+  EXPECT_EQ(util::fault::injected("serve_checkpoint"), 1u);
+  store.persist(11, blob_one);
+  EXPECT_EQ(store.size(), 1u);
+  util::fault::clear();
+  std::filesystem::remove_all(dir);
+}
+
+// ---- session table restore/checkpoint accessors ----------------------------
+
+TEST(SessionTable, PeekRefreshesNeitherLruNorTtl) {
+  SessionTable table(SessionTable::Options{1, 2, 0});
+  const auto bp = tiny_blueprint();
+  const std::uint64_t a = table.insert(make_served(bp));
+  const std::uint64_t b = table.insert(make_served(bp));
+
+  // peek(a) must leave `a` the LRU victim (with(a) would have saved it).
+  EXPECT_TRUE(table.peek(a, [](ServedSession&) {}));
+  const std::uint64_t c = table.insert(make_served(bp));
+  EXPECT_FALSE(table.with(a, [](ServedSession&) {}));
+  EXPECT_TRUE(table.with(b, [](ServedSession&) {}));
+  EXPECT_TRUE(table.with(c, [](ServedSession&) {}));
+
+  SessionTable ttl_table(SessionTable::Options{1, 16, 2});
+  const std::uint64_t stale = ttl_table.insert(make_served(bp));
+  const std::uint64_t live = ttl_table.insert(make_served(bp));
+  EXPECT_EQ(ttl_table.tick(), 0u);
+  EXPECT_EQ(ttl_table.tick(), 0u);
+  // peek must not reset the TTL stamp the way with() does.
+  EXPECT_TRUE(ttl_table.peek(stale, [](ServedSession&) {}));
+  EXPECT_TRUE(ttl_table.with(live, [](ServedSession&) {}));
+  EXPECT_EQ(ttl_table.tick(), 1u);
+  EXPECT_FALSE(ttl_table.with(stale, [](ServedSession&) {}));
+  EXPECT_TRUE(ttl_table.with(live, [](ServedSession&) {}));
+}
+
+TEST(SessionTable, InsertWithSidRestoresWithoutFutureCollisions) {
+  const auto bp = tiny_blueprint();
+  SessionTable original(SessionTable::Options{4, 64, 0});
+  const std::uint64_t sid = original.insert(make_served(bp));
+
+  SessionTable restored(SessionTable::Options{4, 64, 0});
+  ServedSession session = make_served(bp);
+  session.session.feed_norm(0.25);
+  session.session.feed_norm(0.75);
+  restored.insert_with_sid(sid, std::move(session));
+  EXPECT_TRUE(restored.with(sid, [](ServedSession& s) {
+    EXPECT_EQ(s.session.steps_fed(), 2u);
+  }));
+
+  // The shard's serial counter was bumped past the restored id: no future
+  // insert may mint it again.
+  for (int i = 0; i < 32; ++i)
+    EXPECT_NE(restored.insert(make_served(bp)), sid);
+
+  // Hostile ids: zero, a duplicate, and an id whose serial is zero (minted
+  // under a different shard count) are all rejected.
+  EXPECT_THROW(restored.insert_with_sid(0, make_served(bp)),
+               util::InvalidArgument);
+  EXPECT_THROW(restored.insert_with_sid(sid, make_served(bp)),
+               util::InvalidArgument);
+  EXPECT_THROW(restored.insert_with_sid(2, make_served(bp)),
+               util::InvalidArgument);
+}
+
+TEST(SessionTable, DrainReapedRecordsEvictionExpiryAndErase) {
+  const auto bp = tiny_blueprint();
+  SessionTable table(SessionTable::Options{1, 2, 2});
+  table.track_removals(true);
+
+  const std::uint64_t a = table.insert(make_served(bp));
+  const std::uint64_t b = table.insert(make_served(bp));
+  const std::uint64_t c = table.insert(make_served(bp));  // evicts LRU `a`
+  EXPECT_TRUE(table.erase(b));
+  table.tick();
+  table.tick();
+  table.tick();  // `c` crosses the TTL
+  EXPECT_EQ(table.size(), 0u);
+
+  std::vector<std::uint64_t> reaped = table.drain_reaped();
+  std::sort(reaped.begin(), reaped.end());
+  std::vector<std::uint64_t> want{a, b, c};
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(reaped, want);
+  EXPECT_TRUE(table.drain_reaped().empty());
+
+  // Disabled tracking records nothing.
+  table.track_removals(false);
+  const std::uint64_t d = table.insert(make_served(bp));
+  EXPECT_TRUE(table.erase(d));
+  EXPECT_TRUE(table.drain_reaped().empty());
+}
+
+// ---- restart durability ----------------------------------------------------
+
+TEST(Server, RestartFromStateDirResumesBitExactly) {
+  const std::string sock = "serve_ha_restart.sock";
+  const std::string state = "serve_ha_restart_state";
+  std::remove(sock.c_str());
+  std::filesystem::remove_all(state);
+
+  ServerOptions options;
+  options.unix_path = sock;
+  options.state_dir = state;
+  options.checkpoint_ticks = 0;  // persist at open + graceful drain only
+
+  const scenario::ScenarioSpec& spec =
+      scenario::Registry::instance().at("quickstart/far");
+  const auto blueprint = scenario::make_session_blueprint(spec);
+  LoadOptions load;
+  load.samples = 64;
+
+  constexpr std::size_t kSessions = 6;
+  std::vector<std::uint64_t> sids;
+  std::vector<std::vector<double>> streams;
+  {
+    ServerFixture fixture(options);
+    Client client = Client::connect_unix(sock);
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      sids.push_back(client.open(FeedMode::kNorm, "quickstart/far"));
+      streams.push_back(session_stream(*blueprint, load, s, 64));
+      client.feed_norms(sids[s], std::vector<double>(streams[s].begin(),
+                                                     streams[s].begin() + 32));
+    }
+  }  // fixture dtor = stop(): drain flushes and checkpoints every session
+
+  // The graceful shutdown checkpointed all six sessions at 32 steps.
+  {
+    SessionStore inspect(state);
+    const std::vector<SessionStore::Entry> entries = inspect.load_all();
+    ASSERT_EQ(entries.size(), kSessions);
+    for (const SessionStore::Entry& entry : entries) {
+      const ServeSnapshot snap = parse_serve_snapshot(entry.blob);
+      detect::Session resumed = detect::Session::restore(blueprint, snap.session);
+      EXPECT_EQ(resumed.steps_fed(), 32u);
+    }
+  }
+
+  // Plant a corrupt snapshot: the restarted server must quarantine it and
+  // restore everything else.
+  { std::ofstream(state + "/999.snap") << "sha256:garbage\nnot a snapshot"; }
+  {
+    ServerFixture fixture(options);
+    const ServerStats stats = fixture.server().stats();
+    EXPECT_EQ(stats.restored, kSessions);
+    EXPECT_EQ(stats.quarantined, 1u);
+
+    // Same session ids, same progress; feeding the tail must land exactly
+    // where an uninterrupted offline replay lands.
+    Client client = Client::connect_unix(sock);
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      EXPECT_EQ(client.query(sids[s]).steps_fed, 32u);
+      client.feed_norms(sids[s], std::vector<double>(streams[s].begin() + 32,
+                                                     streams[s].end()));
+      const Message alarms = client.query(sids[s]);
+      EXPECT_EQ(alarms.steps_fed, 64u);
+      const auto offline = offline_first_alarms(*blueprint, streams[s]);
+      ASSERT_EQ(alarms.first_alarms.size(), offline.size());
+      for (std::size_t i = 0; i < offline.size(); ++i) {
+        EXPECT_EQ(alarms.first_alarms[i].has_value(), offline[i].has_value())
+            << "session " << s << " detector " << i;
+        if (offline[i]) {
+          EXPECT_EQ(*alarms.first_alarms[i],
+                    static_cast<std::uint64_t>(*offline[i]));
+        }
+      }
+    }
+    client.shutdown_server();
+  }
+  EXPECT_TRUE(std::filesystem::exists(state + "/corrupt/999.snap"));
+  std::filesystem::remove_all(state);
+}
+
+TEST(Server, TickCadenceCheckpointsDirtySessionsOnly) {
+  const std::string sock = "serve_ha_ckpt.sock";
+  const std::string state = "serve_ha_ckpt_state";
+  std::remove(sock.c_str());
+  std::filesystem::remove_all(state);
+
+  ServerOptions options;
+  options.unix_path = sock;
+  options.state_dir = state;
+  options.tick_millis = 20;
+  options.checkpoint_ticks = 2;
+  ServerFixture fixture(options);
+
+  const scenario::ScenarioSpec& spec =
+      scenario::Registry::instance().at("quickstart/far");
+  const auto blueprint = scenario::make_session_blueprint(spec);
+
+  Client client = Client::connect_unix(sock);
+  const std::uint64_t sid = client.open(FeedMode::kNorm, "quickstart/far");
+  LoadOptions load;
+  load.samples = 16;
+  const std::vector<double> stream = session_stream(*blueprint, load, 0, 16);
+  client.feed_norms(sid, stream);
+
+  // Within a few ticks the cadence persists the fed session; the on-disk
+  // snapshot (atomic rename: always a complete version) shows 16 steps.
+  const std::string path = state + "/" + std::to_string(sid) + ".snap";
+  EXPECT_TRUE(eventually([&] {
+    const std::string blob = read_file(path);
+    if (blob.empty()) return false;
+    const ServeSnapshot snap = parse_serve_snapshot(blob);
+    return detect::Session::restore(blueprint, snap.session).steps_fed() == 16;
+  })) << "cadence checkpoint never caught up with the fed session";
+
+  // Dirty tracking: with no further feeds, later cadences skip the session
+  // instead of rewriting an identical snapshot forever.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  const std::uint64_t settled = fixture.server().stats().checkpoints;
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_EQ(fixture.server().stats().checkpoints, settled);
+  EXPECT_EQ(fixture.server().stats().checkpoint_failures, 0u);
+
+  client.shutdown_server();
+  std::filesystem::remove_all(state);
+}
+
+// ---- overload protection ---------------------------------------------------
+
+TEST(Server, SoftBackpressurePausesReadsWithoutLosingReplies) {
+  const std::string sock = "serve_ha_soft.sock";
+  std::remove(sock.c_str());
+  ServerOptions options;
+  options.unix_path = sock;
+  options.outbuf_soft_limit = 2048;
+  options.outbuf_hard_limit = 0;  // never drop: throttling must suffice
+  ServerFixture fixture(options);
+
+  Client opener = Client::connect_unix(sock);
+  const std::uint64_t sid = opener.open(FeedMode::kNorm, "quickstart/far");
+  opener.feed_norms(sid, {0.1, 0.2, 0.3, 0.4});
+  const std::string snap = opener.snapshot(sid);
+  ASSERT_FALSE(snap.empty());
+
+  // Pipeline enough snapshot requests that the replies overflow the socket
+  // buffers plus the soft limit many times over, while reading nothing:
+  // the server must pause reading us, then serve every request once we
+  // drain what it owes.
+  const std::size_t n = std::min<std::size_t>(500000 / snap.size() + 32, 4000);
+  Message req;
+  req.type = MsgType::kSnapshot;
+  req.sid = sid;
+  const std::string frame = encode_frame(req);
+  std::string wire;
+  wire.reserve(frame.size() * n);
+  for (std::size_t i = 0; i < n; ++i) wire += frame;
+
+  const int fd = raw_dial(sock);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, wire));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // let it clog
+
+  const timeval timeout{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  FrameReader reader;
+  std::size_t got = 0;
+  while (got < n) {
+    if (const auto body = reader.next()) {
+      const Message reply = decode_body(*body);
+      ASSERT_EQ(reply.type, MsgType::kSnapshotData) << "reply " << got;
+      EXPECT_EQ(reply.blob, snap);
+      ++got;
+      continue;
+    }
+    char buf[65536];
+    const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(r, 0) << "reply stream stalled after " << got << " of " << n;
+    reader.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+
+  EXPECT_EQ(fixture.server().stats().dropped_backpressure, 0u);
+  EXPECT_EQ(opener.query(sid).steps_fed, 4u);
+  opener.shutdown_server();
+}
+
+TEST(Server, HardBackpressureDropsOnlyTheOffender) {
+  const std::string sock = "serve_ha_hard.sock";
+  std::remove(sock.c_str());
+  ServerOptions options;
+  options.unix_path = sock;
+  options.outbuf_soft_limit = 32 * 1024;
+  options.outbuf_hard_limit = 128 * 1024;
+  ServerFixture fixture(options);
+
+  Client innocent = Client::connect_unix(sock);
+  const std::uint64_t sid = innocent.open(FeedMode::kNorm, "quickstart/far");
+  innocent.feed_norms(sid, std::vector<double>(8, 0.01));
+
+  // One feed whose verdict reply (~880KB of masks) dwarfs the socket
+  // buffers plus the hard limit, sent by a connection that never reads:
+  // servicing it must blow pending past the hard cap in one round.
+  constexpr std::size_t kSamples = 110000;
+  Message feed;
+  feed.type = MsgType::kFeedNorm;
+  feed.sid = sid;
+  feed.samples.assign(kSamples, 0.01);
+  const int fd = raw_dial(sock);
+  ASSERT_GE(fd, 0);
+  send_all(fd, encode_frame(feed));  // may fail late if the drop lands early
+
+  // Read NOTHING until the server has judged the offender: an actively
+  // draining peer would let the flush complete and dodge the hard cap.
+  EXPECT_TRUE(eventually(
+      [&] { return fixture.server().stats().dropped_backpressure == 1; }))
+      << "offender connection was never dropped";
+
+  // The connection is cut: whatever was flushed drains, then EOF.
+  const timeval timeout{0, 500000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool eof = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    char buf[65536];
+    const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+    if (r == 0) {
+      eof = true;
+      break;
+    }
+    if (r < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK)
+      break;
+  }
+  ::close(fd);
+  EXPECT_TRUE(eof) << "dropped connection still open on the client side";
+
+  // Only the reply was lost: the feed applied, the session and the
+  // well-behaved client are untouched.
+  EXPECT_EQ(innocent.query(sid).steps_fed, 8u + kSamples);
+  innocent.ping();
+  innocent.shutdown_server();
+}
+
+TEST(Server, MaxConnectionsShedsNewcomersNotEstablishedClients) {
+  const std::string sock = "serve_ha_cap.sock";
+  std::remove(sock.c_str());
+  ServerOptions options;
+  options.unix_path = sock;
+  options.max_connections = 2;
+  ServerFixture fixture(options);
+
+  Client c1 = Client::connect_unix(sock);
+  Client c2 = Client::connect_unix(sock);
+  c1.ping();
+  c2.ping();  // both admitted before the newcomer arrives
+
+  // The third connect succeeds at the socket layer (listen backlog) but is
+  // accepted-and-closed; its first call observes the shed.
+  Client c3 = Client::connect_unix(sock);
+  EXPECT_THROW(c3.ping(), util::IoError);
+  EXPECT_TRUE(eventually(
+      [&] { return fixture.server().stats().shed_overload >= 1; }));
+
+  c1.ping();
+  c2.ping();
+  c1.shutdown_server();
+}
+
+TEST(Server, IdleConnectionsExpireAndEndpointClientsHeal) {
+  const std::string sock = "serve_ha_idle.sock";
+  std::remove(sock.c_str());
+  ServerOptions options;
+  options.unix_path = sock;
+  options.tick_millis = 25;
+  options.idle_conn_ticks = 2;
+  ServerFixture fixture(options);
+
+  // A plain (non-Endpoint) client cannot heal: after expiry its call fails.
+  Client fixed = Client::connect_unix(sock);
+  fixed.ping();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_THROW(fixed.ping(), util::IoError);
+  EXPECT_TRUE(
+      eventually([&] { return fixture.server().stats().idle_closed >= 1; }));
+
+  // An Endpoint client rides the expiry: ping is retransmit-safe, so the
+  // dead transport is redialed inside the same call.
+  Endpoint endpoint;
+  endpoint.unix_path = sock;
+  util::RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_delay_ms = 2.0;
+  policy.max_delay_ms = 20.0;
+  Client healing = Client::connect(endpoint, policy);
+  healing.ping();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  healing.ping();
+  EXPECT_EQ(healing.reconnects(), 1u);
+  healing.shutdown_server();
+}
+
+// ---- client reconnect ------------------------------------------------------
+
+TEST(Server, EndpointClientRidesAServerRestart) {
+  const std::string sock = "serve_ha_flap.sock";
+  std::remove(sock.c_str());
+  ServerOptions options;
+  options.unix_path = sock;
+  auto fixture = std::make_unique<ServerFixture>(options);
+
+  Endpoint endpoint;
+  endpoint.unix_path = sock;
+  util::RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_delay_ms = 2.0;
+  policy.max_delay_ms = 20.0;
+  Client client = Client::connect(endpoint, policy);
+  client.ping();
+  EXPECT_EQ(client.reconnects(), 0u);
+
+  // Bounce the server (same socket path): the next ping fails over the old
+  // transport, redials under the policy and lands on the replacement.
+  fixture = nullptr;
+  fixture = std::make_unique<ServerFixture>(options);
+  client.ping();
+  EXPECT_EQ(client.reconnects(), 1u);
+  const std::uint64_t sid = client.open(FeedMode::kNorm, "quickstart/far");
+  EXPECT_EQ(client.query(sid).steps_fed, 0u);
+
+  // With no server at all, the retry budget bounds the failure: both a
+  // fresh dial and the healing client surface util::IoError.
+  fixture = nullptr;
+  util::RetryPolicy tight;
+  tight.max_attempts = 2;
+  tight.base_delay_ms = 1.0;
+  tight.max_delay_ms = 2.0;
+  EXPECT_THROW(Client::connect(endpoint, tight), util::IoError);
+  EXPECT_THROW(client.ping(), util::IoError);
+}
+
+TEST(Server, InjectedReadFaultDropsTheConnectionAndTheClientHeals) {
+  const std::string sock = "serve_ha_fault.sock";
+  std::remove(sock.c_str());
+  ServerOptions options;
+  options.unix_path = sock;
+  ServerFixture fixture(options);
+
+  Endpoint endpoint;
+  endpoint.unix_path = sock;
+  util::RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_delay_ms = 2.0;
+  policy.max_delay_ms = 20.0;
+  Client client = Client::connect(endpoint, policy);
+  client.ping();
+
+  // Exactly one serve_read fault: the server drops the connection unread,
+  // and the retransmit-safe ping reconnects and completes transparently.
+  util::fault::install(util::fault::FaultPlan::parse("serve_read=1:1@5"));
+  client.ping();
+  EXPECT_EQ(client.reconnects(), 1u);
+  EXPECT_EQ(util::fault::injected("serve_read"), 1u);
+  EXPECT_TRUE(
+      eventually([&] { return fixture.server().stats().faulted_io == 1; }));
+  util::fault::clear();
+  client.shutdown_server();
+}
+
+}  // namespace
+}  // namespace cpsguard::serve

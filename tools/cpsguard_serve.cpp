@@ -25,6 +25,18 @@
 //       --snapshot-dir writes one snapshot file per session before exiting;
 //       --restore-dir resumes from such files and verifies against the
 //       FULL stream (restored steps + newly fed samples).
+//
+//       Chaos mode (requires --reconnect): --chaos-kill-round R --chaos-pid P
+//       [--chaos-restart CMD] SIGKILLs the server process P when feeding
+//       reaches round R, launches CMD (a shell command expected to restart
+//       the server in the background, e.g. on the same --state-dir), then
+//       re-synchronizes every session via kQuery — sessions the new server
+//       restored resume from their last checkpoint, lost ones are reopened
+//       and re-fed from sample 0 — and the usual --verify replay must still
+//       match the offline DetectorBank exactly.
+#include <signal.h>
+#include <sys/types.h>
+
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
@@ -41,7 +53,9 @@
 #include "serve/client.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/server.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
+#include "util/retry.hpp"
 #include "util/status.hpp"
 
 using namespace cpsguard;
@@ -59,12 +73,18 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s serve --unix PATH [--tcp PORT] [--max-sessions N] [--shards N]\n"
       "                [--ttl TICKS] [--tick-ms M] [--shard-workers N]\n"
+      "                [--state-dir D] [--checkpoint-ticks N] [--drain-ms M]\n"
+      "                [--max-connections N] [--idle-conn-ticks N]\n"
+      "                [--outbuf-soft BYTES] [--outbuf-hard BYTES]\n"
+      "                [--inject SPEC]\n"
       "       %s soak --scenario NAME [--sessions N] [--samples K] [--chunk C]\n"
       "               [--seed S] [--amplitude A] [--max-sessions N] [--shards N]\n"
       "       %s load (--unix PATH | --tcp PORT) --scenario NAME\n"
       "               [--sessions N] [--samples K]\n"
       "               [--chunk C] [--seed S] [--amplitude A] [--verify]\n"
-      "               [--snapshot-dir D] [--restore-dir D] [--shutdown] [--batch]\n",
+      "               [--snapshot-dir D] [--restore-dir D] [--shutdown] [--batch]\n"
+      "               [--reconnect] [--chaos-kill-round R --chaos-pid P\n"
+      "                --chaos-restart CMD]\n",
       argv0, argv0, argv0);
   return 2;
 }
@@ -114,6 +134,15 @@ int cmd_serve(const Args& args) {
   options.table.ttl_ticks = args.num("--ttl", 0);
   options.tick_millis = static_cast<int>(args.num("--tick-ms", 1000));
   options.shard_workers = args.num("--shard-workers", 0);
+  if (const auto dir = args.value("--state-dir")) options.state_dir = *dir;
+  options.checkpoint_ticks = args.num("--checkpoint-ticks", 5);
+  options.drain_deadline_ms = static_cast<int>(args.num("--drain-ms", 2000));
+  options.max_connections = args.num("--max-connections", 0);
+  options.idle_conn_ticks = args.num("--idle-conn-ticks", 0);
+  options.outbuf_soft_limit = args.num("--outbuf-soft", 256 * 1024);
+  options.outbuf_hard_limit = args.num("--outbuf-hard", 4 * 1024 * 1024);
+  if (const auto spec = args.value("--inject"))
+    util::fault::install(util::fault::FaultPlan::parse(*spec));
 
   serve::Server server(options);
   g_server = &server;
@@ -126,10 +155,19 @@ int cmd_serve(const Args& args) {
   std::fflush(stdout);
   server.run();
   g_server = nullptr;
-  std::printf("server stopped (%zu sessions live, %llu evicted, %llu expired)\n",
-              server.table().size(),
-              static_cast<unsigned long long>(server.table().evicted()),
-              static_cast<unsigned long long>(server.table().expired()));
+  const serve::ServerStats stats = server.stats();
+  std::printf(
+      "server stopped (%zu sessions live, %llu evicted, %llu expired, "
+      "%llu restored, %llu quarantined, %llu checkpoints, %llu shed, "
+      "%llu dropped)\n",
+      server.table().size(),
+      static_cast<unsigned long long>(server.table().evicted()),
+      static_cast<unsigned long long>(server.table().expired()),
+      static_cast<unsigned long long>(stats.restored),
+      static_cast<unsigned long long>(stats.quarantined),
+      static_cast<unsigned long long>(stats.checkpoints),
+      static_cast<unsigned long long>(stats.shed_overload + stats.shed_no_fds),
+      static_cast<unsigned long long>(stats.dropped_backpressure));
   return 0;
 }
 
@@ -202,67 +240,166 @@ int cmd_load(const Args& args) {
       scenario::Registry::instance().at(*scenario);
   const auto blueprint = scenario::make_session_blueprint(spec);
 
-  serve::Client client = connect_with_retry(
-      unix_path,
-      tcp_port ? static_cast<std::uint16_t>(std::stoul(*tcp_port)) : 0);
+  const bool reconnect = args.flag("--reconnect");
+  const std::uint64_t chaos_round = args.num("--chaos-kill-round", 0);
+  const std::uint64_t chaos_pid = args.num("--chaos-pid", 0);
+  const auto chaos_restart = args.value("--chaos-restart");
+  util::require(chaos_pid == 0 || reconnect,
+                "load: chaos mode requires --reconnect");
+
+  serve::Endpoint endpoint;
+  if (unix_path) endpoint.unix_path = *unix_path;
+  if (tcp_port)
+    endpoint.tcp_port = static_cast<std::uint16_t>(std::stoul(*tcp_port));
+  util::RetryPolicy reconnect_policy;
+  reconnect_policy.max_attempts = 60;  // a restarting server gets ~30 s
+  reconnect_policy.base_delay_ms = 50.0;
+  reconnect_policy.max_delay_ms = 500.0;
+  reconnect_policy.seed = options.seed;
+  serve::Client client =
+      reconnect ? serve::Client::connect(endpoint, reconnect_policy)
+                : connect_with_retry(unix_path, endpoint.tcp_port);
   client.ping();
+
+  std::uint64_t transport_failures = 0, resyncs = 0, reopened = 0,
+                resumed = 0;
 
   std::vector<std::uint64_t> sids(options.sessions);
   std::vector<std::size_t> base_steps(options.sessions, 0);
   for (std::size_t s = 0; s < options.sessions; ++s) {
-    if (restore_dir) {
-      std::ifstream in(snapshot_path(*restore_dir, s), std::ios::binary);
-      util::require(in.good(), "load: missing snapshot for session " +
-                                   std::to_string(s));
-      std::string blob((std::istreambuf_iterator<char>(in)),
-                       std::istreambuf_iterator<char>());
-      sids[s] = client.restore(blob);
-      base_steps[s] =
-          static_cast<std::size_t>(client.query(sids[s]).steps_fed);
-    } else {
-      sids[s] = client.open(serve::FeedMode::kNorm, *scenario);
+    // Injected accept/write faults can cut the connection mid-open; with
+    // --reconnect the retry is safe (a shed connection never read the
+    // request; a lost reply at worst leaks one server-side session for the
+    // LRU/TTL bounds to reap).
+    for (int tries = 0;; ++tries) {
+      try {
+        if (restore_dir) {
+          std::ifstream in(snapshot_path(*restore_dir, s), std::ios::binary);
+          util::require(in.good(), "load: missing snapshot for session " +
+                                       std::to_string(s));
+          std::string blob((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+          sids[s] = client.restore(blob);
+          base_steps[s] =
+              static_cast<std::size_t>(client.query(sids[s]).steps_fed);
+        } else {
+          sids[s] = client.open(serve::FeedMode::kNorm, *scenario);
+        }
+        break;
+      } catch (const util::IoError&) {
+        ++transport_failures;
+        util::require(reconnect && tries < 8,
+                      "load: cannot open session " + std::to_string(s));
+      }
     }
   }
 
   // Feed: each session receives samples [base, base + samples) of its
   // deterministic stream — the continuation of what a restored snapshot
-  // already consumed.  --batch advances every session in lockstep and
-  // ships each round as ONE kFeedNormBatch frame (per-session sample
-  // order is unchanged, so alarms are identical to per-session feeding);
-  // the default feeds sessions one kFeedNorm chunk at a time.
-  if (args.flag("--batch")) {
-    std::vector<std::vector<double>> streams(options.sessions);
-    for (std::size_t s = 0; s < options.sessions; ++s)
-      streams[s] = serve::session_stream(*blueprint, options, s,
-                                         base_steps[s] + options.samples);
-    for (std::size_t round = 0;; ++round) {
+  // already consumed.  All sessions advance in lockstep rounds of one
+  // chunk; --batch ships each round as ONE kFeedNormBatch frame
+  // (per-session sample order is unchanged, so alarms are identical to
+  // per-session feeding), the default one kFeedNorm frame per session.
+  //
+  // Recovery: a transport failure (server crash, injected fault) re-
+  // synchronizes every session from the server's own steps_fed — the
+  // stream is deterministic, so feeding resumes exactly where the server
+  // actually is, never double-feeding.  A session the server no longer
+  // knows (lost snapshot, eviction) is reopened and re-fed from sample 0;
+  // either way the final verdicts must match the offline replay exactly.
+  std::vector<std::size_t> pos = base_steps;
+  std::vector<std::size_t> total(options.sessions);
+  std::vector<std::vector<double>> streams(options.sessions);
+  for (std::size_t s = 0; s < options.sessions; ++s) {
+    total[s] = base_steps[s] + options.samples;
+    streams[s] = serve::session_stream(*blueprint, options, s, total[s]);
+  }
+
+  bool killed = false, resume_counted = false;
+
+  const auto reopen = [&](std::size_t s) {
+    sids[s] = client.open(serve::FeedMode::kNorm, *scenario);
+    pos[s] = 0;  // the full stream (restored prefix included) replays
+    ++reopened;
+  };
+  const auto resync = [&] {
+    ++resyncs;
+    std::uint64_t alive = 0;
+    for (std::size_t s = 0; s < options.sessions; ++s) {
+      bool ok = false;
+      for (int tries = 0; tries < 8 && !ok; ++tries) {
+        try {
+          pos[s] = static_cast<std::size_t>(client.query(sids[s]).steps_fed);
+          ++alive;
+          ok = true;
+        } catch (const util::IoError&) {
+          ++transport_failures;  // client redials on the next attempt
+        } catch (const util::InvalidArgument&) {
+          reopen(s);  // the server does not know this session anymore
+          ok = true;
+        }
+      }
+      util::require(ok, "load: cannot re-sync session " + std::to_string(s));
+    }
+    if (killed && !resume_counted) {
+      resumed = alive;  // sessions that survived the kill via the state dir
+      resume_counted = true;
+    }
+  };
+
+  for (std::size_t round = 0;; ++round) {
+    if (!killed && chaos_pid != 0 && round == chaos_round) {
+      std::fprintf(stderr, "load: chaos: kill -9 %llu at round %zu\n",
+                   static_cast<unsigned long long>(chaos_pid), round);
+      ::kill(static_cast<pid_t>(chaos_pid), SIGKILL);
+      if (chaos_restart) {
+        const int rc = std::system(chaos_restart->c_str());
+        util::require(rc == 0, "load: chaos restart command failed");
+      }
+      killed = true;
+    }
+    if (args.flag("--batch")) {
       std::vector<serve::BatchEntry> entries;
+      std::vector<std::pair<std::size_t, std::size_t>> advance;  // s, end
       for (std::size_t s = 0; s < options.sessions; ++s) {
-        const std::size_t total = base_steps[s] + options.samples;
-        const std::size_t offset = base_steps[s] + round * options.chunk;
-        if (offset >= total) continue;
-        const std::size_t end = std::min(total, offset + options.chunk);
+        if (pos[s] >= total[s]) continue;
+        const std::size_t end = std::min(total[s], pos[s] + options.chunk);
         serve::BatchEntry entry;
         entry.sid = sids[s];
-        entry.samples.assign(streams[s].begin() + offset,
+        entry.samples.assign(streams[s].begin() + pos[s],
                              streams[s].begin() + end);
         entries.push_back(std::move(entry));
+        advance.emplace_back(s, end);
       }
       if (entries.empty()) break;
-      client.feed_norm_batch(std::move(entries));
-    }
-  } else {
-    for (std::size_t s = 0; s < options.sessions; ++s) {
-      const std::size_t total = base_steps[s] + options.samples;
-      const std::vector<double> stream =
-          serve::session_stream(*blueprint, options, s, total);
-      for (std::size_t offset = base_steps[s]; offset < total;
-           offset += options.chunk) {
-        const std::size_t end = std::min(total, offset + options.chunk);
-        client.feed_norms(sids[s],
-                          std::vector<double>(stream.begin() + offset,
-                                              stream.begin() + end));
+      try {
+        client.feed_norm_batch(std::move(entries));
+        for (const auto& [s, end] : advance) pos[s] = end;
+      } catch (const util::IoError&) {
+        ++transport_failures;
+        resync();
+      } catch (const util::InvalidArgument&) {
+        resync();  // one lost session fails the whole frame: re-learn all
       }
+    } else {
+      bool any = false;
+      for (std::size_t s = 0; s < options.sessions; ++s) {
+        if (pos[s] >= total[s]) continue;
+        any = true;
+        const std::size_t end = std::min(total[s], pos[s] + options.chunk);
+        try {
+          client.feed_norms(sids[s],
+                            std::vector<double>(streams[s].begin() + pos[s],
+                                                streams[s].begin() + end));
+          pos[s] = end;
+        } catch (const util::IoError&) {
+          ++transport_failures;
+          resync();
+        } catch (const util::InvalidArgument&) {
+          reopen(s);
+        }
+      }
+      if (!any) break;
     }
   }
 
@@ -273,15 +410,12 @@ int cmd_load(const Args& args) {
   std::size_t alarmed = 0;
   for (std::size_t s = 0; s < options.sessions; ++s) {
     const serve::Message alarms = client.query(sids[s]);
-    const std::size_t total = base_steps[s] + options.samples;
-    util::require(alarms.steps_fed == total,
+    util::require(alarms.steps_fed == total[s],
                   "load: served session consumed wrong number of samples");
     bool session_alarmed = false;
     if (args.flag("--verify")) {
-      const std::vector<double> stream =
-          serve::session_stream(*blueprint, options, s, total);
       const std::vector<std::optional<std::size_t>> offline =
-          serve::offline_first_alarms(*blueprint, stream);
+          serve::offline_first_alarms(*blueprint, streams[s]);
       if (offline.size() != alarms.first_alarms.size()) {
         ++mismatches;
         continue;
@@ -320,9 +454,17 @@ int cmd_load(const Args& args) {
   if (args.flag("--shutdown")) client.shutdown_server();
 
   std::printf("{\"sessions\": %zu, \"samples\": %zu, \"alarmed\": %zu, "
-              "\"verified\": %s, \"mismatches\": %d}\n",
+              "\"verified\": %s, \"mismatches\": %d, \"killed\": %s, "
+              "\"transport_failures\": %llu, \"resyncs\": %llu, "
+              "\"resumed\": %llu, \"reopened\": %llu, \"reconnects\": %llu}\n",
               options.sessions, options.samples, alarmed,
-              args.flag("--verify") ? "true" : "false", mismatches);
+              args.flag("--verify") ? "true" : "false", mismatches,
+              killed ? "true" : "false",
+              static_cast<unsigned long long>(transport_failures),
+              static_cast<unsigned long long>(resyncs),
+              static_cast<unsigned long long>(resumed),
+              static_cast<unsigned long long>(reopened),
+              static_cast<unsigned long long>(client.reconnects()));
   return mismatches == 0 ? 0 : 1;
 }
 

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# serve_chaos.sh BINARY [SCENARIO] — chaos gate for high-availability serve.
+#
+# The drill the durability layer exists for: a server running with a state
+# dir and INJECTED serve faults (shed accepts, dropped reads/writes, torn
+# checkpoints) is SIGKILLed mid-load by the load driver, which immediately
+# launches a replacement on the same state dir.  The driver re-synchronizes
+# every session against the restored server (kQuery tells it exactly how
+# many samples survived; sessions whose snapshots were lost to injected
+# checkpoint faults are reopened and re-fed from sample 0) and finishes the
+# load.  The gate then requires:
+#
+#   * --verify passes: every session's first alarms byte-identical to an
+#     uninterrupted offline DetectorBank replay (exit 0, mismatches 0) —
+#     the kill, the faults and the reconnects must leave NO trace in the
+#     verdict streams;
+#   * the kill actually happened ("killed": true);
+#   * at least half the sessions were resumed from the state dir rather
+#     than reopened from scratch — proof the restore path, not the
+#     reopen fallback, carried the recovery (persist-on-open makes every
+#     session durable the instant it exists; the injected
+#     serve_checkpoint faults can lose at most their failure limit).
+#
+# Beyond the kill, the injected read/write/accept faults force the client's
+# RetryPolicy reconnect path to execute during a normal-looking load: every
+# recovery mechanism this PR adds runs in one drill, deterministically
+# (fault draws are seeded).
+set -euo pipefail
+
+BIN="$1"
+SCENARIO="${2:-quickstart/far}"
+DIR="serve_chaos_gate"
+SOCK="$DIR/serve.sock"
+STATE="$DIR/state"
+SESSIONS=48
+
+rm -rf "$DIR"
+mkdir -p "$STATE"
+
+SERVE_ARGS=(serve --unix "$SOCK" --state-dir "$STATE" --tick-ms 50 --checkpoint-ticks 2)
+FAULTS='serve_accept=0.3:2,serve_read=0.05:2,serve_write=0.05:2,serve_checkpoint=0.1:4@11'
+
+"$BIN" "${SERVE_ARGS[@]}" --inject "$FAULTS" &
+SERVER=$!
+
+# The replacement server the load driver launches after the kill; writing
+# its pid lets the trap reap it on any failure path (the success path shuts
+# it down over the wire).
+RESTART="$BIN ${SERVE_ARGS[*]} & echo \$! > $DIR/server2.pid"
+trap 'kill -9 "$SERVER" 2>/dev/null || true;
+      [ -f "$DIR/server2.pid" ] && kill -9 "$(cat "$DIR/server2.pid")" 2>/dev/null || true' EXIT
+
+"$BIN" load --unix "$SOCK" --scenario "$SCENARIO" \
+  --sessions "$SESSIONS" --samples 600 --chunk 25 --amplitude 0.95 \
+  --verify --reconnect \
+  --chaos-kill-round 12 --chaos-pid "$SERVER" --chaos-restart "$RESTART" \
+  --shutdown | tee "$DIR/load.json"
+
+grep -q '"mismatches": 0' "$DIR/load.json"
+grep -q '"killed": true' "$DIR/load.json"
+
+RESUMED=$(grep -o '"resumed": [0-9]*' "$DIR/load.json" | grep -o '[0-9]*$')
+if [ "$RESUMED" -lt $((SESSIONS / 2)) ]; then
+  echo "serve chaos FAILED: only $RESUMED/$SESSIONS sessions resumed from the state dir" >&2
+  exit 1
+fi
+
+echo "serve chaos ok: kill -9 + restart healed $RESUMED/$SESSIONS sessions from $STATE, verdicts bit-exact under injected faults"
